@@ -1,0 +1,53 @@
+// Ablation (footnote 8): the d2 trick must let the super proxy's pre-check
+// succeed. The paper whitelisted Google's whole 74.125.0.0/16 egress block,
+// which makes EVERY Google-DNS exit node unmeasurable (their resolvers
+// answer from the same block). Whitelisting only the specific anycast
+// instance the super proxy reaches recovers most Google-DNS nodes — and
+// with them Table 5's path/host-software hijacking evidence.
+#include "common.hpp"
+
+#include "tft/util/strings.hpp"
+
+int main(int argc, char** argv) {
+  const auto options = tft::bench::parse_options(argc, argv, 0.05);
+  const auto config = tft::bench::study_config(options);
+
+  struct Run {
+    const char* label;
+    tft::core::DnsProbeConfig::GoogleWhitelist whitelist;
+  };
+  const Run runs[] = {
+      {"instance-specific (ours)",
+       tft::core::DnsProbeConfig::GoogleWhitelist::kSuperProxyInstance},
+      {"whole /16 (paper)",
+       tft::core::DnsProbeConfig::GoogleWhitelist::kWholeNetblock},
+  };
+
+  std::cout << tft::stats::banner("Ablation: d2 Google-DNS whitelist policy");
+  tft::stats::Table table({"Policy", "Measured", "Filtered (unmeasurable)",
+                           "Hijacked Google-DNS nodes", "Table 5 rows"});
+  for (const auto& run : runs) {
+    // Fresh world per run: the probe mutates server logs and caches.
+    auto world = tft::world::build_world(tft::world::paper_spec(), options.scale,
+                                         options.seed);
+    auto probe_config = config.dns;
+    probe_config.google_whitelist = run.whitelist;
+    tft::core::DnsHijackProbe probe(*world, probe_config);
+    probe.run();
+    const auto report =
+        tft::core::analyze_dns(*world, probe.observations(), config.dns_analysis);
+    table.add_row({run.label, tft::util::format_count(report.total_nodes),
+                   tft::util::format_count(report.filtered_nodes),
+                   tft::util::format_count(report.google_hijacked_nodes),
+                   std::to_string(report.google_urls.size())});
+  }
+  std::cout << table.render() << "\n";
+  std::cout << "Reading: Google anycast sites answer from several egress\n"
+               "netblocks. The paper's /16 whitelist makes every Google-DNS\n"
+               "node whose anycast site shares the super proxy's netblock\n"
+               "unmeasurable (footnote 8) — and with them part of Table 5's\n"
+               "path/host-software evidence. Whitelisting only the super\n"
+               "proxy's specific instance egress shrinks the blind spot to\n"
+               "nodes that share that exact instance.\n";
+  return 0;
+}

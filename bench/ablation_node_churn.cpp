@@ -1,0 +1,42 @@
+// Ablation (§2.3): Luminati retries failed exit nodes (up to 5) and reports
+// the zID trail, and the d1/d2 methodology discards measurements whose two
+// requests landed on different nodes. This bench sweeps node churn to show
+// how the retry + zID-consistency design keeps measurements sound as the
+// platform degrades.
+#include "common.hpp"
+
+#include "tft/util/strings.hpp"
+
+int main(int argc, char** argv) {
+  const auto options = tft::bench::parse_options(argc, argv, 0.03);
+  const auto base = tft::bench::study_config(options);
+
+  std::cout << tft::stats::banner("Ablation: exit-node churn vs. DNS probe yield");
+  tft::stats::Table table({"Failure prob.", "Sessions issued", "Nodes measured",
+                           "Yield/session", "Hijack ratio"});
+  for (const double failure : {0.0, 0.01, 0.05, 0.15, 0.30}) {
+    auto spec = tft::world::paper_spec();
+    spec.node_failure_probability = failure;
+    auto world = tft::world::build_world(spec, options.scale, options.seed);
+    tft::core::DnsHijackProbe probe(*world, base.dns);
+    probe.run();
+    const auto report =
+        tft::core::analyze_dns(*world, probe.observations(), base.dns_analysis);
+    const double yield =
+        probe.sessions_issued() == 0
+            ? 0
+            : static_cast<double>(probe.observations().size()) /
+                  static_cast<double>(probe.sessions_issued());
+    table.add_row({tft::util::format_percent(failure, 0),
+                   tft::util::format_count(probe.sessions_issued()),
+                   tft::util::format_count(report.total_nodes),
+                   tft::util::format_double(yield, 3),
+                   tft::util::format_percent(report.hijack_ratio())});
+  }
+  std::cout << table.render() << "\n";
+  std::cout << "Reading: the measured hijack ratio stays stable across churn\n"
+               "levels — the zID-consistency check discards cross-node\n"
+               "measurements instead of corrupting them — at the cost of\n"
+               "extra sessions per measured node.\n";
+  return 0;
+}

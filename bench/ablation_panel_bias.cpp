@@ -1,0 +1,68 @@
+// Ablation (§4.4): the paper measures 4.8% NXDOMAIN hijacking while the
+// 2011 Netalyzr study reported 24% — and conjectures the difference comes
+// partly from self-selection: "our results may be somewhat less biased by
+// users who run Netalyzr because they suspect problems with their network
+// configuration."
+//
+// This bench simulates recruited panels: users with a network problem are
+// w times likelier to run the diagnostic tool. The proxy-network panel
+// (w=1, uniform) recovers the population rate; recruited panels inflate it.
+#include "common.hpp"
+
+#include "tft/util/rng.hpp"
+#include "tft/util/strings.hpp"
+#include "tft/world/world.hpp"
+
+int main(int argc, char** argv) {
+  const auto options = tft::bench::parse_options(argc, argv, 0.05);
+  auto world = tft::bench::build_paper_world(options);
+
+  // Population ground truth.
+  const auto& nodes = world->luminati->nodes();
+  std::vector<bool> hijacked(nodes.size());
+  std::size_t population_hijacked = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const auto* truth = world->truth.find(nodes[i]->zid());
+    hijacked[i] =
+        truth != nullptr && truth->dns_hijack != tft::world::DnsHijackSource::kNone;
+    if (hijacked[i]) ++population_hijacked;
+  }
+  const double population_rate =
+      static_cast<double>(population_hijacked) / static_cast<double>(nodes.size());
+
+  std::cout << tft::stats::banner("Ablation: recruited-panel self-selection bias");
+  std::cout << "population: " << nodes.size() << " nodes, true hijack rate "
+            << tft::util::format_percent(population_rate) << "\n\n";
+
+  const std::size_t panel_size =
+      std::min<std::size_t>(nodes.size() / 4, 20000);
+  tft::stats::Table table({"Panel", "Bias w", "Panel size", "Measured rate",
+                           "Inflation"});
+  tft::util::Rng rng(options.seed);
+  for (const double w : {1.0, 2.0, 5.0, 10.0, 20.0}) {
+    // Weighted sampling without replacement: affected users are w times
+    // likelier to volunteer for the diagnostic tool.
+    std::size_t sampled = 0, sampled_hijacked = 0;
+    std::vector<bool> taken(nodes.size(), false);
+    while (sampled < panel_size) {
+      const std::size_t index = rng.index(nodes.size());
+      if (taken[index]) continue;
+      const double accept = hijacked[index] ? 1.0 : 1.0 / w;
+      if (!rng.chance(accept)) continue;
+      taken[index] = true;
+      ++sampled;
+      if (hijacked[index]) ++sampled_hijacked;
+    }
+    const double rate = static_cast<double>(sampled_hijacked) / panel_size;
+    table.add_row({w == 1.0 ? "proxy network (uniform)" : "recruited volunteers",
+                   tft::util::format_double(w, 0), std::to_string(panel_size),
+                   tft::util::format_percent(rate),
+                   tft::util::format_double(rate / population_rate, 1) + "x"});
+  }
+  std::cout << table.render() << "\n";
+  std::cout << "Reading: a w=5..10 self-selection bias is enough to lift a\n"
+               "4.8% population rate into the ~20% range Netalyzr reported —\n"
+               "supporting the paper's conjecture that proxy-network panels\n"
+               "are closer to the true population rate.\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Shared plumbing for the table/figure reproduction binaries.
+// Usage: <bench> [scale] [target_nodes] [seed]
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "tft/core/study.hpp"
+#include "tft/stats/table.hpp"
+#include "tft/world/world.hpp"
+
+namespace tft::bench {
+
+struct Options {
+  double scale = 0.05;
+  std::size_t target_nodes = 1u << 20;  // effectively "crawl everything"
+  std::uint64_t seed = 2016;            // the paper's measurement year
+};
+
+inline Options parse_options(int argc, char** argv, double default_scale) {
+  Options options;
+  options.scale = default_scale;
+  if (argc > 1) options.scale = std::atof(argv[1]);
+  if (argc > 2) options.target_nodes = static_cast<std::size_t>(std::atoll(argv[2]));
+  if (argc > 3) options.seed = static_cast<std::uint64_t>(std::atoll(argv[3]));
+  return options;
+}
+
+inline std::unique_ptr<world::World> build_paper_world(const Options& options) {
+  std::cerr << "[bench] building world: scale=" << options.scale
+            << " seed=" << options.seed << "\n";
+  auto world = world::build_world(world::paper_spec(), options.scale, options.seed);
+  std::cerr << "[bench] population: " << world->luminati->node_count()
+            << " exit nodes, " << world->topology.as_count() << " ASes, "
+            << world->topology.organization_count() << " organizations\n";
+  return world;
+}
+
+inline core::StudyConfig study_config(const Options& options) {
+  return core::StudyConfig::for_scale(options.scale, options.target_nodes);
+}
+
+}  // namespace tft::bench

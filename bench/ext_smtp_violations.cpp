@@ -1,0 +1,45 @@
+// Extension experiment (§3.4): the paper notes its methodology could be
+// extended to protocols like SMTP through VPN services that tunnel
+// arbitrary traffic. This bench runs exactly that: the paper-scale world
+// with an arbitrary-port overlay enabled, one SMTP probe per exit node.
+// The interception prevalences are synthetic (no paper ground truth) —
+// see DESIGN.md's substitution table.
+#include "common.hpp"
+
+#include "tft/core/smtp_probe.hpp"
+
+int main(int argc, char** argv) {
+  auto options = tft::bench::parse_options(argc, argv, 0.05);
+  auto spec = tft::world::paper_spec();
+  spec.arbitrary_port_overlay = true;  // the VPN-style overlay
+  std::cerr << "[bench] building world: scale=" << options.scale
+            << " seed=" << options.seed << " (arbitrary-port overlay)\n";
+  auto world = tft::world::build_world(spec, options.scale, options.seed);
+
+  tft::core::SmtpProbeConfig config;
+  config.target_nodes = options.target_nodes;
+  tft::core::SmtpProbe probe(*world, config);
+  probe.run();
+
+  tft::core::SmtpAnalysisConfig analysis;
+  analysis.min_nodes_per_as =
+      std::max<std::size_t>(3, static_cast<std::size_t>(10 * options.scale));
+  const auto report = tft::core::analyze_smtp(*world, probe.observations(), analysis);
+  std::cout << tft::core::render_smtp_report(report) << "\n";
+
+  std::cout << "Ground-truth configuration (synthetic, paper-scale counts):\n"
+               "  port-25 blocking 60,000 nodes  STARTTLS stripping 9,000\n"
+               "  banner rewriting 2,200         body tagging 400\n";
+
+  // Demonstrate the Luminati restriction the paper calls out: on the real
+  // service this methodology cannot run at all.
+  auto luminati_spec = tft::world::paper_spec();
+  auto luminati_world = tft::world::build_world(luminati_spec, 0.002, options.seed);
+  tft::core::SmtpProbe rejected(*luminati_world, config);
+  rejected.run();
+  std::cout << "\nOn a Luminati-like overlay (CONNECT :443 only): "
+            << (rejected.overlay_rejected() ? "probe rejected, as expected"
+                                            : "UNEXPECTEDLY RAN")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Regenerates Figure 5: the CDF of the delay between an exit node's request
+// and the monitoring entity's unexpected re-fetch, per entity (log-x).
+// Prints the curve at log-spaced sample points plus an ASCII rendering.
+#include "common.hpp"
+
+#include "tft/util/strings.hpp"
+
+int main(int argc, char** argv) {
+  const auto options = tft::bench::parse_options(argc, argv, 0.08);
+  const auto world = tft::bench::build_paper_world(options);
+  const auto config = tft::bench::study_config(options);
+
+  tft::core::ContentMonitorProbe probe(*world, config.monitoring);
+  probe.run();
+  const auto report = tft::core::analyze_monitoring(*world, probe.observations(),
+                                                    config.monitoring_analysis);
+
+  std::cout << tft::stats::banner("Figure 5: delay CDF per monitoring entity");
+  // Numeric series (the figure's data) at log-spaced delays.
+  tft::stats::Table table({"Entity", "F(1s)", "F(10s)", "F(30s)", "F(60s)",
+                           "F(120s)", "F(600s)", "F(3600s)", "F(12500s)"});
+  for (const auto& row : report.top_entities) {
+    if (row.delay_cdf.empty()) continue;
+    const auto at = [&](double x) {
+      return tft::util::format_double(row.delay_cdf.at(x), 2);
+    };
+    table.add_row({row.entity, at(1), at(10), at(30), at(60), at(120), at(600),
+                   at(3600), at(12500)});
+  }
+  std::cout << table.render() << "\n";
+
+  std::cout << "ASCII CDF (log-x 0.1s .. 12,500s; levels ' .:-=+*#%@'):\n";
+  for (const auto& row : report.top_entities) {
+    if (row.delay_cdf.empty()) continue;
+    std::string name = row.entity;
+    name.resize(14, ' ');
+    std::cout << "  " << name << " |" << row.delay_cdf.ascii_curve(0.1, 12500, 56)
+              << "|\n";
+  }
+  std::cout
+      << "\nPaper shape reference:\n"
+         "  Trend Micro: two bands (12-120s, 200-12,500s) with a step at 0.5\n"
+         "  TalkTalk:    step at exactly 30s, second request over the next hour\n"
+         "  Commtouch:   single band 1-10 minutes\n"
+         "  AnchorFree:  99% under 1 second\n"
+         "  Bluecoat:    starts at 0.41 (83% of first re-fetches PRECEDE the\n"
+         "               node's request)\n"
+         "  Tiscali:     vertical step at exactly 30s\n";
+  return 0;
+}

@@ -1,0 +1,160 @@
+// google-benchmark microbenchmarks for the protocol substrates: DNS wire
+// codec, HTTP parser, longest-prefix-match table, certificate verification,
+// image transcoding and URL extraction. These are the hot paths of the
+// measurement pipeline.
+#include <benchmark/benchmark.h>
+
+#include "tft/dns/codec.hpp"
+#include "tft/http/content.hpp"
+#include "tft/http/message.hpp"
+#include "tft/net/prefix_table.hpp"
+#include "tft/smtp/session.hpp"
+#include "tft/tls/authority.hpp"
+#include "tft/tls/verify.hpp"
+#include "tft/util/json_parse.hpp"
+#include "tft/util/rng.hpp"
+#include "tft/world/spec_io.hpp"
+
+namespace {
+
+using namespace tft;  // NOLINT
+
+dns::Message sample_dns_response() {
+  auto query = dns::Message::query(0xBEEF, *dns::DnsName::parse("www.example.com"));
+  auto response = dns::Message::response_to(query, dns::Rcode::kNoError);
+  response.answers.push_back(dns::ResourceRecord::a(
+      *dns::DnsName::parse("www.example.com"), net::Ipv4Address(93, 184, 216, 34)));
+  response.answers.push_back(dns::ResourceRecord::cname(
+      *dns::DnsName::parse("alias.example.com"), *dns::DnsName::parse("www.example.com")));
+  response.authorities.push_back(dns::ResourceRecord::txt(
+      *dns::DnsName::parse("example.com"), "v=spf1 -all"));
+  return response;
+}
+
+void BM_DnsEncode(benchmark::State& state) {
+  const auto message = sample_dns_response();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::encode(message));
+  }
+}
+BENCHMARK(BM_DnsEncode);
+
+void BM_DnsDecode(benchmark::State& state) {
+  const std::string wire = dns::encode(sample_dns_response());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::decode(wire));
+  }
+}
+BENCHMARK(BM_DnsDecode);
+
+void BM_HttpRequestParse(benchmark::State& state) {
+  auto request = http::Request::proxy_get(
+      *http::Url::parse("http://s123-d2.probe.tft-study.net/page.html"));
+  request.headers.add("User-Agent", "tft-probe/1.0");
+  request.headers.add("Accept", "*/*");
+  const std::string wire = request.serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(http::Request::parse(wire));
+  }
+}
+BENCHMARK(BM_HttpRequestParse);
+
+void BM_HttpResponseSerialize(benchmark::State& state) {
+  const auto response =
+      http::Response::make(200, "OK", http::reference_html(), "text/html");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(response.serialize());
+  }
+}
+BENCHMARK(BM_HttpResponseSerialize);
+
+void BM_PrefixTableLookup(benchmark::State& state) {
+  util::Rng rng(1);
+  net::PrefixTable<std::uint32_t> table;
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(state.range(0)); ++i) {
+    const auto address = net::Ipv4Address(static_cast<std::uint32_t>(rng.next_u64()));
+    table.insert(*net::Ipv4Prefix::make(address, 8 + static_cast<int>(rng.uniform(17))),
+                 i);
+  }
+  std::uint32_t probe = 0;
+  for (auto _ : state) {
+    probe += 2654435761u;
+    benchmark::DoNotOptimize(table.lookup(net::Ipv4Address(probe)));
+  }
+}
+BENCHMARK(BM_PrefixTableLookup)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_CertificateVerify(benchmark::State& state) {
+  auto root = tls::CertificateAuthority::make_root(
+      {"Root", "Trust", "US"}, 1, sim::Instant::epoch(),
+      sim::Instant::epoch() + sim::Duration::hours(24 * 3650));
+  auto intermediate =
+      tls::CertificateAuthority::make_intermediate(root, {"Mid", "Trust", "US"}, 2);
+  tls::CertificateAuthority::LeafOptions options;
+  options.hosts = {"www.example.com"};
+  const auto chain = intermediate.chain_for(intermediate.issue(options));
+  tls::RootStore roots;
+  roots.add(root.certificate());
+  const tls::CertificateVerifier verifier(&roots);
+  const auto now = sim::Instant::epoch() + sim::Duration::hours(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verifier.verify(chain, "www.example.com", now));
+  }
+}
+BENCHMARK(BM_CertificateVerify);
+
+void BM_SimgTranscode(benchmark::State& state) {
+  const std::string image = http::reference_image();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(http::transcode_simg(image, 53));
+  }
+}
+BENCHMARK(BM_SimgTranscode);
+
+void BM_SmtpSession(benchmark::State& state) {
+  smtp::SmtpServer server(smtp::SmtpServer::Config{});
+  const smtp::ClientScript script;
+  const net::Ipv4Address client(203, 0, 113, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        smtp::run_session(server, {}, script, client, sim::Instant::epoch()));
+  }
+}
+BENCHMARK(BM_SmtpSession);
+
+void BM_ChunkedDecode(benchmark::State& state) {
+  const std::string wire = http::encode_chunked_body(http::reference_html(), 1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(http::decode_chunked_body(wire));
+  }
+}
+BENCHMARK(BM_ChunkedDecode);
+
+void BM_JsonParseScenario(benchmark::State& state) {
+  const std::string document = world::spec_to_json(world::mini_spec());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::parse_json(document));
+  }
+}
+BENCHMARK(BM_JsonParseScenario);
+
+void BM_SpecRoundTrip(benchmark::State& state) {
+  const std::string document = world::spec_to_json(world::paper_spec());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world::spec_from_json(document));
+  }
+}
+BENCHMARK(BM_SpecRoundTrip);
+
+void BM_ExtractUrls(benchmark::State& state) {
+  std::string html = http::reference_html();
+  html += "<script src=\"http://d36mw5gp02ykm5.cloudfront.net/loader.js\"></script>";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(http::extract_urls(html));
+  }
+}
+BENCHMARK(BM_ExtractUrls);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Regenerates Table 5: landing-page hosts observed by exit nodes that use
+// Google DNS yet still receive hijacked NXDOMAIN responses — i.e. path
+// middleboxes and end-host software.
+#include <map>
+
+#include "common.hpp"
+
+#include "tft/util/strings.hpp"
+
+int main(int argc, char** argv) {
+  const auto options = tft::bench::parse_options(argc, argv, 0.08);
+  const auto world = tft::bench::build_paper_world(options);
+  const auto config = tft::bench::study_config(options);
+
+  tft::core::DnsHijackProbe probe(*world, config.dns);
+  probe.run();
+  const auto report =
+      tft::core::analyze_dns(*world, probe.observations(), config.dns_analysis);
+
+  std::cout << tft::stats::banner("Table 5: hijack URLs seen by Google-DNS users");
+  std::cout << "hijacked Google-DNS nodes: " << report.google_hijacked_nodes
+            << "   [paper: 927]\n\n";
+
+  const std::map<std::string, std::string> paper = {
+      {"navigationshilfe.t-online.de", "80 / 1"},
+      {"www.webaddresshelp.bt.com", "73 / 1"},
+      {"v3.mercusuar.uzone.id", "53 / 1"},
+      {"error.talktalk.co.uk", "46 / 3"},
+      {"dnserros.oi.com.br", "40 / 2"},
+      {"dnserrorassist.att.net", "32 / 1"},
+      {"searchassist.verizon.com", "30 / 1"},
+      {"finder.cox.net", "17 / 1"},
+      {"ayudaenlabusqueda.telefonica.com.ar", "16 / 1"},
+      {"google.dodo.com.au", "13 / 1"},
+      {"airtelforum.com", "14 / 1"},
+      {"nodomain.ctbc.com.br", "7 / 1"},
+      {"search.mediacomcable.com", "7 / 1"},
+      {"midascdn.nervesis.com", "68 / 1"},
+      {"nortonsafe.search.ask.com", "25 / 18"},
+      {"securedns.comodo.com", "9 / 9"},
+  };
+
+  tft::stats::Table table(
+      {"URL host", "Exit Nodes", "ASes", "Likely source", "Paper (nodes/ASes)"});
+  for (const auto& row : report.google_urls) {
+    const auto it = paper.find(row.host);
+    table.add_row({row.host, std::to_string(row.nodes), std::to_string(row.ases),
+                   row.likely_host_software ? "host software" : "ISP",
+                   it == paper.end() ? "-" : it->second});
+  }
+  std::cout << table.render();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Example: auditing TLS interception (§6) in a corporate-style deployment:
+// an endpoint-protection product on most machines, a content filter that
+// only MITMs blocked sites, and one piece of malware that copies subject
+// fields into its forgeries. Demonstrates the two-phase CONNECT scan, the
+// Issuer-CN clustering, and the key-reuse / invalid-masking checks.
+#include <iostream>
+
+#include "tft/core/study.hpp"
+#include "tft/stats/table.hpp"
+#include "tft/util/strings.hpp"
+#include "tft/world/world.hpp"
+
+using namespace tft;  // NOLINT — example brevity
+
+int main() {
+  world::WorldSpec spec;
+  spec.countries = {
+      {"US", 1500, 0, 4, 2, 0.10, 0.05},
+      {"CA", 600, 0, 2, 2, 0.10, 0.05},
+  };
+  spec.scattered_google_hijack_nodes = 0;
+  spec.clean_public_resolvers = 8;
+  spec.adware.clear();
+  spec.adware_install_boost = 1.0;
+  spec.transcoders.clear();
+  spec.monitors.clear();
+  spec.tail_monitor_groups = 0;
+  spec.blockpage_nodes = 0;
+  spec.js_error_nodes = 0;
+  spec.css_error_nodes = 0;
+
+  using Kind = world::CertReplacerSpec::Kind;
+  spec.cert_replacers = {
+      // Endpoint protection: shared key per machine, but re-signs invalid
+      // sites under a distinct untrusted issuer (the safer behaviour).
+      {"AcmeGuard EPP", "AcmeGuard TLS Inspection CA", Kind::kAntiVirus, 140,
+       /*reuse_key=*/true, /*untrusted_for_invalid=*/true, false, false,
+       std::nullopt, false},
+      // A dangerous one: makes originally-invalid certificates look valid.
+      {"LaxShield AV", "LaxShield Personal Root", Kind::kAntiVirus, 60, true,
+       /*untrusted_for_invalid=*/false, false, false, std::nullopt, false},
+      // Content filter: intercepts only its block list, only valid sites.
+      {"FilterCo", "FilterCo Root Authority", Kind::kContentFilter, 50, true,
+       false, /*only_if_valid=*/true, /*only_blocked=*/true, std::nullopt, false},
+  };
+  spec.https.popular_sites_per_country = 10;
+  spec.https.countries_with_rankings = 2;
+  spec.https.universities = {"northeastern.edu", "stanford.edu"};
+
+  auto world = world::build_world(spec, 1.0, 99);
+  std::cout << "Audit population: " << world->luminati->node_count()
+            << " machines, " << world->https_sites.size() << " target sites\n\n";
+
+  core::HttpsProbeConfig probe_config;
+  probe_config.target_nodes = 5000;
+  core::CertReplacementProbe probe(*world, probe_config);
+  probe.run();
+
+  core::HttpsAnalysisConfig analysis;
+  analysis.min_nodes_per_issuer = 3;
+  const auto report = core::analyze_https(*world, probe.observations(), analysis);
+  std::cout << core::render_https_report(report) << "\n";
+
+  // Per-product security posture summary.
+  std::cout << "Security posture of detected interceptors:\n";
+  for (const auto& row : report.issuers) {
+    std::cout << "  " << row.issuer_cn << ":\n";
+    std::cout << "    key reuse across sites: "
+              << (row.key_reuse_nodes > 0 ? "YES (weak)" : "no") << "\n";
+    std::cout << "    masks invalid certificates: "
+              << (row.masks_invalid_nodes > 0 ? "YES (dangerous)" : "no") << "\n";
+  }
+
+  // Cross-check with ground truth.
+  std::size_t intercepted_truth = world->truth.count(
+      [](const world::NodeTruth& t) { return !t.cert_replacer.empty(); });
+  std::cout << "\nground truth: " << intercepted_truth
+            << " machines run interception software; the audit flagged "
+            << report.replaced_nodes << ".\n";
+  return 0;
+}

@@ -1,0 +1,437 @@
+#include "tft/core/dns_probe.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "tft/http/content.hpp"
+#include "tft/util/hash.hpp"
+#include "tft/util/rng.hpp"
+#include "tft/util/strings.hpp"
+
+namespace tft::core {
+
+namespace {
+
+/// Weighted country picker matching §3.2: countries are chosen in
+/// proportion to the number of exit nodes Luminati reports there.
+class CountryPicker {
+ public:
+  explicit CountryPicker(const proxy::SuperProxy& luminati) {
+    for (const auto& [country, count] : luminati.country_counts()) {
+      countries_.push_back(country);
+      weights_.push_back(static_cast<double>(count));
+    }
+  }
+
+  const net::CountryCode& pick(util::Rng& rng) const {
+    return countries_[rng.weighted_index(weights_)];
+  }
+
+ private:
+  std::vector<net::CountryCode> countries_;
+  std::vector<double> weights_;
+};
+
+}  // namespace
+
+DnsHijackProbe::DnsHijackProbe(world::World& world, DnsProbeConfig config)
+    : world_(world), config_(config) {}
+
+std::size_t DnsHijackProbe::run() {
+  util::Rng rng(config_.seed);
+  CountryPicker picker(*world_.luminati);
+
+  // The d2 trick: our zone answers "*-d2" probe names only when the query
+  // arrives from the super proxy's own DNS instance; everyone else gets
+  // NXDOMAIN. (The wildcard A record answers when the policy passes.)
+  const net::Ipv4Address allowed_egress =
+      world_.google_dns->instance_for(world_.luminati->address()).egress_address();
+  const net::Ipv4Prefix google_block = world_.google_egress_block;
+  const bool whole_netblock =
+      config_.google_whitelist == DnsProbeConfig::GoogleWhitelist::kWholeNetblock;
+  const dns::DnsName probe_zone = *dns::DnsName::parse("probe.tft-study.net");
+  world_.measurement_zone->set_policy(
+      [allowed_egress, google_block, whole_netblock, probe_zone](
+          const dns::Question& question, net::Ipv4Address source,
+          const dns::Message& query) -> std::optional<dns::Message> {
+        if (!question.name.is_within(probe_zone) || question.name.labels().empty()) {
+          return std::nullopt;
+        }
+        if (!question.name.labels().front().ends_with("-d2")) return std::nullopt;
+        const bool allowed = whole_netblock ? google_block.contains(source)
+                                            : source == allowed_egress;
+        if (allowed) return std::nullopt;  // the wildcard A record answers
+        return dns::Message::response_to(query, dns::Rcode::kNxDomain);
+      });
+
+  std::unordered_set<std::string> seen_zids;
+  std::size_t stall = 0;
+  std::size_t web_cursor = world_.measurement_web->request_log().size();
+  std::size_t dns_cursor = world_.measurement_zone->query_log().size();
+
+  while ((config_.target_nodes == 0 || observations_.size() < config_.target_nodes) &&
+         stall < config_.stall_limit) {
+    const std::size_t session_id = sessions_issued_++;
+    // Token includes the probe seed so repeated studies (longitudinal
+    // rounds) never reuse a probe name across rounds.
+    const std::string token = "s" + std::to_string(config_.seed % 100000) + "x" +
+                              std::to_string(session_id);
+
+    proxy::RequestOptions options;
+    options.country = picker.pick(rng);
+    options.session = "dns-" + std::to_string(session_id);
+    options.dns_remote = true;
+
+    // Step 2: fetch d1 to learn the node's identity.
+    const auto d1 =
+        *http::Url::parse("http://" + token + "-d1.probe.tft-study.net/");
+    const auto r1 = world_.luminati->fetch(d1, options);
+    if (!r1.ok()) {
+      ++stall;
+      web_cursor = world_.measurement_web->request_log().size();
+      dns_cursor = world_.measurement_zone->query_log().size();
+      continue;
+    }
+    if (!seen_zids.insert(r1.zid).second) {
+      ++stall;
+      web_cursor = world_.measurement_web->request_log().size();
+      dns_cursor = world_.measurement_zone->query_log().size();
+      continue;
+    }
+    stall = 0;
+
+    DnsNodeObservation observation;
+    observation.zid = r1.zid;
+
+    // Exit IP from the web server log (last request for d1's host: monitors
+    // may prefetch, but the node's own request is dispatched last).
+    const std::string d1_host = d1.host;
+    const auto& web_log = world_.measurement_web->request_log();
+    for (std::size_t i = web_cursor; i < web_log.size(); ++i) {
+      if (web_log[i].host == d1_host) observation.exit_address = web_log[i].source;
+    }
+    if (observation.exit_address == net::Ipv4Address{}) {
+      observation.exit_address = r1.exit_address;  // fall back to the debug header
+    }
+
+    // DNS server egress from the authoritative log. The first d1 query is
+    // the super proxy's pre-check; the node's resolver follows. A missing
+    // second query means the node shares the super proxy's DNS instance
+    // (its cache answered), which we must filter (footnote 8).
+    bool precheck_skipped = false;
+    bool found_node_query = false;
+    const auto& dns_log = world_.measurement_zone->query_log();
+    const dns::DnsName d1_name = *dns::DnsName::parse(d1.host);
+    for (std::size_t i = dns_cursor; i < dns_log.size(); ++i) {
+      if (!dns_log[i].name.equals(d1_name)) continue;
+      if (!precheck_skipped) {
+        precheck_skipped = true;
+        continue;
+      }
+      observation.dns_server = dns_log[i].source;
+      found_node_query = true;
+    }
+    if (!found_node_query) {
+      observation.dns_server = allowed_egress;
+      observation.filtered_google_overlap = true;
+    }
+
+    // Map the exit IP through RouteViews/CAIDA (§3.1).
+    if (const auto asn = world_.topology.origin_as(observation.exit_address)) {
+      observation.asn = *asn;
+      if (const auto country = world_.topology.country_of(*asn)) {
+        observation.country = *country;
+      }
+    }
+
+    web_cursor = world_.measurement_web->request_log().size();
+    dns_cursor = world_.measurement_zone->query_log().size();
+
+    // Step 3: fetch d2 through the same exit node.
+    const auto d2 =
+        *http::Url::parse("http://" + token + "-d2.probe.tft-study.net/");
+    const auto r2 = world_.luminati->fetch(d2, options);
+    if (r2.zid != r1.zid) {
+      // The session was re-routed mid-measurement (node churn); discard.
+      seen_zids.erase(r1.zid);
+      web_cursor = world_.measurement_web->request_log().size();
+      dns_cursor = world_.measurement_zone->query_log().size();
+      continue;
+    }
+    if (r2.status == proxy::ProxyStatus::kExitNodeDnsNxdomain) {
+      observation.hijacked = false;
+    } else if (r2.ok()) {
+      if (util::contains(r2.response.body, "tft-probe-content")) {
+        // The node resolved d2 to the real A record: it queried through the
+        // allowed Google instance. Unmeasurable; filter.
+        observation.filtered_google_overlap = true;
+      } else {
+        observation.hijacked = true;
+        observation.hijack_content = r2.response.body;
+      }
+    } else {
+      // Resolution failed outright; treat as unmeasured churn.
+      seen_zids.erase(r1.zid);
+      web_cursor = world_.measurement_web->request_log().size();
+      dns_cursor = world_.measurement_zone->query_log().size();
+      continue;
+    }
+
+    web_cursor = world_.measurement_web->request_log().size();
+    dns_cursor = world_.measurement_zone->query_log().size();
+    observations_.push_back(std::move(observation));
+  }
+
+  world_.measurement_zone->set_policy(nullptr);
+  return observations_.size();
+}
+
+namespace {
+
+struct ServerGroup {
+  std::vector<const DnsNodeObservation*> nodes;
+  std::size_t hijacked = 0;
+  std::set<net::CountryCode> countries;
+
+  double hijack_rate() const {
+    return nodes.empty() ? 0 : static_cast<double>(hijacked) / nodes.size();
+  }
+};
+
+}  // namespace
+
+std::uint64_t content_shape_hash(std::string_view html) {
+  // Replace every occurrence of every URL with a fixed placeholder, then
+  // hash. Pages identical up to their landing URLs collapse together.
+  std::string shape(html);
+  auto urls = http::extract_urls(html);
+  // Longest first, so a URL that prefixes another is not clobbered early.
+  std::sort(urls.begin(), urls.end(), [](const std::string& a, const std::string& b) {
+    return a.size() > b.size();
+  });
+  for (const auto& url : urls) {
+    std::size_t at = 0;
+    while ((at = shape.find(url, at)) != std::string::npos) {
+      shape.replace(at, url.size(), "{URL}");
+      at += 5;
+    }
+  }
+  return util::fnv1a64(shape);
+}
+
+DnsReport analyze_dns(const world::World& world,
+                      const std::vector<DnsNodeObservation>& observations,
+                      const DnsAnalysisConfig& config) {
+  DnsReport report;
+
+  std::set<net::CountryCode> countries;
+  std::set<net::Asn> ases;
+  std::set<std::uint32_t> servers;
+  std::map<net::CountryCode, DnsCountryRow> by_country;
+  std::map<std::uint32_t, ServerGroup> by_server;
+
+  for (const auto& observation : observations) {
+    ++report.total_nodes;
+    if (observation.filtered_google_overlap) {
+      ++report.filtered_nodes;
+      continue;
+    }
+    countries.insert(observation.country);
+    ases.insert(observation.asn);
+    servers.insert(observation.dns_server.value());
+    if (observation.hijacked) ++report.hijacked_nodes;
+
+    auto& row = by_country[observation.country];
+    row.country = observation.country;
+    ++row.total;
+    if (observation.hijacked) ++row.hijacked;
+
+    auto& group = by_server[observation.dns_server.value()];
+    group.nodes.push_back(&observation);
+    group.countries.insert(observation.country);
+    if (observation.hijacked) ++group.hijacked;
+  }
+  report.unique_countries = countries.size();
+  report.unique_ases = ases.size();
+  report.unique_dns_servers = servers.size();
+
+  // §4.2 macroscopic spread at the AS level.
+  {
+    std::map<net::Asn, std::pair<std::size_t, std::size_t>> by_as;  // hijacked, total
+    for (const auto& observation : observations) {
+      if (observation.filtered_google_overlap) continue;
+      auto& entry = by_as[observation.asn];
+      ++entry.second;
+      if (observation.hijacked) ++entry.first;
+    }
+    for (const auto& [asn, counts] : by_as) {
+      if (counts.second < config.min_nodes_per_server) continue;
+      ++report.sampled_ases;
+      if (counts.first == 0) ++report.clean_ases;
+      if (counts.first * 3 > counts.second) ++report.heavily_hijacked_ases;
+    }
+  }
+
+  // Table 3: countries with enough samples, ranked by hijack ratio.
+  for (const auto& [code, row] : by_country) {
+    if (row.total >= config.min_nodes_per_country) {
+      ++report.sampled_countries;
+      if (row.hijacked == 0) ++report.clean_countries;
+      report.top_countries.push_back(row);
+    }
+  }
+  std::sort(report.top_countries.begin(), report.top_countries.end(),
+            [](const DnsCountryRow& a, const DnsCountryRow& b) {
+              return a.ratio() > b.ratio();
+            });
+
+  // Classify each DNS server (§4.3).
+  std::map<std::string, DnsIspRow> isp_rows;       // keyed "isp|country"
+  std::map<std::string, DnsPublicRow> public_rows;
+  std::size_t attributed_isp = 0, attributed_public = 0, attributed_other = 0;
+
+  for (const auto& [server_value, group] : by_server) {
+    const net::Ipv4Address server(server_value);
+    const bool is_google = world.is_google_egress(server);
+    const net::Organization* server_org = world.topology.organization_of(server);
+
+    // Per-node attribution for the §4.4 split (no reporting threshold).
+    std::size_t same_org_nodes = 0;
+    for (const auto* node : group.nodes) {
+      const net::Organization* node_org =
+          world.topology.organization_of(node->exit_address);
+      if (server_org != nullptr && node_org != nullptr &&
+          server_org->id == node_org->id) {
+        ++same_org_nodes;
+      }
+    }
+    const bool looks_isp =
+        !is_google && server_org != nullptr &&
+        same_org_nodes * 5 >= group.nodes.size() * 4;  // >=80% same-org users
+    for (const auto* node : group.nodes) {
+      if (!node->hijacked) continue;
+      if (is_google) {
+        ++attributed_other;
+      } else if (looks_isp) {
+        ++attributed_isp;
+      } else {
+        ++attributed_public;
+      }
+    }
+
+    if (group.nodes.size() < config.min_nodes_per_server || is_google) continue;
+
+    if (looks_isp && same_org_nodes == group.nodes.size()) {
+      ++report.isp_server_total;
+      if (group.hijack_rate() >= config.hijack_rate_threshold) {
+        auto& row = isp_rows[server_org->name + '|' + server_org->country];
+        row.isp = server_org->name;
+        row.country = server_org->country;
+        ++row.dns_servers;
+        row.nodes += group.nodes.size();
+      }
+    } else if (group.countries.size() > config.public_country_threshold) {
+      ++report.public_server_total;
+      if (group.hijack_rate() >= config.hijack_rate_threshold) {
+        const std::string name =
+            server_org != nullptr ? server_org->name : "(unidentified)";
+        auto& row = public_rows[name];
+        row.operator_name = name;
+        ++row.servers;
+        row.nodes += group.nodes.size();
+      }
+    }
+  }
+
+  for (auto& [key, row] : isp_rows) report.isp_hijackers.push_back(row);
+  std::sort(report.isp_hijackers.begin(), report.isp_hijackers.end(),
+            [](const DnsIspRow& a, const DnsIspRow& b) {
+              return std::tie(a.country, a.isp) < std::tie(b.country, b.isp);
+            });
+  for (auto& [key, row] : public_rows) report.public_hijackers.push_back(row);
+  std::sort(report.public_hijackers.begin(), report.public_hijackers.end(),
+            [](const DnsPublicRow& a, const DnsPublicRow& b) {
+              return a.nodes > b.nodes;
+            });
+
+  if (report.hijacked_nodes > 0) {
+    const double total = static_cast<double>(report.hijacked_nodes);
+    report.attributed_isp = attributed_isp / total;
+    report.attributed_public = attributed_public / total;
+    report.attributed_other = attributed_other / total;
+  }
+
+  // Table 5: nodes hijacked despite using Google's resolver — cluster the
+  // landing-page URLs.
+  struct UrlGroup {
+    std::size_t nodes = 0;
+    std::set<net::Asn> ases;
+    std::set<net::CountryCode> countries;
+  };
+  std::map<std::string, UrlGroup> url_groups;
+  for (const auto& observation : observations) {
+    if (observation.filtered_google_overlap || !observation.hijacked) continue;
+    if (!world.is_google_egress(observation.dns_server)) continue;
+    ++report.google_hijacked_nodes;
+    for (const auto& host : http::extract_url_hosts(observation.hijack_content)) {
+      auto& group = url_groups[host];
+      ++group.nodes;
+      group.ases.insert(observation.asn);
+      group.countries.insert(observation.country);
+    }
+  }
+  for (const auto& [host, group] : url_groups) {
+    if (group.nodes < config.min_nodes_per_url) continue;
+    DnsGoogleUrlRow row;
+    row.host = host;
+    row.nodes = group.nodes;
+    row.ases = group.ases.size();
+    row.countries = group.countries.size();
+    row.likely_host_software = group.ases.size() >= config.host_software_as_threshold &&
+                               group.countries.size() >= 2;
+    report.google_urls.push_back(row);
+  }
+  std::sort(report.google_urls.begin(), report.google_urls.end(),
+            [](const DnsGoogleUrlRow& a, const DnsGoogleUrlRow& b) {
+              return a.nodes > b.nodes;
+            });
+
+  // §4.3.1: cluster hijack pages by URL-stripped code shape. Clusters that
+  // span several ISPs indicate a common vendor appliance (the paper's
+  // Cox / Oi / TalkTalk / BT / Verizon finding).
+  struct ShapeGroup {
+    std::set<std::string> isps;
+    std::size_t nodes = 0;
+  };
+  std::map<std::uint64_t, ShapeGroup> shapes;
+  for (const auto& observation : observations) {
+    if (!observation.hijacked || observation.hijack_content.empty()) continue;
+    const net::Organization* server_org =
+        world.topology.organization_of(observation.dns_server);
+    const net::Organization* org =
+        server_org != nullptr ? server_org
+                              : world.topology.organization_of(observation.exit_address);
+    if (org == nullptr) continue;
+    auto& group = shapes[content_shape_hash(observation.hijack_content)];
+    group.isps.insert(org->name);
+    ++group.nodes;
+  }
+  for (const auto& [hash, group] : shapes) {
+    if (group.isps.size() < 2) continue;
+    SharedVendorCluster cluster;
+    cluster.isps.assign(group.isps.begin(), group.isps.end());
+    cluster.nodes = group.nodes;
+    cluster.shape_hash = hash;
+    report.shared_vendor_clusters.push_back(std::move(cluster));
+  }
+  std::sort(report.shared_vendor_clusters.begin(), report.shared_vendor_clusters.end(),
+            [](const SharedVendorCluster& a, const SharedVendorCluster& b) {
+              return a.isps.size() > b.isps.size();
+            });
+
+  return report;
+}
+
+}  // namespace tft::core

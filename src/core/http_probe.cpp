@@ -1,0 +1,355 @@
+#include "tft/core/http_probe.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "tft/http/content.hpp"
+#include "tft/util/rng.hpp"
+#include "tft/util/strings.hpp"
+
+namespace tft::core {
+
+namespace {
+
+bool looks_like_blockpage(const http::Response& response) {
+  if (response.status == 403 || response.status == 503) return true;
+  return util::icontains(response.body, "bandwidth exceeded") ||
+         util::icontains(response.body, ">blocked<") ||
+         util::icontains(response.body, "access denied");
+}
+
+bool looks_like_error_page(const http::Response& response,
+                           std::string_view expected_type) {
+  if (response.status != 200) return true;
+  if (response.body.empty()) return true;
+  const auto type = response.headers.get("Content-Type");
+  return !type || !util::icontains(*type, expected_type);
+}
+
+/// Identifier scan: tokens of [A-Za-z0-9_], used by the keyword fallback.
+std::vector<std::string> scan_identifiers(std::string_view text) {
+  std::vector<std::string> out;
+  std::string current;
+  for (const char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      current.push_back(c);
+    } else {
+      if (current.size() >= 6) out.push_back(current);
+      current.clear();
+    }
+  }
+  if (current.size() >= 6) out.push_back(current);
+  return out;
+}
+
+bool has_mixed_case_or_underscore(std::string_view token) {
+  bool lower = false, upper = false, underscore = false;
+  for (const char c : token) {
+    lower = lower || (c >= 'a' && c <= 'z');
+    upper = upper || (c >= 'A' && c <= 'Z');
+    underscore = underscore || c == '_';
+  }
+  return underscore || (lower && upper);
+}
+
+}  // namespace
+
+std::string extract_injection_signature(std::string_view original,
+                                        std::string_view modified) {
+  // Locate the injected chunk via common prefix/suffix.
+  std::size_t prefix = 0;
+  const std::size_t max_prefix = std::min(original.size(), modified.size());
+  while (prefix < max_prefix && original[prefix] == modified[prefix]) ++prefix;
+  std::size_t suffix = 0;
+  while (suffix < max_prefix - prefix &&
+         original[original.size() - 1 - suffix] == modified[modified.size() - 1 - suffix]) {
+    ++suffix;
+  }
+  if (modified.size() < prefix + suffix) return "(rewritten)";
+  const std::string_view injected = modified.substr(prefix, modified.size() - prefix - suffix);
+  if (injected.empty()) return "(rewritten)";
+
+  // Rule 1: an embedded URL identifies the culprit directly.
+  const auto hosts = http::extract_url_hosts(injected);
+  if (!hosts.empty()) return hosts.front();
+
+  // Rule 2: "var <ident>" declarations (the oiasudoj case).
+  const auto var_at = injected.find("var ");
+  if (var_at != std::string_view::npos) {
+    const auto ident = scan_identifiers(injected.substr(var_at + 4, 64));
+    if (!ident.empty()) return "var " + ident.front() + ";";
+  }
+
+  // Rule 3: a distinctive identifier (underscores / CamelCase, the
+  // AdTaily_Widget_Container and NetsparkQuiltingResult cases).
+  std::string best;
+  for (const auto& token : scan_identifiers(injected)) {
+    if (token.size() >= 10 && has_mixed_case_or_underscore(token) &&
+        token.size() > best.size()) {
+      best = token;
+    }
+  }
+  if (!best.empty()) return best;
+  return "(unidentified)";
+}
+
+HttpModificationProbe::HttpModificationProbe(world::World& world,
+                                             HttpProbeConfig config)
+    : world_(world), config_(config) {}
+
+std::size_t HttpModificationProbe::run() {
+  util::Rng rng(config_.seed);
+
+  const std::string reference_html = http::reference_html(world_.probe_html_bytes);
+  const std::string reference_image = http::reference_image();
+  const std::string reference_js = http::reference_javascript();
+  const std::string reference_css = http::reference_css();
+  const auto reference_simg = http::parse_simg(reference_image);
+
+  // Country weighting as in §3.2.
+  std::vector<net::CountryCode> countries;
+  std::vector<double> weights;
+  for (const auto& [country, count] : world_.luminati->country_counts()) {
+    countries.push_back(country);
+    weights.push_back(static_cast<double>(count));
+  }
+
+  std::unordered_set<std::string> seen_zids;
+  std::unordered_map<net::Asn, int> measured_per_as;
+  std::unordered_map<net::Asn, int> limit_per_as;
+
+  // "Return to the AS" expansion queue (§5.1): after a modification is
+  // detected in an AS, keep issuing sessions pinned to that AS's country
+  // until the expanded quota fills or we give up.
+  struct ExpansionTarget {
+    net::CountryCode country;
+    net::Asn asn = 0;
+    int attempts = 0;
+  };
+  std::vector<ExpansionTarget> expansion;
+
+  std::size_t stall = 0;
+  std::size_t session_id = 0;
+  while (observations_.size() < config_.max_nodes && stall < config_.stall_limit) {
+    proxy::RequestOptions options;
+    if (!expansion.empty()) {
+      auto& target = expansion.back();
+      if (++target.attempts > 40 * config_.expanded_nodes_per_as ||
+          measured_per_as[target.asn] >= limit_per_as[target.asn]) {
+        expansion.pop_back();
+        continue;
+      }
+      options.country = target.country;
+    } else {
+      options.country = countries[rng.weighted_index(weights)];
+    }
+    options.session = "http-" + std::to_string(session_id++);
+    ++sessions_issued_;
+
+    const std::string token = "h" + std::to_string(session_id);
+    const std::string host = token + ".probe.tft-study.net";
+
+    // Identification contact: the small landing page ("/", ~2 KB) reveals
+    // the node's zID and AS without spending the full object budget —
+    // quota-skipped nodes cost almost nothing (the §3.4 byte cap).
+    const auto id_url = *http::Url::parse("http://" + host + "/");
+    // Expansion attempts are budgeted by their own counter; only organic
+    // crawling counts toward the stall limit.
+    const bool expanding = !expansion.empty();
+    const auto id_result = world_.luminati->fetch(id_url, options);
+    if (!id_result.ok()) {
+      if (!expanding) ++stall;
+      continue;
+    }
+    if (!seen_zids.insert(id_result.zid).second) {
+      if (!expanding) ++stall;
+      continue;
+    }
+
+    const net::Asn asn = id_result.exit_asn;
+    const int limit = limit_per_as.contains(asn) ? limit_per_as[asn]
+                                                 : config_.nodes_per_as;
+    if (measured_per_as[asn] >= limit) {
+      // Skip without consuming the node: an expansion may admit it later.
+      seen_zids.erase(id_result.zid);
+      if (!expanding) ++stall;
+      continue;
+    }
+    stall = 0;
+    ++measured_per_as[asn];
+
+    HttpNodeObservation observation;
+    observation.zid = id_result.zid;
+    observation.exit_address = id_result.exit_address;
+    observation.asn = asn;
+    observation.country = id_result.exit_country;
+
+    // The four reference objects through the same pinned session.
+    const auto fetch = [&](const char* path) {
+      return world_.luminati->fetch(*http::Url::parse("http://" + host + path),
+                                    options);
+    };
+
+    if (const auto html = fetch("/page.html");
+        html.ok() && html.zid == observation.zid) {
+      if (html.response.body != reference_html) {
+        if (looks_like_blockpage(html.response)) {
+          observation.html_blockpage = true;
+        } else {
+          observation.html_modified = true;
+          observation.html_signature =
+              extract_injection_signature(reference_html, html.response.body);
+          observation.html_delta_bytes =
+              html.response.body.size() > reference_html.size()
+                  ? html.response.body.size() - reference_html.size()
+                  : 0;
+        }
+      }
+    }
+
+    if (const auto image = fetch("/image.simg"); image.ok() && image.zid == observation.zid) {
+      if (image.response.body != reference_image) {
+        if (const auto info = http::parse_simg(image.response.body)) {
+          // A well-formed image at different bytes: transcoded in flight.
+          observation.image_modified = true;
+          observation.image_quality = info->quality;
+          observation.image_compression_ratio =
+              http::compression_ratio(reference_image, image.response.body);
+        } else {
+          observation.image_replaced = true;  // block/error page, not an image
+        }
+      } else if (reference_simg) {
+        observation.image_quality = reference_simg->quality;
+      }
+    }
+    if (const auto js = fetch("/library.js"); js.ok() && js.zid == observation.zid) {
+      if (js.response.body != reference_js) {
+        observation.js_modified = true;
+        observation.js_error_page = looks_like_error_page(js.response, "javascript");
+      }
+    }
+    if (const auto css = fetch("/style.css"); css.ok() && css.zid == observation.zid) {
+      if (css.response.body != reference_css) {
+        observation.css_modified = true;
+        observation.css_error_page = looks_like_error_page(css.response, "css");
+      }
+    }
+
+    if ((observation.any_modified() || observation.html_blockpage) &&
+        limit_per_as[asn] < config_.expanded_nodes_per_as) {
+      limit_per_as[asn] = config_.expanded_nodes_per_as;
+      expansion.push_back(ExpansionTarget{observation.country, asn, 0});
+    } else if (!limit_per_as.contains(asn)) {
+      limit_per_as[asn] = config_.nodes_per_as;
+    }
+    observations_.push_back(std::move(observation));
+  }
+  return observations_.size();
+}
+
+HttpReport analyze_http(const world::World& world,
+                        const std::vector<HttpNodeObservation>& observations,
+                        const HttpAnalysisConfig& config) {
+  HttpReport report;
+
+  std::set<net::Asn> ases;
+  std::set<net::CountryCode> countries;
+  struct AsAccumulator {
+    std::size_t total = 0;
+    std::size_t html_modified = 0;
+    std::size_t image_modified = 0;
+    std::set<int> ratio_buckets;
+    std::vector<double> ratios;
+  };
+  std::map<net::Asn, AsAccumulator> by_as;
+  struct SignatureAccumulator {
+    std::size_t nodes = 0;
+    std::set<net::CountryCode> countries;
+    std::set<net::Asn> ases;
+  };
+  std::map<std::string, SignatureAccumulator> by_signature;
+
+  for (const auto& observation : observations) {
+    ++report.total_nodes;
+    ases.insert(observation.asn);
+    countries.insert(observation.country);
+
+    auto& as_row = by_as[observation.asn];
+    ++as_row.total;
+
+    if (observation.html_blockpage) ++report.html_blockpages;
+    if (observation.html_modified) {
+      ++report.html_modified;
+      ++as_row.html_modified;
+      auto& signature = by_signature[observation.html_signature];
+      ++signature.nodes;
+      signature.countries.insert(observation.country);
+      signature.ases.insert(observation.asn);
+    }
+    if (observation.image_modified) {
+      ++report.image_modified;
+      ++as_row.image_modified;
+      const int bucket = static_cast<int>(
+          std::lround(observation.image_compression_ratio / config.ratio_bucket));
+      if (as_row.ratio_buckets.insert(bucket).second) {
+        as_row.ratios.push_back(observation.image_compression_ratio);
+      }
+    }
+    if (observation.js_modified) ++report.js_modified;
+    if (observation.css_modified) ++report.css_modified;
+    if (observation.js_error_page) ++report.js_error_pages;
+    if (observation.css_error_page) ++report.css_error_pages;
+  }
+  report.unique_ases = ases.size();
+  report.unique_countries = countries.size();
+
+  for (const auto& [signature, accumulator] : by_signature) {
+    report.injections.push_back(InjectionRow{signature, accumulator.nodes,
+                                             accumulator.countries.size(),
+                                             accumulator.ases.size()});
+  }
+  std::sort(report.injections.begin(), report.injections.end(),
+            [](const InjectionRow& a, const InjectionRow& b) {
+              return a.nodes > b.nodes;
+            });
+
+  for (const auto& [asn, accumulator] : by_as) {
+    if (accumulator.total < config.min_nodes_per_as) continue;
+    if (accumulator.image_modified > 0) {
+      TranscodeRow row;
+      row.asn = asn;
+      row.modified = accumulator.image_modified;
+      row.total = accumulator.total;
+      row.ratios = accumulator.ratios;
+      std::sort(row.ratios.begin(), row.ratios.end());
+      if (const auto org = world.topology.org_of(asn)) {
+        if (const auto* info = world.topology.organization(*org)) {
+          row.isp = info->name;
+          row.country = info->country;
+          row.mobile_isp = info->kind == net::OrgKind::kMobileIsp;
+        }
+      }
+      report.transcoders.push_back(std::move(row));
+    }
+    if (accumulator.html_modified == accumulator.total) {
+      std::string isp = "(unknown)";
+      if (const auto org = world.topology.org_of(asn)) {
+        if (const auto* info = world.topology.organization(*org)) isp = info->name;
+      }
+      report.fully_modified_ases.emplace_back(asn, isp);
+    }
+  }
+  std::sort(report.transcoders.begin(), report.transcoders.end(),
+            [](const TranscodeRow& a, const TranscodeRow& b) {
+              return a.ratio() > b.ratio();
+            });
+
+  return report;
+}
+
+}  // namespace tft::core

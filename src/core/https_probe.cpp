@@ -1,0 +1,287 @@
+#include "tft/core/https_probe.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "tft/util/rng.hpp"
+#include "tft/util/strings.hpp"
+
+namespace tft::core {
+
+namespace {
+
+struct SiteIndex {
+  std::map<net::CountryCode, std::vector<const world::HttpsSite*>> popular;
+  std::vector<const world::HttpsSite*> universities;
+  std::vector<const world::HttpsSite*> invalid;
+};
+
+SiteIndex index_sites(const world::World& world) {
+  SiteIndex index;
+  for (const auto& site : world.https_sites) {
+    switch (site.site_class) {
+      case world::HttpsSite::Class::kPopular:
+        index.popular[site.country].push_back(&site);
+        break;
+      case world::HttpsSite::Class::kUniversity:
+        index.universities.push_back(&site);
+        break;
+      case world::HttpsSite::Class::kInvalid:
+        index.invalid.push_back(&site);
+        break;
+    }
+  }
+  return index;
+}
+
+}  // namespace
+
+CertReplacementProbe::CertReplacementProbe(world::World& world,
+                                           HttpsProbeConfig config)
+    : world_(world), config_(config) {}
+
+std::size_t CertReplacementProbe::run() {
+  util::Rng rng(config_.seed);
+  const SiteIndex index = index_sites(world_);
+  const tls::CertificateVerifier verifier(&world_.public_roots);
+
+  std::vector<net::CountryCode> countries;
+  std::vector<double> weights;
+  for (const auto& [country, count] : world_.luminati->country_counts()) {
+    countries.push_back(country);
+    weights.push_back(static_cast<double>(count));
+  }
+
+  std::unordered_set<std::string> seen_zids;
+  std::size_t stall = 0;
+  std::size_t session_id = 0;
+
+  const auto scan_site = [&](const world::HttpsSite& site,
+                             const proxy::RequestOptions& options,
+                             const std::string& zid)
+      -> std::optional<CertSiteResult> {
+    const auto result =
+        world_.luminati->connect_and_handshake(site.address, 443, site.host, options);
+    if (!result.ok() || result.zid != zid || result.chain.empty()) {
+      return std::nullopt;
+    }
+    CertSiteResult out;
+    out.host = site.host;
+    out.site_class = site.site_class;
+    out.originally_invalid = site.site_class == world::HttpsSite::Class::kInvalid;
+    out.issuer_cn = result.chain.front().issuer.common_name;
+    out.public_key = result.chain.front().public_key;
+    if (out.originally_invalid) {
+      // We know the exact certificate we serve: detect any substitution.
+      out.replaced = result.chain.front().fingerprint() !=
+                     site.genuine_chain.front().fingerprint();
+    } else {
+      // Valid-by-construction sites: a verification failure means a third
+      // party replaced the chain (§6.1's chain-validation check).
+      out.replaced =
+          !verifier.verify(result.chain, site.host, world_.clock.now()).ok();
+    }
+    return out;
+  };
+
+  while (observations_.size() < config_.target_nodes && stall < config_.stall_limit) {
+    proxy::RequestOptions options;
+    options.country = countries[rng.weighted_index(weights)];
+    options.session = "tls-" + std::to_string(session_id++);
+    ++sessions_issued_;
+
+    // Skip countries we have no Alexa-style rankings for (the paper's
+    // 115-country limitation in §6.2).
+    const auto ranked = index.popular.find(*options.country);
+    if (ranked == index.popular.end() || ranked->second.empty()) {
+      ++stall;
+      continue;
+    }
+
+    // Establish node identity with a first tunnel to a random popular site.
+    const world::HttpsSite* first_site =
+        ranked->second[rng.index(ranked->second.size())];
+    const auto first = world_.luminati->connect_and_handshake(
+        first_site->address, 443, first_site->host, options);
+    if (!first.ok()) {
+      ++stall;
+      continue;
+    }
+    if (!seen_zids.insert(first.zid).second) {
+      ++stall;
+      continue;
+    }
+    stall = 0;
+
+    CertObservation observation;
+    observation.zid = first.zid;
+    observation.exit_address = first.exit_address;
+    observation.country = first.exit_country;
+    if (const auto asn = world_.topology.origin_as(first.exit_address)) {
+      observation.asn = *asn;
+    }
+
+    // Phase 1: one site from each class (re-using the already-fetched
+    // popular handshake).
+    CertSiteResult first_result;
+    first_result.host = first_site->host;
+    first_result.site_class = first_site->site_class;
+    first_result.issuer_cn = first.chain.front().issuer.common_name;
+    first_result.public_key = first.chain.front().public_key;
+    first_result.replaced =
+        !verifier.verify(first.chain, first_site->host, world_.clock.now()).ok();
+    observation.sites.push_back(first_result);
+
+    bool phase1_failed = first_result.replaced;
+    if (!index.universities.empty()) {
+      const auto* site = index.universities[rng.index(index.universities.size())];
+      if (const auto result = scan_site(*site, options, observation.zid)) {
+        phase1_failed = phase1_failed || result->replaced;
+        observation.sites.push_back(*result);
+      }
+    }
+    if (!index.invalid.empty()) {
+      const auto* site = index.invalid[rng.index(index.invalid.size())];
+      if (const auto result = scan_site(*site, options, observation.zid)) {
+        phase1_failed = phase1_failed || result->replaced;
+        observation.sites.push_back(*result);
+      }
+    }
+
+    // Phase 2: on any failure, scan every site in all three classes.
+    if (phase1_failed) {
+      observation.phase2 = true;
+      std::set<std::string> already;
+      for (const auto& site : observation.sites) already.insert(site.host);
+      const auto scan_all = [&](const std::vector<const world::HttpsSite*>& sites) {
+        for (const auto* site : sites) {
+          if (already.contains(site->host)) continue;
+          if (const auto result = scan_site(*site, options, observation.zid)) {
+            observation.sites.push_back(*result);
+          }
+        }
+      };
+      scan_all(ranked->second);
+      scan_all(index.universities);
+      scan_all(index.invalid);
+    }
+
+    observations_.push_back(std::move(observation));
+  }
+  return observations_.size();
+}
+
+std::string classify_issuer(std::string_view issuer_cn) {
+  static const char* const kAntiVirus[] = {
+      "avast", "avg", "bitdefender", "eset", "kaspersky",
+      "cyberoam", "fortigate", "dr.web", "mcafee", "norton"};
+  static const char* const kFilters[] = {"opendns"};
+  static const char* const kMalware[] = {"cloudguard"};
+  for (const char* needle : kAntiVirus) {
+    if (util::icontains(issuer_cn, needle)) return "Anti-Virus/Security";
+  }
+  for (const char* needle : kFilters) {
+    if (util::icontains(issuer_cn, needle)) return "Content filter";
+  }
+  for (const char* needle : kMalware) {
+    if (util::icontains(issuer_cn, needle)) return "Malware";
+  }
+  return "N/A";
+}
+
+HttpsReport analyze_https(const world::World& world,
+                          const std::vector<CertObservation>& observations,
+                          const HttpsAnalysisConfig& config) {
+  (void)world;
+  HttpsReport report;
+
+  std::set<net::Asn> ases;
+  std::set<net::CountryCode> countries;
+  std::map<net::Asn, std::pair<std::size_t, std::size_t>> as_replaced;  // (replaced, total)
+
+  struct IssuerAccumulator {
+    std::size_t nodes = 0;
+    std::size_t key_reuse = 0;
+    std::size_t masks_invalid = 0;
+  };
+  std::map<std::string, IssuerAccumulator> by_issuer;
+
+  for (const auto& observation : observations) {
+    ++report.total_nodes;
+    ases.insert(observation.asn);
+    countries.insert(observation.country);
+    auto& as_entry = as_replaced[observation.asn];
+    ++as_entry.second;
+    if (!observation.any_replaced()) continue;
+    ++report.replaced_nodes;
+    ++as_entry.first;
+
+    bool any_untouched = false;
+    std::set<std::string> node_issuers;
+    std::set<tls::KeyId> replaced_keys;
+    std::size_t replaced_count = 0;
+    // Issuer of forgeries on originally-valid sites, for the mask check.
+    std::set<std::string> valid_site_issuers;
+    for (const auto& site : observation.sites) {
+      if (!site.replaced) {
+        any_untouched = true;
+        continue;
+      }
+      ++replaced_count;
+      node_issuers.insert(site.issuer_cn);
+      replaced_keys.insert(site.public_key);
+      if (!site.originally_invalid) valid_site_issuers.insert(site.issuer_cn);
+    }
+    if (any_untouched) ++report.selective_nodes;
+
+    bool masks_invalid = false;
+    for (const auto& site : observation.sites) {
+      if (site.replaced && site.originally_invalid &&
+          valid_site_issuers.contains(site.issuer_cn)) {
+        masks_invalid = true;
+      }
+    }
+
+    for (const auto& issuer : node_issuers) {
+      auto& accumulator = by_issuer[issuer];
+      ++accumulator.nodes;
+      if (replaced_count >= 2 && replaced_keys.size() == 1) ++accumulator.key_reuse;
+      if (masks_invalid) ++accumulator.masks_invalid;
+    }
+  }
+  report.unique_ases = ases.size();
+  report.unique_countries = countries.size();
+  report.unique_issuers = by_issuer.size();
+
+  for (const auto& [issuer, accumulator] : by_issuer) {
+    if (accumulator.nodes < config.min_nodes_per_issuer) continue;
+    IssuerRow row;
+    row.issuer_cn = issuer.empty() ? "(empty)" : issuer;
+    row.nodes = accumulator.nodes;
+    row.type = classify_issuer(issuer);
+    row.key_reuse_nodes = accumulator.key_reuse;
+    row.masks_invalid_nodes = accumulator.masks_invalid;
+    report.issuers.push_back(std::move(row));
+  }
+  std::sort(report.issuers.begin(), report.issuers.end(),
+            [](const IssuerRow& a, const IssuerRow& b) { return a.nodes > b.nodes; });
+
+  std::size_t concentrated = 0, measured_ases = 0;
+  for (const auto& [asn, counts] : as_replaced) {
+    if (counts.second < 10) continue;
+    ++measured_ases;
+    if (static_cast<double>(counts.first) / counts.second >
+        config.as_concentration_threshold) {
+      ++concentrated;
+    }
+  }
+  report.concentrated_as_fraction =
+      measured_ases == 0 ? 0 : static_cast<double>(concentrated) / measured_ases;
+
+  return report;
+}
+
+}  // namespace tft::core

@@ -1,0 +1,167 @@
+// §4: NXDOMAIN hijacking measurement and attribution.
+//
+// Methodology (§4.1): for each exit node, fetch http://d1 with remote DNS to
+// learn (exit IP, DNS server egress, zID) from our server logs, then fetch
+// http://d2 — a name our authoritative server answers only for the super
+// proxy's DNS instance — through the same session. A clean node surfaces the
+// NXDOMAIN in the proxy log; a hijacked node returns somebody's ad page.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tft/world/world.hpp"
+
+namespace tft::core {
+
+struct DnsProbeConfig {
+  /// Stop after this many unique exit nodes (0 = crawl to exhaustion).
+  std::size_t target_nodes = 5000;
+  /// Give up after this many consecutive sessions without a new node.
+  std::size_t stall_limit = 3000;
+  std::uint64_t seed = 0x7F7;
+
+  /// How the d2 policy recognizes the super proxy's pre-check (§4.1).
+  /// The paper whitelisted all of 74.125.0.0/16 ("empirically determined");
+  /// whitelisting only the specific anycast instance the super proxy uses
+  /// keeps more Google-DNS nodes measurable (see the footnote-8 ablation).
+  enum class GoogleWhitelist {
+    kSuperProxyInstance,  // precise: only the instance's egress address
+    kWholeNetblock,       // the paper's setup: all of 74.125.0.0/16
+  };
+  GoogleWhitelist google_whitelist = GoogleWhitelist::kSuperProxyInstance;
+};
+
+struct DnsNodeObservation {
+  std::string zid;
+  net::Ipv4Address exit_address;
+  net::Asn asn = 0;
+  net::CountryCode country;
+  net::Ipv4Address dns_server;  // resolver egress seen at our authoritative
+  /// Node shares the super proxy's anycast DNS instance; unmeasurable
+  /// (footnote 8) and excluded from analysis.
+  bool filtered_google_overlap = false;
+  bool hijacked = false;
+  std::string hijack_content;  // body served instead of the NXDOMAIN error
+};
+
+class DnsHijackProbe {
+ public:
+  DnsHijackProbe(world::World& world, DnsProbeConfig config);
+
+  /// Crawl exit nodes and measure each once. Returns observation count.
+  std::size_t run();
+
+  const std::vector<DnsNodeObservation>& observations() const noexcept {
+    return observations_;
+  }
+  std::size_t sessions_issued() const noexcept { return sessions_issued_; }
+
+ private:
+  world::World& world_;
+  DnsProbeConfig config_;
+  std::vector<DnsNodeObservation> observations_;
+  std::size_t sessions_issued_ = 0;
+};
+
+// --- Analysis (§4.2-§4.4) ----------------------------------------------------
+
+struct DnsAnalysisConfig {
+  std::size_t min_nodes_per_country = 100;
+  std::size_t min_nodes_per_server = 10;
+  double hijack_rate_threshold = 0.90;
+  /// A server used from more than this many countries is "public" (§4.3.2).
+  std::size_t public_country_threshold = 2;
+  std::size_t min_nodes_per_url = 5;
+  /// Host-software heuristic (§4.3.3): a landing URL seen across at least
+  /// this many ASes is software, not an ISP.
+  std::size_t host_software_as_threshold = 5;
+};
+
+struct DnsCountryRow {
+  net::CountryCode country;
+  std::size_t hijacked = 0;
+  std::size_t total = 0;
+  double ratio() const { return total == 0 ? 0 : static_cast<double>(hijacked) / total; }
+};
+
+struct DnsIspRow {  // Table 4
+  std::string isp;
+  net::CountryCode country;
+  std::size_t dns_servers = 0;
+  std::size_t nodes = 0;
+};
+
+struct DnsPublicRow {  // §4.3.2
+  std::string operator_name;  // "(unidentified)" when the org is unknown
+  std::size_t servers = 0;
+  std::size_t nodes = 0;
+};
+
+struct DnsGoogleUrlRow {  // Table 5
+  std::string host;
+  std::size_t nodes = 0;
+  std::size_t ases = 0;
+  std::size_t countries = 0;
+  bool likely_host_software = false;
+};
+
+/// §4.3.1: several ISPs serve byte-identical hijack JavaScript (differing
+/// only in the landing URL) — evidence of a shared vendor appliance. A
+/// cluster groups ISPs whose hijack pages have the same URL-stripped shape.
+struct SharedVendorCluster {
+  std::vector<std::string> isps;  // distinct ISPs serving this code shape
+  std::size_t nodes = 0;
+  std::uint64_t shape_hash = 0;
+};
+
+/// Normalize hijack-page content for vendor clustering: every embedded URL
+/// is replaced by a placeholder, so pages identical up to the landing URL
+/// collapse to the same shape.
+std::uint64_t content_shape_hash(std::string_view html);
+
+struct DnsReport {
+  std::size_t total_nodes = 0;
+  std::size_t filtered_nodes = 0;
+  std::size_t hijacked_nodes = 0;
+  std::size_t unique_dns_servers = 0;
+  std::size_t unique_ases = 0;
+  std::size_t unique_countries = 0;
+
+  std::vector<DnsCountryRow> top_countries;  // Table 3 (sorted by ratio)
+  std::vector<DnsIspRow> isp_hijackers;      // Table 4
+  std::size_t isp_server_total = 0;          // ISP-attributed servers seen
+  std::vector<DnsPublicRow> public_hijackers;
+  std::size_t public_server_total = 0;       // public servers seen (>=10 nodes)
+  std::vector<DnsGoogleUrlRow> google_urls;  // Table 5
+  std::size_t google_hijacked_nodes = 0;     // hijacked despite Google DNS
+  /// Hijack-page code shapes shared across >=2 ISPs (§4.3.1's common
+  /// hardware/software vendor finding).
+  std::vector<SharedVendorCluster> shared_vendor_clusters;
+
+  // §4.2 macroscopic spread (over groups with enough samples):
+  // "only 262 (40%) ASes and 15 (10%) countries [have] no exit nodes that
+  // [experience] hijacking ... in 20 ASes, more than one-third of exit
+  // nodes experience it."
+  std::size_t sampled_ases = 0;            // ASes meeting the sample threshold
+  std::size_t clean_ases = 0;              // of those, with zero hijacked nodes
+  std::size_t heavily_hijacked_ases = 0;   // of those, with > 1/3 hijacked
+  std::size_t sampled_countries = 0;
+  std::size_t clean_countries = 0;
+
+  // §4.4 attribution split (fractions of hijacked nodes).
+  double attributed_isp = 0;
+  double attributed_public = 0;
+  double attributed_other = 0;
+
+  double hijack_ratio() const {
+    const std::size_t measurable = total_nodes - filtered_nodes;
+    return measurable == 0 ? 0 : static_cast<double>(hijacked_nodes) / measurable;
+  }
+};
+
+DnsReport analyze_dns(const world::World& world,
+                      const std::vector<DnsNodeObservation>& observations,
+                      const DnsAnalysisConfig& config);
+
+}  // namespace tft::core

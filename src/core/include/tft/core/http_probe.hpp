@@ -1,0 +1,127 @@
+// §5: HTTP content modification. Fetch the four reference objects (9 KB
+// HTML, 39 KB image, 258 KB JS, 3 KB CSS) through exit nodes and diff
+// against ground truth. AS-adaptive sampling per §5.1: three nodes per AS,
+// expanded when a modification is found.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tft/world/world.hpp"
+
+namespace tft::core {
+
+struct HttpProbeConfig {
+  int nodes_per_as = 3;
+  int expanded_nodes_per_as = 40;  // after a hit in the AS
+  std::size_t max_nodes = 20000;
+  std::size_t stall_limit = 4000;
+  std::uint64_t seed = 0x177;
+};
+
+struct HttpNodeObservation {
+  std::string zid;
+  net::Ipv4Address exit_address;
+  net::Asn asn = 0;
+  net::CountryCode country;
+
+  bool html_modified = false;
+  bool html_blockpage = false;   // "bandwidth exceeded" / filter pages (§5.2)
+  std::string html_signature;    // injected URL host or keyword
+  std::size_t html_delta_bytes = 0;
+
+  bool image_modified = false;           // a valid image came back, re-encoded
+  bool image_replaced = false;           // not an image at all (block/error page)
+  double image_compression_ratio = 1.0;  // modified size / original size
+  int image_quality = 0;                 // quality of the received image
+
+  bool js_modified = false;
+  bool js_error_page = false;
+  bool css_modified = false;
+  bool css_error_page = false;
+
+  bool any_modified() const {
+    return html_modified || image_modified || js_modified || css_modified;
+  }
+};
+
+class HttpModificationProbe {
+ public:
+  HttpModificationProbe(world::World& world, HttpProbeConfig config);
+
+  std::size_t run();
+
+  const std::vector<HttpNodeObservation>& observations() const noexcept {
+    return observations_;
+  }
+  /// Proxy sessions spent, including quota-skipped identification contacts
+  /// (the crawl's cost metric).
+  std::size_t sessions_issued() const noexcept { return sessions_issued_; }
+
+ private:
+  world::World& world_;
+  HttpProbeConfig config_;
+  std::vector<HttpNodeObservation> observations_;
+  std::size_t sessions_issued_ = 0;
+};
+
+/// Identify the injected chunk (common-prefix/suffix diff) and derive the
+/// signature the paper reports in Table 6: the first embedded URL host, or
+/// a distinctive identifier ("var oiasudoj", "AdTaily_Widget_Container").
+std::string extract_injection_signature(std::string_view original,
+                                        std::string_view modified);
+
+// --- Analysis (§5.2) ---------------------------------------------------------
+
+struct HttpAnalysisConfig {
+  std::size_t min_nodes_per_as = 10;
+  /// Ratio rounding for "consistent compression ratio" detection (Table 7).
+  double ratio_bucket = 0.02;
+};
+
+struct InjectionRow {  // Table 6
+  std::string signature;
+  std::size_t nodes = 0;
+  std::size_t countries = 0;
+  std::size_t ases = 0;
+};
+
+struct TranscodeRow {  // Table 7
+  net::Asn asn = 0;
+  std::string isp;
+  net::CountryCode country;
+  std::size_t modified = 0;
+  std::size_t total = 0;
+  bool mobile_isp = false;
+  std::vector<double> ratios;  // distinct observed compression ratios
+  double ratio() const {
+    return total == 0 ? 0 : static_cast<double>(modified) / total;
+  }
+};
+
+struct HttpReport {
+  std::size_t total_nodes = 0;
+  std::size_t unique_ases = 0;
+  std::size_t unique_countries = 0;
+
+  std::size_t html_modified = 0;
+  std::size_t html_blockpages = 0;
+  std::size_t image_modified = 0;
+  std::size_t js_modified = 0;
+  std::size_t css_modified = 0;
+  std::size_t js_error_pages = 0;
+  std::size_t css_error_pages = 0;
+
+  std::vector<InjectionRow> injections;   // Table 6
+  std::vector<TranscodeRow> transcoders;  // Table 7
+  /// ASes where every measured node received modified HTML (Rimon-style
+  /// ISP filtering).
+  std::vector<std::pair<net::Asn, std::string>> fully_modified_ases;
+};
+
+HttpReport analyze_http(const world::World& world,
+                        const std::vector<HttpNodeObservation>& observations,
+                        const HttpAnalysisConfig& config);
+
+}  // namespace tft::core

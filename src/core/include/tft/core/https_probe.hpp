@@ -1,0 +1,112 @@
+// §6: SSL certificate replacement. CONNECT tunnels to three site classes
+// (per-country popular, US universities, deliberately invalid) and a
+// two-phase scan: one site per class first, all 33 sites when anything
+// fails. Replaced certificates are clustered by Issuer Common Name.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tft/tls/verify.hpp"
+#include "tft/world/world.hpp"
+
+namespace tft::core {
+
+struct HttpsProbeConfig {
+  std::size_t target_nodes = 5000;
+  std::size_t stall_limit = 3000;
+  std::uint64_t seed = 0x443;
+};
+
+struct CertSiteResult {
+  std::string host;
+  world::HttpsSite::Class site_class = world::HttpsSite::Class::kPopular;
+  bool originally_invalid = false;  // we served an invalid cert on purpose
+  bool replaced = false;
+  std::string issuer_cn;       // issuer of the observed leaf
+  tls::KeyId public_key = 0;   // observed leaf key (key-reuse analysis)
+  /// For originally-invalid sites: would the forged cert look valid to a
+  /// browser trusting the interceptor's root (same issuer as valid-site
+  /// forgeries)?
+  bool forged_masks_invalid = false;
+};
+
+struct CertObservation {
+  std::string zid;
+  net::Ipv4Address exit_address;
+  net::Asn asn = 0;
+  net::CountryCode country;
+  bool phase2 = false;  // a phase-1 check failed, full scan performed
+  std::vector<CertSiteResult> sites;
+
+  bool any_replaced() const {
+    for (const auto& site : sites) {
+      if (site.replaced) return true;
+    }
+    return false;
+  }
+};
+
+class CertReplacementProbe {
+ public:
+  CertReplacementProbe(world::World& world, HttpsProbeConfig config);
+
+  std::size_t run();
+
+  const std::vector<CertObservation>& observations() const noexcept {
+    return observations_;
+  }
+  std::size_t sessions_issued() const noexcept { return sessions_issued_; }
+
+ private:
+  world::World& world_;
+  HttpsProbeConfig config_;
+  std::vector<CertObservation> observations_;
+  std::size_t sessions_issued_ = 0;
+};
+
+// --- Analysis (§6.2) ---------------------------------------------------------
+
+struct HttpsAnalysisConfig {
+  std::size_t min_nodes_per_issuer = 5;
+  double as_concentration_threshold = 0.10;  // ">10% of nodes replaced"
+};
+
+struct IssuerRow {  // Table 8
+  std::string issuer_cn;
+  std::size_t nodes = 0;
+  std::string type;  // "Anti-Virus/Security", "Content filter", "Malware", "N/A"
+  /// Nodes whose replaced certificates all reuse a single public key.
+  std::size_t key_reuse_nodes = 0;
+  /// Nodes where an originally-invalid site's forgery shares the issuer of
+  /// valid-site forgeries (invalid made to look valid — the dangerous case).
+  std::size_t masks_invalid_nodes = 0;
+};
+
+struct HttpsReport {
+  std::size_t total_nodes = 0;
+  std::size_t unique_ases = 0;
+  std::size_t unique_countries = 0;
+  std::size_t replaced_nodes = 0;
+  /// Nodes with replacements on some but not all scanned sites (selective).
+  std::size_t selective_nodes = 0;
+  std::size_t unique_issuers = 0;
+  std::vector<IssuerRow> issuers;  // Table 8
+  /// Fraction of (sufficiently measured) ASes with >threshold replaced.
+  double concentrated_as_fraction = 0;
+
+  double replaced_ratio() const {
+    return total_nodes == 0 ? 0
+                            : static_cast<double>(replaced_nodes) / total_nodes;
+  }
+};
+
+HttpsReport analyze_https(const world::World& world,
+                          const std::vector<CertObservation>& observations,
+                          const HttpsAnalysisConfig& config);
+
+/// The paper's manual issuer classification (§6.2).
+std::string classify_issuer(std::string_view issuer_cn);
+
+}  // namespace tft::core

@@ -1,0 +1,62 @@
+// Continuous measurement (§9): "this opens the door to continuous
+// measurements worldwide, with the ability to see how various types of
+// violations evolve over time." A LongitudinalDnsStudy re-runs the §4
+// methodology at fixed simulated intervals and tracks how the hijacking
+// rate and the per-ISP attribution evolve — e.g. an ISP rolling out or
+// retiring a "search assist" box between rounds.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tft/core/dns_probe.hpp"
+
+namespace tft::core {
+
+struct LongitudinalConfig {
+  int rounds = 6;
+  sim::Duration interval = sim::Duration::hours(24 * 30);  // ~monthly
+  DnsProbeConfig probe;       // per-round crawl settings (seed is advanced)
+  DnsAnalysisConfig analysis;
+};
+
+struct LongitudinalRound {
+  int round = 0;
+  sim::Instant time;
+  std::size_t measured = 0;
+  std::size_t hijacked = 0;
+  double ratio = 0;
+  /// Table 4 snapshot for this round (per-ISP hijacking).
+  std::vector<DnsIspRow> isp_hijackers;
+
+  bool isp_listed(std::string_view isp) const {
+    for (const auto& row : isp_hijackers) {
+      if (row.isp == isp) return true;
+    }
+    return false;
+  }
+};
+
+class LongitudinalDnsStudy {
+ public:
+  LongitudinalDnsStudy(world::World& world, LongitudinalConfig config)
+      : world_(world), config_(std::move(config)) {}
+
+  /// Hook invoked between rounds (after advancing the clock, before the
+  /// next crawl) — the place to mutate the world (deploy/retire hijacking).
+  using BetweenRounds = std::function<void(int next_round, world::World& world)>;
+  void set_between_rounds(BetweenRounds hook) { between_rounds_ = std::move(hook); }
+
+  std::vector<LongitudinalRound> run();
+
+ private:
+  world::World& world_;
+  LongitudinalConfig config_;
+  BetweenRounds between_rounds_;
+};
+
+/// Render the time series: per-round rates and an ISP presence matrix.
+std::string render_longitudinal(const std::vector<LongitudinalRound>& rounds);
+
+}  // namespace tft::core

@@ -1,0 +1,103 @@
+// §7: content monitoring. Fetch one unique, never-advertised domain per
+// exit node, then watch the measurement web server's log for up to 24
+// hours: any further request for that domain from a different address
+// means someone recorded and re-fetched the URL.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tft/stats/cdf.hpp"
+#include "tft/world/world.hpp"
+
+namespace tft::core {
+
+struct MonitorProbeConfig {
+  std::size_t target_nodes = 5000;
+  std::size_t stall_limit = 3000;
+  double watch_hours = 24.0;
+  std::uint64_t seed = 0x707;
+};
+
+struct UnexpectedRequest {
+  net::Ipv4Address source;
+  net::Asn asn = 0;
+  std::string organization;  // requester's org per CAIDA mapping
+  double delay_seconds = 0;  // relative to the node's own request (may be <0)
+  std::string user_agent;
+};
+
+struct MonitorObservation {
+  std::string zid;
+  net::Ipv4Address reported_exit_address;  // what Luminati told us
+  net::Asn asn = 0;
+  net::CountryCode country;
+  std::string probe_host;
+  /// The node's own request did not come from its reported address
+  /// (AnchorFree-style VPN relaying, §7.2.1).
+  bool own_request_address_mismatch = false;
+  /// Where the node's own request actually came from (equals
+  /// reported_exit_address unless relayed through a VPN).
+  net::Ipv4Address own_request_source;
+  std::vector<UnexpectedRequest> unexpected;
+
+  bool monitored() const { return !unexpected.empty(); }
+};
+
+class ContentMonitorProbe {
+ public:
+  ContentMonitorProbe(world::World& world, MonitorProbeConfig config);
+
+  /// Crawl, then advance the simulation clock by the watch window and
+  /// harvest the server logs.
+  std::size_t run();
+
+  const std::vector<MonitorObservation>& observations() const noexcept {
+    return observations_;
+  }
+  std::size_t sessions_issued() const noexcept { return sessions_issued_; }
+
+ private:
+  world::World& world_;
+  MonitorProbeConfig config_;
+  std::vector<MonitorObservation> observations_;
+  std::size_t sessions_issued_ = 0;
+};
+
+// --- Analysis (§7.2) ----------------------------------------------------------
+
+struct MonitorAnalysisConfig {
+  std::size_t top_entities = 6;
+};
+
+struct MonitorEntityRow {  // Table 9
+  std::string entity;      // requester organization
+  std::size_t source_ips = 0;
+  std::size_t nodes = 0;
+  std::size_t ases = 0;       // of the monitored nodes
+  std::size_t countries = 0;  // of the monitored nodes
+  stats::EmpiricalCdf delay_cdf;  // Figure 5 series
+};
+
+struct MonitorReport {
+  std::size_t total_nodes = 0;
+  std::size_t monitored_nodes = 0;
+  std::size_t unique_ases = 0;
+  std::size_t unique_countries = 0;
+  std::size_t unique_requester_ips = 0;
+  std::size_t requester_groups = 0;  // the paper's "54 groups"
+  std::vector<MonitorEntityRow> top_entities;  // Table 9 + Figure 5
+  /// Share of all unexpected requests produced by the top entities.
+  double top_share = 0;
+
+  double monitored_ratio() const {
+    return total_nodes == 0 ? 0
+                            : static_cast<double>(monitored_nodes) / total_nodes;
+  }
+};
+
+MonitorReport analyze_monitoring(const world::World& world,
+                                 const std::vector<MonitorObservation>& observations,
+                                 const MonitorAnalysisConfig& config);
+
+}  // namespace tft::core

@@ -1,0 +1,22 @@
+// Machine-readable report export: the same data the render_* functions
+// print, as JSON documents (the paper published its analysis data; this is
+// the equivalent facility for downstream tooling).
+#pragma once
+
+#include <string>
+
+#include "tft/core/smtp_probe.hpp"
+#include "tft/core/study.hpp"
+
+namespace tft::core {
+
+std::string dns_report_json(const DnsReport& report);
+std::string http_report_json(const HttpReport& report);
+std::string https_report_json(const HttpsReport& report);
+std::string monitor_report_json(const MonitorReport& report);
+std::string smtp_report_json(const SmtpReport& report);
+
+/// The full study: coverage + all four reports in one document.
+std::string study_result_json(const StudyResult& result);
+
+}  // namespace tft::core

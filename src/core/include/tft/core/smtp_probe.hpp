@@ -1,0 +1,104 @@
+// SMTP end-to-end violation measurement — the §3.4 future-work extension:
+// "we could extend our methodologies for VPNs that allow arbitrary traffic
+// to be sent, enabling us to capture end-to-end connectivity violations in
+// protocols like SMTP."
+//
+// Requires an overlay that tunnels arbitrary ports (unlike Luminati's
+// 443-only CONNECT). Each node runs one scripted transaction against our
+// mail server; the detector compares the transcript and the server-side
+// message against ground truth we control.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tft/world/world.hpp"
+
+namespace tft::core {
+
+struct SmtpProbeConfig {
+  std::size_t target_nodes = 5000;  // 0 = crawl to exhaustion
+  std::size_t stall_limit = 3000;
+  std::uint64_t seed = 0x25;
+};
+
+struct SmtpObservation {
+  std::string zid;
+  net::Ipv4Address exit_address;
+  net::Asn asn = 0;
+  net::CountryCode country;
+
+  bool connection_blocked = false;   // port 25 unreachable
+  bool banner_rewritten = false;     // 220 text differs from our server's
+  bool starttls_stripped = false;    // capability hidden from the client
+  bool starttls_downgraded = false;  // offered but the upgrade then failed
+  bool body_tampered = false;        // server received a modified message
+  bool message_lost = false;         // accepted by client view, never arrived
+
+  bool any_violation() const {
+    return connection_blocked || banner_rewritten || starttls_stripped ||
+           starttls_downgraded || body_tampered || message_lost;
+  }
+};
+
+class SmtpProbe {
+ public:
+  SmtpProbe(world::World& world, SmtpProbeConfig config);
+
+  /// Returns the number of nodes measured; 0 with `overlay_rejected()` true
+  /// when the proxy service does not allow port-25 tunneling (Luminati).
+  std::size_t run();
+
+  bool overlay_rejected() const noexcept { return overlay_rejected_; }
+  const std::vector<SmtpObservation>& observations() const noexcept {
+    return observations_;
+  }
+  std::size_t sessions_issued() const noexcept { return sessions_issued_; }
+
+ private:
+  world::World& world_;
+  SmtpProbeConfig config_;
+  bool overlay_rejected_ = false;
+  std::vector<SmtpObservation> observations_;
+  std::size_t sessions_issued_ = 0;
+};
+
+// --- Analysis -----------------------------------------------------------------
+
+struct SmtpAnalysisConfig {
+  std::size_t min_nodes_per_as = 5;
+};
+
+struct SmtpAsRow {
+  net::Asn asn = 0;
+  std::string isp;
+  net::CountryCode country;
+  std::size_t affected = 0;
+  std::size_t total = 0;
+  std::string violation;  // dominant violation in this AS
+};
+
+struct SmtpReport {
+  std::size_t total_nodes = 0;
+  std::size_t unique_ases = 0;
+  std::size_t unique_countries = 0;
+  std::size_t blocked = 0;
+  std::size_t stripped = 0;
+  std::size_t downgraded = 0;
+  std::size_t banner_rewritten = 0;
+  std::size_t body_tampered = 0;
+  std::size_t message_lost = 0;
+  std::vector<SmtpAsRow> top_ases;  // ASes with concentrated interception
+
+  double ratio(std::size_t n) const {
+    return total_nodes == 0 ? 0 : static_cast<double>(n) / total_nodes;
+  }
+};
+
+SmtpReport analyze_smtp(const world::World& world,
+                        const std::vector<SmtpObservation>& observations,
+                        const SmtpAnalysisConfig& config);
+
+std::string render_smtp_report(const SmtpReport& report);
+
+}  // namespace tft::core

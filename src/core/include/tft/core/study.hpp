@@ -1,0 +1,58 @@
+// Study orchestration: run the four experiments end-to-end against a world
+// and render the paper's tables/figures from the reports. This is the
+// public entry point most users want — see examples/quickstart.cpp.
+#pragma once
+
+#include <string>
+
+#include "tft/core/dns_probe.hpp"
+#include "tft/core/http_probe.hpp"
+#include "tft/core/https_probe.hpp"
+#include "tft/core/monitor_probe.hpp"
+
+namespace tft::core {
+
+struct StudyConfig {
+  DnsProbeConfig dns;
+  DnsAnalysisConfig dns_analysis;
+  HttpProbeConfig http;
+  HttpAnalysisConfig http_analysis;
+  HttpsProbeConfig https;
+  HttpsAnalysisConfig https_analysis;
+  MonitorProbeConfig monitoring;
+  MonitorAnalysisConfig monitoring_analysis;
+
+  /// Scale analysis thresholds to a down-scaled world: a world built with
+  /// scale s has ~s times the paper's nodes per country/server/AS group.
+  static StudyConfig for_scale(double scale, std::size_t target_nodes);
+};
+
+/// Table 2-style dataset summary for one experiment.
+struct ExperimentCoverage {
+  std::string name;
+  std::size_t exit_nodes = 0;
+  std::size_t ases = 0;
+  std::size_t countries = 0;
+  std::size_t sessions = 0;  // proxy sessions spent (crawl cost)
+};
+
+struct StudyResult {
+  DnsReport dns;
+  HttpReport http;
+  HttpsReport https;
+  MonitorReport monitoring;
+  std::vector<ExperimentCoverage> coverage;  // Table 2
+};
+
+/// Run all four experiments (DNS, HTTP, HTTPS, monitoring) sequentially.
+StudyResult run_study(world::World& world, const StudyConfig& config);
+
+// --- Rendering (shared by bench binaries and examples) -----------------------
+
+std::string render_dns_report(const DnsReport& report);
+std::string render_http_report(const HttpReport& report);
+std::string render_https_report(const HttpsReport& report);
+std::string render_monitor_report(const MonitorReport& report);
+std::string render_coverage(const std::vector<ExperimentCoverage>& coverage);
+
+}  // namespace tft::core

@@ -1,0 +1,76 @@
+#include "tft/core/longitudinal.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "tft/stats/table.hpp"
+#include "tft/util/strings.hpp"
+
+namespace tft::core {
+
+std::vector<LongitudinalRound> LongitudinalDnsStudy::run() {
+  std::vector<LongitudinalRound> rounds;
+  for (int round = 0; round < config_.rounds; ++round) {
+    if (round > 0) {
+      world_.clock.run_until(world_.clock.now() + config_.interval);
+      if (between_rounds_) between_rounds_(round, world_);
+    }
+
+    DnsProbeConfig probe_config = config_.probe;
+    probe_config.seed = config_.probe.seed + static_cast<std::uint64_t>(round) * 7919;
+    DnsHijackProbe probe(world_, probe_config);
+    probe.run();
+    const DnsReport report =
+        analyze_dns(world_, probe.observations(), config_.analysis);
+
+    LongitudinalRound entry;
+    entry.round = round;
+    entry.time = world_.clock.now();
+    entry.measured = report.total_nodes - report.filtered_nodes;
+    entry.hijacked = report.hijacked_nodes;
+    entry.ratio = report.hijack_ratio();
+    entry.isp_hijackers = report.isp_hijackers;
+    rounds.push_back(std::move(entry));
+  }
+  return rounds;
+}
+
+std::string render_longitudinal(const std::vector<LongitudinalRound>& rounds) {
+  using util::format_count;
+  using util::format_percent;
+
+  std::string out = stats::banner("Longitudinal DNS hijacking (continuous, S9)");
+  stats::Table series({"Round", "Sim time", "Measured", "Hijacked", "Ratio", "ISPs"});
+  for (const auto& round : rounds) {
+    series.add_row({std::to_string(round.round),
+                    util::format_double(round.time.micros / 1e6 / 86400.0, 1) + "d",
+                    format_count(round.measured), format_count(round.hijacked),
+                    format_percent(round.ratio),
+                    std::to_string(round.isp_hijackers.size())});
+  }
+  out += series.render() + "\n";
+
+  // Presence matrix: which ISPs were hijacking in which round.
+  std::set<std::string> isps;
+  for (const auto& round : rounds) {
+    for (const auto& row : round.isp_hijackers) isps.insert(row.isp);
+  }
+  if (!isps.empty()) {
+    std::vector<std::string> columns = {"ISP"};
+    for (const auto& round : rounds) {
+      columns.push_back("R" + std::to_string(round.round));
+    }
+    stats::Table matrix(std::move(columns));
+    for (const auto& isp : isps) {
+      std::vector<std::string> cells = {isp};
+      for (const auto& round : rounds) {
+        cells.push_back(round.isp_listed(isp) ? "x" : ".");
+      }
+      matrix.add_row(std::move(cells));
+    }
+    out += "Per-ISP hijacking presence across rounds:\n" + matrix.render();
+  }
+  return out;
+}
+
+}  // namespace tft::core

@@ -1,0 +1,212 @@
+#include "tft/core/monitor_probe.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "tft/util/rng.hpp"
+
+namespace tft::core {
+
+ContentMonitorProbe::ContentMonitorProbe(world::World& world,
+                                         MonitorProbeConfig config)
+    : world_(world), config_(config) {}
+
+std::size_t ContentMonitorProbe::run() {
+  util::Rng rng(config_.seed);
+
+  std::vector<net::CountryCode> countries;
+  std::vector<double> weights;
+  for (const auto& [country, count] : world_.luminati->country_counts()) {
+    countries.push_back(country);
+    weights.push_back(static_cast<double>(count));
+  }
+
+  std::unordered_set<std::string> seen_zids;
+  // host -> index into observations_
+  std::unordered_map<std::string, std::size_t> by_host;
+
+  const std::size_t log_start = world_.measurement_web->request_log().size();
+  std::size_t stall = 0;
+  std::size_t session_id = 0;
+
+  while ((config_.target_nodes == 0 || observations_.size() < config_.target_nodes) &&
+         stall < config_.stall_limit) {
+    proxy::RequestOptions options;
+    options.country = countries[rng.weighted_index(weights)];
+    options.session = "mon-" + std::to_string(session_id++);
+    ++sessions_issued_;
+
+    const std::string host =
+        "m" + std::to_string(session_id) + ".probe.tft-study.net";
+    const auto result =
+        world_.luminati->fetch(*http::Url::parse("http://" + host + "/"), options);
+    if (!result.ok()) {
+      ++stall;
+      continue;
+    }
+    if (!seen_zids.insert(result.zid).second) {
+      ++stall;
+      continue;
+    }
+    stall = 0;
+
+    MonitorObservation observation;
+    observation.zid = result.zid;
+    observation.reported_exit_address = result.exit_address;
+    observation.asn = result.exit_asn;
+    observation.country = result.exit_country;
+    observation.probe_host = host;
+    by_host.emplace(host, observations_.size());
+    observations_.push_back(std::move(observation));
+  }
+
+  // Watch window: let scheduled re-fetches arrive.
+  world_.clock.run_until(world_.clock.now() +
+                         sim::Duration::hours(config_.watch_hours));
+
+  // Harvest: for each probed domain, the node's own request is the one from
+  // its reported address (or, failing that — VPN relaying — the earliest);
+  // everything else is unexpected.
+  struct Arrival {
+    sim::Instant time;
+    net::Ipv4Address source;
+    std::string user_agent;
+  };
+  std::unordered_map<std::string, std::vector<Arrival>> arrivals;
+  const auto& log = world_.measurement_web->request_log();
+  for (std::size_t i = log_start; i < log.size(); ++i) {
+    if (!by_host.contains(log[i].host)) continue;
+    arrivals[log[i].host].push_back(Arrival{log[i].time, log[i].source, log[i].user_agent});
+  }
+
+  for (auto& [host, list] : arrivals) {
+    MonitorObservation& observation = observations_[by_host[host]];
+    std::stable_sort(list.begin(), list.end(),
+                     [](const Arrival& a, const Arrival& b) { return a.time < b.time; });
+
+    // Find the node's own request.
+    std::ptrdiff_t own = -1;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (list[i].source == observation.reported_exit_address) {
+        own = static_cast<std::ptrdiff_t>(i);
+        break;
+      }
+    }
+    if (own < 0) {
+      observation.own_request_address_mismatch = true;
+      own = 0;  // earliest request stands in for the node's own
+    }
+    observation.own_request_source = list[static_cast<std::size_t>(own)].source;
+    const sim::Instant own_time = list[static_cast<std::size_t>(own)].time;
+
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (static_cast<std::ptrdiff_t>(i) == own) continue;
+      UnexpectedRequest unexpected;
+      unexpected.source = list[i].source;
+      unexpected.delay_seconds = (list[i].time - own_time).to_seconds();
+      unexpected.user_agent = list[i].user_agent;
+      if (const auto asn = world_.topology.origin_as(list[i].source)) {
+        unexpected.asn = *asn;
+        if (const auto org = world_.topology.org_of(*asn)) {
+          if (const auto* info = world_.topology.organization(*org)) {
+            unexpected.organization = info->name;
+          }
+        }
+      }
+      if (unexpected.organization.empty()) unexpected.organization = "(unknown)";
+      observation.unexpected.push_back(std::move(unexpected));
+    }
+  }
+
+  return observations_.size();
+}
+
+namespace {
+struct EntityAccumulator {
+  std::set<std::uint32_t> ips;
+  std::set<std::string> nodes;
+  std::set<net::Asn> node_ases;
+  std::set<net::CountryCode> node_countries;
+  std::vector<double> delays;
+  std::size_t requests = 0;
+};
+}  // namespace
+
+MonitorReport analyze_monitoring(const world::World& world,
+                                 const std::vector<MonitorObservation>& observations,
+                                 const MonitorAnalysisConfig& config) {
+  MonitorReport report;
+
+  std::set<net::Asn> ases;
+  std::set<net::CountryCode> countries;
+  std::set<std::uint32_t> requester_ips;
+  std::map<std::string, EntityAccumulator> by_entity;
+  std::size_t total_unexpected = 0;
+
+  for (const auto& observation : observations) {
+    ++report.total_nodes;
+    ases.insert(observation.asn);
+    countries.insert(observation.country);
+    if (!observation.monitored()) continue;
+    ++report.monitored_nodes;
+    if (observation.own_request_address_mismatch) {
+      // VPN-relayed own requests also arrive from an address that is not
+      // the exit node's (the paper counts these IPs too: AnchorFree's 223).
+      requester_ips.insert(observation.own_request_source.value());
+      if (const auto asn = world.topology.origin_as(observation.own_request_source)) {
+        if (const auto org = world.topology.org_of(*asn)) {
+          if (const auto* info = world.topology.organization(*org)) {
+            by_entity[info->name].ips.insert(observation.own_request_source.value());
+          }
+        }
+      }
+    }
+    for (const auto& unexpected : observation.unexpected) {
+      requester_ips.insert(unexpected.source.value());
+      ++total_unexpected;
+      auto& entity = by_entity[unexpected.organization];
+      entity.ips.insert(unexpected.source.value());
+      entity.nodes.insert(observation.zid);
+      entity.node_ases.insert(observation.asn);
+      entity.node_countries.insert(observation.country);
+      entity.delays.push_back(unexpected.delay_seconds);
+      ++entity.requests;
+    }
+  }
+  report.unique_ases = ases.size();
+  report.unique_countries = countries.size();
+  report.unique_requester_ips = requester_ips.size();
+  report.requester_groups = by_entity.size();
+
+  std::vector<std::pair<std::string, const EntityAccumulator*>> ranked;
+  ranked.reserve(by_entity.size());
+  for (const auto& [name, accumulator] : by_entity) {
+    ranked.emplace_back(name, &accumulator);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second->nodes.size() > b.second->nodes.size();
+  });
+
+  std::size_t top_requests = 0;
+  for (std::size_t i = 0; i < ranked.size() && i < config.top_entities; ++i) {
+    const auto& [name, accumulator] = ranked[i];
+    MonitorEntityRow row;
+    row.entity = name;
+    row.source_ips = accumulator->ips.size();
+    row.nodes = accumulator->nodes.size();
+    row.ases = accumulator->node_ases.size();
+    row.countries = accumulator->node_countries.size();
+    row.delay_cdf = stats::EmpiricalCdf(accumulator->delays);
+    report.top_entities.push_back(std::move(row));
+    top_requests += accumulator->requests;
+  }
+  report.top_share = total_unexpected == 0
+                         ? 0
+                         : static_cast<double>(top_requests) / total_unexpected;
+  return report;
+}
+
+}  // namespace tft::core

@@ -1,0 +1,264 @@
+#include "tft/core/report_json.hpp"
+
+#include "tft/util/json.hpp"
+
+namespace tft::core {
+
+using util::JsonWriter;
+
+namespace {
+
+void write_dns(JsonWriter& json, const DnsReport& report) {
+  json.field("total_nodes", report.total_nodes)
+      .field("filtered_nodes", report.filtered_nodes)
+      .field("hijacked_nodes", report.hijacked_nodes)
+      .field("hijack_ratio", report.hijack_ratio())
+      .field("unique_dns_servers", report.unique_dns_servers)
+      .field("unique_ases", report.unique_ases)
+      .field("unique_countries", report.unique_countries)
+      .field("attributed_isp", report.attributed_isp)
+      .field("attributed_public", report.attributed_public)
+      .field("attributed_other", report.attributed_other);
+
+  json.begin_array("top_countries");
+  for (const auto& row : report.top_countries) {
+    json.begin_object()
+        .field("country", row.country)
+        .field("hijacked", row.hijacked)
+        .field("total", row.total)
+        .field("ratio", row.ratio())
+        .end_object();
+  }
+  json.end_array();
+
+  json.begin_array("isp_hijackers");
+  for (const auto& row : report.isp_hijackers) {
+    json.begin_object()
+        .field("isp", row.isp)
+        .field("country", row.country)
+        .field("dns_servers", row.dns_servers)
+        .field("nodes", row.nodes)
+        .end_object();
+  }
+  json.end_array();
+
+  json.begin_array("public_hijackers");
+  for (const auto& row : report.public_hijackers) {
+    json.begin_object()
+        .field("operator", row.operator_name)
+        .field("servers", row.servers)
+        .field("nodes", row.nodes)
+        .end_object();
+  }
+  json.end_array();
+
+  json.begin_array("google_urls");
+  for (const auto& row : report.google_urls) {
+    json.begin_object()
+        .field("host", row.host)
+        .field("nodes", row.nodes)
+        .field("ases", row.ases)
+        .field("countries", row.countries)
+        .field("likely_host_software", row.likely_host_software)
+        .end_object();
+  }
+  json.end_array();
+}
+
+void write_http(JsonWriter& json, const HttpReport& report) {
+  json.field("total_nodes", report.total_nodes)
+      .field("unique_ases", report.unique_ases)
+      .field("unique_countries", report.unique_countries)
+      .field("html_modified", report.html_modified)
+      .field("html_blockpages", report.html_blockpages)
+      .field("image_modified", report.image_modified)
+      .field("js_modified", report.js_modified)
+      .field("css_modified", report.css_modified);
+
+  json.begin_array("injections");
+  for (const auto& row : report.injections) {
+    json.begin_object()
+        .field("signature", row.signature)
+        .field("nodes", row.nodes)
+        .field("countries", row.countries)
+        .field("ases", row.ases)
+        .end_object();
+  }
+  json.end_array();
+
+  json.begin_array("transcoders");
+  for (const auto& row : report.transcoders) {
+    json.begin_object()
+        .field("asn", static_cast<std::uint64_t>(row.asn))
+        .field("isp", row.isp)
+        .field("country", row.country)
+        .field("modified", row.modified)
+        .field("total", row.total)
+        .field("ratio", row.ratio())
+        .field("mobile", row.mobile_isp);
+    json.begin_array("compression_ratios");
+    for (const double ratio : row.ratios) json.value(ratio);
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+
+  json.begin_array("fully_modified_ases");
+  for (const auto& [asn, isp] : report.fully_modified_ases) {
+    json.begin_object()
+        .field("asn", static_cast<std::uint64_t>(asn))
+        .field("isp", isp)
+        .end_object();
+  }
+  json.end_array();
+}
+
+void write_https(JsonWriter& json, const HttpsReport& report) {
+  json.field("total_nodes", report.total_nodes)
+      .field("unique_ases", report.unique_ases)
+      .field("unique_countries", report.unique_countries)
+      .field("replaced_nodes", report.replaced_nodes)
+      .field("replaced_ratio", report.replaced_ratio())
+      .field("selective_nodes", report.selective_nodes)
+      .field("unique_issuers", report.unique_issuers)
+      .field("concentrated_as_fraction", report.concentrated_as_fraction);
+
+  json.begin_array("issuers");
+  for (const auto& row : report.issuers) {
+    json.begin_object()
+        .field("issuer_cn", row.issuer_cn)
+        .field("nodes", row.nodes)
+        .field("type", row.type)
+        .field("key_reuse_nodes", row.key_reuse_nodes)
+        .field("masks_invalid_nodes", row.masks_invalid_nodes)
+        .end_object();
+  }
+  json.end_array();
+}
+
+void write_monitor(JsonWriter& json, const MonitorReport& report) {
+  json.field("total_nodes", report.total_nodes)
+      .field("monitored_nodes", report.monitored_nodes)
+      .field("monitored_ratio", report.monitored_ratio())
+      .field("unique_ases", report.unique_ases)
+      .field("unique_countries", report.unique_countries)
+      .field("unique_requester_ips", report.unique_requester_ips)
+      .field("requester_groups", report.requester_groups)
+      .field("top_share", report.top_share);
+
+  json.begin_array("entities");
+  for (const auto& row : report.top_entities) {
+    json.begin_object()
+        .field("entity", row.entity)
+        .field("source_ips", row.source_ips)
+        .field("nodes", row.nodes)
+        .field("ases", row.ases)
+        .field("countries", row.countries);
+    if (!row.delay_cdf.empty()) {
+      json.field("delay_p50_s", row.delay_cdf.median())
+          .field("delay_p90_s", row.delay_cdf.percentile(90))
+          .field("delay_min_s", row.delay_cdf.min())
+          .field("delay_max_s", row.delay_cdf.max());
+      json.begin_array("delay_cdf");  // Figure 5 series
+      for (const auto& [x, y] : row.delay_cdf.log_spaced_curve(0.1, 12500, 40)) {
+        json.begin_object().field("delay_s", x).field("fraction", y).end_object();
+      }
+      json.end_array();
+    }
+    json.end_object();
+  }
+  json.end_array();
+}
+
+void write_smtp(JsonWriter& json, const SmtpReport& report) {
+  json.field("total_nodes", report.total_nodes)
+      .field("unique_ases", report.unique_ases)
+      .field("unique_countries", report.unique_countries)
+      .field("blocked", report.blocked)
+      .field("starttls_stripped", report.stripped)
+      .field("starttls_downgraded", report.downgraded)
+      .field("banner_rewritten", report.banner_rewritten)
+      .field("body_tampered", report.body_tampered)
+      .field("message_lost", report.message_lost);
+  json.begin_array("top_ases");
+  for (const auto& row : report.top_ases) {
+    json.begin_object()
+        .field("asn", static_cast<std::uint64_t>(row.asn))
+        .field("isp", row.isp)
+        .field("country", row.country)
+        .field("affected", row.affected)
+        .field("total", row.total)
+        .field("violation", row.violation)
+        .end_object();
+  }
+  json.end_array();
+}
+
+template <typename WriteBody, typename Report>
+std::string wrap(std::string_view experiment, const Report& report,
+                 WriteBody write_body) {
+  JsonWriter json;
+  json.begin_object().field("experiment", experiment);
+  write_body(json, report);
+  json.end_object();
+  return std::move(json).take();
+}
+
+}  // namespace
+
+std::string dns_report_json(const DnsReport& report) {
+  return wrap("dns_nxdomain_hijacking", report,
+              [](JsonWriter& json, const DnsReport& r) { write_dns(json, r); });
+}
+
+std::string http_report_json(const HttpReport& report) {
+  return wrap("http_content_modification", report,
+              [](JsonWriter& json, const HttpReport& r) { write_http(json, r); });
+}
+
+std::string https_report_json(const HttpsReport& report) {
+  return wrap("tls_certificate_replacement", report,
+              [](JsonWriter& json, const HttpsReport& r) { write_https(json, r); });
+}
+
+std::string monitor_report_json(const MonitorReport& report) {
+  return wrap("content_monitoring", report,
+              [](JsonWriter& json, const MonitorReport& r) { write_monitor(json, r); });
+}
+
+std::string smtp_report_json(const SmtpReport& report) {
+  return wrap("smtp_violations", report,
+              [](JsonWriter& json, const SmtpReport& r) { write_smtp(json, r); });
+}
+
+std::string study_result_json(const StudyResult& result) {
+  JsonWriter json;
+  json.begin_object();
+  json.begin_array("coverage");
+  for (const auto& row : result.coverage) {
+    json.begin_object()
+        .field("experiment", row.name)
+        .field("exit_nodes", row.exit_nodes)
+        .field("ases", row.ases)
+        .field("countries", row.countries)
+        .field("sessions", row.sessions)
+        .end_object();
+  }
+  json.end_array();
+  json.begin_object("dns");
+  write_dns(json, result.dns);
+  json.end_object();
+  json.begin_object("http");
+  write_http(json, result.http);
+  json.end_object();
+  json.begin_object("https");
+  write_https(json, result.https);
+  json.end_object();
+  json.begin_object("monitoring");
+  write_monitor(json, result.monitoring);
+  json.end_object();
+  json.end_object();
+  return std::move(json).take();
+}
+
+}  // namespace tft::core

@@ -1,0 +1,226 @@
+#include "tft/core/smtp_probe.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "tft/stats/table.hpp"
+#include "tft/util/rng.hpp"
+#include "tft/util/strings.hpp"
+
+namespace tft::core {
+
+SmtpProbe::SmtpProbe(world::World& world, SmtpProbeConfig config)
+    : world_(world), config_(config) {}
+
+std::size_t SmtpProbe::run() {
+  util::Rng rng(config_.seed);
+
+  std::vector<net::CountryCode> countries;
+  std::vector<double> weights;
+  for (const auto& [country, count] : world_.luminati->country_counts()) {
+    countries.push_back(country);
+    weights.push_back(static_cast<double>(count));
+  }
+
+  const std::string expected_banner =
+      world_.measurement_mail->config().hostname + " ESMTP " +
+      world_.measurement_mail->config().software;
+
+  std::unordered_set<std::string> seen_zids;
+  // Body token -> observation index, for the server-side comparison.
+  std::unordered_map<std::string, std::size_t> by_token;
+  std::unordered_map<std::string, std::string> sent_body;
+
+  std::size_t stall = 0;
+  std::size_t session_id = 0;
+
+  while ((config_.target_nodes == 0 || observations_.size() < config_.target_nodes) &&
+         stall < config_.stall_limit) {
+    const std::string token = "m" + std::to_string(session_id);
+    proxy::RequestOptions options;
+    options.country = countries[rng.weighted_index(weights)];
+    options.session = "smtp-" + std::to_string(session_id++);
+    ++sessions_issued_;
+
+    smtp::ClientScript script;
+    script.mail_from = "<probe+" + token + "@tft-study.net>";
+    script.rcpt_to = "<inbox@mail.tft-study.net>";
+    script.body = "Subject: tft-probe " + token + "\n\nreference body " + token + "\n";
+
+    const auto result = world_.luminati->smtp_transaction(
+        world_.measurement_mail_address, script, options);
+    if (result.status == proxy::ProxyStatus::kPortNotAllowed) {
+      // The overlay is Luminati-like: the methodology cannot run at all.
+      overlay_rejected_ = true;
+      return 0;
+    }
+    if (!result.ok()) {
+      ++stall;
+      continue;
+    }
+    if (!seen_zids.insert(result.zid).second) {
+      ++stall;
+      continue;
+    }
+    stall = 0;
+
+    SmtpObservation observation;
+    observation.zid = result.zid;
+    observation.exit_address = result.exit_address;
+    observation.asn = result.exit_asn;
+    observation.country = result.exit_country;
+
+    const smtp::Transcript& transcript = result.transcript;
+    if (!transcript.connected) {
+      observation.connection_blocked = true;
+    } else {
+      observation.banner_rewritten = transcript.banner != expected_banner;
+      // Our server always offers STARTTLS; a client that never saw the
+      // capability was downgraded by a middlebox.
+      observation.starttls_stripped = !transcript.starttls_offered;
+      observation.starttls_downgraded =
+          transcript.starttls_offered && !transcript.starttls_accepted;
+      if (transcript.message_accepted) {
+        by_token.emplace(token, observations_.size());
+        sent_body.emplace(token, script.body);
+      } else {
+        observation.message_lost = true;
+      }
+    }
+    observations_.push_back(std::move(observation));
+  }
+
+  // Server-side comparison: recover each message's token from its subject
+  // line ("Subject: tft-probe <token>") and diff the body.
+  std::unordered_map<std::string, const smtp::ReceivedMessage*> received;
+  for (const auto& message : world_.measurement_mail->received()) {
+    constexpr std::string_view kMarker = "tft-probe ";
+    const auto marker_at = message.body.find(kMarker);
+    if (marker_at == std::string::npos) continue;
+    const auto token_start = marker_at + kMarker.size();
+    const auto token_end = message.body.find('\n', token_start);
+    if (token_end == std::string::npos) continue;
+    received[message.body.substr(token_start, token_end - token_start)] = &message;
+  }
+  for (const auto& [token, index] : by_token) {
+    const auto it = received.find(token);
+    if (it == received.end()) {
+      observations_[index].message_lost = true;
+      continue;
+    }
+    if (it->second->body != sent_body[token]) {
+      observations_[index].body_tampered = true;
+    }
+  }
+  return observations_.size();
+}
+
+SmtpReport analyze_smtp(const world::World& world,
+                        const std::vector<SmtpObservation>& observations,
+                        const SmtpAnalysisConfig& config) {
+  SmtpReport report;
+  std::set<net::Asn> ases;
+  std::set<net::CountryCode> countries;
+
+  struct AsAccumulator {
+    std::size_t total = 0;
+    std::map<std::string, std::size_t> violations;
+  };
+  std::map<net::Asn, AsAccumulator> by_as;
+
+  for (const auto& observation : observations) {
+    ++report.total_nodes;
+    ases.insert(observation.asn);
+    countries.insert(observation.country);
+    auto& as_row = by_as[observation.asn];
+    ++as_row.total;
+    if (observation.connection_blocked) {
+      ++report.blocked;
+      ++as_row.violations["port blocked"];
+    }
+    if (observation.starttls_stripped) {
+      ++report.stripped;
+      ++as_row.violations["STARTTLS stripped"];
+    }
+    if (observation.starttls_downgraded) ++report.downgraded;
+    if (observation.banner_rewritten) {
+      ++report.banner_rewritten;
+      ++as_row.violations["banner rewritten"];
+    }
+    if (observation.body_tampered) {
+      ++report.body_tampered;
+      ++as_row.violations["body tampered"];
+    }
+    if (observation.message_lost) ++report.message_lost;
+  }
+  report.unique_ases = ases.size();
+  report.unique_countries = countries.size();
+
+  for (const auto& [asn, accumulator] : by_as) {
+    if (accumulator.total < config.min_nodes_per_as || accumulator.violations.empty()) {
+      continue;
+    }
+    std::size_t affected = 0;
+    std::string dominant;
+    std::size_t dominant_count = 0;
+    for (const auto& [violation, count] : accumulator.violations) {
+      affected = std::max(affected, count);
+      if (count > dominant_count) {
+        dominant_count = count;
+        dominant = violation;
+      }
+    }
+    if (affected * 4 < accumulator.total) continue;  // require >=25% of the AS
+    SmtpAsRow row;
+    row.asn = asn;
+    row.affected = affected;
+    row.total = accumulator.total;
+    row.violation = dominant;
+    if (const auto org = world.topology.org_of(asn)) {
+      if (const auto* info = world.topology.organization(*org)) {
+        row.isp = info->name;
+        row.country = info->country;
+      }
+    }
+    report.top_ases.push_back(std::move(row));
+  }
+  std::sort(report.top_ases.begin(), report.top_ases.end(),
+            [](const SmtpAsRow& a, const SmtpAsRow& b) {
+              return a.affected > b.affected;
+            });
+  if (report.top_ases.size() > 15) report.top_ases.resize(15);
+  return report;
+}
+
+std::string render_smtp_report(const SmtpReport& report) {
+  using util::format_count;
+  using util::format_percent;
+  std::string out = stats::banner("SMTP end-to-end violations (extension, S3.4)");
+  out += "nodes measured:    " + format_count(report.total_nodes) + " across " +
+         format_count(report.unique_ases) + " ASes, " +
+         format_count(report.unique_countries) + " countries\n";
+  out += "port 25 blocked:   " + format_count(report.blocked) + " (" +
+         format_percent(report.ratio(report.blocked)) + ")\n";
+  out += "STARTTLS stripped: " + format_count(report.stripped) + " (" +
+         format_percent(report.ratio(report.stripped)) + ")";
+  out += "  downgrade-after-offer: " + format_count(report.downgraded) + "\n";
+  out += "banner rewritten:  " + format_count(report.banner_rewritten) + " (" +
+         format_percent(report.ratio(report.banner_rewritten)) + ")\n";
+  out += "body tampered:     " + format_count(report.body_tampered) + " (" +
+         format_percent(report.ratio(report.body_tampered), 2) + ")\n";
+  out += "messages lost:     " + format_count(report.message_lost) + "\n\n";
+
+  stats::Table table({"AS", "ISP (Country)", "Affected", "Total", "Violation"});
+  for (const auto& row : report.top_ases) {
+    table.add_row({"AS" + std::to_string(row.asn), row.isp + " (" + row.country + ")",
+                   format_count(row.affected), format_count(row.total), row.violation});
+  }
+  out += "ASes with concentrated SMTP interception (>=25% of nodes)\n" +
+         table.render();
+  return out;
+}
+
+}  // namespace tft::core

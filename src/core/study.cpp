@@ -1,0 +1,283 @@
+#include "tft/core/study.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "tft/stats/table.hpp"
+#include "tft/util/strings.hpp"
+
+namespace tft::core {
+
+using util::format_count;
+using util::format_double;
+using util::format_percent;
+
+StudyConfig StudyConfig::for_scale(double scale, std::size_t target_nodes) {
+  StudyConfig config;
+  config.dns.target_nodes = target_nodes;
+  config.https.target_nodes = target_nodes;
+  config.monitoring.target_nodes = target_nodes;
+  config.http.max_nodes = target_nodes;
+
+  const auto scaled = [scale](std::size_t n) {
+    return std::max<std::size_t>(3, static_cast<std::size_t>(n * scale));
+  };
+  config.dns_analysis.min_nodes_per_country = scaled(100);
+  config.dns_analysis.min_nodes_per_server =
+      std::max<std::size_t>(4, static_cast<std::size_t>(10 * scale));
+  config.dns_analysis.min_nodes_per_url = std::max<std::size_t>(
+      2, static_cast<std::size_t>(5 * scale));
+  // The host-software heuristic keys on AS spread; scaled samples see
+  // proportionally fewer ASes per product.
+  config.dns_analysis.host_software_as_threshold =
+      scale < 0.5 ? 3 : DnsAnalysisConfig{}.host_software_as_threshold;
+  config.http_analysis.min_nodes_per_as =
+      std::max<std::size_t>(3, static_cast<std::size_t>(10 * scale));
+  config.https_analysis.min_nodes_per_issuer = std::max<std::size_t>(
+      2, static_cast<std::size_t>(5 * scale));
+  return config;
+}
+
+StudyResult run_study(world::World& world, const StudyConfig& config) {
+  StudyResult result;
+
+  DnsHijackProbe dns_probe(world, config.dns);
+  dns_probe.run();
+  result.dns = analyze_dns(world, dns_probe.observations(), config.dns_analysis);
+  {
+    std::set<net::Asn> ases;
+    std::set<net::CountryCode> countries;
+    for (const auto& observation : dns_probe.observations()) {
+      ases.insert(observation.asn);
+      countries.insert(observation.country);
+    }
+    result.coverage.push_back(ExperimentCoverage{
+        "DNS (S4)", dns_probe.observations().size(), ases.size(), countries.size(),
+        dns_probe.sessions_issued()});
+  }
+
+  HttpModificationProbe http_probe(world, config.http);
+  http_probe.run();
+  result.http = analyze_http(world, http_probe.observations(), config.http_analysis);
+  result.coverage.push_back(ExperimentCoverage{
+      "HTTP (S5)", result.http.total_nodes, result.http.unique_ases,
+      result.http.unique_countries, http_probe.sessions_issued()});
+
+  CertReplacementProbe https_probe(world, config.https);
+  https_probe.run();
+  result.https =
+      analyze_https(world, https_probe.observations(), config.https_analysis);
+  result.coverage.push_back(ExperimentCoverage{
+      "HTTPS (S6)", result.https.total_nodes, result.https.unique_ases,
+      result.https.unique_countries, https_probe.sessions_issued()});
+
+  ContentMonitorProbe monitor_probe(world, config.monitoring);
+  monitor_probe.run();
+  result.monitoring = analyze_monitoring(world, monitor_probe.observations(),
+                                         config.monitoring_analysis);
+  result.coverage.push_back(
+      ExperimentCoverage{"Monitoring (S7)", result.monitoring.total_nodes,
+                         result.monitoring.unique_ases,
+                         result.monitoring.unique_countries,
+                         monitor_probe.sessions_issued()});
+
+  return result;
+}
+
+std::string render_dns_report(const DnsReport& report) {
+  std::string out = stats::banner("DNS NXDOMAIN hijacking (S4)");
+  out += "nodes measured:     " + format_count(report.total_nodes) + "\n";
+  out += "filtered (Google-instance overlap): " + format_count(report.filtered_nodes) +
+         "\n";
+  out += "hijacked:           " + format_count(report.hijacked_nodes) + " (" +
+         format_percent(report.hijack_ratio()) + ")   [paper: 4.8%]\n";
+  out += "unique DNS servers: " + format_count(report.unique_dns_servers) + "\n";
+  out += "countries / ASes:   " + format_count(report.unique_countries) + " / " +
+         format_count(report.unique_ases) + "\n";
+  out += "attribution: ISP resolvers " + format_percent(report.attributed_isp) +
+         ", public resolvers " + format_percent(report.attributed_public) +
+         ", path/software " + format_percent(report.attributed_other) +
+         "   [paper: 89.6% / 7.7% / 2.7%]\n";
+  if (report.sampled_ases > 0) {
+    out += "spread: " + format_count(report.clean_ases) + " of " +
+           format_count(report.sampled_ases) + " sampled ASes (" +
+           format_percent(static_cast<double>(report.clean_ases) /
+                          report.sampled_ases) +
+           ") have no hijacking [paper: 40%]; " +
+           format_count(report.heavily_hijacked_ases) +
+           " ASes have >1/3 hijacked [paper: 20]; " +
+           format_count(report.clean_countries) + " of " +
+           format_count(report.sampled_countries) +
+           " countries clean [paper: 10%]\n";
+  }
+  out += "\n";
+
+  stats::Table table3({"Rank", "Country", "Hijacked", "Total", "Ratio"});
+  for (std::size_t i = 0; i < report.top_countries.size() && i < 10; ++i) {
+    const auto& row = report.top_countries[i];
+    table3.add_row({std::to_string(i + 1), row.country, format_count(row.hijacked),
+                    format_count(row.total), format_percent(row.ratio())});
+  }
+  out += "Table 3: top countries by hijacked-node ratio\n" + table3.render() + "\n";
+
+  stats::Table table4({"Country", "ISP", "DNS Servers", "Exit Nodes"});
+  for (const auto& row : report.isp_hijackers) {
+    table4.add_row({row.country, row.isp, format_count(row.dns_servers),
+                    format_count(row.nodes)});
+  }
+  out += "Table 4: ISP DNS servers hijacking >=90% of their nodes\n" +
+         table4.render() + "\n";
+
+  stats::Table public_table({"Operator", "Servers", "Exit Nodes"});
+  for (const auto& row : report.public_hijackers) {
+    public_table.add_row(
+        {row.operator_name, format_count(row.servers), format_count(row.nodes)});
+  }
+  out += "Hijacking public resolvers (of " + format_count(report.public_server_total) +
+         " public servers seen)\n" + public_table.render() + "\n";
+
+  stats::Table table5({"URL host", "Exit Nodes", "ASes", "Likely source"});
+  for (const auto& row : report.google_urls) {
+    table5.add_row({row.host, format_count(row.nodes), format_count(row.ases),
+                    row.likely_host_software ? "host software" : "ISP"});
+  }
+  out += "Table 5: landing hosts seen by Google-DNS users (" +
+         format_count(report.google_hijacked_nodes) + " hijacked nodes)\n" +
+         table5.render();
+
+  if (!report.shared_vendor_clusters.empty()) {
+    out += "\nHijack pages sharing identical code (URL-stripped) across ISPs\n";
+    out += "(S4.3.1: evidence of a common vendor appliance):\n";
+    for (const auto& cluster : report.shared_vendor_clusters) {
+      out += "  " + format_count(cluster.nodes) + " nodes: " +
+             util::join(cluster.isps, ", ") + "\n";
+    }
+  }
+  return out;
+}
+
+std::string render_http_report(const HttpReport& report) {
+  std::string out = stats::banner("HTTP content modification (S5)");
+  const auto pct = [&](std::size_t n) {
+    return report.total_nodes == 0
+               ? std::string("0%")
+               : format_percent(static_cast<double>(n) / report.total_nodes, 2);
+  };
+  out += "nodes measured:  " + format_count(report.total_nodes) + " across " +
+         format_count(report.unique_ases) + " ASes, " +
+         format_count(report.unique_countries) + " countries\n";
+  out += "HTML modified:   " + format_count(report.html_modified) + " (" +
+         pct(report.html_modified) + ")   [paper: 0.95%]  (+ " +
+         format_count(report.html_blockpages) + " block pages filtered)\n";
+  out += "images modified: " + format_count(report.image_modified) + " (" +
+         pct(report.image_modified) + ")   [paper: 1.4%]\n";
+  out += "JS modified:     " + format_count(report.js_modified) + " (" +
+         pct(report.js_modified) + ", " + format_count(report.js_error_pages) +
+         " error pages)   [paper: 0.09%, all error pages]\n";
+  out += "CSS modified:    " + format_count(report.css_modified) + " (" +
+         pct(report.css_modified) + ", " + format_count(report.css_error_pages) +
+         " error pages)\n\n";
+
+  stats::Table table6({"URL or Keyword", "Exit Nodes", "Countries", "ASes"});
+  for (std::size_t i = 0; i < report.injections.size() && i < 10; ++i) {
+    const auto& row = report.injections[i];
+    table6.add_row({row.signature, format_count(row.nodes), format_count(row.countries),
+                    format_count(row.ases)});
+  }
+  out += "Table 6: most common injected-JavaScript signatures\n" + table6.render() +
+         "\n";
+
+  if (!report.fully_modified_ases.empty()) {
+    out += "ASes with HTML modified for every measured node (ISP-level filtering):\n";
+    for (const auto& [asn, isp] : report.fully_modified_ases) {
+      out += "  AS" + std::to_string(asn) + " (" + isp + ")\n";
+    }
+    out += "\n";
+  }
+
+  stats::Table table7({"AS", "ISP (Country)", "Mod.", "Total", "Ratio", "Cmp.", "Mobile"});
+  for (const auto& row : report.transcoders) {
+    std::string compression;
+    if (row.ratios.size() == 1) {
+      compression = format_percent(row.ratios.front(), 0);
+    } else {
+      compression = "M";
+    }
+    table7.add_row({"AS" + std::to_string(row.asn), row.isp + " (" + row.country + ")",
+                    format_count(row.modified), format_count(row.total),
+                    format_percent(row.ratio(), 0), compression,
+                    row.mobile_isp ? "yes" : "no"});
+  }
+  out += "Table 7: exit nodes receiving compressed images, by AS\n" + table7.render();
+  return out;
+}
+
+std::string render_https_report(const HttpsReport& report) {
+  std::string out = stats::banner("SSL certificate replacement (S6)");
+  out += "nodes measured:   " + format_count(report.total_nodes) + " across " +
+         format_count(report.unique_ases) + " ASes, " +
+         format_count(report.unique_countries) + " countries\n";
+  out += "replaced certs:   " + format_count(report.replaced_nodes) + " nodes (" +
+         format_percent(report.replaced_ratio(), 2) + ")   [paper: ~0.5%]\n";
+  out += "selective nodes:  " + format_count(report.selective_nodes) +
+         " (some but not all certificates replaced)\n";
+  out += "unique issuers:   " + format_count(report.unique_issuers) +
+         "   [paper: 320]\n";
+  out += "ASes with >10% of nodes replaced: " +
+         format_percent(report.concentrated_as_fraction) + "   [paper: 1.2%]\n\n";
+
+  stats::Table table8({"Issuer Name", "Exit Nodes", "Type", "Key reuse", "Masks invalid"});
+  for (const auto& row : report.issuers) {
+    table8.add_row({row.issuer_cn, format_count(row.nodes), row.type,
+                    format_count(row.key_reuse_nodes),
+                    format_count(row.masks_invalid_nodes)});
+  }
+  out += "Table 8: issuers of replaced certificates (>=5 nodes)\n" + table8.render();
+  return out;
+}
+
+std::string render_monitor_report(const MonitorReport& report) {
+  std::string out = stats::banner("Content monitoring (S7)");
+  out += "nodes measured:      " + format_count(report.total_nodes) + " across " +
+         format_count(report.unique_ases) + " ASes, " +
+         format_count(report.unique_countries) + " countries\n";
+  out += "monitored nodes:     " + format_count(report.monitored_nodes) + " (" +
+         format_percent(report.monitored_ratio(), 1) + ")   [paper: 1.5%]\n";
+  out += "requester IPs:       " + format_count(report.unique_requester_ips) +
+         " in " + format_count(report.requester_groups) +
+         " org groups   [paper: 424 IPs, 54 groups]\n";
+  out += "top-6 request share: " + format_percent(report.top_share) +
+         "   [paper: 94.0%]\n\n";
+
+  stats::Table table9({"Name", "IPs", "Exit nodes", "ASes", "Countries"});
+  for (const auto& row : report.top_entities) {
+    table9.add_row({row.entity, format_count(row.source_ips), format_count(row.nodes),
+                    format_count(row.ases), format_count(row.countries)});
+  }
+  out += "Table 9: top monitoring entities\n" + table9.render() + "\n";
+
+  out += "Figure 5: CDF of delay between node request and unexpected request\n";
+  out += "          (log-x from 0.1s to 12,500s; '@'=1.0)\n";
+  for (const auto& row : report.top_entities) {
+    if (row.delay_cdf.empty()) continue;
+    std::string name = row.entity;
+    name.resize(14, ' ');
+    out += "  " + name + " |" + row.delay_cdf.ascii_curve(0.1, 12500, 48) + "|";
+    out += "  p50=" + format_double(row.delay_cdf.median(), 1) + "s";
+    out += " p90=" + format_double(row.delay_cdf.percentile(90), 1) + "s\n";
+  }
+  return out;
+}
+
+std::string render_coverage(const std::vector<ExperimentCoverage>& coverage) {
+  std::string out = stats::banner("Table 2: dataset overview");
+  stats::Table table({"Experiment", "Exit Nodes", "ASes", "Countries", "Sessions"});
+  for (const auto& row : coverage) {
+    table.add_row({row.name, format_count(row.exit_nodes), format_count(row.ases),
+                   format_count(row.countries), format_count(row.sessions)});
+  }
+  out += table.render();
+  return out;
+}
+
+}  // namespace tft::core

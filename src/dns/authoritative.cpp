@@ -1,0 +1,81 @@
+#include "tft/dns/authoritative.hpp"
+
+#include <algorithm>
+
+namespace tft::dns {
+
+void AuthoritativeServer::add_record(ResourceRecord record) {
+  records_[record.name.canonical()].push_back(std::move(record));
+}
+
+void AuthoritativeServer::add_a(const DnsName& name, net::Ipv4Address address,
+                                std::uint32_t ttl) {
+  add_record(ResourceRecord::a(name, address, ttl));
+}
+
+void AuthoritativeServer::add_wildcard_a(const DnsName& suffix,
+                                         net::Ipv4Address address,
+                                         std::uint32_t ttl) {
+  wildcards_.push_back(Wildcard{suffix, address, ttl});
+}
+
+Message AuthoritativeServer::handle(const Message& query, net::Ipv4Address source,
+                                    sim::Instant now) {
+  if (query.questions.empty()) {
+    return Message::response_to(query, Rcode::kFormErr);
+  }
+  const Question& question = query.questions.front();
+  query_log_.push_back(QueryLogEntry{now, source, question.name, question.type});
+
+  if (!question.name.is_within(origin_)) {
+    return Message::response_to(query, Rcode::kRefused);
+  }
+
+  if (policy_) {
+    if (auto overridden = policy_(question, source, query)) {
+      return *std::move(overridden);
+    }
+  }
+
+  Message response = Message::response_to(query, Rcode::kNoError);
+  response.flags.authoritative = true;
+
+  const auto it = records_.find(question.name.canonical());
+  if (it != records_.end()) {
+    bool found_type = false;
+    for (const auto& record : it->second) {
+      if (record.type == question.type ||
+          record.type == RecordType::kCname) {
+        response.answers.push_back(record);
+        found_type = true;
+      }
+    }
+    if (found_type) return response;
+    // Name exists but not with this type: NODATA (NOERROR, empty answer).
+    return response;
+  }
+
+  // Wildcard synthesis: most specific (longest) matching suffix wins.
+  const Wildcard* best = nullptr;
+  for (const auto& wildcard : wildcards_) {
+    if (question.name.is_within(wildcard.suffix) &&
+        !question.name.equals(wildcard.suffix)) {
+      if (best == nullptr ||
+          wildcard.suffix.label_count() > best->suffix.label_count()) {
+        best = &wildcard;
+      }
+    }
+  }
+  if (best != nullptr && question.type == RecordType::kA) {
+    response.answers.push_back(
+        ResourceRecord::a(question.name, best->address, best->ttl));
+    return response;
+  }
+  if (best != nullptr) {
+    return response;  // name exists via wildcard, but NODATA for this type
+  }
+
+  return Message::response_to(query, Rcode::kNxDomain);
+}
+
+}  // namespace tft::dns

@@ -1,0 +1,243 @@
+#include "tft/dns/codec.hpp"
+
+#include <unordered_map>
+
+#include "tft/util/bytes.hpp"
+#include "tft/util/strings.hpp"
+
+namespace tft::dns {
+
+using util::ByteReader;
+using util::ByteWriter;
+using util::ErrorCode;
+using util::make_error;
+using util::Result;
+
+namespace {
+
+constexpr std::uint16_t kPointerMask = 0xC000;
+constexpr std::size_t kMaxPointerHops = 64;
+
+/// Compression state: maps a canonical name suffix to the wire offset where
+/// it was first written. Offsets must fit in 14 bits to be pointer targets.
+using CompressionMap = std::unordered_map<std::string, std::size_t>;
+
+void encode_name(ByteWriter& writer, const DnsName& name, CompressionMap& seen) {
+  const auto& labels = name.labels();
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    // Canonical key of the suffix starting at label i.
+    std::string suffix;
+    for (std::size_t j = i; j < labels.size(); ++j) {
+      suffix += util::to_lower(labels[j]);
+      suffix += '.';
+    }
+    if (const auto it = seen.find(suffix); it != seen.end()) {
+      writer.u16(static_cast<std::uint16_t>(kPointerMask | it->second));
+      return;
+    }
+    if (writer.size() <= 0x3FFF) {
+      seen.emplace(std::move(suffix), writer.size());
+    }
+    writer.u8(static_cast<std::uint8_t>(labels[i].size()));
+    writer.bytes(labels[i]);
+  }
+  writer.u8(0);  // root label
+}
+
+void encode_record(ByteWriter& writer, const ResourceRecord& record,
+                   CompressionMap& seen) {
+  encode_name(writer, record.name, seen);
+  writer.u16(static_cast<std::uint16_t>(record.type));
+  writer.u16(static_cast<std::uint16_t>(record.klass));
+  writer.u32(record.ttl);
+  writer.u16(static_cast<std::uint16_t>(record.rdata.size()));
+  writer.bytes(record.rdata);
+}
+
+Result<DnsName> decode_name(ByteReader& reader, std::string_view wire) {
+  std::vector<std::string> labels;
+  std::size_t hops = 0;
+  bool jumped = false;
+  std::size_t resume_offset = 0;
+
+  for (;;) {
+    auto length = reader.u8();
+    if (!length) return length.error();
+    if (*length == 0) break;
+    if ((*length & 0xC0) == 0xC0) {
+      // Compression pointer: low 6 bits + next byte form the target offset.
+      auto low = reader.u8();
+      if (!low) return low.error();
+      const std::size_t target =
+          (static_cast<std::size_t>(*length & 0x3F) << 8) | *low;
+      if (++hops > kMaxPointerHops) {
+        return make_error(ErrorCode::kParseError, "DNS compression pointer loop");
+      }
+      if (target >= wire.size()) {
+        return make_error(ErrorCode::kParseError, "DNS pointer past end of message");
+      }
+      if (!jumped) {
+        resume_offset = reader.offset();
+        jumped = true;
+      }
+      if (auto seek = reader.seek(target); !seek) return seek.error();
+      continue;
+    }
+    if ((*length & 0xC0) != 0) {
+      return make_error(ErrorCode::kParseError, "reserved DNS label type");
+    }
+    auto label = reader.bytes(*length);
+    if (!label) return label.error();
+    labels.emplace_back(*label);
+  }
+  if (jumped) {
+    if (auto seek = reader.seek(resume_offset); !seek) return seek.error();
+  }
+  return DnsName::from_labels(std::move(labels));
+}
+
+Result<ResourceRecord> decode_record(ByteReader& reader, std::string_view wire) {
+  auto name = decode_name(reader, wire);
+  if (!name) return name.error();
+  auto type = reader.u16();
+  if (!type) return type.error();
+  auto klass = reader.u16();
+  if (!klass) return klass.error();
+  auto ttl = reader.u32();
+  if (!ttl) return ttl.error();
+  auto rdlength = reader.u16();
+  if (!rdlength) return rdlength.error();
+  auto rdata = reader.bytes(*rdlength);
+  if (!rdata) return rdata.error();
+
+  ResourceRecord record;
+  record.name = std::move(*name);
+  record.type = static_cast<RecordType>(*type);
+  record.klass = static_cast<RecordClass>(*klass);
+  record.ttl = *ttl;
+  record.rdata = std::string(*rdata);
+  return record;
+}
+
+std::uint16_t pack_flags(const HeaderFlags& flags) {
+  std::uint16_t out = 0;
+  if (flags.response) out |= 0x8000;
+  out |= static_cast<std::uint16_t>(static_cast<std::uint8_t>(flags.opcode) & 0xF) << 11;
+  if (flags.authoritative) out |= 0x0400;
+  if (flags.truncated) out |= 0x0200;
+  if (flags.recursion_desired) out |= 0x0100;
+  if (flags.recursion_available) out |= 0x0080;
+  out |= static_cast<std::uint16_t>(static_cast<std::uint8_t>(flags.rcode) & 0xF);
+  return out;
+}
+
+HeaderFlags unpack_flags(std::uint16_t raw) {
+  HeaderFlags flags;
+  flags.response = (raw & 0x8000) != 0;
+  flags.opcode = static_cast<Opcode>((raw >> 11) & 0xF);
+  flags.authoritative = (raw & 0x0400) != 0;
+  flags.truncated = (raw & 0x0200) != 0;
+  flags.recursion_desired = (raw & 0x0100) != 0;
+  flags.recursion_available = (raw & 0x0080) != 0;
+  flags.rcode = static_cast<Rcode>(raw & 0xF);
+  return flags;
+}
+
+}  // namespace
+
+std::string encode(const Message& message) {
+  ByteWriter writer;
+  CompressionMap seen;
+
+  writer.u16(message.id);
+  writer.u16(pack_flags(message.flags));
+  writer.u16(static_cast<std::uint16_t>(message.questions.size()));
+  writer.u16(static_cast<std::uint16_t>(message.answers.size()));
+  writer.u16(static_cast<std::uint16_t>(message.authorities.size()));
+  writer.u16(static_cast<std::uint16_t>(message.additionals.size()));
+
+  for (const auto& question : message.questions) {
+    encode_name(writer, question.name, seen);
+    writer.u16(static_cast<std::uint16_t>(question.type));
+    writer.u16(static_cast<std::uint16_t>(question.klass));
+  }
+  for (const auto& record : message.answers) encode_record(writer, record, seen);
+  for (const auto& record : message.authorities) encode_record(writer, record, seen);
+  for (const auto& record : message.additionals) encode_record(writer, record, seen);
+
+  return std::move(writer).take();
+}
+
+Result<Message> decode(std::string_view wire) {
+  ByteReader reader(wire);
+  Message message;
+
+  auto id = reader.u16();
+  if (!id) return id.error();
+  message.id = *id;
+  auto flags = reader.u16();
+  if (!flags) return flags.error();
+  message.flags = unpack_flags(*flags);
+
+  auto qdcount = reader.u16();
+  if (!qdcount) return qdcount.error();
+  auto ancount = reader.u16();
+  if (!ancount) return ancount.error();
+  auto nscount = reader.u16();
+  if (!nscount) return nscount.error();
+  auto arcount = reader.u16();
+  if (!arcount) return arcount.error();
+
+  for (std::uint16_t i = 0; i < *qdcount; ++i) {
+    auto name = decode_name(reader, wire);
+    if (!name) return name.error();
+    auto type = reader.u16();
+    if (!type) return type.error();
+    auto klass = reader.u16();
+    if (!klass) return klass.error();
+    message.questions.push_back(Question{std::move(*name),
+                                         static_cast<RecordType>(*type),
+                                         static_cast<RecordClass>(*klass)});
+  }
+
+  const auto decode_section = [&](std::uint16_t count,
+                                  std::vector<ResourceRecord>& section) -> Result<void> {
+    for (std::uint16_t i = 0; i < count; ++i) {
+      auto record = decode_record(reader, wire);
+      if (!record) return record.error();
+      section.push_back(std::move(*record));
+    }
+    return {};
+  };
+
+  if (auto ok = decode_section(*ancount, message.answers); !ok) return ok.error();
+  if (auto ok = decode_section(*nscount, message.authorities); !ok) return ok.error();
+  if (auto ok = decode_section(*arcount, message.additionals); !ok) return ok.error();
+
+  if (!reader.at_end()) {
+    return make_error(ErrorCode::kParseError, "trailing bytes after DNS message");
+  }
+  return message;
+}
+
+std::string encode_name_uncompressed(const DnsName& name) {
+  ByteWriter writer;
+  for (const auto& label : name.labels()) {
+    writer.u8(static_cast<std::uint8_t>(label.size()));
+    writer.bytes(label);
+  }
+  writer.u8(0);
+  return std::move(writer).take();
+}
+
+Result<DnsName> decode_name_uncompressed(std::string_view wire) {
+  ByteReader reader(wire);
+  auto name = decode_name(reader, wire);
+  if (!name) return name.error();
+  if (!reader.at_end()) {
+    return make_error(ErrorCode::kParseError, "trailing bytes after DNS name");
+  }
+  return name;
+}
+
+}  // namespace tft::dns

@@ -1,0 +1,69 @@
+// Authoritative DNS server for a zone. Supports exact records, wildcard A
+// records (needed for the per-exit-node unique probe domains of §7), and a
+// source-address-conditional policy hook (the d2 trick of §4.1: answer with
+// an A record only when the query comes from Google's resolver netblock,
+// NXDOMAIN otherwise). Every query is logged with its source address and
+// timestamp — the measurement pipeline reads this log exactly as the paper
+// reads its authoritative server's logs.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "tft/dns/message.hpp"
+#include "tft/net/ipv4.hpp"
+#include "tft/sim/time.hpp"
+
+namespace tft::dns {
+
+class AuthoritativeServer {
+ public:
+  /// `origin` is the zone apex; queries outside the zone are REFUSED.
+  explicit AuthoritativeServer(DnsName origin) : origin_(std::move(origin)) {}
+
+  const DnsName& origin() const noexcept { return origin_; }
+
+  void add_record(ResourceRecord record);
+  void add_a(const DnsName& name, net::Ipv4Address address, std::uint32_t ttl = 300);
+
+  /// Wildcard: any not-otherwise-matched name under `suffix` resolves to
+  /// `address`. Later wildcards win on more-specific suffixes.
+  void add_wildcard_a(const DnsName& suffix, net::Ipv4Address address,
+                      std::uint32_t ttl = 300);
+
+  /// Override hook consulted before normal lookup. Return a full response
+  /// to short-circuit, or nullopt to fall through.
+  using Policy = std::function<std::optional<Message>(
+      const Question& question, net::Ipv4Address source, const Message& query)>;
+  void set_policy(Policy policy) { policy_ = std::move(policy); }
+
+  /// Answer a query arriving from `source` at simulated time `now`.
+  Message handle(const Message& query, net::Ipv4Address source, sim::Instant now);
+
+  struct QueryLogEntry {
+    sim::Instant time;
+    net::Ipv4Address source;
+    DnsName name;
+    RecordType type = RecordType::kA;
+  };
+  const std::vector<QueryLogEntry>& query_log() const noexcept { return query_log_; }
+  void clear_query_log() { query_log_.clear(); }
+
+ private:
+  struct Wildcard {
+    DnsName suffix;
+    net::Ipv4Address address;
+    std::uint32_t ttl;
+  };
+
+  DnsName origin_;
+  // canonical name -> records at that name (all types)
+  std::unordered_map<std::string, std::vector<ResourceRecord>> records_;
+  std::vector<Wildcard> wildcards_;
+  Policy policy_;
+  std::vector<QueryLogEntry> query_log_;
+};
+
+}  // namespace tft::dns

@@ -1,0 +1,27 @@
+// RFC 1035 wire-format codec, including message (name) compression on
+// encode and pointer-chasing with loop protection on decode.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "tft/dns/message.hpp"
+#include "tft/util/result.hpp"
+
+namespace tft::dns {
+
+/// Serialize a message to wire format. Names in all sections participate in
+/// compression (RFC 1035 §4.1.4).
+std::string encode(const Message& message);
+
+/// Parse a wire-format message. Rejects truncated buffers, bad pointers,
+/// pointer loops, and trailing garbage.
+util::Result<Message> decode(std::string_view wire);
+
+/// Encode a name without compression (used for RDATA name fields).
+std::string encode_name_uncompressed(const DnsName& name);
+
+/// Decode an uncompressed name occupying the whole of `wire`.
+util::Result<DnsName> decode_name_uncompressed(std::string_view wire);
+
+}  // namespace tft::dns

@@ -1,0 +1,111 @@
+// DNS message model (RFC 1035 §4). The wire codec lives in codec.hpp.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tft/dns/name.hpp"
+#include "tft/net/ipv4.hpp"
+#include "tft/util/result.hpp"
+
+namespace tft::dns {
+
+enum class RecordType : std::uint16_t {
+  kA = 1,
+  kNs = 2,
+  kCname = 5,
+  kSoa = 6,
+  kPtr = 12,
+  kMx = 15,
+  kTxt = 16,
+  kAaaa = 28,
+};
+
+enum class RecordClass : std::uint16_t {
+  kIn = 1,
+};
+
+enum class Rcode : std::uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+  kNotImp = 4,
+  kRefused = 5,
+};
+
+enum class Opcode : std::uint8_t {
+  kQuery = 0,
+};
+
+std::string_view to_string(RecordType type) noexcept;
+std::string_view to_string(Rcode rcode) noexcept;
+
+/// A question section entry.
+struct Question {
+  DnsName name;
+  RecordType type = RecordType::kA;
+  RecordClass klass = RecordClass::kIn;
+};
+
+/// A resource record. `rdata` is the raw RDATA; helpers below interpret it
+/// for A/CNAME/TXT records.
+struct ResourceRecord {
+  DnsName name;
+  RecordType type = RecordType::kA;
+  RecordClass klass = RecordClass::kIn;
+  std::uint32_t ttl = 300;
+  std::string rdata;
+
+  static ResourceRecord a(DnsName name, net::Ipv4Address address,
+                          std::uint32_t ttl = 300);
+  static ResourceRecord cname(DnsName name, const DnsName& target,
+                              std::uint32_t ttl = 300);
+  static ResourceRecord txt(DnsName name, std::string_view text,
+                            std::uint32_t ttl = 300);
+
+  /// Interpret RDATA as an IPv4 address (A records).
+  util::Result<net::Ipv4Address> a_address() const;
+  /// Interpret RDATA as a domain name (CNAME/NS/PTR; uncompressed form).
+  util::Result<DnsName> name_target() const;
+  /// Interpret RDATA as TXT character-strings, concatenated.
+  util::Result<std::string> txt_text() const;
+};
+
+/// Header flag bits we model.
+struct HeaderFlags {
+  bool response = false;             // QR
+  Opcode opcode = Opcode::kQuery;    // OPCODE
+  bool authoritative = false;        // AA
+  bool truncated = false;            // TC
+  bool recursion_desired = true;     // RD
+  bool recursion_available = false;  // RA
+  Rcode rcode = Rcode::kNoError;
+};
+
+/// A complete DNS message.
+struct Message {
+  std::uint16_t id = 0;
+  HeaderFlags flags;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authorities;
+  std::vector<ResourceRecord> additionals;
+
+  /// Build a recursive query for (name, type).
+  static Message query(std::uint16_t id, DnsName name,
+                       RecordType type = RecordType::kA);
+
+  /// Build a response skeleton mirroring a query's id and question.
+  static Message response_to(const Message& query, Rcode rcode);
+
+  /// First A-record address in the answer section, if any (follows the
+  /// answer order; CNAME chains must already be expanded in-message).
+  std::optional<net::Ipv4Address> first_a() const;
+
+  bool is_nxdomain() const { return flags.rcode == Rcode::kNxDomain; }
+};
+
+}  // namespace tft::dns

@@ -1,0 +1,54 @@
+// DNS domain names: validated label sequences with case-insensitive
+// comparison semantics (RFC 1035 §2.3.3).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tft/util/result.hpp"
+
+namespace tft::dns {
+
+/// A fully-qualified DNS name (the trailing root label is implicit).
+/// Invariants: each label is 1..63 bytes, total presentation length <= 253.
+class DnsName {
+ public:
+  DnsName() = default;  // the root name (zero labels)
+
+  /// Parse presentation format ("www.example.com", trailing dot optional).
+  static util::Result<DnsName> parse(std::string_view text);
+
+  /// Construct from raw labels (validated).
+  static util::Result<DnsName> from_labels(std::vector<std::string> labels);
+
+  const std::vector<std::string>& labels() const noexcept { return labels_; }
+  bool is_root() const noexcept { return labels_.empty(); }
+  std::size_t label_count() const noexcept { return labels_.size(); }
+
+  /// Presentation format without trailing dot ("" for the root).
+  std::string to_string() const;
+
+  /// Case-insensitive equality per DNS semantics.
+  bool equals(const DnsName& other) const;
+
+  /// True when this name is `ancestor` or inside its subtree.
+  /// e.g. "a.b.example.com" is within "example.com".
+  bool is_within(const DnsName& ancestor) const;
+
+  /// New name with `label` prepended ("www" + "example.com").
+  util::Result<DnsName> prepend(std::string_view label) const;
+
+  /// Parent name (drops the leftmost label); root's parent is root.
+  DnsName parent() const;
+
+  bool operator==(const DnsName& other) const { return equals(other); }
+
+  /// Canonical (lowercased) key for use in hash maps.
+  std::string canonical() const;
+
+ private:
+  std::vector<std::string> labels_;
+};
+
+}  // namespace tft::dns

@@ -1,0 +1,129 @@
+// Recursive resolvers, anycast groups, and the resolver directory.
+//
+// A RecursiveResolver answers stub queries by consulting the authority
+// registry with its *egress* address (which is what the authoritative
+// server's log records — the basis of the paper's resolver identification).
+// Resolvers may carry an NXDOMAIN-hijack policy, modeling ISP "search
+// assist" resolvers and hijacking public resolvers.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tft/dns/authoritative.hpp"
+#include "tft/dns/message.hpp"
+#include "tft/net/ipv4.hpp"
+#include "tft/sim/event_queue.hpp"
+
+namespace tft::dns {
+
+/// Finds the authoritative server for a name (longest matching zone).
+class AuthorityRegistry {
+ public:
+  void register_zone(std::shared_ptr<AuthoritativeServer> server);
+  AuthoritativeServer* find(const DnsName& name) const;
+  std::size_t zone_count() const noexcept { return zones_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<AuthoritativeServer>> zones_;
+};
+
+/// NXDOMAIN rewriting configuration (§4): instead of passing the NXDOMAIN
+/// through, answer with an A record pointing at `redirect_address` (an ad /
+/// search-assist web server).
+struct NxdomainHijackPolicy {
+  net::Ipv4Address redirect_address;
+  std::uint32_t ttl = 60;
+  /// Fraction of NXDOMAIN responses rewritten (1.0 = always). Some ISPs
+  /// hijack probabilistically or per-subscriber-plan.
+  double probability = 1.0;
+};
+
+class RecursiveResolver {
+ public:
+  /// `service_address` is what stubs configure; `egress_address` is the
+  /// source address authoritative servers observe. For anycast services
+  /// many instances share a service address but differ in egress.
+  RecursiveResolver(net::Ipv4Address service_address, net::Ipv4Address egress_address,
+                    const AuthorityRegistry* authorities, sim::EventQueue* clock);
+
+  net::Ipv4Address service_address() const noexcept { return service_address_; }
+  net::Ipv4Address egress_address() const noexcept { return egress_address_; }
+
+  void set_nxdomain_hijack(NxdomainHijackPolicy policy) { hijack_ = policy; }
+  void clear_nxdomain_hijack() { hijack_.reset(); }
+  const std::optional<NxdomainHijackPolicy>& nxdomain_hijack() const noexcept {
+    return hijack_;
+  }
+
+  /// Resolve a stub query. Uses (and fills) the positive/negative cache.
+  /// `hijack_roll` in [0,1) decides probabilistic hijacking deterministically.
+  Message resolve(const Message& query, double hijack_roll = 0.0);
+
+  std::size_t cache_size() const noexcept { return cache_.size(); }
+  void flush_cache() { cache_.clear(); }
+
+ private:
+  struct CacheEntry {
+    Rcode rcode = Rcode::kNoError;
+    std::vector<ResourceRecord> answers;
+    sim::Instant expires;
+  };
+
+  Message resolve_uncached(const Message& query);
+  Message apply_hijack(const Message& query, Message response, double roll) const;
+
+  net::Ipv4Address service_address_;
+  net::Ipv4Address egress_address_;
+  const AuthorityRegistry* authorities_;
+  sim::EventQueue* clock_;
+  std::optional<NxdomainHijackPolicy> hijack_;
+  std::unordered_map<std::string, CacheEntry> cache_;
+};
+
+/// An anycast resolver service (e.g. Google Public DNS 8.8.8.8): one
+/// service address, several instances with distinct egress addresses.
+/// Clients are mapped to an instance by a stable hash of their address.
+class AnycastResolverGroup {
+ public:
+  AnycastResolverGroup(net::Ipv4Address service_address, std::string name)
+      : service_address_(service_address), name_(std::move(name)) {}
+
+  void add_instance(std::shared_ptr<RecursiveResolver> instance);
+
+  net::Ipv4Address service_address() const noexcept { return service_address_; }
+  const std::string& name() const noexcept { return name_; }
+  std::size_t instance_count() const noexcept { return instances_.size(); }
+
+  RecursiveResolver& instance_for(net::Ipv4Address client);
+
+ private:
+  net::Ipv4Address service_address_;
+  std::string name_;
+  std::vector<std::shared_ptr<RecursiveResolver>> instances_;
+};
+
+/// Directory of all resolvers by service address; the stub-side entry point.
+class ResolverDirectory {
+ public:
+  void add_resolver(std::shared_ptr<RecursiveResolver> resolver);
+  void add_anycast(std::shared_ptr<AnycastResolverGroup> group);
+
+  /// Resolve on behalf of `client`. Returns SERVFAIL if no resolver is
+  /// reachable at `resolver_address`.
+  Message resolve_via(net::Ipv4Address resolver_address, net::Ipv4Address client,
+                      const Message& query, double hijack_roll = 0.0);
+
+  /// The resolver instance a given client would reach (anycast-aware).
+  RecursiveResolver* instance_for(net::Ipv4Address resolver_address,
+                                  net::Ipv4Address client);
+
+ private:
+  std::unordered_map<std::uint32_t, std::shared_ptr<RecursiveResolver>> unicast_;
+  std::unordered_map<std::uint32_t, std::shared_ptr<AnycastResolverGroup>> anycast_;
+};
+
+}  // namespace tft::dns

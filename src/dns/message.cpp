@@ -1,0 +1,140 @@
+#include "tft/dns/message.hpp"
+
+#include "tft/dns/codec.hpp"
+#include "tft/util/bytes.hpp"
+
+namespace tft::dns {
+
+using util::ErrorCode;
+using util::make_error;
+using util::Result;
+
+std::string_view to_string(RecordType type) noexcept {
+  switch (type) {
+    case RecordType::kA:
+      return "A";
+    case RecordType::kNs:
+      return "NS";
+    case RecordType::kCname:
+      return "CNAME";
+    case RecordType::kSoa:
+      return "SOA";
+    case RecordType::kPtr:
+      return "PTR";
+    case RecordType::kMx:
+      return "MX";
+    case RecordType::kTxt:
+      return "TXT";
+    case RecordType::kAaaa:
+      return "AAAA";
+  }
+  return "TYPE?";
+}
+
+std::string_view to_string(Rcode rcode) noexcept {
+  switch (rcode) {
+    case Rcode::kNoError:
+      return "NOERROR";
+    case Rcode::kFormErr:
+      return "FORMERR";
+    case Rcode::kServFail:
+      return "SERVFAIL";
+    case Rcode::kNxDomain:
+      return "NXDOMAIN";
+    case Rcode::kNotImp:
+      return "NOTIMP";
+    case Rcode::kRefused:
+      return "REFUSED";
+  }
+  return "RCODE?";
+}
+
+ResourceRecord ResourceRecord::a(DnsName name, net::Ipv4Address address,
+                                 std::uint32_t ttl) {
+  util::ByteWriter writer;
+  writer.u32(address.value());
+  return ResourceRecord{std::move(name), RecordType::kA, RecordClass::kIn, ttl,
+                        std::move(writer).take()};
+}
+
+ResourceRecord ResourceRecord::cname(DnsName name, const DnsName& target,
+                                     std::uint32_t ttl) {
+  return ResourceRecord{std::move(name), RecordType::kCname, RecordClass::kIn,
+                        ttl, encode_name_uncompressed(target)};
+}
+
+ResourceRecord ResourceRecord::txt(DnsName name, std::string_view text,
+                                   std::uint32_t ttl) {
+  std::string rdata;
+  // Split into 255-byte character-strings.
+  while (!text.empty()) {
+    const std::size_t chunk = std::min<std::size_t>(text.size(), 255);
+    rdata.push_back(static_cast<char>(chunk));
+    rdata.append(text.substr(0, chunk));
+    text.remove_prefix(chunk);
+  }
+  if (rdata.empty()) rdata.push_back('\0');  // single empty character-string
+  return ResourceRecord{std::move(name), RecordType::kTxt, RecordClass::kIn,
+                        ttl, std::move(rdata)};
+}
+
+Result<net::Ipv4Address> ResourceRecord::a_address() const {
+  if (type != RecordType::kA || rdata.size() != 4) {
+    return make_error(ErrorCode::kProtocolViolation, "not a well-formed A record");
+  }
+  util::ByteReader reader(rdata);
+  return net::Ipv4Address(*reader.u32());
+}
+
+Result<DnsName> ResourceRecord::name_target() const {
+  if (type != RecordType::kCname && type != RecordType::kNs &&
+      type != RecordType::kPtr) {
+    return make_error(ErrorCode::kProtocolViolation, "record has no name target");
+  }
+  return decode_name_uncompressed(rdata);
+}
+
+Result<std::string> ResourceRecord::txt_text() const {
+  if (type != RecordType::kTxt) {
+    return make_error(ErrorCode::kProtocolViolation, "not a TXT record");
+  }
+  std::string out;
+  util::ByteReader reader(rdata);
+  while (!reader.at_end()) {
+    auto length = reader.u8();
+    if (!length) return length.error();
+    auto chunk = reader.bytes(*length);
+    if (!chunk) return chunk.error();
+    out.append(*chunk);
+  }
+  return out;
+}
+
+Message Message::query(std::uint16_t id, DnsName name, RecordType type) {
+  Message message;
+  message.id = id;
+  message.flags.recursion_desired = true;
+  message.questions.push_back(Question{std::move(name), type, RecordClass::kIn});
+  return message;
+}
+
+Message Message::response_to(const Message& query, Rcode rcode) {
+  Message message;
+  message.id = query.id;
+  message.flags.response = true;
+  message.flags.recursion_desired = query.flags.recursion_desired;
+  message.flags.rcode = rcode;
+  message.questions = query.questions;
+  return message;
+}
+
+std::optional<net::Ipv4Address> Message::first_a() const {
+  for (const auto& record : answers) {
+    if (record.type == RecordType::kA) {
+      if (auto address = record.a_address()) return *address;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace tft::dns

@@ -1,0 +1,114 @@
+#include "tft/dns/name.hpp"
+
+#include <numeric>
+
+#include "tft/util/strings.hpp"
+
+namespace tft::dns {
+
+using util::ErrorCode;
+using util::make_error;
+using util::Result;
+
+namespace {
+
+constexpr std::size_t kMaxLabelLength = 63;
+constexpr std::size_t kMaxNameLength = 253;
+
+Result<void> validate_label(std::string_view label) {
+  if (label.empty()) {
+    return make_error(ErrorCode::kParseError, "empty DNS label");
+  }
+  if (label.size() > kMaxLabelLength) {
+    return make_error(ErrorCode::kParseError,
+                      "DNS label longer than 63 bytes: " + std::string(label));
+  }
+  for (const char c : label) {
+    // Accept LDH plus underscore (common in practice, e.g. _dmarc).
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    if (!ok) {
+      return make_error(ErrorCode::kParseError,
+                        "invalid character in DNS label: " + std::string(label));
+    }
+  }
+  return {};
+}
+
+std::size_t presentation_length(const std::vector<std::string>& labels) {
+  if (labels.empty()) return 0;
+  std::size_t total = labels.size() - 1;  // separating dots
+  for (const auto& label : labels) total += label.size();
+  return total;
+}
+
+}  // namespace
+
+Result<DnsName> DnsName::parse(std::string_view text) {
+  if (!text.empty() && text.back() == '.') text.remove_suffix(1);
+  if (text.empty()) return DnsName{};
+  std::vector<std::string> labels;
+  for (const auto piece : util::split(text, '.')) {
+    if (auto valid = validate_label(piece); !valid) return valid.error();
+    labels.emplace_back(piece);
+  }
+  return from_labels(std::move(labels));
+}
+
+Result<DnsName> DnsName::from_labels(std::vector<std::string> labels) {
+  for (const auto& label : labels) {
+    if (auto valid = validate_label(label); !valid) return valid.error();
+  }
+  if (presentation_length(labels) > kMaxNameLength) {
+    return make_error(ErrorCode::kParseError, "DNS name longer than 253 bytes");
+  }
+  DnsName name;
+  name.labels_ = std::move(labels);
+  return name;
+}
+
+std::string DnsName::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (i > 0) out += '.';
+    out += labels_[i];
+  }
+  return out;
+}
+
+bool DnsName::equals(const DnsName& other) const {
+  if (labels_.size() != other.labels_.size()) return false;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (!util::iequals(labels_[i], other.labels_[i])) return false;
+  }
+  return true;
+}
+
+bool DnsName::is_within(const DnsName& ancestor) const {
+  if (ancestor.labels_.size() > labels_.size()) return false;
+  const std::size_t offset = labels_.size() - ancestor.labels_.size();
+  for (std::size_t i = 0; i < ancestor.labels_.size(); ++i) {
+    if (!util::iequals(labels_[offset + i], ancestor.labels_[i])) return false;
+  }
+  return true;
+}
+
+Result<DnsName> DnsName::prepend(std::string_view label) const {
+  std::vector<std::string> labels;
+  labels.reserve(labels_.size() + 1);
+  labels.emplace_back(label);
+  labels.insert(labels.end(), labels_.begin(), labels_.end());
+  return from_labels(std::move(labels));
+}
+
+DnsName DnsName::parent() const {
+  DnsName out;
+  if (labels_.size() > 1) {
+    out.labels_.assign(labels_.begin() + 1, labels_.end());
+  }
+  return out;
+}
+
+std::string DnsName::canonical() const { return util::to_lower(to_string()); }
+
+}  // namespace tft::dns

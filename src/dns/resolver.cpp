@@ -1,0 +1,171 @@
+#include "tft/dns/resolver.hpp"
+
+#include <algorithm>
+
+#include "tft/util/hash.hpp"
+
+namespace tft::dns {
+
+void AuthorityRegistry::register_zone(std::shared_ptr<AuthoritativeServer> server) {
+  zones_.push_back(std::move(server));
+}
+
+AuthoritativeServer* AuthorityRegistry::find(const DnsName& name) const {
+  AuthoritativeServer* best = nullptr;
+  std::size_t best_labels = 0;
+  for (const auto& zone : zones_) {
+    if (name.is_within(zone->origin()) &&
+        (best == nullptr || zone->origin().label_count() >= best_labels)) {
+      best = zone.get();
+      best_labels = zone->origin().label_count();
+    }
+  }
+  return best;
+}
+
+RecursiveResolver::RecursiveResolver(net::Ipv4Address service_address,
+                                     net::Ipv4Address egress_address,
+                                     const AuthorityRegistry* authorities,
+                                     sim::EventQueue* clock)
+    : service_address_(service_address),
+      egress_address_(egress_address),
+      authorities_(authorities),
+      clock_(clock) {}
+
+Message RecursiveResolver::resolve(const Message& query, double hijack_roll) {
+  if (query.questions.empty()) {
+    return Message::response_to(query, Rcode::kFormErr);
+  }
+  const Question& question = query.questions.front();
+  const std::string key =
+      question.name.canonical() + '/' + std::string(to_string(question.type));
+
+  const auto it = cache_.find(key);
+  if (it != cache_.end() && it->second.expires > clock_->now()) {
+    Message response = Message::response_to(query, it->second.rcode);
+    response.flags.recursion_available = true;
+    response.answers = it->second.answers;
+    return apply_hijack(query, std::move(response), hijack_roll);
+  }
+
+  Message response = resolve_uncached(query);
+
+  // Cache positive answers by minimum record TTL and NXDOMAIN negatively.
+  std::uint32_t ttl = 60;
+  if (!response.answers.empty()) {
+    ttl = response.answers.front().ttl;
+    for (const auto& record : response.answers) ttl = std::min(ttl, record.ttl);
+  }
+  if (response.flags.rcode == Rcode::kNoError ||
+      response.flags.rcode == Rcode::kNxDomain) {
+    cache_[key] = CacheEntry{response.flags.rcode, response.answers,
+                             clock_->now() + sim::Duration::seconds(ttl)};
+  }
+
+  return apply_hijack(query, std::move(response), hijack_roll);
+}
+
+Message RecursiveResolver::resolve_uncached(const Message& query) {
+  const Question& question = query.questions.front();
+  AuthoritativeServer* authority = authorities_->find(question.name);
+  if (authority == nullptr) {
+    Message response = Message::response_to(query, Rcode::kServFail);
+    response.flags.recursion_available = true;
+    return response;
+  }
+  Message response = authority->handle(query, egress_address_, clock_->now());
+  response.flags.recursion_available = true;
+  response.flags.authoritative = false;
+
+  // CNAME chasing: when an A query answers only with aliases, follow the
+  // chain (possibly across zones) and append the terminal records.
+  if (question.type == RecordType::kA && response.flags.rcode == Rcode::kNoError) {
+    int hops = 0;
+    for (;;) {
+      if (response.first_a().has_value()) break;
+      // The alias to chase is the last CNAME in the answer section.
+      const ResourceRecord* alias = nullptr;
+      for (const auto& record : response.answers) {
+        if (record.type == RecordType::kCname) alias = &record;
+      }
+      if (alias == nullptr || ++hops > 8) break;
+      const auto target = alias->name_target();
+      if (!target) break;
+      AuthoritativeServer* next = authorities_->find(*target);
+      if (next == nullptr) break;
+      const auto chained_query = Message::query(query.id, *target, RecordType::kA);
+      Message chained = next->handle(chained_query, egress_address_, clock_->now());
+      if (chained.flags.rcode != Rcode::kNoError || chained.answers.empty()) {
+        break;
+      }
+      // Stop if the chain loops back to a name already answered.
+      bool progress = false;
+      for (const auto& record : chained.answers) {
+        bool duplicate = false;
+        for (const auto& existing : response.answers) {
+          duplicate = duplicate || (existing.name.equals(record.name) &&
+                                    existing.type == record.type &&
+                                    existing.rdata == record.rdata);
+        }
+        if (!duplicate) {
+          response.answers.push_back(record);
+          progress = true;
+        }
+      }
+      if (!progress) break;
+    }
+  }
+  return response;
+}
+
+Message RecursiveResolver::apply_hijack(const Message& query, Message response,
+                                        double roll) const {
+  if (!hijack_ || response.flags.rcode != Rcode::kNxDomain) return response;
+  if (roll >= hijack_->probability) return response;
+  Message hijacked = Message::response_to(query, Rcode::kNoError);
+  hijacked.flags.recursion_available = true;
+  hijacked.answers.push_back(ResourceRecord::a(
+      query.questions.front().name, hijack_->redirect_address, hijack_->ttl));
+  return hijacked;
+}
+
+void AnycastResolverGroup::add_instance(std::shared_ptr<RecursiveResolver> instance) {
+  instances_.push_back(std::move(instance));
+}
+
+RecursiveResolver& AnycastResolverGroup::instance_for(net::Ipv4Address client) {
+  const std::uint64_t hash =
+      util::fnv1a64(client.to_string() + '|' + name_);
+  return *instances_[hash % instances_.size()];
+}
+
+void ResolverDirectory::add_resolver(std::shared_ptr<RecursiveResolver> resolver) {
+  unicast_[resolver->service_address().value()] = std::move(resolver);
+}
+
+void ResolverDirectory::add_anycast(std::shared_ptr<AnycastResolverGroup> group) {
+  anycast_[group->service_address().value()] = std::move(group);
+}
+
+RecursiveResolver* ResolverDirectory::instance_for(net::Ipv4Address resolver_address,
+                                                   net::Ipv4Address client) {
+  if (const auto it = anycast_.find(resolver_address.value()); it != anycast_.end()) {
+    return &it->second->instance_for(client);
+  }
+  if (const auto it = unicast_.find(resolver_address.value()); it != unicast_.end()) {
+    return it->second.get();
+  }
+  return nullptr;
+}
+
+Message ResolverDirectory::resolve_via(net::Ipv4Address resolver_address,
+                                       net::Ipv4Address client, const Message& query,
+                                       double hijack_roll) {
+  RecursiveResolver* resolver = instance_for(resolver_address, client);
+  if (resolver == nullptr) {
+    return Message::response_to(query, Rcode::kServFail);
+  }
+  return resolver->resolve(query, hijack_roll);
+}
+
+}  // namespace tft::dns

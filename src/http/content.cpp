@@ -1,0 +1,245 @@
+#include "tft/http/content.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "tft/util/bytes.hpp"
+#include "tft/util/rng.hpp"
+
+namespace tft::http {
+
+using util::ErrorCode;
+using util::make_error;
+using util::Result;
+
+namespace {
+
+constexpr std::string_view kSimgMagic = "SIMG";
+
+const char* const kLoremWords[] = {
+    "lorem",   "ipsum",    "dolor",  "sit",     "amet",      "consectetur",
+    "adipisc", "elit",     "sed",    "eiusmod", "tempor",    "incididunt",
+    "labore",  "dolore",   "magna",  "aliqua",  "enim",      "minim",
+    "veniam",  "quis",     "nostrud", "exercitation", "ullamco", "laboris"};
+
+std::string lorem_paragraph(util::Rng& rng, std::size_t words) {
+  std::string out;
+  for (std::size_t i = 0; i < words; ++i) {
+    if (i > 0) out += ' ';
+    out += kLoremWords[rng.index(std::size(kLoremWords))];
+  }
+  out += '.';
+  return out;
+}
+
+/// Pad `content` with deterministic filler inside `open`/`close` wrappers
+/// until it reaches `target` bytes, then return it.
+std::string pad_to(std::string content, std::size_t target, util::Rng& rng,
+                   std::string_view open, std::string_view close) {
+  while (content.size() < target) {
+    std::string chunk{open};
+    chunk += lorem_paragraph(rng, 12);
+    chunk += close;
+    chunk += '\n';
+    if (content.size() + chunk.size() > target) {
+      // Trim the final chunk so the object lands exactly on target size.
+      chunk.resize(target - content.size());
+    }
+    content += chunk;
+  }
+  return content;
+}
+
+}  // namespace
+
+std::string_view to_string(ContentKind kind) noexcept {
+  switch (kind) {
+    case ContentKind::kHtml:
+      return "html";
+    case ContentKind::kImage:
+      return "image";
+    case ContentKind::kJavaScript:
+      return "javascript";
+    case ContentKind::kCss:
+      return "css";
+  }
+  return "unknown";
+}
+
+std::string_view content_type(ContentKind kind) noexcept {
+  switch (kind) {
+    case ContentKind::kHtml:
+      return "text/html; charset=utf-8";
+    case ContentKind::kImage:
+      return "image/simg";
+    case ContentKind::kJavaScript:
+      return "application/javascript";
+    case ContentKind::kCss:
+      return "text/css";
+  }
+  return "application/octet-stream";
+}
+
+std::string reference_html(std::size_t target_bytes, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::string html =
+      "<!DOCTYPE html>\n"
+      "<html>\n<head>\n"
+      "<title>TFT reference page</title>\n"
+      "<link rel=\"stylesheet\" href=\"/style.css\">\n"
+      "<script src=\"/library.js\"></script>\n"
+      "</head>\n<body>\n"
+      "<h1>Reference content</h1>\n"
+      "<img src=\"/image.simg\" alt=\"reference image\">\n";
+  const std::string closing = "</body>\n</html>\n";
+  html = pad_to(std::move(html), target_bytes - closing.size(), rng, "<p>", "</p>");
+  html += closing;
+  return html;
+}
+
+std::string reference_javascript(std::size_t target_bytes, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::string js =
+      "/* TFT reference library (un-minified) */\n"
+      "function tftInit() {\n  return 'reference';\n}\n";
+  return pad_to(std::move(js), target_bytes, rng, "// ", "");
+}
+
+std::string reference_css(std::size_t target_bytes, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::string css = "/* TFT reference stylesheet (un-minified) */\n"
+                    "body { font-family: sans-serif; margin: 2em; }\n";
+  return pad_to(std::move(css), target_bytes, rng, "/* ", " */");
+}
+
+std::string reference_image(std::size_t target_bytes, std::uint64_t seed) {
+  const std::size_t header = 4 + 2 + 2 + 1 + 4;
+  const std::size_t payload = target_bytes > header ? target_bytes - header : 0;
+  // Quality 100 so a transcode to quality q yields a size ratio of q/100,
+  // directly comparable to Table 7's compression column.
+  return make_simg(1024, 768, 100, static_cast<std::uint32_t>(payload), seed);
+}
+
+std::string make_simg(std::uint16_t width, std::uint16_t height, std::uint8_t quality,
+                      std::uint32_t payload_bytes, std::uint64_t seed) {
+  util::ByteWriter writer;
+  writer.bytes(kSimgMagic);
+  writer.u16(width);
+  writer.u16(height);
+  writer.u8(quality);
+  writer.u32(payload_bytes);
+  util::Rng rng(seed);
+  std::string payload;
+  payload.reserve(payload_bytes);
+  for (std::uint32_t i = 0; i < payload_bytes; ++i) {
+    payload.push_back(static_cast<char>(rng.next_u64() & 0xFF));
+  }
+  writer.bytes(payload);
+  return std::move(writer).take();
+}
+
+Result<SimgInfo> parse_simg(std::string_view bytes) {
+  util::ByteReader reader(bytes);
+  auto magic = reader.bytes(4);
+  if (!magic || *magic != kSimgMagic) {
+    return make_error(ErrorCode::kParseError, "bad SIMG magic");
+  }
+  SimgInfo info;
+  auto width = reader.u16();
+  if (!width) return width.error();
+  auto height = reader.u16();
+  if (!height) return height.error();
+  auto quality = reader.u8();
+  if (!quality) return quality.error();
+  auto payload_bytes = reader.u32();
+  if (!payload_bytes) return payload_bytes.error();
+  if (*quality == 0 || *quality > 100) {
+    return make_error(ErrorCode::kParseError, "SIMG quality out of range");
+  }
+  if (reader.remaining() != *payload_bytes) {
+    return make_error(ErrorCode::kParseError, "SIMG payload length mismatch");
+  }
+  info.width = *width;
+  info.height = *height;
+  info.quality = *quality;
+  info.payload_bytes = *payload_bytes;
+  return info;
+}
+
+Result<std::string> transcode_simg(std::string_view bytes, std::uint8_t new_quality) {
+  if (new_quality == 0 || new_quality > 100) {
+    return make_error(ErrorCode::kInvalidArgument, "quality must be in 1..100");
+  }
+  auto info = parse_simg(bytes);
+  if (!info) return info.error();
+  if (new_quality >= info->quality) {
+    return std::string(bytes);  // cannot add information; keep original
+  }
+  const double scale = static_cast<double>(new_quality) / info->quality;
+  const auto new_payload =
+      static_cast<std::uint32_t>(static_cast<double>(info->payload_bytes) * scale);
+  // Re-encode deterministically from the truncated original payload.
+  util::ByteWriter writer;
+  writer.bytes(kSimgMagic);
+  writer.u16(info->width);
+  writer.u16(info->height);
+  writer.u8(new_quality);
+  writer.u32(new_payload);
+  writer.bytes(bytes.substr(13, new_payload));
+  return std::move(writer).take();
+}
+
+double compression_ratio(std::string_view original, std::string_view modified) {
+  if (original.empty()) return 1.0;
+  return static_cast<double>(modified.size()) / static_cast<double>(original.size());
+}
+
+std::vector<std::string> extract_urls(std::string_view content) {
+  std::vector<std::string> out;
+  const auto is_url_char = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+           std::string_view("-._~:/?#[]@!$&'()*+,;=%").find(c) != std::string_view::npos;
+  };
+  std::size_t pos = 0;
+  while (pos < content.size()) {
+    const auto http_at = content.find("http", pos);
+    if (http_at == std::string_view::npos) break;
+    std::size_t scheme_end = http_at + 4;
+    if (scheme_end < content.size() && content[scheme_end] == 's') ++scheme_end;
+    if (content.substr(scheme_end, 3) != "://") {
+      pos = http_at + 4;
+      continue;
+    }
+    std::size_t end = scheme_end + 3;
+    while (end < content.size() && is_url_char(content[end])) ++end;
+    // Trim trailing punctuation that is likely sentence/JS syntax.
+    while (end > scheme_end + 3 &&
+           std::string_view(".,;:!?)'\"").find(content[end - 1]) != std::string_view::npos) {
+      --end;
+    }
+    if (end > scheme_end + 3) {
+      std::string url(content.substr(http_at, end - http_at));
+      if (std::find(out.begin(), out.end(), url) == out.end()) {
+        out.push_back(std::move(url));
+      }
+    }
+    pos = end;
+  }
+  return out;
+}
+
+std::vector<std::string> extract_url_hosts(std::string_view content) {
+  std::vector<std::string> out;
+  for (const auto& url : extract_urls(content)) {
+    const auto scheme_end = url.find("://");
+    auto rest = std::string_view(url).substr(scheme_end + 3);
+    const auto host_end = rest.find_first_of("/?#:");
+    std::string host(host_end == std::string_view::npos ? rest : rest.substr(0, host_end));
+    if (!host.empty() && std::find(out.begin(), out.end(), host) == out.end()) {
+      out.push_back(std::move(host));
+    }
+  }
+  return out;
+}
+
+}  // namespace tft::http

@@ -1,0 +1,43 @@
+#include "tft/http/headers.hpp"
+
+#include <algorithm>
+
+#include "tft/util/strings.hpp"
+
+namespace tft::http {
+
+void HeaderMap::add(std::string_view name, std::string_view value) {
+  entries_.push_back(Entry{std::string(name), std::string(value)});
+}
+
+void HeaderMap::set(std::string_view name, std::string_view value) {
+  remove(name);
+  add(name, value);
+}
+
+std::size_t HeaderMap::remove(std::string_view name) {
+  const auto before = entries_.size();
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const Entry& entry) {
+                                  return util::iequals(entry.name, name);
+                                }),
+                 entries_.end());
+  return before - entries_.size();
+}
+
+std::optional<std::string_view> HeaderMap::get(std::string_view name) const {
+  for (const auto& entry : entries_) {
+    if (util::iequals(entry.name, name)) return std::string_view(entry.value);
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string_view> HeaderMap::get_all(std::string_view name) const {
+  std::vector<std::string_view> out;
+  for (const auto& entry : entries_) {
+    if (util::iequals(entry.name, name)) out.emplace_back(entry.value);
+  }
+  return out;
+}
+
+}  // namespace tft::http

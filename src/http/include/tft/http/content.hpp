@@ -1,0 +1,73 @@
+// Reference content corpus (§5.1 of the paper: a 9 KB HTML page, a 39 KB
+// JPEG, a 258 KB un-minified JavaScript library, a 3 KB un-minified CSS
+// file), a synthetic image format that stands in for JPEG, and the URL
+// scanner used by the hijack/injection analyses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tft/util/result.hpp"
+
+namespace tft::http {
+
+enum class ContentKind {
+  kHtml,
+  kImage,
+  kJavaScript,
+  kCss,
+};
+
+std::string_view to_string(ContentKind kind) noexcept;
+std::string_view content_type(ContentKind kind) noexcept;
+
+/// Deterministic reference objects matching the paper's sizes.
+/// Repeated calls return byte-identical content for the same seed.
+std::string reference_html(std::size_t target_bytes = 9 * 1024, std::uint64_t seed = 1);
+std::string reference_javascript(std::size_t target_bytes = 258 * 1024,
+                                 std::uint64_t seed = 2);
+std::string reference_css(std::size_t target_bytes = 3 * 1024, std::uint64_t seed = 3);
+std::string reference_image(std::size_t target_bytes = 39 * 1024, std::uint64_t seed = 4);
+
+// --- SIMG: the synthetic image format -------------------------------------
+// Layout: "SIMG" magic, u16 width, u16 height, u8 quality (1..100),
+// u32 payload length, payload bytes. Transcoding to quality q' scales the
+// payload proportionally (q'/q), which is the size-level behaviour Table 7
+// measures.
+
+struct SimgInfo {
+  std::uint16_t width = 0;
+  std::uint16_t height = 0;
+  std::uint8_t quality = 100;
+  std::uint32_t payload_bytes = 0;
+
+  std::size_t total_bytes() const { return 4 + 2 + 2 + 1 + 4 + payload_bytes; }
+};
+
+std::string make_simg(std::uint16_t width, std::uint16_t height, std::uint8_t quality,
+                      std::uint32_t payload_bytes, std::uint64_t seed);
+
+util::Result<SimgInfo> parse_simg(std::string_view bytes);
+
+/// Re-encode at `new_quality` (1..100). Lowering quality shrinks the payload
+/// proportionally; raising it is clamped to the original size (a transcoder
+/// cannot add information).
+util::Result<std::string> transcode_simg(std::string_view bytes, std::uint8_t new_quality);
+
+/// Observed compression ratio: modified size / original size, in (0, inf).
+double compression_ratio(std::string_view original, std::string_view modified);
+
+// --- Analysis helpers ------------------------------------------------------
+
+/// Extract http(s) URLs embedded anywhere in content (HTML attributes,
+/// JavaScript strings, free text). Returns each URL once, in first-seen
+/// order.
+std::vector<std::string> extract_urls(std::string_view content);
+
+/// Just the host ("registrable" string up to the first '/' or quote) of
+/// each extracted URL, deduplicated, first-seen order.
+std::vector<std::string> extract_url_hosts(std::string_view content);
+
+}  // namespace tft::http

@@ -1,0 +1,46 @@
+// Ordered, case-insensitive HTTP header map (RFC 7230 semantics: names are
+// case-insensitive, insertion order is preserved, repeated names allowed).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tft::http {
+
+class HeaderMap {
+ public:
+  struct Entry {
+    std::string name;
+    std::string value;
+  };
+
+  /// Append a header (allows duplicates, preserves order).
+  void add(std::string_view name, std::string_view value);
+
+  /// Replace all headers of `name` with a single value.
+  void set(std::string_view name, std::string_view value);
+
+  /// Remove every header with `name`. Returns the number removed.
+  std::size_t remove(std::string_view name);
+
+  /// First value for `name` (case-insensitive), if present.
+  std::optional<std::string_view> get(std::string_view name) const;
+
+  /// All values for `name`, in order.
+  std::vector<std::string_view> get_all(std::string_view name) const;
+
+  bool has(std::string_view name) const { return get(name).has_value(); }
+
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+
+  bool operator==(const HeaderMap&) const = default;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace tft::http

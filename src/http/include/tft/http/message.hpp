@@ -1,0 +1,87 @@
+// HTTP/1.1 request/response model with wire-format serialization and a
+// strict parser (request-line / status-line, CRLF header block,
+// Content-Length-framed bodies).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "tft/http/headers.hpp"
+#include "tft/http/url.hpp"
+#include "tft/util/result.hpp"
+
+namespace tft::http {
+
+enum class Method {
+  kGet,
+  kHead,
+  kPost,
+  kConnect,
+};
+
+std::string_view to_string(Method method) noexcept;
+util::Result<Method> parse_method(std::string_view text);
+
+struct Request {
+  Method method = Method::kGet;
+  /// Request target exactly as it appears on the request line. For proxy
+  /// requests this is the absolute URL; for origin requests, the path.
+  std::string target = "/";
+  std::string version = "HTTP/1.1";
+  HeaderMap headers;
+  std::string body;
+
+  /// Build a GET for an absolute URL in proxy form (absolute target +
+  /// Host header), as Luminati clients issue them.
+  static Request proxy_get(const Url& url);
+
+  /// Build a GET in origin form ("GET /path").
+  static Request origin_get(const Url& url);
+
+  /// Build a CONNECT request ("CONNECT host:443").
+  static Request connect(std::string_view host, std::uint16_t port);
+
+  /// Parse the target as an absolute URL (proxy form).
+  util::Result<Url> target_url() const;
+
+  std::string serialize() const;
+  static util::Result<Request> parse(std::string_view wire);
+};
+
+struct Response {
+  int status = 200;
+  std::string reason = "OK";
+  std::string version = "HTTP/1.1";
+  HeaderMap headers;
+  std::string body;
+
+  static Response make(int status, std::string_view reason, std::string body = {},
+                       std::string_view content_type = "text/html");
+
+  static Response not_found();
+  static Response bad_gateway(std::string_view detail);
+
+  std::string serialize() const;
+
+  /// Serialize with "Transfer-Encoding: chunked" framing, splitting the
+  /// body into chunks of at most `chunk_size` bytes.
+  std::string serialize_chunked(std::size_t chunk_size = 4096) const;
+
+  /// Parses both Content-Length and chunked framing (the parser re-joins
+  /// chunked bodies and strips the Transfer-Encoding header).
+  static util::Result<Response> parse(std::string_view wire);
+};
+
+/// Decode a chunked-encoded body (everything after the header block).
+/// Returns the joined payload; rejects malformed chunk sizes, missing CRLFs
+/// and missing terminators. Trailers are not supported (rejected).
+util::Result<std::string> decode_chunked_body(std::string_view wire);
+
+/// Encode a payload with chunked framing.
+std::string encode_chunked_body(std::string_view payload, std::size_t chunk_size);
+
+/// Standard reason phrase for common status codes ("OK", "Not Found", ...).
+std::string_view reason_phrase(int status) noexcept;
+
+}  // namespace tft::http

@@ -1,0 +1,81 @@
+// Origin web servers and the registry that routes requests to them by
+// destination IP. The measurement web server's request log is a primary
+// data source in the paper: §4 reads exit-node IPs from it and §7 detects
+// monitoring from unexpected extra requests.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tft/http/message.hpp"
+#include "tft/net/ipv4.hpp"
+#include "tft/sim/time.hpp"
+
+namespace tft::http {
+
+class OriginServer {
+ public:
+  explicit OriginServer(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Serve `response` for GETs of exactly (host, path). Host matching is
+  /// case-insensitive; path matching is exact.
+  void add_resource(std::string_view host, std::string_view path, Response response);
+
+  /// Serve `response` for a path under any host (used by probe wildcard
+  /// domains where each exit node gets a unique host).
+  void add_path_for_any_host(std::string_view path, Response response);
+
+  /// Fallback handler when no resource matches (e.g. ad landing pages that
+  /// answer every URL). Without one, unmatched requests get 404.
+  using Handler = std::function<Response(const Request&)>;
+  void set_default_handler(Handler handler) { default_handler_ = std::move(handler); }
+
+  Response handle(const Request& request, net::Ipv4Address source, sim::Instant now);
+
+  struct RequestLogEntry {
+    sim::Instant time;
+    net::Ipv4Address source;
+    std::string host;
+    std::string path;
+    std::string user_agent;
+  };
+  const std::vector<RequestLogEntry>& request_log() const noexcept { return request_log_; }
+  void clear_request_log() { request_log_.clear(); }
+
+ private:
+  std::string name_;
+  std::unordered_map<std::string, Response> resources_;       // "host|path"
+  std::unordered_map<std::string, Response> any_host_paths_;  // "path"
+  Handler default_handler_;
+  std::vector<RequestLogEntry> request_log_;
+};
+
+/// Routes by destination address; the "network" between clients and
+/// origin servers.
+class WebServerRegistry {
+ public:
+  void add(net::Ipv4Address address, std::shared_ptr<OriginServer> server);
+  OriginServer* find(net::Ipv4Address address) const;
+
+  /// Deliver `request` to the server at `destination`; 504 if unreachable.
+  Response fetch(net::Ipv4Address destination, const Request& request,
+                 net::Ipv4Address source, sim::Instant now) const;
+
+ private:
+  std::unordered_map<std::uint32_t, std::shared_ptr<OriginServer>> servers_;
+};
+
+/// Host (without port) a request is addressed to: Host header, falling back
+/// to the absolute-form target.
+std::string request_host(const Request& request);
+
+/// Path component of the request target (strips absolute-form prefix and
+/// query string).
+std::string request_path(const Request& request);
+
+}  // namespace tft::http

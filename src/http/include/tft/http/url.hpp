@@ -1,0 +1,36 @@
+// Absolute-form URL parsing (the form HTTP proxies receive:
+// "GET http://host/path"). Only http/https schemes are modeled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "tft/util/result.hpp"
+
+namespace tft::http {
+
+struct Url {
+  std::string scheme;  // "http" | "https"
+  std::string host;    // lowercased
+  std::uint16_t port = 80;
+  std::string path = "/";   // always starts with '/'
+  std::string query;        // without '?', may be empty
+
+  /// Parse an absolute URL. Rejects unknown schemes, empty hosts and
+  /// malformed ports. Defaults port from the scheme.
+  static util::Result<Url> parse(std::string_view text);
+
+  /// Recompose; omits default ports.
+  std::string to_string() const;
+
+  /// "host" or "host:port" as used in a Host header (default port omitted).
+  std::string host_header() const;
+
+  /// Path plus "?query" when non-empty (origin-form request target).
+  std::string request_target() const;
+
+  bool operator==(const Url&) const = default;
+};
+
+}  // namespace tft::http

@@ -1,0 +1,389 @@
+#include "tft/http/message.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "tft/util/strings.hpp"
+
+namespace tft::http {
+
+using util::ErrorCode;
+using util::make_error;
+using util::Result;
+
+namespace {
+
+constexpr std::string_view kCrlf = "\r\n";
+
+struct HeadBody {
+  std::string_view start_line;
+  std::vector<std::pair<std::string_view, std::string_view>> headers;
+  std::string_view body;
+};
+
+Result<HeadBody> split_message(std::string_view wire) {
+  const auto head_end = wire.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    return make_error(ErrorCode::kParseError, "missing header terminator");
+  }
+  const std::string_view head = wire.substr(0, head_end);
+  HeadBody out;
+  out.body = wire.substr(head_end + 4);
+
+  const auto first_crlf = head.find(kCrlf);
+  out.start_line = first_crlf == std::string_view::npos ? head : head.substr(0, first_crlf);
+  if (out.start_line.empty()) {
+    return make_error(ErrorCode::kParseError, "empty start line");
+  }
+
+  std::string_view header_block =
+      first_crlf == std::string_view::npos ? std::string_view{} : head.substr(first_crlf + 2);
+  while (!header_block.empty()) {
+    const auto line_end = header_block.find(kCrlf);
+    const std::string_view line =
+        line_end == std::string_view::npos ? header_block : header_block.substr(0, line_end);
+    header_block = line_end == std::string_view::npos
+                       ? std::string_view{}
+                       : header_block.substr(line_end + 2);
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return make_error(ErrorCode::kParseError,
+                        "malformed header line: " + std::string(line));
+    }
+    const std::string_view name = util::trim(line.substr(0, colon));
+    if (name.size() != colon) {
+      // Whitespace before the colon is forbidden (RFC 7230 §3.2.4).
+      return make_error(ErrorCode::kParseError, "whitespace before header colon");
+    }
+    out.headers.emplace_back(name, util::trim(line.substr(colon + 1)));
+  }
+  return out;
+}
+
+Result<void> check_body_length(const HeaderMap& headers, std::string_view body) {
+  const auto declared = headers.get("Content-Length");
+  if (!declared) {
+    if (!body.empty()) {
+      return make_error(ErrorCode::kParseError, "body present without Content-Length");
+    }
+    return {};
+  }
+  std::size_t length = 0;
+  const auto [ptr, ec] =
+      std::from_chars(declared->data(), declared->data() + declared->size(), length);
+  if (ec != std::errc{} || ptr != declared->data() + declared->size()) {
+    return make_error(ErrorCode::kParseError, "bad Content-Length");
+  }
+  if (length != body.size()) {
+    return make_error(ErrorCode::kParseError,
+                      "Content-Length mismatch: declared " + std::to_string(length) +
+                          ", got " + std::to_string(body.size()));
+  }
+  return {};
+}
+
+void append_headers_with_length(std::string& out, const HeaderMap& headers,
+                                const std::string& body) {
+  bool wrote_length = false;
+  for (const auto& entry : headers.entries()) {
+    if (util::iequals(entry.name, "Content-Length")) {
+      // Recompute rather than trust a stale value.
+      out += "Content-Length: " + std::to_string(body.size());
+      out += kCrlf;
+      wrote_length = true;
+      continue;
+    }
+    out += entry.name;
+    out += ": ";
+    out += entry.value;
+    out += kCrlf;
+  }
+  if (!wrote_length && !body.empty()) {
+    out += "Content-Length: " + std::to_string(body.size());
+    out += kCrlf;
+  }
+  out += kCrlf;
+  out += body;
+}
+
+}  // namespace
+
+std::string_view to_string(Method method) noexcept {
+  switch (method) {
+    case Method::kGet:
+      return "GET";
+    case Method::kHead:
+      return "HEAD";
+    case Method::kPost:
+      return "POST";
+    case Method::kConnect:
+      return "CONNECT";
+  }
+  return "GET";
+}
+
+Result<Method> parse_method(std::string_view text) {
+  if (text == "GET") return Method::kGet;
+  if (text == "HEAD") return Method::kHead;
+  if (text == "POST") return Method::kPost;
+  if (text == "CONNECT") return Method::kConnect;
+  return make_error(ErrorCode::kParseError, "unknown method: " + std::string(text));
+}
+
+Request Request::proxy_get(const Url& url) {
+  Request request;
+  request.method = Method::kGet;
+  request.target = url.to_string();
+  request.headers.set("Host", url.host_header());
+  return request;
+}
+
+Request Request::origin_get(const Url& url) {
+  Request request;
+  request.method = Method::kGet;
+  request.target = url.request_target();
+  request.headers.set("Host", url.host_header());
+  return request;
+}
+
+Request Request::connect(std::string_view host, std::uint16_t port) {
+  Request request;
+  request.method = Method::kConnect;
+  request.target = std::string(host) + ':' + std::to_string(port);
+  request.headers.set("Host", request.target);
+  return request;
+}
+
+Result<Url> Request::target_url() const {
+  return Url::parse(target);
+}
+
+std::string Request::serialize() const {
+  std::string out{to_string(method)};
+  out += ' ';
+  out += target;
+  out += ' ';
+  out += version;
+  out += kCrlf;
+  append_headers_with_length(out, headers, body);
+  return out;
+}
+
+Result<Request> Request::parse(std::string_view wire) {
+  auto parts = split_message(wire);
+  if (!parts) return parts.error();
+
+  const auto tokens = util::split(parts->start_line, ' ');
+  if (tokens.size() != 3) {
+    return make_error(ErrorCode::kParseError, "malformed request line");
+  }
+  auto method = parse_method(tokens[0]);
+  if (!method) return method.error();
+  if (tokens[1].empty()) {
+    return make_error(ErrorCode::kParseError, "empty request target");
+  }
+  if (!tokens[2].starts_with("HTTP/")) {
+    return make_error(ErrorCode::kParseError, "bad HTTP version");
+  }
+
+  Request request;
+  request.method = *method;
+  request.target = std::string(tokens[1]);
+  request.version = std::string(tokens[2]);
+  for (const auto& [name, value] : parts->headers) request.headers.add(name, value);
+  request.body = std::string(parts->body);
+  if (auto ok = check_body_length(request.headers, request.body); !ok) return ok.error();
+  return request;
+}
+
+Response Response::make(int status, std::string_view reason, std::string body,
+                        std::string_view content_type) {
+  Response response;
+  response.status = status;
+  response.reason = std::string(reason);
+  response.body = std::move(body);
+  if (!response.body.empty()) {
+    response.headers.set("Content-Type", content_type);
+    response.headers.set("Content-Length", std::to_string(response.body.size()));
+  }
+  return response;
+}
+
+Response Response::not_found() {
+  return make(404, "Not Found", "<html><body><h1>404 Not Found</h1></body></html>");
+}
+
+Response Response::bad_gateway(std::string_view detail) {
+  return make(502, "Bad Gateway",
+              "<html><body><h1>502 Bad Gateway</h1><p>" + std::string(detail) +
+                  "</p></body></html>");
+}
+
+std::string Response::serialize() const {
+  std::string out = version;
+  out += ' ';
+  out += std::to_string(status);
+  out += ' ';
+  out += reason;
+  out += kCrlf;
+  append_headers_with_length(out, headers, body);
+  return out;
+}
+
+std::string encode_chunked_body(std::string_view payload, std::size_t chunk_size) {
+  if (chunk_size == 0) chunk_size = 1;
+  std::string out;
+  while (!payload.empty()) {
+    const std::size_t take = std::min(chunk_size, payload.size());
+    char size_line[32];
+    std::snprintf(size_line, sizeof(size_line), "%zx\r\n", take);
+    out += size_line;
+    out.append(payload.substr(0, take));
+    out += "\r\n";
+    payload.remove_prefix(take);
+  }
+  out += "0\r\n\r\n";
+  return out;
+}
+
+Result<std::string> decode_chunked_body(std::string_view wire) {
+  std::string out;
+  for (;;) {
+    const auto line_end = wire.find("\r\n");
+    if (line_end == std::string_view::npos) {
+      return make_error(ErrorCode::kParseError, "missing chunk-size line");
+    }
+    std::string_view size_text = wire.substr(0, line_end);
+    // Chunk extensions (";...") are tolerated and ignored.
+    if (const auto semicolon = size_text.find(';');
+        semicolon != std::string_view::npos) {
+      size_text = size_text.substr(0, semicolon);
+    }
+    std::size_t chunk_length = 0;
+    const auto [ptr, ec] = std::from_chars(
+        size_text.data(), size_text.data() + size_text.size(), chunk_length, 16);
+    if (ec != std::errc{} || ptr != size_text.data() + size_text.size() ||
+        size_text.empty()) {
+      return make_error(ErrorCode::kParseError,
+                        "bad chunk size: " + std::string(size_text));
+    }
+    wire.remove_prefix(line_end + 2);
+
+    if (chunk_length == 0) {
+      // Last chunk; expect the empty trailer section terminator.
+      if (wire != "\r\n") {
+        return make_error(ErrorCode::kParseError,
+                          "unsupported trailers or garbage after last chunk");
+      }
+      return out;
+    }
+    if (wire.size() < chunk_length + 2) {
+      return make_error(ErrorCode::kParseError, "truncated chunk data");
+    }
+    out.append(wire.substr(0, chunk_length));
+    if (wire.substr(chunk_length, 2) != "\r\n") {
+      return make_error(ErrorCode::kParseError, "missing CRLF after chunk data");
+    }
+    wire.remove_prefix(chunk_length + 2);
+  }
+}
+
+std::string Response::serialize_chunked(std::size_t chunk_size) const {
+  std::string out = version;
+  out += ' ';
+  out += std::to_string(status);
+  out += ' ';
+  out += reason;
+  out += kCrlf;
+  for (const auto& entry : headers.entries()) {
+    if (util::iequals(entry.name, "Content-Length") ||
+        util::iequals(entry.name, "Transfer-Encoding")) {
+      continue;  // framing headers are ours to set
+    }
+    out += entry.name;
+    out += ": ";
+    out += entry.value;
+    out += kCrlf;
+  }
+  out += "Transfer-Encoding: chunked";
+  out += kCrlf;
+  out += kCrlf;
+  out += encode_chunked_body(body, chunk_size);
+  return out;
+}
+
+Result<Response> Response::parse(std::string_view wire) {
+  auto parts = split_message(wire);
+  if (!parts) return parts.error();
+
+  // Status line: HTTP/1.1 SP 3DIGIT SP reason (reason may contain spaces).
+  const std::string_view line = parts->start_line;
+  const auto first_space = line.find(' ');
+  if (first_space == std::string_view::npos || !line.starts_with("HTTP/")) {
+    return make_error(ErrorCode::kParseError, "malformed status line");
+  }
+  const auto second_space = line.find(' ', first_space + 1);
+  const std::string_view code_text =
+      second_space == std::string_view::npos
+          ? line.substr(first_space + 1)
+          : line.substr(first_space + 1, second_space - first_space - 1);
+  int status = 0;
+  const auto [ptr, ec] =
+      std::from_chars(code_text.data(), code_text.data() + code_text.size(), status);
+  if (ec != std::errc{} || ptr != code_text.data() + code_text.size() ||
+      code_text.size() != 3 || status < 100 || status > 599) {
+    return make_error(ErrorCode::kParseError, "bad status code");
+  }
+
+  Response response;
+  response.version = std::string(line.substr(0, first_space));
+  response.status = status;
+  response.reason = second_space == std::string_view::npos
+                        ? std::string{}
+                        : std::string(line.substr(second_space + 1));
+  for (const auto& [name, value] : parts->headers) response.headers.add(name, value);
+
+  const auto transfer_encoding = response.headers.get("Transfer-Encoding");
+  if (transfer_encoding && util::iequals(*transfer_encoding, "chunked")) {
+    auto body = decode_chunked_body(parts->body);
+    if (!body) return body.error();
+    response.body = *std::move(body);
+    // Present the re-joined body as identity framing.
+    response.headers.remove("Transfer-Encoding");
+    response.headers.set("Content-Length", std::to_string(response.body.size()));
+    return response;
+  }
+
+  response.body = std::string(parts->body);
+  if (auto ok = check_body_length(response.headers, response.body); !ok) return ok.error();
+  return response;
+}
+
+std::string_view reason_phrase(int status) noexcept {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 204:
+      return "No Content";
+    case 301:
+      return "Moved Permanently";
+    case 302:
+      return "Found";
+    case 400:
+      return "Bad Request";
+    case 403:
+      return "Forbidden";
+    case 404:
+      return "Not Found";
+    case 502:
+      return "Bad Gateway";
+    case 503:
+      return "Service Unavailable";
+    case 504:
+      return "Gateway Timeout";
+    default:
+      return "Unknown";
+  }
+}
+
+}  // namespace tft::http

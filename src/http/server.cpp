@@ -1,0 +1,96 @@
+#include "tft/http/server.hpp"
+
+#include "tft/util/strings.hpp"
+
+namespace tft::http {
+
+namespace {
+std::string resource_key(std::string_view host, std::string_view path) {
+  return util::to_lower(host) + '|' + std::string(path);
+}
+}  // namespace
+
+std::string request_host(const Request& request) {
+  if (const auto host = request.headers.get("Host")) {
+    const auto colon = host->rfind(':');
+    // Careful: only strip a trailing :port, not part of an IPv6 literal
+    // (not modeled) — digits-only suffix check keeps this safe.
+    if (colon != std::string_view::npos) {
+      const auto suffix = host->substr(colon + 1);
+      bool digits = !suffix.empty();
+      for (char c : suffix) digits = digits && c >= '0' && c <= '9';
+      if (digits) return util::to_lower(host->substr(0, colon));
+    }
+    return util::to_lower(*host);
+  }
+  if (auto url = request.target_url()) return url->host;
+  return {};
+}
+
+std::string request_path(const Request& request) {
+  if (request.target.starts_with('/')) {
+    const auto question = request.target.find('?');
+    return request.target.substr(0, question);
+  }
+  if (auto url = request.target_url()) return url->path;
+  return request.target;
+}
+
+void OriginServer::add_resource(std::string_view host, std::string_view path,
+                                Response response) {
+  resources_[resource_key(host, path)] = std::move(response);
+}
+
+void OriginServer::add_path_for_any_host(std::string_view path, Response response) {
+  any_host_paths_[std::string(path)] = std::move(response);
+}
+
+Response OriginServer::handle(const Request& request, net::Ipv4Address source,
+                              sim::Instant now) {
+  const std::string host = request_host(request);
+  const std::string path = request_path(request);
+
+  RequestLogEntry entry;
+  entry.time = now;
+  entry.source = source;
+  entry.host = host;
+  entry.path = path;
+  if (const auto agent = request.headers.get("User-Agent")) {
+    entry.user_agent = std::string(*agent);
+  }
+  request_log_.push_back(std::move(entry));
+
+  if (request.method != Method::kGet && request.method != Method::kHead) {
+    return Response::make(400, "Bad Request", "<html><body>unsupported method</body></html>");
+  }
+
+  if (const auto it = resources_.find(resource_key(host, path)); it != resources_.end()) {
+    return it->second;
+  }
+  if (const auto it = any_host_paths_.find(path); it != any_host_paths_.end()) {
+    return it->second;
+  }
+  if (default_handler_) return default_handler_(request);
+  return Response::not_found();
+}
+
+void WebServerRegistry::add(net::Ipv4Address address, std::shared_ptr<OriginServer> server) {
+  servers_[address.value()] = std::move(server);
+}
+
+OriginServer* WebServerRegistry::find(net::Ipv4Address address) const {
+  const auto it = servers_.find(address.value());
+  return it == servers_.end() ? nullptr : it->second.get();
+}
+
+Response WebServerRegistry::fetch(net::Ipv4Address destination, const Request& request,
+                                  net::Ipv4Address source, sim::Instant now) const {
+  OriginServer* server = find(destination);
+  if (server == nullptr) {
+    return Response::make(504, "Gateway Timeout",
+                          "<html><body>no route to host</body></html>");
+  }
+  return server->handle(request, source, now);
+}
+
+}  // namespace tft::http

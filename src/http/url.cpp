@@ -1,0 +1,103 @@
+#include "tft/http/url.hpp"
+
+#include <charconv>
+
+#include "tft/util/strings.hpp"
+
+namespace tft::http {
+
+using util::ErrorCode;
+using util::make_error;
+using util::Result;
+
+Result<Url> Url::parse(std::string_view text) {
+  Url url;
+
+  const auto scheme_end = text.find("://");
+  if (scheme_end == std::string_view::npos) {
+    return make_error(ErrorCode::kParseError, "missing scheme in URL");
+  }
+  url.scheme = util::to_lower(text.substr(0, scheme_end));
+  if (url.scheme == "http") {
+    url.port = 80;
+  } else if (url.scheme == "https") {
+    url.port = 443;
+  } else {
+    return make_error(ErrorCode::kParseError, "unsupported scheme: " + url.scheme);
+  }
+  text.remove_prefix(scheme_end + 3);
+
+  // Split authority from path/query.
+  const auto path_start = text.find_first_of("/?");
+  std::string_view authority =
+      path_start == std::string_view::npos ? text : text.substr(0, path_start);
+  std::string_view rest =
+      path_start == std::string_view::npos ? std::string_view{} : text.substr(path_start);
+
+  if (authority.empty()) {
+    return make_error(ErrorCode::kParseError, "empty host in URL");
+  }
+  const auto colon = authority.rfind(':');
+  if (colon != std::string_view::npos) {
+    const auto port_text = authority.substr(colon + 1);
+    std::uint32_t port = 0;
+    const auto [ptr, ec] =
+        std::from_chars(port_text.data(), port_text.data() + port_text.size(), port);
+    if (ec != std::errc{} || ptr != port_text.data() + port_text.size() || port == 0 ||
+        port > 65535) {
+      return make_error(ErrorCode::kParseError, "bad port in URL");
+    }
+    url.port = static_cast<std::uint16_t>(port);
+    authority = authority.substr(0, colon);
+  }
+  if (authority.empty()) {
+    return make_error(ErrorCode::kParseError, "empty host in URL");
+  }
+  url.host = util::to_lower(authority);
+
+  if (rest.empty()) {
+    url.path = "/";
+  } else if (rest.front() == '?') {
+    url.path = "/";
+    url.query = std::string(rest.substr(1));
+  } else {
+    const auto question = rest.find('?');
+    if (question == std::string_view::npos) {
+      url.path = std::string(rest);
+    } else {
+      url.path = std::string(rest.substr(0, question));
+      url.query = std::string(rest.substr(question + 1));
+    }
+  }
+  return url;
+}
+
+std::string Url::to_string() const {
+  std::string out = scheme + "://" + host;
+  const bool default_port =
+      (scheme == "http" && port == 80) || (scheme == "https" && port == 443);
+  if (!default_port) {
+    out += ':';
+    out += std::to_string(port);
+  }
+  out += request_target();
+  return out;
+}
+
+std::string Url::host_header() const {
+  const bool default_port =
+      (scheme == "http" && port == 80) || (scheme == "https" && port == 443);
+  if (default_port) return host;
+  return host + ':' + std::to_string(port);
+}
+
+std::string Url::request_target() const {
+  std::string out = path;
+  if (!query.empty()) {
+    out += '?';
+    out += query;
+  }
+  return out;
+}
+
+}  // namespace tft::http

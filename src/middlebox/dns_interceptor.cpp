@@ -1,0 +1,41 @@
+#include "tft/middlebox/dns_interceptor.hpp"
+
+namespace tft::middlebox {
+
+std::optional<dns::Message> NxdomainRewriter::on_response(const dns::Message& query,
+                                                          const dns::Message& response,
+                                                          FetchContext& context) {
+  if (!response.is_nxdomain()) return std::nullopt;
+  if (context.rng != nullptr && !context.rng->chance(config_.probability)) {
+    return std::nullopt;
+  }
+  dns::Message rewritten = dns::Message::response_to(query, dns::Rcode::kNoError);
+  rewritten.flags.recursion_available = response.flags.recursion_available;
+  rewritten.answers.push_back(dns::ResourceRecord::a(
+      query.questions.front().name, config_.redirect_address, config_.ttl));
+  return rewritten;
+}
+
+net::Ipv4Address effective_resolver(const DnsInterceptorList& chain,
+                                    net::Ipv4Address configured) {
+  net::Ipv4Address resolver = configured;
+  for (const auto& interceptor : chain) {
+    if (const auto redirect = interceptor->redirect_resolver(resolver)) {
+      resolver = *redirect;
+    }
+  }
+  return resolver;
+}
+
+dns::Message intercepted_response(const DnsInterceptorList& chain,
+                                  const dns::Message& query, dns::Message response,
+                                  FetchContext& context) {
+  for (const auto& interceptor : chain) {
+    if (auto rewritten = interceptor->on_response(query, response, context)) {
+      return *std::move(rewritten);
+    }
+  }
+  return response;
+}
+
+}  // namespace tft::middlebox

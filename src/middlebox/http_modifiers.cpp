@@ -1,0 +1,103 @@
+#include "tft/middlebox/http_modifiers.hpp"
+
+#include "tft/http/content.hpp"
+#include "tft/util/strings.hpp"
+
+namespace tft::middlebox {
+
+namespace {
+
+bool is_html(const http::Response& response) {
+  const auto type = response.headers.get("Content-Type");
+  return type && util::icontains(*type, "text/html");
+}
+
+bool is_simg(const http::Response& response) {
+  const auto type = response.headers.get("Content-Type");
+  return type && util::icontains(*type, "image/simg");
+}
+
+}  // namespace
+
+std::string inject_before_body_end(std::string html, std::string_view snippet) {
+  const auto pos = html.rfind("</body>");
+  if (pos == std::string::npos) {
+    html.append(snippet);
+    return html;
+  }
+  html.insert(pos, snippet);
+  return html;
+}
+
+http::Response HtmlInjector::after_response(const http::Request& request,
+                                            http::Response response,
+                                            FetchContext& context) {
+  (void)request;
+  if (response.status != 200 || !is_html(response)) return response;
+  if (response.body.size() < config_.min_body_bytes) return response;
+  if (context.rng != nullptr && !context.rng->chance(config_.probability)) {
+    return response;
+  }
+  response.body = inject_before_body_end(std::move(response.body), config_.snippet);
+  response.headers.set("Content-Length", std::to_string(response.body.size()));
+  return response;
+}
+
+http::Response ImageTranscoder::after_response(const http::Request& request,
+                                               http::Response response,
+                                               FetchContext& context) {
+  (void)request;
+  if (response.status != 200 || !is_simg(response)) return response;
+  if (context.rng != nullptr && !context.rng->chance(config_.probability)) {
+    return response;
+  }
+  auto transcoded = http::transcode_simg(response.body, config_.quality);
+  if (!transcoded) return response;  // not a valid image; leave untouched
+  response.body = std::move(*transcoded);
+  response.headers.set("Content-Length", std::to_string(response.body.size()));
+  return response;
+}
+
+http::Response ObjectReplacer::after_response(const http::Request& request,
+                                              http::Response response,
+                                              FetchContext& context) {
+  (void)request;
+  (void)context;
+  const auto type = response.headers.get("Content-Type");
+  if (!type || !util::icontains(*type, config_.match_content_type)) {
+    return response;
+  }
+  http::Response replaced = http::Response::make(
+      config_.status, http::reason_phrase(config_.status), config_.replacement_body);
+  return replaced;
+}
+
+std::optional<http::Response> ContentBlocker::before_request(
+    const http::Request& request, FetchContext& context) {
+  (void)request;
+  (void)context;
+  return http::Response::make(config_.status, http::reason_phrase(config_.status),
+                              config_.block_page_html);
+}
+
+http::Response intercepted_fetch(const HttpInterceptorList& chain,
+                                 const http::Request& request, FetchContext& context) {
+  for (const auto& interceptor : chain) {
+    if (auto short_circuit = interceptor->before_request(request, context)) {
+      return *std::move(short_circuit);
+    }
+  }
+
+  // The request reaches the origin after any accumulated hold; the log
+  // timestamp at the server reflects that arrival time.
+  const sim::Instant arrival = context.clock->now() + context.request_hold;
+  http::Response response = context.web->fetch(context.destination, request,
+                                               context.client_address, arrival);
+
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    response = (*it)->after_response(request, std::move(response), context);
+  }
+  return response;
+}
+
+}  // namespace tft::middlebox

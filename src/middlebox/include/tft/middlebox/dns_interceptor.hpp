@@ -1,0 +1,92 @@
+// DNS-layer interception that is NOT the resolver's own doing (§4.3.3):
+// transparent DNS proxies on the ISP path and NXDOMAIN-rewriting software
+// on the host. The key observable difference from resolver-level hijacking:
+// these fire even when the node is configured to use a clean public
+// resolver such as 8.8.8.8.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tft/dns/message.hpp"
+#include "tft/middlebox/interceptor.hpp"
+
+namespace tft::middlebox {
+
+class DnsInterceptor {
+ public:
+  virtual ~DnsInterceptor() = default;
+  virtual std::string_view name() const = 0;
+
+  /// Rewrite the configured resolver address (transparent proxy: the query
+  /// never reaches the resolver the user chose). nullopt = leave as-is.
+  virtual std::optional<net::Ipv4Address> redirect_resolver(
+      net::Ipv4Address configured) {
+    (void)configured;
+    return std::nullopt;
+  }
+
+  /// Rewrite a response in flight. nullopt = pass through.
+  virtual std::optional<dns::Message> on_response(const dns::Message& query,
+                                                  const dns::Message& response,
+                                                  FetchContext& context) {
+    (void)query;
+    (void)response;
+    (void)context;
+    return std::nullopt;
+  }
+};
+
+using DnsInterceptorList = std::vector<std::shared_ptr<DnsInterceptor>>;
+
+/// Rewrites NXDOMAIN responses to an A record for `redirect_address` —
+/// the on-path / on-host equivalent of a hijacking resolver.
+class NxdomainRewriter : public DnsInterceptor {
+ public:
+  struct Config {
+    std::string name;  // "deutsche-telekom-path-box", "norton-safe-web", ...
+    net::Ipv4Address redirect_address;
+    double probability = 1.0;
+    std::uint32_t ttl = 60;
+  };
+
+  explicit NxdomainRewriter(Config config) : config_(std::move(config)) {}
+
+  std::string_view name() const override { return config_.name; }
+  std::optional<dns::Message> on_response(const dns::Message& query,
+                                          const dns::Message& response,
+                                          FetchContext& context) override;
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+};
+
+/// Forces all DNS traffic to the ISP's resolver regardless of what the
+/// host configured.
+class TransparentDnsProxy : public DnsInterceptor {
+ public:
+  TransparentDnsProxy(std::string name, net::Ipv4Address isp_resolver)
+      : name_(std::move(name)), isp_resolver_(isp_resolver) {}
+
+  std::string_view name() const override { return name_; }
+  std::optional<net::Ipv4Address> redirect_resolver(net::Ipv4Address) override {
+    return isp_resolver_;
+  }
+
+ private:
+  std::string name_;
+  net::Ipv4Address isp_resolver_;
+};
+
+/// Apply a DNS interceptor list: resolver redirection first (last redirect
+/// wins), then response rewriting in order (first rewrite wins).
+net::Ipv4Address effective_resolver(const DnsInterceptorList& chain,
+                                    net::Ipv4Address configured);
+dns::Message intercepted_response(const DnsInterceptorList& chain,
+                                  const dns::Message& query, dns::Message response,
+                                  FetchContext& context);
+
+}  // namespace tft::middlebox

@@ -1,0 +1,109 @@
+// Concrete HTTP interceptors reproducing the modification behaviours of §5:
+// JavaScript/ad injection into HTML, meta-tag web filters, image
+// transcoding by (mobile) carriers, and content blockers.
+#pragma once
+
+#include <string>
+
+#include "tft/middlebox/interceptor.hpp"
+
+namespace tft::middlebox {
+
+/// Injects a snippet before </body> of HTML responses. Models both
+/// ISP-level injectors and end-host adware; the paper identifies culprits
+/// by signature URLs/keywords inside the injected code, so the snippet
+/// should carry one.
+class HtmlInjector : public HttpInterceptor {
+ public:
+  struct Config {
+    std::string name;            // e.g. "adtaily-adware"
+    std::string snippet;         // full injected markup, carries the signature
+    /// Objects below this size are left alone (§5.1: sub-1KB objects saw
+    /// much less modification).
+    std::size_t min_body_bytes = 1024;
+    /// Fraction of eligible responses modified.
+    double probability = 1.0;
+  };
+
+  explicit HtmlInjector(Config config) : config_(std::move(config)) {}
+
+  std::string_view name() const override { return config_.name; }
+  http::Response after_response(const http::Request& request, http::Response response,
+                                FetchContext& context) override;
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+};
+
+/// Re-encodes image bodies at a lower quality (Table 7). Carrier-grade
+/// transcoders apply a consistent ratio; `quality` maps directly onto the
+/// observed compression ratio.
+class ImageTranscoder : public HttpInterceptor {
+ public:
+  struct Config {
+    std::string name;          // e.g. "vodafone-gb-transcoder"
+    std::uint8_t quality = 50; // target SIMG quality
+    double probability = 1.0;  // some carriers transcode per-plan (§5.2)
+  };
+
+  explicit ImageTranscoder(Config config) : config_(std::move(config)) {}
+
+  std::string_view name() const override { return config_.name; }
+  http::Response after_response(const http::Request& request, http::Response response,
+                                FetchContext& context) override;
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+};
+
+/// Replaces matching responses with a block page ("bandwidth exceeded",
+/// content filter interstitials) — the cases §5.2 filters out of the HTML
+/// injection analysis, plus the JS/CSS "replaced by error page" cases.
+class ContentBlocker : public HttpInterceptor {
+ public:
+  struct Config {
+    std::string name;
+    std::string block_page_html;
+    int status = 403;
+  };
+
+  explicit ContentBlocker(Config config) : config_(std::move(config)) {}
+
+  std::string_view name() const override { return config_.name; }
+  std::optional<http::Response> before_request(const http::Request& request,
+                                               FetchContext& context) override;
+
+ private:
+  Config config_;
+};
+
+/// Replaces responses of a particular content type with an error page or
+/// empty body — §5.2's JS/CSS observations (45 JS, 11 CSS nodes received
+/// error pages / empty responses instead of the object).
+class ObjectReplacer : public HttpInterceptor {
+ public:
+  struct Config {
+    std::string name;
+    std::string match_content_type;  // substring, e.g. "javascript", "css"
+    std::string replacement_body;    // may be empty (empty response)
+    int status = 200;
+  };
+
+  explicit ObjectReplacer(Config config) : config_(std::move(config)) {}
+
+  std::string_view name() const override { return config_.name; }
+  http::Response after_response(const http::Request& request, http::Response response,
+                                FetchContext& context) override;
+
+ private:
+  Config config_;
+};
+
+/// Inject `snippet` before </body>; appends if no closing tag is found.
+std::string inject_before_body_end(std::string html, std::string_view snippet);
+
+}  // namespace tft::middlebox

@@ -1,0 +1,69 @@
+// Interception framework. Everything that violates end-to-end connectivity
+// in the simulation — ISP middleboxes, end-host software (anti-virus,
+// malware), transparent proxies — is expressed as an interceptor attached
+// to an exit node's path or host. The same classes model both locations;
+// *where* an interceptor is attached is what the paper's attribution
+// analysis tries to recover.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tft/http/message.hpp"
+#include "tft/http/server.hpp"
+#include "tft/net/ipv4.hpp"
+#include "tft/sim/event_queue.hpp"
+#include "tft/util/rng.hpp"
+
+namespace tft::middlebox {
+
+/// Shared state threaded through an intercepted fetch.
+struct FetchContext {
+  net::Ipv4Address client_address;   // the exit node
+  net::Ipv4Address destination;      // origin server
+  sim::EventQueue* clock = nullptr;
+  util::Rng* rng = nullptr;
+  const http::WebServerRegistry* web = nullptr;
+  /// Accumulated delay before the client's request reaches the origin
+  /// (Bluecoat-style "scan first, forward later" middleboxes add to this).
+  sim::Duration request_hold{0};
+};
+
+/// Base interface for HTTP-layer interception.
+class HttpInterceptor {
+ public:
+  virtual ~HttpInterceptor() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Inspect/react to a request before it is forwarded. Returning a
+  /// response short-circuits the fetch (block pages).
+  virtual std::optional<http::Response> before_request(const http::Request& request,
+                                                       FetchContext& context) {
+    (void)request;
+    (void)context;
+    return std::nullopt;
+  }
+
+  /// Transform the origin's response on its way back to the client.
+  virtual http::Response after_response(const http::Request& request,
+                                        http::Response response,
+                                        FetchContext& context) {
+    (void)request;
+    (void)context;
+    return response;
+  }
+};
+
+using HttpInterceptorList = std::vector<std::shared_ptr<HttpInterceptor>>;
+
+/// Run a fetch through an interceptor chain: before_request hooks in order
+/// (first short-circuit wins), then the origin fetch (delayed by any
+/// accumulated hold), then after_response hooks in reverse order.
+http::Response intercepted_fetch(const HttpInterceptorList& chain,
+                                 const http::Request& request, FetchContext& context);
+
+}  // namespace tft::middlebox

@@ -1,0 +1,76 @@
+// Content monitoring (§7): software or middleboxes that record the URLs a
+// user requests and later re-fetch them from their own infrastructure. The
+// per-entity delay models here generate Figure 5's CDFs; the prefetch
+// behaviour models Bluecoat's fetch-before-forward proxies.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tft/middlebox/interceptor.hpp"
+
+namespace tft::middlebox {
+
+/// One scheduled re-fetch of a monitored URL.
+struct RefetchSpec {
+  /// Delay after the user's request, sampled log-uniformly in
+  /// [min_delay_s, max_delay_s] (matching the straight-line-on-log-x CDF
+  /// segments of Figure 5). Set both equal for a fixed delay (TalkTalk's
+  /// exactly-30s first request).
+  double min_delay_s = 1.0;
+  double max_delay_s = 60.0;
+  /// With this probability the re-fetch instead happens *before* the
+  /// user's request reaches the server: the monitor fetches immediately
+  /// and holds the user's request for `hold_s` (Bluecoat: 83%).
+  double prefetch_probability = 0.0;
+  double hold_s = 0.5;
+  /// Fixed index into the profile's source addresses (AnchorFree's second
+  /// request always comes from Menlo Park); nullopt = random source.
+  std::optional<std::size_t> source_index;
+};
+
+struct MonitorProfile {
+  std::string name;                                // "Trend Micro"
+  std::vector<net::Ipv4Address> source_addresses;  // where re-fetches originate
+  std::string user_agent;                          // re-fetch User-Agent
+  std::vector<RefetchSpec> refetches;
+  /// Fraction of requests monitored (TalkTalk monitored ~45% of nodes;
+  /// per-request sampling also occurs).
+  double probability = 1.0;
+};
+
+class ContentMonitor : public HttpInterceptor {
+ public:
+  explicit ContentMonitor(MonitorProfile profile) : profile_(std::move(profile)) {}
+
+  std::string_view name() const override { return profile_.name; }
+
+  /// Never short-circuits; schedules re-fetches and may add a hold.
+  std::optional<http::Response> before_request(const http::Request& request,
+                                               FetchContext& context) override;
+
+  const MonitorProfile& profile() const noexcept { return profile_; }
+
+ private:
+  MonitorProfile profile_;
+};
+
+/// VPN services (AnchorFree) relay the user's own request through their
+/// egress network, so the origin sees a VPN address instead of the exit
+/// node's. Attach before any monitor so the rewrite is visible to it.
+class VpnEgressRewriter : public HttpInterceptor {
+ public:
+  VpnEgressRewriter(std::string name, std::vector<net::Ipv4Address> egress_addresses)
+      : name_(std::move(name)), egress_addresses_(std::move(egress_addresses)) {}
+
+  std::string_view name() const override { return name_; }
+  std::optional<http::Response> before_request(const http::Request& request,
+                                               FetchContext& context) override;
+
+ private:
+  std::string name_;
+  std::vector<net::Ipv4Address> egress_addresses_;
+};
+
+}  // namespace tft::middlebox

@@ -1,0 +1,77 @@
+// TLS interception (§6): anti-virus suites, content filters and malware
+// that terminate the user's TLS connection and present a forged leaf
+// certificate signed by their own CA.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "tft/middlebox/interceptor.hpp"
+#include "tft/tls/authority.hpp"
+#include "tft/tls/verify.hpp"
+
+namespace tft::middlebox {
+
+class TlsInterceptor {
+ public:
+  virtual ~TlsInterceptor() = default;
+  virtual std::string_view name() const = 0;
+
+  /// Given the upstream chain presented for `host`, return a replacement
+  /// chain, or nullopt to pass the original through untouched.
+  virtual std::optional<tls::CertificateChain> intercept(
+      std::string_view host, const tls::CertificateChain& upstream,
+      FetchContext& context) = 0;
+};
+
+using TlsInterceptorList = std::vector<std::shared_ptr<TlsInterceptor>>;
+
+/// The certificate-replacement behaviour Table 8 catalogues.
+class CertReplacer : public TlsInterceptor {
+ public:
+  struct Config {
+    std::string name;            // product name ("Avast", "OpenDNS", ...)
+    tls::ForgeProfile forge;
+    /// Only intercept connections to these hosts (content filters MITM only
+    /// blocked sites); empty = intercept everything.
+    std::unordered_set<std::string> only_hosts;
+    /// Skip interception when the upstream chain does not verify (OpenDNS
+    /// "does not replace certificates that were originally invalid").
+    bool only_if_upstream_valid = false;
+    /// Fraction of eligible handshakes intercepted (selective replacement).
+    double probability = 1.0;
+    /// Verifier used to judge the upstream chain (typically over the public
+    /// root store).
+    const tls::RootStore* public_roots = nullptr;
+  };
+
+  /// `host_seed` is a stable per-host identity so that key reuse is visible
+  /// across certificates on the same machine.
+  CertReplacer(Config config, std::uint64_t host_seed)
+      : config_(std::move(config)), host_seed_(host_seed) {}
+
+  std::string_view name() const override { return config_.name; }
+
+  std::optional<tls::CertificateChain> intercept(std::string_view host,
+                                                 const tls::CertificateChain& upstream,
+                                                 FetchContext& context) override;
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  std::uint64_t host_seed_;
+};
+
+/// Run a TLS handshake's certificate chain through an interceptor list;
+/// first interceptor that replaces wins (nested MITM is not modeled —
+/// the paper could not distinguish it either).
+tls::CertificateChain intercepted_chain(const TlsInterceptorList& chain,
+                                        std::string_view host,
+                                        tls::CertificateChain upstream,
+                                        FetchContext& context);
+
+}  // namespace tft::middlebox

@@ -1,0 +1,64 @@
+#include "tft/middlebox/monitor.hpp"
+
+namespace tft::middlebox {
+
+std::optional<http::Response> ContentMonitor::before_request(
+    const http::Request& request, FetchContext& context) {
+  if (context.rng == nullptr || context.clock == nullptr || context.web == nullptr) {
+    return std::nullopt;
+  }
+  if (profile_.source_addresses.empty() || !context.rng->chance(profile_.probability)) {
+    return std::nullopt;
+  }
+
+  // Build the re-fetch request once: same URL, the monitor's own identity.
+  http::Request refetch = request;
+  refetch.headers.set("User-Agent", profile_.user_agent.empty()
+                                        ? std::string(profile_.name) + "/scanner"
+                                        : profile_.user_agent);
+
+  for (const auto& spec : profile_.refetches) {
+    const std::size_t source_index =
+        spec.source_index.value_or(context.rng->index(profile_.source_addresses.size()));
+    const net::Ipv4Address source =
+        profile_.source_addresses[source_index % profile_.source_addresses.size()];
+
+    if (spec.prefetch_probability > 0.0 &&
+        context.rng->chance(spec.prefetch_probability)) {
+      // Fetch-before-forward: the monitor's request hits the origin now;
+      // the user's request is held and arrives hold_s later.
+      context.web->fetch(context.destination, refetch, source, context.clock->now());
+      context.request_hold =
+          context.request_hold + sim::Duration::seconds(spec.hold_s);
+      continue;
+    }
+
+    const double delay_s =
+        spec.min_delay_s >= spec.max_delay_s
+            ? spec.min_delay_s
+            : context.rng->log_uniform(std::max(spec.min_delay_s, 1e-3),
+                                       spec.max_delay_s);
+    const http::WebServerRegistry* web = context.web;
+    const net::Ipv4Address destination = context.destination;
+    sim::EventQueue* clock = context.clock;
+    clock->schedule_after(sim::Duration::seconds(delay_s),
+                          [web, destination, refetch, source, clock] {
+                            web->fetch(destination, refetch, source, clock->now());
+                          });
+  }
+  return std::nullopt;
+}
+
+std::optional<http::Response> VpnEgressRewriter::before_request(
+    const http::Request& request, FetchContext& context) {
+  (void)request;
+  if (egress_addresses_.empty()) return std::nullopt;
+  std::size_t index = 0;
+  if (context.rng != nullptr && egress_addresses_.size() > 1) {
+    index = context.rng->index(egress_addresses_.size());
+  }
+  context.client_address = egress_addresses_[index];
+  return std::nullopt;
+}
+
+}  // namespace tft::middlebox

@@ -1,0 +1,50 @@
+#include "tft/middlebox/tls_interceptor.hpp"
+
+#include "tft/util/strings.hpp"
+
+namespace tft::middlebox {
+
+std::optional<tls::CertificateChain> CertReplacer::intercept(
+    std::string_view host, const tls::CertificateChain& upstream,
+    FetchContext& context) {
+  if (upstream.empty()) return std::nullopt;
+
+  if (!config_.only_hosts.empty() &&
+      !config_.only_hosts.contains(util::to_lower(host))) {
+    return std::nullopt;
+  }
+
+  bool upstream_valid = true;
+  if (config_.public_roots != nullptr) {
+    const tls::CertificateVerifier verifier(config_.public_roots);
+    upstream_valid =
+        verifier.verify(upstream, host, context.clock->now()).ok();
+  }
+  if (config_.only_if_upstream_valid && !upstream_valid) {
+    return std::nullopt;
+  }
+  if (context.rng != nullptr && !context.rng->chance(config_.probability)) {
+    return std::nullopt;
+  }
+
+  const tls::Certificate forged =
+      tls::forge_leaf(upstream.front(), config_.forge, host_seed_, upstream_valid,
+                      context.clock->now());
+  // Interceptors present only the forged leaf; the product's root lives in
+  // the host's local trust store, not on the wire.
+  return tls::CertificateChain{forged};
+}
+
+tls::CertificateChain intercepted_chain(const TlsInterceptorList& chain,
+                                        std::string_view host,
+                                        tls::CertificateChain upstream,
+                                        FetchContext& context) {
+  for (const auto& interceptor : chain) {
+    if (auto replaced = interceptor->intercept(host, upstream, context)) {
+      return *std::move(replaced);
+    }
+  }
+  return upstream;
+}
+
+}  // namespace tft::middlebox

@@ -1,0 +1,76 @@
+// IPv4 addresses and CIDR prefixes.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "tft/util/result.hpp"
+
+namespace tft::net {
+
+/// An IPv4 address, stored host-order for arithmetic convenience.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  /// Parse dotted-quad. Rejects octets > 255, extra dots, leading garbage.
+  static util::Result<Ipv4Address> parse(std::string_view text);
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix (network address + mask length).
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+
+  /// Construct from any address inside the prefix; host bits are zeroed.
+  static util::Result<Ipv4Prefix> make(Ipv4Address address, int length);
+
+  /// Parse "a.b.c.d/len".
+  static util::Result<Ipv4Prefix> parse(std::string_view text);
+
+  constexpr Ipv4Address network() const noexcept { return network_; }
+  constexpr int length() const noexcept { return length_; }
+  constexpr std::uint32_t mask() const noexcept {
+    return length_ == 0 ? 0U : ~std::uint32_t{0} << (32 - length_);
+  }
+
+  constexpr bool contains(Ipv4Address address) const noexcept {
+    return (address.value() & mask()) == network_.value();
+  }
+
+  /// Number of addresses covered (2^(32-length)); 0-length returns 2^32-1
+  /// clamped into uint64 correctly.
+  constexpr std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  /// The n-th host address inside the prefix (n < size()).
+  util::Result<Ipv4Address> host(std::uint64_t n) const;
+
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Prefix&) const = default;
+
+ private:
+  constexpr Ipv4Prefix(Ipv4Address network, int length)
+      : network_(network), length_(length) {}
+
+  Ipv4Address network_{};
+  int length_ = 0;
+};
+
+}  // namespace tft::net

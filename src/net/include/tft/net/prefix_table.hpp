@@ -1,0 +1,78 @@
+// Longest-prefix-match table mapping IPv4 prefixes to values. This is the
+// RouteViews stand-in (§3.1 of the paper): the measurement pipeline uses it
+// to map observed IP addresses to origin ASes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "tft/net/ipv4.hpp"
+
+namespace tft::net {
+
+/// Binary trie keyed by prefix bits. Insertions overwrite on exact prefix
+/// duplicates; lookups return the most specific covering prefix's value.
+template <typename Value>
+class PrefixTable {
+ public:
+  PrefixTable() : root_(std::make_unique<Node>()) {}
+
+  void insert(Ipv4Prefix prefix, Value value) {
+    Node* node = root_.get();
+    const std::uint32_t bits = prefix.network().value();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      auto& child = node->children[bit];
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    if (!node->value) ++size_;
+    node->value = std::move(value);
+  }
+
+  /// Most specific match, or nullopt when no inserted prefix covers `address`.
+  std::optional<Value> lookup(Ipv4Address address) const {
+    const Node* node = root_.get();
+    std::optional<Value> best = node->value;
+    const std::uint32_t bits = address.value();
+    for (int depth = 0; depth < 32 && node; ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      node = node->children[bit].get();
+      if (node && node->value) best = node->value;
+    }
+    return best;
+  }
+
+  /// The matched prefix itself along with its value (for diagnostics).
+  std::optional<std::pair<Ipv4Prefix, Value>> lookup_entry(Ipv4Address address) const {
+    const Node* node = root_.get();
+    std::optional<std::pair<Ipv4Prefix, Value>> best;
+    if (node->value) {
+      best = {*Ipv4Prefix::make(address, 0), *node->value};
+    }
+    const std::uint32_t bits = address.value();
+    for (int depth = 0; depth < 32 && node; ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      node = node->children[bit].get();
+      if (node && node->value) {
+        best = {*Ipv4Prefix::make(address, depth + 1), *node->value};
+      }
+    }
+    return best;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+
+ private:
+  struct Node {
+    std::optional<Value> value;
+    std::unique_ptr<Node> children[2];
+  };
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace tft::net

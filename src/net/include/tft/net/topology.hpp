@@ -1,0 +1,86 @@
+// AS-level topology model: Autonomous Systems, the organizations (ISPs)
+// that operate them, and the countries those organizations are registered
+// in. Mirrors the paper's §3.1 preliminaries: IP -> AS via RouteViews-style
+// announcements, AS -> organization/country via a CAIDA-style database.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "tft/net/ipv4.hpp"
+#include "tft/net/prefix_table.hpp"
+#include "tft/util/result.hpp"
+
+namespace tft::net {
+
+using Asn = std::uint32_t;
+using OrgId = std::uint32_t;
+
+/// ISO-3166-style two-letter country code (e.g. "US", "MY").
+using CountryCode = std::string;
+
+/// Broad category of the organization, used by the world generator and by
+/// Table 7's mobile-ISP analysis.
+enum class OrgKind {
+  kBroadbandIsp,
+  kMobileIsp,
+  kHosting,
+  kPublicDnsOperator,
+  kSecurityVendor,
+  kVpnProvider,
+  kAcademic,
+  kOther,
+};
+
+std::string_view to_string(OrgKind kind) noexcept;
+
+/// An organization (ISP/company) that may operate several ASes.
+struct Organization {
+  OrgId id = 0;
+  std::string name;
+  CountryCode country;
+  OrgKind kind = OrgKind::kOther;
+};
+
+/// CAIDA-style AS-to-organization database plus RouteViews-style
+/// prefix-to-AS announcements.
+class AsOrgDb {
+ public:
+  /// Register an organization; returns its id. Names need not be unique
+  /// (real-world orgs collide), ids are.
+  OrgId add_organization(std::string name, CountryCode country, OrgKind kind);
+
+  /// Register an AS operated by `org`. Re-registering an ASN overwrites.
+  void add_as(Asn asn, OrgId org);
+
+  /// Announce a prefix as originated by `asn` (RouteViews snapshot entry).
+  void announce(Ipv4Prefix prefix, Asn asn);
+
+  // --- Lookups used by the measurement pipeline ---------------------------
+
+  std::optional<Asn> origin_as(Ipv4Address address) const;
+  std::optional<OrgId> org_of(Asn asn) const;
+  const Organization* organization(OrgId id) const;
+  /// Organization operating the AS that originates `address`, if known.
+  const Organization* organization_of(Ipv4Address address) const;
+  std::optional<CountryCode> country_of(Asn asn) const;
+
+  /// True when both addresses map to ASes run by the same organization.
+  bool same_organization(Ipv4Address a, Ipv4Address b) const;
+
+  std::vector<Asn> all_asns() const;
+  std::size_t organization_count() const noexcept { return organizations_.size(); }
+  std::size_t as_count() const noexcept { return as_to_org_.size(); }
+  std::size_t announced_prefix_count() const noexcept { return prefixes_.size(); }
+
+ private:
+  std::vector<Organization> organizations_;
+  std::unordered_map<Asn, OrgId> as_to_org_;
+  PrefixTable<Asn> prefixes_;
+};
+
+}  // namespace tft::net

@@ -1,0 +1,85 @@
+#include "tft/net/ipv4.hpp"
+
+#include <charconv>
+
+#include "tft/util/strings.hpp"
+
+namespace tft::net {
+
+using util::ErrorCode;
+using util::make_error;
+using util::Result;
+
+namespace {
+Result<std::uint32_t> parse_decimal(std::string_view text, std::uint32_t max) {
+  if (text.empty() || text.size() > 10) {
+    return make_error(ErrorCode::kParseError, "empty or oversized number");
+  }
+  std::uint32_t value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return make_error(ErrorCode::kParseError, "invalid number: " + std::string(text));
+  }
+  if (value > max) {
+    return make_error(ErrorCode::kParseError, "number out of range: " + std::string(text));
+  }
+  return value;
+}
+}  // namespace
+
+Result<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  const auto parts = util::split(text, '.');
+  if (parts.size() != 4) {
+    return make_error(ErrorCode::kParseError,
+                      "expected 4 octets in '" + std::string(text) + "'");
+  }
+  std::uint32_t value = 0;
+  for (const auto part : parts) {
+    auto octet = parse_decimal(part, 255);
+    if (!octet) return octet.error();
+    value = (value << 8) | *octet;
+  }
+  return Ipv4Address(value);
+}
+
+std::string Ipv4Address::to_string() const {
+  return std::to_string((value_ >> 24) & 0xFF) + '.' +
+         std::to_string((value_ >> 16) & 0xFF) + '.' +
+         std::to_string((value_ >> 8) & 0xFF) + '.' +
+         std::to_string(value_ & 0xFF);
+}
+
+Result<Ipv4Prefix> Ipv4Prefix::make(Ipv4Address address, int length) {
+  if (length < 0 || length > 32) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "prefix length must be in [0,32], got " + std::to_string(length));
+  }
+  const std::uint32_t mask = length == 0 ? 0U : ~std::uint32_t{0} << (32 - length);
+  return Ipv4Prefix(Ipv4Address(address.value() & mask), length);
+}
+
+Result<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    return make_error(ErrorCode::kParseError, "missing '/' in prefix");
+  }
+  auto address = Ipv4Address::parse(text.substr(0, slash));
+  if (!address) return address.error();
+  auto length = parse_decimal(text.substr(slash + 1), 32);
+  if (!length) return length.error();
+  return make(*address, static_cast<int>(*length));
+}
+
+Result<Ipv4Address> Ipv4Prefix::host(std::uint64_t n) const {
+  if (n >= size()) {
+    return make_error(ErrorCode::kOutOfRange,
+                      "host index " + std::to_string(n) + " outside " + to_string());
+  }
+  return Ipv4Address(network_.value() + static_cast<std::uint32_t>(n));
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return network_.to_string() + '/' + std::to_string(length_);
+}
+
+}  // namespace tft::net

@@ -1,0 +1,84 @@
+#include "tft/net/topology.hpp"
+
+#include <algorithm>
+
+namespace tft::net {
+
+std::string_view to_string(OrgKind kind) noexcept {
+  switch (kind) {
+    case OrgKind::kBroadbandIsp:
+      return "broadband_isp";
+    case OrgKind::kMobileIsp:
+      return "mobile_isp";
+    case OrgKind::kHosting:
+      return "hosting";
+    case OrgKind::kPublicDnsOperator:
+      return "public_dns";
+    case OrgKind::kSecurityVendor:
+      return "security_vendor";
+    case OrgKind::kVpnProvider:
+      return "vpn_provider";
+    case OrgKind::kAcademic:
+      return "academic";
+    case OrgKind::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+OrgId AsOrgDb::add_organization(std::string name, CountryCode country, OrgKind kind) {
+  const OrgId id = static_cast<OrgId>(organizations_.size());
+  organizations_.push_back(Organization{id, std::move(name), std::move(country), kind});
+  return id;
+}
+
+void AsOrgDb::add_as(Asn asn, OrgId org) { as_to_org_[asn] = org; }
+
+void AsOrgDb::announce(Ipv4Prefix prefix, Asn asn) { prefixes_.insert(prefix, asn); }
+
+std::optional<Asn> AsOrgDb::origin_as(Ipv4Address address) const {
+  return prefixes_.lookup(address);
+}
+
+std::optional<OrgId> AsOrgDb::org_of(Asn asn) const {
+  const auto it = as_to_org_.find(asn);
+  if (it == as_to_org_.end()) return std::nullopt;
+  return it->second;
+}
+
+const Organization* AsOrgDb::organization(OrgId id) const {
+  if (id >= organizations_.size()) return nullptr;
+  return &organizations_[id];
+}
+
+const Organization* AsOrgDb::organization_of(Ipv4Address address) const {
+  const auto asn = origin_as(address);
+  if (!asn) return nullptr;
+  const auto org = org_of(*asn);
+  if (!org) return nullptr;
+  return organization(*org);
+}
+
+std::optional<CountryCode> AsOrgDb::country_of(Asn asn) const {
+  const auto org = org_of(asn);
+  if (!org) return std::nullopt;
+  const Organization* info = organization(*org);
+  if (!info) return std::nullopt;
+  return info->country;
+}
+
+bool AsOrgDb::same_organization(Ipv4Address a, Ipv4Address b) const {
+  const Organization* org_a = organization_of(a);
+  const Organization* org_b = organization_of(b);
+  return org_a != nullptr && org_b != nullptr && org_a->id == org_b->id;
+}
+
+std::vector<Asn> AsOrgDb::all_asns() const {
+  std::vector<Asn> out;
+  out.reserve(as_to_org_.size());
+  for (const auto& [asn, _] : as_to_org_) out.push_back(asn);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace tft::net

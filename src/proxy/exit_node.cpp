@@ -1,0 +1,97 @@
+#include "tft/proxy/exit_node.hpp"
+
+#include "tft/util/hash.hpp"
+
+namespace tft::proxy {
+
+double stable_hijack_roll(std::string_view zid) {
+  const std::uint64_t hash = util::fnv1a64(std::string("hijack-roll|") + std::string(zid));
+  return static_cast<double>(hash >> 11) * 0x1.0p-53;
+}
+
+ExitNodeAgent::ExitNodeAgent(Config config, Environment environment)
+    : config_(std::move(config)),
+      environment_(environment),
+      rng_(config_.rng_seed != 0 ? config_.rng_seed
+                                 : util::fnv1a64(config_.zid)) {}
+
+middlebox::FetchContext ExitNodeAgent::make_context(net::Ipv4Address destination) {
+  middlebox::FetchContext context;
+  context.client_address = config_.address;
+  context.destination = destination;
+  context.clock = environment_.clock;
+  context.rng = &rng_;
+  context.web = environment_.web;
+  return context;
+}
+
+dns::Message ExitNodeAgent::resolve(const dns::DnsName& name) {
+  const auto query = dns::Message::query(
+      static_cast<std::uint16_t>(rng_.next_u64() & 0xFFFF), name);
+
+  const net::Ipv4Address resolver =
+      middlebox::effective_resolver(config_.dns_interceptors, config_.dns_resolver);
+
+  dns::Message response = environment_.resolvers->resolve_via(
+      resolver, config_.address, query, stable_hijack_roll(config_.zid));
+
+  middlebox::FetchContext context = make_context(net::Ipv4Address{});
+  return middlebox::intercepted_response(config_.dns_interceptors, query,
+                                         std::move(response), context);
+}
+
+ExitNodeAgent::FetchOutcome ExitNodeAgent::fetch_http(
+    const http::Url& url, std::optional<net::Ipv4Address> resolved) {
+  FetchOutcome outcome;
+
+  net::Ipv4Address destination;
+  if (resolved) {
+    destination = *resolved;
+  } else {
+    const auto name = dns::DnsName::parse(url.host);
+    if (!name) {
+      outcome.dns_failed = true;
+      return outcome;
+    }
+    const dns::Message answer = resolve(*name);
+    if (answer.is_nxdomain()) {
+      outcome.dns_nxdomain = true;
+      return outcome;
+    }
+    const auto address = answer.first_a();
+    if (!address) {
+      outcome.dns_failed = true;
+      return outcome;
+    }
+    destination = *address;
+  }
+
+  middlebox::FetchContext context = make_context(destination);
+  const http::Request request = http::Request::origin_get(url);
+  outcome.response =
+      middlebox::intercepted_fetch(config_.http_interceptors, request, context);
+  outcome.destination = destination;
+  return outcome;
+}
+
+std::optional<smtp::Transcript> ExitNodeAgent::run_smtp(
+    net::Ipv4Address destination, const smtp::ClientScript& script) {
+  if (environment_.smtp == nullptr) return std::nullopt;
+  smtp::SmtpServer* server = environment_.smtp->find(destination);
+  if (server == nullptr) return std::nullopt;
+  return smtp::run_session(*server, config_.smtp_interceptors, script,
+                           config_.address, environment_.clock->now());
+}
+
+std::optional<tls::CertificateChain> ExitNodeAgent::fetch_certificate_chain(
+    net::Ipv4Address destination, std::string_view sni) {
+  const tls::CertificateChain* upstream =
+      environment_.tls->handshake(destination, sni);
+  if (upstream == nullptr) return std::nullopt;
+
+  middlebox::FetchContext context = make_context(destination);
+  return middlebox::intercepted_chain(config_.tls_interceptors, sni, *upstream,
+                                      context);
+}
+
+}  // namespace tft::proxy

@@ -1,0 +1,113 @@
+// Exit nodes: the Hola end hosts that Luminati routes traffic through.
+// An ExitNodeAgent owns the node's network identity (address, AS, country),
+// its DNS configuration, and the interceptor chains modeling whatever
+// middleboxes sit on its path and whatever software runs on its host.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "tft/dns/resolver.hpp"
+#include "tft/http/server.hpp"
+#include "tft/middlebox/dns_interceptor.hpp"
+#include "tft/middlebox/interceptor.hpp"
+#include "tft/middlebox/tls_interceptor.hpp"
+#include "tft/net/topology.hpp"
+#include "tft/smtp/session.hpp"
+#include "tft/tls/endpoint.hpp"
+#include "tft/util/rng.hpp"
+
+namespace tft::proxy {
+
+/// Per-node deterministic roll in [0,1) used for probabilistic resolver
+/// behaviour (per-subscriber-plan hijacking): a node's resolver treats it
+/// consistently across queries, and the world builder can precompute the
+/// ground truth from the same roll.
+double stable_hijack_roll(std::string_view zid);
+
+/// Shared environment every node operates in (the simulated Internet).
+struct Environment {
+  dns::ResolverDirectory* resolvers = nullptr;
+  http::WebServerRegistry* web = nullptr;
+  tls::TlsEndpointRegistry* tls = nullptr;
+  smtp::SmtpServerRegistry* smtp = nullptr;  // optional (SMTP extension)
+  sim::EventQueue* clock = nullptr;
+  const net::AsOrgDb* topology = nullptr;
+};
+
+class ExitNodeAgent {
+ public:
+  struct Config {
+    std::string zid;               // persistent Luminati identifier
+    net::Ipv4Address address;
+    net::Asn asn = 0;
+    net::CountryCode country;
+    net::Ipv4Address dns_resolver;  // configured resolver service address
+    middlebox::DnsInterceptorList dns_interceptors;
+    middlebox::HttpInterceptorList http_interceptors;
+    middlebox::TlsInterceptorList tls_interceptors;
+    smtp::SmtpInterceptorList smtp_interceptors;
+    /// Probability a request through this node fails (churn / NAT issues);
+    /// exercises Luminati's retry behaviour.
+    double failure_probability = 0.0;
+    std::uint64_t rng_seed = 0;
+  };
+
+  ExitNodeAgent(Config config, Environment environment);
+
+  const std::string& zid() const noexcept { return config_.zid; }
+  net::Ipv4Address address() const noexcept { return config_.address; }
+  net::Asn asn() const noexcept { return config_.asn; }
+  const net::CountryCode& country() const noexcept { return config_.country; }
+  net::Ipv4Address configured_resolver() const noexcept { return config_.dns_resolver; }
+
+  bool online() const noexcept { return online_; }
+  void set_online(bool online) noexcept { online_ = online; }
+
+  /// Simulate a DHCP renumbering: the host gets a new address while its
+  /// zID stays fixed (§2.3: zIDs identify nodes across IP changes).
+  void set_address(net::Ipv4Address address) noexcept { config_.address = address; }
+
+  /// Roll the churn dice for one request attempt.
+  bool attempt_fails() { return rng_.chance(config_.failure_probability); }
+
+  /// Resolve a name using the node's configured resolver, traversing any
+  /// DNS interceptors (transparent proxies, host rewriters).
+  dns::Message resolve(const dns::DnsName& name);
+
+  /// Fetch an HTTP URL: resolve (unless `resolved` is supplied by the super
+  /// proxy), then run the request through the node's HTTP interceptors.
+  struct FetchOutcome {
+    bool dns_nxdomain = false;   // name did not resolve (clean NXDOMAIN)
+    bool dns_failed = false;     // SERVFAIL or no resolver
+    http::Response response;     // valid unless a dns_* flag is set
+    net::Ipv4Address destination;  // where the request actually went
+  };
+  FetchOutcome fetch_http(const http::Url& url,
+                          std::optional<net::Ipv4Address> resolved = std::nullopt);
+
+  /// Open a TCP tunnel to destination:443 and perform a TLS handshake with
+  /// the given SNI, traversing the node's TLS interceptors. Returns the
+  /// chain the *client* observes, or nullopt if the endpoint is
+  /// unreachable.
+  std::optional<tls::CertificateChain> fetch_certificate_chain(
+      net::Ipv4Address destination, std::string_view sni);
+
+  /// Run an SMTP transaction to destination:25 through the node's SMTP
+  /// interceptors (the §3.4 arbitrary-traffic extension). nullopt when no
+  /// SMTP server is reachable at the destination.
+  std::optional<smtp::Transcript> run_smtp(net::Ipv4Address destination,
+                                           const smtp::ClientScript& script);
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  middlebox::FetchContext make_context(net::Ipv4Address destination);
+
+  Config config_;
+  Environment environment_;
+  util::Rng rng_;
+  bool online_ = true;
+};
+
+}  // namespace tft::proxy

@@ -1,0 +1,178 @@
+// The Luminati-like proxy overlay (§2.3): a super proxy that forwards
+// client requests through Hola exit nodes. Models the client-visible
+// contract the paper's methodology depends on:
+//   - country targeting           (-country-XX)
+//   - session pinning with 60s TTL (-session-XXX)
+//   - DNS at super proxy (Google) or at the exit node (-dns-remote)
+//   - automatic retry through up to 5 exit nodes, with the zID trail
+//     reported in the X-Hola-Timeline-Debug response header
+//   - CONNECT tunnels restricted to port 443
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tft/proxy/exit_node.hpp"
+
+namespace tft::proxy {
+
+struct RequestOptions {
+  std::optional<net::CountryCode> country;  // -country-XX
+  std::optional<std::string> session;       // -session-XXX
+  bool dns_remote = false;                  // -dns-remote
+};
+
+enum class ProxyStatus {
+  kOk,
+  kSuperProxyDnsFailure,   // the pre-check at the super proxy failed
+  kExitNodeDnsNxdomain,    // exit node's resolver returned a clean NXDOMAIN
+  kExitNodeDnsFailure,     // exit node could not resolve (SERVFAIL etc.)
+  kNoExitNodeAvailable,
+  kAllAttemptsFailed,
+  kTunnelFailed,
+  kPortNotAllowed,
+};
+
+std::string_view to_string(ProxyStatus status) noexcept;
+
+/// One entry of the retry trail (the debug header's content).
+struct AttemptInfo {
+  std::string zid;
+  std::string error;  // empty on the successful attempt
+};
+
+/// Parsed X-Hola-Timeline-Debug header — what a real Luminati client reads
+/// to learn which exit node served a request and which ones were retried.
+struct TimelineDebug {
+  std::string zid;                     // the serving node
+  std::vector<AttemptInfo> attempts;   // full trail, in order
+};
+
+/// Parse the "zid=<zid> tried=<zid>:<err>,..." header value the super proxy
+/// attaches to responses. Errors out on malformed input.
+util::Result<TimelineDebug> parse_timeline_debug(std::string_view header);
+
+struct ProxyFetchResult {
+  ProxyStatus status = ProxyStatus::kOk;
+  http::Response response;            // meaningful when status == kOk
+  std::string zid;                    // node that served (or last tried)
+  net::Ipv4Address exit_address;      // its IP address
+  net::Asn exit_asn = 0;
+  net::CountryCode exit_country;
+  std::vector<AttemptInfo> timeline;  // all attempts, in order
+
+  bool ok() const noexcept { return status == ProxyStatus::kOk; }
+};
+
+struct ConnectResult {
+  ProxyStatus status = ProxyStatus::kOk;
+  tls::CertificateChain chain;        // as observed through the tunnel
+  std::string zid;
+  net::Ipv4Address exit_address;
+  net::CountryCode exit_country;
+
+  bool ok() const noexcept { return status == ProxyStatus::kOk; }
+};
+
+/// Result of an SMTP transaction tunneled through an exit node (only
+/// available on overlays that allow arbitrary ports, unlike Luminati).
+struct SmtpResult {
+  ProxyStatus status = ProxyStatus::kOk;
+  smtp::Transcript transcript;
+  std::string zid;
+  net::Ipv4Address exit_address;
+  net::Asn exit_asn = 0;
+  net::CountryCode exit_country;
+
+  bool ok() const noexcept { return status == ProxyStatus::kOk; }
+};
+
+class SuperProxy {
+ public:
+  struct Config {
+    /// Resolver the super proxy itself uses (Google Public DNS).
+    net::Ipv4Address dns_resolver{8, 8, 8, 8};
+    /// The super proxy's own address (selects its anycast DNS instance).
+    net::Ipv4Address address{192, 0, 2, 1};
+    int max_attempts = 5;
+    sim::Duration session_ttl = sim::Duration::seconds(60);
+    /// Luminati restricts CONNECT to port 443. VPN services that tunnel
+    /// arbitrary traffic (the §3.4 generality discussion) set this true,
+    /// enabling the SMTP methodology.
+    bool allow_arbitrary_ports = false;
+    /// Ethics guardrail (§3.4): the study never downloads more than this
+    /// many body bytes through any single exit node (identified by zID).
+    /// 0 disables enforcement. The paper's self-imposed cap was 1 MB.
+    std::size_t per_node_byte_budget = 1024 * 1024;
+  };
+
+  SuperProxy(Config config, Environment environment);
+
+  /// The super proxy's own address and resolver (needed by the §4.1
+  /// methodology to predict which anycast DNS instance its pre-check uses).
+  net::Ipv4Address address() const noexcept { return config_.address; }
+  net::Ipv4Address dns_resolver() const noexcept { return config_.dns_resolver; }
+
+  void add_exit_node(std::shared_ptr<ExitNodeAgent> node);
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t node_count(const net::CountryCode& country) const;
+  const std::vector<std::shared_ptr<ExitNodeAgent>>& nodes() const noexcept {
+    return nodes_;
+  }
+  /// Countries with at least one node, with node counts (what Luminati
+  /// "reports per country" for the crawler's weighting).
+  std::vector<std::pair<net::CountryCode, std::size_t>> country_counts() const;
+
+  /// Proxy an HTTP GET for `url` (the client's absolute-form request).
+  ProxyFetchResult fetch(const http::Url& url, const RequestOptions& options);
+
+  /// CONNECT destination:port and run a TLS handshake with `sni`.
+  /// Only port 443 is allowed, as in the real service.
+  ConnectResult connect_and_handshake(net::Ipv4Address destination,
+                                      std::uint16_t port, std::string_view sni,
+                                      const RequestOptions& options);
+
+  /// Tunnel an SMTP transaction to destination:25 via an exit node.
+  /// Rejected with kPortNotAllowed unless the overlay permits arbitrary
+  /// ports (the SMTP extension).
+  SmtpResult smtp_transaction(net::Ipv4Address destination,
+                              const smtp::ClientScript& script,
+                              const RequestOptions& options);
+
+  /// Ethics accounting: body bytes downloaded through `zid` so far, and the
+  /// heaviest-loaded node overall (the §3.4 compliance check).
+  std::size_t bytes_served(const std::string& zid) const;
+  std::size_t max_bytes_served() const;
+  /// Nodes excluded from further measurement because they reached the
+  /// per-node byte budget.
+  std::size_t budget_exhausted_nodes() const;
+
+ private:
+  ExitNodeAgent* session_node(const RequestOptions& options);
+  ExitNodeAgent* pick_node(const RequestOptions& options,
+                           const std::vector<const ExitNodeAgent*>& exclude);
+  void pin_session(const RequestOptions& options, ExitNodeAgent* node);
+  void annotate(http::Response& response, const ProxyFetchResult& result) const;
+
+  struct SessionEntry {
+    std::size_t node_index = 0;
+    sim::Instant expires;
+  };
+
+  bool over_budget(const ExitNodeAgent& node) const;
+  void account_bytes(const std::string& zid, std::size_t bytes);
+
+  Config config_;
+  Environment environment_;
+  util::Rng rng_;
+  std::vector<std::shared_ptr<ExitNodeAgent>> nodes_;
+  std::unordered_map<std::string, std::vector<std::size_t>> by_country_;
+  std::unordered_map<std::string, SessionEntry> sessions_;
+  std::unordered_map<std::string, std::size_t> bytes_by_zid_;
+};
+
+}  // namespace tft::proxy

@@ -1,0 +1,357 @@
+#include "tft/proxy/luminati.hpp"
+
+#include <algorithm>
+
+#include "tft/util/hash.hpp"
+
+#include "tft/util/strings.hpp"
+
+namespace tft::proxy {
+
+std::string_view to_string(ProxyStatus status) noexcept {
+  switch (status) {
+    case ProxyStatus::kOk:
+      return "ok";
+    case ProxyStatus::kSuperProxyDnsFailure:
+      return "super_proxy_dns_failure";
+    case ProxyStatus::kExitNodeDnsNxdomain:
+      return "exit_node_dns_nxdomain";
+    case ProxyStatus::kExitNodeDnsFailure:
+      return "exit_node_dns_failure";
+    case ProxyStatus::kNoExitNodeAvailable:
+      return "no_exit_node_available";
+    case ProxyStatus::kAllAttemptsFailed:
+      return "all_attempts_failed";
+    case ProxyStatus::kTunnelFailed:
+      return "tunnel_failed";
+    case ProxyStatus::kPortNotAllowed:
+      return "port_not_allowed";
+  }
+  return "unknown";
+}
+
+util::Result<TimelineDebug> parse_timeline_debug(std::string_view header) {
+  using util::ErrorCode;
+  using util::make_error;
+
+  TimelineDebug out;
+  header = util::trim(header);
+  if (!header.starts_with("zid=")) {
+    return make_error(ErrorCode::kParseError, "timeline header missing zid=");
+  }
+  header.remove_prefix(4);
+  const auto space = header.find(' ');
+  out.zid = std::string(header.substr(0, space));
+  if (out.zid.empty()) {
+    return make_error(ErrorCode::kParseError, "empty zid in timeline header");
+  }
+  if (space == std::string_view::npos) return out;
+
+  std::string_view rest = util::trim(header.substr(space + 1));
+  if (rest.empty()) return out;
+  if (!rest.starts_with("tried=")) {
+    return make_error(ErrorCode::kParseError, "unexpected token in timeline header");
+  }
+  rest.remove_prefix(6);
+  for (const auto piece : util::split(rest, ',')) {
+    const auto colon = piece.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return make_error(ErrorCode::kParseError,
+                        "malformed attempt entry: " + std::string(piece));
+    }
+    AttemptInfo attempt;
+    attempt.zid = std::string(piece.substr(0, colon));
+    const std::string_view status = piece.substr(colon + 1);
+    attempt.error = status == "ok" ? std::string{} : std::string(status);
+    out.attempts.push_back(std::move(attempt));
+  }
+  return out;
+}
+
+SuperProxy::SuperProxy(Config config, Environment environment)
+    : config_(config),
+      environment_(environment),
+      rng_(util::fnv1a64("super-proxy") ^ config.address.value()) {}
+
+void SuperProxy::add_exit_node(std::shared_ptr<ExitNodeAgent> node) {
+  by_country_[node->country()].push_back(nodes_.size());
+  nodes_.push_back(std::move(node));
+}
+
+std::size_t SuperProxy::node_count(const net::CountryCode& country) const {
+  const auto it = by_country_.find(country);
+  return it == by_country_.end() ? 0 : it->second.size();
+}
+
+std::vector<std::pair<net::CountryCode, std::size_t>> SuperProxy::country_counts()
+    const {
+  std::vector<std::pair<net::CountryCode, std::size_t>> out;
+  out.reserve(by_country_.size());
+  for (const auto& [country, indices] : by_country_) {
+    out.emplace_back(country, indices.size());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ExitNodeAgent* SuperProxy::session_node(const RequestOptions& options) {
+  if (!options.session) return nullptr;
+  const auto it = sessions_.find(*options.session);
+  if (it == sessions_.end()) return nullptr;
+  if (it->second.expires < environment_.clock->now()) {
+    sessions_.erase(it);
+    return nullptr;
+  }
+  ExitNodeAgent* node = nodes_[it->second.node_index].get();
+  if (!node->online()) return nullptr;
+  if (over_budget(*node)) return nullptr;  // §3.4: stop using the node
+  return node;
+}
+
+bool SuperProxy::over_budget(const ExitNodeAgent& node) const {
+  if (config_.per_node_byte_budget == 0) return false;
+  const auto it = bytes_by_zid_.find(node.zid());
+  return it != bytes_by_zid_.end() && it->second >= config_.per_node_byte_budget;
+}
+
+void SuperProxy::account_bytes(const std::string& zid, std::size_t bytes) {
+  bytes_by_zid_[zid] += bytes;
+}
+
+std::size_t SuperProxy::bytes_served(const std::string& zid) const {
+  const auto it = bytes_by_zid_.find(zid);
+  return it == bytes_by_zid_.end() ? 0 : it->second;
+}
+
+std::size_t SuperProxy::max_bytes_served() const {
+  std::size_t max_bytes = 0;
+  for (const auto& [zid, bytes] : bytes_by_zid_) {
+    max_bytes = std::max(max_bytes, bytes);
+  }
+  return max_bytes;
+}
+
+std::size_t SuperProxy::budget_exhausted_nodes() const {
+  if (config_.per_node_byte_budget == 0) return 0;
+  std::size_t count = 0;
+  for (const auto& [zid, bytes] : bytes_by_zid_) {
+    if (bytes >= config_.per_node_byte_budget) ++count;
+  }
+  return count;
+}
+
+ExitNodeAgent* SuperProxy::pick_node(const RequestOptions& options,
+                                     const std::vector<const ExitNodeAgent*>& exclude) {
+  const std::vector<std::size_t>* candidates = nullptr;
+  if (options.country) {
+    const auto it = by_country_.find(*options.country);
+    if (it == by_country_.end() || it->second.empty()) return nullptr;
+    candidates = &it->second;
+  }
+
+  const std::size_t population = candidates ? candidates->size() : nodes_.size();
+  if (population == 0) return nullptr;
+
+  // Random selection with bounded rejection of offline/excluded nodes.
+  for (int tries = 0; tries < 64; ++tries) {
+    const std::size_t slot = rng_.index(population);
+    const std::size_t index = candidates ? (*candidates)[slot] : slot;
+    ExitNodeAgent* node = nodes_[index].get();
+    if (!node->online()) continue;
+    if (over_budget(*node)) continue;  // §3.4: spare heavily-used nodes
+    if (std::find(exclude.begin(), exclude.end(), node) != exclude.end()) continue;
+    return node;
+  }
+  return nullptr;
+}
+
+void SuperProxy::pin_session(const RequestOptions& options, ExitNodeAgent* node) {
+  if (!options.session) return;
+  const auto it = std::find_if(nodes_.begin(), nodes_.end(),
+                               [node](const auto& entry) { return entry.get() == node; });
+  if (it == nodes_.end()) return;
+  sessions_[*options.session] =
+      SessionEntry{static_cast<std::size_t>(it - nodes_.begin()),
+                   environment_.clock->now() + config_.session_ttl};
+}
+
+void SuperProxy::annotate(http::Response& response, const ProxyFetchResult& result) const {
+  std::string timeline = "zid=" + result.zid;
+  if (result.timeline.size() > 1 || !result.timeline.empty()) {
+    timeline += " tried=";
+    for (std::size_t i = 0; i < result.timeline.size(); ++i) {
+      if (i > 0) timeline += ',';
+      timeline += result.timeline[i].zid;
+      timeline += ':';
+      timeline += result.timeline[i].error.empty() ? "ok" : result.timeline[i].error;
+    }
+  }
+  response.headers.set("X-Hola-Timeline-Debug", timeline);
+  response.headers.set("X-Hola-Unblocker-Debug",
+                       "ip=" + result.exit_address.to_string() +
+                           " country=" + result.exit_country);
+}
+
+ProxyFetchResult SuperProxy::fetch(const http::Url& url, const RequestOptions& options) {
+  ProxyFetchResult result;
+
+  // 1. Super proxy pre-check: resolve the host via its own (Google) DNS.
+  const auto name = dns::DnsName::parse(url.host);
+  if (!name) {
+    result.status = ProxyStatus::kSuperProxyDnsFailure;
+    return result;
+  }
+  const auto query = dns::Message::query(
+      static_cast<std::uint16_t>(rng_.next_u64() & 0xFFFF), *name);
+  const dns::Message answer = environment_.resolvers->resolve_via(
+      config_.dns_resolver, config_.address, query);
+  const auto resolved = answer.first_a();
+  if (answer.is_nxdomain() || !resolved) {
+    result.status = ProxyStatus::kSuperProxyDnsFailure;
+    return result;
+  }
+
+  // 2. Attempt via exit nodes, retrying on connection failures.
+  std::vector<const ExitNodeAgent*> tried;
+  for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    ExitNodeAgent* node = nullptr;
+    if (attempt == 0) node = session_node(options);
+    if (node == nullptr) node = pick_node(options, tried);
+    if (node == nullptr) {
+      result.status = tried.empty() ? ProxyStatus::kNoExitNodeAvailable
+                                    : ProxyStatus::kAllAttemptsFailed;
+      return result;
+    }
+    tried.push_back(node);
+
+    result.zid = node->zid();
+    result.exit_address = node->address();
+    result.exit_asn = node->asn();
+    result.exit_country = node->country();
+
+    if (node->attempt_fails()) {
+      result.timeline.push_back(AttemptInfo{node->zid(), "connect_timeout"});
+      continue;
+    }
+
+    ExitNodeAgent::FetchOutcome outcome =
+        options.dns_remote ? node->fetch_http(url)
+                           : node->fetch_http(url, *resolved);
+
+    if (outcome.dns_nxdomain) {
+      // Reported in the Luminati log; not retried (the name "doesn't exist").
+      result.timeline.push_back(AttemptInfo{node->zid(), "dns_nxdomain"});
+      result.status = ProxyStatus::kExitNodeDnsNxdomain;
+      pin_session(options, node);
+      return result;
+    }
+    if (outcome.dns_failed) {
+      result.timeline.push_back(AttemptInfo{node->zid(), "dns_failure"});
+      result.status = ProxyStatus::kExitNodeDnsFailure;
+      continue;  // retried with a fresh node
+    }
+
+    result.timeline.push_back(AttemptInfo{node->zid(), ""});
+    result.status = ProxyStatus::kOk;
+    result.response = std::move(outcome.response);
+    account_bytes(node->zid(), result.response.body.size());
+    annotate(result.response, result);
+    pin_session(options, node);
+    return result;
+  }
+
+  if (result.status == ProxyStatus::kOk) {
+    result.status = ProxyStatus::kAllAttemptsFailed;
+  }
+  return result;
+}
+
+SmtpResult SuperProxy::smtp_transaction(net::Ipv4Address destination,
+                                        const smtp::ClientScript& script,
+                                        const RequestOptions& options) {
+  SmtpResult result;
+  if (!config_.allow_arbitrary_ports) {
+    result.status = ProxyStatus::kPortNotAllowed;
+    return result;
+  }
+
+  std::vector<const ExitNodeAgent*> tried;
+  for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    ExitNodeAgent* node = nullptr;
+    if (attempt == 0) node = session_node(options);
+    if (node == nullptr) node = pick_node(options, tried);
+    if (node == nullptr) {
+      result.status = tried.empty() ? ProxyStatus::kNoExitNodeAvailable
+                                    : ProxyStatus::kAllAttemptsFailed;
+      return result;
+    }
+    tried.push_back(node);
+
+    result.zid = node->zid();
+    result.exit_address = node->address();
+    result.exit_asn = node->asn();
+    result.exit_country = node->country();
+
+    if (node->attempt_fails()) continue;
+
+    auto transcript = node->run_smtp(destination, script);
+    if (!transcript) {
+      result.status = ProxyStatus::kTunnelFailed;
+      continue;
+    }
+    result.status = ProxyStatus::kOk;
+    result.transcript = *std::move(transcript);
+    pin_session(options, node);
+    return result;
+  }
+  if (result.status == ProxyStatus::kOk) {
+    result.status = ProxyStatus::kAllAttemptsFailed;
+  }
+  return result;
+}
+
+ConnectResult SuperProxy::connect_and_handshake(net::Ipv4Address destination,
+                                                std::uint16_t port,
+                                                std::string_view sni,
+                                                const RequestOptions& options) {
+  ConnectResult result;
+  if (port != 443) {
+    result.status = ProxyStatus::kPortNotAllowed;
+    return result;
+  }
+
+  std::vector<const ExitNodeAgent*> tried;
+  for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    ExitNodeAgent* node = nullptr;
+    if (attempt == 0) node = session_node(options);
+    if (node == nullptr) node = pick_node(options, tried);
+    if (node == nullptr) {
+      result.status = tried.empty() ? ProxyStatus::kNoExitNodeAvailable
+                                    : ProxyStatus::kAllAttemptsFailed;
+      return result;
+    }
+    tried.push_back(node);
+
+    result.zid = node->zid();
+    result.exit_address = node->address();
+    result.exit_country = node->country();
+
+    if (node->attempt_fails()) continue;
+
+    auto chain = node->fetch_certificate_chain(destination, sni);
+    if (!chain) {
+      result.status = ProxyStatus::kTunnelFailed;
+      continue;
+    }
+    result.status = ProxyStatus::kOk;
+    result.chain = *std::move(chain);
+    pin_session(options, node);
+    return result;
+  }
+  if (result.status == ProxyStatus::kOk) {
+    result.status = ProxyStatus::kAllAttemptsFailed;
+  }
+  return result;
+}
+
+}  // namespace tft::proxy

@@ -1,0 +1,44 @@
+#include "tft/sim/event_queue.hpp"
+
+#include <utility>
+
+namespace tft::sim {
+
+void EventQueue::schedule_at(Instant when, Handler handler) {
+  if (when < now_) when = now_;
+  queue_.push(Entry{when, next_sequence_++, std::move(handler)});
+}
+
+void EventQueue::schedule_after(Duration delay, Handler handler) {
+  schedule_at(now_ + delay, std::move(handler));
+}
+
+std::size_t EventQueue::run_until(Instant deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+    // so copy the handler handle instead (std::function copy is cheap enough
+    // relative to simulated work).
+    Entry entry = queue_.top();
+    queue_.pop();
+    now_ = entry.when;
+    entry.handler();
+    ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+std::size_t EventQueue::run_all() {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    now_ = entry.when;
+    entry.handler();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace tft::sim

@@ -1,0 +1,61 @@
+// Discrete-event simulation core: a clock plus a priority queue of
+// timestamped callbacks. Events scheduled at equal instants run in
+// scheduling order (stable), which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "tft/sim/time.hpp"
+
+namespace tft::sim {
+
+/// The event queue owns the simulated clock; `run_until`/`run_all` advance
+/// it as events fire. Handlers may schedule further events.
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  Instant now() const noexcept { return now_; }
+
+  /// Schedule `handler` to run at absolute time `when`. Scheduling in the
+  /// past is clamped to `now` (the event fires on the next run).
+  void schedule_at(Instant when, Handler handler);
+
+  /// Schedule `handler` to run `delay` after the current time.
+  void schedule_after(Duration delay, Handler handler);
+
+  /// Number of events not yet executed.
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Run all events with time <= deadline; clock ends at `deadline`.
+  /// Returns the number of events executed.
+  std::size_t run_until(Instant deadline);
+
+  /// Run until the queue drains. Returns the number of events executed.
+  std::size_t run_all();
+
+  /// Advance the clock without requiring events (convenience for tests).
+  void advance(Duration delta) { run_until(now_ + delta); }
+
+ private:
+  struct Entry {
+    Instant when;
+    std::uint64_t sequence;  // tie-break: preserve scheduling order
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  Instant now_ = Instant::epoch();
+  std::uint64_t next_sequence_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace tft::sim

@@ -1,0 +1,50 @@
+// Simulated time. The whole library runs on a discrete-event clock so that
+// delay-sensitive behaviour (session expiry, monitoring re-fetch delays,
+// certificate validity) is reproducible and fast.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace tft::sim {
+
+/// A duration in simulated microseconds.
+struct Duration {
+  std::int64_t micros = 0;
+
+  static constexpr Duration microseconds(std::int64_t n) { return Duration{n}; }
+  static constexpr Duration milliseconds(std::int64_t n) { return Duration{n * 1000}; }
+  static constexpr Duration seconds(double n) {
+    return Duration{static_cast<std::int64_t>(n * 1'000'000.0)};
+  }
+  static constexpr Duration minutes(double n) { return seconds(n * 60.0); }
+  static constexpr Duration hours(double n) { return seconds(n * 3600.0); }
+
+  constexpr double to_seconds() const { return static_cast<double>(micros) / 1'000'000.0; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+  constexpr Duration operator+(Duration other) const { return Duration{micros + other.micros}; }
+  constexpr Duration operator-(Duration other) const { return Duration{micros - other.micros}; }
+  constexpr Duration operator*(double k) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(micros) * k)};
+  }
+};
+
+/// An instant on the simulated timeline (microseconds since sim epoch).
+struct Instant {
+  std::int64_t micros = 0;
+
+  static constexpr Instant epoch() { return Instant{0}; }
+
+  constexpr auto operator<=>(const Instant&) const = default;
+  constexpr Instant operator+(Duration d) const { return Instant{micros + d.micros}; }
+  constexpr Instant operator-(Duration d) const { return Instant{micros - d.micros}; }
+  constexpr Duration operator-(Instant other) const { return Duration{micros - other.micros}; }
+};
+
+/// "12.345s" style rendering for logs and reports.
+std::string to_string(Duration d);
+std::string to_string(Instant t);
+
+}  // namespace tft::sim

@@ -1,0 +1,20 @@
+#include "tft/sim/time.hpp"
+
+#include <cstdio>
+
+namespace tft::sim {
+
+std::string to_string(Duration d) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3fs", d.to_seconds());
+  return buf;
+}
+
+std::string to_string(Instant t) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "t=%.3fs",
+                static_cast<double>(t.micros) / 1'000'000.0);
+  return buf;
+}
+
+}  // namespace tft::sim

@@ -1,0 +1,100 @@
+// SMTP-layer interception: the violations middleboxes are known to inflict
+// on port-25 traffic — STARTTLS stripping (the "fixup"/Cisco PIX class of
+// boxes, observed in the wild replacing the capability with XXXXXXXX),
+// outright port blocking, banner rewriting, and body tampering.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tft/smtp/protocol.hpp"
+
+namespace tft::smtp {
+
+class SmtpInterceptor {
+ public:
+  virtual ~SmtpInterceptor() = default;
+  virtual std::string_view name() const = 0;
+
+  /// Refuse the connection entirely (residential ISPs blocking port 25).
+  virtual bool blocks_connection() const { return false; }
+
+  /// Rewrite a client command on its way to the server (nullopt = as-is).
+  virtual std::optional<Command> on_command(const Command& command) {
+    (void)command;
+    return std::nullopt;
+  }
+
+  /// Rewrite a server reply on its way to the client (nullopt = as-is).
+  virtual std::optional<Reply> on_reply(const Command& command, const Reply& reply) {
+    (void)command;
+    (void)reply;
+    return std::nullopt;
+  }
+
+  /// Rewrite a complete DATA body before it reaches the server
+  /// (nullopt = as-is).
+  virtual std::optional<std::string> on_message_body(const std::string& body) {
+    (void)body;
+    return std::nullopt;
+  }
+};
+
+using SmtpInterceptorList = std::vector<std::shared_ptr<SmtpInterceptor>>;
+
+/// Replaces the STARTTLS capability in EHLO replies with junk and fails the
+/// STARTTLS command itself — downgrading the session to cleartext.
+class StarttlsStripper : public SmtpInterceptor {
+ public:
+  explicit StarttlsStripper(std::string name) : name_(std::move(name)) {}
+  std::string_view name() const override { return name_; }
+  std::optional<Reply> on_reply(const Command& command, const Reply& reply) override;
+
+ private:
+  std::string name_;
+};
+
+/// Refuses all SMTP connections (port-25 blocking).
+class PortBlocker : public SmtpInterceptor {
+ public:
+  explicit PortBlocker(std::string name) : name_(std::move(name)) {}
+  std::string_view name() const override { return name_; }
+  bool blocks_connection() const override { return true; }
+
+ private:
+  std::string name_;
+};
+
+/// Rewrites the server banner, hiding the real software (a common
+/// "security through obscurity" middlebox behaviour).
+class BannerRewriter : public SmtpInterceptor {
+ public:
+  BannerRewriter(std::string name, std::string replacement)
+      : name_(std::move(name)), replacement_(std::move(replacement)) {}
+  std::string_view name() const override { return name_; }
+  std::optional<Reply> on_reply(const Command& command, const Reply& reply) override;
+
+ private:
+  std::string name_;
+  std::string replacement_;
+};
+
+/// Appends a footer line to every message body (outbound "scanned by"
+/// tampering).
+class BodyTagger : public SmtpInterceptor {
+ public:
+  BodyTagger(std::string name, std::string footer)
+      : name_(std::move(name)), footer_(std::move(footer)) {}
+  std::string_view name() const override { return name_; }
+  std::optional<std::string> on_message_body(const std::string& body) override;
+
+  const std::string& footer() const noexcept { return footer_; }
+
+ private:
+  std::string name_;
+  std::string footer_;
+};
+
+}  // namespace tft::smtp

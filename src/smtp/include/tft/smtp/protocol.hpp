@@ -1,0 +1,48 @@
+// SMTP protocol primitives (RFC 5321 subset): command lines and
+// (possibly multiline) replies. This substrate backs the paper's §3.4
+// future-work extension: measuring end-to-end violations in SMTP through
+// VPN services that tunnel arbitrary traffic.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tft/util/result.hpp"
+
+namespace tft::smtp {
+
+/// A client command: verb (upper-cased canonical) plus the argument text.
+struct Command {
+  std::string verb;      // "EHLO", "MAIL", "RCPT", "DATA", "STARTTLS", "QUIT"
+  std::string argument;  // e.g. "FROM:<probe@tft-study.net>"
+
+  /// Parse a command line (without CRLF). Verb matching is case-insensitive.
+  static util::Result<Command> parse(std::string_view line);
+
+  std::string serialize() const;
+};
+
+/// A server reply: 3-digit code plus one or more text lines.
+/// Multiline form: "250-first\r\n250-mid\r\n250 last\r\n".
+struct Reply {
+  int code = 250;
+  std::vector<std::string> lines;
+
+  static Reply single(int code, std::string_view text);
+  static Reply multi(int code, std::vector<std::string> lines);
+
+  bool positive() const noexcept { return code >= 200 && code < 400; }
+
+  /// Wire form with CRLFs.
+  std::string serialize() const;
+
+  /// Parse a full (possibly multiline) reply.
+  static util::Result<Reply> parse(std::string_view wire);
+
+  /// True when any reply line equals `token` (case-insensitive) — used for
+  /// EHLO capability checks such as STARTTLS.
+  bool has_capability(std::string_view token) const;
+};
+
+}  // namespace tft::smtp

@@ -1,0 +1,93 @@
+// A stateful SMTP server (RFC 5321 subset) plus the registry routing
+// connections by destination address, mirroring the HTTP/TLS substrates.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tft/net/ipv4.hpp"
+#include "tft/sim/time.hpp"
+#include "tft/smtp/protocol.hpp"
+
+namespace tft::smtp {
+
+/// A message accepted by the server (its DATA payload and envelope).
+struct ReceivedMessage {
+  std::string mail_from;
+  std::vector<std::string> rcpt_to;
+  std::string body;
+  net::Ipv4Address client;
+  sim::Instant received_at;
+  bool over_tls = false;
+};
+
+class SmtpServer {
+ public:
+  struct Config {
+    std::string hostname = "mail.tft-study.net";
+    std::string software = "TFT-SMTPD 1.0";
+    bool supports_starttls = true;
+    bool supports_pipelining = true;
+  };
+
+  explicit SmtpServer(Config config) : config_(std::move(config)) {}
+
+  const Config& config() const noexcept { return config_; }
+
+  /// The 220 greeting sent on connect.
+  Reply banner() const;
+
+  /// One client connection's state machine.
+  class Session {
+   public:
+    Session(SmtpServer* server, net::Ipv4Address client, sim::Instant now)
+        : server_(server), client_(client), connected_at_(now) {}
+
+    /// Feed one client line; returns the server's reply. In DATA mode,
+    /// lines accumulate until the lone "." terminator.
+    Reply handle_line(std::string_view line);
+
+    bool in_data_mode() const noexcept { return in_data_; }
+    bool tls_active() const noexcept { return tls_active_; }
+
+   private:
+    Reply handle_command(const Command& command);
+
+    SmtpServer* server_;
+    net::Ipv4Address client_;
+    sim::Instant connected_at_;
+    bool greeted_ = false;
+    bool in_data_ = false;
+    bool tls_active_ = false;
+    std::string mail_from_;
+    std::vector<std::string> rcpt_to_;
+    std::string data_;
+  };
+
+  Session open(net::Ipv4Address client, sim::Instant now) {
+    return Session(this, client, now);
+  }
+
+  const std::vector<ReceivedMessage>& received() const noexcept { return received_; }
+  void clear_received() { received_.clear(); }
+
+ private:
+  friend class Session;
+
+  Config config_;
+  std::vector<ReceivedMessage> received_;
+};
+
+class SmtpServerRegistry {
+ public:
+  void add(net::Ipv4Address address, std::shared_ptr<SmtpServer> server);
+  SmtpServer* find(net::Ipv4Address address) const;
+
+ private:
+  std::unordered_map<std::uint32_t, std::shared_ptr<SmtpServer>> servers_;
+};
+
+}  // namespace tft::smtp

@@ -1,0 +1,37 @@
+// Client-side SMTP session runner: performs the probe transaction against a
+// server through an interceptor chain and records everything the client
+// observed — the transcript the measurement compares against ground truth.
+#pragma once
+
+#include "tft/smtp/interceptor.hpp"
+#include "tft/smtp/server.hpp"
+
+namespace tft::smtp {
+
+/// What the probing client wants to send.
+struct ClientScript {
+  std::string ehlo_identity = "probe.tft-study.net";
+  std::string mail_from = "<probe@tft-study.net>";
+  std::string rcpt_to = "<inbox@mail.tft-study.net>";
+  std::string body = "Subject: tft-probe\n\nreference body\n";
+  bool attempt_starttls = true;
+};
+
+/// Everything the client observed during the session.
+struct Transcript {
+  bool connected = false;          // false = connection blocked/refused
+  std::string banner;              // the 220 text as received
+  Reply ehlo_reply;                // capabilities as received
+  bool starttls_offered = false;   // STARTTLS present in EHLO reply
+  bool starttls_accepted = false;  // server accepted the upgrade
+  bool message_accepted = false;   // 250 after DATA terminator
+  std::vector<std::string> errors;
+};
+
+/// Run the scripted transaction from `client` against the server at the
+/// other end of the (intercepted) connection.
+Transcript run_session(SmtpServer& server, const SmtpInterceptorList& interceptors,
+                       const ClientScript& script, net::Ipv4Address client,
+                       sim::Instant now);
+
+}  // namespace tft::smtp

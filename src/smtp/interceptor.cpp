@@ -1,0 +1,40 @@
+#include "tft/smtp/interceptor.hpp"
+
+#include "tft/util/strings.hpp"
+
+namespace tft::smtp {
+
+std::optional<Reply> StarttlsStripper::on_reply(const Command& command,
+                                                const Reply& reply) {
+  if (command.verb == "EHLO") {
+    bool changed = false;
+    Reply stripped = reply;
+    for (auto& line : stripped.lines) {
+      if (util::iequals(util::trim(line), "STARTTLS")) {
+        // The classic in-the-wild artifact: the capability is blanked out,
+        // not removed, so line counts (and pipelining offsets) stay intact.
+        line = "XXXXXXXX";
+        changed = true;
+      }
+    }
+    if (changed) return stripped;
+    return std::nullopt;
+  }
+  if (command.verb == "STARTTLS" && reply.positive()) {
+    return Reply::single(502, "Command not implemented");
+  }
+  return std::nullopt;
+}
+
+std::optional<Reply> BannerRewriter::on_reply(const Command& command,
+                                              const Reply& reply) {
+  // The banner is delivered for the pseudo-command "" at connect time.
+  if (!command.verb.empty() || reply.code != 220) return std::nullopt;
+  return Reply::single(220, replacement_);
+}
+
+std::optional<std::string> BodyTagger::on_message_body(const std::string& body) {
+  return body + footer_ + "\n";
+}
+
+}  // namespace tft::smtp

@@ -1,0 +1,105 @@
+#include "tft/smtp/protocol.hpp"
+
+#include <charconv>
+
+#include "tft/util/strings.hpp"
+
+namespace tft::smtp {
+
+using util::ErrorCode;
+using util::make_error;
+using util::Result;
+
+Result<Command> Command::parse(std::string_view line) {
+  line = util::trim(line);
+  if (line.empty()) {
+    return make_error(ErrorCode::kParseError, "empty SMTP command");
+  }
+  const auto space = line.find(' ');
+  std::string_view verb = space == std::string_view::npos ? line : line.substr(0, space);
+  std::string_view argument =
+      space == std::string_view::npos ? std::string_view{} : line.substr(space + 1);
+
+  std::string upper;
+  upper.reserve(verb.size());
+  for (const char c : verb) {
+    if (c < 'A' || (c > 'Z' && c < 'a') || c > 'z') {
+      return make_error(ErrorCode::kParseError, "non-alphabetic SMTP verb");
+    }
+    upper.push_back(static_cast<char>(c >= 'a' ? c - ('a' - 'A') : c));
+  }
+  return Command{std::move(upper), std::string(util::trim(argument))};
+}
+
+std::string Command::serialize() const {
+  if (argument.empty()) return verb + "\r\n";
+  return verb + ' ' + argument + "\r\n";
+}
+
+Reply Reply::single(int code, std::string_view text) {
+  return Reply{code, {std::string(text)}};
+}
+
+Reply Reply::multi(int code, std::vector<std::string> lines) {
+  if (lines.empty()) lines.push_back("");
+  return Reply{code, std::move(lines)};
+}
+
+std::string Reply::serialize() const {
+  std::string out;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    out += std::to_string(code);
+    out += (i + 1 == lines.size()) ? ' ' : '-';
+    out += lines[i];
+    out += "\r\n";
+  }
+  if (lines.empty()) {
+    out = std::to_string(code) + " \r\n";
+  }
+  return out;
+}
+
+Result<Reply> Reply::parse(std::string_view wire) {
+  Reply reply;
+  bool saw_final = false;
+  for (const auto raw_line : util::split(wire, '\n')) {
+    std::string_view line = raw_line;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+    if (saw_final) {
+      return make_error(ErrorCode::kParseError, "text after final SMTP reply line");
+    }
+    if (line.size() < 4) {
+      return make_error(ErrorCode::kParseError, "short SMTP reply line");
+    }
+    int code = 0;
+    const auto [ptr, ec] = std::from_chars(line.data(), line.data() + 3, code);
+    if (ec != std::errc{} || ptr != line.data() + 3 || code < 100 || code > 599) {
+      return make_error(ErrorCode::kParseError, "bad SMTP reply code");
+    }
+    const char separator = line[3];
+    if (separator != ' ' && separator != '-') {
+      return make_error(ErrorCode::kParseError, "bad SMTP reply separator");
+    }
+    if (reply.lines.empty()) {
+      reply.code = code;
+    } else if (code != reply.code) {
+      return make_error(ErrorCode::kParseError, "inconsistent SMTP reply codes");
+    }
+    reply.lines.emplace_back(line.substr(4));
+    saw_final = separator == ' ';
+  }
+  if (reply.lines.empty() || !saw_final) {
+    return make_error(ErrorCode::kParseError, "unterminated SMTP reply");
+  }
+  return reply;
+}
+
+bool Reply::has_capability(std::string_view token) const {
+  for (const auto& line : lines) {
+    if (util::iequals(util::trim(line), token)) return true;
+  }
+  return false;
+}
+
+}  // namespace tft::smtp

@@ -1,0 +1,115 @@
+#include "tft/smtp/server.hpp"
+
+#include "tft/util/strings.hpp"
+
+namespace tft::smtp {
+
+Reply SmtpServer::banner() const {
+  return Reply::single(220, config_.hostname + " ESMTP " + config_.software);
+}
+
+Reply SmtpServer::Session::handle_line(std::string_view line) {
+  if (in_data_) {
+    if (util::trim(line) == ".") {
+      in_data_ = false;
+      server_->received_.push_back(ReceivedMessage{
+          mail_from_, rcpt_to_, data_, client_, connected_at_, tls_active_});
+      mail_from_.clear();
+      rcpt_to_.clear();
+      data_.clear();
+      return Reply::single(250, "OK: message accepted");
+    }
+    data_.append(line);
+    data_.append("\n");
+    // No reply while accumulating DATA; callers should not send the next
+    // command until the terminator. Model that with an empty 0-code reply.
+    return Reply{0, {}};
+  }
+
+  const auto command = Command::parse(line);
+  if (!command) {
+    return Reply::single(500, "Syntax error, command unrecognized");
+  }
+  return handle_command(*command);
+}
+
+Reply SmtpServer::Session::handle_command(const Command& command) {
+  if (command.verb == "HELO") {
+    greeted_ = true;
+    return Reply::single(250, server_->config_.hostname);
+  }
+  if (command.verb == "EHLO") {
+    greeted_ = true;
+    std::vector<std::string> lines = {server_->config_.hostname + " greets " +
+                                      command.argument};
+    if (server_->config_.supports_pipelining) lines.push_back("PIPELINING");
+    if (server_->config_.supports_starttls && !tls_active_) {
+      lines.push_back("STARTTLS");
+    }
+    lines.push_back("8BITMIME");
+    return Reply::multi(250, std::move(lines));
+  }
+  if (command.verb == "STARTTLS") {
+    if (!server_->config_.supports_starttls) {
+      return Reply::single(502, "Command not implemented");
+    }
+    if (tls_active_) {
+      return Reply::single(503, "TLS already active");
+    }
+    tls_active_ = true;
+    return Reply::single(220, "Ready to start TLS");
+  }
+  if (!greeted_) {
+    return Reply::single(503, "Bad sequence: say EHLO first");
+  }
+  if (command.verb == "MAIL") {
+    if (!util::to_lower(command.argument).starts_with("from:")) {
+      return Reply::single(501, "Syntax: MAIL FROM:<address>");
+    }
+    mail_from_ = std::string(util::trim(command.argument.substr(5)));
+    return Reply::single(250, "OK");
+  }
+  if (command.verb == "RCPT") {
+    if (mail_from_.empty()) {
+      return Reply::single(503, "Bad sequence: MAIL first");
+    }
+    if (!util::to_lower(command.argument).starts_with("to:")) {
+      return Reply::single(501, "Syntax: RCPT TO:<address>");
+    }
+    rcpt_to_.emplace_back(util::trim(command.argument.substr(3)));
+    return Reply::single(250, "OK");
+  }
+  if (command.verb == "DATA") {
+    if (rcpt_to_.empty()) {
+      return Reply::single(503, "Bad sequence: RCPT first");
+    }
+    in_data_ = true;
+    return Reply::single(354, "End data with <CR><LF>.<CR><LF>");
+  }
+  if (command.verb == "RSET") {
+    mail_from_.clear();
+    rcpt_to_.clear();
+    data_.clear();
+    in_data_ = false;
+    return Reply::single(250, "OK");
+  }
+  if (command.verb == "NOOP") {
+    return Reply::single(250, "OK");
+  }
+  if (command.verb == "QUIT") {
+    return Reply::single(221, server_->config_.hostname + " closing connection");
+  }
+  return Reply::single(502, "Command not implemented");
+}
+
+void SmtpServerRegistry::add(net::Ipv4Address address,
+                             std::shared_ptr<SmtpServer> server) {
+  servers_[address.value()] = std::move(server);
+}
+
+SmtpServer* SmtpServerRegistry::find(net::Ipv4Address address) const {
+  const auto it = servers_.find(address.value());
+  return it == servers_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace tft::smtp

@@ -1,0 +1,112 @@
+#include "tft/smtp/session.hpp"
+
+#include "tft/util/strings.hpp"
+
+namespace tft::smtp {
+
+namespace {
+
+/// Pass a reply through the interceptor chain (in order; first rewrite is
+/// fed to the next interceptor, modeling stacked middleboxes).
+Reply intercept_reply(const SmtpInterceptorList& interceptors, const Command& command,
+                      Reply reply) {
+  for (const auto& interceptor : interceptors) {
+    if (auto rewritten = interceptor->on_reply(command, reply)) {
+      reply = *std::move(rewritten);
+    }
+  }
+  return reply;
+}
+
+Command intercept_command(const SmtpInterceptorList& interceptors, Command command) {
+  for (const auto& interceptor : interceptors) {
+    if (auto rewritten = interceptor->on_command(command)) {
+      command = *std::move(rewritten);
+    }
+  }
+  return command;
+}
+
+}  // namespace
+
+Transcript run_session(SmtpServer& server, const SmtpInterceptorList& interceptors,
+                       const ClientScript& script, net::Ipv4Address client,
+                       sim::Instant now) {
+  Transcript transcript;
+
+  for (const auto& interceptor : interceptors) {
+    if (interceptor->blocks_connection()) {
+      transcript.errors.push_back("connection blocked by middlebox");
+      return transcript;
+    }
+  }
+  transcript.connected = true;
+
+  SmtpServer::Session session = server.open(client, now);
+
+  // Banner (modeled as the reply to the empty pseudo-command).
+  const Reply banner = intercept_reply(interceptors, Command{}, server.banner());
+  transcript.banner = banner.lines.empty() ? std::string{} : banner.lines.front();
+
+  const auto send = [&](Command command) -> Reply {
+    command = intercept_command(interceptors, command);
+    const std::string wire = command.serialize();
+    Reply reply = session.handle_line(util::trim(wire));  // strip CRLF
+    return intercept_reply(interceptors, command, reply);
+  };
+
+  // EHLO.
+  const Command ehlo{"EHLO", script.ehlo_identity};
+  transcript.ehlo_reply = send(ehlo);
+  if (!transcript.ehlo_reply.positive()) {
+    transcript.errors.push_back("EHLO rejected");
+    return transcript;
+  }
+  transcript.starttls_offered = transcript.ehlo_reply.has_capability("STARTTLS");
+
+  // STARTTLS, when the client wants it and the server (apparently) offers it.
+  if (script.attempt_starttls && transcript.starttls_offered) {
+    const Reply reply = send(Command{"STARTTLS", ""});
+    transcript.starttls_accepted = reply.positive();
+    if (!transcript.starttls_accepted) {
+      transcript.errors.push_back("STARTTLS refused: " + reply.serialize());
+    }
+  }
+
+  // Envelope + body.
+  if (!send(Command{"MAIL", "FROM:" + script.mail_from}).positive()) {
+    transcript.errors.push_back("MAIL FROM rejected");
+    return transcript;
+  }
+  if (!send(Command{"RCPT", "TO:" + script.rcpt_to}).positive()) {
+    transcript.errors.push_back("RCPT TO rejected");
+    return transcript;
+  }
+  const Reply data_go = send(Command{"DATA", ""});
+  if (data_go.code != 354) {
+    transcript.errors.push_back("DATA rejected");
+    return transcript;
+  }
+
+  std::string body = script.body;
+  for (const auto& interceptor : interceptors) {
+    if (auto rewritten = interceptor->on_message_body(body)) {
+      body = *std::move(rewritten);
+    }
+  }
+  auto lines = util::split(body, '\n');
+  // A trailing newline produces an empty final piece; don't send it as an
+  // extra blank line.
+  if (!lines.empty() && lines.back().empty()) lines.pop_back();
+  for (const auto line : lines) {
+    session.handle_line(line);
+  }
+  const Reply accepted =
+      intercept_reply(interceptors, Command{"DATA", ""}, session.handle_line("."));
+  transcript.message_accepted = accepted.positive();
+
+  send(Command{"QUIT", ""});
+  return transcript;
+}
+
+}  // namespace tft::smtp

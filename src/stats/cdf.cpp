@@ -1,0 +1,93 @@
+#include "tft/stats/cdf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace tft::stats {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : samples_(std::move(samples)), sorted_(false) {}
+
+void EmpiricalCdf::add(double sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+}
+
+void EmpiricalCdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::at(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto upper = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(upper - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::percentile(double p) const {
+  assert(!samples_.empty());
+  assert(p >= 0.0 && p <= 100.0);
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_.front();
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lower = static_cast<std::size_t>(std::floor(rank));
+  const auto upper = std::min(lower + 1, samples_.size() - 1);
+  const double weight = rank - static_cast<double>(lower);
+  return samples_[lower] * (1.0 - weight) + samples_[upper] * weight;
+}
+
+double EmpiricalCdf::min() const {
+  assert(!samples_.empty());
+  ensure_sorted();
+  return samples_.front();
+}
+
+double EmpiricalCdf::max() const {
+  assert(!samples_.empty());
+  ensure_sorted();
+  return samples_.back();
+}
+
+double EmpiricalCdf::mean() const {
+  assert(!samples_.empty());
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::log_spaced_curve(
+    double lo, double hi, int points) const {
+  assert(lo > 0 && hi > lo && points >= 2);
+  std::vector<std::pair<double, double>> curve;
+  curve.reserve(static_cast<std::size_t>(points));
+  const double log_lo = std::log10(lo);
+  const double log_hi = std::log10(hi);
+  for (int i = 0; i < points; ++i) {
+    const double x =
+        std::pow(10.0, log_lo + (log_hi - log_lo) * i / (points - 1));
+    curve.emplace_back(x, at(x));
+  }
+  return curve;
+}
+
+std::string EmpiricalCdf::ascii_curve(double lo, double hi, int width) const {
+  static constexpr std::string_view kLevels = " .:-=+*#%@";
+  std::string out;
+  for (const auto& [x, y] : log_spaced_curve(lo, hi, width)) {
+    const auto level = static_cast<std::size_t>(y * (kLevels.size() - 1) + 0.5);
+    out.push_back(kLevels[std::min(level, kLevels.size() - 1)]);
+  }
+  return out;
+}
+
+const std::vector<double>& EmpiricalCdf::sorted_samples() const {
+  ensure_sorted();
+  return samples_;
+}
+
+}  // namespace tft::stats

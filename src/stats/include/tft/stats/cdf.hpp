@@ -1,0 +1,49 @@
+// Empirical distributions: the CDFs and percentiles the paper plots
+// (Figure 5) and summary ratios used throughout the tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tft::stats {
+
+/// Empirical CDF over double-valued samples.
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  void add(double sample);
+
+  std::size_t size() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  /// Fraction of samples <= x. 0 for an empty distribution.
+  double at(double x) const;
+
+  /// p-th percentile via linear interpolation, p in [0, 100].
+  double percentile(double p) const;
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  double median() const { return percentile(50); }
+
+  /// (x, F(x)) pairs at `points` log-spaced x values over [lo, hi] —
+  /// matching the paper's log-x CDF plot (Figure 5).
+  std::vector<std::pair<double, double>> log_spaced_curve(double lo, double hi,
+                                                          int points) const;
+
+  /// Render a fixed-width ASCII sparkline of the CDF over log-spaced x.
+  std::string ascii_curve(double lo, double hi, int width) const;
+
+  const std::vector<double>& sorted_samples() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace tft::stats

@@ -1,0 +1,32 @@
+// ASCII table rendering for the benchmark harness: every bench binary
+// prints rows in the same layout as the paper's tables.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tft::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Add one row; missing cells render empty, extras are dropped.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render with a header rule, columns padded to content width.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Section header used by the bench binaries:
+/// "== Table 3: ... ==================".
+std::string banner(std::string_view title);
+
+}  // namespace tft::stats

@@ -1,0 +1,55 @@
+#include "tft/stats/table.hpp"
+
+#include <algorithm>
+
+namespace tft::stats {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) widths[i] = columns_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  const auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      if (i > 0) line += "  ";
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      line += cell;
+      line.append(widths[i] - cell.size(), ' ');
+    }
+    // Trim trailing padding.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(columns_);
+  std::size_t rule = 0;
+  for (std::size_t i = 0; i < widths.size(); ++i) rule += widths[i] + (i > 0 ? 2 : 0);
+  out += std::string(rule, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string banner(std::string_view title) {
+  std::string out = "== ";
+  out += title;
+  out += ' ';
+  if (out.size() < 72) out += std::string(72 - out.size(), '=');
+  out += '\n';
+  return out;
+}
+
+}  // namespace tft::stats

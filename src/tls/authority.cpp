@@ -1,0 +1,104 @@
+#include "tft/tls/authority.hpp"
+
+#include "tft/util/hash.hpp"
+
+namespace tft::tls {
+
+CertificateAuthority CertificateAuthority::make_root(DistinguishedName name, KeyId key,
+                                                     sim::Instant not_before,
+                                                     sim::Instant not_after) {
+  CertificateAuthority ca;
+  ca.certificate_.subject = name;
+  ca.certificate_.issuer = std::move(name);
+  ca.certificate_.serial = 1;
+  ca.certificate_.not_before = not_before;
+  ca.certificate_.not_after = not_after;
+  ca.certificate_.public_key = key;
+  ca.certificate_.signed_by = key;  // self-signed
+  ca.certificate_.is_ca = true;
+  return ca;
+}
+
+CertificateAuthority CertificateAuthority::make_intermediate(
+    const CertificateAuthority& parent, DistinguishedName name, KeyId key) {
+  CertificateAuthority ca;
+  ca.certificate_.subject = std::move(name);
+  ca.certificate_.issuer = parent.certificate_.subject;
+  ca.certificate_.serial = 1;
+  ca.certificate_.not_before = parent.certificate_.not_before;
+  ca.certificate_.not_after = parent.certificate_.not_after;
+  ca.certificate_.public_key = key;
+  ca.certificate_.signed_by = parent.key();
+  ca.certificate_.is_ca = true;
+  ca.parents_ = parent.parents_;
+  ca.parents_.insert(ca.parents_.begin(), parent.certificate_);
+  return ca;
+}
+
+Certificate CertificateAuthority::issue(const LeafOptions& options) {
+  Certificate leaf;
+  if (options.subject_override) {
+    leaf.subject = *options.subject_override;
+  } else if (!options.hosts.empty()) {
+    leaf.subject.common_name = options.hosts.front();
+  }
+  leaf.issuer = certificate_.subject;
+  leaf.serial = next_serial_++;
+  leaf.not_before = options.not_before.value_or(certificate_.not_before);
+  leaf.not_after = options.not_after.value_or(certificate_.not_after);
+  leaf.subject_alt_names = options.hosts;
+  leaf.public_key = options.public_key != 0
+                        ? options.public_key
+                        : util::hash_combine(certificate_.public_key, leaf.serial);
+  leaf.signed_by = certificate_.public_key;
+  leaf.is_ca = false;
+  return leaf;
+}
+
+CertificateChain CertificateAuthority::chain_for(const Certificate& leaf) const {
+  CertificateChain chain;
+  chain.push_back(leaf);
+  chain.push_back(certificate_);
+  chain.insert(chain.end(), parents_.begin(), parents_.end());
+  return chain;
+}
+
+Certificate forge_leaf(const Certificate& original, const ForgeProfile& profile,
+                       std::uint64_t host_key_seed, bool upstream_valid,
+                       sim::Instant now) {
+  Certificate forged;
+
+  if (profile.copy_subject_fields) {
+    forged.subject = original.subject;
+    forged.subject_alt_names = original.subject_alt_names;
+  } else {
+    forged.subject.common_name = original.subject.common_name;
+    forged.subject_alt_names = original.subject_alt_names;
+  }
+
+  const bool use_untrusted_issuer =
+      !upstream_valid && profile.untrusted_issuer.has_value();
+  forged.issuer = use_untrusted_issuer ? *profile.untrusted_issuer : profile.issuer;
+
+  // Forged certs get a fresh-looking validity window around "now".
+  forged.not_before = now - sim::Duration::hours(24);
+  forged.not_after = now + sim::Duration::hours(24 * 365);
+  forged.serial = util::hash_combine(host_key_seed,
+                                     util::fnv1a64(original.subject.common_name));
+
+  if (profile.reuse_public_key) {
+    // One key per host per product: every spoofed cert on this host shares it.
+    forged.public_key = util::hash_combine(profile.signing_key, host_key_seed);
+  } else {
+    // Fresh key per forged certificate (Avast behaviour).
+    forged.public_key = util::hash_combine(
+        util::hash_combine(profile.signing_key, host_key_seed), forged.serial);
+  }
+  forged.signed_by = use_untrusted_issuer
+                         ? util::hash_combine(profile.signing_key, 0xBADu)
+                         : profile.signing_key;
+  forged.is_ca = false;
+  return forged;
+}
+
+}  // namespace tft::tls

@@ -1,0 +1,49 @@
+#include "tft/tls/certificate.hpp"
+
+#include "tft/util/hash.hpp"
+#include "tft/util/strings.hpp"
+
+namespace tft::tls {
+
+std::string DistinguishedName::to_string() const {
+  std::string out = "CN=" + common_name;
+  if (!organization.empty()) out += ", O=" + organization;
+  if (!country.empty()) out += ", C=" + country;
+  return out;
+}
+
+std::uint64_t Certificate::fingerprint() const {
+  std::uint64_t hash = util::fnv1a64(subject.to_string());
+  hash = util::hash_combine(hash, util::fnv1a64(issuer.to_string()));
+  hash = util::hash_combine(hash, serial);
+  hash = util::hash_combine(hash, static_cast<std::uint64_t>(not_before.micros));
+  hash = util::hash_combine(hash, static_cast<std::uint64_t>(not_after.micros));
+  for (const auto& san : subject_alt_names) {
+    hash = util::hash_combine(hash, util::fnv1a64(san));
+  }
+  hash = util::hash_combine(hash, public_key);
+  hash = util::hash_combine(hash, signed_by);
+  hash = util::hash_combine(hash, is_ca ? 1 : 0);
+  return hash;
+}
+
+bool wildcard_matches(std::string_view pattern, std::string_view host) {
+  if (!pattern.starts_with("*.")) return util::iequals(pattern, host);
+  // The wildcard covers exactly one leading label.
+  const auto dot = host.find('.');
+  if (dot == std::string_view::npos || dot == 0) return false;
+  return util::iequals(pattern.substr(2), host.substr(dot + 1));
+}
+
+bool Certificate::matches_host(std::string_view host) const {
+  // Per RFC 6125, SANs take precedence; fall back to CN when none present.
+  if (!subject_alt_names.empty()) {
+    for (const auto& san : subject_alt_names) {
+      if (wildcard_matches(san, host)) return true;
+    }
+    return false;
+  }
+  return wildcard_matches(subject.common_name, host);
+}
+
+}  // namespace tft::tls

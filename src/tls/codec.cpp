@@ -1,0 +1,192 @@
+#include "tft/tls/codec.hpp"
+
+#include "tft/util/bytes.hpp"
+
+namespace tft::tls {
+
+using util::ByteReader;
+using util::ByteWriter;
+using util::ErrorCode;
+using util::make_error;
+using util::Result;
+
+namespace {
+
+constexpr std::string_view kMagic = "TFTC";
+constexpr std::uint16_t kVersion = 1;
+constexpr std::size_t kMaxStringLength = 4096;
+constexpr std::size_t kMaxSans = 1024;
+constexpr std::size_t kMaxChain = 64;
+
+void put_string(ByteWriter& writer, std::string_view text) {
+  writer.u16(static_cast<std::uint16_t>(text.size()));
+  writer.bytes(text);
+}
+
+Result<std::string> take_string(ByteReader& reader) {
+  auto length = reader.u16();
+  if (!length) return length.error();
+  if (*length > kMaxStringLength) {
+    return make_error(ErrorCode::kParseError, "oversized string in certificate");
+  }
+  auto bytes = reader.bytes(*length);
+  if (!bytes) return bytes.error();
+  return std::string(*bytes);
+}
+
+void put_dn(ByteWriter& writer, const DistinguishedName& dn) {
+  put_string(writer, dn.common_name);
+  put_string(writer, dn.organization);
+  put_string(writer, dn.country);
+}
+
+Result<DistinguishedName> take_dn(ByteReader& reader) {
+  DistinguishedName dn;
+  auto cn = take_string(reader);
+  if (!cn) return cn.error();
+  auto organization = take_string(reader);
+  if (!organization) return organization.error();
+  auto country = take_string(reader);
+  if (!country) return country.error();
+  dn.common_name = *std::move(cn);
+  dn.organization = *std::move(organization);
+  dn.country = *std::move(country);
+  return dn;
+}
+
+std::string encode_body(const Certificate& certificate) {
+  ByteWriter writer;
+  put_dn(writer, certificate.subject);
+  put_dn(writer, certificate.issuer);
+  writer.u64(certificate.serial);
+  writer.u64(static_cast<std::uint64_t>(certificate.not_before.micros));
+  writer.u64(static_cast<std::uint64_t>(certificate.not_after.micros));
+  writer.u16(static_cast<std::uint16_t>(certificate.subject_alt_names.size()));
+  for (const auto& san : certificate.subject_alt_names) put_string(writer, san);
+  writer.u64(certificate.public_key);
+  writer.u64(certificate.signed_by);
+  writer.u8(certificate.is_ca ? 1 : 0);
+  return std::move(writer).take();
+}
+
+Result<Certificate> decode_body(std::string_view body) {
+  ByteReader reader(body);
+  Certificate certificate;
+
+  auto subject = take_dn(reader);
+  if (!subject) return subject.error();
+  certificate.subject = *std::move(subject);
+  auto issuer = take_dn(reader);
+  if (!issuer) return issuer.error();
+  certificate.issuer = *std::move(issuer);
+
+  auto serial = reader.u64();
+  if (!serial) return serial.error();
+  certificate.serial = *serial;
+  auto not_before = reader.u64();
+  if (!not_before) return not_before.error();
+  certificate.not_before = sim::Instant{static_cast<std::int64_t>(*not_before)};
+  auto not_after = reader.u64();
+  if (!not_after) return not_after.error();
+  certificate.not_after = sim::Instant{static_cast<std::int64_t>(*not_after)};
+
+  auto san_count = reader.u16();
+  if (!san_count) return san_count.error();
+  if (*san_count > kMaxSans) {
+    return make_error(ErrorCode::kParseError, "too many SANs");
+  }
+  for (std::uint16_t i = 0; i < *san_count; ++i) {
+    auto san = take_string(reader);
+    if (!san) return san.error();
+    certificate.subject_alt_names.push_back(*std::move(san));
+  }
+
+  auto public_key = reader.u64();
+  if (!public_key) return public_key.error();
+  certificate.public_key = *public_key;
+  auto signed_by = reader.u64();
+  if (!signed_by) return signed_by.error();
+  certificate.signed_by = *signed_by;
+  auto is_ca = reader.u8();
+  if (!is_ca) return is_ca.error();
+  if (*is_ca > 1) {
+    return make_error(ErrorCode::kParseError, "bad is_ca flag");
+  }
+  certificate.is_ca = *is_ca == 1;
+
+  if (!reader.at_end()) {
+    return make_error(ErrorCode::kParseError, "trailing bytes in certificate body");
+  }
+  return certificate;
+}
+
+}  // namespace
+
+std::string encode_certificate(const Certificate& certificate) {
+  const std::string body = encode_body(certificate);
+  ByteWriter writer;
+  writer.u32(static_cast<std::uint32_t>(body.size()));
+  writer.bytes(body);
+  return std::move(writer).take();
+}
+
+Result<Certificate> decode_certificate(std::string_view wire) {
+  ByteReader reader(wire);
+  auto length = reader.u32();
+  if (!length) return length.error();
+  auto body = reader.bytes(*length);
+  if (!body) return body.error();
+  if (!reader.at_end()) {
+    return make_error(ErrorCode::kParseError, "trailing bytes after certificate");
+  }
+  return decode_body(*body);
+}
+
+std::string encode_chain(const CertificateChain& chain) {
+  ByteWriter writer;
+  writer.bytes(kMagic);
+  writer.u16(kVersion);
+  writer.u16(static_cast<std::uint16_t>(chain.size()));
+  for (const auto& certificate : chain) {
+    const std::string body = encode_body(certificate);
+    writer.u32(static_cast<std::uint32_t>(body.size()));
+    writer.bytes(body);
+  }
+  return std::move(writer).take();
+}
+
+Result<CertificateChain> decode_chain(std::string_view wire) {
+  ByteReader reader(wire);
+  auto magic = reader.bytes(4);
+  if (!magic || *magic != kMagic) {
+    return make_error(ErrorCode::kParseError, "bad chain magic");
+  }
+  auto version = reader.u16();
+  if (!version) return version.error();
+  if (*version != kVersion) {
+    return make_error(ErrorCode::kParseError,
+                      "unsupported chain version " + std::to_string(*version));
+  }
+  auto count = reader.u16();
+  if (!count) return count.error();
+  if (*count > kMaxChain) {
+    return make_error(ErrorCode::kParseError, "chain too long");
+  }
+  CertificateChain chain;
+  chain.reserve(*count);
+  for (std::uint16_t i = 0; i < *count; ++i) {
+    auto length = reader.u32();
+    if (!length) return length.error();
+    auto body = reader.bytes(*length);
+    if (!body) return body.error();
+    auto certificate = decode_body(*body);
+    if (!certificate) return certificate.error();
+    chain.push_back(*std::move(certificate));
+  }
+  if (!reader.at_end()) {
+    return make_error(ErrorCode::kParseError, "trailing bytes after chain");
+  }
+  return chain;
+}
+
+}  // namespace tft::tls

@@ -1,0 +1,38 @@
+#include "tft/tls/endpoint.hpp"
+
+#include "tft/util/strings.hpp"
+
+namespace tft::tls {
+
+void TlsServer::add_site(std::string_view host, CertificateChain chain) {
+  sites_[util::to_lower(host)] = std::move(chain);
+}
+
+const CertificateChain* TlsServer::chain_for(std::string_view sni) const {
+  if (!sni.empty()) {
+    if (const auto it = sites_.find(util::to_lower(sni)); it != sites_.end()) {
+      return &it->second;
+    }
+  }
+  if (!default_chain_.empty()) return &default_chain_;
+  if (sites_.size() == 1) return &sites_.begin()->second;
+  return nullptr;
+}
+
+void TlsEndpointRegistry::add(net::Ipv4Address address, std::shared_ptr<TlsServer> server) {
+  servers_[address.value()] = std::move(server);
+}
+
+TlsServer* TlsEndpointRegistry::find(net::Ipv4Address address) const {
+  const auto it = servers_.find(address.value());
+  return it == servers_.end() ? nullptr : it->second.get();
+}
+
+const CertificateChain* TlsEndpointRegistry::handshake(net::Ipv4Address destination,
+                                                       std::string_view sni) const {
+  TlsServer* server = find(destination);
+  if (server == nullptr) return nullptr;
+  return server->chain_for(sni);
+}
+
+}  // namespace tft::tls

@@ -1,0 +1,80 @@
+// Certificate authorities: issue leaf and intermediate certificates, build
+// chains. Also the forging primitives that interception software uses to
+// spoof leaf certificates on the fly (§6.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tft/tls/certificate.hpp"
+
+namespace tft::tls {
+
+class CertificateAuthority {
+ public:
+  /// Create a self-signed root CA.
+  static CertificateAuthority make_root(DistinguishedName name, KeyId key,
+                                        sim::Instant not_before, sim::Instant not_after);
+
+  /// Create an intermediate CA signed by `parent`.
+  static CertificateAuthority make_intermediate(const CertificateAuthority& parent,
+                                                DistinguishedName name, KeyId key);
+
+  const Certificate& certificate() const noexcept { return certificate_; }
+  KeyId key() const noexcept { return certificate_.public_key; }
+  const DistinguishedName& name() const noexcept { return certificate_.subject; }
+
+  struct LeafOptions {
+    std::vector<std::string> hosts;        // SANs; first also becomes the CN
+    std::optional<sim::Instant> not_before;  // default: CA validity start
+    std::optional<sim::Instant> not_after;   // default: CA validity end
+    KeyId public_key = 0;                  // 0 = derive from serial
+    std::optional<DistinguishedName> subject_override;
+  };
+
+  /// Issue a leaf certificate. Serials increase monotonically per CA.
+  Certificate issue(const LeafOptions& options);
+
+  /// Chain from a leaf up through this CA (and its parents) to the root,
+  /// leaf first.
+  CertificateChain chain_for(const Certificate& leaf) const;
+
+ private:
+  Certificate certificate_;
+  std::vector<Certificate> parents_;  // issuer-first path to (and incl.) root
+  std::uint64_t next_serial_ = 1;
+};
+
+/// How a TLS interceptor forges replacement leaf certificates. The knobs
+/// correspond to behaviours §6.2 observed in real products.
+struct ForgeProfile {
+  /// Issuer CN etc. placed on forged certs (what Table 8 clusters on).
+  DistinguishedName issuer;
+  /// The CA key used to sign forged certs (installed in the host's root
+  /// store by the product's installer, or not — in which case browsers warn).
+  KeyId signing_key = 0;
+  /// All forged certs on one host reuse this single public key (every
+  /// product but Avast did this).
+  bool reuse_public_key = true;
+  /// Replace certificates that were originally *invalid* with seemingly
+  /// valid ones (Cyberoam/ESET/Kaspersky/McAfee/Fortigate behaviour).
+  bool validate_upstream = false;
+  /// When validate_upstream is true and the upstream cert was invalid,
+  /// forge with this distinct issuer instead (Avast/BitDefender/Dr.Web
+  /// use e.g. "... untrusted root"); nullopt = pass invalid through as
+  /// a seemingly-valid forgery (the dangerous behaviour).
+  std::optional<DistinguishedName> untrusted_issuer;
+  /// Copy subject fields from the original leaf (Cloudguard.me malware).
+  bool copy_subject_fields = true;
+};
+
+/// Forge a replacement leaf for `original` per `profile`. `host_key_seed`
+/// identifies the host so that per-host key reuse is stable; `upstream_valid`
+/// tells the forger whether verification of the original chain succeeded.
+Certificate forge_leaf(const Certificate& original, const ForgeProfile& profile,
+                       std::uint64_t host_key_seed, bool upstream_valid,
+                       sim::Instant now);
+
+}  // namespace tft::tls

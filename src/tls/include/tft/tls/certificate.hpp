@@ -1,0 +1,64 @@
+// Structured X.509-like certificate model. We model the fields the paper's
+// analysis reads: subject/issuer distinguished names (Issuer Common Name
+// clustering, Table 8), validity window, hostname binding (CN + SANs),
+// public-key identity (shared-key detection across spoofed certificates),
+// and the signature linkage needed for chain verification.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tft/sim/time.hpp"
+
+namespace tft::tls {
+
+/// Key material is modeled by identity: two certificates "share a public
+/// key" iff their key ids are equal — exactly the property §6.2 checks.
+using KeyId = std::uint64_t;
+
+struct DistinguishedName {
+  std::string common_name;
+  std::string organization;
+  std::string country;
+
+  bool operator==(const DistinguishedName&) const = default;
+  std::string to_string() const;
+};
+
+struct Certificate {
+  DistinguishedName subject;
+  DistinguishedName issuer;
+  std::uint64_t serial = 0;
+  sim::Instant not_before;
+  sim::Instant not_after;
+  std::vector<std::string> subject_alt_names;  // dns names, may use "*." wildcard
+  KeyId public_key = 0;
+  KeyId signed_by = 0;  // key that produced the signature
+  bool is_ca = false;
+
+  bool operator==(const Certificate&) const = default;
+
+  /// Stable fingerprint over all fields (stands in for a hash of the DER).
+  std::uint64_t fingerprint() const;
+
+  bool self_signed() const { return signed_by == public_key && issuer == subject; }
+
+  /// Validity window check.
+  bool valid_at(sim::Instant now) const {
+    return not_before <= now && now <= not_after;
+  }
+
+  /// RFC 6125-style host matching against CN and SANs, including single
+  /// left-most wildcard labels ("*.example.com").
+  bool matches_host(std::string_view host) const;
+};
+
+/// Leaf-first certificate chain as presented in a TLS handshake.
+using CertificateChain = std::vector<Certificate>;
+
+/// True when a DNS wildcard pattern ("*.example.com") covers `host`.
+bool wildcard_matches(std::string_view pattern, std::string_view host);
+
+}  // namespace tft::tls

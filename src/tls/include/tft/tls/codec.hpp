@@ -1,0 +1,27 @@
+// Binary serialization for certificates and chains — the DER stand-in that
+// lets observed chains be stored, exchanged, and replayed (the paper
+// published its measurement data; this is the equivalent facility).
+//
+// Format (big-endian):
+//   chain  := magic "TFTC" u16 version(1) u16 count, then `count` certs
+//   cert   := u32 length, then the body:
+//     dn(subject) dn(issuer) u64 serial i64 not_before i64 not_after
+//     u16 san_count { u16 len bytes }* u64 public_key u64 signed_by u8 is_ca
+//   dn     := u16 len bytes (CN) u16 len bytes (O) u16 len bytes (C)
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "tft/tls/certificate.hpp"
+#include "tft/util/result.hpp"
+
+namespace tft::tls {
+
+std::string encode_certificate(const Certificate& certificate);
+util::Result<Certificate> decode_certificate(std::string_view wire);
+
+std::string encode_chain(const CertificateChain& chain);
+util::Result<CertificateChain> decode_chain(std::string_view wire);
+
+}  // namespace tft::tls

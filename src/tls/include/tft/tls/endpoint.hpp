@@ -1,0 +1,53 @@
+// TLS server endpoints: what a client receives when it opens a TCP
+// connection to <ip>:443 and sends a ClientHello with an SNI value. The
+// paper's §6 methodology only completes the handshake far enough to collect
+// the presented certificate chain, so that is what we model.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "tft/net/ipv4.hpp"
+#include "tft/tls/certificate.hpp"
+
+namespace tft::tls {
+
+class TlsServer {
+ public:
+  explicit TlsServer(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Present `chain` for ClientHellos carrying SNI `host` (case-insensitive).
+  void add_site(std::string_view host, CertificateChain chain);
+
+  /// Chain for unknown/absent SNI.
+  void set_default_chain(CertificateChain chain) { default_chain_ = std::move(chain); }
+
+  /// The chain presented for `sni`; nullptr if the server has nothing to
+  /// present (connection refused).
+  const CertificateChain* chain_for(std::string_view sni) const;
+
+ private:
+  std::string name_;
+  std::unordered_map<std::string, CertificateChain> sites_;  // lowercased host
+  CertificateChain default_chain_;
+};
+
+/// Routes TLS connections by destination address.
+class TlsEndpointRegistry {
+ public:
+  void add(net::Ipv4Address address, std::shared_ptr<TlsServer> server);
+  TlsServer* find(net::Ipv4Address address) const;
+
+  /// Handshake result: the chain presented by the server at `destination`
+  /// for `sni`, or nullptr when the endpoint is unreachable.
+  const CertificateChain* handshake(net::Ipv4Address destination,
+                                    std::string_view sni) const;
+
+ private:
+  std::unordered_map<std::uint32_t, std::shared_ptr<TlsServer>> servers_;
+};
+
+}  // namespace tft::tls

@@ -1,0 +1,65 @@
+// Certificate chain verification against a trusted root store — the
+// "openssl verify" step of §6.1 (the paper verifies against the OS X 10.11
+// root store; we verify against a configurable store).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+#include "tft/tls/certificate.hpp"
+
+namespace tft::tls {
+
+/// Set of trusted root certificates (keyed by fingerprint).
+class RootStore {
+ public:
+  void add(const Certificate& root);
+  bool trusts(const Certificate& certificate) const;
+  std::size_t size() const noexcept { return fingerprints_.size(); }
+
+  /// Whether any trusted root uses this key (for issuer-key checks).
+  bool trusts_key(KeyId key) const;
+
+ private:
+  std::unordered_set<std::uint64_t> fingerprints_;
+  std::unordered_set<KeyId> keys_;
+};
+
+enum class VerifyStatus {
+  kOk,
+  kEmptyChain,
+  kExpired,
+  kNotYetValid,
+  kHostnameMismatch,
+  kSelfSigned,        // leaf is self-signed and not in the store
+  kBrokenChain,       // signature/issuer linkage failure
+  kUntrustedRoot,     // chain is internally valid but anchors nowhere trusted
+  kNotACa,            // an intermediate lacks the CA flag
+};
+
+std::string_view to_string(VerifyStatus status) noexcept;
+
+struct VerifyResult {
+  VerifyStatus status = VerifyStatus::kOk;
+  std::string detail;
+
+  bool ok() const noexcept { return status == VerifyStatus::kOk; }
+};
+
+class CertificateVerifier {
+ public:
+  explicit CertificateVerifier(const RootStore* roots) : roots_(roots) {}
+
+  /// Verify `chain` (leaf first) for `host` at time `now`:
+  /// validity windows, hostname binding on the leaf, CA flags on
+  /// intermediates, signature linkage, and trust anchoring. The anchor may
+  /// be the chain's last certificate or any trusted root whose key signed it.
+  VerifyResult verify(const CertificateChain& chain, std::string_view host,
+                      sim::Instant now) const;
+
+ private:
+  const RootStore* roots_;
+};
+
+}  // namespace tft::tls

@@ -1,0 +1,96 @@
+#include "tft/tls/verify.hpp"
+
+namespace tft::tls {
+
+void RootStore::add(const Certificate& root) {
+  fingerprints_.insert(root.fingerprint());
+  keys_.insert(root.public_key);
+}
+
+bool RootStore::trusts(const Certificate& certificate) const {
+  return fingerprints_.contains(certificate.fingerprint());
+}
+
+bool RootStore::trusts_key(KeyId key) const { return keys_.contains(key); }
+
+std::string_view to_string(VerifyStatus status) noexcept {
+  switch (status) {
+    case VerifyStatus::kOk:
+      return "ok";
+    case VerifyStatus::kEmptyChain:
+      return "empty_chain";
+    case VerifyStatus::kExpired:
+      return "expired";
+    case VerifyStatus::kNotYetValid:
+      return "not_yet_valid";
+    case VerifyStatus::kHostnameMismatch:
+      return "hostname_mismatch";
+    case VerifyStatus::kSelfSigned:
+      return "self_signed";
+    case VerifyStatus::kBrokenChain:
+      return "broken_chain";
+    case VerifyStatus::kUntrustedRoot:
+      return "untrusted_root";
+    case VerifyStatus::kNotACa:
+      return "not_a_ca";
+  }
+  return "unknown";
+}
+
+VerifyResult CertificateVerifier::verify(const CertificateChain& chain,
+                                         std::string_view host,
+                                         sim::Instant now) const {
+  if (chain.empty()) {
+    return VerifyResult{VerifyStatus::kEmptyChain, "no certificates presented"};
+  }
+  const Certificate& leaf = chain.front();
+
+  // Validity windows for every certificate in the chain.
+  for (const auto& certificate : chain) {
+    if (now < certificate.not_before) {
+      return VerifyResult{VerifyStatus::kNotYetValid,
+                          certificate.subject.to_string() + " not yet valid"};
+    }
+    if (now > certificate.not_after) {
+      return VerifyResult{VerifyStatus::kExpired,
+                          certificate.subject.to_string() + " expired"};
+    }
+  }
+
+  if (!host.empty() && !leaf.matches_host(host)) {
+    return VerifyResult{VerifyStatus::kHostnameMismatch,
+                        "leaf CN/SANs do not cover " + std::string(host)};
+  }
+
+  // Walk the chain: each certificate must be signed by the next one's key.
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    const Certificate& child = chain[i];
+    const Certificate& parent = chain[i + 1];
+    if (!parent.is_ca) {
+      return VerifyResult{VerifyStatus::kNotACa,
+                          parent.subject.to_string() + " is not a CA"};
+    }
+    if (child.signed_by != parent.public_key || !(child.issuer == parent.subject)) {
+      return VerifyResult{VerifyStatus::kBrokenChain,
+                          "no signature linkage from " + child.subject.to_string() +
+                              " to " + parent.subject.to_string()};
+    }
+  }
+
+  const Certificate& last = chain.back();
+  if (roots_->trusts(last)) {
+    return VerifyResult{};
+  }
+  // A chain may omit the root itself: accept when the last certificate was
+  // signed by a key belonging to a trusted root.
+  if (!last.self_signed() && roots_->trusts_key(last.signed_by)) {
+    return VerifyResult{};
+  }
+  if (chain.size() == 1 && leaf.self_signed()) {
+    return VerifyResult{VerifyStatus::kSelfSigned, "self-signed leaf"};
+  }
+  return VerifyResult{VerifyStatus::kUntrustedRoot,
+                      "chain anchors at untrusted " + last.subject.to_string()};
+}
+
+}  // namespace tft::tls

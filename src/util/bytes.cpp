@@ -1,0 +1,60 @@
+#include "tft/util/bytes.hpp"
+
+namespace tft::util {
+
+void ByteWriter::patch_u16(std::size_t offset, std::uint16_t value) {
+  buffer_.at(offset) = static_cast<char>(value >> 8);
+  buffer_.at(offset + 1) = static_cast<char>(value & 0xFF);
+}
+
+Result<std::uint8_t> ByteReader::u8() {
+  if (remaining() < 1) {
+    return make_error(ErrorCode::kOutOfRange, "u8 read past end of buffer");
+  }
+  return static_cast<std::uint8_t>(data_[offset_++]);
+}
+
+Result<std::uint16_t> ByteReader::u16() {
+  if (remaining() < 2) {
+    return make_error(ErrorCode::kOutOfRange, "u16 read past end of buffer");
+  }
+  const auto hi = static_cast<std::uint8_t>(data_[offset_]);
+  const auto lo = static_cast<std::uint8_t>(data_[offset_ + 1]);
+  offset_ += 2;
+  return static_cast<std::uint16_t>((hi << 8) | lo);
+}
+
+Result<std::uint32_t> ByteReader::u32() {
+  auto hi = u16();
+  if (!hi) return hi.error();
+  auto lo = u16();
+  if (!lo) return lo.error();
+  return (static_cast<std::uint32_t>(*hi) << 16) | *lo;
+}
+
+Result<std::uint64_t> ByteReader::u64() {
+  auto hi = u32();
+  if (!hi) return hi.error();
+  auto lo = u32();
+  if (!lo) return lo.error();
+  return (static_cast<std::uint64_t>(*hi) << 32) | *lo;
+}
+
+Result<std::string_view> ByteReader::bytes(std::size_t count) {
+  if (remaining() < count) {
+    return make_error(ErrorCode::kOutOfRange, "bytes read past end of buffer");
+  }
+  auto out = data_.substr(offset_, count);
+  offset_ += count;
+  return out;
+}
+
+Result<void> ByteReader::seek(std::size_t offset) {
+  if (offset > data_.size()) {
+    return make_error(ErrorCode::kOutOfRange, "seek past end of buffer");
+  }
+  offset_ = offset;
+  return {};
+}
+
+}  // namespace tft::util

@@ -1,0 +1,110 @@
+#include "tft/util/flags.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+namespace tft::util {
+
+Result<Flags> Flags::parse(int argc, const char* const* argv,
+                           const std::vector<std::string>& boolean_flags) {
+  Flags flags;
+  if (argc > 0) flags.program_ = argv[0];
+
+  const auto is_boolean = [&](std::string_view name) {
+    return std::find(boolean_flags.begin(), boolean_flags.end(), name) !=
+           boolean_flags.end();
+  };
+
+  bool flags_done = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view token = argv[i];
+    if (flags_done || !token.starts_with("--")) {
+      flags.positional_.emplace_back(token);
+      continue;
+    }
+    if (token == "--") {
+      flags_done = true;
+      continue;
+    }
+    const std::string_view body = token.substr(2);
+    if (body.empty()) {
+      return make_error(ErrorCode::kInvalidArgument, "empty flag name");
+    }
+    const auto equals = body.find('=');
+    if (equals == 0) {
+      return make_error(ErrorCode::kInvalidArgument, "empty flag name");
+    }
+    if (equals != std::string_view::npos) {
+      flags.values_[std::string(body.substr(0, equals))] =
+          std::string(body.substr(equals + 1));
+      continue;
+    }
+    if (!is_boolean(body) && i + 1 < argc &&
+        !std::string_view(argv[i + 1]).starts_with("--")) {
+      flags.values_[std::string(body)] = argv[++i];
+      continue;
+    }
+    flags.values_[std::string(body)] = "true";
+  }
+  return flags;
+}
+
+bool Flags::has(std::string_view name) const {
+  return values_.find(name) != values_.end();
+}
+
+std::optional<std::string> Flags::get(std::string_view name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Flags::get_or(std::string_view name, std::string_view fallback) const {
+  const auto value = get(name);
+  return value ? *value : std::string(fallback);
+}
+
+Result<double> Flags::get_double(std::string_view name, double fallback) const {
+  const auto value = get(name);
+  if (!value) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value->c_str(), &end);
+  if (end != value->c_str() + value->size() || value->empty()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "--" + std::string(name) + " expects a number, got '" + *value +
+                          "'");
+  }
+  return parsed;
+}
+
+Result<long long> Flags::get_int(std::string_view name, long long fallback) const {
+  const auto value = get(name);
+  if (!value) return fallback;
+  long long parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value->data(), value->data() + value->size(), parsed);
+  if (ec != std::errc{} || ptr != value->data() + value->size()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "--" + std::string(name) + " expects an integer, got '" +
+                          *value + "'");
+  }
+  return parsed;
+}
+
+bool Flags::get_bool(std::string_view name, bool fallback) const {
+  const auto value = get(name);
+  if (!value) return fallback;
+  return *value != "false" && *value != "0" && *value != "no";
+}
+
+std::vector<std::string> Flags::unknown(const std::vector<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+}  // namespace tft::util

@@ -1,0 +1,66 @@
+// Bounds-checked binary readers/writers used by the DNS wire codec and the
+// TLS certificate encoder. All multi-byte integers are big-endian (network
+// byte order).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "tft/util/result.hpp"
+
+namespace tft::util {
+
+/// Append-only big-endian byte writer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t value) { buffer_.push_back(static_cast<char>(value)); }
+  void u16(std::uint16_t value) {
+    u8(static_cast<std::uint8_t>(value >> 8));
+    u8(static_cast<std::uint8_t>(value & 0xFF));
+  }
+  void u32(std::uint32_t value) {
+    u16(static_cast<std::uint16_t>(value >> 16));
+    u16(static_cast<std::uint16_t>(value & 0xFFFF));
+  }
+  void u64(std::uint64_t value) {
+    u32(static_cast<std::uint32_t>(value >> 32));
+    u32(static_cast<std::uint32_t>(value & 0xFFFFFFFF));
+  }
+  void bytes(std::string_view data) { buffer_.append(data); }
+
+  /// Overwrite a previously written big-endian u16 at `offset`.
+  void patch_u16(std::size_t offset, std::uint16_t value);
+
+  std::size_t size() const noexcept { return buffer_.size(); }
+  const std::string& data() const& noexcept { return buffer_; }
+  std::string take() && { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Bounds-checked big-endian byte reader over a borrowed buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  std::size_t offset() const noexcept { return offset_; }
+  std::size_t remaining() const noexcept { return data_.size() - offset_; }
+  bool at_end() const noexcept { return offset_ == data_.size(); }
+
+  Result<std::uint8_t> u8();
+  Result<std::uint16_t> u16();
+  Result<std::uint32_t> u32();
+  Result<std::uint64_t> u64();
+  Result<std::string_view> bytes(std::size_t count);
+
+  /// Jump to an absolute offset (for DNS compression pointers).
+  Result<void> seek(std::size_t offset);
+
+ private:
+  std::string_view data_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace tft::util

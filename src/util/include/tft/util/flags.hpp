@@ -1,0 +1,47 @@
+// Minimal command-line flag parser for the tools and benches:
+// --name=value / --name value / --bool-flag, plus positional arguments.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tft/util/result.hpp"
+
+namespace tft::util {
+
+class Flags {
+ public:
+  /// Parse argv. Flags start with "--"; everything else is positional.
+  /// "--" alone ends flag parsing. A flag followed by a non-flag token
+  /// consumes it as its value unless the flag was declared boolean via
+  /// `boolean_flags`.
+  static Result<Flags> parse(int argc, const char* const* argv,
+                             const std::vector<std::string>& boolean_flags = {});
+
+  bool has(std::string_view name) const;
+
+  std::optional<std::string> get(std::string_view name) const;
+  std::string get_or(std::string_view name, std::string_view fallback) const;
+
+  /// Typed accessors; parse errors surface as Result errors.
+  Result<double> get_double(std::string_view name, double fallback) const;
+  Result<long long> get_int(std::string_view name, long long fallback) const;
+  bool get_bool(std::string_view name, bool fallback = false) const;
+
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+  const std::string& program() const noexcept { return program_; }
+
+  /// Flags that were provided but not consumed by any accessor — callers
+  /// can reject typos.
+  std::vector<std::string> unknown(const std::vector<std::string>& known) const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tft::util

@@ -1,0 +1,21 @@
+// Stable hashing used for persistent identifiers (zIDs, certificate key
+// fingerprints). Not cryptographic; stability across runs and platforms is
+// the requirement.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tft::util {
+
+/// 64-bit FNV-1a.
+std::uint64_t fnv1a64(std::string_view data) noexcept;
+
+/// Combine two 64-bit hashes (boost-style mix).
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// Short stable identifier string ("a1b2c3d4e5f60708") from arbitrary input.
+std::string stable_id(std::string_view input);
+
+}  // namespace tft::util

@@ -1,0 +1,63 @@
+// Minimal streaming JSON writer (objects, arrays, scalars, full string
+// escaping). Used to export measurement reports in machine-readable form.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tft::util {
+
+class JsonWriter {
+ public:
+  /// Begin/end containers. Keys apply inside objects only.
+  JsonWriter& begin_object();
+  JsonWriter& begin_object(std::string_view key);
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& begin_array(std::string_view key);
+  JsonWriter& end_array();
+
+  /// Scalars inside arrays.
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// Key/value pairs inside objects.
+  JsonWriter& field(std::string_view key, std::string_view text);
+  JsonWriter& field(std::string_view key, const char* text) {
+    return field(key, std::string_view(text));
+  }
+  JsonWriter& field(std::string_view key, double number);
+  JsonWriter& field(std::string_view key, std::int64_t number);
+  JsonWriter& field(std::string_view key, std::uint64_t number);
+  JsonWriter& field(std::string_view key, int number) {
+    return field(key, static_cast<std::int64_t>(number));
+  }
+  JsonWriter& field(std::string_view key, bool flag);
+
+  /// The document so far. Valid once all containers are closed.
+  const std::string& str() const& noexcept { return out_; }
+  std::string take() && { return std::move(out_); }
+
+  /// True when every begin_* has a matching end_*.
+  bool complete() const noexcept { return stack_.empty() && !out_.empty(); }
+
+  /// Escape `text` per RFC 8259 (quotes not included).
+  static std::string escape(std::string_view text);
+
+ private:
+  void comma();
+  void key_prefix(std::string_view key);
+
+  std::string out_;
+  std::vector<bool> stack_;       // true = object, false = array
+  std::vector<bool> has_items_;   // parallel: container has emitted items
+};
+
+}  // namespace tft::util

@@ -1,0 +1,85 @@
+// Minimal JSON parser (RFC 8259 subset: UTF-8 passthrough, \uXXXX for the
+// BMP, doubles for all numbers). Counterpart to JsonWriter; used to load
+// scenario files.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tft/util/result.hpp"
+
+namespace tft::util {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool value) : kind_(Kind::kBool), bool_(value) {}
+  JsonValue(double value) : kind_(Kind::kNumber), number_(value) {}
+  JsonValue(std::string value) : kind_(Kind::kString), string_(std::move(value)) {}
+  JsonValue(JsonArray value)
+      : kind_(Kind::kArray), array_(std::make_shared<JsonArray>(std::move(value))) {}
+  JsonValue(JsonObject value)
+      : kind_(Kind::kObject),
+        object_(std::make_shared<JsonObject>(std::move(value))) {}
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  bool as_bool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double as_number(double fallback = 0) const {
+    return is_number() ? number_ : fallback;
+  }
+  std::int64_t as_int(std::int64_t fallback = 0) const {
+    return is_number() ? static_cast<std::int64_t>(number_) : fallback;
+  }
+  const std::string& as_string() const {
+    static const std::string kEmpty;
+    return is_string() ? string_ : kEmpty;
+  }
+  const JsonArray& as_array() const {
+    static const JsonArray kEmpty;
+    return is_array() ? *array_ : kEmpty;
+  }
+  const JsonObject& as_object() const {
+    static const JsonObject kEmpty;
+    return is_object() ? *object_ : kEmpty;
+  }
+
+  /// Object member lookup; returns a null value when absent or not an
+  /// object (chainable).
+  const JsonValue& operator[](std::string_view key) const;
+
+  bool has(std::string_view key) const {
+    return is_object() && object_->find(std::string(key)) != object_->end();
+  }
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::shared_ptr<JsonArray> array_;
+  std::shared_ptr<JsonObject> object_;
+};
+
+/// Parse a complete JSON document (one value, optional surrounding
+/// whitespace; trailing garbage is an error).
+Result<JsonValue> parse_json(std::string_view text);
+
+}  // namespace tft::util

@@ -1,0 +1,112 @@
+// Minimal result/expected type used across the library for recoverable
+// errors (parse failures, protocol violations). C++20 has no std::expected,
+// so we provide a small, value-semantic equivalent.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tft::util {
+
+/// Error category used across the library.
+enum class ErrorCode {
+  kInvalidArgument,
+  kParseError,
+  kOutOfRange,
+  kNotFound,
+  kProtocolViolation,
+  kTimeout,
+  kConnectionRefused,
+  kInternal,
+};
+
+/// Human-readable name for an ErrorCode (stable, for logs and tests).
+std::string_view to_string(ErrorCode code) noexcept;
+
+/// A recoverable error: a code plus a diagnostic message.
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  std::string to_string() const;
+};
+
+/// Thrown when a Result is unwrapped while holding an error.
+class BadResultAccess : public std::logic_error {
+ public:
+  explicit BadResultAccess(const Error& err)
+      : std::logic_error("bad Result access: " + err.to_string()) {}
+};
+
+/// Result<T> holds either a T or an Error. Modeled after std::expected.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  Result(Error error) : storage_(std::in_place_index<1>, std::move(error)) {}
+
+  bool ok() const noexcept { return storage_.index() == 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const T& value() const& {
+    ensure_ok();
+    return std::get<0>(storage_);
+  }
+  T& value() & {
+    ensure_ok();
+    return std::get<0>(storage_);
+  }
+  T&& value() && {
+    ensure_ok();
+    return std::get<0>(std::move(storage_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const& {
+    assert(!ok());
+    return std::get<1>(storage_);
+  }
+
+  T value_or(T fallback) const& { return ok() ? std::get<0>(storage_) : std::move(fallback); }
+
+ private:
+  void ensure_ok() const {
+    if (!ok()) throw BadResultAccess(std::get<1>(storage_));
+  }
+
+  std::variant<T, Error> storage_;
+};
+
+/// Result<void> specialization: success carries no value.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error)) {}
+
+  bool ok() const noexcept { return !error_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const Error& error() const& {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+/// Convenience factory.
+inline Error make_error(ErrorCode code, std::string message) {
+  return Error{code, std::move(message)};
+}
+
+}  // namespace tft::util

@@ -1,0 +1,64 @@
+// Deterministic random number generation. All simulation randomness flows
+// through Rng so that experiments are reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace tft::util {
+
+/// xoshiro256** seeded via splitmix64. Deterministic across platforms,
+/// unlike std::mt19937 + std::uniform_int_distribution whose outputs are
+/// implementation-defined.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform_double(double lo, double hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Log-uniform: uniform in log-space over [lo, hi], lo > 0.
+  double log_uniform(double lo, double hi);
+
+  /// Pick a uniformly random element index of a non-empty container size.
+  std::size_t index(std::size_t size) {
+    assert(size > 0);
+    return static_cast<std::size_t>(uniform(size));
+  }
+
+  /// Pick an index according to non-negative weights (at least one > 0).
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fork a new independent stream (useful for per-entity determinism).
+  Rng fork();
+
+ private:
+  std::uint64_t state_[4] = {};
+};
+
+/// One splitmix64 step; exposed for stable hashing/id derivation.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace tft::util

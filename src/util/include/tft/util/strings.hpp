@@ -1,0 +1,47 @@
+// String helpers shared by the protocol parsers and report formatters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tft::util {
+
+/// Split on a single character; keeps empty fields.
+std::vector<std::string_view> split(std::string_view input, char sep);
+
+/// Split on a character, dropping empty fields.
+std::vector<std::string_view> split_nonempty(std::string_view input, char sep);
+
+/// Join pieces with a separator.
+std::string join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view input);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view input);
+
+/// Case-insensitive ASCII equality (used for HTTP header names, DNS names).
+bool iequals(std::string_view a, std::string_view b);
+
+/// True when `haystack` contains `needle` (case-sensitive).
+bool contains(std::string_view haystack, std::string_view needle);
+
+/// True when `haystack` contains `needle`, ignoring ASCII case.
+bool icontains(std::string_view haystack, std::string_view needle);
+
+/// Hex-encode bytes (lowercase).
+std::string hex_encode(std::string_view bytes);
+
+/// Format a double with fixed precision, e.g. format_double(3.14159, 2) == "3.14".
+std::string format_double(double value, int precision);
+
+/// Format with thousands separators: 1234567 -> "1,234,567".
+std::string format_count(std::uint64_t value);
+
+/// Format a ratio as a percentage string, e.g. "4.8%".
+std::string format_percent(double ratio, int precision = 1);
+
+}  // namespace tft::util

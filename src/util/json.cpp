@@ -1,0 +1,189 @@
+#include "tft/util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tft::util {
+
+std::string JsonWriter::escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma() {
+  if (!has_items_.empty()) {
+    if (has_items_.back()) out_ += ',';
+    has_items_.back() = true;
+  }
+}
+
+void JsonWriter::key_prefix(std::string_view key) {
+  comma();
+  out_ += '"';
+  out_ += escape(key);
+  out_ += "\":";
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  stack_.push_back(true);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object(std::string_view key) {
+  key_prefix(key);
+  out_ += '{';
+  stack_.push_back(true);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  stack_.push_back(false);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(std::string_view key) {
+  key_prefix(key);
+  out_ += '[';
+  stack_.push_back(false);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  comma();
+  out_ += '"';
+  out_ += escape(text);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  comma();
+  if (std::isfinite(number)) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", number);
+    out_ += buffer;
+  } else {
+    out_ += "null";  // JSON has no NaN/Inf
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  comma();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  comma();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  comma();
+  out_ += flag ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::string_view text) {
+  key_prefix(key);
+  out_ += '"';
+  out_ += escape(text);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, double number) {
+  key_prefix(key);
+  if (std::isfinite(number)) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", number);
+    out_ += buffer;
+  } else {
+    out_ += "null";
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::int64_t number) {
+  key_prefix(key);
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, std::uint64_t number) {
+  key_prefix(key);
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view key, bool flag) {
+  key_prefix(key);
+  out_ += flag ? "true" : "false";
+  return *this;
+}
+
+}  // namespace tft::util

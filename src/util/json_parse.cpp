@@ -1,0 +1,248 @@
+#include "tft/util/json_parse.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace tft::util {
+
+const JsonValue& JsonValue::operator[](std::string_view key) const {
+  static const JsonValue kNull;
+  if (!is_object()) return kNull;
+  const auto it = object_->find(std::string(key));
+  return it == object_->end() ? kNull : it->second;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> parse_document() {
+    skip_whitespace();
+    auto value = parse_value();
+    if (!value) return value;
+    skip_whitespace();
+    if (!at_end()) {
+      return fail("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  Error fail(std::string message) const {
+    return make_error(ErrorCode::kParseError,
+                      message + " at offset " + std::to_string(offset_));
+  }
+
+  bool at_end() const noexcept { return offset_ >= text_.size(); }
+  char peek() const noexcept { return text_[offset_]; }
+  char take() noexcept { return text_[offset_++]; }
+
+  void skip_whitespace() {
+    while (!at_end() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                         peek() == '\r')) {
+      ++offset_;
+    }
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(offset_, literal.size()) != literal) return false;
+    offset_ += literal.size();
+    return true;
+  }
+
+  Result<JsonValue> parse_value() {
+    if (++depth_ > kMaxDepth) return fail("nesting too deep");
+    struct DepthGuard {
+      int& depth;
+      ~DepthGuard() { --depth; }
+    } guard{depth_};
+
+    if (at_end()) return fail("unexpected end of input");
+    switch (peek()) {
+      case 'n':
+        if (consume_literal("null")) return JsonValue();
+        return fail("bad literal");
+      case 't':
+        if (consume_literal("true")) return JsonValue(true);
+        return fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue(false);
+        return fail("bad literal");
+      case '"':
+        return parse_string_value();
+      case '[':
+        return parse_array();
+      case '{':
+        return parse_object();
+      default:
+        return parse_number();
+    }
+  }
+
+  Result<std::string> parse_string() {
+    if (at_end() || take() != '"') return fail("expected string");
+    std::string out;
+    for (;;) {
+      if (at_end()) return fail("unterminated string");
+      const char c = take();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at_end()) return fail("dangling escape");
+      const char escape = take();
+      switch (escape) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (offset_ + 4 > text_.size()) return fail("short \\u escape");
+          unsigned int code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char hex = take();
+            code <<= 4;
+            if (hex >= '0' && hex <= '9') {
+              code += static_cast<unsigned>(hex - '0');
+            } else if (hex >= 'a' && hex <= 'f') {
+              code += static_cast<unsigned>(hex - 'a' + 10);
+            } else if (hex >= 'A' && hex <= 'F') {
+              code += static_cast<unsigned>(hex - 'A' + 10);
+            } else {
+              return fail("bad hex digit in \\u escape");
+            }
+          }
+          // Encode the BMP code point as UTF-8 (surrogate pairs rejected).
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            return fail("surrogate \\u escapes not supported");
+          }
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+  }
+
+  Result<JsonValue> parse_string_value() {
+    auto text = parse_string();
+    if (!text) return text.error();
+    return JsonValue(*std::move(text));
+  }
+
+  Result<JsonValue> parse_number() {
+    const std::size_t start = offset_;
+    if (!at_end() && peek() == '-') ++offset_;
+    while (!at_end() && (std::isdigit(static_cast<unsigned char>(peek())) != 0 ||
+                         peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                         peek() == '+' || peek() == '-')) {
+      ++offset_;
+    }
+    const std::string_view token = text_.substr(start, offset_ - start);
+    if (token.empty()) return fail("expected value");
+    double value = 0;
+    const std::string owned(token);  // strtod needs NUL termination
+    char* end = nullptr;
+    value = std::strtod(owned.c_str(), &end);
+    if (end != owned.c_str() + owned.size()) return fail("bad number");
+    return JsonValue(value);
+  }
+
+  Result<JsonValue> parse_array() {
+    take();  // '['
+    JsonArray out;
+    skip_whitespace();
+    if (!at_end() && peek() == ']') {
+      take();
+      return JsonValue(std::move(out));
+    }
+    for (;;) {
+      skip_whitespace();
+      auto value = parse_value();
+      if (!value) return value;
+      out.push_back(*std::move(value));
+      skip_whitespace();
+      if (at_end()) return fail("unterminated array");
+      const char c = take();
+      if (c == ']') return JsonValue(std::move(out));
+      if (c != ',') return fail("expected ',' or ']'");
+    }
+  }
+
+  Result<JsonValue> parse_object() {
+    take();  // '{'
+    JsonObject out;
+    skip_whitespace();
+    if (!at_end() && peek() == '}') {
+      take();
+      return JsonValue(std::move(out));
+    }
+    for (;;) {
+      skip_whitespace();
+      auto key = parse_string();
+      if (!key) return key.error();
+      skip_whitespace();
+      if (at_end() || take() != ':') return fail("expected ':'");
+      skip_whitespace();
+      auto value = parse_value();
+      if (!value) return value;
+      out[*std::move(key)] = *std::move(value);
+      skip_whitespace();
+      if (at_end()) return fail("unterminated object");
+      const char c = take();
+      if (c == '}') return JsonValue(std::move(out));
+      if (c != ',') return fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t offset_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace tft::util

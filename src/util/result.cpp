@@ -1,0 +1,36 @@
+#include "tft/util/result.hpp"
+
+namespace tft::util {
+
+std::string_view to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kParseError:
+      return "parse_error";
+    case ErrorCode::kOutOfRange:
+      return "out_of_range";
+    case ErrorCode::kNotFound:
+      return "not_found";
+    case ErrorCode::kProtocolViolation:
+      return "protocol_violation";
+    case ErrorCode::kTimeout:
+      return "timeout";
+    case ErrorCode::kConnectionRefused:
+      return "connection_refused";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Error::to_string() const {
+  std::string out{tft::util::to_string(code)};
+  if (!message.empty()) {
+    out += ": ";
+    out += message;
+  }
+  return out;
+}
+
+}  // namespace tft::util

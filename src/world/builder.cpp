@@ -1,0 +1,1178 @@
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <unordered_set>
+
+#include "tft/http/content.hpp"
+#include "tft/middlebox/http_modifiers.hpp"
+#include "tft/middlebox/monitor.hpp"
+#include "tft/middlebox/tls_interceptor.hpp"
+#include "tft/smtp/interceptor.hpp"
+#include "tft/util/hash.hpp"
+#include "tft/util/strings.hpp"
+#include "tft/world/world.hpp"
+
+namespace tft::world {
+
+namespace {
+
+using net::Asn;
+using net::CountryCode;
+using net::Ipv4Address;
+using net::Ipv4Prefix;
+using net::OrgId;
+using net::OrgKind;
+
+/// The hijack landing page an ad server serves. The five shared-vendor ISPs
+/// get byte-identical JavaScript except for the landing URL constant
+/// (§4.3.1's common-hardware observation).
+std::string hijack_page(std::string_view landing_host, bool shared_vendor_js) {
+  std::string url = "http://" + std::string(landing_host) + "/search";
+  if (shared_vendor_js) {
+    return "<html><head><title>Search Assistance</title>\n"
+           "<script type=\"text/javascript\">\n"
+           "var dnsAssistTarget=\"" + url + "\";\n"
+           "function dnsAssistRedirect(){\n"
+           "  var q=encodeURIComponent(window.location.hostname);\n"
+           "  window.location.replace(dnsAssistTarget+\"?q=\"+q+\"&cat=dnsr\");\n"
+           "}\n"
+           "window.onload=dnsAssistRedirect;\n"
+           "</script></head>\n"
+           "<body><p>The address you entered could not be found. "
+           "Redirecting to <a href=\"" + url + "\">search results</a>.</p>"
+           "</body></html>\n";
+  }
+  return "<html><head><title>Address not found</title></head><body>\n"
+         "<h1>We could not find that site</h1>\n"
+         "<p>Here are some sponsored results instead:</p>\n"
+         "<ul><li><a href=\"" + url + "?src=nxd\">" + std::string(landing_host) +
+         "</a></li></ul>\n"
+         "<img src=\"http://" + std::string(landing_host) + "/pixel.gif\">\n"
+         "</body></html>\n";
+}
+
+/// Per-node build record; agents are constructed only after every
+/// cross-cutting assignment phase has run.
+struct NodeBuild {
+  std::string zid;
+  Ipv4Address address;
+  Asn asn = 0;
+  CountryCode country;
+  std::size_t isp = 0;
+  Ipv4Address resolver;
+  bool uses_google = false;
+  middlebox::DnsInterceptorList dns_interceptors;
+  middlebox::HttpInterceptorList http_interceptors;
+  middlebox::TlsInterceptorList tls_interceptors;
+  smtp::SmtpInterceptorList smtp_interceptors;
+  NodeTruth truth;
+};
+
+struct IspState {
+  std::string name;
+  CountryCode country;
+  OrgId org = 0;
+  std::vector<Asn> asns;
+  std::vector<Ipv4Prefix> prefixes;       // parallel to asns
+  std::vector<std::uint32_t> next_host;   // parallel to asns
+  std::vector<Ipv4Address> resolver_ips;  // this ISP's resolver service IPs
+  std::vector<std::size_t> node_indices;  // into the node table
+};
+
+class WorldBuilder {
+ public:
+  WorldBuilder(const WorldSpec& spec, double scale, std::uint64_t seed)
+      : spec_(spec), scale_(scale), rng_(seed), world_(std::make_unique<World>()) {}
+
+  std::unique_ptr<World> build();
+
+ private:
+  int scaled(int n) const {
+    if (n <= 0) return 0;
+    return std::max(1, static_cast<int>(std::llround(n * scale_)));
+  }
+
+  // --- address space -------------------------------------------------------
+  Ipv4Prefix allocate_prefix();
+  Ipv4Address next_address(std::size_t isp, std::size_t as_slot);
+
+  // --- construction phases --------------------------------------------------
+  void build_measurement_infrastructure();
+  void build_google_dns();
+  void build_public_resolvers();
+  void build_isps_and_nodes();
+  void assign_public_hijack_users();
+  void assign_path_and_host_dns_hijackers();
+  void assign_http_modifiers();
+  void build_https_sites();
+  void assign_cert_replacers();
+  void assign_monitors();
+  void assign_smtp_interceptors();
+  void finalize();
+
+  // --- helpers ---------------------------------------------------------------
+  std::size_t create_isp(std::string name, CountryCode country, OrgKind kind,
+                         std::vector<Asn> asns);
+  std::shared_ptr<dns::RecursiveResolver> create_resolver(
+      Ipv4Address service, std::optional<dns::NxdomainHijackPolicy> hijack);
+  Ipv4Address create_ad_server(std::string_view landing_host, Ipv4Address address,
+                               bool shared_vendor_js);
+  void create_nodes(std::size_t isp, int count, bool force_isp_resolver,
+                    double google_fraction, double public_fraction,
+                    DnsHijackSource hijack_source, std::string hijack_operator);
+  /// Pick up to `count` node indices satisfying `predicate`, spread over at
+  /// least `as_spread` ASes and `country_spread` countries where possible.
+  std::vector<std::size_t> pick_spread(int count, int as_spread, int country_spread,
+                                       const std::function<bool(const NodeBuild&)>& predicate);
+  std::size_t find_isp(std::string_view name, const CountryCode& country) const;
+
+  const WorldSpec& spec_;
+  double scale_;
+  util::Rng rng_;
+  std::unique_ptr<World> world_;
+
+  std::vector<IspState> isps_;
+  std::vector<NodeBuild> nodes_;
+  std::vector<Ipv4Address> clean_public_resolver_ips_;
+  std::map<std::string, std::vector<Ipv4Address>> public_hijack_services_;
+  Ipv4Address opendns_service_{208, 67, 222, 222};
+  std::uint32_t next_prefix_block_ = 11 << 8;  // /16 blocks, starting 11.0.0.0
+  Asn next_synthetic_asn_ = 60000;
+  tls::CertificateAuthority* site_ca_ = nullptr;  // set in build_https_sites
+  std::vector<tls::CertificateAuthority> cas_;
+};
+
+Ipv4Prefix WorldBuilder::allocate_prefix() {
+  static const std::unordered_set<std::uint32_t> kReservedFirstOctets = {
+      0, 8, 10, 74, 127, 172, 173, 192, 198, 199, 203, 208, 209, 224, 255};
+  for (;;) {
+    const std::uint32_t block = next_prefix_block_++;
+    if (kReservedFirstOctets.contains(block >> 8)) continue;
+    return *Ipv4Prefix::make(Ipv4Address(block << 16), 16);
+  }
+}
+
+std::size_t WorldBuilder::create_isp(std::string name, CountryCode country,
+                                     OrgKind kind, std::vector<Asn> asns) {
+  IspState isp;
+  isp.name = name;
+  isp.country = country;
+  isp.org = world_->topology.add_organization(std::move(name), country, kind);
+  if (asns.empty()) asns.push_back(next_synthetic_asn_++);
+  for (const Asn asn : asns) {
+    world_->topology.add_as(asn, isp.org);
+    const Ipv4Prefix prefix = allocate_prefix();
+    world_->topology.announce(prefix, asn);
+    isp.asns.push_back(asn);
+    isp.prefixes.push_back(prefix);
+    isp.next_host.push_back(1000);
+  }
+  isps_.push_back(std::move(isp));
+  return isps_.size() - 1;
+}
+
+Ipv4Address WorldBuilder::next_address(std::size_t isp, std::size_t as_slot) {
+  IspState& state = isps_[isp];
+  const Ipv4Address address = *state.prefixes[as_slot].host(state.next_host[as_slot]);
+  ++state.next_host[as_slot];
+  return address;
+}
+
+std::shared_ptr<dns::RecursiveResolver> WorldBuilder::create_resolver(
+    Ipv4Address service, std::optional<dns::NxdomainHijackPolicy> hijack) {
+  auto resolver = std::make_shared<dns::RecursiveResolver>(
+      service, service, &world_->authorities, &world_->clock);
+  if (hijack) resolver->set_nxdomain_hijack(*hijack);
+  world_->resolvers.add_resolver(resolver);
+  return resolver;
+}
+
+Ipv4Address WorldBuilder::create_ad_server(std::string_view landing_host,
+                                           Ipv4Address address,
+                                           bool shared_vendor_js) {
+  auto server = std::make_shared<http::OriginServer>(
+      "ad-server:" + std::string(landing_host));
+  const std::string page = hijack_page(landing_host, shared_vendor_js);
+  server->set_default_handler(
+      [page](const http::Request&) { return http::Response::make(200, "OK", page); });
+  world_->web.add(address, server);
+  return address;
+}
+
+void WorldBuilder::build_measurement_infrastructure() {
+  world_->measurement_zone_origin = *dns::DnsName::parse("tft-study.net");
+  world_->measurement_zone =
+      std::make_shared<dns::AuthoritativeServer>(world_->measurement_zone_origin);
+  world_->measurement_web_address = Ipv4Address(198, 51, 100, 10);
+  world_->measurement_zone->add_wildcard_a(
+      *dns::DnsName::parse("probe.tft-study.net"), world_->measurement_web_address, 60);
+  world_->measurement_zone->add_a(*dns::DnsName::parse("web.tft-study.net"),
+                                  world_->measurement_web_address);
+  world_->authorities.register_zone(world_->measurement_zone);
+
+  world_->measurement_web = std::make_shared<http::OriginServer>("tft-measurement-web");
+  // Probe landing page (DNS + monitoring experiments fetch "/").
+  std::string probe_page =
+      "<html><head><title>tft-probe-content</title></head><body>"
+      "<h1>tft-probe-content</h1><p>reference landing page</p>";
+  probe_page += "<!-- " + std::string(1600, 'P') + " -->";
+  probe_page += "</body></html>";
+  world_->measurement_web->set_default_handler([probe_page](const http::Request&) {
+    return http::Response::make(200, "OK", probe_page);
+  });
+  // The four reference objects of §5.1, under any probe host.
+  world_->probe_html_bytes = spec_.probe_html_bytes;
+  world_->measurement_web->add_path_for_any_host(
+      "/page.html",
+      http::Response::make(200, "OK", http::reference_html(spec_.probe_html_bytes),
+                           "text/html"));
+  world_->measurement_web->add_path_for_any_host(
+      "/image.simg",
+      http::Response::make(200, "OK", http::reference_image(), "image/simg"));
+  world_->measurement_web->add_path_for_any_host(
+      "/library.js", http::Response::make(200, "OK", http::reference_javascript(),
+                                          "application/javascript"));
+  world_->measurement_web->add_path_for_any_host(
+      "/style.css", http::Response::make(200, "OK", http::reference_css(), "text/css"));
+  world_->web.add(world_->measurement_web_address, world_->measurement_web);
+
+  // The SMTP extension's measurement mail server (mail.tft-study.net).
+  world_->measurement_mail_address = Ipv4Address(198, 51, 100, 25);
+  world_->measurement_mail = std::make_shared<smtp::SmtpServer>(
+      smtp::SmtpServer::Config{"mail.tft-study.net", "TFT-SMTPD 1.0", true, true});
+  world_->smtp.add(world_->measurement_mail_address, world_->measurement_mail);
+  world_->measurement_zone->add_a(*dns::DnsName::parse("mail.tft-study.net"),
+                                  world_->measurement_mail_address);
+}
+
+void WorldBuilder::build_google_dns() {
+  const OrgId google =
+      world_->topology.add_organization("Google", "US", OrgKind::kPublicDnsOperator);
+  world_->topology.add_as(15169, google);
+  world_->topology.announce(*Ipv4Prefix::parse("8.8.8.0/24"), 15169);
+  // Anycast sites answer from several distinct egress netblocks, as in the
+  // real service; the paper only ever observed its super proxy's site
+  // (74.125.0.0/16).
+  for (const char* block :
+       {"74.125.0.0/16", "172.217.0.0/16", "173.194.0.0/16", "209.85.128.0/17"}) {
+    const auto prefix = *Ipv4Prefix::parse(block);
+    world_->topology.announce(prefix, 15169);
+    world_->google_netblocks.push_back(prefix);
+  }
+
+  world_->google_dns =
+      std::make_shared<dns::AnycastResolverGroup>(Ipv4Address(8, 8, 8, 8), "google");
+  const int instances = std::max(2, spec_.google_anycast_instances);
+  for (int i = 0; i < instances; ++i) {
+    const auto& block =
+        world_->google_netblocks[static_cast<std::size_t>(i) %
+                                 world_->google_netblocks.size()];
+    auto instance = std::make_shared<dns::RecursiveResolver>(
+        Ipv4Address(8, 8, 8, 8),
+        *block.host(256u * (1 + static_cast<std::uint32_t>(i) /
+                                    world_->google_netblocks.size()) +
+                    1),
+        &world_->authorities, &world_->clock);
+    world_->google_dns->add_instance(std::move(instance));
+  }
+  world_->resolvers.add_anycast(world_->google_dns);
+
+  // What the paper's empirical step would find: the /16 containing the
+  // super proxy's instance egress. The super proxy address is fixed
+  // (proxy::SuperProxy::Config default), so resolve it here.
+  const net::Ipv4Address super_proxy_egress =
+      world_->google_dns->instance_for(proxy::SuperProxy::Config{}.address)
+          .egress_address();
+  world_->google_egress_block = *Ipv4Prefix::make(super_proxy_egress, 16);
+}
+
+void WorldBuilder::build_public_resolvers() {
+  // Ad-tech hosting for landing pages not owned by an ISP.
+  const std::size_t adtech =
+      create_isp("TFT AdTech Hosting", "US", OrgKind::kHosting, {});
+  std::uint32_t adtech_host = 80;
+  const auto adtech_address = [&] {
+    return *isps_[adtech].prefixes[0].host(adtech_host++);
+  };
+
+  // Hijacking public resolver services (§4.3.2).
+  for (const auto& service : spec_.public_resolver_hijackers) {
+    const std::size_t isp = create_isp(service.operator_name, "US",
+                                       OrgKind::kPublicDnsOperator, {});
+    const Ipv4Address landing =
+        create_ad_server(service.landing_host, adtech_address(), false);
+    // Server counts scale with the population so each server keeps enough
+    // users to clear the analysis thresholds.
+    const int servers = std::max(1, scaled(service.servers));
+    for (int i = 0; i < servers; ++i) {
+      const Ipv4Address address = *isps_[isp].prefixes[0].host(53 + i);
+      create_resolver(address, dns::NxdomainHijackPolicy{landing, 60, 1.0});
+      // Hijacking public resolvers are assigned to nodes later, explicitly,
+      // so keep them out of the clean pool.
+      public_hijack_services_[service.operator_name].push_back(address);
+    }
+  }
+
+  // OpenDNS: a clean resolver DNS-wise (its cert interception is separate).
+  const std::size_t opendns =
+      create_isp("OpenDNS", "US", OrgKind::kPublicDnsOperator, {});
+  (void)opendns;
+  create_resolver(opendns_service_, std::nullopt);
+
+  // The clean public-resolver population (paper: 1,110 public servers seen,
+  // only 21 hijacking).
+  const int operators = 12;
+  std::vector<std::size_t> public_orgs;
+  for (int i = 0; i < operators; ++i) {
+    public_orgs.push_back(create_isp("Public DNS Operator " + std::to_string(i + 1),
+                                     "US", OrgKind::kPublicDnsOperator, {}));
+  }
+  const int clean_count = std::max(4, scaled(spec_.clean_public_resolvers));
+  for (int i = 0; i < clean_count; ++i) {
+    const std::size_t isp = public_orgs[static_cast<std::size_t>(i) % public_orgs.size()];
+    const Ipv4Address address =
+        *isps_[isp].prefixes[0].host(53 + static_cast<std::uint32_t>(i / operators) * 7);
+    create_resolver(address, std::nullopt);
+    clean_public_resolver_ips_.push_back(address);
+  }
+}
+
+void WorldBuilder::create_nodes(std::size_t isp, int count, bool force_isp_resolver,
+                                double google_fraction, double public_fraction,
+                                DnsHijackSource hijack_source,
+                                std::string hijack_operator) {
+  IspState& state = isps_[isp];
+  for (int i = 0; i < count; ++i) {
+    NodeBuild node;
+    const std::size_t as_slot = static_cast<std::size_t>(i) % state.asns.size();
+    node.asn = state.asns[as_slot];
+    node.address = next_address(isp, as_slot);
+    node.country = state.country;
+    node.isp = isp;
+    node.zid = util::stable_id("node|" + state.name + "|" + state.country + "|" +
+                               std::to_string(i));
+
+    if (force_isp_resolver || state.resolver_ips.empty()) {
+      if (!state.resolver_ips.empty()) {
+        node.resolver = state.resolver_ips[static_cast<std::size_t>(i) %
+                                           state.resolver_ips.size()];
+      } else {
+        node.resolver = Ipv4Address(8, 8, 8, 8);
+        node.uses_google = true;
+      }
+    } else {
+      const double roll = rng_.uniform_double();
+      if (roll < google_fraction) {
+        node.resolver = Ipv4Address(8, 8, 8, 8);
+        node.uses_google = true;
+      } else if (roll < google_fraction + public_fraction &&
+                 !clean_public_resolver_ips_.empty()) {
+        node.resolver =
+            clean_public_resolver_ips_[rng_.index(clean_public_resolver_ips_.size())];
+      } else {
+        node.resolver = state.resolver_ips[static_cast<std::size_t>(i) %
+                                           state.resolver_ips.size()];
+      }
+    }
+
+    if (hijack_source != DnsHijackSource::kNone && !node.uses_google) {
+      node.truth.dns_hijack = hijack_source;
+      node.truth.dns_hijack_operator = hijack_operator;
+    }
+
+    state.node_indices.push_back(nodes_.size());
+    nodes_.push_back(std::move(node));
+  }
+}
+
+void WorldBuilder::build_isps_and_nodes() {
+  // Known real-world AS numbers for featured networks.
+  static const std::map<std::string, std::vector<Asn>> kKnownAsns = {
+      {"Deutsche Telekom AG", {3320}},
+      {"Talk Talk", {43234, 13285, 9105, 43235, 13286}},
+      {"Internet Rimon ISP", {42925}},
+  };
+
+  std::map<std::string, int> used_by_country;  // paper-scale node counts
+
+  const auto known_asns = [&](const std::string& name) {
+    const auto it = kKnownAsns.find(name);
+    return it == kKnownAsns.end() ? std::vector<Asn>{} : it->second;
+  };
+
+  // 1. Table 4 ISPs: hijacking resolvers.
+  for (const auto& entry : spec_.isp_resolver_hijackers) {
+    std::vector<Asn> asns = known_asns(entry.isp);
+    if (asns.empty() && entry.nodes > 1000) asns = {next_synthetic_asn_++, next_synthetic_asn_++};
+    const std::size_t isp =
+        create_isp(entry.isp, entry.country, OrgKind::kBroadbandIsp, asns);
+    const Ipv4Address landing = create_ad_server(
+        entry.landing_host, *isps_[isp].prefixes[0].host(80), entry.shared_vendor_js);
+    const int servers = std::max(1, scaled(entry.dns_servers));
+    for (int i = 0; i < servers; ++i) {
+      const Ipv4Address address =
+          *isps_[isp].prefixes[static_cast<std::size_t>(i) % isps_[isp].prefixes.size()]
+               .host(53 + static_cast<std::uint32_t>(i) * 16);
+      create_resolver(address, dns::NxdomainHijackPolicy{landing, 60, 1.0});
+      isps_[isp].resolver_ips.push_back(address);
+    }
+    create_nodes(isp, scaled(entry.nodes), /*force_isp_resolver=*/true, 0, 0,
+                 DnsHijackSource::kIspResolver, entry.isp);
+    used_by_country[entry.country] += entry.nodes;
+  }
+
+  // 2. Named ISPs (Tiscali, Uzone, ...): clean resolvers.
+  for (const auto& entry : spec_.named_isps) {
+    std::vector<Asn> asns;
+    for (int i = 0; i < entry.as_count; ++i) asns.push_back(next_synthetic_asn_++);
+    const std::size_t isp = create_isp(entry.name, entry.country, entry.kind, asns);
+    const Ipv4Address address = *isps_[isp].prefixes[0].host(53);
+    create_resolver(address, std::nullopt);
+    isps_[isp].resolver_ips.push_back(address);
+    // Give named ISPs an elevated Google share so path hijackers targeting
+    // their Google users (e.g. Uzone) have a population to hit.
+    create_nodes(isp, scaled(entry.nodes), false, 0.08, 0.02, DnsHijackSource::kNone, {});
+    used_by_country[entry.country] += entry.nodes;
+  }
+
+  // 3. Table 7 carriers: mobile ASes with image transcoders (interceptors
+  //    attached in assign_http_modifiers).
+  for (const auto& entry : spec_.transcoders) {
+    const std::size_t isp =
+        create_isp(entry.isp, entry.country, OrgKind::kMobileIsp, {entry.asn});
+    const Ipv4Address address = *isps_[isp].prefixes[0].host(53);
+    create_resolver(address, std::nullopt);
+    isps_[isp].resolver_ips.push_back(address);
+    // Floor the carrier populations: Table 7's smallest ASes (10-25 nodes
+    // at paper scale) must stay measurable after down-scaling.
+    const int nodes = std::max(scaled(entry.nodes), std::min(entry.nodes, 12));
+    create_nodes(isp, nodes, false, 0.04, 0.02, DnsHijackSource::kNone, {});
+    used_by_country[entry.country] += entry.nodes;
+  }
+
+  // 4. Filtering ISPs (Rimon).
+  for (const auto& entry : spec_.isp_filters) {
+    const std::size_t isp = create_isp(entry.isp, entry.country,
+                                       OrgKind::kBroadbandIsp,
+                                       entry.asn != 0 ? std::vector<Asn>{entry.asn}
+                                                      : known_asns(entry.isp));
+    const Ipv4Address address = *isps_[isp].prefixes[0].host(53);
+    create_resolver(address, std::nullopt);
+    isps_[isp].resolver_ips.push_back(address);
+    create_nodes(isp, scaled(entry.nodes), false, 0.04, 0.02, DnsHijackSource::kNone, {});
+    used_by_country[entry.country] += entry.nodes;
+  }
+
+  // 5. Country fill: generic ISPs up to the country total. The Table 3
+  //    remainder (extra_hijacked_nodes) is spread THINLY: every generic
+  //    resolver in the country hijacks a small per-subscriber fraction
+  //    (deterministic per node), which reproduces §4.2's finding that most
+  //    large ASes contain *some* hijacked nodes while no single generic
+  //    server clears Table 4's >=90% reporting bar.
+  for (const auto& country : spec_.countries) {
+    const int generic_budget =
+        std::max(0, country.total_nodes - used_by_country[country.code]);
+    if (generic_budget <= 0) continue;
+    const double hijack_fraction =
+        std::min(0.85, static_cast<double>(country.extra_hijacked_nodes) /
+                           std::max(1, generic_budget));
+    // The hijack only bites for nodes that use the ISP resolver.
+    const double isp_user_share = std::max(
+        0.05, 1.0 - country.google_dns_fraction - country.public_dns_fraction);
+    const double hijack_probability = std::min(1.0, hijack_fraction / isp_user_share);
+
+    const int isp_count = std::max(1, country.isp_count);
+    for (int i = 0; i < isp_count; ++i) {
+      const int nodes = generic_budget / isp_count +
+                        (i < generic_budget % isp_count ? 1 : 0);
+      if (nodes <= 0) continue;
+      std::vector<Asn> asns;
+      for (int a = 0; a < std::max(1, country.ases_per_isp); ++a) {
+        asns.push_back(next_synthetic_asn_++);
+      }
+      const std::string name = country.code + " ISP " + std::to_string(i + 1);
+      const std::size_t isp =
+          create_isp(name, country.code, OrgKind::kBroadbandIsp, asns);
+
+      std::optional<dns::NxdomainHijackPolicy> policy;
+      if (hijack_probability > 0) {
+        const std::string slug =
+            util::to_lower(country.code) + "-g" + std::to_string(i + 1);
+        const Ipv4Address landing = create_ad_server(
+            "dns-assist." + slug + ".example.net", *isps_[isp].prefixes[0].host(80),
+            false);
+        policy = dns::NxdomainHijackPolicy{landing, 60, hijack_probability};
+      }
+      for (std::size_t r = 0; r < std::max<std::size_t>(1, asns.size() / 2); ++r) {
+        const Ipv4Address address = *isps_[isp].prefixes[r % isps_[isp].prefixes.size()]
+                                         .host(53 + static_cast<std::uint32_t>(r) * 8);
+        create_resolver(address, policy);
+        isps_[isp].resolver_ips.push_back(address);
+      }
+      create_nodes(isp, scaled(nodes), false, country.google_dns_fraction,
+                   country.public_dns_fraction, DnsHijackSource::kNone, {});
+      // Ground truth for the probabilistic hijack: the resolver's decision
+      // is a deterministic function of the node's zID (stable_hijack_roll),
+      // so we can record exactly which nodes it will affect.
+      if (hijack_probability > 0) {
+        for (const auto index : isps_[isp].node_indices) {
+          NodeBuild& node = nodes_[index];
+          if (node.uses_google) continue;
+          if (node.truth.dns_hijack != DnsHijackSource::kNone) continue;
+          // Only nodes on this ISP's resolvers (not public-resolver users).
+          bool on_isp_resolver = false;
+          for (const auto& resolver : isps_[isp].resolver_ips) {
+            on_isp_resolver = on_isp_resolver || node.resolver == resolver;
+          }
+          if (!on_isp_resolver) continue;
+          if (proxy::stable_hijack_roll(node.zid) < hijack_probability) {
+            node.truth.dns_hijack = DnsHijackSource::kIspResolver;
+            node.truth.dns_hijack_operator = name;
+          }
+        }
+      }
+    }
+  }
+}
+
+std::size_t WorldBuilder::find_isp(std::string_view name,
+                                   const CountryCode& country) const {
+  for (std::size_t i = 0; i < isps_.size(); ++i) {
+    if (isps_[i].name == name && (country.empty() || isps_[i].country == country)) {
+      return i;
+    }
+  }
+  return isps_.size();
+}
+
+std::vector<std::size_t> WorldBuilder::pick_spread(
+    int count, int as_spread, int country_spread,
+    const std::function<bool(const NodeBuild&)>& predicate) {
+  // Group candidates by country, limit to `country_spread` countries, then
+  // by AS limited to `as_spread` ASes, and deal round-robin across the
+  // surviving AS pools. This reproduces the install-base footprints the
+  // paper reports (e.g. TrendMicro: 734 ASes but only 13 countries).
+  std::map<std::string, std::map<Asn, std::vector<std::size_t>>> by_country;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (predicate(nodes_[i])) by_country[nodes_[i].country][nodes_[i].asn].push_back(i);
+  }
+
+  // Prefer the countries with the most candidates (stable), tie-broken by
+  // name, then randomly drop down to the allowed spread.
+  std::vector<std::string> countries;
+  countries.reserve(by_country.size());
+  for (const auto& [country, groups] : by_country) countries.push_back(country);
+  std::sort(countries.begin(), countries.end(),
+            [&](const std::string& a, const std::string& b) {
+              std::size_t na = 0, nb = 0;
+              for (const auto& [asn, v] : by_country[a]) na += v.size();
+              for (const auto& [asn, v] : by_country[b]) nb += v.size();
+              if (na != nb) return na > nb;
+              return a < b;
+            });
+  if (country_spread > 0 &&
+      countries.size() > static_cast<std::size_t>(country_spread)) {
+    countries.resize(static_cast<std::size_t>(country_spread));
+  }
+
+  const int scaled_as_spread =
+      std::max(1, static_cast<int>(std::llround(as_spread * scale_)));
+  std::vector<std::vector<std::size_t>> pools;
+  for (const auto& country : countries) {
+    auto& groups = by_country[country];
+    std::vector<std::vector<std::size_t>> country_pools;
+    country_pools.reserve(groups.size());
+    for (auto& [asn, indices] : groups) country_pools.push_back(std::move(indices));
+    for (std::size_t i = country_pools.size(); i > 1; --i) {
+      std::swap(country_pools[i - 1], country_pools[rng_.index(i)]);
+    }
+    // Per-country AS budget proportional to the overall as_spread.
+    const std::size_t budget = std::max<std::size_t>(
+        1, static_cast<std::size_t>(scaled_as_spread) / countries.size() + 1);
+    if (country_pools.size() > budget) country_pools.resize(budget);
+    for (auto& pool : country_pools) pools.push_back(std::move(pool));
+  }
+  for (std::size_t i = pools.size(); i > 1; --i) {
+    std::swap(pools[i - 1], pools[rng_.index(i)]);
+  }
+
+  std::vector<std::size_t> picked;
+  std::size_t cursor = 0;
+  while (static_cast<int>(picked.size()) < count && !pools.empty()) {
+    const std::size_t slot = cursor % pools.size();
+    auto& pool = pools[slot];
+    if (pool.empty()) {
+      pools.erase(pools.begin() + static_cast<std::ptrdiff_t>(slot));
+      continue;
+    }
+    picked.push_back(pool.back());
+    pool.pop_back();
+    ++cursor;
+  }
+  return picked;
+}
+
+void WorldBuilder::assign_public_hijack_users() {
+  for (const auto& service : spec_.public_resolver_hijackers) {
+    const auto& services = public_hijack_services_[service.operator_name];
+    assert(!services.empty());
+    const auto picked = pick_spread(
+        scaled(service.nodes), 20, 5, [](const NodeBuild& node) {
+          return node.truth.dns_hijack == DnsHijackSource::kNone && !node.uses_google;
+        });
+    for (std::size_t i = 0; i < picked.size(); ++i) {
+      NodeBuild& node = nodes_[picked[i]];
+      node.resolver = services[i % services.size()];
+      node.uses_google = false;
+      node.truth.dns_hijack = DnsHijackSource::kPublicResolver;
+      node.truth.dns_hijack_operator = service.operator_name;
+    }
+  }
+}
+
+void WorldBuilder::assign_path_and_host_dns_hijackers() {
+  std::uint32_t adtech_host = 180;
+  const std::size_t adtech = find_isp("TFT AdTech Hosting", "US");
+
+  for (const auto& entry : spec_.path_hijackers) {
+    const std::size_t isp = find_isp(entry.isp, entry.country);
+    if (isp >= isps_.size()) continue;
+    // The landing server may already exist (resolver hijacker of the same
+    // ISP); reuse it through a fresh rewriter either way.
+    const Ipv4Address landing = create_ad_server(
+        entry.landing_host, *isps_[adtech].prefixes[0].host(adtech_host++), false);
+    auto rewriter = std::make_shared<middlebox::NxdomainRewriter>(
+        middlebox::NxdomainRewriter::Config{entry.isp + " path middlebox", landing,
+                                            1.0, 60});
+    const std::size_t isp_index = isp;
+    // Prefer Google-DNS users of the ISP (that is where the paper can see
+    // path hijacking); convert clean ISP-resolver users if too few.
+    auto picked = pick_spread(scaled(entry.google_dns_nodes), entry.as_spread, 1,
+                              [&](const NodeBuild& node) {
+                                return node.isp == isp_index && node.uses_google;
+                              });
+    const int deficit = scaled(entry.google_dns_nodes) - static_cast<int>(picked.size());
+    if (deficit > 0) {
+      // Not enough Google-DNS users: some subscribers of this ISP (even of
+      // ISPs whose own resolvers hijack) configured 8.8.8.8 themselves —
+      // convert a few, clearing any resolver-level hijack truth.
+      for (const auto extra : pick_spread(
+               deficit, entry.as_spread, 1, [&](const NodeBuild& node) {
+                 return node.isp == isp_index && !node.uses_google;
+               })) {
+        nodes_[extra].resolver = Ipv4Address(8, 8, 8, 8);
+        nodes_[extra].uses_google = true;
+        nodes_[extra].truth.dns_hijack = DnsHijackSource::kNone;
+        nodes_[extra].truth.dns_hijack_operator.clear();
+        picked.push_back(extra);
+      }
+    }
+    for (const auto index : picked) {
+      NodeBuild& node = nodes_[index];
+      node.dns_interceptors.push_back(rewriter);
+      // Path boxes fire regardless of resolver; for resolver-hijacked nodes
+      // the resolver wins first, so only record truth for clean-DNS nodes.
+      if (node.truth.dns_hijack == DnsHijackSource::kNone) {
+        node.truth.dns_hijack = DnsHijackSource::kPathMiddlebox;
+        node.truth.dns_hijack_operator = entry.isp;
+      }
+    }
+  }
+
+  // Scattered CPE-level hijacking: small per-ISP clusters, each with its
+  // own landing host (below Table 5's reporting threshold).
+  if (spec_.scattered_google_hijack_nodes > 0) {
+    const auto picked = pick_spread(
+        scaled(spec_.scattered_google_hijack_nodes), 120, 40,
+        [](const NodeBuild& node) {
+          return node.uses_google && node.truth.dns_hijack == DnsHijackSource::kNone &&
+                 node.dns_interceptors.empty();
+        });
+    std::map<std::size_t, std::shared_ptr<middlebox::NxdomainRewriter>> per_isp;
+    for (const auto index : picked) {
+      NodeBuild& node = nodes_[index];
+      auto& rewriter = per_isp[node.isp];
+      if (!rewriter) {
+        const std::string slug = "cpe-" + std::to_string(node.isp);
+        const Ipv4Address landing = create_ad_server(
+            "dns-helper." + slug + ".example.net",
+            *isps_[adtech].prefixes[0].host(adtech_host++), false);
+        rewriter = std::make_shared<middlebox::NxdomainRewriter>(
+            middlebox::NxdomainRewriter::Config{isps_[node.isp].name + " CPE box",
+                                                landing, 1.0, 60});
+      }
+      node.dns_interceptors.push_back(rewriter);
+      node.truth.dns_hijack = DnsHijackSource::kPathMiddlebox;
+      node.truth.dns_hijack_operator = isps_[node.isp].name + " CPE box";
+    }
+  }
+
+  for (const auto& entry : spec_.host_dns_hijackers) {
+    const Ipv4Address landing = create_ad_server(
+        entry.landing_host, *isps_[adtech].prefixes[0].host(adtech_host++), false);
+    auto rewriter = std::make_shared<middlebox::NxdomainRewriter>(
+        middlebox::NxdomainRewriter::Config{entry.product, landing, 1.0, 60});
+    const auto picked = pick_spread(
+        scaled(entry.nodes), entry.as_spread, entry.country_spread,
+        [](const NodeBuild& node) {
+          return node.uses_google && node.truth.dns_hijack == DnsHijackSource::kNone &&
+                 node.dns_interceptors.empty();
+        });
+    for (const auto index : picked) {
+      NodeBuild& node = nodes_[index];
+      node.dns_interceptors.push_back(rewriter);
+      node.truth.dns_hijack = DnsHijackSource::kHostSoftware;
+      node.truth.dns_hijack_operator = entry.product;
+    }
+  }
+}
+
+void WorldBuilder::assign_http_modifiers() {
+  const auto boosted = [&](int nodes) {
+    return scaled(static_cast<int>(nodes * spec_.adware_install_boost));
+  };
+
+  // Host adware (Table 6).
+  for (const auto& entry : spec_.adware) {
+    auto injector = std::make_shared<middlebox::HtmlInjector>(
+        middlebox::HtmlInjector::Config{entry.name, entry.snippet, 1024, 1.0});
+    const auto picked =
+        pick_spread(boosted(entry.nodes), entry.as_spread, entry.country_spread,
+                    [](const NodeBuild& node) { return node.truth.html_injector.empty(); });
+    for (const auto index : picked) {
+      nodes_[index].http_interceptors.push_back(injector);
+      nodes_[index].truth.html_injector = entry.name;
+    }
+  }
+
+  // ISP filters (Rimon/NetSpark): every node of the AS.
+  for (const auto& entry : spec_.isp_filters) {
+    const std::size_t isp = find_isp(entry.isp, entry.country);
+    if (isp >= isps_.size()) continue;
+    auto injector = std::make_shared<middlebox::HtmlInjector>(
+        middlebox::HtmlInjector::Config{entry.isp + " NetSpark filter", entry.snippet,
+                                        0, 1.0});
+    for (const auto index : isps_[isp].node_indices) {
+      nodes_[index].http_interceptors.push_back(injector);
+      nodes_[index].truth.html_injector = entry.isp + " NetSpark filter";
+    }
+  }
+
+  // Mobile transcoders (Table 7): per-node quality drawn from the carrier's
+  // quality set; fraction models per-plan deployment.
+  for (const auto& entry : spec_.transcoders) {
+    const std::size_t isp = find_isp(entry.isp, entry.country);
+    if (isp >= isps_.size()) continue;
+    std::vector<std::shared_ptr<middlebox::ImageTranscoder>> per_quality;
+    for (const int quality : entry.qualities) {
+      per_quality.push_back(std::make_shared<middlebox::ImageTranscoder>(
+          middlebox::ImageTranscoder::Config{
+              entry.isp + " transcoder q" + std::to_string(quality),
+              static_cast<std::uint8_t>(quality), 1.0}));
+    }
+    for (const auto index : isps_[isp].node_indices) {
+      if (!rng_.chance(entry.fraction)) continue;
+      const auto& transcoder = per_quality[rng_.index(per_quality.size())];
+      nodes_[index].http_interceptors.push_back(transcoder);
+      nodes_[index].truth.image_transcoder = std::string(transcoder->name());
+    }
+  }
+
+  // Block pages and JS/CSS error replacement (§5.2 residue).
+  auto blocker = std::make_shared<middlebox::ContentBlocker>(
+      middlebox::ContentBlocker::Config{
+          "bandwidth-cap",
+          "<html><body><h1>Bandwidth exceeded</h1><p>blocked</p></body></html>", 403});
+  for (const auto index :
+       pick_spread(boosted(spec_.blockpage_nodes), 10, 5, [](const NodeBuild& node) {
+         return node.http_interceptors.empty();
+       })) {
+    nodes_[index].http_interceptors.push_back(blocker);
+    nodes_[index].truth.content_blocker = "bandwidth-cap";
+  }
+  auto js_replacer = std::make_shared<middlebox::ObjectReplacer>(
+      middlebox::ObjectReplacer::Config{"js-error-box", "javascript",
+                                        "<html><body>error</body></html>", 200});
+  for (const auto index :
+       pick_spread(boosted(spec_.js_error_nodes), 20, 10, [](const NodeBuild& node) {
+         return node.http_interceptors.empty() && node.truth.content_blocker.empty();
+       })) {
+    nodes_[index].http_interceptors.push_back(js_replacer);
+    nodes_[index].truth.object_replacer = "js-error-box";
+  }
+  auto css_replacer = std::make_shared<middlebox::ObjectReplacer>(
+      middlebox::ObjectReplacer::Config{"css-error-box", "css", "", 200});
+  for (const auto index :
+       pick_spread(boosted(spec_.css_error_nodes), 8, 4, [](const NodeBuild& node) {
+         return node.http_interceptors.empty() && node.truth.content_blocker.empty() &&
+                node.truth.object_replacer.empty();
+       })) {
+    nodes_[index].http_interceptors.push_back(css_replacer);
+    nodes_[index].truth.object_replacer = "css-error-box";
+  }
+}
+
+void WorldBuilder::build_https_sites() {
+  const sim::Instant not_before = sim::Instant::epoch() - sim::Duration::hours(24 * 365);
+  const sim::Instant not_after = sim::Instant::epoch() + sim::Duration::hours(24 * 365 * 5);
+
+  // Public web PKI: three roots, one intermediate in use.
+  cas_.reserve(8);
+  for (int i = 0; i < 3; ++i) {
+    cas_.push_back(tls::CertificateAuthority::make_root(
+        tls::DistinguishedName{"TFT Global Root CA " + std::to_string(i + 1),
+                               "TFT Trust Services", "US"},
+        util::fnv1a64("root-ca-" + std::to_string(i)), not_before, not_after));
+    world_->public_roots.add(cas_[static_cast<std::size_t>(i)].certificate());
+  }
+  cas_.push_back(tls::CertificateAuthority::make_intermediate(
+      cas_[0], tls::DistinguishedName{"TFT TLS Issuing CA", "TFT Trust Services", "US"},
+      util::fnv1a64("issuing-ca")));
+  site_ca_ = &cas_.back();
+
+  const std::size_t hosting = create_isp("TFT Web Hosting", "US", OrgKind::kHosting, {});
+  std::uint32_t host_index = 100;
+  const auto new_site_address = [&] {
+    return *isps_[hosting].prefixes[0].host(host_index++);
+  };
+
+  const auto add_site = [&](const std::string& host, HttpsSite::Class site_class,
+                            HttpsSite::InvalidKind invalid_kind,
+                            const CountryCode& country) {
+    HttpsSite site;
+    site.host = host;
+    site.address = new_site_address();
+    site.site_class = site_class;
+    site.invalid_kind = invalid_kind;
+    site.country = country;
+
+    tls::CertificateAuthority::LeafOptions options;
+    options.hosts = {host};
+    switch (invalid_kind) {
+      case HttpsSite::InvalidKind::kNone:
+        site.genuine_chain = site_ca_->chain_for(site_ca_->issue(options));
+        break;
+      case HttpsSite::InvalidKind::kSelfSigned: {
+        tls::Certificate leaf;
+        leaf.subject = tls::DistinguishedName{host, "Self Signed", "US"};
+        leaf.issuer = leaf.subject;
+        leaf.serial = 1;
+        leaf.not_before = not_before;
+        leaf.not_after = not_after;
+        leaf.subject_alt_names = {host};
+        leaf.public_key = util::fnv1a64("self-signed|" + host);
+        leaf.signed_by = leaf.public_key;
+        site.genuine_chain = {leaf};
+        break;
+      }
+      case HttpsSite::InvalidKind::kExpired:
+        options.not_before = sim::Instant::epoch() - sim::Duration::hours(24 * 730);
+        options.not_after = sim::Instant::epoch() - sim::Duration::hours(24);
+        site.genuine_chain = site_ca_->chain_for(site_ca_->issue(options));
+        break;
+      case HttpsSite::InvalidKind::kWrongCommonName:
+        options.hosts = {"wrong-host.example.net"};
+        options.subject_override =
+            tls::DistinguishedName{"wrong-host.example.net", "TFT Study", "US"};
+        site.genuine_chain = site_ca_->chain_for(site_ca_->issue(options));
+        break;
+    }
+
+    auto server = std::make_shared<tls::TlsServer>(host);
+    server->set_default_chain(site.genuine_chain);
+    world_->tls_endpoints.add(site.address, server);
+    world_->https_sites.push_back(std::move(site));
+  };
+
+  // Per-country popular sites (Alexa stand-in), limited to the countries
+  // the paper had rankings for.
+  int countries_done = 0;
+  for (const auto& country : spec_.countries) {
+    if (countries_done >= spec_.https.countries_with_rankings) break;
+    ++countries_done;
+    for (int i = 0; i < spec_.https.popular_sites_per_country; ++i) {
+      add_site("www.top" + std::to_string(i + 1) + "." +
+                   util::to_lower(country.code) + ".tft-popular.net",
+               HttpsSite::Class::kPopular, HttpsSite::InvalidKind::kNone, country.code);
+    }
+  }
+  for (const auto& university : spec_.https.universities) {
+    add_site(university, HttpsSite::Class::kUniversity, HttpsSite::InvalidKind::kNone,
+             "US");
+  }
+  add_site("self-signed.tft-study.net", HttpsSite::Class::kInvalid,
+           HttpsSite::InvalidKind::kSelfSigned, "US");
+  add_site("expired.tft-study.net", HttpsSite::Class::kInvalid,
+           HttpsSite::InvalidKind::kExpired, "US");
+  add_site("wrong-cn.tft-study.net", HttpsSite::Class::kInvalid,
+           HttpsSite::InvalidKind::kWrongCommonName, "US");
+}
+
+void WorldBuilder::assign_cert_replacers() {
+  // Block list for content filters: the top-10 popular sites of every
+  // country (so filter users everywhere have blockable sites in their
+  // per-country scan list; detection needs the random phase-1 pick to land
+  // on a blocked site).
+  std::unordered_set<std::string> blocked_hosts;
+  for (const auto& site : world_->https_sites) {
+    if (site.site_class != HttpsSite::Class::kPopular) continue;
+    for (int i = 1; i <= 10; ++i) {
+      if (site.host.starts_with("www.top" + std::to_string(i) + ".")) {
+        blocked_hosts.insert(site.host);
+      }
+    }
+  }
+
+  for (const auto& spec : spec_.cert_replacers) {
+    tls::ForgeProfile forge;
+    forge.issuer = tls::DistinguishedName{spec.issuer_cn, spec.product, "US"};
+    forge.signing_key = util::fnv1a64("product-ca|" + spec.product);
+    forge.reuse_public_key = spec.reuse_public_key;
+    if (spec.untrusted_issuer_for_invalid) {
+      forge.untrusted_issuer = tls::DistinguishedName{
+          spec.issuer_cn + " (untrusted)", spec.product, "US"};
+    }
+    forge.copy_subject_fields = spec.kind == CertReplacerSpec::Kind::kMalware;
+
+    middlebox::CertReplacer::Config config;
+    config.name = spec.product;
+    config.forge = forge;
+    config.only_if_upstream_valid = spec.only_if_upstream_valid;
+    if (spec.only_blocked_hosts) config.only_hosts = blocked_hosts;
+    // Products that distinguish valid/invalid upstreams need to verify.
+    if (spec.untrusted_issuer_for_invalid || spec.only_if_upstream_valid) {
+      config.public_roots = &world_->public_roots;
+    }
+
+    const auto only_country = spec.only_country;
+    // Floor the small products (McAfee: 6 nodes at paper scale) so every
+    // Table 8 issuer stays detectable after down-scaling.
+    const int installs = std::max(scaled(spec.nodes), std::min(spec.nodes, 5));
+    const auto picked = pick_spread(
+        installs, 200, 50, [&](const NodeBuild& node) {
+          if (only_country && node.country != *only_country) return false;
+          return node.truth.cert_replacer.empty();
+        });
+    for (const auto index : picked) {
+      NodeBuild& node = nodes_[index];
+      node.tls_interceptors.push_back(std::make_shared<middlebox::CertReplacer>(
+          config, util::fnv1a64("host|" + node.zid)));
+      node.truth.cert_replacer = spec.product;
+      if (spec.product == "OpenDNS") {
+        node.resolver = opendns_service_;
+        node.uses_google = false;
+      }
+      if (spec.also_injects_html) {
+        node.http_interceptors.push_back(std::make_shared<middlebox::HtmlInjector>(
+            middlebox::HtmlInjector::Config{
+                spec.product + " injector",
+                "\n<script src=\"http://cloudguard.me/inject.js\"></script>\n", 1024,
+                1.0}));
+        if (node.truth.html_injector.empty()) {
+          node.truth.html_injector = spec.product + " injector";
+        }
+      }
+    }
+  }
+}
+
+void WorldBuilder::assign_monitors() {
+  const auto build_profile = [&](const MonitorSpec& spec,
+                                 const std::vector<Ipv4Address>& sources) {
+    middlebox::MonitorProfile profile;
+    profile.name = spec.entity;
+    profile.source_addresses = sources;
+    profile.user_agent = spec.entity + " content-scanner/1.0";
+    for (const auto& refetch : spec.refetches) {
+      middlebox::RefetchSpec out;
+      out.min_delay_s = refetch.min_delay_s;
+      out.max_delay_s = refetch.max_delay_s;
+      out.prefetch_probability = refetch.prefetch_probability;
+      out.hold_s = refetch.hold_s;
+      if (refetch.fixed_source_last) out.source_index = 0;
+      profile.refetches.push_back(out);
+    }
+    profile.probability = 1.0;
+    return profile;
+  };
+
+  for (const auto& spec : spec_.monitors) {
+    const OrgKind kind = spec.kind == MonitorSpec::Kind::kVpn
+                             ? OrgKind::kVpnProvider
+                             : OrgKind::kSecurityVendor;
+    std::size_t isp;
+    if (spec.kind == MonitorSpec::Kind::kIspService) {
+      isp = find_isp(spec.isp, "");
+      if (isp >= isps_.size()) continue;
+    } else {
+      isp = create_isp(spec.entity, spec.home_country, kind, {});
+    }
+
+    // IP pools are kept at paper scale (they cost nothing) so Table 9's IP
+    // column is directly comparable.
+    std::vector<Ipv4Address> sources;
+    for (int i = 0; i < std::max(1, spec.source_ips); ++i) {
+      sources.push_back(
+          *isps_[isp].prefixes[0].host(10 + static_cast<std::uint32_t>(i)));
+    }
+    auto monitor = std::make_shared<middlebox::ContentMonitor>(
+        build_profile(spec, sources));
+
+    std::vector<std::size_t> picked;
+    if (spec.kind == MonitorSpec::Kind::kIspService) {
+      for (const auto index : isps_[isp].node_indices) {
+        if (!nodes_[index].truth.content_blocker.empty()) continue;
+        if (!nodes_[index].truth.monitor.empty()) continue;  // one monitor per node
+        if (rng_.chance(spec.isp_node_fraction)) picked.push_back(index);
+      }
+    } else {
+      picked = pick_spread(scaled(spec.nodes), spec.as_spread, spec.country_spread,
+                           [](const NodeBuild& node) {
+                             return node.truth.monitor.empty() &&
+                                    node.truth.content_blocker.empty();
+                           });
+    }
+
+    std::shared_ptr<middlebox::VpnEgressRewriter> vpn;
+    if (spec.kind == MonitorSpec::Kind::kVpn) {
+      // Ten VPN egress locations, distinct from the scanner addresses.
+      std::vector<Ipv4Address> egress;
+      for (std::uint32_t i = 0; i < 10; ++i) {
+        egress.push_back(*isps_[isp].prefixes[0].host(2000 + i));
+      }
+      vpn = std::make_shared<middlebox::VpnEgressRewriter>(spec.entity + " VPN",
+                                                           std::move(egress));
+    }
+
+    for (const auto index : picked) {
+      NodeBuild& node = nodes_[index];
+      // Monitors observe the request before any blocker can short-circuit
+      // it (host software sees the URL even when a downstream box blocks).
+      node.http_interceptors.insert(node.http_interceptors.begin(), monitor);
+      if (vpn) {
+        node.http_interceptors.insert(node.http_interceptors.begin(), vpn);
+        node.truth.uses_vpn = true;
+      }
+      node.truth.monitor = spec.entity;
+    }
+  }
+
+  // Long tail: many small monitoring groups (the rest of the "54 groups").
+  if (spec_.tail_monitor_groups > 0 && spec_.tail_monitor_nodes > 0) {
+    const int per_group =
+        std::max(1, scaled(spec_.tail_monitor_nodes) / spec_.tail_monitor_groups);
+    for (int g = 0; g < spec_.tail_monitor_groups; ++g) {
+      const std::size_t isp =
+          create_isp("Monitor Tail " + std::to_string(g + 1), "US",
+                     OrgKind::kSecurityVendor, {});
+      MonitorSpec tail;
+      tail.entity = "Monitor Tail " + std::to_string(g + 1);
+      tail.refetches = {MonitorSpec::Refetch{5, 3600, 0, 0, false}};
+      auto monitor = std::make_shared<middlebox::ContentMonitor>(
+          build_profile(tail, {*isps_[isp].prefixes[0].host(10)}));
+      for (const auto index :
+           pick_spread(per_group, 5, 3, [](const NodeBuild& node) {
+             return node.truth.monitor.empty() && node.truth.content_blocker.empty();
+           })) {
+        nodes_[index].http_interceptors.insert(
+            nodes_[index].http_interceptors.begin(), monitor);
+        nodes_[index].truth.monitor = tail.entity;
+      }
+    }
+  }
+}
+
+void WorldBuilder::assign_smtp_interceptors() {
+  for (const auto& spec : spec_.smtp_interceptors) {
+    std::shared_ptr<smtp::SmtpInterceptor> interceptor;
+    switch (spec.kind) {
+      case SmtpInterceptSpec::Kind::kStripStarttls:
+        interceptor = std::make_shared<smtp::StarttlsStripper>(spec.name);
+        break;
+      case SmtpInterceptSpec::Kind::kBlockPort:
+        interceptor = std::make_shared<smtp::PortBlocker>(spec.name);
+        break;
+      case SmtpInterceptSpec::Kind::kRewriteBanner:
+        interceptor = std::make_shared<smtp::BannerRewriter>(
+            spec.name, "mail-gateway ESMTP ready");
+        break;
+      case SmtpInterceptSpec::Kind::kTagBody:
+        interceptor = std::make_shared<smtp::BodyTagger>(
+            spec.name, "-- scanned by " + spec.name);
+        break;
+    }
+    for (const auto index :
+         pick_spread(scaled(spec.nodes), spec.as_spread, spec.country_spread,
+                     [](const NodeBuild& node) {
+                       return node.truth.smtp_interceptor.empty();
+                     })) {
+      nodes_[index].smtp_interceptors.push_back(interceptor);
+      nodes_[index].truth.smtp_interceptor = spec.name;
+      nodes_[index].truth.smtp_interceptor_kind = std::string(to_string(spec.kind));
+    }
+  }
+}
+
+void WorldBuilder::finalize() {
+  proxy::Environment environment;
+  environment.resolvers = &world_->resolvers;
+  environment.web = &world_->web;
+  environment.tls = &world_->tls_endpoints;
+  environment.smtp = &world_->smtp;
+  environment.clock = &world_->clock;
+  environment.topology = &world_->topology;
+
+  proxy::SuperProxy::Config proxy_config;
+  proxy_config.allow_arbitrary_ports = spec_.arbitrary_port_overlay;
+  world_->luminati = std::make_unique<proxy::SuperProxy>(proxy_config, environment);
+
+  for (const auto& isp : isps_) {
+    if (!isp.resolver_ips.empty()) {
+      world_->isp_resolvers[isp.name] = isp.resolver_ips;
+    }
+  }
+
+  for (auto& node : nodes_) {
+    proxy::ExitNodeAgent::Config config;
+    config.zid = node.zid;
+    config.address = node.address;
+    config.asn = node.asn;
+    config.country = node.country;
+    config.dns_resolver = node.resolver;
+    config.dns_interceptors = std::move(node.dns_interceptors);
+    config.http_interceptors = std::move(node.http_interceptors);
+    config.tls_interceptors = std::move(node.tls_interceptors);
+    config.smtp_interceptors = std::move(node.smtp_interceptors);
+    config.failure_probability = spec_.node_failure_probability;
+    world_->truth.node(node.zid) = node.truth;
+    world_->luminati->add_exit_node(
+        std::make_shared<proxy::ExitNodeAgent>(std::move(config), environment));
+  }
+}
+
+std::unique_ptr<World> WorldBuilder::build() {
+  build_measurement_infrastructure();
+  build_google_dns();
+  build_public_resolvers();
+  build_isps_and_nodes();
+  assign_public_hijack_users();
+  assign_path_and_host_dns_hijackers();
+  assign_http_modifiers();
+  build_https_sites();
+  assign_cert_replacers();
+  assign_monitors();
+  assign_smtp_interceptors();
+  finalize();
+  return std::move(world_);
+}
+
+}  // namespace
+
+std::unique_ptr<World> build_world(const WorldSpec& spec, double scale,
+                                   std::uint64_t seed) {
+  assert(scale > 0);
+  return WorldBuilder(spec, scale, seed).build();
+}
+
+}  // namespace tft::world

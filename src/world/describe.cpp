@@ -1,0 +1,100 @@
+#include "tft/world/describe.hpp"
+
+#include <set>
+
+#include "tft/stats/table.hpp"
+#include "tft/util/strings.hpp"
+
+namespace tft::world {
+
+WorldSummary summarize(const World& world) {
+  WorldSummary summary;
+  summary.nodes = world.luminati ? world.luminati->node_count() : 0;
+  summary.ases = world.topology.as_count();
+  summary.organizations = world.topology.organization_count();
+  summary.https_sites = world.https_sites.size();
+
+  std::set<net::CountryCode> countries;
+  if (world.luminati) {
+    for (const auto& [country, count] : world.luminati->country_counts()) {
+      countries.insert(country);
+    }
+  }
+  summary.countries = countries.size();
+
+  for (const auto& [zid, truth] : world.truth.all()) {
+    switch (truth.dns_hijack) {
+      case DnsHijackSource::kIspResolver:
+        ++summary.dns_hijacked_isp;
+        break;
+      case DnsHijackSource::kPublicResolver:
+        ++summary.dns_hijacked_public;
+        break;
+      case DnsHijackSource::kPathMiddlebox:
+        ++summary.dns_hijacked_path;
+        break;
+      case DnsHijackSource::kHostSoftware:
+        ++summary.dns_hijacked_host;
+        break;
+      case DnsHijackSource::kNone:
+        break;
+    }
+    if (!truth.html_injector.empty()) ++summary.html_injected;
+    if (!truth.image_transcoder.empty()) ++summary.image_transcoded;
+    if (!truth.content_blocker.empty()) ++summary.content_blocked;
+    if (!truth.cert_replacer.empty()) ++summary.cert_replaced;
+    if (!truth.monitor.empty()) ++summary.monitored;
+    if (truth.uses_vpn) ++summary.vpn_users;
+    if (!truth.smtp_interceptor.empty()) ++summary.smtp_intercepted;
+  }
+  return summary;
+}
+
+std::string describe(const World& world) {
+  using util::format_count;
+  using util::format_percent;
+  const WorldSummary summary = summarize(world);
+  const auto pct = [&](std::size_t n) {
+    return summary.nodes == 0
+               ? std::string("0%")
+               : format_percent(static_cast<double>(n) / summary.nodes, 2);
+  };
+
+  std::string out = stats::banner("World inventory (ground truth)");
+  out += "population: " + format_count(summary.nodes) + " exit nodes, " +
+         format_count(summary.ases) + " ASes, " +
+         format_count(summary.organizations) + " organizations, " +
+         format_count(summary.countries) + " countries\n";
+  out += "HTTPS target sites: " + format_count(summary.https_sites) + "\n\n";
+
+  stats::Table table({"Violation", "Nodes", "Share"});
+  table.add_row({"DNS hijack via ISP resolver", format_count(summary.dns_hijacked_isp),
+                 pct(summary.dns_hijacked_isp)});
+  table.add_row({"DNS hijack via public resolver",
+                 format_count(summary.dns_hijacked_public),
+                 pct(summary.dns_hijacked_public)});
+  table.add_row({"DNS hijack via path middlebox",
+                 format_count(summary.dns_hijacked_path),
+                 pct(summary.dns_hijacked_path)});
+  table.add_row({"DNS hijack via host software",
+                 format_count(summary.dns_hijacked_host),
+                 pct(summary.dns_hijacked_host)});
+  table.add_row({"HTML injection", format_count(summary.html_injected),
+                 pct(summary.html_injected)});
+  table.add_row({"Image transcoding", format_count(summary.image_transcoded),
+                 pct(summary.image_transcoded)});
+  table.add_row({"Content blocking", format_count(summary.content_blocked),
+                 pct(summary.content_blocked)});
+  table.add_row({"Certificate replacement", format_count(summary.cert_replaced),
+                 pct(summary.cert_replaced)});
+  table.add_row({"Content monitoring", format_count(summary.monitored),
+                 pct(summary.monitored)});
+  table.add_row({"VPN relaying", format_count(summary.vpn_users),
+                 pct(summary.vpn_users)});
+  table.add_row({"SMTP interception", format_count(summary.smtp_intercepted),
+                 pct(summary.smtp_intercepted)});
+  out += table.render();
+  return out;
+}
+
+}  // namespace tft::world

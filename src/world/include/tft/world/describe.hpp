@@ -1,0 +1,43 @@
+// Human-readable inventory of a built world: population, topology, and the
+// configured ground-truth violations. Useful when assembling custom
+// scenarios ("did the builder do what I asked?").
+#pragma once
+
+#include <string>
+
+#include "tft/world/world.hpp"
+
+namespace tft::world {
+
+/// Aggregated ground-truth counts for a world.
+struct WorldSummary {
+  std::size_t nodes = 0;
+  std::size_t ases = 0;
+  std::size_t organizations = 0;
+  std::size_t countries = 0;
+  std::size_t https_sites = 0;
+
+  std::size_t dns_hijacked_isp = 0;
+  std::size_t dns_hijacked_public = 0;
+  std::size_t dns_hijacked_path = 0;
+  std::size_t dns_hijacked_host = 0;
+  std::size_t html_injected = 0;
+  std::size_t image_transcoded = 0;
+  std::size_t content_blocked = 0;
+  std::size_t cert_replaced = 0;
+  std::size_t monitored = 0;
+  std::size_t vpn_users = 0;
+  std::size_t smtp_intercepted = 0;
+
+  std::size_t dns_hijacked_total() const {
+    return dns_hijacked_isp + dns_hijacked_public + dns_hijacked_path +
+           dns_hijacked_host;
+  }
+};
+
+WorldSummary summarize(const World& world);
+
+/// Render the summary as text (what quickstart prints before probing).
+std::string describe(const World& world);
+
+}  // namespace tft::world

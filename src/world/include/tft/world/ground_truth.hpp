@@ -1,0 +1,62 @@
+// Ground truth: what violations were actually configured for each node.
+// The real study could never observe this; the simulation records it so
+// integration tests can check that the detectors recover the truth.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+namespace tft::world {
+
+enum class DnsHijackSource {
+  kNone,
+  kIspResolver,
+  kPublicResolver,
+  kPathMiddlebox,
+  kHostSoftware,
+};
+
+std::string_view to_string(DnsHijackSource source) noexcept;
+
+struct NodeTruth {
+  DnsHijackSource dns_hijack = DnsHijackSource::kNone;
+  std::string dns_hijack_operator;  // ISP / product behind the hijack
+  std::string html_injector;        // adware / filter name, empty = clean
+  std::string image_transcoder;     // carrier transcoder name
+  std::string content_blocker;
+  std::string object_replacer;      // JS/CSS error-replacement box
+  std::string cert_replacer;        // AV / filter / malware product
+  std::string monitor;              // monitoring entity
+  std::string smtp_interceptor;       // SMTP extension (§3.4)
+  std::string smtp_interceptor_kind;  // "strip_starttls" | "block_port" | ...
+  bool uses_vpn = false;
+};
+
+class GroundTruth {
+ public:
+  NodeTruth& node(const std::string& zid) { return nodes_[zid]; }
+
+  const NodeTruth* find(const std::string& zid) const {
+    const auto it = nodes_.find(zid);
+    return it == nodes_.end() ? nullptr : &it->second;
+  }
+
+  const std::unordered_map<std::string, NodeTruth>& all() const noexcept {
+    return nodes_;
+  }
+
+  /// Count nodes for which `predicate` holds.
+  template <typename Predicate>
+  std::size_t count(Predicate predicate) const {
+    std::size_t n = 0;
+    for (const auto& [zid, truth] : nodes_) {
+      if (predicate(truth)) ++n;
+    }
+    return n;
+  }
+
+ private:
+  std::unordered_map<std::string, NodeTruth> nodes_;
+};
+
+}  // namespace tft::world

@@ -1,0 +1,243 @@
+// Scenario specification: the knobs of the simulated Internet, with a
+// `paper_spec()` instance whose values are transcribed from the paper's
+// tables (Tables 3-9). Node counts are at paper scale; WorldBuilder applies
+// a scale factor at build time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tft/net/topology.hpp"
+
+namespace tft::world {
+
+/// An ISP whose resolvers hijack NXDOMAIN (Table 4), with the landing page
+/// its hijacked responses link to (Table 5's top rows).
+struct IspResolverHijackSpec {
+  std::string isp;
+  net::CountryCode country;
+  int dns_servers = 1;
+  int nodes = 0;             // paper-scale exit-node count
+  std::string landing_host;  // e.g. "searchassist.verizon.com"
+  /// Five ISPs share byte-identical redirect JavaScript (§4.3.1) —
+  /// evidence of a common vendor box.
+  bool shared_vendor_js = false;
+  bool operator==(const IspResolverHijackSpec&) const = default;
+};
+
+/// On-path NXDOMAIN rewriting that hits even Google-DNS users (Table 5 top
+/// rows; attributed to path middleboxes / ISP software).
+struct PathHijackSpec {
+  std::string isp;  // must match an IspResolverHijackSpec or generic ISP
+  net::CountryCode country;
+  int google_dns_nodes = 0;  // how many of the ISP's nodes use 8.8.8.8
+  std::string landing_host;
+  int as_spread = 1;  // distinct ASes the affected nodes sit in
+  bool operator==(const PathHijackSpec&) const = default;
+};
+
+/// End-host software rewriting NXDOMAIN (Norton, Comodo — Table 5 shaded
+/// rows). Spread across many ASes/countries, which is how §4.3.3 tells it
+/// apart from ISP behaviour.
+struct HostDnsHijackSpec {
+  std::string product;
+  std::string landing_host;
+  int nodes = 0;
+  int as_spread = 1;
+  int country_spread = 1;
+  bool operator==(const HostDnsHijackSpec&) const = default;
+};
+
+/// A hijacking public resolver service (§4.3.2).
+struct PublicResolverHijackSpec {
+  std::string operator_name;  // "Comodo DNS", "UltraDNS", ...
+  int servers = 1;
+  int nodes = 0;  // nodes configured to use it
+  std::string landing_host;
+  bool identifiable = true;  // the 3 mystery servers are not
+  bool operator==(const PublicResolverHijackSpec&) const = default;
+};
+
+/// Per-country exit-node population and resolver-level hijack target
+/// (Table 3 rows for featured countries; synthesized for filler).
+struct CountrySpec {
+  net::CountryCode code;
+  int total_nodes = 0;
+  /// Nodes hijacked via ISP resolvers *beyond* those covered by the
+  /// explicit IspResolverHijackSpecs in this country (generic hijacking
+  /// ISPs making up Table 3's remainder).
+  int extra_hijacked_nodes = 0;
+  /// Structural knobs for the filler ISPs of this country.
+  int isp_count = 3;
+  int ases_per_isp = 2;
+  double google_dns_fraction = 0.06;
+  double public_dns_fraction = 0.03;
+  bool operator==(const CountrySpec&) const = default;
+};
+
+/// HTML-injecting host adware (Table 6). The snippet carries the signature
+/// URL or keyword the analysis recovers.
+struct AdwareSpec {
+  std::string name;
+  std::string snippet;
+  int nodes = 0;
+  int as_spread = 1;
+  int country_spread = 1;
+  bool operator==(const AdwareSpec&) const = default;
+};
+
+/// An ISP-level web filter modifying all nodes' HTML (Internet Rimon).
+struct IspFilterSpec {
+  std::string isp;
+  net::CountryCode country;
+  net::Asn asn = 0;
+  int nodes = 0;
+  std::string snippet;  // the NetSpark meta tag
+  bool operator==(const IspFilterSpec&) const = default;
+};
+
+/// A mobile carrier transcoding images (Table 7).
+struct TranscoderSpec {
+  net::Asn asn = 0;
+  std::string isp;
+  net::CountryCode country;
+  int nodes = 0;           // population in this AS
+  double fraction = 1.0;   // share of nodes affected
+  std::vector<int> qualities;  // one = consistent; several = "M"
+  bool operator==(const TranscoderSpec&) const = default;
+};
+
+/// A TLS-intercepting product (Table 8).
+struct CertReplacerSpec {
+  enum class Kind { kAntiVirus, kContentFilter, kMalware, kUnknown };
+  std::string product;      // "Avast", "OpenDNS", ...
+  std::string issuer_cn;    // what lands in the forged Issuer CN
+  Kind kind = Kind::kAntiVirus;
+  int nodes = 0;
+  bool reuse_public_key = true;       // all but Avast
+  /// Product checks upstream validity and uses a distinct "untrusted"
+  /// issuer for originally-invalid sites (Avast/BitDefender/Dr.Web).
+  bool untrusted_issuer_for_invalid = false;
+  /// Product intercepts only when upstream verified (OpenDNS).
+  bool only_if_upstream_valid = false;
+  /// Restrict to a blocked-host list (content filters).
+  bool only_blocked_hosts = false;
+  /// Restrict install base to one country's ISPs (Cloudguard: Russia).
+  std::optional<net::CountryCode> only_country;
+  /// Product also injects HTML (Cloudguard).
+  bool also_injects_html = false;
+  bool operator==(const CertReplacerSpec&) const = default;
+};
+
+/// A content-monitoring entity (Table 9 / Figure 5).
+struct MonitorSpec {
+  enum class Kind { kHostSoftware, kIspService, kVpn, kPathMiddlebox };
+  struct Refetch {
+    double min_delay_s = 1;
+    double max_delay_s = 60;
+    double prefetch_probability = 0;
+    double hold_s = 0.5;
+    bool fixed_source_last = false;  // AnchorFree: always Menlo Park
+    bool operator==(const Refetch&) const = default;
+  };
+
+  std::string entity;  // "Trend Micro", "TalkTalk", ...
+  Kind kind = Kind::kHostSoftware;
+  net::CountryCode home_country = "US";
+  int source_ips = 1;
+  int nodes = 0;              // affected exit nodes (host software / path)
+  double isp_node_fraction = 0;  // for kIspService: share of the ISP's nodes
+  std::string isp;               // for kIspService
+  int as_spread = 1;
+  int country_spread = 1;
+  std::vector<Refetch> refetches;
+  bool operator==(const MonitorSpec&) const = default;
+};
+
+/// SMTP-layer interception (the §3.4 future-work extension; the paper has
+/// no measured numbers here, so these are synthetic-but-plausible
+/// prevalences, documented as a substitution in DESIGN.md).
+struct SmtpInterceptSpec {
+  enum class Kind { kStripStarttls, kBlockPort, kRewriteBanner, kTagBody };
+  std::string name;
+  Kind kind = Kind::kStripStarttls;
+  int nodes = 0;
+  int as_spread = 1;
+  int country_spread = 1;
+  bool operator==(const SmtpInterceptSpec&) const = default;
+};
+
+std::string_view to_string(SmtpInterceptSpec::Kind kind) noexcept;
+
+/// HTTPS measurement targets (§6.1).
+struct HttpsSiteSpec {
+  int popular_sites_per_country = 20;
+  int countries_with_rankings = 115;  // Alexa coverage limit
+  std::vector<std::string> universities;
+  bool operator==(const HttpsSiteSpec&) const = default;
+};
+
+/// An ISP that must exist by name (monitor hosts, path-hijack-only ISPs)
+/// even though no resolver-hijack spec creates it.
+struct NamedIspSpec {
+  std::string name;
+  net::CountryCode country;
+  int as_count = 1;
+  int nodes = 0;
+  net::OrgKind kind = net::OrgKind::kBroadbandIsp;
+  bool operator==(const NamedIspSpec&) const = default;
+};
+
+struct WorldSpec {
+  std::vector<CountrySpec> countries;
+  std::vector<NamedIspSpec> named_isps;
+  std::vector<IspResolverHijackSpec> isp_resolver_hijackers;
+  std::vector<PathHijackSpec> path_hijackers;
+  std::vector<HostDnsHijackSpec> host_dns_hijackers;
+  std::vector<PublicResolverHijackSpec> public_resolver_hijackers;
+  /// Google-DNS users hijacked by small, per-ISP CPE boxes whose landing
+  /// URLs each stay below the paper's 5-node reporting threshold — the gap
+  /// between the 927 hijacked Google-DNS nodes of §4.3.3 and Table 5's rows.
+  int scattered_google_hijack_nodes = 360;
+  int clean_public_resolvers = 1089;  // paper: 1110 public servers, 21 bad
+  std::vector<AdwareSpec> adware;
+  /// Table 6's numbers are what the paper's 3-per-AS adaptive sample
+  /// *found*; the installed base must be larger for a sample to recover
+  /// them. The builder multiplies adware/error-box populations by this.
+  double adware_install_boost = 5.0;
+  std::vector<IspFilterSpec> isp_filters;
+  std::vector<TranscoderSpec> transcoders;
+  /// Block pages / error-replacement boxes (§5.2 filtered cases).
+  int blockpage_nodes = 32;
+  int js_error_nodes = 45;
+  int css_error_nodes = 11;
+  std::vector<CertReplacerSpec> cert_replacers;
+  std::vector<MonitorSpec> monitors;
+  int tail_monitor_groups = 48;   // the long tail of the "54 groups"
+  int tail_monitor_nodes = 715;   // ~6% of unexpected-request sources
+  /// Size of the HTML reference object served at /page.html (§5.1: the
+  /// paper initially used very small objects and saw much less
+  /// modification; 9 KB is their final choice). The probe must fetch the
+  /// same size — World carries the value.
+  std::size_t probe_html_bytes = 9 * 1024;
+  HttpsSiteSpec https;
+  /// SMTP extension: interceptors on the path to port 25, measurable only
+  /// when `arbitrary_port_overlay` is enabled (VPN-style tunneling).
+  std::vector<SmtpInterceptSpec> smtp_interceptors;
+  bool arbitrary_port_overlay = false;
+  int google_anycast_instances = 8;
+  double node_failure_probability = 0.01;
+
+  bool operator==(const WorldSpec&) const = default;
+};
+
+/// The full scenario transcribed from the paper's evaluation.
+WorldSpec paper_spec();
+
+/// A tiny deterministic scenario for unit/integration tests (hundreds of
+/// nodes, a handful of ISPs, one instance of each violation type).
+WorldSpec mini_spec();
+
+}  // namespace tft::world

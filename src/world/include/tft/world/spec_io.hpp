@@ -1,0 +1,20 @@
+// Scenario files: serialize a WorldSpec to JSON and load one back, so
+// studies can be configured without recompiling (tft-study --spec).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "tft/util/result.hpp"
+#include "tft/world/spec.hpp"
+
+namespace tft::world {
+
+/// Serialize to a JSON document (round-trips through spec_from_json).
+std::string spec_to_json(const WorldSpec& spec);
+
+/// Parse a scenario document. Missing fields take WorldSpec defaults;
+/// unknown fields are errors (they are almost always typos).
+util::Result<WorldSpec> spec_from_json(std::string_view text);
+
+}  // namespace tft::world

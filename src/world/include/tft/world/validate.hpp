@@ -1,0 +1,15 @@
+// Structural validation of a built world: the invariants every probe
+// depends on. Returns a list of human-readable problems (empty = valid).
+// Used by tests and available to users assembling custom scenarios.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tft/world/world.hpp"
+
+namespace tft::world {
+
+std::vector<std::string> validate(const World& world);
+
+}  // namespace tft::world

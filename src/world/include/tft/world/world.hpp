@@ -1,0 +1,110 @@
+// The assembled simulated Internet: topology, DNS, web, TLS, the Luminati
+// overlay, the measurement infrastructure the researcher controls, and the
+// ground truth of every configured violation.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tft/dns/authoritative.hpp"
+#include "tft/dns/resolver.hpp"
+#include "tft/http/server.hpp"
+#include "tft/net/topology.hpp"
+#include "tft/proxy/luminati.hpp"
+#include "tft/sim/event_queue.hpp"
+#include "tft/smtp/server.hpp"
+#include "tft/tls/endpoint.hpp"
+#include "tft/tls/verify.hpp"
+#include "tft/world/ground_truth.hpp"
+#include "tft/world/spec.hpp"
+
+namespace tft::world {
+
+/// An HTTPS measurement target (§6.1's three site classes).
+struct HttpsSite {
+  enum class Class { kPopular, kUniversity, kInvalid };
+  enum class InvalidKind { kNone, kSelfSigned, kExpired, kWrongCommonName };
+
+  std::string host;
+  net::Ipv4Address address;
+  Class site_class = Class::kPopular;
+  InvalidKind invalid_kind = InvalidKind::kNone;
+  net::CountryCode country;            // for per-country Alexa lists
+  tls::CertificateChain genuine_chain; // what the origin actually serves
+};
+
+class World {
+ public:
+  World() = default;
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  // --- Simulated Internet --------------------------------------------------
+  sim::EventQueue clock;
+  net::AsOrgDb topology;
+  dns::AuthorityRegistry authorities;
+  dns::ResolverDirectory resolvers;
+  http::WebServerRegistry web;
+  tls::TlsEndpointRegistry tls_endpoints;
+  tls::RootStore public_roots;  // the "OS X root store" the client verifies with
+  std::shared_ptr<dns::AnycastResolverGroup> google_dns;
+
+  // --- The researcher's measurement infrastructure -------------------------
+  dns::DnsName measurement_zone_origin;                       // tft-study.net
+  std::shared_ptr<dns::AuthoritativeServer> measurement_zone; // we run it
+  std::shared_ptr<http::OriginServer> measurement_web;        // and its web server
+  net::Ipv4Address measurement_web_address;
+  smtp::SmtpServerRegistry smtp;                              // SMTP extension
+  std::shared_ptr<smtp::SmtpServer> measurement_mail;
+  net::Ipv4Address measurement_mail_address;
+  /// Size of the HTML object at /page.html (probes must diff against the
+  /// same bytes; see WorldSpec::probe_html_bytes).
+  std::size_t probe_html_bytes = 9 * 1024;
+
+  // --- The proxy service ----------------------------------------------------
+  std::unique_ptr<proxy::SuperProxy> luminati;
+
+  // --- HTTPS targets ---------------------------------------------------------
+  std::vector<HttpsSite> https_sites;
+
+  // --- Ground truth -----------------------------------------------------------
+  GroundTruth truth;
+
+  /// Resolver service addresses per ISP name ("Verizon" -> its DNS servers).
+  /// Lets longitudinal scenarios flip hijacking behaviour on or off over
+  /// simulated time (the continuous-measurement use case of §9).
+  std::map<std::string, std::vector<net::Ipv4Address>> isp_resolvers;
+
+  /// Enable/disable NXDOMAIN hijacking on every resolver of `isp` at the
+  /// current simulated time. Returns the number of resolvers changed.
+  /// NOTE: node ground truth is not rewritten; longitudinal scenarios
+  /// compare *measured* rates across rounds.
+  std::size_t set_isp_hijack(const std::string& isp,
+                             std::optional<dns::NxdomainHijackPolicy> policy);
+
+  /// Google's published egress netblocks (footnote 14: the analysis
+  /// classifies a resolver as Google when its egress falls in any of them).
+  std::vector<net::Ipv4Prefix> google_netblocks;
+  /// The netblock the super proxy's own anycast instance answers from —
+  /// what the paper "empirically determined" to be 74.125.0.0/16.
+  net::Ipv4Prefix google_egress_block;
+
+  bool is_google_egress(net::Ipv4Address address) const {
+    for (const auto& block : google_netblocks) {
+      if (block.contains(address)) return true;
+    }
+    return false;
+  }
+};
+
+/// Build a world from a spec. `scale` multiplies all node populations
+/// (1.0 = paper scale, ~753K nodes; 0.1 is the benchmark default).
+/// Structural counts (ASes, resolvers) scale with sqrt-like floors so the
+/// analysis thresholds remain meaningful.
+std::unique_ptr<World> build_world(const WorldSpec& spec, double scale,
+                                   std::uint64_t seed);
+
+}  // namespace tft::world

@@ -1,0 +1,401 @@
+#include "tft/world/spec.hpp"
+
+namespace tft::world {
+
+std::string_view to_string(SmtpInterceptSpec::Kind kind) noexcept {
+  switch (kind) {
+    case SmtpInterceptSpec::Kind::kStripStarttls:
+      return "strip_starttls";
+    case SmtpInterceptSpec::Kind::kBlockPort:
+      return "block_port";
+    case SmtpInterceptSpec::Kind::kRewriteBanner:
+      return "rewrite_banner";
+    case SmtpInterceptSpec::Kind::kTagBody:
+      return "tag_body";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// 9 KB-ish ad payload with a signature marker, modeling injected ad code.
+std::string ad_snippet(std::string_view marker, std::size_t pad_bytes) {
+  std::string out = "\n<script type=\"text/javascript\">\n";
+  out += marker;
+  out += "\n</script>\n";
+  out += "<!-- ";
+  out.append(pad_bytes, 'A');
+  out += " -->\n";
+  return out;
+}
+
+void add_featured_countries(WorldSpec& spec) {
+  // Table 3 rows (total nodes, hijacked ratio) minus the Table 4 ISPs'
+  // nodes gives each country's extra_hijacked_nodes (generic hijacking
+  // ISPs below the paper's reporting thresholds).
+  spec.countries.push_back({"MY", 6983, 1976, 6, 2, 0.06, 0.03});
+  spec.countries.push_back({"ID", 8568, 3178, 8, 2, 0.06, 0.03});
+  spec.countries.push_back({"CN", 671, 237, 3, 2, 0.02, 0.02});
+  spec.countries.push_back({"GB", 37156, 5336, 24, 2, 0.06, 0.03});
+  spec.countries.push_back({"DE", 19076, 3318, 14, 2, 0.06, 0.03});
+  spec.countries.push_back({"US", 33398, 1192, 22, 2, 0.08, 0.05});
+  spec.countries.push_back({"IN", 6868, 76, 6, 2, 0.06, 0.03});
+  spec.countries.push_back({"BR", 24298, 342, 16, 2, 0.06, 0.03});
+  spec.countries.push_back({"BJ", 716, 90, 2, 2, 0.90, 0.02});
+  spec.countries.push_back({"JO", 1117, 76, 2, 2, 0.06, 0.03});
+  // Countries hosting other featured behaviour (Table 4 ISPs, Table 7
+  // carriers, Rimon, Cloudguard) but absent from Table 3's top 10.
+  spec.countries.push_back({"AR", 6000, 0, 5, 2, 0.06, 0.03});
+  // AU is large enough that Dodo's hijacking keeps it out of Table 3's
+  // top 10 (the paper lists Dodo in Table 4 but not AU in Table 3).
+  spec.countries.push_back({"AU", 25000, 0, 14, 2, 0.06, 0.03});
+  spec.countries.push_back({"ES", 9000, 0, 7, 2, 0.06, 0.03});
+  spec.countries.push_back({"IL", 2500, 0, 3, 2, 0.06, 0.03});
+  spec.countries.push_back({"RU", 20000, 0, 12, 2, 0.04, 0.03});
+  spec.countries.push_back({"GR", 4000, 0, 4, 2, 0.06, 0.03});
+  spec.countries.push_back({"TR", 8000, 0, 6, 2, 0.06, 0.03});
+  spec.countries.push_back({"ZA", 5000, 0, 4, 2, 0.06, 0.03});
+  spec.countries.push_back({"EG", 4000, 0, 4, 2, 0.06, 0.03});
+  spec.countries.push_back({"MA", 3000, 0, 3, 2, 0.06, 0.03});
+  spec.countries.push_back({"TN", 2000, 0, 3, 2, 0.06, 0.03});
+  spec.countries.push_back({"PH", 7000, 0, 5, 2, 0.06, 0.03});
+  spec.countries.push_back({"FR", 15000, 0, 10, 2, 0.06, 0.03});
+}
+
+void add_filler_countries(WorldSpec& spec) {
+  // ~144 synthetic countries to reach the paper's ~167, with populations
+  // that land the global totals and a thin tail of hijacking.
+  static const char* const kAlphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  int added = 0;
+  for (int a = 0; a < 26 && added < 144; ++a) {
+    for (int b = 0; b < 26 && added < 144; ++b) {
+      const net::CountryCode code{kAlphabet[a], kAlphabet[b]};
+      // Skip codes already used by featured countries.
+      bool used = false;
+      for (const auto& country : spec.countries) used = used || country.code == code;
+      if (used) continue;
+      const int total = 800 + (added * 977) % 6000;
+      const int hijacked = total / 250;  // ~0.4% thin tail
+      spec.countries.push_back(
+          {code, total, hijacked, 6 + added % 7, 1 + added % 3, 0.06, 0.03});
+      ++added;
+    }
+  }
+}
+
+void add_dns_hijackers(WorldSpec& spec) {
+  // Table 4: ISP DNS servers hijacking responses for >=90% of exit nodes,
+  // with Table 5's landing hosts. shared_vendor_js marks the five ISPs
+  // whose hijack pages carry byte-identical JavaScript.
+  spec.isp_resolver_hijackers = {
+      {"Telefonica de Argentina", "AR", 14, 276, "ayudaenlabusqueda.telefonica.com.ar", false},
+      {"Dodo Australia", "AU", 21, 1404, "google.dodo.com.au", false},
+      {"Oi Fixo", "BR", 21, 2558, "dnserros.oi.com.br", true},
+      {"CTBC", "BR", 4, 290, "nodomain.ctbc.com.br", false},
+      {"Deutsche Telekom AG", "DE", 8, 1385, "navigationshilfe.t-online.de", false},
+      {"Airtel Broadband", "IN", 9, 735, "airtelforum.com", false},
+      {"BSNL", "IN", 2, 71, "bsnl-search.in", false},
+      {"Ntl. Int. Backbone", "IN", 8, 245, "nib-assist.in", false},
+      {"TMnet", "MY", 8, 1676, "midascdn.nervesis.com", false},
+      {"ONO", "ES", 2, 71, "buscador.ono.es", false},
+      {"BT Internet", "GB", 6, 479, "www.webaddresshelp.bt.com", true},
+      {"Talk Talk", "GB", 46, 3738, "error.talktalk.co.uk", true},
+      {"AT&T", "US", 37, 561, "dnserrorassist.att.net", false},
+      {"Cable One", "US", 4, 108, "search.cableone.net", false},
+      {"Cox Communications", "US", 63, 1789, "finder.cox.net", true},
+      {"Mediacom Cable", "US", 6, 219, "search.mediacomcable.com", false},
+      {"Suddenlink", "US", 9, 98, "finder.suddenlink.net", false},
+      {"Verizon", "US", 98, 2102, "searchassist.verizon.com", true},
+      {"WideOpenWest", "US", 1, 39, "search.wideopenwest.com", false},
+  };
+
+  // Table 5 (top rows): hijacks observed on nodes using Google DNS — path
+  // middleboxes / ISP CPE software, counted per landing URL and AS spread.
+  spec.path_hijackers = {
+      {"Deutsche Telekom AG", "DE", 80, "navigationshilfe.t-online.de", 1},
+      {"BT Internet", "GB", 73, "www.webaddresshelp.bt.com", 1},
+      {"Uzone", "ID", 53, "v3.mercusuar.uzone.id", 1},
+      {"Talk Talk", "GB", 46, "error.talktalk.co.uk", 3},
+      {"Oi Fixo", "BR", 40, "dnserros.oi.com.br", 2},
+      {"AT&T", "US", 32, "dnserrorassist.att.net", 1},
+      {"Verizon", "US", 30, "searchassist.verizon.com", 1},
+      {"Cox Communications", "US", 17, "finder.cox.net", 1},
+      {"Telefonica de Argentina", "AR", 16, "ayudaenlabusqueda.telefonica.com.ar", 1},
+      {"Airtel Broadband", "IN", 14, "airtelforum.com", 1},
+      {"Dodo Australia", "AU", 13, "google.dodo.com.au", 1},
+      {"TMnet", "MY", 68, "midascdn.nervesis.com", 1},
+      {"CTBC", "BR", 7, "nodomain.ctbc.com.br", 1},
+      {"Mediacom Cable", "US", 7, "search.mediacomcable.com", 1},
+  };
+
+  // Table 5 (shaded rows): host software spread across many ASes/countries.
+  spec.host_dns_hijackers = {
+      {"Norton ConnectSafe", "nortonsafe.search.ask.com", 25, 18, 18},
+      {"Comodo SecureDNS", "securedns.comodo.com", 9, 9, 9},
+  };
+
+  // §4.3.2: 21 hijacking public resolvers across four identifiable
+  // operators plus three nobody could identify; 1,512 affected nodes.
+  spec.public_resolver_hijackers = {
+      {"Comodo DNS", 9, 650, "securedns.comodo.com", true},
+      {"UltraDNS", 4, 290, "redirect.ultradns.net", true},
+      {"LookSafe", 2, 140, "looksafe-search.com", true},
+      {"Level 3", 3, 215, "search.level3.com", true},
+      {"Unknown-A", 1, 80, "adlanding-a.example.net", false},
+      {"Unknown-B", 1, 74, "adlanding-b.example.net", false},
+      {"Unknown-C", 1, 63, "adlanding-c.example.net", false},
+  };
+}
+
+void add_http_modifiers(WorldSpec& spec) {
+  // Table 6: signatures of injected JavaScript. Sizes model the paper's
+  // observations (oiasudoj +23 KB, AdTaily +335 KB).
+  spec.adware = {
+      {"cloudfront-loader",
+       ad_snippet("var s=document.createElement('script');"
+                  "s.src='http://d36mw5gp02ykm5.cloudfront.net/loader.js';"
+                  "document.head.appendChild(s);",
+                  2048),
+       201, 99, 44},
+      {"msmdzbsyrw",
+       ad_snippet("(function(){var u='http://msmdzbsyrw.org/inject.js';"
+                  "var s=document.createElement('script');s.src=u;"
+                  "document.body.appendChild(s);})();",
+                  1024),
+       97, 76, 4},
+      {"pgjs",
+       ad_snippet("document.write('<scr'+'ipt src=\"http://pgjs.me/p.js\"></scr'+'ipt>');",
+                  512),
+       16, 12, 1},
+      {"jswrite",
+       ad_snippet("var w=document.createElement('script');"
+                  "w.src='http://jswrite.com/script1.js';"
+                  "document.head.appendChild(w);",
+                  512),
+       15, 10, 9},
+      {"oiasudoj", ad_snippet("var oiasudoj; /* ad rotation state */", 23 * 1024),
+       11, 11, 1},
+      {"adtaily",
+       ad_snippet("<div class=\"AdTaily_Widget_Container\"></div>", 335 * 1024),
+       11, 9, 8},
+      // Beyond Table 6's top 7: part of the remaining identified signatures.
+      {"generic-adbar",
+       ad_snippet("var genericAdbarState='http://adbar-cdn.example.org/bar.js';", 4096),
+       40, 30, 15},
+      {"generic-tracker",
+       ad_snippet("var __trackerPixelQueue='http://trk-pixel.example.org/t.gif';", 1024),
+       25, 20, 12},
+  };
+
+  // §5.2: AS 42925 Internet Rimon — every node's HTML carries NetSpark's
+  // filter tag.
+  spec.isp_filters = {
+      {"Internet Rimon ISP", "IL", 42925, 21,
+       "\n<meta name=\"NetsparkQuiltingResult\" content=\"filtered\">\n"},
+  };
+
+  // Table 7: mobile carriers transcoding images. `qualities` with several
+  // entries reproduces the "M" (multiple ratios) rows.
+  spec.transcoders = {
+      {15617, "Wind Hellas", "GR", 10, 1.00, {53}},
+      {29180, "Telefonica UK", "GB", 17, 1.00, {47}},
+      {29975, "Vodacom", "ZA", 88, 0.94, {37, 61}},
+      {25135, "Vodafone UK", "GB", 18, 0.83, {54}},
+      {36935, "Vodafone Egypt", "EG", 81, 0.77, {40, 57}},
+      {36925, "Meditelecom", "MA", 128, 0.68, {34}},
+      {16135, "Turkcell", "TR", 65, 0.68, {54}},
+      {15897, "Vodafone Turkey", "TR", 25, 0.56, {53}},
+      {12361, "Vodafone Greece", "GR", 23, 0.48, {52}},
+      {37492, "Orange Tunisia", "TN", 331, 0.29, {34}},
+      {132199, "Globe Telecom", "PH", 1374, 0.14, {51}},
+      {12844, "Bouygues Telecom", "FR", 615, 0.06, {53}},
+  };
+}
+
+void add_cert_replacers(WorldSpec& spec) {
+  using Kind = CertReplacerSpec::Kind;
+  // Table 8: issuers of replaced certificates.
+  // reuse_public_key: every product but Avast reused one key per host.
+  // untrusted_issuer_for_invalid: Avast/BitDefender/Dr.Web (and AVG, which
+  // shares Avast's engine) re-sign invalid sites under a distinct issuer;
+  // Cyberoam/ESET/Kaspersky/McAfee/Fortigate dangerously make them look
+  // valid; OpenDNS only intercepts valid sites on its block list.
+  spec.cert_replacers = {
+      {"Avast", "Avast! Web/Mail Shield Root", Kind::kAntiVirus, 3283,
+       /*reuse=*/false, /*untrusted=*/true, false, false, std::nullopt, false},
+      {"AVG Technology", "AVG Technologies", Kind::kAntiVirus, 247, true, true,
+       false, false, std::nullopt, false},
+      {"BitDefender", "BitDefender Personal CA", Kind::kAntiVirus, 241, true,
+       true, false, false, std::nullopt, false},
+      {"Eset SSL Filter", "ESET SSL Filter CA", Kind::kAntiVirus, 217, true,
+       false, false, false, std::nullopt, false},
+      {"Kaspersky", "Kaspersky Anti-Virus Personal Root", Kind::kAntiVirus, 68,
+       true, false, false, false, std::nullopt, false},
+      {"OpenDNS", "OpenDNS Root Certificate Authority", Kind::kContentFilter, 64,
+       true, false, /*only_if_valid=*/true, /*only_blocked=*/true, std::nullopt,
+       false},
+      {"Cyberoam SSL", "Cyberoam SSL CA", Kind::kAntiVirus, 35, true, false,
+       false, false, std::nullopt, false},
+      {"Sample CA 2", "Sample CA 2", Kind::kUnknown, 29, true, false, false,
+       false, std::nullopt, false},
+      {"Fortigate", "Fortigate CA", Kind::kAntiVirus, 17, true, false, false,
+       false, std::nullopt, false},
+      {"Empty", "", Kind::kUnknown, 14, true, false, false, false, std::nullopt,
+       false},
+      {"Cloudguard.me", "Cloudguard.me CA", Kind::kMalware, 14, true, false,
+       false, false, net::CountryCode("RU"), /*also_injects_html=*/true},
+      {"Dr. Web", "Dr.Web SSL Scanner Root", Kind::kAntiVirus, 13, true, true,
+       false, false, std::nullopt, false},
+      {"McAfee", "McAfee Web Gateway", Kind::kAntiVirus, 6, true, false, false,
+       false, std::nullopt, false},
+  };
+}
+
+void add_monitors(WorldSpec& spec) {
+  using Kind = MonitorSpec::Kind;
+  using Refetch = MonitorSpec::Refetch;
+  // Table 9 / Figure 5. Delay windows transcribed from §7.2.
+  spec.monitors = {
+      // Two re-fetches: 12-120s then 200-12,500s (the y=0.5 step).
+      {"Trend Micro", Kind::kHostSoftware, "US", 55, 6571, 0, "", 734, 13,
+       {Refetch{12, 120, 0, 0, false}, Refetch{200, 12500, 0, 0, false}}},
+      // First request almost exactly 30s, second over the next hour; hits
+      // 45.2% of TalkTalk's own nodes.
+      {"TalkTalk", Kind::kIspService, "GB", 6, 0, 0.452, "Talk Talk", 5, 1,
+       {Refetch{30, 30, 0, 0, false}, Refetch{60, 3600, 0, 0, false}}},
+      // One re-fetch, 1-10 minutes out.
+      {"Commtouch", Kind::kHostSoftware, "US", 20, 1154, 0, "", 371, 79,
+       {Refetch{60, 600, 0, 0, false}}},
+      // VPN: user traffic exits via AnchorFree; the extra request follows
+      // within a second from Menlo Park.
+      {"AnchorFree", Kind::kVpn, "US", 223, 461, 0, "", 225, 98,
+       {Refetch{0.05, 0.9, 0, 0, /*fixed_source_last=*/true}}},
+      // Fetch-before-forward proxy: 83% of first re-fetches precede the
+      // user's own request.
+      {"Bluecoat", Kind::kPathMiddlebox, "US", 12, 453, 0, "", 162, 64,
+       {Refetch{1, 30, 0.83, 0.5, false}, Refetch{30, 3600, 0, 0, false}}},
+      // Single re-fetch at almost exactly 30s; 11.4% of Tiscali's nodes.
+      {"Tiscali U.K.", Kind::kIspService, "GB", 2, 0, 0.114, "Tiscali U.K.", 2, 1,
+       {Refetch{30, 30, 0, 0, false}}},
+  };
+}
+
+}  // namespace
+
+WorldSpec paper_spec() {
+  WorldSpec spec;
+  add_featured_countries(spec);
+  // ISPs that must exist by name: Tiscali (monitored ISP, 363 nodes being
+  // 11.4% of its base) and Uzone (path hijacker with no resolver entry).
+  spec.named_isps = {
+      {"Tiscali U.K.", "GB", 2, 3184, net::OrgKind::kBroadbandIsp},
+      {"Uzone", "ID", 1, 900, net::OrgKind::kBroadbandIsp},
+  };
+  add_filler_countries(spec);
+  add_dns_hijackers(spec);
+  add_http_modifiers(spec);
+  add_cert_replacers(spec);
+  add_monitors(spec);
+  spec.https.universities = {
+      "northeastern.edu", "stanford.edu",   "berkeley.edu", "princeton.edu",
+      "umich.edu",        "washington.edu", "usc.edu",      "umd.edu",
+      "illinois.edu",     "gatech.edu",
+  };
+  // SMTP extension (§3.4 future work — synthetic prevalences, see DESIGN.md):
+  // residential port-25 blocking is widespread; STARTTLS stripping and
+  // banner rewriting follow the shapes reported by prior SMTP middlebox
+  // studies (e.g. the 2015 STARTTLS degradation measurements).
+  using SKind = SmtpInterceptSpec::Kind;
+  spec.smtp_interceptors = {
+      {"residential-port25-block", SKind::kBlockPort, 60000, 1200, 120},
+      {"fixup-starttls-stripper", SKind::kStripStarttls, 9000, 300, 40},
+      {"smtp-banner-gateway", SKind::kRewriteBanner, 2200, 150, 30},
+      {"av-outbound-tagger", SKind::kTagBody, 400, 80, 20},
+  };
+  spec.arbitrary_port_overlay = false;  // Luminati: CONNECT :443 only
+  return spec;
+}
+
+WorldSpec mini_spec() {
+  WorldSpec spec;
+  spec.countries = {
+      {"US", 300, 0, 3, 2, 0.10, 0.05},
+      {"GB", 200, 20, 2, 2, 0.10, 0.05},
+      {"DE", 150, 0, 2, 2, 0.10, 0.05},
+  };
+  spec.named_isps = {
+      {"Tiscali U.K.", "GB", 1, 50, net::OrgKind::kBroadbandIsp},
+      {"Deutsche Telekom AG", "DE", 1, 80, net::OrgKind::kBroadbandIsp},
+  };
+  spec.isp_resolver_hijackers = {
+      {"Verizon", "US", 3, 60, "searchassist.verizon.com", true},
+  };
+  spec.path_hijackers = {
+      {"Deutsche Telekom AG", "DE", 12, "navigationshilfe.t-online.de", 1},
+  };
+  spec.host_dns_hijackers = {
+      {"Norton ConnectSafe", "nortonsafe.search.ask.com", 6, 4, 2},
+  };
+  spec.public_resolver_hijackers = {
+      {"Comodo DNS", 2, 15, "securedns.comodo.com", true},
+  };
+  spec.scattered_google_hijack_nodes = 4;
+  spec.clean_public_resolvers = 12;
+  spec.adware_install_boost = 1.0;
+  spec.adware = {
+      {"adtaily", ad_snippet("<div class=\"AdTaily_Widget_Container\"></div>", 8 * 1024),
+       24, 4, 2},
+  };
+  spec.isp_filters = {
+      {"Internet Rimon ISP", "IL", 42925, 12,
+       "\n<meta name=\"NetsparkQuiltingResult\" content=\"filtered\">\n"},
+  };
+  // Rimon needs its country in the population.
+  spec.countries.push_back({"IL", 60, 0, 2, 1, 0.10, 0.05});
+  spec.transcoders = {
+      {15617, "Wind Hellas", "GR", 15, 1.0, {53}},
+      {29975, "Vodacom", "ZA", 20, 0.9, {37, 61}},
+  };
+  spec.countries.push_back({"GR", 60, 0, 2, 1, 0.10, 0.05});
+  spec.countries.push_back({"ZA", 60, 0, 2, 1, 0.10, 0.05});
+  spec.blockpage_nodes = 3;
+  spec.js_error_nodes = 3;
+  spec.css_error_nodes = 2;
+  using Kind = CertReplacerSpec::Kind;
+  spec.cert_replacers = {
+      {"Avast", "Avast! Web/Mail Shield Root", Kind::kAntiVirus, 25, false, true,
+       false, false, std::nullopt, false},
+      {"Kaspersky", "Kaspersky Anti-Virus Personal Root", Kind::kAntiVirus, 10,
+       true, false, false, false, std::nullopt, false},
+      {"OpenDNS", "OpenDNS Root Certificate Authority", Kind::kContentFilter, 8,
+       true, false, true, true, std::nullopt, false},
+  };
+  using MKind = MonitorSpec::Kind;
+  using Refetch = MonitorSpec::Refetch;
+  spec.monitors = {
+      {"Trend Micro", MKind::kHostSoftware, "US", 5, 30, 0, "", 10, 3,
+       {Refetch{12, 120, 0, 0, false}, Refetch{200, 12500, 0, 0, false}}},
+      {"Bluecoat", MKind::kPathMiddlebox, "US", 3, 15, 0, "", 8, 4,
+       {Refetch{1, 30, 0.83, 0.5, false}}},
+      {"Tiscali U.K.", MKind::kIspService, "GB", 1, 0, 0.2, "Tiscali U.K.", 1, 1,
+       {Refetch{30, 30, 0, 0, false}}},
+  };
+  spec.tail_monitor_groups = 2;
+  spec.tail_monitor_nodes = 6;
+  spec.https.popular_sites_per_country = 5;
+  spec.https.countries_with_rankings = 6;
+  spec.https.universities = {"northeastern.edu", "stanford.edu", "umich.edu"};
+  using SKind = SmtpInterceptSpec::Kind;
+  spec.smtp_interceptors = {
+      {"residential-port25-block", SKind::kBlockPort, 80, 10, 3},
+      {"fixup-starttls-stripper", SKind::kStripStarttls, 30, 6, 2},
+      {"smtp-banner-gateway", SKind::kRewriteBanner, 10, 4, 2},
+      {"av-outbound-tagger", SKind::kTagBody, 6, 3, 2},
+  };
+  spec.arbitrary_port_overlay = true;  // mini world models the VPN overlay
+  spec.google_anycast_instances = 4;
+  spec.node_failure_probability = 0.01;
+  return spec;
+}
+
+}  // namespace tft::world

@@ -1,0 +1,591 @@
+#include "tft/world/spec_io.hpp"
+
+#include <functional>
+#include <set>
+
+#include "tft/util/json.hpp"
+#include "tft/util/json_parse.hpp"
+
+namespace tft::world {
+
+using util::ErrorCode;
+using util::JsonValue;
+using util::JsonWriter;
+using util::make_error;
+using util::Result;
+
+namespace {
+
+// --- enum <-> string --------------------------------------------------------
+
+
+
+Result<net::OrgKind> org_kind_from(std::string_view text) {
+  for (const auto kind :
+       {net::OrgKind::kBroadbandIsp, net::OrgKind::kMobileIsp, net::OrgKind::kHosting,
+        net::OrgKind::kPublicDnsOperator, net::OrgKind::kSecurityVendor,
+        net::OrgKind::kVpnProvider, net::OrgKind::kAcademic, net::OrgKind::kOther}) {
+    if (text == net::to_string(kind)) return kind;
+  }
+  return make_error(ErrorCode::kParseError, "unknown org kind: " + std::string(text));
+}
+
+std::string_view to_string(CertReplacerSpec::Kind kind) {
+  switch (kind) {
+    case CertReplacerSpec::Kind::kAntiVirus:
+      return "anti_virus";
+    case CertReplacerSpec::Kind::kContentFilter:
+      return "content_filter";
+    case CertReplacerSpec::Kind::kMalware:
+      return "malware";
+    case CertReplacerSpec::Kind::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+Result<CertReplacerSpec::Kind> cert_kind_from(std::string_view text) {
+  for (const auto kind :
+       {CertReplacerSpec::Kind::kAntiVirus, CertReplacerSpec::Kind::kContentFilter,
+        CertReplacerSpec::Kind::kMalware, CertReplacerSpec::Kind::kUnknown}) {
+    if (text == to_string(kind)) return kind;
+  }
+  return make_error(ErrorCode::kParseError,
+                    "unknown cert replacer kind: " + std::string(text));
+}
+
+std::string_view to_string(MonitorSpec::Kind kind) {
+  switch (kind) {
+    case MonitorSpec::Kind::kHostSoftware:
+      return "host_software";
+    case MonitorSpec::Kind::kIspService:
+      return "isp_service";
+    case MonitorSpec::Kind::kVpn:
+      return "vpn";
+    case MonitorSpec::Kind::kPathMiddlebox:
+      return "path_middlebox";
+  }
+  return "host_software";
+}
+
+Result<MonitorSpec::Kind> monitor_kind_from(std::string_view text) {
+  for (const auto kind :
+       {MonitorSpec::Kind::kHostSoftware, MonitorSpec::Kind::kIspService,
+        MonitorSpec::Kind::kVpn, MonitorSpec::Kind::kPathMiddlebox}) {
+    if (text == to_string(kind)) return kind;
+  }
+  return make_error(ErrorCode::kParseError, "unknown monitor kind: " + std::string(text));
+}
+
+Result<SmtpInterceptSpec::Kind> smtp_kind_from(std::string_view text) {
+  for (const auto kind :
+       {SmtpInterceptSpec::Kind::kStripStarttls, SmtpInterceptSpec::Kind::kBlockPort,
+        SmtpInterceptSpec::Kind::kRewriteBanner, SmtpInterceptSpec::Kind::kTagBody}) {
+    if (text == to_string(kind)) return kind;
+  }
+  return make_error(ErrorCode::kParseError,
+                    "unknown smtp intercept kind: " + std::string(text));
+}
+
+// --- field helpers -----------------------------------------------------------
+
+/// Tracks which keys of an object were consumed; unknown leftovers error.
+class FieldReader {
+ public:
+  FieldReader(const JsonValue& value, std::string scope)
+      : value_(value), scope_(std::move(scope)) {}
+
+  const JsonValue& take(std::string_view key) {
+    consumed_.insert(std::string(key));
+    return value_[key];
+  }
+
+  Result<void> finish() const {
+    for (const auto& [key, member] : value_.as_object()) {
+      if (!consumed_.contains(key)) {
+        return make_error(ErrorCode::kParseError,
+                          "unknown field '" + key + "' in " + scope_);
+      }
+    }
+    return {};
+  }
+
+ private:
+  const JsonValue& value_;
+  std::string scope_;
+  std::set<std::string> consumed_;
+};
+
+int int_or(const JsonValue& value, int fallback) {
+  return value.is_number() ? static_cast<int>(value.as_int()) : fallback;
+}
+double number_or(const JsonValue& value, double fallback) {
+  return value.is_number() ? value.as_number() : fallback;
+}
+std::string string_or(const JsonValue& value, std::string fallback) {
+  return value.is_string() ? value.as_string() : fallback;
+}
+bool bool_or(const JsonValue& value, bool fallback) {
+  return value.is_bool() ? value.as_bool() : fallback;
+}
+
+}  // namespace
+
+std::string spec_to_json(const WorldSpec& spec) {
+  JsonWriter json;
+  json.begin_object();
+
+  json.begin_array("countries");
+  for (const auto& country : spec.countries) {
+    json.begin_object()
+        .field("code", country.code)
+        .field("total_nodes", country.total_nodes)
+        .field("extra_hijacked_nodes", country.extra_hijacked_nodes)
+        .field("isp_count", country.isp_count)
+        .field("ases_per_isp", country.ases_per_isp)
+        .field("google_dns_fraction", country.google_dns_fraction)
+        .field("public_dns_fraction", country.public_dns_fraction)
+        .end_object();
+  }
+  json.end_array();
+
+  json.begin_array("named_isps");
+  for (const auto& isp : spec.named_isps) {
+    json.begin_object()
+        .field("name", isp.name)
+        .field("country", isp.country)
+        .field("as_count", isp.as_count)
+        .field("nodes", isp.nodes)
+        .field("kind", net::to_string(isp.kind))
+        .end_object();
+  }
+  json.end_array();
+
+  json.begin_array("isp_resolver_hijackers");
+  for (const auto& isp : spec.isp_resolver_hijackers) {
+    json.begin_object()
+        .field("isp", isp.isp)
+        .field("country", isp.country)
+        .field("dns_servers", isp.dns_servers)
+        .field("nodes", isp.nodes)
+        .field("landing_host", isp.landing_host)
+        .field("shared_vendor_js", isp.shared_vendor_js)
+        .end_object();
+  }
+  json.end_array();
+
+  json.begin_array("path_hijackers");
+  for (const auto& entry : spec.path_hijackers) {
+    json.begin_object()
+        .field("isp", entry.isp)
+        .field("country", entry.country)
+        .field("google_dns_nodes", entry.google_dns_nodes)
+        .field("landing_host", entry.landing_host)
+        .field("as_spread", entry.as_spread)
+        .end_object();
+  }
+  json.end_array();
+
+  json.begin_array("host_dns_hijackers");
+  for (const auto& entry : spec.host_dns_hijackers) {
+    json.begin_object()
+        .field("product", entry.product)
+        .field("landing_host", entry.landing_host)
+        .field("nodes", entry.nodes)
+        .field("as_spread", entry.as_spread)
+        .field("country_spread", entry.country_spread)
+        .end_object();
+  }
+  json.end_array();
+
+  json.begin_array("public_resolver_hijackers");
+  for (const auto& entry : spec.public_resolver_hijackers) {
+    json.begin_object()
+        .field("operator", entry.operator_name)
+        .field("servers", entry.servers)
+        .field("nodes", entry.nodes)
+        .field("landing_host", entry.landing_host)
+        .field("identifiable", entry.identifiable)
+        .end_object();
+  }
+  json.end_array();
+
+  json.field("scattered_google_hijack_nodes", spec.scattered_google_hijack_nodes);
+  json.field("clean_public_resolvers", spec.clean_public_resolvers);
+
+  json.begin_array("adware");
+  for (const auto& entry : spec.adware) {
+    json.begin_object()
+        .field("name", entry.name)
+        .field("snippet", entry.snippet)
+        .field("nodes", entry.nodes)
+        .field("as_spread", entry.as_spread)
+        .field("country_spread", entry.country_spread)
+        .end_object();
+  }
+  json.end_array();
+  json.field("adware_install_boost", spec.adware_install_boost);
+
+  json.begin_array("isp_filters");
+  for (const auto& entry : spec.isp_filters) {
+    json.begin_object()
+        .field("isp", entry.isp)
+        .field("country", entry.country)
+        .field("asn", static_cast<std::uint64_t>(entry.asn))
+        .field("nodes", entry.nodes)
+        .field("snippet", entry.snippet)
+        .end_object();
+  }
+  json.end_array();
+
+  json.begin_array("transcoders");
+  for (const auto& entry : spec.transcoders) {
+    json.begin_object()
+        .field("asn", static_cast<std::uint64_t>(entry.asn))
+        .field("isp", entry.isp)
+        .field("country", entry.country)
+        .field("nodes", entry.nodes)
+        .field("fraction", entry.fraction);
+    json.begin_array("qualities");
+    for (const int quality : entry.qualities) {
+      json.value(static_cast<std::int64_t>(quality));
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+
+  json.field("blockpage_nodes", spec.blockpage_nodes);
+  json.field("js_error_nodes", spec.js_error_nodes);
+  json.field("css_error_nodes", spec.css_error_nodes);
+
+  json.begin_array("cert_replacers");
+  for (const auto& entry : spec.cert_replacers) {
+    json.begin_object()
+        .field("product", entry.product)
+        .field("issuer_cn", entry.issuer_cn)
+        .field("kind", to_string(entry.kind))
+        .field("nodes", entry.nodes)
+        .field("reuse_public_key", entry.reuse_public_key)
+        .field("untrusted_issuer_for_invalid", entry.untrusted_issuer_for_invalid)
+        .field("only_if_upstream_valid", entry.only_if_upstream_valid)
+        .field("only_blocked_hosts", entry.only_blocked_hosts)
+        .field("also_injects_html", entry.also_injects_html);
+    if (entry.only_country) json.field("only_country", *entry.only_country);
+    json.end_object();
+  }
+  json.end_array();
+
+  json.begin_array("monitors");
+  for (const auto& entry : spec.monitors) {
+    json.begin_object()
+        .field("entity", entry.entity)
+        .field("kind", to_string(entry.kind))
+        .field("home_country", entry.home_country)
+        .field("source_ips", entry.source_ips)
+        .field("nodes", entry.nodes)
+        .field("isp_node_fraction", entry.isp_node_fraction)
+        .field("isp", entry.isp)
+        .field("as_spread", entry.as_spread)
+        .field("country_spread", entry.country_spread);
+    json.begin_array("refetches");
+    for (const auto& refetch : entry.refetches) {
+      json.begin_object()
+          .field("min_delay_s", refetch.min_delay_s)
+          .field("max_delay_s", refetch.max_delay_s)
+          .field("prefetch_probability", refetch.prefetch_probability)
+          .field("hold_s", refetch.hold_s)
+          .field("fixed_source_last", refetch.fixed_source_last)
+          .end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.field("tail_monitor_groups", spec.tail_monitor_groups);
+  json.field("tail_monitor_nodes", spec.tail_monitor_nodes);
+
+  json.field("probe_html_bytes", spec.probe_html_bytes);
+  json.begin_object("https")
+      .field("popular_sites_per_country", spec.https.popular_sites_per_country)
+      .field("countries_with_rankings", spec.https.countries_with_rankings);
+  json.begin_array("universities");
+  for (const auto& university : spec.https.universities) json.value(university);
+  json.end_array();
+  json.end_object();
+
+  json.begin_array("smtp_interceptors");
+  for (const auto& entry : spec.smtp_interceptors) {
+    json.begin_object()
+        .field("name", entry.name)
+        .field("kind", world::to_string(entry.kind))
+        .field("nodes", entry.nodes)
+        .field("as_spread", entry.as_spread)
+        .field("country_spread", entry.country_spread)
+        .end_object();
+  }
+  json.end_array();
+
+  json.field("arbitrary_port_overlay", spec.arbitrary_port_overlay);
+  json.field("google_anycast_instances", spec.google_anycast_instances);
+  json.field("node_failure_probability", spec.node_failure_probability);
+  json.end_object();
+  return std::move(json).take();
+}
+
+Result<WorldSpec> spec_from_json(std::string_view text) {
+  auto document = util::parse_json(text);
+  if (!document) return document.error();
+  if (!document->is_object()) {
+    return make_error(ErrorCode::kParseError, "scenario must be a JSON object");
+  }
+
+  WorldSpec spec;
+  // Clear the defaults that paper_spec-independent scenarios usually
+  // override wholesale; scalars keep WorldSpec{} defaults.
+  FieldReader root(*document, "scenario");
+
+  for (const auto& entry : root.take("countries").as_array()) {
+    FieldReader reader(entry, "country");
+    CountrySpec country;
+    country.code = string_or(reader.take("code"), "");
+    country.total_nodes = int_or(reader.take("total_nodes"), 0);
+    country.extra_hijacked_nodes = int_or(reader.take("extra_hijacked_nodes"), 0);
+    country.isp_count = int_or(reader.take("isp_count"), country.isp_count);
+    country.ases_per_isp = int_or(reader.take("ases_per_isp"), country.ases_per_isp);
+    country.google_dns_fraction =
+        number_or(reader.take("google_dns_fraction"), country.google_dns_fraction);
+    country.public_dns_fraction =
+        number_or(reader.take("public_dns_fraction"), country.public_dns_fraction);
+    if (auto ok = reader.finish(); !ok) return ok.error();
+    if (country.code.empty()) {
+      return make_error(ErrorCode::kParseError, "country without code");
+    }
+    spec.countries.push_back(std::move(country));
+  }
+
+  for (const auto& entry : root.take("named_isps").as_array()) {
+    FieldReader reader(entry, "named_isp");
+    NamedIspSpec isp;
+    isp.name = string_or(reader.take("name"), "");
+    isp.country = string_or(reader.take("country"), "");
+    isp.as_count = int_or(reader.take("as_count"), isp.as_count);
+    isp.nodes = int_or(reader.take("nodes"), 0);
+    auto kind = org_kind_from(string_or(reader.take("kind"), "broadband_isp"));
+    if (!kind) return kind.error();
+    isp.kind = *kind;
+    if (auto ok = reader.finish(); !ok) return ok.error();
+    spec.named_isps.push_back(std::move(isp));
+  }
+
+  for (const auto& entry : root.take("isp_resolver_hijackers").as_array()) {
+    FieldReader reader(entry, "isp_resolver_hijacker");
+    IspResolverHijackSpec isp;
+    isp.isp = string_or(reader.take("isp"), "");
+    isp.country = string_or(reader.take("country"), "");
+    isp.dns_servers = int_or(reader.take("dns_servers"), 1);
+    isp.nodes = int_or(reader.take("nodes"), 0);
+    isp.landing_host = string_or(reader.take("landing_host"), "");
+    isp.shared_vendor_js = bool_or(reader.take("shared_vendor_js"), false);
+    if (auto ok = reader.finish(); !ok) return ok.error();
+    spec.isp_resolver_hijackers.push_back(std::move(isp));
+  }
+
+  for (const auto& entry : root.take("path_hijackers").as_array()) {
+    FieldReader reader(entry, "path_hijacker");
+    PathHijackSpec path;
+    path.isp = string_or(reader.take("isp"), "");
+    path.country = string_or(reader.take("country"), "");
+    path.google_dns_nodes = int_or(reader.take("google_dns_nodes"), 0);
+    path.landing_host = string_or(reader.take("landing_host"), "");
+    path.as_spread = int_or(reader.take("as_spread"), 1);
+    if (auto ok = reader.finish(); !ok) return ok.error();
+    spec.path_hijackers.push_back(std::move(path));
+  }
+
+  for (const auto& entry : root.take("host_dns_hijackers").as_array()) {
+    FieldReader reader(entry, "host_dns_hijacker");
+    HostDnsHijackSpec host;
+    host.product = string_or(reader.take("product"), "");
+    host.landing_host = string_or(reader.take("landing_host"), "");
+    host.nodes = int_or(reader.take("nodes"), 0);
+    host.as_spread = int_or(reader.take("as_spread"), 1);
+    host.country_spread = int_or(reader.take("country_spread"), 1);
+    if (auto ok = reader.finish(); !ok) return ok.error();
+    spec.host_dns_hijackers.push_back(std::move(host));
+  }
+
+  for (const auto& entry : root.take("public_resolver_hijackers").as_array()) {
+    FieldReader reader(entry, "public_resolver_hijacker");
+    PublicResolverHijackSpec service;
+    service.operator_name = string_or(reader.take("operator"), "");
+    service.servers = int_or(reader.take("servers"), 1);
+    service.nodes = int_or(reader.take("nodes"), 0);
+    service.landing_host = string_or(reader.take("landing_host"), "");
+    service.identifiable = bool_or(reader.take("identifiable"), true);
+    if (auto ok = reader.finish(); !ok) return ok.error();
+    spec.public_resolver_hijackers.push_back(std::move(service));
+  }
+
+  spec.scattered_google_hijack_nodes =
+      int_or(root.take("scattered_google_hijack_nodes"),
+             spec.scattered_google_hijack_nodes);
+  spec.clean_public_resolvers =
+      int_or(root.take("clean_public_resolvers"), spec.clean_public_resolvers);
+
+  for (const auto& entry : root.take("adware").as_array()) {
+    FieldReader reader(entry, "adware");
+    AdwareSpec adware;
+    adware.name = string_or(reader.take("name"), "");
+    adware.snippet = string_or(reader.take("snippet"), "");
+    adware.nodes = int_or(reader.take("nodes"), 0);
+    adware.as_spread = int_or(reader.take("as_spread"), 1);
+    adware.country_spread = int_or(reader.take("country_spread"), 1);
+    if (auto ok = reader.finish(); !ok) return ok.error();
+    spec.adware.push_back(std::move(adware));
+  }
+  spec.adware_install_boost =
+      number_or(root.take("adware_install_boost"), spec.adware_install_boost);
+
+  for (const auto& entry : root.take("isp_filters").as_array()) {
+    FieldReader reader(entry, "isp_filter");
+    IspFilterSpec filter;
+    filter.isp = string_or(reader.take("isp"), "");
+    filter.country = string_or(reader.take("country"), "");
+    filter.asn = static_cast<net::Asn>(reader.take("asn").as_int(0));
+    filter.nodes = int_or(reader.take("nodes"), 0);
+    filter.snippet = string_or(reader.take("snippet"), "");
+    if (auto ok = reader.finish(); !ok) return ok.error();
+    spec.isp_filters.push_back(std::move(filter));
+  }
+
+  for (const auto& entry : root.take("transcoders").as_array()) {
+    FieldReader reader(entry, "transcoder");
+    TranscoderSpec transcoder;
+    transcoder.asn = static_cast<net::Asn>(reader.take("asn").as_int(0));
+    transcoder.isp = string_or(reader.take("isp"), "");
+    transcoder.country = string_or(reader.take("country"), "");
+    transcoder.nodes = int_or(reader.take("nodes"), 0);
+    transcoder.fraction = number_or(reader.take("fraction"), 1.0);
+    for (const auto& quality : reader.take("qualities").as_array()) {
+      transcoder.qualities.push_back(static_cast<int>(quality.as_int()));
+    }
+    if (auto ok = reader.finish(); !ok) return ok.error();
+    spec.transcoders.push_back(std::move(transcoder));
+  }
+
+  spec.blockpage_nodes = int_or(root.take("blockpage_nodes"), spec.blockpage_nodes);
+  spec.js_error_nodes = int_or(root.take("js_error_nodes"), spec.js_error_nodes);
+  spec.css_error_nodes = int_or(root.take("css_error_nodes"), spec.css_error_nodes);
+
+  for (const auto& entry : root.take("cert_replacers").as_array()) {
+    FieldReader reader(entry, "cert_replacer");
+    CertReplacerSpec product;
+    product.product = string_or(reader.take("product"), "");
+    product.issuer_cn = string_or(reader.take("issuer_cn"), "");
+    auto kind = cert_kind_from(string_or(reader.take("kind"), "anti_virus"));
+    if (!kind) return kind.error();
+    product.kind = *kind;
+    product.nodes = int_or(reader.take("nodes"), 0);
+    product.reuse_public_key = bool_or(reader.take("reuse_public_key"), true);
+    product.untrusted_issuer_for_invalid =
+        bool_or(reader.take("untrusted_issuer_for_invalid"), false);
+    product.only_if_upstream_valid =
+        bool_or(reader.take("only_if_upstream_valid"), false);
+    product.only_blocked_hosts = bool_or(reader.take("only_blocked_hosts"), false);
+    product.also_injects_html = bool_or(reader.take("also_injects_html"), false);
+    const auto& only_country = reader.take("only_country");
+    if (only_country.is_string()) product.only_country = only_country.as_string();
+    if (auto ok = reader.finish(); !ok) return ok.error();
+    spec.cert_replacers.push_back(std::move(product));
+  }
+
+  for (const auto& entry : root.take("monitors").as_array()) {
+    FieldReader reader(entry, "monitor");
+    MonitorSpec monitor;
+    monitor.entity = string_or(reader.take("entity"), "");
+    auto kind = monitor_kind_from(string_or(reader.take("kind"), "host_software"));
+    if (!kind) return kind.error();
+    monitor.kind = *kind;
+    monitor.home_country = string_or(reader.take("home_country"), "US");
+    monitor.source_ips = int_or(reader.take("source_ips"), 1);
+    monitor.nodes = int_or(reader.take("nodes"), 0);
+    monitor.isp_node_fraction = number_or(reader.take("isp_node_fraction"), 0);
+    monitor.isp = string_or(reader.take("isp"), "");
+    monitor.as_spread = int_or(reader.take("as_spread"), 1);
+    monitor.country_spread = int_or(reader.take("country_spread"), 1);
+    for (const auto& refetch_value : reader.take("refetches").as_array()) {
+      FieldReader refetch_reader(refetch_value, "refetch");
+      MonitorSpec::Refetch refetch;
+      refetch.min_delay_s = number_or(refetch_reader.take("min_delay_s"), 1);
+      refetch.max_delay_s = number_or(refetch_reader.take("max_delay_s"), 60);
+      refetch.prefetch_probability =
+          number_or(refetch_reader.take("prefetch_probability"), 0);
+      refetch.hold_s = number_or(refetch_reader.take("hold_s"), 0.5);
+      refetch.fixed_source_last =
+          bool_or(refetch_reader.take("fixed_source_last"), false);
+      if (auto ok = refetch_reader.finish(); !ok) return ok.error();
+      monitor.refetches.push_back(refetch);
+    }
+    if (auto ok = reader.finish(); !ok) return ok.error();
+    spec.monitors.push_back(std::move(monitor));
+  }
+  spec.tail_monitor_groups =
+      int_or(root.take("tail_monitor_groups"), spec.tail_monitor_groups);
+  spec.tail_monitor_nodes =
+      int_or(root.take("tail_monitor_nodes"), spec.tail_monitor_nodes);
+
+  {
+    const auto& bytes = root.take("probe_html_bytes");
+    if (bytes.is_number()) {
+      spec.probe_html_bytes = static_cast<std::size_t>(bytes.as_int());
+    }
+  }
+
+  {
+    const auto& https = root.take("https");
+    if (https.is_object()) {
+      FieldReader reader(https, "https");
+      spec.https.popular_sites_per_country =
+          int_or(reader.take("popular_sites_per_country"),
+                 spec.https.popular_sites_per_country);
+      spec.https.countries_with_rankings =
+          int_or(reader.take("countries_with_rankings"),
+                 spec.https.countries_with_rankings);
+      const auto& universities = reader.take("universities");
+      if (universities.is_array()) {
+        spec.https.universities.clear();
+        for (const auto& university : universities.as_array()) {
+          spec.https.universities.push_back(university.as_string());
+        }
+      }
+      if (auto ok = reader.finish(); !ok) return ok.error();
+    }
+  }
+
+  for (const auto& entry : root.take("smtp_interceptors").as_array()) {
+    FieldReader reader(entry, "smtp_interceptor");
+    SmtpInterceptSpec intercept;
+    intercept.name = string_or(reader.take("name"), "");
+    auto kind = smtp_kind_from(string_or(reader.take("kind"), "strip_starttls"));
+    if (!kind) return kind.error();
+    intercept.kind = *kind;
+    intercept.nodes = int_or(reader.take("nodes"), 0);
+    intercept.as_spread = int_or(reader.take("as_spread"), 1);
+    intercept.country_spread = int_or(reader.take("country_spread"), 1);
+    if (auto ok = reader.finish(); !ok) return ok.error();
+    spec.smtp_interceptors.push_back(std::move(intercept));
+  }
+
+  spec.arbitrary_port_overlay =
+      bool_or(root.take("arbitrary_port_overlay"), spec.arbitrary_port_overlay);
+  spec.google_anycast_instances =
+      int_or(root.take("google_anycast_instances"), spec.google_anycast_instances);
+  spec.node_failure_probability = number_or(root.take("node_failure_probability"),
+                                            spec.node_failure_probability);
+
+  if (auto ok = root.finish(); !ok) return ok.error();
+  return spec;
+}
+
+}  // namespace tft::world

@@ -1,0 +1,104 @@
+#include "tft/world/validate.hpp"
+
+#include <set>
+
+#include "tft/tls/verify.hpp"
+
+namespace tft::world {
+
+namespace {
+
+void check(std::vector<std::string>& problems, bool ok, std::string message) {
+  if (!ok) problems.push_back(std::move(message));
+}
+
+}  // namespace
+
+std::vector<std::string> validate(const World& world) {
+  std::vector<std::string> problems;
+
+  check(problems, world.luminati != nullptr, "no proxy service built");
+  check(problems, world.measurement_zone != nullptr, "no measurement DNS zone");
+  check(problems, world.measurement_web != nullptr, "no measurement web server");
+  check(problems, world.web.find(world.measurement_web_address) != nullptr,
+        "measurement web server not reachable at its address");
+  check(problems, world.google_dns != nullptr, "no Google anycast group");
+  if (!problems.empty()) return problems;  // the rest needs these
+
+  check(problems, world.google_dns->instance_count() >= 2,
+        "fewer than 2 Google anycast instances (the overlap filter needs >1)");
+  check(problems, !world.google_netblocks.empty(), "no Google netblocks recorded");
+
+  // The wildcard probe zone must resolve to the measurement web server for
+  // a sample name.
+  {
+    const auto query =
+        dns::Message::query(1, *dns::DnsName::parse("validate.probe.tft-study.net"));
+    // const_cast: handle() logs the query; validation-time logging is
+    // harmless and cleared below.
+    auto* zone = const_cast<dns::AuthoritativeServer*>(world.measurement_zone.get());
+    const std::size_t log_before = zone->query_log().size();
+    const auto response =
+        zone->handle(query, net::Ipv4Address(192, 0, 2, 200), world.clock.now());
+    check(problems, response.first_a() == world.measurement_web_address,
+          "probe wildcard does not resolve to the measurement web server");
+    check(problems, zone->query_log().size() == log_before + 1,
+          "measurement zone does not log queries");
+  }
+
+  // Node invariants: unique zIDs/addresses, topology-consistent AS and
+  // country, a resolvable DNS configuration.
+  std::set<std::string> zids;
+  std::set<std::uint32_t> addresses;
+  std::size_t broken_nodes = 0;
+  for (const auto& node : world.luminati->nodes()) {
+    bool node_ok = true;
+    node_ok = node_ok && zids.insert(node->zid()).second;
+    node_ok = node_ok && addresses.insert(node->address().value()).second;
+    const auto asn = world.topology.origin_as(node->address());
+    node_ok = node_ok && asn.has_value() && *asn == node->asn();
+    const auto country = world.topology.country_of(node->asn());
+    node_ok = node_ok && country.has_value() && *country == node->country();
+    node_ok = node_ok && world.truth.find(node->zid()) != nullptr;
+    if (!node_ok) ++broken_nodes;
+  }
+  check(problems, broken_nodes == 0,
+        std::to_string(broken_nodes) + " nodes with broken identity/topology");
+
+  // HTTPS sites: unique addresses, reachable endpoints presenting their
+  // genuine chains; the three invalid sites present and actually invalid.
+  const tls::CertificateVerifier verifier(&world.public_roots);
+  std::set<std::uint32_t> site_addresses;
+  std::size_t broken_sites = 0;
+  int invalid_sites = 0;
+  for (const auto& site : world.https_sites) {
+    bool site_ok = site_addresses.insert(site.address.value()).second;
+    const auto* chain = world.tls_endpoints.handshake(site.address, site.host);
+    site_ok = site_ok && chain != nullptr && !chain->empty();
+    // The endpoint must present exactly the recorded genuine chain —
+    // the HTTPS probe's invalid-site check depends on that record.
+    site_ok = site_ok && !site.genuine_chain.empty() &&
+              chain->front().fingerprint() == site.genuine_chain.front().fingerprint();
+    if (site_ok) {
+      const bool verifies =
+          verifier.verify(*chain, site.host, world.clock.now() + sim::Duration::hours(1))
+              .ok();
+      if (site.site_class == HttpsSite::Class::kInvalid) {
+        ++invalid_sites;
+        site_ok = !verifies;
+      } else {
+        site_ok = verifies;
+      }
+    }
+    if (!site_ok) ++broken_sites;
+  }
+  check(problems, broken_sites == 0,
+        std::to_string(broken_sites) + " HTTPS sites broken or mis-validated");
+  check(problems, invalid_sites == 3,
+        "expected exactly 3 deliberately-invalid sites, found " +
+            std::to_string(invalid_sites));
+
+  return problems;
+}
+
+}  // namespace tft::world

@@ -1,0 +1,25 @@
+#include "tft/world/world.hpp"
+
+namespace tft::world {
+
+std::size_t World::set_isp_hijack(const std::string& isp,
+                                  std::optional<dns::NxdomainHijackPolicy> policy) {
+  const auto it = isp_resolvers.find(isp);
+  if (it == isp_resolvers.end()) return 0;
+  std::size_t changed = 0;
+  for (const auto& address : it->second) {
+    // ISP resolvers are unicast; any client address selects the instance.
+    dns::RecursiveResolver* resolver =
+        resolvers.instance_for(address, net::Ipv4Address(192, 0, 2, 250));
+    if (resolver == nullptr) continue;
+    if (policy) {
+      resolver->set_nxdomain_hijack(*policy);
+    } else {
+      resolver->clear_nxdomain_hijack();
+    }
+    ++changed;
+  }
+  return changed;
+}
+
+}  // namespace tft::world

@@ -1,0 +1,142 @@
+#include "tft/core/report_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tft/util/strings.hpp"
+
+namespace tft::core {
+namespace {
+
+/// Tiny structural validator: balanced braces/brackets outside strings,
+/// proper string termination. Enough to catch writer misuse.
+bool structurally_valid_json(std::string_view text) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        ++depth;
+        break;
+      case '}':
+      case ']':
+        if (--depth < 0) return false;
+        break;
+      default:
+        break;
+    }
+  }
+  return depth == 0 && !in_string && !text.empty() && text.front() == '{';
+}
+
+DnsReport sample_dns_report() {
+  DnsReport report;
+  report.total_nodes = 1000;
+  report.hijacked_nodes = 48;
+  report.top_countries.push_back(DnsCountryRow{"MY", 52, 100});
+  report.isp_hijackers.push_back(DnsIspRow{"Verizon \"east\"", "US", 9, 166});
+  report.public_hijackers.push_back(DnsPublicRow{"Comodo DNS", 1, 51});
+  report.google_urls.push_back(
+      DnsGoogleUrlRow{"navigationshilfe.t-online.de", 6, 1, 1, false});
+  return report;
+}
+
+TEST(ReportJsonTest, DnsReportStructureAndContent) {
+  const std::string json = dns_report_json(sample_dns_report());
+  EXPECT_TRUE(structurally_valid_json(json)) << json;
+  EXPECT_TRUE(util::contains(json, "\"experiment\":\"dns_nxdomain_hijacking\""));
+  EXPECT_TRUE(util::contains(json, "\"hijacked_nodes\":48"));
+  EXPECT_TRUE(util::contains(json, "\"country\":\"MY\""));
+  // Embedded quotes are escaped.
+  EXPECT_TRUE(util::contains(json, "Verizon \\\"east\\\""));
+}
+
+TEST(ReportJsonTest, HttpReportStructure) {
+  HttpReport report;
+  report.total_nodes = 500;
+  report.injections.push_back(InjectionRow{"AdTaily_Widget_Container", 11, 8, 9});
+  TranscodeRow row;
+  row.asn = 29975;
+  row.isp = "Vodacom";
+  row.country = "ZA";
+  row.modified = 83;
+  row.total = 88;
+  row.mobile_isp = true;
+  row.ratios = {0.37, 0.61};
+  report.transcoders.push_back(row);
+  report.fully_modified_ases.emplace_back(42925, "Internet Rimon ISP");
+  const std::string json = http_report_json(report);
+  EXPECT_TRUE(structurally_valid_json(json)) << json;
+  EXPECT_TRUE(util::contains(json, "\"asn\":29975"));
+  EXPECT_TRUE(util::contains(json, "\"compression_ratios\":[0.37,0.61]"));
+  EXPECT_TRUE(util::contains(json, "Internet Rimon ISP"));
+}
+
+TEST(ReportJsonTest, HttpsReportStructure) {
+  HttpsReport report;
+  report.total_nodes = 100;
+  report.replaced_nodes = 5;
+  report.issuers.push_back(
+      IssuerRow{"Avast! Web/Mail Shield Root", 5, "Anti-Virus/Security", 0, 0});
+  const std::string json = https_report_json(report);
+  EXPECT_TRUE(structurally_valid_json(json)) << json;
+  EXPECT_TRUE(util::contains(json, "Avast! Web/Mail Shield Root"));
+  EXPECT_TRUE(util::contains(json, "\"replaced_ratio\":0.05"));
+}
+
+TEST(ReportJsonTest, MonitorReportIncludesCdfSeries) {
+  MonitorReport report;
+  report.total_nodes = 100;
+  report.monitored_nodes = 2;
+  MonitorEntityRow entity;
+  entity.entity = "Trend Micro";
+  entity.source_ips = 55;
+  entity.nodes = 2;
+  entity.delay_cdf = stats::EmpiricalCdf({30.0, 300.0});
+  report.top_entities.push_back(std::move(entity));
+  const std::string json = monitor_report_json(report);
+  EXPECT_TRUE(structurally_valid_json(json)) << json;
+  EXPECT_TRUE(util::contains(json, "\"delay_cdf\":["));
+  EXPECT_TRUE(util::contains(json, "\"delay_p50_s\":165"));
+}
+
+TEST(ReportJsonTest, SmtpReportStructure) {
+  SmtpReport report;
+  report.total_nodes = 200;
+  report.blocked = 10;
+  report.stripped = 3;
+  report.top_ases.push_back(SmtpAsRow{64500, "X ISP", "US", 9, 10, "port blocked"});
+  const std::string json = smtp_report_json(report);
+  EXPECT_TRUE(structurally_valid_json(json)) << json;
+  EXPECT_TRUE(util::contains(json, "\"starttls_stripped\":3"));
+  EXPECT_TRUE(util::contains(json, "port blocked"));
+}
+
+TEST(ReportJsonTest, StudyResultAggregatesAll) {
+  StudyResult result;
+  result.coverage.push_back(ExperimentCoverage{"DNS (S4)", 10, 2, 1});
+  result.dns = sample_dns_report();
+  const std::string json = study_result_json(result);
+  EXPECT_TRUE(structurally_valid_json(json)) << json;
+  EXPECT_TRUE(util::contains(json, "\"coverage\":["));
+  EXPECT_TRUE(util::contains(json, "\"dns\":{"));
+  EXPECT_TRUE(util::contains(json, "\"https\":{"));
+  EXPECT_TRUE(util::contains(json, "\"monitoring\":{"));
+}
+
+}  // namespace
+}  // namespace tft::core

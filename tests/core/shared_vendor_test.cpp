@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tft/core/dns_probe.hpp"
+#include "tft/world/world.hpp"
+
+namespace tft::core {
+namespace {
+
+TEST(ContentShapeHashTest, IdenticalUpToUrlsCollapses) {
+  const std::string a =
+      "<script>var t=\"http://searchassist.verizon.com/search\";"
+      "go(t);go(t);</script>";
+  const std::string b =
+      "<script>var t=\"http://finder.cox.net/search\";"
+      "go(t);go(t);</script>";
+  EXPECT_EQ(content_shape_hash(a), content_shape_hash(b));
+}
+
+TEST(ContentShapeHashTest, DifferentCodeDiffers) {
+  EXPECT_NE(content_shape_hash("<script>redirect('http://a.example/x')</script>"),
+            content_shape_hash("<b>sponsored: <a href='http://a.example/x'>go</a></b>"));
+}
+
+TEST(ContentShapeHashTest, RawHostTextKeepsPagesApart) {
+  // The landing host appearing as visible TEXT (not a URL) is not stripped,
+  // so per-ISP generic pages stay distinct.
+  const std::string a = "visit <a href=\"http://x.example/s\">x.example</a>";
+  const std::string b = "visit <a href=\"http://y.example/s\">y.example</a>";
+  EXPECT_NE(content_shape_hash(a), content_shape_hash(b));
+}
+
+TEST(ContentShapeHashTest, RepeatedUrlsAllStripped) {
+  const std::string once = "go http://a.example/x now";
+  const std::string twice = "go http://a.example/x now http://a.example/x";
+  // Both URLs are placeholders, so the second page differs only by the
+  // extra placeholder, not by host.
+  EXPECT_EQ(content_shape_hash("p http://h1.example/q p http://h1.example/q"),
+            content_shape_hash("p http://h2.example/q p http://h2.example/q"));
+  EXPECT_NE(content_shape_hash(once), content_shape_hash(twice));
+}
+
+TEST(SharedVendorClusterTest, RecoveredFromSyntheticObservations) {
+  // Three ISPs, two of which serve byte-identical (up to URL) hijack pages.
+  const auto world = world::build_world(world::mini_spec(), 0.3, 3);
+
+  const auto page = [](const std::string& host) {
+    return "<html><script>var t=\"http://" + host +
+           "/search\";window.onload=function(){location=t;}</script></html>";
+  };
+  // Pick six nodes from six DISTINCT organizations so the cluster spans
+  // ISPs (a cluster within one ISP is not vendor evidence).
+  std::vector<const proxy::ExitNodeAgent*> picked;
+  std::set<std::string> seen_orgs;
+  for (const auto& node : world->luminati->nodes()) {
+    const auto* org = world->topology.organization_of(node->address());
+    if (org == nullptr || !seen_orgs.insert(org->name).second) continue;
+    picked.push_back(node.get());
+    if (picked.size() == 6) break;
+  }
+  ASSERT_EQ(picked.size(), 6u);
+
+  std::vector<DnsNodeObservation> observations;
+  for (std::size_t i = 0; i < picked.size(); ++i) {
+    DnsNodeObservation observation;
+    observation.zid = picked[i]->zid();
+    observation.exit_address = picked[i]->address();
+    observation.asn = picked[i]->asn();
+    observation.country = picked[i]->country();
+    observation.dns_server = picked[i]->address();  // same org as the node
+    observation.hijacked = true;
+    // Nodes 0-2: vendor page (URL differs per ISP). 3-5: bespoke pages.
+    observation.hijack_content =
+        i < 3 ? page("assist-" + std::to_string(i) + ".example")
+              : "<html>bespoke " + std::to_string(i) + "</html>";
+    observations.push_back(std::move(observation));
+  }
+
+  const auto report = analyze_dns(*world, observations, DnsAnalysisConfig{});
+  ASSERT_FALSE(report.shared_vendor_clusters.empty());
+  const auto& cluster = report.shared_vendor_clusters.front();
+  EXPECT_EQ(cluster.nodes, 3u);
+  EXPECT_GE(cluster.isps.size(), 2u);
+}
+
+TEST(SharedVendorClusterTest, PaperWorldSharedVendorIspsCluster) {
+  // End-to-end: the five shared-vendor ISPs of §4.3.1 must land in one
+  // cluster after a real probe run.
+  auto world = world::build_world(world::paper_spec(), 0.01, 11);
+  DnsProbeConfig config;
+  config.target_nodes = 0;
+  config.stall_limit = 2000;
+  DnsHijackProbe probe(*world, config);
+  probe.run();
+  const auto report = analyze_dns(*world, probe.observations(), DnsAnalysisConfig{});
+
+  bool found = false;
+  for (const auto& cluster : report.shared_vendor_clusters) {
+    std::size_t hits = 0;
+    for (const auto& isp : cluster.isps) {
+      for (const char* expected : {"Cox Communications", "Oi Fixo", "Talk Talk",
+                                   "BT Internet", "Verizon"}) {
+        if (isp == expected) ++hits;
+      }
+    }
+    if (hits >= 4) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace tft::core

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "tft/core/http_probe.hpp"
+#include "tft/core/https_probe.hpp"
+#include "tft/http/content.hpp"
+#include "tft/middlebox/http_modifiers.hpp"
+
+namespace tft::core {
+namespace {
+
+std::string inject(const std::string& original, const std::string& snippet) {
+  return middlebox::inject_before_body_end(original, snippet);
+}
+
+TEST(InjectionSignatureTest, ExtractsUrlHost) {
+  const std::string original = http::reference_html();
+  const std::string modified = inject(
+      original,
+      "<script src=\"http://d36mw5gp02ykm5.cloudfront.net/loader.js\"></script>");
+  EXPECT_EQ(extract_injection_signature(original, modified),
+            "d36mw5gp02ykm5.cloudfront.net");
+}
+
+TEST(InjectionSignatureTest, ExtractsVarDeclaration) {
+  const std::string original = http::reference_html();
+  const std::string modified =
+      inject(original, "<script>var oiasudoj; /* ads */</script>");
+  EXPECT_EQ(extract_injection_signature(original, modified), "var oiasudoj;");
+}
+
+TEST(InjectionSignatureTest, ExtractsClassIdentifier) {
+  const std::string original = http::reference_html();
+  const std::string modified =
+      inject(original, "<div class=\"AdTaily_Widget_Container\"></div>");
+  EXPECT_EQ(extract_injection_signature(original, modified),
+            "AdTaily_Widget_Container");
+}
+
+TEST(InjectionSignatureTest, ExtractsMetaTagKeyword) {
+  const std::string original = http::reference_html();
+  const std::string modified = inject(
+      original, "<meta name=\"NetsparkQuiltingResult\" content=\"filtered\">");
+  EXPECT_EQ(extract_injection_signature(original, modified),
+            "NetsparkQuiltingResult");
+}
+
+TEST(InjectionSignatureTest, UrlWinsOverKeyword) {
+  const std::string original = http::reference_html();
+  const std::string modified = inject(
+      original,
+      "<script>var Something_Long_Identifier;"
+      "var u='http://jswrite.com/script1.js';</script>");
+  EXPECT_EQ(extract_injection_signature(original, modified), "jswrite.com");
+}
+
+TEST(InjectionSignatureTest, RewrittenContent) {
+  EXPECT_EQ(extract_injection_signature("aaaa", "aaaa"), "(rewritten)");
+  EXPECT_EQ(extract_injection_signature("abcdef", "abXdef"), "(unidentified)");
+}
+
+TEST(InjectionSignatureTest, FullReplacementHandled) {
+  const std::string original = http::reference_html();
+  EXPECT_EQ(extract_injection_signature(original, "<html>blocked</html>"),
+            "(unidentified)");
+}
+
+TEST(IssuerClassificationTest, KnownVendors) {
+  EXPECT_EQ(classify_issuer("Avast! Web/Mail Shield Root"), "Anti-Virus/Security");
+  EXPECT_EQ(classify_issuer("Kaspersky Anti-Virus Personal Root"),
+            "Anti-Virus/Security");
+  EXPECT_EQ(classify_issuer("ESET SSL Filter CA"), "Anti-Virus/Security");
+  EXPECT_EQ(classify_issuer("BITDEFENDER Personal CA"), "Anti-Virus/Security");
+  EXPECT_EQ(classify_issuer("OpenDNS Root Certificate Authority"), "Content filter");
+  EXPECT_EQ(classify_issuer("Cloudguard.me CA"), "Malware");
+  EXPECT_EQ(classify_issuer("Sample CA 2"), "N/A");
+  EXPECT_EQ(classify_issuer(""), "N/A");
+}
+
+}  // namespace
+}  // namespace tft::core

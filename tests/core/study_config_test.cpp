@@ -1,0 +1,45 @@
+#include <gtest/gtest.h>
+
+#include "tft/core/study.hpp"
+
+namespace tft::core {
+namespace {
+
+TEST(StudyConfigTest, FullScaleUsesPaperThresholds) {
+  const StudyConfig config = StudyConfig::for_scale(1.0, 800000);
+  EXPECT_EQ(config.dns_analysis.min_nodes_per_country, 100u);
+  EXPECT_EQ(config.dns_analysis.min_nodes_per_server, 10u);
+  EXPECT_EQ(config.dns_analysis.min_nodes_per_url, 5u);
+  EXPECT_EQ(config.dns_analysis.host_software_as_threshold,
+            DnsAnalysisConfig{}.host_software_as_threshold);
+  EXPECT_EQ(config.http_analysis.min_nodes_per_as, 10u);
+  EXPECT_EQ(config.https_analysis.min_nodes_per_issuer, 5u);
+  EXPECT_EQ(config.dns.target_nodes, 800000u);
+  EXPECT_EQ(config.http.max_nodes, 800000u);
+}
+
+TEST(StudyConfigTest, SmallScalesKeepFloors) {
+  const StudyConfig config = StudyConfig::for_scale(0.01, 1000);
+  // Thresholds never collapse below usable minimums.
+  EXPECT_GE(config.dns_analysis.min_nodes_per_country, 3u);
+  EXPECT_GE(config.dns_analysis.min_nodes_per_server, 4u);
+  EXPECT_GE(config.dns_analysis.min_nodes_per_url, 2u);
+  EXPECT_GE(config.http_analysis.min_nodes_per_as, 3u);
+  EXPECT_GE(config.https_analysis.min_nodes_per_issuer, 2u);
+  // The host-software AS-spread heuristic relaxes at small scales.
+  EXPECT_EQ(config.dns_analysis.host_software_as_threshold, 3u);
+}
+
+TEST(StudyConfigTest, ThresholdsScaleMonotonically) {
+  const auto small = StudyConfig::for_scale(0.05, 1000);
+  const auto large = StudyConfig::for_scale(0.5, 1000);
+  EXPECT_LE(small.dns_analysis.min_nodes_per_country,
+            large.dns_analysis.min_nodes_per_country);
+  EXPECT_LE(small.dns_analysis.min_nodes_per_server,
+            large.dns_analysis.min_nodes_per_server);
+  EXPECT_LE(small.http_analysis.min_nodes_per_as,
+            large.http_analysis.min_nodes_per_as);
+}
+
+}  // namespace
+}  // namespace tft::core

@@ -1,0 +1,131 @@
+#include "tft/dns/authoritative.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tft::dns {
+namespace {
+
+const net::Ipv4Address kClient(203, 0, 113, 5);
+const net::Ipv4Address kGoogleEgress(74, 125, 10, 20);
+
+class AuthoritativeTest : public ::testing::Test {
+ protected:
+  AuthoritativeTest() : server_(*DnsName::parse("tft-study.net")) {
+    server_.add_a(*DnsName::parse("web.tft-study.net"), net::Ipv4Address(198, 51, 100, 1));
+  }
+
+  Message ask(const std::string& name, RecordType type = RecordType::kA,
+              net::Ipv4Address source = kClient) {
+    const auto query = Message::query(1, *DnsName::parse(name), type);
+    return server_.handle(query, source, sim::Instant::epoch());
+  }
+
+  AuthoritativeServer server_;
+};
+
+TEST_F(AuthoritativeTest, AnswersKnownName) {
+  const auto response = ask("web.tft-study.net");
+  EXPECT_EQ(response.flags.rcode, Rcode::kNoError);
+  EXPECT_TRUE(response.flags.authoritative);
+  ASSERT_EQ(response.answers.size(), 1u);
+  EXPECT_EQ(response.answers[0].a_address()->to_string(), "198.51.100.1");
+}
+
+TEST_F(AuthoritativeTest, NxdomainForUnknownName) {
+  const auto response = ask("missing.tft-study.net");
+  EXPECT_TRUE(response.is_nxdomain());
+  EXPECT_TRUE(response.answers.empty());
+}
+
+TEST_F(AuthoritativeTest, NodataForKnownNameWrongType) {
+  const auto response = ask("web.tft-study.net", RecordType::kTxt);
+  EXPECT_EQ(response.flags.rcode, Rcode::kNoError);
+  EXPECT_TRUE(response.answers.empty());
+}
+
+TEST_F(AuthoritativeTest, RefusesOutOfZone) {
+  const auto response = ask("www.google.com");
+  EXPECT_EQ(response.flags.rcode, Rcode::kRefused);
+}
+
+TEST_F(AuthoritativeTest, WildcardSynthesis) {
+  server_.add_wildcard_a(*DnsName::parse("probe.tft-study.net"),
+                         net::Ipv4Address(198, 51, 100, 2));
+  const auto response = ask("node-abc123.probe.tft-study.net");
+  EXPECT_EQ(response.flags.rcode, Rcode::kNoError);
+  ASSERT_EQ(response.answers.size(), 1u);
+  EXPECT_EQ(response.answers[0].a_address()->to_string(), "198.51.100.2");
+  EXPECT_EQ(response.answers[0].name.to_string(), "node-abc123.probe.tft-study.net");
+}
+
+TEST_F(AuthoritativeTest, ExactRecordBeatsWildcard) {
+  server_.add_wildcard_a(*DnsName::parse("tft-study.net"), net::Ipv4Address(9, 9, 9, 9));
+  const auto response = ask("web.tft-study.net");
+  EXPECT_EQ(response.answers[0].a_address()->to_string(), "198.51.100.1");
+}
+
+TEST_F(AuthoritativeTest, MoreSpecificWildcardWins) {
+  server_.add_wildcard_a(*DnsName::parse("tft-study.net"), net::Ipv4Address(1, 1, 1, 1));
+  server_.add_wildcard_a(*DnsName::parse("deep.tft-study.net"), net::Ipv4Address(2, 2, 2, 2));
+  EXPECT_EQ(ask("x.deep.tft-study.net").answers[0].a_address()->to_string(), "2.2.2.2");
+  EXPECT_EQ(ask("x.other.tft-study.net").answers[0].a_address()->to_string(), "1.1.1.1");
+}
+
+TEST_F(AuthoritativeTest, WildcardDoesNotMatchApexItself) {
+  server_.add_wildcard_a(*DnsName::parse("probe.tft-study.net"), net::Ipv4Address(2, 2, 2, 2));
+  const auto response = ask("probe.tft-study.net");
+  EXPECT_TRUE(response.is_nxdomain());
+}
+
+TEST_F(AuthoritativeTest, SourceConditionalPolicy) {
+  // The paper's d2 trick: A record only for Google's egress netblock.
+  const auto d2 = *DnsName::parse("d2.cond.tft-study.net");
+  const auto google_block = *net::Ipv4Prefix::parse("74.125.0.0/16");
+  server_.set_policy([d2, google_block](const Question& question,
+                                        net::Ipv4Address source,
+                                        const Message& query) -> std::optional<Message> {
+    if (!question.name.equals(d2)) return std::nullopt;
+    if (google_block.contains(source)) {
+      auto response = Message::response_to(query, Rcode::kNoError);
+      response.flags.authoritative = true;
+      response.answers.push_back(ResourceRecord::a(question.name, net::Ipv4Address(198, 51, 100, 1)));
+      return response;
+    }
+    return Message::response_to(query, Rcode::kNxDomain);
+  });
+
+  EXPECT_EQ(ask("d2.cond.tft-study.net", RecordType::kA, kGoogleEgress).flags.rcode,
+            Rcode::kNoError);
+  EXPECT_TRUE(ask("d2.cond.tft-study.net", RecordType::kA, kClient).is_nxdomain());
+  // Policy does not affect other names.
+  EXPECT_EQ(ask("web.tft-study.net").flags.rcode, Rcode::kNoError);
+}
+
+TEST_F(AuthoritativeTest, QueryLogRecordsSourcesAndNames) {
+  ask("web.tft-study.net");
+  ask("missing.tft-study.net", RecordType::kA, kGoogleEgress);
+  const auto& log = server_.query_log();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].source, kClient);
+  EXPECT_EQ(log[0].name.to_string(), "web.tft-study.net");
+  EXPECT_EQ(log[1].source, kGoogleEgress);
+  server_.clear_query_log();
+  EXPECT_TRUE(server_.query_log().empty());
+}
+
+TEST_F(AuthoritativeTest, EmptyQuestionIsFormErr) {
+  Message query;
+  query.id = 5;
+  const auto response = server_.handle(query, kClient, sim::Instant::epoch());
+  EXPECT_EQ(response.flags.rcode, Rcode::kFormErr);
+}
+
+TEST_F(AuthoritativeTest, MultipleARecordsAllReturned) {
+  server_.add_a(*DnsName::parse("multi.tft-study.net"), net::Ipv4Address(10, 0, 0, 1));
+  server_.add_a(*DnsName::parse("multi.tft-study.net"), net::Ipv4Address(10, 0, 0, 2));
+  const auto response = ask("multi.tft-study.net");
+  EXPECT_EQ(response.answers.size(), 2u);
+}
+
+}  // namespace
+}  // namespace tft::dns

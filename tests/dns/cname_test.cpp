@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "tft/dns/resolver.hpp"
+
+namespace tft::dns {
+namespace {
+
+class CnameChaseTest : public ::testing::Test {
+ protected:
+  CnameChaseTest() {
+    auto zone_a = std::make_shared<AuthoritativeServer>(*DnsName::parse("a.net"));
+    zone_a->add_record(ResourceRecord::cname(*DnsName::parse("www.a.net"),
+                                             *DnsName::parse("real.a.net")));
+    zone_a->add_a(*DnsName::parse("real.a.net"), net::Ipv4Address(1, 1, 1, 1));
+    zone_a->add_record(ResourceRecord::cname(*DnsName::parse("cross.a.net"),
+                                             *DnsName::parse("target.b.net")));
+    zone_a->add_record(ResourceRecord::cname(*DnsName::parse("loop1.a.net"),
+                                             *DnsName::parse("loop2.a.net")));
+    zone_a->add_record(ResourceRecord::cname(*DnsName::parse("loop2.a.net"),
+                                             *DnsName::parse("loop1.a.net")));
+    zone_a->add_record(ResourceRecord::cname(*DnsName::parse("dangling.a.net"),
+                                             *DnsName::parse("nowhere.c.net")));
+    registry_.register_zone(std::move(zone_a));
+
+    auto zone_b = std::make_shared<AuthoritativeServer>(*DnsName::parse("b.net"));
+    zone_b->add_a(*DnsName::parse("target.b.net"), net::Ipv4Address(2, 2, 2, 2));
+    registry_.register_zone(std::move(zone_b));
+
+    resolver_ = std::make_unique<RecursiveResolver>(
+        net::Ipv4Address(10, 0, 0, 53), net::Ipv4Address(10, 0, 0, 53), &registry_,
+        &clock_);
+  }
+
+  Message ask(const char* name) {
+    return resolver_->resolve(Message::query(1, *DnsName::parse(name)));
+  }
+
+  sim::EventQueue clock_;
+  AuthorityRegistry registry_;
+  std::unique_ptr<RecursiveResolver> resolver_;
+};
+
+TEST_F(CnameChaseTest, SameZoneAliasResolvesDirectly) {
+  // The authoritative answer already contains CNAME + A (same zone).
+  const auto response = ask("www.a.net");
+  EXPECT_EQ(response.flags.rcode, Rcode::kNoError);
+  EXPECT_EQ(response.first_a()->to_string(), "1.1.1.1");
+}
+
+TEST_F(CnameChaseTest, CrossZoneAliasIsChased) {
+  const auto response = ask("cross.a.net");
+  EXPECT_EQ(response.flags.rcode, Rcode::kNoError);
+  ASSERT_TRUE(response.first_a().has_value());
+  EXPECT_EQ(response.first_a()->to_string(), "2.2.2.2");
+  // Both the alias record and the chased A are in the answer.
+  EXPECT_GE(response.answers.size(), 2u);
+  EXPECT_EQ(response.answers.front().type, RecordType::kCname);
+}
+
+TEST_F(CnameChaseTest, AliasLoopTerminates) {
+  const auto response = ask("loop1.a.net");
+  EXPECT_EQ(response.flags.rcode, Rcode::kNoError);
+  EXPECT_FALSE(response.first_a().has_value());  // no address, but no hang
+}
+
+TEST_F(CnameChaseTest, DanglingAliasReturnsWhatExists) {
+  const auto response = ask("dangling.a.net");
+  EXPECT_EQ(response.flags.rcode, Rcode::kNoError);
+  EXPECT_FALSE(response.first_a().has_value());
+  ASSERT_EQ(response.answers.size(), 1u);
+  EXPECT_EQ(response.answers.front().type, RecordType::kCname);
+}
+
+TEST_F(CnameChaseTest, ChasedAnswersAreCached) {
+  ask("cross.a.net");
+  const auto again = ask("cross.a.net");
+  EXPECT_EQ(again.first_a()->to_string(), "2.2.2.2");
+  EXPECT_EQ(resolver_->cache_size(), 1u);
+}
+
+}  // namespace
+}  // namespace tft::dns

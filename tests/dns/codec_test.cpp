@@ -1,0 +1,164 @@
+#include "tft/dns/codec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tft::dns {
+namespace {
+
+Message sample_response() {
+  auto query = Message::query(0xBEEF, *DnsName::parse("www.example.com"));
+  auto response = Message::response_to(query, Rcode::kNoError);
+  response.flags.recursion_available = true;
+  response.answers.push_back(ResourceRecord::a(*DnsName::parse("www.example.com"),
+                                               net::Ipv4Address(93, 184, 216, 34), 3600));
+  response.answers.push_back(ResourceRecord::txt(*DnsName::parse("www.example.com"),
+                                                 "probe-token"));
+  response.authorities.push_back(ResourceRecord::cname(
+      *DnsName::parse("alias.example.com"), *DnsName::parse("www.example.com")));
+  return response;
+}
+
+TEST(DnsCodecTest, RoundTripQuery) {
+  const auto query = Message::query(0x0102, *DnsName::parse("d1.probe.tft-study.net"));
+  const auto decoded = decode(encode(query));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->id, 0x0102);
+  EXPECT_FALSE(decoded->flags.response);
+  EXPECT_TRUE(decoded->flags.recursion_desired);
+  ASSERT_EQ(decoded->questions.size(), 1u);
+  EXPECT_EQ(decoded->questions[0].name.to_string(), "d1.probe.tft-study.net");
+}
+
+TEST(DnsCodecTest, RoundTripFullResponse) {
+  const auto original = sample_response();
+  const auto decoded = decode(encode(original));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->id, original.id);
+  EXPECT_TRUE(decoded->flags.response);
+  EXPECT_TRUE(decoded->flags.recursion_available);
+  EXPECT_EQ(decoded->flags.rcode, Rcode::kNoError);
+  ASSERT_EQ(decoded->answers.size(), 2u);
+  EXPECT_EQ(decoded->answers[0].a_address()->to_string(), "93.184.216.34");
+  EXPECT_EQ(decoded->answers[0].ttl, 3600u);
+  EXPECT_EQ(*decoded->answers[1].txt_text(), "probe-token");
+  ASSERT_EQ(decoded->authorities.size(), 1u);
+  EXPECT_EQ(decoded->authorities[0].name_target()->to_string(), "www.example.com");
+}
+
+TEST(DnsCodecTest, CompressionShrinksRepeatedNames) {
+  // The same name appears in question + two answers; compression must make
+  // the encoding smaller than the naive sum.
+  Message message = sample_response();
+  const std::string wire = encode(message);
+  // Rough bound: the uncompressed name is 17 bytes; three full copies would
+  // add >= 34 extra bytes versus pointers (2 bytes each).
+  std::size_t naive = 0;
+  naive += 12;  // header
+  naive += 17 + 4;
+  for (const auto& rr : message.answers) naive += 17 + 10 + rr.rdata.size();
+  naive += 19 + 10 + message.authorities[0].rdata.size();
+  EXPECT_LT(wire.size(), naive);
+}
+
+TEST(DnsCodecTest, CompressionIsCaseInsensitive) {
+  auto query = Message::query(1, *DnsName::parse("WWW.Example.COM"));
+  auto response = Message::response_to(query, Rcode::kNoError);
+  response.answers.push_back(ResourceRecord::a(*DnsName::parse("www.example.com"),
+                                               net::Ipv4Address(1, 1, 1, 1)));
+  const auto decoded = decode(encode(response));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->answers[0].name.equals(decoded->questions[0].name));
+}
+
+TEST(DnsCodecTest, NxdomainRoundTrip) {
+  const auto query = Message::query(9, *DnsName::parse("missing.example.com"));
+  const auto response = Message::response_to(query, Rcode::kNxDomain);
+  const auto decoded = decode(encode(response));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->is_nxdomain());
+}
+
+TEST(DnsCodecTest, RejectsTruncatedHeader) {
+  EXPECT_FALSE(decode("\x01\x02\x03").ok());
+  EXPECT_FALSE(decode("").ok());
+}
+
+TEST(DnsCodecTest, RejectsTruncatedQuestion) {
+  const auto query = Message::query(1, *DnsName::parse("example.com"));
+  std::string wire = encode(query);
+  wire.resize(wire.size() - 3);
+  EXPECT_FALSE(decode(wire).ok());
+}
+
+TEST(DnsCodecTest, RejectsTrailingGarbage) {
+  const auto query = Message::query(1, *DnsName::parse("example.com"));
+  std::string wire = encode(query);
+  wire += "XX";
+  EXPECT_FALSE(decode(wire).ok());
+}
+
+TEST(DnsCodecTest, RejectsPointerLoop) {
+  // Hand-craft a message whose question name is a self-pointing pointer.
+  std::string wire;
+  const char header[] = {0x00, 0x01, 0x00, 0x00, 0x00, 0x01,
+                         0x00, 0x00, 0x00, 0x00, 0x00, 0x00};
+  wire.assign(header, header + 12);
+  wire += '\xC0';
+  wire += '\x0C';  // pointer to itself (offset 12)
+  wire += std::string("\x00\x01\x00\x01", 4);
+  const auto decoded = decode(wire);
+  ASSERT_FALSE(decoded.ok());
+}
+
+TEST(DnsCodecTest, RejectsPointerPastEnd) {
+  std::string wire;
+  const char header[] = {0x00, 0x01, 0x00, 0x00, 0x00, 0x01,
+                         0x00, 0x00, 0x00, 0x00, 0x00, 0x00};
+  wire.assign(header, header + 12);
+  wire += '\xC3';
+  wire += '\xFF';  // pointer to offset 0x3FF, past end
+  wire += std::string("\x00\x01\x00\x01", 4);
+  EXPECT_FALSE(decode(wire).ok());
+}
+
+TEST(DnsCodecTest, RejectsReservedLabelType) {
+  std::string wire;
+  const char header[] = {0x00, 0x01, 0x00, 0x00, 0x00, 0x01,
+                         0x00, 0x00, 0x00, 0x00, 0x00, 0x00};
+  wire.assign(header, header + 12);
+  wire += '\x80';  // 10xxxxxx: reserved
+  wire += std::string("\x00\x01\x00\x01", 4);
+  EXPECT_FALSE(decode(wire).ok());
+}
+
+TEST(DnsCodecTest, UncompressedNameHelpers) {
+  const auto name = *DnsName::parse("ns1.example.org");
+  const std::string wire = encode_name_uncompressed(name);
+  EXPECT_EQ(wire.size(), 1 + 3 + 1 + 7 + 1 + 3 + 1);
+  const auto decoded = decode_name_uncompressed(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->equals(name));
+  EXPECT_FALSE(decode_name_uncompressed(wire + "Z").ok());
+  EXPECT_FALSE(decode_name_uncompressed(wire.substr(0, 3)).ok());
+}
+
+TEST(DnsCodecTest, RootNameEncodesToSingleZero) {
+  EXPECT_EQ(encode_name_uncompressed(DnsName{}), std::string("\0", 1));
+}
+
+class CodecFuzzSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecFuzzSweep, TruncationAtEveryPointFailsCleanly) {
+  // Property: decode never crashes and fails cleanly on any truncation.
+  const auto original = sample_response();
+  const std::string wire = encode(original);
+  const auto cut = static_cast<std::size_t>(GetParam());
+  if (cut >= wire.size()) GTEST_SKIP();
+  const auto decoded = decode(wire.substr(0, cut));
+  EXPECT_FALSE(decoded.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, CodecFuzzSweep, ::testing::Range(0, 90, 7));
+
+}  // namespace
+}  // namespace tft::dns

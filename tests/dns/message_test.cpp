@@ -1,0 +1,96 @@
+#include "tft/dns/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tft::dns {
+namespace {
+
+TEST(DnsMessageTest, QueryFactory) {
+  const auto message = Message::query(0x1234, *DnsName::parse("example.com"));
+  EXPECT_EQ(message.id, 0x1234);
+  EXPECT_FALSE(message.flags.response);
+  EXPECT_TRUE(message.flags.recursion_desired);
+  ASSERT_EQ(message.questions.size(), 1u);
+  EXPECT_EQ(message.questions[0].name.to_string(), "example.com");
+  EXPECT_EQ(message.questions[0].type, RecordType::kA);
+}
+
+TEST(DnsMessageTest, ResponseMirrorsQuery) {
+  const auto query = Message::query(7, *DnsName::parse("a.b"), RecordType::kTxt);
+  const auto response = Message::response_to(query, Rcode::kNxDomain);
+  EXPECT_EQ(response.id, 7);
+  EXPECT_TRUE(response.flags.response);
+  EXPECT_TRUE(response.is_nxdomain());
+  ASSERT_EQ(response.questions.size(), 1u);
+  EXPECT_EQ(response.questions[0].type, RecordType::kTxt);
+}
+
+TEST(DnsMessageTest, ARecordRoundTrip) {
+  const auto record =
+      ResourceRecord::a(*DnsName::parse("host.example"), net::Ipv4Address(1, 2, 3, 4), 60);
+  EXPECT_EQ(record.rdata.size(), 4u);
+  const auto address = record.a_address();
+  ASSERT_TRUE(address.ok());
+  EXPECT_EQ(address->to_string(), "1.2.3.4");
+  EXPECT_EQ(record.ttl, 60u);
+}
+
+TEST(DnsMessageTest, ARecordRejectsWrongShape) {
+  ResourceRecord record;
+  record.type = RecordType::kA;
+  record.rdata = "abc";  // 3 bytes, not 4
+  EXPECT_FALSE(record.a_address().ok());
+  record.type = RecordType::kTxt;
+  record.rdata = std::string(4, 'x');
+  EXPECT_FALSE(record.a_address().ok());
+}
+
+TEST(DnsMessageTest, CnameRoundTrip) {
+  const auto record = ResourceRecord::cname(*DnsName::parse("alias.example"),
+                                            *DnsName::parse("real.example"));
+  const auto target = record.name_target();
+  ASSERT_TRUE(target.ok());
+  EXPECT_EQ(target->to_string(), "real.example");
+}
+
+TEST(DnsMessageTest, TxtRoundTripShort) {
+  const auto record = ResourceRecord::txt(*DnsName::parse("t.example"), "hello world");
+  const auto text = record.txt_text();
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "hello world");
+}
+
+TEST(DnsMessageTest, TxtRoundTripLongSplitsChunks) {
+  const std::string big(700, 'z');
+  const auto record = ResourceRecord::txt(*DnsName::parse("t.example"), big);
+  // 700 bytes -> 3 character-strings (255+255+190) + 3 length bytes.
+  EXPECT_EQ(record.rdata.size(), 703u);
+  EXPECT_EQ(*record.txt_text(), big);
+}
+
+TEST(DnsMessageTest, TxtEmpty) {
+  const auto record = ResourceRecord::txt(*DnsName::parse("t.example"), "");
+  EXPECT_EQ(*record.txt_text(), "");
+}
+
+TEST(DnsMessageTest, FirstAReturnsFirstARecord) {
+  auto message = Message::query(1, *DnsName::parse("x.example"));
+  EXPECT_FALSE(message.first_a().has_value());
+  message.answers.push_back(
+      ResourceRecord::cname(*DnsName::parse("x.example"), *DnsName::parse("y.example")));
+  message.answers.push_back(
+      ResourceRecord::a(*DnsName::parse("y.example"), net::Ipv4Address(9, 9, 9, 9)));
+  const auto address = message.first_a();
+  ASSERT_TRUE(address.has_value());
+  EXPECT_EQ(address->to_string(), "9.9.9.9");
+}
+
+TEST(DnsMessageTest, EnumNames) {
+  EXPECT_EQ(to_string(RecordType::kA), "A");
+  EXPECT_EQ(to_string(RecordType::kCname), "CNAME");
+  EXPECT_EQ(to_string(Rcode::kNxDomain), "NXDOMAIN");
+  EXPECT_EQ(to_string(Rcode::kNoError), "NOERROR");
+}
+
+}  // namespace
+}  // namespace tft::dns

@@ -1,0 +1,90 @@
+#include "tft/dns/name.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tft::dns {
+namespace {
+
+TEST(DnsNameTest, ParseBasics) {
+  const auto name = DnsName::parse("www.Example.COM");
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(name->label_count(), 3u);
+  EXPECT_EQ(name->to_string(), "www.Example.COM");
+  EXPECT_EQ(name->canonical(), "www.example.com");
+}
+
+TEST(DnsNameTest, TrailingDotAccepted) {
+  const auto a = DnsName::parse("example.com.");
+  const auto b = DnsName::parse("example.com");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->equals(*b));
+}
+
+TEST(DnsNameTest, RootName) {
+  const auto root = DnsName::parse("");
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE(root->is_root());
+  EXPECT_EQ(root->to_string(), "");
+  const auto dot = DnsName::parse(".");
+  ASSERT_TRUE(dot.ok());
+  EXPECT_TRUE(dot->is_root());
+}
+
+TEST(DnsNameTest, CaseInsensitiveEquality) {
+  EXPECT_TRUE(DnsName::parse("A.B.C")->equals(*DnsName::parse("a.b.c")));
+  EXPECT_FALSE(DnsName::parse("a.b.c")->equals(*DnsName::parse("a.b")));
+}
+
+TEST(DnsNameTest, IsWithin) {
+  const auto child = *DnsName::parse("a.b.example.com");
+  EXPECT_TRUE(child.is_within(*DnsName::parse("example.com")));
+  EXPECT_TRUE(child.is_within(*DnsName::parse("b.EXAMPLE.com")));
+  EXPECT_TRUE(child.is_within(child));
+  EXPECT_TRUE(child.is_within(DnsName{}));  // everything is within the root
+  EXPECT_FALSE(child.is_within(*DnsName::parse("other.com")));
+  EXPECT_FALSE(DnsName::parse("example.com")->is_within(child));
+  // Label boundary: "badexample.com" is NOT within "example.com".
+  EXPECT_FALSE(DnsName::parse("badexample.com")->is_within(*DnsName::parse("example.com")));
+}
+
+TEST(DnsNameTest, PrependAndParent) {
+  const auto base = *DnsName::parse("example.com");
+  const auto www = base.prepend("www");
+  ASSERT_TRUE(www.ok());
+  EXPECT_EQ(www->to_string(), "www.example.com");
+  EXPECT_EQ(www->parent().to_string(), "example.com");
+  EXPECT_TRUE(DnsName{}.parent().is_root());
+  EXPECT_TRUE(DnsName::parse("com")->parent().is_root());
+}
+
+TEST(DnsNameTest, RejectsLongLabel) {
+  const std::string long_label(64, 'a');
+  EXPECT_FALSE(DnsName::parse(long_label + ".com").ok());
+  EXPECT_TRUE(DnsName::parse(std::string(63, 'a') + ".com").ok());
+}
+
+TEST(DnsNameTest, RejectsLongName) {
+  std::string name;
+  for (int i = 0; i < 50; ++i) name += "abcdef.";
+  name += "com";  // 7*50 + 3 = 353 > 253
+  EXPECT_FALSE(DnsName::parse(name).ok());
+}
+
+TEST(DnsNameTest, RejectsEmptyLabelAndBadChars) {
+  EXPECT_FALSE(DnsName::parse("a..b").ok());
+  EXPECT_FALSE(DnsName::parse(".a.b").ok());
+  EXPECT_FALSE(DnsName::parse("a b.com").ok());
+  EXPECT_FALSE(DnsName::parse("a$.com").ok());
+  EXPECT_TRUE(DnsName::parse("_dmarc.example.com").ok());
+  EXPECT_TRUE(DnsName::parse("xn--nxasmq6b.com").ok());
+}
+
+TEST(DnsNameTest, FromLabelsValidates) {
+  EXPECT_TRUE(DnsName::from_labels({"www", "example", "com"}).ok());
+  EXPECT_FALSE(DnsName::from_labels({"", "com"}).ok());
+  EXPECT_FALSE(DnsName::from_labels({std::string(64, 'x')}).ok());
+}
+
+}  // namespace
+}  // namespace tft::dns

@@ -1,0 +1,175 @@
+#include "tft/dns/resolver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace tft::dns {
+namespace {
+
+class ResolverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto zone = std::make_shared<AuthoritativeServer>(*DnsName::parse("tft-study.net"));
+    zone->add_a(*DnsName::parse("web.tft-study.net"), net::Ipv4Address(198, 51, 100, 1), 300);
+    zone_ = zone.get();
+    registry_.register_zone(std::move(zone));
+
+    resolver_ = std::make_shared<RecursiveResolver>(
+        net::Ipv4Address(10, 0, 0, 53), net::Ipv4Address(10, 0, 0, 53), &registry_, &clock_);
+  }
+
+  Message ask(const std::string& name, double roll = 0.0) {
+    return resolver_->resolve(Message::query(1, *DnsName::parse(name)), roll);
+  }
+
+  sim::EventQueue clock_;
+  AuthorityRegistry registry_;
+  AuthoritativeServer* zone_ = nullptr;
+  std::shared_ptr<RecursiveResolver> resolver_;
+};
+
+TEST_F(ResolverTest, ResolvesThroughAuthority) {
+  const auto response = ask("web.tft-study.net");
+  EXPECT_EQ(response.flags.rcode, Rcode::kNoError);
+  EXPECT_TRUE(response.flags.recursion_available);
+  EXPECT_FALSE(response.flags.authoritative);
+  EXPECT_EQ(response.first_a()->to_string(), "198.51.100.1");
+}
+
+TEST_F(ResolverTest, ServfailWhenNoAuthority) {
+  const auto response = ask("www.unknown-tld-zone.org");
+  EXPECT_EQ(response.flags.rcode, Rcode::kServFail);
+}
+
+TEST_F(ResolverTest, NxdomainPassesThrough) {
+  EXPECT_TRUE(ask("missing.tft-study.net").is_nxdomain());
+}
+
+TEST_F(ResolverTest, PositiveCachingAvoidsSecondAuthorityQuery) {
+  ask("web.tft-study.net");
+  ask("web.tft-study.net");
+  EXPECT_EQ(zone_->query_log().size(), 1u);
+  EXPECT_EQ(resolver_->cache_size(), 1u);
+}
+
+TEST_F(ResolverTest, CacheExpiresAfterTtl) {
+  ask("web.tft-study.net");
+  clock_.advance(sim::Duration::seconds(301));
+  ask("web.tft-study.net");
+  EXPECT_EQ(zone_->query_log().size(), 2u);
+}
+
+TEST_F(ResolverTest, NegativeCaching) {
+  ask("missing.tft-study.net");
+  ask("missing.tft-study.net");
+  EXPECT_EQ(zone_->query_log().size(), 1u);
+}
+
+TEST_F(ResolverTest, FlushCacheForcesRequery) {
+  ask("web.tft-study.net");
+  resolver_->flush_cache();
+  ask("web.tft-study.net");
+  EXPECT_EQ(zone_->query_log().size(), 2u);
+}
+
+TEST_F(ResolverTest, NxdomainHijackRewritesToRedirect) {
+  resolver_->set_nxdomain_hijack(
+      NxdomainHijackPolicy{net::Ipv4Address(198, 51, 100, 99), 60, 1.0});
+  const auto response = ask("typo-domain.tft-study.net");
+  EXPECT_EQ(response.flags.rcode, Rcode::kNoError);
+  EXPECT_EQ(response.first_a()->to_string(), "198.51.100.99");
+}
+
+TEST_F(ResolverTest, HijackDoesNotTouchValidAnswers) {
+  resolver_->set_nxdomain_hijack(
+      NxdomainHijackPolicy{net::Ipv4Address(198, 51, 100, 99), 60, 1.0});
+  EXPECT_EQ(ask("web.tft-study.net").first_a()->to_string(), "198.51.100.1");
+}
+
+TEST_F(ResolverTest, ProbabilisticHijackRespectsRoll) {
+  resolver_->set_nxdomain_hijack(
+      NxdomainHijackPolicy{net::Ipv4Address(198, 51, 100, 99), 60, 0.5});
+  EXPECT_FALSE(ask("a.tft-study.net", 0.2).is_nxdomain());  // roll < p: hijacked
+  EXPECT_TRUE(ask("b.tft-study.net", 0.7).is_nxdomain());   // roll >= p: clean
+}
+
+TEST_F(ResolverTest, HijackAppliesToCachedNegativeToo) {
+  ask("cached-neg.tft-study.net");  // NXDOMAIN enters the negative cache
+  resolver_->set_nxdomain_hijack(
+      NxdomainHijackPolicy{net::Ipv4Address(198, 51, 100, 99), 60, 1.0});
+  const auto response = ask("cached-neg.tft-study.net");
+  EXPECT_EQ(response.first_a()->to_string(), "198.51.100.99");
+  EXPECT_EQ(zone_->query_log().size(), 1u);  // served from cache
+}
+
+TEST_F(ResolverTest, EmptyQueryIsFormErr) {
+  Message query;
+  EXPECT_EQ(resolver_->resolve(query).flags.rcode, Rcode::kFormErr);
+}
+
+TEST(AuthorityRegistryTest, LongestZoneMatchWins) {
+  sim::EventQueue clock;
+  AuthorityRegistry registry;
+  auto parent = std::make_shared<AuthoritativeServer>(*DnsName::parse("example.com"));
+  auto child = std::make_shared<AuthoritativeServer>(*DnsName::parse("sub.example.com"));
+  registry.register_zone(parent);
+  registry.register_zone(child);
+  EXPECT_EQ(registry.find(*DnsName::parse("x.sub.example.com")), child.get());
+  EXPECT_EQ(registry.find(*DnsName::parse("x.example.com")), parent.get());
+  EXPECT_EQ(registry.find(*DnsName::parse("other.org")), nullptr);
+}
+
+TEST(AnycastTest, StableInstanceSelection) {
+  sim::EventQueue clock;
+  AuthorityRegistry registry;
+  AnycastResolverGroup group(net::Ipv4Address(8, 8, 8, 8), "google");
+  for (int i = 0; i < 4; ++i) {
+    group.add_instance(std::make_shared<RecursiveResolver>(
+        net::Ipv4Address(8, 8, 8, 8), net::Ipv4Address(74, 125, 0, static_cast<std::uint8_t>(i + 1)),
+        &registry, &clock));
+  }
+  const net::Ipv4Address client(203, 0, 113, 77);
+  RecursiveResolver& first = group.instance_for(client);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(&group.instance_for(client), &first);
+  }
+  // Different clients spread over instances.
+  std::set<const RecursiveResolver*> seen;
+  for (int i = 0; i < 64; ++i) {
+    seen.insert(&group.instance_for(net::Ipv4Address(203, 0, 113, static_cast<std::uint8_t>(i))));
+  }
+  EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(ResolverDirectoryTest, RoutesUnicastAndAnycast) {
+  sim::EventQueue clock;
+  AuthorityRegistry registry;
+  auto zone = std::make_shared<AuthoritativeServer>(*DnsName::parse("z.net"));
+  zone->add_a(*DnsName::parse("a.z.net"), net::Ipv4Address(1, 2, 3, 4));
+  registry.register_zone(zone);
+
+  ResolverDirectory directory;
+  directory.add_resolver(std::make_shared<RecursiveResolver>(
+      net::Ipv4Address(10, 0, 0, 53), net::Ipv4Address(10, 0, 0, 53), &registry, &clock));
+  auto group = std::make_shared<AnycastResolverGroup>(net::Ipv4Address(8, 8, 8, 8), "google");
+  group->add_instance(std::make_shared<RecursiveResolver>(
+      net::Ipv4Address(8, 8, 8, 8), net::Ipv4Address(74, 125, 0, 1), &registry, &clock));
+  directory.add_anycast(group);
+
+  const net::Ipv4Address client(203, 0, 113, 9);
+  const auto query = Message::query(3, *DnsName::parse("a.z.net"));
+  EXPECT_EQ(directory.resolve_via(net::Ipv4Address(10, 0, 0, 53), client, query)
+                .first_a()->to_string(),
+            "1.2.3.4");
+  EXPECT_EQ(directory.resolve_via(net::Ipv4Address(8, 8, 8, 8), client, query)
+                .first_a()->to_string(),
+            "1.2.3.4");
+  // Unknown resolver address -> SERVFAIL.
+  EXPECT_EQ(directory.resolve_via(net::Ipv4Address(9, 9, 9, 9), client, query).flags.rcode,
+            Rcode::kServFail);
+  EXPECT_EQ(directory.instance_for(net::Ipv4Address(9, 9, 9, 9), client), nullptr);
+}
+
+}  // namespace
+}  // namespace tft::dns

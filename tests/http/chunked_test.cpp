@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "tft/http/content.hpp"
+#include "tft/http/message.hpp"
+
+namespace tft::http {
+namespace {
+
+TEST(ChunkedTest, EncodeSmallPayload) {
+  EXPECT_EQ(encode_chunked_body("hello", 4096), "5\r\nhello\r\n0\r\n\r\n");
+  EXPECT_EQ(encode_chunked_body("", 4096), "0\r\n\r\n");
+}
+
+TEST(ChunkedTest, EncodeSplitsAtChunkSize) {
+  const std::string wire = encode_chunked_body("abcdefgh", 3);
+  EXPECT_EQ(wire, "3\r\nabc\r\n3\r\ndef\r\n2\r\ngh\r\n0\r\n\r\n");
+}
+
+TEST(ChunkedTest, DecodeRoundTrip) {
+  const std::string payload = reference_html();
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7}, std::size_t{1024}, std::size_t{100000}}) {
+    const auto decoded = decode_chunked_body(encode_chunked_body(payload, chunk));
+    ASSERT_TRUE(decoded.ok()) << chunk;
+    EXPECT_EQ(*decoded, payload) << chunk;
+  }
+}
+
+TEST(ChunkedTest, DecodeHexSizesAndExtensions) {
+  EXPECT_EQ(*decode_chunked_body("A\r\n0123456789\r\n0\r\n\r\n"), "0123456789");
+  EXPECT_EQ(*decode_chunked_body("5;ext=1\r\nhello\r\n0\r\n\r\n"), "hello");
+}
+
+TEST(ChunkedTest, DecodeRejectsMalformed) {
+  EXPECT_FALSE(decode_chunked_body("").ok());
+  EXPECT_FALSE(decode_chunked_body("zz\r\nxx\r\n0\r\n\r\n").ok());   // bad size
+  EXPECT_FALSE(decode_chunked_body("5\r\nhell\r\n0\r\n\r\n").ok());  // short data
+  EXPECT_FALSE(decode_chunked_body("5\r\nhelloXX0\r\n\r\n").ok());   // missing CRLF
+  EXPECT_FALSE(decode_chunked_body("5\r\nhello\r\n").ok());          // no terminator
+  EXPECT_FALSE(decode_chunked_body("5\r\nhello\r\n0\r\nX: y\r\n\r\n").ok());  // trailer
+  EXPECT_FALSE(decode_chunked_body("\r\nhello\r\n0\r\n\r\n").ok());  // empty size
+}
+
+TEST(ChunkedTest, ResponseSerializeChunkedParsesBack) {
+  Response response = Response::make(200, "OK", reference_css(), "text/css");
+  response.headers.add("X-Test", "1");
+  const std::string wire = response.serialize_chunked(100);
+  EXPECT_NE(wire.find("Transfer-Encoding: chunked"), std::string::npos);
+  EXPECT_EQ(wire.find("Content-Length"), std::string::npos);
+
+  const auto parsed = Response::parse(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed->body, response.body);
+  EXPECT_EQ(parsed->headers.get("X-Test"), "1");
+  // The parser normalizes back to identity framing.
+  EXPECT_FALSE(parsed->headers.has("Transfer-Encoding"));
+  EXPECT_EQ(parsed->headers.get("Content-Length"),
+            std::to_string(response.body.size()));
+}
+
+TEST(ChunkedTest, ChunkedBodyContainingBlankLines) {
+  // Chunk data containing CRLFCRLF must not confuse the framing.
+  Response response = Response::make(200, "OK", "a\r\n\r\nb", "text/plain");
+  const auto parsed = Response::parse(response.serialize_chunked(2));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->body, "a\r\n\r\nb");
+}
+
+TEST(ChunkedTest, TruncatedChunkedResponseRejected) {
+  Response response = Response::make(200, "OK", reference_css(), "text/css");
+  std::string wire = response.serialize_chunked(64);
+  wire.resize(wire.size() - 4);
+  EXPECT_FALSE(Response::parse(wire).ok());
+}
+
+}  // namespace
+}  // namespace tft::http

@@ -1,0 +1,157 @@
+#include "tft/http/content.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tft::http {
+namespace {
+
+TEST(ContentTest, ReferenceObjectsMatchPaperSizes) {
+  // §5.1: 9 KB HTML, 39 KB image, 258 KB JS, 3 KB CSS.
+  EXPECT_EQ(reference_html().size(), 9u * 1024);
+  EXPECT_EQ(reference_image().size(), 39u * 1024);
+  EXPECT_EQ(reference_javascript().size(), 258u * 1024);
+  EXPECT_EQ(reference_css().size(), 3u * 1024);
+}
+
+TEST(ContentTest, ReferenceObjectsAreDeterministic) {
+  EXPECT_EQ(reference_html(), reference_html());
+  EXPECT_EQ(reference_javascript(), reference_javascript());
+  EXPECT_NE(reference_html(9 * 1024, 1), reference_html(9 * 1024, 2));
+}
+
+TEST(ContentTest, HtmlIsWellFormedEnough) {
+  const std::string html = reference_html();
+  EXPECT_TRUE(html.starts_with("<!DOCTYPE html>"));
+  EXPECT_NE(html.find("</body>"), std::string::npos);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+}
+
+TEST(ContentTest, ContentTypes) {
+  EXPECT_EQ(content_type(ContentKind::kHtml), "text/html; charset=utf-8");
+  EXPECT_EQ(content_type(ContentKind::kImage), "image/simg");
+  EXPECT_EQ(content_type(ContentKind::kJavaScript), "application/javascript");
+  EXPECT_EQ(content_type(ContentKind::kCss), "text/css");
+  EXPECT_EQ(to_string(ContentKind::kImage), "image");
+}
+
+TEST(SimgTest, MakeAndParse) {
+  const std::string image = make_simg(640, 480, 80, 1000, 7);
+  const auto info = parse_simg(image);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->width, 640);
+  EXPECT_EQ(info->height, 480);
+  EXPECT_EQ(info->quality, 80);
+  EXPECT_EQ(info->payload_bytes, 1000u);
+  EXPECT_EQ(info->total_bytes(), image.size());
+}
+
+TEST(SimgTest, ParseRejectsCorruption) {
+  const std::string image = make_simg(10, 10, 50, 100, 1);
+  EXPECT_FALSE(parse_simg("").ok());
+  EXPECT_FALSE(parse_simg("JPEG").ok());
+  EXPECT_FALSE(parse_simg(image.substr(0, 8)).ok());
+  EXPECT_FALSE(parse_simg(image.substr(0, image.size() - 1)).ok());  // short payload
+  EXPECT_FALSE(parse_simg(image + "x").ok());                        // long payload
+  std::string zero_quality = image;
+  zero_quality[8] = '\0';
+  EXPECT_FALSE(parse_simg(zero_quality).ok());
+}
+
+TEST(SimgTest, TranscodeShrinksProportionally) {
+  const std::string image = make_simg(100, 100, 100, 10000, 3);
+  const auto transcoded = transcode_simg(image, 50);
+  ASSERT_TRUE(transcoded.ok());
+  const auto info = parse_simg(*transcoded);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->quality, 50);
+  EXPECT_EQ(info->payload_bytes, 5000u);
+  EXPECT_NEAR(compression_ratio(image, *transcoded), 0.5, 0.01);
+}
+
+TEST(SimgTest, TranscodeUpIsIdentity) {
+  const std::string image = make_simg(100, 100, 40, 1000, 3);
+  const auto transcoded = transcode_simg(image, 90);
+  ASSERT_TRUE(transcoded.ok());
+  EXPECT_EQ(*transcoded, image);
+}
+
+TEST(SimgTest, TranscodeIsDeterministic) {
+  const std::string image = make_simg(100, 100, 100, 5000, 9);
+  EXPECT_EQ(*transcode_simg(image, 34), *transcode_simg(image, 34));
+}
+
+TEST(SimgTest, TranscodeRejectsBadArguments) {
+  const std::string image = make_simg(10, 10, 90, 100, 1);
+  EXPECT_FALSE(transcode_simg(image, 0).ok());
+  EXPECT_FALSE(transcode_simg(image, 101).ok());
+  EXPECT_FALSE(transcode_simg("not an image", 50).ok());
+}
+
+class SimgQualitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimgQualitySweep, RatioTracksQuality) {
+  // Property: transcoding a q=100 image to q yields a size ratio ~ q/100.
+  const std::string image = make_simg(800, 600, 100, 30000, 11);
+  const int quality = GetParam();
+  const auto transcoded = transcode_simg(image, static_cast<std::uint8_t>(quality));
+  ASSERT_TRUE(transcoded.ok());
+  EXPECT_NEAR(compression_ratio(image, *transcoded), quality / 100.0, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Qualities, SimgQualitySweep,
+                         ::testing::Values(1, 10, 34, 47, 53, 61, 75, 99));
+
+TEST(UrlExtractionTest, FindsHttpAndHttps) {
+  const auto urls = extract_urls(
+      "<a href=\"http://searchassist.verizon.com/s?q=x\">x</a> and "
+      "<script src='https://cdn.example.org/a.js'></script>");
+  ASSERT_EQ(urls.size(), 2u);
+  EXPECT_EQ(urls[0], "http://searchassist.verizon.com/s?q=x");
+  EXPECT_EQ(urls[1], "https://cdn.example.org/a.js");
+}
+
+TEST(UrlExtractionTest, DeduplicatesAndOrders) {
+  const auto urls = extract_urls(
+      "http://a.com/x http://b.com/y http://a.com/x");
+  ASSERT_EQ(urls.size(), 2u);
+  EXPECT_EQ(urls[0], "http://a.com/x");
+}
+
+TEST(UrlExtractionTest, TrimsTrailingPunctuation) {
+  const auto urls = extract_urls("visit http://a.com/page. Or (http://b.com/q)!");
+  ASSERT_EQ(urls.size(), 2u);
+  EXPECT_EQ(urls[0], "http://a.com/page");
+  EXPECT_EQ(urls[1], "http://b.com/q");
+}
+
+TEST(UrlExtractionTest, IgnoresNonUrls) {
+  EXPECT_TRUE(extract_urls("httpx://nope http:/one-slash http no-scheme").empty());
+  EXPECT_TRUE(extract_urls("").empty());
+  EXPECT_TRUE(extract_urls("http://").empty());
+}
+
+TEST(UrlExtractionTest, HostsExtraction) {
+  const auto hosts = extract_url_hosts(
+      "http://midascdn.nervesis.com/ad.js https://midascdn.nervesis.com/x "
+      "http://error.talktalk.co.uk:8080/p");
+  ASSERT_EQ(hosts.size(), 2u);
+  EXPECT_EQ(hosts[0], "midascdn.nervesis.com");
+  EXPECT_EQ(hosts[1], "error.talktalk.co.uk");
+}
+
+TEST(UrlExtractionTest, JavaScriptStringLiterals) {
+  const auto hosts = extract_url_hosts(
+      "var s=document.createElement('script');"
+      "s.src='http://d36mw5gp02ykm5.cloudfront.net/loader.js';");
+  ASSERT_EQ(hosts.size(), 1u);
+  EXPECT_EQ(hosts[0], "d36mw5gp02ykm5.cloudfront.net");
+}
+
+TEST(CompressionRatioTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(compression_ratio("", "anything"), 1.0);
+  EXPECT_DOUBLE_EQ(compression_ratio("abcd", "ab"), 0.5);
+  EXPECT_DOUBLE_EQ(compression_ratio("ab", "abcd"), 2.0);
+}
+
+}  // namespace
+}  // namespace tft::http

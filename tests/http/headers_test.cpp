@@ -1,0 +1,65 @@
+#include "tft/http/headers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tft::http {
+namespace {
+
+TEST(HeaderMapTest, AddAndGetCaseInsensitive) {
+  HeaderMap headers;
+  headers.add("Content-Type", "text/html");
+  EXPECT_EQ(headers.get("content-type"), "text/html");
+  EXPECT_EQ(headers.get("CONTENT-TYPE"), "text/html");
+  EXPECT_FALSE(headers.get("Content-Length").has_value());
+  EXPECT_TRUE(headers.has("Content-Type"));
+}
+
+TEST(HeaderMapTest, DuplicatesPreserved) {
+  HeaderMap headers;
+  headers.add("Via", "proxy-a");
+  headers.add("Via", "proxy-b");
+  EXPECT_EQ(headers.get("Via"), "proxy-a");  // first value
+  const auto all = headers.get_all("via");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], "proxy-a");
+  EXPECT_EQ(all[1], "proxy-b");
+}
+
+TEST(HeaderMapTest, SetReplacesAll) {
+  HeaderMap headers;
+  headers.add("X-Test", "1");
+  headers.add("X-Test", "2");
+  headers.set("x-test", "3");
+  EXPECT_EQ(headers.get_all("X-Test").size(), 1u);
+  EXPECT_EQ(headers.get("X-Test"), "3");
+}
+
+TEST(HeaderMapTest, RemoveReturnsCount) {
+  HeaderMap headers;
+  headers.add("A", "1");
+  headers.add("a", "2");
+  headers.add("B", "3");
+  EXPECT_EQ(headers.remove("A"), 2u);
+  EXPECT_EQ(headers.size(), 1u);
+  EXPECT_EQ(headers.remove("A"), 0u);
+}
+
+TEST(HeaderMapTest, InsertionOrderPreserved) {
+  HeaderMap headers;
+  headers.add("First", "1");
+  headers.add("Second", "2");
+  headers.add("Third", "3");
+  ASSERT_EQ(headers.entries().size(), 3u);
+  EXPECT_EQ(headers.entries()[0].name, "First");
+  EXPECT_EQ(headers.entries()[2].name, "Third");
+}
+
+TEST(HeaderMapTest, EmptyMap) {
+  HeaderMap headers;
+  EXPECT_TRUE(headers.empty());
+  EXPECT_EQ(headers.size(), 0u);
+  EXPECT_TRUE(headers.get_all("X").empty());
+}
+
+}  // namespace
+}  // namespace tft::http

@@ -1,0 +1,132 @@
+#include "tft/http/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tft::http {
+namespace {
+
+TEST(HttpRequestTest, ProxyGetForm) {
+  const auto url = *Url::parse("http://example.com/a?b=c");
+  const Request request = Request::proxy_get(url);
+  EXPECT_EQ(request.method, Method::kGet);
+  EXPECT_EQ(request.target, "http://example.com/a?b=c");
+  EXPECT_EQ(request.headers.get("Host"), "example.com");
+  const auto parsed = request.target_url();
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->host, "example.com");
+}
+
+TEST(HttpRequestTest, OriginGetForm) {
+  const auto url = *Url::parse("http://example.com/a?b=c");
+  const Request request = Request::origin_get(url);
+  EXPECT_EQ(request.target, "/a?b=c");
+}
+
+TEST(HttpRequestTest, ConnectForm) {
+  const Request request = Request::connect("example.com", 443);
+  EXPECT_EQ(request.method, Method::kConnect);
+  EXPECT_EQ(request.target, "example.com:443");
+}
+
+TEST(HttpRequestTest, SerializeParseRoundTrip) {
+  Request request = Request::proxy_get(*Url::parse("http://example.com/x"));
+  request.headers.add("User-Agent", "tft-probe/1.0");
+  request.body = "payload";
+  const auto parsed = Request::parse(request.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->method, Method::kGet);
+  EXPECT_EQ(parsed->target, request.target);
+  EXPECT_EQ(parsed->headers.get("User-Agent"), "tft-probe/1.0");
+  EXPECT_EQ(parsed->body, "payload");
+  EXPECT_EQ(parsed->headers.get("Content-Length"), "7");
+}
+
+TEST(HttpRequestTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Request::parse("").ok());
+  EXPECT_FALSE(Request::parse("GET /\r\n\r\n").ok());                 // missing version
+  EXPECT_FALSE(Request::parse("FETCH / HTTP/1.1\r\n\r\n").ok());      // bad method
+  EXPECT_FALSE(Request::parse("GET / HTTP/1.1\r\nNoColon\r\n\r\n").ok());
+  EXPECT_FALSE(Request::parse("GET / HTTP/1.1\r\n: empty\r\n\r\n").ok());
+  EXPECT_FALSE(Request::parse("GET / HTTP/1.1").ok());                // no terminator
+  EXPECT_FALSE(Request::parse("GET / BAD/1.1\r\n\r\n").ok());
+}
+
+TEST(HttpRequestTest, ParseRejectsWhitespaceBeforeColon) {
+  EXPECT_FALSE(Request::parse("GET / HTTP/1.1\r\nHost : x\r\n\r\n").ok());
+}
+
+TEST(HttpRequestTest, ContentLengthMismatchRejected) {
+  EXPECT_FALSE(
+      Request::parse("GET / HTTP/1.1\r\nContent-Length: 5\r\n\r\nabc").ok());
+  EXPECT_FALSE(Request::parse("GET / HTTP/1.1\r\n\r\nabc").ok());  // body w/o length
+  EXPECT_TRUE(
+      Request::parse("GET / HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc").ok());
+}
+
+TEST(HttpResponseTest, MakeSetsHeaders) {
+  const Response response = Response::make(200, "OK", "<html></html>");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.headers.get("Content-Length"), "13");
+  EXPECT_EQ(response.headers.get("Content-Type"), "text/html");
+}
+
+TEST(HttpResponseTest, SerializeParseRoundTrip) {
+  Response response = Response::make(404, "Not Found", "gone", "text/plain");
+  response.headers.add("X-Hola-Timeline-Debug", "zid=abc123");
+  const auto parsed = Response::parse(response.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->status, 404);
+  EXPECT_EQ(parsed->reason, "Not Found");
+  EXPECT_EQ(parsed->body, "gone");
+  EXPECT_EQ(parsed->headers.get("X-Hola-Timeline-Debug"), "zid=abc123");
+}
+
+TEST(HttpResponseTest, ReasonWithSpacesSurvives) {
+  const auto parsed = Response::parse("HTTP/1.1 502 Bad Gateway\r\n\r\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->reason, "Bad Gateway");
+}
+
+TEST(HttpResponseTest, SerializeRecomputesStaleContentLength) {
+  Response response = Response::make(200, "OK", "four");
+  response.headers.set("Content-Length", "999");  // stale
+  const auto parsed = Response::parse(response.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->headers.get("Content-Length"), "4");
+}
+
+struct BadStatusCase {
+  const char* wire;
+};
+
+class ResponseRejectTest : public ::testing::TestWithParam<BadStatusCase> {};
+
+TEST_P(ResponseRejectTest, Rejects) {
+  EXPECT_FALSE(Response::parse(GetParam().wire).ok()) << GetParam().wire;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadStatusLines, ResponseRejectTest,
+    ::testing::Values(BadStatusCase{"HTTP/1.1 99 Low\r\n\r\n"},
+                      BadStatusCase{"HTTP/1.1 6000 High\r\n\r\n"},
+                      BadStatusCase{"HTTP/1.1 abc X\r\n\r\n"},
+                      BadStatusCase{"NOTHTTP 200 OK\r\n\r\n"},
+                      BadStatusCase{"HTTP/1.1\r\n\r\n"},
+                      BadStatusCase{""}));
+
+TEST(HttpMessageTest, MethodNames) {
+  EXPECT_EQ(to_string(Method::kConnect), "CONNECT");
+  EXPECT_TRUE(parse_method("POST").ok());
+  EXPECT_EQ(*parse_method("HEAD"), Method::kHead);
+  EXPECT_FALSE(parse_method("get").ok());  // methods are case-sensitive
+}
+
+TEST(HttpMessageTest, ReasonPhrases) {
+  EXPECT_EQ(reason_phrase(200), "OK");
+  EXPECT_EQ(reason_phrase(404), "Not Found");
+  EXPECT_EQ(reason_phrase(504), "Gateway Timeout");
+  EXPECT_EQ(reason_phrase(999), "Unknown");
+}
+
+}  // namespace
+}  // namespace tft::http

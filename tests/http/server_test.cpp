@@ -1,0 +1,123 @@
+#include "tft/http/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace tft::http {
+namespace {
+
+const net::Ipv4Address kClient(203, 0, 113, 7);
+const net::Ipv4Address kServerAddress(198, 51, 100, 10);
+
+Request get(const std::string& host, const std::string& path) {
+  return Request::origin_get(*Url::parse("http://" + host + path));
+}
+
+TEST(RequestHelpersTest, HostFromHeaderStripsPort) {
+  Request request = get("Example.COM", "/x");
+  request.headers.set("Host", "Example.COM:8080");
+  EXPECT_EQ(request_host(request), "example.com");
+}
+
+TEST(RequestHelpersTest, HostFallsBackToAbsoluteTarget) {
+  Request request;
+  request.target = "http://fallback.example/x";
+  EXPECT_EQ(request_host(request), "fallback.example");
+}
+
+TEST(RequestHelpersTest, PathStripsQuery) {
+  EXPECT_EQ(request_path(get("a.com", "/p/q?x=1")), "/p/q");
+  Request absolute;
+  absolute.target = "http://a.com/deep/path?z";
+  EXPECT_EQ(request_path(absolute), "/deep/path");
+}
+
+class OriginServerTest : public ::testing::Test {
+ protected:
+  OriginServerTest() : server_("test-server") {
+    server_.add_resource("www.example.com", "/page",
+                         Response::make(200, "OK", "exact-match"));
+    server_.add_path_for_any_host("/probe", Response::make(200, "OK", "any-host"));
+  }
+
+  Response handle(const Request& request) {
+    return server_.handle(request, kClient, sim::Instant::epoch());
+  }
+
+  OriginServer server_;
+};
+
+TEST_F(OriginServerTest, ExactResourceMatch) {
+  EXPECT_EQ(handle(get("www.example.com", "/page")).body, "exact-match");
+}
+
+TEST_F(OriginServerTest, HostMatchingIsCaseInsensitive) {
+  EXPECT_EQ(handle(get("WWW.EXAMPLE.COM", "/page")).body, "exact-match");
+}
+
+TEST_F(OriginServerTest, AnyHostPath) {
+  EXPECT_EQ(handle(get("s123-d1.probe.tft-study.net", "/probe")).body, "any-host");
+  EXPECT_EQ(handle(get("other.host", "/probe")).body, "any-host");
+}
+
+TEST_F(OriginServerTest, UnmatchedIs404) {
+  EXPECT_EQ(handle(get("www.example.com", "/missing")).status, 404);
+}
+
+TEST_F(OriginServerTest, DefaultHandlerServesFallback) {
+  server_.set_default_handler([](const Request& request) {
+    return Response::make(200, "OK", "ad page for " + request_host(request));
+  });
+  EXPECT_EQ(handle(get("typo.example", "/anything")).body, "ad page for typo.example");
+  // Exact resources still win over the default handler.
+  EXPECT_EQ(handle(get("www.example.com", "/page")).body, "exact-match");
+}
+
+TEST_F(OriginServerTest, NonGetRejected) {
+  Request request = get("www.example.com", "/page");
+  request.method = Method::kPost;
+  EXPECT_EQ(handle(request).status, 400);
+}
+
+TEST_F(OriginServerTest, RequestLogRecordsEverything) {
+  Request request = get("www.example.com", "/page");
+  request.headers.set("User-Agent", "Trend Micro scanner");
+  server_.handle(request, kClient, sim::Instant::epoch() + sim::Duration::seconds(30));
+  ASSERT_EQ(server_.request_log().size(), 1u);
+  const auto& entry = server_.request_log().front();
+  EXPECT_EQ(entry.source, kClient);
+  EXPECT_EQ(entry.host, "www.example.com");
+  EXPECT_EQ(entry.path, "/page");
+  EXPECT_EQ(entry.user_agent, "Trend Micro scanner");
+  EXPECT_EQ(entry.time, sim::Instant::epoch() + sim::Duration::seconds(30));
+  server_.clear_request_log();
+  EXPECT_TRUE(server_.request_log().empty());
+}
+
+TEST_F(OriginServerTest, LogsEvenUnmatchedRequests) {
+  handle(get("nowhere.example", "/void"));
+  EXPECT_EQ(server_.request_log().size(), 1u);
+}
+
+TEST(WebServerRegistryTest, RoutesByDestination) {
+  WebServerRegistry registry;
+  auto server = std::make_shared<OriginServer>("s");
+  server->add_path_for_any_host("/", Response::make(200, "OK", "hello"));
+  registry.add(kServerAddress, server);
+
+  EXPECT_EQ(registry.find(kServerAddress), server.get());
+  EXPECT_EQ(registry.find(net::Ipv4Address(1, 2, 3, 4)), nullptr);
+
+  const auto response = registry.fetch(kServerAddress, get("h.example", "/"),
+                                       kClient, sim::Instant::epoch());
+  EXPECT_EQ(response.body, "hello");
+
+  const auto unreachable = registry.fetch(net::Ipv4Address(9, 9, 9, 9),
+                                          get("h.example", "/"), kClient,
+                                          sim::Instant::epoch());
+  EXPECT_EQ(unreachable.status, 504);
+}
+
+}  // namespace
+}  // namespace tft::http

@@ -1,0 +1,87 @@
+#include "tft/http/url.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tft::http {
+namespace {
+
+TEST(UrlTest, ParseBasicHttp) {
+  const auto url = Url::parse("http://example.com/path?x=1");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url->scheme, "http");
+  EXPECT_EQ(url->host, "example.com");
+  EXPECT_EQ(url->port, 80);
+  EXPECT_EQ(url->path, "/path");
+  EXPECT_EQ(url->query, "x=1");
+}
+
+TEST(UrlTest, DefaultsPathToRoot) {
+  const auto url = Url::parse("http://example.com");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url->path, "/");
+  EXPECT_EQ(url->to_string(), "http://example.com/");
+}
+
+TEST(UrlTest, HttpsDefaultPort) {
+  const auto url = Url::parse("https://secure.example.com/");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url->port, 443);
+  EXPECT_EQ(url->host_header(), "secure.example.com");
+}
+
+TEST(UrlTest, ExplicitPort) {
+  const auto url = Url::parse("http://example.com:8080/a");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url->port, 8080);
+  EXPECT_EQ(url->host_header(), "example.com:8080");
+  EXPECT_EQ(url->to_string(), "http://example.com:8080/a");
+}
+
+TEST(UrlTest, HostIsLowercased) {
+  const auto url = Url::parse("HTTP://ExAmPle.COM/Path");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url->scheme, "http");
+  EXPECT_EQ(url->host, "example.com");
+  EXPECT_EQ(url->path, "/Path");  // path case is preserved
+}
+
+TEST(UrlTest, QueryWithoutPath) {
+  const auto url = Url::parse("http://example.com?q=abc");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url->path, "/");
+  EXPECT_EQ(url->query, "q=abc");
+  EXPECT_EQ(url->request_target(), "/?q=abc");
+}
+
+struct BadUrlCase {
+  const char* text;
+};
+
+class UrlRejectTest : public ::testing::TestWithParam<BadUrlCase> {};
+
+TEST_P(UrlRejectTest, Rejects) {
+  EXPECT_FALSE(Url::parse(GetParam().text).ok()) << GetParam().text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadUrls, UrlRejectTest,
+    ::testing::Values(BadUrlCase{""}, BadUrlCase{"example.com"},
+                      BadUrlCase{"ftp://example.com/"}, BadUrlCase{"http://"},
+                      BadUrlCase{"http:///path"}, BadUrlCase{"http://host:0/"},
+                      BadUrlCase{"http://host:99999/"},
+                      BadUrlCase{"http://host:12ab/"}));
+
+TEST(UrlTest, RoundTripEquality) {
+  const auto a = Url::parse("https://example.com:444/x?y=z");
+  const auto b = Url::parse(a->to_string());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(UrlTest, DefaultPortOmittedInToString) {
+  EXPECT_EQ(Url::parse("http://a.com:80/")->to_string(), "http://a.com/");
+  EXPECT_EQ(Url::parse("https://a.com:443/")->to_string(), "https://a.com/");
+}
+
+}  // namespace
+}  // namespace tft::http

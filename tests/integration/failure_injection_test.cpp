@@ -1,0 +1,141 @@
+// Failure injection: the measurement pipeline must degrade cleanly when
+// the platform misbehaves — dead nodes, total churn, renumbered hosts,
+// missing rankings — rather than crash or fabricate results.
+#include <gtest/gtest.h>
+
+#include "tft/core/study.hpp"
+#include "tft/world/validate.hpp"
+#include "tft/world/world.hpp"
+
+namespace tft::core {
+namespace {
+
+world::WorldSpec tiny_spec() {
+  auto spec = world::mini_spec();
+  // Shrink further: failure scenarios don't need a full mini world.
+  spec.countries = {{"US", 120, 0, 2, 2, 0.10, 0.05},
+                    {"GB", 80, 10, 2, 2, 0.10, 0.05}};
+  spec.named_isps.clear();
+  spec.path_hijackers.clear();
+  spec.monitors = {};
+  spec.tail_monitor_groups = 0;
+  return spec;
+}
+
+TEST(FailureInjectionTest, MiniWorldValidates) {
+  const auto world = world::build_world(world::mini_spec(), 1.0, 99);
+  const auto problems = world::validate(*world);
+  EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+TEST(FailureInjectionTest, PaperWorldValidates) {
+  const auto world = world::build_world(world::paper_spec(), 0.005, 7);
+  const auto problems = world::validate(*world);
+  EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+TEST(FailureInjectionTest, AllNodesOfflineYieldsNothing) {
+  auto world = world::build_world(tiny_spec(), 1.0, 5);
+  for (const auto& node : world->luminati->nodes()) node->set_online(false);
+
+  DnsProbeConfig dns_config;
+  dns_config.target_nodes = 0;
+  dns_config.stall_limit = 50;
+  DnsHijackProbe dns_probe(*world, dns_config);
+  EXPECT_EQ(dns_probe.run(), 0u);
+
+  MonitorProbeConfig monitor_config;
+  monitor_config.target_nodes = 0;
+  monitor_config.stall_limit = 50;
+  ContentMonitorProbe monitor_probe(*world, monitor_config);
+  EXPECT_EQ(monitor_probe.run(), 0u);
+}
+
+TEST(FailureInjectionTest, TotalChurnYieldsNothingButNoCrash) {
+  auto spec = tiny_spec();
+  spec.node_failure_probability = 1.0;  // every attempt fails, retries exhaust
+  auto world = world::build_world(spec, 1.0, 5);
+
+  HttpProbeConfig http_config;
+  http_config.stall_limit = 50;
+  HttpModificationProbe http_probe(*world, http_config);
+  EXPECT_EQ(http_probe.run(), 0u);
+
+  const auto report = analyze_http(*world, http_probe.observations(), {});
+  EXPECT_EQ(report.total_nodes, 0u);
+  EXPECT_EQ(report.html_modified, 0u);
+}
+
+TEST(FailureInjectionTest, NoAlexaRankingsMeansNoHttpsMeasurement) {
+  auto spec = tiny_spec();
+  spec.https.countries_with_rankings = 0;  // no popular-site lists anywhere
+  auto world = world::build_world(spec, 1.0, 5);
+
+  HttpsProbeConfig config;
+  config.stall_limit = 50;
+  CertReplacementProbe probe(*world, config);
+  EXPECT_EQ(probe.run(), 0u);
+  const auto report = analyze_https(*world, probe.observations(), {});
+  EXPECT_EQ(report.replaced_nodes, 0u);
+}
+
+TEST(FailureInjectionTest, ZidSurvivesRenumbering) {
+  // §2.3: the zID is a persistent node identifier; the paper uses it to
+  // track nodes across IP changes. Renumber a node mid-session and confirm
+  // the proxy reports the same zID with the new address.
+  auto world = world::build_world(tiny_spec(), 1.0, 5);
+
+  proxy::RequestOptions options;
+  options.session = "renumber-test";
+  const auto url = *http::Url::parse("http://a.probe.tft-study.net/");
+  const auto first = world->luminati->fetch(url, options);
+  ASSERT_TRUE(first.ok());
+
+  // Find the serving node and renumber it within its own prefix.
+  proxy::ExitNodeAgent* serving = nullptr;
+  for (const auto& node : world->luminati->nodes()) {
+    if (node->zid() == first.zid) serving = node.get();
+  }
+  ASSERT_NE(serving, nullptr);
+  const net::Ipv4Address new_address(serving->address().value() + 7);
+  serving->set_address(new_address);
+
+  const auto second =
+      world->luminati->fetch(*http::Url::parse("http://b.probe.tft-study.net/"),
+                             options);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.zid, first.zid);                 // identity persists
+  EXPECT_EQ(second.exit_address, new_address);      // address changed
+  EXPECT_NE(second.exit_address, first.exit_address);
+}
+
+TEST(FailureInjectionTest, EmptyWorldProbesAreSafe) {
+  // A world with essentially no nodes: everything returns zero cleanly.
+  auto spec = tiny_spec();
+  spec.countries = {{"US", 1, 0, 1, 1, 0.0, 0.0}};
+  spec.isp_resolver_hijackers.clear();
+  spec.public_resolver_hijackers.clear();
+  spec.host_dns_hijackers.clear();
+  spec.scattered_google_hijack_nodes = 0;
+  spec.adware.clear();
+  spec.isp_filters.clear();
+  spec.transcoders.clear();
+  spec.cert_replacers.clear();
+  spec.smtp_interceptors.clear();
+  spec.blockpage_nodes = 0;
+  spec.js_error_nodes = 0;
+  spec.css_error_nodes = 0;
+  auto world = world::build_world(spec, 1.0, 5);
+
+  DnsProbeConfig config;
+  config.target_nodes = 0;
+  config.stall_limit = 20;
+  DnsHijackProbe probe(*world, config);
+  const std::size_t measured = probe.run();
+  EXPECT_LE(measured, world->luminati->node_count());
+  const auto report = analyze_dns(*world, probe.observations(), {});
+  EXPECT_EQ(report.hijacked_nodes, 0u);
+}
+
+}  // namespace
+}  // namespace tft::core

@@ -1,0 +1,80 @@
+// Longitudinal measurement: deploy and retire a hijacking box between
+// rounds and check the time series picks the change up — the §9
+// continuous-measurement use case.
+#include <gtest/gtest.h>
+
+#include "tft/core/longitudinal.hpp"
+#include "tft/world/world.hpp"
+
+namespace tft::core {
+namespace {
+
+TEST(LongitudinalTest, DetectsDeploymentAndRetirement) {
+  auto world = world::build_world(world::mini_spec(), 1.0, 808);
+  ASSERT_TRUE(world->isp_resolvers.contains("US ISP 1"));
+
+  LongitudinalConfig config;
+  config.rounds = 5;
+  config.interval = sim::Duration::hours(24 * 7);
+  config.probe.target_nodes = 0;
+  config.probe.stall_limit = 1500;
+  config.analysis.min_nodes_per_server = 5;
+  config.analysis.min_nodes_per_country = 30;
+
+  LongitudinalDnsStudy study(*world, config);
+  // Rounds 0-1: baseline. Before round 2: "US ISP 1" deploys a search-assist
+  // box. Before round 4: it retires it.
+  study.set_between_rounds([](int next_round, world::World& w) {
+    if (next_round == 2) {
+      const std::size_t changed = w.set_isp_hijack(
+          "US ISP 1",
+          dns::NxdomainHijackPolicy{net::Ipv4Address(203, 0, 113, 199), 60, 1.0});
+      ASSERT_GT(changed, 0u);
+    }
+    if (next_round == 4) {
+      ASSERT_GT(w.set_isp_hijack("US ISP 1", std::nullopt), 0u);
+    }
+  });
+
+  const auto rounds = study.run();
+  ASSERT_EQ(rounds.size(), 5u);
+
+  // Baseline rounds agree with each other and don't list US ISP 1.
+  EXPECT_FALSE(rounds[0].isp_listed("US ISP 1"));
+  EXPECT_FALSE(rounds[1].isp_listed("US ISP 1"));
+  // Deployment visible in rounds 2-3.
+  EXPECT_TRUE(rounds[2].isp_listed("US ISP 1"));
+  EXPECT_TRUE(rounds[3].isp_listed("US ISP 1"));
+  EXPECT_GT(rounds[2].ratio, rounds[0].ratio + 0.02);
+  // Retirement visible in round 4.
+  EXPECT_FALSE(rounds[4].isp_listed("US ISP 1"));
+  EXPECT_LT(rounds[4].ratio, rounds[2].ratio);
+
+  // The original hijackers (Verizon) are present throughout.
+  for (const auto& round : rounds) {
+    EXPECT_TRUE(round.isp_listed("Verizon")) << "round " << round.round;
+  }
+
+  const std::string rendered = render_longitudinal(rounds);
+  EXPECT_NE(rendered.find("US ISP 1"), std::string::npos);
+  EXPECT_NE(rendered.find("R4"), std::string::npos);
+}
+
+TEST(LongitudinalTest, StableWorldGivesStableSeries) {
+  auto world = world::build_world(world::mini_spec(), 1.0, 809);
+  LongitudinalConfig config;
+  config.rounds = 3;
+  config.probe.target_nodes = 0;
+  config.probe.stall_limit = 1500;
+  LongitudinalDnsStudy study(*world, config);
+  const auto rounds = study.run();
+  ASSERT_EQ(rounds.size(), 3u);
+  for (std::size_t i = 1; i < rounds.size(); ++i) {
+    // Same world, fresh crawls: rates agree within a small band.
+    EXPECT_NEAR(rounds[i].ratio, rounds[0].ratio, 0.02) << i;
+    EXPECT_GT(rounds[i].time, rounds[i - 1].time);
+  }
+}
+
+}  // namespace
+}  // namespace tft::core

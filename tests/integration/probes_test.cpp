@@ -1,0 +1,318 @@
+// Integration tests: run the paper's four measurement methodologies against
+// a mini world and check that each detector recovers the configured ground
+// truth — a validation the real study could never perform.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "tft/core/smtp_probe.hpp"
+#include "tft/core/study.hpp"
+#include "tft/world/world.hpp"
+
+namespace tft::core {
+namespace {
+
+class ProbesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = world::build_world(world::mini_spec(), 1.0, 555).release();
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+
+  static world::World* world_;
+};
+
+world::World* ProbesTest::world_ = nullptr;
+
+TEST_F(ProbesTest, A_DnsProbeRecoversGroundTruth) {
+  DnsProbeConfig config;
+  config.target_nodes = 0;  // crawl to exhaustion
+  config.stall_limit = 4000;
+  DnsHijackProbe probe(*world_, config);
+  const std::size_t measured = probe.run();
+  EXPECT_GT(measured, world_->luminati->node_count() * 9 / 10);
+
+  std::size_t false_positives = 0, false_negatives = 0, hijacked = 0;
+  for (const auto& observation : probe.observations()) {
+    const auto* truth = world_->truth.find(observation.zid);
+    ASSERT_NE(truth, nullptr);
+    if (observation.filtered_google_overlap) continue;
+    const bool expected = truth->dns_hijack != world::DnsHijackSource::kNone;
+    if (observation.hijacked) ++hijacked;
+    if (observation.hijacked && !expected) ++false_positives;
+    if (!observation.hijacked && expected) ++false_negatives;
+  }
+  EXPECT_EQ(false_positives, 0u);
+  // Nodes whose hijack sits at a Google-overlap boundary may be missed, but
+  // the overwhelming majority must be recovered.
+  EXPECT_LT(false_negatives, hijacked / 10 + 3);
+  EXPECT_GT(hijacked, 50u);
+
+  const DnsAnalysisConfig analysis_config = [] {
+    DnsAnalysisConfig c;
+    c.min_nodes_per_country = 30;
+    c.min_nodes_per_server = 5;
+    c.min_nodes_per_url = 2;
+    c.host_software_as_threshold = 3;
+    return c;
+  }();
+  const DnsReport report = analyze_dns(*world_, probe.observations(), analysis_config);
+
+  // Verizon's resolvers hijack ~all of their 60 users (Table 4 logic).
+  bool verizon_found = false;
+  for (const auto& row : report.isp_hijackers) {
+    if (row.isp == "Verizon") {
+      verizon_found = true;
+      EXPECT_EQ(row.country, "US");
+      EXPECT_GT(row.nodes, 40u);
+    }
+  }
+  EXPECT_TRUE(verizon_found);
+
+  // Comodo's public resolver is classified as public, not ISP.
+  bool comodo_found = false;
+  for (const auto& row : report.public_hijackers) {
+    comodo_found = comodo_found || row.operator_name == "Comodo DNS";
+  }
+  EXPECT_TRUE(comodo_found);
+  for (const auto& row : report.isp_hijackers) {
+    EXPECT_NE(row.isp, "Comodo DNS");
+  }
+
+  // The GB country row ranks near the top (20 extra + Tiscali etc. of 200).
+  ASSERT_FALSE(report.top_countries.empty());
+  bool gb_listed = false;
+  for (const auto& row : report.top_countries) {
+    if (row.country == "GB") {
+      gb_listed = true;
+      EXPECT_GT(row.ratio(), 0.05);
+    }
+  }
+  EXPECT_TRUE(gb_listed);
+
+  // Table 5: the DT path middlebox and Norton host software both surface
+  // for Google-DNS users.
+  std::set<std::string> url_hosts;
+  for (const auto& row : report.google_urls) url_hosts.insert(row.host);
+  EXPECT_TRUE(url_hosts.contains("navigationshilfe.t-online.de"));
+  EXPECT_TRUE(url_hosts.contains("nortonsafe.search.ask.com"));
+  for (const auto& row : report.google_urls) {
+    if (row.host == "nortonsafe.search.ask.com") {
+      EXPECT_TRUE(row.likely_host_software);
+    }
+    if (row.host == "navigationshilfe.t-online.de") {
+      EXPECT_FALSE(row.likely_host_software);
+    }
+  }
+
+  // Attribution is dominated by ISP resolvers, as in §4.4.
+  EXPECT_GT(report.attributed_isp, 0.5);
+  EXPECT_GT(report.attributed_public, 0.0);
+  EXPECT_GT(report.attributed_other, 0.0);
+}
+
+TEST_F(ProbesTest, B_HttpProbeRecoversModifications) {
+  // Fresh world: the HTTP probe's adaptive sample is sensitive to the
+  // proxy's RNG position, so isolate it from the other experiments.
+  const auto fresh = world::build_world(world::mini_spec(), 1.0, 555);
+  world::World* world_ = fresh.get();  // shadow the fixture world
+
+  HttpProbeConfig config;
+  config.nodes_per_as = 3;
+  config.expanded_nodes_per_as = 60;
+  config.max_nodes = 2000;
+  config.stall_limit = 3000;
+  HttpModificationProbe probe(*world_, config);
+  probe.run();
+
+  std::size_t html_false_positives = 0;
+  for (const auto& observation : probe.observations()) {
+    const auto* truth = world_->truth.find(observation.zid);
+    ASSERT_NE(truth, nullptr);
+    if (observation.html_modified && truth->html_injector.empty()) {
+      ++html_false_positives;
+    }
+    if (observation.image_modified) {
+      EXPECT_FALSE(truth->image_transcoder.empty()) << observation.zid;
+    }
+  }
+  EXPECT_EQ(html_false_positives, 0u);
+
+  HttpAnalysisConfig analysis_config;
+  analysis_config.min_nodes_per_as = 3;
+  const HttpReport report = analyze_http(*world_, probe.observations(), analysis_config);
+
+  // The AdTaily signature is recovered verbatim (Table 6).
+  bool adtaily = false;
+  for (const auto& row : report.injections) {
+    adtaily = adtaily || row.signature == "AdTaily_Widget_Container";
+  }
+  EXPECT_TRUE(adtaily);
+
+  // Rimon's AS shows up as fully modified (ISP-level filter).
+  bool rimon = false;
+  for (const auto& [asn, isp] : report.fully_modified_ases) {
+    rimon = rimon || asn == 42925;
+  }
+  EXPECT_TRUE(rimon);
+
+  // Both transcoding carriers are found, marked mobile, with sane ratios.
+  std::map<net::Asn, const TranscodeRow*> transcoders;
+  for (const auto& row : report.transcoders) transcoders[row.asn] = &row;
+  ASSERT_TRUE(transcoders.contains(15617));
+  EXPECT_TRUE(transcoders[15617]->mobile_isp);
+  ASSERT_EQ(transcoders[15617]->ratios.size(), 1u);
+  EXPECT_NEAR(transcoders[15617]->ratios[0], 0.53, 0.02);
+  ASSERT_TRUE(transcoders.contains(29975));
+  EXPECT_EQ(transcoders[29975]->ratios.size(), 2u);  // the "M" case
+}
+
+TEST_F(ProbesTest, C_HttpsProbeRecoversCertReplacement) {
+  HttpsProbeConfig config;
+  config.target_nodes = 2000;
+  config.stall_limit = 4000;
+  CertReplacementProbe probe(*world_, config);
+  probe.run();
+  ASSERT_GT(probe.observations().size(), 300u);
+
+  std::size_t false_positives = 0, replaced = 0;
+  for (const auto& observation : probe.observations()) {
+    const auto* truth = world_->truth.find(observation.zid);
+    ASSERT_NE(truth, nullptr);
+    if (observation.any_replaced()) {
+      ++replaced;
+      if (truth->cert_replacer.empty()) ++false_positives;
+    }
+  }
+  EXPECT_EQ(false_positives, 0u);
+  EXPECT_GT(replaced, 10u);
+
+  HttpsAnalysisConfig analysis_config;
+  analysis_config.min_nodes_per_issuer = 2;
+  const HttpsReport report =
+      analyze_https(*world_, probe.observations(), analysis_config);
+
+  std::map<std::string, const IssuerRow*> issuers;
+  for (const auto& row : report.issuers) issuers[row.issuer_cn] = &row;
+
+  // Avast: fresh key per certificate -> never counted as key reuse.
+  ASSERT_TRUE(issuers.contains("Avast! Web/Mail Shield Root"));
+  EXPECT_EQ(issuers["Avast! Web/Mail Shield Root"]->key_reuse_nodes, 0u);
+  EXPECT_EQ(issuers["Avast! Web/Mail Shield Root"]->type, "Anti-Virus/Security");
+  // Kaspersky: shared key and invalid sites masked as valid (§6.2's
+  // dangerous behaviour).
+  ASSERT_TRUE(issuers.contains("Kaspersky Anti-Virus Personal Root"));
+  const auto* kaspersky = issuers["Kaspersky Anti-Virus Personal Root"];
+  EXPECT_EQ(kaspersky->key_reuse_nodes, kaspersky->nodes);
+  EXPECT_GT(kaspersky->masks_invalid_nodes, 0u);
+}
+
+TEST_F(ProbesTest, D_MonitorProbeRecoversMonitoring) {
+  MonitorProbeConfig config;
+  config.target_nodes = 0;
+  config.stall_limit = 4000;
+  ContentMonitorProbe probe(*world_, config);
+  const std::size_t measured = probe.run();
+  EXPECT_GT(measured, world_->luminati->node_count() * 8 / 10);
+
+  std::size_t false_negatives = 0, monitored = 0;
+  for (const auto& observation : probe.observations()) {
+    const auto* truth = world_->truth.find(observation.zid);
+    ASSERT_NE(truth, nullptr);
+    if (observation.monitored()) {
+      ++monitored;
+      EXPECT_FALSE(truth->monitor.empty()) << observation.zid;
+    } else if (!truth->monitor.empty()) {
+      ++false_negatives;
+    }
+    if (truth->uses_vpn && observation.monitored()) {
+      EXPECT_TRUE(observation.own_request_address_mismatch);
+    }
+  }
+  EXPECT_EQ(false_negatives, 0u);
+  EXPECT_GT(monitored, 30u);
+
+  const MonitorReport report =
+      analyze_monitoring(*world_, probe.observations(), MonitorAnalysisConfig{});
+  std::map<std::string, const MonitorEntityRow*> entities;
+  for (const auto& row : report.top_entities) entities[row.entity] = &row;
+
+  ASSERT_TRUE(entities.contains("Trend Micro"));
+  const auto* trend = entities["Trend Micro"];
+  // TrendMicro makes two re-fetches per node with the two-band delay model.
+  EXPECT_NEAR(trend->delay_cdf.at(150.0), 0.5, 0.12);
+  EXPECT_GE(trend->delay_cdf.min(), 11.0);
+  EXPECT_LE(trend->delay_cdf.max(), 12600.0);
+
+  ASSERT_TRUE(entities.contains("Tiscali U.K."));
+  // Tiscali's single re-fetch arrives at exactly 30s.
+  EXPECT_DOUBLE_EQ(entities["Tiscali U.K."]->delay_cdf.min(), 30.0);
+  EXPECT_DOUBLE_EQ(entities["Tiscali U.K."]->delay_cdf.max(), 30.0);
+
+  ASSERT_TRUE(entities.contains("Bluecoat"));
+  // Bluecoat prefetches 83% of the time: negative observed delays.
+  EXPECT_GT(entities["Bluecoat"]->delay_cdf.at(0.0), 0.5);
+}
+
+TEST_F(ProbesTest, E_SmtpProbeRecoversInterception) {
+  // The §3.4 extension runs on the mini world's VPN-style overlay.
+  SmtpProbeConfig config;
+  config.target_nodes = 0;
+  config.stall_limit = 4000;
+  SmtpProbe probe(*world_, config);
+  const std::size_t measured = probe.run();
+  EXPECT_FALSE(probe.overlay_rejected());
+  EXPECT_GT(measured, world_->luminati->node_count() * 8 / 10);
+
+  std::size_t blocked_fp = 0, stripped_fp = 0, tampered_fp = 0;
+  std::size_t blocked = 0, stripped = 0, tampered = 0, rewritten = 0;
+  for (const auto& observation : probe.observations()) {
+    const auto* truth = world_->truth.find(observation.zid);
+    ASSERT_NE(truth, nullptr);
+    if (observation.connection_blocked) {
+      ++blocked;
+      if (truth->smtp_interceptor_kind != "block_port") ++blocked_fp;
+    }
+    if (observation.starttls_stripped) {
+      ++stripped;
+      if (truth->smtp_interceptor_kind != "strip_starttls") ++stripped_fp;
+    }
+    if (observation.body_tampered) {
+      ++tampered;
+      if (truth->smtp_interceptor_kind != "tag_body") ++tampered_fp;
+    }
+    if (observation.banner_rewritten) ++rewritten;
+  }
+  EXPECT_EQ(blocked_fp, 0u);
+  EXPECT_EQ(stripped_fp, 0u);
+  EXPECT_EQ(tampered_fp, 0u);
+  EXPECT_GT(blocked, 30u);
+  EXPECT_GT(stripped, 10u);
+  EXPECT_GT(tampered, 2u);
+  EXPECT_GT(rewritten, 3u);
+
+  SmtpAnalysisConfig analysis;
+  analysis.min_nodes_per_as = 3;
+  const SmtpReport report = analyze_smtp(*world_, probe.observations(), analysis);
+  EXPECT_EQ(report.blocked, blocked);
+  EXPECT_EQ(report.stripped, stripped);
+  EXPECT_FALSE(render_smtp_report(report).empty());
+}
+
+TEST_F(ProbesTest, F_SmtpProbeRejectedOnLuminatiLikeOverlay) {
+  // A world without the arbitrary-port overlay (the real Luminati): the
+  // methodology must refuse to run rather than silently measure nothing.
+  auto spec = world::mini_spec();
+  spec.arbitrary_port_overlay = false;
+  auto restricted = world::build_world(spec, 0.5, 77);
+  SmtpProbe probe(*restricted, SmtpProbeConfig{});
+  EXPECT_EQ(probe.run(), 0u);
+  EXPECT_TRUE(probe.overlay_rejected());
+}
+
+}  // namespace
+}  // namespace tft::core

@@ -1,0 +1,81 @@
+// Study-level integration: the one-call orchestration path, determinism
+// across identical seeds, and the JSON export of a full run.
+#include <gtest/gtest.h>
+
+#include "tft/core/report_json.hpp"
+#include "tft/core/study.hpp"
+#include "tft/world/world.hpp"
+
+namespace tft::core {
+namespace {
+
+StudyResult run_once(std::uint64_t seed) {
+  auto world = world::build_world(world::mini_spec(), 0.6, seed);
+  auto config = StudyConfig::for_scale(0.6, 0);
+  config.dns.target_nodes = 0;
+  config.dns.stall_limit = 1500;
+  config.http.max_nodes = 1000;
+  config.http.stall_limit = 1500;
+  config.https.target_nodes = 1000;
+  config.https.stall_limit = 1500;
+  config.monitoring.target_nodes = 0;
+  config.monitoring.stall_limit = 1500;
+  return run_study(*world, config);
+}
+
+TEST(StudyTest, RunsAllFourExperimentsWithCoverage) {
+  const StudyResult result = run_once(404);
+  ASSERT_EQ(result.coverage.size(), 4u);
+  for (const auto& row : result.coverage) {
+    EXPECT_GT(row.exit_nodes, 0u) << row.name;
+    EXPECT_GT(row.ases, 0u) << row.name;
+    EXPECT_GT(row.countries, 0u) << row.name;
+  }
+  // The DNS and monitoring crawls cover (nearly) the whole pool; HTTPS only
+  // ranked countries; HTTP is AS-quota-limited.
+  EXPECT_GT(result.coverage[0].exit_nodes, result.coverage[1].exit_nodes);
+  EXPECT_GT(result.dns.hijacked_nodes, 0u);
+  EXPECT_GT(result.https.replaced_nodes, 0u);
+  EXPECT_GT(result.monitoring.monitored_nodes, 0u);
+}
+
+TEST(StudyTest, DeterministicForSameSeed) {
+  const StudyResult a = run_once(777);
+  const StudyResult b = run_once(777);
+  EXPECT_EQ(a.dns.total_nodes, b.dns.total_nodes);
+  EXPECT_EQ(a.dns.hijacked_nodes, b.dns.hijacked_nodes);
+  EXPECT_EQ(a.http.html_modified, b.http.html_modified);
+  EXPECT_EQ(a.https.replaced_nodes, b.https.replaced_nodes);
+  EXPECT_EQ(a.monitoring.monitored_nodes, b.monitoring.monitored_nodes);
+  // Byte-identical rendered reports.
+  EXPECT_EQ(render_dns_report(a.dns), render_dns_report(b.dns));
+  EXPECT_EQ(study_result_json(a), study_result_json(b));
+}
+
+TEST(StudyTest, DifferentSeedsDiffer) {
+  const StudyResult a = run_once(1);
+  const StudyResult b = run_once(2);
+  // Same spec, different random worlds: totals land close but not equal.
+  EXPECT_NE(study_result_json(a), study_result_json(b));
+}
+
+TEST(StudyTest, RenderedReportsMentionEveryHeadline) {
+  const StudyResult result = run_once(404);
+  const std::string dns = render_dns_report(result.dns);
+  EXPECT_NE(dns.find("Table 3"), std::string::npos);
+  EXPECT_NE(dns.find("Table 4"), std::string::npos);
+  EXPECT_NE(dns.find("Table 5"), std::string::npos);
+  const std::string http = render_http_report(result.http);
+  EXPECT_NE(http.find("Table 6"), std::string::npos);
+  EXPECT_NE(http.find("Table 7"), std::string::npos);
+  const std::string https = render_https_report(result.https);
+  EXPECT_NE(https.find("Table 8"), std::string::npos);
+  const std::string monitoring = render_monitor_report(result.monitoring);
+  EXPECT_NE(monitoring.find("Table 9"), std::string::npos);
+  EXPECT_NE(monitoring.find("Figure 5"), std::string::npos);
+  const std::string coverage = render_coverage(result.coverage);
+  EXPECT_NE(coverage.find("Table 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tft::core

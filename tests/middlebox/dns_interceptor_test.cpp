@@ -1,0 +1,92 @@
+#include "tft/middlebox/dns_interceptor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace tft::middlebox {
+namespace {
+
+class DnsInterceptorTest : public ::testing::Test {
+ protected:
+  DnsInterceptorTest() {
+    context_.clock = &clock_;
+    context_.rng = &rng_;
+  }
+
+  dns::Message query(const char* name) {
+    return dns::Message::query(1, *dns::DnsName::parse(name));
+  }
+
+  sim::EventQueue clock_;
+  util::Rng rng_{5};
+  FetchContext context_;
+};
+
+TEST_F(DnsInterceptorTest, RewriterTurnsNxdomainIntoA) {
+  NxdomainRewriter rewriter({"dt-path-box", net::Ipv4Address(198, 51, 100, 80), 1.0, 60});
+  const auto q = query("typo.example.com");
+  const auto nxdomain = dns::Message::response_to(q, dns::Rcode::kNxDomain);
+  const auto rewritten = rewriter.on_response(q, nxdomain, context_);
+  ASSERT_TRUE(rewritten.has_value());
+  EXPECT_EQ(rewritten->flags.rcode, dns::Rcode::kNoError);
+  EXPECT_EQ(rewritten->first_a()->to_string(), "198.51.100.80");
+  EXPECT_EQ(rewritten->answers.front().ttl, 60u);
+}
+
+TEST_F(DnsInterceptorTest, RewriterIgnoresSuccessfulAnswers) {
+  NxdomainRewriter rewriter({"box", net::Ipv4Address(1, 2, 3, 4), 1.0, 60});
+  const auto q = query("real.example.com");
+  auto answer = dns::Message::response_to(q, dns::Rcode::kNoError);
+  answer.answers.push_back(
+      dns::ResourceRecord::a(q.questions[0].name, net::Ipv4Address(9, 9, 9, 9)));
+  EXPECT_FALSE(rewriter.on_response(q, answer, context_).has_value());
+  // SERVFAIL is not NXDOMAIN either.
+  const auto servfail = dns::Message::response_to(q, dns::Rcode::kServFail);
+  EXPECT_FALSE(rewriter.on_response(q, servfail, context_).has_value());
+}
+
+TEST_F(DnsInterceptorTest, RewriterProbabilityZero) {
+  NxdomainRewriter rewriter({"box", net::Ipv4Address(1, 2, 3, 4), 0.0, 60});
+  const auto q = query("typo.example.com");
+  const auto nxdomain = dns::Message::response_to(q, dns::Rcode::kNxDomain);
+  EXPECT_FALSE(rewriter.on_response(q, nxdomain, context_).has_value());
+}
+
+TEST_F(DnsInterceptorTest, TransparentProxyRedirectsResolver) {
+  const net::Ipv4Address isp_resolver(10, 0, 0, 53);
+  TransparentDnsProxy proxy("isp-box", isp_resolver);
+  EXPECT_EQ(proxy.redirect_resolver(net::Ipv4Address(8, 8, 8, 8)), isp_resolver);
+}
+
+TEST_F(DnsInterceptorTest, EffectiveResolverLastRedirectWins) {
+  DnsInterceptorList chain;
+  chain.push_back(std::make_shared<TransparentDnsProxy>("a", net::Ipv4Address(10, 0, 0, 1)));
+  chain.push_back(std::make_shared<TransparentDnsProxy>("b", net::Ipv4Address(10, 0, 0, 2)));
+  EXPECT_EQ(effective_resolver(chain, net::Ipv4Address(8, 8, 8, 8)),
+            net::Ipv4Address(10, 0, 0, 2));
+  EXPECT_EQ(effective_resolver({}, net::Ipv4Address(8, 8, 8, 8)),
+            net::Ipv4Address(8, 8, 8, 8));
+}
+
+TEST_F(DnsInterceptorTest, InterceptedResponseFirstRewriteWins) {
+  DnsInterceptorList chain;
+  chain.push_back(std::make_shared<NxdomainRewriter>(
+      NxdomainRewriter::Config{"first", net::Ipv4Address(1, 1, 1, 1), 1.0, 60}));
+  chain.push_back(std::make_shared<NxdomainRewriter>(
+      NxdomainRewriter::Config{"second", net::Ipv4Address(2, 2, 2, 2), 1.0, 60}));
+  const auto q = query("typo.example.com");
+  const auto result = intercepted_response(
+      chain, q, dns::Message::response_to(q, dns::Rcode::kNxDomain), context_);
+  EXPECT_EQ(result.first_a()->to_string(), "1.1.1.1");
+}
+
+TEST_F(DnsInterceptorTest, InterceptedResponsePassThrough) {
+  const auto q = query("x.example.com");
+  const auto nxdomain = dns::Message::response_to(q, dns::Rcode::kNxDomain);
+  const auto result = intercepted_response({}, q, nxdomain, context_);
+  EXPECT_TRUE(result.is_nxdomain());
+}
+
+}  // namespace
+}  // namespace tft::middlebox

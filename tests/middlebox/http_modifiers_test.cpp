@@ -1,0 +1,173 @@
+#include "tft/middlebox/http_modifiers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "tft/http/content.hpp"
+
+namespace tft::middlebox {
+namespace {
+
+class HttpModifiersTest : public ::testing::Test {
+ protected:
+  HttpModifiersTest() {
+    auto server = std::make_shared<http::OriginServer>("origin");
+    server->add_path_for_any_host(
+        "/page.html",
+        http::Response::make(200, "OK", http::reference_html(), "text/html"));
+    server->add_path_for_any_host(
+        "/image.simg",
+        http::Response::make(200, "OK", http::reference_image(), "image/simg"));
+    server->add_path_for_any_host(
+        "/library.js", http::Response::make(200, "OK", http::reference_javascript(),
+                                            "application/javascript"));
+    server_ = server.get();
+    registry_.add(destination_, std::move(server));
+
+    context_.client_address = net::Ipv4Address(203, 0, 113, 5);
+    context_.destination = destination_;
+    context_.clock = &clock_;
+    context_.rng = &rng_;
+    context_.web = &registry_;
+  }
+
+  http::Request request(const char* path) {
+    return http::Request::origin_get(
+        *http::Url::parse(std::string("http://probe.example") + path));
+  }
+
+  net::Ipv4Address destination_{198, 51, 100, 10};
+  http::WebServerRegistry registry_;
+  http::OriginServer* server_ = nullptr;
+  sim::EventQueue clock_;
+  util::Rng rng_{7};
+  FetchContext context_;
+};
+
+TEST_F(HttpModifiersTest, InjectBeforeBodyEnd) {
+  EXPECT_EQ(inject_before_body_end("<html><body>x</body></html>", "<ad>"),
+            "<html><body>x<ad></body></html>");
+  EXPECT_EQ(inject_before_body_end("no closing tag", "<ad>"), "no closing tag<ad>");
+}
+
+TEST_F(HttpModifiersTest, HtmlInjectorAddsSnippet) {
+  HtmlInjector injector({"adware", "<script>var oiasudoj;</script>", 1024, 1.0});
+  auto response = http::Response::make(200, "OK", http::reference_html(), "text/html");
+  const auto modified = injector.after_response(request("/page.html"), response, context_);
+  EXPECT_NE(modified.body, http::reference_html());
+  EXPECT_NE(modified.body.find("var oiasudoj"), std::string::npos);
+  EXPECT_EQ(modified.headers.get("Content-Length"),
+            std::to_string(modified.body.size()));
+}
+
+TEST_F(HttpModifiersTest, HtmlInjectorSkipsNonHtml) {
+  HtmlInjector injector({"adware", "<ad>", 0, 1.0});
+  auto js = http::Response::make(200, "OK", std::string(4096, 'j'),
+                                 "application/javascript");
+  EXPECT_EQ(injector.after_response(request("/library.js"), js, context_).body,
+            js.body);
+}
+
+TEST_F(HttpModifiersTest, HtmlInjectorSkipsSmallObjects) {
+  // §5.1: sub-1KB objects saw much less modification.
+  HtmlInjector injector({"adware", "<ad>", 1024, 1.0});
+  auto small = http::Response::make(200, "OK", "<html><body>tiny</body></html>");
+  EXPECT_EQ(injector.after_response(request("/page.html"), small, context_).body,
+            small.body);
+}
+
+TEST_F(HttpModifiersTest, HtmlInjectorSkipsErrors) {
+  HtmlInjector injector({"adware", "<ad>", 0, 1.0});
+  auto error =
+      http::Response::make(404, "Not Found", std::string(2048, 'x'), "text/html");
+  EXPECT_EQ(injector.after_response(request("/page.html"), error, context_).body,
+            error.body);
+}
+
+TEST_F(HttpModifiersTest, HtmlInjectorProbability) {
+  HtmlInjector never({"adware", "<ad>", 0, 0.0});
+  auto response = http::Response::make(200, "OK", http::reference_html(), "text/html");
+  EXPECT_EQ(never.after_response(request("/page.html"), response, context_).body,
+            http::reference_html());
+}
+
+TEST_F(HttpModifiersTest, ImageTranscoderRecompresses) {
+  ImageTranscoder transcoder({"vodafone", 53, 1.0});
+  auto response =
+      http::Response::make(200, "OK", http::reference_image(), "image/simg");
+  const auto modified =
+      transcoder.after_response(request("/image.simg"), response, context_);
+  EXPECT_LT(modified.body.size(), http::reference_image().size());
+  const auto info = http::parse_simg(modified.body);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->quality, 53);
+}
+
+TEST_F(HttpModifiersTest, ImageTranscoderIgnoresNonImages) {
+  ImageTranscoder transcoder({"vodafone", 53, 1.0});
+  auto html = http::Response::make(200, "OK", http::reference_html(), "text/html");
+  EXPECT_EQ(transcoder.after_response(request("/page.html"), html, context_).body,
+            html.body);
+}
+
+TEST_F(HttpModifiersTest, ObjectReplacerSwapsMatchingType) {
+  ObjectReplacer replacer({"js-error", "javascript", "<html>error</html>", 200});
+  auto js = http::Response::make(200, "OK", http::reference_javascript(),
+                                 "application/javascript");
+  const auto replaced = replacer.after_response(request("/library.js"), js, context_);
+  EXPECT_EQ(replaced.body, "<html>error</html>");
+  auto html = http::Response::make(200, "OK", http::reference_html(), "text/html");
+  EXPECT_EQ(replacer.after_response(request("/page.html"), html, context_).body,
+            html.body);
+}
+
+TEST_F(HttpModifiersTest, ContentBlockerShortCircuits) {
+  ContentBlocker blocker({"cap", "<html>Bandwidth exceeded</html>", 403});
+  const auto response = blocker.before_request(request("/page.html"), context_);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 403);
+}
+
+TEST_F(HttpModifiersTest, InterceptedFetchPlainPassThrough) {
+  const auto response = intercepted_fetch({}, request("/page.html"), context_);
+  EXPECT_EQ(response.body, http::reference_html());
+}
+
+TEST_F(HttpModifiersTest, InterceptedFetchAppliesChainInOrder) {
+  HttpInterceptorList chain;
+  chain.push_back(std::make_shared<HtmlInjector>(
+      HtmlInjector::Config{"a", "<!--first-->", 0, 1.0}));
+  chain.push_back(std::make_shared<HtmlInjector>(
+      HtmlInjector::Config{"b", "<!--second-->", 0, 1.0}));
+  const auto response = intercepted_fetch(chain, request("/page.html"), context_);
+  // after_response runs in reverse: "second" is injected first (closer to
+  // the origin), then "first".
+  const auto first = response.body.find("<!--first-->");
+  const auto second = response.body.find("<!--second-->");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_LT(second, first);
+}
+
+TEST_F(HttpModifiersTest, InterceptedFetchShortCircuitWins) {
+  HttpInterceptorList chain;
+  chain.push_back(std::make_shared<ContentBlocker>(
+      ContentBlocker::Config{"cap", "blocked!", 403}));
+  chain.push_back(std::make_shared<HtmlInjector>(
+      HtmlInjector::Config{"a", "<ad>", 0, 1.0}));
+  const auto response = intercepted_fetch(chain, request("/page.html"), context_);
+  EXPECT_EQ(response.status, 403);
+  EXPECT_TRUE(server_->request_log().empty());  // never reached the origin
+}
+
+TEST_F(HttpModifiersTest, RequestHoldDelaysOriginTimestamp) {
+  context_.request_hold = sim::Duration::seconds(2);
+  intercepted_fetch({}, request("/page.html"), context_);
+  ASSERT_EQ(server_->request_log().size(), 1u);
+  EXPECT_EQ(server_->request_log().front().time,
+            sim::Instant::epoch() + sim::Duration::seconds(2));
+}
+
+}  // namespace
+}  // namespace tft::middlebox

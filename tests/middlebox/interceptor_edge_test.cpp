@@ -1,0 +1,82 @@
+// Edge cases of the interception framework: default base-class behaviour,
+// context-less operation, and interceptor composition order.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "tft/middlebox/http_modifiers.hpp"
+#include "tft/middlebox/monitor.hpp"
+
+namespace tft::middlebox {
+namespace {
+
+class NamedOnlyInterceptor : public HttpInterceptor {
+ public:
+  std::string_view name() const override { return "named-only"; }
+};
+
+TEST(InterceptorEdgeTest, BaseClassDefaultsAreTransparent) {
+  NamedOnlyInterceptor interceptor;
+  FetchContext context;
+  http::Request request = http::Request::origin_get(
+      *http::Url::parse("http://x.example/"));
+  EXPECT_FALSE(interceptor.before_request(request, context).has_value());
+  http::Response response = http::Response::make(200, "OK", "body");
+  EXPECT_EQ(interceptor.after_response(request, response, context).body, "body");
+}
+
+TEST(InterceptorEdgeTest, InjectorWithoutRngStillInjects) {
+  // probability < 1 requires an RNG; with a null RNG the injector treats
+  // the response as eligible (deterministic worlds always supply one).
+  HtmlInjector injector({"adware", "<ad>", 0, 1.0});
+  FetchContext context;  // rng == nullptr
+  http::Request request = http::Request::origin_get(
+      *http::Url::parse("http://x.example/"));
+  auto response = http::Response::make(
+      200, "OK", "<html><body>content</body></html>");
+  const auto modified = injector.after_response(request, response, context);
+  EXPECT_NE(modified.body.find("<ad>"), std::string::npos);
+}
+
+TEST(InterceptorEdgeTest, MonitorWithoutEnvironmentIsInert) {
+  MonitorProfile profile;
+  profile.name = "X";
+  profile.source_addresses = {net::Ipv4Address(1, 2, 3, 4)};
+  profile.refetches = {RefetchSpec{}};
+  ContentMonitor monitor(profile);
+  FetchContext context;  // no clock / web / rng
+  http::Request request = http::Request::origin_get(
+      *http::Url::parse("http://x.example/"));
+  EXPECT_FALSE(monitor.before_request(request, context).has_value());
+}
+
+TEST(InterceptorEdgeTest, TranscoderLeavesCorruptImagesAlone) {
+  ImageTranscoder transcoder({"t", 50, 1.0});
+  FetchContext context;
+  sim::EventQueue clock;
+  util::Rng rng(1);
+  context.clock = &clock;
+  context.rng = &rng;
+  http::Request request = http::Request::origin_get(
+      *http::Url::parse("http://x.example/image.simg"));
+  auto response = http::Response::make(200, "OK", "not-actually-an-image",
+                                       "image/simg");
+  EXPECT_EQ(transcoder.after_response(request, response, context).body,
+            "not-actually-an-image");
+}
+
+TEST(InterceptorEdgeTest, InjectorHonorsMinBodyBytesBoundary) {
+  HtmlInjector injector({"adware", "<ad>", 100, 1.0});
+  FetchContext context;
+  http::Request request = http::Request::origin_get(
+      *http::Url::parse("http://x.example/"));
+  const std::string body_99(99, 'x');
+  auto small = http::Response::make(200, "OK", body_99, "text/html");
+  EXPECT_EQ(injector.after_response(request, small, context).body, body_99);
+  const std::string body_100(100, 'x');
+  auto exact = http::Response::make(200, "OK", body_100, "text/html");
+  EXPECT_NE(injector.after_response(request, exact, context).body, body_100);
+}
+
+}  // namespace
+}  // namespace tft::middlebox

@@ -1,0 +1,175 @@
+#include "tft/middlebox/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "tft/middlebox/http_modifiers.hpp"
+
+namespace tft::middlebox {
+namespace {
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  MonitorTest() {
+    auto server = std::make_shared<http::OriginServer>("measurement-web");
+    server->set_default_handler(
+        [](const http::Request&) { return http::Response::make(200, "OK", "probe"); });
+    server_ = server.get();
+    registry_.add(destination_, std::move(server));
+
+    context_.client_address = exit_address_;
+    context_.destination = destination_;
+    context_.clock = &clock_;
+    context_.rng = &rng_;
+    context_.web = &registry_;
+  }
+
+  MonitorProfile profile(std::vector<RefetchSpec> refetches,
+                         std::vector<net::Ipv4Address> sources = {
+                             net::Ipv4Address(150, 70, 1, 1),
+                             net::Ipv4Address(150, 70, 1, 2)}) {
+    MonitorProfile out;
+    out.name = "Trend Micro";
+    out.source_addresses = std::move(sources);
+    out.user_agent = "TrendMicro WRS/1.0";
+    out.refetches = std::move(refetches);
+    return out;
+  }
+
+  http::Request probe_request() {
+    return http::Request::origin_get(
+        *http::Url::parse("http://m1.probe.tft-study.net/"));
+  }
+
+  net::Ipv4Address exit_address_{203, 0, 113, 5};
+  net::Ipv4Address destination_{198, 51, 100, 10};
+  http::WebServerRegistry registry_;
+  http::OriginServer* server_ = nullptr;
+  sim::EventQueue clock_;
+  util::Rng rng_{11};
+  FetchContext context_;
+};
+
+TEST_F(MonitorTest, SchedulesDelayedRefetch) {
+  ContentMonitor monitor(profile({RefetchSpec{12, 120, 0, 0, std::nullopt}}));
+  HttpInterceptorList chain{std::make_shared<ContentMonitor>(monitor)};
+  intercepted_fetch(chain, probe_request(), context_);
+
+  ASSERT_EQ(server_->request_log().size(), 1u);  // only the node's request so far
+  clock_.run_until(sim::Instant::epoch() + sim::Duration::seconds(200));
+  ASSERT_EQ(server_->request_log().size(), 2u);
+
+  const auto& own = server_->request_log()[0];
+  const auto& refetch = server_->request_log()[1];
+  EXPECT_EQ(own.source, exit_address_);
+  EXPECT_NE(refetch.source, exit_address_);
+  EXPECT_EQ(refetch.user_agent, "TrendMicro WRS/1.0");
+  EXPECT_EQ(refetch.host, "m1.probe.tft-study.net");
+  const double delay = (refetch.time - own.time).to_seconds();
+  EXPECT_GE(delay, 12.0);
+  EXPECT_LE(delay, 120.0);
+}
+
+TEST_F(MonitorTest, TwoRefetchesTrendMicroStyle) {
+  ContentMonitor monitor(profile({RefetchSpec{12, 120, 0, 0, std::nullopt},
+                                  RefetchSpec{200, 12500, 0, 0, std::nullopt}}));
+  HttpInterceptorList chain{std::make_shared<ContentMonitor>(monitor)};
+  intercepted_fetch(chain, probe_request(), context_);
+  clock_.run_until(sim::Instant::epoch() + sim::Duration::seconds(13000));
+  EXPECT_EQ(server_->request_log().size(), 3u);
+}
+
+TEST_F(MonitorTest, FixedDelayTiscaliStyle) {
+  ContentMonitor monitor(profile({RefetchSpec{30, 30, 0, 0, std::nullopt}}));
+  HttpInterceptorList chain{std::make_shared<ContentMonitor>(monitor)};
+  intercepted_fetch(chain, probe_request(), context_);
+  clock_.run_all();
+  ASSERT_EQ(server_->request_log().size(), 2u);
+  EXPECT_DOUBLE_EQ(
+      (server_->request_log()[1].time - server_->request_log()[0].time).to_seconds(),
+      30.0);
+}
+
+TEST_F(MonitorTest, PrefetchBluecoatStyle) {
+  ContentMonitor monitor(profile({RefetchSpec{1, 30, /*prefetch=*/1.0, 0.5,
+                                              std::nullopt}}));
+  HttpInterceptorList chain{std::make_shared<ContentMonitor>(monitor)};
+  intercepted_fetch(chain, probe_request(), context_);
+  clock_.run_all();
+  ASSERT_EQ(server_->request_log().size(), 2u);
+  // The monitor's fetch is logged first; the node's own request arrives
+  // held by 0.5s — a negative observed "delay".
+  const auto& prefetch = server_->request_log()[0];
+  const auto& own = server_->request_log()[1];
+  EXPECT_NE(prefetch.source, exit_address_);
+  EXPECT_EQ(own.source, exit_address_);
+  EXPECT_DOUBLE_EQ((prefetch.time - own.time).to_seconds(), -0.5);
+}
+
+TEST_F(MonitorTest, FixedSourceIndex) {
+  RefetchSpec refetch{0.1, 0.9, 0, 0, std::optional<std::size_t>(0)};
+  ContentMonitor monitor(profile({refetch}));
+  HttpInterceptorList chain{std::make_shared<ContentMonitor>(monitor)};
+  for (int i = 0; i < 5; ++i) intercepted_fetch(chain, probe_request(), context_);
+  clock_.run_all();
+  for (std::size_t i = 0; i < server_->request_log().size(); ++i) {
+    const auto& entry = server_->request_log()[i];
+    if (entry.source != exit_address_) {
+      EXPECT_EQ(entry.source, net::Ipv4Address(150, 70, 1, 1));
+    }
+  }
+}
+
+TEST_F(MonitorTest, ProbabilityZeroMonitorsNothing) {
+  auto config = profile({RefetchSpec{1, 10, 0, 0, std::nullopt}});
+  config.probability = 0.0;
+  ContentMonitor monitor(config);
+  HttpInterceptorList chain{std::make_shared<ContentMonitor>(monitor)};
+  intercepted_fetch(chain, probe_request(), context_);
+  clock_.run_all();
+  EXPECT_EQ(server_->request_log().size(), 1u);
+}
+
+TEST_F(MonitorTest, NoSourcesMeansInert) {
+  ContentMonitor monitor(profile({RefetchSpec{1, 10, 0, 0, std::nullopt}}, {}));
+  HttpInterceptorList chain{std::make_shared<ContentMonitor>(monitor)};
+  intercepted_fetch(chain, probe_request(), context_);
+  clock_.run_all();
+  EXPECT_EQ(server_->request_log().size(), 1u);
+}
+
+TEST_F(MonitorTest, VpnEgressRewriterChangesSourceSeenByOrigin) {
+  const net::Ipv4Address egress(104, 20, 3, 9);
+  HttpInterceptorList chain{
+      std::make_shared<VpnEgressRewriter>("AnchorFree VPN",
+                                          std::vector<net::Ipv4Address>{egress})};
+  intercepted_fetch(chain, probe_request(), context_);
+  ASSERT_EQ(server_->request_log().size(), 1u);
+  EXPECT_EQ(server_->request_log()[0].source, egress);
+}
+
+TEST_F(MonitorTest, VpnThenMonitorAnchorFreeStyle) {
+  // The monitor sits behind the VPN: both the relayed request and the
+  // refetch arrive from VPN-operator addresses within a second.
+  const net::Ipv4Address egress(104, 20, 3, 9);
+  const net::Ipv4Address scanner(104, 20, 50, 1);
+  auto config = profile({RefetchSpec{0.05, 0.9, 0, 0, std::optional<std::size_t>(0)}},
+                        {scanner});
+  config.name = "AnchorFree";
+  HttpInterceptorList chain{
+      std::make_shared<VpnEgressRewriter>("AnchorFree VPN",
+                                          std::vector<net::Ipv4Address>{egress}),
+      std::make_shared<ContentMonitor>(config)};
+  intercepted_fetch(chain, probe_request(), context_);
+  clock_.run_all();
+  ASSERT_EQ(server_->request_log().size(), 2u);
+  EXPECT_EQ(server_->request_log()[0].source, egress);
+  EXPECT_EQ(server_->request_log()[1].source, scanner);
+  EXPECT_LT(
+      (server_->request_log()[1].time - server_->request_log()[0].time).to_seconds(),
+      1.0);
+}
+
+}  // namespace
+}  // namespace tft::middlebox

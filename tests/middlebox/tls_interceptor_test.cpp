@@ -1,0 +1,148 @@
+#include "tft/middlebox/tls_interceptor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace tft::middlebox {
+namespace {
+
+class TlsInterceptorTest : public ::testing::Test {
+ protected:
+  TlsInterceptorTest()
+      : root_(tls::CertificateAuthority::make_root(
+            {"Public Root", "Trust", "US"}, 100,
+            sim::Instant::epoch() - sim::Duration::hours(24),
+            sim::Instant::epoch() + sim::Duration::hours(24 * 3650))) {
+    roots_.add(root_.certificate());
+    context_.clock = &clock_;
+    context_.rng = &rng_;
+  }
+
+  tls::CertificateChain valid_chain(const std::string& host) {
+    tls::CertificateAuthority::LeafOptions options;
+    options.hosts = {host};
+    return root_.chain_for(root_.issue(options));
+  }
+
+  tls::CertificateChain expired_chain(const std::string& host) {
+    tls::CertificateAuthority::LeafOptions options;
+    options.hosts = {host};
+    options.not_before = sim::Instant::epoch() - sim::Duration::hours(48);
+    options.not_after = sim::Instant::epoch() - sim::Duration::hours(24);
+    return root_.chain_for(root_.issue(options));
+  }
+
+  CertReplacer::Config av_config(const std::string& name = "Kaspersky") {
+    CertReplacer::Config config;
+    config.name = name;
+    config.forge.issuer = {name + " Root", name, "US"};
+    config.forge.signing_key = 4242;
+    config.forge.reuse_public_key = true;
+    return config;
+  }
+
+  tls::CertificateAuthority root_;
+  tls::RootStore roots_;
+  sim::EventQueue clock_;
+  util::Rng rng_{3};
+  FetchContext context_;
+};
+
+TEST_F(TlsInterceptorTest, ReplacesLeafWithForgedOne) {
+  CertReplacer replacer(av_config(), 1);
+  const auto upstream = valid_chain("bank.example.com");
+  const auto replaced = replacer.intercept("bank.example.com", upstream, context_);
+  ASSERT_TRUE(replaced.has_value());
+  ASSERT_EQ(replaced->size(), 1u);
+  EXPECT_EQ(replaced->front().issuer.common_name, "Kaspersky Root");
+  EXPECT_NE(replaced->front().fingerprint(), upstream.front().fingerprint());
+  EXPECT_TRUE(replaced->front().matches_host("bank.example.com"));
+}
+
+TEST_F(TlsInterceptorTest, EmptyUpstreamPassesThrough) {
+  CertReplacer replacer(av_config(), 1);
+  EXPECT_FALSE(replacer.intercept("x", {}, context_).has_value());
+}
+
+TEST_F(TlsInterceptorTest, BlockedHostListRestrictsScope) {
+  auto config = av_config("OpenDNS");
+  config.only_hosts = {"blocked.example.com"};
+  CertReplacer replacer(config, 1);
+  EXPECT_TRUE(replacer.intercept("Blocked.Example.COM",
+                                 valid_chain("blocked.example.com"), context_)
+                  .has_value());
+  EXPECT_FALSE(replacer.intercept("free.example.com", valid_chain("free.example.com"),
+                                  context_)
+                   .has_value());
+}
+
+TEST_F(TlsInterceptorTest, OnlyIfUpstreamValidSkipsInvalid) {
+  auto config = av_config("OpenDNS");
+  config.only_if_upstream_valid = true;
+  config.public_roots = &roots_;
+  CertReplacer replacer(config, 1);
+  EXPECT_TRUE(replacer.intercept("a.example.com", valid_chain("a.example.com"),
+                                 context_)
+                  .has_value());
+  EXPECT_FALSE(replacer.intercept("a.example.com", expired_chain("a.example.com"),
+                                  context_)
+                   .has_value());
+}
+
+TEST_F(TlsInterceptorTest, UntrustedIssuerForInvalidUpstream) {
+  auto config = av_config("Avast");
+  config.forge.untrusted_issuer =
+      tls::DistinguishedName{"Avast untrusted root", "Avast", "CZ"};
+  config.public_roots = &roots_;
+  CertReplacer replacer(config, 1);
+  const auto valid = replacer.intercept("a.example.com", valid_chain("a.example.com"),
+                                        context_);
+  const auto invalid = replacer.intercept("a.example.com",
+                                          expired_chain("a.example.com"), context_);
+  ASSERT_TRUE(valid && invalid);
+  EXPECT_EQ(valid->front().issuer.common_name, "Avast Root");
+  EXPECT_EQ(invalid->front().issuer.common_name, "Avast untrusted root");
+}
+
+TEST_F(TlsInterceptorTest, SameHostSeedReusesKeyAcrossSites) {
+  CertReplacer replacer(av_config(), /*host_seed=*/77);
+  const auto a = replacer.intercept("a.example.com", valid_chain("a.example.com"),
+                                    context_);
+  const auto b = replacer.intercept("b.example.com", valid_chain("b.example.com"),
+                                    context_);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->front().public_key, b->front().public_key);
+
+  CertReplacer other_host(av_config(), /*host_seed=*/78);
+  const auto c = other_host.intercept("a.example.com", valid_chain("a.example.com"),
+                                      context_);
+  EXPECT_NE(a->front().public_key, c->front().public_key);
+}
+
+TEST_F(TlsInterceptorTest, ProbabilityZeroNeverIntercepts) {
+  auto config = av_config();
+  config.probability = 0.0;
+  CertReplacer replacer(config, 1);
+  EXPECT_FALSE(replacer.intercept("a.example.com", valid_chain("a.example.com"),
+                                  context_)
+                   .has_value());
+}
+
+TEST_F(TlsInterceptorTest, InterceptedChainFirstReplacerWins) {
+  TlsInterceptorList chain;
+  chain.push_back(std::make_shared<CertReplacer>(av_config("First"), 1));
+  chain.push_back(std::make_shared<CertReplacer>(av_config("Second"), 1));
+  const auto result = intercepted_chain(chain, "a.example.com",
+                                        valid_chain("a.example.com"), context_);
+  EXPECT_EQ(result.front().issuer.common_name, "First Root");
+}
+
+TEST_F(TlsInterceptorTest, InterceptedChainPassThroughWhenEmpty) {
+  const auto upstream = valid_chain("a.example.com");
+  const auto result = intercepted_chain({}, "a.example.com", upstream, context_);
+  EXPECT_EQ(result.front().fingerprint(), upstream.front().fingerprint());
+}
+
+}  // namespace
+}  // namespace tft::middlebox

@@ -1,0 +1,108 @@
+#include "tft/net/ipv4.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tft::net {
+namespace {
+
+TEST(Ipv4AddressTest, ParseAndFormat) {
+  const auto addr = Ipv4Address::parse("192.168.1.200");
+  ASSERT_TRUE(addr.ok());
+  EXPECT_EQ(addr->to_string(), "192.168.1.200");
+  EXPECT_EQ(addr->value(), 0xC0A801C8u);
+}
+
+TEST(Ipv4AddressTest, OctetConstructor) {
+  constexpr Ipv4Address addr(8, 8, 8, 8);
+  EXPECT_EQ(addr.value(), 0x08080808u);
+  EXPECT_EQ(addr.to_string(), "8.8.8.8");
+}
+
+struct BadAddressCase {
+  const char* text;
+};
+
+class Ipv4ParseRejectTest : public ::testing::TestWithParam<BadAddressCase> {};
+
+TEST_P(Ipv4ParseRejectTest, Rejects) {
+  EXPECT_FALSE(Ipv4Address::parse(GetParam().text).ok()) << GetParam().text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadAddresses, Ipv4ParseRejectTest,
+    ::testing::Values(BadAddressCase{""}, BadAddressCase{"1.2.3"},
+                      BadAddressCase{"1.2.3.4.5"}, BadAddressCase{"256.1.1.1"},
+                      BadAddressCase{"1.2.3.x"}, BadAddressCase{"1..3.4"},
+                      BadAddressCase{" 1.2.3.4"}, BadAddressCase{"1.2.3.4 "},
+                      BadAddressCase{"-1.2.3.4"}));
+
+TEST(Ipv4AddressTest, Ordering) {
+  EXPECT_LT(Ipv4Address(1, 0, 0, 0), Ipv4Address(2, 0, 0, 0));
+  EXPECT_EQ(Ipv4Address(1, 2, 3, 4), *Ipv4Address::parse("1.2.3.4"));
+}
+
+TEST(Ipv4PrefixTest, MakeZeroesHostBits) {
+  const auto prefix = Ipv4Prefix::make(Ipv4Address(10, 1, 2, 3), 8);
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_EQ(prefix->to_string(), "10.0.0.0/8");
+  EXPECT_EQ(prefix->size(), 1u << 24);
+}
+
+TEST(Ipv4PrefixTest, ParseRoundTrip) {
+  const auto prefix = Ipv4Prefix::parse("74.125.0.0/16");
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_EQ(prefix->to_string(), "74.125.0.0/16");
+  EXPECT_TRUE(prefix->contains(Ipv4Address(74, 125, 3, 9)));
+  EXPECT_FALSE(prefix->contains(Ipv4Address(74, 126, 0, 0)));
+}
+
+TEST(Ipv4PrefixTest, RejectsBadInput) {
+  EXPECT_FALSE(Ipv4Prefix::parse("1.2.3.4").ok());
+  EXPECT_FALSE(Ipv4Prefix::parse("1.2.3.4/33").ok());
+  EXPECT_FALSE(Ipv4Prefix::parse("1.2.3.4/-1").ok());
+  EXPECT_FALSE(Ipv4Prefix::parse("bad/8").ok());
+  EXPECT_FALSE(Ipv4Prefix::make(Ipv4Address(0), 33).ok());
+}
+
+TEST(Ipv4PrefixTest, SlashZeroCoversEverything) {
+  const auto prefix = Ipv4Prefix::parse("0.0.0.0/0");
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_TRUE(prefix->contains(Ipv4Address(255, 255, 255, 255)));
+  EXPECT_TRUE(prefix->contains(Ipv4Address(0)));
+  EXPECT_EQ(prefix->size(), std::uint64_t{1} << 32);
+}
+
+TEST(Ipv4PrefixTest, Slash32IsSingleHost) {
+  const auto prefix = Ipv4Prefix::make(Ipv4Address(5, 6, 7, 8), 32);
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_EQ(prefix->size(), 1u);
+  EXPECT_TRUE(prefix->contains(Ipv4Address(5, 6, 7, 8)));
+  EXPECT_FALSE(prefix->contains(Ipv4Address(5, 6, 7, 9)));
+}
+
+TEST(Ipv4PrefixTest, HostIndexing) {
+  const auto prefix = *Ipv4Prefix::parse("10.0.0.0/30");
+  EXPECT_EQ(prefix.host(0)->to_string(), "10.0.0.0");
+  EXPECT_EQ(prefix.host(3)->to_string(), "10.0.0.3");
+  EXPECT_FALSE(prefix.host(4).ok());
+}
+
+class PrefixContainsSweep
+    : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefixContainsSweep, NetworkAndBroadcastInside) {
+  const int length = GetParam();
+  const auto prefix = *Ipv4Prefix::make(Ipv4Address(172, 16, 33, 7), length);
+  EXPECT_TRUE(prefix.contains(prefix.network()));
+  const auto last = *prefix.host(prefix.size() - 1);
+  EXPECT_TRUE(prefix.contains(last));
+  if (length > 0) {
+    EXPECT_FALSE(prefix.contains(Ipv4Address(prefix.network().value() - 1)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, PrefixContainsSweep,
+                         ::testing::Values(1, 4, 8, 12, 16, 20, 24, 28, 31, 32));
+
+}  // namespace
+}  // namespace tft::net

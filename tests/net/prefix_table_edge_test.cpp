@@ -1,0 +1,40 @@
+#include <gtest/gtest.h>
+
+#include "tft/net/prefix_table.hpp"
+
+namespace tft::net {
+namespace {
+
+TEST(PrefixTableEdgeTest, DefaultRouteEntryReported) {
+  PrefixTable<int> table;
+  table.insert(*Ipv4Prefix::parse("0.0.0.0/0"), 7);
+  const auto entry = table.lookup_entry(Ipv4Address(9, 9, 9, 9));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->first.length(), 0);
+  EXPECT_EQ(entry->second, 7);
+}
+
+TEST(PrefixTableEdgeTest, LookupEntryNoneWhenEmpty) {
+  PrefixTable<int> table;
+  EXPECT_FALSE(table.lookup_entry(Ipv4Address(1, 2, 3, 4)).has_value());
+}
+
+TEST(PrefixTableEdgeTest, AdjacentSlash32Entries) {
+  PrefixTable<int> table;
+  for (std::uint8_t i = 0; i < 8; ++i) {
+    table.insert(*Ipv4Prefix::make(Ipv4Address(10, 0, 0, i), 32), i);
+  }
+  for (std::uint8_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(table.lookup(Ipv4Address(10, 0, 0, i)), i);
+  }
+  EXPECT_FALSE(table.lookup(Ipv4Address(10, 0, 0, 8)).has_value());
+}
+
+TEST(PrefixTableEdgeTest, StringValues) {
+  PrefixTable<std::string> table;
+  table.insert(*Ipv4Prefix::parse("8.8.8.0/24"), "google");
+  EXPECT_EQ(table.lookup(Ipv4Address(8, 8, 8, 8)), "google");
+}
+
+}  // namespace
+}  // namespace tft::net

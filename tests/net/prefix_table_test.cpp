@@ -1,0 +1,99 @@
+#include "tft/net/prefix_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tft/util/rng.hpp"
+
+namespace tft::net {
+namespace {
+
+TEST(PrefixTableTest, EmptyTableReturnsNothing) {
+  PrefixTable<int> table;
+  EXPECT_FALSE(table.lookup(Ipv4Address(1, 2, 3, 4)).has_value());
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(PrefixTableTest, ExactAndCoveringLookup) {
+  PrefixTable<int> table;
+  table.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 1);
+  EXPECT_EQ(table.lookup(Ipv4Address(10, 200, 3, 4)), 1);
+  EXPECT_FALSE(table.lookup(Ipv4Address(11, 0, 0, 0)).has_value());
+}
+
+TEST(PrefixTableTest, LongestPrefixWins) {
+  PrefixTable<int> table;
+  table.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 1);
+  table.insert(*Ipv4Prefix::parse("10.1.0.0/16"), 2);
+  table.insert(*Ipv4Prefix::parse("10.1.2.0/24"), 3);
+  EXPECT_EQ(table.lookup(Ipv4Address(10, 9, 9, 9)), 1);
+  EXPECT_EQ(table.lookup(Ipv4Address(10, 1, 9, 9)), 2);
+  EXPECT_EQ(table.lookup(Ipv4Address(10, 1, 2, 9)), 3);
+}
+
+TEST(PrefixTableTest, DefaultRouteMatchesAll) {
+  PrefixTable<int> table;
+  table.insert(*Ipv4Prefix::parse("0.0.0.0/0"), 42);
+  EXPECT_EQ(table.lookup(Ipv4Address(255, 1, 2, 3)), 42);
+}
+
+TEST(PrefixTableTest, InsertOverwritesExactDuplicate) {
+  PrefixTable<int> table;
+  table.insert(*Ipv4Prefix::parse("192.168.0.0/16"), 1);
+  table.insert(*Ipv4Prefix::parse("192.168.0.0/16"), 2);
+  EXPECT_EQ(table.lookup(Ipv4Address(192, 168, 1, 1)), 2);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(PrefixTableTest, Slash32Entries) {
+  PrefixTable<int> table;
+  table.insert(*Ipv4Prefix::parse("1.1.1.1/32"), 7);
+  EXPECT_EQ(table.lookup(Ipv4Address(1, 1, 1, 1)), 7);
+  EXPECT_FALSE(table.lookup(Ipv4Address(1, 1, 1, 2)).has_value());
+}
+
+TEST(PrefixTableTest, LookupEntryReportsMatchedPrefix) {
+  PrefixTable<int> table;
+  table.insert(*Ipv4Prefix::parse("10.0.0.0/8"), 1);
+  table.insert(*Ipv4Prefix::parse("10.64.0.0/10"), 2);
+  const auto entry = table.lookup_entry(Ipv4Address(10, 65, 0, 1));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->first.to_string(), "10.64.0.0/10");
+  EXPECT_EQ(entry->second, 2);
+}
+
+TEST(PrefixTableTest, RandomizedAgainstLinearScan) {
+  util::Rng rng(1234);
+  PrefixTable<int> table;
+  std::vector<std::pair<Ipv4Prefix, int>> entries;
+  for (int i = 0; i < 300; ++i) {
+    const auto address = Ipv4Address(static_cast<std::uint32_t>(rng.next_u64()));
+    const int length = static_cast<int>(rng.uniform(33));
+    const auto prefix = *Ipv4Prefix::make(address, length);
+    // Skip exact duplicates to keep the reference model simple.
+    bool duplicate = false;
+    for (auto& [p, v] : entries) {
+      if (p == prefix) {
+        v = i;
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) entries.emplace_back(prefix, i);
+    table.insert(prefix, i);
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const auto probe = Ipv4Address(static_cast<std::uint32_t>(rng.next_u64()));
+    std::optional<int> expected;
+    int best_length = -1;
+    for (const auto& [prefix, value] : entries) {
+      if (prefix.contains(probe) && prefix.length() > best_length) {
+        best_length = prefix.length();
+        expected = value;
+      }
+    }
+    EXPECT_EQ(table.lookup(probe), expected) << probe.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace tft::net

@@ -1,0 +1,82 @@
+#include "tft/net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tft::net {
+namespace {
+
+class TopologyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telekom_ = db_.add_organization("Deutsche Telekom AG", "DE", OrgKind::kBroadbandIsp);
+    google_ = db_.add_organization("Google", "US", OrgKind::kPublicDnsOperator);
+    db_.add_as(3320, telekom_);
+    db_.add_as(15169, google_);
+    db_.announce(*Ipv4Prefix::parse("91.0.0.0/10"), 3320);
+    db_.announce(*Ipv4Prefix::parse("8.8.8.0/24"), 15169);
+  }
+
+  AsOrgDb db_;
+  OrgId telekom_ = 0;
+  OrgId google_ = 0;
+};
+
+TEST_F(TopologyTest, OriginAsLookup) {
+  EXPECT_EQ(db_.origin_as(Ipv4Address(91, 20, 30, 40)), 3320u);
+  EXPECT_EQ(db_.origin_as(Ipv4Address(8, 8, 8, 8)), 15169u);
+  EXPECT_FALSE(db_.origin_as(Ipv4Address(1, 2, 3, 4)).has_value());
+}
+
+TEST_F(TopologyTest, OrgAndCountry) {
+  EXPECT_EQ(db_.org_of(3320), telekom_);
+  EXPECT_EQ(db_.country_of(3320), "DE");
+  EXPECT_EQ(db_.country_of(15169), "US");
+  EXPECT_FALSE(db_.org_of(65000).has_value());
+  EXPECT_FALSE(db_.country_of(65000).has_value());
+}
+
+TEST_F(TopologyTest, OrganizationOfAddress) {
+  const Organization* org = db_.organization_of(Ipv4Address(91, 1, 1, 1));
+  ASSERT_NE(org, nullptr);
+  EXPECT_EQ(org->name, "Deutsche Telekom AG");
+  EXPECT_EQ(org->kind, OrgKind::kBroadbandIsp);
+  EXPECT_EQ(db_.organization_of(Ipv4Address(203, 0, 113, 1)), nullptr);
+}
+
+TEST_F(TopologyTest, SameOrganizationAcrossAses) {
+  // One ISP operating multiple ASes, as CAIDA's dataset models.
+  db_.add_as(3321, telekom_);
+  db_.announce(*Ipv4Prefix::parse("217.0.0.0/13"), 3321);
+  EXPECT_TRUE(db_.same_organization(Ipv4Address(91, 1, 1, 1), Ipv4Address(217, 1, 1, 1)));
+  EXPECT_FALSE(db_.same_organization(Ipv4Address(91, 1, 1, 1), Ipv4Address(8, 8, 8, 8)));
+  EXPECT_FALSE(db_.same_organization(Ipv4Address(91, 1, 1, 1), Ipv4Address(1, 2, 3, 4)));
+}
+
+TEST_F(TopologyTest, AllAsnsSorted) {
+  db_.add_as(100, telekom_);
+  const auto asns = db_.all_asns();
+  ASSERT_EQ(asns.size(), 3u);
+  EXPECT_EQ(asns[0], 100u);
+  EXPECT_EQ(asns[1], 3320u);
+  EXPECT_EQ(asns[2], 15169u);
+}
+
+TEST_F(TopologyTest, Counts) {
+  EXPECT_EQ(db_.organization_count(), 2u);
+  EXPECT_EQ(db_.as_count(), 2u);
+  EXPECT_EQ(db_.announced_prefix_count(), 2u);
+}
+
+TEST(OrgKindTest, Names) {
+  EXPECT_EQ(to_string(OrgKind::kMobileIsp), "mobile_isp");
+  EXPECT_EQ(to_string(OrgKind::kSecurityVendor), "security_vendor");
+}
+
+TEST(TopologyEdgeTest, OrganizationOutOfRange) {
+  AsOrgDb db;
+  EXPECT_EQ(db.organization(0), nullptr);
+  EXPECT_EQ(db.organization(99), nullptr);
+}
+
+}  // namespace
+}  // namespace tft::net

@@ -1,0 +1,314 @@
+// Property tests: randomized encode/decode roundtrips and mutation fuzzing
+// for every wire codec in the library. Decoders must never crash; they
+// either produce a value or a clean error.
+#include <gtest/gtest.h>
+
+#include "tft/dns/codec.hpp"
+#include "tft/http/content.hpp"
+#include "tft/http/message.hpp"
+#include "tft/smtp/protocol.hpp"
+#include "tft/tls/codec.hpp"
+#include "tft/util/rng.hpp"
+
+namespace tft {
+namespace {
+
+using util::Rng;
+
+std::string random_label(Rng& rng) {
+  static constexpr std::string_view kChars =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_";
+  const std::size_t length = 1 + rng.index(12);
+  std::string out;
+  for (std::size_t i = 0; i < length; ++i) out += kChars[rng.index(kChars.size())];
+  return out;
+}
+
+dns::DnsName random_name(Rng& rng) {
+  std::vector<std::string> labels;
+  const std::size_t count = 1 + rng.index(5);
+  for (std::size_t i = 0; i < count; ++i) labels.push_back(random_label(rng));
+  return *dns::DnsName::from_labels(std::move(labels));
+}
+
+dns::Message random_dns_message(Rng& rng) {
+  auto message = dns::Message::query(
+      static_cast<std::uint16_t>(rng.next_u64() & 0xFFFF), random_name(rng),
+      rng.chance(0.5) ? dns::RecordType::kA : dns::RecordType::kTxt);
+  if (rng.chance(0.7)) {
+    message.flags.response = true;
+    message.flags.rcode = rng.chance(0.3) ? dns::Rcode::kNxDomain
+                                          : dns::Rcode::kNoError;
+    const std::size_t answers = rng.index(4);
+    for (std::size_t i = 0; i < answers; ++i) {
+      // Re-use the question name half the time to exercise compression.
+      const dns::DnsName name =
+          rng.chance(0.5) ? message.questions[0].name : random_name(rng);
+      switch (rng.index(3)) {
+        case 0:
+          message.answers.push_back(dns::ResourceRecord::a(
+              name, net::Ipv4Address(static_cast<std::uint32_t>(rng.next_u64())),
+              static_cast<std::uint32_t>(rng.uniform(100000))));
+          break;
+        case 1:
+          message.answers.push_back(dns::ResourceRecord::cname(name, random_name(rng)));
+          break;
+        default: {
+          std::string text;
+          const std::size_t text_length = rng.index(600);
+          for (std::size_t j = 0; j < text_length; ++j) {
+            text += static_cast<char>('a' + rng.index(26));
+          }
+          message.answers.push_back(dns::ResourceRecord::txt(name, text));
+        }
+      }
+    }
+    if (rng.chance(0.3)) {
+      message.authorities.push_back(
+          dns::ResourceRecord::cname(random_name(rng), message.questions[0].name));
+    }
+  }
+  return message;
+}
+
+void expect_records_equal(const std::vector<dns::ResourceRecord>& a,
+                          const std::vector<dns::ResourceRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].name.equals(b[i].name));
+    EXPECT_EQ(a[i].type, b[i].type);
+    EXPECT_EQ(a[i].ttl, b[i].ttl);
+    EXPECT_EQ(a[i].rdata, b[i].rdata);
+  }
+}
+
+TEST(DnsRoundTripProperty, RandomMessagesSurviveEncodeDecode) {
+  Rng rng(0xD15);
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    const dns::Message original = random_dns_message(rng);
+    const std::string wire = dns::encode(original);
+    const auto decoded = dns::decode(wire);
+    ASSERT_TRUE(decoded.ok()) << "iteration " << iteration << ": "
+                              << decoded.error().to_string();
+    EXPECT_EQ(decoded->id, original.id);
+    EXPECT_EQ(decoded->flags.response, original.flags.response);
+    EXPECT_EQ(decoded->flags.rcode, original.flags.rcode);
+    ASSERT_EQ(decoded->questions.size(), original.questions.size());
+    EXPECT_TRUE(decoded->questions[0].name.equals(original.questions[0].name));
+    expect_records_equal(decoded->answers, original.answers);
+    expect_records_equal(decoded->authorities, original.authorities);
+  }
+}
+
+TEST(DnsFuzzProperty, MutatedWireNeverCrashes) {
+  Rng rng(0xF22);
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    std::string wire = dns::encode(random_dns_message(rng));
+    const std::size_t flips = 1 + rng.index(8);
+    for (std::size_t i = 0; i < flips && !wire.empty(); ++i) {
+      wire[rng.index(wire.size())] = static_cast<char>(rng.next_u64() & 0xFF);
+    }
+    const auto decoded = dns::decode(wire);  // ok or clean error; no crash
+    (void)decoded;
+  }
+}
+
+TEST(DnsFuzzProperty, RandomBytesNeverCrash) {
+  Rng rng(0xF23);
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    std::string garbage;
+    const std::size_t length = rng.index(200);
+    for (std::size_t i = 0; i < length; ++i) {
+      garbage += static_cast<char>(rng.next_u64() & 0xFF);
+    }
+    (void)dns::decode(garbage);
+  }
+}
+
+std::string random_token(Rng& rng) {
+  static constexpr std::string_view kChars =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-";
+  std::string out;
+  const std::size_t length = 1 + rng.index(10);
+  for (std::size_t i = 0; i < length; ++i) out += kChars[rng.index(kChars.size())];
+  return out;
+}
+
+TEST(HttpRoundTripProperty, RandomResponsesSurvive) {
+  Rng rng(0x477);
+  for (int iteration = 0; iteration < 300; ++iteration) {
+    http::Response original;
+    original.status = 100 + static_cast<int>(rng.uniform(500));
+    original.reason = "Reason " + random_token(rng);
+    const std::size_t header_count = rng.index(6);
+    for (std::size_t i = 0; i < header_count; ++i) {
+      original.headers.add("X-" + random_token(rng), random_token(rng));
+    }
+    const std::size_t body_length = rng.index(2000);
+    for (std::size_t i = 0; i < body_length; ++i) {
+      original.body += static_cast<char>(rng.next_u64() & 0xFF);
+    }
+
+    const bool chunked = rng.chance(0.5);
+    const std::string wire =
+        chunked ? original.serialize_chunked(1 + rng.index(300))
+                : original.serialize();
+    const auto decoded = http::Response::parse(wire);
+    ASSERT_TRUE(decoded.ok()) << iteration << ": " << decoded.error().to_string();
+    EXPECT_EQ(decoded->status, original.status);
+    EXPECT_EQ(decoded->reason, original.reason);
+    EXPECT_EQ(decoded->body, original.body);
+    for (const auto& entry : original.headers.entries()) {
+      EXPECT_EQ(decoded->headers.get(entry.name), entry.value);
+    }
+  }
+}
+
+TEST(HttpFuzzProperty, MutatedResponsesNeverCrash) {
+  Rng rng(0x478);
+  const http::Response base =
+      http::Response::make(200, "OK", http::reference_css(), "text/css");
+  for (int iteration = 0; iteration < 400; ++iteration) {
+    std::string wire =
+        rng.chance(0.5) ? base.serialize() : base.serialize_chunked(64);
+    const std::size_t flips = 1 + rng.index(10);
+    for (std::size_t i = 0; i < flips; ++i) {
+      wire[rng.index(wire.size())] = static_cast<char>(rng.next_u64() & 0xFF);
+    }
+    (void)http::Response::parse(wire);
+    (void)http::Request::parse(wire);
+  }
+}
+
+TEST(SmtpRoundTripProperty, RandomRepliesSurvive) {
+  Rng rng(0x255);
+  for (int iteration = 0; iteration < 400; ++iteration) {
+    smtp::Reply original;
+    original.code = 200 + static_cast<int>(rng.uniform(355));
+    const std::size_t line_count = 1 + rng.index(5);
+    for (std::size_t i = 0; i < line_count; ++i) {
+      original.lines.push_back(rng.chance(0.2) ? "" : random_token(rng));
+    }
+    const auto decoded = smtp::Reply::parse(original.serialize());
+    ASSERT_TRUE(decoded.ok()) << iteration;
+    EXPECT_EQ(decoded->code, original.code);
+    EXPECT_EQ(decoded->lines, original.lines);
+  }
+}
+
+TEST(SmtpFuzzProperty, RandomReplyBytesNeverCrash) {
+  Rng rng(0x256);
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    std::string garbage;
+    const std::size_t length = rng.index(120);
+    for (std::size_t i = 0; i < length; ++i) {
+      garbage += static_cast<char>(rng.next_u64() & 0xFF);
+    }
+    (void)smtp::Reply::parse(garbage);
+    (void)smtp::Command::parse(garbage);
+  }
+}
+
+tls::Certificate random_certificate(Rng& rng) {
+  tls::Certificate certificate;
+  certificate.subject = {random_token(rng), random_token(rng), "US"};
+  certificate.issuer = {random_token(rng), random_token(rng), "DE"};
+  certificate.serial = rng.next_u64();
+  certificate.not_before =
+      sim::Instant{static_cast<std::int64_t>(rng.next_u64() % (1LL << 50)) -
+                   (1LL << 49)};
+  certificate.not_after =
+      certificate.not_before + sim::Duration::hours(1 + rng.index(100000));
+  const std::size_t sans = rng.index(5);
+  for (std::size_t i = 0; i < sans; ++i) {
+    certificate.subject_alt_names.push_back(random_token(rng) + ".example.com");
+  }
+  certificate.public_key = rng.next_u64();
+  certificate.signed_by = rng.next_u64();
+  certificate.is_ca = rng.chance(0.2);
+  return certificate;
+}
+
+TEST(TlsCodecProperty, RandomChainsSurvive) {
+  Rng rng(0x715);
+  for (int iteration = 0; iteration < 300; ++iteration) {
+    tls::CertificateChain original;
+    const std::size_t length = rng.index(5);
+    for (std::size_t i = 0; i < length; ++i) {
+      original.push_back(random_certificate(rng));
+    }
+    const auto decoded = tls::decode_chain(tls::encode_chain(original));
+    ASSERT_TRUE(decoded.ok()) << iteration;
+    ASSERT_EQ(decoded->size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+      EXPECT_EQ((*decoded)[i], original[i]);
+    }
+  }
+}
+
+TEST(TlsCodecProperty, MutatedChainsNeverCrash) {
+  Rng rng(0x716);
+  for (int iteration = 0; iteration < 300; ++iteration) {
+    std::string wire = tls::encode_chain({random_certificate(rng)});
+    const std::size_t flips = 1 + rng.index(6);
+    for (std::size_t i = 0; i < flips; ++i) {
+      wire[rng.index(wire.size())] = static_cast<char>(rng.next_u64() & 0xFF);
+    }
+    (void)tls::decode_chain(wire);
+  }
+}
+
+TEST(SimgProperty, RandomTranscodesPreserveInvariants) {
+  Rng rng(0x519);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const auto quality = static_cast<std::uint8_t>(1 + rng.index(100));
+    const auto payload = static_cast<std::uint32_t>(rng.index(50000));
+    const std::string image = http::make_simg(
+        static_cast<std::uint16_t>(1 + rng.index(4000)),
+        static_cast<std::uint16_t>(1 + rng.index(4000)), quality, payload,
+        rng.next_u64());
+    ASSERT_TRUE(http::parse_simg(image).ok());
+
+    const auto target = static_cast<std::uint8_t>(1 + rng.index(100));
+    const auto transcoded = http::transcode_simg(image, target);
+    ASSERT_TRUE(transcoded.ok());
+    const auto info = http::parse_simg(*transcoded);
+    ASSERT_TRUE(info.ok());
+    // Transcoding never grows an image and never produces invalid quality.
+    EXPECT_LE(transcoded->size(), image.size());
+    EXPECT_GE(info->quality, 1);
+    EXPECT_LE(info->quality, 100);
+    if (target >= quality) {
+      EXPECT_EQ(*transcoded, image);  // cannot add information
+    } else {
+      EXPECT_EQ(info->quality, target);
+    }
+  }
+}
+
+TEST(UrlProperty, ExtractedUrlsAlwaysReparse) {
+  // Every URL the scanner extracts must itself parse as a URL.
+  Rng rng(0x321);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    std::string soup;
+    const std::size_t pieces = 1 + rng.index(8);
+    for (std::size_t i = 0; i < pieces; ++i) {
+      switch (rng.index(3)) {
+        case 0:
+          soup += " http://" + random_token(rng) + ".example/" + random_token(rng);
+          break;
+        case 1:
+          soup += " https://" + random_token(rng) + ".example.org";
+          break;
+        default:
+          soup += " " + random_token(rng) + " http:/broken httpx://no";
+      }
+    }
+    for (const auto& url : http::extract_urls(soup)) {
+      EXPECT_TRUE(http::Url::parse(url).ok()) << url;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tft

@@ -1,0 +1,111 @@
+// §3.4 ethics guardrail: per-exit-node byte budgets. The paper never
+// downloaded more than 1 MB through any node; the overlay model enforces
+// the same cap and the study-level test checks compliance end to end.
+#include <gtest/gtest.h>
+
+#include "tft/core/study.hpp"
+#include "tft/world/world.hpp"
+
+namespace tft::proxy {
+namespace {
+
+class ByteBudgetTest : public ::testing::Test {
+ protected:
+  ByteBudgetTest() {
+    auto zone = std::make_shared<dns::AuthoritativeServer>(*dns::DnsName::parse("z.net"));
+    zone->add_wildcard_a(*dns::DnsName::parse("z.net"), web_address_);
+    authorities_.register_zone(std::move(zone));
+    auto google = std::make_shared<dns::AnycastResolverGroup>(
+        net::Ipv4Address(8, 8, 8, 8), "google");
+    google->add_instance(std::make_shared<dns::RecursiveResolver>(
+        net::Ipv4Address(8, 8, 8, 8), net::Ipv4Address(74, 125, 1, 1), &authorities_,
+        &clock_));
+    resolvers_.add_anycast(std::move(google));
+    auto server = std::make_shared<http::OriginServer>("w");
+    server->set_default_handler([](const http::Request&) {
+      return http::Response::make(200, "OK", std::string(1000, 'x'));  // 1 KB bodies
+    });
+    web_.add(web_address_, std::move(server));
+    environment_ = Environment{&resolvers_, &web_, &tls_, &smtp_, &clock_, &topology_};
+  }
+
+  SuperProxy make_proxy(std::size_t budget) {
+    SuperProxy::Config config;
+    config.per_node_byte_budget = budget;
+    SuperProxy proxy(config, environment_);
+    ExitNodeAgent::Config node;
+    node.zid = "only-node";
+    node.address = net::Ipv4Address(203, 0, 113, 1);
+    node.country = "US";
+    node.dns_resolver = net::Ipv4Address(8, 8, 8, 8);
+    proxy.add_exit_node(std::make_shared<ExitNodeAgent>(std::move(node), environment_));
+    return proxy;
+  }
+
+  http::Url url(int i) {
+    return *http::Url::parse("http://h" + std::to_string(i) + ".z.net/");
+  }
+
+  net::Ipv4Address web_address_{198, 51, 100, 10};
+  sim::EventQueue clock_;
+  net::AsOrgDb topology_;
+  dns::AuthorityRegistry authorities_;
+  dns::ResolverDirectory resolvers_;
+  http::WebServerRegistry web_;
+  tls::TlsEndpointRegistry tls_;
+  smtp::SmtpServerRegistry smtp_;
+  Environment environment_;
+};
+
+TEST_F(ByteBudgetTest, AccountsBytesPerNode) {
+  SuperProxy proxy = make_proxy(0);  // accounting only, no enforcement
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(proxy.fetch(url(i), {}).ok());
+  }
+  EXPECT_EQ(proxy.bytes_served("only-node"), 5000u);
+  EXPECT_EQ(proxy.max_bytes_served(), 5000u);
+  EXPECT_EQ(proxy.bytes_served("nobody"), 0u);
+  EXPECT_EQ(proxy.budget_exhausted_nodes(), 0u);
+}
+
+TEST_F(ByteBudgetTest, ExhaustedNodesAreSpared) {
+  SuperProxy proxy = make_proxy(2500);  // allows ~3 fetches of 1 KB
+  int served = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (proxy.fetch(url(i), {}).ok()) ++served;
+  }
+  EXPECT_EQ(served, 3);  // 3 KB served, then the only node is off-limits
+  EXPECT_EQ(proxy.budget_exhausted_nodes(), 1u);
+  EXPECT_GE(proxy.bytes_served("only-node"), 2500u);
+  EXPECT_LE(proxy.bytes_served("only-node"), 3000u);
+}
+
+TEST_F(ByteBudgetTest, PinnedSessionAlsoStops) {
+  SuperProxy proxy = make_proxy(1500);
+  RequestOptions options;
+  options.session = "pinned";
+  ASSERT_TRUE(proxy.fetch(url(0), options).ok());
+  ASSERT_TRUE(proxy.fetch(url(1), options).ok());  // crosses the budget
+  // The pinned node is exhausted; with no alternatives the fetch fails
+  // rather than keep loading the node.
+  EXPECT_FALSE(proxy.fetch(url(2), options).ok());
+}
+
+TEST(StudyComplianceTest, FullStudyStaysUnderOneMegabytePerNode) {
+  // End-to-end §3.4 compliance: after all four experiments, no exit node
+  // served more than the paper's 1 MB cap.
+  auto world = world::build_world(world::mini_spec(), 1.0, 606);
+  auto config = core::StudyConfig::for_scale(1.0, 0);
+  config.dns.target_nodes = 0;
+  config.http.max_nodes = 2000;
+  config.https.target_nodes = 2000;
+  config.monitoring.target_nodes = 0;
+  core::run_study(*world, config);
+
+  EXPECT_GT(world->luminati->max_bytes_served(), 0u);
+  EXPECT_LE(world->luminati->max_bytes_served(), 1024u * 1024u);
+  EXPECT_EQ(world->luminati->budget_exhausted_nodes(), 0u);
+}
+
+}  // namespace
+}  // namespace tft::proxy

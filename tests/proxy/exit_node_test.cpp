@@ -1,0 +1,187 @@
+#include "tft/proxy/exit_node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "tft/middlebox/http_modifiers.hpp"
+#include "tft/tls/authority.hpp"
+
+namespace tft::proxy {
+namespace {
+
+class ExitNodeTest : public ::testing::Test {
+ protected:
+  ExitNodeTest() {
+    // Authoritative zone + resolver.
+    auto zone = std::make_shared<dns::AuthoritativeServer>(
+        *dns::DnsName::parse("tft-study.net"));
+    zone->add_a(*dns::DnsName::parse("web.tft-study.net"), web_address_);
+    zone_ = zone.get();
+    authorities_.register_zone(std::move(zone));
+    auto resolver = std::make_shared<dns::RecursiveResolver>(
+        resolver_address_, resolver_address_, &authorities_, &clock_);
+    resolver_ = resolver.get();
+    resolvers_.add_resolver(std::move(resolver));
+
+    // Web server.
+    auto server = std::make_shared<http::OriginServer>("web");
+    server->add_path_for_any_host("/", http::Response::make(200, "OK", "hello"));
+    web_server_ = server.get();
+    web_.add(web_address_, std::move(server));
+
+    // TLS endpoint.
+    auto ca = tls::CertificateAuthority::make_root(
+        {"Root", "Trust", "US"}, 1, sim::Instant::epoch() - sim::Duration::hours(1),
+        sim::Instant::epoch() + sim::Duration::hours(24 * 365));
+    tls::CertificateAuthority::LeafOptions options;
+    options.hosts = {"secure.tft-study.net"};
+    auto tls_server = std::make_shared<tls::TlsServer>("secure");
+    tls_server->set_default_chain(ca.chain_for(ca.issue(options)));
+    tls_.add(tls_address_, std::move(tls_server));
+
+    environment_ = Environment{&resolvers_, &web_, &tls_, &smtp_, &clock_, &topology_};
+  }
+
+  ExitNodeAgent make_node(ExitNodeAgent::Config config = {}) {
+    if (config.zid.empty()) config.zid = "test-node";
+    if (config.address == net::Ipv4Address{}) config.address = node_address_;
+    if (config.dns_resolver == net::Ipv4Address{}) config.dns_resolver = resolver_address_;
+    config.country = "US";
+    return ExitNodeAgent(std::move(config), environment_);
+  }
+
+  net::Ipv4Address node_address_{203, 0, 113, 5};
+  net::Ipv4Address resolver_address_{10, 0, 0, 53};
+  net::Ipv4Address web_address_{198, 51, 100, 10};
+  net::Ipv4Address tls_address_{198, 51, 100, 20};
+
+  sim::EventQueue clock_;
+  net::AsOrgDb topology_;
+  dns::AuthorityRegistry authorities_;
+  dns::AuthoritativeServer* zone_ = nullptr;
+  dns::ResolverDirectory resolvers_;
+  dns::RecursiveResolver* resolver_ = nullptr;
+  http::WebServerRegistry web_;
+  http::OriginServer* web_server_ = nullptr;
+  tls::TlsEndpointRegistry tls_;
+  smtp::SmtpServerRegistry smtp_;
+  Environment environment_;
+};
+
+TEST_F(ExitNodeTest, ResolveThroughConfiguredResolver) {
+  auto node = make_node();
+  const auto answer = node.resolve(*dns::DnsName::parse("web.tft-study.net"));
+  EXPECT_EQ(answer.first_a(), web_address_);
+}
+
+TEST_F(ExitNodeTest, FetchHttpResolvesAndFetches) {
+  auto node = make_node();
+  const auto outcome = node.fetch_http(*http::Url::parse("http://web.tft-study.net/"));
+  EXPECT_FALSE(outcome.dns_nxdomain);
+  EXPECT_FALSE(outcome.dns_failed);
+  EXPECT_EQ(outcome.response.body, "hello");
+  EXPECT_EQ(outcome.destination, web_address_);
+  // The origin saw the node's address.
+  ASSERT_EQ(web_server_->request_log().size(), 1u);
+  EXPECT_EQ(web_server_->request_log()[0].source, node_address_);
+}
+
+TEST_F(ExitNodeTest, FetchHttpReportsNxdomain) {
+  auto node = make_node();
+  const auto outcome =
+      node.fetch_http(*http::Url::parse("http://missing.tft-study.net/"));
+  EXPECT_TRUE(outcome.dns_nxdomain);
+}
+
+TEST_F(ExitNodeTest, FetchHttpReportsDnsFailure) {
+  ExitNodeAgent::Config config;
+  config.dns_resolver = net::Ipv4Address(9, 9, 9, 9);  // no such resolver
+  auto node = make_node(std::move(config));
+  const auto outcome = node.fetch_http(*http::Url::parse("http://web.tft-study.net/"));
+  EXPECT_TRUE(outcome.dns_failed);
+}
+
+TEST_F(ExitNodeTest, PreresolvedAddressSkipsDns) {
+  ExitNodeAgent::Config config;
+  config.dns_resolver = net::Ipv4Address(9, 9, 9, 9);  // broken resolver
+  auto node = make_node(std::move(config));
+  const auto outcome = node.fetch_http(
+      *http::Url::parse("http://web.tft-study.net/"), web_address_);
+  EXPECT_EQ(outcome.response.body, "hello");  // worked despite broken DNS
+}
+
+TEST_F(ExitNodeTest, DnsInterceptorsApply) {
+  ExitNodeAgent::Config config;
+  config.dns_interceptors.push_back(std::make_shared<middlebox::NxdomainRewriter>(
+      middlebox::NxdomainRewriter::Config{"cpe", web_address_, 1.0, 60}));
+  auto node = make_node(std::move(config));
+  const auto answer = node.resolve(*dns::DnsName::parse("typo.tft-study.net"));
+  EXPECT_FALSE(answer.is_nxdomain());
+  EXPECT_EQ(answer.first_a(), web_address_);
+}
+
+TEST_F(ExitNodeTest, TransparentProxyOverridesResolver) {
+  ExitNodeAgent::Config config;
+  config.dns_resolver = net::Ipv4Address(9, 9, 9, 9);  // broken
+  config.dns_interceptors.push_back(std::make_shared<middlebox::TransparentDnsProxy>(
+      "isp-box", resolver_address_));  // redirects to the working one
+  auto node = make_node(std::move(config));
+  const auto answer = node.resolve(*dns::DnsName::parse("web.tft-study.net"));
+  EXPECT_EQ(answer.first_a(), web_address_);
+}
+
+TEST_F(ExitNodeTest, HttpInterceptorsApply) {
+  ExitNodeAgent::Config config;
+  config.http_interceptors.push_back(std::make_shared<middlebox::ContentBlocker>(
+      middlebox::ContentBlocker::Config{"blocker", "blocked", 403}));
+  auto node = make_node(std::move(config));
+  const auto outcome = node.fetch_http(*http::Url::parse("http://web.tft-study.net/"));
+  EXPECT_EQ(outcome.response.status, 403);
+}
+
+TEST_F(ExitNodeTest, FetchCertificateChain) {
+  auto node = make_node();
+  const auto chain = node.fetch_certificate_chain(tls_address_, "secure.tft-study.net");
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ(chain->front().subject.common_name, "secure.tft-study.net");
+  EXPECT_FALSE(node.fetch_certificate_chain(net::Ipv4Address(1, 1, 1, 1), "x")
+                   .has_value());
+}
+
+TEST_F(ExitNodeTest, TlsInterceptorsApply) {
+  middlebox::CertReplacer::Config replacer;
+  replacer.name = "AV";
+  replacer.forge.issuer = {"AV Root", "AV", "US"};
+  replacer.forge.signing_key = 777;
+  ExitNodeAgent::Config config;
+  config.tls_interceptors.push_back(
+      std::make_shared<middlebox::CertReplacer>(replacer, 1));
+  auto node = make_node(std::move(config));
+  const auto chain = node.fetch_certificate_chain(tls_address_, "secure.tft-study.net");
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ(chain->front().issuer.common_name, "AV Root");
+}
+
+TEST_F(ExitNodeTest, FailureProbabilityExtremes) {
+  ExitNodeAgent::Config never;
+  never.failure_probability = 0.0;
+  auto reliable = make_node(std::move(never));
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(reliable.attempt_fails());
+
+  ExitNodeAgent::Config always;
+  always.failure_probability = 1.0;
+  always.zid = "flaky";
+  auto flaky = make_node(std::move(always));
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(flaky.attempt_fails());
+}
+
+TEST_F(ExitNodeTest, OnlineFlag) {
+  auto node = make_node();
+  EXPECT_TRUE(node.online());
+  node.set_online(false);
+  EXPECT_FALSE(node.online());
+}
+
+}  // namespace
+}  // namespace tft::proxy

@@ -1,0 +1,250 @@
+#include "tft/proxy/luminati.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+namespace tft::proxy {
+namespace {
+
+class LuminatiTest : public ::testing::Test {
+ protected:
+  LuminatiTest() {
+    auto zone = std::make_shared<dns::AuthoritativeServer>(
+        *dns::DnsName::parse("tft-study.net"));
+    zone->add_wildcard_a(*dns::DnsName::parse("probe.tft-study.net"), web_address_);
+    zone_ = zone.get();
+    authorities_.register_zone(std::move(zone));
+
+    // Google-like anycast used by the super proxy; also reachable by nodes.
+    auto google = std::make_shared<dns::AnycastResolverGroup>(
+        net::Ipv4Address(8, 8, 8, 8), "google");
+    for (int i = 0; i < 3; ++i) {
+      google->add_instance(std::make_shared<dns::RecursiveResolver>(
+          net::Ipv4Address(8, 8, 8, 8),
+          net::Ipv4Address(74, 125, static_cast<std::uint8_t>(i + 1), 1),
+          &authorities_, &clock_));
+    }
+    resolvers_.add_anycast(std::move(google));
+
+    auto server = std::make_shared<http::OriginServer>("web");
+    server->set_default_handler(
+        [](const http::Request&) { return http::Response::make(200, "OK", "content"); });
+    web_server_ = server.get();
+    web_.add(web_address_, std::move(server));
+
+    environment_ = Environment{&resolvers_, &web_, &tls_, &smtp_, &clock_, &topology_};
+    proxy_ = std::make_unique<SuperProxy>(SuperProxy::Config{}, environment_);
+  }
+
+  void add_node(const std::string& zid, const net::CountryCode& country,
+                double failure_probability = 0.0,
+                net::Ipv4Address resolver = net::Ipv4Address(8, 8, 8, 8)) {
+    ExitNodeAgent::Config config;
+    config.zid = zid;
+    config.address = net::Ipv4Address(203, 0, 113, next_host_++);
+    config.country = country;
+    config.dns_resolver = resolver;
+    config.failure_probability = failure_probability;
+    proxy_->add_exit_node(std::make_shared<ExitNodeAgent>(std::move(config),
+                                                          environment_));
+  }
+
+  http::Url probe_url(const std::string& label) {
+    return *http::Url::parse("http://" + label + ".probe.tft-study.net/");
+  }
+
+  std::uint8_t next_host_ = 1;
+  net::Ipv4Address web_address_{198, 51, 100, 10};
+  sim::EventQueue clock_;
+  net::AsOrgDb topology_;
+  dns::AuthorityRegistry authorities_;
+  dns::AuthoritativeServer* zone_ = nullptr;
+  dns::ResolverDirectory resolvers_;
+  http::WebServerRegistry web_;
+  http::OriginServer* web_server_ = nullptr;
+  tls::TlsEndpointRegistry tls_;
+  smtp::SmtpServerRegistry smtp_;
+  Environment environment_;
+  std::unique_ptr<SuperProxy> proxy_;
+};
+
+TEST_F(LuminatiTest, FetchThroughAnExitNode) {
+  add_node("node-a", "US");
+  const auto result = proxy_->fetch(probe_url("x1"), {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.response.body, "content");
+  EXPECT_EQ(result.zid, "node-a");
+  EXPECT_EQ(result.exit_country, "US");
+  // Debug headers are attached, as the real service does.
+  EXPECT_TRUE(result.response.headers.has("X-Hola-Timeline-Debug"));
+  EXPECT_TRUE(result.response.headers.has("X-Hola-Unblocker-Debug"));
+}
+
+TEST_F(LuminatiTest, NoNodesMeansNoService) {
+  const auto result = proxy_->fetch(probe_url("x1"), {});
+  EXPECT_EQ(result.status, ProxyStatus::kNoExitNodeAvailable);
+}
+
+TEST_F(LuminatiTest, SuperProxyPrecheckFailsForUnknownDomain) {
+  add_node("node-a", "US");
+  const auto result = proxy_->fetch(*http::Url::parse("http://no-such-zone.org/"), {});
+  EXPECT_EQ(result.status, ProxyStatus::kSuperProxyDnsFailure);
+}
+
+TEST_F(LuminatiTest, CountryTargeting) {
+  add_node("node-us", "US");
+  add_node("node-de", "DE");
+  add_node("node-my", "MY");
+  RequestOptions options;
+  options.country = "DE";
+  for (int i = 0; i < 10; ++i) {
+    const auto result = proxy_->fetch(probe_url("c" + std::to_string(i)), options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.zid, "node-de");
+  }
+  options.country = "FR";  // no nodes there
+  EXPECT_EQ(proxy_->fetch(probe_url("cx"), options).status,
+            ProxyStatus::kNoExitNodeAvailable);
+}
+
+TEST_F(LuminatiTest, SessionPinningReusesNode) {
+  for (int i = 0; i < 20; ++i) add_node("node-" + std::to_string(i), "US");
+  RequestOptions options;
+  options.session = "429";
+  const auto first = proxy_->fetch(probe_url("s1"), options);
+  ASSERT_TRUE(first.ok());
+  for (int i = 0; i < 10; ++i) {
+    const auto next = proxy_->fetch(probe_url("s" + std::to_string(i + 2)), options);
+    ASSERT_TRUE(next.ok());
+    EXPECT_EQ(next.zid, first.zid);
+  }
+}
+
+TEST_F(LuminatiTest, SessionExpiresAfterTtl) {
+  for (int i = 0; i < 30; ++i) add_node("node-" + std::to_string(i), "US");
+  RequestOptions options;
+  options.session = "429";
+  const auto first = proxy_->fetch(probe_url("s1"), options);
+  clock_.advance(sim::Duration::seconds(61));
+  // After expiry the session may pick any node; with 30 nodes the chance of
+  // re-picking the same one 5 times in a row is negligible.
+  std::set<std::string> seen;
+  for (int i = 0; i < 5; ++i) {
+    RequestOptions fresh;
+    fresh.session = "429";
+    seen.insert(proxy_->fetch(probe_url("e" + std::to_string(i)), fresh).zid);
+    clock_.advance(sim::Duration::seconds(61));
+  }
+  EXPECT_GT(seen.size(), 1u);
+  (void)first;
+}
+
+TEST_F(LuminatiTest, DifferentSessionsSpreadOverNodes) {
+  for (int i = 0; i < 30; ++i) add_node("node-" + std::to_string(i), "US");
+  std::set<std::string> seen;
+  for (int i = 0; i < 60; ++i) {
+    RequestOptions options;
+    options.session = "sess-" + std::to_string(i);
+    const auto result = proxy_->fetch(probe_url("d" + std::to_string(i)), options);
+    ASSERT_TRUE(result.ok());
+    seen.insert(result.zid);
+  }
+  EXPECT_GT(seen.size(), 10u);
+}
+
+TEST_F(LuminatiTest, RetriesFailedNodesAndRecordsTimeline) {
+  add_node("flaky-1", "US", 1.0);
+  add_node("flaky-2", "US", 1.0);
+  add_node("solid", "US", 0.0);
+  // With two always-failing nodes, retries must eventually land on "solid".
+  int solid_hits = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto result = proxy_->fetch(probe_url("r" + std::to_string(i)), {});
+    if (result.ok()) {
+      EXPECT_EQ(result.zid, "solid");
+      ++solid_hits;
+      if (result.timeline.size() > 1) {
+        EXPECT_EQ(result.timeline.back().error, "");
+        EXPECT_EQ(result.timeline.front().error, "connect_timeout");
+      }
+    } else {
+      EXPECT_EQ(result.status, ProxyStatus::kAllAttemptsFailed);
+    }
+  }
+  EXPECT_GT(solid_hits, 0);
+}
+
+TEST_F(LuminatiTest, OfflineNodesAreSkipped) {
+  add_node("offline", "US");
+  proxy_->nodes()[0]->set_online(false);
+  EXPECT_EQ(proxy_->fetch(probe_url("o1"), {}).status,
+            ProxyStatus::kNoExitNodeAvailable);
+}
+
+TEST_F(LuminatiTest, NxdomainAtExitNodeIsReported) {
+  // The d2 trick from §4.1: the zone answers only queries arriving from
+  // Google egress addresses (the super proxy's pre-check); the node's own
+  // unicast resolver receives NXDOMAIN.
+  auto node_resolver = std::make_shared<dns::RecursiveResolver>(
+      net::Ipv4Address(10, 0, 0, 53), net::Ipv4Address(10, 0, 0, 53), &authorities_,
+      &clock_);
+  resolvers_.add_resolver(std::move(node_resolver));
+  add_node("node-a", "US", 0.0, net::Ipv4Address(10, 0, 0, 53));
+
+  zone_->add_a(*dns::DnsName::parse("d2.tft-study.net"), web_address_);
+  const auto google_block = *net::Ipv4Prefix::parse("74.125.0.0/16");
+  zone_->set_policy([google_block](const dns::Question& question,
+                                   net::Ipv4Address source, const dns::Message& query)
+                        -> std::optional<dns::Message> {
+    if (question.name.to_string() != "d2.tft-study.net") return std::nullopt;
+    if (google_block.contains(source)) return std::nullopt;
+    return dns::Message::response_to(query, dns::Rcode::kNxDomain);
+  });
+
+  RequestOptions options;
+  options.dns_remote = true;
+  const auto result = proxy_->fetch(*http::Url::parse("http://d2.tft-study.net/"),
+                                    options);
+  EXPECT_EQ(result.status, ProxyStatus::kExitNodeDnsNxdomain);
+  EXPECT_EQ(result.zid, "node-a");
+}
+
+TEST_F(LuminatiTest, ConnectRejectsNon443) {
+  add_node("node-a", "US");
+  const auto result =
+      proxy_->connect_and_handshake(net::Ipv4Address(1, 2, 3, 4), 80, "x", {});
+  EXPECT_EQ(result.status, ProxyStatus::kPortNotAllowed);
+}
+
+TEST_F(LuminatiTest, ConnectTunnelFailsWhenNoEndpoint) {
+  add_node("node-a", "US");
+  const auto result =
+      proxy_->connect_and_handshake(net::Ipv4Address(1, 2, 3, 4), 443, "x", {});
+  EXPECT_EQ(result.status, ProxyStatus::kAllAttemptsFailed);
+}
+
+TEST_F(LuminatiTest, CountryCountsAreSorted) {
+  add_node("a", "US");
+  add_node("b", "DE");
+  add_node("c", "US");
+  const auto counts = proxy_->country_counts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0].first, "DE");
+  EXPECT_EQ(counts[0].second, 1u);
+  EXPECT_EQ(counts[1].first, "US");
+  EXPECT_EQ(counts[1].second, 2u);
+  EXPECT_EQ(proxy_->node_count(), 3u);
+  EXPECT_EQ(proxy_->node_count("US"), 2u);
+  EXPECT_EQ(proxy_->node_count("FR"), 0u);
+}
+
+TEST_F(LuminatiTest, StatusNames) {
+  EXPECT_EQ(to_string(ProxyStatus::kOk), "ok");
+  EXPECT_EQ(to_string(ProxyStatus::kExitNodeDnsNxdomain), "exit_node_dns_nxdomain");
+  EXPECT_EQ(to_string(ProxyStatus::kPortNotAllowed), "port_not_allowed");
+}
+
+}  // namespace
+}  // namespace tft::proxy

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "tft/proxy/luminati.hpp"
+
+namespace tft::proxy {
+namespace {
+
+TEST(TimelineDebugTest, ParsesSimpleHeader) {
+  const auto parsed = parse_timeline_debug("zid=a1b2c3d4e5f60708");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->zid, "a1b2c3d4e5f60708");
+  EXPECT_TRUE(parsed->attempts.empty());
+}
+
+TEST(TimelineDebugTest, ParsesRetryTrail) {
+  const auto parsed = parse_timeline_debug(
+      "zid=final99 tried=flaky01:connect_timeout,flaky02:dns_failure,final99:ok");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->zid, "final99");
+  ASSERT_EQ(parsed->attempts.size(), 3u);
+  EXPECT_EQ(parsed->attempts[0].zid, "flaky01");
+  EXPECT_EQ(parsed->attempts[0].error, "connect_timeout");
+  EXPECT_EQ(parsed->attempts[1].error, "dns_failure");
+  EXPECT_EQ(parsed->attempts[2].zid, "final99");
+  EXPECT_TRUE(parsed->attempts[2].error.empty());
+}
+
+TEST(TimelineDebugTest, RejectsMalformed) {
+  EXPECT_FALSE(parse_timeline_debug("").ok());
+  EXPECT_FALSE(parse_timeline_debug("zid=").ok());
+  EXPECT_FALSE(parse_timeline_debug("nozid=abc").ok());
+  EXPECT_FALSE(parse_timeline_debug("zid=a extra=1").ok());
+  EXPECT_FALSE(parse_timeline_debug("zid=a tried=noseparator").ok());
+  EXPECT_FALSE(parse_timeline_debug("zid=a tried=:err").ok());
+}
+
+TEST(TimelineDebugTest, RoundTripsWithRealHeaders) {
+  // End-to-end: headers the super proxy actually attaches must parse back
+  // to the result's own trail.
+  sim::EventQueue clock;
+  net::AsOrgDb topology;
+  dns::AuthorityRegistry authorities;
+  auto zone = std::make_shared<dns::AuthoritativeServer>(*dns::DnsName::parse("z.net"));
+  zone->add_wildcard_a(*dns::DnsName::parse("z.net"), net::Ipv4Address(198, 51, 100, 10));
+  authorities.register_zone(std::move(zone));
+  dns::ResolverDirectory resolvers;
+  auto google = std::make_shared<dns::AnycastResolverGroup>(
+      net::Ipv4Address(8, 8, 8, 8), "google");
+  google->add_instance(std::make_shared<dns::RecursiveResolver>(
+      net::Ipv4Address(8, 8, 8, 8), net::Ipv4Address(74, 125, 1, 1), &authorities,
+      &clock));
+  resolvers.add_anycast(std::move(google));
+  http::WebServerRegistry web;
+  auto server = std::make_shared<http::OriginServer>("w");
+  server->set_default_handler(
+      [](const http::Request&) { return http::Response::make(200, "OK", "x"); });
+  web.add(net::Ipv4Address(198, 51, 100, 10), std::move(server));
+  tls::TlsEndpointRegistry tls;
+  smtp::SmtpServerRegistry smtp;
+
+  Environment environment{&resolvers, &web, &tls, &smtp, &clock, &topology};
+  SuperProxy proxy(SuperProxy::Config{}, environment);
+  ExitNodeAgent::Config flaky;
+  flaky.zid = "flaky";
+  flaky.address = net::Ipv4Address(203, 0, 113, 1);
+  flaky.country = "US";
+  flaky.dns_resolver = net::Ipv4Address(8, 8, 8, 8);
+  flaky.failure_probability = 1.0;
+  proxy.add_exit_node(std::make_shared<ExitNodeAgent>(std::move(flaky), environment));
+  ExitNodeAgent::Config solid;
+  solid.zid = "solid";
+  solid.address = net::Ipv4Address(203, 0, 113, 2);
+  solid.country = "US";
+  solid.dns_resolver = net::Ipv4Address(8, 8, 8, 8);
+  proxy.add_exit_node(std::make_shared<ExitNodeAgent>(std::move(solid), environment));
+
+  for (int i = 0; i < 10; ++i) {
+    const auto result =
+        proxy.fetch(*http::Url::parse("http://a" + std::to_string(i) + ".z.net/"), {});
+    if (!result.ok()) continue;
+    const auto header = result.response.headers.get("X-Hola-Timeline-Debug");
+    ASSERT_TRUE(header.has_value());
+    const auto parsed = parse_timeline_debug(*header);
+    ASSERT_TRUE(parsed.ok()) << *header;
+    EXPECT_EQ(parsed->zid, result.zid);
+    ASSERT_EQ(parsed->attempts.size(), result.timeline.size());
+    for (std::size_t j = 0; j < result.timeline.size(); ++j) {
+      EXPECT_EQ(parsed->attempts[j].zid, result.timeline[j].zid);
+      EXPECT_EQ(parsed->attempts[j].error, result.timeline[j].error);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tft::proxy

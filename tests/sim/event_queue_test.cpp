@@ -1,0 +1,93 @@
+#include "tft/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tft::sim {
+namespace {
+
+TEST(TimeTest, DurationFactories) {
+  EXPECT_EQ(Duration::seconds(1.5).micros, 1'500'000);
+  EXPECT_EQ(Duration::milliseconds(3).micros, 3'000);
+  EXPECT_EQ(Duration::minutes(2).micros, 120'000'000);
+  EXPECT_EQ(Duration::hours(1).micros, 3'600'000'000LL);
+  EXPECT_DOUBLE_EQ(Duration::seconds(2.5).to_seconds(), 2.5);
+}
+
+TEST(TimeTest, InstantArithmetic) {
+  const Instant t = Instant::epoch() + Duration::seconds(10);
+  EXPECT_EQ((t - Instant::epoch()).to_seconds(), 10.0);
+  EXPECT_LT(Instant::epoch(), t);
+  EXPECT_EQ((t - Duration::seconds(10)), Instant::epoch());
+}
+
+TEST(TimeTest, ToString) {
+  EXPECT_EQ(to_string(Duration::seconds(1.5)), "1.500s");
+  EXPECT_EQ(to_string(Instant::epoch() + Duration::seconds(2)), "t=2.000s");
+}
+
+TEST(EventQueueTest, RunsEventsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(Instant::epoch() + Duration::seconds(3), [&] { order.push_back(3); });
+  queue.schedule_at(Instant::epoch() + Duration::seconds(1), [&] { order.push_back(1); });
+  queue.schedule_at(Instant::epoch() + Duration::seconds(2), [&] { order.push_back(2); });
+  EXPECT_EQ(queue.run_all(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimesRunInSchedulingOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  const Instant when = Instant::epoch() + Duration::seconds(1);
+  for (int i = 0; i < 10; ++i) {
+    queue.schedule_at(when, [&order, i] { order.push_back(i); });
+  }
+  queue.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, ClockAdvancesToEventTime) {
+  EventQueue queue;
+  Instant seen;
+  queue.schedule_after(Duration::seconds(5), [&] { seen = queue.now(); });
+  queue.run_all();
+  EXPECT_EQ(seen, Instant::epoch() + Duration::seconds(5));
+  EXPECT_EQ(queue.now(), seen);
+}
+
+TEST(EventQueueTest, RunUntilLeavesLaterEventsPending) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule_after(Duration::seconds(1), [&] { ++fired; });
+  queue.schedule_after(Duration::seconds(10), [&] { ++fired; });
+  EXPECT_EQ(queue.run_until(Instant::epoch() + Duration::seconds(5)), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(queue.pending(), 1u);
+  EXPECT_EQ(queue.now(), Instant::epoch() + Duration::seconds(5));
+}
+
+TEST(EventQueueTest, HandlersCanScheduleMoreEvents) {
+  EventQueue queue;
+  int count = 0;
+  std::function<void()> reschedule = [&] {
+    if (++count < 5) queue.schedule_after(Duration::seconds(1), reschedule);
+  };
+  queue.schedule_after(Duration::seconds(1), reschedule);
+  queue.run_all();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(queue.now(), Instant::epoch() + Duration::seconds(5));
+}
+
+TEST(EventQueueTest, SchedulingInPastClampsToNow) {
+  EventQueue queue;
+  queue.advance(Duration::seconds(10));
+  Instant seen;
+  queue.schedule_at(Instant::epoch() + Duration::seconds(1), [&] { seen = queue.now(); });
+  queue.run_all();
+  EXPECT_EQ(seen, Instant::epoch() + Duration::seconds(10));
+}
+
+}  // namespace
+}  // namespace tft::sim

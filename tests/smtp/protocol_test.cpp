@@ -1,0 +1,89 @@
+#include "tft/smtp/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tft::smtp {
+namespace {
+
+TEST(SmtpCommandTest, ParseVerbAndArgument) {
+  const auto command = Command::parse("MAIL FROM:<probe@tft-study.net>");
+  ASSERT_TRUE(command.ok());
+  EXPECT_EQ(command->verb, "MAIL");
+  EXPECT_EQ(command->argument, "FROM:<probe@tft-study.net>");
+}
+
+TEST(SmtpCommandTest, VerbIsCaseInsensitive) {
+  EXPECT_EQ(Command::parse("ehlo probe.example")->verb, "EHLO");
+  EXPECT_EQ(Command::parse("StartTLS")->verb, "STARTTLS");
+}
+
+TEST(SmtpCommandTest, NoArgument) {
+  const auto command = Command::parse("QUIT");
+  ASSERT_TRUE(command.ok());
+  EXPECT_EQ(command->verb, "QUIT");
+  EXPECT_TRUE(command->argument.empty());
+}
+
+TEST(SmtpCommandTest, RejectsGarbage) {
+  EXPECT_FALSE(Command::parse("").ok());
+  EXPECT_FALSE(Command::parse("   ").ok());
+  EXPECT_FALSE(Command::parse("123 xyz").ok());
+  EXPECT_FALSE(Command::parse("M@IL FROM:<x>").ok());
+}
+
+TEST(SmtpCommandTest, SerializeRoundTrip) {
+  const Command command{"RCPT", "TO:<inbox@example.net>"};
+  EXPECT_EQ(command.serialize(), "RCPT TO:<inbox@example.net>\r\n");
+  const auto parsed = Command::parse("RCPT TO:<inbox@example.net>");
+  EXPECT_EQ(parsed->serialize(), command.serialize());
+  EXPECT_EQ((Command{"QUIT", ""}).serialize(), "QUIT\r\n");
+}
+
+TEST(SmtpReplyTest, SingleLineSerialize) {
+  const Reply reply = Reply::single(220, "mail.tft-study.net ESMTP");
+  EXPECT_EQ(reply.serialize(), "220 mail.tft-study.net ESMTP\r\n");
+  EXPECT_TRUE(reply.positive());
+}
+
+TEST(SmtpReplyTest, MultilineSerialize) {
+  const Reply reply = Reply::multi(250, {"mail.example greets you", "PIPELINING",
+                                         "STARTTLS", "8BITMIME"});
+  EXPECT_EQ(reply.serialize(),
+            "250-mail.example greets you\r\n250-PIPELINING\r\n250-STARTTLS\r\n"
+            "250 8BITMIME\r\n");
+}
+
+TEST(SmtpReplyTest, ParseRoundTrip) {
+  const Reply original = Reply::multi(250, {"a", "b", "c"});
+  const auto parsed = Reply::parse(original.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->code, 250);
+  EXPECT_EQ(parsed->lines, original.lines);
+}
+
+TEST(SmtpReplyTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Reply::parse("").ok());
+  EXPECT_FALSE(Reply::parse("25 X\r\n").ok());
+  EXPECT_FALSE(Reply::parse("abc hello\r\n").ok());
+  EXPECT_FALSE(Reply::parse("250-first\r\n").ok());           // no final line
+  EXPECT_FALSE(Reply::parse("250-first\r\n354 last\r\n").ok());  // code switch
+  EXPECT_FALSE(Reply::parse("250 done\r\n250 extra\r\n").ok());  // text after final
+  EXPECT_FALSE(Reply::parse("999x\r\n").ok());
+}
+
+TEST(SmtpReplyTest, NegativeCodes) {
+  EXPECT_FALSE(Reply::single(502, "nope").positive());
+  EXPECT_FALSE(Reply::single(454, "try later").positive());
+  EXPECT_TRUE(Reply::single(354, "go ahead").positive());
+}
+
+TEST(SmtpReplyTest, CapabilityLookup) {
+  const Reply reply = Reply::multi(250, {"host greets", "PIPELINING", "STARTTLS"});
+  EXPECT_TRUE(reply.has_capability("starttls"));
+  EXPECT_TRUE(reply.has_capability("PIPELINING"));
+  EXPECT_FALSE(reply.has_capability("8BITMIME"));
+  EXPECT_FALSE(reply.has_capability("START"));
+}
+
+}  // namespace
+}  // namespace tft::smtp

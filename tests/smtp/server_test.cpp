@@ -1,0 +1,129 @@
+#include "tft/smtp/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace tft::smtp {
+namespace {
+
+const net::Ipv4Address kClient(203, 0, 113, 8);
+
+class SmtpServerTest : public ::testing::Test {
+ protected:
+  SmtpServerTest()
+      : server_(SmtpServer::Config{"mail.tft-study.net", "TFT-SMTPD 1.0", true, true}),
+        session_(server_.open(kClient, sim::Instant::epoch())) {}
+
+  SmtpServer server_;
+  SmtpServer::Session session_;
+};
+
+TEST_F(SmtpServerTest, Banner) {
+  const Reply banner = server_.banner();
+  EXPECT_EQ(banner.code, 220);
+  EXPECT_EQ(banner.lines.front(), "mail.tft-study.net ESMTP TFT-SMTPD 1.0");
+}
+
+TEST_F(SmtpServerTest, EhloAdvertisesCapabilities) {
+  const Reply reply = session_.handle_line("EHLO probe.tft-study.net");
+  EXPECT_EQ(reply.code, 250);
+  EXPECT_TRUE(reply.has_capability("STARTTLS"));
+  EXPECT_TRUE(reply.has_capability("PIPELINING"));
+  EXPECT_TRUE(reply.has_capability("8BITMIME"));
+}
+
+TEST_F(SmtpServerTest, StarttlsUpgrade) {
+  session_.handle_line("EHLO probe");
+  const Reply reply = session_.handle_line("STARTTLS");
+  EXPECT_EQ(reply.code, 220);
+  EXPECT_TRUE(session_.tls_active());
+  // After the upgrade, EHLO no longer advertises STARTTLS.
+  EXPECT_FALSE(session_.handle_line("EHLO probe").has_capability("STARTTLS"));
+  // And a second STARTTLS is rejected.
+  EXPECT_EQ(session_.handle_line("STARTTLS").code, 503);
+}
+
+TEST_F(SmtpServerTest, StarttlsUnsupportedServer) {
+  SmtpServer plain(SmtpServer::Config{"plain.example", "X", false, true});
+  auto session = plain.open(kClient, sim::Instant::epoch());
+  session.handle_line("EHLO probe");
+  EXPECT_EQ(session.handle_line("STARTTLS").code, 502);
+}
+
+TEST_F(SmtpServerTest, FullTransactionDeliversMessage) {
+  session_.handle_line("EHLO probe");
+  EXPECT_EQ(session_.handle_line("MAIL FROM:<a@b.c>").code, 250);
+  EXPECT_EQ(session_.handle_line("RCPT TO:<x@y.z>").code, 250);
+  EXPECT_EQ(session_.handle_line("RCPT TO:<w@y.z>").code, 250);
+  EXPECT_EQ(session_.handle_line("DATA").code, 354);
+  EXPECT_TRUE(session_.in_data_mode());
+  session_.handle_line("Subject: hi");
+  session_.handle_line("");
+  session_.handle_line("body line");
+  const Reply accepted = session_.handle_line(".");
+  EXPECT_EQ(accepted.code, 250);
+  EXPECT_FALSE(session_.in_data_mode());
+
+  ASSERT_EQ(server_.received().size(), 1u);
+  const ReceivedMessage& message = server_.received().front();
+  EXPECT_EQ(message.mail_from, "<a@b.c>");
+  ASSERT_EQ(message.rcpt_to.size(), 2u);
+  EXPECT_EQ(message.rcpt_to[0], "<x@y.z>");
+  EXPECT_EQ(message.body, "Subject: hi\n\nbody line\n");
+  EXPECT_EQ(message.client, kClient);
+  EXPECT_FALSE(message.over_tls);
+}
+
+TEST_F(SmtpServerTest, TlsFlagRecordedOnMessages) {
+  session_.handle_line("EHLO probe");
+  session_.handle_line("STARTTLS");
+  session_.handle_line("MAIL FROM:<a@b.c>");
+  session_.handle_line("RCPT TO:<x@y.z>");
+  session_.handle_line("DATA");
+  session_.handle_line(".");
+  ASSERT_EQ(server_.received().size(), 1u);
+  EXPECT_TRUE(server_.received().front().over_tls);
+}
+
+TEST_F(SmtpServerTest, SequenceEnforcement) {
+  EXPECT_EQ(session_.handle_line("MAIL FROM:<a@b.c>").code, 503);  // no EHLO
+  session_.handle_line("EHLO probe");
+  EXPECT_EQ(session_.handle_line("RCPT TO:<x@y.z>").code, 503);  // no MAIL
+  session_.handle_line("MAIL FROM:<a@b.c>");
+  EXPECT_EQ(session_.handle_line("DATA").code, 503);  // no RCPT
+}
+
+TEST_F(SmtpServerTest, SyntaxErrors) {
+  session_.handle_line("EHLO probe");
+  EXPECT_EQ(session_.handle_line("MAIL TO:<a@b.c>").code, 501);
+  session_.handle_line("MAIL FROM:<a@b.c>");
+  EXPECT_EQ(session_.handle_line("RCPT FROM:<a@b.c>").code, 501);
+  EXPECT_EQ(session_.handle_line("BOGUS").code, 502);
+  EXPECT_EQ(session_.handle_line("@@@").code, 500);
+}
+
+TEST_F(SmtpServerTest, RsetClearsEnvelope) {
+  session_.handle_line("EHLO probe");
+  session_.handle_line("MAIL FROM:<a@b.c>");
+  session_.handle_line("RSET");
+  EXPECT_EQ(session_.handle_line("RCPT TO:<x@y.z>").code, 503);
+}
+
+TEST_F(SmtpServerTest, QuitAndNoop) {
+  session_.handle_line("EHLO probe");
+  EXPECT_EQ(session_.handle_line("NOOP").code, 250);
+  EXPECT_EQ(session_.handle_line("QUIT").code, 221);
+}
+
+TEST(SmtpRegistryTest, RoutesByAddress) {
+  SmtpServerRegistry registry;
+  auto server = std::make_shared<SmtpServer>(SmtpServer::Config{});
+  const net::Ipv4Address address(198, 51, 100, 25);
+  registry.add(address, server);
+  EXPECT_EQ(registry.find(address), server.get());
+  EXPECT_EQ(registry.find(net::Ipv4Address(1, 1, 1, 1)), nullptr);
+}
+
+}  // namespace
+}  // namespace tft::smtp

@@ -1,0 +1,102 @@
+#include "tft/smtp/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace tft::smtp {
+namespace {
+
+const net::Ipv4Address kClient(203, 0, 113, 9);
+
+class SmtpSessionTest : public ::testing::Test {
+ protected:
+  SmtpSessionTest()
+      : server_(SmtpServer::Config{"mail.tft-study.net", "TFT-SMTPD 1.0", true, true}) {}
+
+  Transcript run(const SmtpInterceptorList& interceptors, ClientScript script = {}) {
+    return run_session(server_, interceptors, script, kClient, sim::Instant::epoch());
+  }
+
+  SmtpServer server_;
+};
+
+TEST_F(SmtpSessionTest, CleanSessionDeliversWithTls) {
+  const Transcript transcript = run({});
+  EXPECT_TRUE(transcript.connected);
+  EXPECT_EQ(transcript.banner, "mail.tft-study.net ESMTP TFT-SMTPD 1.0");
+  EXPECT_TRUE(transcript.starttls_offered);
+  EXPECT_TRUE(transcript.starttls_accepted);
+  EXPECT_TRUE(transcript.message_accepted);
+  EXPECT_TRUE(transcript.errors.empty());
+  ASSERT_EQ(server_.received().size(), 1u);
+  EXPECT_TRUE(server_.received().front().over_tls);
+  EXPECT_EQ(server_.received().front().body,
+            "Subject: tft-probe\n\nreference body\n");
+}
+
+TEST_F(SmtpSessionTest, ClientMayDeclineStarttls) {
+  ClientScript script;
+  script.attempt_starttls = false;
+  const Transcript transcript = run({}, script);
+  EXPECT_TRUE(transcript.starttls_offered);
+  EXPECT_FALSE(transcript.starttls_accepted);
+  ASSERT_EQ(server_.received().size(), 1u);
+  EXPECT_FALSE(server_.received().front().over_tls);
+}
+
+TEST_F(SmtpSessionTest, PortBlockerStopsEverything) {
+  const Transcript transcript =
+      run({std::make_shared<PortBlocker>("residential-block")});
+  EXPECT_FALSE(transcript.connected);
+  EXPECT_FALSE(transcript.message_accepted);
+  EXPECT_TRUE(server_.received().empty());
+}
+
+TEST_F(SmtpSessionTest, StarttlsStripperDowngradesToCleartext) {
+  const Transcript transcript =
+      run({std::make_shared<StarttlsStripper>("fixup-box")});
+  EXPECT_TRUE(transcript.connected);
+  // The capability was blanked to XXXXXXXX, so the client never saw it...
+  EXPECT_FALSE(transcript.starttls_offered);
+  EXPECT_FALSE(transcript.starttls_accepted);
+  // ...and the message still went through — in cleartext.
+  EXPECT_TRUE(transcript.message_accepted);
+  ASSERT_EQ(server_.received().size(), 1u);
+  EXPECT_FALSE(server_.received().front().over_tls);
+  // The blanked token is present in the EHLO reply the client saw.
+  bool blanked = false;
+  for (const auto& line : transcript.ehlo_reply.lines) {
+    blanked = blanked || line == "XXXXXXXX";
+  }
+  EXPECT_TRUE(blanked);
+}
+
+TEST_F(SmtpSessionTest, BannerRewriterHidesSoftware) {
+  const Transcript transcript = run(
+      {std::make_shared<BannerRewriter>("gateway", "mail-gateway ESMTP ready")});
+  EXPECT_EQ(transcript.banner, "mail-gateway ESMTP ready");
+  EXPECT_TRUE(transcript.message_accepted);  // otherwise transparent
+}
+
+TEST_F(SmtpSessionTest, BodyTaggerAppendsFooter) {
+  const Transcript transcript =
+      run({std::make_shared<BodyTagger>("av-scan", "-- scanned by av-scan")});
+  EXPECT_TRUE(transcript.message_accepted);
+  ASSERT_EQ(server_.received().size(), 1u);
+  EXPECT_EQ(server_.received().front().body,
+            "Subject: tft-probe\n\nreference body\n-- scanned by av-scan\n");
+}
+
+TEST_F(SmtpSessionTest, StackedInterceptorsCompose) {
+  const Transcript transcript =
+      run({std::make_shared<StarttlsStripper>("fixup-box"),
+           std::make_shared<BodyTagger>("av-scan", "-- scanned")});
+  EXPECT_FALSE(transcript.starttls_offered);
+  ASSERT_EQ(server_.received().size(), 1u);
+  EXPECT_FALSE(server_.received().front().over_tls);
+  EXPECT_NE(server_.received().front().body.find("-- scanned"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tft::smtp

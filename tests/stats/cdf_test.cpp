@@ -1,0 +1,96 @@
+#include "tft/stats/cdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tft/util/rng.hpp"
+
+namespace tft::stats {
+namespace {
+
+TEST(EmpiricalCdfTest, EmptyBehaviour) {
+  EmpiricalCdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_EQ(cdf.size(), 0u);
+  EXPECT_DOUBLE_EQ(cdf.at(10.0), 0.0);
+}
+
+TEST(EmpiricalCdfTest, AtComputesFraction) {
+  EmpiricalCdf cdf({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(EmpiricalCdfTest, AddKeepsOrderIrrelevant) {
+  EmpiricalCdf cdf;
+  cdf.add(3);
+  cdf.add(1);
+  cdf.add(2);
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.median(), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 2.0);
+}
+
+TEST(EmpiricalCdfTest, PercentileInterpolates) {
+  EmpiricalCdf cdf({0, 10});
+  EXPECT_DOUBLE_EQ(cdf.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(100), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(25), 2.5);
+}
+
+TEST(EmpiricalCdfTest, SingleSample) {
+  EmpiricalCdf cdf({7});
+  EXPECT_DOUBLE_EQ(cdf.percentile(0), 7.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(99), 7.0);
+}
+
+TEST(EmpiricalCdfTest, LogSpacedCurveMonotone) {
+  util::Rng rng(5);
+  EmpiricalCdf cdf;
+  for (int i = 0; i < 1000; ++i) cdf.add(rng.log_uniform(12, 12500));
+  const auto curve = cdf.log_spaced_curve(1, 20000, 50);
+  ASSERT_EQ(curve.size(), 50u);
+  EXPECT_DOUBLE_EQ(curve.front().first, 1.0);
+  EXPECT_NEAR(curve.back().first, 20000.0, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].second, curve[i - 1].second);  // CDF is monotone
+    EXPECT_GT(curve[i].first, curve[i - 1].first);    // log-spaced x grows
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(EmpiricalCdfTest, AsciiCurveShape) {
+  EmpiricalCdf cdf({100, 100, 100, 100});
+  const std::string curve = cdf.ascii_curve(1, 10000, 20);
+  EXPECT_EQ(curve.size(), 20u);
+  EXPECT_EQ(curve.front(), ' ');   // nothing below 1s
+  EXPECT_EQ(curve.back(), '@');    // everything by 10000s
+}
+
+TEST(EmpiricalCdfTest, SortedSamplesAccessor) {
+  EmpiricalCdf cdf({3, 1, 2});
+  const auto& sorted = cdf.sorted_samples();
+  EXPECT_EQ(sorted, (std::vector<double>{1, 2, 3}));
+}
+
+TEST(EmpiricalCdfTest, TrendMicroStepShape) {
+  // Two log-uniform components — the CDF must show the y=0.5 plateau
+  // between 120s and 200s that Figure 5 shows for TrendMicro.
+  util::Rng rng(9);
+  EmpiricalCdf cdf;
+  for (int i = 0; i < 2000; ++i) {
+    cdf.add(rng.log_uniform(12, 120));
+    cdf.add(rng.log_uniform(200, 12500));
+  }
+  EXPECT_NEAR(cdf.at(120.0), 0.5, 0.02);
+  EXPECT_NEAR(cdf.at(199.0), 0.5, 0.02);
+  EXPECT_LT(cdf.at(60.0), 0.45);
+  EXPECT_GT(cdf.at(1000.0), 0.6);
+}
+
+}  // namespace
+}  // namespace tft::stats

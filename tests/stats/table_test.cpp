@@ -1,0 +1,52 @@
+#include "tft/stats/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tft::stats {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table table({"Country", "Nodes"});
+  table.add_row({"MY", "6,983"});
+  table.add_row({"US", "33,398"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("Country  Nodes"), std::string::npos);
+  EXPECT_NE(out.find("MY       6,983"), std::string::npos);
+  EXPECT_NE(out.find("US       33,398"), std::string::npos);
+  EXPECT_NE(out.find("--------"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TableTest, ColumnsWidenToContent) {
+  Table table({"A"});
+  table.add_row({"a-very-long-cell"});
+  const std::string out = table.render();
+  // The rule line must span the widest cell.
+  const auto rule_start = out.find('\n') + 1;
+  const auto rule_end = out.find('\n', rule_start);
+  EXPECT_EQ(rule_end - rule_start, std::string("a-very-long-cell").size());
+}
+
+TEST(TableTest, MissingCellsRenderEmpty) {
+  Table table({"A", "B", "C"});
+  table.add_row({"1"});
+  table.add_row({"1", "2", "3", "4-dropped"});
+  const std::string out = table.render();
+  EXPECT_EQ(out.find("4-dropped"), std::string::npos);
+}
+
+TEST(TableTest, EmptyTableIsJustHeader) {
+  Table table({"X"});
+  const std::string out = table.render();
+  EXPECT_EQ(out, "X\n-\n");
+}
+
+TEST(BannerTest, PadsTo72) {
+  const std::string out = banner("Table 3");
+  EXPECT_TRUE(out.starts_with("== Table 3 ="));
+  EXPECT_EQ(out.size(), 73u);  // 72 + newline
+  EXPECT_EQ(out.back(), '\n');
+}
+
+}  // namespace
+}  // namespace tft::stats

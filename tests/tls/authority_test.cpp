@@ -1,0 +1,143 @@
+#include "tft/tls/authority.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tft::tls {
+namespace {
+
+const sim::Instant kStart = sim::Instant::epoch() - sim::Duration::hours(24);
+const sim::Instant kEnd = sim::Instant::epoch() + sim::Duration::hours(24 * 3650);
+const sim::Instant kNow = sim::Instant::epoch() + sim::Duration::hours(24);
+
+CertificateAuthority make_test_root() {
+  return CertificateAuthority::make_root({"Root", "Trust", "US"}, 900, kStart, kEnd);
+}
+
+TEST(AuthorityTest, RootIsSelfSignedCa) {
+  const auto root = make_test_root();
+  EXPECT_TRUE(root.certificate().self_signed());
+  EXPECT_TRUE(root.certificate().is_ca);
+  EXPECT_EQ(root.key(), 900u);
+}
+
+TEST(AuthorityTest, IntermediateLinksToParent) {
+  const auto root = make_test_root();
+  const auto intermediate =
+      CertificateAuthority::make_intermediate(root, {"Mid", "Trust", "US"}, 901);
+  EXPECT_EQ(intermediate.certificate().signed_by, root.key());
+  EXPECT_EQ(intermediate.certificate().issuer, root.name());
+  EXPECT_TRUE(intermediate.certificate().is_ca);
+}
+
+TEST(AuthorityTest, IssueAssignsMonotonicSerialsAndDistinctKeys) {
+  auto root = make_test_root();
+  CertificateAuthority::LeafOptions options;
+  options.hosts = {"a.example.com"};
+  const auto first = root.issue(options);
+  const auto second = root.issue(options);
+  EXPECT_LT(first.serial, second.serial);
+  EXPECT_NE(first.public_key, second.public_key);
+  EXPECT_EQ(first.subject.common_name, "a.example.com");
+  EXPECT_FALSE(first.is_ca);
+}
+
+TEST(AuthorityTest, ChainForIncludesFullPath) {
+  const auto root = make_test_root();
+  auto intermediate =
+      CertificateAuthority::make_intermediate(root, {"Mid", "Trust", "US"}, 901);
+  CertificateAuthority::LeafOptions options;
+  options.hosts = {"x.example.com"};
+  const auto leaf = intermediate.issue(options);
+  const auto chain = intermediate.chain_for(leaf);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0].subject.common_name, "x.example.com");
+  EXPECT_EQ(chain[1].subject.common_name, "Mid");
+  EXPECT_EQ(chain[2].subject.common_name, "Root");
+}
+
+class ForgeTest : public ::testing::Test {
+ protected:
+  ForgeTest() {
+    original_.subject = {"bank.example.com", "Bank", "US"};
+    original_.issuer = {"Real CA", "Trust", "US"};
+    original_.subject_alt_names = {"bank.example.com"};
+    original_.public_key = 12345;
+    original_.signed_by = 900;
+    profile_.issuer = {"Kaspersky Anti-Virus Personal Root", "Kaspersky", "RU"};
+    profile_.signing_key = 7777;
+    profile_.reuse_public_key = true;
+  }
+
+  Certificate original_;
+  ForgeProfile profile_;
+};
+
+TEST_F(ForgeTest, ForgedLeafCarriesProductIssuer) {
+  const auto forged = forge_leaf(original_, profile_, 1, true, kNow);
+  EXPECT_EQ(forged.issuer.common_name, "Kaspersky Anti-Virus Personal Root");
+  EXPECT_EQ(forged.signed_by, 7777u);
+  EXPECT_EQ(forged.subject_alt_names, original_.subject_alt_names);
+  EXPECT_TRUE(forged.valid_at(kNow));
+  EXPECT_NE(forged.public_key, original_.public_key);
+}
+
+TEST_F(ForgeTest, KeyReusePerHost) {
+  // §6.2: every spoofed certificate on one host shares the same key.
+  Certificate other = original_;
+  other.subject.common_name = "mail.example.com";
+  other.subject_alt_names = {"mail.example.com"};
+  const auto a = forge_leaf(original_, profile_, 42, true, kNow);
+  const auto b = forge_leaf(other, profile_, 42, true, kNow);
+  EXPECT_EQ(a.public_key, b.public_key);
+  // But different hosts (machines) use different keys.
+  const auto c = forge_leaf(original_, profile_, 43, true, kNow);
+  EXPECT_NE(a.public_key, c.public_key);
+}
+
+TEST_F(ForgeTest, AvastStyleFreshKeys) {
+  profile_.reuse_public_key = false;
+  Certificate other = original_;
+  other.subject.common_name = "mail.example.com";
+  const auto a = forge_leaf(original_, profile_, 42, true, kNow);
+  const auto b = forge_leaf(other, profile_, 42, true, kNow);
+  EXPECT_NE(a.public_key, b.public_key);
+}
+
+TEST_F(ForgeTest, UntrustedIssuerForInvalidUpstream) {
+  profile_.untrusted_issuer =
+      DistinguishedName{"Avast! untrusted root", "Avast", "CZ"};
+  const auto valid = forge_leaf(original_, profile_, 1, /*upstream_valid=*/true, kNow);
+  const auto invalid = forge_leaf(original_, profile_, 1, /*upstream_valid=*/false, kNow);
+  EXPECT_EQ(valid.issuer.common_name, "Kaspersky Anti-Virus Personal Root");
+  EXPECT_EQ(invalid.issuer.common_name, "Avast! untrusted root");
+  EXPECT_NE(valid.signed_by, invalid.signed_by);
+}
+
+TEST_F(ForgeTest, DangerousProductsMaskInvalidUpstream) {
+  // No untrusted_issuer configured: invalid upstreams get the same trusted
+  // issuer as valid ones (the Kaspersky/ESET/... behaviour §6.2 flags).
+  const auto valid = forge_leaf(original_, profile_, 1, true, kNow);
+  const auto invalid = forge_leaf(original_, profile_, 1, false, kNow);
+  EXPECT_EQ(valid.issuer, invalid.issuer);
+  EXPECT_EQ(valid.signed_by, invalid.signed_by);
+  EXPECT_EQ(valid.public_key, invalid.public_key);
+}
+
+TEST_F(ForgeTest, MalwareCopiesSubjectFields) {
+  profile_.copy_subject_fields = true;
+  const auto forged = forge_leaf(original_, profile_, 1, true, kNow);
+  EXPECT_EQ(forged.subject, original_.subject);
+  profile_.copy_subject_fields = false;
+  const auto plain = forge_leaf(original_, profile_, 1, true, kNow);
+  EXPECT_EQ(plain.subject.common_name, original_.subject.common_name);
+  EXPECT_TRUE(plain.subject.organization.empty());
+}
+
+TEST_F(ForgeTest, ForgeIsDeterministic) {
+  const auto a = forge_leaf(original_, profile_, 9, true, kNow);
+  const auto b = forge_leaf(original_, profile_, 9, true, kNow);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+}  // namespace
+}  // namespace tft::tls

@@ -1,0 +1,81 @@
+#include "tft/tls/certificate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tft::tls {
+namespace {
+
+Certificate sample_leaf() {
+  Certificate leaf;
+  leaf.subject = {"www.example.com", "Example Inc", "US"};
+  leaf.issuer = {"Test CA", "Test Trust", "US"};
+  leaf.serial = 42;
+  leaf.not_before = sim::Instant::epoch();
+  leaf.not_after = sim::Instant::epoch() + sim::Duration::hours(24 * 365);
+  leaf.subject_alt_names = {"www.example.com", "*.cdn.example.com"};
+  leaf.public_key = 111;
+  leaf.signed_by = 222;
+  return leaf;
+}
+
+TEST(DistinguishedNameTest, ToString) {
+  DistinguishedName dn{"Avast! Web/Mail Shield Root", "Avast", "CZ"};
+  EXPECT_EQ(dn.to_string(), "CN=Avast! Web/Mail Shield Root, O=Avast, C=CZ");
+  EXPECT_EQ((DistinguishedName{"OnlyCN", "", ""}).to_string(), "CN=OnlyCN");
+}
+
+TEST(CertificateTest, FingerprintStableAndSensitive) {
+  const Certificate a = sample_leaf();
+  Certificate b = sample_leaf();
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  b.serial = 43;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  b = sample_leaf();
+  b.public_key = 999;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  b = sample_leaf();
+  b.subject_alt_names.push_back("extra.example.com");
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(CertificateTest, ValidityWindow) {
+  const Certificate leaf = sample_leaf();
+  EXPECT_TRUE(leaf.valid_at(sim::Instant::epoch()));
+  EXPECT_TRUE(leaf.valid_at(sim::Instant::epoch() + sim::Duration::hours(24)));
+  EXPECT_FALSE(leaf.valid_at(sim::Instant::epoch() - sim::Duration::seconds(1)));
+  EXPECT_FALSE(leaf.valid_at(sim::Instant::epoch() + sim::Duration::hours(24 * 366)));
+}
+
+TEST(CertificateTest, SelfSignedDetection) {
+  Certificate leaf = sample_leaf();
+  EXPECT_FALSE(leaf.self_signed());
+  leaf.issuer = leaf.subject;
+  leaf.signed_by = leaf.public_key;
+  EXPECT_TRUE(leaf.self_signed());
+}
+
+TEST(WildcardTest, Matching) {
+  EXPECT_TRUE(wildcard_matches("example.com", "EXAMPLE.com"));
+  EXPECT_TRUE(wildcard_matches("*.example.com", "www.example.com"));
+  EXPECT_TRUE(wildcard_matches("*.example.com", "a.EXAMPLE.COM"));
+  EXPECT_FALSE(wildcard_matches("*.example.com", "example.com"));
+  EXPECT_FALSE(wildcard_matches("*.example.com", "a.b.example.com"));
+  EXPECT_FALSE(wildcard_matches("*.example.com", ".example.com"));
+  EXPECT_FALSE(wildcard_matches("example.com", "www.example.com"));
+}
+
+TEST(CertificateTest, HostMatchingPrefersSans) {
+  Certificate leaf = sample_leaf();
+  EXPECT_TRUE(leaf.matches_host("www.example.com"));
+  EXPECT_TRUE(leaf.matches_host("img.cdn.example.com"));
+  EXPECT_FALSE(leaf.matches_host("other.example.com"));
+  // When SANs exist, the CN is ignored (RFC 6125).
+  leaf.subject.common_name = "cnonly.example.com";
+  EXPECT_FALSE(leaf.matches_host("cnonly.example.com"));
+  // Without SANs, fall back to CN.
+  leaf.subject_alt_names.clear();
+  EXPECT_TRUE(leaf.matches_host("cnonly.example.com"));
+}
+
+}  // namespace
+}  // namespace tft::tls

@@ -1,0 +1,113 @@
+#include "tft/tls/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tft/tls/authority.hpp"
+
+namespace tft::tls {
+namespace {
+
+Certificate sample_certificate() {
+  Certificate certificate;
+  certificate.subject = {"www.example.com", "Example Inc", "US"};
+  certificate.issuer = {"TFT TLS Issuing CA", "TFT Trust Services", "US"};
+  certificate.serial = 0xDEADBEEFCAFEULL;
+  certificate.not_before = sim::Instant::epoch() - sim::Duration::hours(24);
+  certificate.not_after = sim::Instant::epoch() + sim::Duration::hours(24 * 365);
+  certificate.subject_alt_names = {"www.example.com", "*.cdn.example.com"};
+  certificate.public_key = 111222333;
+  certificate.signed_by = 444555666;
+  certificate.is_ca = false;
+  return certificate;
+}
+
+TEST(TlsCodecTest, CertificateRoundTrip) {
+  const Certificate original = sample_certificate();
+  const auto decoded = decode_certificate(encode_certificate(original));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  EXPECT_EQ(*decoded, original);
+  EXPECT_EQ(decoded->fingerprint(), original.fingerprint());
+}
+
+TEST(TlsCodecTest, NegativeValidityInstantsSurvive) {
+  // Expired certificates sit before the sim epoch (negative micros).
+  Certificate certificate = sample_certificate();
+  certificate.not_before = sim::Instant::epoch() - sim::Duration::hours(24 * 730);
+  certificate.not_after = sim::Instant::epoch() - sim::Duration::hours(24);
+  const auto decoded = decode_certificate(encode_certificate(certificate));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->not_before, certificate.not_before);
+  EXPECT_EQ(decoded->not_after, certificate.not_after);
+}
+
+TEST(TlsCodecTest, EmptyFieldsSurvive) {
+  Certificate certificate = sample_certificate();
+  certificate.subject = {"", "", ""};
+  certificate.subject_alt_names.clear();
+  certificate.is_ca = true;
+  const auto decoded = decode_certificate(encode_certificate(certificate));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, certificate);
+}
+
+TEST(TlsCodecTest, ChainRoundTrip) {
+  auto root = CertificateAuthority::make_root(
+      {"Root", "Trust", "US"}, 1, sim::Instant::epoch(),
+      sim::Instant::epoch() + sim::Duration::hours(24 * 3650));
+  auto intermediate =
+      CertificateAuthority::make_intermediate(root, {"Mid", "Trust", "US"}, 2);
+  CertificateAuthority::LeafOptions options;
+  options.hosts = {"www.example.com"};
+  const CertificateChain original = intermediate.chain_for(intermediate.issue(options));
+
+  const auto decoded = decode_chain(encode_chain(original));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*decoded)[i], original[i]) << "certificate " << i;
+  }
+}
+
+TEST(TlsCodecTest, EmptyChainRoundTrip) {
+  const auto decoded = decode_chain(encode_chain({}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(TlsCodecTest, RejectsBadMagicAndVersion) {
+  std::string wire = encode_chain({sample_certificate()});
+  std::string bad_magic = wire;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(decode_chain(bad_magic).ok());
+  std::string bad_version = wire;
+  bad_version[5] = 9;
+  EXPECT_FALSE(decode_chain(bad_version).ok());
+}
+
+TEST(TlsCodecTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(decode_chain(encode_chain({sample_certificate()}) + "x").ok());
+  EXPECT_FALSE(
+      decode_certificate(encode_certificate(sample_certificate()) + "x").ok());
+}
+
+class TlsCodecTruncationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TlsCodecTruncationSweep, TruncationFailsCleanly) {
+  const std::string wire = encode_chain({sample_certificate(), sample_certificate()});
+  const auto cut = static_cast<std::size_t>(GetParam());
+  if (cut >= wire.size()) GTEST_SKIP();
+  EXPECT_FALSE(decode_chain(wire.substr(0, cut)).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, TlsCodecTruncationSweep,
+                         ::testing::Range(0, 180, 11));
+
+TEST(TlsCodecTest, RejectsCorruptIsCaFlag) {
+  const std::string wire = encode_certificate(sample_certificate());
+  std::string corrupt = wire;
+  corrupt[corrupt.size() - 1] = 7;  // is_ca must be 0 or 1
+  EXPECT_FALSE(decode_certificate(corrupt).ok());
+}
+
+}  // namespace
+}  // namespace tft::tls

@@ -1,0 +1,64 @@
+#include "tft/tls/endpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "tft/tls/authority.hpp"
+
+namespace tft::tls {
+namespace {
+
+CertificateChain chain_for_host(const std::string& host) {
+  auto root = CertificateAuthority::make_root(
+      {"Root", "", ""}, 1, sim::Instant::epoch(),
+      sim::Instant::epoch() + sim::Duration::hours(24));
+  CertificateAuthority::LeafOptions options;
+  options.hosts = {host};
+  return root.chain_for(root.issue(options));
+}
+
+TEST(TlsServerTest, SniSelectsSite) {
+  TlsServer server("multi");
+  server.add_site("a.example.com", chain_for_host("a.example.com"));
+  server.add_site("b.example.com", chain_for_host("b.example.com"));
+  ASSERT_NE(server.chain_for("a.example.com"), nullptr);
+  EXPECT_EQ(server.chain_for("a.example.com")->front().subject.common_name,
+            "a.example.com");
+  EXPECT_EQ(server.chain_for("B.EXAMPLE.COM")->front().subject.common_name,
+            "b.example.com");
+  EXPECT_EQ(server.chain_for("unknown.example.com"), nullptr);
+}
+
+TEST(TlsServerTest, DefaultChainFallback) {
+  TlsServer server("single");
+  server.set_default_chain(chain_for_host("only.example.com"));
+  EXPECT_NE(server.chain_for(""), nullptr);
+  EXPECT_NE(server.chain_for("anything.example.net"), nullptr);
+}
+
+TEST(TlsServerTest, SingleSiteServesWithoutSni) {
+  TlsServer server("single-site");
+  server.add_site("x.example.com", chain_for_host("x.example.com"));
+  EXPECT_NE(server.chain_for(""), nullptr);
+}
+
+TEST(TlsServerTest, NoChainsMeansRefused) {
+  TlsServer server("empty");
+  EXPECT_EQ(server.chain_for("x"), nullptr);
+}
+
+TEST(TlsEndpointRegistryTest, HandshakeRouting) {
+  TlsEndpointRegistry registry;
+  auto server = std::make_shared<TlsServer>("site");
+  server->set_default_chain(chain_for_host("site.example.com"));
+  const net::Ipv4Address address(198, 51, 100, 20);
+  registry.add(address, server);
+
+  EXPECT_NE(registry.handshake(address, "site.example.com"), nullptr);
+  EXPECT_EQ(registry.handshake(net::Ipv4Address(1, 1, 1, 1), "x"), nullptr);
+  EXPECT_EQ(registry.find(address), server.get());
+}
+
+}  // namespace
+}  // namespace tft::tls

@@ -1,0 +1,167 @@
+#include "tft/tls/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tft/tls/authority.hpp"
+
+namespace tft::tls {
+namespace {
+
+const sim::Instant kNow = sim::Instant::epoch() + sim::Duration::hours(24);
+
+class VerifyTest : public ::testing::Test {
+ protected:
+  VerifyTest()
+      : root_(CertificateAuthority::make_root(
+            {"Test Root CA", "Trust Co", "US"}, 1001,
+            sim::Instant::epoch() - sim::Duration::hours(24 * 365),
+            sim::Instant::epoch() + sim::Duration::hours(24 * 3650))),
+        intermediate_(CertificateAuthority::make_intermediate(
+            root_, {"Test Issuing CA", "Trust Co", "US"}, 1002)),
+        verifier_(&roots_) {
+    roots_.add(root_.certificate());
+  }
+
+  Certificate issue(const std::string& host) {
+    CertificateAuthority::LeafOptions options;
+    options.hosts = {host};
+    return intermediate_.issue(options);
+  }
+
+  CertificateAuthority root_;
+  CertificateAuthority intermediate_;
+  RootStore roots_;
+  CertificateVerifier verifier_;
+};
+
+TEST_F(VerifyTest, FullChainVerifies) {
+  const auto leaf = issue("www.example.com");
+  const auto result =
+      verifier_.verify(intermediate_.chain_for(leaf), "www.example.com", kNow);
+  EXPECT_TRUE(result.ok()) << result.detail;
+}
+
+TEST_F(VerifyTest, ChainWithoutRootStillAnchorsByKey) {
+  const auto leaf = issue("www.example.com");
+  CertificateChain chain = {leaf, intermediate_.certificate()};
+  EXPECT_TRUE(verifier_.verify(chain, "www.example.com", kNow).ok());
+}
+
+TEST_F(VerifyTest, EmptyChainRejected) {
+  EXPECT_EQ(verifier_.verify({}, "x", kNow).status, VerifyStatus::kEmptyChain);
+}
+
+TEST_F(VerifyTest, HostnameMismatch) {
+  const auto leaf = issue("www.example.com");
+  const auto result =
+      verifier_.verify(intermediate_.chain_for(leaf), "evil.example.net", kNow);
+  EXPECT_EQ(result.status, VerifyStatus::kHostnameMismatch);
+}
+
+TEST_F(VerifyTest, EmptyHostSkipsNameCheck) {
+  const auto leaf = issue("www.example.com");
+  EXPECT_TRUE(verifier_.verify(intermediate_.chain_for(leaf), "", kNow).ok());
+}
+
+TEST_F(VerifyTest, ExpiredLeafRejected) {
+  CertificateAuthority::LeafOptions options;
+  options.hosts = {"www.example.com"};
+  options.not_before = sim::Instant::epoch() - sim::Duration::hours(48);
+  options.not_after = sim::Instant::epoch() - sim::Duration::hours(24);
+  const auto leaf = intermediate_.issue(options);
+  EXPECT_EQ(verifier_.verify(intermediate_.chain_for(leaf), "www.example.com", kNow)
+                .status,
+            VerifyStatus::kExpired);
+}
+
+TEST_F(VerifyTest, NotYetValidRejected) {
+  CertificateAuthority::LeafOptions options;
+  options.hosts = {"www.example.com"};
+  options.not_before = kNow + sim::Duration::hours(24);
+  const auto leaf = intermediate_.issue(options);
+  EXPECT_EQ(verifier_.verify(intermediate_.chain_for(leaf), "www.example.com", kNow)
+                .status,
+            VerifyStatus::kNotYetValid);
+}
+
+TEST_F(VerifyTest, SelfSignedLeafRejected) {
+  Certificate leaf;
+  leaf.subject = {"www.example.com", "", ""};
+  leaf.issuer = leaf.subject;
+  leaf.subject_alt_names = {"www.example.com"};
+  leaf.not_before = sim::Instant::epoch();
+  leaf.not_after = kNow + sim::Duration::hours(24);
+  leaf.public_key = 7;
+  leaf.signed_by = 7;
+  EXPECT_EQ(verifier_.verify({leaf}, "www.example.com", kNow).status,
+            VerifyStatus::kSelfSigned);
+}
+
+TEST_F(VerifyTest, BrokenLinkageRejected) {
+  auto leaf = issue("www.example.com");
+  leaf.signed_by = 9999;  // signature no longer matches the intermediate
+  EXPECT_EQ(verifier_.verify(intermediate_.chain_for(leaf), "www.example.com", kNow)
+                .status,
+            VerifyStatus::kBrokenChain);
+}
+
+TEST_F(VerifyTest, IssuerNameMismatchRejected) {
+  auto leaf = issue("www.example.com");
+  leaf.issuer.common_name = "Somebody Else";
+  EXPECT_EQ(verifier_.verify(intermediate_.chain_for(leaf), "www.example.com", kNow)
+                .status,
+            VerifyStatus::kBrokenChain);
+}
+
+TEST_F(VerifyTest, UntrustedRootRejected) {
+  // A parallel hierarchy that is internally consistent but not in the store
+  // — exactly what an anti-virus MITM presents.
+  auto av_root = CertificateAuthority::make_root(
+      {"Avast! Web/Mail Shield Root", "Avast", "CZ"}, 5001,
+      sim::Instant::epoch(), kNow + sim::Duration::hours(24 * 365));
+  CertificateAuthority::LeafOptions options;
+  options.hosts = {"www.example.com"};
+  const auto forged = av_root.issue(options);
+  const auto result =
+      verifier_.verify(av_root.chain_for(forged), "www.example.com", kNow);
+  EXPECT_EQ(result.status, VerifyStatus::kUntrustedRoot);
+}
+
+TEST_F(VerifyTest, IntermediateWithoutCaFlagRejected) {
+  // A leaf masquerading as an issuer.
+  const auto fake_issuer = issue("issuer.example.com");
+  Certificate child;
+  child.subject = {"victim.example.com", "", ""};
+  child.issuer = fake_issuer.subject;
+  child.subject_alt_names = {"victim.example.com"};
+  child.not_before = sim::Instant::epoch();
+  child.not_after = kNow + sim::Duration::hours(24);
+  child.public_key = 31337;
+  child.signed_by = fake_issuer.public_key;
+  CertificateChain chain = {child, fake_issuer, intermediate_.certificate(),
+                            root_.certificate()};
+  EXPECT_EQ(verifier_.verify(chain, "victim.example.com", kNow).status,
+            VerifyStatus::kNotACa);
+}
+
+TEST_F(VerifyTest, StatusNames) {
+  EXPECT_EQ(to_string(VerifyStatus::kOk), "ok");
+  EXPECT_EQ(to_string(VerifyStatus::kUntrustedRoot), "untrusted_root");
+  EXPECT_EQ(to_string(VerifyStatus::kHostnameMismatch), "hostname_mismatch");
+}
+
+TEST(RootStoreTest, TrustAndKeys) {
+  RootStore store;
+  auto root = CertificateAuthority::make_root({"R", "", ""}, 77,
+                                              sim::Instant::epoch(),
+                                              kNow + sim::Duration::hours(1));
+  EXPECT_FALSE(store.trusts(root.certificate()));
+  store.add(root.certificate());
+  EXPECT_TRUE(store.trusts(root.certificate()));
+  EXPECT_TRUE(store.trusts_key(77));
+  EXPECT_FALSE(store.trusts_key(78));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tft::tls

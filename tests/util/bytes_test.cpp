@@ -1,0 +1,66 @@
+#include "tft/util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tft::util {
+namespace {
+
+TEST(BytesTest, RoundTripIntegers) {
+  ByteWriter writer;
+  writer.u8(0xAB);
+  writer.u16(0x1234);
+  writer.u32(0xDEADBEEF);
+  writer.u64(0x0102030405060708ULL);
+
+  ByteReader reader(writer.data());
+  EXPECT_EQ(*reader.u8(), 0xAB);
+  EXPECT_EQ(*reader.u16(), 0x1234);
+  EXPECT_EQ(*reader.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(*reader.u64(), 0x0102030405060708ULL);
+  EXPECT_TRUE(reader.at_end());
+}
+
+TEST(BytesTest, BigEndianLayout) {
+  ByteWriter writer;
+  writer.u16(0x0102);
+  EXPECT_EQ(writer.data()[0], 0x01);
+  EXPECT_EQ(writer.data()[1], 0x02);
+}
+
+TEST(BytesTest, ReadPastEndFails) {
+  ByteReader reader(std::string_view("\x01", 1));
+  EXPECT_TRUE(reader.u8().ok());
+  auto r = reader.u8();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kOutOfRange);
+}
+
+TEST(BytesTest, U16PastEndFails) {
+  ByteReader reader(std::string_view("\x01", 1));
+  EXPECT_FALSE(reader.u16().ok());
+}
+
+TEST(BytesTest, BytesAndSeek) {
+  ByteWriter writer;
+  writer.bytes("hello");
+  ByteReader reader(writer.data());
+  EXPECT_EQ(*reader.bytes(2), "he");
+  ASSERT_TRUE(reader.seek(0).ok());
+  EXPECT_EQ(*reader.bytes(5), "hello");
+  EXPECT_FALSE(reader.bytes(1).ok());
+  EXPECT_FALSE(reader.seek(6).ok());
+  EXPECT_TRUE(reader.seek(5).ok());
+}
+
+TEST(BytesTest, PatchU16) {
+  ByteWriter writer;
+  writer.u16(0);
+  writer.u8(0x7F);
+  writer.patch_u16(0, 0xBEEF);
+  ByteReader reader(writer.data());
+  EXPECT_EQ(*reader.u16(), 0xBEEF);
+  EXPECT_EQ(*reader.u8(), 0x7F);
+}
+
+}  // namespace
+}  // namespace tft::util

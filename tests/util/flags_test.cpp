@@ -1,0 +1,94 @@
+#include "tft/util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tft::util {
+namespace {
+
+Flags parse(std::vector<const char*> argv,
+            const std::vector<std::string>& booleans = {}) {
+  argv.insert(argv.begin(), "prog");
+  auto flags = Flags::parse(static_cast<int>(argv.size()), argv.data(), booleans);
+  EXPECT_TRUE(flags.ok());
+  return *std::move(flags);
+}
+
+TEST(FlagsTest, EqualsForm) {
+  const auto flags = parse({"--scale=0.5", "--seed=42"});
+  EXPECT_EQ(flags.get("scale"), "0.5");
+  EXPECT_EQ(*flags.get_double("scale", 0), 0.5);
+  EXPECT_EQ(*flags.get_int("seed", 0), 42);
+}
+
+TEST(FlagsTest, SpaceForm) {
+  const auto flags = parse({"--out", "report.txt", "--scale", "0.1"});
+  EXPECT_EQ(flags.get("out"), "report.txt");
+  EXPECT_EQ(*flags.get_double("scale", 0), 0.1);
+}
+
+TEST(FlagsTest, BooleanFlags) {
+  const auto flags = parse({"--verbose", "--json", "positional"},
+                           {"verbose", "json"});
+  EXPECT_TRUE(flags.get_bool("verbose"));
+  EXPECT_TRUE(flags.get_bool("json"));
+  EXPECT_FALSE(flags.get_bool("quiet"));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "positional");
+}
+
+TEST(FlagsTest, UndeclaredBooleanSwallowsNextToken) {
+  // Without declaring "verbose" boolean, the following token is its value.
+  const auto flags = parse({"--verbose", "positional"});
+  EXPECT_EQ(flags.get("verbose"), "positional");
+  EXPECT_TRUE(flags.positional().empty());
+}
+
+TEST(FlagsTest, BoolFalseSpellings) {
+  const auto flags = parse({"--a=false", "--b=0", "--c=no", "--d=yes"});
+  EXPECT_FALSE(flags.get_bool("a", true));
+  EXPECT_FALSE(flags.get_bool("b", true));
+  EXPECT_FALSE(flags.get_bool("c", true));
+  EXPECT_TRUE(flags.get_bool("d"));
+}
+
+TEST(FlagsTest, DoubleDashEndsFlags) {
+  const auto flags = parse({"--a=1", "--", "--not-a-flag"});
+  EXPECT_EQ(flags.get("a"), "1");
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "--not-a-flag");
+}
+
+TEST(FlagsTest, Fallbacks) {
+  const auto flags = parse({});
+  EXPECT_EQ(flags.get_or("missing", "default"), "default");
+  EXPECT_EQ(*flags.get_double("missing", 3.5), 3.5);
+  EXPECT_EQ(*flags.get_int("missing", 7), 7);
+  EXPECT_FALSE(flags.get("missing").has_value());
+  EXPECT_FALSE(flags.has("missing"));
+}
+
+TEST(FlagsTest, TypeErrors) {
+  const auto flags = parse({"--scale=abc", "--seed=1.5"});
+  EXPECT_FALSE(flags.get_double("scale", 0).ok());
+  EXPECT_FALSE(flags.get_int("seed", 0).ok());
+}
+
+TEST(FlagsTest, UnknownDetection) {
+  const auto flags = parse({"--scale=1", "--tyop=3"});
+  const auto unknown = flags.unknown({"scale", "seed"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "tyop");
+}
+
+TEST(FlagsTest, EmptyFlagNameRejected) {
+  const char* argv[] = {"prog", "--=x"};
+  EXPECT_FALSE(Flags::parse(2, argv).ok());
+}
+
+TEST(FlagsTest, ProgramName) {
+  const auto flags = parse({});
+  EXPECT_EQ(flags.program(), "prog");
+}
+
+}  // namespace
+}  // namespace tft::util

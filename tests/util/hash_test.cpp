@@ -1,0 +1,33 @@
+#include "tft/util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tft::util {
+namespace {
+
+TEST(HashTest, Fnv1a64KnownValues) {
+  // Standard FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xAF63DC4C8601EC8CULL);
+}
+
+TEST(HashTest, StableAcrossCalls) {
+  EXPECT_EQ(fnv1a64("exit-node-1"), fnv1a64("exit-node-1"));
+  EXPECT_NE(fnv1a64("exit-node-1"), fnv1a64("exit-node-2"));
+}
+
+TEST(HashTest, CombineOrderMatters) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(HashTest, StableIdFormat) {
+  const std::string id = stable_id("node-42");
+  EXPECT_EQ(id.size(), 16u);
+  EXPECT_EQ(id, stable_id("node-42"));
+  for (char c : id) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'));
+  }
+}
+
+}  // namespace
+}  // namespace tft::util

@@ -1,0 +1,122 @@
+#include "tft/util/json_parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tft/util/json.hpp"
+#include "tft/util/rng.hpp"
+
+namespace tft::util {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(parse_json("null")->is_null());
+  EXPECT_TRUE(parse_json("true")->as_bool());
+  EXPECT_FALSE(parse_json("false")->as_bool(true));
+  EXPECT_DOUBLE_EQ(parse_json("3.5")->as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(parse_json("-42")->as_number(), -42);
+  EXPECT_DOUBLE_EQ(parse_json("1e3")->as_number(), 1000);
+  EXPECT_EQ(parse_json("\"hi\"")->as_string(), "hi");
+}
+
+TEST(JsonParseTest, WhitespaceTolerated) {
+  const auto value = parse_json("  \n\t {\"a\" : [ 1 , 2 ] }  ");
+  ASSERT_TRUE(value.ok());
+  ASSERT_TRUE(value->is_object());
+  EXPECT_EQ((*value)["a"].as_array().size(), 2u);
+}
+
+TEST(JsonParseTest, NestedStructures) {
+  const auto value = parse_json(
+      R"({"countries":[{"code":"MY","total":6983},{"code":"US","total":33398}],)"
+      R"("scale":0.05,"overlay":false})");
+  ASSERT_TRUE(value.ok());
+  const auto& countries = (*value)["countries"].as_array();
+  ASSERT_EQ(countries.size(), 2u);
+  EXPECT_EQ(countries[0]["code"].as_string(), "MY");
+  EXPECT_EQ(countries[1]["total"].as_int(), 33398);
+  EXPECT_DOUBLE_EQ((*value)["scale"].as_number(), 0.05);
+  EXPECT_FALSE((*value)["overlay"].as_bool(true));
+  EXPECT_TRUE((*value)["missing"].is_null());
+  EXPECT_TRUE(value->has("scale"));
+  EXPECT_FALSE(value->has("missing"));
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\/d\n\t")")->as_string(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(parse_json(R"("Aé€")")->as_string(), "A\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(JsonParseTest, EmptyContainers) {
+  EXPECT_TRUE(parse_json("{}")->as_object().empty());
+  EXPECT_TRUE(parse_json("[]")->as_array().empty());
+}
+
+struct BadJsonCase {
+  const char* text;
+};
+
+class JsonParseRejectTest : public ::testing::TestWithParam<BadJsonCase> {};
+
+TEST_P(JsonParseRejectTest, Rejects) {
+  EXPECT_FALSE(parse_json(GetParam().text).ok()) << GetParam().text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadDocuments, JsonParseRejectTest,
+    ::testing::Values(BadJsonCase{""}, BadJsonCase{"{"}, BadJsonCase{"["},
+                      BadJsonCase{"\"unterminated"}, BadJsonCase{"nul"},
+                      BadJsonCase{"{\"a\":}"}, BadJsonCase{"{\"a\" 1}"},
+                      BadJsonCase{"[1,]"}, BadJsonCase{"[1 2]"},
+                      BadJsonCase{"{\"a\":1,}"}, BadJsonCase{"1 2"},
+                      BadJsonCase{"{'a':1}"}, BadJsonCase{"\"\\x\""},
+                      BadJsonCase{"\"\\u12\""}, BadJsonCase{"\"\\ud800\""},
+                      BadJsonCase{"\"\tliteral-tab\""}, BadJsonCase{"--1"}));
+
+TEST(JsonParseTest, DeepNestingBounded) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(parse_json(deep).ok());  // beyond the depth limit
+  std::string ok(50, '[');
+  ok += std::string(50, ']');
+  EXPECT_TRUE(parse_json(ok).ok());
+}
+
+TEST(JsonParseRoundTrip, WriterOutputAlwaysParses) {
+  // Property: anything JsonWriter emits, parse_json accepts and agrees on.
+  Rng rng(0x15a);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    JsonWriter writer;
+    writer.begin_object();
+    writer.field("text", "line\nbreak \"quoted\" \\slash\\");
+    writer.field("n", rng.uniform_double() * 1e6);
+    writer.field("i", static_cast<std::int64_t>(rng.next_u64() >> 16));
+    writer.field("flag", rng.chance(0.5));
+    writer.begin_array("items");
+    const std::size_t items = rng.index(6);
+    for (std::size_t i = 0; i < items; ++i) {
+      writer.begin_object().field("k", i).end_object();
+    }
+    writer.end_array();
+    writer.end_object();
+
+    const auto parsed = parse_json(writer.str());
+    ASSERT_TRUE(parsed.ok()) << writer.str();
+    EXPECT_EQ((*parsed)["text"].as_string(), "line\nbreak \"quoted\" \\slash\\");
+    EXPECT_EQ((*parsed)["items"].as_array().size(), items);
+  }
+}
+
+TEST(JsonParseFuzz, RandomBytesNeverCrash) {
+  Rng rng(0x15b);
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    std::string garbage;
+    const std::size_t length = rng.index(120);
+    for (std::size_t i = 0; i < length; ++i) {
+      garbage += static_cast<char>(rng.next_u64() & 0x7F);
+    }
+    (void)parse_json(garbage);
+  }
+}
+
+}  // namespace
+}  // namespace tft::util

@@ -1,0 +1,87 @@
+#include "tft/util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace tft::util {
+namespace {
+
+TEST(JsonWriterTest, FlatObject) {
+  JsonWriter json;
+  json.begin_object()
+      .field("name", "tft")
+      .field("nodes", std::uint64_t{1276873})
+      .field("ratio", 0.048)
+      .field("ok", true)
+      .end_object();
+  EXPECT_TRUE(json.complete());
+  EXPECT_EQ(json.str(),
+            R"({"name":"tft","nodes":1276873,"ratio":0.048,"ok":true})");
+}
+
+TEST(JsonWriterTest, NestedContainers) {
+  JsonWriter json;
+  json.begin_object();
+  json.begin_array("rows");
+  json.begin_object().field("a", 1).end_object();
+  json.begin_object().field("a", 2).end_object();
+  json.end_array();
+  json.begin_object("meta").field("count", 2).end_object();
+  json.end_object();
+  EXPECT_EQ(json.str(), R"({"rows":[{"a":1},{"a":2}],"meta":{"count":2}})");
+}
+
+TEST(JsonWriterTest, ArrayOfScalars) {
+  JsonWriter json;
+  json.begin_array();
+  json.value("x").value(std::int64_t{-3}).value(true).null().value(1.5);
+  json.end_array();
+  EXPECT_EQ(json.str(), R"(["x",-3,true,null,1.5])");
+}
+
+TEST(JsonWriterTest, Escaping) {
+  EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonWriter::escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(JsonWriter::escape("utf8 \xC3\xA9 ok"), "utf8 \xC3\xA9 ok");
+}
+
+TEST(JsonWriterTest, EscapedKeysAndValues) {
+  JsonWriter json;
+  json.begin_object().field("we\"ird", "v\nal").end_object();
+  EXPECT_EQ(json.str(), R"({"we\"ird":"v\nal"})");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  JsonWriter json;
+  json.begin_array();
+  json.value(std::numeric_limits<double>::quiet_NaN());
+  json.value(std::numeric_limits<double>::infinity());
+  json.end_array();
+  EXPECT_EQ(json.str(), "[null,null]");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  JsonWriter object;
+  object.begin_object().end_object();
+  EXPECT_EQ(object.str(), "{}");
+  JsonWriter array;
+  array.begin_array().end_array();
+  EXPECT_EQ(array.str(), "[]");
+}
+
+TEST(JsonWriterTest, CompleteTracksBalance) {
+  JsonWriter json;
+  EXPECT_FALSE(json.complete());
+  json.begin_object();
+  EXPECT_FALSE(json.complete());
+  json.end_object();
+  EXPECT_TRUE(json.complete());
+}
+
+}  // namespace
+}  // namespace tft::util

@@ -1,0 +1,54 @@
+#include "tft/util/result.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tft::util {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(make_error(ErrorCode::kParseError, "bad input"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kParseError);
+  EXPECT_EQ(r.error().message, "bad input");
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, ThrowsOnBadAccess) {
+  Result<int> r(make_error(ErrorCode::kNotFound, "missing"));
+  EXPECT_THROW(r.value(), BadResultAccess);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(ResultTest, VoidSuccessAndError) {
+  Result<void> ok;
+  EXPECT_TRUE(ok.ok());
+  Result<void> bad(make_error(ErrorCode::kTimeout, "slow"));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, ErrorCode::kTimeout);
+}
+
+TEST(ResultTest, ErrorToString) {
+  const Error e = make_error(ErrorCode::kProtocolViolation, "oops");
+  EXPECT_EQ(e.to_string(), "protocol_violation: oops");
+  EXPECT_EQ(to_string(ErrorCode::kParseError), "parse_error");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+}  // namespace
+}  // namespace tft::util

@@ -1,0 +1,107 @@
+#include "tft/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tft::util {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform(17), 17u);
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(3);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng rng(42);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  const double ratio = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(ratio, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  double total = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) total += rng.exponential(5.0);
+  EXPECT_NEAR(total / trials, 5.0, 0.1);
+}
+
+TEST(RngTest, LogUniformStaysInRange) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.log_uniform(12.0, 120.0);
+    EXPECT_GE(v, 12.0);
+    EXPECT_LE(v, 120.0 * (1 + 1e-9));
+  }
+}
+
+TEST(RngTest, WeightedIndexFavorsHeavyWeight) {
+  Rng rng(31);
+  const std::vector<double> weights{0.0, 9.0, 1.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[1], counts[2] * 5);
+}
+
+TEST(RngTest, ForkIsIndependentButDeterministic) {
+  Rng a(99), b(99);
+  Rng fa = a.fork(), fb = b.fork();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+}
+
+}  // namespace
+}  // namespace tft::util

@@ -1,0 +1,65 @@
+#include "tft/util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tft::util {
+namespace {
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  const auto parts = split("a..b", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringsTest, SplitSingleField) {
+  const auto parts = split("abc", '.');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringsTest, SplitNonemptyDropsEmpty) {
+  const auto parts = split_nonempty(",a,,b,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  hi \t\r\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringsTest, CaseHelpers) {
+  EXPECT_EQ(to_lower("MiXeD"), "mixed");
+  EXPECT_TRUE(iequals("Host", "hOST"));
+  EXPECT_FALSE(iequals("Host", "Hosts"));
+  EXPECT_TRUE(icontains("X-Hola-Timeline-Debug", "hola-timeline"));
+  EXPECT_FALSE(icontains("abc", "abcd"));
+  EXPECT_TRUE(contains("hello world", "lo wo"));
+}
+
+TEST(StringsTest, HexEncode) {
+  EXPECT_EQ(hex_encode(std::string_view("\x00\xff\x10", 3)), "00ff10");
+}
+
+TEST(StringsTest, FormatHelpers) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1276873), "1,276,873");
+  EXPECT_EQ(format_percent(0.048), "4.8%");
+  EXPECT_EQ(format_percent(0.5234, 2), "52.34%");
+}
+
+}  // namespace
+}  // namespace tft::util

@@ -1,0 +1,198 @@
+#include "tft/world/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tft::world {
+namespace {
+
+class BuilderTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = build_world(mini_spec(), 1.0, 1234).release();
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+
+  static World* world_;
+};
+
+World* BuilderTest::world_ = nullptr;
+
+TEST_F(BuilderTest, PopulationMatchesSpecRoughly) {
+  // mini_spec: 300+200+150+60+60+60 country nodes plus named ISPs.
+  EXPECT_GT(world_->luminati->node_count(), 800u);
+  EXPECT_LT(world_->luminati->node_count(), 1400u);
+  EXPECT_GT(world_->topology.as_count(), 10u);
+  EXPECT_GT(world_->topology.organization_count(), 10u);
+}
+
+TEST_F(BuilderTest, MeasurementInfrastructureWired) {
+  ASSERT_NE(world_->measurement_zone, nullptr);
+  ASSERT_NE(world_->measurement_web, nullptr);
+  EXPECT_EQ(world_->measurement_zone_origin.to_string(), "tft-study.net");
+  // The wildcard resolves probe names to the measurement web server.
+  const auto query = dns::Message::query(
+      1, *dns::DnsName::parse("anything.probe.tft-study.net"));
+  const auto response = world_->measurement_zone->handle(
+      query, net::Ipv4Address(1, 2, 3, 4), world_->clock.now());
+  EXPECT_EQ(response.first_a(), world_->measurement_web_address);
+  world_->measurement_zone->clear_query_log();
+}
+
+TEST_F(BuilderTest, GoogleDnsAnycastConfigured) {
+  ASSERT_NE(world_->google_dns, nullptr);
+  EXPECT_GE(world_->google_dns->instance_count(), 2u);
+  EXPECT_EQ(world_->google_dns->service_address(), net::Ipv4Address(8, 8, 8, 8));
+  // Every instance egress sits inside the published block.
+  const auto& instance =
+      world_->google_dns->instance_for(net::Ipv4Address(192, 0, 2, 1));
+  EXPECT_TRUE(world_->google_egress_block.contains(instance.egress_address()));
+}
+
+TEST_F(BuilderTest, EveryNodeHasTruthAndValidTopology) {
+  for (const auto& node : world_->luminati->nodes()) {
+    EXPECT_NE(world_->truth.find(node->zid()), nullptr) << node->zid();
+    const auto asn = world_->topology.origin_as(node->address());
+    ASSERT_TRUE(asn.has_value()) << node->address().to_string();
+    EXPECT_EQ(*asn, node->asn());
+    const auto country = world_->topology.country_of(node->asn());
+    ASSERT_TRUE(country.has_value());
+    EXPECT_EQ(*country, node->country());
+  }
+}
+
+TEST_F(BuilderTest, NodeAddressesAreUnique) {
+  std::set<std::uint32_t> addresses;
+  std::set<std::string> zids;
+  for (const auto& node : world_->luminati->nodes()) {
+    EXPECT_TRUE(addresses.insert(node->address().value()).second);
+    EXPECT_TRUE(zids.insert(node->zid()).second);
+  }
+}
+
+TEST_F(BuilderTest, GroundTruthContainsConfiguredViolations) {
+  const auto& truth = world_->truth;
+  const auto count = [&](auto predicate) { return truth.count(predicate); };
+  EXPECT_GT(count([](const NodeTruth& t) {
+    return t.dns_hijack == DnsHijackSource::kIspResolver;
+  }), 50u);
+  EXPECT_GT(count([](const NodeTruth& t) {
+    return t.dns_hijack == DnsHijackSource::kPublicResolver;
+  }), 5u);
+  EXPECT_GT(count([](const NodeTruth& t) {
+    return t.dns_hijack == DnsHijackSource::kPathMiddlebox;
+  }), 5u);
+  EXPECT_GT(count([](const NodeTruth& t) {
+    return t.dns_hijack == DnsHijackSource::kHostSoftware;
+  }), 2u);
+  EXPECT_GT(count([](const NodeTruth& t) { return !t.html_injector.empty(); }), 10u);
+  EXPECT_GT(count([](const NodeTruth& t) { return !t.image_transcoder.empty(); }), 20u);
+  EXPECT_GT(count([](const NodeTruth& t) { return !t.cert_replacer.empty(); }), 30u);
+  EXPECT_GT(count([](const NodeTruth& t) { return !t.monitor.empty(); }), 40u);
+}
+
+TEST_F(BuilderTest, HttpsSitesBuilt) {
+  // 6 ranked countries x 5 popular + 3 universities + 3 invalid.
+  std::size_t popular = 0, university = 0, invalid = 0;
+  std::set<std::uint32_t> addresses;
+  for (const auto& site : world_->https_sites) {
+    EXPECT_TRUE(addresses.insert(site.address.value()).second);
+    EXPECT_FALSE(site.genuine_chain.empty());
+    switch (site.site_class) {
+      case HttpsSite::Class::kPopular:
+        ++popular;
+        break;
+      case HttpsSite::Class::kUniversity:
+        ++university;
+        break;
+      case HttpsSite::Class::kInvalid:
+        ++invalid;
+        break;
+    }
+    // Each site is reachable over TLS and presents its genuine chain.
+    const auto* chain = world_->tls_endpoints.handshake(site.address, site.host);
+    ASSERT_NE(chain, nullptr) << site.host;
+    EXPECT_EQ(chain->front().fingerprint(), site.genuine_chain.front().fingerprint());
+  }
+  EXPECT_EQ(popular, 30u);
+  EXPECT_EQ(university, 3u);
+  EXPECT_EQ(invalid, 3u);
+}
+
+TEST_F(BuilderTest, InvalidSitesAreActuallyInvalid) {
+  const tls::CertificateVerifier verifier(&world_->public_roots);
+  int checked = 0;
+  for (const auto& site : world_->https_sites) {
+    const auto result = verifier.verify(site.genuine_chain, site.host,
+                                        world_->clock.now() + sim::Duration::hours(1));
+    if (site.site_class == HttpsSite::Class::kInvalid) {
+      EXPECT_FALSE(result.ok()) << site.host;
+      ++checked;
+    } else {
+      EXPECT_TRUE(result.ok()) << site.host << ": " << result.detail;
+    }
+  }
+  EXPECT_EQ(checked, 3);
+}
+
+TEST_F(BuilderTest, InvalidKindsAreDistinct) {
+  const tls::CertificateVerifier verifier(&world_->public_roots);
+  for (const auto& site : world_->https_sites) {
+    if (site.site_class != HttpsSite::Class::kInvalid) continue;
+    const auto result = verifier.verify(site.genuine_chain, site.host,
+                                        world_->clock.now() + sim::Duration::hours(1));
+    switch (site.invalid_kind) {
+      case HttpsSite::InvalidKind::kSelfSigned:
+        EXPECT_EQ(result.status, tls::VerifyStatus::kSelfSigned);
+        break;
+      case HttpsSite::InvalidKind::kExpired:
+        EXPECT_EQ(result.status, tls::VerifyStatus::kExpired);
+        break;
+      case HttpsSite::InvalidKind::kWrongCommonName:
+        EXPECT_EQ(result.status, tls::VerifyStatus::kHostnameMismatch);
+        break;
+      case HttpsSite::InvalidKind::kNone:
+        ADD_FAILURE();
+        break;
+    }
+  }
+}
+
+TEST_F(BuilderTest, DeterministicForSameSeed) {
+  const auto a = build_world(mini_spec(), 1.0, 77);
+  const auto b = build_world(mini_spec(), 1.0, 77);
+  ASSERT_EQ(a->luminati->node_count(), b->luminati->node_count());
+  for (std::size_t i = 0; i < a->luminati->node_count(); ++i) {
+    EXPECT_EQ(a->luminati->nodes()[i]->zid(), b->luminati->nodes()[i]->zid());
+    EXPECT_EQ(a->luminati->nodes()[i]->address(), b->luminati->nodes()[i]->address());
+  }
+}
+
+TEST_F(BuilderTest, ScaleShrinksPopulation) {
+  const auto small = build_world(mini_spec(), 0.5, 77);
+  EXPECT_LT(small->luminati->node_count(), world_->luminati->node_count());
+  EXPECT_GT(small->luminati->node_count(), world_->luminati->node_count() / 4);
+}
+
+TEST_F(BuilderTest, RimonAsFullyFiltered) {
+  // Every node of AS 42925 must carry the NetSpark filter.
+  for (const auto& node : world_->luminati->nodes()) {
+    if (node->asn() != 42925) continue;
+    const auto* truth = world_->truth.find(node->zid());
+    ASSERT_NE(truth, nullptr);
+    EXPECT_NE(truth->html_injector.find("NetSpark"), std::string::npos);
+  }
+}
+
+TEST_F(BuilderTest, TranscoderAsnIsMobile) {
+  const auto org = world_->topology.org_of(15617);
+  ASSERT_TRUE(org.has_value());
+  EXPECT_EQ(world_->topology.organization(*org)->kind, net::OrgKind::kMobileIsp);
+}
+
+}  // namespace
+}  // namespace tft::world

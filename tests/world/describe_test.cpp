@@ -1,0 +1,76 @@
+#include "tft/world/describe.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tft::world {
+namespace {
+
+class DescribeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = build_world(mini_spec(), 1.0, 2024).release();
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static World* world_;
+};
+
+World* DescribeTest::world_ = nullptr;
+
+TEST_F(DescribeTest, SummaryMatchesGroundTruthCounts) {
+  const WorldSummary summary = summarize(*world_);
+  EXPECT_EQ(summary.nodes, world_->luminati->node_count());
+  EXPECT_EQ(summary.ases, world_->topology.as_count());
+  EXPECT_EQ(summary.https_sites, world_->https_sites.size());
+
+  const auto expect_count = [&](std::size_t actual, auto predicate) {
+    EXPECT_EQ(actual, world_->truth.count(predicate));
+  };
+  expect_count(summary.dns_hijacked_isp, [](const NodeTruth& t) {
+    return t.dns_hijack == DnsHijackSource::kIspResolver;
+  });
+  expect_count(summary.cert_replaced,
+               [](const NodeTruth& t) { return !t.cert_replacer.empty(); });
+  expect_count(summary.monitored,
+               [](const NodeTruth& t) { return !t.monitor.empty(); });
+  expect_count(summary.smtp_intercepted,
+               [](const NodeTruth& t) { return !t.smtp_interceptor.empty(); });
+  EXPECT_EQ(summary.dns_hijacked_total(),
+            world_->truth.count([](const NodeTruth& t) {
+              return t.dns_hijack != DnsHijackSource::kNone;
+            }));
+}
+
+TEST_F(DescribeTest, SummaryCoversEveryConfiguredViolationClass) {
+  const WorldSummary summary = summarize(*world_);
+  EXPECT_GT(summary.dns_hijacked_isp, 0u);
+  EXPECT_GT(summary.dns_hijacked_public, 0u);
+  EXPECT_GT(summary.dns_hijacked_path, 0u);
+  EXPECT_GT(summary.html_injected, 0u);
+  EXPECT_GT(summary.image_transcoded, 0u);
+  EXPECT_GT(summary.cert_replaced, 0u);
+  EXPECT_GT(summary.monitored, 0u);
+  EXPECT_GT(summary.smtp_intercepted, 0u);
+}
+
+TEST_F(DescribeTest, DescribeRendersEveryRow) {
+  const std::string text = describe(*world_);
+  EXPECT_NE(text.find("World inventory"), std::string::npos);
+  EXPECT_NE(text.find("DNS hijack via ISP resolver"), std::string::npos);
+  EXPECT_NE(text.find("Certificate replacement"), std::string::npos);
+  EXPECT_NE(text.find("SMTP interception"), std::string::npos);
+  EXPECT_NE(text.find("exit nodes"), std::string::npos);
+}
+
+TEST(DescribeEmptyTest, EmptyWorldIsSafe) {
+  World world;
+  const WorldSummary summary = summarize(world);
+  EXPECT_EQ(summary.nodes, 0u);
+  EXPECT_EQ(summary.dns_hijacked_total(), 0u);
+  EXPECT_FALSE(describe(world).empty());
+}
+
+}  // namespace
+}  // namespace tft::world

@@ -1,0 +1,64 @@
+// World dynamics: the mutation hooks longitudinal scenarios rely on.
+#include <gtest/gtest.h>
+
+#include "tft/world/world.hpp"
+
+namespace tft::world {
+namespace {
+
+class DynamicsTest : public ::testing::Test {
+ protected:
+  DynamicsTest() : world_(build_world(mini_spec(), 1.0, 404)) {}
+  std::unique_ptr<World> world_;
+};
+
+TEST_F(DynamicsTest, IspResolverDirectoryPopulated) {
+  // Every named ISP with resolvers is addressable for dynamics.
+  EXPECT_TRUE(world_->isp_resolvers.contains("Verizon"));
+  EXPECT_TRUE(world_->isp_resolvers.contains("Tiscali U.K."));
+  EXPECT_TRUE(world_->isp_resolvers.contains("US ISP 1"));
+  for (const auto& [isp, resolvers] : world_->isp_resolvers) {
+    EXPECT_FALSE(resolvers.empty()) << isp;
+  }
+}
+
+TEST_F(DynamicsTest, UnknownIspChangesNothing) {
+  EXPECT_EQ(world_->set_isp_hijack("No Such ISP", std::nullopt), 0u);
+}
+
+TEST_F(DynamicsTest, DeployAndRetireFlipsResolverBehaviour) {
+  const net::Ipv4Address client(192, 0, 2, 251);
+  const auto& resolvers = world_->isp_resolvers.at("US ISP 1");
+  ASSERT_FALSE(resolvers.empty());
+  dns::RecursiveResolver* resolver =
+      world_->resolvers.instance_for(resolvers.front(), client);
+  ASSERT_NE(resolver, nullptr);
+  EXPECT_FALSE(resolver->nxdomain_hijack().has_value());
+
+  const std::size_t deployed = world_->set_isp_hijack(
+      "US ISP 1",
+      dns::NxdomainHijackPolicy{net::Ipv4Address(203, 0, 113, 199), 60, 1.0});
+  EXPECT_EQ(deployed, resolvers.size());
+  ASSERT_TRUE(resolver->nxdomain_hijack().has_value());
+  EXPECT_EQ(resolver->nxdomain_hijack()->redirect_address,
+            net::Ipv4Address(203, 0, 113, 199));
+
+  // And the behaviour is live: an NXDOMAIN query now returns the redirect.
+  const auto query = dns::Message::query(
+      1, *dns::DnsName::parse("definitely-missing.tft-study.net"));
+  const auto response = resolver->resolve(query, 0.0);
+  EXPECT_EQ(response.first_a(), net::Ipv4Address(203, 0, 113, 199));
+
+  EXPECT_EQ(world_->set_isp_hijack("US ISP 1", std::nullopt), resolvers.size());
+  EXPECT_FALSE(resolver->nxdomain_hijack().has_value());
+}
+
+TEST(SpecEnumTest, SmtpKindNames) {
+  EXPECT_EQ(to_string(SmtpInterceptSpec::Kind::kStripStarttls), "strip_starttls");
+  EXPECT_EQ(to_string(SmtpInterceptSpec::Kind::kBlockPort), "block_port");
+  EXPECT_EQ(to_string(SmtpInterceptSpec::Kind::kRewriteBanner), "rewrite_banner");
+  EXPECT_EQ(to_string(SmtpInterceptSpec::Kind::kTagBody), "tag_body");
+}
+
+}  // namespace
+}  // namespace tft::world

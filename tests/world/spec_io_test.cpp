@@ -1,0 +1,119 @@
+#include "tft/world/spec_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tft/util/rng.hpp"
+#include "tft/world/world.hpp"
+
+namespace tft::world {
+namespace {
+
+TEST(SpecIoTest, PaperSpecRoundTrips) {
+  const WorldSpec original = paper_spec();
+  const std::string json = spec_to_json(original);
+  const auto parsed = spec_from_json(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_TRUE(*parsed == original);
+}
+
+TEST(SpecIoTest, MiniSpecRoundTrips) {
+  const WorldSpec original = mini_spec();
+  const auto parsed = spec_from_json(spec_to_json(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_TRUE(*parsed == original);
+}
+
+TEST(SpecIoTest, MissingFieldsTakeDefaults) {
+  const auto parsed = spec_from_json(
+      R"({"countries":[{"code":"US","total_nodes":100}]})");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  ASSERT_EQ(parsed->countries.size(), 1u);
+  EXPECT_EQ(parsed->countries[0].code, "US");
+  EXPECT_EQ(parsed->countries[0].isp_count, CountrySpec{}.isp_count);
+  EXPECT_EQ(parsed->google_anycast_instances, WorldSpec{}.google_anycast_instances);
+  EXPECT_TRUE(parsed->monitors.empty());
+}
+
+TEST(SpecIoTest, UnknownFieldsRejected) {
+  EXPECT_FALSE(spec_from_json(R"({"countires":[]})").ok());  // typo
+  EXPECT_FALSE(
+      spec_from_json(R"({"countries":[{"code":"US","total_noodles":5}]})").ok());
+  EXPECT_FALSE(
+      spec_from_json(R"({"monitors":[{"entity":"X","knd":"vpn"}]})").ok());
+}
+
+TEST(SpecIoTest, BadEnumValuesRejected) {
+  EXPECT_FALSE(spec_from_json(
+                   R"({"monitors":[{"entity":"X","kind":"telepathy"}]})")
+                   .ok());
+  EXPECT_FALSE(spec_from_json(
+                   R"({"cert_replacers":[{"product":"X","kind":"benign"}]})")
+                   .ok());
+  EXPECT_FALSE(spec_from_json(
+                   R"({"smtp_interceptors":[{"name":"X","kind":"eat_mail"}]})")
+                   .ok());
+  EXPECT_FALSE(
+      spec_from_json(R"({"named_isps":[{"name":"X","kind":"circus"}]})").ok());
+}
+
+TEST(SpecIoTest, NotAnObjectRejected) {
+  EXPECT_FALSE(spec_from_json("[]").ok());
+  EXPECT_FALSE(spec_from_json("42").ok());
+  EXPECT_FALSE(spec_from_json("not json at all").ok());
+}
+
+TEST(SpecIoTest, CountryWithoutCodeRejected) {
+  EXPECT_FALSE(spec_from_json(R"({"countries":[{"total_nodes":5}]})").ok());
+}
+
+TEST(SpecIoTest, LoadedScenarioBuildsAWorld) {
+  // End-to-end: a hand-written scenario file builds and probes.
+  const char* scenario = R"({
+    "countries": [
+      {"code":"NL","total_nodes":200,"extra_hijacked_nodes":20,
+       "isp_count":2,"ases_per_isp":2}
+    ],
+    "clean_public_resolvers": 4,
+    "scattered_google_hijack_nodes": 0,
+    "adware_install_boost": 1.0,
+    "blockpage_nodes": 0, "js_error_nodes": 0, "css_error_nodes": 0,
+    "tail_monitor_groups": 0, "tail_monitor_nodes": 0,
+    "https": {"popular_sites_per_country": 3, "countries_with_rankings": 1,
+              "universities": ["example.edu"]}
+  })";
+  const auto spec = spec_from_json(scenario);
+  ASSERT_TRUE(spec.ok()) << spec.error().to_string();
+  const auto world = build_world(*spec, 1.0, 5);
+  EXPECT_GT(world->luminati->node_count(), 150u);
+  const auto hijacked = world->truth.count([](const NodeTruth& truth) {
+    return truth.dns_hijack != DnsHijackSource::kNone;
+  });
+  EXPECT_GT(hijacked, 5u);
+}
+
+TEST(SpecIoTest, MutatedDocumentsNeverCrash) {
+  // Property: corrupting a valid scenario byte-wise yields clean errors (or
+  // a still-valid document), never a crash.
+  util::Rng rng(0x51C);
+  const std::string valid = spec_to_json(mini_spec());
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    std::string mutated = valid;
+    const std::size_t flips = 1 + rng.index(6);
+    for (std::size_t i = 0; i < flips; ++i) {
+      mutated[rng.index(mutated.size())] =
+          static_cast<char>(32 + rng.index(95));  // printable ASCII
+    }
+    (void)spec_from_json(mutated);
+  }
+}
+
+TEST(SpecIoTest, SnippetsWithSpecialCharactersSurvive) {
+  WorldSpec spec = mini_spec();
+  spec.adware[0].snippet = "<script>\"quoted\"\n\ttabbed\\slashed</script>";
+  const auto parsed = spec_from_json(spec_to_json(spec));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->adware[0].snippet, spec.adware[0].snippet);
+}
+
+}  // namespace
+}  // namespace tft::world

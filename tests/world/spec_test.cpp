@@ -1,0 +1,169 @@
+#include "tft/world/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tft::world {
+namespace {
+
+TEST(PaperSpecTest, CountryCoverageMatchesPaperScale) {
+  const WorldSpec spec = paper_spec();
+  // The paper measured nodes in ~167-172 countries.
+  EXPECT_GE(spec.countries.size(), 160u);
+  std::set<net::CountryCode> codes;
+  long long total = 0;
+  for (const auto& country : spec.countries) {
+    EXPECT_TRUE(codes.insert(country.code).second) << "duplicate " << country.code;
+    EXPECT_GT(country.total_nodes, 0);
+    EXPECT_LE(country.extra_hijacked_nodes, country.total_nodes);
+    total += country.total_nodes;
+  }
+  // Population on the order of the paper's 750K nodes.
+  EXPECT_GT(total, 600000);
+  EXPECT_LT(total, 900000);
+}
+
+TEST(PaperSpecTest, Table3CountriesPresent) {
+  const WorldSpec spec = paper_spec();
+  for (const char* code : {"MY", "ID", "CN", "GB", "DE", "US", "IN", "BR", "BJ", "JO"}) {
+    bool found = false;
+    for (const auto& country : spec.countries) found = found || country.code == code;
+    EXPECT_TRUE(found) << code;
+  }
+}
+
+TEST(PaperSpecTest, Table4IspsTranscribed) {
+  const WorldSpec spec = paper_spec();
+  ASSERT_EQ(spec.isp_resolver_hijackers.size(), 19u);  // 19 ISPs in Table 4
+  long long nodes = 0;
+  int shared_js = 0;
+  for (const auto& isp : spec.isp_resolver_hijackers) {
+    nodes += isp.nodes;
+    if (isp.shared_vendor_js) ++shared_js;
+    EXPECT_FALSE(isp.landing_host.empty());
+  }
+  EXPECT_EQ(nodes, 17844);  // sum of Table 4's exit-node column
+  EXPECT_EQ(shared_js, 5);  // Cox, Oi, TalkTalk, BT, Verizon
+}
+
+TEST(PaperSpecTest, Table5LandingHosts) {
+  const WorldSpec spec = paper_spec();
+  std::set<std::string> hosts;
+  for (const auto& entry : spec.path_hijackers) hosts.insert(entry.landing_host);
+  EXPECT_TRUE(hosts.contains("navigationshilfe.t-online.de"));
+  EXPECT_TRUE(hosts.contains("searchassist.verizon.com"));
+  EXPECT_TRUE(hosts.contains("v3.mercusuar.uzone.id"));
+  ASSERT_EQ(spec.host_dns_hijackers.size(), 2u);
+  EXPECT_EQ(spec.host_dns_hijackers[0].landing_host, "nortonsafe.search.ask.com");
+}
+
+TEST(PaperSpecTest, PublicResolverHijackers) {
+  const WorldSpec spec = paper_spec();
+  // 21 hijacking servers (paper §4.3.2), 1,512 affected nodes.
+  int servers = 0, nodes = 0;
+  for (const auto& service : spec.public_resolver_hijackers) {
+    servers += service.servers;
+    nodes += service.nodes;
+  }
+  EXPECT_EQ(servers, 21);
+  EXPECT_EQ(nodes, 1512);
+}
+
+TEST(PaperSpecTest, Table6Signatures) {
+  const WorldSpec spec = paper_spec();
+  std::set<std::string> names;
+  for (const auto& adware : spec.adware) names.insert(adware.name);
+  EXPECT_TRUE(names.contains("cloudfront-loader"));
+  EXPECT_TRUE(names.contains("oiasudoj"));
+  EXPECT_TRUE(names.contains("adtaily"));
+  // Signature markers appear in the snippets.
+  for (const auto& adware : spec.adware) {
+    EXPECT_FALSE(adware.snippet.empty());
+  }
+  ASSERT_EQ(spec.isp_filters.size(), 1u);
+  EXPECT_EQ(spec.isp_filters[0].asn, 42925u);  // Internet Rimon
+}
+
+TEST(PaperSpecTest, Table7Transcoders) {
+  const WorldSpec spec = paper_spec();
+  ASSERT_EQ(spec.transcoders.size(), 12u);  // 12 ASes in Table 7
+  int multi_ratio = 0;
+  for (const auto& transcoder : spec.transcoders) {
+    EXPECT_GT(transcoder.fraction, 0.0);
+    EXPECT_LE(transcoder.fraction, 1.0);
+    if (transcoder.qualities.size() > 1) ++multi_ratio;
+  }
+  EXPECT_EQ(multi_ratio, 2);  // Vodacom + Vodafone Egypt show "M"
+}
+
+TEST(PaperSpecTest, Table8CertReplacers) {
+  const WorldSpec spec = paper_spec();
+  ASSERT_EQ(spec.cert_replacers.size(), 13u);  // 13 issuers in Table 8
+  long long nodes = 0;
+  const CertReplacerSpec* avast = nullptr;
+  const CertReplacerSpec* opendns = nullptr;
+  const CertReplacerSpec* cloudguard = nullptr;
+  for (const auto& product : spec.cert_replacers) {
+    nodes += product.nodes;
+    if (product.product == "Avast") avast = &product;
+    if (product.product == "OpenDNS") opendns = &product;
+    if (product.product == "Cloudguard.me") cloudguard = &product;
+  }
+  EXPECT_EQ(nodes, 4248);  // sum of Table 8's column
+  ASSERT_NE(avast, nullptr);
+  EXPECT_FALSE(avast->reuse_public_key);  // the one exception (§6.2)
+  ASSERT_NE(opendns, nullptr);
+  EXPECT_TRUE(opendns->only_if_upstream_valid);
+  EXPECT_TRUE(opendns->only_blocked_hosts);
+  ASSERT_NE(cloudguard, nullptr);
+  EXPECT_EQ(cloudguard->kind, CertReplacerSpec::Kind::kMalware);
+  EXPECT_EQ(cloudguard->only_country, net::CountryCode("RU"));
+  EXPECT_TRUE(cloudguard->also_injects_html);
+}
+
+TEST(PaperSpecTest, Table9Monitors) {
+  const WorldSpec spec = paper_spec();
+  ASSERT_EQ(spec.monitors.size(), 6u);
+  const MonitorSpec* trend = nullptr;
+  const MonitorSpec* bluecoat = nullptr;
+  const MonitorSpec* tiscali = nullptr;
+  for (const auto& monitor : spec.monitors) {
+    if (monitor.entity == "Trend Micro") trend = &monitor;
+    if (monitor.entity == "Bluecoat") bluecoat = &monitor;
+    if (monitor.entity == "Tiscali U.K.") tiscali = &monitor;
+  }
+  ASSERT_NE(trend, nullptr);
+  EXPECT_EQ(trend->source_ips, 55);
+  EXPECT_EQ(trend->nodes, 6571);
+  EXPECT_EQ(trend->refetches.size(), 2u);  // the y=0.5 step of Figure 5
+  ASSERT_NE(bluecoat, nullptr);
+  EXPECT_NEAR(bluecoat->refetches[0].prefetch_probability, 0.83, 1e-9);
+  ASSERT_NE(tiscali, nullptr);
+  EXPECT_EQ(tiscali->refetches.size(), 1u);
+  EXPECT_DOUBLE_EQ(tiscali->refetches[0].min_delay_s, 30.0);
+  EXPECT_DOUBLE_EQ(tiscali->refetches[0].max_delay_s, 30.0);
+  EXPECT_NEAR(tiscali->isp_node_fraction, 0.114, 1e-9);
+}
+
+TEST(PaperSpecTest, HttpsSites) {
+  const WorldSpec spec = paper_spec();
+  EXPECT_EQ(spec.https.popular_sites_per_country, 20);
+  EXPECT_EQ(spec.https.countries_with_rankings, 115);
+  EXPECT_EQ(spec.https.universities.size(), 10u);
+}
+
+TEST(MiniSpecTest, IsSmallAndComplete) {
+  const WorldSpec spec = mini_spec();
+  long long total = 0;
+  for (const auto& country : spec.countries) total += country.total_nodes;
+  EXPECT_LT(total, 2000);
+  EXPECT_FALSE(spec.isp_resolver_hijackers.empty());
+  EXPECT_FALSE(spec.adware.empty());
+  EXPECT_FALSE(spec.transcoders.empty());
+  EXPECT_FALSE(spec.cert_replacers.empty());
+  EXPECT_FALSE(spec.monitors.empty());
+}
+
+}  // namespace
+}  // namespace tft::world

@@ -1,0 +1,197 @@
+// tft-study: command-line front end for the measurement pipeline.
+//
+//   tft-study [--experiment dns|http|https|monitor|smtp|all]
+//             [--scale 0.05] [--seed 2016] [--target 100000]
+//             [--mini] [--vpn-overlay] [--out report.txt] [--quiet]
+//
+// Builds the paper-scale world (or the small --mini scenario), runs the
+// requested experiment(s), and writes the paper-style report to stdout or
+// --out.
+#include <fstream>
+#include <iostream>
+
+#include <sstream>
+
+#include "tft/core/report_json.hpp"
+#include "tft/core/smtp_probe.hpp"
+#include "tft/core/study.hpp"
+#include "tft/util/flags.hpp"
+#include "tft/world/spec_io.hpp"
+#include "tft/world/world.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(tft-study: end-to-end violation measurement (Chung et al., IMC'16)
+
+Flags:
+  --experiment <dns|http|https|monitor|smtp|all>   what to run (default: all)
+  --scale <f>        population scale vs. the paper's 750K nodes (default 0.05)
+  --seed <n>         world + crawl seed (default 2016)
+  --target <n>       max unique exit nodes per experiment (default: exhaustive)
+  --mini             use the small test scenario instead of the paper world
+  --spec <path>      load the scenario from a JSON file (see --dump-spec)
+  --dump-spec        print the selected scenario as JSON and exit
+  --vpn-overlay      allow arbitrary ports (required for --experiment smtp)
+  --json             emit machine-readable JSON instead of tables
+  --out <path>       write the report to a file instead of stdout
+  --quiet            suppress progress on stderr
+  --help             this text
+)";
+
+int fail(const std::string& message) {
+  std::cerr << "tft-study: " << message << "\n" << kUsage;
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using tft::util::Flags;
+  const auto parsed = Flags::parse(
+      argc, argv, {"mini", "vpn-overlay", "quiet", "json", "dump-spec", "help"});
+  if (!parsed.ok()) return fail(parsed.error().to_string());
+  const Flags& flags = *parsed;
+
+  if (flags.get_bool("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  const auto unknown = flags.unknown(
+      {"experiment", "scale", "seed", "target", "mini", "vpn-overlay", "out", "quiet",
+       "json", "spec", "dump-spec"});
+  if (!unknown.empty()) return fail("unknown flag --" + unknown.front());
+
+  // The mini scenario and user scenario files describe their own
+  // populations; scale them 1:1 unless overridden. The paper world
+  // defaults to a laptop-friendly 0.05.
+  const double default_scale =
+      (flags.get_bool("mini") || flags.has("spec")) ? 1.0 : 0.05;
+  const auto scale = flags.get_double("scale", default_scale);
+  if (!scale.ok()) return fail(scale.error().to_string());
+  const auto seed = flags.get_int("seed", 2016);
+  if (!seed.ok()) return fail(seed.error().to_string());
+  const auto target = flags.get_int("target", 0);
+  if (!target.ok()) return fail(target.error().to_string());
+  const std::string experiment = flags.get_or("experiment", "all");
+  const bool quiet = flags.get_bool("quiet");
+  const bool json = flags.get_bool("json");
+
+  auto spec = flags.get_bool("mini") ? tft::world::mini_spec()
+                                     : tft::world::paper_spec();
+  if (const auto spec_path = flags.get("spec")) {
+    std::ifstream file(*spec_path);
+    if (!file) return fail("cannot read scenario file " + *spec_path);
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    auto loaded = tft::world::spec_from_json(buffer.str());
+    if (!loaded.ok()) {
+      return fail("bad scenario file: " + loaded.error().to_string());
+    }
+    spec = *std::move(loaded);
+  }
+  if (flags.get_bool("vpn-overlay")) spec.arbitrary_port_overlay = true;
+  if (flags.get_bool("dump-spec")) {
+    std::cout << tft::world::spec_to_json(spec) << "\n";
+    return 0;
+  }
+  if ((experiment == "smtp" || experiment == "all") &&
+      !spec.arbitrary_port_overlay && experiment == "smtp") {
+    return fail("--experiment smtp requires --vpn-overlay (Luminati-like "
+                "overlays tunnel port 443 only)");
+  }
+
+  if (!quiet) std::cerr << "building world (scale=" << *scale << ")...\n";
+  auto world = tft::world::build_world(spec, *scale, static_cast<std::uint64_t>(*seed));
+  if (!quiet) {
+    std::cerr << "population: " << world->luminati->node_count() << " exit nodes, "
+              << world->topology.as_count() << " ASes\n";
+  }
+
+  const std::size_t target_nodes =
+      *target > 0 ? static_cast<std::size_t>(*target) : (1u << 22);
+  auto config = tft::core::StudyConfig::for_scale(*scale, target_nodes);
+
+  std::string report;
+  const auto run_named = [&](const std::string& name) -> bool {
+    if (name == "dns") {
+      tft::core::DnsHijackProbe probe(*world, config.dns);
+      if (!quiet) std::cerr << "running DNS experiment...\n";
+      probe.run();
+      const auto analyzed =
+          tft::core::analyze_dns(*world, probe.observations(), config.dns_analysis);
+      report += json ? tft::core::dns_report_json(analyzed)
+                     : tft::core::render_dns_report(analyzed);
+      return true;
+    }
+    if (name == "http") {
+      tft::core::HttpModificationProbe probe(*world, config.http);
+      if (!quiet) std::cerr << "running HTTP experiment...\n";
+      probe.run();
+      const auto analyzed = tft::core::analyze_http(
+          *world, probe.observations(), config.http_analysis);
+      report += json ? tft::core::http_report_json(analyzed)
+                     : tft::core::render_http_report(analyzed);
+      return true;
+    }
+    if (name == "https") {
+      tft::core::CertReplacementProbe probe(*world, config.https);
+      if (!quiet) std::cerr << "running HTTPS experiment...\n";
+      probe.run();
+      const auto analyzed = tft::core::analyze_https(
+          *world, probe.observations(), config.https_analysis);
+      report += json ? tft::core::https_report_json(analyzed)
+                     : tft::core::render_https_report(analyzed);
+      return true;
+    }
+    if (name == "monitor") {
+      tft::core::ContentMonitorProbe probe(*world, config.monitoring);
+      if (!quiet) std::cerr << "running monitoring experiment...\n";
+      probe.run();
+      const auto analyzed = tft::core::analyze_monitoring(
+          *world, probe.observations(), config.monitoring_analysis);
+      report += json ? tft::core::monitor_report_json(analyzed)
+                     : tft::core::render_monitor_report(analyzed);
+      return true;
+    }
+    if (name == "smtp") {
+      if (!spec.arbitrary_port_overlay) {
+        report += "SMTP experiment skipped: overlay tunnels port 443 only "
+                  "(pass --vpn-overlay).\n";
+        return true;
+      }
+      tft::core::SmtpProbeConfig smtp_config;
+      smtp_config.target_nodes = target_nodes;
+      tft::core::SmtpProbe probe(*world, smtp_config);
+      if (!quiet) std::cerr << "running SMTP experiment...\n";
+      probe.run();
+      tft::core::SmtpAnalysisConfig analysis;
+      analysis.min_nodes_per_as =
+          std::max<std::size_t>(3, static_cast<std::size_t>(10 * *scale));
+      const auto analyzed =
+          tft::core::analyze_smtp(*world, probe.observations(), analysis);
+      report += json ? tft::core::smtp_report_json(analyzed)
+                     : tft::core::render_smtp_report(analyzed);
+      return true;
+    }
+    return false;
+  };
+
+  if (experiment == "all") {
+    for (const char* name : {"dns", "http", "https", "monitor", "smtp"}) {
+      run_named(name);
+      report += "\n";
+    }
+  } else if (!run_named(experiment)) {
+    return fail("unknown experiment '" + experiment + "'");
+  }
+
+  if (const auto out = flags.get("out")) {
+    std::ofstream file(*out);
+    if (!file) return fail("cannot open " + *out + " for writing");
+    file << report;
+    if (!quiet) std::cerr << "report written to " << *out << "\n";
+  } else {
+    std::cout << report;
+  }
+  return 0;
+}
