@@ -1,0 +1,74 @@
+// Wall-clock comparison of the study pipeline at --jobs 1 vs --jobs N,
+// plus a byte-identity check on the rendered reports (the determinism
+// contract: worker count never changes results).
+//
+// Usage: perf_parallel_study [scale] [target_nodes] [seed] [jobs]
+#include <chrono>
+#include <iostream>
+
+#include "common.hpp"
+#include "tft/util/thread_pool.hpp"
+
+namespace {
+
+std::string render_all(const tft::core::StudyResult& result) {
+  std::string out = tft::core::render_coverage(result.coverage);
+  out += "\n" + tft::core::render_dns_report(result.dns);
+  out += "\n" + tft::core::render_http_report(result.http);
+  out += "\n" + tft::core::render_https_report(result.https);
+  out += "\n" + tft::core::render_monitor_report(result.monitoring);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using Clock = std::chrono::steady_clock;
+  const auto options = tft::bench::parse_options(argc, argv, 0.05);
+  std::size_t jobs = tft::util::ThreadPool::default_workers();
+  if (argc > 4) jobs = static_cast<std::size_t>(std::atoll(argv[4]));
+  if (jobs < 2) jobs = 2;  // "parallel" leg must actually be parallel
+
+  const auto spec = tft::world::paper_spec();
+  auto config = tft::bench::study_config(options);
+
+  std::cerr << "[bench] sequential study (jobs=1)...\n";
+  config.jobs = 1;
+  const auto sequential_start = Clock::now();
+  const auto sequential = tft::core::run_study(spec, options.scale,
+                                               options.seed, config);
+  const double sequential_seconds =
+      std::chrono::duration<double>(Clock::now() - sequential_start).count();
+
+  std::cerr << "[bench] parallel study (jobs=" << jobs << ")...\n";
+  config.jobs = jobs;
+  const auto parallel_start = Clock::now();
+  const auto parallel = tft::core::run_study(spec, options.scale,
+                                             options.seed, config);
+  const double parallel_seconds =
+      std::chrono::duration<double>(Clock::now() - parallel_start).count();
+
+  const std::string sequential_report = render_all(sequential);
+  const std::string parallel_report = render_all(parallel);
+
+  std::cout << "perf_parallel_study: scale=" << options.scale
+            << " target=" << options.target_nodes << " seed=" << options.seed
+            << "\n";
+  std::cout << "  hardware threads: "
+            << tft::util::ThreadPool::default_workers() << "\n";
+  std::cout << "  jobs=1: " << sequential_seconds << " s\n";
+  std::cout << "  jobs=" << jobs << ": " << parallel_seconds << " s\n";
+  std::cout << "  speedup: "
+            << (parallel_seconds > 0 ? sequential_seconds / parallel_seconds
+                                     : 0)
+            << "x\n";
+  std::cout << "  reports byte-identical: "
+            << (sequential_report == parallel_report ? "yes" : "NO") << "\n";
+  if (sequential_report != parallel_report) {
+    std::cerr << "perf_parallel_study: DETERMINISM VIOLATION — jobs=1 and "
+                 "jobs="
+              << jobs << " reports differ\n";
+    return 1;
+  }
+  return 0;
+}

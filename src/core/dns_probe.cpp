@@ -9,6 +9,7 @@
 #include "tft/util/hash.hpp"
 #include "tft/util/rng.hpp"
 #include "tft/util/strings.hpp"
+#include "tft/util/thread_pool.hpp"
 
 namespace tft::core {
 
@@ -138,14 +139,6 @@ std::size_t DnsHijackProbe::run() {
       observation.filtered_google_overlap = true;
     }
 
-    // Map the exit IP through RouteViews/CAIDA (§3.1).
-    if (const auto asn = world_.topology.origin_as(observation.exit_address)) {
-      observation.asn = *asn;
-      if (const auto country = world_.topology.country_of(*asn)) {
-        observation.country = *country;
-      }
-    }
-
     web_cursor = world_.measurement_web->request_log().size();
     dns_cursor = world_.measurement_zone->query_log().size();
 
@@ -185,6 +178,27 @@ std::size_t DnsHijackProbe::run() {
   }
 
   world_.measurement_zone->set_policy(nullptr);
+
+  // Map exit IPs through RouteViews/CAIDA (§3.1). The crawl above is
+  // inherently serial (every session advances shared proxy/world state),
+  // but attribution is a pure const lookup per observation: shard it.
+  // Shard geometry depends only on the observation count, and each shard
+  // writes only its own index range, so the result is byte-identical for
+  // every jobs value.
+  util::parallel_for_shards(
+      observations_.size(), util::shard_count(observations_.size()),
+      config_.jobs, [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          auto& observation = observations_[i];
+          if (const auto asn = world_.topology.origin_as(observation.exit_address)) {
+            observation.asn = *asn;
+            if (const auto country = world_.topology.country_of(*asn)) {
+              observation.country = *country;
+            }
+          }
+        }
+      });
+
   return observations_.size();
 }
 

@@ -11,6 +11,7 @@
 #include "tft/http/content.hpp"
 #include "tft/util/rng.hpp"
 #include "tft/util/strings.hpp"
+#include "tft/util/thread_pool.hpp"
 
 namespace tft::core {
 
@@ -105,6 +106,17 @@ HttpModificationProbe::HttpModificationProbe(world::World& world,
 std::size_t HttpModificationProbe::run() {
   util::Rng rng(config_.seed);
 
+  // Responses whose bytes differ from the reference objects, kept aside so
+  // the expensive classification (signature extraction, SIMG parsing,
+  // error-page detection) can run sharded after the serial crawl.
+  struct RawModifiedObjects {
+    std::optional<http::Response> html;   // differed and is not a block page
+    std::optional<http::Response> image;  // differed
+    std::optional<http::Response> js;     // differed
+    std::optional<http::Response> css;    // differed
+  };
+  std::vector<RawModifiedObjects> raw;
+
   const std::string reference_html = http::reference_html(world_.probe_html_bytes);
   const std::string reference_image = http::reference_image();
   const std::string reference_js = http::reference_javascript();
@@ -195,52 +207,48 @@ std::size_t HttpModificationProbe::run() {
                                     options);
     };
 
-    if (const auto html = fetch("/page.html");
+    RawModifiedObjects modified;
+    if (auto html = fetch("/page.html");
         html.ok() && html.zid == observation.zid) {
       if (html.response.body != reference_html) {
         if (looks_like_blockpage(html.response)) {
           observation.html_blockpage = true;
         } else {
           observation.html_modified = true;
-          observation.html_signature =
-              extract_injection_signature(reference_html, html.response.body);
-          observation.html_delta_bytes =
-              html.response.body.size() > reference_html.size()
-                  ? html.response.body.size() - reference_html.size()
-                  : 0;
+          modified.html = std::move(html.response);
         }
       }
     }
 
-    if (const auto image = fetch("/image.simg"); image.ok() && image.zid == observation.zid) {
+    bool image_differs = false;
+    if (auto image = fetch("/image.simg"); image.ok() && image.zid == observation.zid) {
       if (image.response.body != reference_image) {
-        if (const auto info = http::parse_simg(image.response.body)) {
-          // A well-formed image at different bytes: transcoded in flight.
-          observation.image_modified = true;
-          observation.image_quality = info->quality;
-          observation.image_compression_ratio =
-              http::compression_ratio(reference_image, image.response.body);
-        } else {
-          observation.image_replaced = true;  // block/error page, not an image
-        }
+        image_differs = true;
+        modified.image = std::move(image.response);
       } else if (reference_simg) {
         observation.image_quality = reference_simg->quality;
       }
     }
-    if (const auto js = fetch("/library.js"); js.ok() && js.zid == observation.zid) {
+    if (auto js = fetch("/library.js"); js.ok() && js.zid == observation.zid) {
       if (js.response.body != reference_js) {
         observation.js_modified = true;
-        observation.js_error_page = looks_like_error_page(js.response, "javascript");
+        modified.js = std::move(js.response);
       }
     }
-    if (const auto css = fetch("/style.css"); css.ok() && css.zid == observation.zid) {
+    if (auto css = fetch("/style.css"); css.ok() && css.zid == observation.zid) {
       if (css.response.body != reference_css) {
         observation.css_modified = true;
-        observation.css_error_page = looks_like_error_page(css.response, "css");
+        modified.css = std::move(css.response);
       }
     }
 
-    if ((observation.any_modified() || observation.html_blockpage) &&
+    // §5.1 expansion keys on "a modification was detected"; a differing
+    // image counts whether it turns out to be a transcode or a replacement
+    // (both are middlebox interference worth expanding on).
+    const bool any_differs = observation.html_modified ||
+                             observation.js_modified ||
+                             observation.css_modified || image_differs;
+    if ((any_differs || observation.html_blockpage) &&
         limit_per_as[asn] < config_.expanded_nodes_per_as) {
       limit_per_as[asn] = config_.expanded_nodes_per_as;
       expansion.push_back(ExpansionTarget{observation.country, asn, 0});
@@ -248,7 +256,49 @@ std::size_t HttpModificationProbe::run() {
       limit_per_as[asn] = config_.nodes_per_as;
     }
     observations_.push_back(std::move(observation));
+    raw.push_back(std::move(modified));
   }
+
+  // Classification over the collected responses is pure per-node work on
+  // const reference objects: shard it. Shard geometry depends only on the
+  // node count and every shard writes only its own index range, so output
+  // is byte-identical for every jobs value.
+  util::parallel_for_shards(
+      observations_.size(), util::shard_count(observations_.size(), 64),
+      config_.jobs, [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          auto& observation = observations_[i];
+          const auto& modified = raw[i];
+          if (modified.html) {
+            observation.html_signature = extract_injection_signature(
+                reference_html, modified.html->body);
+            observation.html_delta_bytes =
+                modified.html->body.size() > reference_html.size()
+                    ? modified.html->body.size() - reference_html.size()
+                    : 0;
+          }
+          if (modified.image) {
+            if (const auto info = http::parse_simg(modified.image->body)) {
+              // A well-formed image at different bytes: transcoded in flight.
+              observation.image_modified = true;
+              observation.image_quality = info->quality;
+              observation.image_compression_ratio =
+                  http::compression_ratio(reference_image, modified.image->body);
+            } else {
+              observation.image_replaced = true;  // block/error page, not an image
+            }
+          }
+          if (modified.js) {
+            observation.js_error_page =
+                looks_like_error_page(*modified.js, "javascript");
+          }
+          if (modified.css) {
+            observation.css_error_page =
+                looks_like_error_page(*modified.css, "css");
+          }
+        }
+      });
+
   return observations_.size();
 }
 

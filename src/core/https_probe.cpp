@@ -8,6 +8,7 @@
 
 #include "tft/util/rng.hpp"
 #include "tft/util/strings.hpp"
+#include "tft/util/thread_pool.hpp"
 
 namespace tft::core {
 
@@ -59,9 +60,23 @@ std::size_t CertReplacementProbe::run() {
   std::size_t stall = 0;
   std::size_t session_id = 0;
 
+  // Phase-2 verifications of originally-valid sites don't feed back into
+  // the crawl (unlike phase 1, whose verdicts trigger the full scan), so we
+  // capture the chain and a clock snapshot here and verify in a sharded
+  // pass after the crawl.
+  struct PendingVerify {
+    std::size_t observation;  // index into observations_
+    std::size_t site;         // index into that observation's sites
+    std::string host;
+    tls::CertificateChain chain;
+    sim::Instant now;
+  };
+  std::vector<PendingVerify> pending;
+
   const auto scan_site = [&](const world::HttpsSite& site,
                              const proxy::RequestOptions& options,
-                             const std::string& zid)
+                             const std::string& zid,
+                             std::optional<PendingVerify>* deferred)
       -> std::optional<CertSiteResult> {
     const auto result =
         world_.luminati->connect_and_handshake(site.address, 443, site.host, options);
@@ -78,6 +93,9 @@ std::size_t CertReplacementProbe::run() {
       // We know the exact certificate we serve: detect any substitution.
       out.replaced = result.chain.front().fingerprint() !=
                      site.genuine_chain.front().fingerprint();
+    } else if (deferred != nullptr) {
+      deferred->emplace(PendingVerify{0, 0, site.host, result.chain,
+                                      world_.clock.now()});
     } else {
       // Valid-by-construction sites: a verification failure means a third
       // party replaced the chain (§6.1's chain-validation check).
@@ -138,14 +156,14 @@ std::size_t CertReplacementProbe::run() {
     bool phase1_failed = first_result.replaced;
     if (!index.universities.empty()) {
       const auto* site = index.universities[rng.index(index.universities.size())];
-      if (const auto result = scan_site(*site, options, observation.zid)) {
+      if (const auto result = scan_site(*site, options, observation.zid, nullptr)) {
         phase1_failed = phase1_failed || result->replaced;
         observation.sites.push_back(*result);
       }
     }
     if (!index.invalid.empty()) {
       const auto* site = index.invalid[rng.index(index.invalid.size())];
-      if (const auto result = scan_site(*site, options, observation.zid)) {
+      if (const auto result = scan_site(*site, options, observation.zid, nullptr)) {
         phase1_failed = phase1_failed || result->replaced;
         observation.sites.push_back(*result);
       }
@@ -159,8 +177,15 @@ std::size_t CertReplacementProbe::run() {
       const auto scan_all = [&](const std::vector<const world::HttpsSite*>& sites) {
         for (const auto* site : sites) {
           if (already.contains(site->host)) continue;
-          if (const auto result = scan_site(*site, options, observation.zid)) {
+          std::optional<PendingVerify> deferred;
+          if (const auto result =
+                  scan_site(*site, options, observation.zid, &deferred)) {
             observation.sites.push_back(*result);
+            if (deferred) {
+              deferred->observation = observations_.size();
+              deferred->site = observation.sites.size() - 1;
+              pending.push_back(std::move(*deferred));
+            }
           }
         }
       };
@@ -171,6 +196,20 @@ std::size_t CertReplacementProbe::run() {
 
     observations_.push_back(std::move(observation));
   }
+
+  // Deferred chain verifications: pure function of (chain, host, snapshot),
+  // each entry writes one distinct site slot, shard geometry depends only
+  // on the entry count — byte-identical output for every jobs value.
+  util::parallel_for_shards(
+      pending.size(), util::shard_count(pending.size(), 16), config_.jobs,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto& entry = pending[i];
+          observations_[entry.observation].sites[entry.site].replaced =
+              !verifier.verify(entry.chain, entry.host, entry.now).ok();
+        }
+      });
+
   return observations_.size();
 }
 

@@ -20,6 +20,9 @@ struct DnsProbeConfig {
   /// Give up after this many consecutive sessions without a new node.
   std::size_t stall_limit = 3000;
   std::uint64_t seed = 0x7F7;
+  /// Worker threads for the post-crawl attribution pass. Results are
+  /// byte-identical for every value (see util::parallel_for_shards).
+  std::size_t jobs = 1;
 
   /// How the d2 policy recognizes the super proxy's pre-check (§4.1).
   /// The paper whitelisted all of 74.125.0.0/16 ("empirically determined");

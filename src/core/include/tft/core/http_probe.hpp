@@ -18,6 +18,10 @@ struct HttpProbeConfig {
   std::size_t max_nodes = 20000;
   std::size_t stall_limit = 4000;
   std::uint64_t seed = 0x177;
+  /// Worker threads for the post-crawl classification pass (signature
+  /// extraction, image transcode analysis, error-page detection). Results
+  /// are byte-identical for every value.
+  std::size_t jobs = 1;
 };
 
 struct HttpNodeObservation {

@@ -17,6 +17,10 @@ struct HttpsProbeConfig {
   std::size_t target_nodes = 5000;
   std::size_t stall_limit = 3000;
   std::uint64_t seed = 0x443;
+  /// Worker threads for the post-crawl chain-verification pass (phase-2
+  /// scans of originally-valid sites). Results are byte-identical for
+  /// every value.
+  std::size_t jobs = 1;
 };
 
 struct CertSiteResult {

@@ -17,6 +17,9 @@ struct MonitorProbeConfig {
   std::size_t stall_limit = 3000;
   double watch_hours = 24.0;
   std::uint64_t seed = 0x707;
+  /// Worker threads for the post-watch harvest pass (per-host arrival
+  /// sorting and attribution). Results are byte-identical for every value.
+  std::size_t jobs = 1;
 };
 
 struct UnexpectedRequest {

@@ -9,6 +9,7 @@
 #include "tft/core/http_probe.hpp"
 #include "tft/core/https_probe.hpp"
 #include "tft/core/monitor_probe.hpp"
+#include "tft/world/spec.hpp"
 
 namespace tft::core {
 
@@ -21,6 +22,13 @@ struct StudyConfig {
   HttpsAnalysisConfig https_analysis;
   MonitorProbeConfig monitoring;
   MonitorAnalysisConfig monitoring_analysis;
+
+  /// Worker threads for the study. run_study copies this into every probe
+  /// config (overriding their own `jobs` fields) and, in the world-building
+  /// overload, also runs the four experiments concurrently. 0 = one worker
+  /// per hardware thread. Results are byte-identical for every value — see
+  /// util/thread_pool.hpp for the determinism contract.
+  std::size_t jobs = 1;
 
   /// Scale analysis thresholds to a down-scaled world: a world built with
   /// scale s has ~s times the paper's nodes per country/server/AS group.
@@ -44,8 +52,18 @@ struct StudyResult {
   std::vector<ExperimentCoverage> coverage;  // Table 2
 };
 
-/// Run all four experiments (DNS, HTTP, HTTPS, monitoring) sequentially.
+/// Run all four experiments (DNS, HTTP, HTTPS, monitoring) sequentially
+/// against one shared world. Probe crawls interleave through the shared
+/// super proxy, exactly as a single measurement client would.
 StudyResult run_study(world::World& world, const StudyConfig& config);
+
+/// Run the four experiments against per-experiment worlds built from the
+/// identical (spec, scale, seed) triple, using up to `config.jobs` worker
+/// threads across experiments. Each experiment owns its world, so the
+/// crawls cannot interact; results land in fixed slots and the assembled
+/// StudyResult is byte-identical for every jobs value (including 1).
+StudyResult run_study(const world::WorldSpec& spec, double scale,
+                      std::uint64_t seed, const StudyConfig& config);
 
 // --- Rendering (shared by bench binaries and examples) -----------------------
 

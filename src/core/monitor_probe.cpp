@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "tft/util/rng.hpp"
+#include "tft/util/thread_pool.hpp"
 
 namespace tft::core {
 
@@ -82,44 +83,57 @@ std::size_t ContentMonitorProbe::run() {
     arrivals[log[i].host].push_back(Arrival{log[i].time, log[i].source, log[i].user_agent});
   }
 
-  for (auto& [host, list] : arrivals) {
-    MonitorObservation& observation = observations_[by_host[host]];
-    std::stable_sort(list.begin(), list.end(),
-                     [](const Arrival& a, const Arrival& b) { return a.time < b.time; });
+  // Each probe host belongs to exactly one observation, so sharding over
+  // observation indices touches every arrival list exactly once and every
+  // write lands in the shard's own index range — byte-identical output for
+  // every jobs value.
+  util::parallel_for_shards(
+      observations_.size(), util::shard_count(observations_.size()),
+      config_.jobs, [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t index = begin; index < end; ++index) {
+          MonitorObservation& observation = observations_[index];
+          const auto found = arrivals.find(observation.probe_host);
+          if (found == arrivals.end()) continue;
+          auto& list = found->second;
+          std::stable_sort(
+              list.begin(), list.end(),
+              [](const Arrival& a, const Arrival& b) { return a.time < b.time; });
 
-    // Find the node's own request.
-    std::ptrdiff_t own = -1;
-    for (std::size_t i = 0; i < list.size(); ++i) {
-      if (list[i].source == observation.reported_exit_address) {
-        own = static_cast<std::ptrdiff_t>(i);
-        break;
-      }
-    }
-    if (own < 0) {
-      observation.own_request_address_mismatch = true;
-      own = 0;  // earliest request stands in for the node's own
-    }
-    observation.own_request_source = list[static_cast<std::size_t>(own)].source;
-    const sim::Instant own_time = list[static_cast<std::size_t>(own)].time;
+          // Find the node's own request.
+          std::ptrdiff_t own = -1;
+          for (std::size_t i = 0; i < list.size(); ++i) {
+            if (list[i].source == observation.reported_exit_address) {
+              own = static_cast<std::ptrdiff_t>(i);
+              break;
+            }
+          }
+          if (own < 0) {
+            observation.own_request_address_mismatch = true;
+            own = 0;  // earliest request stands in for the node's own
+          }
+          observation.own_request_source =
+              list[static_cast<std::size_t>(own)].source;
+          const sim::Instant own_time = list[static_cast<std::size_t>(own)].time;
 
-    for (std::size_t i = 0; i < list.size(); ++i) {
-      if (static_cast<std::ptrdiff_t>(i) == own) continue;
-      UnexpectedRequest unexpected;
-      unexpected.source = list[i].source;
-      unexpected.delay_seconds = (list[i].time - own_time).to_seconds();
-      unexpected.user_agent = list[i].user_agent;
-      if (const auto asn = world_.topology.origin_as(list[i].source)) {
-        unexpected.asn = *asn;
-        if (const auto org = world_.topology.org_of(*asn)) {
-          if (const auto* info = world_.topology.organization(*org)) {
-            unexpected.organization = info->name;
+          for (std::size_t i = 0; i < list.size(); ++i) {
+            if (static_cast<std::ptrdiff_t>(i) == own) continue;
+            UnexpectedRequest unexpected;
+            unexpected.source = list[i].source;
+            unexpected.delay_seconds = (list[i].time - own_time).to_seconds();
+            unexpected.user_agent = list[i].user_agent;
+            if (const auto asn = world_.topology.origin_as(list[i].source)) {
+              unexpected.asn = *asn;
+              if (const auto org = world_.topology.org_of(*asn)) {
+                if (const auto* info = world_.topology.organization(*org)) {
+                  unexpected.organization = info->name;
+                }
+              }
+            }
+            if (unexpected.organization.empty()) unexpected.organization = "(unknown)";
+            observation.unexpected.push_back(std::move(unexpected));
           }
         }
-      }
-      if (unexpected.organization.empty()) unexpected.organization = "(unknown)";
-      observation.unexpected.push_back(std::move(unexpected));
-    }
-  }
+      });
 
   return observations_.size();
 }

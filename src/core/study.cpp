@@ -1,10 +1,12 @@
 #include "tft/core/study.hpp"
 
 #include <algorithm>
+#include <future>
 #include <set>
 
 #include "tft/stats/table.hpp"
 #include "tft/util/strings.hpp"
+#include "tft/util/thread_pool.hpp"
 
 namespace tft::core {
 
@@ -38,49 +40,125 @@ StudyConfig StudyConfig::for_scale(double scale, std::size_t target_nodes) {
   return config;
 }
 
-StudyResult run_study(world::World& world, const StudyConfig& config) {
-  StudyResult result;
+namespace {
 
-  DnsHijackProbe dns_probe(world, config.dns);
-  dns_probe.run();
-  result.dns = analyze_dns(world, dns_probe.observations(), config.dns_analysis);
-  {
-    std::set<net::Asn> ases;
-    std::set<net::CountryCode> countries;
-    for (const auto& observation : dns_probe.observations()) {
-      ases.insert(observation.asn);
-      countries.insert(observation.country);
-    }
-    result.coverage.push_back(ExperimentCoverage{
-        "DNS (S4)", dns_probe.observations().size(), ases.size(), countries.size(),
-        dns_probe.sessions_issued()});
+/// Copy the study-level jobs knob into every probe config.
+StudyConfig with_jobs(const StudyConfig& config) {
+  StudyConfig effective = config;
+  if (effective.jobs == 0) effective.jobs = util::ThreadPool::default_workers();
+  effective.dns.jobs = effective.jobs;
+  effective.http.jobs = effective.jobs;
+  effective.https.jobs = effective.jobs;
+  effective.monitoring.jobs = effective.jobs;
+  return effective;
+}
+
+void run_dns_experiment(world::World& world, const StudyConfig& config,
+                        DnsReport& report, ExperimentCoverage& coverage) {
+  DnsHijackProbe probe(world, config.dns);
+  probe.run();
+  report = analyze_dns(world, probe.observations(), config.dns_analysis);
+  std::set<net::Asn> ases;
+  std::set<net::CountryCode> countries;
+  for (const auto& observation : probe.observations()) {
+    ases.insert(observation.asn);
+    countries.insert(observation.country);
+  }
+  coverage =
+      ExperimentCoverage{"DNS (S4)", probe.observations().size(), ases.size(),
+                         countries.size(), probe.sessions_issued()};
+}
+
+void run_http_experiment(world::World& world, const StudyConfig& config,
+                         HttpReport& report, ExperimentCoverage& coverage) {
+  HttpModificationProbe probe(world, config.http);
+  probe.run();
+  report = analyze_http(world, probe.observations(), config.http_analysis);
+  coverage = ExperimentCoverage{"HTTP (S5)", report.total_nodes,
+                                report.unique_ases, report.unique_countries,
+                                probe.sessions_issued()};
+}
+
+void run_https_experiment(world::World& world, const StudyConfig& config,
+                          HttpsReport& report, ExperimentCoverage& coverage) {
+  CertReplacementProbe probe(world, config.https);
+  probe.run();
+  report = analyze_https(world, probe.observations(), config.https_analysis);
+  coverage = ExperimentCoverage{"HTTPS (S6)", report.total_nodes,
+                                report.unique_ases, report.unique_countries,
+                                probe.sessions_issued()};
+}
+
+void run_monitoring_experiment(world::World& world, const StudyConfig& config,
+                               MonitorReport& report,
+                               ExperimentCoverage& coverage) {
+  ContentMonitorProbe probe(world, config.monitoring);
+  probe.run();
+  report =
+      analyze_monitoring(world, probe.observations(), config.monitoring_analysis);
+  coverage = ExperimentCoverage{"Monitoring (S7)", report.total_nodes,
+                                report.unique_ases, report.unique_countries,
+                                probe.sessions_issued()};
+}
+
+}  // namespace
+
+StudyResult run_study(world::World& world, const StudyConfig& config) {
+  const StudyConfig effective = with_jobs(config);
+  StudyResult result;
+  result.coverage.resize(4);
+  run_dns_experiment(world, effective, result.dns, result.coverage[0]);
+  run_http_experiment(world, effective, result.http, result.coverage[1]);
+  run_https_experiment(world, effective, result.https, result.coverage[2]);
+  run_monitoring_experiment(world, effective, result.monitoring,
+                            result.coverage[3]);
+  return result;
+}
+
+StudyResult run_study(const world::WorldSpec& spec, double scale,
+                      std::uint64_t seed, const StudyConfig& config) {
+  const StudyConfig effective = with_jobs(config);
+  StudyResult result;
+  result.coverage.resize(4);
+
+  // Each experiment task builds its own world from the identical
+  // (spec, scale, seed) triple — build_world is deterministic, the tasks
+  // share no mutable state, and each writes a fixed result slot, so the
+  // assembled study does not depend on how many tasks run concurrently.
+  const auto dns_task = [&] {
+    auto world = world::build_world(spec, scale, seed);
+    run_dns_experiment(*world, effective, result.dns, result.coverage[0]);
+  };
+  const auto http_task = [&] {
+    auto world = world::build_world(spec, scale, seed);
+    run_http_experiment(*world, effective, result.http, result.coverage[1]);
+  };
+  const auto https_task = [&] {
+    auto world = world::build_world(spec, scale, seed);
+    run_https_experiment(*world, effective, result.https, result.coverage[2]);
+  };
+  const auto monitoring_task = [&] {
+    auto world = world::build_world(spec, scale, seed);
+    run_monitoring_experiment(*world, effective, result.monitoring,
+                              result.coverage[3]);
+  };
+
+  if (effective.jobs <= 1) {
+    dns_task();
+    http_task();
+    https_task();
+    monitoring_task();
+    return result;
   }
 
-  HttpModificationProbe http_probe(world, config.http);
-  http_probe.run();
-  result.http = analyze_http(world, http_probe.observations(), config.http_analysis);
-  result.coverage.push_back(ExperimentCoverage{
-      "HTTP (S5)", result.http.total_nodes, result.http.unique_ases,
-      result.http.unique_countries, http_probe.sessions_issued()});
-
-  CertReplacementProbe https_probe(world, config.https);
-  https_probe.run();
-  result.https =
-      analyze_https(world, https_probe.observations(), config.https_analysis);
-  result.coverage.push_back(ExperimentCoverage{
-      "HTTPS (S6)", result.https.total_nodes, result.https.unique_ases,
-      result.https.unique_countries, https_probe.sessions_issued()});
-
-  ContentMonitorProbe monitor_probe(world, config.monitoring);
-  monitor_probe.run();
-  result.monitoring = analyze_monitoring(world, monitor_probe.observations(),
-                                         config.monitoring_analysis);
-  result.coverage.push_back(
-      ExperimentCoverage{"Monitoring (S7)", result.monitoring.total_nodes,
-                         result.monitoring.unique_ases,
-                         result.monitoring.unique_countries,
-                         monitor_probe.sessions_issued()});
-
+  util::ThreadPool pool(effective.jobs);
+  std::future<void> tasks[] = {
+      pool.submit(dns_task),
+      pool.submit(http_task),
+      pool.submit(https_task),
+      pool.submit(monitoring_task),
+  };
+  for (auto& task : tasks) task.get();
   return result;
 }
 

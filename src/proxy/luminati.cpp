@@ -62,6 +62,12 @@ util::Result<TimelineDebug> parse_timeline_debug(std::string_view header) {
     AttemptInfo attempt;
     attempt.zid = std::string(piece.substr(0, colon));
     const std::string_view status = piece.substr(colon + 1);
+    if (status.empty()) {
+      // "zid:" with nothing after the colon is a truncated entry, not a
+      // success — the serializer always writes an explicit "ok".
+      return make_error(ErrorCode::kParseError,
+                        "empty status in attempt entry: " + std::string(piece));
+    }
     attempt.error = status == "ok" ? std::string{} : std::string(status);
     out.attempts.push_back(std::move(attempt));
   }
@@ -177,7 +183,7 @@ void SuperProxy::pin_session(const RequestOptions& options, ExitNodeAgent* node)
 
 void SuperProxy::annotate(http::Response& response, const ProxyFetchResult& result) const {
   std::string timeline = "zid=" + result.zid;
-  if (result.timeline.size() > 1 || !result.timeline.empty()) {
+  if (!result.timeline.empty()) {
     timeline += " tried=";
     for (std::size_t i = 0; i < result.timeline.size(); ++i) {
       if (i > 0) timeline += ',';

@@ -1,26 +1,31 @@
 #include "tft/sim/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace tft::sim {
 
 void EventQueue::schedule_at(Instant when, Handler handler) {
   if (when < now_) when = now_;
-  queue_.push(Entry{when, next_sequence_++, std::move(handler)});
+  heap_.push_back(Entry{when, next_sequence_++, std::move(handler)});
+  std::push_heap(heap_.begin(), heap_.end(), &EventQueue::later);
 }
 
 void EventQueue::schedule_after(Duration delay, Handler handler) {
   schedule_at(now_ + delay, std::move(handler));
 }
 
+EventQueue::Entry EventQueue::pop_next() {
+  std::pop_heap(heap_.begin(), heap_.end(), &EventQueue::later);
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
+  return entry;
+}
+
 std::size_t EventQueue::run_until(Instant deadline) {
   std::size_t executed = 0;
-  while (!queue_.empty() && queue_.top().when <= deadline) {
-    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-    // so copy the handler handle instead (std::function copy is cheap enough
-    // relative to simulated work).
-    Entry entry = queue_.top();
-    queue_.pop();
+  while (!heap_.empty() && heap_.front().when <= deadline) {
+    Entry entry = pop_next();
     now_ = entry.when;
     entry.handler();
     ++executed;
@@ -31,9 +36,8 @@ std::size_t EventQueue::run_until(Instant deadline) {
 
 std::size_t EventQueue::run_all() {
   std::size_t executed = 0;
-  while (!queue_.empty()) {
-    Entry entry = queue_.top();
-    queue_.pop();
+  while (!heap_.empty()) {
+    Entry entry = pop_next();
     now_ = entry.when;
     entry.handler();
     ++executed;

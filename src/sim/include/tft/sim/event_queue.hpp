@@ -4,19 +4,24 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "tft/sim/time.hpp"
+#include "tft/util/function.hpp"
 
 namespace tft::sim {
 
 /// The event queue owns the simulated clock; `run_until`/`run_all` advance
 /// it as events fire. Handlers may schedule further events.
+///
+/// Handlers are moved, never copied: the heap is a plain vector managed
+/// with std::push_heap/std::pop_heap (std::priority_queue only exposes a
+/// const top(), which would force copying each handler and its captures out
+/// on every event), and Handler is a move-only wrapper, so move-only
+/// captures (std::unique_ptr et al.) work too.
 class EventQueue {
  public:
-  using Handler = std::function<void()>;
+  using Handler = util::UniqueFunction<void()>;
 
   Instant now() const noexcept { return now_; }
 
@@ -28,7 +33,7 @@ class EventQueue {
   void schedule_after(Duration delay, Handler handler);
 
   /// Number of events not yet executed.
-  std::size_t pending() const noexcept { return queue_.size(); }
+  std::size_t pending() const noexcept { return heap_.size(); }
 
   /// Run all events with time <= deadline; clock ends at `deadline`.
   /// Returns the number of events executed.
@@ -46,16 +51,20 @@ class EventQueue {
     std::uint64_t sequence;  // tie-break: preserve scheduling order
     Handler handler;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.sequence > b.sequence;
-    }
-  };
+
+  /// Heap comparator: std::*_heap builds a max-heap, so "later" sorts the
+  /// earliest (when, sequence) entry to the front.
+  static bool later(const Entry& a, const Entry& b) {
+    if (a.when != b.when) return a.when > b.when;
+    return a.sequence > b.sequence;
+  }
+
+  /// Pop the earliest entry off the heap, transferring ownership.
+  Entry pop_next();
 
   Instant now_ = Instant::epoch();
   std::uint64_t next_sequence_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::vector<Entry> heap_;  // min-heap on (when, sequence) via std::*_heap
 };
 
 }  // namespace tft::sim

@@ -3,37 +3,35 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 namespace tft::stats {
 
-EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
-    : samples_(std::move(samples)), sorted_(false) {}
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
 
-void EmpiricalCdf::add(double sample) {
-  samples_.push_back(sample);
-  sorted_ = false;
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : samples_(std::move(samples)) {
+  std::sort(samples_.begin(), samples_.end());
 }
 
-void EmpiricalCdf::ensure_sorted() const {
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
-  }
+void EmpiricalCdf::add(double sample) {
+  samples_.insert(std::upper_bound(samples_.begin(), samples_.end(), sample),
+                  sample);
 }
 
 double EmpiricalCdf::at(double x) const {
   if (samples_.empty()) return 0.0;
-  ensure_sorted();
   const auto upper = std::upper_bound(samples_.begin(), samples_.end(), x);
   return static_cast<double>(upper - samples_.begin()) /
          static_cast<double>(samples_.size());
 }
 
 double EmpiricalCdf::percentile(double p) const {
-  assert(!samples_.empty());
+  if (samples_.empty()) return kNaN;
   assert(p >= 0.0 && p <= 100.0);
-  ensure_sorted();
   if (samples_.size() == 1) return samples_.front();
   const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
   const auto lower = static_cast<std::size_t>(std::floor(rank));
@@ -43,19 +41,15 @@ double EmpiricalCdf::percentile(double p) const {
 }
 
 double EmpiricalCdf::min() const {
-  assert(!samples_.empty());
-  ensure_sorted();
-  return samples_.front();
+  return samples_.empty() ? kNaN : samples_.front();
 }
 
 double EmpiricalCdf::max() const {
-  assert(!samples_.empty());
-  ensure_sorted();
-  return samples_.back();
+  return samples_.empty() ? kNaN : samples_.back();
 }
 
 double EmpiricalCdf::mean() const {
-  assert(!samples_.empty());
+  if (samples_.empty()) return kNaN;
   return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
          static_cast<double>(samples_.size());
 }
@@ -83,11 +77,6 @@ std::string EmpiricalCdf::ascii_curve(double lo, double hi, int width) const {
     out.push_back(kLevels[std::min(level, kLevels.size() - 1)]);
   }
   return out;
-}
-
-const std::vector<double>& EmpiricalCdf::sorted_samples() const {
-  ensure_sorted();
-  return samples_;
 }
 
 }  // namespace tft::stats

@@ -8,11 +8,22 @@
 namespace tft::stats {
 
 /// Empirical CDF over double-valued samples.
+///
+/// Thread safety: samples are kept sorted as an invariant of the mutating
+/// operations (constructor and add()), so every const accessor is a pure
+/// read. Any number of threads may share a const EmpiricalCdf; mutation
+/// requires external synchronization, as usual.
+///
+/// Empty distributions: at() is 0 and the curve renderers produce flat
+/// output; percentile()/min()/max()/mean() return quiet NaN (there is no
+/// sample to report), never undefined behavior.
 class EmpiricalCdf {
  public:
   EmpiricalCdf() = default;
   explicit EmpiricalCdf(std::vector<double> samples);
 
+  /// Insert one sample, keeping the sorted invariant (O(n) worst case —
+  /// for bulk loads prefer the vector constructor, which sorts once).
   void add(double sample);
 
   std::size_t size() const noexcept { return samples_.size(); }
@@ -22,11 +33,12 @@ class EmpiricalCdf {
   double at(double x) const;
 
   /// p-th percentile via linear interpolation, p in [0, 100].
+  /// NaN for an empty distribution.
   double percentile(double p) const;
 
-  double min() const;
-  double max() const;
-  double mean() const;
+  double min() const;   // NaN when empty
+  double max() const;   // NaN when empty
+  double mean() const;  // NaN when empty
   double median() const { return percentile(50); }
 
   /// (x, F(x)) pairs at `points` log-spaced x values over [lo, hi] —
@@ -37,13 +49,10 @@ class EmpiricalCdf {
   /// Render a fixed-width ASCII sparkline of the CDF over log-spaced x.
   std::string ascii_curve(double lo, double hi, int width) const;
 
-  const std::vector<double>& sorted_samples() const;
+  const std::vector<double>& sorted_samples() const noexcept { return samples_; }
 
  private:
-  void ensure_sorted() const;
-
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = true;
+  std::vector<double> samples_;  // invariant: sorted ascending
 };
 
 }  // namespace tft::stats

@@ -1,0 +1,55 @@
+// A move-only std::function replacement. std::function requires its target
+// to be copy-constructible and may copy it when the wrapper is copied or
+// (depending on container churn) relocated; UniqueFunction owns its target
+// uniquely, so wrapped callables — including ones capturing move-only state
+// such as std::unique_ptr — are moved, never copied.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace tft::util {
+
+template <typename Signature>
+class UniqueFunction;
+
+template <typename R, typename... Args>
+class UniqueFunction<R(Args...)> {
+ public:
+  UniqueFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  UniqueFunction(F&& fn)  // NOLINT(google-explicit-constructor)
+      : target_(std::make_unique<Model<std::decay_t<F>>>(std::forward<F>(fn))) {}
+
+  UniqueFunction(UniqueFunction&&) noexcept = default;
+  UniqueFunction& operator=(UniqueFunction&&) noexcept = default;
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  explicit operator bool() const noexcept { return target_ != nullptr; }
+
+  R operator()(Args... args) const {
+    return target_->invoke(std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual R invoke(Args... args) = 0;
+  };
+  template <typename F>
+  struct Model final : Concept {
+    explicit Model(F fn) : fn(std::move(fn)) {}
+    R invoke(Args... args) override { return fn(std::forward<Args>(args)...); }
+    F fn;
+  };
+
+  std::unique_ptr<Concept> target_;
+};
+
+}  // namespace tft::util

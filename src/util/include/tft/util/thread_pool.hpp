@@ -1,0 +1,129 @@
+// Deterministic parallelism primitives.
+//
+// The repo's determinism contract is "worker count never changes results":
+// any computation distributed over threads must produce byte-identical
+// output for --jobs 1 and --jobs N. Two pieces enforce that here:
+//
+//  * ThreadPool — a plain fixed-size worker pool (unordered completion;
+//    callers that need ordering merge results themselves, by task index).
+//  * parallel_for_shards — splits an index range [0, n) into k *contiguous*
+//    shards where k is derived from n alone (never from the worker count),
+//    runs each shard independently, and merges per-shard results in shard
+//    order. Shards that need randomness derive an independent RNG stream
+//    from shard_seed(seed, shard_index) = splitmix64(seed ^ shard_index),
+//    so no shard ever observes another shard's draws.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "tft/util/function.hpp"
+
+namespace tft::util {
+
+/// Fixed-size worker pool. Tasks run in submission order when there is one
+/// worker; completion order is otherwise unspecified, so deterministic
+/// callers must combine results by task identity, not completion time.
+class ThreadPool {
+ public:
+  /// `workers` == 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const noexcept { return threads_.size(); }
+
+  /// Enqueue a task; the future resolves when it has run (or rethrows what
+  /// the task threw).
+  template <typename F>
+  std::future<std::invoke_result_t<F&>> submit(F fn) {
+    using R = std::invoke_result_t<F&>;
+    std::packaged_task<R()> task(std::move(fn));
+    std::future<R> result = task.get_future();
+    enqueue([task = std::move(task)]() mutable { task(); });
+    return result;
+  }
+
+  /// Default worker count for `jobs = 0` configurations.
+  static std::size_t default_workers();
+
+ private:
+  void enqueue(UniqueFunction<void()> task);
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::vector<UniqueFunction<void()>> queue_;  // FIFO via head index
+  std::size_t queue_head_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Independent per-shard RNG stream seed: splitmix64(seed ^ shard_index).
+std::uint64_t shard_seed(std::uint64_t seed, std::uint64_t shard_index);
+
+/// Deterministic shard count for n items: one shard per `grain` items,
+/// capped so tiny inputs stay single-shard and huge inputs bounded. Depends
+/// only on n and grain — never on the worker count.
+std::size_t shard_count(std::size_t n, std::size_t grain = 256,
+                        std::size_t max_shards = 64);
+
+namespace detail {
+/// Run fn(shard) for shard in [0, shards) on min(jobs, shards) transient
+/// worker threads pulling shard indices from a shared counter. jobs <= 1
+/// runs inline on the calling thread. Exceptions propagate (first shard
+/// index order).
+void run_shards(std::size_t shards, std::size_t jobs,
+                const UniqueFunction<void(std::size_t)>& fn);
+}  // namespace detail
+
+/// Partition [0, n) into `shards` contiguous ranges and run
+/// `fn(shard_index, begin, end)` for each, using up to `jobs` threads.
+/// Writes fn performs must stay within its own range/slot. The schedule a
+/// shard lands on never affects results: ranges depend only on (n, shards).
+template <typename Fn>
+void parallel_for_shards(std::size_t n, std::size_t shards, std::size_t jobs,
+                         Fn&& fn) {
+  if (n == 0 || shards == 0) return;
+  if (shards > n) shards = n;
+  const std::size_t base = n / shards;
+  const std::size_t extra = n % shards;  // first `extra` shards get +1 item
+  detail::run_shards(shards, jobs, [&](std::size_t shard) {
+    const std::size_t begin =
+        shard * base + (shard < extra ? shard : extra);
+    const std::size_t end = begin + base + (shard < extra ? 1 : 0);
+    fn(shard, begin, end);
+  });
+}
+
+/// As above, but each shard returns a std::vector<T>; the per-shard vectors
+/// are concatenated in shard order, so the merged output is identical for
+/// every worker count.
+template <typename T, typename Fn>
+std::vector<T> parallel_map_shards(std::size_t n, std::size_t shards,
+                                   std::size_t jobs, Fn&& fn) {
+  if (n == 0 || shards == 0) return {};
+  if (shards > n) shards = n;
+  std::vector<std::vector<T>> partial(shards);
+  parallel_for_shards(n, shards, jobs,
+                      [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                        partial[shard] = fn(shard, begin, end);
+                      });
+  std::vector<T> merged;
+  std::size_t total = 0;
+  for (const auto& part : partial) total += part.size();
+  merged.reserve(total);
+  for (auto& part : partial) {
+    for (auto& item : part) merged.push_back(std::move(item));
+  }
+  return merged;
+}
+
+}  // namespace tft::util

@@ -1,0 +1,108 @@
+#include "tft/util/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "tft/util/rng.hpp"
+
+namespace tft::util {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) workers = default_workers();
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+std::size_t ThreadPool::default_workers() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::enqueue(UniqueFunction<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    // Compact the consumed prefix occasionally so the queue never grows
+    // unboundedly across long runs.
+    if (queue_head_ > 64 && queue_head_ * 2 > queue_.size()) {
+      queue_.erase(queue_.begin(),
+                   queue_.begin() + static_cast<std::ptrdiff_t>(queue_head_));
+      queue_head_ = 0;
+    }
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    UniqueFunction<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      wake_.wait(lock, [this] {
+        return stopping_ || queue_head_ < queue_.size();
+      });
+      if (queue_head_ == queue_.size()) return;  // stopping, queue drained
+      task = std::move(queue_[queue_head_++]);
+    }
+    task();
+  }
+}
+
+std::uint64_t shard_seed(std::uint64_t seed, std::uint64_t shard_index) {
+  std::uint64_t state = seed ^ shard_index;
+  return splitmix64(state);
+}
+
+std::size_t shard_count(std::size_t n, std::size_t grain,
+                        std::size_t max_shards) {
+  if (n == 0) return 0;
+  if (grain == 0) grain = 1;
+  return std::clamp<std::size_t>((n + grain - 1) / grain, 1, max_shards);
+}
+
+namespace detail {
+
+void run_shards(std::size_t shards, std::size_t jobs,
+                const UniqueFunction<void(std::size_t)>& fn) {
+  if (shards == 0) return;
+  if (jobs <= 1 || shards == 1) {
+    for (std::size_t shard = 0; shard < shards; ++shard) fn(shard);
+    return;
+  }
+  const std::size_t workers = std::min(jobs, shards);
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(shards);
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t shard = next.fetch_add(1, std::memory_order_relaxed);
+      if (shard >= shards) return;
+      try {
+        fn(shard);
+      } catch (...) {
+        errors[shard] = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t i = 1; i < workers; ++i) threads.emplace_back(drain);
+  drain();
+  for (auto& thread : threads) thread.join();
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace detail
+
+}  // namespace tft::util

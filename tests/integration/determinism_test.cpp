@@ -1,0 +1,57 @@
+// The determinism contract end-to-end: a mini study produces byte-identical
+// rendered reports and JSON for every --jobs value, and repeated parallel
+// runs agree with each other.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "tft/core/report_json.hpp"
+#include "tft/core/study.hpp"
+#include "tft/world/spec.hpp"
+
+namespace tft::core {
+namespace {
+
+struct RenderedStudy {
+  std::string report;
+  std::string json;
+};
+
+RenderedStudy run_mini_study(std::size_t jobs) {
+  StudyConfig config = StudyConfig::for_scale(0.6, 200);
+  config.jobs = jobs;
+  const StudyResult result = run_study(world::mini_spec(), 0.6, 2016, config);
+
+  RenderedStudy rendered;
+  rendered.report = render_coverage(result.coverage);
+  rendered.report += "\n" + render_dns_report(result.dns);
+  rendered.report += "\n" + render_http_report(result.http);
+  rendered.report += "\n" + render_https_report(result.https);
+  rendered.report += "\n" + render_monitor_report(result.monitoring);
+  rendered.json = study_result_json(result);
+  return rendered;
+}
+
+TEST(DeterminismTest, JobsCountNeverChangesResults) {
+  const RenderedStudy sequential = run_mini_study(1);
+  ASSERT_FALSE(sequential.report.empty());
+  ASSERT_FALSE(sequential.json.empty());
+
+  const RenderedStudy two_jobs = run_mini_study(2);
+  EXPECT_EQ(two_jobs.report, sequential.report);
+  EXPECT_EQ(two_jobs.json, sequential.json);
+
+  const RenderedStudy eight_jobs = run_mini_study(8);
+  EXPECT_EQ(eight_jobs.report, sequential.report);
+  EXPECT_EQ(eight_jobs.json, sequential.json);
+}
+
+TEST(DeterminismTest, RepeatedParallelRunsAgree) {
+  const RenderedStudy first = run_mini_study(8);
+  const RenderedStudy second = run_mini_study(8);
+  EXPECT_EQ(first.report, second.report);
+  EXPECT_EQ(first.json, second.json);
+}
+
+}  // namespace
+}  // namespace tft::core

@@ -34,6 +34,15 @@ TEST(TimelineDebugTest, RejectsMalformed) {
   EXPECT_FALSE(parse_timeline_debug("zid=a tried=:err").ok());
 }
 
+TEST(TimelineDebugTest, RejectsTrailingColonAttempt) {
+  // "zid:" with nothing after the colon is a truncated entry — the
+  // serializer always writes an explicit "ok" for the final attempt, so an
+  // empty status must parse as an error, not as success.
+  EXPECT_FALSE(parse_timeline_debug("zid=a tried=b:").ok());
+  EXPECT_FALSE(parse_timeline_debug("zid=a tried=b:err,a:").ok());
+  EXPECT_FALSE(parse_timeline_debug("zid=a tried=:").ok());
+}
+
 TEST(TimelineDebugTest, RoundTripsWithRealHeaders) {
   // End-to-end: headers the super proxy actually attaches must parse back
   // to the result's own trail.

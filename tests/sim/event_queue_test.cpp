@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 namespace tft::sim {
@@ -78,6 +79,45 @@ TEST(EventQueueTest, HandlersCanScheduleMoreEvents) {
   queue.run_all();
   EXPECT_EQ(count, 5);
   EXPECT_EQ(queue.now(), Instant::epoch() + Duration::seconds(5));
+}
+
+TEST(EventQueueTest, MoveOnlyCapturesWork) {
+  // Handlers are move-only-friendly: std::function would reject this
+  // lambda (unique_ptr capture is not copyable).
+  EventQueue queue;
+  auto payload = std::make_unique<int>(42);
+  int seen = 0;
+  queue.schedule_after(Duration::seconds(1),
+                       [&seen, payload = std::move(payload)] { seen = *payload; });
+  queue.run_all();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(EventQueueTest, HandlersAreMovedNotCopied) {
+  // Regression: the old std::priority_queue-based heap could only read
+  // entries through a const top(), so every dispatched handler — and all
+  // of its captured state — was copied on the way out.
+  struct CopyCounter {
+    int* copies;
+    explicit CopyCounter(int* c) : copies(c) {}
+    CopyCounter(const CopyCounter& other) : copies(other.copies) { ++*copies; }
+    CopyCounter(CopyCounter&& other) noexcept : copies(other.copies) {}
+    CopyCounter& operator=(const CopyCounter&) = delete;
+    CopyCounter& operator=(CopyCounter&&) = delete;
+  };
+
+  EventQueue queue;
+  int copies = 0;
+  int fired = 0;
+  for (int i = 0; i < 8; ++i) {
+    queue.schedule_after(Duration::seconds(i + 1),
+                         [&fired, counter = CopyCounter(&copies)] { ++fired; });
+  }
+  const int copies_after_scheduling = copies;
+  EXPECT_EQ(queue.run_all(), 8u);
+  EXPECT_EQ(fired, 8);
+  EXPECT_EQ(copies, copies_after_scheduling)
+      << "dispatch must move handlers off the heap, not copy them";
 }
 
 TEST(EventQueueTest, SchedulingInPastClampsToNow) {

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <thread>
+#include <vector>
+
 #include "tft/util/rng.hpp"
 
 namespace tft::stats {
@@ -12,6 +16,57 @@ TEST(EmpiricalCdfTest, EmptyBehaviour) {
   EXPECT_TRUE(cdf.empty());
   EXPECT_EQ(cdf.size(), 0u);
   EXPECT_DOUBLE_EQ(cdf.at(10.0), 0.0);
+}
+
+TEST(EmpiricalCdfTest, EmptyStatisticsAreNaN) {
+  // No samples means no defined percentile/min/max/mean — NaN, not UB (the
+  // old implementation indexed into an empty vector outside of asserts).
+  const EmpiricalCdf cdf;
+  EXPECT_TRUE(std::isnan(cdf.percentile(50)));
+  EXPECT_TRUE(std::isnan(cdf.median()));
+  EXPECT_TRUE(std::isnan(cdf.min()));
+  EXPECT_TRUE(std::isnan(cdf.max()));
+  EXPECT_TRUE(std::isnan(cdf.mean()));
+}
+
+TEST(EmpiricalCdfTest, ConstAccessorsAreThreadSafe) {
+  // Regression: the old lazy sort mutated `mutable` members inside const
+  // accessors, so two threads sharing a const CDF raced (visible under
+  // TSan, occasionally as wrong percentiles). Const reads must now be pure.
+  util::Rng rng(11);
+  EmpiricalCdf mutable_cdf;
+  for (int i = 0; i < 4000; ++i) mutable_cdf.add(rng.log_uniform(1, 10000));
+  const EmpiricalCdf& cdf = mutable_cdf;
+
+  const double expected_median = cdf.median();
+  const double expected_p90 = cdf.percentile(90);
+  const double expected_at = cdf.at(100.0);
+
+  std::vector<std::thread> readers;
+  std::vector<int> mismatches(8, 0);
+  for (std::size_t t = 0; t < mismatches.size(); ++t) {
+    readers.emplace_back([&, t] {
+      for (int i = 0; i < 1000; ++i) {
+        if (cdf.median() != expected_median || cdf.percentile(90) != expected_p90 ||
+            cdf.at(100.0) != expected_at) {
+          ++mismatches[t];
+        }
+      }
+    });
+  }
+  for (auto& reader : readers) reader.join();
+  for (const int count : mismatches) EXPECT_EQ(count, 0);
+}
+
+TEST(EmpiricalCdfTest, AddMaintainsSortedInvariant) {
+  util::Rng rng(13);
+  EmpiricalCdf cdf;
+  for (int i = 0; i < 500; ++i) cdf.add(rng.log_uniform(1, 1000));
+  const auto& sorted = cdf.sorted_samples();
+  ASSERT_EQ(sorted.size(), 500u);
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_LE(sorted[i - 1], sorted[i]);
+  }
 }
 
 TEST(EmpiricalCdfTest, AtComputesFraction) {

@@ -1,0 +1,115 @@
+#include "tft/util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tft/util/rng.hpp"
+
+namespace tft::util {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.worker_count(), 4u);
+  std::atomic<int> counter{0};
+  std::vector<std::future<int>> results;
+  for (int i = 0; i < 32; ++i) {
+    results.push_back(pool.submit([i, &counter] {
+      ++counter;
+      return i * i;
+    }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].get(), i * i);
+  }
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPoolTest, SubmitAcceptsMoveOnlyTasks) {
+  ThreadPool pool(2);
+  auto payload = std::make_unique<int>(7);
+  auto result =
+      pool.submit([payload = std::move(payload)] { return *payload * 3; });
+  EXPECT_EQ(result.get(), 21);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto result = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(result.get(), std::runtime_error);
+}
+
+TEST(ShardingTest, ShardCountDependsOnlyOnInput) {
+  EXPECT_EQ(shard_count(0), 0u);  // no items, no shards
+  EXPECT_EQ(shard_count(1), 1u);
+  EXPECT_EQ(shard_count(256), 1u);
+  EXPECT_EQ(shard_count(257), 2u);
+  // Huge inputs are capped.
+  EXPECT_EQ(shard_count(1u << 24), 64u);
+  // Custom grain.
+  EXPECT_EQ(shard_count(100, 10), 10u);
+}
+
+TEST(ShardingTest, ShardSeedsAreDistinctStreams) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t shard = 0; shard < 256; ++shard) {
+    seeds.insert(shard_seed(0x2016, shard));
+  }
+  EXPECT_EQ(seeds.size(), 256u);
+  // And distinct from the raw xor (it is mixed, not just offset).
+  EXPECT_NE(shard_seed(0x2016, 1), 0x2016 ^ 1u);
+}
+
+TEST(ShardingTest, ParallelForShardsCoversRangeExactlyOnce) {
+  for (const std::size_t jobs : {1u, 2u, 8u}) {
+    const std::size_t n = 1000;
+    std::vector<int> hits(n, 0);
+    parallel_for_shards(n, shard_count(n, 37), jobs,
+                        [&](std::size_t, std::size_t begin, std::size_t end) {
+                          for (std::size_t i = begin; i < end; ++i) ++hits[i];
+                        });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+              static_cast<int>(n))
+        << "jobs=" << jobs;
+    for (const int h : hits) EXPECT_EQ(h, 1);
+  }
+}
+
+std::vector<std::string> shard_labels(std::size_t jobs) {
+  // Per-shard RNG streams: results must not depend on worker count.
+  return parallel_map_shards<std::string>(
+      500, shard_count(500, 17), jobs,
+      [](std::size_t shard, std::size_t begin, std::size_t end) {
+        Rng rng(shard_seed(0xABCD, shard));
+        std::vector<std::string> out;
+        for (std::size_t i = begin; i < end; ++i) {
+          out.push_back(std::to_string(i) + ":" +
+                        std::to_string(rng.next_u64()));
+        }
+        return out;
+      });
+}
+
+TEST(ShardingTest, ParallelMapShardsIsWorkerCountInvariant) {
+  const auto sequential = shard_labels(1);
+  ASSERT_EQ(sequential.size(), 500u);
+  EXPECT_EQ(shard_labels(2), sequential);
+  EXPECT_EQ(shard_labels(8), sequential);
+}
+
+TEST(ShardingTest, ParallelForShardsRethrowsFromShard) {
+  EXPECT_THROW(
+      parallel_for_shards(100, 4, 2,
+                          [](std::size_t shard, std::size_t, std::size_t) {
+                            if (shard == 2) throw std::runtime_error("shard");
+                          }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tft::util

@@ -8,14 +8,17 @@
 // requested experiment(s), and writes the paper-style report to stdout or
 // --out.
 #include <fstream>
+#include <future>
 #include <iostream>
-
+#include <mutex>
 #include <sstream>
+#include <vector>
 
 #include "tft/core/report_json.hpp"
 #include "tft/core/smtp_probe.hpp"
 #include "tft/core/study.hpp"
 #include "tft/util/flags.hpp"
+#include "tft/util/thread_pool.hpp"
 #include "tft/world/spec_io.hpp"
 #include "tft/world/world.hpp"
 
@@ -28,6 +31,9 @@ Flags:
   --scale <f>        population scale vs. the paper's 750K nodes (default 0.05)
   --seed <n>         world + crawl seed (default 2016)
   --target <n>       max unique exit nodes per experiment (default: exhaustive)
+  --jobs <n>         worker threads (default: one per hardware thread;
+                     1 = fully sequential). Reports are byte-identical for
+                     every value
   --mini             use the small test scenario instead of the paper world
   --spec <path>      load the scenario from a JSON file (see --dump-spec)
   --dump-spec        print the selected scenario as JSON and exit
@@ -57,8 +63,8 @@ int main(int argc, char** argv) {
     return 0;
   }
   const auto unknown = flags.unknown(
-      {"experiment", "scale", "seed", "target", "mini", "vpn-overlay", "out", "quiet",
-       "json", "spec", "dump-spec"});
+      {"experiment", "scale", "seed", "target", "jobs", "mini", "vpn-overlay",
+       "out", "quiet", "json", "spec", "dump-spec"});
   if (!unknown.empty()) return fail("unknown flag --" + unknown.front());
 
   // The mini scenario and user scenario files describe their own
@@ -72,6 +78,12 @@ int main(int argc, char** argv) {
   if (!seed.ok()) return fail(seed.error().to_string());
   const auto target = flags.get_int("target", 0);
   if (!target.ok()) return fail(target.error().to_string());
+  const auto jobs_flag = flags.get_int("jobs", 0);
+  if (!jobs_flag.ok()) return fail(jobs_flag.error().to_string());
+  if (*jobs_flag < 0) return fail("--jobs must be >= 0");
+  const std::size_t jobs = *jobs_flag == 0
+                               ? tft::util::ThreadPool::default_workers()
+                               : static_cast<std::size_t>(*jobs_flag);
   const std::string experiment = flags.get_or("experiment", "all");
   const bool quiet = flags.get_bool("quiet");
   const bool json = flags.get_bool("json");
@@ -100,89 +112,119 @@ int main(int argc, char** argv) {
                 "overlays tunnel port 443 only)");
   }
 
-  if (!quiet) std::cerr << "building world (scale=" << *scale << ")...\n";
-  auto world = tft::world::build_world(spec, *scale, static_cast<std::uint64_t>(*seed));
-  if (!quiet) {
-    std::cerr << "population: " << world->luminati->node_count() << " exit nodes, "
-              << world->topology.as_count() << " ASes\n";
-  }
-
   const std::size_t target_nodes =
       *target > 0 ? static_cast<std::size_t>(*target) : (1u << 22);
   auto config = tft::core::StudyConfig::for_scale(*scale, target_nodes);
+  config.jobs = jobs;
+  config.dns.jobs = jobs;
+  config.http.jobs = jobs;
+  config.https.jobs = jobs;
+  config.monitoring.jobs = jobs;
+  const auto world_seed = static_cast<std::uint64_t>(*seed);
 
-  std::string report;
-  const auto run_named = [&](const std::string& name) -> bool {
+  std::vector<std::string> experiments;
+  if (experiment == "all") {
+    experiments = {"dns", "http", "https", "monitor", "smtp"};
+  } else {
+    experiments = {experiment};
+  }
+  for (const auto& name : experiments) {
+    if (name != "dns" && name != "http" && name != "https" &&
+        name != "monitor" && name != "smtp") {
+      return fail("unknown experiment '" + name + "'");
+    }
+  }
+
+  std::mutex progress_mutex;
+  const auto progress = [&](const std::string& line) {
+    if (quiet) return;
+    const std::lock_guard<std::mutex> lock(progress_mutex);
+    std::cerr << line << "\n";
+  };
+
+  // Every experiment builds its own world from the identical (spec, scale,
+  // seed) triple, so the crawls cannot interact through shared proxy state
+  // and the report is byte-identical for every --jobs value.
+  const auto run_named = [&](const std::string& name) -> std::string {
+    if (name == "smtp" && !spec.arbitrary_port_overlay) {
+      return "SMTP experiment skipped: overlay tunnels port 443 only "
+             "(pass --vpn-overlay).\n";
+    }
+    progress("[" + name + "] building world (scale=" +
+             std::to_string(*scale) + ")...");
+    auto world = tft::world::build_world(spec, *scale, world_seed);
+    progress("[" + name + "] population: " +
+             std::to_string(world->luminati->node_count()) + " exit nodes, " +
+             std::to_string(world->topology.as_count()) + " ASes; running...");
     if (name == "dns") {
       tft::core::DnsHijackProbe probe(*world, config.dns);
-      if (!quiet) std::cerr << "running DNS experiment...\n";
       probe.run();
       const auto analyzed =
           tft::core::analyze_dns(*world, probe.observations(), config.dns_analysis);
-      report += json ? tft::core::dns_report_json(analyzed)
-                     : tft::core::render_dns_report(analyzed);
-      return true;
+      return json ? tft::core::dns_report_json(analyzed)
+                  : tft::core::render_dns_report(analyzed);
     }
     if (name == "http") {
       tft::core::HttpModificationProbe probe(*world, config.http);
-      if (!quiet) std::cerr << "running HTTP experiment...\n";
       probe.run();
       const auto analyzed = tft::core::analyze_http(
           *world, probe.observations(), config.http_analysis);
-      report += json ? tft::core::http_report_json(analyzed)
-                     : tft::core::render_http_report(analyzed);
-      return true;
+      return json ? tft::core::http_report_json(analyzed)
+                  : tft::core::render_http_report(analyzed);
     }
     if (name == "https") {
       tft::core::CertReplacementProbe probe(*world, config.https);
-      if (!quiet) std::cerr << "running HTTPS experiment...\n";
       probe.run();
       const auto analyzed = tft::core::analyze_https(
           *world, probe.observations(), config.https_analysis);
-      report += json ? tft::core::https_report_json(analyzed)
-                     : tft::core::render_https_report(analyzed);
-      return true;
+      return json ? tft::core::https_report_json(analyzed)
+                  : tft::core::render_https_report(analyzed);
     }
     if (name == "monitor") {
       tft::core::ContentMonitorProbe probe(*world, config.monitoring);
-      if (!quiet) std::cerr << "running monitoring experiment...\n";
       probe.run();
       const auto analyzed = tft::core::analyze_monitoring(
           *world, probe.observations(), config.monitoring_analysis);
-      report += json ? tft::core::monitor_report_json(analyzed)
-                     : tft::core::render_monitor_report(analyzed);
-      return true;
+      return json ? tft::core::monitor_report_json(analyzed)
+                  : tft::core::render_monitor_report(analyzed);
     }
-    if (name == "smtp") {
-      if (!spec.arbitrary_port_overlay) {
-        report += "SMTP experiment skipped: overlay tunnels port 443 only "
-                  "(pass --vpn-overlay).\n";
-        return true;
-      }
-      tft::core::SmtpProbeConfig smtp_config;
-      smtp_config.target_nodes = target_nodes;
-      tft::core::SmtpProbe probe(*world, smtp_config);
-      if (!quiet) std::cerr << "running SMTP experiment...\n";
-      probe.run();
-      tft::core::SmtpAnalysisConfig analysis;
-      analysis.min_nodes_per_as =
-          std::max<std::size_t>(3, static_cast<std::size_t>(10 * *scale));
-      const auto analyzed =
-          tft::core::analyze_smtp(*world, probe.observations(), analysis);
-      report += json ? tft::core::smtp_report_json(analyzed)
-                     : tft::core::render_smtp_report(analyzed);
-      return true;
-    }
-    return false;
+    tft::core::SmtpProbeConfig smtp_config;
+    smtp_config.target_nodes = target_nodes;
+    tft::core::SmtpProbe probe(*world, smtp_config);
+    probe.run();
+    tft::core::SmtpAnalysisConfig analysis;
+    analysis.min_nodes_per_as =
+        std::max<std::size_t>(3, static_cast<std::size_t>(10 * *scale));
+    const auto analyzed =
+        tft::core::analyze_smtp(*world, probe.observations(), analysis);
+    return json ? tft::core::smtp_report_json(analyzed)
+                : tft::core::render_smtp_report(analyzed);
   };
 
-  if (experiment == "all") {
-    for (const char* name : {"dns", "http", "https", "monitor", "smtp"}) {
-      run_named(name);
-      report += "\n";
+  // Sections are merged in experiment order no matter which worker finishes
+  // first.
+  std::vector<std::string> sections(experiments.size());
+  if (jobs <= 1 || experiments.size() == 1) {
+    for (std::size_t i = 0; i < experiments.size(); ++i) {
+      sections[i] = run_named(experiments[i]);
     }
-  } else if (!run_named(experiment)) {
-    return fail("unknown experiment '" + experiment + "'");
+  } else {
+    tft::util::ThreadPool pool(jobs);
+    std::vector<std::future<std::string>> futures;
+    futures.reserve(experiments.size());
+    for (const auto& name : experiments) {
+      futures.push_back(
+          pool.submit([&run_named, name] { return run_named(name); }));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      sections[i] = futures[i].get();
+    }
+  }
+
+  std::string report;
+  for (const auto& section : sections) {
+    report += section;
+    if (experiments.size() > 1) report += "\n";
   }
 
   if (const auto out = flags.get("out")) {
