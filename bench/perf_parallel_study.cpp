@@ -3,11 +3,21 @@
 // contract: worker count never changes results).
 //
 // Usage: perf_parallel_study [scale] [target_nodes] [seed] [jobs]
+//
+// Also drops BENCH_parallel_study.json at the repo root: wall times for
+// both legs, speedup, and the key observability counters of the run.
 #include <chrono>
+#include <fstream>
 #include <iostream>
 
 #include "common.hpp"
+#include "tft/obs/build_info.hpp"
+#include "tft/util/json.hpp"
 #include "tft/util/thread_pool.hpp"
+
+#ifndef TFT_REPO_ROOT
+#define TFT_REPO_ROOT "."
+#endif
 
 namespace {
 
@@ -64,6 +74,40 @@ int main(int argc, char** argv) {
             << "x\n";
   std::cout << "  reports byte-identical: "
             << (sequential_report == parallel_report ? "yes" : "NO") << "\n";
+
+  // Machine-readable result file for trend tracking across commits.
+  {
+    tft::util::JsonWriter json;
+    json.begin_object();
+    tft::obs::write_build_info(json);
+    json.field("bench", "parallel_study")
+        .field("scale", options.scale)
+        .field("target_nodes", static_cast<std::uint64_t>(options.target_nodes))
+        .field("seed", options.seed)
+        .field("jobs", static_cast<std::uint64_t>(jobs))
+        .field("hardware_threads",
+               static_cast<std::uint64_t>(tft::util::ThreadPool::default_workers()))
+        .field("sequential_ms", sequential_seconds * 1000.0)
+        .field("parallel_ms", parallel_seconds * 1000.0)
+        .field("speedup",
+               parallel_seconds > 0 ? sequential_seconds / parallel_seconds : 0)
+        .field("reports_identical", sequential_report == parallel_report);
+    json.begin_object("counters");
+    for (const auto& [name, value] : parallel.metrics.counters()) {
+      json.field(name, value);
+    }
+    json.end_object();
+    json.end_object();
+    const std::string path = std::string(TFT_REPO_ROOT) + "/BENCH_parallel_study.json";
+    std::ofstream file(path);
+    if (file) {
+      file << std::move(json).take() << "\n";
+      std::cerr << "[bench] results written to " << path << "\n";
+    } else {
+      std::cerr << "[bench] warning: cannot write " << path << "\n";
+    }
+  }
+
   if (sequential_report != parallel_report) {
     std::cerr << "perf_parallel_study: DETERMINISM VIOLATION — jobs=1 and "
                  "jobs="

@@ -4,6 +4,11 @@
 // measurement pipeline.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "tft/dns/codec.hpp"
 #include "tft/http/content.hpp"
 #include "tft/http/message.hpp"
@@ -157,4 +162,35 @@ BENCHMARK(BM_ExtractUrls);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#ifndef TFT_REPO_ROOT
+#define TFT_REPO_ROOT "."
+#endif
+
+// Like BENCHMARK_MAIN(), but also mirrors the results as machine-readable
+// JSON to BENCH_protocols.json at the repo root (for trend tracking across
+// commits) while keeping the console table on stdout. An explicit
+// --benchmark_out on the command line wins over the default path.
+int main(int argc, char** argv) {
+  const std::string path = std::string(TFT_REPO_ROOT) + "/BENCH_protocols.json";
+  const std::string out_flag = "--benchmark_out=" + path;
+  const std::string format_flag = "--benchmark_out_format=json";
+  std::vector<char*> args(argv, argv + argc);
+  bool user_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_out=")) {
+      user_out = true;
+    }
+  }
+  if (!user_out) {
+    args.push_back(const_cast<char*>(out_flag.c_str()));
+    args.push_back(const_cast<char*>(format_flag.c_str()));
+  }
+  int args_count = static_cast<int>(args.size());
+  args.push_back(nullptr);
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  if (!user_out) std::cerr << "[bench] results written to " << path << "\n";
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,6 +6,8 @@
 #include <unordered_set>
 
 #include "tft/http/content.hpp"
+#include "tft/obs/metrics.hpp"
+#include "tft/obs/shards.hpp"
 #include "tft/util/hash.hpp"
 #include "tft/util/rng.hpp"
 #include "tft/util/strings.hpp"
@@ -72,9 +74,11 @@ std::size_t DnsHijackProbe::run() {
   std::size_t web_cursor = world_.measurement_web->request_log().size();
   std::size_t dns_cursor = world_.measurement_zone->query_log().size();
 
+  world_.metrics.begin_span("dns.crawl", world_.clock.now());
   while ((config_.target_nodes == 0 || observations_.size() < config_.target_nodes) &&
          stall < config_.stall_limit) {
     const std::size_t session_id = sessions_issued_++;
+    world_.metrics.add("dns.sessions");
     // Token includes the probe seed so repeated studies (longitudinal
     // rounds) never reuse a probe name across rounds.
     const std::string token = "s" + std::to_string(config_.seed % 100000) + "x" +
@@ -91,12 +95,14 @@ std::size_t DnsHijackProbe::run() {
     const auto r1 = world_.luminati->fetch(d1, options);
     if (!r1.ok()) {
       ++stall;
+      world_.metrics.add("dns.failed_fetches");
       web_cursor = world_.measurement_web->request_log().size();
       dns_cursor = world_.measurement_zone->query_log().size();
       continue;
     }
     if (!seen_zids.insert(r1.zid).second) {
       ++stall;
+      world_.metrics.add("dns.duplicate_nodes");
       web_cursor = world_.measurement_web->request_log().size();
       dns_cursor = world_.measurement_zone->query_log().size();
       continue;
@@ -148,6 +154,7 @@ std::size_t DnsHijackProbe::run() {
     const auto r2 = world_.luminati->fetch(d2, options);
     if (r2.zid != r1.zid) {
       // The session was re-routed mid-measurement (node churn); discard.
+      world_.metrics.add("dns.churn_discards");
       seen_zids.erase(r1.zid);
       web_cursor = world_.measurement_web->request_log().size();
       dns_cursor = world_.measurement_zone->query_log().size();
@@ -166,6 +173,7 @@ std::size_t DnsHijackProbe::run() {
       }
     } else {
       // Resolution failed outright; treat as unmeasured churn.
+      world_.metrics.add("dns.churn_discards");
       seen_zids.erase(r1.zid);
       web_cursor = world_.measurement_web->request_log().size();
       dns_cursor = world_.measurement_zone->query_log().size();
@@ -174,8 +182,14 @@ std::size_t DnsHijackProbe::run() {
 
     web_cursor = world_.measurement_web->request_log().size();
     dns_cursor = world_.measurement_zone->query_log().size();
+    world_.metrics.add("dns.observations");
+    if (observation.hijacked) world_.metrics.add("dns.hijacked");
+    if (observation.filtered_google_overlap) {
+      world_.metrics.add("dns.filtered_google_overlap");
+    }
     observations_.push_back(std::move(observation));
   }
+  world_.metrics.end_span(world_.clock.now());
 
   world_.measurement_zone->set_policy(nullptr);
 
@@ -185,7 +199,8 @@ std::size_t DnsHijackProbe::run() {
   // Shard geometry depends only on the observation count, and each shard
   // writes only its own index range, so the result is byte-identical for
   // every jobs value.
-  util::parallel_for_shards(
+  obs::traced_for_shards(
+      world_.metrics, "dns.attribute", world_.clock.now(),
       observations_.size(), util::shard_count(observations_.size()),
       config_.jobs, [&](std::size_t, std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {

@@ -9,6 +9,8 @@
 #include <unordered_set>
 
 #include "tft/http/content.hpp"
+#include "tft/obs/metrics.hpp"
+#include "tft/obs/shards.hpp"
 #include "tft/util/rng.hpp"
 #include "tft/util/strings.hpp"
 #include "tft/util/thread_pool.hpp"
@@ -147,6 +149,7 @@ std::size_t HttpModificationProbe::run() {
 
   std::size_t stall = 0;
   std::size_t session_id = 0;
+  world_.metrics.begin_span("http.crawl", world_.clock.now());
   while (observations_.size() < config_.max_nodes && stall < config_.stall_limit) {
     proxy::RequestOptions options;
     if (!expansion.empty()) {
@@ -162,6 +165,7 @@ std::size_t HttpModificationProbe::run() {
     }
     options.session = "http-" + std::to_string(session_id++);
     ++sessions_issued_;
+    world_.metrics.add("http.sessions");
 
     const std::string token = "h" + std::to_string(session_id);
     const std::string host = token + ".probe.tft-study.net";
@@ -175,6 +179,7 @@ std::size_t HttpModificationProbe::run() {
     const bool expanding = !expansion.empty();
     const auto id_result = world_.luminati->fetch(id_url, options);
     if (!id_result.ok()) {
+      world_.metrics.add("http.failed_fetches");
       if (!expanding) ++stall;
       continue;
     }
@@ -252,18 +257,24 @@ std::size_t HttpModificationProbe::run() {
         limit_per_as[asn] < config_.expanded_nodes_per_as) {
       limit_per_as[asn] = config_.expanded_nodes_per_as;
       expansion.push_back(ExpansionTarget{observation.country, asn, 0});
+      world_.metrics.add("http.as_expansions");
     } else if (!limit_per_as.contains(asn)) {
       limit_per_as[asn] = config_.nodes_per_as;
     }
+    world_.metrics.add("http.observations");
+    if (observation.html_blockpage) world_.metrics.add("http.blockpages");
+    if (any_differs) world_.metrics.add("http.modified_nodes");
     observations_.push_back(std::move(observation));
     raw.push_back(std::move(modified));
   }
+  world_.metrics.end_span(world_.clock.now());
 
   // Classification over the collected responses is pure per-node work on
   // const reference objects: shard it. Shard geometry depends only on the
   // node count and every shard writes only its own index range, so output
   // is byte-identical for every jobs value.
-  util::parallel_for_shards(
+  obs::traced_for_shards(
+      world_.metrics, "http.classify", world_.clock.now(),
       observations_.size(), util::shard_count(observations_.size(), 64),
       config_.jobs, [&](std::size_t, std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {

@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "tft/obs/metrics.hpp"
+#include "tft/obs/shards.hpp"
 #include "tft/util/rng.hpp"
 #include "tft/util/strings.hpp"
 #include "tft/util/thread_pool.hpp"
@@ -105,11 +107,13 @@ std::size_t CertReplacementProbe::run() {
     return out;
   };
 
+  world_.metrics.begin_span("https.crawl", world_.clock.now());
   while (observations_.size() < config_.target_nodes && stall < config_.stall_limit) {
     proxy::RequestOptions options;
     options.country = countries[rng.weighted_index(weights)];
     options.session = "tls-" + std::to_string(session_id++);
     ++sessions_issued_;
+    world_.metrics.add("https.sessions");
 
     // Skip countries we have no Alexa-style rankings for (the paper's
     // 115-country limitation in §6.2).
@@ -172,6 +176,7 @@ std::size_t CertReplacementProbe::run() {
     // Phase 2: on any failure, scan every site in all three classes.
     if (phase1_failed) {
       observation.phase2 = true;
+      world_.metrics.add("https.phase2_scans");
       std::set<std::string> already;
       for (const auto& site : observation.sites) already.insert(site.host);
       const auto scan_all = [&](const std::vector<const world::HttpsSite*>& sites) {
@@ -194,13 +199,18 @@ std::size_t CertReplacementProbe::run() {
       scan_all(index.invalid);
     }
 
+    world_.metrics.add("https.observations");
+    world_.metrics.add("https.sites_scanned", observation.sites.size());
     observations_.push_back(std::move(observation));
   }
+  world_.metrics.end_span(world_.clock.now());
+  world_.metrics.add("https.deferred_verifications", pending.size());
 
   // Deferred chain verifications: pure function of (chain, host, snapshot),
   // each entry writes one distinct site slot, shard geometry depends only
   // on the entry count — byte-identical output for every jobs value.
-  util::parallel_for_shards(
+  obs::traced_for_shards(
+      world_.metrics, "https.verify", world_.clock.now(),
       pending.size(), util::shard_count(pending.size(), 16), config_.jobs,
       [&](std::size_t, std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {

@@ -9,6 +9,8 @@
 #include "tft/core/http_probe.hpp"
 #include "tft/core/https_probe.hpp"
 #include "tft/core/monitor_probe.hpp"
+#include "tft/obs/metrics.hpp"
+#include "tft/util/thread_pool.hpp"
 #include "tft/world/spec.hpp"
 
 namespace tft::core {
@@ -50,7 +52,20 @@ struct StudyResult {
   HttpsReport https;
   MonitorReport monitoring;
   std::vector<ExperimentCoverage> coverage;  // Table 2
+
+  /// Observability: counters/histograms/spans from every experiment,
+  /// merged in fixed experiment order (dns, http, https, monitoring) plus
+  /// thread-pool telemetry for the run. The non-`timing` content is
+  /// byte-identical for every jobs value.
+  obs::Registry metrics;
 };
+
+/// Fold the pool-telemetry delta between two snapshots into a registry:
+/// shard batch/task counts (deterministic) become counters; task counts,
+/// busy time, and queue high-water (scheduling-dependent) become timings.
+void record_pool_telemetry(obs::Registry& metrics,
+                           const util::PoolTelemetrySnapshot& before,
+                           const util::PoolTelemetrySnapshot& after);
 
 /// Run all four experiments (DNS, HTTP, HTTPS, monitoring) sequentially
 /// against one shared world. Probe crawls interleave through the shared

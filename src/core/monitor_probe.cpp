@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "tft/obs/metrics.hpp"
+#include "tft/obs/shards.hpp"
 #include "tft/util/rng.hpp"
 #include "tft/util/thread_pool.hpp"
 
@@ -33,12 +35,14 @@ std::size_t ContentMonitorProbe::run() {
   std::size_t stall = 0;
   std::size_t session_id = 0;
 
+  world_.metrics.begin_span("monitor.crawl", world_.clock.now());
   while ((config_.target_nodes == 0 || observations_.size() < config_.target_nodes) &&
          stall < config_.stall_limit) {
     proxy::RequestOptions options;
     options.country = countries[rng.weighted_index(weights)];
     options.session = "mon-" + std::to_string(session_id++);
     ++sessions_issued_;
+    world_.metrics.add("monitor.sessions");
 
     const std::string host =
         "m" + std::to_string(session_id) + ".probe.tft-study.net";
@@ -60,13 +64,17 @@ std::size_t ContentMonitorProbe::run() {
     observation.asn = result.exit_asn;
     observation.country = result.exit_country;
     observation.probe_host = host;
+    world_.metrics.add("monitor.observations");
     by_host.emplace(host, observations_.size());
     observations_.push_back(std::move(observation));
   }
+  world_.metrics.end_span(world_.clock.now());
 
   // Watch window: let scheduled re-fetches arrive.
+  world_.metrics.begin_span("monitor.watch", world_.clock.now());
   world_.clock.run_until(world_.clock.now() +
                          sim::Duration::hours(config_.watch_hours));
+  world_.metrics.end_span(world_.clock.now());
 
   // Harvest: for each probed domain, the node's own request is the one from
   // its reported address (or, failing that — VPN relaying — the earliest);
@@ -87,7 +95,8 @@ std::size_t ContentMonitorProbe::run() {
   // observation indices touches every arrival list exactly once and every
   // write lands in the shard's own index range — byte-identical output for
   // every jobs value.
-  util::parallel_for_shards(
+  obs::traced_for_shards(
+      world_.metrics, "monitor.harvest", world_.clock.now(),
       observations_.size(), util::shard_count(observations_.size()),
       config_.jobs, [&](std::size_t, std::size_t begin, std::size_t end) {
         for (std::size_t index = begin; index < end; ++index) {
@@ -134,6 +143,11 @@ std::size_t ContentMonitorProbe::run() {
           }
         }
       });
+  std::size_t unexpected_total = 0;
+  for (const auto& observation : observations_) {
+    unexpected_total += observation.unexpected.size();
+  }
+  world_.metrics.add("monitor.unexpected_requests", unexpected_total);
 
   return observations_.size();
 }

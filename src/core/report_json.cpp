@@ -1,5 +1,6 @@
 #include "tft/core/report_json.hpp"
 
+#include "tft/obs/build_info.hpp"
 #include "tft/util/json.hpp"
 
 namespace tft::core {
@@ -198,7 +199,9 @@ template <typename WriteBody, typename Report>
 std::string wrap(std::string_view experiment, const Report& report,
                  WriteBody write_body) {
   JsonWriter json;
-  json.begin_object().field("experiment", experiment);
+  json.begin_object();
+  obs::write_build_info(json);
+  json.field("experiment", experiment);
   write_body(json, report);
   json.end_object();
   return std::move(json).take();
@@ -234,6 +237,7 @@ std::string smtp_report_json(const SmtpReport& report) {
 std::string study_result_json(const StudyResult& result) {
   JsonWriter json;
   json.begin_object();
+  obs::write_build_info(json);
   json.begin_array("coverage");
   for (const auto& row : result.coverage) {
     json.begin_object()

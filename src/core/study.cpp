@@ -55,6 +55,7 @@ StudyConfig with_jobs(const StudyConfig& config) {
 
 void run_dns_experiment(world::World& world, const StudyConfig& config,
                         DnsReport& report, ExperimentCoverage& coverage) {
+  obs::ScopedSpan span(world.metrics, "dns", world.clock);
   DnsHijackProbe probe(world, config.dns);
   probe.run();
   report = analyze_dns(world, probe.observations(), config.dns_analysis);
@@ -71,6 +72,7 @@ void run_dns_experiment(world::World& world, const StudyConfig& config,
 
 void run_http_experiment(world::World& world, const StudyConfig& config,
                          HttpReport& report, ExperimentCoverage& coverage) {
+  obs::ScopedSpan span(world.metrics, "http", world.clock);
   HttpModificationProbe probe(world, config.http);
   probe.run();
   report = analyze_http(world, probe.observations(), config.http_analysis);
@@ -81,6 +83,7 @@ void run_http_experiment(world::World& world, const StudyConfig& config,
 
 void run_https_experiment(world::World& world, const StudyConfig& config,
                           HttpsReport& report, ExperimentCoverage& coverage) {
+  obs::ScopedSpan span(world.metrics, "https", world.clock);
   CertReplacementProbe probe(world, config.https);
   probe.run();
   report = analyze_https(world, probe.observations(), config.https_analysis);
@@ -92,6 +95,7 @@ void run_https_experiment(world::World& world, const StudyConfig& config,
 void run_monitoring_experiment(world::World& world, const StudyConfig& config,
                                MonitorReport& report,
                                ExperimentCoverage& coverage) {
+  obs::ScopedSpan span(world.metrics, "monitoring", world.clock);
   ContentMonitorProbe probe(world, config.monitoring);
   probe.run();
   report =
@@ -103,44 +107,75 @@ void run_monitoring_experiment(world::World& world, const StudyConfig& config,
 
 }  // namespace
 
+void record_pool_telemetry(obs::Registry& metrics,
+                           const util::PoolTelemetrySnapshot& before,
+                           const util::PoolTelemetrySnapshot& after) {
+  // Shard geometry depends only on input sizes, never on scheduling, so the
+  // batch/task deltas are safe in the deterministic counter section.
+  metrics.add("pool.shard_batches", after.shard_batches - before.shard_batches);
+  metrics.add("pool.shard_tasks", after.shard_tasks - before.shard_tasks);
+  // Everything scheduling- or wall-clock-dependent goes to timing only.
+  metrics.add_timing("pool.tasks", static_cast<std::int64_t>(
+                                       after.pool_tasks - before.pool_tasks));
+  metrics.add_timing("pool.busy_micros",
+                     static_cast<std::int64_t>(after.busy_micros -
+                                               before.busy_micros));
+  // High-water is a process-lifetime maximum; report the level, not a delta.
+  metrics.max_timing("pool.queue_high_water",
+                     static_cast<std::int64_t>(after.queue_high_water));
+}
+
 StudyResult run_study(world::World& world, const StudyConfig& config) {
   const StudyConfig effective = with_jobs(config);
+  const auto pool_before = util::pool_telemetry_snapshot();
   StudyResult result;
   result.coverage.resize(4);
+  world.metrics.begin_span("study", world.clock.now());
   run_dns_experiment(world, effective, result.dns, result.coverage[0]);
   run_http_experiment(world, effective, result.http, result.coverage[1]);
   run_https_experiment(world, effective, result.https, result.coverage[2]);
   run_monitoring_experiment(world, effective, result.monitoring,
                             result.coverage[3]);
+  world.metrics.end_span(world.clock.now());
+  result.metrics = world.metrics;
+  record_pool_telemetry(result.metrics, pool_before,
+                        util::pool_telemetry_snapshot());
   return result;
 }
 
 StudyResult run_study(const world::WorldSpec& spec, double scale,
                       std::uint64_t seed, const StudyConfig& config) {
   const StudyConfig effective = with_jobs(config);
+  const auto pool_before = util::pool_telemetry_snapshot();
   StudyResult result;
   result.coverage.resize(4);
+  obs::Registry experiment_metrics[4];
 
   // Each experiment task builds its own world from the identical
   // (spec, scale, seed) triple — build_world is deterministic, the tasks
-  // share no mutable state, and each writes a fixed result slot, so the
-  // assembled study does not depend on how many tasks run concurrently.
+  // share no mutable state, and each writes a fixed result slot (including
+  // its metrics registry, captured before the world dies), so the assembled
+  // study does not depend on how many tasks run concurrently.
   const auto dns_task = [&] {
     auto world = world::build_world(spec, scale, seed);
     run_dns_experiment(*world, effective, result.dns, result.coverage[0]);
+    experiment_metrics[0] = world->metrics;
   };
   const auto http_task = [&] {
     auto world = world::build_world(spec, scale, seed);
     run_http_experiment(*world, effective, result.http, result.coverage[1]);
+    experiment_metrics[1] = world->metrics;
   };
   const auto https_task = [&] {
     auto world = world::build_world(spec, scale, seed);
     run_https_experiment(*world, effective, result.https, result.coverage[2]);
+    experiment_metrics[2] = world->metrics;
   };
   const auto monitoring_task = [&] {
     auto world = world::build_world(spec, scale, seed);
     run_monitoring_experiment(*world, effective, result.monitoring,
                               result.coverage[3]);
+    experiment_metrics[3] = world->metrics;
   };
 
   if (effective.jobs <= 1) {
@@ -148,17 +183,29 @@ StudyResult run_study(const world::WorldSpec& spec, double scale,
     http_task();
     https_task();
     monitoring_task();
-    return result;
+  } else {
+    util::ThreadPool pool(effective.jobs);
+    std::future<void> tasks[] = {
+        pool.submit(dns_task),
+        pool.submit(http_task),
+        pool.submit(https_task),
+        pool.submit(monitoring_task),
+    };
+    for (auto& task : tasks) task.get();
   }
 
-  util::ThreadPool pool(effective.jobs);
-  std::future<void> tasks[] = {
-      pool.submit(dns_task),
-      pool.submit(http_task),
-      pool.submit(https_task),
-      pool.submit(monitoring_task),
-  };
-  for (auto& task : tasks) task.get();
+  // Merge in fixed experiment order; each world had its own clock, so span
+  // sim-times are experiment-relative. The synthetic "study" root adopts the
+  // experiment roots and spans the longest experiment's sim timeline.
+  result.metrics.begin_span("study", sim::Instant{0});
+  for (const auto& slot : experiment_metrics) result.metrics.merge_from(slot);
+  std::int64_t sim_end = 0;
+  for (const auto& span : result.metrics.spans()) {
+    sim_end = std::max(sim_end, span.sim_end_us);
+  }
+  result.metrics.end_span(sim::Instant{sim_end});
+  record_pool_telemetry(result.metrics, pool_before,
+                        util::pool_telemetry_snapshot());
   return result;
 }
 

@@ -18,6 +18,10 @@
 #include "tft/net/ipv4.hpp"
 #include "tft/sim/event_queue.hpp"
 
+namespace tft::obs {
+class Registry;
+}
+
 namespace tft::dns {
 
 /// Finds the authoritative server for a name (longest matching zone).
@@ -66,6 +70,10 @@ class RecursiveResolver {
   std::size_t cache_size() const noexcept { return cache_.size(); }
   void flush_cache() { cache_.clear(); }
 
+  /// Observability sink (the owning world's registry). Counts queries,
+  /// cache hits, and NXDOMAIN rewrites actually applied. May stay null.
+  void set_metrics(obs::Registry* metrics) noexcept { metrics_ = metrics; }
+
  private:
   struct CacheEntry {
     Rcode rcode = Rcode::kNoError;
@@ -82,6 +90,7 @@ class RecursiveResolver {
   sim::EventQueue* clock_;
   std::optional<NxdomainHijackPolicy> hijack_;
   std::unordered_map<std::string, CacheEntry> cache_;
+  obs::Registry* metrics_ = nullptr;
 };
 
 /// An anycast resolver service (e.g. Google Public DNS 8.8.8.8): one

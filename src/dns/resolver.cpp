@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tft/obs/metrics.hpp"
 #include "tft/util/hash.hpp"
 
 namespace tft::dns {
@@ -36,12 +37,14 @@ Message RecursiveResolver::resolve(const Message& query, double hijack_roll) {
   if (query.questions.empty()) {
     return Message::response_to(query, Rcode::kFormErr);
   }
+  if (metrics_ != nullptr) metrics_->add("resolver.queries");
   const Question& question = query.questions.front();
   const std::string key =
       question.name.canonical() + '/' + std::string(to_string(question.type));
 
   const auto it = cache_.find(key);
   if (it != cache_.end() && it->second.expires > clock_->now()) {
+    if (metrics_ != nullptr) metrics_->add("resolver.cache_hits");
     Message response = Message::response_to(query, it->second.rcode);
     response.flags.recursion_available = true;
     response.answers = it->second.answers;
@@ -122,6 +125,7 @@ Message RecursiveResolver::apply_hijack(const Message& query, Message response,
                                         double roll) const {
   if (!hijack_ || response.flags.rcode != Rcode::kNxDomain) return response;
   if (roll >= hijack_->probability) return response;
+  if (metrics_ != nullptr) metrics_->add("resolver.nxdomain_rewrites");
   Message hijacked = Message::response_to(query, Rcode::kNoError);
   hijacked.flags.recursion_available = true;
   hijacked.answers.push_back(ResourceRecord::a(

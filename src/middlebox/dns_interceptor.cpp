@@ -1,5 +1,7 @@
 #include "tft/middlebox/dns_interceptor.hpp"
 
+#include "tft/obs/metrics.hpp"
+
 namespace tft::middlebox {
 
 std::optional<dns::Message> NxdomainRewriter::on_response(const dns::Message& query,
@@ -13,6 +15,7 @@ std::optional<dns::Message> NxdomainRewriter::on_response(const dns::Message& qu
   rewritten.flags.recursion_available = response.flags.recursion_available;
   rewritten.answers.push_back(dns::ResourceRecord::a(
       query.questions.front().name, config_.redirect_address, config_.ttl));
+  if (context.metrics != nullptr) context.metrics->add("middlebox.dns_rewrites");
   return rewritten;
 }
 

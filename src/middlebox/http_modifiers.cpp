@@ -1,6 +1,7 @@
 #include "tft/middlebox/http_modifiers.hpp"
 
 #include "tft/http/content.hpp"
+#include "tft/obs/metrics.hpp"
 #include "tft/util/strings.hpp"
 
 namespace tft::middlebox {
@@ -40,6 +41,7 @@ http::Response HtmlInjector::after_response(const http::Request& request,
   }
   response.body = inject_before_body_end(std::move(response.body), config_.snippet);
   response.headers.set("Content-Length", std::to_string(response.body.size()));
+  if (context.metrics != nullptr) context.metrics->add("middlebox.html_injections");
   return response;
 }
 
@@ -55,6 +57,7 @@ http::Response ImageTranscoder::after_response(const http::Request& request,
   if (!transcoded) return response;  // not a valid image; leave untouched
   response.body = std::move(*transcoded);
   response.headers.set("Content-Length", std::to_string(response.body.size()));
+  if (context.metrics != nullptr) context.metrics->add("middlebox.image_transcodes");
   return response;
 }
 
@@ -62,20 +65,20 @@ http::Response ObjectReplacer::after_response(const http::Request& request,
                                               http::Response response,
                                               FetchContext& context) {
   (void)request;
-  (void)context;
   const auto type = response.headers.get("Content-Type");
   if (!type || !util::icontains(*type, config_.match_content_type)) {
     return response;
   }
   http::Response replaced = http::Response::make(
       config_.status, http::reason_phrase(config_.status), config_.replacement_body);
+  if (context.metrics != nullptr) context.metrics->add("middlebox.object_replacements");
   return replaced;
 }
 
 std::optional<http::Response> ContentBlocker::before_request(
     const http::Request& request, FetchContext& context) {
   (void)request;
-  (void)context;
+  if (context.metrics != nullptr) context.metrics->add("middlebox.block_pages");
   return http::Response::make(config_.status, http::reason_phrase(config_.status),
                               config_.block_page_html);
 }

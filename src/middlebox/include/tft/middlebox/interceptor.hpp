@@ -18,6 +18,10 @@
 #include "tft/sim/event_queue.hpp"
 #include "tft/util/rng.hpp"
 
+namespace tft::obs {
+class Registry;
+}
+
 namespace tft::middlebox {
 
 /// Shared state threaded through an intercepted fetch.
@@ -27,6 +31,9 @@ struct FetchContext {
   sim::EventQueue* clock = nullptr;
   util::Rng* rng = nullptr;
   const http::WebServerRegistry* web = nullptr;
+  /// Observability sink (the owning world's registry); interceptors count
+  /// the violations they actually apply here. May be null in unit tests.
+  obs::Registry* metrics = nullptr;
   /// Accumulated delay before the client's request reaches the origin
   /// (Bluecoat-style "scan first, forward later" middleboxes add to this).
   sim::Duration request_hold{0};

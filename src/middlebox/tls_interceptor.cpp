@@ -1,5 +1,6 @@
 #include "tft/middlebox/tls_interceptor.hpp"
 
+#include "tft/obs/metrics.hpp"
 #include "tft/util/strings.hpp"
 
 namespace tft::middlebox {
@@ -30,6 +31,7 @@ std::optional<tls::CertificateChain> CertReplacer::intercept(
   const tls::Certificate forged =
       tls::forge_leaf(upstream.front(), config_.forge, host_seed_, upstream_valid,
                       context.clock->now());
+  if (context.metrics != nullptr) context.metrics->add("middlebox.cert_swaps");
   // Interceptors present only the forged leaf; the product's root lives in
   // the host's local trust store, not on the wire.
   return tls::CertificateChain{forged};

@@ -1,0 +1,31 @@
+#include "tft/obs/build_info.hpp"
+
+#include "tft/obs/build_info_generated.hpp"
+#include "tft/util/json.hpp"
+
+namespace tft::obs {
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{TFT_GIT_DESCRIBE, TFT_BUILD_TYPE,
+                              TFT_SANITIZE_VALUE};
+  return info;
+}
+
+std::string build_info_line() {
+  const BuildInfo& info = build_info();
+  std::string line = "tft " + info.git_describe + " (" + info.build_type;
+  if (!info.sanitizer.empty()) line += ", sanitize=" + info.sanitizer;
+  line += ")";
+  return line;
+}
+
+void write_build_info(util::JsonWriter& json) {
+  const BuildInfo& info = build_info();
+  json.begin_object("build");
+  json.field("git_describe", info.git_describe);
+  json.field("build_type", info.build_type);
+  json.field("sanitizer", info.sanitizer);
+  json.end_object();
+}
+
+}  // namespace tft::obs

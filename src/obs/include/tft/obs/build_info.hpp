@@ -1,0 +1,28 @@
+// Build provenance captured at CMake configure time (satellite of the
+// observability subsystem): git describe, build type, sanitizer. Stamped
+// into JSON reports/metrics headers and printed by `tft-study --version`.
+#pragma once
+
+#include <string>
+
+namespace tft::util {
+class JsonWriter;
+}
+
+namespace tft::obs {
+
+struct BuildInfo {
+  std::string git_describe;  // `git describe --always --dirty`, or "unknown"
+  std::string build_type;    // CMAKE_BUILD_TYPE
+  std::string sanitizer;     // TFT_SANITIZE value ("" = none)
+};
+
+const BuildInfo& build_info();
+
+/// One-line rendering for --version: "tft <describe> (<type>[, sanitize=x])".
+std::string build_info_line();
+
+/// Emit a "build" object field into an open JSON object.
+void write_build_info(util::JsonWriter& json);
+
+}  // namespace tft::obs

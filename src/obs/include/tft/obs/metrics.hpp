@@ -1,0 +1,157 @@
+// Deterministic observability for the study pipeline.
+//
+// A Registry holds labeled monotonic counters, gauges, fixed-bucket
+// histograms, and a span tree recording study → experiment → phase → shard
+// nesting. Spans carry **two clocks**: deterministic sim-time (from
+// tft::sim, byte-identical for every --jobs value) and wall-clock (steady
+// clock, free to vary run to run).
+//
+// Determinism contract (carries over the thread-pool contract from
+// util/thread_pool.hpp): everything emitted under the `counters`, `gauges`,
+// `histograms`, and `spans` JSON sections must be byte-identical for any
+// worker count. Wall-clock values — span wall times, pool busy time, queue
+// depth, the jobs setting itself — live only in the separate `timing`
+// section, which is allowed to vary. To keep the contract:
+//
+//  * maps are std::map so iteration (and thus JSON field order) is sorted;
+//  * histogram observations are integers, so sums are order-independent;
+//  * a Registry is never shared across threads — each world/experiment owns
+//    one, per-shard results are merged in shard order (see shards.hpp), and
+//    per-experiment registries merge in fixed experiment order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tft/sim/event_queue.hpp"
+#include "tft/sim/time.hpp"
+
+namespace tft::util {
+class JsonWriter;
+}
+
+namespace tft::obs {
+
+/// Wall-clock microseconds since a process-local steady-clock epoch.
+/// Relative (not UNIX) so all timing values in one run share one origin.
+std::int64_t wall_now_micros();
+
+/// Fixed-bucket histogram over int64 values. `upper_bounds` are inclusive
+/// ("value <= bound" lands in that bucket); one extra overflow bucket
+/// catches everything above the last bound. Integer sum keeps merges
+/// order-independent.
+struct Histogram {
+  std::vector<std::int64_t> upper_bounds;  // ascending
+  std::vector<std::uint64_t> buckets;      // upper_bounds.size() + 1
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+
+  void observe(std::int64_t value);
+  /// Index of the bucket `value` falls in (last index = overflow).
+  std::size_t bucket_index(std::int64_t value) const;
+};
+
+/// One node in the span tree. `parent` indexes the owning Registry's span
+/// vector (-1 = root). sim_* fields are deterministic; wall_* fields are
+/// exported under `timing` only.
+struct Span {
+  std::string name;
+  std::int64_t parent = -1;
+  std::int64_t sim_begin_us = 0;
+  std::int64_t sim_end_us = 0;
+  std::int64_t wall_begin_us = 0;
+  std::int64_t wall_end_us = 0;
+};
+
+class Registry {
+ public:
+  // --- counters (monotonic) ------------------------------------------------
+  void add(std::string_view name, std::uint64_t delta = 1);
+  std::uint64_t counter(std::string_view name) const;
+
+  // --- gauges (last/max value; merge takes the max) ------------------------
+  void set_gauge(std::string_view name, std::int64_t value);
+  void max_gauge(std::string_view name, std::int64_t value);
+  std::int64_t gauge(std::string_view name) const;
+
+  // --- histograms ----------------------------------------------------------
+  /// Record `value` into the named histogram, creating it with
+  /// `upper_bounds` on first use (later calls must pass the same bounds).
+  void observe(std::string_view name, const std::vector<std::int64_t>& upper_bounds,
+               std::int64_t value);
+  const Histogram* histogram(std::string_view name) const;
+
+  // --- timing (wall-clock; excluded from the deterministic sections) -------
+  void set_timing(std::string_view name, std::int64_t value);
+  void add_timing(std::string_view name, std::int64_t value);
+  void max_timing(std::string_view name, std::int64_t value);
+
+  // --- spans ---------------------------------------------------------------
+  /// Open a span as a child of the currently open span (if any). Returns
+  /// its index. Spans must be closed in LIFO order.
+  std::size_t begin_span(std::string_view name, sim::Instant sim_now);
+  void end_span(sim::Instant sim_now);
+  /// Append an already-measured span as a child of the currently open span
+  /// (used for per-shard spans recorded after a parallel pass, in shard
+  /// order). Returns its index.
+  std::size_t append_span(std::string_view name, std::int64_t sim_begin_us,
+                          std::int64_t sim_end_us, std::int64_t wall_begin_us,
+                          std::int64_t wall_end_us);
+
+  const std::vector<Span>& spans() const noexcept { return spans_; }
+  const std::map<std::string, std::uint64_t>& counters() const noexcept {
+    return counters_;
+  }
+  const std::map<std::string, std::int64_t>& gauges() const noexcept {
+    return gauges_;
+  }
+  const std::map<std::string, Histogram>& histograms() const noexcept {
+    return histograms_;
+  }
+  const std::map<std::string, std::int64_t>& timing() const noexcept {
+    return timing_;
+  }
+
+  /// Fold another registry in: counters/histograms sum, gauges take the
+  /// max, timings sum, spans append (parent links re-based; `other`'s roots
+  /// become children of this registry's currently open span, if any). Call
+  /// in a fixed order — merge order must not depend on scheduling.
+  void merge_from(const Registry& other);
+
+  /// Emit the registry's sections into an *open* JSON object:
+  /// counters/gauges/histograms/spans always, timing only when asked.
+  void write_json(util::JsonWriter& json, bool include_timing) const;
+
+  /// Human-readable multi-line summary (the --stats report section).
+  std::string render_stats() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, std::int64_t> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, std::int64_t> timing_;
+  std::vector<Span> spans_;
+  std::vector<std::size_t> open_;  // stack of indices into spans_
+};
+
+/// RAII wrapper for begin_span/end_span against a sim clock.
+class ScopedSpan {
+ public:
+  ScopedSpan(Registry& registry, std::string_view name, const sim::EventQueue& clock)
+      : registry_(registry), clock_(clock) {
+    registry_.begin_span(name, clock_.now());
+  }
+  ~ScopedSpan() { registry_.end_span(clock_.now()); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Registry& registry_;
+  const sim::EventQueue& clock_;
+};
+
+}  // namespace tft::obs

@@ -1,0 +1,48 @@
+// Span-traced sharded parallelism: util::parallel_for_shards plus a
+// deterministic trace of the pass in an obs::Registry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tft/obs/metrics.hpp"
+#include "tft/util/thread_pool.hpp"
+
+namespace tft::obs {
+
+/// parallel_for_shards wrapped in spans: opens a `label` phase span, runs
+/// the pass, then appends one child span per shard **in shard order**. Wall
+/// times are recorded into per-shard slots (each shard writes only its
+/// own), so the trace has identical shape for every worker count — shard
+/// count derives from n alone — and only the wall values vary. Sharded
+/// passes are pure compute (the sim clock does not advance), so shard
+/// spans carry sim_begin == sim_end == `sim_now`.
+template <typename Fn>
+void traced_for_shards(Registry& registry, std::string_view label,
+                       sim::Instant sim_now, std::size_t n, std::size_t shards,
+                       std::size_t jobs, Fn&& fn) {
+  if (shards > n) shards = n;
+  if (n == 0 || shards == 0) return;  // mirror parallel_for_shards: no-op
+
+  registry.begin_span(label, sim_now);
+  struct ShardWall {
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+  };
+  std::vector<ShardWall> walls(shards);
+  util::parallel_for_shards(
+      n, shards, jobs, [&](std::size_t shard, std::size_t begin, std::size_t end) {
+        walls[shard].begin = wall_now_micros();
+        fn(shard, begin, end);
+        walls[shard].end = wall_now_micros();
+      });
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    registry.append_span("shard" + std::to_string(shard), sim_now.micros,
+                         sim_now.micros, walls[shard].begin, walls[shard].end);
+  }
+  registry.end_span(sim_now);
+}
+
+}  // namespace tft::obs

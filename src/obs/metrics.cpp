@@ -1,0 +1,263 @@
+#include "tft/obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "tft/util/json.hpp"
+
+namespace tft::obs {
+
+std::int64_t wall_now_micros() {
+  static const auto process_epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - process_epoch)
+      .count();
+}
+
+std::size_t Histogram::bucket_index(std::int64_t value) const {
+  const auto it =
+      std::lower_bound(upper_bounds.begin(), upper_bounds.end(), value);
+  return static_cast<std::size_t>(it - upper_bounds.begin());
+}
+
+void Histogram::observe(std::int64_t value) {
+  if (buckets.size() != upper_bounds.size() + 1) {
+    buckets.assign(upper_bounds.size() + 1, 0);
+  }
+  ++buckets[bucket_index(value)];
+  ++count;
+  sum += value;
+}
+
+void Registry::add(std::string_view name, std::uint64_t delta) {
+  counters_[std::string(name)] += delta;
+}
+
+std::uint64_t Registry::counter(std::string_view name) const {
+  const auto it = counters_.find(std::string(name));
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void Registry::set_gauge(std::string_view name, std::int64_t value) {
+  gauges_[std::string(name)] = value;
+}
+
+void Registry::max_gauge(std::string_view name, std::int64_t value) {
+  auto& slot = gauges_[std::string(name)];
+  slot = std::max(slot, value);
+}
+
+std::int64_t Registry::gauge(std::string_view name) const {
+  const auto it = gauges_.find(std::string(name));
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+void Registry::observe(std::string_view name,
+                       const std::vector<std::int64_t>& upper_bounds,
+                       std::int64_t value) {
+  auto& histogram = histograms_[std::string(name)];
+  if (histogram.upper_bounds.empty() && histogram.count == 0) {
+    histogram.upper_bounds = upper_bounds;
+  }
+  histogram.observe(value);
+}
+
+const Histogram* Registry::histogram(std::string_view name) const {
+  const auto it = histograms_.find(std::string(name));
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void Registry::set_timing(std::string_view name, std::int64_t value) {
+  timing_[std::string(name)] = value;
+}
+
+void Registry::add_timing(std::string_view name, std::int64_t value) {
+  timing_[std::string(name)] += value;
+}
+
+void Registry::max_timing(std::string_view name, std::int64_t value) {
+  auto& slot = timing_[std::string(name)];
+  slot = std::max(slot, value);
+}
+
+std::size_t Registry::begin_span(std::string_view name, sim::Instant sim_now) {
+  Span span;
+  span.name = std::string(name);
+  span.parent = open_.empty() ? -1 : static_cast<std::int64_t>(open_.back());
+  span.sim_begin_us = sim_now.micros;
+  span.sim_end_us = sim_now.micros;
+  span.wall_begin_us = wall_now_micros();
+  span.wall_end_us = span.wall_begin_us;
+  spans_.push_back(std::move(span));
+  open_.push_back(spans_.size() - 1);
+  return spans_.size() - 1;
+}
+
+void Registry::end_span(sim::Instant sim_now) {
+  if (open_.empty()) return;
+  Span& span = spans_[open_.back()];
+  span.sim_end_us = sim_now.micros;
+  span.wall_end_us = wall_now_micros();
+  open_.pop_back();
+}
+
+std::size_t Registry::append_span(std::string_view name, std::int64_t sim_begin_us,
+                                  std::int64_t sim_end_us,
+                                  std::int64_t wall_begin_us,
+                                  std::int64_t wall_end_us) {
+  Span span;
+  span.name = std::string(name);
+  span.parent = open_.empty() ? -1 : static_cast<std::int64_t>(open_.back());
+  span.sim_begin_us = sim_begin_us;
+  span.sim_end_us = sim_end_us;
+  span.wall_begin_us = wall_begin_us;
+  span.wall_end_us = wall_end_us;
+  spans_.push_back(std::move(span));
+  return spans_.size() - 1;
+}
+
+void Registry::merge_from(const Registry& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, value] : other.gauges_) {
+    auto& slot = gauges_[name];
+    slot = std::max(slot, value);
+  }
+  for (const auto& [name, histogram] : other.histograms_) {
+    auto& mine = histograms_[name];
+    if (mine.upper_bounds.empty() && mine.count == 0) {
+      mine.upper_bounds = histogram.upper_bounds;
+      mine.buckets = histogram.buckets;
+      mine.count = histogram.count;
+      mine.sum = histogram.sum;
+      continue;
+    }
+    if (mine.buckets.size() != histogram.buckets.size()) continue;  // bound mismatch
+    for (std::size_t i = 0; i < mine.buckets.size(); ++i) {
+      mine.buckets[i] += histogram.buckets[i];
+    }
+    mine.count += histogram.count;
+    mine.sum += histogram.sum;
+  }
+  for (const auto& [name, value] : other.timing_) timing_[name] += value;
+
+  const std::int64_t offset = static_cast<std::int64_t>(spans_.size());
+  const std::int64_t adopt = open_.empty() ? -1 : static_cast<std::int64_t>(open_.back());
+  for (const Span& span : other.spans_) {
+    Span copy = span;
+    copy.parent = span.parent >= 0 ? span.parent + offset : adopt;
+    spans_.push_back(std::move(copy));
+  }
+}
+
+void Registry::write_json(util::JsonWriter& json, bool include_timing) const {
+  json.begin_object("counters");
+  for (const auto& [name, value] : counters_) json.field(name, value);
+  json.end_object();
+
+  json.begin_object("gauges");
+  for (const auto& [name, value] : gauges_) json.field(name, value);
+  json.end_object();
+
+  json.begin_object("histograms");
+  for (const auto& [name, histogram] : histograms_) {
+    json.begin_object(name);
+    json.begin_array("upper_bounds");
+    for (const auto bound : histogram.upper_bounds) json.value(bound);
+    json.end_array();
+    json.begin_array("buckets");
+    for (const auto bucket : histogram.buckets) json.value(bucket);
+    json.end_array();
+    json.field("count", histogram.count);
+    json.field("sum", histogram.sum);
+    json.end_object();
+  }
+  json.end_object();
+
+  json.begin_array("spans");
+  for (const Span& span : spans_) {
+    json.begin_object();
+    json.field("name", span.name);
+    json.field("parent", span.parent);
+    json.field("sim_begin_us", span.sim_begin_us);
+    json.field("sim_end_us", span.sim_end_us);
+    json.end_object();
+  }
+  json.end_array();
+
+  if (!include_timing) return;
+  json.begin_object("timing");
+  for (const auto& [name, value] : timing_) json.field(name, value);
+  json.begin_array("span_wall");
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    json.begin_object();
+    json.field("span", static_cast<std::int64_t>(i));
+    json.field("wall_begin_us", spans_[i].wall_begin_us);
+    json.field("wall_end_us", spans_[i].wall_end_us);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+std::string Registry::render_stats() const {
+  std::string out;
+  const auto line = [&out](const std::string& text) {
+    out += text;
+    out += '\n';
+  };
+
+  line("counters:");
+  for (const auto& [name, value] : counters_) {
+    line("  " + name + " = " + std::to_string(value));
+  }
+  if (!gauges_.empty()) {
+    line("gauges:");
+    for (const auto& [name, value] : gauges_) {
+      line("  " + name + " = " + std::to_string(value));
+    }
+  }
+  if (!histograms_.empty()) {
+    line("histograms:");
+    for (const auto& [name, histogram] : histograms_) {
+      std::string row = "  " + name + ": count=" + std::to_string(histogram.count) +
+                        " sum=" + std::to_string(histogram.sum);
+      for (std::size_t i = 0; i < histogram.buckets.size(); ++i) {
+        row += ' ';
+        row += i < histogram.upper_bounds.size()
+                   ? "le" + std::to_string(histogram.upper_bounds[i])
+                   : std::string("inf");
+        row += '=';
+        row += std::to_string(histogram.buckets[i]);
+      }
+      line(row);
+    }
+  }
+  if (!spans_.empty()) {
+    line("spans (sim time / wall ms):");
+    std::vector<int> depth(spans_.size(), 0);
+    for (std::size_t i = 0; i < spans_.size(); ++i) {
+      if (spans_[i].parent >= 0) {
+        depth[i] = depth[static_cast<std::size_t>(spans_[i].parent)] + 1;
+      }
+      std::string row(2 + 2 * static_cast<std::size_t>(depth[i]), ' ');
+      row += spans_[i].name;
+      row += "  sim ";
+      row += sim::to_string(sim::Instant{spans_[i].sim_begin_us});
+      row += " .. ";
+      row += sim::to_string(sim::Instant{spans_[i].sim_end_us});
+      row += "  wall ";
+      row += std::to_string((spans_[i].wall_end_us - spans_[i].wall_begin_us) / 1000);
+      row += "ms";
+      line(row);
+    }
+  }
+  if (!timing_.empty()) {
+    line("timing (wall clock; varies run to run):");
+    for (const auto& [name, value] : timing_) {
+      line("  " + name + " = " + std::to_string(value));
+    }
+  }
+  return out;
+}
+
+}  // namespace tft::obs

@@ -22,6 +22,7 @@ middlebox::FetchContext ExitNodeAgent::make_context(net::Ipv4Address destination
   context.clock = environment_.clock;
   context.rng = &rng_;
   context.web = environment_.web;
+  context.metrics = environment_.metrics;
   return context;
 }
 

@@ -33,6 +33,9 @@ struct Environment {
   smtp::SmtpServerRegistry* smtp = nullptr;  // optional (SMTP extension)
   sim::EventQueue* clock = nullptr;
   const net::AsOrgDb* topology = nullptr;
+  /// Observability sink (the owning world's registry); threaded into every
+  /// FetchContext and read by the super proxy. May stay null in tests.
+  obs::Registry* metrics = nullptr;
 };
 
 class ExitNodeAgent {

@@ -152,6 +152,11 @@ class SuperProxy {
   std::size_t budget_exhausted_nodes() const;
 
  private:
+  /// Bump a counter on the environment's metrics registry (if wired).
+  void count(std::string_view name, std::uint64_t delta = 1);
+  /// Record how many exit nodes one request tried (the churn histogram).
+  void observe_attempts(std::size_t attempts);
+
   ExitNodeAgent* session_node(const RequestOptions& options);
   ExitNodeAgent* pick_node(const RequestOptions& options,
                            const std::vector<const ExitNodeAgent*>& exclude);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tft/obs/metrics.hpp"
 #include "tft/util/hash.hpp"
 
 #include "tft/util/strings.hpp"
@@ -79,6 +80,17 @@ SuperProxy::SuperProxy(Config config, Environment environment)
       environment_(environment),
       rng_(util::fnv1a64("super-proxy") ^ config.address.value()) {}
 
+void SuperProxy::count(std::string_view name, std::uint64_t delta) {
+  if (environment_.metrics != nullptr) environment_.metrics->add(name, delta);
+}
+
+void SuperProxy::observe_attempts(std::size_t attempts) {
+  if (environment_.metrics == nullptr) return;
+  // Upper bounds sized to max_attempts = 5: singles, one retry, then tails.
+  environment_.metrics->observe("proxy.attempts_per_request", {1, 2, 3, 5},
+                                static_cast<std::int64_t>(attempts));
+}
+
 void SuperProxy::add_exit_node(std::shared_ptr<ExitNodeAgent> node) {
   by_country_[node->country()].push_back(nodes_.size());
   nodes_.push_back(std::move(node));
@@ -105,6 +117,7 @@ ExitNodeAgent* SuperProxy::session_node(const RequestOptions& options) {
   const auto it = sessions_.find(*options.session);
   if (it == sessions_.end()) return nullptr;
   if (it->second.expires < environment_.clock->now()) {
+    count("proxy.session_expired");
     sessions_.erase(it);
     return nullptr;
   }
@@ -200,10 +213,12 @@ void SuperProxy::annotate(http::Response& response, const ProxyFetchResult& resu
 
 ProxyFetchResult SuperProxy::fetch(const http::Url& url, const RequestOptions& options) {
   ProxyFetchResult result;
+  count("proxy.fetches");
 
   // 1. Super proxy pre-check: resolve the host via its own (Google) DNS.
   const auto name = dns::DnsName::parse(url.host);
   if (!name) {
+    count("proxy.super_dns_failures");
     result.status = ProxyStatus::kSuperProxyDnsFailure;
     return result;
   }
@@ -213,19 +228,26 @@ ProxyFetchResult SuperProxy::fetch(const http::Url& url, const RequestOptions& o
       config_.dns_resolver, config_.address, query);
   const auto resolved = answer.first_a();
   if (answer.is_nxdomain() || !resolved) {
+    count("proxy.super_dns_failures");
     result.status = ProxyStatus::kSuperProxyDnsFailure;
     return result;
   }
+  count("proxy.super_dns_ok");
 
   // 2. Attempt via exit nodes, retrying on connection failures.
   std::vector<const ExitNodeAgent*> tried;
   for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
     ExitNodeAgent* node = nullptr;
-    if (attempt == 0) node = session_node(options);
+    if (attempt == 0) {
+      node = session_node(options);
+      if (node != nullptr) count("proxy.session_reuses");
+    }
     if (node == nullptr) node = pick_node(options, tried);
     if (node == nullptr) {
       result.status = tried.empty() ? ProxyStatus::kNoExitNodeAvailable
                                     : ProxyStatus::kAllAttemptsFailed;
+      count(tried.empty() ? "proxy.no_exit_node" : "proxy.all_attempts_failed");
+      observe_attempts(tried.size());
       return result;
     }
     tried.push_back(node);
@@ -236,6 +258,8 @@ ProxyFetchResult SuperProxy::fetch(const http::Url& url, const RequestOptions& o
     result.exit_country = node->country();
 
     if (node->attempt_fails()) {
+      // Exit-node churn: the node dropped off mid-request; retry elsewhere.
+      count("proxy.connect_timeouts");
       result.timeline.push_back(AttemptInfo{node->zid(), "connect_timeout"});
       continue;
     }
@@ -246,17 +270,22 @@ ProxyFetchResult SuperProxy::fetch(const http::Url& url, const RequestOptions& o
 
     if (outcome.dns_nxdomain) {
       // Reported in the Luminati log; not retried (the name "doesn't exist").
+      count("proxy.exit_dns_nxdomain");
+      observe_attempts(tried.size());
       result.timeline.push_back(AttemptInfo{node->zid(), "dns_nxdomain"});
       result.status = ProxyStatus::kExitNodeDnsNxdomain;
       pin_session(options, node);
       return result;
     }
     if (outcome.dns_failed) {
+      count("proxy.exit_dns_failures");
       result.timeline.push_back(AttemptInfo{node->zid(), "dns_failure"});
       result.status = ProxyStatus::kExitNodeDnsFailure;
       continue;  // retried with a fresh node
     }
 
+    count("proxy.fetch_ok");
+    observe_attempts(tried.size());
     result.timeline.push_back(AttemptInfo{node->zid(), ""});
     result.status = ProxyStatus::kOk;
     result.response = std::move(outcome.response);
@@ -269,6 +298,8 @@ ProxyFetchResult SuperProxy::fetch(const http::Url& url, const RequestOptions& o
   if (result.status == ProxyStatus::kOk) {
     result.status = ProxyStatus::kAllAttemptsFailed;
   }
+  count("proxy.all_attempts_failed");
+  observe_attempts(tried.size());
   return result;
 }
 
@@ -281,14 +312,20 @@ SmtpResult SuperProxy::smtp_transaction(net::Ipv4Address destination,
     return result;
   }
 
+  count("proxy.smtp_transactions");
   std::vector<const ExitNodeAgent*> tried;
   for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
     ExitNodeAgent* node = nullptr;
-    if (attempt == 0) node = session_node(options);
+    if (attempt == 0) {
+      node = session_node(options);
+      if (node != nullptr) count("proxy.session_reuses");
+    }
     if (node == nullptr) node = pick_node(options, tried);
     if (node == nullptr) {
       result.status = tried.empty() ? ProxyStatus::kNoExitNodeAvailable
                                     : ProxyStatus::kAllAttemptsFailed;
+      count(tried.empty() ? "proxy.no_exit_node" : "proxy.all_attempts_failed");
+      observe_attempts(tried.size());
       return result;
     }
     tried.push_back(node);
@@ -298,13 +335,19 @@ SmtpResult SuperProxy::smtp_transaction(net::Ipv4Address destination,
     result.exit_asn = node->asn();
     result.exit_country = node->country();
 
-    if (node->attempt_fails()) continue;
+    if (node->attempt_fails()) {
+      count("proxy.connect_timeouts");
+      continue;
+    }
 
     auto transcript = node->run_smtp(destination, script);
     if (!transcript) {
+      count("proxy.tunnel_failures");
       result.status = ProxyStatus::kTunnelFailed;
       continue;
     }
+    count("proxy.smtp_ok");
+    observe_attempts(tried.size());
     result.status = ProxyStatus::kOk;
     result.transcript = *std::move(transcript);
     pin_session(options, node);
@@ -326,14 +369,20 @@ ConnectResult SuperProxy::connect_and_handshake(net::Ipv4Address destination,
     return result;
   }
 
+  count("proxy.connects");
   std::vector<const ExitNodeAgent*> tried;
   for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
     ExitNodeAgent* node = nullptr;
-    if (attempt == 0) node = session_node(options);
+    if (attempt == 0) {
+      node = session_node(options);
+      if (node != nullptr) count("proxy.session_reuses");
+    }
     if (node == nullptr) node = pick_node(options, tried);
     if (node == nullptr) {
       result.status = tried.empty() ? ProxyStatus::kNoExitNodeAvailable
                                     : ProxyStatus::kAllAttemptsFailed;
+      count(tried.empty() ? "proxy.no_exit_node" : "proxy.all_attempts_failed");
+      observe_attempts(tried.size());
       return result;
     }
     tried.push_back(node);
@@ -342,13 +391,19 @@ ConnectResult SuperProxy::connect_and_handshake(net::Ipv4Address destination,
     result.exit_address = node->address();
     result.exit_country = node->country();
 
-    if (node->attempt_fails()) continue;
+    if (node->attempt_fails()) {
+      count("proxy.connect_timeouts");
+      continue;
+    }
 
     auto chain = node->fetch_certificate_chain(destination, sni);
     if (!chain) {
+      count("proxy.tunnel_failures");
       result.status = ProxyStatus::kTunnelFailed;
       continue;
     }
+    count("proxy.connect_ok");
+    observe_attempts(tried.size());
     result.status = ProxyStatus::kOk;
     result.chain = *std::move(chain);
     pin_session(options, node);

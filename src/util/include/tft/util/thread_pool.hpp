@@ -66,6 +66,35 @@ class ThreadPool {
   std::vector<std::thread> threads_;
 };
 
+/// Process-global parallelism telemetry, accumulated by every ThreadPool
+/// and run_shards call. Two classes of fields, matching the repo's
+/// determinism contract:
+///  * shard_batches / shard_tasks depend only on input sizes and shard
+///    geometry — identical for every --jobs value (deterministic);
+///  * pool_tasks, queue_high_water, and busy_micros depend on scheduling
+///    and wall time — report them under a `timing` section only.
+/// Readers take snapshots and diff them around a region of interest.
+struct PoolTelemetry {
+  std::atomic<std::uint64_t> shard_batches{0};     // run_shards invocations
+  std::atomic<std::uint64_t> shard_tasks{0};       // shards executed
+  std::atomic<std::uint64_t> pool_tasks{0};        // ThreadPool tasks run
+  std::atomic<std::uint64_t> queue_high_water{0};  // max pending pool tasks
+  std::atomic<std::uint64_t> busy_micros{0};       // wall time inside tasks/shards
+};
+
+/// The process-global telemetry sink.
+PoolTelemetry& pool_telemetry();
+
+/// Plain-value copy of the telemetry counters at one moment.
+struct PoolTelemetrySnapshot {
+  std::uint64_t shard_batches = 0;
+  std::uint64_t shard_tasks = 0;
+  std::uint64_t pool_tasks = 0;
+  std::uint64_t queue_high_water = 0;
+  std::uint64_t busy_micros = 0;
+};
+PoolTelemetrySnapshot pool_telemetry_snapshot();
+
 /// Independent per-shard RNG stream seed: splitmix64(seed ^ shard_index).
 std::uint64_t shard_seed(std::uint64_t seed, std::uint64_t shard_index);
 

@@ -1,11 +1,46 @@
 #include "tft/util/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 
 #include "tft/util/rng.hpp"
 
 namespace tft::util {
+
+namespace {
+
+std::int64_t busy_clock_micros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void atomic_max(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+  std::uint64_t current = slot.load(std::memory_order_relaxed);
+  while (current < value &&
+         !slot.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+PoolTelemetry& pool_telemetry() {
+  static PoolTelemetry telemetry;
+  return telemetry;
+}
+
+PoolTelemetrySnapshot pool_telemetry_snapshot() {
+  const PoolTelemetry& telemetry = pool_telemetry();
+  PoolTelemetrySnapshot snapshot;
+  snapshot.shard_batches = telemetry.shard_batches.load(std::memory_order_relaxed);
+  snapshot.shard_tasks = telemetry.shard_tasks.load(std::memory_order_relaxed);
+  snapshot.pool_tasks = telemetry.pool_tasks.load(std::memory_order_relaxed);
+  snapshot.queue_high_water =
+      telemetry.queue_high_water.load(std::memory_order_relaxed);
+  snapshot.busy_micros = telemetry.busy_micros.load(std::memory_order_relaxed);
+  return snapshot;
+}
 
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) workers = default_workers();
@@ -39,6 +74,7 @@ void ThreadPool::enqueue(UniqueFunction<void()> task) {
       queue_head_ = 0;
     }
     queue_.push_back(std::move(task));
+    atomic_max(pool_telemetry().queue_high_water, queue_.size() - queue_head_);
   }
   wake_.notify_one();
 }
@@ -54,7 +90,13 @@ void ThreadPool::worker_loop() {
       if (queue_head_ == queue_.size()) return;  // stopping, queue drained
       task = std::move(queue_[queue_head_++]);
     }
+    const std::int64_t started = busy_clock_micros();
     task();
+    PoolTelemetry& telemetry = pool_telemetry();
+    telemetry.pool_tasks.fetch_add(1, std::memory_order_relaxed);
+    telemetry.busy_micros.fetch_add(
+        static_cast<std::uint64_t>(busy_clock_micros() - started),
+        std::memory_order_relaxed);
   }
 }
 
@@ -75,8 +117,21 @@ namespace detail {
 void run_shards(std::size_t shards, std::size_t jobs,
                 const UniqueFunction<void(std::size_t)>& fn) {
   if (shards == 0) return;
+  PoolTelemetry& telemetry = pool_telemetry();
+  telemetry.shard_batches.fetch_add(1, std::memory_order_relaxed);
+  // shard_tasks counts shards *executed*, which equals `shards` on every
+  // path below — the deterministic half of the telemetry. busy_micros is
+  // wall time and belongs to `timing` sections only.
+  auto timed_shard = [&](std::size_t shard) {
+    const std::int64_t started = busy_clock_micros();
+    fn(shard);
+    telemetry.shard_tasks.fetch_add(1, std::memory_order_relaxed);
+    telemetry.busy_micros.fetch_add(
+        static_cast<std::uint64_t>(busy_clock_micros() - started),
+        std::memory_order_relaxed);
+  };
   if (jobs <= 1 || shards == 1) {
-    for (std::size_t shard = 0; shard < shards; ++shard) fn(shard);
+    for (std::size_t shard = 0; shard < shards; ++shard) timed_shard(shard);
     return;
   }
   const std::size_t workers = std::min(jobs, shards);
@@ -87,7 +142,7 @@ void run_shards(std::size_t shards, std::size_t jobs,
       const std::size_t shard = next.fetch_add(1, std::memory_order_relaxed);
       if (shard >= shards) return;
       try {
-        fn(shard);
+        timed_shard(shard);
       } catch (...) {
         errors[shard] = std::current_exception();
       }

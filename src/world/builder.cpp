@@ -183,6 +183,7 @@ std::shared_ptr<dns::RecursiveResolver> WorldBuilder::create_resolver(
     Ipv4Address service, std::optional<dns::NxdomainHijackPolicy> hijack) {
   auto resolver = std::make_shared<dns::RecursiveResolver>(
       service, service, &world_->authorities, &world_->clock);
+  resolver->set_metrics(&world_->metrics);
   if (hijack) resolver->set_nxdomain_hijack(*hijack);
   world_->resolvers.add_resolver(resolver);
   return resolver;
@@ -274,6 +275,7 @@ void WorldBuilder::build_google_dns() {
                                     world_->google_netblocks.size()) +
                     1),
         &world_->authorities, &world_->clock);
+    instance->set_metrics(&world_->metrics);
     world_->google_dns->add_instance(std::move(instance));
   }
   world_->resolvers.add_anycast(world_->google_dns);
@@ -1122,6 +1124,7 @@ void WorldBuilder::finalize() {
   environment.smtp = &world_->smtp;
   environment.clock = &world_->clock;
   environment.topology = &world_->topology;
+  environment.metrics = &world_->metrics;
 
   proxy::SuperProxy::Config proxy_config;
   proxy_config.allow_arbitrary_ports = spec_.arbitrary_port_overlay;

@@ -13,6 +13,7 @@
 #include "tft/dns/resolver.hpp"
 #include "tft/http/server.hpp"
 #include "tft/net/topology.hpp"
+#include "tft/obs/metrics.hpp"
 #include "tft/proxy/luminati.hpp"
 #include "tft/sim/event_queue.hpp"
 #include "tft/smtp/server.hpp"
@@ -72,6 +73,13 @@ class World {
 
   // --- Ground truth -----------------------------------------------------------
   GroundTruth truth;
+
+  // --- Observability -----------------------------------------------------------
+  /// The world's metrics/span registry. Every instrumented component
+  /// (resolvers, middleboxes, the super proxy, probes) reports here; the
+  /// world is driven serially, so no locking is needed (see obs/metrics.hpp
+  /// for the determinism contract).
+  obs::Registry metrics;
 
   /// Resolver service addresses per ISP name ("Verizon" -> its DNS servers).
   /// Lets longitudinal scenarios flip hijacking behaviour on or off over

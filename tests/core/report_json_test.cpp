@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "tft/util/json_parse.hpp"
 #include "tft/util/strings.hpp"
 
 namespace tft::core {
@@ -136,6 +137,38 @@ TEST(ReportJsonTest, StudyResultAggregatesAll) {
   EXPECT_TRUE(util::contains(json, "\"dns\":{"));
   EXPECT_TRUE(util::contains(json, "\"https\":{"));
   EXPECT_TRUE(util::contains(json, "\"monitoring\":{"));
+}
+
+// The writer's output must round-trip through the repo's own JSON parser —
+// structural validity alone misses escaping and number-format bugs.
+TEST(ReportJsonTest, DnsReportRoundTripsThroughParser) {
+  const auto parsed = util::parse_json(dns_report_json(sample_dns_report()));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const auto& root = *parsed;
+  EXPECT_EQ(root["experiment"].as_string(), "dns_nxdomain_hijacking");
+  EXPECT_EQ(root["hijacked_nodes"].as_int(), 48);
+  // The escaped embedded quotes come back verbatim.
+  ASSERT_FALSE(root["isp_hijackers"].as_array().empty());
+  EXPECT_EQ(root["isp_hijackers"].as_array()[0]["isp"].as_string(),
+            "Verizon \"east\"");
+  // Build provenance is stamped into every report header.
+  EXPECT_FALSE(root["build"]["git_describe"].as_string().empty());
+}
+
+TEST(ReportJsonTest, StudyResultRoundTripsThroughParser) {
+  StudyResult result;
+  result.coverage.push_back(ExperimentCoverage{"DNS (S4)", 10, 2, 1, 37});
+  result.dns = sample_dns_report();
+  const auto parsed = util::parse_json(study_result_json(result));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const auto& root = *parsed;
+  ASSERT_EQ(root["coverage"].as_array().size(), 1u);
+  EXPECT_EQ(root["coverage"].as_array()[0]["sessions"].as_int(), 37);
+  EXPECT_EQ(root["dns"]["total_nodes"].as_int(), 1000);
+  EXPECT_TRUE(root["http"].is_object());
+  EXPECT_TRUE(root["https"].is_object());
+  EXPECT_TRUE(root["monitoring"].is_object());
+  EXPECT_FALSE(root["build"]["git_describe"].as_string().empty());
 }
 
 }  // namespace

@@ -1,0 +1,195 @@
+#include "tft/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tft/obs/build_info.hpp"
+#include "tft/util/json.hpp"
+#include "tft/util/json_parse.hpp"
+#include "tft/util/strings.hpp"
+
+namespace tft::obs {
+namespace {
+
+TEST(HistogramTest, BucketEdgesAreInclusive) {
+  Histogram histogram;
+  histogram.upper_bounds = {1, 2, 3, 5};
+  // "value <= bound" lands in that bucket: an exact boundary value goes to
+  // the bucket it bounds, not the next one.
+  EXPECT_EQ(histogram.bucket_index(0), 0u);
+  EXPECT_EQ(histogram.bucket_index(1), 0u);
+  EXPECT_EQ(histogram.bucket_index(2), 1u);
+  EXPECT_EQ(histogram.bucket_index(3), 2u);
+  EXPECT_EQ(histogram.bucket_index(4), 3u);
+  EXPECT_EQ(histogram.bucket_index(5), 3u);
+  // Above the last bound: the overflow bucket.
+  EXPECT_EQ(histogram.bucket_index(6), 4u);
+  EXPECT_EQ(histogram.bucket_index(1'000'000), 4u);
+}
+
+TEST(HistogramTest, ObserveFillsBucketsCountAndSum) {
+  Registry registry;
+  const std::vector<std::int64_t> bounds = {1, 2, 3, 5};
+  for (const std::int64_t value : {1, 1, 2, 5, 9}) {
+    registry.observe("attempts", bounds, value);
+  }
+  const Histogram* histogram = registry.histogram("attempts");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->count, 5u);
+  EXPECT_EQ(histogram->sum, 18);
+  ASSERT_EQ(histogram->buckets.size(), 5u);  // 4 bounds + overflow
+  EXPECT_EQ(histogram->buckets[0], 2u);      // <= 1
+  EXPECT_EQ(histogram->buckets[1], 1u);      // <= 2
+  EXPECT_EQ(histogram->buckets[2], 0u);      // <= 3
+  EXPECT_EQ(histogram->buckets[3], 1u);      // <= 5
+  EXPECT_EQ(histogram->buckets[4], 1u);      // overflow
+}
+
+TEST(RegistryTest, CounterMergeIsOrderIndependent) {
+  Registry a;
+  a.add("proxy.fetches", 3);
+  a.add("dns.observations", 10);
+  Registry b;
+  b.add("proxy.fetches", 4);
+  b.add("http.observations", 7);
+
+  Registry ab;
+  ab.merge_from(a);
+  ab.merge_from(b);
+  Registry ba;
+  ba.merge_from(b);
+  ba.merge_from(a);
+
+  EXPECT_EQ(ab.counter("proxy.fetches"), 7u);
+  EXPECT_EQ(ab.counters(), ba.counters());  // std::map: sorted either way
+}
+
+TEST(RegistryTest, HistogramMergeSumsBuckets) {
+  const std::vector<std::int64_t> bounds = {1, 2};
+  Registry a;
+  a.observe("attempts", bounds, 1);
+  Registry b;
+  b.observe("attempts", bounds, 2);
+  b.observe("attempts", bounds, 99);
+
+  Registry merged;
+  merged.merge_from(a);
+  merged.merge_from(b);
+  const Histogram* histogram = merged.histogram("attempts");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->count, 3u);
+  EXPECT_EQ(histogram->sum, 102);
+  ASSERT_EQ(histogram->buckets.size(), 3u);
+  EXPECT_EQ(histogram->buckets[0], 1u);
+  EXPECT_EQ(histogram->buckets[1], 1u);
+  EXPECT_EQ(histogram->buckets[2], 1u);
+}
+
+TEST(RegistryTest, SpanNestingRecordsParents) {
+  Registry registry;
+  registry.begin_span("study", sim::Instant{0});
+  registry.begin_span("dns", sim::Instant{10});
+  registry.end_span(sim::Instant{50});
+  registry.begin_span("http", sim::Instant{60});
+  registry.end_span(sim::Instant{90});
+  registry.end_span(sim::Instant{100});
+
+  const auto& spans = registry.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "study");
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[0].sim_begin_us, 0);
+  EXPECT_EQ(spans[0].sim_end_us, 100);
+  EXPECT_EQ(spans[1].name, "dns");
+  EXPECT_EQ(spans[1].parent, 0);
+  EXPECT_EQ(spans[1].sim_end_us, 50);
+  EXPECT_EQ(spans[2].name, "http");
+  EXPECT_EQ(spans[2].parent, 0);
+}
+
+TEST(RegistryTest, MergeRebasesSpanParentsUnderOpenSpan) {
+  Registry experiment;
+  experiment.begin_span("dns", sim::Instant{0});
+  experiment.begin_span("dns.crawl", sim::Instant{1});
+  experiment.end_span(sim::Instant{2});
+  experiment.end_span(sim::Instant{3});
+
+  Registry merged;
+  merged.begin_span("study", sim::Instant{0});
+  merged.merge_from(experiment);
+  merged.end_span(sim::Instant{3});
+
+  const auto& spans = merged.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "study");
+  // The experiment's root is adopted by the open "study" span; its child's
+  // parent index is re-based past the existing spans.
+  EXPECT_EQ(spans[1].name, "dns");
+  EXPECT_EQ(spans[1].parent, 0);
+  EXPECT_EQ(spans[2].name, "dns.crawl");
+  EXPECT_EQ(spans[2].parent, 1);
+}
+
+TEST(RegistryTest, TimingStaysOutOfDeterministicJson) {
+  Registry registry;
+  registry.add("proxy.fetches", 2);
+  registry.set_timing("pool.busy_micros", 1234);
+  registry.begin_span("study", sim::Instant{0});
+  registry.end_span(sim::Instant{10});
+
+  util::JsonWriter deterministic;
+  deterministic.begin_object();
+  registry.write_json(deterministic, /*include_timing=*/false);
+  deterministic.end_object();
+  const std::string without = std::move(deterministic).take();
+  EXPECT_FALSE(util::contains(without, "timing"));
+  EXPECT_FALSE(util::contains(without, "wall"));
+  EXPECT_TRUE(util::contains(without, "\"proxy.fetches\":2"));
+
+  util::JsonWriter full;
+  full.begin_object();
+  registry.write_json(full, /*include_timing=*/true);
+  full.end_object();
+  const std::string with = std::move(full).take();
+  EXPECT_TRUE(util::contains(with, "\"timing\":{"));
+  EXPECT_TRUE(util::contains(with, "\"pool.busy_micros\":1234"));
+  EXPECT_TRUE(util::contains(with, "\"span_wall\":["));
+}
+
+TEST(RegistryTest, WrittenJsonParsesBack) {
+  Registry registry;
+  registry.add("proxy.fetches", 2);
+  registry.set_gauge("nodes", 42);
+  registry.observe("attempts", {1, 2}, 2);
+  registry.begin_span("study", sim::Instant{0});
+  registry.end_span(sim::Instant{10});
+
+  util::JsonWriter writer;
+  writer.begin_object();
+  write_build_info(writer);
+  registry.write_json(writer, /*include_timing=*/true);
+  writer.end_object();
+  const std::string text = std::move(writer).take();
+
+  const auto parsed = util::parse_json(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const auto& root = *parsed;
+  EXPECT_TRUE(root["build"].is_object());
+  EXPECT_FALSE(root["build"]["git_describe"].as_string().empty());
+  EXPECT_EQ(root["counters"]["proxy.fetches"].as_int(), 2);
+  EXPECT_EQ(root["gauges"]["nodes"].as_int(), 42);
+  EXPECT_EQ(root["histograms"]["attempts"]["count"].as_int(), 1);
+  ASSERT_EQ(root["spans"].as_array().size(), 1u);
+  EXPECT_EQ(root["spans"].as_array()[0]["name"].as_string(), "study");
+  EXPECT_EQ(root["spans"].as_array()[0]["sim_end_us"].as_int(), 10);
+  EXPECT_TRUE(root["timing"].is_object());
+}
+
+TEST(BuildInfoTest, LineMentionsDescribeAndBuildType) {
+  const BuildInfo& info = build_info();
+  EXPECT_FALSE(info.git_describe.empty());
+  const std::string line = build_info_line();
+  EXPECT_TRUE(util::contains(line, info.git_describe));
+}
+
+}  // namespace
+}  // namespace tft::obs

@@ -7,6 +7,8 @@
 // Builds the paper-scale world (or the small --mini scenario), runs the
 // requested experiment(s), and writes the paper-style report to stdout or
 // --out.
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <future>
 #include <iostream>
@@ -17,7 +19,10 @@
 #include "tft/core/report_json.hpp"
 #include "tft/core/smtp_probe.hpp"
 #include "tft/core/study.hpp"
+#include "tft/obs/build_info.hpp"
+#include "tft/obs/metrics.hpp"
 #include "tft/util/flags.hpp"
+#include "tft/util/json.hpp"
 #include "tft/util/thread_pool.hpp"
 #include "tft/world/spec_io.hpp"
 #include "tft/world/world.hpp"
@@ -40,6 +45,14 @@ Flags:
   --vpn-overlay      allow arbitrary ports (required for --experiment smtp)
   --json             emit machine-readable JSON instead of tables
   --out <path>       write the report to a file instead of stdout
+  --metrics-out <path>  write the observability registry (counters, spans,
+                     timings) as JSON. Everything outside the `timing`
+                     section is byte-identical for every --jobs value
+  --metrics-omit-timing  drop the wall-clock `timing` section from
+                     --metrics-out so files can be compared byte-for-byte
+  --stats            append a human-readable metrics summary to the report
+  --version          print build provenance (git describe, build type,
+                     sanitizer) and exit
   --quiet            suppress progress on stderr
   --help             this text
 )";
@@ -49,12 +62,28 @@ int fail(const std::string& message) {
   return 2;
 }
 
+/// Actionable diagnosis for an unopenable output path: name the missing
+/// parent directory instead of a bare "cannot open".
+std::string describe_open_failure(const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  std::error_code ec;
+  if (!parent.empty() && !std::filesystem::exists(parent, ec)) {
+    return "cannot write " + path + ": parent directory '" + parent.string() +
+           "' does not exist (create it first, e.g. mkdir -p " +
+           parent.string() + ")";
+  }
+  return "cannot open " + path + " for writing";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using tft::util::Flags;
   const auto parsed = Flags::parse(
-      argc, argv, {"mini", "vpn-overlay", "quiet", "json", "dump-spec", "help"});
+      argc, argv,
+      {"mini", "vpn-overlay", "quiet", "json", "dump-spec", "help", "stats",
+       "version", "metrics-omit-timing"});
   if (!parsed.ok()) return fail(parsed.error().to_string());
   const Flags& flags = *parsed;
 
@@ -62,10 +91,23 @@ int main(int argc, char** argv) {
     std::cout << kUsage;
     return 0;
   }
+  if (flags.get_bool("version")) {
+    if (flags.get_bool("quiet")) {
+      return fail("--quiet makes no sense with --version: the version line "
+                  "is the only output");
+    }
+    std::cout << tft::obs::build_info_line() << "\n";
+    return 0;
+  }
   const auto unknown = flags.unknown(
       {"experiment", "scale", "seed", "target", "jobs", "mini", "vpn-overlay",
-       "out", "quiet", "json", "spec", "dump-spec"});
+       "out", "quiet", "json", "spec", "dump-spec", "metrics-out",
+       "metrics-omit-timing", "stats", "version"});
   if (!unknown.empty()) return fail("unknown flag --" + unknown.front());
+  if (flags.get_bool("dump-spec") && flags.get_bool("quiet")) {
+    return fail("--quiet makes no sense with --dump-spec: the spec dump is "
+                "the only output");
+  }
 
   // The mini scenario and user scenario files describe their own
   // populations; scale them 1:1 unless overridden. The paper world
@@ -142,10 +184,17 @@ int main(int argc, char** argv) {
     std::cerr << line << "\n";
   };
 
+  const auto pool_before = tft::util::pool_telemetry_snapshot();
+  // Per-experiment metrics land in fixed slots (like report sections) and
+  // merge in experiment order after the run, so the deterministic sections
+  // are byte-identical for every --jobs value.
+  std::vector<tft::obs::Registry> metric_slots(experiments.size());
+
   // Every experiment builds its own world from the identical (spec, scale,
   // seed) triple, so the crawls cannot interact through shared proxy state
   // and the report is byte-identical for every --jobs value.
-  const auto run_named = [&](const std::string& name) -> std::string {
+  const auto run_named = [&](const std::string& name,
+                             std::size_t index) -> std::string {
     if (name == "smtp" && !spec.arbitrary_port_overlay) {
       return "SMTP experiment skipped: overlay tunnels port 443 only "
              "(pass --vpn-overlay).\n";
@@ -156,6 +205,22 @@ int main(int argc, char** argv) {
     progress("[" + name + "] population: " +
              std::to_string(world->luminati->node_count()) + " exit nodes, " +
              std::to_string(world->topology.as_count()) + " ASes; running...");
+    // Capture the world's registry whichever branch returns; the experiment
+    // span wraps the probe run + analysis.
+    struct MetricsCapture {
+      tft::world::World& world;
+      tft::obs::Registry& slot;
+      MetricsCapture(tft::world::World& w, tft::obs::Registry& s,
+                     std::string_view label)
+          : world(w), slot(s) {
+        world.metrics.begin_span(label, world.clock.now());
+      }
+      ~MetricsCapture() {
+        world.metrics.end_span(world.clock.now());
+        slot = world.metrics;
+      }
+    } capture(*world, metric_slots[index],
+              name == "monitor" ? std::string_view("monitoring") : name);
     if (name == "dns") {
       tft::core::DnsHijackProbe probe(*world, config.dns);
       probe.run();
@@ -206,30 +271,65 @@ int main(int argc, char** argv) {
   std::vector<std::string> sections(experiments.size());
   if (jobs <= 1 || experiments.size() == 1) {
     for (std::size_t i = 0; i < experiments.size(); ++i) {
-      sections[i] = run_named(experiments[i]);
+      sections[i] = run_named(experiments[i], i);
     }
   } else {
     tft::util::ThreadPool pool(jobs);
     std::vector<std::future<std::string>> futures;
     futures.reserve(experiments.size());
-    for (const auto& name : experiments) {
-      futures.push_back(
-          pool.submit([&run_named, name] { return run_named(name); }));
+    for (std::size_t i = 0; i < experiments.size(); ++i) {
+      futures.push_back(pool.submit([&run_named, name = experiments[i], i] {
+        return run_named(name, i);
+      }));
     }
     for (std::size_t i = 0; i < futures.size(); ++i) {
       sections[i] = futures[i].get();
     }
   }
 
+  // Assemble the merged registry: experiment registries in fixed order under
+  // a synthetic "study" root (each world had its own clock, so span
+  // sim-times are experiment-relative), then pool telemetry and the
+  // run-shape values that may vary between runs (timing section only).
+  tft::obs::Registry metrics;
+  metrics.begin_span("study", tft::sim::Instant{0});
+  for (const auto& slot : metric_slots) metrics.merge_from(slot);
+  std::int64_t sim_end = 0;
+  for (const auto& span : metrics.spans()) {
+    sim_end = std::max(sim_end, span.sim_end_us);
+  }
+  metrics.end_span(tft::sim::Instant{sim_end});
+  tft::core::record_pool_telemetry(metrics, pool_before,
+                                   tft::util::pool_telemetry_snapshot());
+  metrics.set_timing("jobs", static_cast<std::int64_t>(jobs));
+  metrics.set_timing("hardware_threads",
+                     static_cast<std::int64_t>(
+                         tft::util::ThreadPool::default_workers()));
+
   std::string report;
   for (const auto& section : sections) {
     report += section;
     if (experiments.size() > 1) report += "\n";
   }
+  if (flags.get_bool("stats")) {
+    report += metrics.render_stats();
+  }
+
+  if (const auto metrics_out = flags.get("metrics-out")) {
+    tft::util::JsonWriter writer;
+    writer.begin_object();
+    tft::obs::write_build_info(writer);
+    metrics.write_json(writer, !flags.get_bool("metrics-omit-timing"));
+    writer.end_object();
+    std::ofstream file(*metrics_out);
+    if (!file) return fail(describe_open_failure(*metrics_out));
+    file << std::move(writer).take() << "\n";
+    if (!quiet) std::cerr << "metrics written to " << *metrics_out << "\n";
+  }
 
   if (const auto out = flags.get("out")) {
     std::ofstream file(*out);
-    if (!file) return fail("cannot open " + *out + " for writing");
+    if (!file) return fail(describe_open_failure(*out));
     file << report;
     if (!quiet) std::cerr << "report written to " << *out << "\n";
   } else {
