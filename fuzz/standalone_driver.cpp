@@ -1,0 +1,65 @@
+// Standalone replacement for libFuzzer's driver, used when the compiler
+// does not provide -fsanitize=fuzzer (e.g. GCC). Replays every corpus file
+// or directory named on the command line through LLVMFuzzerTestOneInput,
+// mirroring `./fuzz_target corpus_dir` libFuzzer usage, so the same binary
+// name and invocation work in CI regardless of toolchain. Flags
+// (arguments starting with '-') are accepted and ignored for libFuzzer
+// command-line compatibility.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+int run_file(const std::filesystem::path& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    std::cerr << "fuzz driver: cannot read " << path << "\n";
+    return -1;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string contents = buffer.str();
+  (void)LLVMFuzzerTestOneInput(
+      reinterpret_cast<const std::uint8_t*>(contents.data()), contents.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::filesystem::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string argument = argv[i];
+    if (!argument.empty() && argument[0] == '-') continue;  // libFuzzer flags
+    std::error_code ec;
+    if (std::filesystem::is_directory(argument, ec)) {
+      for (const auto& entry : std::filesystem::directory_iterator(argument)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+      }
+    } else {
+      inputs.push_back(argument);
+    }
+  }
+  if (inputs.empty()) {
+    std::cerr << "fuzz driver: no corpus files given; usage: " << argv[0]
+              << " <corpus-dir-or-files...>\n";
+    return 0;
+  }
+  std::sort(inputs.begin(), inputs.end());
+  std::size_t processed = 0;
+  for (const auto& path : inputs) {
+    if (run_file(path) == 0) ++processed;
+  }
+  std::cout << "fuzz driver: " << processed << "/" << inputs.size()
+            << " corpus inputs processed cleanly\n";
+  return processed == inputs.size() ? 0 : 1;
+}

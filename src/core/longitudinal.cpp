@@ -10,12 +10,14 @@ namespace tft::core {
 
 std::vector<LongitudinalRound> LongitudinalDnsStudy::run() {
   std::vector<LongitudinalRound> rounds;
+  world_.metrics.begin_span("longitudinal.study", world_.clock.now());
   for (int round = 0; round < config_.rounds; ++round) {
     if (round > 0) {
       world_.clock.run_until(world_.clock.now() + config_.interval);
       if (between_rounds_) between_rounds_(round, world_);
     }
 
+    world_.metrics.begin_span("longitudinal.round", world_.clock.now());
     DnsProbeConfig probe_config = config_.probe;
     probe_config.seed = config_.probe.seed + static_cast<std::uint64_t>(round) * 7919;
     DnsHijackProbe probe(world_, probe_config);
@@ -30,8 +32,16 @@ std::vector<LongitudinalRound> LongitudinalDnsStudy::run() {
     entry.hijacked = report.hijacked_nodes;
     entry.ratio = report.hijack_ratio();
     entry.isp_hijackers = report.isp_hijackers;
+
+    world_.metrics.add("longitudinal.rounds");
+    world_.metrics.add("longitudinal.nodes_measured", entry.measured);
+    world_.metrics.add("longitudinal.nodes_hijacked", entry.hijacked);
+    world_.metrics.add("longitudinal.isp_attributions",
+                       entry.isp_hijackers.size());
+    world_.metrics.end_span(world_.clock.now());
     rounds.push_back(std::move(entry));
   }
+  world_.metrics.end_span(world_.clock.now());
   return rounds;
 }
 

@@ -37,6 +37,7 @@ std::size_t SmtpProbe::run() {
   std::size_t stall = 0;
   std::size_t session_id = 0;
 
+  world_.metrics.begin_span("smtp.crawl", world_.clock.now());
   while ((config_.target_nodes == 0 || observations_.size() < config_.target_nodes) &&
          stall < config_.stall_limit) {
     const std::string token = "m" + std::to_string(session_id);
@@ -44,6 +45,7 @@ std::size_t SmtpProbe::run() {
     options.country = countries[rng.weighted_index(weights)];
     options.session = "smtp-" + std::to_string(session_id++);
     ++sessions_issued_;
+    world_.metrics.add("smtp.sessions");
 
     smtp::ClientScript script;
     script.mail_from = "<probe+" + token + "@tft-study.net>";
@@ -55,13 +57,17 @@ std::size_t SmtpProbe::run() {
     if (result.status == proxy::ProxyStatus::kPortNotAllowed) {
       // The overlay is Luminati-like: the methodology cannot run at all.
       overlay_rejected_ = true;
+      world_.metrics.add("smtp.overlay_rejected");
+      world_.metrics.end_span(world_.clock.now());
       return 0;
     }
     if (!result.ok()) {
+      world_.metrics.add("smtp.failed_sessions");
       ++stall;
       continue;
     }
     if (!seen_zids.insert(result.zid).second) {
+      world_.metrics.add("smtp.duplicate_nodes");
       ++stall;
       continue;
     }
@@ -90,8 +96,10 @@ std::size_t SmtpProbe::run() {
         observation.message_lost = true;
       }
     }
+    world_.metrics.add("smtp.observations");
     observations_.push_back(std::move(observation));
   }
+  world_.metrics.end_span(world_.clock.now());
 
   // Server-side comparison: recover each message's token from its subject
   // line ("Subject: tft-probe <token>") and diff the body.
@@ -113,6 +121,29 @@ std::size_t SmtpProbe::run() {
     }
     if (it->second->body != sent_body[token]) {
       observations_[index].body_tampered = true;
+    }
+  }
+
+  // Violation tallies are counted once per node, after the server-side
+  // comparison has filled in body_tampered/message_lost.
+  for (const auto& observation : observations_) {
+    if (observation.connection_blocked) {
+      world_.metrics.add("smtp.violations.port_blocked");
+    }
+    if (observation.banner_rewritten) {
+      world_.metrics.add("smtp.violations.banner_rewritten");
+    }
+    if (observation.starttls_stripped) {
+      world_.metrics.add("smtp.violations.starttls_stripped");
+    }
+    if (observation.starttls_downgraded) {
+      world_.metrics.add("smtp.violations.starttls_downgraded");
+    }
+    if (observation.body_tampered) {
+      world_.metrics.add("smtp.violations.body_tampered");
+    }
+    if (observation.message_lost) {
+      world_.metrics.add("smtp.violations.message_lost");
     }
   }
   return observations_.size();

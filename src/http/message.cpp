@@ -277,7 +277,10 @@ Result<std::string> decode_chunked_body(std::string_view wire) {
       }
       return out;
     }
-    if (wire.size() < chunk_length + 2) {
+    // Compare without computing `chunk_length + 2`: a declared size near
+    // SIZE_MAX would wrap, pass this check, and push the substr calls below
+    // out of range.
+    if (wire.size() < chunk_length || wire.size() - chunk_length < 2) {
       return make_error(ErrorCode::kParseError, "truncated chunk data");
     }
     out.append(wire.substr(0, chunk_length));

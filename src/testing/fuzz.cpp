@@ -1,0 +1,354 @@
+#include "tft/testing/fuzz.hpp"
+
+#include <cstdio>
+
+#include "tft/dns/codec.hpp"
+#include "tft/http/message.hpp"
+#include "tft/smtp/protocol.hpp"
+#include "tft/testing/generators.hpp"
+#include "tft/testing/mutate.hpp"
+#include "tft/tls/codec.hpp"
+#include "tft/util/json_parse.hpp"
+#include "tft/util/rng.hpp"
+
+namespace tft::testing {
+
+using util::Rng;
+
+namespace {
+
+// --- per-target hooks --------------------------------------------------------
+//
+// classify: decode arbitrary bytes, report 0 (accepted) or 1 (clean error).
+// generate: produce a valid wire image for mutation.
+// roundtrip: build a value, encode, decode, compare — the differential
+// oracle. Returns false on any disagreement.
+
+std::string view_of(const std::uint8_t* data, std::size_t size) {
+  return std::string(reinterpret_cast<const char*>(data), size);
+}
+
+// --- DNS ---------------------------------------------------------------------
+
+int dns_classify(const std::string& wire) {
+  return dns::decode(wire).ok() ? 0 : 1;
+}
+
+std::string dns_generate(Rng& rng) {
+  return dns::encode(random_dns_message(rng));
+}
+
+bool records_equal(const std::vector<dns::ResourceRecord>& a,
+                   const std::vector<dns::ResourceRecord>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].name.equals(b[i].name) || a[i].type != b[i].type ||
+        a[i].klass != b[i].klass || a[i].ttl != b[i].ttl ||
+        a[i].rdata != b[i].rdata) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool dns_roundtrip(Rng& rng) {
+  const dns::Message original = random_dns_message(rng);
+  const auto decoded = dns::decode(dns::encode(original));
+  if (!decoded.ok()) return false;
+  const auto& flags = decoded->flags;
+  const auto& expected = original.flags;
+  if (decoded->id != original.id || flags.response != expected.response ||
+      flags.opcode != expected.opcode ||
+      flags.authoritative != expected.authoritative ||
+      flags.truncated != expected.truncated ||
+      flags.recursion_desired != expected.recursion_desired ||
+      flags.recursion_available != expected.recursion_available ||
+      flags.rcode != expected.rcode) {
+    return false;
+  }
+  if (decoded->questions.size() != original.questions.size()) return false;
+  for (std::size_t i = 0; i < original.questions.size(); ++i) {
+    if (!decoded->questions[i].name.equals(original.questions[i].name) ||
+        decoded->questions[i].type != original.questions[i].type) {
+      return false;
+    }
+  }
+  return records_equal(decoded->answers, original.answers) &&
+         records_equal(decoded->authorities, original.authorities) &&
+         records_equal(decoded->additionals, original.additionals);
+}
+
+// --- HTTP request ------------------------------------------------------------
+
+int http_request_classify(const std::string& wire) {
+  return http::Request::parse(wire).ok() ? 0 : 1;
+}
+
+std::string http_request_generate(Rng& rng) {
+  return random_http_request(rng).serialize();
+}
+
+bool http_request_roundtrip(Rng& rng) {
+  const http::Request original = random_http_request(rng);
+  const auto decoded = http::Request::parse(original.serialize());
+  if (!decoded.ok()) return false;
+  if (decoded->method != original.method || decoded->target != original.target ||
+      decoded->version != original.version || decoded->body != original.body) {
+    return false;
+  }
+  // Names may repeat (random tokens can collide), so compare the ordered
+  // value list per name, not just the first value.
+  for (const auto& entry : original.headers.entries()) {
+    if (decoded->headers.get_all(entry.name) !=
+        original.headers.get_all(entry.name)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- HTTP response (identity and chunked framing) ----------------------------
+
+int http_response_classify(const std::string& wire) {
+  return http::Response::parse(wire).ok() ? 0 : 1;
+}
+
+std::string http_response_generate(Rng& rng) {
+  const http::Response response = random_http_response(rng);
+  return rng.chance(0.5) ? response.serialize_chunked(1 + rng.index(300))
+                         : response.serialize();
+}
+
+bool http_response_roundtrip(Rng& rng) {
+  const http::Response original = random_http_response(rng);
+  const bool chunked = rng.chance(0.5);
+  const std::string wire = chunked
+                               ? original.serialize_chunked(1 + rng.index(300))
+                               : original.serialize();
+  const auto decoded = http::Response::parse(wire);
+  if (!decoded.ok()) return false;
+  if (decoded->status != original.status || decoded->reason != original.reason ||
+      decoded->body != original.body) {
+    return false;
+  }
+  // The parser re-joins chunked bodies into identity framing.
+  if (chunked && decoded->headers.get("Transfer-Encoding")) return false;
+  // Names may repeat (random tokens can collide), so compare the ordered
+  // value list per name, not just the first value.
+  for (const auto& entry : original.headers.entries()) {
+    if (decoded->headers.get_all(entry.name) !=
+        original.headers.get_all(entry.name)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- TLS certificate chains --------------------------------------------------
+
+int tls_chain_classify(const std::string& wire) {
+  return tls::decode_chain(wire).ok() ? 0 : 1;
+}
+
+std::string tls_chain_generate(Rng& rng) {
+  return tls::encode_chain(random_tls_chain(rng));
+}
+
+bool tls_chain_roundtrip(Rng& rng) {
+  const tls::CertificateChain original = random_tls_chain(rng);
+  const auto decoded = tls::decode_chain(tls::encode_chain(original));
+  if (!decoded.ok() || decoded->size() != original.size()) return false;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    if (!((*decoded)[i] == original[i])) return false;
+  }
+  return true;
+}
+
+// --- SMTP replies and commands -----------------------------------------------
+
+int smtp_reply_classify(const std::string& wire) {
+  const bool reply_ok = smtp::Reply::parse(wire).ok();
+  const bool command_ok = smtp::Command::parse(wire).ok();
+  return (reply_ok || command_ok) ? 0 : 1;
+}
+
+std::string smtp_reply_generate(Rng& rng) {
+  return rng.chance(0.3) ? random_smtp_dialogue(rng).serialize()
+                         : random_smtp_reply(rng).serialize();
+}
+
+bool smtp_reply_roundtrip(Rng& rng) {
+  const smtp::Reply reply = random_smtp_reply(rng);
+  const auto decoded = smtp::Reply::parse(reply.serialize());
+  if (!decoded.ok() || decoded->code != reply.code ||
+      decoded->lines != reply.lines) {
+    return false;
+  }
+  // A full dialogue's command lines must each survive parsing too.
+  const SmtpDialogue dialogue = random_smtp_dialogue(rng);
+  for (const auto& command : dialogue.commands) {
+    std::string line = command.serialize();
+    if (line.size() >= 2) line.resize(line.size() - 2);  // strip CRLF
+    const auto parsed = smtp::Command::parse(line);
+    if (!parsed.ok() || parsed->verb != command.verb ||
+        parsed->argument != command.argument) {
+      return false;
+    }
+  }
+  for (const auto& round : dialogue.replies) {
+    const auto parsed = smtp::Reply::parse(round.serialize());
+    if (!parsed.ok() || parsed->code != round.code) return false;
+  }
+  return true;
+}
+
+// --- JSON --------------------------------------------------------------------
+
+int json_classify(const std::string& text) {
+  return util::parse_json(text).ok() ? 0 : 1;
+}
+
+std::string json_generate(Rng& rng) {
+  return random_json_document(rng);
+}
+
+bool json_roundtrip(Rng& rng) {
+  // Generated documents are valid by construction; parsing must agree.
+  return util::parse_json(random_json_document(rng)).ok();
+}
+
+// --- registry ----------------------------------------------------------------
+
+struct TargetHooks {
+  FuzzTarget target;
+  std::string (*generate)(Rng&);
+  int (*classify)(const std::string&);
+  bool (*roundtrip)(Rng&);
+};
+
+template <int (*Classify)(const std::string&)>
+int entry_adapter(const std::uint8_t* data, std::size_t size) {
+  (void)Classify(view_of(data, size));
+  return 0;
+}
+
+const std::vector<TargetHooks>& target_hooks() {
+  static const std::vector<TargetHooks> kHooks = {
+      {{"dns_decode", "RFC 1035 message decoder (compression pointers, RDATA)",
+        &entry_adapter<dns_classify>},
+       &dns_generate, &dns_classify, &dns_roundtrip},
+      {{"http_request", "HTTP/1.1 request parser (request line, headers, body)",
+        &entry_adapter<http_request_classify>},
+       &http_request_generate, &http_request_classify, &http_request_roundtrip},
+      {{"http_response",
+        "HTTP/1.1 response parser incl. chunked transfer decoding",
+        &entry_adapter<http_response_classify>},
+       &http_response_generate, &http_response_classify,
+       &http_response_roundtrip},
+      {{"tls_chain", "TFTC certificate chain decoder (length-prefixed bodies)",
+        &entry_adapter<tls_chain_classify>},
+       &tls_chain_generate, &tls_chain_classify, &tls_chain_roundtrip},
+      {{"smtp_reply", "SMTP reply/command parsers over dialogue-shaped input",
+        &entry_adapter<smtp_reply_classify>},
+       &smtp_reply_generate, &smtp_reply_classify, &smtp_reply_roundtrip},
+      {{"json_parse", "RFC 8259 subset JSON parser (scenario/report loader)",
+        &entry_adapter<json_classify>},
+       &json_generate, &json_classify, &json_roundtrip},
+  };
+  return kHooks;
+}
+
+const TargetHooks* find_hooks(std::string_view name) {
+  for (const auto& hooks : target_hooks()) {
+    if (hooks.target.name == name) return &hooks;
+  }
+  return nullptr;
+}
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void fnv_fold(std::uint64_t& digest, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    digest ^= (value >> (i * 8)) & 0xFF;
+    digest *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+const std::vector<FuzzTarget>& fuzz_targets() {
+  static const std::vector<FuzzTarget> kTargets = [] {
+    std::vector<FuzzTarget> out;
+    for (const auto& hooks : target_hooks()) out.push_back(hooks.target);
+    return out;
+  }();
+  return kTargets;
+}
+
+const FuzzTarget* find_fuzz_target(std::string_view name) {
+  for (const auto& target : fuzz_targets()) {
+    if (target.name == name) return &target;
+  }
+  return nullptr;
+}
+
+int fuzz_one(std::string_view name, const std::uint8_t* data, std::size_t size) {
+  const FuzzTarget* target = find_fuzz_target(name);
+  if (target == nullptr) return -1;
+  return target->one_input(data, size);
+}
+
+std::string FuzzShardReport::to_line() const {
+  std::string out = "target=" + target;
+  out += " seed=" + std::to_string(seed);
+  out += " iterations=" + std::to_string(iterations);
+  out += " roundtrip_failures=" + std::to_string(roundtrip_failures);
+  out += " mutants_accepted=" + std::to_string(mutants_accepted);
+  out += " mutants_rejected=" + std::to_string(mutants_rejected);
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "0x%016llx",
+                static_cast<unsigned long long>(digest));
+  out += " digest=";
+  out += hex;
+  return out;
+}
+
+util::Result<FuzzShardReport> run_fuzz_shard(std::string_view target,
+                                             const FuzzShardOptions& options) {
+  const TargetHooks* hooks = find_hooks(target);
+  if (hooks == nullptr) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            "unknown fuzz target: " + std::string(target));
+  }
+
+  FuzzShardReport report;
+  report.target = std::string(target);
+  report.seed = options.seed;
+  report.iterations = options.iterations;
+  report.digest = kFnvOffset;
+
+  Rng rng(options.seed);
+  for (std::size_t i = 0; i < options.iterations; ++i) {
+    // Prong 1: differential oracle on a fresh valid value.
+    const bool roundtrip_ok = hooks->roundtrip(rng);
+    if (!roundtrip_ok) ++report.roundtrip_failures;
+
+    // Prong 2: mutate a valid wire image; the decoder must return cleanly.
+    const std::string wire = hooks->generate(rng);
+    const std::string mutant = mutate_many(wire, rng, options.mutation_rounds);
+    const int verdict = hooks->classify(mutant);
+    if (verdict == 0) {
+      ++report.mutants_accepted;
+    } else {
+      ++report.mutants_rejected;
+    }
+
+    fnv_fold(report.digest, (roundtrip_ok ? 0u : 1u) |
+                                (static_cast<std::uint64_t>(verdict) << 1) |
+                                (static_cast<std::uint64_t>(mutant.size()) << 8));
+  }
+  return report;
+}
+
+}  // namespace tft::testing

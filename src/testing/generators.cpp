@@ -1,0 +1,295 @@
+#include "tft/testing/generators.hpp"
+
+#include "tft/net/ipv4.hpp"
+
+namespace tft::testing {
+
+using util::Rng;
+
+std::string random_label(Rng& rng) {
+  static constexpr std::string_view kChars =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_";
+  const std::size_t length = 1 + rng.index(12);
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) out += kChars[rng.index(kChars.size())];
+  return out;
+}
+
+std::string random_token(Rng& rng) {
+  static constexpr std::string_view kChars =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-";
+  const std::size_t length = 1 + rng.index(10);
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) out += kChars[rng.index(kChars.size())];
+  return out;
+}
+
+std::string random_bytes(Rng& rng, std::size_t max_length) {
+  std::string out;
+  const std::size_t length = max_length == 0 ? 0 : rng.index(max_length);
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out += static_cast<char>(rng.next_u64() & 0xFF);
+  }
+  return out;
+}
+
+// --- DNS ---------------------------------------------------------------------
+
+dns::DnsName random_dns_name(Rng& rng) {
+  std::vector<std::string> labels;
+  const std::size_t count = 1 + rng.index(5);
+  for (std::size_t i = 0; i < count; ++i) labels.push_back(random_label(rng));
+  return *dns::DnsName::from_labels(std::move(labels));
+}
+
+dns::Message random_dns_message(Rng& rng) {
+  auto message = dns::Message::query(
+      static_cast<std::uint16_t>(rng.next_u64() & 0xFFFF), random_dns_name(rng),
+      rng.chance(0.5) ? dns::RecordType::kA : dns::RecordType::kTxt);
+  if (!rng.chance(0.7)) return message;
+
+  message.flags.response = true;
+  message.flags.authoritative = rng.chance(0.3);
+  message.flags.recursion_available = rng.chance(0.5);
+  message.flags.rcode =
+      rng.chance(0.3) ? dns::Rcode::kNxDomain : dns::Rcode::kNoError;
+
+  const auto random_record = [&rng](const dns::DnsName& reuse_name) {
+    // Re-use an earlier name half the time to exercise compression.
+    const dns::DnsName name =
+        rng.chance(0.5) ? reuse_name : random_dns_name(rng);
+    switch (rng.index(3)) {
+      case 0:
+        return dns::ResourceRecord::a(
+            name, net::Ipv4Address(static_cast<std::uint32_t>(rng.next_u64())),
+            static_cast<std::uint32_t>(rng.uniform(100000)));
+      case 1:
+        return dns::ResourceRecord::cname(name, random_dns_name(rng));
+      default: {
+        std::string text;
+        const std::size_t text_length = rng.index(600);
+        for (std::size_t j = 0; j < text_length; ++j) {
+          text += static_cast<char>('a' + rng.index(26));
+        }
+        return dns::ResourceRecord::txt(name, text);
+      }
+    }
+  };
+
+  const std::size_t answers = rng.index(4);
+  for (std::size_t i = 0; i < answers; ++i) {
+    message.answers.push_back(random_record(message.questions[0].name));
+  }
+  if (rng.chance(0.3)) {
+    message.authorities.push_back(
+        dns::ResourceRecord::cname(random_dns_name(rng),
+                                   message.questions[0].name));
+  }
+  if (rng.chance(0.2)) {
+    message.additionals.push_back(random_record(message.questions[0].name));
+  }
+  return message;
+}
+
+// --- HTTP --------------------------------------------------------------------
+
+http::Request random_http_request(Rng& rng) {
+  http::Request request;
+  switch (rng.index(4)) {
+    case 0:
+      request.method = http::Method::kGet;
+      break;
+    case 1:
+      request.method = http::Method::kHead;
+      break;
+    case 2:
+      request.method = http::Method::kPost;
+      break;
+    default:
+      request.method = http::Method::kConnect;
+      break;
+  }
+  if (request.method == http::Method::kConnect) {
+    request.target = random_token(rng) + ".example:443";
+  } else if (rng.chance(0.5)) {
+    request.target = "http://" + random_token(rng) + ".example/" + random_token(rng);
+  } else {
+    request.target = "/" + random_token(rng);
+  }
+  request.headers.set("Host", random_token(rng) + ".example");
+  const std::size_t extra = rng.index(5);
+  for (std::size_t i = 0; i < extra; ++i) {
+    request.headers.add("X-" + random_token(rng), random_token(rng));
+  }
+  if (request.method == http::Method::kPost) {
+    request.body = random_bytes(rng, 1000);
+  }
+  return request;
+}
+
+http::Response random_http_response(Rng& rng) {
+  http::Response response;
+  response.status = 100 + static_cast<int>(rng.uniform(500));
+  response.reason = "Reason " + random_token(rng);
+  const std::size_t header_count = rng.index(6);
+  for (std::size_t i = 0; i < header_count; ++i) {
+    response.headers.add("X-" + random_token(rng), random_token(rng));
+  }
+  response.body = random_bytes(rng, 2000);
+  return response;
+}
+
+// --- TLS ---------------------------------------------------------------------
+
+tls::Certificate random_tls_certificate(Rng& rng) {
+  tls::Certificate certificate;
+  certificate.subject = {random_token(rng), random_token(rng), "US"};
+  certificate.issuer = {random_token(rng), random_token(rng), "DE"};
+  certificate.serial = rng.next_u64();
+  certificate.not_before =
+      sim::Instant{static_cast<std::int64_t>(rng.next_u64() % (1LL << 50)) -
+                   (1LL << 49)};
+  certificate.not_after =
+      certificate.not_before + sim::Duration::hours(1 + rng.index(100000));
+  const std::size_t sans = rng.index(5);
+  for (std::size_t i = 0; i < sans; ++i) {
+    certificate.subject_alt_names.push_back(random_token(rng) + ".example.com");
+  }
+  certificate.public_key = rng.next_u64();
+  certificate.signed_by = rng.next_u64();
+  certificate.is_ca = rng.chance(0.2);
+  return certificate;
+}
+
+tls::CertificateChain random_tls_chain(Rng& rng) {
+  tls::CertificateChain chain;
+  const std::size_t length = rng.index(5);
+  for (std::size_t i = 0; i < length; ++i) {
+    chain.push_back(random_tls_certificate(rng));
+  }
+  return chain;
+}
+
+// --- SMTP --------------------------------------------------------------------
+
+smtp::Reply random_smtp_reply(Rng& rng) {
+  smtp::Reply reply;
+  reply.code = 200 + static_cast<int>(rng.uniform(355));
+  const std::size_t line_count = 1 + rng.index(5);
+  for (std::size_t i = 0; i < line_count; ++i) {
+    reply.lines.push_back(rng.chance(0.2) ? "" : random_token(rng));
+  }
+  return reply;
+}
+
+smtp::Command random_smtp_command(Rng& rng) {
+  static constexpr std::string_view kVerbs[] = {"EHLO", "HELO", "MAIL", "RCPT",
+                                                "DATA", "STARTTLS", "RSET",
+                                                "NOOP", "QUIT"};
+  smtp::Command command;
+  command.verb = std::string(kVerbs[rng.index(std::size(kVerbs))]);
+  if (command.verb == "MAIL") {
+    command.argument = "FROM:<" + random_token(rng) + "@" + random_token(rng) + ".net>";
+  } else if (command.verb == "RCPT") {
+    command.argument = "TO:<" + random_token(rng) + "@" + random_token(rng) + ".net>";
+  } else if (command.verb == "EHLO" || command.verb == "HELO") {
+    command.argument = random_token(rng) + ".example";
+  }
+  return command;
+}
+
+std::string SmtpDialogue::serialize() const {
+  std::string out;
+  for (std::size_t i = 0; i < commands.size(); ++i) {
+    out += commands[i].serialize();
+    if (i < replies.size()) out += replies[i].serialize();
+  }
+  return out;
+}
+
+SmtpDialogue random_smtp_dialogue(Rng& rng) {
+  SmtpDialogue dialogue;
+  const auto add = [&](std::string verb, std::string argument, int code) {
+    smtp::Command command;
+    command.verb = std::move(verb);
+    command.argument = std::move(argument);
+    dialogue.commands.push_back(std::move(command));
+    smtp::Reply reply;
+    reply.code = code;
+    const std::size_t lines = 1 + rng.index(3);
+    for (std::size_t i = 0; i < lines; ++i) {
+      reply.lines.push_back(random_token(rng));
+    }
+    dialogue.replies.push_back(std::move(reply));
+  };
+  add("EHLO", random_token(rng) + ".example", 250);
+  if (rng.chance(0.5)) add("STARTTLS", "", rng.chance(0.8) ? 220 : 454);
+  add("MAIL", "FROM:<" + random_token(rng) + "@probe.net>", 250);
+  const std::size_t rcpts = 1 + rng.index(3);
+  for (std::size_t i = 0; i < rcpts; ++i) {
+    add("RCPT", "TO:<" + random_token(rng) + "@mail.net>", rng.chance(0.9) ? 250 : 550);
+  }
+  add("DATA", "", 354);
+  add("QUIT", "", 221);
+  return dialogue;
+}
+
+// --- JSON --------------------------------------------------------------------
+
+namespace {
+
+void append_json_value(std::string& out, Rng& rng, int depth) {
+  // Leaves get likelier as depth shrinks; depth 0 forces a scalar.
+  const std::size_t kind = depth <= 0 ? rng.index(4) : rng.index(6);
+  switch (kind) {
+    case 0:
+      out += "null";
+      break;
+    case 1:
+      out += rng.chance(0.5) ? "true" : "false";
+      break;
+    case 2: {
+      const std::int64_t value = rng.uniform_range(-1000000, 1000000);
+      out += std::to_string(value);
+      if (rng.chance(0.3)) out += "." + std::to_string(rng.uniform(1000));
+      break;
+    }
+    case 3:
+      out += '"' + random_token(rng) + '"';
+      break;
+    case 4: {
+      out += '[';
+      const std::size_t items = rng.index(5);
+      for (std::size_t i = 0; i < items; ++i) {
+        if (i > 0) out += ',';
+        append_json_value(out, rng, depth - 1);
+      }
+      out += ']';
+      break;
+    }
+    default: {
+      out += '{';
+      const std::size_t items = rng.index(5);
+      for (std::size_t i = 0; i < items; ++i) {
+        if (i > 0) out += ',';
+        out += '"' + random_token(rng) + "\":";
+        append_json_value(out, rng, depth - 1);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string random_json_document(Rng& rng, int max_depth) {
+  std::string out;
+  append_json_value(out, rng, max_depth);
+  return out;
+}
+
+}  // namespace tft::testing

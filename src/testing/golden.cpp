@@ -1,0 +1,214 @@
+#include "tft/testing/golden.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "tft/util/json.hpp"
+
+namespace tft::testing {
+
+using util::ErrorCode;
+using util::JsonValue;
+using util::make_error;
+using util::Result;
+
+const std::vector<std::string>& default_stripped_keys() {
+  static const std::vector<std::string> kKeys = {"build", "timing"};
+  return kKeys;
+}
+
+namespace {
+
+bool is_stripped(const std::string& key, const std::vector<std::string>& keys) {
+  return std::find(keys.begin(), keys.end(), key) != keys.end();
+}
+
+void append_indent(std::string& out, int depth) {
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+}
+
+void append_number(std::string& out, double value) {
+  // Integers (the overwhelmingly common case: counters, counts, ids) print
+  // without a fraction so canonical text is independent of double quirks.
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 9.007199254740992e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+    out += buffer;
+    return;
+  }
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out += buffer;
+}
+
+void append_canonical(std::string& out, const JsonValue& value,
+                      const std::vector<std::string>& stripped, int depth) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull:
+      out += "null";
+      return;
+    case JsonValue::Kind::kBool:
+      out += value.as_bool() ? "true" : "false";
+      return;
+    case JsonValue::Kind::kNumber:
+      append_number(out, value.as_number());
+      return;
+    case JsonValue::Kind::kString:
+      out += '"' + util::JsonWriter::escape(value.as_string()) + '"';
+      return;
+    case JsonValue::Kind::kArray: {
+      const auto& items = value.as_array();
+      if (items.empty()) {
+        out += "[]";
+        return;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        append_indent(out, depth + 1);
+        append_canonical(out, items[i], stripped, depth + 1);
+        if (i + 1 < items.size()) out += ',';
+        out += '\n';
+      }
+      append_indent(out, depth);
+      out += ']';
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      // JsonObject is a std::map, so iteration is already key-sorted.
+      const auto& members = value.as_object();
+      std::size_t kept = 0;
+      for (const auto& [key, member] : members) {
+        (void)member;
+        if (!is_stripped(key, stripped)) ++kept;
+      }
+      if (kept == 0) {
+        out += "{}";
+        return;
+      }
+      out += "{\n";
+      std::size_t emitted = 0;
+      for (const auto& [key, member] : members) {
+        if (is_stripped(key, stripped)) continue;
+        append_indent(out, depth + 1);
+        out += '"' + util::JsonWriter::escape(key) + "\": ";
+        append_canonical(out, member, stripped, depth + 1);
+        if (++emitted < kept) out += ',';
+        out += '\n';
+      }
+      append_indent(out, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string canonical_json_text(const JsonValue& value) {
+  std::string out;
+  append_canonical(out, value, {}, 0);
+  out += '\n';
+  return out;
+}
+
+Result<std::string> canonicalize_json(std::string_view text,
+                                      const std::vector<std::string>& stripped_keys) {
+  auto parsed = util::parse_json(text);
+  if (!parsed.ok()) return parsed.error();
+  std::string out;
+  append_canonical(out, *parsed, stripped_keys, 0);
+  out += '\n';
+  return out;
+}
+
+std::string first_difference(std::string_view expected, std::string_view actual) {
+  if (expected == actual) return "";
+  std::size_t at = 0;
+  const std::size_t limit = std::min(expected.size(), actual.size());
+  while (at < limit && expected[at] == actual[at]) ++at;
+
+  std::size_t line = 1;
+  std::size_t column = 1;
+  for (std::size_t i = 0; i < at; ++i) {
+    if (expected[i] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+  }
+
+  const auto excerpt = [at](std::string_view text) -> std::string {
+    const std::size_t begin = at < 30 ? 0 : at - 30;
+    const std::size_t length = std::min<std::size_t>(60, text.size() - begin);
+    std::string out;
+    for (const char c : text.substr(begin, length)) {
+      out += (c == '\n') ? ' ' : c;
+    }
+    return out;
+  };
+
+  std::string out = "first difference at line " + std::to_string(line) +
+                    ", column " + std::to_string(column) + " (byte " +
+                    std::to_string(at) + ")\n";
+  out += "  expected: ..." + excerpt(expected) + "\n";
+  out += "  actual:   ..." + excerpt(actual) + "\n";
+  if (expected.size() != actual.size()) {
+    out += "  sizes: expected " + std::to_string(expected.size()) +
+           " bytes, actual " + std::to_string(actual.size()) + " bytes\n";
+  }
+  return out;
+}
+
+GoldenOutcome check_golden(const std::string& path, std::string_view actual) {
+  GoldenOutcome outcome;
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    outcome.snapshot_missing = true;
+    outcome.diff = "snapshot " + path +
+                   " does not exist (run tools/update_goldens to create it)";
+    return outcome;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string expected = buffer.str();
+  if (expected == actual) {
+    outcome.matched = true;
+    return outcome;
+  }
+  outcome.diff = first_difference(expected, actual);
+  return outcome;
+}
+
+Result<void> update_golden(const std::string& path, std::string_view actual) {
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      return make_error(ErrorCode::kInternal, "cannot create " +
+                                                  parent.string() + ": " +
+                                                  ec.message());
+    }
+  }
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    return make_error(ErrorCode::kInternal, "cannot write snapshot " + path);
+  }
+  file.write(actual.data(), static_cast<std::streamsize>(actual.size()));
+  if (!file) {
+    return make_error(ErrorCode::kInternal, "short write to snapshot " + path);
+  }
+  return {};
+}
+
+}  // namespace tft::testing

@@ -1,0 +1,45 @@
+// Seed-corpus management for the fuzz targets. A corpus directory holds one
+// file per input (`seed-NNN.bin` for generated seeds, `crash-*.bin` for
+// regression inputs that once broke a decoder). The same files feed both
+// the libFuzzer entry points under fuzz/ and the `tft-fuzz --run-corpus`
+// ctest regression pass.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tft/util/result.hpp"
+
+namespace tft::testing {
+
+/// Hand-written regression inputs for a target: inputs that previously
+/// crashed, hung, or mis-parsed, kept forever. Every target has at least
+/// the adversarial framing shapes its decoder must survive.
+std::vector<std::string> regression_inputs(std::string_view target);
+
+/// Deterministically generate `count` valid seed inputs for a target (the
+/// structure-aware generators drive this; same seed => same bytes).
+util::Result<std::vector<std::string>> generate_seed_inputs(
+    std::string_view target, std::uint64_t seed, std::size_t count);
+
+/// Write a full corpus (generated seeds + regression inputs) for one target
+/// into `directory` (created if missing). Returns the number of files
+/// written.
+util::Result<std::size_t> write_seed_corpus(std::string_view target,
+                                            const std::string& directory,
+                                            std::uint64_t seed,
+                                            std::size_t count);
+
+/// Load every regular file in `directory`, sorted by filename so replay
+/// order is stable. Returns (filename, contents) pairs.
+util::Result<std::vector<std::pair<std::string, std::string>>> load_corpus(
+    const std::string& directory);
+
+/// Replay every corpus file through the target's entry point. Returns the
+/// number of inputs processed; decoder crashes propagate (that is the
+/// point). Unknown target or unreadable directory is an error.
+util::Result<std::size_t> run_corpus(std::string_view target,
+                                     const std::string& directory);
+
+}  // namespace tft::testing

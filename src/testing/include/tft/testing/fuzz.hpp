@@ -1,0 +1,82 @@
+// Deterministic fuzzing harness over every wire codec in the library.
+//
+// Two prongs, one target registry:
+//
+//  * `run_fuzz_shard` is the structure-aware differential mode: generate a
+//    valid value (generators.hpp), assert `decode(encode(x)) == x`, then
+//    mutate the wire bytes (mutate.hpp) and assert the decoder returns a
+//    clean `Result` — never crashes, hangs, or accepts garbage silently.
+//    Everything is driven by one seed; the shard's outcome digest is
+//    byte-stable, so `ctest -L fuzz` verdicts are reproducible.
+//
+//  * `fuzz_one` is the libFuzzer-compatible mode: feed arbitrary bytes to
+//    one decoder. The `fuzz/` tree wraps each target in an
+//    `LLVMFuzzerTestOneInput` entry point behind -DTFT_FUZZ=ON.
+//
+// Both modes share per-target corpus seeds (corpus.hpp), so an input that
+// once crashed a decoder is replayed by every future `ctest -L fuzz` run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tft/util/result.hpp"
+
+namespace tft::testing {
+
+/// libFuzzer-compatible entry point: decode arbitrary bytes. Must return 0
+/// and must never crash, hang, or throw.
+using FuzzEntry = int (*)(const std::uint8_t* data, std::size_t size);
+
+struct FuzzTarget {
+  std::string_view name;         // e.g. "dns_decode"
+  std::string_view description;  // one line for --list
+  FuzzEntry one_input;
+};
+
+/// All registered targets, in a fixed order.
+const std::vector<FuzzTarget>& fuzz_targets();
+
+/// Lookup by name; nullptr when unknown.
+const FuzzTarget* find_fuzz_target(std::string_view name);
+
+/// Run one input through the named target (0 = processed; -1 = unknown
+/// target). Exceptions escaping the decoder propagate — that is the signal
+/// a fuzzer run reports as a crash.
+int fuzz_one(std::string_view name, const std::uint8_t* data, std::size_t size);
+
+struct FuzzShardOptions {
+  std::uint64_t seed = 1;
+  std::size_t iterations = 1000;
+  /// Max mutation rounds applied to each valid wire image.
+  std::size_t mutation_rounds = 4;
+};
+
+struct FuzzShardReport {
+  std::string target;
+  std::uint64_t seed = 0;
+  std::size_t iterations = 0;
+  /// Differential-oracle violations: decode(encode(x)) failed or disagreed
+  /// with x. Any nonzero count is a harness failure.
+  std::size_t roundtrip_failures = 0;
+  /// Mutants the decoder still accepted (fine — mutation can be benign).
+  std::size_t mutants_accepted = 0;
+  /// Mutants cleanly rejected with an error Result (the expected path).
+  std::size_t mutants_rejected = 0;
+  /// FNV-1a fold of every iteration's outcome: equal seeds => equal digest.
+  std::uint64_t digest = 0;
+
+  bool ok() const noexcept { return roundtrip_failures == 0; }
+
+  /// Stable single-line rendering (what tft-fuzz prints and digests ship as).
+  std::string to_line() const;
+};
+
+/// Run a seeded differential shard against one target. Returns an error for
+/// an unknown target name.
+util::Result<FuzzShardReport> run_fuzz_shard(std::string_view target,
+                                             const FuzzShardOptions& options);
+
+}  // namespace tft::testing

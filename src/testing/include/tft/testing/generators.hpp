@@ -1,0 +1,84 @@
+// Structure-aware random generators for every wire protocol the study
+// speaks. They are the "valid half" of the fuzzing harness: each generator
+// produces a semantically valid in-memory value from a deterministic Rng
+// stream, so `decode(encode(x)) == x` can be asserted millions of times
+// without ever constructing an invalid fixture by hand. The byte-level
+// "invalid half" lives in mutate.hpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tft/dns/message.hpp"
+#include "tft/http/message.hpp"
+#include "tft/smtp/protocol.hpp"
+#include "tft/tls/certificate.hpp"
+#include "tft/util/rng.hpp"
+
+namespace tft::testing {
+
+// --- primitive fragments -----------------------------------------------------
+
+/// A valid DNS label: 1..12 chars from [A-Za-z0-9-_].
+std::string random_label(util::Rng& rng);
+
+/// A short ASCII token (header names, reason phrases, SMTP arguments).
+std::string random_token(util::Rng& rng);
+
+/// Arbitrary binary payload of length [0, max_length).
+std::string random_bytes(util::Rng& rng, std::size_t max_length);
+
+// --- DNS ---------------------------------------------------------------------
+
+/// A valid domain name of 1..5 labels.
+dns::DnsName random_dns_name(util::Rng& rng);
+
+/// A query or response with mixed A/CNAME/TXT records across all sections.
+/// Names repeat with probability ~0.5 so the encoder's compression paths
+/// are exercised.
+dns::Message random_dns_message(util::Rng& rng);
+
+// --- HTTP --------------------------------------------------------------------
+
+/// A GET/HEAD/POST/CONNECT request with random headers and (for POST) body.
+http::Request random_http_request(util::Rng& rng);
+
+/// A response with random status/reason/headers and a binary body of up to
+/// ~2 KB. Serialize with `serialize()` or `serialize_chunked()`.
+http::Response random_http_response(util::Rng& rng);
+
+// --- TLS ---------------------------------------------------------------------
+
+/// A certificate with random DNs, validity window, SANs and key ids.
+tls::Certificate random_tls_certificate(util::Rng& rng);
+
+/// A chain of 0..5 random certificates.
+tls::CertificateChain random_tls_chain(util::Rng& rng);
+
+// --- SMTP --------------------------------------------------------------------
+
+/// A single- or multi-line reply with a valid 3-digit code.
+smtp::Reply random_smtp_reply(util::Rng& rng);
+
+/// A client command drawn from the RFC 5321 verbs the library models.
+smtp::Command random_smtp_command(util::Rng& rng);
+
+/// A scripted client/server dialogue (EHLO → MAIL → RCPT → DATA → QUIT with
+/// random argument text), serialized as alternating wire lines. Used to
+/// exercise Command/Reply parsing over realistic session shapes.
+struct SmtpDialogue {
+  std::vector<smtp::Command> commands;
+  std::vector<smtp::Reply> replies;  // one per command
+
+  /// All commands and replies in wire order (command, reply, command, ...).
+  std::string serialize() const;
+};
+SmtpDialogue random_smtp_dialogue(util::Rng& rng);
+
+// --- JSON --------------------------------------------------------------------
+
+/// A random JSON document (text form) nested up to `max_depth` levels.
+/// Always syntactically valid.
+std::string random_json_document(util::Rng& rng, int max_depth = 6);
+
+}  // namespace tft::testing

@@ -1,0 +1,49 @@
+// Golden-scenario regression support: canonicalize a JSON report so that
+// two runs of the study pipeline can be compared byte-for-byte, and diff
+// the result against a checked-in snapshot.
+//
+// Canonical form: parse, strip run-varying sections (the `build` provenance
+// stamp and every `timing` section — the same data `--metrics-omit-timing`
+// drops), then re-emit with sorted object keys, 2-space indentation, and
+// stable number formatting. Canonicalization is idempotent.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tft/util/json_parse.hpp"
+#include "tft/util/result.hpp"
+
+namespace tft::testing {
+
+/// Keys stripped from every object level by default: `build` (git describe
+/// changes every commit) and `timing` (wall-clock, varies run to run).
+const std::vector<std::string>& default_stripped_keys();
+
+/// Canonicalize a JSON document: strip `stripped_keys` recursively, emit
+/// sorted keys and stable formatting. Errors on malformed JSON.
+util::Result<std::string> canonicalize_json(
+    std::string_view text,
+    const std::vector<std::string>& stripped_keys = default_stripped_keys());
+
+/// Canonical text for an already-parsed value (no stripping).
+std::string canonical_json_text(const util::JsonValue& value);
+
+/// First point of divergence between two texts, rendered with line/column
+/// and a short context excerpt from both sides ("" when equal).
+std::string first_difference(std::string_view expected, std::string_view actual);
+
+struct GoldenOutcome {
+  bool matched = false;
+  bool snapshot_missing = false;
+  std::string diff;  // human-readable first divergence when !matched
+};
+
+/// Compare canonical `actual` against the snapshot file at `path`.
+GoldenOutcome check_golden(const std::string& path, std::string_view actual);
+
+/// Overwrite the snapshot at `path` (parent directories created).
+util::Result<void> update_golden(const std::string& path, std::string_view actual);
+
+}  // namespace tft::testing

@@ -1,0 +1,45 @@
+// Byte-level mutation strategies for fuzzing wire decoders. Deterministic:
+// the same (input, Rng state) always yields the same mutant, so a fuzz
+// shard's verdict is reproducible from its seed alone.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tft/util/rng.hpp"
+
+namespace tft::testing {
+
+enum class MutationKind {
+  kBitFlip,        // flip one random bit
+  kByteSet,        // overwrite one byte with a random value
+  kByteSwap,       // exchange two random bytes
+  kTruncate,       // drop a random-length tail
+  kDeleteBlock,    // remove a random interior block
+  kDuplicateBlock, // repeat a random interior block in place
+  kInsertRandom,   // splice random bytes at a random offset
+  kMagicToken,     // splice a protocol-shaped token from the dictionary
+  kLengthSmash,    // overwrite 2 bytes with an extreme big-endian length
+};
+
+/// Number of distinct MutationKind values (for iteration in tests).
+constexpr std::size_t kMutationKindCount = 9;
+
+/// Tokens worth splicing into any wire input: chunked-size edge cases, DNS
+/// compression pointers, framing terminators, length-field extremes. These
+/// are what pushes a byte-flipping fuzzer into parser states random flips
+/// rarely reach.
+const std::vector<std::string>& mutation_dictionary();
+
+/// Apply one random mutation strategy. Never returns the input unchanged
+/// unless the input is empty and the chosen strategy needs bytes to act on.
+std::string mutate(std::string_view input, util::Rng& rng);
+
+/// Apply a specific strategy (exposed so tests can cover each arm).
+std::string mutate_with(MutationKind kind, std::string_view input, util::Rng& rng);
+
+/// Apply 1..rounds random mutations in sequence.
+std::string mutate_many(std::string_view input, util::Rng& rng, std::size_t rounds);
+
+}  // namespace tft::testing

@@ -1,0 +1,140 @@
+#include "tft/testing/mutate.hpp"
+
+#include <algorithm>
+
+namespace tft::testing {
+
+using util::Rng;
+
+const std::vector<std::string>& mutation_dictionary() {
+  static const std::vector<std::string> kDictionary = {
+      // HTTP chunked framing: terminators, extensions, and chunk sizes at
+      // the edge of std::size_t (overflow bait for `length + 2` checks).
+      "0\r\n\r\n",
+      "\r\n\r\n",
+      "ffffffffffffffff\r\n",
+      "fffffffffffffffe\r\n",
+      "7fffffffffffffff\r\n",
+      "1;ext=1\r\n",
+      "Transfer-Encoding: chunked\r\n",
+      "Content-Length: 18446744073709551615\r\n",
+      "Content-Length: -1\r\n",
+      // DNS compression pointers: self-pointing, header-pointing, and the
+      // reserved label types.
+      std::string("\xc0\x00", 2),
+      std::string("\xc0\x0c", 2),
+      std::string("\xc0\xff", 2),
+      std::string("\x40", 1),
+      std::string("\x3f", 1),
+      // TLS chain framing: magic, version, extreme counts and lengths.
+      "TFTC",
+      std::string("\xff\xff", 2),
+      std::string("\x00\x00", 2),
+      std::string("\xff\xff\xff\xff", 4),
+      // SMTP reply shapes.
+      "250-",
+      "250 ",
+      "599 x\r\n",
+      // JSON structure tokens.
+      "{\"\":",
+      "[[[[[[[[",
+      "\\u0000",
+      "\\ud800",
+      "1e309",
+  };
+  return kDictionary;
+}
+
+std::string mutate_with(MutationKind kind, std::string_view input, Rng& rng) {
+  std::string out(input);
+  switch (kind) {
+    case MutationKind::kBitFlip: {
+      if (out.empty()) return out;
+      const std::size_t at = rng.index(out.size());
+      out[at] = static_cast<char>(out[at] ^ (1 << rng.index(8)));
+      return out;
+    }
+    case MutationKind::kByteSet: {
+      if (out.empty()) return out;
+      out[rng.index(out.size())] = static_cast<char>(rng.next_u64() & 0xFF);
+      return out;
+    }
+    case MutationKind::kByteSwap: {
+      if (out.size() < 2) return out;
+      const std::size_t a = rng.index(out.size());
+      const std::size_t b = rng.index(out.size());
+      std::swap(out[a], out[b]);
+      return out;
+    }
+    case MutationKind::kTruncate: {
+      if (out.empty()) return out;
+      out.resize(rng.index(out.size()));
+      return out;
+    }
+    case MutationKind::kDeleteBlock: {
+      if (out.size() < 2) return out;
+      const std::size_t begin = rng.index(out.size() - 1);
+      const std::size_t length = 1 + rng.index(out.size() - begin - 1 + 1);
+      out.erase(begin, length);
+      return out;
+    }
+    case MutationKind::kDuplicateBlock: {
+      if (out.empty()) return out;
+      const std::size_t begin = rng.index(out.size());
+      const std::size_t length =
+          1 + rng.index(std::min<std::size_t>(out.size() - begin, 32));
+      const std::string block = out.substr(begin, length);
+      out.insert(begin, block);
+      return out;
+    }
+    case MutationKind::kInsertRandom: {
+      const std::size_t at = out.empty() ? 0 : rng.index(out.size() + 1);
+      const std::size_t length = 1 + rng.index(16);
+      std::string noise;
+      for (std::size_t i = 0; i < length; ++i) {
+        noise += static_cast<char>(rng.next_u64() & 0xFF);
+      }
+      out.insert(at, noise);
+      return out;
+    }
+    case MutationKind::kMagicToken: {
+      const auto& dictionary = mutation_dictionary();
+      const std::string& token = dictionary[rng.index(dictionary.size())];
+      const std::size_t at = out.empty() ? 0 : rng.index(out.size() + 1);
+      if (!out.empty() && rng.chance(0.5)) {
+        // Overwrite in place rather than insert, keeping framing offsets.
+        const std::size_t length = std::min(token.size(), out.size() - at);
+        out.replace(at, length, token.substr(0, length));
+      } else {
+        out.insert(at, token);
+      }
+      return out;
+    }
+    case MutationKind::kLengthSmash: {
+      if (out.size() < 2) return out;
+      const std::size_t at = rng.index(out.size() - 1);
+      static constexpr std::uint16_t kExtremes[] = {0x0000, 0x0001, 0x00FF,
+                                                    0x7FFF, 0x8000, 0xFFFE,
+                                                    0xFFFF};
+      const std::uint16_t value = kExtremes[rng.index(std::size(kExtremes))];
+      out[at] = static_cast<char>(value >> 8);
+      out[at + 1] = static_cast<char>(value & 0xFF);
+      return out;
+    }
+  }
+  return out;
+}
+
+std::string mutate(std::string_view input, Rng& rng) {
+  const auto kind = static_cast<MutationKind>(rng.index(kMutationKindCount));
+  return mutate_with(kind, input, rng);
+}
+
+std::string mutate_many(std::string_view input, Rng& rng, std::size_t rounds) {
+  std::string out(input);
+  const std::size_t count = 1 + (rounds <= 1 ? 0 : rng.index(rounds));
+  for (std::size_t i = 0; i < count; ++i) out = mutate(out, rng);
+  return out;
+}
+
+}  // namespace tft::testing

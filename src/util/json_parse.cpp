@@ -15,6 +15,36 @@ const JsonValue& JsonValue::operator[](std::string_view key) const {
 
 namespace {
 
+/// RFC 8259 number grammar: int [frac] [exp], no leading zeros, at least
+/// one digit after '.' — strtod alone is laxer (it accepts "1.", "01",
+/// "1.e3"), so the token shape is validated before conversion.
+bool is_rfc8259_number(std::string_view token) {
+  std::size_t i = 0;
+  const auto digit = [&](std::size_t at) {
+    return at < token.size() &&
+           std::isdigit(static_cast<unsigned char>(token[at])) != 0;
+  };
+  if (i < token.size() && token[i] == '-') ++i;
+  if (!digit(i)) return false;
+  if (token[i] == '0') {
+    ++i;
+  } else {
+    while (digit(i)) ++i;
+  }
+  if (i < token.size() && token[i] == '.') {
+    ++i;
+    if (!digit(i)) return false;
+    while (digit(i)) ++i;
+  }
+  if (i < token.size() && (token[i] == 'e' || token[i] == 'E')) {
+    ++i;
+    if (i < token.size() && (token[i] == '+' || token[i] == '-')) ++i;
+    if (!digit(i)) return false;
+    while (digit(i)) ++i;
+  }
+  return i == token.size();
+}
+
 class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
@@ -179,6 +209,9 @@ class Parser {
     }
     const std::string_view token = text_.substr(start, offset_ - start);
     if (token.empty()) return fail("expected value");
+    if (!is_rfc8259_number(token)) {
+      return fail("bad number: " + std::string(token));
+    }
     double value = 0;
     const std::string owned(token);  // strtod needs NUL termination
     char* end = nullptr;

@@ -171,5 +171,28 @@ TEST(ReportJsonTest, StudyResultRoundTripsThroughParser) {
   EXPECT_FALSE(root["build"]["git_describe"].as_string().empty());
 }
 
+// Every report header carries the full build-provenance object — the part
+// the golden harness strips, so it must stay in its own `build` section.
+TEST(ReportJsonTest, ProvenanceHeaderIsCompleteInEveryReport) {
+  const std::vector<std::string> reports = {
+      dns_report_json(sample_dns_report()),
+      http_report_json(HttpReport{}),
+      https_report_json(HttpsReport{}),
+      monitor_report_json(MonitorReport{}),
+      smtp_report_json(SmtpReport{}),
+      study_result_json(StudyResult{}),
+  };
+  for (const auto& json : reports) {
+    const auto parsed = util::parse_json(json);
+    ASSERT_TRUE(parsed.ok()) << json.substr(0, 120);
+    const auto& build = (*parsed)["build"];
+    ASSERT_TRUE(build.is_object()) << json.substr(0, 120);
+    EXPECT_FALSE(build["git_describe"].as_string().empty());
+    EXPECT_FALSE(build["build_type"].as_string().empty());
+    // `sanitizer` is always present; "" means an uninstrumented build.
+    EXPECT_TRUE(build.has("sanitizer"));
+  }
+}
+
 }  // namespace
 }  // namespace tft::core

@@ -65,6 +65,23 @@ TEST(ChunkedTest, ChunkedBodyContainingBlankLines) {
   EXPECT_EQ(parsed->body, "a\r\n\r\nb");
 }
 
+TEST(ChunkedTest, HugeChunkSizeRejectedNotCrashed) {
+  // Regression (found by the fuzz harness): a declared chunk size near
+  // SIZE_MAX made `chunk_length + 2` wrap past the truncation check, and
+  // the substr calls below it threw std::out_of_range. The decoder must
+  // return a clean error for every huge declared size.
+  EXPECT_FALSE(decode_chunked_body("fffffffffffffffe\r\nxx\r\n0\r\n\r\n").ok());
+  EXPECT_FALSE(decode_chunked_body("ffffffffffffffff\r\nxx\r\n0\r\n\r\n").ok());
+  EXPECT_FALSE(decode_chunked_body("7fffffffffffffff\r\nxx\r\n0\r\n\r\n").ok());
+  // Through the full response parser, as the fuzzer hit it.
+  EXPECT_FALSE(Response::parse("HTTP/1.1 200 OK\r\n"
+                               "Transfer-Encoding: chunked\r\n\r\n"
+                               "fffffffffffffffe\r\nxx\r\n")
+                   .ok());
+  // A size whose hex digits overflow size_t entirely is rejected too.
+  EXPECT_FALSE(decode_chunked_body("11112222333344445\r\nxx\r\n0\r\n\r\n").ok());
+}
+
 TEST(ChunkedTest, TruncatedChunkedResponseRejected) {
   Response response = Response::make(200, "OK", reference_css(), "text/css");
   std::string wire = response.serialize_chunked(64);

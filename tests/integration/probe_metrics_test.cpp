@@ -1,0 +1,108 @@
+// End-to-end observability: the longitudinal study and the SMTP probe must
+// leave an accurate trail in the world's metrics registry — counters that
+// reconcile with the returned observations, and spans for every crawl.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tft/core/longitudinal.hpp"
+#include "tft/core/smtp_probe.hpp"
+#include "tft/world/world.hpp"
+
+namespace tft::core {
+namespace {
+
+std::size_t span_count(const world::World& world, std::string_view name) {
+  const auto& spans = world.metrics.spans();
+  return static_cast<std::size_t>(
+      std::count_if(spans.begin(), spans.end(),
+                    [&](const obs::Span& span) { return span.name == name; }));
+}
+
+TEST(ProbeMetricsTest, LongitudinalStudyRecordsRoundsAndTotals) {
+  auto world = world::build_world(world::mini_spec(), 1.0, 811);
+  LongitudinalConfig config;
+  config.rounds = 3;
+  config.probe.target_nodes = 0;
+  config.probe.stall_limit = 1500;
+  LongitudinalDnsStudy study(*world, config);
+  const auto rounds = study.run();
+  ASSERT_EQ(rounds.size(), 3u);
+
+  const auto& metrics = world->metrics;
+  EXPECT_EQ(metrics.counter("longitudinal.rounds"), 3u);
+
+  std::size_t measured = 0, hijacked = 0, attributions = 0;
+  for (const auto& round : rounds) {
+    measured += round.measured;
+    hijacked += round.hijacked;
+    attributions += round.isp_hijackers.size();
+  }
+  EXPECT_EQ(metrics.counter("longitudinal.nodes_measured"), measured);
+  EXPECT_EQ(metrics.counter("longitudinal.nodes_hijacked"), hijacked);
+  EXPECT_EQ(metrics.counter("longitudinal.isp_attributions"), attributions);
+  EXPECT_GT(hijacked, 0u);
+
+  // One study span enclosing one span per round; each round also ran a DNS
+  // crawl, which records its own sessions under the round span.
+  EXPECT_EQ(span_count(*world, "longitudinal.study"), 1u);
+  EXPECT_EQ(span_count(*world, "longitudinal.round"), 3u);
+  EXPECT_GT(metrics.counter("dns.sessions"), 0u);
+}
+
+TEST(ProbeMetricsTest, SmtpProbeCountsSessionsAndViolations) {
+  auto world = world::build_world(world::mini_spec(), 1.0, 812);
+  SmtpProbeConfig config;
+  config.target_nodes = 0;
+  config.stall_limit = 4000;
+  SmtpProbe probe(*world, config);
+  const std::size_t measured = probe.run();
+  ASSERT_FALSE(probe.overlay_rejected());
+  ASSERT_GT(measured, 0u);
+
+  const auto& metrics = world->metrics;
+  EXPECT_EQ(metrics.counter("smtp.sessions"), probe.sessions_issued());
+  EXPECT_EQ(metrics.counter("smtp.observations"), measured);
+  // Every issued session ends as exactly one of: observation, failure,
+  // duplicate (the overlay-rejected early exit cannot happen here).
+  EXPECT_EQ(probe.sessions_issued(),
+            measured + metrics.counter("smtp.failed_sessions") +
+                metrics.counter("smtp.duplicate_nodes"));
+  EXPECT_EQ(metrics.counter("smtp.overlay_rejected"), 0u);
+  EXPECT_EQ(span_count(*world, "smtp.crawl"), 1u);
+
+  // Violation counters reconcile exactly with the observation list.
+  std::size_t blocked = 0, rewritten = 0, stripped = 0, downgraded = 0,
+              tampered = 0, lost = 0;
+  for (const auto& observation : probe.observations()) {
+    blocked += observation.connection_blocked;
+    rewritten += observation.banner_rewritten;
+    stripped += observation.starttls_stripped;
+    downgraded += observation.starttls_downgraded;
+    tampered += observation.body_tampered;
+    lost += observation.message_lost;
+  }
+  EXPECT_EQ(metrics.counter("smtp.violations.port_blocked"), blocked);
+  EXPECT_EQ(metrics.counter("smtp.violations.banner_rewritten"), rewritten);
+  EXPECT_EQ(metrics.counter("smtp.violations.starttls_stripped"), stripped);
+  EXPECT_EQ(metrics.counter("smtp.violations.starttls_downgraded"), downgraded);
+  EXPECT_EQ(metrics.counter("smtp.violations.body_tampered"), tampered);
+  EXPECT_EQ(metrics.counter("smtp.violations.message_lost"), lost);
+  EXPECT_GT(blocked + stripped + tampered, 0u);
+}
+
+TEST(ProbeMetricsTest, SmtpProbeOnRestrictedOverlayCountsRejection) {
+  auto spec = world::mini_spec();
+  spec.arbitrary_port_overlay = false;
+  auto world = world::build_world(spec, 0.5, 813);
+  SmtpProbe probe(*world, SmtpProbeConfig{});
+  EXPECT_EQ(probe.run(), 0u);
+  EXPECT_TRUE(probe.overlay_rejected());
+  EXPECT_EQ(world->metrics.counter("smtp.overlay_rejected"), 1u);
+  EXPECT_EQ(world->metrics.counter("smtp.observations"), 0u);
+  // The crawl span is still closed cleanly on the early-exit path.
+  EXPECT_EQ(span_count(*world, "smtp.crawl"), 1u);
+}
+
+}  // namespace
+}  // namespace tft::core

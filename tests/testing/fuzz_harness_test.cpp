@@ -1,0 +1,113 @@
+// The fuzz harness itself is under test here: the target registry, the
+// differential-oracle shards (and their digest determinism), and the
+// regression corpus replay. `ctest -L fuzz` runs the big shards; these are
+// small in-process versions of the same paths.
+#include "tft/testing/fuzz.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tft/testing/corpus.hpp"
+
+namespace tft::testing {
+namespace {
+
+TEST(FuzzHarnessTest, RegistryCoversEveryCodec) {
+  const auto& targets = fuzz_targets();
+  ASSERT_GE(targets.size(), 6u);
+  for (const std::string_view name :
+       {"dns_decode", "http_request", "http_response", "tls_chain",
+        "smtp_reply", "json_parse"}) {
+    const FuzzTarget* target = find_fuzz_target(name);
+    ASSERT_NE(target, nullptr) << name;
+    EXPECT_EQ(target->name, name);
+    EXPECT_FALSE(target->description.empty());
+    EXPECT_NE(target->one_input, nullptr);
+  }
+  EXPECT_EQ(find_fuzz_target("no_such_target"), nullptr);
+  EXPECT_EQ(fuzz_one("no_such_target", nullptr, 0), -1);
+  EXPECT_EQ(fuzz_one("dns_decode", nullptr, 0), 0);
+}
+
+TEST(FuzzHarnessTest, EveryTargetPassesASmallShard) {
+  for (const auto& target : fuzz_targets()) {
+    FuzzShardOptions options;
+    options.seed = 77;
+    options.iterations = 100;
+    const auto report = run_fuzz_shard(target.name, options);
+    ASSERT_TRUE(report.ok()) << target.name;
+    EXPECT_TRUE(report->ok()) << report->to_line();
+    EXPECT_EQ(report->iterations, 100u);
+    // Every iteration also classified exactly one mutant.
+    EXPECT_EQ(report->mutants_accepted + report->mutants_rejected, 100u)
+        << target.name;
+    // Mutation must actually break inputs some of the time, or the oracle
+    // is vacuous.
+    EXPECT_GT(report->mutants_rejected, 0u) << target.name;
+  }
+}
+
+TEST(FuzzHarnessTest, SameSeedSameDigest) {
+  FuzzShardOptions options;
+  options.seed = 1234;
+  options.iterations = 200;
+  for (const auto& target : fuzz_targets()) {
+    const auto first = run_fuzz_shard(target.name, options);
+    const auto second = run_fuzz_shard(target.name, options);
+    ASSERT_TRUE(first.ok() && second.ok()) << target.name;
+    EXPECT_EQ(first->digest, second->digest) << target.name;
+    EXPECT_EQ(first->to_line(), second->to_line()) << target.name;
+  }
+}
+
+TEST(FuzzHarnessTest, DifferentSeedDifferentDigest) {
+  FuzzShardOptions a, b;
+  a.seed = 1;
+  b.seed = 2;
+  a.iterations = b.iterations = 200;
+  const auto first = run_fuzz_shard("dns_decode", a);
+  const auto second = run_fuzz_shard("dns_decode", b);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_NE(first->digest, second->digest);
+}
+
+TEST(FuzzHarnessTest, UnknownTargetIsACleanError) {
+  EXPECT_FALSE(run_fuzz_shard("no_such_target", FuzzShardOptions{}).ok());
+}
+
+TEST(FuzzHarnessTest, RegressionInputsReplayCleanly) {
+  // Every checked-in crasher must run through its decoder without crashing
+  // — this is the in-process version of `tft-fuzz --run-corpus`.
+  for (const auto& target : fuzz_targets()) {
+    const auto inputs = regression_inputs(target.name);
+    EXPECT_FALSE(inputs.empty()) << target.name;
+    for (const auto& input : inputs) {
+      EXPECT_EQ(fuzz_one(target.name,
+                         reinterpret_cast<const std::uint8_t*>(input.data()),
+                         input.size()),
+                0)
+          << target.name;
+    }
+  }
+}
+
+TEST(FuzzHarnessTest, SeedInputsAreDeterministic) {
+  for (const auto& target : fuzz_targets()) {
+    const auto first = generate_seed_inputs(target.name, 5, 8);
+    const auto second = generate_seed_inputs(target.name, 5, 8);
+    ASSERT_TRUE(first.ok() && second.ok()) << target.name;
+    ASSERT_EQ(first->size(), 8u);
+    EXPECT_EQ(*first, *second) << target.name;
+    // Seed inputs are valid wire images: the decoder accepts them.
+    for (const auto& input : *first) {
+      EXPECT_EQ(fuzz_one(target.name,
+                         reinterpret_cast<const std::uint8_t*>(input.data()),
+                         input.size()),
+                0)
+          << target.name;
+    }
+  }
+  EXPECT_FALSE(generate_seed_inputs("no_such_target", 1, 1).ok());
+}
+
+}  // namespace
+}  // namespace tft::testing

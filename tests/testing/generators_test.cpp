@@ -1,0 +1,97 @@
+// The structure-aware generators must produce valid values (every generated
+// value survives its codec's roundtrip) and be fully deterministic (same
+// seed => same value), because fuzz-shard digests are derived from them.
+#include "tft/testing/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tft/dns/codec.hpp"
+#include "tft/tls/codec.hpp"
+#include "tft/util/json_parse.hpp"
+
+namespace tft::testing {
+namespace {
+
+TEST(GeneratorsTest, SameSeedSameValues) {
+  util::Rng a(42), b(42);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(dns::encode(random_dns_message(a)), dns::encode(random_dns_message(b)));
+  }
+  util::Rng c(43), d(43);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(random_http_response(c).serialize(), random_http_response(d).serialize());
+    EXPECT_EQ(random_json_document(c), random_json_document(d));
+  }
+}
+
+TEST(GeneratorsTest, DnsMessagesRoundTrip) {
+  util::Rng rng(0xD1);
+  for (int i = 0; i < 200; ++i) {
+    const dns::Message original = random_dns_message(rng);
+    const auto decoded = dns::decode(dns::encode(original));
+    ASSERT_TRUE(decoded.ok()) << i << ": " << decoded.error().to_string();
+    EXPECT_EQ(decoded->id, original.id);
+    ASSERT_EQ(decoded->answers.size(), original.answers.size());
+  }
+}
+
+TEST(GeneratorsTest, HttpMessagesRoundTrip) {
+  util::Rng rng(0x42);
+  for (int i = 0; i < 200; ++i) {
+    const http::Request request = random_http_request(rng);
+    const auto request_back = http::Request::parse(request.serialize());
+    ASSERT_TRUE(request_back.ok()) << i << ": " << request_back.error().to_string();
+    EXPECT_EQ(request_back->method, request.method);
+    EXPECT_EQ(request_back->body, request.body);
+
+    const http::Response response = random_http_response(rng);
+    const auto response_back = http::Response::parse(response.serialize());
+    ASSERT_TRUE(response_back.ok()) << i;
+    EXPECT_EQ(response_back->status, response.status);
+    EXPECT_EQ(response_back->body, response.body);
+  }
+}
+
+TEST(GeneratorsTest, TlsChainsRoundTrip) {
+  util::Rng rng(0x715);
+  for (int i = 0; i < 200; ++i) {
+    const tls::CertificateChain original = random_tls_chain(rng);
+    const auto decoded = tls::decode_chain(tls::encode_chain(original));
+    ASSERT_TRUE(decoded.ok()) << i;
+    ASSERT_EQ(decoded->size(), original.size());
+    for (std::size_t c = 0; c < original.size(); ++c) {
+      EXPECT_EQ((*decoded)[c], original[c]);
+    }
+  }
+}
+
+TEST(GeneratorsTest, SmtpRepliesAndDialoguesRoundTrip) {
+  util::Rng rng(0x25);
+  for (int i = 0; i < 200; ++i) {
+    const smtp::Reply reply = random_smtp_reply(rng);
+    const auto reply_back = smtp::Reply::parse(reply.serialize());
+    ASSERT_TRUE(reply_back.ok()) << i;
+    EXPECT_EQ(reply_back->code, reply.code);
+    EXPECT_EQ(reply_back->lines, reply.lines);
+  }
+  for (int i = 0; i < 50; ++i) {
+    const SmtpDialogue dialogue = random_smtp_dialogue(rng);
+    ASSERT_EQ(dialogue.commands.size(), dialogue.replies.size());
+    ASSERT_GE(dialogue.commands.size(), 4u);  // EHLO, MAIL, RCPT, DATA/QUIT
+    EXPECT_FALSE(dialogue.serialize().empty());
+    for (const auto& command : dialogue.commands) {
+      EXPECT_TRUE(smtp::Command::parse(command.serialize()).ok());
+    }
+  }
+}
+
+TEST(GeneratorsTest, JsonDocumentsAlwaysParse) {
+  util::Rng rng(0x15);
+  for (int i = 0; i < 300; ++i) {
+    const std::string document = random_json_document(rng);
+    EXPECT_TRUE(util::parse_json(document).ok()) << document;
+  }
+}
+
+}  // namespace
+}  // namespace tft::testing

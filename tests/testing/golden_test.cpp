@@ -1,0 +1,100 @@
+// Golden canonicalization: stripping, sorting, stable formatting,
+// idempotence, and the snapshot check/update cycle on disk.
+#include "tft/testing/golden.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace tft::testing {
+namespace {
+
+TEST(GoldenTest, StripsBuildAndTimingAtEveryLevel) {
+  const auto canonical = canonicalize_json(
+      R"({"build":{"git_describe":"v1-3-gabc"},"report":{"timing":{"wall_us":123},"nodes":5},"timing":{"total":9}})");
+  ASSERT_TRUE(canonical.ok());
+  EXPECT_EQ(canonical->find("build"), std::string::npos);
+  EXPECT_EQ(canonical->find("timing"), std::string::npos);
+  EXPECT_EQ(canonical->find("wall_us"), std::string::npos);
+  EXPECT_NE(canonical->find("\"nodes\": 5"), std::string::npos);
+}
+
+TEST(GoldenTest, SortsKeysAndIndentsStably) {
+  const auto canonical = canonicalize_json(R"({"b":1,"a":[2,3],"c":{"z":0,"y":1}})");
+  ASSERT_TRUE(canonical.ok());
+  EXPECT_EQ(*canonical,
+            "{\n"
+            "  \"a\": [\n"
+            "    2,\n"
+            "    3\n"
+            "  ],\n"
+            "  \"b\": 1,\n"
+            "  \"c\": {\n"
+            "    \"y\": 1,\n"
+            "    \"z\": 0\n"
+            "  }\n"
+            "}\n");
+}
+
+TEST(GoldenTest, NumberFormattingIsStable) {
+  const auto canonical = canonicalize_json(R"([1.0,2,0.5,1e3,-0,1e17])");
+  ASSERT_TRUE(canonical.ok());
+  // Whole doubles render without a fraction; true fractions keep precision;
+  // magnitudes past exact-integer range fall back to %.17g.
+  EXPECT_NE(canonical->find("\n  1,"), std::string::npos);
+  EXPECT_NE(canonical->find("\n  1000,"), std::string::npos);
+  EXPECT_NE(canonical->find("0.5"), std::string::npos);
+  EXPECT_NE(canonical->find("1e+17"), std::string::npos);
+}
+
+TEST(GoldenTest, CanonicalizationIsIdempotent) {
+  const auto once = canonicalize_json(
+      R"({"z":{"timing":{"t":1},"k":[1,2,{"build":"x","v":3.25}]},"a":"text"})");
+  ASSERT_TRUE(once.ok());
+  const auto twice = canonicalize_json(*once);
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(*once, *twice);
+}
+
+TEST(GoldenTest, MalformedInputIsACleanError) {
+  EXPECT_FALSE(canonicalize_json("{\"a\":").ok());
+  EXPECT_FALSE(canonicalize_json("").ok());
+}
+
+TEST(GoldenTest, FirstDifferenceLocatesTheDivergence) {
+  EXPECT_EQ(first_difference("same", "same"), "");
+  const std::string diff = first_difference("line1\nline2\nlineX\n",
+                                            "line1\nline2\nlineY\n");
+  EXPECT_NE(diff.find("line 3"), std::string::npos);
+  EXPECT_NE(diff.find("column 5"), std::string::npos);
+  const std::string size_diff = first_difference("abc", "abcdef");
+  EXPECT_NE(size_diff.find("expected 3 bytes, actual 6 bytes"), std::string::npos);
+}
+
+TEST(GoldenTest, CheckAndUpdateCycle) {
+  const std::filesystem::path directory =
+      std::filesystem::path(::testing::TempDir()) / "tft_golden_test";
+  const std::string path = (directory / "nested" / "snapshot.json").string();
+  std::filesystem::remove_all(directory);
+
+  const auto missing = check_golden(path, "{}\n");
+  EXPECT_FALSE(missing.matched);
+  EXPECT_TRUE(missing.snapshot_missing);
+  EXPECT_NE(missing.diff.find("update_goldens"), std::string::npos);
+
+  // update_golden creates parent directories and writes verbatim.
+  ASSERT_TRUE(update_golden(path, "{\n  \"a\": 1\n}\n").ok());
+  const auto match = check_golden(path, "{\n  \"a\": 1\n}\n");
+  EXPECT_TRUE(match.matched);
+
+  const auto mismatch = check_golden(path, "{\n  \"a\": 2\n}\n");
+  EXPECT_FALSE(mismatch.matched);
+  EXPECT_FALSE(mismatch.snapshot_missing);
+  EXPECT_NE(mismatch.diff.find("first difference"), std::string::npos);
+
+  std::filesystem::remove_all(directory);
+}
+
+}  // namespace
+}  // namespace tft::testing

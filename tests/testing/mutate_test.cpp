@@ -1,0 +1,79 @@
+// Mutation strategies: deterministic from the Rng stream, effective (they
+// usually change the input), and safe on degenerate inputs.
+#include "tft/testing/mutate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tft::testing {
+namespace {
+
+constexpr std::string_view kSample = "HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhello";
+
+TEST(MutateTest, DeterministicFromSeed) {
+  util::Rng a(9), b(9);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(mutate(kSample, a), mutate(kSample, b)) << i;
+  }
+  util::Rng c(10), d(10);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(mutate_many(kSample, c, 4), mutate_many(kSample, d, 4)) << i;
+  }
+}
+
+TEST(MutateTest, EveryKindRunsAndUsuallyChangesInput) {
+  util::Rng rng(11);
+  for (std::size_t kind = 0; kind < kMutationKindCount; ++kind) {
+    std::size_t changed = 0;
+    for (int i = 0; i < 100; ++i) {
+      const std::string mutant =
+          mutate_with(static_cast<MutationKind>(kind), kSample, rng);
+      changed += mutant != kSample;
+    }
+    // Some strategies can occasionally no-op (e.g. swapping two equal
+    // bytes), but each must mutate the overwhelming majority of the time.
+    EXPECT_GT(changed, 80u) << "kind " << kind;
+  }
+}
+
+TEST(MutateTest, DegenerateInputsNeverCrash) {
+  util::Rng rng(12);
+  for (std::size_t kind = 0; kind < kMutationKindCount; ++kind) {
+    for (const std::string_view input : {std::string_view{}, std::string_view{"x"}}) {
+      for (int i = 0; i < 20; ++i) {
+        (void)mutate_with(static_cast<MutationKind>(kind), input, rng);
+      }
+    }
+  }
+  (void)mutate_many("", rng, 8);
+}
+
+TEST(MutateTest, DictionaryCoversFramingEdgeCases) {
+  const auto& dictionary = mutation_dictionary();
+  ASSERT_GE(dictionary.size(), 8u);
+  const auto has = [&](std::string_view token) {
+    for (const auto& entry : dictionary) {
+      if (entry.find(token) != std::string::npos) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("ffffffffffffffff"));  // chunk-size overflow
+  EXPECT_TRUE(has("0\r\n\r\n"));         // chunked terminator
+  EXPECT_TRUE(has("\xc0"));              // DNS compression pointer
+  EXPECT_TRUE(has("TFTC"));              // TLS chain magic
+  EXPECT_TRUE(has("250-"));              // SMTP continuation
+}
+
+TEST(MutateTest, MagicTokenSplicesDictionaryEntry) {
+  util::Rng rng(13);
+  bool spliced = false;
+  for (int i = 0; i < 200 && !spliced; ++i) {
+    const std::string mutant = mutate_with(MutationKind::kMagicToken, "aaaa", rng);
+    for (const auto& token : mutation_dictionary()) {
+      spliced = spliced || mutant.find(token) != std::string::npos;
+    }
+  }
+  EXPECT_TRUE(spliced);
+}
+
+}  // namespace
+}  // namespace tft::testing

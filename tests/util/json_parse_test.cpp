@@ -70,7 +70,19 @@ INSTANTIATE_TEST_SUITE_P(
                       BadJsonCase{"{\"a\":1,}"}, BadJsonCase{"1 2"},
                       BadJsonCase{"{'a':1}"}, BadJsonCase{"\"\\x\""},
                       BadJsonCase{"\"\\u12\""}, BadJsonCase{"\"\\ud800\""},
-                      BadJsonCase{"\"\tliteral-tab\""}, BadJsonCase{"--1"}));
+                      BadJsonCase{"\"\tliteral-tab\""}, BadJsonCase{"--1"},
+                      // Truncated objects at every interesting boundary.
+                      BadJsonCase{"{\"a\""}, BadJsonCase{"{\"a\":"},
+                      BadJsonCase{"{\"a\":1"}, BadJsonCase{"{\"a\":1,"},
+                      BadJsonCase{"{\"a\":{\"b\":1}"}, BadJsonCase{"{\"a"},
+                      BadJsonCase{"[{\"a\":1}"}, BadJsonCase{"{\"a\":\"x"},
+                      BadJsonCase{"{\"a\":tru"}, BadJsonCase{"{\"a\":1.}"},
+                      BadJsonCase{"{\"a\":1e}"}, BadJsonCase{"{\"a\":-}"},
+                      // Bad escapes: truncated \u, invalid escape letter,
+                      // escape at end of input, unpaired high surrogate.
+                      BadJsonCase{"\"\\"}, BadJsonCase{"\"\\u\""},
+                      BadJsonCase{"\"\\uZZZZ\""}, BadJsonCase{"\"\\q\""},
+                      BadJsonCase{"{\"a\":\"\\ud834\"}"}));
 
 TEST(JsonParseTest, DeepNestingBounded) {
   std::string deep(200, '[');
@@ -79,6 +91,34 @@ TEST(JsonParseTest, DeepNestingBounded) {
   std::string ok(50, '[');
   ok += std::string(50, ']');
   EXPECT_TRUE(parse_json(ok).ok());
+}
+
+TEST(JsonParseTest, DeepNestingExactBoundary) {
+  // The documented limit is kMaxDepth=128: a document exactly at the limit
+  // parses, one level past it is rejected — for arrays, objects, and mixes.
+  const auto array_depth = [](std::size_t depth) {
+    return std::string(depth, '[') + std::string(depth, ']');
+  };
+  EXPECT_TRUE(parse_json(array_depth(128)).ok());
+  EXPECT_FALSE(parse_json(array_depth(129)).ok());
+
+  // Objects wrap a scalar, which occupies one more value level than the
+  // empty innermost array above does.
+  const auto object_depth = [](std::size_t depth) {
+    std::string text;
+    for (std::size_t i = 0; i < depth; ++i) text += "{\"k\":";
+    text += "1";
+    text += std::string(depth, '}');
+    return text;
+  };
+  EXPECT_TRUE(parse_json(object_depth(127)).ok());
+  EXPECT_FALSE(parse_json(object_depth(128)).ok());
+
+  // A deep but unterminated prefix must also fail cleanly, not recurse away.
+  EXPECT_FALSE(parse_json(std::string(5000, '[')).ok());
+  std::string mixed;
+  for (int i = 0; i < 3000; ++i) mixed += "[{\"a\":";
+  EXPECT_FALSE(parse_json(mixed).ok());
 }
 
 TEST(JsonParseRoundTrip, WriterOutputAlwaysParses) {

@@ -1,0 +1,139 @@
+// tft-fuzz: seeded differential fuzzing driver for the wire codecs.
+//
+//   tft-fuzz --list
+//   tft-fuzz --target dns_decode --seed 101 --iterations 20000
+//   tft-fuzz --target http_response --run-corpus fuzz/corpus/http_response
+//   tft-fuzz --emit-corpus fuzz/corpus [--corpus-count 24]
+//
+// A shard run exits 0 when the differential oracle held for every
+// iteration (decode(encode(x)) == x; mutated inputs return clean Results)
+// and 1 otherwise. The printed report line — including the outcome digest —
+// is byte-identical for the same (target, seed, iterations), which is what
+// the ctest determinism check compares.
+#include <fstream>
+#include <iostream>
+
+#include "tft/testing/corpus.hpp"
+#include "tft/testing/fuzz.hpp"
+#include "tft/util/flags.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(tft-fuzz: deterministic fuzzing of the tft wire codecs
+
+Flags:
+  --list               print the registered fuzz targets and exit
+  --target <name>      which codec to fuzz (see --list)
+  --seed <n>           shard seed (default 1); same seed => same verdict
+  --iterations <n>     differential iterations to run (default 20000)
+  --mutation-rounds <n>  max byte-level mutations per input (default 4)
+  --digest-out <path>  also write the report line to a file (for cmp-based
+                       determinism checks)
+  --run-corpus <dir>   replay every file in <dir> through --target instead
+                       of running generated iterations
+  --emit-corpus <dir>  (re)generate the seed corpus for every target under
+                       <dir>/<target>/ and exit
+  --corpus-count <n>   generated seeds per target for --emit-corpus (default 24)
+  --quiet              suppress the report line on success
+  --help               this text
+)";
+
+int fail(const std::string& message) {
+  std::cerr << "tft-fuzz: " << message << "\n" << kUsage;
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using tft::util::Flags;
+  const auto parsed = Flags::parse(argc, argv, {"list", "quiet", "help"});
+  if (!parsed.ok()) return fail(parsed.error().to_string());
+  const Flags& flags = *parsed;
+
+  if (flags.get_bool("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  const auto unknown = flags.unknown({"list", "target", "seed", "iterations",
+                                      "mutation-rounds", "digest-out",
+                                      "run-corpus", "emit-corpus",
+                                      "corpus-count", "quiet", "help"});
+  if (!unknown.empty()) return fail("unknown flag --" + unknown.front());
+
+  if (flags.get_bool("list")) {
+    for (const auto& target : tft::testing::fuzz_targets()) {
+      std::cout << target.name << "  " << target.description << "\n";
+    }
+    return 0;
+  }
+
+  const auto seed = flags.get_int("seed", 1);
+  if (!seed.ok()) return fail(seed.error().to_string());
+  const auto iterations = flags.get_int("iterations", 20000);
+  if (!iterations.ok()) return fail(iterations.error().to_string());
+  const auto mutation_rounds = flags.get_int("mutation-rounds", 4);
+  if (!mutation_rounds.ok()) return fail(mutation_rounds.error().to_string());
+  if (*iterations <= 0) return fail("--iterations must be > 0");
+  if (*mutation_rounds <= 0) return fail("--mutation-rounds must be > 0");
+  const bool quiet = flags.get_bool("quiet");
+
+  if (const auto corpus_root = flags.get("emit-corpus")) {
+    const auto count = flags.get_int("corpus-count", 24);
+    if (!count.ok()) return fail(count.error().to_string());
+    if (*count <= 0) return fail("--corpus-count must be > 0");
+    for (const auto& target : tft::testing::fuzz_targets()) {
+      const std::string directory =
+          *corpus_root + "/" + std::string(target.name);
+      // One fixed corpus seed per target, derived from the target name
+      // position so regeneration is reproducible.
+      const auto written = tft::testing::write_seed_corpus(
+          target.name, directory, 0xC0FFEE + static_cast<std::uint64_t>(*seed),
+          static_cast<std::size_t>(*count));
+      if (!written.ok()) return fail(written.error().to_string());
+      if (!quiet) {
+        std::cerr << "wrote " << *written << " inputs to " << directory << "\n";
+      }
+    }
+    return 0;
+  }
+
+  const auto target = flags.get("target");
+  if (!target) return fail("--target is required (see --list)");
+  if (tft::testing::find_fuzz_target(*target) == nullptr) {
+    return fail("unknown fuzz target '" + *target + "' (see --list)");
+  }
+
+  if (const auto corpus_dir = flags.get("run-corpus")) {
+    const auto replayed = tft::testing::run_corpus(*target, *corpus_dir);
+    if (!replayed.ok()) return fail(replayed.error().to_string());
+    if (*replayed == 0) {
+      return fail("corpus directory " + *corpus_dir + " is empty");
+    }
+    if (!quiet) {
+      std::cout << "target=" << *target << " corpus=" << *corpus_dir
+                << " inputs=" << *replayed << " verdict=clean\n";
+    }
+    return 0;
+  }
+
+  tft::testing::FuzzShardOptions options;
+  options.seed = static_cast<std::uint64_t>(*seed);
+  options.iterations = static_cast<std::size_t>(*iterations);
+  options.mutation_rounds = static_cast<std::size_t>(*mutation_rounds);
+  const auto report = tft::testing::run_fuzz_shard(*target, options);
+  if (!report.ok()) return fail(report.error().to_string());
+
+  const std::string line = report->to_line();
+  if (const auto digest_out = flags.get("digest-out")) {
+    std::ofstream file(*digest_out);
+    if (!file) return fail("cannot write " + *digest_out);
+    file << line << "\n";
+  }
+  if (!report->ok()) {
+    std::cerr << "FUZZ ORACLE FAILURE: " << line << "\n";
+    return 1;
+  }
+  if (!quiet) std::cout << line << "\n";
+  return 0;
+}

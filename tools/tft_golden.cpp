@@ -1,0 +1,133 @@
+// tft-golden: golden-scenario regression checker for the study pipeline.
+//
+//   tft-golden --scenario scenarios/regional_isp_audit.json \
+//              --golden tests/golden/regional_isp_audit.json [--jobs 4]
+//   tft-golden --scenario ... --golden ... --update
+//
+// Runs the full study (all four experiments) over a scenario spec at small
+// scale, composes the machine-readable report plus the deterministic
+// metrics registry into one JSON document, canonicalizes it (build stamp
+// and wall-clock `timing` stripped — the same data --metrics-omit-timing
+// drops), and byte-compares against the checked-in snapshot. The study
+// pipeline's determinism contract makes the canonical document
+// byte-identical for every --jobs value; the golden ctest entries run the
+// same snapshot at --jobs 1 and --jobs 4 to prove it.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "tft/core/report_json.hpp"
+#include "tft/core/study.hpp"
+#include "tft/testing/golden.hpp"
+#include "tft/util/flags.hpp"
+#include "tft/util/json.hpp"
+#include "tft/world/spec_io.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(tft-golden: golden-scenario regression harness
+
+Flags:
+  --scenario <path>  scenario spec JSON (see scenarios/)
+  --golden <path>    snapshot file to compare against (or write with --update)
+  --update           regenerate the snapshot instead of checking it
+  --jobs <n>         worker threads (default 1; canonical output is
+                     byte-identical for every value)
+  --scale <f>        population scale for the scenario (default 0.5)
+  --seed <n>         world + crawl seed (default 2016)
+  --quiet            print nothing on success
+  --help             this text
+)";
+
+int fail(const std::string& message) {
+  std::cerr << "tft-golden: " << message << "\n" << kUsage;
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using tft::util::Flags;
+  const auto parsed = Flags::parse(argc, argv, {"update", "quiet", "help"});
+  if (!parsed.ok()) return fail(parsed.error().to_string());
+  const Flags& flags = *parsed;
+
+  if (flags.get_bool("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  const auto unknown = flags.unknown(
+      {"scenario", "golden", "update", "jobs", "scale", "seed", "quiet", "help"});
+  if (!unknown.empty()) return fail("unknown flag --" + unknown.front());
+
+  const auto scenario_path = flags.get("scenario");
+  if (!scenario_path) return fail("--scenario is required");
+  const auto golden_path = flags.get("golden");
+  if (!golden_path) return fail("--golden is required");
+  const auto scale = flags.get_double("scale", 0.5);
+  if (!scale.ok()) return fail(scale.error().to_string());
+  const auto seed = flags.get_int("seed", 2016);
+  if (!seed.ok()) return fail(seed.error().to_string());
+  const auto jobs = flags.get_int("jobs", 1);
+  if (!jobs.ok()) return fail(jobs.error().to_string());
+  if (*jobs < 1) return fail("--jobs must be >= 1");
+  const bool quiet = flags.get_bool("quiet");
+
+  std::ifstream file(*scenario_path);
+  if (!file) return fail("cannot read scenario file " + *scenario_path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  auto spec = tft::world::spec_from_json(buffer.str());
+  if (!spec.ok()) {
+    return fail("bad scenario file: " + spec.error().to_string());
+  }
+
+  auto config = tft::core::StudyConfig::for_scale(*scale, 1u << 22);
+  config.jobs = static_cast<std::size_t>(*jobs);
+  const auto result = tft::core::run_study(
+      *spec, *scale, static_cast<std::uint64_t>(*seed), config);
+
+  // One document: the machine-readable study report plus the deterministic
+  // metrics sections. Canonicalization strips `build` and `timing`.
+  tft::util::JsonWriter metrics_writer;
+  metrics_writer.begin_object();
+  result.metrics.write_json(metrics_writer, /*include_timing=*/false);
+  metrics_writer.end_object();
+  const std::string combined = "{\"report\":" +
+                               tft::core::study_result_json(result) +
+                               ",\"metrics\":" +
+                               std::move(metrics_writer).take() + "}";
+  const auto canonical = tft::testing::canonicalize_json(combined);
+  if (!canonical.ok()) {
+    return fail("internal: study JSON failed to canonicalize: " +
+                canonical.error().to_string());
+  }
+
+  if (flags.get_bool("update")) {
+    if (const auto written = tft::testing::update_golden(*golden_path, *canonical);
+        !written.ok()) {
+      return fail(written.error().to_string());
+    }
+    if (!quiet) {
+      std::cerr << "snapshot written to " << *golden_path << " ("
+                << canonical->size() << " bytes)\n";
+    }
+    return 0;
+  }
+
+  const auto outcome = tft::testing::check_golden(*golden_path, *canonical);
+  if (outcome.matched) {
+    if (!quiet) {
+      std::cout << "golden OK: " << *golden_path << " (" << canonical->size()
+                << " bytes, jobs=" << *jobs << ")\n";
+    }
+    return 0;
+  }
+  std::cerr << "GOLDEN MISMATCH for " << *scenario_path << ":\n"
+            << outcome.diff
+            << (outcome.snapshot_missing
+                    ? ""
+                    : "\nIf the change is intentional, regenerate with "
+                      "tools/update_goldens.\n");
+  return 1;
+}
