@@ -10,6 +10,7 @@
 #include "tft/obs/shards.hpp"
 #include "tft/util/hash.hpp"
 #include "tft/util/rng.hpp"
+#include "tft/util/stream_rng.hpp"
 #include "tft/util/strings.hpp"
 #include "tft/util/thread_pool.hpp"
 
@@ -28,7 +29,7 @@ class CountryPicker {
     }
   }
 
-  const net::CountryCode& pick(util::Rng& rng) const {
+  const net::CountryCode& pick(util::StreamRng& rng) const {
     return countries_[rng.weighted_index(weights_)];
   }
 
@@ -42,8 +43,16 @@ class CountryPicker {
 DnsHijackProbe::DnsHijackProbe(world::World& world, DnsProbeConfig config)
     : world_(world), config_(config) {}
 
+util::StreamKey DnsHijackProbe::country_stream_key() const {
+  return util::StreamKey{config_.seed, 0, util::purpose_tag("country")};
+}
+
 std::size_t DnsHijackProbe::run() {
-  util::Rng rng(config_.seed);
+  // The crawl's only sampling draw is the per-session country pick, one
+  // counter step per session: the stream can never be perturbed by (or
+  // perturb) any other component, and (key, counter) is a complete
+  // checkpoint of the sampler.
+  util::StreamRng rng(country_stream_key(), sessions_issued_);
   CountryPicker picker(*world_.luminati);
 
   // The d2 trick: our zone answers "*-d2" probe names only when the query

@@ -12,6 +12,7 @@
 #include "tft/obs/metrics.hpp"
 #include "tft/obs/shards.hpp"
 #include "tft/util/rng.hpp"
+#include "tft/util/stream_rng.hpp"
 #include "tft/util/strings.hpp"
 #include "tft/util/thread_pool.hpp"
 
@@ -106,7 +107,11 @@ HttpModificationProbe::HttpModificationProbe(world::World& world,
     : world_(world), config_(config) {}
 
 std::size_t HttpModificationProbe::run() {
-  util::Rng rng(config_.seed);
+  // Per-session country sampler: session k's pick is counter step k of a
+  // keyed stream (the organic branch seeks to the session id before
+  // drawing), independent of how many draws any other session — expansion
+  // or organic — or any other probe made.
+  util::StreamRng country_stream(config_.seed, 0, "country");
 
   // Responses whose bytes differ from the reference objects, kept aside so
   // the expensive classification (signature extraction, SIMG parsing,
@@ -161,7 +166,8 @@ std::size_t HttpModificationProbe::run() {
       }
       options.country = target.country;
     } else {
-      options.country = countries[rng.weighted_index(weights)];
+      country_stream.seek(session_id);
+      options.country = countries[country_stream.weighted_index(weights)];
     }
     options.session = "http-" + std::to_string(session_id++);
     ++sessions_issued_;

@@ -9,6 +9,7 @@
 #include "tft/obs/metrics.hpp"
 #include "tft/obs/shards.hpp"
 #include "tft/util/rng.hpp"
+#include "tft/util/stream_rng.hpp"
 #include "tft/util/strings.hpp"
 #include "tft/util/thread_pool.hpp"
 
@@ -47,7 +48,6 @@ CertReplacementProbe::CertReplacementProbe(world::World& world,
     : world_(world), config_(config) {}
 
 std::size_t CertReplacementProbe::run() {
-  util::Rng rng(config_.seed);
   const SiteIndex index = index_sites(world_);
   const tls::CertificateVerifier verifier(&world_.public_roots);
 
@@ -109,6 +109,11 @@ std::size_t CertReplacementProbe::run() {
 
   world_.metrics.begin_span("https.crawl", world_.clock.now());
   while (observations_.size() < config_.target_nodes && stall < config_.stall_limit) {
+    // All of one session's sampling draws (country, phase-1 site picks)
+    // come from a stream keyed by the session id: a session's variable
+    // number of draws (phase-2 scans, rankings misses) can never shift a
+    // later session's picks.
+    util::StreamRng rng(config_.seed, session_id, "sample");
     proxy::RequestOptions options;
     options.country = countries[rng.weighted_index(weights)];
     options.session = "tls-" + std::to_string(session_id++);

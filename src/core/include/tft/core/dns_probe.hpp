@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "tft/util/stream_rng.hpp"
 #include "tft/world/world.hpp"
 
 namespace tft::core {
@@ -59,6 +60,11 @@ class DnsHijackProbe {
     return observations_;
   }
   std::size_t sessions_issued() const noexcept { return sessions_issued_; }
+
+  /// Key of the probe's country-sampling stream. One counter step is
+  /// consumed per session, so (key, sessions_issued()) checkpoints the
+  /// sampler exactly (the longitudinal study serializes this).
+  util::StreamKey country_stream_key() const;
 
  private:
   world::World& world_;

@@ -4,6 +4,13 @@
 // methodology at fixed simulated intervals and tracks how the hijacking
 // rate and the per-ISP attribution evolve — e.g. an ISP rolling out or
 // retiring a "search assist" box between rounds.
+//
+// Long-running studies are resumable: every probe samples from keyed
+// counter-based streams, so one (key, counter) pair per round is a complete
+// checkpoint of the study's randomness. run_partial() stops after N rounds
+// and hands back a util::StreamCheckpoint; resume() validates it against
+// the study's configuration and continues, reproducing the uninterrupted
+// run byte-for-byte.
 #pragma once
 
 #include <functional>
@@ -11,6 +18,7 @@
 #include <vector>
 
 #include "tft/core/dns_probe.hpp"
+#include "tft/util/stream_rng.hpp"
 
 namespace tft::core {
 
@@ -38,6 +46,16 @@ struct LongitudinalRound {
   }
 };
 
+struct LongitudinalResult {
+  /// Rounds completed by this call (resume() returns only the new ones).
+  std::vector<LongitudinalRound> rounds;
+  /// Stream state after the last completed round: one (key, counter) entry
+  /// per round's country sampler, plus the next round index.
+  util::StreamCheckpoint checkpoint;
+  /// All configured rounds are done.
+  bool complete = false;
+};
+
 class LongitudinalDnsStudy {
  public:
   LongitudinalDnsStudy(world::World& world, LongitudinalConfig config)
@@ -48,9 +66,32 @@ class LongitudinalDnsStudy {
   using BetweenRounds = std::function<void(int next_round, world::World& world)>;
   void set_between_rounds(BetweenRounds hook) { between_rounds_ = std::move(hook); }
 
+  /// Run every configured round (convenience wrapper over run_partial).
   std::vector<LongitudinalRound> run();
 
+  /// Run rounds [0, stop_after); stop_after < 0 or beyond the configured
+  /// count runs them all. The returned checkpoint resumes the study.
+  LongitudinalResult run_partial(int stop_after);
+
+  /// Continue a checkpointed study on a world whose state matches the end
+  /// of the checkpoint's last round (the same world object, or an
+  /// identically-built world that ran the same prefix). Errors out when
+  /// the checkpoint's stream keys disagree with this study's configuration
+  /// (wrong seed, wrong study) instead of silently diverging.
+  util::Result<LongitudinalResult> resume(const util::StreamCheckpoint& checkpoint);
+
+  /// The derived probe seed for one round (pure function of the config).
+  std::uint64_t round_seed(int round) const {
+    return config_.probe.seed + static_cast<std::uint64_t>(round) * 7919;
+  }
+
  private:
+  LongitudinalResult run_rounds(int first_round, int stop_after,
+                                util::StreamCheckpoint checkpoint);
+  /// Record one completed round's stream state into the checkpoint.
+  void rounds_completed(LongitudinalResult& result, const DnsHijackProbe& probe,
+                        int round);
+
   world::World& world_;
   LongitudinalConfig config_;
   BetweenRounds between_rounds_;
@@ -58,5 +99,8 @@ class LongitudinalDnsStudy {
 
 /// Render the time series: per-round rates and an ISP presence matrix.
 std::string render_longitudinal(const std::vector<LongitudinalRound>& rounds);
+/// As above, plus the serialized stream checkpoint (the resumable report).
+std::string render_longitudinal(const std::vector<LongitudinalRound>& rounds,
+                                const util::StreamCheckpoint& checkpoint);
 
 }  // namespace tft::core

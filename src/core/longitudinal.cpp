@@ -8,10 +8,68 @@
 
 namespace tft::core {
 
+namespace {
+
+std::string round_stream_label(int round) {
+  return "round" + std::to_string(round) + "/country";
+}
+
+}  // namespace
+
 std::vector<LongitudinalRound> LongitudinalDnsStudy::run() {
-  std::vector<LongitudinalRound> rounds;
+  return run_partial(-1).rounds;
+}
+
+LongitudinalResult LongitudinalDnsStudy::run_partial(int stop_after) {
+  return run_rounds(0, stop_after, util::StreamCheckpoint{});
+}
+
+util::Result<LongitudinalResult> LongitudinalDnsStudy::resume(
+    const util::StreamCheckpoint& checkpoint) {
+  if (config_.rounds < 0 ||
+      checkpoint.next_round > static_cast<std::uint64_t>(config_.rounds)) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "checkpoint round " +
+                                std::to_string(checkpoint.next_round) +
+                                " outside the study's " +
+                                std::to_string(config_.rounds) + " rounds");
+  }
+  if (checkpoint.streams.size() != checkpoint.next_round) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "checkpoint records " +
+                                std::to_string(checkpoint.streams.size()) +
+                                " streams for " +
+                                std::to_string(checkpoint.next_round) +
+                                " completed rounds");
+  }
+  // Every recorded stream must be the one this study would have used:
+  // a mismatch means the checkpoint belongs to a different study (or the
+  // probe seed changed) and resuming would silently diverge.
+  for (int round = 0; round < static_cast<int>(checkpoint.next_round); ++round) {
+    const auto& state = checkpoint.streams[static_cast<std::size_t>(round)];
+    DnsProbeConfig probe_config = config_.probe;
+    probe_config.seed = round_seed(round);
+    const util::StreamKey expected =
+        DnsHijackProbe(world_, probe_config).country_stream_key();
+    if (state.label != round_stream_label(round) || !(state.key == expected)) {
+      return util::make_error(util::ErrorCode::kInvalidArgument,
+                              "checkpoint stream \"" + state.label +
+                                  "\" does not match this study's round " +
+                                  std::to_string(round) + " key");
+    }
+  }
+  return run_rounds(static_cast<int>(checkpoint.next_round), -1, checkpoint);
+}
+
+LongitudinalResult LongitudinalDnsStudy::run_rounds(
+    int first_round, int stop_after, util::StreamCheckpoint checkpoint) {
+  LongitudinalResult result;
+  result.checkpoint = std::move(checkpoint);
+  const int last =
+      stop_after < 0 ? config_.rounds : std::min(stop_after, config_.rounds);
+
   world_.metrics.begin_span("longitudinal.study", world_.clock.now());
-  for (int round = 0; round < config_.rounds; ++round) {
+  for (int round = first_round; round < last; ++round) {
     if (round > 0) {
       world_.clock.run_until(world_.clock.now() + config_.interval);
       if (between_rounds_) between_rounds_(round, world_);
@@ -19,7 +77,7 @@ std::vector<LongitudinalRound> LongitudinalDnsStudy::run() {
 
     world_.metrics.begin_span("longitudinal.round", world_.clock.now());
     DnsProbeConfig probe_config = config_.probe;
-    probe_config.seed = config_.probe.seed + static_cast<std::uint64_t>(round) * 7919;
+    probe_config.seed = round_seed(round);
     DnsHijackProbe probe(world_, probe_config);
     probe.run();
     const DnsReport report =
@@ -39,10 +97,24 @@ std::vector<LongitudinalRound> LongitudinalDnsStudy::run() {
     world_.metrics.add("longitudinal.isp_attributions",
                        entry.isp_hijackers.size());
     world_.metrics.end_span(world_.clock.now());
-    rounds.push_back(std::move(entry));
+    rounds_completed(result, probe, round);
+    result.rounds.push_back(std::move(entry));
   }
   world_.metrics.end_span(world_.clock.now());
-  return rounds;
+  result.complete =
+      result.checkpoint.next_round >= static_cast<std::uint64_t>(config_.rounds);
+  return result;
+}
+
+void LongitudinalDnsStudy::rounds_completed(LongitudinalResult& result,
+                                            const DnsHijackProbe& probe,
+                                            int round) {
+  util::StreamState state;
+  state.label = round_stream_label(round);
+  state.key = probe.country_stream_key();
+  state.counter = probe.sessions_issued();
+  result.checkpoint.streams.push_back(std::move(state));
+  result.checkpoint.next_round = round + 1;
 }
 
 std::string render_longitudinal(const std::vector<LongitudinalRound>& rounds) {
@@ -80,6 +152,15 @@ std::string render_longitudinal(const std::vector<LongitudinalRound>& rounds) {
     }
     out += "Per-ISP hijacking presence across rounds:\n" + matrix.render();
   }
+  return out;
+}
+
+std::string render_longitudinal(const std::vector<LongitudinalRound>& rounds,
+                                const util::StreamCheckpoint& checkpoint) {
+  std::string out = render_longitudinal(rounds);
+  out += "\nStream checkpoint (resume token):\n";
+  out += util::stream_checkpoint_json(checkpoint);
+  out += "\n";
   return out;
 }
 

@@ -9,6 +9,7 @@
 #include "tft/obs/metrics.hpp"
 #include "tft/obs/shards.hpp"
 #include "tft/util/rng.hpp"
+#include "tft/util/stream_rng.hpp"
 #include "tft/util/thread_pool.hpp"
 
 namespace tft::core {
@@ -18,7 +19,8 @@ ContentMonitorProbe::ContentMonitorProbe(world::World& world,
     : world_(world), config_(config) {}
 
 std::size_t ContentMonitorProbe::run() {
-  util::Rng rng(config_.seed);
+  // One keyed counter step per session (see DnsHijackProbe for rationale).
+  util::StreamRng rng(config_.seed, 0, "country");
 
   std::vector<net::CountryCode> countries;
   std::vector<double> weights;

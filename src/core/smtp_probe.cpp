@@ -8,6 +8,7 @@
 
 #include "tft/stats/table.hpp"
 #include "tft/util/rng.hpp"
+#include "tft/util/stream_rng.hpp"
 #include "tft/util/strings.hpp"
 
 namespace tft::core {
@@ -16,7 +17,8 @@ SmtpProbe::SmtpProbe(world::World& world, SmtpProbeConfig config)
     : world_(world), config_(config) {}
 
 std::size_t SmtpProbe::run() {
-  util::Rng rng(config_.seed);
+  // One keyed counter step per session (see DnsHijackProbe for rationale).
+  util::StreamRng rng(config_.seed, 0, "country");
 
   std::vector<net::CountryCode> countries;
   std::vector<double> weights;

@@ -9,26 +9,35 @@ double stable_hijack_roll(std::string_view zid) {
   return static_cast<double>(hash >> 11) * 0x1.0p-53;
 }
 
+std::uint16_t ephemeral_client_port(util::StreamRng& stream) {
+  return static_cast<std::uint16_t>(49152 + stream.uniform(16384));
+}
+
 ExitNodeAgent::ExitNodeAgent(Config config, Environment environment)
     : config_(std::move(config)),
       environment_(environment),
-      rng_(config_.rng_seed != 0 ? config_.rng_seed
-                                 : util::fnv1a64(config_.zid)) {}
+      stream_seed_(config_.rng_seed != 0 ? config_.rng_seed
+                                         : util::fnv1a64(config_.zid)) {}
 
-middlebox::FetchContext ExitNodeAgent::make_context(net::Ipv4Address destination) {
+middlebox::FetchContext ExitNodeAgent::make_context(net::Ipv4Address destination,
+                                                    std::uint64_t scope,
+                                                    std::string_view purpose) {
+  request_rng_.reseed(util::stream_seed(stream_seed_, scope, purpose));
   middlebox::FetchContext context;
   context.client_address = config_.address;
   context.destination = destination;
   context.clock = environment_.clock;
-  context.rng = &rng_;
+  context.rng = &request_rng_;
   context.web = environment_.web;
   context.metrics = environment_.metrics;
   return context;
 }
 
-dns::Message ExitNodeAgent::resolve(const dns::DnsName& name) {
-  const auto query = dns::Message::query(
-      static_cast<std::uint16_t>(rng_.next_u64() & 0xFFFF), name);
+dns::Message ExitNodeAgent::resolve(const dns::DnsName& name,
+                                    std::uint64_t scope) {
+  util::StreamRng port_stream(stream_seed_, scope, "dns-port");
+  const auto query =
+      dns::Message::query(ephemeral_client_port(port_stream), name);
 
   const net::Ipv4Address resolver =
       middlebox::effective_resolver(config_.dns_interceptors, config_.dns_resolver);
@@ -36,13 +45,15 @@ dns::Message ExitNodeAgent::resolve(const dns::DnsName& name) {
   dns::Message response = environment_.resolvers->resolve_via(
       resolver, config_.address, query, stable_hijack_roll(config_.zid));
 
-  middlebox::FetchContext context = make_context(net::Ipv4Address{});
+  middlebox::FetchContext context =
+      make_context(net::Ipv4Address{}, scope, "dns-intercept");
   return middlebox::intercepted_response(config_.dns_interceptors, query,
                                          std::move(response), context);
 }
 
 ExitNodeAgent::FetchOutcome ExitNodeAgent::fetch_http(
-    const http::Url& url, std::optional<net::Ipv4Address> resolved) {
+    const http::Url& url, std::optional<net::Ipv4Address> resolved,
+    std::uint64_t scope) {
   FetchOutcome outcome;
 
   net::Ipv4Address destination;
@@ -54,7 +65,7 @@ ExitNodeAgent::FetchOutcome ExitNodeAgent::fetch_http(
       outcome.dns_failed = true;
       return outcome;
     }
-    const dns::Message answer = resolve(*name);
+    const dns::Message answer = resolve(*name, scope);
     if (answer.is_nxdomain()) {
       outcome.dns_nxdomain = true;
       return outcome;
@@ -67,7 +78,8 @@ ExitNodeAgent::FetchOutcome ExitNodeAgent::fetch_http(
     destination = *address;
   }
 
-  middlebox::FetchContext context = make_context(destination);
+  middlebox::FetchContext context =
+      make_context(destination, scope, "http-intercept");
   const http::Request request = http::Request::origin_get(url);
   outcome.response =
       middlebox::intercepted_fetch(config_.http_interceptors, request, context);
@@ -85,12 +97,13 @@ std::optional<smtp::Transcript> ExitNodeAgent::run_smtp(
 }
 
 std::optional<tls::CertificateChain> ExitNodeAgent::fetch_certificate_chain(
-    net::Ipv4Address destination, std::string_view sni) {
+    net::Ipv4Address destination, std::string_view sni, std::uint64_t scope) {
   const tls::CertificateChain* upstream =
       environment_.tls->handshake(destination, sni);
   if (upstream == nullptr) return std::nullopt;
 
-  middlebox::FetchContext context = make_context(destination);
+  middlebox::FetchContext context =
+      make_context(destination, scope, "tls-intercept");
   return middlebox::intercepted_chain(config_.tls_interceptors, sni, *upstream,
                                       context);
 }

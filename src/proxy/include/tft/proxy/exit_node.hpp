@@ -2,6 +2,13 @@
 // An ExitNodeAgent owns the node's network identity (address, AS, country),
 // its DNS configuration, and the interceptor chains modeling whatever
 // middleboxes sit on its path and whatever software runs on its host.
+//
+// Randomness discipline: a node draws from keyed counter-based streams
+// (util::StreamRng) keyed by (node seed, request scope, purpose). The
+// `scope` is an opaque 64-bit request identity supplied by the caller (the
+// super proxy derives it from the client's session); two requests with
+// different scopes can never perturb each other's draws, which is what
+// keeps probe crawls composable.
 #pragma once
 
 #include <memory>
@@ -16,6 +23,7 @@
 #include "tft/smtp/session.hpp"
 #include "tft/tls/endpoint.hpp"
 #include "tft/util/rng.hpp"
+#include "tft/util/stream_rng.hpp"
 
 namespace tft::proxy {
 
@@ -24,6 +32,11 @@ namespace tft::proxy {
 /// consistently across queries, and the world builder can precompute the
 /// ground truth from the same roll.
 double stable_hijack_roll(std::string_view zid);
+
+/// Client-chosen 16-bit identifier (DNS query id / source port) drawn from
+/// the IANA ephemeral range [49152, 65535]. Never 0 and never a well-known
+/// port, unlike the old `next_u64() & 0xFFFF` derivation.
+std::uint16_t ephemeral_client_port(util::StreamRng& stream);
 
 /// Shared environment every node operates in (the simulated Internet).
 struct Environment {
@@ -71,12 +84,18 @@ class ExitNodeAgent {
   /// zID stays fixed (§2.3: zIDs identify nodes across IP changes).
   void set_address(net::Ipv4Address address) noexcept { config_.address = address; }
 
-  /// Roll the churn dice for one request attempt.
-  bool attempt_fails() { return rng_.chance(config_.failure_probability); }
+  /// Roll the churn dice for one request attempt. The roll is a pure
+  /// function of (node seed, scope): within one request scope a node is
+  /// consistently up or consistently mid-churn, and the roll can never
+  /// shift any other request's draws.
+  bool attempt_fails(std::uint64_t scope = 0) {
+    util::StreamRng stream(stream_seed_, scope, "churn");
+    return stream.chance(config_.failure_probability);
+  }
 
   /// Resolve a name using the node's configured resolver, traversing any
   /// DNS interceptors (transparent proxies, host rewriters).
-  dns::Message resolve(const dns::DnsName& name);
+  dns::Message resolve(const dns::DnsName& name, std::uint64_t scope = 0);
 
   /// Fetch an HTTP URL: resolve (unless `resolved` is supplied by the super
   /// proxy), then run the request through the node's HTTP interceptors.
@@ -87,14 +106,16 @@ class ExitNodeAgent {
     net::Ipv4Address destination;  // where the request actually went
   };
   FetchOutcome fetch_http(const http::Url& url,
-                          std::optional<net::Ipv4Address> resolved = std::nullopt);
+                          std::optional<net::Ipv4Address> resolved = std::nullopt,
+                          std::uint64_t scope = 0);
 
   /// Open a TCP tunnel to destination:443 and perform a TLS handshake with
   /// the given SNI, traversing the node's TLS interceptors. Returns the
   /// chain the *client* observes, or nullopt if the endpoint is
   /// unreachable.
   std::optional<tls::CertificateChain> fetch_certificate_chain(
-      net::Ipv4Address destination, std::string_view sni);
+      net::Ipv4Address destination, std::string_view sni,
+      std::uint64_t scope = 0);
 
   /// Run an SMTP transaction to destination:25 through the node's SMTP
   /// interceptors (the §3.4 arbitrary-traffic extension). nullopt when no
@@ -105,11 +126,23 @@ class ExitNodeAgent {
   const Config& config() const noexcept { return config_; }
 
  private:
-  middlebox::FetchContext make_context(net::Ipv4Address destination);
+  /// Build the interceptor context for one request. `purpose` separates
+  /// the context streams of the phases inside one request (DNS vs HTTP vs
+  /// TLS interception) so they never replay each other's draws.
+  middlebox::FetchContext make_context(net::Ipv4Address destination,
+                                       std::uint64_t scope,
+                                       std::string_view purpose);
 
   Config config_;
   Environment environment_;
-  util::Rng rng_;
+  /// Base of every stream this node owns (from Config::rng_seed, or
+  /// fnv1a64(zid) when unset).
+  std::uint64_t stream_seed_ = 0;
+  /// Scratch sequential Rng handed to middlebox FetchContexts; reseeded
+  /// from (stream_seed_, scope, purpose) per request phase. Interceptor
+  /// draws all happen synchronously inside the intercepted_* call, so one
+  /// scratch engine per node is safe.
+  util::Rng request_rng_;
   bool online_ = true;
 };
 

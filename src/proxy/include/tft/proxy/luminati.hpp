@@ -107,6 +107,10 @@ class SuperProxy {
     /// many body bytes through any single exit node (identified by zID).
     /// 0 disables enforcement. The paper's self-imposed cap was 1 MB.
     std::size_t per_node_byte_budget = 1024 * 1024;
+    /// Base of the proxy's keyed draw streams (node picks, client ports).
+    /// The world builder derives it from the study seed; 0 falls back to a
+    /// stable per-proxy default.
+    std::uint64_t stream_seed = 0;
   };
 
   SuperProxy(Config config, Environment environment);
@@ -158,14 +162,25 @@ class SuperProxy {
   void observe_attempts(std::size_t attempts);
 
   ExitNodeAgent* session_node(const RequestOptions& options);
-  ExitNodeAgent* pick_node(const RequestOptions& options,
+  ExitNodeAgent* pick_node(util::StreamRng& stream, const RequestOptions& options,
                            const std::vector<const ExitNodeAgent*>& exclude);
-  void pin_session(const RequestOptions& options, ExitNodeAgent* node);
+  void pin_session(const RequestOptions& options, ExitNodeAgent* node,
+                   std::uint64_t scope);
   void annotate(http::Response& response, const ProxyFetchResult& result) const;
+
+  /// The request's draw-stream scope. Sessioned requests share the scope
+  /// of the epoch their session was pinned under (a fresh epoch is minted
+  /// when no valid pin exists), so a session's requests replay coherently;
+  /// session-less requests are keyed purely by the request's target name.
+  /// Either way the scope never depends on what other sessions did — that
+  /// independence is what makes probe crawls composable.
+  std::uint64_t begin_request_scope(const RequestOptions& options,
+                                    std::string_view fallback);
 
   struct SessionEntry {
     std::size_t node_index = 0;
     sim::Instant expires;
+    std::uint64_t scope = 0;  // the epoch scope the pin was created under
   };
 
   bool over_budget(const ExitNodeAgent& node) const;
@@ -173,10 +188,14 @@ class SuperProxy {
 
   Config config_;
   Environment environment_;
-  util::Rng rng_;
+  /// Base of every keyed stream the proxy draws from (see Config::stream_seed).
+  std::uint64_t seed_ = 0;
   std::vector<std::shared_ptr<ExitNodeAgent>> nodes_;
   std::unordered_map<std::string, std::vector<std::size_t>> by_country_;
   std::unordered_map<std::string, SessionEntry> sessions_;
+  /// How many pin epochs each session has been through; folded into the
+  /// epoch scope so an expired session re-picks from a fresh stream.
+  std::unordered_map<std::string, std::uint64_t> session_generation_;
   std::unordered_map<std::string, std::size_t> bytes_by_zid_;
 };
 

@@ -78,7 +78,9 @@ util::Result<TimelineDebug> parse_timeline_debug(std::string_view header) {
 SuperProxy::SuperProxy(Config config, Environment environment)
     : config_(config),
       environment_(environment),
-      rng_(util::fnv1a64("super-proxy") ^ config.address.value()) {}
+      seed_(config.stream_seed != 0
+                ? config.stream_seed
+                : util::fnv1a64("super-proxy") ^ config.address.value()) {}
 
 void SuperProxy::count(std::string_view name, std::uint64_t delta) {
   if (environment_.metrics != nullptr) environment_.metrics->add(name, delta);
@@ -159,7 +161,8 @@ std::size_t SuperProxy::budget_exhausted_nodes() const {
   return count;
 }
 
-ExitNodeAgent* SuperProxy::pick_node(const RequestOptions& options,
+ExitNodeAgent* SuperProxy::pick_node(util::StreamRng& stream,
+                                     const RequestOptions& options,
                                      const std::vector<const ExitNodeAgent*>& exclude) {
   const std::vector<std::size_t>* candidates = nullptr;
   if (options.country) {
@@ -171,9 +174,11 @@ ExitNodeAgent* SuperProxy::pick_node(const RequestOptions& options,
   const std::size_t population = candidates ? candidates->size() : nodes_.size();
   if (population == 0) return nullptr;
 
-  // Random selection with bounded rejection of offline/excluded nodes.
+  // Random selection with bounded rejection of offline/excluded nodes. The
+  // stream belongs to this request alone, so the rejection draws cannot
+  // shift any other request's picks.
   for (int tries = 0; tries < 64; ++tries) {
-    const std::size_t slot = rng_.index(population);
+    const std::size_t slot = stream.index(population);
     const std::size_t index = candidates ? (*candidates)[slot] : slot;
     ExitNodeAgent* node = nodes_[index].get();
     if (!node->online()) continue;
@@ -184,14 +189,29 @@ ExitNodeAgent* SuperProxy::pick_node(const RequestOptions& options,
   return nullptr;
 }
 
-void SuperProxy::pin_session(const RequestOptions& options, ExitNodeAgent* node) {
+std::uint64_t SuperProxy::begin_request_scope(const RequestOptions& options,
+                                              std::string_view fallback) {
+  if (!options.session) return util::fnv1a64(fallback);
+  const auto it = sessions_.find(*options.session);
+  if (it != sessions_.end() &&
+      it->second.expires >= environment_.clock->now() &&
+      nodes_[it->second.node_index]->online() &&
+      !over_budget(*nodes_[it->second.node_index])) {
+    return it->second.scope;  // still inside the pinned epoch
+  }
+  return util::hash_combine(util::fnv1a64(*options.session),
+                            ++session_generation_[*options.session]);
+}
+
+void SuperProxy::pin_session(const RequestOptions& options, ExitNodeAgent* node,
+                             std::uint64_t scope) {
   if (!options.session) return;
   const auto it = std::find_if(nodes_.begin(), nodes_.end(),
                                [node](const auto& entry) { return entry.get() == node; });
   if (it == nodes_.end()) return;
   sessions_[*options.session] =
       SessionEntry{static_cast<std::size_t>(it - nodes_.begin()),
-                   environment_.clock->now() + config_.session_ttl};
+                   environment_.clock->now() + config_.session_ttl, scope};
 }
 
 void SuperProxy::annotate(http::Response& response, const ProxyFetchResult& result) const {
@@ -214,6 +234,9 @@ void SuperProxy::annotate(http::Response& response, const ProxyFetchResult& resu
 ProxyFetchResult SuperProxy::fetch(const http::Url& url, const RequestOptions& options) {
   ProxyFetchResult result;
   count("proxy.fetches");
+  const std::uint64_t scope = begin_request_scope(options, url.host);
+  util::StreamRng pick_stream(seed_, scope, "pick");
+  util::StreamRng port_stream(seed_, scope, "port");
 
   // 1. Super proxy pre-check: resolve the host via its own (Google) DNS.
   const auto name = dns::DnsName::parse(url.host);
@@ -222,8 +245,8 @@ ProxyFetchResult SuperProxy::fetch(const http::Url& url, const RequestOptions& o
     result.status = ProxyStatus::kSuperProxyDnsFailure;
     return result;
   }
-  const auto query = dns::Message::query(
-      static_cast<std::uint16_t>(rng_.next_u64() & 0xFFFF), *name);
+  const auto query =
+      dns::Message::query(ephemeral_client_port(port_stream), *name);
   const dns::Message answer = environment_.resolvers->resolve_via(
       config_.dns_resolver, config_.address, query);
   const auto resolved = answer.first_a();
@@ -242,7 +265,7 @@ ProxyFetchResult SuperProxy::fetch(const http::Url& url, const RequestOptions& o
       node = session_node(options);
       if (node != nullptr) count("proxy.session_reuses");
     }
-    if (node == nullptr) node = pick_node(options, tried);
+    if (node == nullptr) node = pick_node(pick_stream, options, tried);
     if (node == nullptr) {
       result.status = tried.empty() ? ProxyStatus::kNoExitNodeAvailable
                                     : ProxyStatus::kAllAttemptsFailed;
@@ -257,7 +280,7 @@ ProxyFetchResult SuperProxy::fetch(const http::Url& url, const RequestOptions& o
     result.exit_asn = node->asn();
     result.exit_country = node->country();
 
-    if (node->attempt_fails()) {
+    if (node->attempt_fails(scope)) {
       // Exit-node churn: the node dropped off mid-request; retry elsewhere.
       count("proxy.connect_timeouts");
       result.timeline.push_back(AttemptInfo{node->zid(), "connect_timeout"});
@@ -265,8 +288,8 @@ ProxyFetchResult SuperProxy::fetch(const http::Url& url, const RequestOptions& o
     }
 
     ExitNodeAgent::FetchOutcome outcome =
-        options.dns_remote ? node->fetch_http(url)
-                           : node->fetch_http(url, *resolved);
+        options.dns_remote ? node->fetch_http(url, std::nullopt, scope)
+                           : node->fetch_http(url, *resolved, scope);
 
     if (outcome.dns_nxdomain) {
       // Reported in the Luminati log; not retried (the name "doesn't exist").
@@ -274,7 +297,7 @@ ProxyFetchResult SuperProxy::fetch(const http::Url& url, const RequestOptions& o
       observe_attempts(tried.size());
       result.timeline.push_back(AttemptInfo{node->zid(), "dns_nxdomain"});
       result.status = ProxyStatus::kExitNodeDnsNxdomain;
-      pin_session(options, node);
+      pin_session(options, node, scope);
       return result;
     }
     if (outcome.dns_failed) {
@@ -291,7 +314,7 @@ ProxyFetchResult SuperProxy::fetch(const http::Url& url, const RequestOptions& o
     result.response = std::move(outcome.response);
     account_bytes(node->zid(), result.response.body.size());
     annotate(result.response, result);
-    pin_session(options, node);
+    pin_session(options, node, scope);
     return result;
   }
 
@@ -313,6 +336,9 @@ SmtpResult SuperProxy::smtp_transaction(net::Ipv4Address destination,
   }
 
   count("proxy.smtp_transactions");
+  const std::uint64_t scope =
+      begin_request_scope(options, "smtp|" + destination.to_string());
+  util::StreamRng pick_stream(seed_, scope, "pick");
   std::vector<const ExitNodeAgent*> tried;
   for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
     ExitNodeAgent* node = nullptr;
@@ -320,7 +346,7 @@ SmtpResult SuperProxy::smtp_transaction(net::Ipv4Address destination,
       node = session_node(options);
       if (node != nullptr) count("proxy.session_reuses");
     }
-    if (node == nullptr) node = pick_node(options, tried);
+    if (node == nullptr) node = pick_node(pick_stream, options, tried);
     if (node == nullptr) {
       result.status = tried.empty() ? ProxyStatus::kNoExitNodeAvailable
                                     : ProxyStatus::kAllAttemptsFailed;
@@ -335,7 +361,7 @@ SmtpResult SuperProxy::smtp_transaction(net::Ipv4Address destination,
     result.exit_asn = node->asn();
     result.exit_country = node->country();
 
-    if (node->attempt_fails()) {
+    if (node->attempt_fails(scope)) {
       count("proxy.connect_timeouts");
       continue;
     }
@@ -350,7 +376,7 @@ SmtpResult SuperProxy::smtp_transaction(net::Ipv4Address destination,
     observe_attempts(tried.size());
     result.status = ProxyStatus::kOk;
     result.transcript = *std::move(transcript);
-    pin_session(options, node);
+    pin_session(options, node, scope);
     return result;
   }
   if (result.status == ProxyStatus::kOk) {
@@ -370,6 +396,9 @@ ConnectResult SuperProxy::connect_and_handshake(net::Ipv4Address destination,
   }
 
   count("proxy.connects");
+  const std::uint64_t scope = begin_request_scope(
+      options, "connect|" + destination.to_string() + "|" + std::string(sni));
+  util::StreamRng pick_stream(seed_, scope, "pick");
   std::vector<const ExitNodeAgent*> tried;
   for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
     ExitNodeAgent* node = nullptr;
@@ -377,7 +406,7 @@ ConnectResult SuperProxy::connect_and_handshake(net::Ipv4Address destination,
       node = session_node(options);
       if (node != nullptr) count("proxy.session_reuses");
     }
-    if (node == nullptr) node = pick_node(options, tried);
+    if (node == nullptr) node = pick_node(pick_stream, options, tried);
     if (node == nullptr) {
       result.status = tried.empty() ? ProxyStatus::kNoExitNodeAvailable
                                     : ProxyStatus::kAllAttemptsFailed;
@@ -391,12 +420,12 @@ ConnectResult SuperProxy::connect_and_handshake(net::Ipv4Address destination,
     result.exit_address = node->address();
     result.exit_country = node->country();
 
-    if (node->attempt_fails()) {
+    if (node->attempt_fails(scope)) {
       count("proxy.connect_timeouts");
       continue;
     }
 
-    auto chain = node->fetch_certificate_chain(destination, sni);
+    auto chain = node->fetch_certificate_chain(destination, sni, scope);
     if (!chain) {
       count("proxy.tunnel_failures");
       result.status = ProxyStatus::kTunnelFailed;
@@ -406,7 +435,7 @@ ConnectResult SuperProxy::connect_and_handshake(net::Ipv4Address destination,
     observe_attempts(tried.size());
     result.status = ProxyStatus::kOk;
     result.chain = *std::move(chain);
-    pin_session(options, node);
+    pin_session(options, node, scope);
     return result;
   }
   if (result.status == ProxyStatus::kOk) {

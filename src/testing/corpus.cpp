@@ -79,6 +79,25 @@ std::vector<std::string> regression_inputs(std::string_view target) {
     out.push_back("{\"a\":1,}");                     // trailing comma
     out.push_back("1e309");                          // double overflow
     out.push_back("{\"k\":\"\\x\"}");                // unknown escape
+  } else if (target == "stream_checkpoint") {
+    // Unsupported version.
+    out.push_back(R"({"format":"tft-stream-checkpoint","version":2,)"
+                  R"("next_round":"0x0","streams":[]})");
+    // Foreign format tag.
+    out.push_back(R"({"format":"other","version":1,)"
+                  R"("next_round":"0x0","streams":[]})");
+    // next_round as a JSON number: doubles cannot carry uint64 exactly.
+    out.push_back(R"({"format":"tft-stream-checkpoint","version":1,)"
+                  R"("next_round":3,"streams":[]})");
+    // Malformed and over-long hex literals.
+    out.push_back(R"({"format":"tft-stream-checkpoint","version":1,)"
+                  R"("next_round":"0xZZ","streams":[]})");
+    out.push_back(R"({"format":"tft-stream-checkpoint","version":1,)"
+                  R"("next_round":"0x10000000000000000","streams":[]})");
+    // Stream entry missing its label.
+    out.push_back(R"({"format":"tft-stream-checkpoint","version":1,)"
+                  R"("next_round":"0x1","streams":[{"study_seed":"0x0",)"
+                  R"("entity":"0x0","purpose":"0x0","counter":"0x0"}]})");
   }
   return out;
 }
@@ -107,6 +126,8 @@ Result<std::vector<std::string>> generate_seed_inputs(std::string_view target,
                                     : random_smtp_reply(rng).serialize());
     } else if (target == "json_parse") {
       out.push_back(random_json_document(rng));
+    } else if (target == "stream_checkpoint") {
+      out.push_back(util::stream_checkpoint_json(random_stream_checkpoint(rng)));
     } else {
       return make_error(ErrorCode::kNotFound,
                         "unknown fuzz target: " + std::string(target));

@@ -10,6 +10,7 @@
 #include "tft/tls/codec.hpp"
 #include "tft/util/json_parse.hpp"
 #include "tft/util/rng.hpp"
+#include "tft/util/stream_rng.hpp"
 
 namespace tft::testing {
 
@@ -217,6 +218,23 @@ bool json_roundtrip(Rng& rng) {
   return util::parse_json(random_json_document(rng)).ok();
 }
 
+// --- stream checkpoints (study resume tokens) --------------------------------
+
+int stream_checkpoint_classify(const std::string& text) {
+  return util::parse_stream_checkpoint(text).ok() ? 0 : 1;
+}
+
+std::string stream_checkpoint_generate(Rng& rng) {
+  return util::stream_checkpoint_json(random_stream_checkpoint(rng));
+}
+
+bool stream_checkpoint_roundtrip(Rng& rng) {
+  const util::StreamCheckpoint original = random_stream_checkpoint(rng);
+  const auto decoded =
+      util::parse_stream_checkpoint(util::stream_checkpoint_json(original));
+  return decoded.ok() && *decoded == original;
+}
+
 // --- registry ----------------------------------------------------------------
 
 struct TargetHooks {
@@ -254,6 +272,11 @@ const std::vector<TargetHooks>& target_hooks() {
       {{"json_parse", "RFC 8259 subset JSON parser (scenario/report loader)",
         &entry_adapter<json_classify>},
        &json_generate, &json_classify, &json_roundtrip},
+      {{"stream_checkpoint",
+        "study resume-token (de)serializer (hex-encoded stream states)",
+        &entry_adapter<stream_checkpoint_classify>},
+       &stream_checkpoint_generate, &stream_checkpoint_classify,
+       &stream_checkpoint_roundtrip},
   };
   return kHooks;
 }

@@ -292,4 +292,20 @@ std::string random_json_document(Rng& rng, int max_depth) {
   return out;
 }
 
+util::StreamCheckpoint random_stream_checkpoint(Rng& rng) {
+  util::StreamCheckpoint checkpoint;
+  const std::size_t rounds = rng.index(6);
+  checkpoint.next_round = rounds;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    util::StreamState state;
+    state.label = "round" + std::to_string(round) + "/country";
+    state.key.study_seed = rng.next_u64();
+    state.key.entity = rng.next_u64();
+    state.key.purpose = rng.next_u64();
+    state.counter = rng.next_u64();
+    checkpoint.streams.push_back(std::move(state));
+  }
+  return checkpoint;
+}
+
 }  // namespace tft::testing

@@ -14,6 +14,7 @@
 #include "tft/smtp/protocol.hpp"
 #include "tft/tls/certificate.hpp"
 #include "tft/util/rng.hpp"
+#include "tft/util/stream_rng.hpp"
 
 namespace tft::testing {
 
@@ -80,5 +81,9 @@ SmtpDialogue random_smtp_dialogue(util::Rng& rng);
 /// A random JSON document (text form) nested up to `max_depth` levels.
 /// Always syntactically valid.
 std::string random_json_document(util::Rng& rng, int max_depth = 6);
+
+/// Random valid study resume token (0-5 rounds, full-width 64-bit values
+/// to exercise the hex wire encoding end to end).
+util::StreamCheckpoint random_stream_checkpoint(util::Rng& rng);
 
 }  // namespace tft::testing

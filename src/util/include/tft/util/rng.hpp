@@ -1,5 +1,7 @@
 // Deterministic random number generation. All simulation randomness flows
-// through Rng so that experiments are reproducible from a single seed.
+// through Rng (a stateful sequential stream) or StreamRng (a keyed
+// counter-based stream, see stream_rng.hpp) so that experiments are
+// reproducible from a single seed.
 #pragma once
 
 #include <cstdint>
@@ -9,38 +11,65 @@
 
 namespace tft::util {
 
-/// xoshiro256** seeded via splitmix64. Deterministic across platforms,
-/// unlike std::mt19937 + std::uniform_int_distribution whose outputs are
-/// implementation-defined.
-class Rng {
+/// Distribution helpers shared by every RNG engine in the repo. A CRTP
+/// mixin rather than a virtual interface so the helpers inline against the
+/// concrete `next_u64()` and stay bit-identical across engines: the same
+/// 64-bit draws always map to the same uniform/chance/weighted values
+/// whether they come from `Rng` or `StreamRng`.
+template <class Derived>
+class RngDistributions {
  public:
-  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
-
-  void reseed(std::uint64_t seed);
-
-  /// Raw 64 random bits.
-  std::uint64_t next_u64();
-
   /// Uniform integer in [0, bound). bound must be > 0.
-  std::uint64_t uniform(std::uint64_t bound);
+  std::uint64_t uniform(std::uint64_t bound) {
+    assert(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = draw();
+      if (r >= threshold) return r % bound;
+    }
+  }
 
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
-  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(draw());  // full range
+    return lo + static_cast<std::int64_t>(uniform(span));
+  }
 
   /// Uniform double in [0, 1).
-  double uniform_double();
+  double uniform_double() {
+    return static_cast<double>(draw() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).
-  double uniform_double(double lo, double hi);
+  double uniform_double(double lo, double hi) {
+    return lo + (hi - lo) * uniform_double();
+  }
 
   /// Bernoulli trial with success probability p (clamped to [0,1]).
-  bool chance(double p);
+  /// p <= 0 and p >= 1 short-circuit without consuming a draw.
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform_double() < p;
+  }
 
   /// Exponential with the given mean (> 0).
-  double exponential(double mean);
+  double exponential(double mean) {
+    assert(mean > 0);
+    double u = uniform_double();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
 
   /// Log-uniform: uniform in log-space over [lo, hi], lo > 0.
-  double log_uniform(double lo, double hi);
+  double log_uniform(double lo, double hi) {
+    assert(lo > 0 && hi >= lo);
+    const double llo = std::log(lo), lhi = std::log(hi);
+    return std::exp(uniform_double(llo, lhi));
+  }
 
   /// Pick a uniformly random element index of a non-empty container size.
   std::size_t index(std::size_t size) {
@@ -48,8 +77,44 @@ class Rng {
     return static_cast<std::size_t>(uniform(size));
   }
 
-  /// Pick an index according to non-negative weights (at least one > 0).
-  std::size_t weighted_index(const std::vector<double>& weights);
+  /// Pick an index proportionally to the weights. NaN and negative entries
+  /// count as zero weight; if every weight is zero (or the vector sums to
+  /// zero) the pick degrades to uniform over all indices so callers never
+  /// see an out-of-range index.
+  std::size_t weighted_index(const std::vector<double>& weights) {
+    assert(!weights.empty());
+    const auto sanitized = [](double w) {
+      // w == w filters NaN (NaN compares unequal to itself).
+      return (w == w && w > 0.0) ? w : 0.0;
+    };
+    double total = 0;
+    for (double w : weights) total += sanitized(w);
+    if (total <= 0.0) return index(weights.size());
+    double target = uniform_double() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      target -= sanitized(weights[i]);
+      if (target < 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+ private:
+  std::uint64_t draw() { return static_cast<Derived*>(this)->next_u64(); }
+};
+
+/// xoshiro256** seeded via splitmix64. Deterministic across platforms,
+/// unlike std::mt19937 + std::uniform_int_distribution whose outputs are
+/// implementation-defined. Sequential: each draw advances hidden state, so
+/// two call sites sharing one Rng perturb each other's samples. Use
+/// StreamRng where draw sites must stay independent.
+class Rng : public RngDistributions<Rng> {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64();
 
   /// Fork a new independent stream (useful for per-entity determinism).
   Rng fork();

@@ -1,0 +1,120 @@
+// Keyed counter-based random streams (splitmix64 in counter mode).
+//
+// A StreamRng draw depends only on its key `(study_seed, entity, purpose)`
+// and its counter — there is no hidden sequential state shared between
+// call sites. That is the property the study pipeline needs for
+// composability: the draws one probe or node makes can never shift the
+// draws of another, so probe reports are byte-identical whether the probes
+// run alone, reordered, or interleaved, and a study can checkpoint a
+// stream as `(key, counter)` and resume it exactly.
+//
+// Key scheme (see DESIGN.md "Randomness discipline"):
+//   study_seed — the world/study seed the run was launched with
+//   entity     — which node/probe/session/target the stream belongs to
+//                (an index, or fnv1a64 of a stable name like a zID)
+//   purpose    — fnv1a64 of a short label naming the draw site
+//                ("pick", "churn", "country", ...), so one entity can own
+//                several independent streams.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tft/util/result.hpp"
+#include "tft/util/rng.hpp"
+
+namespace tft::util {
+
+/// fnv1a64 of a draw-site label; exposed so call sites can pre-hash hot
+/// purposes once.
+std::uint64_t purpose_tag(std::string_view purpose) noexcept;
+
+/// Identity of one stream. Equal keys produce identical streams.
+struct StreamKey {
+  std::uint64_t study_seed = 0;
+  std::uint64_t entity = 0;
+  std::uint64_t purpose = 0;
+
+  /// Fold the three components into the 64-bit stream base via chained
+  /// splitmix64 finalizations (each component passes through the full
+  /// avalanche before the next is mixed in).
+  std::uint64_t mixed() const noexcept;
+
+  friend bool operator==(const StreamKey&, const StreamKey&) = default;
+};
+
+/// splitmix64 in counter mode: draw i of a stream is
+/// `finalize(key.mixed() + (i+1) * golden_gamma)` — O(1) seek, O(1) state,
+/// and every draw independent of every other stream's history.
+class StreamRng : public RngDistributions<StreamRng> {
+ public:
+  StreamRng() : StreamRng(StreamKey{}) {}
+  StreamRng(std::uint64_t study_seed, std::uint64_t entity,
+            std::string_view purpose)
+      : StreamRng(StreamKey{study_seed, entity, purpose_tag(purpose)}) {}
+  explicit StreamRng(StreamKey key, std::uint64_t counter = 0)
+      : key_(key), base_(key.mixed()), counter_(counter) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t state = base_ + counter_ * 0x9E3779B97F4A7C15ULL;
+    ++counter_;
+    return splitmix64(state);  // adds one more gamma, then finalizes
+  }
+
+  const StreamKey& key() const noexcept { return key_; }
+  std::uint64_t counter() const noexcept { return counter_; }
+
+  /// Jump to an absolute draw position (0 = stream start).
+  void seek(std::uint64_t counter) noexcept { counter_ = counter; }
+
+ private:
+  StreamKey key_;
+  std::uint64_t base_ = 0;
+  std::uint64_t counter_ = 0;
+};
+
+/// Derive a plain seed for a legacy sequential `Rng` from stream-key
+/// parts. Used where a call site hands randomness to code that expects an
+/// `Rng*` (e.g. the middlebox FetchContext): the sequential stream itself
+/// is then scoped to one request, so its statefulness cannot leak across
+/// requests.
+std::uint64_t stream_seed(std::uint64_t study_seed, std::uint64_t entity,
+                          std::string_view purpose) noexcept;
+
+// --- Checkpoint wire format --------------------------------------------------
+//
+// A checkpoint captures where a set of streams (and the loop that drives
+// them) stopped, so a study can resume mid-run with byte-identical output.
+// 64-bit values are serialized as "0x…" hex strings: JSON numbers are
+// doubles and cannot round-trip the full uint64 range.
+
+/// One stream's resumable position, plus a human-readable label naming the
+/// sampler it drives (e.g. "round3/country").
+struct StreamState {
+  std::string label;
+  StreamKey key;
+  std::uint64_t counter = 0;
+
+  friend bool operator==(const StreamState&, const StreamState&) = default;
+};
+
+/// A study checkpoint: the next unit of work (round) to run and the stream
+/// positions recorded when the study stopped.
+struct StreamCheckpoint {
+  std::uint64_t next_round = 0;
+  std::vector<StreamState> streams;
+
+  friend bool operator==(const StreamCheckpoint&,
+                         const StreamCheckpoint&) = default;
+};
+
+/// Serialize to the versioned JSON wire format.
+std::string stream_checkpoint_json(const StreamCheckpoint& checkpoint);
+
+/// Parse a checkpoint document. Strict: unknown format tag, unsupported
+/// version, missing fields, or malformed hex all fail with a clean error.
+Result<StreamCheckpoint> parse_stream_checkpoint(std::string_view text);
+
+}  // namespace tft::util

@@ -1,7 +1,5 @@
 #include "tft/util/rng.hpp"
 
-#include <algorithm>
-
 namespace tft::util {
 
 namespace {
@@ -35,66 +33,12 @@ std::uint64_t Rng::next_u64() {
   return result;
 }
 
-std::uint64_t Rng::uniform(std::uint64_t bound) {
-  assert(bound > 0);
-  // Rejection sampling to avoid modulo bias.
-  const std::uint64_t threshold = -bound % bound;
-  for (;;) {
-    const std::uint64_t r = next_u64();
-    if (r >= threshold) return r % bound;
-  }
-}
-
-std::int64_t Rng::uniform_range(std::int64_t lo, std::int64_t hi) {
-  assert(lo <= hi);
-  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
-  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
-  return lo + static_cast<std::int64_t>(uniform(span));
-}
-
-double Rng::uniform_double() {
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform_double(double lo, double hi) {
-  return lo + (hi - lo) * uniform_double();
-}
-
-bool Rng::chance(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return uniform_double() < p;
-}
-
-double Rng::exponential(double mean) {
-  assert(mean > 0);
-  double u = uniform_double();
-  if (u <= 0.0) u = 0x1.0p-53;
-  return -mean * std::log(u);
-}
-
-double Rng::log_uniform(double lo, double hi) {
-  assert(lo > 0 && hi >= lo);
-  const double llo = std::log(lo), lhi = std::log(hi);
-  return std::exp(uniform_double(llo, lhi));
-}
-
-std::size_t Rng::weighted_index(const std::vector<double>& weights) {
-  double total = 0;
-  for (double w : weights) total += std::max(0.0, w);
-  assert(total > 0);
-  double target = uniform_double() * total;
-  for (std::size_t i = 0; i < weights.size(); ++i) {
-    target -= std::max(0.0, weights[i]);
-    if (target < 0) return i;
-  }
-  return weights.size() - 1;
-}
-
 Rng Rng::fork() {
-  Rng child(0);
-  for (auto& s : child.state_) s = next_u64();
-  return child;
+  // Seed the child through the full splitmix64 expansion rather than
+  // copying raw xoshiro outputs into its state words: raw outputs are
+  // correlated with the parent's upcoming draws, and reseed() is the
+  // derivation every other seed in the repo goes through.
+  return Rng(next_u64());
 }
 
 }  // namespace tft::util

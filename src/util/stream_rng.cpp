@@ -1,0 +1,145 @@
+#include "tft/util/stream_rng.hpp"
+
+#include <cstdio>
+
+#include "tft/util/hash.hpp"
+#include "tft/util/json.hpp"
+#include "tft/util/json_parse.hpp"
+
+namespace tft::util {
+
+std::uint64_t purpose_tag(std::string_view purpose) noexcept {
+  return fnv1a64(purpose);
+}
+
+std::uint64_t StreamKey::mixed() const noexcept {
+  std::uint64_t state = study_seed;
+  std::uint64_t folded = splitmix64(state);
+  state = folded ^ entity;
+  folded = splitmix64(state);
+  state = folded ^ purpose;
+  return splitmix64(state);
+}
+
+std::uint64_t stream_seed(std::uint64_t study_seed, std::uint64_t entity,
+                          std::string_view purpose) noexcept {
+  return StreamKey{study_seed, entity, purpose_tag(purpose)}.mixed();
+}
+
+namespace {
+
+constexpr std::string_view kFormatTag = "tft-stream-checkpoint";
+constexpr std::int64_t kVersion = 1;
+
+std::string hex_u64(std::uint64_t value) {
+  char buffer[19];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+Result<std::uint64_t> parse_hex_u64(const JsonValue& value,
+                                    std::string_view field) {
+  const auto fail = [&](const std::string& what) {
+    return make_error(ErrorCode::kParseError,
+                      "checkpoint field '" + std::string(field) + "': " + what);
+  };
+  if (!value.is_string()) return fail("expected a \"0x…\" hex string");
+  const std::string& text = value.as_string();
+  if (text.size() < 3 || text.size() > 18 || text[0] != '0' || text[1] != 'x') {
+    return fail("malformed hex literal '" + text + "'");
+  }
+  std::uint64_t out = 0;
+  for (std::size_t i = 2; i < text.size(); ++i) {
+    const char c = text[i];
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else {
+      return fail("malformed hex literal '" + text + "'");
+    }
+    out = (out << 4) | digit;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string stream_checkpoint_json(const StreamCheckpoint& checkpoint) {
+  JsonWriter writer;
+  writer.begin_object();
+  writer.field("format", kFormatTag);
+  writer.field("version", kVersion);
+  writer.field("next_round", hex_u64(checkpoint.next_round));
+  writer.begin_array("streams");
+  for (const auto& stream : checkpoint.streams) {
+    writer.begin_object();
+    writer.field("label", stream.label);
+    writer.field("study_seed", hex_u64(stream.key.study_seed));
+    writer.field("entity", hex_u64(stream.key.entity));
+    writer.field("purpose", hex_u64(stream.key.purpose));
+    writer.field("counter", hex_u64(stream.counter));
+    writer.end_object();
+  }
+  writer.end_array();
+  writer.end_object();
+  return std::move(writer).take();
+}
+
+Result<StreamCheckpoint> parse_stream_checkpoint(std::string_view text) {
+  auto parsed = parse_json(text);
+  if (!parsed.ok()) return parsed.error();
+  const JsonValue& root = *parsed;
+  if (!root.is_object()) {
+    return make_error(ErrorCode::kParseError,
+                      "checkpoint: top-level value must be an object");
+  }
+  if (root["format"].as_string() != kFormatTag) {
+    return make_error(ErrorCode::kParseError,
+                      "checkpoint: missing or foreign format tag (want '" +
+                          std::string(kFormatTag) + "')");
+  }
+  if (root["version"].as_int(-1) != kVersion) {
+    return make_error(ErrorCode::kParseError,
+                      "checkpoint: unsupported version " +
+                          std::to_string(root["version"].as_int(-1)));
+  }
+
+  StreamCheckpoint checkpoint;
+  auto next_round = parse_hex_u64(root["next_round"], "next_round");
+  if (!next_round.ok()) return next_round.error();
+  checkpoint.next_round = *next_round;
+
+  if (!root["streams"].is_array()) {
+    return make_error(ErrorCode::kParseError,
+                      "checkpoint: 'streams' must be an array");
+  }
+  for (const JsonValue& entry : root["streams"].as_array()) {
+    if (!entry.is_object()) {
+      return make_error(ErrorCode::kParseError,
+                        "checkpoint: stream entries must be objects");
+    }
+    if (!entry["label"].is_string()) {
+      return make_error(ErrorCode::kParseError,
+                        "checkpoint: stream entry missing string 'label'");
+    }
+    StreamState state;
+    state.label = entry["label"].as_string();
+    auto study_seed = parse_hex_u64(entry["study_seed"], "study_seed");
+    if (!study_seed.ok()) return study_seed.error();
+    auto entity = parse_hex_u64(entry["entity"], "entity");
+    if (!entity.ok()) return entity.error();
+    auto purpose = parse_hex_u64(entry["purpose"], "purpose");
+    if (!purpose.ok()) return purpose.error();
+    auto counter = parse_hex_u64(entry["counter"], "counter");
+    if (!counter.ok()) return counter.error();
+    state.key = StreamKey{*study_seed, *entity, *purpose};
+    state.counter = *counter;
+    checkpoint.streams.push_back(std::move(state));
+  }
+  return checkpoint;
+}
+
+}  // namespace tft::util

@@ -10,6 +10,7 @@
 #include "tft/middlebox/tls_interceptor.hpp"
 #include "tft/smtp/interceptor.hpp"
 #include "tft/util/hash.hpp"
+#include "tft/util/stream_rng.hpp"
 #include "tft/util/strings.hpp"
 #include "tft/world/world.hpp"
 
@@ -83,7 +84,7 @@ struct IspState {
 class WorldBuilder {
  public:
   WorldBuilder(const WorldSpec& spec, double scale, std::uint64_t seed)
-      : spec_(spec), scale_(scale), rng_(seed), world_(std::make_unique<World>()) {}
+      : spec_(spec), scale_(scale), seed_(seed), world_(std::make_unique<World>()) {}
 
   std::unique_ptr<World> build();
 
@@ -123,13 +124,26 @@ class WorldBuilder {
                     DnsHijackSource hijack_source, std::string hijack_operator);
   /// Pick up to `count` node indices satisfying `predicate`, spread over at
   /// least `as_spread` ASes and `country_spread` countries where possible.
-  std::vector<std::size_t> pick_spread(int count, int as_spread, int country_spread,
+  /// `purpose` keys the shuffle stream: every assignment phase draws from
+  /// its own stream, so adding or reordering phases never reshuffles the
+  /// others' picks.
+  std::vector<std::size_t> pick_spread(std::string_view purpose, int count,
+                                       int as_spread, int country_spread,
                                        const std::function<bool(const NodeBuild&)>& predicate);
   std::size_t find_isp(std::string_view name, const CountryCode& country) const;
 
+  /// Keyed stream for a per-node decision: zID in the entity slot, the
+  /// decision kind in the purpose slot. Node-order independent.
+  util::StreamRng node_stream(const NodeBuild& node, std::string_view purpose) const {
+    return util::StreamRng(seed_, util::fnv1a64(node.zid), purpose);
+  }
+
   const WorldSpec& spec_;
   double scale_;
-  util::Rng rng_;
+  /// Base of every keyed draw stream the builder (and, via finalize, the
+  /// proxy overlay and exit nodes) uses. No shared sequential engine: all
+  /// build randomness is keyed by (seed, entity, purpose).
+  std::uint64_t seed_;
   std::unique_ptr<World> world_;
 
   std::vector<IspState> isps_;
@@ -364,14 +378,15 @@ void WorldBuilder::create_nodes(std::size_t isp, int count, bool force_isp_resol
         node.uses_google = true;
       }
     } else {
-      const double roll = rng_.uniform_double();
+      util::StreamRng stream = node_stream(node, "resolver");
+      const double roll = stream.uniform_double();
       if (roll < google_fraction) {
         node.resolver = Ipv4Address(8, 8, 8, 8);
         node.uses_google = true;
       } else if (roll < google_fraction + public_fraction &&
                  !clean_public_resolver_ips_.empty()) {
         node.resolver =
-            clean_public_resolver_ips_[rng_.index(clean_public_resolver_ips_.size())];
+            clean_public_resolver_ips_[stream.index(clean_public_resolver_ips_.size())];
       } else {
         node.resolver = state.resolver_ips[static_cast<std::size_t>(i) %
                                            state.resolver_ips.size()];
@@ -549,8 +564,9 @@ std::size_t WorldBuilder::find_isp(std::string_view name,
 }
 
 std::vector<std::size_t> WorldBuilder::pick_spread(
-    int count, int as_spread, int country_spread,
+    std::string_view purpose, int count, int as_spread, int country_spread,
     const std::function<bool(const NodeBuild&)>& predicate) {
+  util::StreamRng rng(seed_, util::fnv1a64(purpose), "spread");
   // Group candidates by country, limit to `country_spread` countries, then
   // by AS limited to `as_spread` ASes, and deal round-robin across the
   // surviving AS pools. This reproduces the install-base footprints the
@@ -587,7 +603,7 @@ std::vector<std::size_t> WorldBuilder::pick_spread(
     country_pools.reserve(groups.size());
     for (auto& [asn, indices] : groups) country_pools.push_back(std::move(indices));
     for (std::size_t i = country_pools.size(); i > 1; --i) {
-      std::swap(country_pools[i - 1], country_pools[rng_.index(i)]);
+      std::swap(country_pools[i - 1], country_pools[rng.index(i)]);
     }
     // Per-country AS budget proportional to the overall as_spread.
     const std::size_t budget = std::max<std::size_t>(
@@ -596,7 +612,7 @@ std::vector<std::size_t> WorldBuilder::pick_spread(
     for (auto& pool : country_pools) pools.push_back(std::move(pool));
   }
   for (std::size_t i = pools.size(); i > 1; --i) {
-    std::swap(pools[i - 1], pools[rng_.index(i)]);
+    std::swap(pools[i - 1], pools[rng.index(i)]);
   }
 
   std::vector<std::size_t> picked;
@@ -620,7 +636,8 @@ void WorldBuilder::assign_public_hijack_users() {
     const auto& services = public_hijack_services_[service.operator_name];
     assert(!services.empty());
     const auto picked = pick_spread(
-        scaled(service.nodes), 20, 5, [](const NodeBuild& node) {
+        "public-hijack|" + service.operator_name, scaled(service.nodes), 20, 5,
+        [](const NodeBuild& node) {
           return node.truth.dns_hijack == DnsHijackSource::kNone && !node.uses_google;
         });
     for (std::size_t i = 0; i < picked.size(); ++i) {
@@ -650,7 +667,8 @@ void WorldBuilder::assign_path_and_host_dns_hijackers() {
     const std::size_t isp_index = isp;
     // Prefer Google-DNS users of the ISP (that is where the paper can see
     // path hijacking); convert clean ISP-resolver users if too few.
-    auto picked = pick_spread(scaled(entry.google_dns_nodes), entry.as_spread, 1,
+    auto picked = pick_spread("path-hijack|" + entry.isp,
+                              scaled(entry.google_dns_nodes), entry.as_spread, 1,
                               [&](const NodeBuild& node) {
                                 return node.isp == isp_index && node.uses_google;
                               });
@@ -660,7 +678,8 @@ void WorldBuilder::assign_path_and_host_dns_hijackers() {
       // ISPs whose own resolvers hijack) configured 8.8.8.8 themselves —
       // convert a few, clearing any resolver-level hijack truth.
       for (const auto extra : pick_spread(
-               deficit, entry.as_spread, 1, [&](const NodeBuild& node) {
+               "path-hijack-extra|" + entry.isp, deficit, entry.as_spread, 1,
+               [&](const NodeBuild& node) {
                  return node.isp == isp_index && !node.uses_google;
                })) {
         nodes_[extra].resolver = Ipv4Address(8, 8, 8, 8);
@@ -686,7 +705,7 @@ void WorldBuilder::assign_path_and_host_dns_hijackers() {
   // own landing host (below Table 5's reporting threshold).
   if (spec_.scattered_google_hijack_nodes > 0) {
     const auto picked = pick_spread(
-        scaled(spec_.scattered_google_hijack_nodes), 120, 40,
+        "scattered-cpe", scaled(spec_.scattered_google_hijack_nodes), 120, 40,
         [](const NodeBuild& node) {
           return node.uses_google && node.truth.dns_hijack == DnsHijackSource::kNone &&
                  node.dns_interceptors.empty();
@@ -716,8 +735,8 @@ void WorldBuilder::assign_path_and_host_dns_hijackers() {
     auto rewriter = std::make_shared<middlebox::NxdomainRewriter>(
         middlebox::NxdomainRewriter::Config{entry.product, landing, 1.0, 60});
     const auto picked = pick_spread(
-        scaled(entry.nodes), entry.as_spread, entry.country_spread,
-        [](const NodeBuild& node) {
+        "host-dns|" + entry.product, scaled(entry.nodes), entry.as_spread,
+        entry.country_spread, [](const NodeBuild& node) {
           return node.uses_google && node.truth.dns_hijack == DnsHijackSource::kNone &&
                  node.dns_interceptors.empty();
         });
@@ -740,7 +759,8 @@ void WorldBuilder::assign_http_modifiers() {
     auto injector = std::make_shared<middlebox::HtmlInjector>(
         middlebox::HtmlInjector::Config{entry.name, entry.snippet, 1024, 1.0});
     const auto picked =
-        pick_spread(boosted(entry.nodes), entry.as_spread, entry.country_spread,
+        pick_spread("adware|" + entry.name, boosted(entry.nodes), entry.as_spread,
+                    entry.country_spread,
                     [](const NodeBuild& node) { return node.truth.html_injector.empty(); });
     for (const auto index : picked) {
       nodes_[index].http_interceptors.push_back(injector);
@@ -774,8 +794,9 @@ void WorldBuilder::assign_http_modifiers() {
               static_cast<std::uint8_t>(quality), 1.0}));
     }
     for (const auto index : isps_[isp].node_indices) {
-      if (!rng_.chance(entry.fraction)) continue;
-      const auto& transcoder = per_quality[rng_.index(per_quality.size())];
+      util::StreamRng stream = node_stream(nodes_[index], "transcode");
+      if (!stream.chance(entry.fraction)) continue;
+      const auto& transcoder = per_quality[stream.index(per_quality.size())];
       nodes_[index].http_interceptors.push_back(transcoder);
       nodes_[index].truth.image_transcoder = std::string(transcoder->name());
     }
@@ -787,7 +808,8 @@ void WorldBuilder::assign_http_modifiers() {
           "bandwidth-cap",
           "<html><body><h1>Bandwidth exceeded</h1><p>blocked</p></body></html>", 403});
   for (const auto index :
-       pick_spread(boosted(spec_.blockpage_nodes), 10, 5, [](const NodeBuild& node) {
+       pick_spread("blockpage", boosted(spec_.blockpage_nodes), 10, 5,
+                   [](const NodeBuild& node) {
          return node.http_interceptors.empty();
        })) {
     nodes_[index].http_interceptors.push_back(blocker);
@@ -797,7 +819,8 @@ void WorldBuilder::assign_http_modifiers() {
       middlebox::ObjectReplacer::Config{"js-error-box", "javascript",
                                         "<html><body>error</body></html>", 200});
   for (const auto index :
-       pick_spread(boosted(spec_.js_error_nodes), 20, 10, [](const NodeBuild& node) {
+       pick_spread("js-error", boosted(spec_.js_error_nodes), 20, 10,
+                   [](const NodeBuild& node) {
          return node.http_interceptors.empty() && node.truth.content_blocker.empty();
        })) {
     nodes_[index].http_interceptors.push_back(js_replacer);
@@ -806,7 +829,8 @@ void WorldBuilder::assign_http_modifiers() {
   auto css_replacer = std::make_shared<middlebox::ObjectReplacer>(
       middlebox::ObjectReplacer::Config{"css-error-box", "css", "", 200});
   for (const auto index :
-       pick_spread(boosted(spec_.css_error_nodes), 8, 4, [](const NodeBuild& node) {
+       pick_spread("css-error", boosted(spec_.css_error_nodes), 8, 4,
+                   [](const NodeBuild& node) {
          return node.http_interceptors.empty() && node.truth.content_blocker.empty() &&
                 node.truth.object_replacer.empty();
        })) {
@@ -952,7 +976,8 @@ void WorldBuilder::assign_cert_replacers() {
     // Table 8 issuer stays detectable after down-scaling.
     const int installs = std::max(scaled(spec.nodes), std::min(spec.nodes, 5));
     const auto picked = pick_spread(
-        installs, 200, 50, [&](const NodeBuild& node) {
+        "cert-replacer|" + spec.product, installs, 200, 50,
+        [&](const NodeBuild& node) {
           if (only_country && node.country != *only_country) return false;
           return node.truth.cert_replacer.empty();
         });
@@ -1026,10 +1051,16 @@ void WorldBuilder::assign_monitors() {
       for (const auto index : isps_[isp].node_indices) {
         if (!nodes_[index].truth.content_blocker.empty()) continue;
         if (!nodes_[index].truth.monitor.empty()) continue;  // one monitor per node
-        if (rng_.chance(spec.isp_node_fraction)) picked.push_back(index);
+        util::StreamRng stream(
+            seed_,
+            util::hash_combine(util::fnv1a64(nodes_[index].zid),
+                               util::fnv1a64(spec.entity)),
+            "monitor");
+        if (stream.chance(spec.isp_node_fraction)) picked.push_back(index);
       }
     } else {
-      picked = pick_spread(scaled(spec.nodes), spec.as_spread, spec.country_spread,
+      picked = pick_spread("monitor|" + spec.entity, scaled(spec.nodes),
+                           spec.as_spread, spec.country_spread,
                            [](const NodeBuild& node) {
                              return node.truth.monitor.empty() &&
                                     node.truth.content_blocker.empty();
@@ -1074,7 +1105,8 @@ void WorldBuilder::assign_monitors() {
       auto monitor = std::make_shared<middlebox::ContentMonitor>(
           build_profile(tail, {*isps_[isp].prefixes[0].host(10)}));
       for (const auto index :
-           pick_spread(per_group, 5, 3, [](const NodeBuild& node) {
+           pick_spread("monitor-tail|" + tail.entity, per_group, 5, 3,
+                       [](const NodeBuild& node) {
              return node.truth.monitor.empty() && node.truth.content_blocker.empty();
            })) {
         nodes_[index].http_interceptors.insert(
@@ -1105,7 +1137,8 @@ void WorldBuilder::assign_smtp_interceptors() {
         break;
     }
     for (const auto index :
-         pick_spread(scaled(spec.nodes), spec.as_spread, spec.country_spread,
+         pick_spread("smtp|" + spec.name, scaled(spec.nodes), spec.as_spread,
+                     spec.country_spread,
                      [](const NodeBuild& node) {
                        return node.truth.smtp_interceptor.empty();
                      })) {
@@ -1128,6 +1161,10 @@ void WorldBuilder::finalize() {
 
   proxy::SuperProxy::Config proxy_config;
   proxy_config.allow_arbitrary_ports = spec_.arbitrary_port_overlay;
+  // The overlay's node-pick / client-port streams are keyed off the study
+  // seed: worlds built from different seeds route differently, worlds built
+  // from the same seed route identically.
+  proxy_config.stream_seed = util::stream_seed(seed_, 0, "super-proxy");
   world_->luminati = std::make_unique<proxy::SuperProxy>(proxy_config, environment);
 
   for (const auto& isp : isps_) {
@@ -1148,6 +1185,7 @@ void WorldBuilder::finalize() {
     config.tls_interceptors = std::move(node.tls_interceptors);
     config.smtp_interceptors = std::move(node.smtp_interceptors);
     config.failure_probability = spec_.node_failure_probability;
+    config.rng_seed = util::stream_seed(seed_, util::fnv1a64(node.zid), "node");
     world_->truth.node(node.zid) = node.truth;
     world_->luminati->add_exit_node(
         std::make_shared<proxy::ExitNodeAgent>(std::move(config), environment));

@@ -1,0 +1,115 @@
+// Composition invariance: because every sampler draws from a keyed
+// counter-based stream (util::StreamRng) instead of a shared sequential
+// RNG, a probe's results are a pure function of (world, probe config) —
+// running other probes before it on the same world must not shift a
+// single draw. These tests byte-compare canonical rendered reports across
+// run orders on identically-built worlds.
+//
+// The clock-advancing monitor probe always runs last: starting a crawl at
+// a different simulated time is a semantically different experiment
+// (session expiry, monitor windows), not draw-order contamination.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "tft/core/http_probe.hpp"
+#include "tft/core/https_probe.hpp"
+#include "tft/core/monitor_probe.hpp"
+#include "tft/core/smtp_probe.hpp"
+#include "tft/core/study.hpp"
+#include "tft/world/world.hpp"
+
+namespace tft::core {
+namespace {
+
+std::unique_ptr<world::World> make_world() {
+  return world::build_world(world::mini_spec(), 1.0, 555);
+}
+
+std::string run_dns(world::World& world) {
+  DnsProbeConfig config;
+  config.target_nodes = 400;
+  config.stall_limit = 2000;
+  DnsHijackProbe probe(world, config);
+  probe.run();
+  return render_dns_report(analyze_dns(world, probe.observations(), {}));
+}
+
+std::string run_http(world::World& world) {
+  HttpProbeConfig config;
+  config.max_nodes = 400;
+  config.stall_limit = 2000;
+  HttpModificationProbe probe(world, config);
+  probe.run();
+  return render_http_report(analyze_http(world, probe.observations(), {}));
+}
+
+std::string run_https(world::World& world) {
+  HttpsProbeConfig config;
+  config.target_nodes = 300;
+  config.stall_limit = 2000;
+  CertReplacementProbe probe(world, config);
+  probe.run();
+  return render_https_report(analyze_https(world, probe.observations(), {}));
+}
+
+std::string run_smtp(world::World& world) {
+  SmtpProbeConfig config;
+  config.target_nodes = 300;
+  config.stall_limit = 2000;
+  SmtpProbe probe(world, config);
+  probe.run();
+  return render_smtp_report(analyze_smtp(world, probe.observations(), {}));
+}
+
+std::string run_monitor(world::World& world) {
+  MonitorProbeConfig config;
+  config.target_nodes = 200;
+  config.stall_limit = 1500;
+  ContentMonitorProbe probe(world, config);
+  probe.run();
+  return render_monitor_report(
+      analyze_monitoring(world, probe.observations(), {}));
+}
+
+TEST(CompositionInvarianceTest, DnsReportIdenticalAloneAndAfterOtherProbes) {
+  auto alone = make_world();
+  const std::string baseline = run_dns(*alone);
+  ASSERT_FALSE(baseline.empty());
+
+  auto after_http = make_world();
+  run_http(*after_http);
+  EXPECT_EQ(run_dns(*after_http), baseline);
+
+  auto after_many = make_world();
+  run_smtp(*after_many);
+  run_https(*after_many);
+  run_http(*after_many);
+  EXPECT_EQ(run_dns(*after_many), baseline);
+}
+
+TEST(CompositionInvarianceTest, EveryProbeInvariantUnderReordering) {
+  auto forward = make_world();
+  const std::string dns_forward = run_dns(*forward);
+  const std::string http_forward = run_http(*forward);
+  const std::string https_forward = run_https(*forward);
+  const std::string smtp_forward = run_smtp(*forward);
+  const std::string monitor_forward = run_monitor(*forward);
+
+  auto reversed = make_world();
+  const std::string smtp_reversed = run_smtp(*reversed);
+  const std::string https_reversed = run_https(*reversed);
+  const std::string http_reversed = run_http(*reversed);
+  const std::string dns_reversed = run_dns(*reversed);
+  const std::string monitor_reversed = run_monitor(*reversed);
+
+  EXPECT_EQ(dns_reversed, dns_forward);
+  EXPECT_EQ(http_reversed, http_forward);
+  EXPECT_EQ(https_reversed, https_forward);
+  EXPECT_EQ(smtp_reversed, smtp_forward);
+  EXPECT_EQ(monitor_reversed, monitor_forward);
+}
+
+}  // namespace
+}  // namespace tft::core

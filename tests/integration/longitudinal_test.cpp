@@ -76,5 +76,77 @@ TEST(LongitudinalTest, StableWorldGivesStableSeries) {
   }
 }
 
+TEST(LongitudinalTest, CheckpointedResumeReproducesUninterruptedRun) {
+  LongitudinalConfig config;
+  config.rounds = 4;
+  config.probe.target_nodes = 0;
+  config.probe.stall_limit = 1500;
+
+  // Uninterrupted reference run.
+  auto full_world = world::build_world(world::mini_spec(), 1.0, 810);
+  LongitudinalDnsStudy full_study(*full_world, config);
+  const LongitudinalResult full = full_study.run_partial(-1);
+  ASSERT_EQ(full.rounds.size(), 4u);
+  EXPECT_TRUE(full.complete);
+  EXPECT_EQ(full.checkpoint.next_round, 4u);
+  ASSERT_EQ(full.checkpoint.streams.size(), 4u);
+
+  // Same study stopped after two rounds, checkpoint serialized through the
+  // JSON wire format (as a real operator would persist it), then resumed
+  // on an identically-built world that ran the same prefix.
+  auto split_world = world::build_world(world::mini_spec(), 1.0, 810);
+  LongitudinalDnsStudy split_study(*split_world, config);
+  const LongitudinalResult prefix = split_study.run_partial(2);
+  ASSERT_EQ(prefix.rounds.size(), 2u);
+  EXPECT_FALSE(prefix.complete);
+  EXPECT_EQ(prefix.checkpoint.next_round, 2u);
+
+  const auto reloaded =
+      util::parse_stream_checkpoint(util::stream_checkpoint_json(prefix.checkpoint));
+  ASSERT_TRUE(reloaded.ok()) << reloaded.error().message;
+  EXPECT_EQ(*reloaded, prefix.checkpoint);
+
+  const auto resumed = split_study.resume(*reloaded);
+  ASSERT_TRUE(resumed.ok()) << resumed.error().message;
+  ASSERT_EQ(resumed->rounds.size(), 2u);
+  EXPECT_TRUE(resumed->complete);
+
+  // Stitched series must be byte-identical to the uninterrupted run —
+  // compare the canonical rendered report including the final checkpoint.
+  std::vector<LongitudinalRound> stitched = prefix.rounds;
+  stitched.insert(stitched.end(), resumed->rounds.begin(), resumed->rounds.end());
+  EXPECT_EQ(render_longitudinal(stitched, resumed->checkpoint),
+            render_longitudinal(full.rounds, full.checkpoint));
+}
+
+TEST(LongitudinalTest, ResumeRejectsForeignCheckpoints) {
+  LongitudinalConfig config;
+  config.rounds = 3;
+  config.probe.target_nodes = 0;
+  config.probe.stall_limit = 1500;
+  auto world = world::build_world(world::mini_spec(), 1.0, 811);
+  LongitudinalDnsStudy study(*world, config);
+  const LongitudinalResult prefix = study.run_partial(1);
+  ASSERT_EQ(prefix.checkpoint.next_round, 1u);
+
+  // Beyond the configured round count.
+  util::StreamCheckpoint beyond = prefix.checkpoint;
+  beyond.next_round = 7;
+  EXPECT_FALSE(study.resume(beyond).ok());
+
+  // Stream count disagrees with the completed-round count.
+  util::StreamCheckpoint truncated = prefix.checkpoint;
+  truncated.streams.clear();
+  EXPECT_FALSE(study.resume(truncated).ok());
+
+  // A checkpoint from a different study seed must be rejected, not
+  // silently diverge.
+  util::StreamCheckpoint foreign = prefix.checkpoint;
+  foreign.streams[0].key.study_seed ^= 1;
+  const auto rejected = study.resume(foreign);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.error().message.find("does not match"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace tft::core

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "tft/middlebox/http_modifiers.hpp"
@@ -181,6 +182,24 @@ TEST_F(ExitNodeTest, OnlineFlag) {
   EXPECT_TRUE(node.online());
   node.set_online(false);
   EXPECT_FALSE(node.online());
+}
+
+TEST(EphemeralClientPortTest, StaysInIanaEphemeralRange) {
+  // Regression: the old `next_u64() & 0xFFFF` derivation could yield 0
+  // (invalid as a DNS query id / source port) or collide with well-known
+  // ports. Every draw must land in [49152, 65535].
+  util::StreamRng stream(0x515, 0, "port");
+  std::uint16_t lowest = 0xFFFF;
+  std::uint16_t highest = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const std::uint16_t port = ephemeral_client_port(stream);
+    ASSERT_GE(port, 49152);
+    lowest = std::min(lowest, port);
+    highest = std::max(highest, port);
+  }
+  // 200k draws over a 16384-port range cover both edges.
+  EXPECT_EQ(lowest, 49152);
+  EXPECT_EQ(highest, 65535);
 }
 
 }  // namespace

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <set>
+#include <vector>
 
 namespace tft::util {
 namespace {
@@ -101,6 +104,126 @@ TEST(RngTest, ForkIsIndependentButDeterministic) {
   Rng a(99), b(99);
   Rng fa = a.fork(), fb = b.fork();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+}
+
+// Count how many values the two generators emit in common over `draws`
+// draws each. For healthy independent 64-bit streams the expectation is
+// draws^2 / 2^64 — essentially zero even at a million draws.
+std::size_t overlap_count(Rng& a, Rng& b, std::size_t draws) {
+  std::vector<std::uint64_t> from_a(draws), from_b(draws);
+  for (auto& v : from_a) v = a.next_u64();
+  for (auto& v : from_b) v = b.next_u64();
+  std::sort(from_a.begin(), from_a.end());
+  std::sort(from_b.begin(), from_b.end());
+  std::vector<std::uint64_t> common;
+  std::set_intersection(from_a.begin(), from_a.end(), from_b.begin(),
+                        from_b.end(), std::back_inserter(common));
+  return common.size();
+}
+
+TEST(RngTest, ForkDoesNotOverlapParentOverMillionDraws) {
+  // Regression for the fork() derivation audit: a fork seeded from raw
+  // parent state (instead of a fresh draw) can land on an overlapping or
+  // correlated trajectory. A healthy fork shares no values with its
+  // parent's subsequent output.
+  Rng parent(99);
+  Rng child = parent.fork();
+  EXPECT_LE(overlap_count(parent, child, 1u << 20), 2u);
+}
+
+TEST(RngTest, SiblingForksDoNotOverlapOverMillionDraws) {
+  Rng parent(1234);
+  Rng first = parent.fork();
+  Rng second = parent.fork();
+  EXPECT_LE(overlap_count(first, second, 1u << 20), 2u);
+}
+
+TEST(RngTest, SeedZeroIsNotDegenerate) {
+  // splitmix64 seeding must turn the all-zero seed into full-entropy
+  // state: no constant output, no zero-heavy stream.
+  Rng rng(0);
+  std::set<std::uint64_t> seen;
+  std::size_t zeros = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_u64();
+    seen.insert(v);
+    if (v == 0) ++zeros;
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_LE(zeros, 1u);
+}
+
+TEST(RngTest, ReseedZeroMatchesFreshSeedZeroAndAvoidsNearbySeeds) {
+  Rng reseeded(77);
+  reseeded.next_u64();
+  reseeded.reseed(0);
+  Rng fresh(0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(reseeded.next_u64(), fresh.next_u64());
+
+  Rng zero(0), one(1);
+  EXPECT_LE(overlap_count(zero, one, 1u << 20), 2u);
+}
+
+TEST(RngTest, WeightedIndexAllZeroDegradesToUniform) {
+  Rng rng(13);
+  const std::vector<double> weights{0.0, 0.0, 0.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 3000; ++i) {
+    const auto pick = rng.weighted_index(weights);
+    ASSERT_LT(pick, 3u);
+    ++counts[pick];
+  }
+  for (int count : counts) EXPECT_GT(count, 800);
+}
+
+TEST(RngTest, WeightedIndexSingleElement) {
+  Rng rng(14);
+  EXPECT_EQ(rng.weighted_index({5.0}), 0u);
+  EXPECT_EQ(rng.weighted_index({0.0}), 0u);
+}
+
+TEST(RngTest, WeightedIndexTreatsNaNAndNegativeAsZero) {
+  Rng rng(15);
+  const std::vector<double> weights{std::nan(""), -3.0, 2.0};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(rng.weighted_index(weights), 2u);
+}
+
+TEST(RngTest, WeightedIndexAllNonPositiveDegradesToUniform) {
+  Rng rng(16);
+  const std::vector<double> weights{std::nan(""), -1.0, -2.0, std::nan("")};
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto pick = rng.weighted_index(weights);
+    ASSERT_LT(pick, 4u);
+    seen.insert(pick);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RngTest, UniformHasNoModuloBiasAtLargeBounds) {
+  // bound = 3 * 2^62: plain `next_u64() % bound` would land 62.5% of draws
+  // in the bottom half of the range (the low 2^62 values have two
+  // preimages). Rejection sampling must keep the halves balanced.
+  const std::uint64_t bound = 0xC000000000000000ull;
+  Rng rng(21);
+  std::size_t low = 0;
+  const std::size_t trials = 200000;
+  for (std::size_t i = 0; i < trials; ++i) {
+    const auto v = rng.uniform(bound);
+    ASSERT_LT(v, bound);
+    if (v < bound / 2) ++low;
+  }
+  EXPECT_NEAR(static_cast<double>(low) / trials, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformSmallBoundFrequenciesBalanced) {
+  Rng rng(22);
+  std::size_t counts[3] = {0, 0, 0};
+  const std::size_t trials = 300000;
+  for (std::size_t i = 0; i < trials; ++i) ++counts[rng.uniform(3)];
+  for (std::size_t count : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / trials, 1.0 / 3.0, 0.01);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,148 @@
+#include "tft/util/stream_rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace tft::util {
+namespace {
+
+TEST(StreamRngTest, DeterministicForKey) {
+  StreamRng a(42, 7, "country"), b(42, 7, "country");
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(StreamRngTest, StringAndKeyConstructorsAgree) {
+  StreamRng by_parts(42, 7, "country");
+  StreamRng by_key(StreamKey{42, 7, purpose_tag("country")});
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(by_parts.next_u64(), by_key.next_u64());
+}
+
+TEST(StreamRngTest, KeyComponentsAllMatter) {
+  StreamRng base(42, 7, "country");
+  StreamRng other_seed(43, 7, "country");
+  StreamRng other_entity(42, 8, "country");
+  StreamRng other_purpose(42, 7, "churn");
+  int seed_same = 0, entity_same = 0, purpose_same = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t v = base.next_u64();
+    if (v == other_seed.next_u64()) ++seed_same;
+    if (v == other_entity.next_u64()) ++entity_same;
+    if (v == other_purpose.next_u64()) ++purpose_same;
+  }
+  EXPECT_LT(seed_same, 3);
+  EXPECT_LT(entity_same, 3);
+  EXPECT_LT(purpose_same, 3);
+}
+
+TEST(StreamRngTest, SeekJumpsToAbsolutePosition) {
+  StreamRng sequential(9, 1, "sample");
+  std::vector<std::uint64_t> draws;
+  for (int i = 0; i < 20; ++i) draws.push_back(sequential.next_u64());
+
+  StreamRng seeker(9, 1, "sample");
+  seeker.seek(13);
+  EXPECT_EQ(seeker.next_u64(), draws[13]);
+  EXPECT_EQ(seeker.counter(), 14u);
+  seeker.seek(0);
+  EXPECT_EQ(seeker.next_u64(), draws[0]);
+}
+
+TEST(StreamRngTest, CounterConstructorResumesMidStream) {
+  StreamRng full(5, 2, "country");
+  for (int i = 0; i < 8; ++i) full.next_u64();
+
+  StreamRng resumed(full.key(), full.counter());
+  StreamRng reference(5, 2, "country");
+  reference.seek(8);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(resumed.next_u64(), reference.next_u64());
+}
+
+TEST(StreamRngTest, InterleavingNeverShiftsAnotherStream) {
+  // The composability contract in miniature: stream A's draws are the same
+  // whether or not stream B draws in between.
+  StreamRng alone(77, 1, "a");
+  std::vector<std::uint64_t> expected;
+  for (int i = 0; i < 50; ++i) expected.push_back(alone.next_u64());
+
+  StreamRng interleaved(77, 1, "a");
+  StreamRng noise(77, 2, "b");
+  for (int i = 0; i < 50; ++i) {
+    for (int j = 0; j <= i % 3; ++j) noise.next_u64();
+    EXPECT_EQ(interleaved.next_u64(), expected[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(StreamRngTest, StreamSeedMatchesKeyMixed) {
+  EXPECT_EQ(stream_seed(42, 7, "node"),
+            (StreamKey{42, 7, purpose_tag("node")}.mixed()));
+  EXPECT_NE(stream_seed(42, 7, "node"), stream_seed(42, 7, "churn"));
+}
+
+TEST(StreamCheckpointTest, JsonRoundTripsExtremeValues) {
+  StreamCheckpoint checkpoint;
+  checkpoint.next_round = 3;
+  checkpoint.streams.push_back(
+      {"round0/country", StreamKey{0, 0, 0}, 0});
+  checkpoint.streams.push_back(
+      {"round1/country",
+       StreamKey{0xFFFFFFFFFFFFFFFFull, 0x8000000000000000ull, 0xDEADBEEFull},
+       0xFFFFFFFFFFFFFFFFull});
+
+  const std::string json = stream_checkpoint_json(checkpoint);
+  const auto parsed = parse_stream_checkpoint(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(*parsed, checkpoint);
+}
+
+TEST(StreamCheckpointTest, ParseRejectsMalformedDocuments) {
+  EXPECT_FALSE(parse_stream_checkpoint("not json").ok());
+  EXPECT_FALSE(parse_stream_checkpoint("[]").ok());
+  EXPECT_FALSE(parse_stream_checkpoint("{}").ok());
+  // Foreign format tag.
+  EXPECT_FALSE(parse_stream_checkpoint(
+                   R"({"format":"something-else","version":1,)"
+                   R"("next_round":"0x0","streams":[]})")
+                   .ok());
+  // Unsupported version.
+  EXPECT_FALSE(parse_stream_checkpoint(
+                   R"({"format":"tft-stream-checkpoint","version":2,)"
+                   R"("next_round":"0x0","streams":[]})")
+                   .ok());
+  // next_round as a JSON number (doubles cannot carry uint64 exactly).
+  EXPECT_FALSE(parse_stream_checkpoint(
+                   R"({"format":"tft-stream-checkpoint","version":1,)"
+                   R"("next_round":3,"streams":[]})")
+                   .ok());
+  // Malformed hex digits.
+  EXPECT_FALSE(parse_stream_checkpoint(
+                   R"({"format":"tft-stream-checkpoint","version":1,)"
+                   R"("next_round":"0xZZ","streams":[]})")
+                   .ok());
+  // Stream entry missing its label.
+  EXPECT_FALSE(parse_stream_checkpoint(
+                   R"({"format":"tft-stream-checkpoint","version":1,)"
+                   R"("next_round":"0x1","streams":[{"study_seed":"0x0",)"
+                   R"("entity":"0x0","purpose":"0x0","counter":"0x0"}]})")
+                   .ok());
+}
+
+TEST(StreamCheckpointTest, ParseAcceptsMinimalValidDocument) {
+  const auto parsed = parse_stream_checkpoint(
+      R"({"format":"tft-stream-checkpoint","version":1,)"
+      R"("next_round":"0x2","streams":[)"
+      R"({"label":"round0/country","study_seed":"0x7f7","entity":"0x0",)"
+      R"("purpose":"0xabc","counter":"0x1a"},)"
+      R"({"label":"round1/country","study_seed":"0x7f7","entity":"0x0",)"
+      R"("purpose":"0xabc","counter":"0x2b"}]})");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed->next_round, 2u);
+  ASSERT_EQ(parsed->streams.size(), 2u);
+  EXPECT_EQ(parsed->streams[0].label, "round0/country");
+  EXPECT_EQ(parsed->streams[0].key.study_seed, 0x7F7u);
+  EXPECT_EQ(parsed->streams[1].counter, 0x2Bu);
+}
+
+}  // namespace
+}  // namespace tft::util

@@ -12,6 +12,7 @@
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <vector>
@@ -43,6 +44,14 @@ Flags:
   --spec <path>      load the scenario from a JSON file (see --dump-spec)
   --dump-spec        print the selected scenario as JSON and exit
   --vpn-overlay      allow arbitrary ports (required for --experiment smtp)
+  --shared-world     run every experiment sequentially against one shared
+                     world instance instead of per-experiment worlds. Keyed
+                     counter-based RNG streams make the report byte-identical
+                     either way (the composition-invariance contract)
+  --order <list>     comma-separated execution order for the selected
+                     experiments (e.g. smtp,https,http,dns,monitor). Report
+                     sections always render in canonical order, so the
+                     output must not depend on this flag
   --json             emit machine-readable JSON instead of tables
   --out <path>       write the report to a file instead of stdout
   --metrics-out <path>  write the observability registry (counters, spans,
@@ -83,7 +92,7 @@ int main(int argc, char** argv) {
   const auto parsed = Flags::parse(
       argc, argv,
       {"mini", "vpn-overlay", "quiet", "json", "dump-spec", "help", "stats",
-       "version", "metrics-omit-timing"});
+       "version", "metrics-omit-timing", "shared-world"});
   if (!parsed.ok()) return fail(parsed.error().to_string());
   const Flags& flags = *parsed;
 
@@ -102,7 +111,7 @@ int main(int argc, char** argv) {
   const auto unknown = flags.unknown(
       {"experiment", "scale", "seed", "target", "jobs", "mini", "vpn-overlay",
        "out", "quiet", "json", "spec", "dump-spec", "metrics-out",
-       "metrics-omit-timing", "stats", "version"});
+       "metrics-omit-timing", "stats", "version", "shared-world", "order"});
   if (!unknown.empty()) return fail("unknown flag --" + unknown.front());
   if (flags.get_bool("dump-spec") && flags.get_bool("quiet")) {
     return fail("--quiet makes no sense with --dump-spec: the spec dump is "
@@ -177,6 +186,41 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Execution order (canonical indices). --order permutes when the
+  // experiments run; section placement never changes.
+  std::vector<std::size_t> exec_order(experiments.size());
+  for (std::size_t i = 0; i < exec_order.size(); ++i) exec_order[i] = i;
+  if (const auto order_flag = flags.get("order")) {
+    std::vector<std::string> wanted;
+    std::istringstream order_stream(*order_flag);
+    std::string token;
+    while (std::getline(order_stream, token, ',')) {
+      if (!token.empty()) wanted.push_back(token);
+    }
+    if (wanted.size() != experiments.size()) {
+      return fail("--order must list each selected experiment exactly once (" +
+                  std::to_string(experiments.size()) + " expected)");
+    }
+    std::vector<bool> used(experiments.size(), false);
+    exec_order.clear();
+    for (const auto& name : wanted) {
+      bool matched = false;
+      for (std::size_t i = 0; i < experiments.size(); ++i) {
+        if (!used[i] && experiments[i] == name) {
+          used[i] = true;
+          exec_order.push_back(i);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        return fail("--order entry '" + name +
+                    "' is not among the selected experiments");
+      }
+    }
+  }
+  const bool shared_world = flags.get_bool("shared-world");
+
   std::mutex progress_mutex;
   const auto progress = [&](const std::string& line) {
     if (quiet) return;
@@ -190,36 +234,54 @@ int main(int argc, char** argv) {
   // are byte-identical for every --jobs value.
   std::vector<tft::obs::Registry> metric_slots(experiments.size());
 
-  // Every experiment builds its own world from the identical (spec, scale,
-  // seed) triple, so the crawls cannot interact through shared proxy state
-  // and the report is byte-identical for every --jobs value.
+  // By default every experiment builds its own world from the identical
+  // (spec, scale, seed) triple, so the crawls cannot interact through
+  // shared proxy state and the report is byte-identical for every --jobs
+  // value. --shared-world runs them all against one world instead: keyed
+  // counter-based RNG streams guarantee the same bytes either way.
+  std::unique_ptr<tft::world::World> shared;
+  if (shared_world) {
+    progress("[shared] building world (scale=" + std::to_string(*scale) +
+             ")...");
+    shared = tft::world::build_world(spec, *scale, world_seed);
+    progress("[shared] population: " +
+             std::to_string(shared->luminati->node_count()) + " exit nodes, " +
+             std::to_string(shared->topology.as_count()) + " ASes");
+  }
   const auto run_named = [&](const std::string& name,
                              std::size_t index) -> std::string {
     if (name == "smtp" && !spec.arbitrary_port_overlay) {
       return "SMTP experiment skipped: overlay tunnels port 443 only "
              "(pass --vpn-overlay).\n";
     }
-    progress("[" + name + "] building world (scale=" +
-             std::to_string(*scale) + ")...");
-    auto world = tft::world::build_world(spec, *scale, world_seed);
-    progress("[" + name + "] population: " +
-             std::to_string(world->luminati->node_count()) + " exit nodes, " +
-             std::to_string(world->topology.as_count()) + " ASes; running...");
+    std::unique_ptr<tft::world::World> owned;
+    if (!shared) {
+      progress("[" + name + "] building world (scale=" +
+               std::to_string(*scale) + ")...");
+      owned = tft::world::build_world(spec, *scale, world_seed);
+      progress("[" + name + "] population: " +
+               std::to_string(owned->luminati->node_count()) +
+               " exit nodes, " + std::to_string(owned->topology.as_count()) +
+               " ASes; running...");
+    }
+    tft::world::World* world = shared ? shared.get() : owned.get();
     // Capture the world's registry whichever branch returns; the experiment
-    // span wraps the probe run + analysis.
+    // span wraps the probe run + analysis. With a shared world the registry
+    // accumulates across experiments, so it is exported once at the end
+    // instead of per slot.
     struct MetricsCapture {
       tft::world::World& world;
-      tft::obs::Registry& slot;
-      MetricsCapture(tft::world::World& w, tft::obs::Registry& s,
+      tft::obs::Registry* slot;
+      MetricsCapture(tft::world::World& w, tft::obs::Registry* s,
                      std::string_view label)
           : world(w), slot(s) {
         world.metrics.begin_span(label, world.clock.now());
       }
       ~MetricsCapture() {
         world.metrics.end_span(world.clock.now());
-        slot = world.metrics;
+        if (slot) *slot = world.metrics;
       }
-    } capture(*world, metric_slots[index],
+    } capture(*world, shared ? nullptr : &metric_slots[index],
               name == "monitor" ? std::string_view("monitoring") : name);
     if (name == "dns") {
       tft::core::DnsHijackProbe probe(*world, config.dns);
@@ -266,26 +328,28 @@ int main(int argc, char** argv) {
                 : tft::core::render_smtp_report(analyzed);
   };
 
-  // Sections are merged in experiment order no matter which worker finishes
-  // first.
+  // Sections are merged in canonical experiment order no matter which
+  // worker finishes first or what --order requested. A shared world forces
+  // sequential experiments (one world is not thread-safe across probes);
+  // --jobs still parallelizes each probe's internal passes.
   std::vector<std::string> sections(experiments.size());
-  if (jobs <= 1 || experiments.size() == 1) {
-    for (std::size_t i = 0; i < experiments.size(); ++i) {
+  if (shared_world || jobs <= 1 || experiments.size() == 1) {
+    for (const std::size_t i : exec_order) {
       sections[i] = run_named(experiments[i], i);
     }
   } else {
     tft::util::ThreadPool pool(jobs);
-    std::vector<std::future<std::string>> futures;
-    futures.reserve(experiments.size());
-    for (std::size_t i = 0; i < experiments.size(); ++i) {
-      futures.push_back(pool.submit([&run_named, name = experiments[i], i] {
+    std::vector<std::future<std::string>> futures(experiments.size());
+    for (const std::size_t i : exec_order) {
+      futures[i] = pool.submit([&run_named, name = experiments[i], i] {
         return run_named(name, i);
-      }));
+      });
     }
     for (std::size_t i = 0; i < futures.size(); ++i) {
       sections[i] = futures[i].get();
     }
   }
+  if (shared) metric_slots[0] = shared->metrics;
 
   // Assemble the merged registry: experiment registries in fixed order under
   // a synthetic "study" root (each world had its own clock, so span
