@@ -9,6 +9,7 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <string_view>
 
 #include "common.hpp"
 #include "tft/obs/build_info.hpp"
@@ -95,6 +96,17 @@ int main(int argc, char** argv) {
     json.begin_object("counters");
     for (const auto& [name, value] : parallel.metrics.counters()) {
       json.field(name, value);
+    }
+    json.end_object();
+    // Load-balance profile of the parallel leg: wall ms per shard of every
+    // sharded pass (keys are "<pass label>.<shard>"). A skewed profile
+    // means one shard dominates the pass's critical path.
+    json.begin_object("per_shard_ms");
+    for (const auto& [name, value] : parallel.metrics.timing()) {
+      constexpr std::string_view kPrefix = "shard_ms.";
+      if (name.rfind(kPrefix, 0) == 0) {
+        json.field(name.substr(kPrefix.size()), value);
+      }
     }
     json.end_object();
     json.end_object();

@@ -7,6 +7,7 @@
 
 #include "tft/http/content.hpp"
 #include "tft/obs/metrics.hpp"
+#include "tft/obs/recorder.hpp"
 #include "tft/obs/shards.hpp"
 #include "tft/util/hash.hpp"
 #include "tft/util/rng.hpp"
@@ -92,6 +93,14 @@ std::size_t DnsHijackProbe::run() {
     // rounds) never reuse a probe name across rounds.
     const std::string token = "s" + std::to_string(config_.seed % 100000) + "x" +
                               std::to_string(session_id);
+    // Evidence chain for this session. The id is derived from the probe's
+    // own sampling stream key plus its session counter, so it is stable
+    // across --jobs and under probe composition (the key embeds this
+    // probe's seed, which no other experiment shares).
+    const std::uint64_t txn_id =
+        util::hash_combine(country_stream_key().mixed(), session_id);
+    world_.recorder.begin(txn_id, "dns",
+                          token + "-d2.probe.tft-study.net");
 
     proxy::RequestOptions options;
     options.country = picker.pick(rng);
@@ -101,10 +110,13 @@ std::size_t DnsHijackProbe::run() {
     // Step 2: fetch d1 to learn the node's identity.
     const auto d1 =
         *http::Url::parse("http://" + token + "-d1.probe.tft-study.net/");
+    world_.recorder.event(obs::Hop::kClient, "dns-probe", "fetch-d1", d1.host,
+                          static_cast<std::uint64_t>(world_.clock.now().micros));
     const auto r1 = world_.luminati->fetch(d1, options);
     if (!r1.ok()) {
       ++stall;
       world_.metrics.add("dns.failed_fetches");
+      world_.recorder.end("discarded");
       web_cursor = world_.measurement_web->request_log().size();
       dns_cursor = world_.measurement_zone->query_log().size();
       continue;
@@ -112,6 +124,7 @@ std::size_t DnsHijackProbe::run() {
     if (!seen_zids.insert(r1.zid).second) {
       ++stall;
       world_.metrics.add("dns.duplicate_nodes");
+      world_.recorder.end("discarded");
       web_cursor = world_.measurement_web->request_log().size();
       dns_cursor = world_.measurement_zone->query_log().size();
       continue;
@@ -119,6 +132,7 @@ std::size_t DnsHijackProbe::run() {
     stall = 0;
 
     DnsNodeObservation observation;
+    observation.txn_id = txn_id;
     observation.zid = r1.zid;
 
     // Exit IP from the web server log (last request for d1's host: monitors
@@ -160,10 +174,13 @@ std::size_t DnsHijackProbe::run() {
     // Step 3: fetch d2 through the same exit node.
     const auto d2 =
         *http::Url::parse("http://" + token + "-d2.probe.tft-study.net/");
+    world_.recorder.event(obs::Hop::kClient, "dns-probe", "fetch-d2", d2.host,
+                          static_cast<std::uint64_t>(world_.clock.now().micros));
     const auto r2 = world_.luminati->fetch(d2, options);
     if (r2.zid != r1.zid) {
       // The session was re-routed mid-measurement (node churn); discard.
       world_.metrics.add("dns.churn_discards");
+      world_.recorder.end("discarded");
       seen_zids.erase(r1.zid);
       web_cursor = world_.measurement_web->request_log().size();
       dns_cursor = world_.measurement_zone->query_log().size();
@@ -183,6 +200,7 @@ std::size_t DnsHijackProbe::run() {
     } else {
       // Resolution failed outright; treat as unmeasured churn.
       world_.metrics.add("dns.churn_discards");
+      world_.recorder.end("discarded");
       seen_zids.erase(r1.zid);
       web_cursor = world_.measurement_web->request_log().size();
       dns_cursor = world_.measurement_zone->query_log().size();
@@ -196,6 +214,9 @@ std::size_t DnsHijackProbe::run() {
     if (observation.filtered_google_overlap) {
       world_.metrics.add("dns.filtered_google_overlap");
     }
+    world_.recorder.end(observation.hijacked ? "hijacked"
+                        : observation.filtered_google_overlap ? "filtered"
+                                                              : "clean");
     observations_.push_back(std::move(observation));
   }
   world_.metrics.end_span(world_.clock.now());
@@ -222,6 +243,15 @@ std::size_t DnsHijackProbe::run() {
           }
         }
       });
+
+  // Fold the attribution back into the evidence chains. The sharded pass
+  // above never touches the recorder (its per-shard order depends on
+  // --jobs); amending here, serially and in observation order, keeps the
+  // trace byte-identical for every jobs value.
+  for (const auto& observation : observations_) {
+    world_.recorder.amend_node(observation.txn_id, observation.zid,
+                               observation.asn, observation.country);
+  }
 
   return observations_.size();
 }
@@ -279,7 +309,10 @@ DnsReport analyze_dns(const world::World& world,
     countries.insert(observation.country);
     ases.insert(observation.asn);
     servers.insert(observation.dns_server.value());
-    if (observation.hijacked) ++report.hijacked_nodes;
+    if (observation.hijacked) {
+      ++report.hijacked_nodes;
+      report.evidence["hijacked"].push_back(observation.txn_id);
+    }
 
     auto& row = by_country[observation.country];
     row.country = observation.country;
@@ -413,6 +446,7 @@ DnsReport analyze_dns(const world::World& world,
     if (observation.filtered_google_overlap || !observation.hijacked) continue;
     if (!world.is_google_egress(observation.dns_server)) continue;
     ++report.google_hijacked_nodes;
+    report.evidence["google_hijacked"].push_back(observation.txn_id);
     for (const auto& host : http::extract_url_hosts(observation.hijack_content)) {
       auto& group = url_groups[host];
       ++group.nodes;

@@ -10,7 +10,9 @@
 
 #include "tft/http/content.hpp"
 #include "tft/obs/metrics.hpp"
+#include "tft/obs/recorder.hpp"
 #include "tft/obs/shards.hpp"
+#include "tft/util/hash.hpp"
 #include "tft/util/rng.hpp"
 #include "tft/util/stream_rng.hpp"
 #include "tft/util/strings.hpp"
@@ -169,12 +171,21 @@ std::size_t HttpModificationProbe::run() {
       country_stream.seek(session_id);
       options.country = countries[country_stream.weighted_index(weights)];
     }
+    const std::size_t this_session = session_id;
     options.session = "http-" + std::to_string(session_id++);
     ++sessions_issued_;
     world_.metrics.add("http.sessions");
 
     const std::string token = "h" + std::to_string(session_id);
     const std::string host = token + ".probe.tft-study.net";
+
+    // Evidence chain: the id is derived from this probe's country stream
+    // key (which embeds its seed) plus the session counter — stable across
+    // --jobs and under probe composition.
+    const std::uint64_t txn_id = util::hash_combine(
+        util::StreamKey{config_.seed, 0, util::purpose_tag("country")}.mixed(),
+        this_session);
+    world_.recorder.begin(txn_id, "http", host);
 
     // Identification contact: the small landing page ("/", ~2 KB) reveals
     // the node's zID and AS without spending the full object budget —
@@ -183,13 +194,17 @@ std::size_t HttpModificationProbe::run() {
     // Expansion attempts are budgeted by their own counter; only organic
     // crawling counts toward the stall limit.
     const bool expanding = !expansion.empty();
+    world_.recorder.event(obs::Hop::kClient, "http-probe", "fetch", "/",
+                          static_cast<std::uint64_t>(world_.clock.now().micros));
     const auto id_result = world_.luminati->fetch(id_url, options);
     if (!id_result.ok()) {
       world_.metrics.add("http.failed_fetches");
+      world_.recorder.end("discarded");
       if (!expanding) ++stall;
       continue;
     }
     if (!seen_zids.insert(id_result.zid).second) {
+      world_.recorder.end("discarded");
       if (!expanding) ++stall;
       continue;
     }
@@ -199,6 +214,7 @@ std::size_t HttpModificationProbe::run() {
                                                  : config_.nodes_per_as;
     if (measured_per_as[asn] >= limit) {
       // Skip without consuming the node: an expansion may admit it later.
+      world_.recorder.end("discarded");
       seen_zids.erase(id_result.zid);
       if (!expanding) ++stall;
       continue;
@@ -207,6 +223,7 @@ std::size_t HttpModificationProbe::run() {
     ++measured_per_as[asn];
 
     HttpNodeObservation observation;
+    observation.txn_id = txn_id;
     observation.zid = id_result.zid;
     observation.exit_address = id_result.exit_address;
     observation.asn = asn;
@@ -214,6 +231,9 @@ std::size_t HttpModificationProbe::run() {
 
     // The four reference objects through the same pinned session.
     const auto fetch = [&](const char* path) {
+      world_.recorder.event(
+          obs::Hop::kClient, "http-probe", "fetch", path,
+          static_cast<std::uint64_t>(world_.clock.now().micros));
       return world_.luminati->fetch(*http::Url::parse("http://" + host + path),
                                     options);
     };
@@ -270,6 +290,9 @@ std::size_t HttpModificationProbe::run() {
     world_.metrics.add("http.observations");
     if (observation.html_blockpage) world_.metrics.add("http.blockpages");
     if (any_differs) world_.metrics.add("http.modified_nodes");
+    world_.recorder.end(observation.html_blockpage ? "blockpage"
+                        : any_differs             ? "modified"
+                                                  : "clean");
     observations_.push_back(std::move(observation));
     raw.push_back(std::move(modified));
   }
@@ -316,6 +339,22 @@ std::size_t HttpModificationProbe::run() {
         }
       });
 
+  // Refine the crawl-time verdicts with what classification learned. The
+  // sharded pass never touches the recorder; amending serially here, in
+  // observation order, keeps the trace byte-identical for every --jobs.
+  for (const auto& observation : observations_) {
+    const char* verdict = observation.html_blockpage ? "blockpage"
+                          : observation.html_modified ? "injected"
+                          : observation.image_replaced ? "replaced"
+                          : observation.image_modified ? "transcoded"
+                          : observation.js_modified || observation.css_modified
+                              ? "modified"
+                              : nullptr;
+    if (verdict != nullptr) {
+      world_.recorder.amend_verdict(observation.txn_id, verdict, "");
+    }
+  }
+
   return observations_.size();
 }
 
@@ -349,9 +388,13 @@ HttpReport analyze_http(const world::World& world,
     auto& as_row = by_as[observation.asn];
     ++as_row.total;
 
-    if (observation.html_blockpage) ++report.html_blockpages;
+    if (observation.html_blockpage) {
+      ++report.html_blockpages;
+      report.evidence["blockpage"].push_back(observation.txn_id);
+    }
     if (observation.html_modified) {
       ++report.html_modified;
+      report.evidence["html_modified"].push_back(observation.txn_id);
       ++as_row.html_modified;
       auto& signature = by_signature[observation.html_signature];
       ++signature.nodes;
@@ -360,6 +403,7 @@ HttpReport analyze_http(const world::World& world,
     }
     if (observation.image_modified) {
       ++report.image_modified;
+      report.evidence["image_modified"].push_back(observation.txn_id);
       ++as_row.image_modified;
       const int bucket = static_cast<int>(
           std::lround(observation.image_compression_ratio / config.ratio_bucket));
@@ -367,8 +411,14 @@ HttpReport analyze_http(const world::World& world,
         as_row.ratios.push_back(observation.image_compression_ratio);
       }
     }
-    if (observation.js_modified) ++report.js_modified;
-    if (observation.css_modified) ++report.css_modified;
+    if (observation.js_modified) {
+      ++report.js_modified;
+      report.evidence["js_modified"].push_back(observation.txn_id);
+    }
+    if (observation.css_modified) {
+      ++report.css_modified;
+      report.evidence["css_modified"].push_back(observation.txn_id);
+    }
     if (observation.js_error_page) ++report.js_error_pages;
     if (observation.css_error_page) ++report.css_error_pages;
   }

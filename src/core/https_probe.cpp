@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "tft/obs/metrics.hpp"
+#include "tft/obs/recorder.hpp"
 #include "tft/obs/shards.hpp"
 #include "tft/util/rng.hpp"
 #include "tft/util/stream_rng.hpp"
@@ -80,6 +81,9 @@ std::size_t CertReplacementProbe::run() {
                              const std::string& zid,
                              std::optional<PendingVerify>* deferred)
       -> std::optional<CertSiteResult> {
+    world_.recorder.event(obs::Hop::kClient, "https-probe", "connect",
+                          site.host,
+                          static_cast<std::uint64_t>(world_.clock.now().micros));
     const auto result =
         world_.luminati->connect_and_handshake(site.address, 443, site.host, options);
     if (!result.ok() || result.zid != zid || result.chain.empty()) {
@@ -114,36 +118,50 @@ std::size_t CertReplacementProbe::run() {
     // number of draws (phase-2 scans, rankings misses) can never shift a
     // later session's picks.
     util::StreamRng rng(config_.seed, session_id, "sample");
+    // Evidence chain: the id is the session's own stream key (which embeds
+    // the probe seed and session id) — stable across --jobs and under
+    // probe composition.
+    const std::uint64_t txn_id =
+        util::StreamKey{config_.seed, session_id, util::purpose_tag("sample")}
+            .mixed();
     proxy::RequestOptions options;
     options.country = countries[rng.weighted_index(weights)];
     options.session = "tls-" + std::to_string(session_id++);
     ++sessions_issued_;
     world_.metrics.add("https.sessions");
+    world_.recorder.begin(txn_id, "https", *options.country);
 
     // Skip countries we have no Alexa-style rankings for (the paper's
     // 115-country limitation in §6.2).
     const auto ranked = index.popular.find(*options.country);
     if (ranked == index.popular.end() || ranked->second.empty()) {
       ++stall;
+      world_.recorder.end("discarded");
       continue;
     }
 
     // Establish node identity with a first tunnel to a random popular site.
     const world::HttpsSite* first_site =
         ranked->second[rng.index(ranked->second.size())];
+    world_.recorder.event(obs::Hop::kClient, "https-probe", "connect",
+                          first_site->host,
+                          static_cast<std::uint64_t>(world_.clock.now().micros));
     const auto first = world_.luminati->connect_and_handshake(
         first_site->address, 443, first_site->host, options);
     if (!first.ok()) {
       ++stall;
+      world_.recorder.end("discarded");
       continue;
     }
     if (!seen_zids.insert(first.zid).second) {
       ++stall;
+      world_.recorder.end("discarded");
       continue;
     }
     stall = 0;
 
     CertObservation observation;
+    observation.txn_id = txn_id;
     observation.zid = first.zid;
     observation.exit_address = first.exit_address;
     observation.country = first.exit_country;
@@ -206,6 +224,9 @@ std::size_t CertReplacementProbe::run() {
 
     world_.metrics.add("https.observations");
     world_.metrics.add("https.sites_scanned", observation.sites.size());
+    world_.recorder.end(observation.any_replaced() ? "replaced" : "clean");
+    world_.recorder.amend_node(txn_id, observation.zid, observation.asn,
+                               observation.country);
     observations_.push_back(std::move(observation));
   }
   world_.metrics.end_span(world_.clock.now());
@@ -224,6 +245,16 @@ std::size_t CertReplacementProbe::run() {
               !verifier.verify(entry.chain, entry.host, entry.now).ok();
         }
       });
+
+  // Deferred verifications may have flipped a site to `replaced` after the
+  // crawl-time verdict was written. The sharded pass never touches the
+  // recorder; re-judging serially here, in observation order, keeps the
+  // trace byte-identical for every --jobs.
+  for (const auto& observation : observations_) {
+    if (observation.any_replaced()) {
+      world_.recorder.amend_verdict(observation.txn_id, "replaced", "");
+    }
+  }
 
   return observations_.size();
 }
@@ -271,6 +302,7 @@ HttpsReport analyze_https(const world::World& world,
     ++as_entry.second;
     if (!observation.any_replaced()) continue;
     ++report.replaced_nodes;
+    report.evidence["replaced"].push_back(observation.txn_id);
     ++as_entry.first;
 
     bool any_untouched = false;

@@ -7,6 +7,7 @@
 // NXDOMAIN in the proxy log; a hijacked node returns somebody's ad page.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,10 @@ struct DnsProbeConfig {
 };
 
 struct DnsNodeObservation {
+  /// Flight-recorder transaction behind this observation (0 when the world
+  /// has no recorder). Stable across --jobs and probe composition: derived
+  /// from the probe's own country stream key and session counter.
+  std::uint64_t txn_id = 0;
   std::string zid;
   net::Ipv4Address exit_address;
   net::Asn asn = 0;
@@ -162,6 +167,10 @@ struct DnsReport {
   double attributed_isp = 0;
   double attributed_public = 0;
   double attributed_other = 0;
+
+  /// Evidence chains: violation category -> flight-recorder txn ids of every
+  /// observation counted under it (rendered as "0x…" refs in report_json).
+  std::map<std::string, std::vector<std::uint64_t>> evidence;
 
   double hijack_ratio() const {
     const std::size_t measurable = total_nodes - filtered_nodes;

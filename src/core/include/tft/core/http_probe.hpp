@@ -4,6 +4,7 @@
 // expanded when a modification is found.
 #pragma once
 
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,6 +26,9 @@ struct HttpProbeConfig {
 };
 
 struct HttpNodeObservation {
+  /// Flight-recorder transaction behind this observation (0 when the world
+  /// has no recorder); stable across --jobs and probe composition.
+  std::uint64_t txn_id = 0;
   std::string zid;
   net::Ipv4Address exit_address;
   net::Asn asn = 0;
@@ -119,6 +123,9 @@ struct HttpReport {
 
   std::vector<InjectionRow> injections;   // Table 6
   std::vector<TranscodeRow> transcoders;  // Table 7
+  /// Evidence chains: violation category -> flight-recorder txn ids of
+  /// every observation counted under it ("0x…" refs in report_json).
+  std::map<std::string, std::vector<std::uint64_t>> evidence;
   /// ASes where every measured node received modified HTML (Rimon-style
   /// ISP filtering).
   std::vector<std::pair<net::Asn, std::string>> fully_modified_ases;

@@ -4,6 +4,7 @@
 // fails. Replaced certificates are clustered by Issuer Common Name.
 #pragma once
 
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -37,6 +38,9 @@ struct CertSiteResult {
 };
 
 struct CertObservation {
+  /// Flight-recorder transaction behind this observation (0 when the world
+  /// has no recorder); stable across --jobs and probe composition.
+  std::uint64_t txn_id = 0;
   std::string zid;
   net::Ipv4Address exit_address;
   net::Asn asn = 0;
@@ -97,6 +101,9 @@ struct HttpsReport {
   std::size_t selective_nodes = 0;
   std::size_t unique_issuers = 0;
   std::vector<IssuerRow> issuers;  // Table 8
+  /// Evidence chains: violation category -> flight-recorder txn ids of
+  /// every observation counted under it ("0x…" refs in report_json).
+  std::map<std::string, std::vector<std::uint64_t>> evidence;
   /// Fraction of (sufficiently measured) ASes with >threshold replaced.
   double concentrated_as_fraction = 0;
 

@@ -4,6 +4,7 @@
 // means someone recorded and re-fetched the URL.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,9 @@ struct UnexpectedRequest {
 };
 
 struct MonitorObservation {
+  /// Flight-recorder transaction behind this observation (0 when the world
+  /// has no recorder); stable across --jobs and probe composition.
+  std::uint64_t txn_id = 0;
   std::string zid;
   net::Ipv4Address reported_exit_address;  // what Luminati told us
   net::Asn asn = 0;
@@ -90,6 +94,9 @@ struct MonitorReport {
   std::size_t unique_requester_ips = 0;
   std::size_t requester_groups = 0;  // the paper's "54 groups"
   std::vector<MonitorEntityRow> top_entities;  // Table 9 + Figure 5
+  /// Evidence chains: violation category -> flight-recorder txn ids of
+  /// every observation counted under it ("0x…" refs in report_json).
+  std::map<std::string, std::vector<std::uint64_t>> evidence;
   /// Share of all unexpected requests produced by the top entities.
   double top_share = 0;
 

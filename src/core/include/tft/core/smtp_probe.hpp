@@ -9,6 +9,7 @@
 // message against ground truth we control.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,9 @@ struct SmtpProbeConfig {
 };
 
 struct SmtpObservation {
+  /// Flight-recorder transaction behind this observation (0 when the world
+  /// has no recorder); stable across --jobs and probe composition.
+  std::uint64_t txn_id = 0;
   std::string zid;
   net::Ipv4Address exit_address;
   net::Asn asn = 0;
@@ -89,6 +93,9 @@ struct SmtpReport {
   std::size_t body_tampered = 0;
   std::size_t message_lost = 0;
   std::vector<SmtpAsRow> top_ases;  // ASes with concentrated interception
+  /// Evidence chains: violation category -> flight-recorder txn ids of
+  /// every observation counted under it ("0x…" refs in report_json).
+  std::map<std::string, std::vector<std::uint64_t>> evidence;
 
   double ratio(std::size_t n) const {
     return total_nodes == 0 ? 0 : static_cast<double>(n) / total_nodes;

@@ -10,6 +10,7 @@
 #include "tft/core/https_probe.hpp"
 #include "tft/core/monitor_probe.hpp"
 #include "tft/obs/metrics.hpp"
+#include "tft/obs/recorder.hpp"
 #include "tft/util/thread_pool.hpp"
 #include "tft/world/spec.hpp"
 
@@ -58,6 +59,11 @@ struct StudyResult {
   /// thread-pool telemetry for the run. The non-`timing` content is
   /// byte-identical for every jobs value.
   obs::Registry metrics;
+
+  /// Flight recorder: per-transaction evidence chains from every
+  /// experiment, merged in the same fixed order. Byte-identical (as NDJSON
+  /// via obs::encode_trace) for every jobs value.
+  obs::Recorder trace;
 };
 
 /// Fold the pool-telemetry delta between two snapshots into a registry:

@@ -1,12 +1,14 @@
 #include "tft/core/monitor_probe.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "tft/obs/metrics.hpp"
+#include "tft/obs/recorder.hpp"
 #include "tft/obs/shards.hpp"
 #include "tft/util/rng.hpp"
 #include "tft/util/stream_rng.hpp"
@@ -42,31 +44,45 @@ std::size_t ContentMonitorProbe::run() {
          stall < config_.stall_limit) {
     proxy::RequestOptions options;
     options.country = countries[rng.weighted_index(weights)];
+    // Evidence chain: the id is a keyed stream derivation from the probe's
+    // seed and session counter — stable across --jobs and composition.
+    const std::uint64_t txn_id =
+        util::StreamKey{config_.seed, session_id, util::purpose_tag("monitor-txn")}
+            .mixed();
     options.session = "mon-" + std::to_string(session_id++);
     ++sessions_issued_;
     world_.metrics.add("monitor.sessions");
 
     const std::string host =
         "m" + std::to_string(session_id) + ".probe.tft-study.net";
+    world_.recorder.begin(txn_id, "monitor", host);
+    world_.recorder.event(obs::Hop::kClient, "monitor-probe", "fetch", host,
+                          static_cast<std::uint64_t>(world_.clock.now().micros));
     const auto result =
         world_.luminati->fetch(*http::Url::parse("http://" + host + "/"), options);
     if (!result.ok()) {
       ++stall;
+      world_.recorder.end("discarded");
       continue;
     }
     if (!seen_zids.insert(result.zid).second) {
       ++stall;
+      world_.recorder.end("discarded");
       continue;
     }
     stall = 0;
 
     MonitorObservation observation;
+    observation.txn_id = txn_id;
     observation.zid = result.zid;
     observation.reported_exit_address = result.exit_address;
     observation.asn = result.exit_asn;
     observation.country = result.exit_country;
     observation.probe_host = host;
     world_.metrics.add("monitor.observations");
+    world_.recorder.end("clean");
+    world_.recorder.amend_node(txn_id, observation.zid, observation.asn,
+                               observation.country);
     by_host.emplace(host, observations_.size());
     observations_.push_back(std::move(observation));
   }
@@ -148,6 +164,24 @@ std::size_t ContentMonitorProbe::run() {
   std::size_t unexpected_total = 0;
   for (const auto& observation : observations_) {
     unexpected_total += observation.unexpected.size();
+    // Monitor re-fetches fire from the event queue long after the probe's
+    // transaction closed, so they cannot be recorded live; graft them onto
+    // the chain at harvest. Serial, in observation order: the sharded pass
+    // above never touches the recorder.
+    if (!observation.monitored()) continue;
+    for (const auto& unexpected : observation.unexpected) {
+      char delay[64];
+      std::snprintf(delay, sizeof(delay), "+%.0fs", unexpected.delay_seconds);
+      world_.recorder.amend_event(
+          observation.txn_id,
+          obs::TraceEvent{obs::Hop::kOrigin, unexpected.organization,
+                          "re-fetch",
+                          unexpected.source.to_string() + " " + delay + " " +
+                              unexpected.user_agent,
+                          0});
+    }
+    world_.recorder.amend_verdict(observation.txn_id, "monitored",
+                                  observation.unexpected.front().organization);
   }
   world_.metrics.add("monitor.unexpected_requests", unexpected_total);
 
@@ -182,6 +216,7 @@ MonitorReport analyze_monitoring(const world::World& world,
     countries.insert(observation.country);
     if (!observation.monitored()) continue;
     ++report.monitored_nodes;
+    report.evidence["monitored"].push_back(observation.txn_id);
     if (observation.own_request_address_mismatch) {
       // VPN-relayed own requests also arrive from an address that is not
       // the exit node's (the paper counts these IPs too: AnchorFree's 223).

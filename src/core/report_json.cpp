@@ -1,5 +1,9 @@
 #include "tft/core/report_json.hpp"
 
+#include <cstdio>
+#include <map>
+#include <vector>
+
 #include "tft/obs/build_info.hpp"
 #include "tft/util/json.hpp"
 
@@ -8,6 +12,26 @@ namespace tft::core {
 using util::JsonWriter;
 
 namespace {
+
+/// Evidence chains: each violation category maps to the flight-recorder
+/// transaction ids backing it, rendered in the trace codec's hex convention
+/// so report entries can be joined against `--trace-out` NDJSON directly.
+void write_evidence(
+    JsonWriter& json,
+    const std::map<std::string, std::vector<std::uint64_t>>& evidence) {
+  json.begin_object("evidence");
+  for (const auto& [category, txns] : evidence) {
+    json.begin_array(category);
+    for (const std::uint64_t txn : txns) {
+      char hex[20];
+      std::snprintf(hex, sizeof(hex), "0x%016llx",
+                    static_cast<unsigned long long>(txn));
+      json.value(hex);
+    }
+    json.end_array();
+  }
+  json.end_object();
+}
 
 void write_dns(JsonWriter& json, const DnsReport& report) {
   json.field("total_nodes", report.total_nodes)
@@ -64,6 +88,8 @@ void write_dns(JsonWriter& json, const DnsReport& report) {
         .end_object();
   }
   json.end_array();
+
+  write_evidence(json, report.evidence);
 }
 
 void write_http(JsonWriter& json, const HttpReport& report) {
@@ -112,6 +138,8 @@ void write_http(JsonWriter& json, const HttpReport& report) {
         .end_object();
   }
   json.end_array();
+
+  write_evidence(json, report.evidence);
 }
 
 void write_https(JsonWriter& json, const HttpsReport& report) {
@@ -135,6 +163,8 @@ void write_https(JsonWriter& json, const HttpsReport& report) {
         .end_object();
   }
   json.end_array();
+
+  write_evidence(json, report.evidence);
 }
 
 void write_monitor(JsonWriter& json, const MonitorReport& report) {
@@ -169,6 +199,8 @@ void write_monitor(JsonWriter& json, const MonitorReport& report) {
     json.end_object();
   }
   json.end_array();
+
+  write_evidence(json, report.evidence);
 }
 
 void write_smtp(JsonWriter& json, const SmtpReport& report) {
@@ -193,6 +225,8 @@ void write_smtp(JsonWriter& json, const SmtpReport& report) {
         .end_object();
   }
   json.end_array();
+
+  write_evidence(json, report.evidence);
 }
 
 template <typename WriteBody, typename Report>

@@ -6,7 +6,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "tft/obs/recorder.hpp"
 #include "tft/stats/table.hpp"
+#include "tft/util/hash.hpp"
 #include "tft/util/rng.hpp"
 #include "tft/util/stream_rng.hpp"
 #include "tft/util/strings.hpp"
@@ -45,9 +47,18 @@ std::size_t SmtpProbe::run() {
     const std::string token = "m" + std::to_string(session_id);
     proxy::RequestOptions options;
     options.country = countries[rng.weighted_index(weights)];
+    // Evidence chain: the id mixes the probe's country stream key (which
+    // embeds its seed) with the session counter — stable across --jobs and
+    // under probe composition.
+    const std::uint64_t txn_id = util::hash_combine(
+        util::StreamKey{config_.seed, 0, util::purpose_tag("country")}.mixed(),
+        session_id);
     options.session = "smtp-" + std::to_string(session_id++);
     ++sessions_issued_;
     world_.metrics.add("smtp.sessions");
+    world_.recorder.begin(txn_id, "smtp", "mail.tft-study.net:25");
+    world_.recorder.event(obs::Hop::kClient, "smtp-probe", "send", token,
+                          static_cast<std::uint64_t>(world_.clock.now().micros));
 
     smtp::ClientScript script;
     script.mail_from = "<probe+" + token + "@tft-study.net>";
@@ -60,22 +71,26 @@ std::size_t SmtpProbe::run() {
       // The overlay is Luminati-like: the methodology cannot run at all.
       overlay_rejected_ = true;
       world_.metrics.add("smtp.overlay_rejected");
+      world_.recorder.end("discarded");
       world_.metrics.end_span(world_.clock.now());
       return 0;
     }
     if (!result.ok()) {
       world_.metrics.add("smtp.failed_sessions");
+      world_.recorder.end("discarded");
       ++stall;
       continue;
     }
     if (!seen_zids.insert(result.zid).second) {
       world_.metrics.add("smtp.duplicate_nodes");
+      world_.recorder.end("discarded");
       ++stall;
       continue;
     }
     stall = 0;
 
     SmtpObservation observation;
+    observation.txn_id = txn_id;
     observation.zid = result.zid;
     observation.exit_address = result.exit_address;
     observation.asn = result.exit_asn;
@@ -99,6 +114,13 @@ std::size_t SmtpProbe::run() {
       }
     }
     world_.metrics.add("smtp.observations");
+    world_.recorder.end(observation.connection_blocked ? "blocked"
+                        : observation.starttls_stripped ? "stripped"
+                        : observation.starttls_downgraded ? "downgraded"
+                        : observation.banner_rewritten ? "banner_rewritten"
+                                                        : "clean");
+    world_.recorder.amend_node(txn_id, observation.zid, observation.asn,
+                               observation.country);
     observations_.push_back(std::move(observation));
   }
   world_.metrics.end_span(world_.clock.now());
@@ -127,8 +149,20 @@ std::size_t SmtpProbe::run() {
   }
 
   // Violation tallies are counted once per node, after the server-side
-  // comparison has filled in body_tampered/message_lost.
+  // comparison has filled in body_tampered/message_lost. The crawl-time
+  // verdict could not see those two outcomes; re-judge each transaction
+  // serially here (observation order keeps the trace deterministic).
   for (const auto& observation : observations_) {
+    const char* verdict = observation.connection_blocked ? "blocked"
+                          : observation.starttls_stripped ? "stripped"
+                          : observation.starttls_downgraded ? "downgraded"
+                          : observation.body_tampered ? "tampered"
+                          : observation.message_lost ? "lost"
+                          : observation.banner_rewritten ? "banner_rewritten"
+                                                          : nullptr;
+    if (verdict != nullptr) {
+      world_.recorder.amend_verdict(observation.txn_id, verdict, "");
+    }
     if (observation.connection_blocked) {
       world_.metrics.add("smtp.violations.port_blocked");
     }
@@ -172,22 +206,32 @@ SmtpReport analyze_smtp(const world::World& world,
     ++as_row.total;
     if (observation.connection_blocked) {
       ++report.blocked;
+      report.evidence["blocked"].push_back(observation.txn_id);
       ++as_row.violations["port blocked"];
     }
     if (observation.starttls_stripped) {
       ++report.stripped;
+      report.evidence["stripped"].push_back(observation.txn_id);
       ++as_row.violations["STARTTLS stripped"];
     }
-    if (observation.starttls_downgraded) ++report.downgraded;
+    if (observation.starttls_downgraded) {
+      ++report.downgraded;
+      report.evidence["downgraded"].push_back(observation.txn_id);
+    }
     if (observation.banner_rewritten) {
       ++report.banner_rewritten;
+      report.evidence["banner_rewritten"].push_back(observation.txn_id);
       ++as_row.violations["banner rewritten"];
     }
     if (observation.body_tampered) {
       ++report.body_tampered;
+      report.evidence["body_tampered"].push_back(observation.txn_id);
       ++as_row.violations["body tampered"];
     }
-    if (observation.message_lost) ++report.message_lost;
+    if (observation.message_lost) {
+      ++report.message_lost;
+      report.evidence["message_lost"].push_back(observation.txn_id);
+    }
   }
   report.unique_ases = ases.size();
   report.unique_countries = countries.size();

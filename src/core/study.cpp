@@ -138,6 +138,7 @@ StudyResult run_study(world::World& world, const StudyConfig& config) {
                             result.coverage[3]);
   world.metrics.end_span(world.clock.now());
   result.metrics = world.metrics;
+  result.trace = world.recorder;
   record_pool_telemetry(result.metrics, pool_before,
                         util::pool_telemetry_snapshot());
   return result;
@@ -150,6 +151,7 @@ StudyResult run_study(const world::WorldSpec& spec, double scale,
   StudyResult result;
   result.coverage.resize(4);
   obs::Registry experiment_metrics[4];
+  obs::Recorder experiment_traces[4];
 
   // Each experiment task builds its own world from the identical
   // (spec, scale, seed) triple — build_world is deterministic, the tasks
@@ -160,22 +162,26 @@ StudyResult run_study(const world::WorldSpec& spec, double scale,
     auto world = world::build_world(spec, scale, seed);
     run_dns_experiment(*world, effective, result.dns, result.coverage[0]);
     experiment_metrics[0] = world->metrics;
+    experiment_traces[0] = world->recorder;
   };
   const auto http_task = [&] {
     auto world = world::build_world(spec, scale, seed);
     run_http_experiment(*world, effective, result.http, result.coverage[1]);
     experiment_metrics[1] = world->metrics;
+    experiment_traces[1] = world->recorder;
   };
   const auto https_task = [&] {
     auto world = world::build_world(spec, scale, seed);
     run_https_experiment(*world, effective, result.https, result.coverage[2]);
     experiment_metrics[2] = world->metrics;
+    experiment_traces[2] = world->recorder;
   };
   const auto monitoring_task = [&] {
     auto world = world::build_world(spec, scale, seed);
     run_monitoring_experiment(*world, effective, result.monitoring,
                               result.coverage[3]);
     experiment_metrics[3] = world->metrics;
+    experiment_traces[3] = world->recorder;
   };
 
   if (effective.jobs <= 1) {
@@ -199,6 +205,7 @@ StudyResult run_study(const world::WorldSpec& spec, double scale,
   // experiment roots and spans the longest experiment's sim timeline.
   result.metrics.begin_span("study", sim::Instant{0});
   for (const auto& slot : experiment_metrics) result.metrics.merge_from(slot);
+  for (const auto& slot : experiment_traces) result.trace.merge_from(slot);
   std::int64_t sim_end = 0;
   for (const auto& span : result.metrics.spans()) {
     sim_end = std::max(sim_end, span.sim_end_us);

@@ -19,6 +19,7 @@
 #include "tft/sim/event_queue.hpp"
 
 namespace tft::obs {
+class Recorder;
 class Registry;
 }
 
@@ -74,6 +75,11 @@ class RecursiveResolver {
   /// cache hits, and NXDOMAIN rewrites actually applied. May stay null.
   void set_metrics(obs::Registry* metrics) noexcept { metrics_ = metrics; }
 
+  /// Flight recorder (the owning world's). An applied NXDOMAIN rewrite
+  /// appends a resolver hop event naming this service to the currently
+  /// open transaction. May stay null.
+  void set_recorder(obs::Recorder* recorder) noexcept { recorder_ = recorder; }
+
  private:
   struct CacheEntry {
     Rcode rcode = Rcode::kNoError;
@@ -91,6 +97,7 @@ class RecursiveResolver {
   std::optional<NxdomainHijackPolicy> hijack_;
   std::unordered_map<std::string, CacheEntry> cache_;
   obs::Registry* metrics_ = nullptr;
+  obs::Recorder* recorder_ = nullptr;
 };
 
 /// An anycast resolver service (e.g. Google Public DNS 8.8.8.8): one
@@ -129,6 +136,9 @@ class ResolverDirectory {
   /// The resolver instance a given client would reach (anycast-aware).
   RecursiveResolver* instance_for(net::Ipv4Address resolver_address,
                                   net::Ipv4Address client);
+
+  std::size_t unicast_count() const noexcept { return unicast_.size(); }
+  std::size_t anycast_count() const noexcept { return anycast_.size(); }
 
  private:
   std::unordered_map<std::uint32_t, std::shared_ptr<RecursiveResolver>> unicast_;

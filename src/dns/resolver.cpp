@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "tft/obs/metrics.hpp"
+#include "tft/obs/recorder.hpp"
 #include "tft/util/hash.hpp"
 
 namespace tft::dns {
@@ -126,6 +127,14 @@ Message RecursiveResolver::apply_hijack(const Message& query, Message response,
   if (!hijack_ || response.flags.rcode != Rcode::kNxDomain) return response;
   if (roll >= hijack_->probability) return response;
   if (metrics_ != nullptr) metrics_->add("resolver.nxdomain_rewrites");
+  if (recorder_ != nullptr) {
+    recorder_->violation(
+        obs::Hop::kResolver, service_address_.to_string(), "rewrite-nxdomain",
+        query.questions.front().name.to_string() + " -> " +
+            hijack_->redirect_address.to_string(),
+        clock_ == nullptr ? 0
+                          : static_cast<std::uint64_t>(clock_->now().micros));
+  }
   Message hijacked = Message::response_to(query, Rcode::kNoError);
   hijacked.flags.recursion_available = true;
   hijacked.answers.push_back(ResourceRecord::a(

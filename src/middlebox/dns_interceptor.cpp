@@ -1,6 +1,7 @@
 #include "tft/middlebox/dns_interceptor.hpp"
 
 #include "tft/obs/metrics.hpp"
+#include "tft/obs/recorder.hpp"
 
 namespace tft::middlebox {
 
@@ -16,6 +17,15 @@ std::optional<dns::Message> NxdomainRewriter::on_response(const dns::Message& qu
   rewritten.answers.push_back(dns::ResourceRecord::a(
       query.questions.front().name, config_.redirect_address, config_.ttl));
   if (context.metrics != nullptr) context.metrics->add("middlebox.dns_rewrites");
+  if (context.recorder != nullptr) {
+    context.recorder->violation(
+        obs::Hop::kMiddlebox, config_.name, "rewrite-nxdomain",
+        query.questions.front().name.to_string() + " -> " +
+            config_.redirect_address.to_string(),
+        context.clock == nullptr
+            ? 0
+            : static_cast<std::uint64_t>(context.clock->now().micros));
+  }
   return rewritten;
 }
 

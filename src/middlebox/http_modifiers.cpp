@@ -2,6 +2,7 @@
 
 #include "tft/http/content.hpp"
 #include "tft/obs/metrics.hpp"
+#include "tft/obs/recorder.hpp"
 #include "tft/util/strings.hpp"
 
 namespace tft::middlebox {
@@ -16,6 +17,17 @@ bool is_html(const http::Response& response) {
 bool is_simg(const http::Response& response) {
   const auto type = response.headers.get("Content-Type");
   return type && util::icontains(*type, "image/simg");
+}
+
+/// Flight-recorder hook: name the box that fired on the open transaction.
+void record_violation(FetchContext& context, std::string_view actor,
+                      std::string_view action, std::string_view detail) {
+  if (context.recorder == nullptr) return;
+  const std::uint64_t now =
+      context.clock == nullptr
+          ? 0
+          : static_cast<std::uint64_t>(context.clock->now().micros);
+  context.recorder->violation(obs::Hop::kMiddlebox, actor, action, detail, now);
 }
 
 }  // namespace
@@ -42,6 +54,8 @@ http::Response HtmlInjector::after_response(const http::Request& request,
   response.body = inject_before_body_end(std::move(response.body), config_.snippet);
   response.headers.set("Content-Length", std::to_string(response.body.size()));
   if (context.metrics != nullptr) context.metrics->add("middlebox.html_injections");
+  record_violation(context, name(), "inject-html",
+                   "snippet " + std::to_string(config_.snippet.size()) + "B");
   return response;
 }
 
@@ -58,6 +72,8 @@ http::Response ImageTranscoder::after_response(const http::Request& request,
   response.body = std::move(*transcoded);
   response.headers.set("Content-Length", std::to_string(response.body.size()));
   if (context.metrics != nullptr) context.metrics->add("middlebox.image_transcodes");
+  record_violation(context, name(), "transcode-image",
+                   "quality " + std::to_string(static_cast<int>(config_.quality)));
   return response;
 }
 
@@ -72,6 +88,7 @@ http::Response ObjectReplacer::after_response(const http::Request& request,
   http::Response replaced = http::Response::make(
       config_.status, http::reason_phrase(config_.status), config_.replacement_body);
   if (context.metrics != nullptr) context.metrics->add("middlebox.object_replacements");
+  record_violation(context, name(), "replace-object", config_.match_content_type);
   return replaced;
 }
 
@@ -79,6 +96,8 @@ std::optional<http::Response> ContentBlocker::before_request(
     const http::Request& request, FetchContext& context) {
   (void)request;
   if (context.metrics != nullptr) context.metrics->add("middlebox.block_pages");
+  record_violation(context, name(), "block-request",
+                   "status " + std::to_string(config_.status));
   return http::Response::make(config_.status, http::reason_phrase(config_.status),
                               config_.block_page_html);
 }

@@ -19,6 +19,7 @@
 #include "tft/util/rng.hpp"
 
 namespace tft::obs {
+class Recorder;
 class Registry;
 }
 
@@ -34,6 +35,11 @@ struct FetchContext {
   /// Observability sink (the owning world's registry); interceptors count
   /// the violations they actually apply here. May be null in unit tests.
   obs::Registry* metrics = nullptr;
+  /// Flight recorder (the owning world's). An interceptor that fires
+  /// appends a hop event naming itself to the currently open transaction,
+  /// so forensics can name the exact box that rewrote the bytes. May be
+  /// null in unit tests.
+  obs::Recorder* recorder = nullptr;
   /// Accumulated delay before the client's request reaches the origin
   /// (Bluecoat-style "scan first, forward later" middleboxes add to this).
   sim::Duration request_hold{0};

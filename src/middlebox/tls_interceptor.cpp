@@ -1,6 +1,7 @@
 #include "tft/middlebox/tls_interceptor.hpp"
 
 #include "tft/obs/metrics.hpp"
+#include "tft/obs/recorder.hpp"
 #include "tft/util/strings.hpp"
 
 namespace tft::middlebox {
@@ -32,6 +33,12 @@ std::optional<tls::CertificateChain> CertReplacer::intercept(
       tls::forge_leaf(upstream.front(), config_.forge, host_seed_, upstream_valid,
                       context.clock->now());
   if (context.metrics != nullptr) context.metrics->add("middlebox.cert_swaps");
+  if (context.recorder != nullptr) {
+    context.recorder->violation(
+        obs::Hop::kMiddlebox, config_.name, "swap-certificate",
+        std::string(host) + " issuer " + config_.forge.issuer.common_name,
+        static_cast<std::uint64_t>(context.clock->now().micros));
+  }
   // Interceptors present only the forged leaf; the product's root lives in
   // the host's local trust store, not on the wire.
   return tls::CertificateChain{forged};

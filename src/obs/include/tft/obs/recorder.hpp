@@ -1,0 +1,153 @@
+// tft::obs v2 — the per-transaction flight recorder.
+//
+// A Recorder captures, for every probe transaction (one DNS d1+d2 session,
+// one HTTP object sweep, one CONNECT scan, one SMTP dialogue, one monitor
+// fetch), the hop-by-hop story the aggregate reports throw away: client →
+// super proxy (pre-check outcome, retry attempts, serving zID) → exit node
+// → resolver / middlebox hops (which interceptor fired and what it
+// rewrote) → origin. The study layer links each recorded chain to the
+// violation verdict the analysis pipeline reached, so `report_json`
+// evidence refs and `tft-trace` forensics can replay the exact blame path.
+//
+// Determinism contract (same as metrics.hpp): recording happens only while
+// a world is driven serially — probe crawls open and close transactions,
+// instrumented components blindly append to the currently open one, and the
+// post-crawl sharded passes never record (verdicts discovered there are
+// amended serially afterwards, in observation order). Per-experiment
+// recorders merge in fixed experiment order. The resulting transaction
+// stream — ids, events, verdicts — is byte-identical for every --jobs
+// value.
+//
+// `txn_id`s derive from the probe's util::StreamRng stream key (see each
+// probe), so they are stable under probe composition and across runs of
+// the same seed: the id *is* the (seed, entity, purpose, counter) address
+// of the draw stream that created the session.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tft::obs {
+
+/// Which layer of the tunnel an event happened at.
+enum class Hop : std::uint8_t {
+  kClient = 0,      // the measurement client itself
+  kSuperProxy = 1,  // the overlay's super proxy
+  kExitNode = 2,    // the exit node agent
+  kResolver = 3,    // a recursive resolver service
+  kMiddlebox = 4,   // an on-path / on-host interceptor
+  kOrigin = 5,      // the destination server (ours or a site)
+};
+
+std::string_view to_string(Hop hop);
+/// Reverse of to_string. Returns false (and leaves `out` alone) on an
+/// unknown name — the codec treats that as a decode error.
+bool hop_from_string(std::string_view name, Hop& out);
+
+/// One hop event in a transaction chain. `sim_us` is simulated time
+/// (deterministic); wall clocks never enter the recorder.
+struct TraceEvent {
+  Hop hop = Hop::kClient;
+  std::string actor;   // who acted: "super-proxy", a zID, a resolver IP, an interceptor name
+  std::string action;  // what happened: "pre-check", "attempt", "rewrite", ...
+  std::string detail;  // free-form specifics: error string, rewritten target, body signature
+  std::uint64_t sim_us = 0;
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+/// One recorded probe transaction.
+struct TxnRecord {
+  std::uint64_t txn_id = 0;
+  std::string kind;     // "dns" | "http" | "https" | "smtp" | "monitor"
+  std::string zid;      // measured exit node (filled when known)
+  std::uint32_t asn = 0;
+  std::string country;
+  std::string target;   // probed name / URL / SNI host
+  /// Analysis outcome: "" while unresolved, "clean", or a violation verb
+  /// ("hijacked", "injected", "transcoded", "replaced", "blocked",
+  /// "monitored", "stripped", "tampered", ...).
+  std::string verdict;
+  /// The middlebox / resolver the attribution pipeline blamed (first
+  /// violating actor in the chain wins; empty when nothing fired).
+  std::string culprit;
+  std::vector<TraceEvent> events;
+
+  bool operator==(const TxnRecord&) const = default;
+};
+
+/// Ring-buffered transaction store. One Recorder per world; never shared
+/// across threads (see file comment for the determinism rules).
+class Recorder {
+ public:
+  /// Default ring capacity: large enough that mini/bench studies never
+  /// wrap; a wrap is observable via dropped().
+  static constexpr std::size_t kDefaultCapacity = 1 << 18;
+
+  /// Ring size in transactions. Shrinking drops oldest records.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  // --- recording (serial crawl only) ---------------------------------------
+  /// Open a transaction. Any previously open transaction is closed first
+  /// (defensive; probes normally close explicitly).
+  void begin(std::uint64_t txn_id, std::string_view kind, std::string_view target);
+  /// True while a transaction is open (components use this implicitly:
+  /// event() outside a transaction is a no-op).
+  bool open() const noexcept { return open_; }
+  /// Fill node identity on the open transaction once the serving node is
+  /// known (the super proxy calls this when an attempt is served).
+  void annotate_node(std::string_view zid);
+  /// Append a hop event to the open transaction. No-op when none is open
+  /// (e.g. monitor re-fetches firing from the event queue between crawls).
+  void event(Hop hop, std::string_view actor, std::string_view action,
+             std::string_view detail, std::uint64_t sim_us);
+  /// Append a hop event AND blame its actor: the first violation in a
+  /// chain sets the transaction's culprit (matching the middlebox rule
+  /// that the first interceptor to fire wins).
+  void violation(Hop hop, std::string_view actor, std::string_view action,
+                 std::string_view detail, std::uint64_t sim_us);
+  /// Close the open transaction with a verdict ("" = not yet known).
+  void end(std::string_view verdict);
+
+  // --- serial post-pass amendment ------------------------------------------
+  /// Verdicts discovered after the crawl (sharded classify/verify/harvest
+  /// passes) are folded back in here, serially, in observation order.
+  /// Returns false when the transaction is unknown (e.g. dropped by the
+  /// ring).
+  bool amend_verdict(std::uint64_t txn_id, std::string_view verdict,
+                     std::string_view culprit);
+  /// Late node identity (e.g. ASN/country resolved in the attribution pass).
+  bool amend_node(std::uint64_t txn_id, std::string_view zid, std::uint32_t asn,
+                  std::string_view country);
+  /// Late chain events (e.g. a monitor's re-fetch, harvested from server
+  /// logs after the watch window).
+  bool amend_event(std::uint64_t txn_id, const TraceEvent& event);
+
+  // --- access ----------------------------------------------------------------
+  const std::vector<TxnRecord>& records() const noexcept { return records_; }
+  const TxnRecord* find(std::uint64_t txn_id) const;
+  /// Transactions evicted by the ring so far.
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Append another recorder's records (in its order). Call in fixed
+  /// experiment order, mirroring Registry::merge_from.
+  void merge_from(const Recorder& other);
+
+  void clear();
+
+ private:
+  void evict_to_capacity();
+
+  std::size_t capacity_ = kDefaultCapacity;
+  std::vector<TxnRecord> records_;
+  /// txn_id -> index into records_. Rebuilt lazily after evictions.
+  std::map<std::uint64_t, std::size_t> index_;
+  bool open_ = false;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace tft::obs

@@ -41,6 +41,12 @@ void traced_for_shards(Registry& registry, std::string_view label,
   for (std::size_t shard = 0; shard < shards; ++shard) {
     registry.append_span("shard" + std::to_string(shard), sim_now.micros,
                          sim_now.micros, walls[shard].begin, walls[shard].end);
+    // Flat per-shard wall timings alongside the spans, so benches can fold
+    // a load-balance profile out of the registry without walking the span
+    // tree. Wall-clock values: `timing` section only.
+    registry.set_timing(
+        "shard_ms." + std::string(label) + "." + std::to_string(shard),
+        (walls[shard].end - walls[shard].begin) / 1000);
   }
   registry.end_span(sim_now);
 }

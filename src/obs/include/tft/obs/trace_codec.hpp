@@ -1,0 +1,41 @@
+// Canonical wire format for flight-recorder transactions.
+//
+// One transaction encodes to exactly one line of JSON (no embedded
+// newlines); a trace file is NDJSON — one line per transaction, in
+// recorder order. Encoding is canonical: the same TxnRecord always
+// produces the same bytes (fixed field order, "0x…" lower-case hex for
+// all 64-bit values — JSON doubles cannot round-trip uint64, same
+// convention as util::StreamCheckpoint). Decoding is strict: unknown
+// format tags, versions, hop names, or malformed hex fail with a clean
+// Result. decode(encode(x)) == x for every value — the trace_codec fuzz
+// target enforces this differentially.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tft/obs/recorder.hpp"
+#include "tft/util/result.hpp"
+
+namespace tft::obs {
+
+/// Format tag + version carried on every line, so a trace file survives
+/// being split, sampled, or concatenated.
+inline constexpr std::string_view kTraceFormatTag = "tft-txn";
+inline constexpr std::int64_t kTraceFormatVersion = 1;
+
+/// One transaction -> one canonical JSON line (no trailing newline).
+std::string encode_txn(const TxnRecord& record);
+
+/// Strict inverse of encode_txn.
+util::Result<TxnRecord> decode_txn(std::string_view line);
+
+/// Serialize records to NDJSON (one encode_txn line each, '\n'-terminated).
+std::string encode_trace(const std::vector<TxnRecord>& records);
+
+/// Parse an NDJSON trace document. Blank lines are ignored; any malformed
+/// line fails the whole parse (with its 1-based line number in the error).
+util::Result<std::vector<TxnRecord>> decode_trace(std::string_view text);
+
+}  // namespace tft::obs

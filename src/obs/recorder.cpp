@@ -1,0 +1,138 @@
+#include "tft/obs/recorder.hpp"
+
+namespace tft::obs {
+
+std::string_view to_string(Hop hop) {
+  switch (hop) {
+    case Hop::kClient: return "client";
+    case Hop::kSuperProxy: return "super-proxy";
+    case Hop::kExitNode: return "exit-node";
+    case Hop::kResolver: return "resolver";
+    case Hop::kMiddlebox: return "middlebox";
+    case Hop::kOrigin: return "origin";
+  }
+  return "client";
+}
+
+bool hop_from_string(std::string_view name, Hop& out) {
+  for (const Hop hop : {Hop::kClient, Hop::kSuperProxy, Hop::kExitNode,
+                        Hop::kResolver, Hop::kMiddlebox, Hop::kOrigin}) {
+    if (name == to_string(hop)) {
+      out = hop;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Recorder::set_capacity(std::size_t capacity) {
+  capacity_ = capacity == 0 ? 1 : capacity;
+  evict_to_capacity();
+}
+
+void Recorder::begin(std::uint64_t txn_id, std::string_view kind,
+                     std::string_view target) {
+  if (open_) end("");
+  TxnRecord record;
+  record.txn_id = txn_id;
+  record.kind = std::string(kind);
+  record.target = std::string(target);
+  records_.push_back(std::move(record));
+  index_[txn_id] = records_.size() - 1;
+  open_ = true;
+  evict_to_capacity();
+}
+
+void Recorder::annotate_node(std::string_view zid) {
+  if (!open_ || records_.empty()) return;
+  records_.back().zid = std::string(zid);
+}
+
+void Recorder::event(Hop hop, std::string_view actor, std::string_view action,
+                     std::string_view detail, std::uint64_t sim_us) {
+  if (!open_ || records_.empty()) return;
+  records_.back().events.push_back(TraceEvent{hop, std::string(actor),
+                                              std::string(action),
+                                              std::string(detail), sim_us});
+}
+
+void Recorder::violation(Hop hop, std::string_view actor, std::string_view action,
+                         std::string_view detail, std::uint64_t sim_us) {
+  event(hop, actor, action, detail, sim_us);
+  if (!open_ || records_.empty()) return;
+  TxnRecord& record = records_.back();
+  if (record.culprit.empty()) record.culprit = std::string(actor);
+}
+
+void Recorder::end(std::string_view verdict) {
+  if (!open_ || records_.empty()) {
+    open_ = false;
+    return;
+  }
+  TxnRecord& record = records_.back();
+  if (record.verdict.empty()) record.verdict = std::string(verdict);
+  open_ = false;
+}
+
+bool Recorder::amend_verdict(std::uint64_t txn_id, std::string_view verdict,
+                             std::string_view culprit) {
+  const auto it = index_.find(txn_id);
+  if (it == index_.end()) return false;
+  TxnRecord& record = records_[it->second];
+  record.verdict = std::string(verdict);
+  if (!culprit.empty()) record.culprit = std::string(culprit);
+  return true;
+}
+
+bool Recorder::amend_node(std::uint64_t txn_id, std::string_view zid,
+                          std::uint32_t asn, std::string_view country) {
+  const auto it = index_.find(txn_id);
+  if (it == index_.end()) return false;
+  TxnRecord& record = records_[it->second];
+  if (!zid.empty()) record.zid = std::string(zid);
+  record.asn = asn;
+  record.country = std::string(country);
+  return true;
+}
+
+bool Recorder::amend_event(std::uint64_t txn_id, const TraceEvent& event) {
+  const auto it = index_.find(txn_id);
+  if (it == index_.end()) return false;
+  records_[it->second].events.push_back(event);
+  return true;
+}
+
+const TxnRecord* Recorder::find(std::uint64_t txn_id) const {
+  const auto it = index_.find(txn_id);
+  return it == index_.end() ? nullptr : &records_[it->second];
+}
+
+void Recorder::merge_from(const Recorder& other) {
+  for (const TxnRecord& record : other.records_) {
+    records_.push_back(record);
+    index_[record.txn_id] = records_.size() - 1;
+  }
+  dropped_ += other.dropped_;
+  evict_to_capacity();
+}
+
+void Recorder::clear() {
+  records_.clear();
+  index_.clear();
+  open_ = false;
+  dropped_ = 0;
+}
+
+void Recorder::evict_to_capacity() {
+  if (records_.size() <= capacity_) return;
+  const std::size_t evict = records_.size() - capacity_;
+  records_.erase(records_.begin(),
+                 records_.begin() + static_cast<std::ptrdiff_t>(evict));
+  dropped_ += evict;
+  index_.clear();
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    index_[records_[i].txn_id] = i;
+  }
+}
+
+}  // namespace tft::obs

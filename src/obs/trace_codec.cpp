@@ -1,0 +1,200 @@
+#include "tft/obs/trace_codec.hpp"
+
+#include <cstdio>
+
+#include "tft/util/json.hpp"
+#include "tft/util/json_parse.hpp"
+
+namespace tft::obs {
+
+using util::ErrorCode;
+using util::JsonValue;
+using util::make_error;
+using util::Result;
+
+namespace {
+
+std::string hex_u64(std::uint64_t value) {
+  char buffer[19];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+Result<std::uint64_t> parse_hex_u64(const JsonValue& value, std::string_view field) {
+  const auto fail = [&](const std::string& what) {
+    return make_error(ErrorCode::kParseError,
+                      "trace field '" + std::string(field) + "': " + what);
+  };
+  if (!value.is_string()) return fail("expected a \"0x…\" hex string");
+  const std::string& text = value.as_string();
+  if (text.size() < 3 || text.size() > 18 || text[0] != '0' || text[1] != 'x') {
+    return fail("malformed hex literal '" + text + "'");
+  }
+  std::uint64_t out = 0;
+  for (std::size_t i = 2; i < text.size(); ++i) {
+    const char c = text[i];
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else {
+      return fail("malformed hex literal '" + text + "'");
+    }
+    out = (out << 4) | digit;
+  }
+  return out;
+}
+
+Result<std::string> parse_string(const JsonValue& value, std::string_view field) {
+  if (!value.is_string()) {
+    return make_error(ErrorCode::kParseError, "trace field '" + std::string(field) +
+                                                  "': expected a string");
+  }
+  return value.as_string();
+}
+
+}  // namespace
+
+std::string encode_txn(const TxnRecord& record) {
+  util::JsonWriter writer;
+  writer.begin_object();
+  writer.field("format", kTraceFormatTag);
+  writer.field("version", kTraceFormatVersion);
+  writer.field("txn", hex_u64(record.txn_id));
+  writer.field("kind", record.kind);
+  writer.field("zid", record.zid);
+  writer.field("asn", static_cast<std::int64_t>(record.asn));
+  writer.field("country", record.country);
+  writer.field("target", record.target);
+  writer.field("verdict", record.verdict);
+  writer.field("culprit", record.culprit);
+  writer.begin_array("events");
+  for (const TraceEvent& event : record.events) {
+    writer.begin_object();
+    writer.field("hop", to_string(event.hop));
+    writer.field("actor", event.actor);
+    writer.field("action", event.action);
+    writer.field("detail", event.detail);
+    writer.field("t_us", hex_u64(event.sim_us));
+    writer.end_object();
+  }
+  writer.end_array();
+  writer.end_object();
+  return std::move(writer).take();
+}
+
+Result<TxnRecord> decode_txn(std::string_view line) {
+  auto parsed = util::parse_json(line);
+  if (!parsed.ok()) return parsed.error();
+  const JsonValue& root = *parsed;
+  if (!root.is_object()) {
+    return make_error(ErrorCode::kParseError, "trace line is not a JSON object");
+  }
+  if (root["format"].as_string() != kTraceFormatTag) {
+    return make_error(ErrorCode::kParseError,
+                      "not a tft-txn record (format tag mismatch)");
+  }
+  if (!root["version"].is_number() ||
+      root["version"].as_int() != kTraceFormatVersion) {
+    return make_error(ErrorCode::kParseError,
+                      "unsupported tft-txn version " +
+                          std::to_string(root["version"].as_int(-1)));
+  }
+
+  TxnRecord record;
+  auto txn = parse_hex_u64(root["txn"], "txn");
+  if (!txn.ok()) return txn.error();
+  record.txn_id = *txn;
+
+  for (const auto& [field, out] :
+       std::initializer_list<std::pair<std::string_view, std::string*>>{
+           {"kind", &record.kind},
+           {"zid", &record.zid},
+           {"country", &record.country},
+           {"target", &record.target},
+           {"verdict", &record.verdict},
+           {"culprit", &record.culprit}}) {
+    auto text = parse_string(root[field], field);
+    if (!text.ok()) return text.error();
+    *out = *std::move(text);
+  }
+
+  const JsonValue& asn = root["asn"];
+  if (!asn.is_number() || asn.as_number() < 0 ||
+      asn.as_number() > 4294967295.0 ||
+      asn.as_number() != static_cast<double>(asn.as_int())) {
+    return make_error(ErrorCode::kParseError,
+                      "trace field 'asn': expected a uint32 number");
+  }
+  record.asn = static_cast<std::uint32_t>(asn.as_int());
+
+  const JsonValue& events = root["events"];
+  if (!events.is_array()) {
+    return make_error(ErrorCode::kParseError,
+                      "trace field 'events': expected an array");
+  }
+  record.events.reserve(events.as_array().size());
+  for (const JsonValue& entry : events.as_array()) {
+    if (!entry.is_object()) {
+      return make_error(ErrorCode::kParseError, "trace event is not an object");
+    }
+    TraceEvent event;
+    auto hop_name = parse_string(entry["hop"], "hop");
+    if (!hop_name.ok()) return hop_name.error();
+    if (!hop_from_string(*hop_name, event.hop)) {
+      return make_error(ErrorCode::kParseError,
+                        "unknown trace hop '" + *hop_name + "'");
+    }
+    auto actor = parse_string(entry["actor"], "actor");
+    if (!actor.ok()) return actor.error();
+    event.actor = *std::move(actor);
+    auto action = parse_string(entry["action"], "action");
+    if (!action.ok()) return action.error();
+    event.action = *std::move(action);
+    auto detail = parse_string(entry["detail"], "detail");
+    if (!detail.ok()) return detail.error();
+    event.detail = *std::move(detail);
+    auto t_us = parse_hex_u64(entry["t_us"], "t_us");
+    if (!t_us.ok()) return t_us.error();
+    event.sim_us = *t_us;
+    record.events.push_back(std::move(event));
+  }
+  return record;
+}
+
+std::string encode_trace(const std::vector<TxnRecord>& records) {
+  std::string out;
+  for (const TxnRecord& record : records) {
+    out += encode_txn(record);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::vector<TxnRecord>> decode_trace(std::string_view text) {
+  std::vector<TxnRecord> out;
+  std::size_t line_number = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    ++line_number;
+    if (!line.empty()) {
+      auto record = decode_txn(line);
+      if (!record.ok()) {
+        return make_error(record.error().code,
+                          "trace line " + std::to_string(line_number) + ": " +
+                              record.error().message);
+      }
+      out.push_back(*std::move(record));
+    }
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace tft::obs

@@ -1,5 +1,6 @@
 #include "tft/proxy/exit_node.hpp"
 
+#include "tft/obs/recorder.hpp"
 #include "tft/util/hash.hpp"
 
 namespace tft::proxy {
@@ -30,6 +31,7 @@ middlebox::FetchContext ExitNodeAgent::make_context(net::Ipv4Address destination
   context.rng = &request_rng_;
   context.web = environment_.web;
   context.metrics = environment_.metrics;
+  context.recorder = environment_.recorder;
   return context;
 }
 
@@ -41,6 +43,27 @@ dns::Message ExitNodeAgent::resolve(const dns::DnsName& name,
 
   const net::Ipv4Address resolver =
       middlebox::effective_resolver(config_.dns_interceptors, config_.dns_resolver);
+  if (environment_.recorder != nullptr) {
+    const std::uint64_t now =
+        static_cast<std::uint64_t>(environment_.clock->now().micros);
+    if (resolver != config_.dns_resolver) {
+      // A transparent DNS proxy diverted the query: scan the chain for the
+      // interceptor responsible so the evidence chain can name it.
+      for (const auto& interceptor : config_.dns_interceptors) {
+        if (interceptor->redirect_resolver(config_.dns_resolver)) {
+          environment_.recorder->violation(
+              obs::Hop::kMiddlebox, interceptor->name(), "redirect-resolver",
+              config_.dns_resolver.to_string() + " -> " + resolver.to_string(),
+              now);
+          break;
+        }
+      }
+    }
+    environment_.recorder->event(obs::Hop::kExitNode, config_.zid, "dns-query",
+                                 name.to_string() + " via " +
+                                     resolver.to_string(),
+                                 now);
+  }
 
   dns::Message response = environment_.resolvers->resolve_via(
       resolver, config_.address, query, stable_hijack_roll(config_.zid));
@@ -93,7 +116,8 @@ std::optional<smtp::Transcript> ExitNodeAgent::run_smtp(
   smtp::SmtpServer* server = environment_.smtp->find(destination);
   if (server == nullptr) return std::nullopt;
   return smtp::run_session(*server, config_.smtp_interceptors, script,
-                           config_.address, environment_.clock->now());
+                           config_.address, environment_.clock->now(),
+                           environment_.recorder);
 }
 
 std::optional<tls::CertificateChain> ExitNodeAgent::fetch_certificate_chain(

@@ -49,6 +49,10 @@ struct Environment {
   /// Observability sink (the owning world's registry); threaded into every
   /// FetchContext and read by the super proxy. May stay null in tests.
   obs::Registry* metrics = nullptr;
+  /// Flight recorder (the owning world's); threaded into every
+  /// FetchContext, the resolvers, and SMTP sessions so every hop of the
+  /// currently open transaction gets an evidence event. May stay null.
+  obs::Recorder* recorder = nullptr;
 };
 
 class ExitNodeAgent {

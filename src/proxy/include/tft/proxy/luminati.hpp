@@ -17,6 +17,10 @@
 
 #include "tft/proxy/exit_node.hpp"
 
+namespace tft::obs {
+enum class Hop : std::uint8_t;
+}
+
 namespace tft::proxy {
 
 struct RequestOptions {
@@ -158,6 +162,10 @@ class SuperProxy {
  private:
   /// Bump a counter on the environment's metrics registry (if wired).
   void count(std::string_view name, std::uint64_t delta = 1);
+  /// Append a hop event to the open flight-recorder transaction (if wired),
+  /// stamped with the current simulated time.
+  void record(obs::Hop hop, std::string_view actor, std::string_view action,
+              std::string_view detail);
   /// Record how many exit nodes one request tried (the churn histogram).
   void observe_attempts(std::size_t attempts);
 

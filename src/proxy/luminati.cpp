@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "tft/obs/metrics.hpp"
+#include "tft/obs/recorder.hpp"
 #include "tft/util/hash.hpp"
 
 #include "tft/util/strings.hpp"
@@ -84,6 +85,14 @@ SuperProxy::SuperProxy(Config config, Environment environment)
 
 void SuperProxy::count(std::string_view name, std::uint64_t delta) {
   if (environment_.metrics != nullptr) environment_.metrics->add(name, delta);
+}
+
+void SuperProxy::record(obs::Hop hop, std::string_view actor,
+                        std::string_view action, std::string_view detail) {
+  if (environment_.recorder == nullptr) return;
+  environment_.recorder->event(
+      hop, actor, action, detail,
+      static_cast<std::uint64_t>(environment_.clock->now().micros));
 }
 
 void SuperProxy::observe_attempts(std::size_t attempts) {
@@ -242,6 +251,8 @@ ProxyFetchResult SuperProxy::fetch(const http::Url& url, const RequestOptions& o
   const auto name = dns::DnsName::parse(url.host);
   if (!name) {
     count("proxy.super_dns_failures");
+    record(obs::Hop::kSuperProxy, "super-proxy", "pre-check",
+           url.host + ": unparseable host");
     result.status = ProxyStatus::kSuperProxyDnsFailure;
     return result;
   }
@@ -252,10 +263,14 @@ ProxyFetchResult SuperProxy::fetch(const http::Url& url, const RequestOptions& o
   const auto resolved = answer.first_a();
   if (answer.is_nxdomain() || !resolved) {
     count("proxy.super_dns_failures");
+    record(obs::Hop::kSuperProxy, "super-proxy", "pre-check",
+           url.host + ": dns failure");
     result.status = ProxyStatus::kSuperProxyDnsFailure;
     return result;
   }
   count("proxy.super_dns_ok");
+  record(obs::Hop::kSuperProxy, "super-proxy", "pre-check",
+         url.host + " -> " + resolved->to_string());
 
   // 2. Attempt via exit nodes, retrying on connection failures.
   std::vector<const ExitNodeAgent*> tried;
@@ -283,9 +298,12 @@ ProxyFetchResult SuperProxy::fetch(const http::Url& url, const RequestOptions& o
     if (node->attempt_fails(scope)) {
       // Exit-node churn: the node dropped off mid-request; retry elsewhere.
       count("proxy.connect_timeouts");
+      record(obs::Hop::kSuperProxy, "super-proxy", "attempt",
+             node->zid() + ": connect_timeout");
       result.timeline.push_back(AttemptInfo{node->zid(), "connect_timeout"});
       continue;
     }
+    record(obs::Hop::kSuperProxy, "super-proxy", "route", "via " + node->zid());
 
     ExitNodeAgent::FetchOutcome outcome =
         options.dns_remote ? node->fetch_http(url, std::nullopt, scope)
@@ -309,6 +327,12 @@ ProxyFetchResult SuperProxy::fetch(const http::Url& url, const RequestOptions& o
 
     count("proxy.fetch_ok");
     observe_attempts(tried.size());
+    if (environment_.recorder != nullptr) {
+      environment_.recorder->annotate_node(node->zid());
+    }
+    record(obs::Hop::kOrigin, url.host, "respond",
+           "status " + std::to_string(outcome.response.status) + ", " +
+               std::to_string(outcome.response.body.size()) + "B");
     result.timeline.push_back(AttemptInfo{node->zid(), ""});
     result.status = ProxyStatus::kOk;
     result.response = std::move(outcome.response);
@@ -363,8 +387,12 @@ SmtpResult SuperProxy::smtp_transaction(net::Ipv4Address destination,
 
     if (node->attempt_fails(scope)) {
       count("proxy.connect_timeouts");
+      record(obs::Hop::kSuperProxy, "super-proxy", "attempt",
+             node->zid() + ": connect_timeout");
       continue;
     }
+    record(obs::Hop::kSuperProxy, "super-proxy", "tunnel",
+           "port 25 via " + node->zid());
 
     auto transcript = node->run_smtp(destination, script);
     if (!transcript) {
@@ -374,6 +402,9 @@ SmtpResult SuperProxy::smtp_transaction(net::Ipv4Address destination,
     }
     count("proxy.smtp_ok");
     observe_attempts(tried.size());
+    if (environment_.recorder != nullptr) {
+      environment_.recorder->annotate_node(node->zid());
+    }
     result.status = ProxyStatus::kOk;
     result.transcript = *std::move(transcript);
     pin_session(options, node, scope);
@@ -422,8 +453,12 @@ ConnectResult SuperProxy::connect_and_handshake(net::Ipv4Address destination,
 
     if (node->attempt_fails(scope)) {
       count("proxy.connect_timeouts");
+      record(obs::Hop::kSuperProxy, "super-proxy", "attempt",
+             node->zid() + ": connect_timeout");
       continue;
     }
+    record(obs::Hop::kSuperProxy, "super-proxy", "tunnel",
+           "CONNECT " + std::string(sni) + ":443 via " + node->zid());
 
     auto chain = node->fetch_certificate_chain(destination, sni, scope);
     if (!chain) {
@@ -433,6 +468,9 @@ ConnectResult SuperProxy::connect_and_handshake(net::Ipv4Address destination,
     }
     count("proxy.connect_ok");
     observe_attempts(tried.size());
+    if (environment_.recorder != nullptr) {
+      environment_.recorder->annotate_node(node->zid());
+    }
     result.status = ProxyStatus::kOk;
     result.chain = *std::move(chain);
     pin_session(options, node, scope);

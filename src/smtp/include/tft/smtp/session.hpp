@@ -6,6 +6,10 @@
 #include "tft/smtp/interceptor.hpp"
 #include "tft/smtp/server.hpp"
 
+namespace tft::obs {
+class Recorder;
+}
+
 namespace tft::smtp {
 
 /// What the probing client wants to send.
@@ -29,9 +33,11 @@ struct Transcript {
 };
 
 /// Run the scripted transaction from `client` against the server at the
-/// other end of the (intercepted) connection.
+/// other end of the (intercepted) connection. When a flight recorder is
+/// supplied, every interceptor that blocks or rewrites part of the
+/// dialogue appends a hop event naming itself to the open transaction.
 Transcript run_session(SmtpServer& server, const SmtpInterceptorList& interceptors,
                        const ClientScript& script, net::Ipv4Address client,
-                       sim::Instant now);
+                       sim::Instant now, obs::Recorder* recorder = nullptr);
 
 }  // namespace tft::smtp

@@ -1,26 +1,40 @@
 #include "tft/smtp/session.hpp"
 
+#include "tft/obs/recorder.hpp"
 #include "tft/util/strings.hpp"
 
 namespace tft::smtp {
 
 namespace {
 
+void record_rewrite(obs::Recorder* recorder, sim::Instant now,
+                    std::string_view actor, std::string_view action,
+                    std::string_view detail) {
+  if (recorder == nullptr) return;
+  recorder->violation(obs::Hop::kMiddlebox, actor, action, detail,
+                      static_cast<std::uint64_t>(now.micros));
+}
+
 /// Pass a reply through the interceptor chain (in order; first rewrite is
 /// fed to the next interceptor, modeling stacked middleboxes).
 Reply intercept_reply(const SmtpInterceptorList& interceptors, const Command& command,
-                      Reply reply) {
+                      Reply reply, obs::Recorder* recorder, sim::Instant now) {
   for (const auto& interceptor : interceptors) {
     if (auto rewritten = interceptor->on_reply(command, reply)) {
+      record_rewrite(recorder, now, interceptor->name(), "rewrite-reply",
+                     command.verb.empty() ? std::string("banner") : command.verb);
       reply = *std::move(rewritten);
     }
   }
   return reply;
 }
 
-Command intercept_command(const SmtpInterceptorList& interceptors, Command command) {
+Command intercept_command(const SmtpInterceptorList& interceptors, Command command,
+                          obs::Recorder* recorder, sim::Instant now) {
   for (const auto& interceptor : interceptors) {
     if (auto rewritten = interceptor->on_command(command)) {
+      record_rewrite(recorder, now, interceptor->name(), "rewrite-command",
+                     command.verb);
       command = *std::move(rewritten);
     }
   }
@@ -31,11 +45,13 @@ Command intercept_command(const SmtpInterceptorList& interceptors, Command comma
 
 Transcript run_session(SmtpServer& server, const SmtpInterceptorList& interceptors,
                        const ClientScript& script, net::Ipv4Address client,
-                       sim::Instant now) {
+                       sim::Instant now, obs::Recorder* recorder) {
   Transcript transcript;
 
   for (const auto& interceptor : interceptors) {
     if (interceptor->blocks_connection()) {
+      record_rewrite(recorder, now, interceptor->name(), "block-connection",
+                     "port 25");
       transcript.errors.push_back("connection blocked by middlebox");
       return transcript;
     }
@@ -45,14 +61,15 @@ Transcript run_session(SmtpServer& server, const SmtpInterceptorList& intercepto
   SmtpServer::Session session = server.open(client, now);
 
   // Banner (modeled as the reply to the empty pseudo-command).
-  const Reply banner = intercept_reply(interceptors, Command{}, server.banner());
+  const Reply banner =
+      intercept_reply(interceptors, Command{}, server.banner(), recorder, now);
   transcript.banner = banner.lines.empty() ? std::string{} : banner.lines.front();
 
   const auto send = [&](Command command) -> Reply {
-    command = intercept_command(interceptors, command);
+    command = intercept_command(interceptors, command, recorder, now);
     const std::string wire = command.serialize();
     Reply reply = session.handle_line(util::trim(wire));  // strip CRLF
-    return intercept_reply(interceptors, command, reply);
+    return intercept_reply(interceptors, command, reply, recorder, now);
   };
 
   // EHLO.
@@ -91,6 +108,8 @@ Transcript run_session(SmtpServer& server, const SmtpInterceptorList& intercepto
   std::string body = script.body;
   for (const auto& interceptor : interceptors) {
     if (auto rewritten = interceptor->on_message_body(body)) {
+      record_rewrite(recorder, now, interceptor->name(), "rewrite-body",
+                     "message body");
       body = *std::move(rewritten);
     }
   }
@@ -101,8 +120,8 @@ Transcript run_session(SmtpServer& server, const SmtpInterceptorList& intercepto
   for (const auto line : lines) {
     session.handle_line(line);
   }
-  const Reply accepted =
-      intercept_reply(interceptors, Command{"DATA", ""}, session.handle_line("."));
+  const Reply accepted = intercept_reply(
+      interceptors, Command{"DATA", ""}, session.handle_line("."), recorder, now);
   transcript.message_accepted = accepted.positive();
 
   send(Command{"QUIT", ""});

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "tft/dns/codec.hpp"
+#include "tft/obs/trace_codec.hpp"
 #include "tft/testing/fuzz.hpp"
 #include "tft/testing/generators.hpp"
 #include "tft/tls/codec.hpp"
@@ -98,6 +99,49 @@ std::vector<std::string> regression_inputs(std::string_view target) {
     out.push_back(R"({"format":"tft-stream-checkpoint","version":1,)"
                   R"("next_round":"0x1","streams":[{"study_seed":"0x0",)"
                   R"("entity":"0x0","purpose":"0x0","counter":"0x0"}]})");
+  } else if (target == "trace_codec") {
+    // Foreign format tag and unsupported version.
+    out.push_back(R"({"format":"other","version":1,"txn":"0x0","kind":"dns",)"
+                  R"("zid":"","asn":0,"country":"","target":"","verdict":"",)"
+                  R"("culprit":"","events":[]})");
+    out.push_back(R"({"format":"tft-txn","version":2,"txn":"0x0","kind":"dns",)"
+                  R"("zid":"","asn":0,"country":"","target":"","verdict":"",)"
+                  R"("culprit":"","events":[]})");
+    // txn as a JSON number: doubles cannot carry uint64 exactly.
+    out.push_back(R"({"format":"tft-txn","version":1,"txn":3,"kind":"dns",)"
+                  R"("zid":"","asn":0,"country":"","target":"","verdict":"",)"
+                  R"("culprit":"","events":[]})");
+    // Upper-case and over-long hex literals (canonical form is lower-case,
+    // at most 16 digits).
+    out.push_back(R"({"format":"tft-txn","version":1,"txn":"0xAB","kind":"dns",)"
+                  R"("zid":"","asn":0,"country":"","target":"","verdict":"",)"
+                  R"("culprit":"","events":[]})");
+    out.push_back(R"({"format":"tft-txn","version":1,)"
+                  R"("txn":"0x10000000000000000","kind":"dns","zid":"",)"
+                  R"("asn":0,"country":"","target":"","verdict":"",)"
+                  R"("culprit":"","events":[]})");
+    // ASN outside uint32, and negative.
+    out.push_back(R"({"format":"tft-txn","version":1,"txn":"0x1","kind":"dns",)"
+                  R"("zid":"","asn":4294967296,"country":"","target":"",)"
+                  R"("verdict":"","culprit":"","events":[]})");
+    out.push_back(R"({"format":"tft-txn","version":1,"txn":"0x1","kind":"dns",)"
+                  R"("zid":"","asn":-1,"country":"","target":"","verdict":"",)"
+                  R"("culprit":"","events":[]})");
+    // Unknown hop name, and an event missing its timestamp.
+    out.push_back(R"({"format":"tft-txn","version":1,"txn":"0x1","kind":"dns",)"
+                  R"("zid":"","asn":0,"country":"","target":"","verdict":"",)"
+                  R"("culprit":"","events":[{"hop":"satellite","actor":"a",)"
+                  R"("action":"b","detail":"c","t_us":"0x0"}]})");
+    out.push_back(R"({"format":"tft-txn","version":1,"txn":"0x1","kind":"dns",)"
+                  R"("zid":"","asn":0,"country":"","target":"","verdict":"",)"
+                  R"("culprit":"","events":[{"hop":"client","actor":"a",)"
+                  R"("action":"b","detail":"c"}]})");
+    // A valid line followed by a truncated one: decode_trace must fail with
+    // the second line's number, never accept the partial document.
+    out.push_back(R"({"format":"tft-txn","version":1,"txn":"0x1","kind":"dns",)"
+                  R"("zid":"","asn":0,"country":"","target":"","verdict":"",)"
+                  R"("culprit":"","events":[]})"
+                  "\n{\"format\":\"tft-txn\",");
   }
   return out;
 }
@@ -128,6 +172,18 @@ Result<std::vector<std::string>> generate_seed_inputs(std::string_view target,
       out.push_back(random_json_document(rng));
     } else if (target == "stream_checkpoint") {
       out.push_back(util::stream_checkpoint_json(random_stream_checkpoint(rng)));
+    } else if (target == "trace_codec") {
+      if (rng.chance(0.7)) {
+        out.push_back(obs::encode_txn(random_txn_record(rng)));
+      } else {
+        std::vector<obs::TxnRecord> records;
+        const std::size_t lines = rng.index(4);
+        records.reserve(lines);
+        for (std::size_t line = 0; line < lines; ++line) {
+          records.push_back(random_txn_record(rng));
+        }
+        out.push_back(obs::encode_trace(records));
+      }
     } else {
       return make_error(ErrorCode::kNotFound,
                         "unknown fuzz target: " + std::string(target));

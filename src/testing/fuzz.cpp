@@ -4,6 +4,7 @@
 
 #include "tft/dns/codec.hpp"
 #include "tft/http/message.hpp"
+#include "tft/obs/trace_codec.hpp"
 #include "tft/smtp/protocol.hpp"
 #include "tft/testing/generators.hpp"
 #include "tft/testing/mutate.hpp"
@@ -235,6 +236,43 @@ bool stream_checkpoint_roundtrip(Rng& rng) {
   return decoded.ok() && *decoded == original;
 }
 
+// --- flight-recorder trace codec ---------------------------------------------
+
+int trace_codec_classify(const std::string& text) {
+  return obs::decode_trace(text).ok() ? 0 : 1;
+}
+
+std::string trace_codec_generate(Rng& rng) {
+  if (rng.chance(0.7)) return obs::encode_txn(random_txn_record(rng));
+  // The NDJSON document form: several transactions, one per line.
+  std::vector<obs::TxnRecord> records;
+  const std::size_t count = rng.index(4);
+  records.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    records.push_back(random_txn_record(rng));
+  }
+  return obs::encode_trace(records);
+}
+
+bool trace_codec_roundtrip(Rng& rng) {
+  // Line level: decode(encode(x)) == x, and re-encoding is canonical
+  // (byte-identical), so traces survive split/sample/concatenate cycles.
+  const obs::TxnRecord original = random_txn_record(rng);
+  const std::string line = obs::encode_txn(original);
+  const auto decoded = obs::decode_txn(line);
+  if (!decoded.ok() || !(*decoded == original)) return false;
+  if (obs::encode_txn(*decoded) != line) return false;
+
+  // Document level through the NDJSON framing.
+  std::vector<obs::TxnRecord> records;
+  const std::size_t count = rng.index(4);
+  for (std::size_t i = 0; i < count; ++i) {
+    records.push_back(random_txn_record(rng));
+  }
+  const auto trace = obs::decode_trace(obs::encode_trace(records));
+  return trace.ok() && *trace == records;
+}
+
 // --- registry ----------------------------------------------------------------
 
 struct TargetHooks {
@@ -277,6 +315,10 @@ const std::vector<TargetHooks>& target_hooks() {
         &entry_adapter<stream_checkpoint_classify>},
        &stream_checkpoint_generate, &stream_checkpoint_classify,
        &stream_checkpoint_roundtrip},
+      {{"trace_codec",
+        "flight-recorder NDJSON trace codec (tft-txn lines, hex u64s)",
+        &entry_adapter<trace_codec_classify>},
+       &trace_codec_generate, &trace_codec_classify, &trace_codec_roundtrip},
   };
   return kHooks;
 }

@@ -308,4 +308,56 @@ util::StreamCheckpoint random_stream_checkpoint(Rng& rng) {
   return checkpoint;
 }
 
+namespace {
+
+/// Free-form trace text: mostly tokens, sometimes laced with the ASCII
+/// characters JSON must escape (quotes, backslashes, control bytes) so the
+/// codec's escape/unescape paths get exercised — but never bytes >= 0x80,
+/// which are not guaranteed to round-trip through the UTF-8 parser.
+std::string random_trace_text(Rng& rng) {
+  std::string out = random_token(rng);
+  if (rng.chance(0.3)) {
+    static constexpr std::string_view kHostile = "\"\\\n\r\t\b\f/ ->:.\x01\x1f";
+    const std::size_t extras = 1 + rng.index(6);
+    for (std::size_t i = 0; i < extras; ++i) {
+      out += kHostile[rng.index(kHostile.size())];
+    }
+    out += random_token(rng);
+  }
+  return out;
+}
+
+}  // namespace
+
+obs::TxnRecord random_txn_record(Rng& rng) {
+  static constexpr std::string_view kKinds[] = {"dns", "http", "https",
+                                                "monitor", "smtp"};
+  static constexpr obs::Hop kHops[] = {
+      obs::Hop::kClient,   obs::Hop::kSuperProxy, obs::Hop::kExitNode,
+      obs::Hop::kResolver, obs::Hop::kMiddlebox,  obs::Hop::kOrigin};
+
+  obs::TxnRecord record;
+  record.txn_id = rng.next_u64();
+  record.kind = rng.chance(0.8) ? std::string(kKinds[rng.index(5)])
+                                : random_trace_text(rng);
+  record.zid = rng.chance(0.2) ? std::string() : random_token(rng);
+  record.asn = static_cast<std::uint32_t>(rng.next_u64());
+  record.country = rng.chance(0.2) ? std::string() : random_token(rng);
+  record.target = random_trace_text(rng);
+  record.verdict = rng.chance(0.3) ? std::string() : random_trace_text(rng);
+  record.culprit = rng.chance(0.5) ? std::string() : random_trace_text(rng);
+  const std::size_t events = rng.index(8);
+  record.events.reserve(events);
+  for (std::size_t i = 0; i < events; ++i) {
+    obs::TraceEvent event;
+    event.hop = kHops[rng.index(6)];
+    event.actor = random_trace_text(rng);
+    event.action = random_trace_text(rng);
+    event.detail = random_trace_text(rng);
+    event.sim_us = rng.next_u64();
+    record.events.push_back(std::move(event));
+  }
+  return record;
+}
+
 }  // namespace tft::testing

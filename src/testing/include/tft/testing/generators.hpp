@@ -11,6 +11,7 @@
 
 #include "tft/dns/message.hpp"
 #include "tft/http/message.hpp"
+#include "tft/obs/recorder.hpp"
 #include "tft/smtp/protocol.hpp"
 #include "tft/tls/certificate.hpp"
 #include "tft/util/rng.hpp"
@@ -85,5 +86,13 @@ std::string random_json_document(util::Rng& rng, int max_depth = 6);
 /// Random valid study resume token (0-5 rounds, full-width 64-bit values
 /// to exercise the hex wire encoding end to end).
 util::StreamCheckpoint random_stream_checkpoint(util::Rng& rng);
+
+// --- flight-recorder transactions --------------------------------------------
+
+/// Random valid flight-recorder transaction: full-width 64-bit ids and
+/// timestamps, every hop kind, and strings laced with JSON-hostile
+/// characters (quotes, backslashes, control bytes) so the trace codec's
+/// escaping is exercised end to end.
+obs::TxnRecord random_txn_record(util::Rng& rng);
 
 }  // namespace tft::testing

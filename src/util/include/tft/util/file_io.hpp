@@ -1,0 +1,47 @@
+// Atomic file creation for CLI outputs (--metrics-out, --trace-out,
+// golden snapshots): write the full contents to a sibling temp file, then
+// rename over the destination. A crashed or killed run can never leave a
+// truncated document that poisons downstream diffing — the destination
+// either keeps its old bytes or gets the complete new ones.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+
+#include "tft/util/result.hpp"
+
+namespace tft::util {
+
+/// Write `content` to `path` atomically (temp file + rename). Returns the
+/// byte count written, or an error when the temp file cannot be created,
+/// written, or renamed into place.
+inline Result<std::size_t> write_file_atomic(const std::string& path,
+                                             std::string_view content) {
+  const std::string temp = path + ".tmp";
+  {
+    std::ofstream file(temp, std::ios::binary | std::ios::trunc);
+    if (!file) {
+      return make_error(ErrorCode::kInvalidArgument, "cannot create " + temp);
+    }
+    file.write(content.data(), static_cast<std::streamsize>(content.size()));
+    file.flush();
+    if (!file) {
+      std::remove(temp.c_str());
+      return make_error(ErrorCode::kInternal, "short write to " + temp);
+    }
+  }
+  std::error_code rename_error;
+  std::filesystem::rename(temp, path, rename_error);
+  if (rename_error) {
+    std::remove(temp.c_str());
+    return make_error(ErrorCode::kInternal, "cannot rename " + temp + " to " +
+                                                path + ": " +
+                                                rename_error.message());
+  }
+  return content.size();
+}
+
+}  // namespace tft::util

@@ -111,6 +111,7 @@ class WorldBuilder {
   void assign_monitors();
   void assign_smtp_interceptors();
   void finalize();
+  void record_world_gauges();
 
   // --- helpers ---------------------------------------------------------------
   std::size_t create_isp(std::string name, CountryCode country, OrgKind kind,
@@ -198,6 +199,7 @@ std::shared_ptr<dns::RecursiveResolver> WorldBuilder::create_resolver(
   auto resolver = std::make_shared<dns::RecursiveResolver>(
       service, service, &world_->authorities, &world_->clock);
   resolver->set_metrics(&world_->metrics);
+  resolver->set_recorder(&world_->recorder);
   if (hijack) resolver->set_nxdomain_hijack(*hijack);
   world_->resolvers.add_resolver(resolver);
   return resolver;
@@ -290,6 +292,7 @@ void WorldBuilder::build_google_dns() {
                     1),
         &world_->authorities, &world_->clock);
     instance->set_metrics(&world_->metrics);
+    instance->set_recorder(&world_->recorder);
     world_->google_dns->add_instance(std::move(instance));
   }
   world_->resolvers.add_anycast(world_->google_dns);
@@ -1158,6 +1161,7 @@ void WorldBuilder::finalize() {
   environment.clock = &world_->clock;
   environment.topology = &world_->topology;
   environment.metrics = &world_->metrics;
+  environment.recorder = &world_->recorder;
 
   proxy::SuperProxy::Config proxy_config;
   proxy_config.allow_arbitrary_ports = spec_.arbitrary_port_overlay;
@@ -1190,6 +1194,45 @@ void WorldBuilder::finalize() {
     world_->luminati->add_exit_node(
         std::make_shared<proxy::ExitNodeAgent>(std::move(config), environment));
   }
+
+  record_world_gauges();
+}
+
+void WorldBuilder::record_world_gauges() {
+  // Deterministic arithmetic model of the world's resident footprint: entity
+  // counts times fixed per-entity cost constants (chosen once, documented
+  // here), never sizeof() — the numbers must be byte-identical across
+  // platforms and jobs because gauges land in the deterministic metrics
+  // section. Real wall-clock memory (peak RSS) is reported separately under
+  // `timing` by tft-study.
+  obs::Registry& metrics = world_->metrics;
+  const std::int64_t nodes = static_cast<std::int64_t>(nodes_.size());
+  const std::int64_t isps = static_cast<std::int64_t>(isps_.size());
+  const std::int64_t resolvers =
+      static_cast<std::int64_t>(world_->resolvers.unicast_count() +
+                                world_->resolvers.anycast_count());
+  const std::int64_t ases =
+      static_cast<std::int64_t>(world_->topology.as_count());
+  const std::int64_t orgs =
+      static_cast<std::int64_t>(world_->topology.organization_count());
+  const std::int64_t prefixes =
+      static_cast<std::int64_t>(world_->topology.announced_prefix_count());
+  const std::int64_t sites =
+      static_cast<std::int64_t>(world_->https_sites.size());
+  metrics.set_gauge("world.nodes", nodes);
+  metrics.set_gauge("world.isps", isps);
+  metrics.set_gauge("world.resolvers", resolvers);
+  metrics.set_gauge("world.ases", ases);
+  metrics.set_gauge("world.https_sites", sites);
+  // Per-entity byte constants: node agent (config + interceptor chains +
+  // truth entry) 512B, AS/org/prefix table rows 64B each, resolver
+  // (zone-walk state + cache headroom) 4096B.
+  metrics.set_gauge("world.bytes.nodes", nodes * 512);
+  metrics.set_gauge("world.bytes.topology", (ases + orgs + prefixes) * 64);
+  metrics.set_gauge("world.bytes.resolver_tables", resolvers * 4096);
+  metrics.set_gauge("world.bytes.total",
+                    nodes * 512 + (ases + orgs + prefixes) * 64 +
+                        resolvers * 4096);
 }
 
 std::unique_ptr<World> WorldBuilder::build() {

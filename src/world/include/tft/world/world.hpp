@@ -14,6 +14,7 @@
 #include "tft/http/server.hpp"
 #include "tft/net/topology.hpp"
 #include "tft/obs/metrics.hpp"
+#include "tft/obs/recorder.hpp"
 #include "tft/proxy/luminati.hpp"
 #include "tft/sim/event_queue.hpp"
 #include "tft/smtp/server.hpp"
@@ -80,6 +81,13 @@ class World {
   /// world is driven serially, so no locking is needed (see obs/metrics.hpp
   /// for the determinism contract).
   obs::Registry metrics;
+
+  /// The world's flight recorder: per-transaction evidence chains behind
+  /// every attributed violation (obs/recorder.hpp). Probes open and close
+  /// transactions; the overlay, resolvers, and interceptors append hop
+  /// events to whichever transaction is open. Like `metrics`, never shared
+  /// across threads — recording happens only on the serial crawl path.
+  obs::Recorder recorder;
 
   /// Resolver service addresses per ISP name ("Verizon" -> its DNS servers).
   /// Lets longitudinal scenarios flip hijacking behaviour on or off over

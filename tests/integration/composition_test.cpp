@@ -11,13 +11,16 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "tft/core/http_probe.hpp"
 #include "tft/core/https_probe.hpp"
 #include "tft/core/monitor_probe.hpp"
 #include "tft/core/smtp_probe.hpp"
 #include "tft/core/study.hpp"
+#include "tft/obs/trace_codec.hpp"
 #include "tft/world/world.hpp"
 
 namespace tft::core {
@@ -109,6 +112,88 @@ TEST(CompositionInvarianceTest, EveryProbeInvariantUnderReordering) {
   EXPECT_EQ(https_reversed, https_forward);
   EXPECT_EQ(smtp_reversed, smtp_forward);
   EXPECT_EQ(monitor_reversed, monitor_forward);
+}
+
+// The flight-recorder side of the same contract: a probe's transaction
+// chains — ids, events, verdicts, blamed culprits — are a pure function of
+// (world, probe config). Encoded as canonical NDJSON so a single shifted
+// draw or timestamp shows up as a byte diff.
+std::string trace_of_kind(const world::World& world, std::string_view kind) {
+  std::vector<obs::TxnRecord> records;
+  for (const auto& record : world.recorder.records()) {
+    if (record.kind == kind) records.push_back(record);
+  }
+  return obs::encode_trace(records);
+}
+
+TEST(CompositionInvarianceTest, DnsTraceChainsIdenticalAloneAndAfterOtherProbes) {
+  auto alone = make_world();
+  run_dns(*alone);
+  const std::string baseline = trace_of_kind(*alone, "dns");
+  ASSERT_FALSE(baseline.empty());
+
+  auto after_many = make_world();
+  run_smtp(*after_many);
+  run_https(*after_many);
+  run_http(*after_many);
+  run_dns(*after_many);
+  EXPECT_EQ(trace_of_kind(*after_many, "dns"), baseline);
+}
+
+TEST(CompositionInvarianceTest, HttpsTraceChainsIdenticalUnderReordering) {
+  auto forward = make_world();
+  run_http(*forward);
+  run_https(*forward);
+  const std::string baseline = trace_of_kind(*forward, "https");
+  ASSERT_FALSE(baseline.empty());
+
+  auto reversed = make_world();
+  run_https(*reversed);
+  run_http(*reversed);
+  EXPECT_EQ(trace_of_kind(*reversed, "https"), baseline);
+}
+
+TEST(CompositionInvarianceTest, TxnIdsUniqueAcrossTheWholeStudy) {
+  // txn_ids derive from per-probe stream keys with distinct probe seeds, so
+  // no two transactions — within or across experiments — may collide.
+  auto world = make_world();
+  run_dns(*world);
+  run_http(*world);
+  run_https(*world);
+  run_smtp(*world);
+  run_monitor(*world);
+
+  std::set<std::uint64_t> seen;
+  for (const auto& record : world->recorder.records()) {
+    EXPECT_TRUE(seen.insert(record.txn_id).second)
+        << "duplicate txn_id " << record.txn_id << " (" << record.kind << ")";
+  }
+  EXPECT_GT(seen.size(), 100u);
+}
+
+TEST(CompositionInvarianceTest, EveryCountedDnsViolationCarriesEvidence) {
+  auto world = make_world();
+  DnsProbeConfig config;
+  config.target_nodes = 400;
+  config.stall_limit = 2000;
+  DnsHijackProbe probe(*world, config);
+  probe.run();
+  const DnsReport report = analyze_dns(*world, probe.observations(), {});
+  ASSERT_GT(report.hijacked_nodes, 0u);
+
+  // One evidence ref per counted violation, and each ref must resolve to a
+  // recorded chain with the matching verdict and a blamed culprit.
+  const auto hijacked = report.evidence.find("hijacked");
+  ASSERT_NE(hijacked, report.evidence.end());
+  EXPECT_EQ(hijacked->second.size(), report.hijacked_nodes);
+  for (const std::uint64_t txn_id : hijacked->second) {
+    const obs::TxnRecord* record = world->recorder.find(txn_id);
+    ASSERT_NE(record, nullptr) << "evidence txn not in recorder";
+    EXPECT_EQ(record->verdict, "hijacked");
+    EXPECT_FALSE(record->culprit.empty())
+        << "hijacked chain must name the resolver that rewrote NXDOMAIN";
+    EXPECT_FALSE(record->events.empty());
+  }
 }
 
 }  // namespace

@@ -1,0 +1,126 @@
+#include "tft/obs/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tft::obs {
+namespace {
+
+TEST(RecorderTest, BeginEventEndCapturesOneTransaction) {
+  Recorder recorder;
+  recorder.begin(0x42, "dns", "x-d2.probe.tft-study.net");
+  EXPECT_TRUE(recorder.open());
+  recorder.event(Hop::kClient, "dns-probe", "fetch-d1", "x-d1", 100);
+  recorder.annotate_node("zid-a");
+  recorder.end("clean");
+  EXPECT_FALSE(recorder.open());
+
+  ASSERT_EQ(recorder.records().size(), 1u);
+  const TxnRecord& record = recorder.records().front();
+  EXPECT_EQ(record.txn_id, 0x42u);
+  EXPECT_EQ(record.kind, "dns");
+  EXPECT_EQ(record.target, "x-d2.probe.tft-study.net");
+  EXPECT_EQ(record.zid, "zid-a");
+  EXPECT_EQ(record.verdict, "clean");
+  ASSERT_EQ(record.events.size(), 1u);
+  EXPECT_EQ(record.events.front().action, "fetch-d1");
+  EXPECT_EQ(record.events.front().sim_us, 100u);
+}
+
+TEST(RecorderTest, EventsOutsideOpenTransactionAreDropped) {
+  // Monitor re-fetches fire from the event queue between crawls; they must
+  // not attach to a neighboring transaction.
+  Recorder recorder;
+  recorder.event(Hop::kOrigin, "stray", "re-fetch", "", 1);
+  recorder.violation(Hop::kMiddlebox, "stray", "rewrite", "", 2);
+  EXPECT_TRUE(recorder.records().empty());
+
+  recorder.begin(1, "http", "example.com");
+  recorder.end("");
+  recorder.event(Hop::kOrigin, "stray", "re-fetch", "", 3);
+  EXPECT_TRUE(recorder.records().front().events.empty());
+}
+
+TEST(RecorderTest, FirstViolationWinsCulprit) {
+  // Matches the middlebox rule: the first interceptor to fire is blamed,
+  // later rewrites in the same chain don't steal the attribution.
+  Recorder recorder;
+  recorder.begin(7, "http", "example.com");
+  recorder.violation(Hop::kMiddlebox, "first-box", "inject-html", "", 1);
+  recorder.violation(Hop::kMiddlebox, "second-box", "inject-html", "", 2);
+  recorder.end("injected");
+  EXPECT_EQ(recorder.records().front().culprit, "first-box");
+  EXPECT_EQ(recorder.records().front().events.size(), 2u);
+}
+
+TEST(RecorderTest, BeginClosesPreviousOpenTransaction) {
+  Recorder recorder;
+  recorder.begin(1, "dns", "a");
+  recorder.begin(2, "dns", "b");
+  recorder.end("clean");
+  ASSERT_EQ(recorder.records().size(), 2u);
+  EXPECT_EQ(recorder.records()[0].verdict, "");  // force-closed, unresolved
+  EXPECT_EQ(recorder.records()[1].verdict, "clean");
+}
+
+TEST(RecorderTest, AmendmentsFixUpClosedTransactions) {
+  Recorder recorder;
+  recorder.begin(5, "https", "site.example");
+  recorder.end("");
+
+  EXPECT_TRUE(recorder.amend_verdict(5, "replaced", "Corporate Proxy CA"));
+  EXPECT_TRUE(recorder.amend_node(5, "zid-b", 64500, "IR"));
+  EXPECT_TRUE(
+      recorder.amend_event(5, TraceEvent{Hop::kOrigin, "watcher", "re-fetch",
+                                         "10.0.0.1 +30s curl", 0}));
+  const TxnRecord* record = recorder.find(5);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->verdict, "replaced");
+  EXPECT_EQ(record->culprit, "Corporate Proxy CA");
+  EXPECT_EQ(record->zid, "zid-b");
+  EXPECT_EQ(record->asn, 64500u);
+  EXPECT_EQ(record->country, "IR");
+  ASSERT_EQ(record->events.size(), 1u);
+
+  // Unknown ids report false so callers can count ring losses.
+  EXPECT_FALSE(recorder.amend_verdict(999, "clean", ""));
+  EXPECT_FALSE(recorder.amend_node(999, "z", 0, ""));
+  EXPECT_FALSE(recorder.amend_event(999, TraceEvent{}));
+}
+
+TEST(RecorderTest, RingEvictsOldestAndCountsDrops) {
+  Recorder recorder;
+  recorder.set_capacity(2);
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    recorder.begin(id, "dns", "t");
+    recorder.end("clean");
+  }
+  ASSERT_EQ(recorder.records().size(), 2u);
+  EXPECT_EQ(recorder.records()[0].txn_id, 3u);
+  EXPECT_EQ(recorder.records()[1].txn_id, 4u);
+  EXPECT_EQ(recorder.dropped(), 2u);
+  // The index survives eviction: old ids gone, new ids found.
+  EXPECT_EQ(recorder.find(1), nullptr);
+  ASSERT_NE(recorder.find(4), nullptr);
+  EXPECT_EQ(recorder.find(4)->txn_id, 4u);
+}
+
+TEST(RecorderTest, MergeAppendsInOrder) {
+  Recorder dns;
+  dns.begin(1, "dns", "a");
+  dns.end("hijacked");
+  Recorder http;
+  http.begin(2, "http", "b");
+  http.end("clean");
+
+  Recorder merged;
+  merged.merge_from(dns);
+  merged.merge_from(http);
+  ASSERT_EQ(merged.records().size(), 2u);
+  EXPECT_EQ(merged.records()[0].txn_id, 1u);
+  EXPECT_EQ(merged.records()[1].txn_id, 2u);
+  ASSERT_NE(merged.find(2), nullptr);
+  EXPECT_EQ(merged.find(2)->kind, "http");
+}
+
+}  // namespace
+}  // namespace tft::obs

@@ -1,0 +1,136 @@
+#include "tft/obs/trace_codec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tft::obs {
+namespace {
+
+TxnRecord sample_record() {
+  TxnRecord record;
+  record.txn_id = 0x2f91b776b258a49bULL;
+  record.kind = "dns";
+  record.zid = "d0310b127a151d91";
+  record.asn = 60015;
+  record.country = "US";
+  record.target = "s12-d2.probe.tft-study.net";
+  record.verdict = "hijacked";
+  record.culprit = "11.15.0.53";
+  record.events.push_back(TraceEvent{Hop::kResolver, "11.15.0.53",
+                                     "rewrite-nxdomain",
+                                     "s12-d2 -> 11.15.0.80", 1234567});
+  return record;
+}
+
+TEST(TraceCodecTest, RoundTripsAndIsCanonical) {
+  const TxnRecord original = sample_record();
+  const std::string line = encode_txn(original);
+  // One line, no embedded newlines: the NDJSON invariant.
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+
+  const auto decoded = decode_txn(line);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  EXPECT_EQ(*decoded, original);
+  // Canonical: re-encoding produces the identical bytes.
+  EXPECT_EQ(encode_txn(*decoded), line);
+}
+
+TEST(TraceCodecTest, HexFieldsCarryFullWidthU64) {
+  TxnRecord record = sample_record();
+  record.txn_id = 0xffffffffffffffffULL;
+  record.events.front().sim_us = 0x8000000000000001ULL;
+  const auto decoded = decode_txn(encode_txn(record));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->txn_id, 0xffffffffffffffffULL);
+  EXPECT_EQ(decoded->events.front().sim_us, 0x8000000000000001ULL);
+}
+
+TEST(TraceCodecTest, EscapedStringsSurvive) {
+  TxnRecord record = sample_record();
+  record.target = "a \"quoted\"\\path\nwith\tcontrol\x01 bytes";
+  record.events.front().detail = "rewrote to <html>\"</html>";
+  const std::string line = encode_txn(record);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  const auto decoded = decode_txn(line);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, record);
+}
+
+TEST(TraceCodecTest, RejectsForeignFormatAndVersion) {
+  std::string line = encode_txn(sample_record());
+  std::string wrong_tag = line;
+  wrong_tag.replace(wrong_tag.find("tft-txn"), 7, "not-txn");
+  EXPECT_FALSE(decode_txn(wrong_tag).ok());
+
+  std::string wrong_version = line;
+  wrong_version.replace(wrong_version.find("\"version\":1"), 11,
+                        "\"version\":9");
+  EXPECT_FALSE(decode_txn(wrong_version).ok());
+}
+
+TEST(TraceCodecTest, RejectsMalformedHexAndBadAsn) {
+  const std::string base = encode_txn(sample_record());
+  for (const char* bad :
+       {R"("txn":"0xG")", R"("txn":"abc")", R"("txn":3)",
+        R"("txn":"0x10000000000000000")", R"("txn":"0xAB")"}) {
+    std::string line = base;
+    const std::size_t at = line.find(R"("txn":"0x2f91b776b258a49b")");
+    ASSERT_NE(at, std::string::npos);
+    line.replace(at, 26, bad);
+    EXPECT_FALSE(decode_txn(line).ok()) << bad;
+  }
+  for (const char* bad : {R"("asn":-1)", R"("asn":4294967296)",
+                          R"("asn":"60015")", R"("asn":1.5)"}) {
+    std::string line = base;
+    const std::size_t at = line.find(R"("asn":60015)");
+    ASSERT_NE(at, std::string::npos);
+    line.replace(at, 11, bad);
+    EXPECT_FALSE(decode_txn(line).ok()) << bad;
+  }
+}
+
+TEST(TraceCodecTest, RejectsUnknownHop) {
+  std::string line = encode_txn(sample_record());
+  const std::size_t at = line.find(R"("hop":"resolver")");
+  ASSERT_NE(at, std::string::npos);
+  line.replace(at, 16, R"("hop":"balloon!")");
+  EXPECT_FALSE(decode_txn(line).ok());
+}
+
+TEST(TraceCodecTest, TraceDocumentRoundTripsWithBlankLines) {
+  std::vector<TxnRecord> records{sample_record(), sample_record()};
+  records[1].txn_id = 99;
+  records[1].verdict = "clean";
+  records[1].events.clear();
+
+  const std::string document = encode_trace(records);
+  const auto decoded = decode_trace(document + "\n\n");
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  EXPECT_EQ(*decoded, records);
+  // Empty document decodes to an empty trace.
+  const auto empty = decode_trace("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(TraceCodecTest, TraceErrorsNameTheLine) {
+  const std::string document =
+      encode_txn(sample_record()) + "\n" + "{\"format\":\"tft-txn\"";
+  const auto decoded = decode_trace(document);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.error().message.find("line 2"), std::string::npos)
+      << decoded.error().message;
+}
+
+TEST(TraceCodecTest, HopNamesRoundTrip) {
+  for (const Hop hop : {Hop::kClient, Hop::kSuperProxy, Hop::kExitNode,
+                        Hop::kResolver, Hop::kMiddlebox, Hop::kOrigin}) {
+    Hop parsed = Hop::kClient;
+    ASSERT_TRUE(hop_from_string(to_string(hop), parsed));
+    EXPECT_EQ(parsed, hop);
+  }
+  Hop unused = Hop::kClient;
+  EXPECT_FALSE(hop_from_string("gateway", unused));
+}
+
+}  // namespace
+}  // namespace tft::obs

@@ -8,6 +8,7 @@
 // requested experiment(s), and writes the paper-style report to stdout or
 // --out.
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <future>
@@ -22,6 +23,9 @@
 #include "tft/core/study.hpp"
 #include "tft/obs/build_info.hpp"
 #include "tft/obs/metrics.hpp"
+#include "tft/obs/recorder.hpp"
+#include "tft/obs/trace_codec.hpp"
+#include "tft/util/file_io.hpp"
 #include "tft/util/flags.hpp"
 #include "tft/util/json.hpp"
 #include "tft/util/thread_pool.hpp"
@@ -59,6 +63,13 @@ Flags:
                      section is byte-identical for every --jobs value
   --metrics-omit-timing  drop the wall-clock `timing` section from
                      --metrics-out so files can be compared byte-for-byte
+  --trace-out <path>  write the flight recorder's per-transaction evidence
+                     chains as NDJSON (one tft-txn line per transaction;
+                     see tft-trace). Byte-identical for every --jobs value
+  --trace-sample <n>  with --trace-out: keep every violation transaction
+                     plus one in every n clean/discarded ones
+  --trace-violations-only  with --trace-out: keep only transactions whose
+                     verdict is a violation
   --stats            append a human-readable metrics summary to the report
   --version          print build provenance (git describe, build type,
                      sanitizer) and exit
@@ -85,6 +96,34 @@ std::string describe_open_failure(const std::string& path) {
   return "cannot open " + path + " for writing";
 }
 
+/// Failure text for an atomic output write: prefer the actionable
+/// missing-parent diagnosis over the low-level temp-file error.
+std::string describe_write_failure(const std::string& path,
+                                   const tft::util::Error& error) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  std::error_code ec;
+  if (!parent.empty() && !std::filesystem::exists(parent, ec)) {
+    return describe_open_failure(path);
+  }
+  return error.to_string();
+}
+
+/// Peak resident set size (VmHWM) in kB. A wall-clock-class value: it
+/// varies with --jobs and allocator behavior, so it lives in the metrics
+/// `timing` section, never among the deterministic gauges. Returns 0 where
+/// /proc is unavailable.
+std::int64_t peak_rss_kb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::atoll(line.c_str() + 6);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -92,7 +131,8 @@ int main(int argc, char** argv) {
   const auto parsed = Flags::parse(
       argc, argv,
       {"mini", "vpn-overlay", "quiet", "json", "dump-spec", "help", "stats",
-       "version", "metrics-omit-timing", "shared-world"});
+       "version", "metrics-omit-timing", "shared-world",
+       "trace-violations-only"});
   if (!parsed.ok()) return fail(parsed.error().to_string());
   const Flags& flags = *parsed;
 
@@ -111,7 +151,8 @@ int main(int argc, char** argv) {
   const auto unknown = flags.unknown(
       {"experiment", "scale", "seed", "target", "jobs", "mini", "vpn-overlay",
        "out", "quiet", "json", "spec", "dump-spec", "metrics-out",
-       "metrics-omit-timing", "stats", "version", "shared-world", "order"});
+       "metrics-omit-timing", "stats", "version", "shared-world", "order",
+       "trace-out", "trace-sample", "trace-violations-only"});
   if (!unknown.empty()) return fail("unknown flag --" + unknown.front());
   if (flags.get_bool("dump-spec") && flags.get_bool("quiet")) {
     return fail("--quiet makes no sense with --dump-spec: the spec dump is "
@@ -138,6 +179,19 @@ int main(int argc, char** argv) {
   const std::string experiment = flags.get_or("experiment", "all");
   const bool quiet = flags.get_bool("quiet");
   const bool json = flags.get_bool("json");
+
+  const auto trace_out = flags.get("trace-out");
+  const auto trace_sample = flags.get_int("trace-sample", 0);
+  if (!trace_sample.ok()) return fail(trace_sample.error().to_string());
+  const bool trace_violations_only = flags.get_bool("trace-violations-only");
+  if (*trace_sample < 0) return fail("--trace-sample must be >= 1");
+  if ((*trace_sample > 0 || trace_violations_only) && !trace_out) {
+    return fail("--trace-sample / --trace-violations-only require --trace-out");
+  }
+  if (*trace_sample > 0 && trace_violations_only) {
+    return fail("--trace-sample and --trace-violations-only are exclusive "
+                "(sampling already keeps every violation)");
+  }
 
   auto spec = flags.get_bool("mini") ? tft::world::mini_spec()
                                      : tft::world::paper_spec();
@@ -229,10 +283,11 @@ int main(int argc, char** argv) {
   };
 
   const auto pool_before = tft::util::pool_telemetry_snapshot();
-  // Per-experiment metrics land in fixed slots (like report sections) and
-  // merge in experiment order after the run, so the deterministic sections
-  // are byte-identical for every --jobs value.
+  // Per-experiment metrics and flight-recorder traces land in fixed slots
+  // (like report sections) and merge in experiment order after the run, so
+  // the deterministic sections are byte-identical for every --jobs value.
   std::vector<tft::obs::Registry> metric_slots(experiments.size());
+  std::vector<tft::obs::Recorder> trace_slots(experiments.size());
 
   // By default every experiment builds its own world from the identical
   // (spec, scale, seed) triple, so the crawls cannot interact through
@@ -272,16 +327,19 @@ int main(int argc, char** argv) {
     struct MetricsCapture {
       tft::world::World& world;
       tft::obs::Registry* slot;
+      tft::obs::Recorder* trace_slot;
       MetricsCapture(tft::world::World& w, tft::obs::Registry* s,
-                     std::string_view label)
-          : world(w), slot(s) {
+                     tft::obs::Recorder* t, std::string_view label)
+          : world(w), slot(s), trace_slot(t) {
         world.metrics.begin_span(label, world.clock.now());
       }
       ~MetricsCapture() {
         world.metrics.end_span(world.clock.now());
         if (slot) *slot = world.metrics;
+        if (trace_slot) *trace_slot = world.recorder;
       }
     } capture(*world, shared ? nullptr : &metric_slots[index],
+              shared ? nullptr : &trace_slots[index],
               name == "monitor" ? std::string_view("monitoring") : name);
     if (name == "dns") {
       tft::core::DnsHijackProbe probe(*world, config.dns);
@@ -349,7 +407,10 @@ int main(int argc, char** argv) {
       sections[i] = futures[i].get();
     }
   }
-  if (shared) metric_slots[0] = shared->metrics;
+  if (shared) {
+    metric_slots[0] = shared->metrics;
+    trace_slots[0] = shared->recorder;
+  }
 
   // Assemble the merged registry: experiment registries in fixed order under
   // a synthetic "study" root (each world had its own clock, so span
@@ -369,6 +430,7 @@ int main(int argc, char** argv) {
   metrics.set_timing("hardware_threads",
                      static_cast<std::int64_t>(
                          tft::util::ThreadPool::default_workers()));
+  metrics.set_timing("peak_rss_kb", peak_rss_kb());
 
   std::string report;
   for (const auto& section : sections) {
@@ -385,16 +447,54 @@ int main(int argc, char** argv) {
     tft::obs::write_build_info(writer);
     metrics.write_json(writer, !flags.get_bool("metrics-omit-timing"));
     writer.end_object();
-    std::ofstream file(*metrics_out);
-    if (!file) return fail(describe_open_failure(*metrics_out));
-    file << std::move(writer).take() << "\n";
+    const auto written = tft::util::write_file_atomic(
+        *metrics_out, std::move(writer).take() + "\n");
+    if (!written.ok()) {
+      return fail(describe_write_failure(*metrics_out, written.error()));
+    }
     if (!quiet) std::cerr << "metrics written to " << *metrics_out << "\n";
   }
 
+  if (trace_out) {
+    // Merge per-experiment recorders in fixed experiment order (mirroring
+    // the metrics merge), then apply the sampling policy: violations are
+    // always kept, clean/discarded transactions are thinned.
+    tft::obs::Recorder trace;
+    for (const auto& slot : trace_slots) trace.merge_from(slot);
+    const auto is_violation = [](const tft::obs::TxnRecord& record) {
+      return !record.verdict.empty() && record.verdict != "clean" &&
+             record.verdict != "discarded";
+    };
+    std::vector<tft::obs::TxnRecord> kept;
+    std::size_t clean_seen = 0;
+    for (const auto& record : trace.records()) {
+      if (is_violation(record)) {
+        kept.push_back(record);
+        continue;
+      }
+      if (trace_violations_only) continue;
+      if (*trace_sample > 0 &&
+          ++clean_seen % static_cast<std::size_t>(*trace_sample) != 0) {
+        continue;
+      }
+      kept.push_back(record);
+    }
+    const auto written =
+        tft::util::write_file_atomic(*trace_out, tft::obs::encode_trace(kept));
+    if (!written.ok()) {
+      return fail(describe_write_failure(*trace_out, written.error()));
+    }
+    if (!quiet) {
+      std::cerr << "trace written to " << *trace_out << " (" << kept.size()
+                << " of " << trace.records().size() << " transactions)\n";
+    }
+  }
+
   if (const auto out = flags.get("out")) {
-    std::ofstream file(*out);
-    if (!file) return fail(describe_open_failure(*out));
-    file << report;
+    const auto written = tft::util::write_file_atomic(*out, report);
+    if (!written.ok()) {
+      return fail(describe_write_failure(*out, written.error()));
+    }
     if (!quiet) std::cerr << "report written to " << *out << "\n";
   } else {
     std::cout << report;

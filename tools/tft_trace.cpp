@@ -1,0 +1,240 @@
+// tft-trace: forensics over flight-recorder trace files.
+//
+//   tft-study --mini --trace-out trace.ndjson
+//   tft-trace --in trace.ndjson --summarize
+//   tft-trace --in trace.ndjson --verdict hijacked
+//   tft-trace --in trace.ndjson --txn 0x2f91b776b258a4a7
+//
+// Answers the question the aggregate report cannot: for one attributed
+// violation, what exactly happened at every hop — and which middlebox or
+// resolver is to blame. `--txn` replays the full chain as a hop table;
+// the filter flags (--node / --asn / --verdict / --kind) list matching
+// transactions one per line so their ids can be fed back into --txn.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tft/obs/recorder.hpp"
+#include "tft/obs/trace_codec.hpp"
+#include "tft/util/flags.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(tft-trace: flight-recorder forensics (see tft-study --trace-out)
+
+Flags:
+  --in <path>        trace file to load (NDJSON of tft-txn lines); required
+  --txn <0x...>      print the full hop-by-hop chain of one transaction
+  --node <zid>       list transactions served by this exit node
+  --asn <n>          list transactions attributed to this AS
+  --verdict <v>      list transactions with this verdict (e.g. hijacked,
+                     injected, replaced, monitored, clean)
+  --kind <k>         list transactions of one probe kind
+                     (dns|http|https|monitor|smtp)
+  --summarize        aggregate counts by kind, verdict, and culprit
+  --help             this text
+
+Filter flags combine (AND). With no query flag, prints the transaction
+count and exits.
+)";
+
+int fail(const std::string& message) {
+  std::cerr << "tft-trace: " << message << "\n" << kUsage;
+  return 2;
+}
+
+/// Parse a transaction id in the codec's "0x…" hex convention (decimal
+/// accepted too, for hand-typed ids).
+bool parse_txn_id(const std::string& text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 0);
+  if (end == nullptr || *end != '\0') return false;
+  out = static_cast<std::uint64_t>(value);
+  return true;
+}
+
+std::string hex_id(std::uint64_t txn_id) {
+  char buffer[20];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(txn_id));
+  return buffer;
+}
+
+/// One-line listing form: id, kind, verdict, node identity, target, blame.
+void print_row(const tft::obs::TxnRecord& record) {
+  std::cout << hex_id(record.txn_id) << "  " << record.kind;
+  for (std::size_t i = record.kind.size(); i < 7; ++i) std::cout << ' ';
+  std::cout << (record.verdict.empty() ? "?" : record.verdict);
+  for (std::size_t i = record.verdict.empty() ? 1 : record.verdict.size();
+       i < 16; ++i) {
+    std::cout << ' ';
+  }
+  std::cout << (record.zid.empty() ? "-" : record.zid)
+            << "  AS" << record.asn << "/"
+            << (record.country.empty() ? "--" : record.country) << "  "
+            << record.target;
+  if (!record.culprit.empty()) std::cout << "  <- " << record.culprit;
+  std::cout << "\n";
+}
+
+/// Full forensic view of one transaction: identity header plus the
+/// hop-by-hop event table, naming the blamed middlebox / resolver.
+void print_chain(const tft::obs::TxnRecord& record) {
+  std::cout << "txn      " << hex_id(record.txn_id) << "\n"
+            << "kind     " << record.kind << "\n"
+            << "target   " << record.target << "\n"
+            << "node     " << (record.zid.empty() ? "-" : record.zid) << "  AS"
+            << record.asn << "  "
+            << (record.country.empty() ? "--" : record.country) << "\n"
+            << "verdict  " << (record.verdict.empty() ? "?" : record.verdict)
+            << "\n"
+            << "culprit  "
+            << (record.culprit.empty() ? "- (no violating actor recorded)"
+                                       : record.culprit)
+            << "\n\n";
+
+  // Column widths sized to content so the table stays readable for long
+  // interceptor names and URLs alike.
+  std::size_t hop_width = 3, actor_width = 5, action_width = 6;
+  for (const auto& event : record.events) {
+    hop_width = std::max(hop_width, tft::obs::to_string(event.hop).size());
+    actor_width = std::max(actor_width, event.actor.size());
+    action_width = std::max(action_width, event.action.size());
+  }
+  const auto pad = [](const std::string_view text, std::size_t width) {
+    std::cout << text;
+    for (std::size_t i = text.size(); i < width + 2; ++i) std::cout << ' ';
+  };
+  pad("t_us", 10);
+  pad("hop", hop_width);
+  pad("actor", actor_width);
+  pad("action", action_width);
+  std::cout << "detail\n";
+  for (const auto& event : record.events) {
+    char t_us[24];
+    std::snprintf(t_us, sizeof(t_us), "%llu",
+                  static_cast<unsigned long long>(event.sim_us));
+    pad(t_us, 10);
+    pad(tft::obs::to_string(event.hop), hop_width);
+    pad(event.actor, actor_width);
+    pad(event.action, action_width);
+    std::cout << event.detail << "\n";
+  }
+  if (record.events.empty()) std::cout << "(no events recorded)\n";
+}
+
+void print_summary(const std::vector<tft::obs::TxnRecord>& records) {
+  std::map<std::string, std::size_t> by_kind;
+  std::map<std::string, std::size_t> by_verdict;
+  std::map<std::string, std::size_t> by_culprit;
+  for (const auto& record : records) {
+    ++by_kind[record.kind];
+    ++by_verdict[record.verdict.empty() ? "?" : record.verdict];
+    if (!record.culprit.empty()) ++by_culprit[record.culprit];
+  }
+  std::cout << records.size() << " transactions\n\nby kind:\n";
+  for (const auto& [kind, count] : by_kind) {
+    std::cout << "  " << kind << ": " << count << "\n";
+  }
+  std::cout << "\nby verdict:\n";
+  for (const auto& [verdict, count] : by_verdict) {
+    std::cout << "  " << verdict << ": " << count << "\n";
+  }
+  // Culprits sorted by blame count: the "who is doing this" answer.
+  std::vector<std::pair<std::string, std::size_t>> culprits(by_culprit.begin(),
+                                                            by_culprit.end());
+  std::sort(culprits.begin(), culprits.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  std::cout << "\nblamed actors:\n";
+  for (const auto& [culprit, count] : culprits) {
+    std::cout << "  " << culprit << ": " << count << "\n";
+  }
+  if (culprits.empty()) std::cout << "  (none)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using tft::util::Flags;
+  const auto parsed = Flags::parse(argc, argv, {"summarize", "help"});
+  if (!parsed.ok()) return fail(parsed.error().to_string());
+  const Flags& flags = *parsed;
+
+  if (flags.get_bool("help")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  const auto unknown = flags.unknown(
+      {"in", "txn", "node", "asn", "verdict", "kind", "summarize", "help"});
+  if (!unknown.empty()) return fail("unknown flag --" + unknown.front());
+
+  const auto in = flags.get("in");
+  if (!in) return fail("--in <trace file> is required");
+  std::ifstream file(*in, std::ios::binary);
+  if (!file) return fail("cannot read " + *in);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const auto decoded = tft::obs::decode_trace(buffer.str());
+  if (!decoded.ok()) {
+    std::cerr << "tft-trace: " << *in
+              << " is not a valid trace: " << decoded.error().to_string()
+              << "\n";
+    return 1;
+  }
+  const std::vector<tft::obs::TxnRecord>& records = *decoded;
+
+  if (const auto txn = flags.get("txn")) {
+    std::uint64_t txn_id = 0;
+    if (!parse_txn_id(*txn, txn_id)) {
+      return fail("--txn wants a transaction id like 0x2f91b776b258a4a7");
+    }
+    for (const auto& record : records) {
+      if (record.txn_id == txn_id) {
+        print_chain(record);
+        return 0;
+      }
+    }
+    std::cerr << "tft-trace: transaction " << hex_id(txn_id) << " not in "
+              << *in << " (sampled out, or from a different run?)\n";
+    return 1;
+  }
+
+  const auto asn_flag = flags.get_int("asn", -1);
+  if (!asn_flag.ok()) return fail(asn_flag.error().to_string());
+  const auto node = flags.get("node");
+  const auto verdict = flags.get("verdict");
+  const auto kind = flags.get("kind");
+
+  if (flags.get_bool("summarize")) {
+    print_summary(records);
+    return 0;
+  }
+  if (!node && !verdict && !kind && *asn_flag < 0) {
+    std::cout << records.size() << " transactions in " << *in
+              << " (use --summarize, --txn, or a filter flag)\n";
+    return 0;
+  }
+
+  std::size_t matched = 0;
+  for (const auto& record : records) {
+    if (node && record.zid != *node) continue;
+    if (*asn_flag >= 0 &&
+        record.asn != static_cast<std::uint32_t>(*asn_flag)) {
+      continue;
+    }
+    if (verdict && record.verdict != *verdict) continue;
+    if (kind && record.kind != *kind) continue;
+    print_row(record);
+    ++matched;
+  }
+  std::cerr << matched << " of " << records.size() << " transactions matched\n";
+  return 0;
+}
