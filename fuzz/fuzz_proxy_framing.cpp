@@ -1,0 +1,10 @@
+// libFuzzer entry point for the proxy_framing target (see src/testing/fuzz.cpp
+// for the parsers this exercises). Build with -DTFT_FUZZ=ON.
+#include <cstddef>
+#include <cstdint>
+
+#include "tft/testing/fuzz.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  return tft::testing::fuzz_one("proxy_framing", data, size);
+}

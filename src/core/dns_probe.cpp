@@ -112,7 +112,7 @@ std::size_t DnsHijackProbe::run() {
         *http::Url::parse("http://" + token + "-d1.probe.tft-study.net/");
     world_.recorder.event(obs::Hop::kClient, "dns-probe", "fetch-d1", d1.host,
                           static_cast<std::uint64_t>(world_.clock.now().micros));
-    const auto r1 = world_.luminati->fetch(d1, options);
+    const auto r1 = world_.proxy().fetch(d1, options);
     if (!r1.ok()) {
       ++stall;
       world_.metrics.add("dns.failed_fetches");
@@ -176,7 +176,7 @@ std::size_t DnsHijackProbe::run() {
         *http::Url::parse("http://" + token + "-d2.probe.tft-study.net/");
     world_.recorder.event(obs::Hop::kClient, "dns-probe", "fetch-d2", d2.host,
                           static_cast<std::uint64_t>(world_.clock.now().micros));
-    const auto r2 = world_.luminati->fetch(d2, options);
+    const auto r2 = world_.proxy().fetch(d2, options);
     if (r2.zid != r1.zid) {
       // The session was re-routed mid-measurement (node churn); discard.
       world_.metrics.add("dns.churn_discards");

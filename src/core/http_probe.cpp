@@ -196,7 +196,7 @@ std::size_t HttpModificationProbe::run() {
     const bool expanding = !expansion.empty();
     world_.recorder.event(obs::Hop::kClient, "http-probe", "fetch", "/",
                           static_cast<std::uint64_t>(world_.clock.now().micros));
-    const auto id_result = world_.luminati->fetch(id_url, options);
+    const auto id_result = world_.proxy().fetch(id_url, options);
     if (!id_result.ok()) {
       world_.metrics.add("http.failed_fetches");
       world_.recorder.end("discarded");
@@ -234,7 +234,7 @@ std::size_t HttpModificationProbe::run() {
       world_.recorder.event(
           obs::Hop::kClient, "http-probe", "fetch", path,
           static_cast<std::uint64_t>(world_.clock.now().micros));
-      return world_.luminati->fetch(*http::Url::parse("http://" + host + path),
+      return world_.proxy().fetch(*http::Url::parse("http://" + host + path),
                                     options);
     };
 

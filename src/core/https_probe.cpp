@@ -85,7 +85,7 @@ std::size_t CertReplacementProbe::run() {
                           site.host,
                           static_cast<std::uint64_t>(world_.clock.now().micros));
     const auto result =
-        world_.luminati->connect_and_handshake(site.address, 443, site.host, options);
+        world_.proxy().connect_and_handshake(site.address, 443, site.host, options);
     if (!result.ok() || result.zid != zid || result.chain.empty()) {
       return std::nullopt;
     }
@@ -146,7 +146,7 @@ std::size_t CertReplacementProbe::run() {
     world_.recorder.event(obs::Hop::kClient, "https-probe", "connect",
                           first_site->host,
                           static_cast<std::uint64_t>(world_.clock.now().micros));
-    const auto first = world_.luminati->connect_and_handshake(
+    const auto first = world_.proxy().connect_and_handshake(
         first_site->address, 443, first_site->host, options);
     if (!first.ok()) {
       ++stall;

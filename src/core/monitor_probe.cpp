@@ -59,7 +59,7 @@ std::size_t ContentMonitorProbe::run() {
     world_.recorder.event(obs::Hop::kClient, "monitor-probe", "fetch", host,
                           static_cast<std::uint64_t>(world_.clock.now().micros));
     const auto result =
-        world_.luminati->fetch(*http::Url::parse("http://" + host + "/"), options);
+        world_.proxy().fetch(*http::Url::parse("http://" + host + "/"), options);
     if (!result.ok()) {
       ++stall;
       world_.recorder.end("discarded");

@@ -1,0 +1,73 @@
+// Incremental HTTP/1.1 message framing over a byte stream. The one-shot
+// parsers in message.hpp require the complete wire image; a TCP read loop
+// gets bytes in arbitrary segments ("GET http://" in one read, the rest of
+// the head three reads later). MessageReader accumulates those segments and
+// yields complete head+body images — including several per feed when the
+// peer pipelines — which the one-shot parsers then consume unchanged.
+//
+// Framing is identity-only (Content-Length, or no body without one);
+// chunked transfer coding is rejected, as nothing on the socket front-end's
+// wire uses it (the proxy serializes responses with identity framing).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "tft/util/result.hpp"
+
+namespace tft::http {
+
+class MessageReader {
+ public:
+  struct Limits {
+    /// Maximum bytes before the header terminator (slow/garbage peers).
+    std::size_t max_head_bytes = 64 * 1024;
+    /// Maximum declared Content-Length.
+    std::size_t max_body_bytes = 4 * 1024 * 1024;
+  };
+
+  MessageReader() = default;
+  explicit MessageReader(Limits limits) : limits_(limits) {}
+
+  /// Append stream bytes and extract every message they complete. Errors
+  /// (oversize head or body, malformed Content-Length, chunked framing)
+  /// are sticky: the stream is unrecoverable after the first one.
+  util::Result<void> feed(std::string_view bytes);
+
+  /// Pop the next complete message (full head+body wire image), if any.
+  std::optional<std::string> next_message();
+
+  /// Complete messages currently queued.
+  std::size_t ready() const noexcept { return ready_.size(); }
+
+  /// Surrender buffered not-yet-complete bytes (and reset). Used when the
+  /// stream switches protocol mid-connection: after a CONNECT is accepted,
+  /// bytes already read belong to the tunnel, not to a next HTTP message.
+  std::string take_leftover() {
+    std::string out = std::move(buffer_);
+    buffer_.clear();
+    scan_from_ = 0;
+    return out;
+  }
+
+  /// Bytes of a not-yet-complete message sitting in the buffer. Non-zero
+  /// means the peer started a message it has not finished — the state a
+  /// read timeout should treat as a slow header attack rather than an
+  /// idle keep-alive connection.
+  std::size_t partial_bytes() const noexcept { return buffer_.size(); }
+
+ private:
+  util::Result<void> extract();
+
+  Limits limits_;
+  std::string buffer_;
+  std::deque<std::string> ready_;
+  /// Head-terminator scan resume point (never rescan settled bytes).
+  std::size_t scan_from_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace tft::http

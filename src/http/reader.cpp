@@ -1,0 +1,126 @@
+#include "tft/http/reader.hpp"
+
+#include <charconv>
+
+#include "tft/util/strings.hpp"
+
+namespace tft::http {
+
+using util::ErrorCode;
+using util::make_error;
+using util::Result;
+
+namespace {
+
+/// Find the Content-Length value in a complete header block (the bytes
+/// between the start line and the blank line). Returns the declared length,
+/// nullopt when absent, or an error on malformed values, duplicates that
+/// disagree, or chunked transfer coding.
+Result<std::optional<std::size_t>> declared_body_length(std::string_view head) {
+  std::optional<std::size_t> length;
+  // Skip the start line; header lines follow, each CRLF-terminated.
+  auto line_start = head.find("\r\n");
+  while (line_start != std::string_view::npos && line_start + 2 < head.size()) {
+    std::string_view rest = head.substr(line_start + 2);
+    const auto line_end = rest.find("\r\n");
+    const std::string_view line =
+        line_end == std::string_view::npos ? rest : rest.substr(0, line_end);
+    const auto colon = line.find(':');
+    if (colon != std::string_view::npos) {
+      const std::string_view name = util::trim(line.substr(0, colon));
+      const std::string_view value = util::trim(line.substr(colon + 1));
+      if (util::iequals(name, "Transfer-Encoding")) {
+        return make_error(ErrorCode::kParseError,
+                          "chunked framing is not supported on this stream");
+      }
+      if (util::iequals(name, "Content-Length")) {
+        std::size_t parsed = 0;
+        const auto [ptr, ec] =
+            std::from_chars(value.data(), value.data() + value.size(), parsed);
+        if (ec != std::errc{} || ptr != value.data() + value.size() ||
+            value.empty()) {
+          return make_error(ErrorCode::kParseError,
+                            "bad Content-Length: " + std::string(value));
+        }
+        if (length && *length != parsed) {
+          return make_error(ErrorCode::kParseError,
+                            "conflicting Content-Length headers");
+        }
+        length = parsed;
+      }
+    }
+    line_start = line_end == std::string_view::npos
+                     ? std::string_view::npos
+                     : line_start + 2 + line_end;
+  }
+  return length;
+}
+
+}  // namespace
+
+Result<void> MessageReader::feed(std::string_view bytes) {
+  if (failed_) {
+    return make_error(ErrorCode::kProtocolViolation,
+                      "stream already failed; reader must be discarded");
+  }
+  buffer_.append(bytes);
+  auto extracted = extract();
+  if (!extracted.ok()) failed_ = true;
+  return extracted;
+}
+
+std::optional<std::string> MessageReader::next_message() {
+  if (ready_.empty()) return std::nullopt;
+  std::string out = std::move(ready_.front());
+  ready_.pop_front();
+  return out;
+}
+
+Result<void> MessageReader::extract() {
+  for (;;) {
+    // Resume the terminator scan 3 bytes back: the terminator may straddle
+    // the previous feed boundary.
+    const std::size_t from = scan_from_ > 3 ? scan_from_ - 3 : 0;
+    const auto head_end = buffer_.find("\r\n\r\n", from);
+    if (head_end == std::string::npos) {
+      if (buffer_.size() > limits_.max_head_bytes) {
+        return make_error(ErrorCode::kOutOfRange,
+                          "header block exceeds " +
+                              std::to_string(limits_.max_head_bytes) +
+                              " bytes");
+      }
+      scan_from_ = buffer_.size();
+      return {};
+    }
+    if (head_end > limits_.max_head_bytes) {
+      return make_error(ErrorCode::kOutOfRange,
+                        "header block exceeds " +
+                            std::to_string(limits_.max_head_bytes) + " bytes");
+    }
+
+    const std::string_view head =
+        std::string_view(buffer_).substr(0, head_end + 2);
+    auto declared = declared_body_length(head);
+    if (!declared.ok()) return declared.error();
+    const std::size_t body_length = declared->value_or(0);
+    if (body_length > limits_.max_body_bytes) {
+      return make_error(ErrorCode::kOutOfRange,
+                        "declared body exceeds " +
+                            std::to_string(limits_.max_body_bytes) + " bytes");
+    }
+
+    const std::size_t message_size = head_end + 4 + body_length;
+    if (buffer_.size() < message_size) {
+      // Head settled, body still arriving. The scan point can rest at the
+      // terminator: the next pass re-finds it instantly.
+      scan_from_ = head_end;
+      return {};
+    }
+
+    ready_.push_back(buffer_.substr(0, message_size));
+    buffer_.erase(0, message_size);
+    scan_from_ = 0;
+  }
+}
+
+}  // namespace tft::http

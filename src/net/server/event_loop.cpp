@@ -1,0 +1,110 @@
+#include "tft/net/server/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace tft::net::server {
+
+using util::ErrorCode;
+using util::make_error;
+using util::Result;
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Result<void> EventLoop::init() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return make_error(ErrorCode::kInternal,
+                      std::string("epoll_create1: ") + std::strerror(errno));
+  }
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    return make_error(ErrorCode::kInternal,
+                      std::string("eventfd: ") + std::strerror(errno));
+  }
+  // The wakeup fd drains itself; a poll() interrupted by wake() dispatches
+  // nothing and returns to its caller.
+  return add(wake_fd_, EPOLLIN, [this](std::uint32_t) {
+    std::uint64_t drained = 0;
+    while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+    }
+  });
+}
+
+Result<void> EventLoop::add(int fd, std::uint32_t events, Handler handler) {
+  epoll_event event{};
+  event.events = events;
+  event.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
+    return make_error(ErrorCode::kInternal,
+                      std::string("epoll_ctl(ADD): ") + std::strerror(errno));
+  }
+  handlers_[fd] = Registration{std::move(handler), next_generation_++};
+  return {};
+}
+
+void EventLoop::modify(int fd, std::uint32_t events) {
+  epoll_event event{};
+  event.events = events;
+  event.data.fd = fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event);
+}
+
+void EventLoop::remove(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+int EventLoop::poll(int timeout_ms) {
+  epoll_event events[64];
+  const int ready = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  if (ready <= 0) return 0;
+
+  // Snapshot generations first: a handler that closes one connection and
+  // accepts another may reuse the same fd number within this round; the
+  // stale queued event must not reach the new registration.
+  std::vector<std::pair<int, std::uint64_t>> snapshot;
+  snapshot.reserve(static_cast<std::size_t>(ready));
+  for (int i = 0; i < ready; ++i) {
+    const int fd = events[i].data.fd;
+    const auto it = handlers_.find(fd);
+    if (it == handlers_.end()) continue;
+    snapshot.emplace_back(fd, it->second.generation);
+  }
+
+  int dispatched = 0;
+  for (int i = 0; i < ready; ++i) {
+    const int fd = events[i].data.fd;
+    const auto it = handlers_.find(fd);
+    if (it == handlers_.end()) continue;
+    bool fresh = false;
+    for (const auto& [snap_fd, snap_gen] : snapshot) {
+      if (snap_fd == fd && snap_gen == it->second.generation) {
+        fresh = true;
+        break;
+      }
+    }
+    if (!fresh) continue;
+    if (fd != wake_fd_) ++dispatched;
+    // Copy: the handler may remove (and so destroy) its own registration.
+    const Handler handler = it->second.handler;
+    handler(events[i].events);
+  }
+  return dispatched;
+}
+
+void EventLoop::wake() {
+  if (wake_fd_ < 0) return;
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const auto written = ::write(wake_fd_, &one, sizeof(one));
+}
+
+}  // namespace tft::net::server

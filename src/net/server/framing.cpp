@@ -1,0 +1,311 @@
+#include "tft/net/server/framing.hpp"
+
+#include <charconv>
+
+#include "tft/tls/codec.hpp"
+#include "tft/util/bytes.hpp"
+#include "tft/util/strings.hpp"
+
+namespace tft::net::server {
+
+using util::ByteReader;
+using util::ByteWriter;
+using util::ErrorCode;
+using util::make_error;
+using util::Result;
+
+namespace {
+
+constexpr std::string_view kCustomerPrefix = "customer-tft-zone-static";
+constexpr std::string_view kAuthScheme = "Lum ";
+constexpr std::string_view kHelloMagic = "TFTH";
+constexpr std::string_view kReplyMagic = "TFTR";
+
+}  // namespace
+
+std::string format_credentials(const proxy::RequestOptions& options) {
+  std::string out(kCustomerPrefix);
+  if (options.country) {
+    out += "-country-";
+    out += *options.country;
+  }
+  if (options.dns_remote) out += "-dns-remote";
+  if (options.session) {
+    // Always last: session ids contain dashes ("dns-42").
+    out += "-session-";
+    out += *options.session;
+  }
+  return out;
+}
+
+Result<proxy::RequestOptions> parse_credentials(std::string_view text) {
+  if (!text.starts_with(kCustomerPrefix)) {
+    return make_error(ErrorCode::kParseError,
+                      "credentials must start with " +
+                          std::string(kCustomerPrefix));
+  }
+  text.remove_prefix(kCustomerPrefix.size());
+
+  proxy::RequestOptions options;
+  if (text.starts_with("-country-")) {
+    text.remove_prefix(9);
+    const auto dash = text.find('-');
+    const std::string_view value =
+        dash == std::string_view::npos ? text : text.substr(0, dash);
+    if (value.empty()) {
+      return make_error(ErrorCode::kParseError, "empty country in credentials");
+    }
+    options.country = std::string(value);
+    text.remove_prefix(value.size());
+  }
+  if (text.starts_with("-dns-remote")) {
+    options.dns_remote = true;
+    text.remove_prefix(11);
+  }
+  if (text.starts_with("-session-")) {
+    options.session = std::string(text.substr(9));
+    text = {};
+  }
+  if (!text.empty()) {
+    return make_error(ErrorCode::kParseError,
+                      "trailing credential fields: " + std::string(text));
+  }
+  return options;
+}
+
+Result<ProxyRequestHead> parse_proxy_request(std::string_view wire) {
+  auto request = http::Request::parse(wire);
+  if (!request.ok()) return request.error();
+
+  ProxyRequestHead head;
+  if (const auto connection = request->headers.get("Connection");
+      connection && util::iequals(*connection, "close")) {
+    head.close = true;
+  }
+  if (const auto auth = request->headers.get("Proxy-Authorization")) {
+    if (!auth->starts_with(kAuthScheme)) {
+      return make_error(ErrorCode::kParseError,
+                        "unsupported Proxy-Authorization scheme");
+    }
+    auto options = parse_credentials(auth->substr(kAuthScheme.size()));
+    if (!options.ok()) return options.error();
+    head.options = *std::move(options);
+  }
+
+  if (request->method == http::Method::kConnect) {
+    head.kind = ProxyRequestHead::Kind::kConnect;
+    const auto colon = request->target.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      return make_error(ErrorCode::kParseError,
+                        "CONNECT target must be host:port");
+    }
+    const std::string_view host =
+        std::string_view(request->target).substr(0, colon);
+    const std::string_view port_text =
+        std::string_view(request->target).substr(colon + 1);
+    auto address = Ipv4Address::parse(host);
+    if (!address.ok()) {
+      return make_error(ErrorCode::kParseError,
+                        "CONNECT requires a literal IPv4 destination, got " +
+                            std::string(host));
+    }
+    std::uint32_t port = 0;
+    const auto [ptr, ec] = std::from_chars(
+        port_text.data(), port_text.data() + port_text.size(), port);
+    if (ec != std::errc{} || ptr != port_text.data() + port_text.size() ||
+        port_text.empty() || port == 0 || port > 65535) {
+      return make_error(ErrorCode::kParseError,
+                        "bad CONNECT port: " + std::string(port_text));
+    }
+    head.connect_address = *address;
+    head.connect_port = static_cast<std::uint16_t>(port);
+    return head;
+  }
+
+  if (request->method != http::Method::kGet) {
+    return make_error(ErrorCode::kProtocolViolation,
+                      "only GET and CONNECT are served");
+  }
+  auto url = request->target_url();
+  if (!url.ok()) {
+    return make_error(ErrorCode::kParseError,
+                      "GET target must be an absolute URL: " + url.error().message);
+  }
+  head.kind = ProxyRequestHead::Kind::kGet;
+  head.url = *std::move(url);
+  return head;
+}
+
+std::string build_proxy_get(const http::Url& url,
+                            const proxy::RequestOptions& options) {
+  http::Request request = http::Request::proxy_get(url);
+  request.headers.set("Proxy-Authorization",
+                      std::string(kAuthScheme) + format_credentials(options));
+  return request.serialize();
+}
+
+std::string build_connect(Ipv4Address destination, std::uint16_t port,
+                          const proxy::RequestOptions& options) {
+  http::Request request = http::Request::connect(destination.to_string(), port);
+  request.headers.set("Proxy-Authorization",
+                      std::string(kAuthScheme) + format_credentials(options));
+  return request.serialize();
+}
+
+std::string encode_attempts(const std::vector<proxy::AttemptInfo>& attempts) {
+  std::string out;
+  for (std::size_t i = 0; i < attempts.size(); ++i) {
+    if (i > 0) out += ',';
+    out += attempts[i].zid;
+    out += ':';
+    out += attempts[i].error.empty() ? "ok" : attempts[i].error;
+  }
+  return out;
+}
+
+Result<std::vector<proxy::AttemptInfo>> decode_attempts(std::string_view text) {
+  std::vector<proxy::AttemptInfo> out;
+  if (text.empty()) return out;
+  for (const auto piece : util::split(text, ',')) {
+    const auto colon = piece.find(':');
+    if (colon == std::string_view::npos || colon == 0 ||
+        colon + 1 == piece.size()) {
+      return make_error(ErrorCode::kParseError,
+                        "malformed attempt entry: " + std::string(piece));
+    }
+    proxy::AttemptInfo attempt;
+    attempt.zid = std::string(piece.substr(0, colon));
+    const std::string_view status = piece.substr(colon + 1);
+    attempt.error = status == "ok" ? std::string{} : std::string(status);
+    out.push_back(std::move(attempt));
+  }
+  return out;
+}
+
+std::string encode_tunnel_hello(const TunnelHello& hello) {
+  ByteWriter writer;
+  writer.bytes(kHelloMagic);
+  writer.u16(static_cast<std::uint16_t>(hello.sni.size()));
+  writer.bytes(hello.sni);
+  return std::move(writer).take();
+}
+
+Result<TunnelHello> decode_tunnel_hello(std::string_view payload) {
+  ByteReader reader(payload);
+  const auto magic = reader.bytes(kHelloMagic.size());
+  if (!magic.ok() || *magic != kHelloMagic) {
+    return make_error(ErrorCode::kParseError, "bad tunnel hello magic");
+  }
+  const auto length = reader.u16();
+  if (!length.ok()) return length.error();
+  const auto sni = reader.bytes(*length);
+  if (!sni.ok()) return sni.error();
+  if (!reader.at_end()) {
+    return make_error(ErrorCode::kParseError,
+                      "trailing bytes after tunnel hello");
+  }
+  TunnelHello hello;
+  hello.sni = std::string(*sni);
+  return hello;
+}
+
+std::string encode_tunnel_reply(const TunnelReply& reply) {
+  ByteWriter writer;
+  writer.bytes(kReplyMagic);
+  const std::string_view status = proxy::to_string(reply.status);
+  writer.u8(static_cast<std::uint8_t>(status.size()));
+  writer.bytes(status);
+  writer.u16(static_cast<std::uint16_t>(reply.zid.size()));
+  writer.bytes(reply.zid);
+  writer.u32(reply.exit_address.value());
+  writer.u8(static_cast<std::uint8_t>(reply.exit_country.size()));
+  writer.bytes(reply.exit_country);
+  const std::string chain = tls::encode_chain(reply.chain);
+  writer.u32(static_cast<std::uint32_t>(chain.size()));
+  writer.bytes(chain);
+  return std::move(writer).take();
+}
+
+Result<TunnelReply> decode_tunnel_reply(std::string_view payload) {
+  ByteReader reader(payload);
+  const auto magic = reader.bytes(kReplyMagic.size());
+  if (!magic.ok() || *magic != kReplyMagic) {
+    return make_error(ErrorCode::kParseError, "bad tunnel reply magic");
+  }
+  TunnelReply reply;
+
+  const auto status_length = reader.u8();
+  if (!status_length.ok()) return status_length.error();
+  const auto status_text = reader.bytes(*status_length);
+  if (!status_text.ok()) return status_text.error();
+  auto status = proxy::parse_proxy_status(*status_text);
+  if (!status.ok()) return status.error();
+  reply.status = *status;
+
+  const auto zid_length = reader.u16();
+  if (!zid_length.ok()) return zid_length.error();
+  const auto zid = reader.bytes(*zid_length);
+  if (!zid.ok()) return zid.error();
+  reply.zid = std::string(*zid);
+
+  const auto address = reader.u32();
+  if (!address.ok()) return address.error();
+  reply.exit_address = Ipv4Address(*address);
+
+  const auto country_length = reader.u8();
+  if (!country_length.ok()) return country_length.error();
+  const auto country = reader.bytes(*country_length);
+  if (!country.ok()) return country.error();
+  reply.exit_country = std::string(*country);
+
+  const auto chain_length = reader.u32();
+  if (!chain_length.ok()) return chain_length.error();
+  const auto chain_bytes = reader.bytes(*chain_length);
+  if (!chain_bytes.ok()) return chain_bytes.error();
+  auto chain = tls::decode_chain(*chain_bytes);
+  if (!chain.ok()) return chain.error();
+  reply.chain = *std::move(chain);
+
+  if (!reader.at_end()) {
+    return make_error(ErrorCode::kParseError,
+                      "trailing bytes after tunnel reply");
+  }
+  return reply;
+}
+
+std::string frame(std::string_view payload) {
+  ByteWriter writer;
+  writer.u32(static_cast<std::uint32_t>(payload.size()));
+  writer.bytes(payload);
+  return std::move(writer).take();
+}
+
+Result<void> FrameReader::feed(std::string_view bytes) {
+  buffer_.append(bytes);
+  while (buffer_.size() >= 4) {
+    ByteReader reader(buffer_);
+    const auto length = reader.u32();
+    if (!length.ok()) return length.error();
+    if (*length == 0) {
+      return make_error(ErrorCode::kProtocolViolation, "empty tunnel frame");
+    }
+    if (*length > max_frame_bytes_) {
+      return make_error(ErrorCode::kOutOfRange,
+                        "tunnel frame exceeds " +
+                            std::to_string(max_frame_bytes_) + " bytes");
+    }
+    if (buffer_.size() < 4 + *length) break;
+    ready_.push_back(buffer_.substr(4, *length));
+    buffer_.erase(0, 4 + *length);
+  }
+  return {};
+}
+
+std::optional<std::string> FrameReader::next_frame() {
+  if (ready_.empty()) return std::nullopt;
+  std::string out = std::move(ready_.front());
+  ready_.erase(ready_.begin());
+  return out;
+}
+
+}  // namespace tft::net::server

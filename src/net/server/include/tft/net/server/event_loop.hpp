@@ -1,0 +1,61 @@
+// A thin epoll wrapper: fd -> callback registration, one-shot dispatch
+// rounds, and a thread-safe eventfd wakeup so a run loop blocked in
+// epoll_wait can be told to stop. Callbacks may add or remove fds during a
+// dispatch round; removal is honored within the same round (a removed fd's
+// queued events are dropped, never dispatched to a stale handler).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "tft/util/result.hpp"
+
+namespace tft::net::server {
+
+class EventLoop {
+ public:
+  using Handler = std::function<void(std::uint32_t events)>;
+
+  EventLoop() = default;
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Create the epoll instance and the wakeup eventfd.
+  util::Result<void> init();
+
+  /// Register `fd` for `events` (EPOLLIN / EPOLLOUT / ...).
+  util::Result<void> add(int fd, std::uint32_t events, Handler handler);
+
+  /// Change the interest set of a registered fd.
+  void modify(int fd, std::uint32_t events);
+
+  /// Deregister; pending events for the fd in the current dispatch round
+  /// are dropped. The caller still owns (and closes) the fd.
+  void remove(int fd);
+
+  /// Wait up to `timeout_ms` (-1 = forever) and dispatch ready handlers.
+  /// Returns the number of handlers dispatched (0 on timeout or wakeup).
+  int poll(int timeout_ms);
+
+  /// Interrupt a blocked poll() from any thread.
+  void wake();
+
+  bool initialized() const noexcept { return epoll_fd_ >= 0; }
+  std::size_t watched() const noexcept { return handlers_.size(); }
+
+ private:
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  /// Registration generation per fd: dispatch skips events whose fd was
+  /// removed (or removed-and-readded) after the epoll_wait snapshot.
+  struct Registration {
+    Handler handler;
+    std::uint64_t generation = 0;
+  };
+  std::unordered_map<int, Registration> handlers_;
+  std::uint64_t next_generation_ = 1;
+};
+
+}  // namespace tft::net::server

@@ -1,0 +1,119 @@
+// Wire formats of the socket front-end: the Luminati-style credential
+// string that carries RequestOptions, the proxy-form request head (absolute
+// GET / CONNECT), the metadata headers that let the socket client rebuild a
+// ProxyFetchResult, and the length-prefixed tunnel frames that carry the
+// TLS handshake exchange through an established CONNECT tunnel.
+//
+// Everything here is parsing of attacker-controllable bytes, so the whole
+// module is a fuzz target (`proxy_framing` in src/testing/fuzz.cpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tft/http/message.hpp"
+#include "tft/net/ipv4.hpp"
+#include "tft/proxy/luminati.hpp"
+#include "tft/tls/certificate.hpp"
+#include "tft/util/result.hpp"
+
+namespace tft::net::server {
+
+// --- credentials -------------------------------------------------------------
+//
+// RequestOptions travel in the Proxy-Authorization header as a Luminati
+// username: "customer-tft-zone-static[-country-<cc>][-dns-remote]
+// [-session-<id>]". The session field is always last because session ids
+// contain dashes ("dns-42"); everything after "-session-" is the value.
+
+std::string format_credentials(const proxy::RequestOptions& options);
+util::Result<proxy::RequestOptions> parse_credentials(std::string_view text);
+
+// --- proxy request heads -----------------------------------------------------
+
+struct ProxyRequestHead {
+  enum class Kind { kGet, kConnect };
+
+  Kind kind = Kind::kGet;
+  http::Url url;                      // kGet: the absolute-form target
+  net::Ipv4Address connect_address;   // kConnect: literal destination
+  std::uint16_t connect_port = 0;
+  proxy::RequestOptions options;      // from Proxy-Authorization (if sent)
+  bool close = false;                 // client sent "Connection: close"
+};
+
+/// Parse one complete request image (as yielded by http::MessageReader)
+/// into the head the dispatcher acts on. Rejects non-GET/CONNECT methods,
+/// origin-form GET targets, hostname CONNECT targets (the engine tunnels to
+/// literal IPv4 destinations), and malformed credentials.
+util::Result<ProxyRequestHead> parse_proxy_request(std::string_view wire);
+
+/// Client-side builders: the exact requests SocketProxyChannel sends.
+std::string build_proxy_get(const http::Url& url,
+                            const proxy::RequestOptions& options);
+std::string build_connect(net::Ipv4Address destination, std::uint16_t port,
+                          const proxy::RequestOptions& options);
+
+// --- result metadata ---------------------------------------------------------
+//
+// The retry trail crosses the wire in an X-TFT-Timeline header as
+// "zid:ok,zid:connect_timeout,...". (X-Hola-Timeline-Debug carries the
+// engine's own rendering inside the proxied response; this one exists so
+// the client can rebuild ProxyFetchResult::timeline even on failures,
+// which have no proxied response to annotate.)
+
+std::string encode_attempts(const std::vector<proxy::AttemptInfo>& attempts);
+util::Result<std::vector<proxy::AttemptInfo>> decode_attempts(
+    std::string_view text);
+
+// --- tunnel frames -----------------------------------------------------------
+//
+// After "200 Connection Established" the tunnel speaks length-prefixed
+// frames (big-endian u32 length + payload, never empty). The client sends
+// one hello frame naming the SNI; the server answers with one reply frame
+// carrying the handshake outcome and the observed certificate chain.
+
+struct TunnelHello {
+  std::string sni;
+};
+
+struct TunnelReply {
+  proxy::ProxyStatus status = proxy::ProxyStatus::kOk;
+  std::string zid;
+  net::Ipv4Address exit_address;
+  net::CountryCode exit_country;
+  tls::CertificateChain chain;
+};
+
+std::string encode_tunnel_hello(const TunnelHello& hello);
+util::Result<TunnelHello> decode_tunnel_hello(std::string_view payload);
+std::string encode_tunnel_reply(const TunnelReply& reply);
+util::Result<TunnelReply> decode_tunnel_reply(std::string_view payload);
+
+/// Wrap a payload in the u32 length prefix.
+std::string frame(std::string_view payload);
+
+/// Incremental frame accumulator (the tunnel-side peer of MessageReader).
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_frame_bytes = 1 << 20)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Append stream bytes. Errors on empty or oversize declared frames.
+  util::Result<void> feed(std::string_view bytes);
+
+  /// Pop the next complete frame payload, if any.
+  std::optional<std::string> next_frame();
+
+  std::size_t partial_bytes() const noexcept { return buffer_.size(); }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::string buffer_;
+  std::vector<std::string> ready_;
+};
+
+}  // namespace tft::net::server

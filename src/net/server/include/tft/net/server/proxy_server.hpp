@@ -1,0 +1,142 @@
+// The socket front-end: an epoll-based, non-blocking listener that serves
+// the SuperProxy engine as a real HTTP proxy on 127.0.0.1. One listener
+// fd plus one connection object per accepted socket (the aeronet pattern);
+// each connection is a small state machine:
+//
+//   kRequest --- GET dispatched ----------------------------.
+//      |  ^                                                 | keep-alive
+//      |  '------------------------------------------------'
+//      |--- CONNECT admitted --> kTunnel --- hello frame --> reply frame
+//      '--- parse error / timeout / Connection: close --> closed
+//
+// Requests are framed by http::MessageReader (arbitrary TCP segmentation,
+// pipelining); tunnels speak the length-prefixed frames of framing.hpp.
+// Every accept/request/tunnel/teardown bumps a `net.*` counter on the
+// wired obs::Registry, and dispatches append flight-recorder hops to
+// whichever transaction the driving probe holds open.
+//
+// Threading: the server may be driven by run() on a dedicated thread (the
+// TestProxyServer fixture, `tft-study --serve`) or cooperatively pumped on
+// the caller's thread via poll_once() (the loopback measurement path, which
+// keeps world state strictly single-threaded). request_stop() is the only
+// thread-safe entry point.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "tft/http/reader.hpp"
+#include "tft/net/server/event_loop.hpp"
+#include "tft/net/server/framing.hpp"
+#include "tft/proxy/luminati.hpp"
+#include "tft/util/result.hpp"
+
+namespace tft::obs {
+class Registry;
+class Recorder;
+}  // namespace tft::obs
+
+namespace tft::net::server {
+
+struct ProxyServerConfig {
+  /// 0 = ephemeral (read the bound port back with port()).
+  std::uint16_t port = 0;
+  int backlog = 64;
+  std::size_t max_head_bytes = 64 * 1024;
+  std::size_t max_body_bytes = 4 * 1024 * 1024;
+  std::size_t max_frame_bytes = 1024 * 1024;
+  /// Wall-clock guard against slow-header (slowloris) peers and idle
+  /// keep-alive connections. 0 disables — required in the cooperative
+  /// loopback mode, where wall time must never influence behavior.
+  int read_timeout_ms = 10'000;
+};
+
+class ProxyServer {
+ public:
+  ProxyServer(proxy::SuperProxy& engine, ProxyServerConfig config = {},
+              obs::Registry* metrics = nullptr,
+              obs::Recorder* recorder = nullptr);
+  ~ProxyServer();
+  ProxyServer(const ProxyServer&) = delete;
+  ProxyServer& operator=(const ProxyServer&) = delete;
+
+  /// Bind 127.0.0.1, listen, register with the loop. On success the
+  /// server is accepting (port() is valid) before this returns — callers
+  /// never need to poll-until-listening.
+  util::Result<void> start();
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Dispatch until request_stop(). Blocks; run on a dedicated thread.
+  void run();
+
+  /// One dispatch round (cooperative pump). Returns true when any
+  /// connection handler ran. Also sweeps expired read deadlines.
+  bool poll_once(int timeout_ms);
+
+  /// Thread-safe: ask a blocked run() to return.
+  void request_stop();
+
+  /// Close the listener and every connection. Idempotent; the destructor
+  /// calls it, so a destroyed server leaks no fds.
+  void shutdown();
+
+  std::size_t open_connections() const noexcept { return connections_.size(); }
+  std::uint64_t accepted() const noexcept { return accepted_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    enum class State { kRequest, kTunnel } state = State::kRequest;
+    http::MessageReader reader;
+    FrameReader frames;
+    std::string outbox;
+    std::size_t outbox_sent = 0;
+    bool close_after_write = false;
+    bool want_write = false;
+    std::size_t requests_served = 0;
+    // CONNECT context, valid in kTunnel.
+    Ipv4Address tunnel_address;
+    std::uint16_t tunnel_port = 0;
+    proxy::RequestOptions tunnel_options;
+    bool tunnel_replied = false;
+    std::chrono::steady_clock::time_point deadline{};
+  };
+
+  void count(std::string_view name, std::uint64_t delta = 1);
+  void record(std::string_view action, std::string_view detail);
+  void handle_listener();
+  void handle_connection(int fd, std::uint32_t events);
+  /// Drain completed requests/frames; returns false when the connection
+  /// was closed during dispatch.
+  bool drain_ready(Connection& conn);
+  void dispatch_request(Connection& conn, const std::string& wire);
+  void dispatch_tunnel_frame(Connection& conn, const std::string& payload);
+  http::Response describe_fetch(const proxy::ProxyFetchResult& result) const;
+  /// Append bytes to the outbox and flush what the socket accepts now.
+  /// Returns false when the connection was closed by a write error or a
+  /// completed close-after-write.
+  bool queue(Connection& conn, std::string_view bytes);
+  bool flush(Connection& conn);
+  void arm_deadline(Connection& conn);
+  void sweep_deadlines();
+  int clamp_timeout(int timeout_ms) const;
+  void close_connection(int fd);
+
+  proxy::SuperProxy& engine_;
+  ProxyServerConfig config_;
+  obs::Registry* metrics_;
+  obs::Recorder* recorder_;
+  EventLoop loop_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::map<int, std::unique_ptr<Connection>> connections_;
+  std::atomic<bool> stop_{false};
+  std::uint64_t accepted_ = 0;
+};
+
+}  // namespace tft::net::server

@@ -1,0 +1,69 @@
+// The socket-side ProxyChannel: carries the same fetch/connect transactions
+// as InProcessChannel, but over a real localhost TCP connection to a
+// ProxyServer. Fetches share one persistent keep-alive connection
+// (reconnecting once if the server closed it between requests); every
+// CONNECT opens a fresh connection that is torn down after the tunnel
+// reply, mirroring how a real client uses one tunnel per TLS probe.
+//
+// Two driving modes, chosen by the `pump` argument:
+//   - pump != nullptr: the ProxyServer shares this thread, and the channel
+//     cooperatively calls pump->poll_once(0) whenever a socket operation
+//     would block. Client and server interleave on one thread, so world
+//     state stays single-threaded and measurement runs stay deterministic.
+//   - pump == nullptr: the server runs elsewhere (its own thread or its
+//     own process) and the channel blocks in poll(2) with a timeout.
+#pragma once
+
+#include <cstdint>
+
+#include "tft/http/reader.hpp"
+#include "tft/net/server/framing.hpp"
+#include "tft/proxy/channel.hpp"
+
+namespace tft::net::server {
+
+class ProxyServer;
+
+class SocketProxyChannel final : public proxy::ProxyChannel {
+ public:
+  explicit SocketProxyChannel(std::uint16_t port, ProxyServer* pump = nullptr);
+  ~SocketProxyChannel() override;
+  SocketProxyChannel(const SocketProxyChannel&) = delete;
+  SocketProxyChannel& operator=(const SocketProxyChannel&) = delete;
+
+  proxy::ProxyFetchResult fetch(const http::Url& url,
+                                const proxy::RequestOptions& options) override;
+
+  proxy::ConnectResult connect_and_handshake(
+      net::Ipv4Address destination, std::uint16_t port, std::string_view sni,
+      const proxy::RequestOptions& options) override;
+
+  std::string_view transport() const noexcept override { return "socket"; }
+
+  /// Completed request/response round trips (diagnostics).
+  std::uint64_t exchanges() const noexcept { return exchanges_; }
+
+ private:
+  /// Open a non-blocking connection to the server.
+  util::Result<int> connect_socket();
+  /// Block (or pump) until `fd` reports one of `events`.
+  util::Result<void> wait_for(int fd, short events);
+  util::Result<void> send_all(int fd, std::string_view bytes);
+  /// Read until `reader` yields one complete HTTP message.
+  util::Result<std::string> read_message(int fd, http::MessageReader& reader);
+  /// Read until `reader` yields one complete tunnel frame payload.
+  util::Result<std::string> read_frame(int fd, FrameReader& reader);
+
+  util::Result<void> ensure_fetch_connection();
+  void close_fetch_connection();
+  /// One send+receive on the persistent fetch connection.
+  util::Result<std::string> exchange_fetch(std::string_view wire);
+
+  std::uint16_t port_;
+  ProxyServer* pump_;
+  int fetch_fd_ = -1;
+  http::MessageReader fetch_reader_;
+  std::uint64_t exchanges_ = 0;
+};
+
+}  // namespace tft::net::server

@@ -1,0 +1,455 @@
+#include "tft/net/server/proxy_server.hpp"
+
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "tft/obs/metrics.hpp"
+#include "tft/obs/recorder.hpp"
+
+namespace tft::net::server {
+
+using util::ErrorCode;
+using util::make_error;
+using util::Result;
+
+namespace {
+
+constexpr std::string_view kEstablished =
+    "HTTP/1.1 200 Connection Established\r\n\r\n";
+
+void set_result_headers(http::Response& response,
+                        const proxy::ProxyFetchResult& result) {
+  response.headers.set("X-TFT-Proxy-Status", proxy::to_string(result.status));
+  response.headers.set("X-TFT-Zid", result.zid);
+  response.headers.set("X-TFT-Exit-Ip", result.exit_address.to_string());
+  response.headers.set("X-TFT-Exit-Asn", std::to_string(result.exit_asn));
+  response.headers.set("X-TFT-Exit-Country", result.exit_country);
+  response.headers.set("X-TFT-Timeline", encode_attempts(result.timeline));
+}
+
+}  // namespace
+
+ProxyServer::ProxyServer(proxy::SuperProxy& engine, ProxyServerConfig config,
+                         obs::Registry* metrics, obs::Recorder* recorder)
+    : engine_(engine),
+      config_(config),
+      metrics_(metrics),
+      recorder_(recorder) {}
+
+ProxyServer::~ProxyServer() { shutdown(); }
+
+void ProxyServer::count(std::string_view name, std::uint64_t delta) {
+  if (metrics_ != nullptr) metrics_->add(name, delta);
+}
+
+void ProxyServer::record(std::string_view action, std::string_view detail) {
+  if (recorder_ == nullptr) return;
+  recorder_->event(obs::Hop::kSuperProxy, "socket-front-end", action, detail,
+                   static_cast<std::uint64_t>(engine_.now().micros));
+}
+
+Result<void> ProxyServer::start() {
+  if (listen_fd_ >= 0) {
+    return make_error(ErrorCode::kInvalidArgument, "server already started");
+  }
+  if (auto loop = loop_.init(); !loop.ok()) return loop;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return make_error(ErrorCode::kInternal,
+                      std::string("socket: ") + std::strerror(errno));
+  }
+  const int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(config_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    return make_error(ErrorCode::kInternal,
+                      std::string("bind 127.0.0.1:") +
+                          std::to_string(config_.port) + ": " +
+                          std::strerror(errno));
+  }
+  socklen_t length = sizeof(address);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+                    &length) != 0) {
+    return make_error(ErrorCode::kInternal,
+                      std::string("getsockname: ") + std::strerror(errno));
+  }
+  port_ = ntohs(address.sin_port);
+  if (::listen(listen_fd_, config_.backlog) != 0) {
+    return make_error(ErrorCode::kInternal,
+                      std::string("listen: ") + std::strerror(errno));
+  }
+  return loop_.add(listen_fd_, EPOLLIN, [this](std::uint32_t) {
+    handle_listener();
+  });
+}
+
+void ProxyServer::run() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    poll_once(-1);
+  }
+}
+
+bool ProxyServer::poll_once(int timeout_ms) {
+  const int dispatched = loop_.poll(clamp_timeout(timeout_ms));
+  sweep_deadlines();
+  return dispatched > 0;
+}
+
+void ProxyServer::request_stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  loop_.wake();
+}
+
+void ProxyServer::shutdown() {
+  request_stop();
+  // connections_ owns the fds; close_connection mutates the map, so drain
+  // from a snapshot of keys.
+  std::vector<int> fds;
+  fds.reserve(connections_.size());
+  for (const auto& [fd, conn] : connections_) fds.push_back(fd);
+  for (const int fd : fds) close_connection(fd);
+  if (listen_fd_ >= 0) {
+    loop_.remove(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+int ProxyServer::clamp_timeout(int timeout_ms) const {
+  if (config_.read_timeout_ms <= 0 || connections_.empty()) return timeout_ms;
+  const auto now = std::chrono::steady_clock::now();
+  auto nearest = std::chrono::milliseconds::max();
+  for (const auto& [fd, conn] : connections_) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        conn->deadline - now);
+    if (remaining < nearest) nearest = remaining;
+  }
+  int until_deadline = static_cast<int>(
+      std::max<std::chrono::milliseconds::rep>(nearest.count(), 0));
+  if (timeout_ms < 0) return until_deadline;
+  return std::min(timeout_ms, until_deadline);
+}
+
+void ProxyServer::arm_deadline(Connection& conn) {
+  if (config_.read_timeout_ms <= 0) return;
+  conn.deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(config_.read_timeout_ms);
+}
+
+void ProxyServer::sweep_deadlines() {
+  if (config_.read_timeout_ms <= 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<int> expired;
+  for (const auto& [fd, conn] : connections_) {
+    if (conn->deadline <= now) expired.push_back(fd);
+  }
+  for (const int fd : expired) {
+    const auto it = connections_.find(fd);
+    if (it == connections_.end()) continue;
+    Connection& conn = *it->second;
+    if (conn.state == Connection::State::kTunnel) {
+      count("net.tunnel.read_timeouts");
+    } else if (conn.reader.partial_bytes() > 0) {
+      // The slowloris shape: a started-but-unfinished request head.
+      count("net.http.read_timeouts");
+      const auto goodbye =
+          http::Response::make(408, "Request Timeout").serialize();
+      [[maybe_unused]] const auto sent =
+          ::send(fd, goodbye.data(), goodbye.size(), MSG_NOSIGNAL);
+    } else {
+      count("net.http.idle_timeouts");
+    }
+    close_connection(fd);
+  }
+}
+
+void ProxyServer::handle_listener() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or a transient accept error: both benign
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->reader = http::MessageReader(
+        {config_.max_head_bytes, config_.max_body_bytes});
+    conn->frames = FrameReader(config_.max_frame_bytes);
+    arm_deadline(*conn);
+    const auto added = loop_.add(fd, EPOLLIN, [this, fd](std::uint32_t events) {
+      handle_connection(fd, events);
+    });
+    if (!added.ok()) {
+      ::close(fd);
+      continue;
+    }
+    connections_[fd] = std::move(conn);
+    ++accepted_;
+    count("net.accepted");
+    if (metrics_ != nullptr) {
+      metrics_->max_gauge("net.max_open_connections",
+                          static_cast<std::int64_t>(connections_.size()));
+    }
+  }
+}
+
+void ProxyServer::close_connection(int fd) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  loop_.remove(fd);
+  ::close(fd);
+  connections_.erase(it);
+  count("net.closed");
+}
+
+void ProxyServer::handle_connection(int fd, std::uint32_t events) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = *it->second;
+
+  if ((events & EPOLLOUT) != 0) {
+    if (!flush(conn)) return;
+  }
+  if ((events & EPOLLIN) == 0 && (events & (EPOLLHUP | EPOLLERR)) != 0) {
+    // Peer vanished with nothing readable left.
+    if (conn.state == Connection::State::kTunnel) {
+      count(conn.tunnel_replied ? "net.tunnel.closed"
+                                : "net.tunnel.client_disconnects");
+    }
+    close_connection(fd);
+    return;
+  }
+  if ((events & EPOLLIN) == 0) return;
+
+  char buffer[16384];
+  for (;;) {
+    const ssize_t received = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (received > 0) {
+      count("net.bytes_read", static_cast<std::uint64_t>(received));
+      const std::string_view bytes(buffer, static_cast<std::size_t>(received));
+      Result<void> fed;
+      if (conn.state == Connection::State::kTunnel) {
+        fed = conn.frames.feed(bytes);
+      } else {
+        fed = conn.reader.feed(bytes);
+      }
+      if (!fed.ok()) {
+        count("net.http.parse_errors");
+        const int status = fed.error().code == ErrorCode::kOutOfRange ? 431 : 400;
+        const auto goodbye =
+            http::Response::make(status,
+                                 status == 431 ? "Request Header Fields Too Large"
+                                               : "Bad Request",
+                                 fed.error().message + "\n", "text/plain")
+                .serialize();
+        conn.close_after_write = true;
+        queue(conn, goodbye);
+        return;
+      }
+      if (!drain_ready(conn)) return;
+      continue;
+    }
+    if (received == 0) {
+      if (conn.state == Connection::State::kTunnel) {
+        count(conn.tunnel_replied ? "net.tunnel.closed"
+                                  : "net.tunnel.client_disconnects");
+      } else if (conn.reader.partial_bytes() > 0) {
+        count("net.http.aborted");
+      }
+      close_connection(fd);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    close_connection(fd);
+    return;
+  }
+}
+
+bool ProxyServer::drain_ready(Connection& conn) {
+  const int fd = conn.fd;
+  if (conn.state == Connection::State::kRequest && conn.reader.ready() > 1) {
+    count("net.http.pipelined", conn.reader.ready() - 1);
+  }
+  while (conn.state == Connection::State::kRequest) {
+    const auto wire = conn.reader.next_message();
+    if (!wire) break;
+    arm_deadline(conn);
+    dispatch_request(conn, *wire);
+    if (connections_.find(fd) == connections_.end()) return false;
+    if (conn.close_after_write) return true;  // later pipelined input ignored
+    if (conn.state == Connection::State::kTunnel) {
+      // Bytes past the CONNECT head belong to the tunnel protocol.
+      if (conn.reader.ready() > 0) {
+        count("net.tunnel.protocol_errors");
+        close_connection(fd);
+        return false;
+      }
+      const std::string leftover = conn.reader.take_leftover();
+      if (!leftover.empty()) {
+        if (const auto fed = conn.frames.feed(leftover); !fed.ok()) {
+          count("net.tunnel.protocol_errors");
+          close_connection(fd);
+          return false;
+        }
+      }
+    }
+  }
+  while (conn.state == Connection::State::kTunnel) {
+    const auto payload = conn.frames.next_frame();
+    if (!payload) break;
+    arm_deadline(conn);
+    dispatch_tunnel_frame(conn, *payload);
+    if (connections_.find(fd) == connections_.end()) return false;
+  }
+  return true;
+}
+
+http::Response ProxyServer::describe_fetch(
+    const proxy::ProxyFetchResult& result) const {
+  // Failures have no proxied response to forward; a 502 with the engine
+  // status in plain text serves human clients (curl), while the socket
+  // channel rebuilds the result from the X-TFT-* headers alone.
+  return http::Response::make(
+      502, "Bad Gateway",
+      "super proxy error: " + std::string(proxy::to_string(result.status)) +
+          "\n",
+      "text/plain");
+}
+
+void ProxyServer::dispatch_request(Connection& conn, const std::string& wire) {
+  auto head = parse_proxy_request(wire);
+  if (!head.ok()) {
+    count("net.http.parse_errors");
+    const auto goodbye =
+        http::Response::make(400, "Bad Request", head.error().message + "\n",
+                             "text/plain")
+            .serialize();
+    conn.close_after_write = true;
+    queue(conn, goodbye);
+    return;
+  }
+
+  if (head->kind == ProxyRequestHead::Kind::kConnect) {
+    count("net.connect.requests");
+    if (!engine_.tunnel_port_allowed(head->connect_port)) {
+      count("net.connect.rejected_port");
+      http::Response refusal = http::Response::make(
+          403, "Forbidden", "CONNECT port not allowed\n", "text/plain");
+      refusal.headers.set("X-TFT-Proxy-Status",
+                          proxy::to_string(proxy::ProxyStatus::kPortNotAllowed));
+      conn.close_after_write = true;
+      queue(conn, refusal.serialize());
+      return;
+    }
+    count("net.connect.tunnels");
+    record("connect", head->connect_address.to_string() + ":" +
+                          std::to_string(head->connect_port));
+    conn.state = Connection::State::kTunnel;
+    conn.tunnel_address = head->connect_address;
+    conn.tunnel_port = head->connect_port;
+    conn.tunnel_options = head->options;
+    queue(conn, kEstablished);
+    return;
+  }
+
+  count("net.http.requests");
+  if (conn.requests_served > 0) count("net.http.keepalive_reuse");
+  ++conn.requests_served;
+  record("http-request", head->url.to_string());
+
+  const proxy::ProxyFetchResult result = engine_.fetch(head->url, head->options);
+  http::Response response =
+      result.ok() ? result.response : describe_fetch(result);
+  set_result_headers(response, result);
+  if (head->close) conn.close_after_write = true;
+  queue(conn, response.serialize());
+}
+
+void ProxyServer::dispatch_tunnel_frame(Connection& conn,
+                                        const std::string& payload) {
+  const int fd = conn.fd;
+  if (conn.tunnel_replied) {
+    // One handshake per tunnel; anything after the reply is a protocol
+    // violation.
+    count("net.tunnel.protocol_errors");
+    close_connection(fd);
+    return;
+  }
+  auto hello = decode_tunnel_hello(payload);
+  if (!hello.ok()) {
+    count("net.tunnel.protocol_errors");
+    close_connection(fd);
+    return;
+  }
+  count("net.tunnel.handshakes");
+  record("tunnel-handshake", hello->sni);
+
+  const proxy::ConnectResult result = engine_.connect_and_handshake(
+      conn.tunnel_address, conn.tunnel_port, hello->sni, conn.tunnel_options);
+  TunnelReply reply;
+  reply.status = result.status;
+  reply.zid = result.zid;
+  reply.exit_address = result.exit_address;
+  reply.exit_country = result.exit_country;
+  reply.chain = result.chain;
+  conn.tunnel_replied = true;
+  queue(conn, frame(encode_tunnel_reply(reply)));
+}
+
+bool ProxyServer::queue(Connection& conn, std::string_view bytes) {
+  conn.outbox.append(bytes);
+  return flush(conn);
+}
+
+bool ProxyServer::flush(Connection& conn) {
+  const int fd = conn.fd;
+  while (conn.outbox_sent < conn.outbox.size()) {
+    const ssize_t sent =
+        ::send(fd, conn.outbox.data() + conn.outbox_sent,
+               conn.outbox.size() - conn.outbox_sent, MSG_NOSIGNAL);
+    if (sent > 0) {
+      conn.outbox_sent += static_cast<std::size_t>(sent);
+      count("net.bytes_written", static_cast<std::uint64_t>(sent));
+      continue;
+    }
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn.want_write) {
+        conn.want_write = true;
+        loop_.modify(fd, EPOLLIN | EPOLLOUT);
+      }
+      return true;
+    }
+    if (sent < 0 && errno == EINTR) continue;
+    // Write failure: the peer is gone (EPIPE/ECONNRESET).
+    if (conn.state == Connection::State::kTunnel && !conn.tunnel_replied) {
+      count("net.tunnel.client_disconnects");
+    }
+    count("net.write_errors");
+    close_connection(fd);
+    return false;
+  }
+  conn.outbox.clear();
+  conn.outbox_sent = 0;
+  if (conn.want_write) {
+    conn.want_write = false;
+    loop_.modify(fd, EPOLLIN);
+  }
+  if (conn.close_after_write) {
+    close_connection(fd);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tft::net::server

@@ -1,0 +1,334 @@
+#include "tft/net/server/socket_channel.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+#include "tft/net/server/proxy_server.hpp"
+
+namespace tft::net::server {
+
+using util::ErrorCode;
+using util::make_error;
+using util::Result;
+
+namespace {
+
+/// Blocking-mode poll(2) timeout. Generous: the server thread may be busy
+/// running a whole measurement behind another connection.
+constexpr int kBlockingTimeoutMs = 30'000;
+
+/// Cooperative-mode stall guard: consecutive pump rounds that dispatched
+/// nothing while our socket stayed blocked. Loopback delivery is immediate,
+/// so sustained idleness means the exchange is wedged, not slow.
+constexpr int kIdleRoundLimit = 10'000;
+
+/// The metadata headers the server adds to every proxied response; the
+/// client strips them after rebuilding the result, restoring the response
+/// to what the in-process channel would have returned.
+constexpr std::string_view kMetadataHeaders[] = {
+    "X-TFT-Proxy-Status", "X-TFT-Zid",          "X-TFT-Exit-Ip",
+    "X-TFT-Exit-Asn",     "X-TFT-Exit-Country", "X-TFT-Timeline",
+};
+
+Result<proxy::ProxyStatus> status_from_headers(const http::HeaderMap& headers) {
+  const auto text = headers.get("X-TFT-Proxy-Status");
+  if (!text) {
+    return make_error(ErrorCode::kProtocolViolation,
+                      "proxy response lacks X-TFT-Proxy-Status");
+  }
+  return proxy::parse_proxy_status(*text);
+}
+
+}  // namespace
+
+SocketProxyChannel::SocketProxyChannel(std::uint16_t port, ProxyServer* pump)
+    : port_(port), pump_(pump) {}
+
+SocketProxyChannel::~SocketProxyChannel() { close_fetch_connection(); }
+
+Result<int> SocketProxyChannel::connect_socket() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return make_error(ErrorCode::kInternal,
+                      std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port_);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    if (errno != EINPROGRESS) {
+      const int saved = errno;
+      ::close(fd);
+      return make_error(ErrorCode::kConnectionRefused,
+                        std::string("connect 127.0.0.1:") +
+                            std::to_string(port_) + ": " + std::strerror(saved));
+    }
+    if (const auto ready = wait_for(fd, POLLOUT); !ready.ok()) {
+      ::close(fd);
+      return ready.error();
+    }
+    int error = 0;
+    socklen_t length = sizeof(error);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &length);
+    if (error != 0) {
+      ::close(fd);
+      return make_error(ErrorCode::kConnectionRefused,
+                        std::string("connect 127.0.0.1:") +
+                            std::to_string(port_) + ": " +
+                            std::strerror(error));
+    }
+  }
+  return fd;
+}
+
+Result<void> SocketProxyChannel::wait_for(int fd, short events) {
+  if (pump_ != nullptr) {
+    for (int idle = 0; idle < kIdleRoundLimit;) {
+      pollfd probe{fd, events, 0};
+      if (::poll(&probe, 1, 0) > 0 &&
+          (probe.revents & (events | POLLHUP | POLLERR)) != 0) {
+        return {};
+      }
+      if (pump_->poll_once(0)) {
+        idle = 0;
+      } else {
+        ++idle;
+      }
+    }
+    return make_error(ErrorCode::kTimeout,
+                      "loopback exchange made no progress");
+  }
+  pollfd probe{fd, events, 0};
+  const int ready = ::poll(&probe, 1, kBlockingTimeoutMs);
+  if (ready > 0) return {};
+  if (ready == 0) {
+    return make_error(ErrorCode::kTimeout, "proxy socket timed out");
+  }
+  return make_error(ErrorCode::kInternal,
+                    std::string("poll: ") + std::strerror(errno));
+}
+
+Result<void> SocketProxyChannel::send_all(int fd, std::string_view bytes) {
+  std::size_t sent_total = 0;
+  while (sent_total < bytes.size()) {
+    const ssize_t sent = ::send(fd, bytes.data() + sent_total,
+                                bytes.size() - sent_total, MSG_NOSIGNAL);
+    if (sent > 0) {
+      sent_total += static_cast<std::size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (const auto ready = wait_for(fd, POLLOUT); !ready.ok()) return ready;
+      continue;
+    }
+    if (sent < 0 && errno == EINTR) continue;
+    return make_error(ErrorCode::kInternal,
+                      std::string("send: ") + std::strerror(errno));
+  }
+  return {};
+}
+
+Result<std::string> SocketProxyChannel::read_message(
+    int fd, http::MessageReader& reader) {
+  for (;;) {
+    if (auto message = reader.next_message()) return *std::move(message);
+    char buffer[16384];
+    const ssize_t received = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (received > 0) {
+      if (const auto fed = reader.feed(
+              std::string_view(buffer, static_cast<std::size_t>(received)));
+          !fed.ok()) {
+        return fed.error();
+      }
+      continue;
+    }
+    if (received == 0) {
+      return make_error(ErrorCode::kConnectionRefused,
+                        "proxy closed the connection mid-response");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (const auto ready = wait_for(fd, POLLIN); !ready.ok()) {
+        return ready.error();
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return make_error(ErrorCode::kInternal,
+                      std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+Result<std::string> SocketProxyChannel::read_frame(int fd, FrameReader& reader) {
+  for (;;) {
+    if (auto payload = reader.next_frame()) return *std::move(payload);
+    char buffer[16384];
+    const ssize_t received = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (received > 0) {
+      if (const auto fed = reader.feed(
+              std::string_view(buffer, static_cast<std::size_t>(received)));
+          !fed.ok()) {
+        return fed.error();
+      }
+      continue;
+    }
+    if (received == 0) {
+      return make_error(ErrorCode::kConnectionRefused,
+                        "proxy closed the tunnel mid-frame");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (const auto ready = wait_for(fd, POLLIN); !ready.ok()) {
+        return ready.error();
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return make_error(ErrorCode::kInternal,
+                      std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+Result<void> SocketProxyChannel::ensure_fetch_connection() {
+  if (fetch_fd_ >= 0) return {};
+  auto fd = connect_socket();
+  if (!fd.ok()) return fd.error();
+  fetch_fd_ = *fd;
+  fetch_reader_ = http::MessageReader();
+  return {};
+}
+
+void SocketProxyChannel::close_fetch_connection() {
+  if (fetch_fd_ >= 0) {
+    ::close(fetch_fd_);
+    fetch_fd_ = -1;
+  }
+  fetch_reader_ = http::MessageReader();
+}
+
+Result<std::string> SocketProxyChannel::exchange_fetch(std::string_view wire) {
+  // The server may have closed the keep-alive connection (timeout, restart)
+  // since the last exchange; one reconnect-and-retry covers that without
+  // masking a genuinely broken server.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (const auto open = ensure_fetch_connection(); !open.ok()) {
+      return open.error();
+    }
+    if (const auto sent = send_all(fetch_fd_, wire); !sent.ok()) {
+      close_fetch_connection();
+      continue;
+    }
+    auto message = read_message(fetch_fd_, fetch_reader_);
+    if (message.ok()) return message;
+    close_fetch_connection();
+  }
+  return make_error(ErrorCode::kConnectionRefused,
+                    "proxy connection failed twice");
+}
+
+proxy::ProxyFetchResult SocketProxyChannel::fetch(
+    const http::Url& url, const proxy::RequestOptions& options) {
+  proxy::ProxyFetchResult result;
+  result.status = proxy::ProxyStatus::kAllAttemptsFailed;
+
+  const auto wire = exchange_fetch(build_proxy_get(url, options));
+  if (!wire.ok()) return result;
+  auto response = http::Response::parse(*wire);
+  if (!response.ok()) return result;
+
+  const auto status = status_from_headers(response->headers);
+  if (!status.ok()) return result;
+  result.status = *status;
+
+  if (const auto zid = response->headers.get("X-TFT-Zid")) {
+    result.zid = std::string(*zid);
+  }
+  if (const auto exit_ip = response->headers.get("X-TFT-Exit-Ip")) {
+    if (const auto address = Ipv4Address::parse(*exit_ip); address.ok()) {
+      result.exit_address = *address;
+    }
+  }
+  if (const auto asn = response->headers.get("X-TFT-Exit-Asn")) {
+    std::from_chars(asn->data(), asn->data() + asn->size(), result.exit_asn);
+  }
+  if (const auto country = response->headers.get("X-TFT-Exit-Country")) {
+    result.exit_country = std::string(*country);
+  }
+  if (const auto timeline = response->headers.get("X-TFT-Timeline")) {
+    if (auto attempts = decode_attempts(*timeline); attempts.ok()) {
+      result.timeline = *std::move(attempts);
+    }
+  }
+
+  if (result.ok()) {
+    // Strip the transport metadata: what remains is byte-for-byte the
+    // response the in-process channel returns.
+    for (const auto name : kMetadataHeaders) response->headers.remove(name);
+    result.response = *std::move(response);
+  }
+  ++exchanges_;
+  return result;
+}
+
+proxy::ConnectResult SocketProxyChannel::connect_and_handshake(
+    net::Ipv4Address destination, std::uint16_t port, std::string_view sni,
+    const proxy::RequestOptions& options) {
+  proxy::ConnectResult result;
+  result.status = proxy::ProxyStatus::kTunnelFailed;
+
+  auto fd = connect_socket();
+  if (!fd.ok()) return result;
+
+  const auto finish = [&](proxy::ConnectResult outcome) {
+    ::close(*fd);
+    return outcome;
+  };
+
+  if (const auto sent = send_all(*fd, build_connect(destination, port, options));
+      !sent.ok()) {
+    return finish(result);
+  }
+  http::MessageReader message_reader;
+  const auto wire = read_message(*fd, message_reader);
+  if (!wire.ok()) return finish(result);
+  const auto response = http::Response::parse(*wire);
+  if (!response.ok()) return finish(result);
+
+  if (response->status != 200) {
+    // The refusal carries the engine status (e.g. port_not_allowed) in the
+    // same metadata header as proxied responses.
+    if (const auto status = status_from_headers(response->headers);
+        status.ok()) {
+      result.status = *status;
+    }
+    ++exchanges_;
+    return finish(result);
+  }
+
+  if (const auto sent =
+          send_all(*fd, frame(encode_tunnel_hello(TunnelHello{std::string(sni)})));
+      !sent.ok()) {
+    return finish(result);
+  }
+  FrameReader frame_reader;
+  const auto payload = read_frame(*fd, frame_reader);
+  if (!payload.ok()) return finish(result);
+  const auto reply = decode_tunnel_reply(*payload);
+  if (!reply.ok()) return finish(result);
+
+  result.status = reply->status;
+  result.zid = reply->zid;
+  result.exit_address = reply->exit_address;
+  result.exit_country = reply->exit_country;
+  result.chain = reply->chain;
+  ++exchanges_;
+  return finish(result);
+}
+
+}  // namespace tft::net::server

@@ -1,0 +1,58 @@
+// The transport seam between the probes and the super proxy. Probes issue
+// their proxy transactions through a ProxyChannel; the default
+// InProcessChannel forwards straight to the SuperProxy engine (the
+// library-call path the reproduction started with), while the socket
+// front-end (src/net/server) provides a channel that carries the same
+// transactions over a real localhost TCP connection. The results are
+// field-identical either way — that equivalence is enforced by the
+// socket determinism ctest.
+#pragma once
+
+#include <string_view>
+
+#include "tft/proxy/luminati.hpp"
+
+namespace tft::proxy {
+
+class ProxyChannel {
+ public:
+  virtual ~ProxyChannel() = default;
+
+  /// Proxy an HTTP GET for `url` (absolute form), as SuperProxy::fetch.
+  virtual ProxyFetchResult fetch(const http::Url& url,
+                                 const RequestOptions& options) = 0;
+
+  /// CONNECT destination:port and run a TLS handshake with `sni`, as
+  /// SuperProxy::connect_and_handshake.
+  virtual ConnectResult connect_and_handshake(net::Ipv4Address destination,
+                                              std::uint16_t port,
+                                              std::string_view sni,
+                                              const RequestOptions& options) = 0;
+
+  /// "in-process" or "socket" — for diagnostics only; never in reports.
+  virtual std::string_view transport() const noexcept = 0;
+};
+
+/// The direct library-call path: every method forwards to the engine.
+class InProcessChannel final : public ProxyChannel {
+ public:
+  explicit InProcessChannel(SuperProxy& engine) : engine_(engine) {}
+
+  ProxyFetchResult fetch(const http::Url& url,
+                         const RequestOptions& options) override {
+    return engine_.fetch(url, options);
+  }
+
+  ConnectResult connect_and_handshake(net::Ipv4Address destination,
+                                      std::uint16_t port, std::string_view sni,
+                                      const RequestOptions& options) override {
+    return engine_.connect_and_handshake(destination, port, sni, options);
+  }
+
+  std::string_view transport() const noexcept override { return "in-process"; }
+
+ private:
+  SuperProxy& engine_;
+};
+
+}  // namespace tft::proxy

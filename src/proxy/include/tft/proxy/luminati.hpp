@@ -42,6 +42,10 @@ enum class ProxyStatus {
 
 std::string_view to_string(ProxyStatus status) noexcept;
 
+/// Inverse of to_string(ProxyStatus) — how the socket front-end's status
+/// header travels back to the client side. Errors on unknown names.
+util::Result<ProxyStatus> parse_proxy_status(std::string_view text);
+
 /// One entry of the retry trail (the debug header's content).
 struct AttemptInfo {
   std::string zid;
@@ -118,6 +122,17 @@ class SuperProxy {
   };
 
   SuperProxy(Config config, Environment environment);
+
+  /// Whether a CONNECT to `port` would be admitted. Luminati tunnels port
+  /// 443 only; the socket front-end rejects other ports before opening a
+  /// tunnel, exactly as connect_and_handshake would.
+  bool tunnel_port_allowed(std::uint16_t port) const noexcept {
+    return port == 443;
+  }
+
+  /// Current simulated time at the engine — lets the socket front-end stamp
+  /// its flight-recorder hops on the same clock as the engine's own.
+  sim::Instant now() const noexcept { return environment_.clock->now(); }
 
   /// The super proxy's own address and resolver (needed by the §4.1
   /// methodology to predict which anycast DNS instance its pre-check uses).

@@ -32,6 +32,18 @@ std::string_view to_string(ProxyStatus status) noexcept {
   return "unknown";
 }
 
+util::Result<ProxyStatus> parse_proxy_status(std::string_view text) {
+  for (const auto status :
+       {ProxyStatus::kOk, ProxyStatus::kSuperProxyDnsFailure,
+        ProxyStatus::kExitNodeDnsNxdomain, ProxyStatus::kExitNodeDnsFailure,
+        ProxyStatus::kNoExitNodeAvailable, ProxyStatus::kAllAttemptsFailed,
+        ProxyStatus::kTunnelFailed, ProxyStatus::kPortNotAllowed}) {
+    if (text == to_string(status)) return status;
+  }
+  return util::make_error(util::ErrorCode::kParseError,
+                          "unknown proxy status: " + std::string(text));
+}
+
 util::Result<TimelineDebug> parse_timeline_debug(std::string_view header) {
   using util::ErrorCode;
   using util::make_error;

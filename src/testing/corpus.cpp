@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "tft/dns/codec.hpp"
+#include "tft/net/server/framing.hpp"
 #include "tft/obs/trace_codec.hpp"
 #include "tft/testing/fuzz.hpp"
 #include "tft/testing/generators.hpp"
@@ -142,6 +143,35 @@ std::vector<std::string> regression_inputs(std::string_view target) {
                   R"("zid":"","asn":0,"country":"","target":"","verdict":"",)"
                   R"("culprit":"","events":[]})"
                   "\n{\"format\":\"tft-txn\",");
+  } else if (target == "proxy_framing") {
+    // Hostname CONNECT targets: the engine tunnels to literal IPv4 only.
+    out.push_back("CONNECT example.com:443 HTTP/1.1\r\n\r\n");
+    // Origin-form GET (a proxy needs the absolute form).
+    out.push_back("GET /page HTTP/1.1\r\nHost: a\r\n\r\n");
+    // Ports outside [1, 65535].
+    out.push_back("CONNECT 10.0.0.1:0 HTTP/1.1\r\n\r\n");
+    out.push_back("CONNECT 10.0.0.1:65536 HTTP/1.1\r\n\r\n");
+    out.push_back("CONNECT 10.0.0.1 HTTP/1.1\r\n\r\n");
+    // Wrong credential scheme, and a username missing the static zone.
+    out.push_back("GET http://a.example/ HTTP/1.1\r\n"
+                  "Proxy-Authorization: Basic dXNlcjpwYXNz\r\n\r\n");
+    out.push_back("GET http://a.example/ HTTP/1.1\r\n"
+                  "Proxy-Authorization: Lum customer-tft-zone-rotating\r\n\r\n");
+    // Session value swallowing later fields: everything after "-session-"
+    // is the session id, dashes and all (the reason session is last).
+    out.push_back("customer-tft-zone-static-session-dns-42-country-xx");
+    // Attempts codec edge cases: missing zid, missing error, no colon.
+    out.push_back(":ok");
+    out.push_back("zid:");
+    out.push_back("zid-no-colon");
+    // Tunnel reply claiming a gigantic chain with no bodies behind it.
+    out.push_back(std::string("TFTR\x00\x00\x03zid\xff\xff\xff\xff", 12) +
+                  std::string("\xff\xff\xff\xff", 4));
+    // Tunnel hello whose declared SNI length overruns the payload.
+    out.push_back(std::string("TFTH\xff\xff", 6) + "short");
+    // Bad magics.
+    out.push_back("TFTX");
+    out.push_back("");
   }
   return out;
 }
@@ -183,6 +213,66 @@ Result<std::vector<std::string>> generate_seed_inputs(std::string_view target,
           records.push_back(random_txn_record(rng));
         }
         out.push_back(obs::encode_trace(records));
+      }
+    } else if (target == "proxy_framing") {
+      // Mirrors the proxy_framing generate hook in fuzz.cpp: the six wire
+      // shapes the socket front-end parses, in rotation.
+      proxy::RequestOptions options;
+      if (rng.chance(0.5)) {
+        std::string country;
+        country += static_cast<char>('a' + rng.index(26));
+        country += static_cast<char>('a' + rng.index(26));
+        options.country = country;
+      }
+      if (rng.chance(0.5)) {
+        options.session =
+            random_label(rng) + "-" + std::to_string(rng.index(100));
+      }
+      options.dns_remote = rng.chance(0.5);
+      switch (i % 6) {
+        case 0: {
+          const auto url = http::Url::parse(
+              "http://" + random_label(rng) + ".probe.tft-study.net/" +
+              random_label(rng));
+          out.push_back(net::server::build_proxy_get(*url, options));
+          break;
+        }
+        case 1:
+          out.push_back(net::server::build_connect(
+              net::Ipv4Address(static_cast<std::uint32_t>(rng.next_u64())),
+              static_cast<std::uint16_t>(1 + rng.index(65535)), options));
+          break;
+        case 2:
+          out.push_back(net::server::encode_tunnel_hello(
+              {random_label(rng) + ".probe.tft-study.net"}));
+          break;
+        case 3: {
+          net::server::TunnelReply reply;
+          reply.status = proxy::ProxyStatus::kOk;
+          reply.zid = random_label(rng);
+          reply.exit_address =
+              net::Ipv4Address(static_cast<std::uint32_t>(rng.next_u64()));
+          reply.exit_country = {static_cast<char>('a' + rng.index(26)),
+                                static_cast<char>('a' + rng.index(26))};
+          reply.chain = random_tls_chain(rng);
+          out.push_back(net::server::encode_tunnel_reply(reply));
+          break;
+        }
+        case 4:
+          out.push_back(net::server::format_credentials(options));
+          break;
+        default: {
+          std::vector<proxy::AttemptInfo> attempts;
+          const std::size_t entries = rng.index(5);
+          for (std::size_t entry = 0; entry < entries; ++entry) {
+            proxy::AttemptInfo info;
+            info.zid = random_label(rng);
+            if (rng.chance(0.5)) info.error = random_label(rng);
+            attempts.push_back(std::move(info));
+          }
+          out.push_back(net::server::encode_attempts(attempts));
+          break;
+        }
       }
     } else {
       return make_error(ErrorCode::kNotFound,

@@ -4,6 +4,7 @@
 
 #include "tft/dns/codec.hpp"
 #include "tft/http/message.hpp"
+#include "tft/net/server/framing.hpp"
 #include "tft/obs/trace_codec.hpp"
 #include "tft/smtp/protocol.hpp"
 #include "tft/testing/generators.hpp"
@@ -273,6 +274,190 @@ bool trace_codec_roundtrip(Rng& rng) {
   return trace.ok() && *trace == records;
 }
 
+// --- socket front-end framing ------------------------------------------------
+//
+// The proxy_framing target covers every parser that sees raw client bytes
+// on the socket front-end: request heads (absolute GET / CONNECT),
+// Luminati-style credential strings, the attempts codec, and both tunnel
+// frame payloads. One target, because the wire interleaves them.
+
+namespace proxy_framing {
+
+int classify(const std::string& wire) {
+  if (net::server::parse_proxy_request(wire).ok()) return 0;
+  if (net::server::decode_tunnel_hello(wire).ok()) return 0;
+  if (net::server::decode_tunnel_reply(wire).ok()) return 0;
+  if (net::server::parse_credentials(wire).ok()) return 0;
+  if (net::server::decode_attempts(wire).ok()) return 0;
+  return 1;
+}
+
+proxy::RequestOptions random_options(Rng& rng) {
+  proxy::RequestOptions options;
+  if (rng.chance(0.5)) {
+    std::string country;
+    country += static_cast<char>('a' + rng.index(26));
+    country += static_cast<char>('a' + rng.index(26));
+    options.country = country;
+  }
+  if (rng.chance(0.5)) {
+    // Session ids contain dashes ("dns-42"); the codec must keep them whole.
+    options.session = random_label(rng) + "-" + std::to_string(rng.index(100));
+  }
+  options.dns_remote = rng.chance(0.5);
+  return options;
+}
+
+http::Url random_url(Rng& rng) {
+  std::string text = rng.chance(0.2) ? "https://" : "http://";
+  text += random_label(rng) + ".probe.tft-study.net";
+  if (rng.chance(0.2)) text += ":" + std::to_string(1 + rng.index(65535));
+  text += "/" + random_label(rng);
+  if (rng.chance(0.3)) text += "?q=" + random_label(rng);
+  auto url = http::Url::parse(text);
+  return url.ok() ? *url : *http::Url::parse("http://fallback.example/");
+}
+
+net::Ipv4Address random_address(Rng& rng) {
+  return net::Ipv4Address(static_cast<std::uint32_t>(rng.next_u64()));
+}
+
+proxy::ProxyStatus random_status(Rng& rng) {
+  constexpr proxy::ProxyStatus kStatuses[] = {
+      proxy::ProxyStatus::kOk,
+      proxy::ProxyStatus::kSuperProxyDnsFailure,
+      proxy::ProxyStatus::kExitNodeDnsNxdomain,
+      proxy::ProxyStatus::kExitNodeDnsFailure,
+      proxy::ProxyStatus::kNoExitNodeAvailable,
+      proxy::ProxyStatus::kAllAttemptsFailed,
+      proxy::ProxyStatus::kTunnelFailed,
+      proxy::ProxyStatus::kPortNotAllowed,
+  };
+  return kStatuses[rng.index(std::size(kStatuses))];
+}
+
+std::vector<proxy::AttemptInfo> random_attempts(Rng& rng) {
+  std::vector<proxy::AttemptInfo> attempts;
+  const std::size_t count = rng.index(5);
+  attempts.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    proxy::AttemptInfo info;
+    info.zid = random_label(rng);
+    if (rng.chance(0.5)) info.error = random_label(rng);
+    attempts.push_back(std::move(info));
+  }
+  return attempts;
+}
+
+net::server::TunnelReply random_reply(Rng& rng) {
+  net::server::TunnelReply reply;
+  reply.status = random_status(rng);
+  reply.zid = random_label(rng);
+  reply.exit_address = random_address(rng);
+  reply.exit_country = {static_cast<char>('a' + rng.index(26)),
+                        static_cast<char>('a' + rng.index(26))};
+  if (reply.status == proxy::ProxyStatus::kOk) {
+    reply.chain = random_tls_chain(rng);
+  }
+  return reply;
+}
+
+std::string generate(Rng& rng) {
+  switch (rng.index(6)) {
+    case 0:
+      return net::server::build_proxy_get(random_url(rng), random_options(rng));
+    case 1:
+      return net::server::build_connect(
+          random_address(rng), static_cast<std::uint16_t>(1 + rng.index(65535)),
+          random_options(rng));
+    case 2:
+      return net::server::encode_tunnel_hello(
+          {random_label(rng) + ".probe.tft-study.net"});
+    case 3:
+      return net::server::encode_tunnel_reply(random_reply(rng));
+    case 4:
+      return net::server::format_credentials(random_options(rng));
+    default:
+      return net::server::encode_attempts(random_attempts(rng));
+  }
+}
+
+bool options_equal(const proxy::RequestOptions& a,
+                   const proxy::RequestOptions& b) {
+  return a.country == b.country && a.session == b.session &&
+         a.dns_remote == b.dns_remote;
+}
+
+bool roundtrip(Rng& rng) {
+  // Credentials carry RequestOptions through the Proxy-Authorization header.
+  const proxy::RequestOptions options = random_options(rng);
+  const auto parsed_options =
+      net::server::parse_credentials(net::server::format_credentials(options));
+  if (!parsed_options.ok() || !options_equal(*parsed_options, options)) {
+    return false;
+  }
+
+  // Absolute-form GET head.
+  const http::Url url = random_url(rng);
+  const auto get_head = net::server::parse_proxy_request(
+      net::server::build_proxy_get(url, options));
+  if (!get_head.ok() ||
+      get_head->kind != net::server::ProxyRequestHead::Kind::kGet ||
+      get_head->url.to_string() != url.to_string() ||
+      !options_equal(get_head->options, options)) {
+    return false;
+  }
+
+  // CONNECT head.
+  const net::Ipv4Address destination = random_address(rng);
+  const auto port = static_cast<std::uint16_t>(1 + rng.index(65535));
+  const auto connect_head = net::server::parse_proxy_request(
+      net::server::build_connect(destination, port, options));
+  if (!connect_head.ok() ||
+      connect_head->kind != net::server::ProxyRequestHead::Kind::kConnect ||
+      connect_head->connect_address.value() != destination.value() ||
+      connect_head->connect_port != port) {
+    return false;
+  }
+
+  // Tunnel hello and reply payloads.
+  const net::server::TunnelHello hello{random_label(rng) + ".example"};
+  const auto decoded_hello =
+      net::server::decode_tunnel_hello(net::server::encode_tunnel_hello(hello));
+  if (!decoded_hello.ok() || decoded_hello->sni != hello.sni) return false;
+
+  const net::server::TunnelReply reply = random_reply(rng);
+  const auto decoded_reply =
+      net::server::decode_tunnel_reply(net::server::encode_tunnel_reply(reply));
+  if (!decoded_reply.ok() || decoded_reply->status != reply.status ||
+      decoded_reply->zid != reply.zid ||
+      decoded_reply->exit_address.value() != reply.exit_address.value() ||
+      decoded_reply->exit_country != reply.exit_country ||
+      decoded_reply->chain.size() != reply.chain.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < reply.chain.size(); ++i) {
+    if (!(decoded_reply->chain[i] == reply.chain[i])) return false;
+  }
+
+  // Attempts trail codec (the X-TFT-Timeline header value).
+  const std::vector<proxy::AttemptInfo> attempts = random_attempts(rng);
+  const auto decoded_attempts =
+      net::server::decode_attempts(net::server::encode_attempts(attempts));
+  if (!decoded_attempts.ok() || decoded_attempts->size() != attempts.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < attempts.size(); ++i) {
+    if ((*decoded_attempts)[i].zid != attempts[i].zid ||
+        (*decoded_attempts)[i].error != attempts[i].error) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace proxy_framing
+
 // --- registry ----------------------------------------------------------------
 
 struct TargetHooks {
@@ -319,6 +504,12 @@ const std::vector<TargetHooks>& target_hooks() {
         "flight-recorder NDJSON trace codec (tft-txn lines, hex u64s)",
         &entry_adapter<trace_codec_classify>},
        &trace_codec_generate, &trace_codec_classify, &trace_codec_roundtrip},
+      {{"proxy_framing",
+        "socket front-end wire formats (request heads, credentials, tunnel "
+        "frames)",
+        &entry_adapter<proxy_framing::classify>},
+       &proxy_framing::generate, &proxy_framing::classify,
+       &proxy_framing::roundtrip},
   };
   return kHooks;
 }

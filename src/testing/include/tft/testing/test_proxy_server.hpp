@@ -1,0 +1,109 @@
+// RAII socket-test harness: a mini world, its SuperProxy engine, and a
+// ProxyServer listening on an ephemeral 127.0.0.1 port — everything a
+// connection-level scenario test needs, torn down (auto-join, every fd
+// closed) when the fixture leaves scope.
+//
+// Two driving modes:
+//   - threaded (default): run() on a dedicated thread, like a real server.
+//     The world's metrics registry is written by that thread, so tests
+//     must call stop() (which joins) before asserting counters — the join
+//     is the happens-before edge.
+//   - pumped (Options::threaded = false): no thread; the test drives the
+//     event loop explicitly with pump(). Everything stays on one thread,
+//     so counters can be asserted between steps and scenarios replay
+//     deterministically.
+//
+// TestSocket is the matching raw client: a non-blocking loopback socket
+// with poll-based waits (or cooperative pumping of the server under test),
+// plus helpers to read complete HTTP responses off the stream.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "tft/http/reader.hpp"
+#include "tft/net/server/proxy_server.hpp"
+#include "tft/util/result.hpp"
+#include "tft/world/world.hpp"
+
+namespace tft::testing {
+
+class TestProxyServer {
+ public:
+  struct Options {
+    double scale = 1.0;
+    std::uint64_t seed = 2016;
+    bool threaded = true;
+    /// Tweak the server config (timeouts, limits) before it starts.
+    std::function<void(net::server::ProxyServerConfig&)> configure;
+  };
+
+  TestProxyServer();
+  explicit TestProxyServer(Options options);
+  ~TestProxyServer();
+  TestProxyServer(const TestProxyServer&) = delete;
+  TestProxyServer& operator=(const TestProxyServer&) = delete;
+
+  std::uint16_t port() const noexcept { return server_->port(); }
+  world::World& world() noexcept { return *world_; }
+  net::server::ProxyServer& server() noexcept { return *server_; }
+
+  /// Pumped mode: dispatch until the loop is momentarily idle.
+  void pump();
+
+  /// Counter value from the world registry. Threaded fixtures must stop()
+  /// first; pumped fixtures may read at any time.
+  std::uint64_t counter(std::string_view name) const {
+    return world_->metrics.counter(name);
+  }
+
+  /// Stop serving (request + join in threaded mode) and close every fd.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+ private:
+  Options options_;
+  std::unique_ptr<world::World> world_;
+  std::unique_ptr<net::server::ProxyServer> server_;
+  std::thread thread_;
+  bool stopped_ = false;
+};
+
+/// Raw loopback client for connection-level scenarios. All operations are
+/// bounded: they either pump the server under test (pumped fixtures) or
+/// poll(2) with a timeout (threaded fixtures), and fail loudly on stall.
+class TestSocket {
+ public:
+  /// `pump`: the server to drive cooperatively while waiting, or nullptr
+  /// to wait in poll(2) against a threaded server.
+  explicit TestSocket(std::uint16_t port,
+                      net::server::ProxyServer* pump = nullptr);
+  ~TestSocket();
+  TestSocket(const TestSocket&) = delete;
+  TestSocket& operator=(const TestSocket&) = delete;
+
+  bool connected() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+
+  util::Result<void> send_all(std::string_view bytes);
+  /// Read until one complete HTTP message is framed.
+  util::Result<std::string> recv_message();
+  /// Read until the peer closes. Returns the bytes received before EOF.
+  util::Result<std::string> recv_until_eof();
+  /// Half-close the write side (client finished sending).
+  void shutdown_write();
+  void close();
+
+ private:
+  util::Result<void> wait_for(short events);
+
+  int fd_ = -1;
+  net::server::ProxyServer* pump_;
+  http::MessageReader reader_;
+};
+
+}  // namespace tft::testing

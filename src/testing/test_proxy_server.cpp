@@ -1,0 +1,209 @@
+#include "tft/testing/test_proxy_server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "tft/world/spec.hpp"
+
+namespace tft::testing {
+
+using util::ErrorCode;
+using util::make_error;
+using util::Result;
+
+namespace {
+
+/// Bound on every blocking wait: scenario tests must fail, not hang.
+constexpr int kWaitTimeoutMs = 10'000;
+/// Pumped-mode stall guard (consecutive idle dispatch rounds).
+constexpr int kIdleRoundLimit = 10'000;
+
+}  // namespace
+
+TestProxyServer::TestProxyServer() : TestProxyServer(Options{}) {}
+
+TestProxyServer::TestProxyServer(Options options)
+    : options_(std::move(options)) {
+  world_ = world::build_world(world::mini_spec(), options_.scale, options_.seed);
+  net::server::ProxyServerConfig config;
+  if (!options_.threaded) {
+    // Pumped fixtures are deterministic; wall time stays out of the loop
+    // unless the scenario opts back in (timeout tests do, via configure).
+    config.read_timeout_ms = 0;
+  }
+  if (options_.configure) options_.configure(config);
+  server_ = std::make_unique<net::server::ProxyServer>(
+      *world_->luminati, config, &world_->metrics, &world_->recorder);
+  if (const auto started = server_->start(); !started.ok()) {
+    throw std::runtime_error("TestProxyServer: " +
+                             started.error().to_string());
+  }
+  // start() is synchronous — the listener is accepting before run() even
+  // begins, so clients never poll-until-listening.
+  if (options_.threaded) {
+    thread_ = std::thread([this] { server_->run(); });
+  }
+}
+
+TestProxyServer::~TestProxyServer() { stop(); }
+
+void TestProxyServer::pump() {
+  while (server_->poll_once(0)) {
+  }
+}
+
+void TestProxyServer::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  if (thread_.joinable()) {
+    server_->request_stop();
+    thread_.join();
+  }
+  server_->shutdown();
+}
+
+TestSocket::TestSocket(std::uint16_t port, net::server::ProxyServer* pump)
+    : pump_(pump) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return;
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    if (errno != EINPROGRESS) {
+      close();
+      return;
+    }
+    if (!wait_for(POLLOUT).ok()) {
+      close();
+      return;
+    }
+    int error = 0;
+    socklen_t length = sizeof(error);
+    ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &error, &length);
+    if (error != 0) close();
+  }
+}
+
+TestSocket::~TestSocket() { close(); }
+
+void TestSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void TestSocket::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+Result<void> TestSocket::wait_for(short events) {
+  if (pump_ != nullptr) {
+    for (int idle = 0; idle < kIdleRoundLimit;) {
+      pollfd probe{fd_, events, 0};
+      if (::poll(&probe, 1, 0) > 0 &&
+          (probe.revents & (events | POLLHUP | POLLERR)) != 0) {
+        return {};
+      }
+      if (pump_->poll_once(0)) {
+        idle = 0;
+      } else {
+        ++idle;
+      }
+    }
+    return make_error(ErrorCode::kTimeout, "pumped wait made no progress");
+  }
+  pollfd probe{fd_, events, 0};
+  const int ready = ::poll(&probe, 1, kWaitTimeoutMs);
+  if (ready > 0) return {};
+  if (ready == 0) return make_error(ErrorCode::kTimeout, "socket wait timed out");
+  return make_error(ErrorCode::kInternal,
+                    std::string("poll: ") + std::strerror(errno));
+}
+
+Result<void> TestSocket::send_all(std::string_view bytes) {
+  if (fd_ < 0) return make_error(ErrorCode::kInternal, "socket not connected");
+  std::size_t sent_total = 0;
+  while (sent_total < bytes.size()) {
+    const ssize_t sent = ::send(fd_, bytes.data() + sent_total,
+                                bytes.size() - sent_total, MSG_NOSIGNAL);
+    if (sent > 0) {
+      sent_total += static_cast<std::size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (const auto ready = wait_for(POLLOUT); !ready.ok()) return ready;
+      continue;
+    }
+    if (sent < 0 && errno == EINTR) continue;
+    return make_error(ErrorCode::kInternal,
+                      std::string("send: ") + std::strerror(errno));
+  }
+  return {};
+}
+
+Result<std::string> TestSocket::recv_message() {
+  if (fd_ < 0) return make_error(ErrorCode::kInternal, "socket not connected");
+  for (;;) {
+    if (auto message = reader_.next_message()) return *std::move(message);
+    char buffer[16384];
+    const ssize_t received = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (received > 0) {
+      if (const auto fed = reader_.feed(
+              std::string_view(buffer, static_cast<std::size_t>(received)));
+          !fed.ok()) {
+        return fed.error();
+      }
+      continue;
+    }
+    if (received == 0) {
+      return make_error(ErrorCode::kConnectionRefused,
+                        "peer closed before a complete message");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (const auto ready = wait_for(POLLIN); !ready.ok()) {
+        return ready.error();
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return make_error(ErrorCode::kInternal,
+                      std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+Result<std::string> TestSocket::recv_until_eof() {
+  if (fd_ < 0) return make_error(ErrorCode::kInternal, "socket not connected");
+  std::string out;
+  for (;;) {
+    char buffer[16384];
+    const ssize_t received = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (received > 0) {
+      out.append(buffer, static_cast<std::size_t>(received));
+      continue;
+    }
+    if (received == 0) return out;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (const auto ready = wait_for(POLLIN); !ready.ok()) {
+        return ready.error();
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    // A reset after we half-closed still means "peer is done".
+    if (errno == ECONNRESET) return out;
+    return make_error(ErrorCode::kInternal,
+                      std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+}  // namespace tft::testing

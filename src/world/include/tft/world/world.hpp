@@ -15,6 +15,7 @@
 #include "tft/net/topology.hpp"
 #include "tft/obs/metrics.hpp"
 #include "tft/obs/recorder.hpp"
+#include "tft/proxy/channel.hpp"
 #include "tft/proxy/luminati.hpp"
 #include "tft/sim/event_queue.hpp"
 #include "tft/smtp/server.hpp"
@@ -68,6 +69,21 @@ class World {
 
   // --- The proxy service ----------------------------------------------------
   std::unique_ptr<proxy::SuperProxy> luminati;
+
+  /// Transport the probes reach the proxy through. Defaults to the direct
+  /// library-call path (InProcessChannel); the socket front-end installs a
+  /// SocketProxyChannel here, and the probes never know the difference.
+  /// The SMTP methodology is exempt: Luminati's HTTP wire has no SMTP
+  /// verb, so the SMTP probe always calls the engine directly.
+  std::unique_ptr<proxy::ProxyChannel> proxy_channel;
+
+  /// The active channel, creating the in-process default on first use.
+  proxy::ProxyChannel& proxy() {
+    if (!proxy_channel) {
+      proxy_channel = std::make_unique<proxy::InProcessChannel>(*luminati);
+    }
+    return *proxy_channel;
+  }
 
   // --- HTTPS targets ---------------------------------------------------------
   std::vector<HttpsSite> https_sites;

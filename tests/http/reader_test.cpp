@@ -1,0 +1,145 @@
+#include "tft/http/reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "tft/http/message.hpp"
+
+namespace tft::http {
+namespace {
+
+constexpr std::string_view kGet =
+    "GET http://example.com/ HTTP/1.1\r\nHost: example.com\r\n\r\n";
+constexpr std::string_view kPost =
+    "POST /submit HTTP/1.1\r\nHost: example.com\r\nContent-Length: 5\r\n\r\n"
+    "hello";
+
+TEST(MessageReaderTest, WholeMessageInOneFeed) {
+  MessageReader reader;
+  ASSERT_TRUE(reader.feed(kGet).ok());
+  const auto message = reader.next_message();
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(*message, kGet);
+  EXPECT_FALSE(reader.next_message().has_value());
+  EXPECT_EQ(reader.partial_bytes(), 0u);
+}
+
+// The regression the socket front-end exists to guard: TCP hands the server
+// arbitrary segments, so every split point of the wire image — including
+// one byte at a time — must frame identically.
+TEST(MessageReaderTest, ByteAtATimeFeed) {
+  MessageReader reader;
+  for (const char byte : kPost) {
+    ASSERT_TRUE(reader.feed(std::string_view(&byte, 1)).ok());
+  }
+  const auto message = reader.next_message();
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(*message, kPost);
+  const auto parsed = Request::parse(*message);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->body, "hello");
+}
+
+TEST(MessageReaderTest, EverySplitPointOfHeadAndBody) {
+  for (std::size_t split = 1; split < kPost.size(); ++split) {
+    MessageReader reader;
+    ASSERT_TRUE(reader.feed(kPost.substr(0, split)).ok());
+    ASSERT_TRUE(reader.feed(kPost.substr(split)).ok());
+    const auto message = reader.next_message();
+    ASSERT_TRUE(message.has_value()) << "split at " << split;
+    EXPECT_EQ(*message, kPost) << "split at " << split;
+  }
+}
+
+// The terminator scan must resume far enough back to see a "\r\n\r\n" that
+// straddles two feeds.
+TEST(MessageReaderTest, TerminatorStraddlesFeeds) {
+  MessageReader reader;
+  const std::string head = "GET / HTTP/1.1\r\nHost: h\r";
+  ASSERT_TRUE(reader.feed(head).ok());
+  EXPECT_FALSE(reader.next_message().has_value());
+  ASSERT_TRUE(reader.feed("\n\r\n").ok());
+  const auto message = reader.next_message();
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(*message, head + "\n\r\n");
+}
+
+TEST(MessageReaderTest, PipelinedMessagesInOneFeed) {
+  MessageReader reader;
+  std::string wire;
+  wire.append(kGet);
+  wire.append(kPost);
+  wire.append(kGet);
+  ASSERT_TRUE(reader.feed(wire).ok());
+  EXPECT_EQ(reader.ready(), 3u);
+  EXPECT_EQ(*reader.next_message(), kGet);
+  EXPECT_EQ(*reader.next_message(), kPost);
+  EXPECT_EQ(*reader.next_message(), kGet);
+  EXPECT_FALSE(reader.next_message().has_value());
+}
+
+TEST(MessageReaderTest, BodySplitAcrossFeeds) {
+  MessageReader reader;
+  ASSERT_TRUE(reader.feed(kPost.substr(0, kPost.size() - 2)).ok());
+  EXPECT_FALSE(reader.next_message().has_value());
+  EXPECT_GT(reader.partial_bytes(), 0u);
+  ASSERT_TRUE(reader.feed(kPost.substr(kPost.size() - 2)).ok());
+  EXPECT_EQ(*reader.next_message(), kPost);
+}
+
+TEST(MessageReaderTest, TakeLeftoverSurrendersTunnelBytes) {
+  MessageReader reader;
+  std::string wire(kGet);
+  wire += std::string("\x00\x00\x00\x04", 4);  // tunnel bytes behind the head
+  wire += "TFTH";
+  ASSERT_TRUE(reader.feed(wire).ok());
+  EXPECT_EQ(*reader.next_message(), kGet);
+  EXPECT_EQ(reader.take_leftover(), std::string("\x00\x00\x00\x04", 4) + "TFTH");
+  EXPECT_EQ(reader.partial_bytes(), 0u);
+}
+
+TEST(MessageReaderTest, OversizeHeadFails) {
+  MessageReader reader(MessageReader::Limits{64, 1024});
+  const std::string long_head =
+      "GET / HTTP/1.1\r\nX-Pad: " + std::string(100, 'a');
+  EXPECT_FALSE(reader.feed(long_head).ok());
+}
+
+TEST(MessageReaderTest, OversizeBodyFails) {
+  MessageReader reader(MessageReader::Limits{1024, 16});
+  EXPECT_FALSE(
+      reader.feed("POST / HTTP/1.1\r\nContent-Length: 64\r\n\r\n").ok());
+}
+
+TEST(MessageReaderTest, MalformedContentLengthFails) {
+  MessageReader reader;
+  EXPECT_FALSE(
+      reader.feed("POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n").ok());
+}
+
+TEST(MessageReaderTest, ConflictingContentLengthsFail) {
+  MessageReader reader;
+  EXPECT_FALSE(reader
+                   .feed("POST / HTTP/1.1\r\nContent-Length: 4\r\n"
+                         "Content-Length: 5\r\n\r\n")
+                   .ok());
+}
+
+TEST(MessageReaderTest, ChunkedFramingRejected) {
+  MessageReader reader;
+  EXPECT_FALSE(
+      reader.feed("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").ok());
+}
+
+TEST(MessageReaderTest, ErrorsAreSticky) {
+  MessageReader reader;
+  ASSERT_FALSE(
+      reader.feed("POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n").ok());
+  const auto after = reader.feed(kGet);
+  EXPECT_FALSE(after.ok());
+  EXPECT_FALSE(reader.next_message().has_value());
+}
+
+}  // namespace
+}  // namespace tft::http

@@ -1,0 +1,219 @@
+#include "tft/net/server/framing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tft/proxy/luminati.hpp"
+#include "tft/testing/generators.hpp"
+#include "tft/util/rng.hpp"
+
+namespace tft::net::server {
+namespace {
+
+TEST(CredentialsTest, DefaultOptionsRoundtrip) {
+  const proxy::RequestOptions options;
+  const auto text = format_credentials(options);
+  EXPECT_EQ(text, "customer-tft-zone-static");
+  const auto parsed = parse_credentials(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->country.has_value());
+  EXPECT_FALSE(parsed->session.has_value());
+  EXPECT_FALSE(parsed->dns_remote);
+}
+
+TEST(CredentialsTest, FullOptionsRoundtrip) {
+  proxy::RequestOptions options;
+  options.country = "DE";
+  options.dns_remote = true;
+  options.session = "probe-7";
+  const auto parsed = parse_credentials(format_credentials(options));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->country, "DE");
+  EXPECT_TRUE(parsed->dns_remote);
+  EXPECT_EQ(parsed->session, "probe-7");
+}
+
+// Session ids contain dashes ("dns-42"); the session field is last on the
+// wire precisely so those dashes survive.
+TEST(CredentialsTest, SessionWithDashesSurvives) {
+  proxy::RequestOptions options;
+  options.session = "dns-42-country-XX";
+  const auto parsed = parse_credentials(format_credentials(options));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->session, "dns-42-country-XX");
+  EXPECT_FALSE(parsed->country.has_value());
+}
+
+TEST(CredentialsTest, RejectsGarbage) {
+  EXPECT_FALSE(parse_credentials("lum-customer-other").ok());
+  EXPECT_FALSE(parse_credentials("customer-tft-zone-static-country-").ok());
+  EXPECT_FALSE(parse_credentials("customer-tft-zone-static-bogus").ok());
+}
+
+TEST(ProxyRequestTest, BuildAndParseGet) {
+  const auto url = *http::Url::parse("http://d1.probe.tft-study.net/page");
+  proxy::RequestOptions options;
+  options.session = "dns-3";
+  const auto wire = build_proxy_get(url, options);
+  const auto head = parse_proxy_request(wire);
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(head->kind, ProxyRequestHead::Kind::kGet);
+  EXPECT_EQ(head->url.to_string(), "http://d1.probe.tft-study.net/page");
+  EXPECT_EQ(head->options.session, "dns-3");
+  EXPECT_FALSE(head->close);
+}
+
+TEST(ProxyRequestTest, BuildAndParseConnect) {
+  const auto destination = *Ipv4Address::parse("203.0.113.9");
+  const auto wire = build_connect(destination, 443, {});
+  const auto head = parse_proxy_request(wire);
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(head->kind, ProxyRequestHead::Kind::kConnect);
+  EXPECT_EQ(head->connect_address.to_string(), "203.0.113.9");
+  EXPECT_EQ(head->connect_port, 443);
+}
+
+TEST(ProxyRequestTest, ConnectionCloseIsHonored) {
+  const auto head = parse_proxy_request(
+      "GET http://example.com/ HTTP/1.1\r\nHost: example.com\r\n"
+      "Connection: close\r\n\r\n");
+  ASSERT_TRUE(head.ok());
+  EXPECT_TRUE(head->close);
+}
+
+TEST(ProxyRequestTest, RejectsOriginFormGet) {
+  EXPECT_FALSE(
+      parse_proxy_request("GET /page HTTP/1.1\r\nHost: h\r\n\r\n").ok());
+}
+
+TEST(ProxyRequestTest, RejectsHostnameConnect) {
+  EXPECT_FALSE(
+      parse_proxy_request("CONNECT example.com:443 HTTP/1.1\r\n\r\n").ok());
+}
+
+TEST(ProxyRequestTest, RejectsBadConnectPort) {
+  EXPECT_FALSE(
+      parse_proxy_request("CONNECT 203.0.113.9:0 HTTP/1.1\r\n\r\n").ok());
+  EXPECT_FALSE(
+      parse_proxy_request("CONNECT 203.0.113.9:99999 HTTP/1.1\r\n\r\n").ok());
+  EXPECT_FALSE(
+      parse_proxy_request("CONNECT 203.0.113.9 HTTP/1.1\r\n\r\n").ok());
+}
+
+TEST(ProxyRequestTest, RejectsOtherMethods) {
+  EXPECT_FALSE(
+      parse_proxy_request("POST http://example.com/ HTTP/1.1\r\n\r\n").ok());
+}
+
+TEST(ProxyRequestTest, RejectsBadAuthScheme) {
+  EXPECT_FALSE(parse_proxy_request(
+                   "GET http://example.com/ HTTP/1.1\r\nHost: example.com\r\n"
+                   "Proxy-Authorization: Basic dXNlcg==\r\n\r\n")
+                   .ok());
+}
+
+TEST(AttemptsCodecTest, Roundtrip) {
+  std::vector<proxy::AttemptInfo> attempts;
+  attempts.push_back({"zid-a", "connect_timeout"});
+  attempts.push_back({"zid-b", ""});
+  const auto text = encode_attempts(attempts);
+  EXPECT_EQ(text, "zid-a:connect_timeout,zid-b:ok");
+  const auto decoded = decode_attempts(text);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 2u);
+  EXPECT_EQ((*decoded)[0].zid, "zid-a");
+  EXPECT_EQ((*decoded)[0].error, "connect_timeout");
+  EXPECT_EQ((*decoded)[1].zid, "zid-b");
+  EXPECT_TRUE((*decoded)[1].error.empty());
+}
+
+TEST(AttemptsCodecTest, EmptyRoundtrip) {
+  const auto decoded = decode_attempts("");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(AttemptsCodecTest, RejectsMalformedEntries) {
+  EXPECT_FALSE(decode_attempts("no-colon-here").ok());
+  EXPECT_FALSE(decode_attempts(":ok").ok());
+  EXPECT_FALSE(decode_attempts("zid:").ok());
+}
+
+TEST(TunnelFrameTest, HelloRoundtrip) {
+  const TunnelHello hello{"site.example.com"};
+  const auto decoded = decode_tunnel_hello(encode_tunnel_hello(hello));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->sni, "site.example.com");
+}
+
+TEST(TunnelFrameTest, HelloRejectsBadMagicAndTrailingBytes) {
+  EXPECT_FALSE(decode_tunnel_hello("XXXX\x00\x03sni").ok());
+  auto wire = encode_tunnel_hello(TunnelHello{"sni"});
+  wire += "extra";
+  EXPECT_FALSE(decode_tunnel_hello(wire).ok());
+}
+
+TEST(TunnelFrameTest, ReplyRoundtripWithChain) {
+  util::Rng rng(7);
+  TunnelReply reply;
+  reply.status = proxy::ProxyStatus::kOk;
+  reply.zid = "zid-tunnel";
+  reply.exit_address = *Ipv4Address::parse("198.51.100.7");
+  reply.exit_country = "SE";
+  reply.chain = tft::testing::random_tls_chain(rng);
+  const auto decoded = decode_tunnel_reply(encode_tunnel_reply(reply));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->status, reply.status);
+  EXPECT_EQ(decoded->zid, reply.zid);
+  EXPECT_EQ(decoded->exit_address.value(), reply.exit_address.value());
+  EXPECT_EQ(decoded->exit_country, reply.exit_country);
+  EXPECT_EQ(decoded->chain, reply.chain);
+}
+
+TEST(TunnelFrameTest, ReplyRoundtripsEveryStatus) {
+  for (const auto status :
+       {proxy::ProxyStatus::kOk, proxy::ProxyStatus::kSuperProxyDnsFailure,
+        proxy::ProxyStatus::kExitNodeDnsNxdomain,
+        proxy::ProxyStatus::kExitNodeDnsFailure,
+        proxy::ProxyStatus::kNoExitNodeAvailable,
+        proxy::ProxyStatus::kAllAttemptsFailed,
+        proxy::ProxyStatus::kTunnelFailed, proxy::ProxyStatus::kPortNotAllowed}) {
+    TunnelReply reply;
+    reply.status = status;
+    const auto decoded = decode_tunnel_reply(encode_tunnel_reply(reply));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->status, status);
+  }
+}
+
+TEST(ProxyStatusTest, ParseInvertsToString) {
+  EXPECT_EQ(*proxy::parse_proxy_status("ok"), proxy::ProxyStatus::kOk);
+  EXPECT_EQ(*proxy::parse_proxy_status(
+                proxy::to_string(proxy::ProxyStatus::kPortNotAllowed)),
+            proxy::ProxyStatus::kPortNotAllowed);
+  EXPECT_FALSE(proxy::parse_proxy_status("nonsense").ok());
+}
+
+TEST(FrameReaderTest, SplitFeedsReassemble) {
+  const auto wire = frame("payload-a") + frame("payload-b");
+  FrameReader reader;
+  for (const char byte : wire) {
+    ASSERT_TRUE(reader.feed(std::string_view(&byte, 1)).ok());
+  }
+  EXPECT_EQ(*reader.next_frame(), "payload-a");
+  EXPECT_EQ(*reader.next_frame(), "payload-b");
+  EXPECT_FALSE(reader.next_frame().has_value());
+  EXPECT_EQ(reader.partial_bytes(), 0u);
+}
+
+TEST(FrameReaderTest, RejectsEmptyFrame) {
+  FrameReader reader;
+  EXPECT_FALSE(reader.feed(std::string("\x00\x00\x00\x00", 4)).ok());
+}
+
+TEST(FrameReaderTest, RejectsOversizeFrame) {
+  FrameReader reader(16);
+  EXPECT_FALSE(reader.feed(frame(std::string(64, 'x'))).ok());
+}
+
+}  // namespace
+}  // namespace tft::net::server

@@ -1,0 +1,309 @@
+// Connection-level scenarios against the real socket front-end: keep-alive
+// reuse, pipelining, slow-header timeouts, mid-tunnel disconnects, CONNECT
+// admission — each asserting the `net.*` observability counters and clean
+// fd teardown. Most scenarios run the fixture in pumped mode (no second
+// thread), so counters can be asserted between steps and the tests replay
+// deterministically; one threaded smoke covers the run()-on-a-thread path.
+#include <dirent.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "tft/net/server/framing.hpp"
+#include "tft/testing/test_proxy_server.hpp"
+
+namespace tft::testing {
+namespace {
+
+using net::server::ProxyServerConfig;
+
+constexpr std::string_view kProxiedUrl = "http://m1.probe.tft-study.net/";
+
+std::string simple_get(bool close = false) {
+  std::string out = "GET ";
+  out += kProxiedUrl;
+  out += " HTTP/1.1\r\nHost: m1.probe.tft-study.net\r\n";
+  if (close) out += "Connection: close\r\n";
+  out += "\r\n";
+  return out;
+}
+
+/// Open fds in this process — the leak check around fixture lifetimes.
+std::size_t open_fd_count() {
+  std::size_t count = 0;
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  while (readdir(dir) != nullptr) ++count;
+  closedir(dir);
+  return count;
+}
+
+TestProxyServer::Options pumped() {
+  TestProxyServer::Options options;
+  options.threaded = false;
+  return options;
+}
+
+TEST(SocketServerTest, KeepAliveReuseThenConnectionClose) {
+  TestProxyServer fixture(pumped());
+  TestSocket client(fixture.port(), &fixture.server());
+  ASSERT_TRUE(client.connected());
+
+  ASSERT_TRUE(client.send_all(simple_get()).ok());
+  const auto response1 = client.recv_message();
+  ASSERT_TRUE(response1.ok());
+  EXPECT_NE(response1->find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(response1->find("X-TFT-Proxy-Status:"), std::string::npos);
+
+  // Same connection, second request: keep-alive reuse.
+  ASSERT_TRUE(client.send_all(simple_get(/*close=*/true)).ok());
+  const auto response2 = client.recv_message();
+  ASSERT_TRUE(response2.ok());
+  EXPECT_NE(response2->find("HTTP/1.1 200"), std::string::npos);
+
+  // Connection: close -> the server hangs up after the response.
+  const auto rest = client.recv_until_eof();
+  ASSERT_TRUE(rest.ok());
+  EXPECT_TRUE(rest->empty());
+
+  EXPECT_EQ(fixture.counter("net.accepted"), 1u);
+  EXPECT_EQ(fixture.counter("net.http.requests"), 2u);
+  EXPECT_EQ(fixture.counter("net.http.keepalive_reuse"), 1u);
+  EXPECT_EQ(fixture.counter("net.closed"), 1u);
+  EXPECT_EQ(fixture.counter("net.http.parse_errors"), 0u);
+  EXPECT_EQ(fixture.server().open_connections(), 0u);
+}
+
+TEST(SocketServerTest, PipelinedGetsAnswerInOrder) {
+  TestProxyServer fixture(pumped());
+  TestSocket client(fixture.port(), &fixture.server());
+  ASSERT_TRUE(client.connected());
+
+  // Both requests in one write: the server sees them in one buffer and
+  // must answer both, in order.
+  ASSERT_TRUE(client.send_all(simple_get() + simple_get()).ok());
+  const auto response1 = client.recv_message();
+  ASSERT_TRUE(response1.ok());
+  const auto response2 = client.recv_message();
+  ASSERT_TRUE(response2.ok());
+  EXPECT_NE(response1->find("HTTP/1.1 200"), std::string::npos);
+  // Same target, same session-less request -> byte-identical answers.
+  EXPECT_EQ(*response1, *response2);
+
+  EXPECT_EQ(fixture.counter("net.http.requests"), 2u);
+  EXPECT_GE(fixture.counter("net.http.pipelined"), 1u);
+}
+
+TEST(SocketServerTest, SlowHeadersHitReadTimeout) {
+  auto options = pumped();
+  options.configure = [](ProxyServerConfig& config) {
+    config.read_timeout_ms = 100;  // opt back into wall-clock guarding
+  };
+  TestProxyServer fixture(std::move(options));
+  TestSocket client(fixture.port(), &fixture.server());
+  ASSERT_TRUE(client.connected());
+
+  // A slowloris peer: starts the head, never finishes it.
+  ASSERT_TRUE(client.send_all("GET http://m1.probe.tft-s").ok());
+  fixture.pump();
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  fixture.pump();  // deadline sweep fires here
+
+  EXPECT_EQ(fixture.counter("net.http.read_timeouts"), 1u);
+  EXPECT_EQ(fixture.counter("net.http.idle_timeouts"), 0u);
+  EXPECT_EQ(fixture.server().open_connections(), 0u);
+
+  // The server sent a best-effort 408 before hanging up.
+  const auto rest = client.recv_until_eof();
+  ASSERT_TRUE(rest.ok());
+  EXPECT_NE(rest->find("408"), std::string::npos);
+}
+
+TEST(SocketServerTest, IdleConnectionHitsIdleTimeout) {
+  auto options = pumped();
+  options.configure = [](ProxyServerConfig& config) {
+    config.read_timeout_ms = 100;
+  };
+  TestProxyServer fixture(std::move(options));
+  TestSocket client(fixture.port(), &fixture.server());
+  ASSERT_TRUE(client.connected());
+  fixture.pump();  // accept; no bytes ever arrive
+  ASSERT_EQ(fixture.counter("net.accepted"), 1u);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  fixture.pump();
+  EXPECT_EQ(fixture.counter("net.http.idle_timeouts"), 1u);
+  EXPECT_EQ(fixture.counter("net.http.read_timeouts"), 0u);
+  EXPECT_EQ(fixture.server().open_connections(), 0u);
+}
+
+TEST(SocketServerTest, MidTunnelClientDisconnect) {
+  TestProxyServer fixture(pumped());
+  ASSERT_FALSE(fixture.world().https_sites.empty());
+  const auto target = fixture.world().https_sites.front().address;
+
+  TestSocket client(fixture.port(), &fixture.server());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(
+      client.send_all(net::server::build_connect(target, 443, {})).ok());
+  const auto established = client.recv_message();
+  ASSERT_TRUE(established.ok());
+  EXPECT_NE(established->find("200 Connection Established"),
+            std::string::npos);
+  EXPECT_EQ(fixture.counter("net.connect.tunnels"), 1u);
+
+  // Vanish mid-tunnel, before the handshake hello.
+  client.close();
+  fixture.pump();
+
+  EXPECT_EQ(fixture.counter("net.tunnel.client_disconnects"), 1u);
+  EXPECT_EQ(fixture.counter("net.tunnel.handshakes"), 0u);
+  EXPECT_EQ(fixture.server().open_connections(), 0u);
+}
+
+TEST(SocketServerTest, TunnelHandshakeDeliversChain) {
+  TestProxyServer fixture(pumped());
+  ASSERT_FALSE(fixture.world().https_sites.empty());
+  const auto& site = fixture.world().https_sites.front();
+
+  TestSocket client(fixture.port(), &fixture.server());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(
+      client.send_all(net::server::build_connect(site.address, 443, {})).ok());
+  ASSERT_TRUE(client.recv_message().ok());  // 200 Established
+
+  ASSERT_TRUE(client
+                  .send_all(net::server::frame(net::server::encode_tunnel_hello(
+                      net::server::TunnelHello{site.host})))
+                  .ok());
+  // The reply is one length-prefixed frame; read it off the raw stream.
+  net::server::FrameReader frames;
+  std::string reply_payload;
+  while (true) {
+    if (auto payload = frames.next_frame()) {
+      reply_payload = *std::move(payload);
+      break;
+    }
+    client.shutdown_write();  // no more client bytes are coming
+    const auto bytes = client.recv_until_eof();
+    ASSERT_TRUE(bytes.ok());
+    ASSERT_FALSE(bytes->empty());
+    ASSERT_TRUE(frames.feed(*bytes).ok());
+  }
+  const auto reply = net::server::decode_tunnel_reply(reply_payload);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->status, proxy::ProxyStatus::kOk);
+  EXPECT_FALSE(reply->zid.empty());
+  EXPECT_FALSE(reply->chain.empty());
+
+  EXPECT_EQ(fixture.counter("net.tunnel.handshakes"), 1u);
+  fixture.pump();  // server observes our EOF
+  EXPECT_EQ(fixture.counter("net.tunnel.closed"), 1u);
+  EXPECT_EQ(fixture.counter("net.tunnel.client_disconnects"), 0u);
+}
+
+TEST(SocketServerTest, ConnectToDisallowedPortIsRefused) {
+  TestProxyServer fixture(pumped());
+  ASSERT_FALSE(fixture.world().https_sites.empty());
+  const auto target = fixture.world().https_sites.front().address;
+
+  TestSocket client(fixture.port(), &fixture.server());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_all(net::server::build_connect(target, 80, {})).ok());
+  const auto refusal = client.recv_message();
+  ASSERT_TRUE(refusal.ok());
+  EXPECT_NE(refusal->find("HTTP/1.1 403"), std::string::npos);
+  EXPECT_NE(refusal->find("X-TFT-Proxy-Status: port_not_allowed"),
+            std::string::npos);
+  const auto rest = client.recv_until_eof();
+  ASSERT_TRUE(rest.ok());
+  EXPECT_TRUE(rest->empty());
+
+  EXPECT_EQ(fixture.counter("net.connect.rejected_port"), 1u);
+  EXPECT_EQ(fixture.counter("net.connect.tunnels"), 0u);
+}
+
+TEST(SocketServerTest, GarbageRequestGets400AndClose) {
+  TestProxyServer fixture(pumped());
+  TestSocket client(fixture.port(), &fixture.server());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_all("NOT-HTTP AT ALL\r\n\r\n").ok());
+  const auto response = client.recv_message();
+  ASSERT_TRUE(response.ok());
+  EXPECT_NE(response->find("HTTP/1.1 400"), std::string::npos);
+  const auto rest = client.recv_until_eof();
+  ASSERT_TRUE(rest.ok());
+  EXPECT_TRUE(rest->empty());
+  EXPECT_EQ(fixture.counter("net.http.parse_errors"), 1u);
+}
+
+// Satellite regression: headers split across arbitrary TCP segment
+// boundaries, through a real socket (one byte per write).
+TEST(SocketServerTest, ByteAtATimeRequestStillParses) {
+  TestProxyServer fixture(pumped());
+  TestSocket client(fixture.port(), &fixture.server());
+  ASSERT_TRUE(client.connected());
+  const std::string request = simple_get();
+  for (const char byte : request) {
+    ASSERT_TRUE(client.send_all(std::string_view(&byte, 1)).ok());
+    fixture.pump();
+  }
+  const auto response = client.recv_message();
+  ASSERT_TRUE(response.ok());
+  EXPECT_NE(response->find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_EQ(fixture.counter("net.http.requests"), 1u);
+  EXPECT_EQ(fixture.counter("net.http.parse_errors"), 0u);
+}
+
+TEST(SocketServerTest, AbortedRequestCountsAsAborted) {
+  TestProxyServer fixture(pumped());
+  TestSocket client(fixture.port(), &fixture.server());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_all("GET http://half-a-request").ok());
+  fixture.pump();
+  client.close();  // hang up mid-head
+  fixture.pump();
+  EXPECT_EQ(fixture.counter("net.http.aborted"), 1u);
+  EXPECT_EQ(fixture.server().open_connections(), 0u);
+}
+
+// The run()-on-a-thread path: counters are asserted only after stop()
+// joins the server thread (the happens-before edge).
+TEST(SocketServerTest, ThreadedServerSmoke) {
+  TestProxyServer fixture;  // threaded by default
+  TestSocket client(fixture.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_all(simple_get(/*close=*/true)).ok());
+  const auto response = client.recv_message();
+  ASSERT_TRUE(response.ok());
+  EXPECT_NE(response->find("HTTP/1.1 200"), std::string::npos);
+  client.close();
+  fixture.stop();
+  EXPECT_EQ(fixture.counter("net.accepted"), 1u);
+  EXPECT_EQ(fixture.counter("net.http.requests"), 1u);
+  EXPECT_EQ(fixture.server().open_connections(), 0u);
+}
+
+// Everything the fixture opens — listener, epoll, eventfd, connections —
+// must be gone when it leaves scope.
+TEST(SocketServerTest, FixtureLeaksNoFds) {
+  const std::size_t before = open_fd_count();
+  {
+    TestProxyServer fixture(pumped());
+    TestSocket client(fixture.port(), &fixture.server());
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.send_all(simple_get()).ok());
+    ASSERT_TRUE(client.recv_message().ok());
+    TestSocket second(fixture.port(), &fixture.server());
+    ASSERT_TRUE(second.connected());
+    fixture.pump();
+    EXPECT_EQ(fixture.server().open_connections(), 2u);
+  }
+  EXPECT_EQ(open_fd_count(), before);
+}
+
+}  // namespace
+}  // namespace tft::testing

@@ -7,7 +7,11 @@
 // Builds the paper-scale world (or the small --mini scenario), runs the
 // requested experiment(s), and writes the paper-style report to stdout or
 // --out.
+#include <poll.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <csignal>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -15,8 +19,12 @@
 #include <iostream>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <vector>
+
+#include "tft/net/server/proxy_server.hpp"
+#include "tft/net/server/socket_channel.hpp"
 
 #include "tft/core/report_json.hpp"
 #include "tft/core/smtp_probe.hpp"
@@ -71,6 +79,15 @@ Flags:
   --trace-violations-only  with --trace-out: keep only transactions whose
                      verdict is a violation
   --stats            append a human-readable metrics summary to the report
+  --connect          drive the measurement through the socket front-end: a
+                     real epoll proxy server on 127.0.0.1 backed by the same
+                     world, pumped cooperatively on the crawl thread. The
+                     report is byte-identical to the in-process default
+  --serve            build the world, expose the super proxy as a listening
+                     HTTP proxy on 127.0.0.1, and serve until SIGINT/SIGTERM
+                     or stdin EOF (try: curl -x http://127.0.0.1:<port>
+                     http://m1.probe.tft-study.net/)
+  --port <n>         with --serve: listen on a fixed port (default ephemeral)
   --version          print build provenance (git describe, build type,
                      sanitizer) and exit
   --quiet            suppress progress on stderr
@@ -124,6 +141,46 @@ std::int64_t peak_rss_kb() {
   return 0;
 }
 
+volatile std::sig_atomic_t g_stop_serving = 0;
+
+extern "C" void handle_stop_signal(int) { g_stop_serving = 1; }
+
+/// The loopback socket path for --connect: an epoll front-end bound to
+/// 127.0.0.1 plus a SocketProxyChannel that pumps it cooperatively on the
+/// crawl thread. The world's probes route through the channel; the SMTP
+/// probe (no HTTP verb for it) keeps calling the engine directly.
+struct LoopbackProxy {
+  tft::world::World& world;
+  tft::net::server::ProxyServer server;
+
+  static tft::net::server::ProxyServerConfig loopback_config() {
+    tft::net::server::ProxyServerConfig config;
+    // Cooperatively pumped: wall-clock timeouts must never influence the
+    // crawl, or slow CI would perturb the deterministic counters.
+    config.read_timeout_ms = 0;
+    return config;
+  }
+
+  explicit LoopbackProxy(tft::world::World& w)
+      : world(w),
+        server(*w.luminati, loopback_config(), &w.metrics, &w.recorder) {}
+
+  tft::util::Result<void> start() {
+    if (auto started = server.start(); !started.ok()) return started;
+    world.proxy_channel =
+        std::make_unique<tft::net::server::SocketProxyChannel>(server.port(),
+                                                               &server);
+    return {};
+  }
+
+  ~LoopbackProxy() {
+    // Close the client side first so the server's teardown counters
+    // (net.closed) land before the world's metrics are captured.
+    world.proxy_channel.reset();
+    server.shutdown();
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -132,7 +189,7 @@ int main(int argc, char** argv) {
       argc, argv,
       {"mini", "vpn-overlay", "quiet", "json", "dump-spec", "help", "stats",
        "version", "metrics-omit-timing", "shared-world",
-       "trace-violations-only"});
+       "trace-violations-only", "serve", "connect"});
   if (!parsed.ok()) return fail(parsed.error().to_string());
   const Flags& flags = *parsed;
 
@@ -152,7 +209,8 @@ int main(int argc, char** argv) {
       {"experiment", "scale", "seed", "target", "jobs", "mini", "vpn-overlay",
        "out", "quiet", "json", "spec", "dump-spec", "metrics-out",
        "metrics-omit-timing", "stats", "version", "shared-world", "order",
-       "trace-out", "trace-sample", "trace-violations-only"});
+       "trace-out", "trace-sample", "trace-violations-only", "serve",
+       "connect", "port"});
   if (!unknown.empty()) return fail("unknown flag --" + unknown.front());
   if (flags.get_bool("dump-spec") && flags.get_bool("quiet")) {
     return fail("--quiet makes no sense with --dump-spec: the spec dump is "
@@ -179,6 +237,19 @@ int main(int argc, char** argv) {
   const std::string experiment = flags.get_or("experiment", "all");
   const bool quiet = flags.get_bool("quiet");
   const bool json = flags.get_bool("json");
+
+  const bool serve = flags.get_bool("serve");
+  const bool connect_mode = flags.get_bool("connect");
+  if (serve && connect_mode) {
+    return fail("--serve and --connect are exclusive (--serve exposes the "
+                "proxy; --connect runs the study through one)");
+  }
+  const auto port_flag = flags.get_int("port", 0);
+  if (!port_flag.ok()) return fail(port_flag.error().to_string());
+  if (*port_flag < 0 || *port_flag > 65535) {
+    return fail("--port must be in 0..65535");
+  }
+  if (*port_flag != 0 && !serve) return fail("--port requires --serve");
 
   const auto trace_out = flags.get("trace-out");
   const auto trace_sample = flags.get_int("trace-sample", 0);
@@ -215,6 +286,38 @@ int main(int argc, char** argv) {
       !spec.arbitrary_port_overlay && experiment == "smtp") {
     return fail("--experiment smtp requires --vpn-overlay (Luminati-like "
                 "overlays tunnel port 443 only)");
+  }
+
+  if (serve) {
+    if (!quiet) {
+      std::cerr << "[serve] building world (scale=" << *scale << ")...\n";
+    }
+    const auto world =
+        tft::world::build_world(spec, *scale, static_cast<std::uint64_t>(*seed));
+    tft::net::server::ProxyServerConfig server_config;
+    server_config.port = static_cast<std::uint16_t>(*port_flag);
+    tft::net::server::ProxyServer server(*world->luminati, server_config,
+                                         &world->metrics, &world->recorder);
+    if (const auto started = server.start(); !started.ok()) {
+      std::cerr << "tft-study: " << started.error().to_string() << "\n";
+      return 1;
+    }
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+    // Scripts wait for this line before connecting; endl flushes it.
+    std::cout << "tft-study: proxy listening on 127.0.0.1:" << server.port()
+              << std::endl;
+    while (g_stop_serving == 0) {
+      server.poll_once(200);
+      // stdin EOF also stops the server, so scripted runs
+      // (`tft-study --serve </dev/null`) terminate without signals.
+      pollfd stdin_probe{0, POLLIN, 0};
+      if (::poll(&stdin_probe, 1, 0) > 0) {
+        char discard[4096];
+        if (::read(0, discard, sizeof(discard)) <= 0) break;
+      }
+    }
+    return 0;
   }
 
   const std::size_t target_nodes =
@@ -341,6 +444,17 @@ int main(int argc, char** argv) {
     } capture(*world, shared ? nullptr : &metric_slots[index],
               shared ? nullptr : &trace_slots[index],
               name == "monitor" ? std::string_view("monitoring") : name);
+    // --connect: route this experiment's proxy transactions through a real
+    // localhost socket. Declared after `capture` so the front-end tears
+    // down (and books its net.closed counters) before metrics are captured.
+    std::optional<LoopbackProxy> loopback;
+    if (connect_mode) {
+      loopback.emplace(*world);
+      if (const auto started = loopback->start(); !started.ok()) {
+        return "socket front-end failed to start: " +
+               started.error().to_string() + "\n";
+      }
+    }
     if (name == "dns") {
       tft::core::DnsHijackProbe probe(*world, config.dns);
       probe.run();
