@@ -1,15 +1,31 @@
 // Wall-clock comparison of the study pipeline at --jobs 1 vs --jobs N,
 // plus a byte-identity check on the rendered reports (the determinism
-// contract: worker count never changes results).
+// contract: worker count never changes results), plus a memory scale sweep
+// of materialized vs sharded (--shard-mem) worlds.
 //
 // Usage: perf_parallel_study [scale] [target_nodes] [seed] [jobs]
 //
+// The sweep re-execs this binary once per (scale, mode) leg so each leg's
+// peak RSS (VmHWM) is measured in a fresh address space, with a bounded
+// probe target so crawl bookkeeping stays flat while the world scales —
+// what grows is exactly the node table (materialized) or the resident
+// shard cache (sharded).
+//
 // Also drops BENCH_parallel_study.json at the repo root: wall times for
-// both legs, speedup, and the key observability counters of the run.
+// both legs, speedup, the key observability counters of the run, and the
+// per-scale memory sweep (VmHWM + world.shard.* gauges).
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "common.hpp"
 #include "tft/obs/build_info.hpp"
@@ -31,10 +47,134 @@ std::string render_all(const tft::core::StudyResult& result) {
   return out;
 }
 
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t digest = 0xcbf29ce484222325ULL;
+  for (const unsigned char c : text) {
+    digest ^= c;
+    digest *= 0x100000001b3ULL;
+  }
+  return digest;
+}
+
+long vm_hwm_kb() {
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return -1;
+  char line[256];
+  long kb = -1;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %ld", &kb) == 1) break;
+  }
+  std::fclose(file);
+  return kb;
+}
+
+// --- sweep leg (child process) ----------------------------------------------
+
+/// perf_parallel_study --leg <mat|shard> <scale> <target> <seed>
+/// Runs one bounded study and prints a single machine-readable line:
+///   hwm_kb ms hash nodes bytes_nodes capacity resident_peak peak_shard_bytes
+int run_leg(int argc, char** argv) {
+  using Clock = std::chrono::steady_clock;
+  if (argc < 6) {
+    std::cerr << "--leg needs: <mat|shard> <scale> <target> <seed>\n";
+    return 2;
+  }
+  const bool shard_mem = std::string_view(argv[2]) == "shard";
+  const double scale = std::atof(argv[3]);
+  const std::size_t target = static_cast<std::size_t>(std::atoll(argv[4]));
+  const std::uint64_t seed = static_cast<std::uint64_t>(std::atoll(argv[5]));
+
+  auto config = tft::core::StudyConfig::for_scale(scale, target);
+  config.jobs = 1;  // single-threaded: no worker stacks in the RSS signal
+  config.shard_mem = shard_mem;
+
+  const auto start = Clock::now();
+  const auto result =
+      tft::core::run_study(tft::world::paper_spec(), scale, seed, config);
+  const double ms =
+      std::chrono::duration<double>(Clock::now() - start).count() * 1000.0;
+
+  const std::uint64_t hash = fnv1a(render_all(result));
+  std::printf("%ld %.1f %llu %lld %lld %lld %lld %lld\n", vm_hwm_kb(), ms,
+              static_cast<unsigned long long>(hash),
+              static_cast<long long>(result.metrics.gauge("world.nodes")),
+              static_cast<long long>(result.metrics.gauge("world.bytes.nodes")),
+              static_cast<long long>(
+                  result.metrics.gauge("world.shard.capacity")),
+              static_cast<long long>(
+                  result.metrics.gauge("world.shard.resident_peak")),
+              static_cast<long long>(
+                  result.metrics.gauge("world.bytes.peak_shard")));
+  return 0;
+}
+
+struct LegResult {
+  bool ok = false;
+  long hwm_kb = -1;
+  double ms = 0;
+  std::uint64_t hash = 0;
+  long long nodes = 0;
+  long long bytes_nodes = 0;
+  long long capacity = 0;
+  long long resident_peak = 0;
+  long long peak_shard_bytes = 0;
+};
+
+/// Fork+exec one sweep leg in a fresh process and parse its result line.
+LegResult spawn_leg(const char* self, const char* mode, double scale,
+                    std::size_t target, std::uint64_t seed) {
+  LegResult result;
+  int fds[2];
+  if (pipe(fds) != 0) return result;
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    return result;
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    dup2(fds[1], STDOUT_FILENO);
+    close(fds[1]);
+    char scale_arg[32], target_arg[32], seed_arg[32];
+    std::snprintf(scale_arg, sizeof(scale_arg), "%g", scale);
+    std::snprintf(target_arg, sizeof(target_arg), "%zu", target);
+    std::snprintf(seed_arg, sizeof(seed_arg), "%llu",
+                  static_cast<unsigned long long>(seed));
+    execl(self, self, "--leg", mode, scale_arg, target_arg, seed_arg,
+          static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  close(fds[1]);
+  std::string out;
+  char buffer[256];
+  ssize_t got;
+  while ((got = read(fds[0], buffer, sizeof(buffer))) > 0) {
+    out.append(buffer, static_cast<std::size_t>(got));
+  }
+  close(fds[0]);
+  int status = 0;
+  if (waitpid(pid, &status, 0) != pid || !WIFEXITED(status) ||
+      WEXITSTATUS(status) != 0) {
+    return result;
+  }
+  unsigned long long hash = 0;
+  result.ok =
+      std::sscanf(out.c_str(), "%ld %lf %llu %lld %lld %lld %lld %lld",
+                  &result.hwm_kb, &result.ms, &hash, &result.nodes,
+                  &result.bytes_nodes, &result.capacity, &result.resident_peak,
+                  &result.peak_shard_bytes) == 8;
+  result.hash = hash;
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using Clock = std::chrono::steady_clock;
+  if (argc > 1 && std::string_view(argv[1]) == "--leg") {
+    return run_leg(argc, argv);
+  }
   const auto options = tft::bench::parse_options(argc, argv, 0.05);
   std::size_t jobs = tft::util::ThreadPool::default_workers();
   if (argc > 4) jobs = static_cast<std::size_t>(std::atoll(argv[4]));
@@ -76,6 +216,45 @@ int main(int argc, char** argv) {
   std::cout << "  reports byte-identical: "
             << (sequential_report == parallel_report ? "yes" : "NO") << "\n";
 
+  // Memory scale sweep: materialized vs sharded worlds, bounded crawl
+  // (fixed probe target) so peak RSS tracks the world, not the probes.
+  // Each leg runs in a re-exec'd child: VmHWM is monotonic per process.
+  constexpr double kSweepScales[] = {0.05, 0.1, 0.25, 0.5, 1.0};
+  constexpr std::size_t kSweepTarget = 2000;
+  struct SweepRow {
+    double scale;
+    LegResult materialized;
+    LegResult sharded;
+  };
+  std::vector<SweepRow> sweep;
+  bool sweep_identical = true;
+  for (const double scale : kSweepScales) {
+    std::cerr << "[bench] memory sweep: scale=" << scale << "...\n";
+    SweepRow row;
+    row.scale = scale;
+    row.materialized =
+        spawn_leg("/proc/self/exe", "mat", scale, kSweepTarget, options.seed);
+    row.sharded =
+        spawn_leg("/proc/self/exe", "shard", scale, kSweepTarget, options.seed);
+    if (row.materialized.ok && row.sharded.ok) {
+      const double ratio =
+          row.materialized.hwm_kb > 0
+              ? static_cast<double>(row.sharded.hwm_kb) / row.materialized.hwm_kb
+              : 0;
+      std::cout << "  sweep scale=" << scale << ": nodes="
+                << row.materialized.nodes << " materialized="
+                << row.materialized.hwm_kb << "KB sharded="
+                << row.sharded.hwm_kb << "KB (" << ratio * 100 << "%), reports "
+                << (row.materialized.hash == row.sharded.hash ? "identical"
+                                                              : "DIFFER")
+                << "\n";
+      if (row.materialized.hash != row.sharded.hash) sweep_identical = false;
+    } else {
+      std::cout << "  sweep scale=" << scale << ": leg failed (skipped)\n";
+    }
+    sweep.push_back(row);
+  }
+
   // Machine-readable result file for trend tracking across commits.
   {
     tft::util::JsonWriter json;
@@ -109,6 +288,41 @@ int main(int argc, char** argv) {
       }
     }
     json.end_object();
+    // The memory sweep: peak RSS (VmHWM, KB) of a bounded study per scale,
+    // materialized vs --shard-mem, plus the residency-cache gauges.
+    json.field("sweep_probe_target", static_cast<std::uint64_t>(kSweepTarget));
+    json.begin_array("memory_sweep");
+    for (const auto& row : sweep) {
+      if (!row.materialized.ok || !row.sharded.ok) continue;
+      json.begin_object()
+          .field("scale", row.scale)
+          .field("nodes", static_cast<std::int64_t>(row.materialized.nodes))
+          .field("reports_identical",
+                 row.materialized.hash == row.sharded.hash);
+      json.begin_object("materialized")
+          .field("vm_hwm_kb", static_cast<std::int64_t>(row.materialized.hwm_kb))
+          .field("study_ms", row.materialized.ms)
+          .field("world_bytes_nodes",
+                 static_cast<std::int64_t>(row.materialized.bytes_nodes))
+          .end_object();
+      json.begin_object("sharded")
+          .field("vm_hwm_kb", static_cast<std::int64_t>(row.sharded.hwm_kb))
+          .field("study_ms", row.sharded.ms)
+          .field("shard_capacity",
+                 static_cast<std::int64_t>(row.sharded.capacity))
+          .field("shard_resident_peak",
+                 static_cast<std::int64_t>(row.sharded.resident_peak))
+          .field("bytes_peak_shard",
+                 static_cast<std::int64_t>(row.sharded.peak_shard_bytes))
+          .end_object();
+      json.field("rss_ratio",
+                 row.materialized.hwm_kb > 0
+                     ? static_cast<double>(row.sharded.hwm_kb) /
+                           row.materialized.hwm_kb
+                     : 0.0);
+      json.end_object();
+    }
+    json.end_array();
     json.end_object();
     const std::string path = std::string(TFT_REPO_ROOT) + "/BENCH_parallel_study.json";
     std::ofstream file(path);
@@ -124,6 +338,11 @@ int main(int argc, char** argv) {
     std::cerr << "perf_parallel_study: DETERMINISM VIOLATION — jobs=1 and "
                  "jobs="
               << jobs << " reports differ\n";
+    return 1;
+  }
+  if (!sweep_identical) {
+    std::cerr << "perf_parallel_study: DETERMINISM VIOLATION — materialized "
+                 "and sharded sweep reports differ\n";
     return 1;
   }
   return 0;

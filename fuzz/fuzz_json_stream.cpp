@@ -1,0 +1,11 @@
+// libFuzzer entry point for the json_stream target (see src/testing/fuzz.cpp):
+// byte programs drive JsonWriter with and without a streaming sink; any byte
+// divergence between the two documents aborts. Build with -DTFT_FUZZ=ON.
+#include <cstddef>
+#include <cstdint>
+
+#include "tft/testing/fuzz.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  return tft::testing::fuzz_one("json_stream", data, size);
+}

@@ -75,6 +75,12 @@ class ContentMonitorProbe {
 
 struct MonitorAnalysisConfig {
   std::size_t top_entities = 6;
+  /// Observation accumulation runs over this many contiguous shards whose
+  /// partial accumulators merge in shard order (sets union, tallies sum,
+  /// delay CDFs merge via EmpiricalCdf::merge_from). The report is
+  /// byte-identical for every value — the shard-merge algebra the
+  /// memory-bounded study mode rests on. 0 collapses to a single shard.
+  std::size_t merge_shards = 16;
 };
 
 struct MonitorEntityRow {  // Table 9

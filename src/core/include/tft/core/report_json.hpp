@@ -8,6 +8,10 @@
 #include "tft/core/smtp_probe.hpp"
 #include "tft/core/study.hpp"
 
+namespace tft::util {
+class JsonWriter;
+}
+
 namespace tft::core {
 
 std::string dns_report_json(const DnsReport& report);
@@ -18,5 +22,12 @@ std::string smtp_report_json(const SmtpReport& report);
 
 /// The full study: coverage + all four reports in one document.
 std::string study_result_json(const StudyResult& result);
+
+/// Streaming form: emit the same document through `json` (which must be
+/// fresh — no containers open, nothing written). With a sink installed via
+/// JsonWriter::set_sink the document streams out in bounded memory — the
+/// export path for studies whose reports outgrow a comfortable buffer.
+/// study_result_json delegates here, so the two forms are byte-identical.
+void write_study_result(util::JsonWriter& json, const StudyResult& result);
 
 }  // namespace tft::core

@@ -33,6 +33,16 @@ struct StudyConfig {
   /// util/thread_pool.hpp for the determinism contract.
   std::size_t jobs = 1;
 
+  /// Memory-bounded mode (world-building overload only): build each
+  /// experiment's world lazily (world::build_world_lazy) so at most
+  /// ceil(nodes/shards) exit-node agents are resident at once. Peak memory
+  /// is O(shard), not O(world); reports, metrics (minus timings), and
+  /// traces are byte-identical to the materialized build for every shard
+  /// count and jobs value. `world.shard.*` gauges record the geometry.
+  bool shard_mem = false;
+  /// Shard count for shard_mem. 0 picks the default (16).
+  std::size_t shards = 0;
+
   /// Scale analysis thresholds to a down-scaled world: a world built with
   /// scale s has ~s times the paper's nodes per country/server/AS group.
   static StudyConfig for_scale(double scale, std::size_t target_nodes);

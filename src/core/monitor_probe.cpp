@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <iterator>
 #include <map>
 #include <set>
 #include <unordered_map>
@@ -189,34 +190,56 @@ std::size_t ContentMonitorProbe::run() {
 }
 
 namespace {
+/// Partial per-entity tallies for one observation shard. Everything here
+/// merges associatively: sets union, counts add, and the delay CDF folds
+/// via EmpiricalCdf::merge_from, so shard partials combined in shard order
+/// equal a single pass over all observations exactly.
 struct EntityAccumulator {
   std::set<std::uint32_t> ips;
   std::set<std::string> nodes;
   std::set<net::Asn> node_ases;
   std::set<net::CountryCode> node_countries;
-  std::vector<double> delays;
+  std::vector<double> delays;          // shard-local staging
+  stats::EmpiricalCdf delay_cdf;       // sorted once per shard in seal()
   std::size_t requests = 0;
+
+  /// Fold staged delays into the sorted partial CDF (once per shard).
+  void seal() {
+    delay_cdf.merge_from(stats::EmpiricalCdf(std::move(delays)));
+    delays.clear();
+  }
+
+  void merge_from(EntityAccumulator&& other) {
+    ips.insert(other.ips.begin(), other.ips.end());
+    nodes.insert(other.nodes.begin(), other.nodes.end());
+    node_ases.insert(other.node_ases.begin(), other.node_ases.end());
+    node_countries.insert(other.node_countries.begin(),
+                          other.node_countries.end());
+    delay_cdf.merge_from(other.delay_cdf);
+    requests += other.requests;
+  }
 };
-}  // namespace
 
-MonitorReport analyze_monitoring(const world::World& world,
-                                 const std::vector<MonitorObservation>& observations,
-                                 const MonitorAnalysisConfig& config) {
-  MonitorReport report;
-
+/// One shard's view of the whole analysis. The final report reads only the
+/// shard-0 accumulator after every other shard merged into it in order.
+struct MonitorAccumulator {
+  std::size_t total_nodes = 0;
+  std::size_t monitored_nodes = 0;
+  std::vector<std::uint64_t> monitored_txns;  // observation order within shard
   std::set<net::Asn> ases;
   std::set<net::CountryCode> countries;
   std::set<std::uint32_t> requester_ips;
   std::map<std::string, EntityAccumulator> by_entity;
   std::size_t total_unexpected = 0;
 
-  for (const auto& observation : observations) {
-    ++report.total_nodes;
+  void accumulate(const world::World& world,
+                  const MonitorObservation& observation) {
+    ++total_nodes;
     ases.insert(observation.asn);
     countries.insert(observation.country);
-    if (!observation.monitored()) continue;
-    ++report.monitored_nodes;
-    report.evidence["monitored"].push_back(observation.txn_id);
+    if (!observation.monitored()) return;
+    ++monitored_nodes;
+    monitored_txns.push_back(observation.txn_id);
     if (observation.own_request_address_mismatch) {
       // VPN-relayed own requests also arrive from an address that is not
       // the exit node's (the paper counts these IPs too: AnchorFree's 223).
@@ -241,14 +264,71 @@ MonitorReport analyze_monitoring(const world::World& world,
       ++entity.requests;
     }
   }
-  report.unique_ases = ases.size();
-  report.unique_countries = countries.size();
-  report.unique_requester_ips = requester_ips.size();
-  report.requester_groups = by_entity.size();
 
-  std::vector<std::pair<std::string, const EntityAccumulator*>> ranked;
-  ranked.reserve(by_entity.size());
-  for (const auto& [name, accumulator] : by_entity) {
+  void seal() {
+    for (auto& [name, entity] : by_entity) entity.seal();
+  }
+
+  /// Fold a later shard in. Shards cover contiguous observation blocks and
+  /// merge in shard order, so txn evidence keeps observation order.
+  void merge_from(MonitorAccumulator&& other) {
+    total_nodes += other.total_nodes;
+    monitored_nodes += other.monitored_nodes;
+    monitored_txns.insert(monitored_txns.end(),
+                          std::make_move_iterator(other.monitored_txns.begin()),
+                          std::make_move_iterator(other.monitored_txns.end()));
+    ases.insert(other.ases.begin(), other.ases.end());
+    countries.insert(other.countries.begin(), other.countries.end());
+    requester_ips.insert(other.requester_ips.begin(),
+                         other.requester_ips.end());
+    total_unexpected += other.total_unexpected;
+    for (auto& [name, entity] : other.by_entity) {
+      by_entity[name].merge_from(std::move(entity));
+    }
+  }
+};
+}  // namespace
+
+MonitorReport analyze_monitoring(const world::World& world,
+                                 const std::vector<MonitorObservation>& observations,
+                                 const MonitorAnalysisConfig& config) {
+  MonitorReport report;
+
+  // Accumulate over contiguous observation shards, then merge the partials
+  // in shard order. The result is identical for every shard count (the
+  // merge algebra above is exact, not approximate); the sharded study mode
+  // leans on the same property to aggregate without holding the world.
+  const std::size_t shards = std::max<std::size_t>(
+      1, std::min(config.merge_shards == 0 ? 1 : config.merge_shards,
+                  std::max<std::size_t>(observations.size(), 1)));
+  std::vector<MonitorAccumulator> partials(shards);
+  const std::size_t per_shard = (observations.size() + shards - 1) / shards;
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    const std::size_t begin = shard * per_shard;
+    const std::size_t end = std::min(begin + per_shard, observations.size());
+    for (std::size_t i = begin; i < end; ++i) {
+      partials[shard].accumulate(world, observations[i]);
+    }
+    partials[shard].seal();
+  }
+  MonitorAccumulator merged = std::move(partials[0]);
+  for (std::size_t shard = 1; shard < shards; ++shard) {
+    merged.merge_from(std::move(partials[shard]));
+  }
+
+  report.total_nodes = merged.total_nodes;
+  report.monitored_nodes = merged.monitored_nodes;
+  if (!merged.monitored_txns.empty()) {
+    report.evidence["monitored"] = std::move(merged.monitored_txns);
+  }
+  report.unique_ases = merged.ases.size();
+  report.unique_countries = merged.countries.size();
+  report.unique_requester_ips = merged.requester_ips.size();
+  report.requester_groups = merged.by_entity.size();
+
+  std::vector<std::pair<std::string, EntityAccumulator*>> ranked;
+  ranked.reserve(merged.by_entity.size());
+  for (auto& [name, accumulator] : merged.by_entity) {
     ranked.emplace_back(name, &accumulator);
   }
   std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
@@ -257,20 +337,21 @@ MonitorReport analyze_monitoring(const world::World& world,
 
   std::size_t top_requests = 0;
   for (std::size_t i = 0; i < ranked.size() && i < config.top_entities; ++i) {
-    const auto& [name, accumulator] = ranked[i];
+    auto& [name, accumulator] = ranked[i];
     MonitorEntityRow row;
     row.entity = name;
     row.source_ips = accumulator->ips.size();
     row.nodes = accumulator->nodes.size();
     row.ases = accumulator->node_ases.size();
     row.countries = accumulator->node_countries.size();
-    row.delay_cdf = stats::EmpiricalCdf(accumulator->delays);
+    row.delay_cdf = std::move(accumulator->delay_cdf);
     report.top_entities.push_back(std::move(row));
     top_requests += accumulator->requests;
   }
-  report.top_share = total_unexpected == 0
+  report.top_share = merged.total_unexpected == 0
                          ? 0
-                         : static_cast<double>(top_requests) / total_unexpected;
+                         : static_cast<double>(top_requests) /
+                               merged.total_unexpected;
   return report;
 }
 

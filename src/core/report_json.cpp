@@ -270,6 +270,11 @@ std::string smtp_report_json(const SmtpReport& report) {
 
 std::string study_result_json(const StudyResult& result) {
   JsonWriter json;
+  write_study_result(json, result);
+  return std::move(json).take();
+}
+
+void write_study_result(JsonWriter& json, const StudyResult& result) {
   json.begin_object();
   obs::write_build_info(json);
   json.begin_array("coverage");
@@ -296,7 +301,7 @@ std::string study_result_json(const StudyResult& result) {
   write_monitor(json, result.monitoring);
   json.end_object();
   json.end_object();
-  return std::move(json).take();
+  json.flush();
 }
 
 }  // namespace tft::core

@@ -154,30 +154,41 @@ StudyResult run_study(const world::WorldSpec& spec, double scale,
   obs::Recorder experiment_traces[4];
 
   // Each experiment task builds its own world from the identical
-  // (spec, scale, seed) triple — build_world is deterministic, the tasks
+  // (spec, scale, seed) triple — world building is deterministic, the tasks
   // share no mutable state, and each writes a fixed result slot (including
   // its metrics registry, captured before the world dies), so the assembled
-  // study does not depend on how many tasks run concurrently.
+  // study does not depend on how many tasks run concurrently. Under
+  // shard_mem the worlds are lazy: nodes materialize on demand behind the
+  // super proxy's shard cache, and because NodePlan regenerates node k
+  // byte-identically in any order, the reports match the materialized build.
+  const auto make_world = [&] {
+    if (effective.shard_mem) {
+      return world::build_world_lazy(
+          spec, scale, seed,
+          effective.shards == 0 ? std::size_t{16} : effective.shards);
+    }
+    return world::build_world(spec, scale, seed);
+  };
   const auto dns_task = [&] {
-    auto world = world::build_world(spec, scale, seed);
+    auto world = make_world();
     run_dns_experiment(*world, effective, result.dns, result.coverage[0]);
     experiment_metrics[0] = world->metrics;
     experiment_traces[0] = world->recorder;
   };
   const auto http_task = [&] {
-    auto world = world::build_world(spec, scale, seed);
+    auto world = make_world();
     run_http_experiment(*world, effective, result.http, result.coverage[1]);
     experiment_metrics[1] = world->metrics;
     experiment_traces[1] = world->recorder;
   };
   const auto https_task = [&] {
-    auto world = world::build_world(spec, scale, seed);
+    auto world = make_world();
     run_https_experiment(*world, effective, result.https, result.coverage[2]);
     experiment_metrics[2] = world->metrics;
     experiment_traces[2] = world->recorder;
   };
   const auto monitoring_task = [&] {
-    auto world = world::build_world(spec, scale, seed);
+    auto world = make_world();
     run_monitoring_experiment(*world, effective, result.monitoring,
                               result.coverage[3]);
     experiment_metrics[3] = world->metrics;

@@ -121,6 +121,12 @@ class Registry {
   /// in a fixed order — merge order must not depend on scheduling.
   void merge_from(const Registry& other);
 
+  /// Drop every counter, gauge, histogram, and timing whose name starts
+  /// with `prefix`. Returns how many entries were removed. Lets tests
+  /// compare registries across world geometries after erasing the values
+  /// that legitimately describe the geometry itself (e.g. `world.shard.`).
+  std::size_t erase_prefixed(std::string_view prefix);
+
   /// Emit the registry's sections into an *open* JSON object:
   /// counters/gauges/histograms/spans always, timing only when asked.
   void write_json(util::JsonWriter& json, bool include_timing) const;

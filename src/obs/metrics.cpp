@@ -149,6 +149,25 @@ void Registry::merge_from(const Registry& other) {
   }
 }
 
+std::size_t Registry::erase_prefixed(std::string_view prefix) {
+  std::size_t erased = 0;
+  const auto erase_from = [&](auto& table) {
+    for (auto it = table.begin(); it != table.end();) {
+      if (it->first.compare(0, prefix.size(), prefix) == 0) {
+        it = table.erase(it);
+        ++erased;
+      } else {
+        ++it;
+      }
+    }
+  };
+  erase_from(counters_);
+  erase_from(gauges_);
+  erase_from(histograms_);
+  erase_from(timing_);
+  return erased;
+}
+
 void Registry::write_json(util::JsonWriter& json, bool include_timing) const {
   json.begin_object("counters");
   for (const auto& [name, value] : counters_) json.field(name, value);

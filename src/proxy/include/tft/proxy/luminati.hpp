@@ -9,6 +9,7 @@
 //   - CONNECT tunnels restricted to port 443
 #pragma once
 
+#include <list>
 #include <memory>
 #include <optional>
 #include <string>
@@ -98,6 +99,24 @@ struct SmtpResult {
   bool ok() const noexcept { return status == ProxyStatus::kOk; }
 };
 
+/// A population of exit nodes the super proxy can draw from without holding
+/// them resident. Implementations must be deterministic: materialize(i)
+/// returns a byte-identical agent no matter when, how often, or in which
+/// order it is called, and the country directory must enumerate nodes in
+/// the same order add_exit_node would have registered them.
+class NodeSource {
+ public:
+  virtual ~NodeSource() = default;
+  virtual std::size_t node_count() const = 0;
+  virtual std::size_t country_count(const net::CountryCode& country) const = 0;
+  virtual std::vector<std::pair<net::CountryCode, std::size_t>> country_counts()
+      const = 0;
+  /// Global index of the `slot`-th node of `country`, registration order.
+  virtual std::size_t country_slot(const net::CountryCode& country,
+                                   std::size_t slot) const = 0;
+  virtual std::shared_ptr<ExitNodeAgent> materialize(std::size_t index) const = 0;
+};
+
 class SuperProxy {
  public:
   struct Config {
@@ -141,8 +160,23 @@ class SuperProxy {
 
   void add_exit_node(std::shared_ptr<ExitNodeAgent> node);
 
-  std::size_t node_count() const noexcept { return nodes_.size(); }
+  /// Switch to a lazy node population: at most ceil(node_count/shard_count)
+  /// agents stay resident, evicted least-recently-used. Gauges
+  /// `world.shard.{count,capacity,resident_peak}` and
+  /// `world.bytes.peak_shard` record the geometry and the observed ceiling.
+  /// Mutually exclusive with add_exit_node.
+  void set_node_source(std::shared_ptr<NodeSource> source,
+                       std::size_t shard_count);
+  bool lazy() const noexcept { return source_ != nullptr; }
+  std::size_t resident_capacity() const noexcept { return resident_capacity_; }
+  std::size_t resident_peak() const noexcept { return resident_peak_; }
+
+  std::size_t node_count() const noexcept {
+    return source_ ? source_->node_count() : nodes_.size();
+  }
   std::size_t node_count(const net::CountryCode& country) const;
+  /// The materialized node table. Empty in lazy mode — tooling that needs
+  /// to walk every agent (validate, failure injection) must materialize.
   const std::vector<std::shared_ptr<ExitNodeAgent>>& nodes() const noexcept {
     return nodes_;
   }
@@ -184,10 +218,23 @@ class SuperProxy {
   /// Record how many exit nodes one request tried (the churn histogram).
   void observe_attempts(std::size_t attempts);
 
-  ExitNodeAgent* session_node(const RequestOptions& options);
-  ExitNodeAgent* pick_node(util::StreamRng& stream, const RequestOptions& options,
-                           const std::vector<const ExitNodeAgent*>& exclude);
-  void pin_session(const RequestOptions& options, ExitNodeAgent* node,
+  /// A node selected for an attempt: the agent plus its stable global index
+  /// (sessions and retry-exclusion track indices, never pointers, so the
+  /// lazy cache may evict and re-materialize freely between requests).
+  struct ActiveNode {
+    std::size_t index = 0;
+    std::shared_ptr<ExitNodeAgent> agent;
+    explicit operator bool() const noexcept { return agent != nullptr; }
+  };
+
+  /// Agent for a global index — the resident table, or the lazy cache
+  /// (materializing and evicting LRU as needed).
+  std::shared_ptr<ExitNodeAgent> node_at(std::size_t index);
+
+  ActiveNode session_node(const RequestOptions& options);
+  ActiveNode pick_node(util::StreamRng& stream, const RequestOptions& options,
+                       const std::vector<std::size_t>& exclude);
+  void pin_session(const RequestOptions& options, std::size_t node_index,
                    std::uint64_t scope);
   void annotate(http::Response& response, const ProxyFetchResult& result) const;
 
@@ -215,6 +262,15 @@ class SuperProxy {
   std::uint64_t seed_ = 0;
   std::vector<std::shared_ptr<ExitNodeAgent>> nodes_;
   std::unordered_map<std::string, std::vector<std::size_t>> by_country_;
+  /// Lazy mode (set_node_source): bounded-residency cache over `source_`.
+  std::shared_ptr<NodeSource> source_;
+  std::size_t resident_capacity_ = 0;
+  std::size_t resident_peak_ = 0;
+  std::list<std::size_t> lru_;  // most recently used at the front
+  std::unordered_map<std::size_t,
+                     std::pair<std::shared_ptr<ExitNodeAgent>,
+                               std::list<std::size_t>::iterator>>
+      resident_;
   std::unordered_map<std::string, SessionEntry> sessions_;
   /// How many pin epochs each session has been through; folded into the
   /// epoch scope so an expired session re-picks from a fresh stream.

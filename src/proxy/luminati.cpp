@@ -119,7 +119,56 @@ void SuperProxy::add_exit_node(std::shared_ptr<ExitNodeAgent> node) {
   nodes_.push_back(std::move(node));
 }
 
+void SuperProxy::set_node_source(std::shared_ptr<NodeSource> source,
+                                 std::size_t shard_count) {
+  source_ = std::move(source);
+  const std::size_t shards = std::max<std::size_t>(1, shard_count);
+  const std::size_t total = source_->node_count();
+  resident_capacity_ = std::max<std::size_t>(1, (total + shards - 1) / shards);
+  resident_peak_ = 0;
+  lru_.clear();
+  resident_.clear();
+  if (environment_.metrics != nullptr) {
+    environment_.metrics->set_gauge("world.shard.count",
+                                    static_cast<std::int64_t>(shards));
+    environment_.metrics->set_gauge(
+        "world.shard.capacity", static_cast<std::int64_t>(resident_capacity_));
+  }
+}
+
+std::shared_ptr<ExitNodeAgent> SuperProxy::node_at(std::size_t index) {
+  if (source_ == nullptr) return nodes_[index];
+  const auto hit = resident_.find(index);
+  if (hit != resident_.end()) {
+    lru_.splice(lru_.begin(), lru_, hit->second.second);
+    return hit->second.first;
+  }
+  std::shared_ptr<ExitNodeAgent> node = source_->materialize(index);
+  lru_.push_front(index);
+  resident_.emplace(index, std::make_pair(node, lru_.begin()));
+  if (resident_.size() > resident_capacity_) {
+    const std::size_t victim = lru_.back();
+    lru_.pop_back();
+    resident_.erase(victim);
+  }
+  if (resident_.size() > resident_peak_) {
+    resident_peak_ = resident_.size();
+    if (environment_.metrics != nullptr) {
+      environment_.metrics->max_gauge(
+          "world.shard.resident_peak",
+          static_cast<std::int64_t>(resident_peak_));
+      // Same per-node cost model record_world_gauges applies to the full
+      // table (world.bytes.nodes) — the two gauges are directly comparable.
+      environment_.metrics->max_gauge(
+          "world.bytes.peak_shard",
+          static_cast<std::int64_t>(resident_peak_ * 512));
+    }
+  }
+  return node;
+}
+
 std::size_t SuperProxy::node_count(const net::CountryCode& country) const {
+  if (source_ != nullptr) return source_->country_count(country);
   const auto it = by_country_.find(country);
   return it == by_country_.end() ? 0 : it->second.size();
 }
@@ -127,27 +176,32 @@ std::size_t SuperProxy::node_count(const net::CountryCode& country) const {
 std::vector<std::pair<net::CountryCode, std::size_t>> SuperProxy::country_counts()
     const {
   std::vector<std::pair<net::CountryCode, std::size_t>> out;
-  out.reserve(by_country_.size());
-  for (const auto& [country, indices] : by_country_) {
-    out.emplace_back(country, indices.size());
+  if (source_ != nullptr) {
+    out = source_->country_counts();
+  } else {
+    out.reserve(by_country_.size());
+    for (const auto& [country, indices] : by_country_) {
+      out.emplace_back(country, indices.size());
+    }
   }
   std::sort(out.begin(), out.end());
   return out;
 }
 
-ExitNodeAgent* SuperProxy::session_node(const RequestOptions& options) {
-  if (!options.session) return nullptr;
+SuperProxy::ActiveNode SuperProxy::session_node(const RequestOptions& options) {
+  if (!options.session) return {};
   const auto it = sessions_.find(*options.session);
-  if (it == sessions_.end()) return nullptr;
+  if (it == sessions_.end()) return {};
   if (it->second.expires < environment_.clock->now()) {
     count("proxy.session_expired");
     sessions_.erase(it);
-    return nullptr;
+    return {};
   }
-  ExitNodeAgent* node = nodes_[it->second.node_index].get();
-  if (!node->online()) return nullptr;
-  if (over_budget(*node)) return nullptr;  // §3.4: stop using the node
-  return node;
+  const std::size_t index = it->second.node_index;
+  std::shared_ptr<ExitNodeAgent> node = node_at(index);
+  if (!node->online()) return {};
+  if (over_budget(*node)) return {};  // §3.4: stop using the node
+  return ActiveNode{index, std::move(node)};
 }
 
 bool SuperProxy::over_budget(const ExitNodeAgent& node) const {
@@ -182,57 +236,65 @@ std::size_t SuperProxy::budget_exhausted_nodes() const {
   return count;
 }
 
-ExitNodeAgent* SuperProxy::pick_node(util::StreamRng& stream,
-                                     const RequestOptions& options,
-                                     const std::vector<const ExitNodeAgent*>& exclude) {
+SuperProxy::ActiveNode SuperProxy::pick_node(
+    util::StreamRng& stream, const RequestOptions& options,
+    const std::vector<std::size_t>& exclude) {
   const std::vector<std::size_t>* candidates = nullptr;
+  std::size_t population = 0;
   if (options.country) {
-    const auto it = by_country_.find(*options.country);
-    if (it == by_country_.end() || it->second.empty()) return nullptr;
-    candidates = &it->second;
+    if (source_ != nullptr) {
+      population = source_->country_count(*options.country);
+    } else {
+      const auto it = by_country_.find(*options.country);
+      if (it == by_country_.end() || it->second.empty()) return {};
+      candidates = &it->second;
+      population = candidates->size();
+    }
+  } else {
+    population = node_count();
   }
-
-  const std::size_t population = candidates ? candidates->size() : nodes_.size();
-  if (population == 0) return nullptr;
+  if (population == 0) return {};
 
   // Random selection with bounded rejection of offline/excluded nodes. The
   // stream belongs to this request alone, so the rejection draws cannot
   // shift any other request's picks.
   for (int tries = 0; tries < 64; ++tries) {
     const std::size_t slot = stream.index(population);
-    const std::size_t index = candidates ? (*candidates)[slot] : slot;
-    ExitNodeAgent* node = nodes_[index].get();
+    const std::size_t index =
+        candidates != nullptr ? (*candidates)[slot]
+        : options.country     ? source_->country_slot(*options.country, slot)
+                              : slot;
+    std::shared_ptr<ExitNodeAgent> node = node_at(index);
     if (!node->online()) continue;
     if (over_budget(*node)) continue;  // §3.4: spare heavily-used nodes
-    if (std::find(exclude.begin(), exclude.end(), node) != exclude.end()) continue;
-    return node;
+    if (std::find(exclude.begin(), exclude.end(), index) != exclude.end()) {
+      continue;
+    }
+    return ActiveNode{index, std::move(node)};
   }
-  return nullptr;
+  return {};
 }
 
 std::uint64_t SuperProxy::begin_request_scope(const RequestOptions& options,
                                               std::string_view fallback) {
   if (!options.session) return util::fnv1a64(fallback);
   const auto it = sessions_.find(*options.session);
-  if (it != sessions_.end() &&
-      it->second.expires >= environment_.clock->now() &&
-      nodes_[it->second.node_index]->online() &&
-      !over_budget(*nodes_[it->second.node_index])) {
-    return it->second.scope;  // still inside the pinned epoch
+  if (it != sessions_.end() && it->second.expires >= environment_.clock->now()) {
+    const std::shared_ptr<ExitNodeAgent> pinned = node_at(it->second.node_index);
+    if (pinned->online() && !over_budget(*pinned)) {
+      return it->second.scope;  // still inside the pinned epoch
+    }
   }
   return util::hash_combine(util::fnv1a64(*options.session),
                             ++session_generation_[*options.session]);
 }
 
-void SuperProxy::pin_session(const RequestOptions& options, ExitNodeAgent* node,
-                             std::uint64_t scope) {
+void SuperProxy::pin_session(const RequestOptions& options,
+                             std::size_t node_index, std::uint64_t scope) {
   if (!options.session) return;
-  const auto it = std::find_if(nodes_.begin(), nodes_.end(),
-                               [node](const auto& entry) { return entry.get() == node; });
-  if (it == nodes_.end()) return;
   sessions_[*options.session] =
-      SessionEntry{static_cast<std::size_t>(it - nodes_.begin()),
-                   environment_.clock->now() + config_.session_ttl, scope};
+      SessionEntry{node_index, environment_.clock->now() + config_.session_ttl,
+                   scope};
 }
 
 void SuperProxy::annotate(http::Response& response, const ProxyFetchResult& result) const {
@@ -284,23 +346,26 @@ ProxyFetchResult SuperProxy::fetch(const http::Url& url, const RequestOptions& o
   record(obs::Hop::kSuperProxy, "super-proxy", "pre-check",
          url.host + " -> " + resolved->to_string());
 
-  // 2. Attempt via exit nodes, retrying on connection failures.
-  std::vector<const ExitNodeAgent*> tried;
+  // 2. Attempt via exit nodes, retrying on connection failures. Retry
+  // exclusion tracks global node indices, not pointers — in lazy mode an
+  // agent may be evicted and re-materialized between attempts.
+  std::vector<std::size_t> tried;
   for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
-    ExitNodeAgent* node = nullptr;
+    ActiveNode active;
     if (attempt == 0) {
-      node = session_node(options);
-      if (node != nullptr) count("proxy.session_reuses");
+      active = session_node(options);
+      if (active) count("proxy.session_reuses");
     }
-    if (node == nullptr) node = pick_node(pick_stream, options, tried);
-    if (node == nullptr) {
+    if (!active) active = pick_node(pick_stream, options, tried);
+    if (!active) {
       result.status = tried.empty() ? ProxyStatus::kNoExitNodeAvailable
                                     : ProxyStatus::kAllAttemptsFailed;
       count(tried.empty() ? "proxy.no_exit_node" : "proxy.all_attempts_failed");
       observe_attempts(tried.size());
       return result;
     }
-    tried.push_back(node);
+    tried.push_back(active.index);
+    ExitNodeAgent* node = active.agent.get();
 
     result.zid = node->zid();
     result.exit_address = node->address();
@@ -327,7 +392,7 @@ ProxyFetchResult SuperProxy::fetch(const http::Url& url, const RequestOptions& o
       observe_attempts(tried.size());
       result.timeline.push_back(AttemptInfo{node->zid(), "dns_nxdomain"});
       result.status = ProxyStatus::kExitNodeDnsNxdomain;
-      pin_session(options, node, scope);
+      pin_session(options, active.index, scope);
       return result;
     }
     if (outcome.dns_failed) {
@@ -350,7 +415,7 @@ ProxyFetchResult SuperProxy::fetch(const http::Url& url, const RequestOptions& o
     result.response = std::move(outcome.response);
     account_bytes(node->zid(), result.response.body.size());
     annotate(result.response, result);
-    pin_session(options, node, scope);
+    pin_session(options, active.index, scope);
     return result;
   }
 
@@ -375,22 +440,23 @@ SmtpResult SuperProxy::smtp_transaction(net::Ipv4Address destination,
   const std::uint64_t scope =
       begin_request_scope(options, "smtp|" + destination.to_string());
   util::StreamRng pick_stream(seed_, scope, "pick");
-  std::vector<const ExitNodeAgent*> tried;
+  std::vector<std::size_t> tried;
   for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
-    ExitNodeAgent* node = nullptr;
+    ActiveNode active;
     if (attempt == 0) {
-      node = session_node(options);
-      if (node != nullptr) count("proxy.session_reuses");
+      active = session_node(options);
+      if (active) count("proxy.session_reuses");
     }
-    if (node == nullptr) node = pick_node(pick_stream, options, tried);
-    if (node == nullptr) {
+    if (!active) active = pick_node(pick_stream, options, tried);
+    if (!active) {
       result.status = tried.empty() ? ProxyStatus::kNoExitNodeAvailable
                                     : ProxyStatus::kAllAttemptsFailed;
       count(tried.empty() ? "proxy.no_exit_node" : "proxy.all_attempts_failed");
       observe_attempts(tried.size());
       return result;
     }
-    tried.push_back(node);
+    tried.push_back(active.index);
+    ExitNodeAgent* node = active.agent.get();
 
     result.zid = node->zid();
     result.exit_address = node->address();
@@ -419,7 +485,7 @@ SmtpResult SuperProxy::smtp_transaction(net::Ipv4Address destination,
     }
     result.status = ProxyStatus::kOk;
     result.transcript = *std::move(transcript);
-    pin_session(options, node, scope);
+    pin_session(options, active.index, scope);
     return result;
   }
   if (result.status == ProxyStatus::kOk) {
@@ -442,22 +508,23 @@ ConnectResult SuperProxy::connect_and_handshake(net::Ipv4Address destination,
   const std::uint64_t scope = begin_request_scope(
       options, "connect|" + destination.to_string() + "|" + std::string(sni));
   util::StreamRng pick_stream(seed_, scope, "pick");
-  std::vector<const ExitNodeAgent*> tried;
+  std::vector<std::size_t> tried;
   for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
-    ExitNodeAgent* node = nullptr;
+    ActiveNode active;
     if (attempt == 0) {
-      node = session_node(options);
-      if (node != nullptr) count("proxy.session_reuses");
+      active = session_node(options);
+      if (active) count("proxy.session_reuses");
     }
-    if (node == nullptr) node = pick_node(pick_stream, options, tried);
-    if (node == nullptr) {
+    if (!active) active = pick_node(pick_stream, options, tried);
+    if (!active) {
       result.status = tried.empty() ? ProxyStatus::kNoExitNodeAvailable
                                     : ProxyStatus::kAllAttemptsFailed;
       count(tried.empty() ? "proxy.no_exit_node" : "proxy.all_attempts_failed");
       observe_attempts(tried.size());
       return result;
     }
-    tried.push_back(node);
+    tried.push_back(active.index);
+    ExitNodeAgent* node = active.agent.get();
 
     result.zid = node->zid();
     result.exit_address = node->address();
@@ -485,7 +552,7 @@ ConnectResult SuperProxy::connect_and_handshake(net::Ipv4Address destination,
     }
     result.status = ProxyStatus::kOk;
     result.chain = *std::move(chain);
-    pin_session(options, node, scope);
+    pin_session(options, active.index, scope);
     return result;
   }
   if (result.status == ProxyStatus::kOk) {

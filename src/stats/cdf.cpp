@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <iterator>
 #include <limits>
 #include <numeric>
 
@@ -20,6 +21,15 @@ EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
 void EmpiricalCdf::add(double sample) {
   samples_.insert(std::upper_bound(samples_.begin(), samples_.end(), sample),
                   sample);
+}
+
+void EmpiricalCdf::merge_from(const EmpiricalCdf& other) {
+  if (other.samples_.empty()) return;
+  std::vector<double> merged;
+  merged.reserve(samples_.size() + other.samples_.size());
+  std::merge(samples_.begin(), samples_.end(), other.samples_.begin(),
+             other.samples_.end(), std::back_inserter(merged));
+  samples_ = std::move(merged);
 }
 
 double EmpiricalCdf::at(double x) const {

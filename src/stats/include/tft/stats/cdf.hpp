@@ -26,6 +26,13 @@ class EmpiricalCdf {
   /// for bulk loads prefer the vector constructor, which sorts once).
   void add(double sample);
 
+  /// Fold another distribution in (linear two-way merge of the sorted
+  /// sample vectors). The result depends only on the combined multiset of
+  /// samples, so partial CDFs accumulated over disjoint shards and merged
+  /// in any fixed order equal the single-pass distribution exactly — the
+  /// algebra the sharded study's streaming aggregation relies on.
+  void merge_from(const EmpiricalCdf& other);
+
   std::size_t size() const noexcept { return samples_.size(); }
   bool empty() const noexcept { return samples_.empty(); }
 

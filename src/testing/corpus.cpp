@@ -172,6 +172,22 @@ std::vector<std::string> regression_inputs(std::string_view target) {
     // Bad magics.
     out.push_back("TFTX");
     out.push_back("");
+  } else if (target == "json_stream") {
+    // Byte programs for the JsonWriter stack machine (see fuzz.cpp):
+    // byte 0 = flush threshold, byte 1 = root container, then (op, arg)
+    // pairs. Threshold 0 flushes after every token — the maximal chunking.
+    out.push_back("");
+    out.push_back(std::string("\x00\x01", 2));  // empty object, flush-all
+    out.push_back(std::string("\x00\x00", 2));  // empty array, flush-all
+    // Deep nesting: begin_object ops (5 mod 8) until the depth cap bites.
+    out.push_back(std::string("\x01\x01", 2) + std::string(32, '\x05'));
+    // Close-early: an end op at depth 1 terminates the program body.
+    out.push_back(std::string("\x07\x01\x07\x00", 4));
+    // Escape-heavy keys and strings (args picking quoted/control entries).
+    out.push_back(std::string("\x01\x01\x00\x03\x00\x04\x00\x02", 8));
+    // Huge threshold (96) with a small document: nothing flushes until the
+    // trailing flush(), so the sink gets one chunk.
+    out.push_back(std::string("\x60\x00\x00\x01\x04\x00\x01\x7f", 8));
   }
   return out;
 }
@@ -274,6 +290,30 @@ Result<std::vector<std::string>> generate_seed_inputs(std::string_view target,
           break;
         }
       }
+    } else if (target == "json_stream") {
+      // Canonical stack-machine programs, mirroring json_stream::generate:
+      // random ops while the budget lasts, then explicit closes all the way
+      // down, so every seed is accepted and mutation exercises rejection.
+      std::string program;
+      program.push_back(static_cast<char>(rng.index(256)));  // flush threshold
+      const bool root_object = rng.chance(0.5);
+      program.push_back(static_cast<char>(root_object ? 1 : 0));
+      std::vector<bool> stack{root_object};
+      const std::size_t budget = rng.index(48);
+      std::size_t emitted = 0;
+      while (!stack.empty()) {
+        std::size_t op = emitted < budget ? rng.index(8) : 7;
+        if (stack.size() >= 8 && (op == 5 || op == 6)) op = 0;  // depth cap
+        program.push_back(static_cast<char>(op));
+        program.push_back(static_cast<char>(rng.index(256)));  // arg
+        if (op == 5 || op == 6) {
+          stack.push_back(op == 5);
+        } else if (op == 7) {
+          stack.pop_back();
+        }
+        ++emitted;
+      }
+      out.push_back(std::move(program));
     } else {
       return make_error(ErrorCode::kNotFound,
                         "unknown fuzz target: " + std::string(target));

@@ -1,6 +1,8 @@
 #include "tft/testing/fuzz.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <iterator>
 
 #include "tft/dns/codec.hpp"
 #include "tft/http/message.hpp"
@@ -10,6 +12,7 @@
 #include "tft/testing/generators.hpp"
 #include "tft/testing/mutate.hpp"
 #include "tft/tls/codec.hpp"
+#include "tft/util/json.hpp"
 #include "tft/util/json_parse.hpp"
 #include "tft/util/rng.hpp"
 #include "tft/util/stream_rng.hpp"
@@ -458,6 +461,178 @@ bool roundtrip(Rng& rng) {
 
 }  // namespace proxy_framing
 
+// --- streaming JSON writer (buffered vs sink differential) -------------------
+//
+// The input is a byte program driving JsonWriter through an arbitrary mix of
+// containers and scalars: byte 0 picks the sink flush threshold, byte 1 the
+// root container, and each following byte pair is (op, argument). The same
+// program runs on a buffered writer and on a sink-equipped one; the two
+// documents must agree byte-for-byte. Divergence aborts — that is a real
+// streaming bug, never a property of the input.
+
+namespace json_stream {
+
+constexpr std::string_view kKeys[] = {
+    "k",          "experiment", "nested",  "with\"quote",
+    "tab\tkey",   "",           "newline\nkey", "ctrl\x01\x02",
+};
+constexpr std::string_view kStrings[] = {
+    "",
+    "value",
+    "line\nbreak\r\ttab",
+    "back\\slash \"quoted\"",
+    "\x01\x02\x1f",
+    "0123456789abcdef0123456789abcdef0123456789abcdef",
+};
+
+constexpr std::size_t kMaxDepth = 8;
+
+/// How the op stream ended. A *canonical* program closes every container
+/// explicitly and has no bytes left over — classify accepts only those;
+/// anything else still executes (auto-closed) so the differential oracle
+/// covers it, but counts as a clean reject.
+struct ProgramOutcome {
+  bool explicit_close = false;  // the ops closed the root themselves
+  std::size_t leftover = 0;     // op bytes remaining after the root closed
+
+  bool canonical() const { return explicit_close && leftover == 0; }
+};
+
+ProgramOutcome run_program(const std::string& program, util::JsonWriter& json) {
+  std::size_t pos = 2;  // bytes 0/1 belong to the harness, not the op stream
+  const auto next = [&]() -> unsigned {
+    if (pos >= program.size()) return 0;
+    return static_cast<unsigned char>(program[pos++]);
+  };
+
+  std::vector<bool> stack;  // true = object, false = array
+  const bool root_object =
+      program.size() < 2 || (static_cast<unsigned char>(program[1]) & 1) != 0;
+  if (root_object) {
+    json.begin_object();
+  } else {
+    json.begin_array();
+  }
+  stack.push_back(root_object);
+
+  while (!stack.empty() && pos < program.size()) {
+    unsigned op = next() % 8;
+    const unsigned arg = next();
+    if (stack.size() >= kMaxDepth && (op == 5 || op == 6)) op = 0;
+    const std::string_view key = kKeys[arg % std::size(kKeys)];
+    const std::string_view text = kStrings[arg % std::size(kStrings)];
+    if (stack.back()) {
+      switch (op) {
+        case 0: json.field(key, text); break;
+        case 1: json.field(key, static_cast<std::int64_t>(arg) - 128); break;
+        case 2: json.field(key, static_cast<std::uint64_t>(arg) * 77); break;
+        case 3: json.field(key, arg == 0 ? 0.0 : 1.0 / arg); break;
+        case 4: json.field(key, (arg & 1) != 0); break;
+        case 5: json.begin_object(key); stack.push_back(true); break;
+        case 6: json.begin_array(key); stack.push_back(false); break;
+        case 7: json.end_object(); stack.pop_back(); break;
+      }
+    } else {
+      switch (op) {
+        case 0: json.value(text); break;
+        case 1: json.value(static_cast<std::int64_t>(arg) - 128); break;
+        case 2: json.value(arg == 0 ? 0.0 : -1.0 / arg); break;
+        case 3: json.value((arg & 1) == 0); break;
+        case 4: json.null(); break;
+        case 5: json.begin_object(); stack.push_back(true); break;
+        case 6: json.begin_array(); stack.push_back(false); break;
+        case 7: json.end_array(); stack.pop_back(); break;
+      }
+    }
+  }
+  ProgramOutcome outcome;
+  outcome.explicit_close = stack.empty();
+  outcome.leftover = program.size() - std::min(pos, program.size());
+  while (!stack.empty()) {
+    if (stack.back()) {
+      json.end_object();
+    } else {
+      json.end_array();
+    }
+    stack.pop_back();
+  }
+  json.flush();
+  return outcome;
+}
+
+/// Runs the program through a buffered writer and through one streaming to a
+/// sink at the program-chosen threshold. True when the sink chunks reassemble
+/// to the buffered document exactly and the writer's accounting agrees; fills
+/// `doc` with the shared result and `outcome` with how the op stream ended.
+bool agree(const std::string& program, std::string& doc,
+           ProgramOutcome& outcome) {
+  util::JsonWriter buffered;
+  outcome = run_program(program, buffered);
+  if (!buffered.complete()) return false;
+  doc = std::move(buffered).take();
+
+  const std::size_t threshold =
+      program.empty() ? 0 : static_cast<unsigned char>(program[0]) % 97;
+  std::string streamed;
+  util::JsonWriter writer;
+  writer.set_sink([&streamed](std::string_view chunk) { streamed += chunk; },
+                  threshold);
+  run_program(program, writer);
+  return streamed == doc && writer.str().empty() &&
+         writer.bytes_emitted() == doc.size() && writer.complete();
+}
+
+int classify(const std::string& program) {
+  std::string doc;
+  ProgramOutcome outcome;
+  if (!agree(program, doc, outcome)) std::abort();
+  // Every program yields a well-formed document by construction (the
+  // harness auto-closes), so feed it back through the repo's parser to
+  // close the writer/parser loop — but only canonical programs count as
+  // accepted; mutation usually unbalances the op stream.
+  if (!util::parse_json(doc).ok()) std::abort();
+  return outcome.canonical() ? 0 : 1;
+}
+
+std::string generate(Rng& rng) {
+  // A canonical program: random ops while budget lasts, then explicit
+  // closes all the way down — mirrored by the corpus generator.
+  std::string program;
+  program.push_back(static_cast<char>(rng.uniform(256)));  // flush threshold
+  const bool root_object = rng.chance(0.5);
+  program.push_back(static_cast<char>(root_object ? 1 : 0));
+  std::vector<bool> stack{root_object};
+  const std::size_t budget = rng.uniform(48);
+  std::size_t emitted = 0;
+  while (!stack.empty()) {
+    unsigned op;
+    if (emitted < budget) {
+      op = static_cast<unsigned>(rng.uniform(8));
+      if (stack.size() >= kMaxDepth && (op == 5 || op == 6)) op = 0;
+    } else {
+      op = 7;  // drain: close every container explicitly
+    }
+    program.push_back(static_cast<char>(op));
+    program.push_back(static_cast<char>(rng.uniform(256)));  // arg
+    if (op == 5 || op == 6) {
+      stack.push_back(op == 5);
+    } else if (op == 7) {
+      stack.pop_back();
+    }
+    ++emitted;
+  }
+  return program;
+}
+
+bool roundtrip(Rng& rng) {
+  std::string doc;
+  ProgramOutcome outcome;
+  return agree(generate(rng), doc, outcome) && outcome.canonical() &&
+         util::parse_json(doc).ok();
+}
+
+}  // namespace json_stream
+
 // --- registry ----------------------------------------------------------------
 
 struct TargetHooks {
@@ -510,6 +685,11 @@ const std::vector<TargetHooks>& target_hooks() {
         &entry_adapter<proxy_framing::classify>},
        &proxy_framing::generate, &proxy_framing::classify,
        &proxy_framing::roundtrip},
+      {{"json_stream",
+        "streaming JsonWriter sink (buffered vs chunked byte equality)",
+        &entry_adapter<json_stream::classify>},
+       &json_stream::generate, &json_stream::classify,
+       &json_stream::roundtrip},
   };
   return kHooks;
 }

@@ -2,7 +2,9 @@
 // escaping). Used to export measurement reports in machine-readable form.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -11,6 +13,25 @@ namespace tft::util {
 
 class JsonWriter {
  public:
+  /// Receives consecutive chunks of the document. Concatenating every chunk
+  /// in call order reproduces the buffered document byte-for-byte.
+  using Sink = std::function<void(std::string_view)>;
+
+  /// Stream mode: once the internal buffer reaches `flush_threshold` bytes
+  /// the writer hands it to `sink` and clears it, so emitting a document
+  /// never holds more than ~threshold + one token in memory (the streaming
+  /// report writer for memory-bounded studies). Call flush() after the last
+  /// token to push the tail. Set before writing anything.
+  void set_sink(Sink sink, std::size_t flush_threshold = 64 * 1024);
+
+  /// Push buffered bytes to the sink now (no-op without a sink).
+  void flush();
+
+  /// Total bytes produced so far, flushed and buffered.
+  std::size_t bytes_emitted() const noexcept {
+    return flushed_bytes_ + out_.size();
+  }
+
   /// Begin/end containers. Keys apply inside objects only.
   JsonWriter& begin_object();
   JsonWriter& begin_object(std::string_view key);
@@ -41,12 +62,16 @@ class JsonWriter {
   }
   JsonWriter& field(std::string_view key, bool flag);
 
-  /// The document so far. Valid once all containers are closed.
+  /// The document so far. Valid once all containers are closed. With a
+  /// sink installed this is only the unflushed tail — the full document
+  /// lives wherever the sink put it.
   const std::string& str() const& noexcept { return out_; }
   std::string take() && { return std::move(out_); }
 
   /// True when every begin_* has a matching end_*.
-  bool complete() const noexcept { return stack_.empty() && !out_.empty(); }
+  bool complete() const noexcept {
+    return stack_.empty() && bytes_emitted() > 0;
+  }
 
   /// Escape `text` per RFC 8259 (quotes not included).
   static std::string escape(std::string_view text);
@@ -54,10 +79,17 @@ class JsonWriter {
  private:
   void comma();
   void key_prefix(std::string_view key);
+  /// Flush to the sink when the buffer crossed the threshold. Called after
+  /// every complete token, never mid-token, though sinks must not rely on
+  /// chunk boundaries either way.
+  void maybe_flush();
 
   std::string out_;
   std::vector<bool> stack_;       // true = object, false = array
   std::vector<bool> has_items_;   // parallel: container has emitted items
+  Sink sink_;
+  std::size_t flush_threshold_ = 0;
+  std::size_t flushed_bytes_ = 0;
 };
 
 }  // namespace tft::util

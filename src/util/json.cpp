@@ -44,6 +44,22 @@ std::string JsonWriter::escape(std::string_view text) {
   return out;
 }
 
+void JsonWriter::set_sink(Sink sink, std::size_t flush_threshold) {
+  sink_ = std::move(sink);
+  flush_threshold_ = flush_threshold;
+}
+
+void JsonWriter::flush() {
+  if (!sink_ || out_.empty()) return;
+  flushed_bytes_ += out_.size();
+  sink_(out_);
+  out_.clear();
+}
+
+void JsonWriter::maybe_flush() {
+  if (sink_ && out_.size() >= flush_threshold_) flush();
+}
+
 void JsonWriter::comma() {
   if (!has_items_.empty()) {
     if (has_items_.back()) out_ += ',';
@@ -63,6 +79,7 @@ JsonWriter& JsonWriter::begin_object() {
   out_ += '{';
   stack_.push_back(true);
   has_items_.push_back(false);
+  maybe_flush();
   return *this;
 }
 
@@ -71,6 +88,7 @@ JsonWriter& JsonWriter::begin_object(std::string_view key) {
   out_ += '{';
   stack_.push_back(true);
   has_items_.push_back(false);
+  maybe_flush();
   return *this;
 }
 
@@ -78,6 +96,7 @@ JsonWriter& JsonWriter::end_object() {
   out_ += '}';
   stack_.pop_back();
   has_items_.pop_back();
+  maybe_flush();
   return *this;
 }
 
@@ -86,6 +105,7 @@ JsonWriter& JsonWriter::begin_array() {
   out_ += '[';
   stack_.push_back(false);
   has_items_.push_back(false);
+  maybe_flush();
   return *this;
 }
 
@@ -94,6 +114,7 @@ JsonWriter& JsonWriter::begin_array(std::string_view key) {
   out_ += '[';
   stack_.push_back(false);
   has_items_.push_back(false);
+  maybe_flush();
   return *this;
 }
 
@@ -101,6 +122,7 @@ JsonWriter& JsonWriter::end_array() {
   out_ += ']';
   stack_.pop_back();
   has_items_.pop_back();
+  maybe_flush();
   return *this;
 }
 
@@ -109,6 +131,7 @@ JsonWriter& JsonWriter::value(std::string_view text) {
   out_ += '"';
   out_ += escape(text);
   out_ += '"';
+  maybe_flush();
   return *this;
 }
 
@@ -121,30 +144,35 @@ JsonWriter& JsonWriter::value(double number) {
   } else {
     out_ += "null";  // JSON has no NaN/Inf
   }
+  maybe_flush();
   return *this;
 }
 
 JsonWriter& JsonWriter::value(std::int64_t number) {
   comma();
   out_ += std::to_string(number);
+  maybe_flush();
   return *this;
 }
 
 JsonWriter& JsonWriter::value(std::uint64_t number) {
   comma();
   out_ += std::to_string(number);
+  maybe_flush();
   return *this;
 }
 
 JsonWriter& JsonWriter::value(bool flag) {
   comma();
   out_ += flag ? "true" : "false";
+  maybe_flush();
   return *this;
 }
 
 JsonWriter& JsonWriter::null() {
   comma();
   out_ += "null";
+  maybe_flush();
   return *this;
 }
 
@@ -153,6 +181,7 @@ JsonWriter& JsonWriter::field(std::string_view key, std::string_view text) {
   out_ += '"';
   out_ += escape(text);
   out_ += '"';
+  maybe_flush();
   return *this;
 }
 
@@ -165,24 +194,28 @@ JsonWriter& JsonWriter::field(std::string_view key, double number) {
   } else {
     out_ += "null";
   }
+  maybe_flush();
   return *this;
 }
 
 JsonWriter& JsonWriter::field(std::string_view key, std::int64_t number) {
   key_prefix(key);
   out_ += std::to_string(number);
+  maybe_flush();
   return *this;
 }
 
 JsonWriter& JsonWriter::field(std::string_view key, std::uint64_t number) {
   key_prefix(key);
   out_ += std::to_string(number);
+  maybe_flush();
   return *this;
 }
 
 JsonWriter& JsonWriter::field(std::string_view key, bool flag) {
   key_prefix(key);
   out_ += flag ? "true" : "false";
+  maybe_flush();
   return *this;
 }
 

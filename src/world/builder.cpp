@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <functional>
 #include <map>
 #include <unordered_set>
 
@@ -12,6 +13,7 @@
 #include "tft/util/hash.hpp"
 #include "tft/util/stream_rng.hpp"
 #include "tft/util/strings.hpp"
+#include "tft/world/node_plan.hpp"
 #include "tft/world/world.hpp"
 
 namespace tft::world {
@@ -53,42 +55,88 @@ std::string hijack_page(std::string_view landing_host, bool shared_vendor_js) {
          "</body></html>\n";
 }
 
-/// Per-node build record; agents are constructed only after every
-/// cross-cutting assignment phase has run.
-struct NodeBuild {
-  std::string zid;
-  Ipv4Address address;
-  Asn asn = 0;
-  CountryCode country;
-  std::size_t isp = 0;
-  Ipv4Address resolver;
-  bool uses_google = false;
-  middlebox::DnsInterceptorList dns_interceptors;
-  middlebox::HttpInterceptorList http_interceptors;
-  middlebox::TlsInterceptorList tls_interceptors;
-  smtp::SmtpInterceptorList smtp_interceptors;
-  NodeTruth truth;
+/// Builder-only mutable companion of a PlanIsp: the per-AS host allocation
+/// cursors used while the plan is being laid out.
+struct IspState {
+  std::vector<std::uint32_t> next_host;  // parallel to the plan ISP's asns
 };
 
-struct IspState {
-  std::string name;
-  CountryCode country;
-  OrgId org = 0;
-  std::vector<Asn> asns;
-  std::vector<Ipv4Prefix> prefixes;       // parallel to asns
-  std::vector<std::uint32_t> next_host;   // parallel to asns
-  std::vector<Ipv4Address> resolver_ips;  // this ISP's resolver service IPs
-  std::vector<std::size_t> node_indices;  // into the node table
+/// Adapts a sealed NodePlan to the proxy's lazy population interface: every
+/// materialize(i) re-derives node i from its keyed streams, so the returned
+/// agent is byte-identical no matter when or how often it is built.
+class PlanNodeSource : public proxy::NodeSource {
+ public:
+  PlanNodeSource(std::shared_ptr<const NodePlan> plan,
+                 proxy::Environment environment)
+      : plan_(std::move(plan)), environment_(environment) {}
+
+  std::size_t node_count() const override { return plan_->node_count(); }
+
+  std::size_t country_count(const CountryCode& country) const override {
+    return plan_->country_count(country);
+  }
+
+  std::vector<std::pair<CountryCode, std::size_t>> country_counts()
+      const override {
+    std::vector<std::pair<CountryCode, std::size_t>> out;
+    out.reserve(plan_->country_totals().size());
+    for (const auto& [country, total] : plan_->country_totals()) {
+      out.emplace_back(country, total);
+    }
+    return out;
+  }
+
+  std::size_t country_slot(const CountryCode& country,
+                           std::size_t slot) const override {
+    return plan_->country_slot(country, slot);
+  }
+
+  std::shared_ptr<proxy::ExitNodeAgent> materialize(
+      std::size_t index) const override {
+    return std::make_shared<proxy::ExitNodeAgent>(plan_->node_config(index),
+                                                  environment_);
+  }
+
+ private:
+  std::shared_ptr<const NodePlan> plan_;
+  proxy::Environment environment_;
 };
 
 class WorldBuilder {
  public:
   WorldBuilder(const WorldSpec& spec, double scale, std::uint64_t seed)
-      : spec_(spec), scale_(scale), seed_(seed), world_(std::make_unique<World>()) {}
+      : spec_(spec),
+        scale_(scale),
+        seed_(seed),
+        world_(std::make_unique<World>()),
+        plan_(std::make_shared<NodePlan>()) {
+    plan_->seed = seed;
+  }
 
-  std::unique_ptr<World> build();
+  /// lazy_shards == 0 materializes every node eagerly (the classic path);
+  /// lazy_shards >= 1 hands the plan to the proxy as a NodeSource with a
+  /// resident ceiling of ceil(nodes / lazy_shards).
+  std::unique_ptr<World> build(std::size_t lazy_shards);
 
  private:
+  /// Transient per-node planning state. The assignment phases' predicates
+  /// only ever ask boolean questions about a node, so one word per node
+  /// replaces the old materialized per-node record; the vector is dropped
+  /// in finalize, leaving the plan O(assignments).
+  enum NodeFlag : std::uint16_t {
+    kGoogle = 1 << 0,    // currently uses Google DNS
+    kOnIsp = 1 << 1,     // creation-time pick landed on the ISP resolver
+    kTruthDns = 1 << 2,  // dns hijack ground truth set (any source)
+    kDnsItc = 1 << 3,    // has a dns interceptor
+    kHttpItc = 1 << 4,   // has any http interceptor
+    kHtmlInj = 1 << 5,   // html injector truth set
+    kBlocker = 1 << 6,   // content blocker truth set
+    kObjRepl = 1 << 7,   // object replacer truth set
+    kCert = 1 << 8,      // cert replacer truth set
+    kMonitor = 1 << 9,   // monitor truth set
+    kSmtp = 1 << 10,     // smtp interceptor truth set
+  };
+
   int scaled(int n) const {
     if (n <= 0) return 0;
     return std::max(1, static_cast<int>(std::llround(n * scale_)));
@@ -96,7 +144,6 @@ class WorldBuilder {
 
   // --- address space -------------------------------------------------------
   Ipv4Prefix allocate_prefix();
-  Ipv4Address next_address(std::size_t isp, std::size_t as_slot);
 
   // --- construction phases --------------------------------------------------
   void build_measurement_infrastructure();
@@ -110,7 +157,7 @@ class WorldBuilder {
   void assign_cert_replacers();
   void assign_monitors();
   void assign_smtp_interceptors();
-  void finalize();
+  void finalize(std::size_t lazy_shards);
   void record_world_gauges();
 
   // --- helpers ---------------------------------------------------------------
@@ -127,16 +174,22 @@ class WorldBuilder {
   /// least `as_spread` ASes and `country_spread` countries where possible.
   /// `purpose` keys the shuffle stream: every assignment phase draws from
   /// its own stream, so adding or reordering phases never reshuffles the
-  /// others' picks.
-  std::vector<std::size_t> pick_spread(std::string_view purpose, int count,
-                                       int as_spread, int country_spread,
-                                       const std::function<bool(const NodeBuild&)>& predicate);
+  /// others' picks. The predicate receives (node index, plan ISP index).
+  std::vector<std::size_t> pick_spread(
+      std::string_view purpose, int count, int as_spread, int country_spread,
+      const std::function<bool(std::size_t, std::uint32_t)>& predicate);
   std::size_t find_isp(std::string_view name, const CountryCode& country) const;
 
-  /// Keyed stream for a per-node decision: zID in the entity slot, the
-  /// decision kind in the purpose slot. Node-order independent.
-  util::StreamRng node_stream(const NodeBuild& node, std::string_view purpose) const {
-    return util::StreamRng(seed_, util::fnv1a64(node.zid), purpose);
+  NodeOverlay& overlay(std::size_t index) {
+    return plan_->overlays[static_cast<std::uint32_t>(index)];
+  }
+  std::uint32_t add_dns_shared(std::shared_ptr<middlebox::DnsInterceptor> itc) {
+    plan_->dns_shared.push_back(std::move(itc));
+    return static_cast<std::uint32_t>(plan_->dns_shared.size() - 1);
+  }
+  std::uint32_t add_http_shared(std::shared_ptr<middlebox::HttpInterceptor> itc) {
+    plan_->http_shared.push_back(std::move(itc));
+    return static_cast<std::uint32_t>(plan_->http_shared.size() - 1);
   }
 
   const WorldSpec& spec_;
@@ -147,9 +200,10 @@ class WorldBuilder {
   std::uint64_t seed_;
   std::unique_ptr<World> world_;
 
-  std::vector<IspState> isps_;
-  std::vector<NodeBuild> nodes_;
-  std::vector<Ipv4Address> clean_public_resolver_ips_;
+  /// The compact population description every node is regenerated from.
+  std::shared_ptr<NodePlan> plan_;
+  std::vector<IspState> isp_state_;   // parallel to plan_->isps
+  std::vector<std::uint16_t> flags_;  // transient, one word per node
   std::map<std::string, std::vector<Ipv4Address>> public_hijack_services_;
   Ipv4Address opendns_service_{208, 67, 222, 222};
   std::uint32_t next_prefix_block_ = 11 << 8;  // /16 blocks, starting 11.0.0.0
@@ -170,28 +224,23 @@ Ipv4Prefix WorldBuilder::allocate_prefix() {
 
 std::size_t WorldBuilder::create_isp(std::string name, CountryCode country,
                                      OrgKind kind, std::vector<Asn> asns) {
-  IspState isp;
+  PlanIsp isp;
+  IspState state;
   isp.name = name;
   isp.country = country;
-  isp.org = world_->topology.add_organization(std::move(name), country, kind);
+  const OrgId org = world_->topology.add_organization(std::move(name), country, kind);
   if (asns.empty()) asns.push_back(next_synthetic_asn_++);
   for (const Asn asn : asns) {
-    world_->topology.add_as(asn, isp.org);
+    world_->topology.add_as(asn, org);
     const Ipv4Prefix prefix = allocate_prefix();
     world_->topology.announce(prefix, asn);
     isp.asns.push_back(asn);
     isp.prefixes.push_back(prefix);
-    isp.next_host.push_back(1000);
+    state.next_host.push_back(1000);
   }
-  isps_.push_back(std::move(isp));
-  return isps_.size() - 1;
-}
-
-Ipv4Address WorldBuilder::next_address(std::size_t isp, std::size_t as_slot) {
-  IspState& state = isps_[isp];
-  const Ipv4Address address = *state.prefixes[as_slot].host(state.next_host[as_slot]);
-  ++state.next_host[as_slot];
-  return address;
+  plan_->isps.push_back(std::move(isp));
+  isp_state_.push_back(std::move(state));
+  return plan_->isps.size() - 1;
 }
 
 std::shared_ptr<dns::RecursiveResolver> WorldBuilder::create_resolver(
@@ -312,7 +361,7 @@ void WorldBuilder::build_public_resolvers() {
       create_isp("TFT AdTech Hosting", "US", OrgKind::kHosting, {});
   std::uint32_t adtech_host = 80;
   const auto adtech_address = [&] {
-    return *isps_[adtech].prefixes[0].host(adtech_host++);
+    return *plan_->isps[adtech].prefixes[0].host(adtech_host++);
   };
 
   // Hijacking public resolver services (§4.3.2).
@@ -325,7 +374,7 @@ void WorldBuilder::build_public_resolvers() {
     // users to clear the analysis thresholds.
     const int servers = std::max(1, scaled(service.servers));
     for (int i = 0; i < servers; ++i) {
-      const Ipv4Address address = *isps_[isp].prefixes[0].host(53 + i);
+      const Ipv4Address address = *plan_->isps[isp].prefixes[0].host(53 + i);
       create_resolver(address, dns::NxdomainHijackPolicy{landing, 60, 1.0});
       // Hijacking public resolvers are assigned to nodes later, explicitly,
       // so keep them out of the clean pool.
@@ -351,9 +400,9 @@ void WorldBuilder::build_public_resolvers() {
   for (int i = 0; i < clean_count; ++i) {
     const std::size_t isp = public_orgs[static_cast<std::size_t>(i) % public_orgs.size()];
     const Ipv4Address address =
-        *isps_[isp].prefixes[0].host(53 + static_cast<std::uint32_t>(i / operators) * 7);
+        *plan_->isps[isp].prefixes[0].host(53 + static_cast<std::uint32_t>(i / operators) * 7);
     create_resolver(address, std::nullopt);
-    clean_public_resolver_ips_.push_back(address);
+    plan_->clean_public_resolvers.push_back(address);
   }
 }
 
@@ -361,48 +410,46 @@ void WorldBuilder::create_nodes(std::size_t isp, int count, bool force_isp_resol
                                 double google_fraction, double public_fraction,
                                 DnsHijackSource hijack_source,
                                 std::string hijack_operator) {
-  IspState& state = isps_[isp];
-  for (int i = 0; i < count; ++i) {
-    NodeBuild node;
-    const std::size_t as_slot = static_cast<std::size_t>(i) % state.asns.size();
-    node.asn = state.asns[as_slot];
-    node.address = next_address(isp, as_slot);
-    node.country = state.country;
-    node.isp = isp;
-    node.zid = util::stable_id("node|" + state.name + "|" + state.country + "|" +
-                               std::to_string(i));
+  if (count <= 0) return;
+  PlanIsp& plan_isp = plan_->isps[isp];
+  IspState& state = isp_state_[isp];
 
-    if (force_isp_resolver || state.resolver_ips.empty()) {
-      if (!state.resolver_ips.empty()) {
-        node.resolver = state.resolver_ips[static_cast<std::size_t>(i) %
-                                           state.resolver_ips.size()];
-      } else {
-        node.resolver = Ipv4Address(8, 8, 8, 8);
-        node.uses_google = true;
-      }
-    } else {
-      util::StreamRng stream = node_stream(node, "resolver");
-      const double roll = stream.uniform_double();
-      if (roll < google_fraction) {
-        node.resolver = Ipv4Address(8, 8, 8, 8);
-        node.uses_google = true;
-      } else if (roll < google_fraction + public_fraction &&
-                 !clean_public_resolver_ips_.empty()) {
-        node.resolver =
-            clean_public_resolver_ips_[stream.index(clean_public_resolver_ips_.size())];
-      } else {
-        node.resolver = state.resolver_ips[static_cast<std::size_t>(i) %
-                                           state.resolver_ips.size()];
-      }
+  PlanRange range;
+  range.begin = plan_->total_nodes;
+  range.count = static_cast<std::uint32_t>(count);
+  range.isp = static_cast<std::uint32_t>(isp);
+  range.base_host = state.next_host[0];
+  range.force_isp_resolver = force_isp_resolver;
+  range.google_fraction = google_fraction;
+  range.public_fraction = public_fraction;
+  range.hijack_source = hijack_source;
+  range.hijack_operator = plan_->intern(hijack_operator);
+
+  // Advance the per-AS host cursors exactly as a per-node allocation loop
+  // would have: node i lands on AS slot i % slots. The closed-form address
+  // in NodePlan::facts assumes all slots start level, which holds because
+  // every ISP gets exactly one create_nodes call.
+  const std::size_t slots = plan_isp.asns.size();
+  for (std::size_t s = 0; s < slots; ++s) {
+    assert(state.next_host[s] == range.base_host);
+    state.next_host[s] += static_cast<std::uint32_t>(
+        (static_cast<std::size_t>(count) + slots - 1 - s) / slots);
+  }
+
+  plan_isp.ranges.push_back(static_cast<std::uint32_t>(plan_->ranges.size()));
+  plan_->ranges.push_back(range);
+  plan_->total_nodes += range.count;
+  flags_.resize(plan_->total_nodes, 0);
+  for (std::uint32_t j = 0; j < range.count; ++j) {
+    const std::size_t index = range.begin + j;
+    const NodePlan::Facts facts = plan_->facts(index);
+    std::uint16_t flags = 0;
+    if (facts.base_uses_google) flags |= kGoogle;
+    if (facts.base_on_isp_resolver) flags |= kOnIsp;
+    if (hijack_source != DnsHijackSource::kNone && !facts.base_uses_google) {
+      flags |= kTruthDns;
     }
-
-    if (hijack_source != DnsHijackSource::kNone && !node.uses_google) {
-      node.truth.dns_hijack = hijack_source;
-      node.truth.dns_hijack_operator = hijack_operator;
-    }
-
-    state.node_indices.push_back(nodes_.size());
-    nodes_.push_back(std::move(node));
+    flags_[index] = flags;
   }
 }
 
@@ -428,14 +475,15 @@ void WorldBuilder::build_isps_and_nodes() {
     const std::size_t isp =
         create_isp(entry.isp, entry.country, OrgKind::kBroadbandIsp, asns);
     const Ipv4Address landing = create_ad_server(
-        entry.landing_host, *isps_[isp].prefixes[0].host(80), entry.shared_vendor_js);
+        entry.landing_host, *plan_->isps[isp].prefixes[0].host(80), entry.shared_vendor_js);
     const int servers = std::max(1, scaled(entry.dns_servers));
     for (int i = 0; i < servers; ++i) {
       const Ipv4Address address =
-          *isps_[isp].prefixes[static_cast<std::size_t>(i) % isps_[isp].prefixes.size()]
+          *plan_->isps[isp].prefixes[static_cast<std::size_t>(i) %
+                                     plan_->isps[isp].prefixes.size()]
                .host(53 + static_cast<std::uint32_t>(i) * 16);
       create_resolver(address, dns::NxdomainHijackPolicy{landing, 60, 1.0});
-      isps_[isp].resolver_ips.push_back(address);
+      plan_->isps[isp].resolver_ips.push_back(address);
     }
     create_nodes(isp, scaled(entry.nodes), /*force_isp_resolver=*/true, 0, 0,
                  DnsHijackSource::kIspResolver, entry.isp);
@@ -447,9 +495,9 @@ void WorldBuilder::build_isps_and_nodes() {
     std::vector<Asn> asns;
     for (int i = 0; i < entry.as_count; ++i) asns.push_back(next_synthetic_asn_++);
     const std::size_t isp = create_isp(entry.name, entry.country, entry.kind, asns);
-    const Ipv4Address address = *isps_[isp].prefixes[0].host(53);
+    const Ipv4Address address = *plan_->isps[isp].prefixes[0].host(53);
     create_resolver(address, std::nullopt);
-    isps_[isp].resolver_ips.push_back(address);
+    plan_->isps[isp].resolver_ips.push_back(address);
     // Give named ISPs an elevated Google share so path hijackers targeting
     // their Google users (e.g. Uzone) have a population to hit.
     create_nodes(isp, scaled(entry.nodes), false, 0.08, 0.02, DnsHijackSource::kNone, {});
@@ -461,9 +509,9 @@ void WorldBuilder::build_isps_and_nodes() {
   for (const auto& entry : spec_.transcoders) {
     const std::size_t isp =
         create_isp(entry.isp, entry.country, OrgKind::kMobileIsp, {entry.asn});
-    const Ipv4Address address = *isps_[isp].prefixes[0].host(53);
+    const Ipv4Address address = *plan_->isps[isp].prefixes[0].host(53);
     create_resolver(address, std::nullopt);
-    isps_[isp].resolver_ips.push_back(address);
+    plan_->isps[isp].resolver_ips.push_back(address);
     // Floor the carrier populations: Table 7's smallest ASes (10-25 nodes
     // at paper scale) must stay measurable after down-scaling.
     const int nodes = std::max(scaled(entry.nodes), std::min(entry.nodes, 12));
@@ -477,9 +525,9 @@ void WorldBuilder::build_isps_and_nodes() {
                                        OrgKind::kBroadbandIsp,
                                        entry.asn != 0 ? std::vector<Asn>{entry.asn}
                                                       : known_asns(entry.isp));
-    const Ipv4Address address = *isps_[isp].prefixes[0].host(53);
+    const Ipv4Address address = *plan_->isps[isp].prefixes[0].host(53);
     create_resolver(address, std::nullopt);
-    isps_[isp].resolver_ips.push_back(address);
+    plan_->isps[isp].resolver_ips.push_back(address);
     create_nodes(isp, scaled(entry.nodes), false, 0.04, 0.02, DnsHijackSource::kNone, {});
     used_by_country[entry.country] += entry.nodes;
   }
@@ -520,35 +568,36 @@ void WorldBuilder::build_isps_and_nodes() {
         const std::string slug =
             util::to_lower(country.code) + "-g" + std::to_string(i + 1);
         const Ipv4Address landing = create_ad_server(
-            "dns-assist." + slug + ".example.net", *isps_[isp].prefixes[0].host(80),
+            "dns-assist." + slug + ".example.net", *plan_->isps[isp].prefixes[0].host(80),
             false);
         policy = dns::NxdomainHijackPolicy{landing, 60, hijack_probability};
       }
       for (std::size_t r = 0; r < std::max<std::size_t>(1, asns.size() / 2); ++r) {
-        const Ipv4Address address = *isps_[isp].prefixes[r % isps_[isp].prefixes.size()]
-                                         .host(53 + static_cast<std::uint32_t>(r) * 8);
+        const Ipv4Address address =
+            *plan_->isps[isp].prefixes[r % plan_->isps[isp].prefixes.size()]
+                 .host(53 + static_cast<std::uint32_t>(r) * 8);
         create_resolver(address, policy);
-        isps_[isp].resolver_ips.push_back(address);
+        plan_->isps[isp].resolver_ips.push_back(address);
       }
       create_nodes(isp, scaled(nodes), false, country.google_dns_fraction,
                    country.public_dns_fraction, DnsHijackSource::kNone, {});
       // Ground truth for the probabilistic hijack: the resolver's decision
       // is a deterministic function of the node's zID (stable_hijack_roll),
-      // so we can record exactly which nodes it will affect.
+      // so the range records the probability and node_truth re-derives
+      // exactly which nodes it affects. The flags must agree so later
+      // phases' truth-none predicates see these nodes as hijacked.
       if (hijack_probability > 0) {
-        for (const auto index : isps_[isp].node_indices) {
-          NodeBuild& node = nodes_[index];
-          if (node.uses_google) continue;
-          if (node.truth.dns_hijack != DnsHijackSource::kNone) continue;
+        PlanRange& range = plan_->ranges[plan_->isps[isp].ranges.back()];
+        range.generic_hijack_probability = hijack_probability;
+        range.generic_operator = plan_->intern(name);
+        for (std::uint32_t j = 0; j < range.count; ++j) {
+          const std::size_t index = range.begin + j;
+          const std::uint16_t flags = flags_[index];
+          if (flags & (kGoogle | kTruthDns)) continue;
           // Only nodes on this ISP's resolvers (not public-resolver users).
-          bool on_isp_resolver = false;
-          for (const auto& resolver : isps_[isp].resolver_ips) {
-            on_isp_resolver = on_isp_resolver || node.resolver == resolver;
-          }
-          if (!on_isp_resolver) continue;
-          if (proxy::stable_hijack_roll(node.zid) < hijack_probability) {
-            node.truth.dns_hijack = DnsHijackSource::kIspResolver;
-            node.truth.dns_hijack_operator = name;
+          if (!(flags & kOnIsp)) continue;
+          if (proxy::stable_hijack_roll(plan_->zid(index)) < hijack_probability) {
+            flags_[index] |= kTruthDns;
           }
         }
       }
@@ -558,25 +607,34 @@ void WorldBuilder::build_isps_and_nodes() {
 
 std::size_t WorldBuilder::find_isp(std::string_view name,
                                    const CountryCode& country) const {
-  for (std::size_t i = 0; i < isps_.size(); ++i) {
-    if (isps_[i].name == name && (country.empty() || isps_[i].country == country)) {
+  for (std::size_t i = 0; i < plan_->isps.size(); ++i) {
+    if (plan_->isps[i].name == name &&
+        (country.empty() || plan_->isps[i].country == country)) {
       return i;
     }
   }
-  return isps_.size();
+  return plan_->isps.size();
 }
 
 std::vector<std::size_t> WorldBuilder::pick_spread(
     std::string_view purpose, int count, int as_spread, int country_spread,
-    const std::function<bool(const NodeBuild&)>& predicate) {
+    const std::function<bool(std::size_t, std::uint32_t)>& predicate) {
   util::StreamRng rng(seed_, util::fnv1a64(purpose), "spread");
   // Group candidates by country, limit to `country_spread` countries, then
   // by AS limited to `as_spread` ASes, and deal round-robin across the
   // surviving AS pools. This reproduces the install-base footprints the
   // paper reports (e.g. TrendMicro: 734 ASes but only 13 countries).
+  // Ranges are in creation order and contiguous, so this visits candidates
+  // in exactly the old global node order.
   std::map<std::string, std::map<Asn, std::vector<std::size_t>>> by_country;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (predicate(nodes_[i])) by_country[nodes_[i].country][nodes_[i].asn].push_back(i);
+  for (const PlanRange& range : plan_->ranges) {
+    const PlanIsp& isp = plan_->isps[range.isp];
+    const std::size_t slots = isp.asns.size();
+    for (std::uint32_t j = 0; j < range.count; ++j) {
+      const std::size_t i = range.begin + j;
+      if (!predicate(i, range.isp)) continue;
+      by_country[isp.country][isp.asns[j % slots]].push_back(i);
+    }
   }
 
   // Prefer the countries with the most candidates (stable), tie-broken by
@@ -640,15 +698,18 @@ void WorldBuilder::assign_public_hijack_users() {
     assert(!services.empty());
     const auto picked = pick_spread(
         "public-hijack|" + service.operator_name, scaled(service.nodes), 20, 5,
-        [](const NodeBuild& node) {
-          return node.truth.dns_hijack == DnsHijackSource::kNone && !node.uses_google;
+        [&](std::size_t i, std::uint32_t) {
+          return !(flags_[i] & (kTruthDns | kGoogle));
         });
     for (std::size_t i = 0; i < picked.size(); ++i) {
-      NodeBuild& node = nodes_[picked[i]];
-      node.resolver = services[i % services.size()];
-      node.uses_google = false;
-      node.truth.dns_hijack = DnsHijackSource::kPublicResolver;
-      node.truth.dns_hijack_operator = service.operator_name;
+      NodeOverlay& o = overlay(picked[i]);
+      o.has_resolver = true;
+      o.resolver = services[i % services.size()];
+      o.uses_google = 0;
+      o.truth_dns_set = true;
+      o.truth_dns = DnsHijackSource::kPublicResolver;
+      o.truth_dns_operator = plan_->intern(service.operator_name);
+      flags_[picked[i]] |= kTruthDns;
     }
   }
 }
@@ -659,21 +720,22 @@ void WorldBuilder::assign_path_and_host_dns_hijackers() {
 
   for (const auto& entry : spec_.path_hijackers) {
     const std::size_t isp = find_isp(entry.isp, entry.country);
-    if (isp >= isps_.size()) continue;
+    if (isp >= plan_->isps.size()) continue;
     // The landing server may already exist (resolver hijacker of the same
     // ISP); reuse it through a fresh rewriter either way.
     const Ipv4Address landing = create_ad_server(
-        entry.landing_host, *isps_[adtech].prefixes[0].host(adtech_host++), false);
-    auto rewriter = std::make_shared<middlebox::NxdomainRewriter>(
-        middlebox::NxdomainRewriter::Config{entry.isp + " path middlebox", landing,
-                                            1.0, 60});
-    const std::size_t isp_index = isp;
+        entry.landing_host, *plan_->isps[adtech].prefixes[0].host(adtech_host++), false);
+    const std::uint32_t rewriter = add_dns_shared(
+        std::make_shared<middlebox::NxdomainRewriter>(
+            middlebox::NxdomainRewriter::Config{entry.isp + " path middlebox",
+                                                landing, 1.0, 60}));
+    const std::uint32_t isp_index = static_cast<std::uint32_t>(isp);
     // Prefer Google-DNS users of the ISP (that is where the paper can see
     // path hijacking); convert clean ISP-resolver users if too few.
     auto picked = pick_spread("path-hijack|" + entry.isp,
                               scaled(entry.google_dns_nodes), entry.as_spread, 1,
-                              [&](const NodeBuild& node) {
-                                return node.isp == isp_index && node.uses_google;
+                              [&](std::size_t i, std::uint32_t node_isp) {
+                                return node_isp == isp_index && (flags_[i] & kGoogle);
                               });
     const int deficit = scaled(entry.google_dns_nodes) - static_cast<int>(picked.size());
     if (deficit > 0) {
@@ -682,24 +744,32 @@ void WorldBuilder::assign_path_and_host_dns_hijackers() {
       // convert a few, clearing any resolver-level hijack truth.
       for (const auto extra : pick_spread(
                "path-hijack-extra|" + entry.isp, deficit, entry.as_spread, 1,
-               [&](const NodeBuild& node) {
-                 return node.isp == isp_index && !node.uses_google;
+               [&](std::size_t i, std::uint32_t node_isp) {
+                 return node_isp == isp_index && !(flags_[i] & kGoogle);
                })) {
-        nodes_[extra].resolver = Ipv4Address(8, 8, 8, 8);
-        nodes_[extra].uses_google = true;
-        nodes_[extra].truth.dns_hijack = DnsHijackSource::kNone;
-        nodes_[extra].truth.dns_hijack_operator.clear();
+        NodeOverlay& o = overlay(extra);
+        o.has_resolver = true;
+        o.resolver = Ipv4Address(8, 8, 8, 8);
+        o.uses_google = 1;
+        o.truth_dns_set = true;
+        o.truth_dns = DnsHijackSource::kNone;
+        o.truth_dns_operator = 0;
+        flags_[extra] = static_cast<std::uint16_t>(
+            (flags_[extra] & ~kTruthDns) | kGoogle);
         picked.push_back(extra);
       }
     }
     for (const auto index : picked) {
-      NodeBuild& node = nodes_[index];
-      node.dns_interceptors.push_back(rewriter);
+      NodeOverlay& o = overlay(index);
+      o.tokens.push_back(plan_token(PlanTokenKind::kDnsShared, rewriter));
+      flags_[index] |= kDnsItc;
       // Path boxes fire regardless of resolver; for resolver-hijacked nodes
       // the resolver wins first, so only record truth for clean-DNS nodes.
-      if (node.truth.dns_hijack == DnsHijackSource::kNone) {
-        node.truth.dns_hijack = DnsHijackSource::kPathMiddlebox;
-        node.truth.dns_hijack_operator = entry.isp;
+      if (!(flags_[index] & kTruthDns)) {
+        o.truth_dns_set = true;
+        o.truth_dns = DnsHijackSource::kPathMiddlebox;
+        o.truth_dns_operator = plan_->intern(entry.isp);
+        flags_[index] |= kTruthDns;
       }
     }
   }
@@ -709,45 +779,51 @@ void WorldBuilder::assign_path_and_host_dns_hijackers() {
   if (spec_.scattered_google_hijack_nodes > 0) {
     const auto picked = pick_spread(
         "scattered-cpe", scaled(spec_.scattered_google_hijack_nodes), 120, 40,
-        [](const NodeBuild& node) {
-          return node.uses_google && node.truth.dns_hijack == DnsHijackSource::kNone &&
-                 node.dns_interceptors.empty();
+        [&](std::size_t i, std::uint32_t) {
+          const std::uint16_t flags = flags_[i];
+          return (flags & kGoogle) && !(flags & kTruthDns) && !(flags & kDnsItc);
         });
-    std::map<std::size_t, std::shared_ptr<middlebox::NxdomainRewriter>> per_isp;
+    std::map<std::uint32_t, std::uint32_t> per_isp;  // isp -> dns_shared id
     for (const auto index : picked) {
-      NodeBuild& node = nodes_[index];
-      auto& rewriter = per_isp[node.isp];
-      if (!rewriter) {
-        const std::string slug = "cpe-" + std::to_string(node.isp);
+      const std::uint32_t isp = plan_->range_of(index).isp;
+      const auto [it, inserted] = per_isp.try_emplace(isp, 0);
+      if (inserted) {
+        const std::string slug = "cpe-" + std::to_string(isp);
         const Ipv4Address landing = create_ad_server(
             "dns-helper." + slug + ".example.net",
-            *isps_[adtech].prefixes[0].host(adtech_host++), false);
-        rewriter = std::make_shared<middlebox::NxdomainRewriter>(
-            middlebox::NxdomainRewriter::Config{isps_[node.isp].name + " CPE box",
-                                                landing, 1.0, 60});
+            *plan_->isps[adtech].prefixes[0].host(adtech_host++), false);
+        it->second = add_dns_shared(std::make_shared<middlebox::NxdomainRewriter>(
+            middlebox::NxdomainRewriter::Config{plan_->isps[isp].name + " CPE box",
+                                                landing, 1.0, 60}));
       }
-      node.dns_interceptors.push_back(rewriter);
-      node.truth.dns_hijack = DnsHijackSource::kPathMiddlebox;
-      node.truth.dns_hijack_operator = isps_[node.isp].name + " CPE box";
+      NodeOverlay& o = overlay(index);
+      o.tokens.push_back(plan_token(PlanTokenKind::kDnsShared, it->second));
+      o.truth_dns_set = true;
+      o.truth_dns = DnsHijackSource::kPathMiddlebox;
+      o.truth_dns_operator = plan_->intern(plan_->isps[isp].name + " CPE box");
+      flags_[index] |= kDnsItc | kTruthDns;
     }
   }
 
   for (const auto& entry : spec_.host_dns_hijackers) {
     const Ipv4Address landing = create_ad_server(
-        entry.landing_host, *isps_[adtech].prefixes[0].host(adtech_host++), false);
-    auto rewriter = std::make_shared<middlebox::NxdomainRewriter>(
-        middlebox::NxdomainRewriter::Config{entry.product, landing, 1.0, 60});
+        entry.landing_host, *plan_->isps[adtech].prefixes[0].host(adtech_host++), false);
+    const std::uint32_t rewriter = add_dns_shared(
+        std::make_shared<middlebox::NxdomainRewriter>(
+            middlebox::NxdomainRewriter::Config{entry.product, landing, 1.0, 60}));
     const auto picked = pick_spread(
         "host-dns|" + entry.product, scaled(entry.nodes), entry.as_spread,
-        entry.country_spread, [](const NodeBuild& node) {
-          return node.uses_google && node.truth.dns_hijack == DnsHijackSource::kNone &&
-                 node.dns_interceptors.empty();
+        entry.country_spread, [&](std::size_t i, std::uint32_t) {
+          const std::uint16_t flags = flags_[i];
+          return (flags & kGoogle) && !(flags & kTruthDns) && !(flags & kDnsItc);
         });
     for (const auto index : picked) {
-      NodeBuild& node = nodes_[index];
-      node.dns_interceptors.push_back(rewriter);
-      node.truth.dns_hijack = DnsHijackSource::kHostSoftware;
-      node.truth.dns_hijack_operator = entry.product;
+      NodeOverlay& o = overlay(index);
+      o.tokens.push_back(plan_token(PlanTokenKind::kDnsShared, rewriter));
+      o.truth_dns_set = true;
+      o.truth_dns = DnsHijackSource::kHostSoftware;
+      o.truth_dns_operator = plan_->intern(entry.product);
+      flags_[index] |= kDnsItc | kTruthDns;
     }
   }
 }
@@ -759,86 +835,112 @@ void WorldBuilder::assign_http_modifiers() {
 
   // Host adware (Table 6).
   for (const auto& entry : spec_.adware) {
-    auto injector = std::make_shared<middlebox::HtmlInjector>(
-        middlebox::HtmlInjector::Config{entry.name, entry.snippet, 1024, 1.0});
+    const std::uint32_t injector = add_http_shared(
+        std::make_shared<middlebox::HtmlInjector>(
+            middlebox::HtmlInjector::Config{entry.name, entry.snippet, 1024, 1.0}));
     const auto picked =
         pick_spread("adware|" + entry.name, boosted(entry.nodes), entry.as_spread,
-                    entry.country_spread,
-                    [](const NodeBuild& node) { return node.truth.html_injector.empty(); });
+                    entry.country_spread, [&](std::size_t i, std::uint32_t) {
+                      return !(flags_[i] & kHtmlInj);
+                    });
     for (const auto index : picked) {
-      nodes_[index].http_interceptors.push_back(injector);
-      nodes_[index].truth.html_injector = entry.name;
+      NodeOverlay& o = overlay(index);
+      o.tokens.push_back(plan_token(PlanTokenKind::kHttpPre, injector));
+      o.truth_html_injector = plan_->intern(entry.name);
+      flags_[index] |= kHtmlInj | kHttpItc;
     }
   }
 
   // ISP filters (Rimon/NetSpark): every node of the AS.
   for (const auto& entry : spec_.isp_filters) {
     const std::size_t isp = find_isp(entry.isp, entry.country);
-    if (isp >= isps_.size()) continue;
-    auto injector = std::make_shared<middlebox::HtmlInjector>(
-        middlebox::HtmlInjector::Config{entry.isp + " NetSpark filter", entry.snippet,
-                                        0, 1.0});
-    for (const auto index : isps_[isp].node_indices) {
-      nodes_[index].http_interceptors.push_back(injector);
-      nodes_[index].truth.html_injector = entry.isp + " NetSpark filter";
+    if (isp >= plan_->isps.size()) continue;
+    const std::uint32_t injector = add_http_shared(
+        std::make_shared<middlebox::HtmlInjector>(
+            middlebox::HtmlInjector::Config{entry.isp + " NetSpark filter",
+                                            entry.snippet, 0, 1.0}));
+    const std::uint32_t truth = plan_->intern(entry.isp + " NetSpark filter");
+    for (const std::uint32_t ri : plan_->isps[isp].ranges) {
+      const PlanRange& range = plan_->ranges[ri];
+      for (std::uint32_t j = 0; j < range.count; ++j) {
+        const std::size_t index = range.begin + j;
+        NodeOverlay& o = overlay(index);
+        o.tokens.push_back(plan_token(PlanTokenKind::kHttpPre, injector));
+        o.truth_html_injector = truth;  // overwrites, as the filter governs
+        flags_[index] |= kHtmlInj | kHttpItc;
+      }
     }
   }
 
   // Mobile transcoders (Table 7): per-node quality drawn from the carrier's
-  // quality set; fraction models per-plan deployment.
+  // quality set; fraction models per-plan deployment. Membership and quality
+  // are re-derived per node from its keyed "transcode" stream, so only the
+  // instance table and the range tag are stored.
   for (const auto& entry : spec_.transcoders) {
     const std::size_t isp = find_isp(entry.isp, entry.country);
-    if (isp >= isps_.size()) continue;
-    std::vector<std::shared_ptr<middlebox::ImageTranscoder>> per_quality;
+    if (isp >= plan_->isps.size()) continue;
+    NodePlan::Transcoder plan_transcoder;
+    plan_transcoder.fraction = entry.fraction;
     for (const int quality : entry.qualities) {
-      per_quality.push_back(std::make_shared<middlebox::ImageTranscoder>(
-          middlebox::ImageTranscoder::Config{
-              entry.isp + " transcoder q" + std::to_string(quality),
-              static_cast<std::uint8_t>(quality), 1.0}));
+      plan_transcoder.per_quality.push_back(
+          std::make_shared<middlebox::ImageTranscoder>(
+              middlebox::ImageTranscoder::Config{
+                  entry.isp + " transcoder q" + std::to_string(quality),
+                  static_cast<std::uint8_t>(quality), 1.0}));
     }
-    for (const auto index : isps_[isp].node_indices) {
-      util::StreamRng stream = node_stream(nodes_[index], "transcode");
-      if (!stream.chance(entry.fraction)) continue;
-      const auto& transcoder = per_quality[stream.index(per_quality.size())];
-      nodes_[index].http_interceptors.push_back(transcoder);
-      nodes_[index].truth.image_transcoder = std::string(transcoder->name());
+    plan_->transcoders.push_back(std::move(plan_transcoder));
+    const std::uint32_t tag = static_cast<std::uint32_t>(plan_->transcoders.size());
+    for (const std::uint32_t ri : plan_->isps[isp].ranges) {
+      PlanRange& range = plan_->ranges[ri];
+      range.transcoder = tag;
+      for (std::uint32_t j = 0; j < range.count; ++j) {
+        const std::size_t index = range.begin + j;
+        util::StreamRng stream(seed_, util::fnv1a64(plan_->zid(index)), "transcode");
+        if (stream.chance(entry.fraction)) flags_[index] |= kHttpItc;
+      }
     }
   }
 
   // Block pages and JS/CSS error replacement (§5.2 residue).
-  auto blocker = std::make_shared<middlebox::ContentBlocker>(
-      middlebox::ContentBlocker::Config{
+  const std::uint32_t blocker = add_http_shared(
+      std::make_shared<middlebox::ContentBlocker>(middlebox::ContentBlocker::Config{
           "bandwidth-cap",
-          "<html><body><h1>Bandwidth exceeded</h1><p>blocked</p></body></html>", 403});
+          "<html><body><h1>Bandwidth exceeded</h1><p>blocked</p></body></html>", 403}));
   for (const auto index :
        pick_spread("blockpage", boosted(spec_.blockpage_nodes), 10, 5,
-                   [](const NodeBuild& node) {
-         return node.http_interceptors.empty();
-       })) {
-    nodes_[index].http_interceptors.push_back(blocker);
-    nodes_[index].truth.content_blocker = "bandwidth-cap";
+                   [&](std::size_t i, std::uint32_t) {
+                     return !(flags_[i] & kHttpItc);
+                   })) {
+    NodeOverlay& o = overlay(index);
+    o.tokens.push_back(plan_token(PlanTokenKind::kHttpPost, blocker));
+    o.truth_content_blocker = plan_->intern("bandwidth-cap");
+    flags_[index] |= kHttpItc | kBlocker;
   }
-  auto js_replacer = std::make_shared<middlebox::ObjectReplacer>(
-      middlebox::ObjectReplacer::Config{"js-error-box", "javascript",
-                                        "<html><body>error</body></html>", 200});
+  const std::uint32_t js_replacer = add_http_shared(
+      std::make_shared<middlebox::ObjectReplacer>(middlebox::ObjectReplacer::Config{
+          "js-error-box", "javascript", "<html><body>error</body></html>", 200}));
   for (const auto index :
        pick_spread("js-error", boosted(spec_.js_error_nodes), 20, 10,
-                   [](const NodeBuild& node) {
-         return node.http_interceptors.empty() && node.truth.content_blocker.empty();
-       })) {
-    nodes_[index].http_interceptors.push_back(js_replacer);
-    nodes_[index].truth.object_replacer = "js-error-box";
+                   [&](std::size_t i, std::uint32_t) {
+                     return !(flags_[i] & (kHttpItc | kBlocker));
+                   })) {
+    NodeOverlay& o = overlay(index);
+    o.tokens.push_back(plan_token(PlanTokenKind::kHttpPost, js_replacer));
+    o.truth_object_replacer = plan_->intern("js-error-box");
+    flags_[index] |= kHttpItc | kObjRepl;
   }
-  auto css_replacer = std::make_shared<middlebox::ObjectReplacer>(
-      middlebox::ObjectReplacer::Config{"css-error-box", "css", "", 200});
+  const std::uint32_t css_replacer = add_http_shared(
+      std::make_shared<middlebox::ObjectReplacer>(
+          middlebox::ObjectReplacer::Config{"css-error-box", "css", "", 200}));
   for (const auto index :
        pick_spread("css-error", boosted(spec_.css_error_nodes), 8, 4,
-                   [](const NodeBuild& node) {
-         return node.http_interceptors.empty() && node.truth.content_blocker.empty() &&
-                node.truth.object_replacer.empty();
-       })) {
-    nodes_[index].http_interceptors.push_back(css_replacer);
-    nodes_[index].truth.object_replacer = "css-error-box";
+                   [&](std::size_t i, std::uint32_t) {
+                     return !(flags_[i] & (kHttpItc | kBlocker | kObjRepl));
+                   })) {
+    NodeOverlay& o = overlay(index);
+    o.tokens.push_back(plan_token(PlanTokenKind::kHttpPost, css_replacer));
+    o.truth_object_replacer = plan_->intern("css-error-box");
+    flags_[index] |= kHttpItc | kObjRepl;
   }
 }
 
@@ -863,7 +965,7 @@ void WorldBuilder::build_https_sites() {
   const std::size_t hosting = create_isp("TFT Web Hosting", "US", OrgKind::kHosting, {});
   std::uint32_t host_index = 100;
   const auto new_site_address = [&] {
-    return *isps_[hosting].prefixes[0].host(host_index++);
+    return *plan_->isps[hosting].prefixes[0].host(host_index++);
   };
 
   const auto add_site = [&](const std::string& host, HttpsSite::Class site_class,
@@ -973,6 +1075,17 @@ void WorldBuilder::assign_cert_replacers() {
     if (spec.untrusted_issuer_for_invalid || spec.only_if_upstream_valid) {
       config.public_roots = &world_->public_roots;
     }
+    plan_->tls_configs.push_back(std::move(config));
+    const std::uint32_t tls_id =
+        static_cast<std::uint32_t>(plan_->tls_configs.size() - 1);
+    std::uint32_t injector_id = 0;
+    if (spec.also_injects_html) {
+      plan_->injector_configs.push_back(middlebox::HtmlInjector::Config{
+          spec.product + " injector",
+          "\n<script src=\"http://cloudguard.me/inject.js\"></script>\n", 1024,
+          1.0});
+      injector_id = static_cast<std::uint32_t>(plan_->injector_configs.size() - 1);
+    }
 
     const auto only_country = spec.only_country;
     // Floor the small products (McAfee: 6 nodes at paper scale) so every
@@ -980,27 +1093,28 @@ void WorldBuilder::assign_cert_replacers() {
     const int installs = std::max(scaled(spec.nodes), std::min(spec.nodes, 5));
     const auto picked = pick_spread(
         "cert-replacer|" + spec.product, installs, 200, 50,
-        [&](const NodeBuild& node) {
-          if (only_country && node.country != *only_country) return false;
-          return node.truth.cert_replacer.empty();
+        [&](std::size_t i, std::uint32_t isp) {
+          if (only_country && plan_->isps[isp].country != *only_country) return false;
+          return !(flags_[i] & kCert);
         });
     for (const auto index : picked) {
-      NodeBuild& node = nodes_[index];
-      node.tls_interceptors.push_back(std::make_shared<middlebox::CertReplacer>(
-          config, util::fnv1a64("host|" + node.zid)));
-      node.truth.cert_replacer = spec.product;
+      NodeOverlay& o = overlay(index);
+      o.tokens.push_back(plan_token(PlanTokenKind::kTlsConfig, tls_id));
+      o.truth_cert_replacer = plan_->intern(spec.product);
+      flags_[index] |= kCert;
       if (spec.product == "OpenDNS") {
-        node.resolver = opendns_service_;
-        node.uses_google = false;
+        o.has_resolver = true;
+        o.resolver = opendns_service_;
+        o.uses_google = 0;
+        flags_[index] &= static_cast<std::uint16_t>(~kGoogle);
       }
       if (spec.also_injects_html) {
-        node.http_interceptors.push_back(std::make_shared<middlebox::HtmlInjector>(
-            middlebox::HtmlInjector::Config{
-                spec.product + " injector",
-                "\n<script src=\"http://cloudguard.me/inject.js\"></script>\n", 1024,
-                1.0}));
-        if (node.truth.html_injector.empty()) {
-          node.truth.html_injector = spec.product + " injector";
+        o.tokens.push_back(
+            plan_token(PlanTokenKind::kHttpInjectorConfig, injector_id));
+        flags_[index] |= kHttpItc;
+        if (!(flags_[index] & kHtmlInj)) {
+          o.truth_html_injector = plan_->intern(spec.product + " injector");
+          flags_[index] |= kHtmlInj;
         }
       }
     }
@@ -1034,7 +1148,7 @@ void WorldBuilder::assign_monitors() {
     std::size_t isp;
     if (spec.kind == MonitorSpec::Kind::kIspService) {
       isp = find_isp(spec.isp, "");
-      if (isp >= isps_.size()) continue;
+      if (isp >= plan_->isps.size()) continue;
     } else {
       isp = create_isp(spec.entity, spec.home_country, kind, {});
     }
@@ -1044,53 +1158,59 @@ void WorldBuilder::assign_monitors() {
     std::vector<Ipv4Address> sources;
     for (int i = 0; i < std::max(1, spec.source_ips); ++i) {
       sources.push_back(
-          *isps_[isp].prefixes[0].host(10 + static_cast<std::uint32_t>(i)));
+          *plan_->isps[isp].prefixes[0].host(10 + static_cast<std::uint32_t>(i)));
     }
-    auto monitor = std::make_shared<middlebox::ContentMonitor>(
-        build_profile(spec, sources));
+    const std::uint32_t monitor_id = add_http_shared(
+        std::make_shared<middlebox::ContentMonitor>(build_profile(spec, sources)));
 
     std::vector<std::size_t> picked;
     if (spec.kind == MonitorSpec::Kind::kIspService) {
-      for (const auto index : isps_[isp].node_indices) {
-        if (!nodes_[index].truth.content_blocker.empty()) continue;
-        if (!nodes_[index].truth.monitor.empty()) continue;  // one monitor per node
-        util::StreamRng stream(
-            seed_,
-            util::hash_combine(util::fnv1a64(nodes_[index].zid),
-                               util::fnv1a64(spec.entity)),
-            "monitor");
-        if (stream.chance(spec.isp_node_fraction)) picked.push_back(index);
+      for (const std::uint32_t ri : plan_->isps[isp].ranges) {
+        const PlanRange& range = plan_->ranges[ri];
+        for (std::uint32_t j = 0; j < range.count; ++j) {
+          const std::size_t index = range.begin + j;
+          if (flags_[index] & kBlocker) continue;
+          if (flags_[index] & kMonitor) continue;  // one monitor per node
+          util::StreamRng stream(
+              seed_,
+              util::hash_combine(util::fnv1a64(plan_->zid(index)),
+                                 util::fnv1a64(spec.entity)),
+              "monitor");
+          if (stream.chance(spec.isp_node_fraction)) picked.push_back(index);
+        }
       }
     } else {
       picked = pick_spread("monitor|" + spec.entity, scaled(spec.nodes),
                            spec.as_spread, spec.country_spread,
-                           [](const NodeBuild& node) {
-                             return node.truth.monitor.empty() &&
-                                    node.truth.content_blocker.empty();
+                           [&](std::size_t i, std::uint32_t) {
+                             return !(flags_[i] & (kMonitor | kBlocker));
                            });
     }
 
-    std::shared_ptr<middlebox::VpnEgressRewriter> vpn;
+    std::uint32_t vpn_id = 0;
+    bool has_vpn = false;
     if (spec.kind == MonitorSpec::Kind::kVpn) {
       // Ten VPN egress locations, distinct from the scanner addresses.
       std::vector<Ipv4Address> egress;
       for (std::uint32_t i = 0; i < 10; ++i) {
-        egress.push_back(*isps_[isp].prefixes[0].host(2000 + i));
+        egress.push_back(*plan_->isps[isp].prefixes[0].host(2000 + i));
       }
-      vpn = std::make_shared<middlebox::VpnEgressRewriter>(spec.entity + " VPN",
-                                                           std::move(egress));
+      vpn_id = add_http_shared(std::make_shared<middlebox::VpnEgressRewriter>(
+          spec.entity + " VPN", std::move(egress)));
+      has_vpn = true;
     }
 
     for (const auto index : picked) {
-      NodeBuild& node = nodes_[index];
+      NodeOverlay& o = overlay(index);
       // Monitors observe the request before any blocker can short-circuit
       // it (host software sees the URL even when a downstream box blocks).
-      node.http_interceptors.insert(node.http_interceptors.begin(), monitor);
-      if (vpn) {
-        node.http_interceptors.insert(node.http_interceptors.begin(), vpn);
-        node.truth.uses_vpn = true;
+      o.monitor = monitor_id + 1;
+      if (has_vpn) {
+        o.vpn = vpn_id + 1;
+        o.uses_vpn = true;
       }
-      node.truth.monitor = spec.entity;
+      o.truth_monitor = plan_->intern(spec.entity);
+      flags_[index] |= kMonitor | kHttpItc;
     }
   }
 
@@ -1105,16 +1225,18 @@ void WorldBuilder::assign_monitors() {
       MonitorSpec tail;
       tail.entity = "Monitor Tail " + std::to_string(g + 1);
       tail.refetches = {MonitorSpec::Refetch{5, 3600, 0, 0, false}};
-      auto monitor = std::make_shared<middlebox::ContentMonitor>(
-          build_profile(tail, {*isps_[isp].prefixes[0].host(10)}));
+      const std::uint32_t monitor_id = add_http_shared(
+          std::make_shared<middlebox::ContentMonitor>(
+              build_profile(tail, {*plan_->isps[isp].prefixes[0].host(10)})));
       for (const auto index :
            pick_spread("monitor-tail|" + tail.entity, per_group, 5, 3,
-                       [](const NodeBuild& node) {
-             return node.truth.monitor.empty() && node.truth.content_blocker.empty();
-           })) {
-        nodes_[index].http_interceptors.insert(
-            nodes_[index].http_interceptors.begin(), monitor);
-        nodes_[index].truth.monitor = tail.entity;
+                       [&](std::size_t i, std::uint32_t) {
+                         return !(flags_[i] & (kMonitor | kBlocker));
+                       })) {
+        NodeOverlay& o = overlay(index);
+        o.monitor = monitor_id + 1;
+        o.truth_monitor = plan_->intern(tail.entity);
+        flags_[index] |= kMonitor | kHttpItc;
       }
     }
   }
@@ -1139,20 +1261,24 @@ void WorldBuilder::assign_smtp_interceptors() {
             spec.name, "-- scanned by " + spec.name);
         break;
     }
+    plan_->smtp_shared.push_back(std::move(interceptor));
+    const std::uint32_t id =
+        static_cast<std::uint32_t>(plan_->smtp_shared.size() - 1);
     for (const auto index :
          pick_spread("smtp|" + spec.name, scaled(spec.nodes), spec.as_spread,
-                     spec.country_spread,
-                     [](const NodeBuild& node) {
-                       return node.truth.smtp_interceptor.empty();
+                     spec.country_spread, [&](std::size_t i, std::uint32_t) {
+                       return !(flags_[i] & kSmtp);
                      })) {
-      nodes_[index].smtp_interceptors.push_back(interceptor);
-      nodes_[index].truth.smtp_interceptor = spec.name;
-      nodes_[index].truth.smtp_interceptor_kind = std::string(to_string(spec.kind));
+      NodeOverlay& o = overlay(index);
+      o.tokens.push_back(plan_token(PlanTokenKind::kSmtpShared, id));
+      o.truth_smtp = plan_->intern(spec.name);
+      o.truth_smtp_kind = plan_->intern(std::string(to_string(spec.kind)));
+      flags_[index] |= kSmtp;
     }
   }
 }
 
-void WorldBuilder::finalize() {
+void WorldBuilder::finalize(std::size_t lazy_shards) {
   proxy::Environment environment;
   environment.resolvers = &world_->resolvers;
   environment.web = &world_->web;
@@ -1171,28 +1297,34 @@ void WorldBuilder::finalize() {
   proxy_config.stream_seed = util::stream_seed(seed_, 0, "super-proxy");
   world_->luminati = std::make_unique<proxy::SuperProxy>(proxy_config, environment);
 
-  for (const auto& isp : isps_) {
+  for (const auto& isp : plan_->isps) {
     if (!isp.resolver_ips.empty()) {
       world_->isp_resolvers[isp.name] = isp.resolver_ips;
     }
   }
 
-  for (auto& node : nodes_) {
-    proxy::ExitNodeAgent::Config config;
-    config.zid = node.zid;
-    config.address = node.address;
-    config.asn = node.asn;
-    config.country = node.country;
-    config.dns_resolver = node.resolver;
-    config.dns_interceptors = std::move(node.dns_interceptors);
-    config.http_interceptors = std::move(node.http_interceptors);
-    config.tls_interceptors = std::move(node.tls_interceptors);
-    config.smtp_interceptors = std::move(node.smtp_interceptors);
-    config.failure_probability = spec_.node_failure_probability;
-    config.rng_seed = util::stream_seed(seed_, util::fnv1a64(node.zid), "node");
-    world_->truth.node(node.zid) = node.truth;
-    world_->luminati->add_exit_node(
-        std::make_shared<proxy::ExitNodeAgent>(std::move(config), environment));
+  plan_->node_failure_probability = spec_.node_failure_probability;
+  plan_->seal();
+  // Planning state served its purpose; from here every per-node question is
+  // answered by regenerating the node from the plan.
+  flags_.clear();
+  flags_.shrink_to_fit();
+
+  if (lazy_shards > 0) {
+    // Lazy population: the proxy materializes nodes on demand with a
+    // resident ceiling of one shard. Ground truth stays plan-derived too —
+    // world_->truth is only pre-filled on the materialized path (validate
+    // and describe walk the resident table, which is empty here).
+    world_->lazy_population = true;
+    world_->luminati->set_node_source(
+        std::make_shared<PlanNodeSource>(plan_, environment), lazy_shards);
+  } else {
+    for (std::size_t i = 0; i < plan_->node_count(); ++i) {
+      proxy::ExitNodeAgent::Config config = plan_->node_config(i);
+      world_->truth.node(config.zid) = plan_->node_truth(i);
+      world_->luminati->add_exit_node(
+          std::make_shared<proxy::ExitNodeAgent>(std::move(config), environment));
+    }
   }
 
   record_world_gauges();
@@ -1206,8 +1338,8 @@ void WorldBuilder::record_world_gauges() {
   // section. Real wall-clock memory (peak RSS) is reported separately under
   // `timing` by tft-study.
   obs::Registry& metrics = world_->metrics;
-  const std::int64_t nodes = static_cast<std::int64_t>(nodes_.size());
-  const std::int64_t isps = static_cast<std::int64_t>(isps_.size());
+  const std::int64_t nodes = static_cast<std::int64_t>(plan_->node_count());
+  const std::int64_t isps = static_cast<std::int64_t>(plan_->isps.size());
   const std::int64_t resolvers =
       static_cast<std::int64_t>(world_->resolvers.unicast_count() +
                                 world_->resolvers.anycast_count());
@@ -1235,7 +1367,7 @@ void WorldBuilder::record_world_gauges() {
                         resolvers * 4096);
 }
 
-std::unique_ptr<World> WorldBuilder::build() {
+std::unique_ptr<World> WorldBuilder::build(std::size_t lazy_shards) {
   build_measurement_infrastructure();
   build_google_dns();
   build_public_resolvers();
@@ -1247,7 +1379,7 @@ std::unique_ptr<World> WorldBuilder::build() {
   assign_cert_replacers();
   assign_monitors();
   assign_smtp_interceptors();
-  finalize();
+  finalize(lazy_shards);
   return std::move(world_);
 }
 
@@ -1256,7 +1388,13 @@ std::unique_ptr<World> WorldBuilder::build() {
 std::unique_ptr<World> build_world(const WorldSpec& spec, double scale,
                                    std::uint64_t seed) {
   assert(scale > 0);
-  return WorldBuilder(spec, scale, seed).build();
+  return WorldBuilder(spec, scale, seed).build(0);
+}
+
+std::unique_ptr<World> build_world_lazy(const WorldSpec& spec, double scale,
+                                        std::uint64_t seed, std::size_t shards) {
+  assert(scale > 0);
+  return WorldBuilder(spec, scale, seed).build(std::max<std::size_t>(1, shards));
 }
 
 }  // namespace tft::world

@@ -1,0 +1,178 @@
+// Compact, deterministic description of the exit-node population: the
+// builder's assignment phases write ranges + sparse overlays instead of
+// materialized per-node records, and every node's full configuration
+// (addresses, resolver choice, interceptor chains, ground truth) is
+// regenerated on demand from keyed util::StreamRng streams. Node `i` is
+// byte-identical whether it is materialized eagerly, lazily, alone, or
+// after any other node — the property the sharded study mode rests on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tft/middlebox/dns_interceptor.hpp"
+#include "tft/middlebox/http_modifiers.hpp"
+#include "tft/middlebox/interceptor.hpp"
+#include "tft/middlebox/tls_interceptor.hpp"
+#include "tft/net/topology.hpp"
+#include "tft/proxy/exit_node.hpp"
+#include "tft/smtp/interceptor.hpp"
+#include "tft/world/ground_truth.hpp"
+
+namespace tft::world {
+
+/// One `create_nodes` call: a contiguous run of global node indices sharing
+/// an ISP and a resolver-assignment policy. Per-node facts (zID, address,
+/// ASN, resolver pick, thin-spread hijack truth, transcoder membership) are
+/// pure functions of this record and the node's keyed streams.
+struct PlanRange {
+  std::uint32_t begin = 0;
+  std::uint32_t count = 0;
+  std::uint32_t isp = 0;
+  std::uint32_t base_host = 1000;  // per-AS host counter at creation
+  bool force_isp_resolver = false;
+  double google_fraction = 0;
+  double public_fraction = 0;
+  DnsHijackSource hijack_source = DnsHijackSource::kNone;
+  std::uint32_t hijack_operator = 0;  // string-table id
+  /// Country-fill thin-spread hijack: ISP-resolver users fail a
+  /// stable_hijack_roll against this probability (0 = no generic hijack).
+  double generic_hijack_probability = 0;
+  std::uint32_t generic_operator = 0;  // string-table id (the ISP's name)
+  std::uint32_t transcoder = 0;        // 1 + index into NodePlan::transcoders
+};
+
+struct PlanIsp {
+  std::string name;
+  net::CountryCode country;
+  std::vector<net::Asn> asns;
+  std::vector<net::Ipv4Prefix> prefixes;  // parallel to asns
+  std::vector<net::Ipv4Address> resolver_ips;
+  std::vector<std::uint32_t> ranges;  // indices into NodePlan::ranges
+};
+
+/// Overlay interceptor references: the kind selects the instance table and
+/// the position in the generated chain, the low bits index into it.
+enum class PlanTokenKind : std::uint32_t {
+  kDnsShared = 1,           // dns_shared, appended
+  kHttpPre = 2,             // http_shared, appended before the transcoder
+  kHttpPost = 3,            // http_shared, appended after the transcoder
+  kHttpInjectorConfig = 4,  // injector_configs: fresh HtmlInjector per node
+  kTlsConfig = 5,           // tls_configs: fresh CertReplacer per node
+  kSmtpShared = 6,          // smtp_shared, appended
+};
+
+constexpr std::uint32_t plan_token(PlanTokenKind kind, std::size_t id) {
+  return (static_cast<std::uint32_t>(kind) << 28) |
+         static_cast<std::uint32_t>(id);
+}
+constexpr PlanTokenKind plan_token_kind(std::uint32_t token) {
+  return static_cast<PlanTokenKind>(token >> 28);
+}
+constexpr std::uint32_t plan_token_id(std::uint32_t token) {
+  return token & 0x0fff'ffffu;
+}
+
+/// Cross-cutting assignments for one node. Only nodes an assignment phase
+/// actually touched carry an overlay — a small fraction of the population —
+/// so the plan stays O(assignments), not O(world).
+struct NodeOverlay {
+  std::vector<std::uint32_t> tokens;  // plan_token(), in assignment order
+  std::uint32_t monitor = 0;          // 1 + http_shared id, chain front
+  std::uint32_t vpn = 0;              // 1 + http_shared id, before monitor
+  bool has_resolver = false;          // resolver override below applies
+  net::Ipv4Address resolver;
+  std::int8_t uses_google = -1;  // -1 inherit, else 0/1 override
+  bool truth_dns_set = false;    // dns truth overridden (possibly to kNone)
+  DnsHijackSource truth_dns = DnsHijackSource::kNone;
+  std::uint32_t truth_dns_operator = 0;  // string-table ids from here down
+  std::uint32_t truth_html_injector = 0;
+  std::uint32_t truth_content_blocker = 0;
+  std::uint32_t truth_object_replacer = 0;
+  std::uint32_t truth_cert_replacer = 0;
+  std::uint32_t truth_monitor = 0;
+  std::uint32_t truth_smtp = 0;
+  std::uint32_t truth_smtp_kind = 0;
+  bool uses_vpn = false;
+};
+
+class NodePlan {
+ public:
+  struct Facts {
+    std::string zid;
+    net::Ipv4Address address;
+    net::Asn asn = 0;
+    net::CountryCode country;
+    std::uint32_t isp = 0;
+    net::Ipv4Address resolver;  // post-overlay
+    bool uses_google = false;   // post-overlay
+    /// Creation-time values, before any overlay — what range-level ground
+    /// truth (resolver hijack, thin-spread hijack) was decided against.
+    bool base_uses_google = false;
+    bool base_on_isp_resolver = false;
+  };
+
+  std::size_t node_count() const noexcept { return total_nodes; }
+  const PlanRange& range_of(std::size_t index) const;
+  const NodeOverlay* overlay_of(std::size_t index) const;
+
+  std::string zid(std::size_t index) const;
+  Facts facts(std::size_t index) const;
+  NodeTruth node_truth(std::size_t index) const;
+  proxy::ExitNodeAgent::Config node_config(std::size_t index) const;
+
+  /// The transcoder instance the node's keyed "transcode" stream picks, or
+  /// null when the range has none / the node is outside the fraction.
+  std::shared_ptr<middlebox::ImageTranscoder> transcoder_for(
+      const Facts& facts, const PlanRange& range) const;
+
+  /// Country directory (node-creation order within each country). Call
+  /// seal() once after planning to build it.
+  void seal();
+  const std::map<net::CountryCode, std::size_t>& country_totals() const {
+    return country_totals_;
+  }
+  std::size_t country_count(const net::CountryCode& country) const;
+  /// Global index of the `slot`-th node of `country`, creation order —
+  /// the same order SuperProxy::add_exit_node would have seen them in.
+  std::size_t country_slot(const net::CountryCode& country,
+                           std::size_t slot) const;
+
+  std::uint32_t intern(std::string_view text);
+  const std::string& text(std::uint32_t id) const { return strings[id]; }
+
+  // --- plan data, written by the builder -----------------------------------
+  std::uint64_t seed = 0;
+  double node_failure_probability = 0;
+  std::uint32_t total_nodes = 0;
+  std::vector<PlanIsp> isps;
+  std::vector<PlanRange> ranges;
+  std::vector<net::Ipv4Address> clean_public_resolvers;
+  std::vector<std::string> strings{std::string()};  // id 0 = ""
+  std::unordered_map<std::uint32_t, NodeOverlay> overlays;
+  std::vector<std::shared_ptr<middlebox::DnsInterceptor>> dns_shared;
+  std::vector<std::shared_ptr<middlebox::HttpInterceptor>> http_shared;
+  std::vector<middlebox::HtmlInjector::Config> injector_configs;
+  std::vector<middlebox::CertReplacer::Config> tls_configs;
+  std::vector<std::shared_ptr<smtp::SmtpInterceptor>> smtp_shared;
+  struct Transcoder {
+    double fraction = 1.0;
+    std::vector<std::shared_ptr<middlebox::ImageTranscoder>> per_quality;
+  };
+  std::vector<Transcoder> transcoders;
+
+ private:
+  struct CountryRun {
+    std::uint32_t range = 0;
+    std::size_t nodes_before = 0;  // in this country, before this run
+  };
+  std::map<net::CountryCode, std::vector<CountryRun>> country_runs_;
+  std::map<net::CountryCode, std::size_t> country_totals_;
+  std::unordered_map<std::string, std::uint32_t> intern_index_;
+};
+
+}  // namespace tft::world

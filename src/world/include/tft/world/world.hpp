@@ -91,6 +91,12 @@ class World {
   // --- Ground truth -----------------------------------------------------------
   GroundTruth truth;
 
+  /// True when the exit-node population is lazy (build_world_lazy): agents
+  /// are materialized on demand behind the super proxy's shard cache, the
+  /// node table is empty, and `truth` holds no per-node prefill (consumers
+  /// that walk every node — validate, describe — need a materialized build).
+  bool lazy_population = false;
+
   // --- Observability -----------------------------------------------------------
   /// The world's metrics/span registry. Every instrumented component
   /// (resolvers, middleboxes, the super proxy, probes) reports here; the
@@ -138,5 +144,14 @@ class World {
 /// analysis thresholds remain meaningful.
 std::unique_ptr<World> build_world(const WorldSpec& spec, double scale,
                                    std::uint64_t seed);
+
+/// Build a world whose exit-node population stays lazy: nodes are described
+/// by a compact NodePlan and materialized on demand behind the super proxy's
+/// LRU shard cache (at most ceil(nodes/shards) resident). Peak memory is
+/// O(shard), not O(world); every request sees byte-identical nodes to the
+/// materialized build. Sets World::lazy_population.
+std::unique_ptr<World> build_world_lazy(const WorldSpec& spec, double scale,
+                                        std::uint64_t seed,
+                                        std::size_t shards = 16);
 
 }  // namespace tft::world

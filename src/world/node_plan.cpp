@@ -1,0 +1,240 @@
+#include "tft/world/node_plan.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "tft/util/hash.hpp"
+#include "tft/util/stream_rng.hpp"
+
+namespace tft::world {
+
+const PlanRange& NodePlan::range_of(std::size_t index) const {
+  assert(index < total_nodes);
+  // Ranges are stored in ascending `begin` order (creation order).
+  const auto it = std::upper_bound(
+      ranges.begin(), ranges.end(), index,
+      [](std::size_t value, const PlanRange& range) { return value < range.begin; });
+  assert(it != ranges.begin());
+  return *(it - 1);
+}
+
+const NodeOverlay* NodePlan::overlay_of(std::size_t index) const {
+  const auto it = overlays.find(static_cast<std::uint32_t>(index));
+  return it == overlays.end() ? nullptr : &it->second;
+}
+
+std::string NodePlan::zid(std::size_t index) const {
+  const PlanRange& range = range_of(index);
+  const PlanIsp& isp = isps[range.isp];
+  const std::uint32_t local = static_cast<std::uint32_t>(index) - range.begin;
+  return util::stable_id("node|" + isp.name + "|" + isp.country + "|" +
+                         std::to_string(local));
+}
+
+NodePlan::Facts NodePlan::facts(std::size_t index) const {
+  const PlanRange& range = range_of(index);
+  const PlanIsp& isp = isps[range.isp];
+  const std::uint32_t local = static_cast<std::uint32_t>(index) - range.begin;
+
+  Facts facts;
+  facts.isp = range.isp;
+  facts.country = isp.country;
+  const std::size_t as_slot = local % isp.asns.size();
+  facts.asn = isp.asns[as_slot];
+  facts.address = *isp.prefixes[as_slot].host(
+      range.base_host + local / static_cast<std::uint32_t>(isp.asns.size()));
+  facts.zid = util::stable_id("node|" + isp.name + "|" + isp.country + "|" +
+                              std::to_string(local));
+
+  // The resolver pick replays create_nodes' draw exactly: same stream key,
+  // same draw order, same fallbacks.
+  if (range.force_isp_resolver || isp.resolver_ips.empty()) {
+    if (!isp.resolver_ips.empty()) {
+      facts.resolver = isp.resolver_ips[local % isp.resolver_ips.size()];
+      facts.base_on_isp_resolver = true;
+    } else {
+      facts.resolver = net::Ipv4Address(8, 8, 8, 8);
+      facts.base_uses_google = true;
+    }
+  } else {
+    util::StreamRng stream(seed, util::fnv1a64(facts.zid), "resolver");
+    const double roll = stream.uniform_double();
+    if (roll < range.google_fraction) {
+      facts.resolver = net::Ipv4Address(8, 8, 8, 8);
+      facts.base_uses_google = true;
+    } else if (roll < range.google_fraction + range.public_fraction &&
+               !clean_public_resolvers.empty()) {
+      facts.resolver =
+          clean_public_resolvers[stream.index(clean_public_resolvers.size())];
+    } else {
+      facts.resolver = isp.resolver_ips[local % isp.resolver_ips.size()];
+      facts.base_on_isp_resolver = true;
+    }
+  }
+  facts.uses_google = facts.base_uses_google;
+
+  if (const NodeOverlay* overlay = overlay_of(index)) {
+    if (overlay->has_resolver) facts.resolver = overlay->resolver;
+    if (overlay->uses_google >= 0) facts.uses_google = overlay->uses_google != 0;
+  }
+  return facts;
+}
+
+std::shared_ptr<middlebox::ImageTranscoder> NodePlan::transcoder_for(
+    const Facts& facts, const PlanRange& range) const {
+  if (range.transcoder == 0) return nullptr;
+  const Transcoder& plan = transcoders[range.transcoder - 1];
+  util::StreamRng stream(seed, util::fnv1a64(facts.zid), "transcode");
+  if (!stream.chance(plan.fraction)) return nullptr;
+  return plan.per_quality[stream.index(plan.per_quality.size())];
+}
+
+NodeTruth NodePlan::node_truth(std::size_t index) const {
+  const PlanRange& range = range_of(index);
+  const Facts f = facts(index);
+  const NodeOverlay* overlay = overlay_of(index);
+
+  NodeTruth truth;
+  // DNS truth: an overlay override wins; otherwise the range-level decision
+  // made at creation time (against creation-time resolver facts).
+  if (overlay != nullptr && overlay->truth_dns_set) {
+    truth.dns_hijack = overlay->truth_dns;
+    truth.dns_hijack_operator = text(overlay->truth_dns_operator);
+  } else if (range.hijack_source != DnsHijackSource::kNone &&
+             !f.base_uses_google) {
+    truth.dns_hijack = range.hijack_source;
+    truth.dns_hijack_operator = text(range.hijack_operator);
+  } else if (range.generic_hijack_probability > 0 && !f.base_uses_google &&
+             f.base_on_isp_resolver &&
+             proxy::stable_hijack_roll(f.zid) < range.generic_hijack_probability) {
+    truth.dns_hijack = DnsHijackSource::kIspResolver;
+    truth.dns_hijack_operator = text(range.generic_operator);
+  }
+
+  if (const auto transcoder = transcoder_for(f, range)) {
+    truth.image_transcoder = std::string(transcoder->name());
+  }
+  if (overlay != nullptr) {
+    truth.html_injector = text(overlay->truth_html_injector);
+    truth.content_blocker = text(overlay->truth_content_blocker);
+    truth.object_replacer = text(overlay->truth_object_replacer);
+    truth.cert_replacer = text(overlay->truth_cert_replacer);
+    truth.monitor = text(overlay->truth_monitor);
+    truth.smtp_interceptor = text(overlay->truth_smtp);
+    truth.smtp_interceptor_kind = text(overlay->truth_smtp_kind);
+    truth.uses_vpn = overlay->uses_vpn;
+  }
+  return truth;
+}
+
+proxy::ExitNodeAgent::Config NodePlan::node_config(std::size_t index) const {
+  const PlanRange& range = range_of(index);
+  Facts f = facts(index);
+  const NodeOverlay* overlay = overlay_of(index);
+
+  proxy::ExitNodeAgent::Config config;
+  config.address = f.address;
+  config.asn = f.asn;
+  config.country = f.country;
+  config.dns_resolver = f.resolver;
+  config.failure_probability = node_failure_probability;
+  config.rng_seed = util::stream_seed(seed, util::fnv1a64(f.zid), "node");
+
+  // Chain assembly mirrors the builder's phase order: appends in token
+  // order with the transcoder spliced where assign_http_modifiers ran,
+  // then monitor and VPN rewriter pushed to the front (VPN outermost).
+  if (overlay != nullptr) {
+    for (const std::uint32_t token : overlay->tokens) {
+      if (plan_token_kind(token) == PlanTokenKind::kDnsShared) {
+        config.dns_interceptors.push_back(dns_shared[plan_token_id(token)]);
+      }
+    }
+    for (const std::uint32_t token : overlay->tokens) {
+      if (plan_token_kind(token) == PlanTokenKind::kHttpPre) {
+        config.http_interceptors.push_back(http_shared[plan_token_id(token)]);
+      }
+    }
+  }
+  if (const auto transcoder = transcoder_for(f, range)) {
+    config.http_interceptors.push_back(transcoder);
+  }
+  if (overlay != nullptr) {
+    for (const std::uint32_t token : overlay->tokens) {
+      switch (plan_token_kind(token)) {
+        case PlanTokenKind::kHttpPost:
+          config.http_interceptors.push_back(http_shared[plan_token_id(token)]);
+          break;
+        case PlanTokenKind::kHttpInjectorConfig:
+          config.http_interceptors.push_back(
+              std::make_shared<middlebox::HtmlInjector>(
+                  injector_configs[plan_token_id(token)]));
+          break;
+        case PlanTokenKind::kTlsConfig:
+          config.tls_interceptors.push_back(
+              std::make_shared<middlebox::CertReplacer>(
+                  tls_configs[plan_token_id(token)],
+                  util::fnv1a64("host|" + f.zid)));
+          break;
+        case PlanTokenKind::kSmtpShared:
+          config.smtp_interceptors.push_back(smtp_shared[plan_token_id(token)]);
+          break;
+        default:
+          break;
+      }
+    }
+    if (overlay->monitor != 0) {
+      config.http_interceptors.insert(config.http_interceptors.begin(),
+                                      http_shared[overlay->monitor - 1]);
+    }
+    if (overlay->vpn != 0) {
+      config.http_interceptors.insert(config.http_interceptors.begin(),
+                                      http_shared[overlay->vpn - 1]);
+    }
+  }
+  config.zid = std::move(f.zid);
+  return config;
+}
+
+void NodePlan::seal() {
+  country_runs_.clear();
+  country_totals_.clear();
+  for (std::uint32_t ri = 0; ri < ranges.size(); ++ri) {
+    const PlanRange& range = ranges[ri];
+    if (range.count == 0) continue;
+    const net::CountryCode& country = isps[range.isp].country;
+    auto& runs = country_runs_[country];
+    auto& total = country_totals_[country];
+    runs.push_back(CountryRun{ri, total});
+    total += range.count;
+  }
+}
+
+std::size_t NodePlan::country_count(const net::CountryCode& country) const {
+  const auto it = country_totals_.find(country);
+  return it == country_totals_.end() ? 0 : it->second;
+}
+
+std::size_t NodePlan::country_slot(const net::CountryCode& country,
+                                   std::size_t slot) const {
+  const auto it = country_runs_.find(country);
+  assert(it != country_runs_.end());
+  const auto& runs = it->second;
+  // Last run whose nodes_before <= slot.
+  const auto run = std::upper_bound(
+      runs.begin(), runs.end(), slot,
+      [](std::size_t value, const CountryRun& r) { return value < r.nodes_before; });
+  assert(run != runs.begin());
+  const CountryRun& hit = *(run - 1);
+  return ranges[hit.range].begin + (slot - hit.nodes_before);
+}
+
+std::uint32_t NodePlan::intern(std::string_view text) {
+  if (text.empty()) return 0;
+  const auto [it, inserted] =
+      intern_index_.emplace(std::string(text),
+                            static_cast<std::uint32_t>(strings.size()));
+  if (inserted) strings.emplace_back(text);
+  return it->second;
+}
+
+}  // namespace tft::world

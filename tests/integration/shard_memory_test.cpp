@@ -1,0 +1,112 @@
+// The memory-ceiling contract: a sharded study's peak RSS is O(shard), not
+// O(world). Each leg runs in a forked child — fork resets the child's VmHWM
+// high-water mark to the fork-point RSS (dup_mm), so a child's VmHWM growth
+// measures exactly its own study and the two legs cannot contaminate each
+// other. The materialized leg must provably exceed the sharded leg's
+// ceiling; the residency gauges must stay within the advertised budget.
+#include <gtest/gtest.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "tft/core/study.hpp"
+#include "tft/world/spec.hpp"
+
+namespace tft::core {
+namespace {
+
+long vm_hwm_kb() {
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return -1;
+  char line[256];
+  long kb = -1;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %ld", &kb) == 1) break;
+  }
+  std::fclose(file);
+  return kb;
+}
+
+/// Bounded crawl over the paper population: the probe bookkeeping stays
+/// fixed while the world scales, so node-table memory dominates the
+/// materialized leg.
+constexpr double kScale = 0.2;
+constexpr std::size_t kTargetNodes = 1000;
+
+/// Runs one study leg in a forked child and returns the child's VmHWM
+/// growth in KB (-1 on any failure).
+long study_hwm_delta_kb(bool shard_mem) {
+  int fds[2];
+  if (pipe(fds) != 0) return -1;
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    return -1;
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    const long before = vm_hwm_kb();
+    StudyConfig config = StudyConfig::for_scale(kScale, kTargetNodes);
+    config.jobs = 1;
+    config.shard_mem = shard_mem;
+    const StudyResult result =
+        run_study(world::paper_spec(), kScale, 2016, config);
+    // Touch the result so the build cannot elide the study.
+    long delta = vm_hwm_kb() - before;
+    if (before < 0 || result.coverage.empty()) delta = -1;
+    const ssize_t written = write(fds[1], &delta, sizeof(delta));
+    close(fds[1]);
+    _exit(written == sizeof(delta) ? 0 : 1);
+  }
+  close(fds[1]);
+  long delta = -1;
+  const ssize_t got = read(fds[0], &delta, sizeof(delta));
+  close(fds[0]);
+  int status = 0;
+  if (waitpid(pid, &status, 0) != pid) return -1;
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) return -1;
+  return got == sizeof(delta) ? delta : -1;
+}
+
+TEST(ShardMemoryTest, ShardedPeakRssStaysWellBelowMaterialized) {
+  const long materialized_kb = study_hwm_delta_kb(false);
+  const long sharded_kb = study_hwm_delta_kb(true);
+  ASSERT_GT(materialized_kb, 0);
+  ASSERT_GT(sharded_kb, 0);
+  // Measured headroom is ~4.5x at this scale; 2x keeps the regression gate
+  // tight without flaking on allocator noise.
+  EXPECT_GT(materialized_kb, 2 * sharded_kb)
+      << "materialized=" << materialized_kb << "KB sharded=" << sharded_kb
+      << "KB";
+}
+
+TEST(ShardMemoryTest, ResidencyGaugesStayWithinTheAdvertisedBudget) {
+  StudyConfig config = StudyConfig::for_scale(0.6, 200);
+  config.shard_mem = true;
+  config.shards = 16;
+  const StudyResult result = run_study(world::mini_spec(), 0.6, 2016, config);
+
+  const std::int64_t nodes = result.metrics.gauge("world.nodes");
+  const std::int64_t capacity = result.metrics.gauge("world.shard.capacity");
+  const std::int64_t peak = result.metrics.gauge("world.shard.resident_peak");
+  const std::int64_t peak_bytes =
+      result.metrics.gauge("world.bytes.peak_shard");
+  const std::int64_t node_bytes = result.metrics.gauge("world.bytes.nodes");
+
+  ASSERT_GT(nodes, 0);
+  EXPECT_EQ(result.metrics.gauge("world.shard.count"), 16);
+  EXPECT_EQ(capacity, (nodes + 15) / 16);
+  EXPECT_GT(peak, 0);
+  EXPECT_LE(peak, capacity);
+  EXPECT_EQ(peak_bytes, peak * 512);
+  // The cache ceiling is one shard of the full table (the same 512-byte
+  // per-node accounting on both sides), so the gauges are comparable.
+  EXPECT_LE(peak_bytes * 8, node_bytes);
+}
+
+}  // namespace
+}  // namespace tft::core

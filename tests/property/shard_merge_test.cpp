@@ -1,0 +1,198 @@
+// Property tests for the shard-merge algebra behind memory-bounded studies:
+// partial accumulators built over disjoint shards and folded in fixed shard
+// order must equal the single-pass result exactly — not approximately — for
+// every partition geometry. This is the invariant that lets run_study
+// aggregate observations without ever holding the whole world.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "tft/core/monitor_probe.hpp"
+#include "tft/core/report_json.hpp"
+#include "tft/net/ipv4.hpp"
+#include "tft/obs/recorder.hpp"
+#include "tft/obs/trace_codec.hpp"
+#include "tft/stats/cdf.hpp"
+#include "tft/util/rng.hpp"
+#include "tft/world/spec.hpp"
+#include "tft/world/world.hpp"
+
+namespace tft {
+namespace {
+
+using util::Rng;
+
+const std::size_t kGeometries[] = {1, 2, 3, 7, 16, 64};
+
+// --- EmpiricalCdf ------------------------------------------------------------
+
+std::vector<double> random_samples(Rng& rng) {
+  std::vector<double> samples(rng.uniform(300));
+  for (double& sample : samples) {
+    sample = rng.uniform_double(-100.0, 12500.0);
+  }
+  return samples;
+}
+
+TEST(ShardMergeProperty, CdfContiguousShardsEqualSinglePass) {
+  Rng rng(0x5eed);
+  for (int round = 0; round < 40; ++round) {
+    const std::vector<double> samples = random_samples(rng);
+    const stats::EmpiricalCdf single(samples);
+    for (const std::size_t shards : kGeometries) {
+      stats::EmpiricalCdf merged;
+      const std::size_t per = (samples.size() + shards - 1) / shards;
+      for (std::size_t shard = 0; shard < shards; ++shard) {
+        const std::size_t begin = std::min(shard * per, samples.size());
+        const std::size_t end = std::min(begin + per, samples.size());
+        merged.merge_from(stats::EmpiricalCdf(
+            std::vector<double>(samples.begin() + begin, samples.begin() + end)));
+      }
+      // Same multiset, both sorted: the sample vectors are bitwise equal,
+      // so every derived percentile/curve is too.
+      ASSERT_EQ(merged.sorted_samples(), single.sorted_samples());
+    }
+  }
+}
+
+TEST(ShardMergeProperty, CdfArbitraryPartitionEqualsSinglePass) {
+  Rng rng(0xa1b2);
+  for (int round = 0; round < 40; ++round) {
+    const std::vector<double> samples = random_samples(rng);
+    const stats::EmpiricalCdf single(samples);
+    for (const std::size_t shards : kGeometries) {
+      // Scatter-assign each sample to a shard: merge order is fixed, the
+      // partition is not even contiguous, and the algebra must not care.
+      std::vector<std::vector<double>> parts(shards);
+      for (const double sample : samples) {
+        parts[rng.uniform(shards)].push_back(sample);
+      }
+      stats::EmpiricalCdf merged;
+      for (auto& part : parts) {
+        merged.merge_from(stats::EmpiricalCdf(std::move(part)));
+      }
+      ASSERT_EQ(merged.sorted_samples(), single.sorted_samples());
+    }
+  }
+}
+
+TEST(ShardMergeProperty, CdfIncrementalAddMatchesMerge) {
+  Rng rng(0xc0ffee);
+  const std::vector<double> samples = random_samples(rng);
+  stats::EmpiricalCdf incremental;
+  for (const double sample : samples) incremental.add(sample);
+  stats::EmpiricalCdf merged;
+  merged.merge_from(stats::EmpiricalCdf(samples));
+  EXPECT_EQ(incremental.sorted_samples(), merged.sorted_samples());
+}
+
+// --- analyze_monitoring ------------------------------------------------------
+
+std::vector<core::MonitorObservation> random_observations(Rng& rng,
+                                                          std::size_t count) {
+  // Organization names that resolve nowhere in the mini world's CAIDA map —
+  // entity attribution must work purely from the observation contents.
+  const char* const kOrgs[] = {"Acme Analytics", "Globex Monitor",
+                               "Initech Scraper", "Umbrella Research"};
+  std::vector<core::MonitorObservation> observations(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto& observation = observations[i];
+    observation.txn_id = 0x1000 + i;
+    observation.zid = "zid-" + std::to_string(rng.uniform(50));
+    observation.asn = static_cast<net::Asn>(1 + rng.uniform(30));
+    observation.country = rng.chance(0.5) ? "us" : "de";
+    observation.reported_exit_address =
+        net::Ipv4Address(static_cast<std::uint32_t>(rng.next_u64()));
+    observation.own_request_source = observation.reported_exit_address;
+    const std::size_t unexpected = rng.uniform(4);
+    for (std::size_t j = 0; j < unexpected; ++j) {
+      core::UnexpectedRequest request;
+      request.source = net::Ipv4Address(static_cast<std::uint32_t>(rng.next_u64()));
+      request.asn = static_cast<net::Asn>(1 + rng.uniform(30));
+      request.organization = kOrgs[rng.uniform(std::size(kOrgs))];
+      request.delay_seconds = rng.uniform_double(-1.0, 12000.0);
+      observation.unexpected.push_back(std::move(request));
+    }
+  }
+  return observations;
+}
+
+TEST(ShardMergeProperty, MonitorAnalysisInvariantUnderMergeShards) {
+  const auto world = world::build_world(world::mini_spec(), 0.6, 2016);
+  Rng rng(0xd00d);
+  const auto observations = random_observations(rng, 97);
+
+  core::MonitorAnalysisConfig config;
+  config.merge_shards = 1;
+  const core::MonitorReport baseline =
+      core::analyze_monitoring(*world, observations, config);
+  const std::string baseline_json = core::monitor_report_json(baseline);
+  ASSERT_FALSE(baseline.top_entities.empty());
+
+  for (const std::size_t shards : kGeometries) {
+    config.merge_shards = shards;
+    const core::MonitorReport sharded =
+        core::analyze_monitoring(*world, observations, config);
+    ASSERT_EQ(core::monitor_report_json(sharded), baseline_json)
+        << "merge_shards=" << shards;
+  }
+  // 0 collapses to a single shard rather than dividing by zero.
+  config.merge_shards = 0;
+  EXPECT_EQ(core::monitor_report_json(
+                core::analyze_monitoring(*world, observations, config)),
+            baseline_json);
+}
+
+// --- Recorder ----------------------------------------------------------------
+
+void record_range(obs::Recorder& recorder, std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::uint64_t txn = 0x9000 + i;
+    recorder.begin(txn, "dns", "t" + std::to_string(i) + ".example");
+    recorder.annotate_node("zid-" + std::to_string(i % 13));
+    recorder.event(obs::Hop::kExitNode, "node", "resolve", "",
+                   1000 * static_cast<std::uint64_t>(i));
+    if (i % 3 == 0) {
+      recorder.violation(obs::Hop::kMiddlebox, "dnsbox", "rewrite", "",
+                         1000 * static_cast<std::uint64_t>(i) + 5);
+      recorder.end("hijacked");
+    } else {
+      recorder.end("clean");
+    }
+  }
+}
+
+TEST(ShardMergeProperty, RecorderMergeStableAcrossGeometries) {
+  constexpr std::size_t kTxns = 120;
+  obs::Recorder single;
+  record_range(single, 0, kTxns);
+  const std::string baseline = obs::encode_trace(single.records());
+  ASSERT_FALSE(baseline.empty());
+
+  for (const std::size_t shards : kGeometries) {
+    std::vector<obs::Recorder> parts(shards);
+    const std::size_t per = (kTxns + shards - 1) / shards;
+    for (std::size_t shard = 0; shard < shards; ++shard) {
+      record_range(parts[shard], std::min(shard * per, kTxns),
+                   std::min(shard * per + per, kTxns));
+    }
+    obs::Recorder merged;
+    for (const auto& part : parts) merged.merge_from(part);
+
+    // Byte-stable NDJSON and unique, order-preserved txn ids.
+    ASSERT_EQ(obs::encode_trace(merged.records()), baseline)
+        << "shards=" << shards;
+    ASSERT_EQ(merged.records().size(), kTxns);
+    for (std::size_t i = 0; i < kTxns; ++i) {
+      ASSERT_EQ(merged.records()[i].txn_id, 0x9000 + i);
+      ASSERT_NE(merged.find(merged.records()[i].txn_id), nullptr);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tft

@@ -60,6 +60,17 @@ Flags:
                      world instance instead of per-experiment worlds. Keyed
                      counter-based RNG streams make the report byte-identical
                      either way (the composition-invariance contract)
+  --shard-mem        memory-bounded worlds: exit nodes stay described by a
+                     compact plan and materialize on demand behind an LRU
+                     cache of at most ceil(nodes/shards) agents. Peak RSS is
+                     O(shard), not O(world); the report, metrics (minus
+                     timing and world.shard.*), and trace are byte-identical
+                     to the materialized default
+  --shards <n>       with --shard-mem: shard count (default 16; higher =
+                     smaller resident cache)
+  --materialize      escape hatch: force the fully materialized node table.
+                     Appended after --shard-mem it wins, so wrappers that
+                     default to sharded worlds can still be overridden
   --order <list>     comma-separated execution order for the selected
                      experiments (e.g. smtp,https,http,dns,monitor). Report
                      sections always render in canonical order, so the
@@ -189,7 +200,8 @@ int main(int argc, char** argv) {
       argc, argv,
       {"mini", "vpn-overlay", "quiet", "json", "dump-spec", "help", "stats",
        "version", "metrics-omit-timing", "shared-world",
-       "trace-violations-only", "serve", "connect"});
+       "trace-violations-only", "serve", "connect", "shard-mem",
+       "materialize"});
   if (!parsed.ok()) return fail(parsed.error().to_string());
   const Flags& flags = *parsed;
 
@@ -210,7 +222,7 @@ int main(int argc, char** argv) {
        "out", "quiet", "json", "spec", "dump-spec", "metrics-out",
        "metrics-omit-timing", "stats", "version", "shared-world", "order",
        "trace-out", "trace-sample", "trace-violations-only", "serve",
-       "connect", "port"});
+       "connect", "port", "shard-mem", "shards", "materialize"});
   if (!unknown.empty()) return fail("unknown flag --" + unknown.front());
   if (flags.get_bool("dump-spec") && flags.get_bool("quiet")) {
     return fail("--quiet makes no sense with --dump-spec: the spec dump is "
@@ -251,6 +263,17 @@ int main(int argc, char** argv) {
   }
   if (*port_flag != 0 && !serve) return fail("--port requires --serve");
 
+  const bool shard_mem =
+      flags.get_bool("shard-mem") && !flags.get_bool("materialize");
+  const auto shards_flag = flags.get_int("shards", 0);
+  if (!shards_flag.ok()) return fail(shards_flag.error().to_string());
+  if (*shards_flag < 0) return fail("--shards must be >= 1");
+  if (*shards_flag > 0 && !flags.get_bool("shard-mem")) {
+    return fail("--shards requires --shard-mem");
+  }
+  const std::size_t shards =
+      *shards_flag == 0 ? 16 : static_cast<std::size_t>(*shards_flag);
+
   const auto trace_out = flags.get("trace-out");
   const auto trace_sample = flags.get_int("trace-sample", 0);
   if (!trace_sample.ok()) return fail(trace_sample.error().to_string());
@@ -288,12 +311,20 @@ int main(int argc, char** argv) {
                 "overlays tunnel port 443 only)");
   }
 
+  // Every world this invocation builds goes through one helper so
+  // --shard-mem applies uniformly (per-experiment, --shared-world, --serve).
+  const auto make_world = [&](std::uint64_t build_seed) {
+    if (shard_mem) {
+      return tft::world::build_world_lazy(spec, *scale, build_seed, shards);
+    }
+    return tft::world::build_world(spec, *scale, build_seed);
+  };
+
   if (serve) {
     if (!quiet) {
       std::cerr << "[serve] building world (scale=" << *scale << ")...\n";
     }
-    const auto world =
-        tft::world::build_world(spec, *scale, static_cast<std::uint64_t>(*seed));
+    const auto world = make_world(static_cast<std::uint64_t>(*seed));
     tft::net::server::ProxyServerConfig server_config;
     server_config.port = static_cast<std::uint16_t>(*port_flag);
     tft::net::server::ProxyServer server(*world->luminati, server_config,
@@ -401,7 +432,7 @@ int main(int argc, char** argv) {
   if (shared_world) {
     progress("[shared] building world (scale=" + std::to_string(*scale) +
              ")...");
-    shared = tft::world::build_world(spec, *scale, world_seed);
+    shared = make_world(world_seed);
     progress("[shared] population: " +
              std::to_string(shared->luminati->node_count()) + " exit nodes, " +
              std::to_string(shared->topology.as_count()) + " ASes");
@@ -416,7 +447,7 @@ int main(int argc, char** argv) {
     if (!shared) {
       progress("[" + name + "] building world (scale=" +
                std::to_string(*scale) + ")...");
-      owned = tft::world::build_world(spec, *scale, world_seed);
+      owned = make_world(world_seed);
       progress("[" + name + "] population: " +
                std::to_string(owned->luminati->node_count()) +
                " exit nodes, " + std::to_string(owned->topology.as_count()) +
