@@ -1,0 +1,170 @@
+// Socket front-end load sweep: drive a threaded mini-world proxy server
+// with the tft-loadgen client swarm at 1 -> 256 concurrent connections
+// (closed loop, default GET / pipelined / CONNECT mix), validating every
+// response, then run one chaos leg (misbehaving clients alongside a
+// well-behaved swarm) to confirm fault isolation under load.
+//
+// Usage: perf_socket_load [duration_ms] [seed] [scale]
+//
+// Drops BENCH_socket_load.json at the repo root: per-connection-count rows
+// with achieved rps, per-class p50/p95/p99 latency, and the error taxonomy,
+// plus the chaos leg's behavior counters. Exits nonzero if any well-behaved
+// request fails validation — the sweep doubles as an acceptance gate.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tft/net/client/load_client.hpp"
+#include "tft/obs/build_info.hpp"
+#include "tft/testing/test_proxy_server.hpp"
+#include "tft/util/json.hpp"
+
+#ifndef TFT_REPO_ROOT
+#define TFT_REPO_ROOT "."
+#endif
+
+namespace {
+
+using tft::net::client::LoadGenConfig;
+using tft::net::client::LoadGenerator;
+using tft::net::client::LoadReport;
+
+struct SweepRow {
+  std::size_t connections = 0;
+  bool chaos = false;
+  bool ok = false;
+  LoadReport report;
+};
+
+void write_row(tft::util::JsonWriter& json, const SweepRow& row) {
+  json.begin_object()
+      .field("connections", static_cast<std::uint64_t>(row.connections))
+      .field("chaos", row.chaos)
+      .field("ok", row.ok);
+  row.report.write_json(json);
+  json.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int duration_ms = 1500;
+  std::uint64_t seed = 2016;
+  double scale = 1.0;
+  if (argc > 1) duration_ms = std::atoi(argv[1]);
+  if (argc > 2) seed = static_cast<std::uint64_t>(std::atoll(argv[2]));
+  if (argc > 3) scale = std::atof(argv[3]);
+  if (duration_ms <= 0) duration_ms = 1500;
+
+  std::cerr << "[bench] serving mini world: scale=" << scale
+            << " seed=" << seed << "\n";
+  tft::testing::TestProxyServer::Options options;
+  options.scale = scale;
+  options.seed = seed;
+  options.threaded = true;
+  tft::testing::TestProxyServer server(options);
+
+  std::vector<tft::net::client::ConnectTarget> connect_targets;
+  for (const auto& site : server.world().https_sites) {
+    connect_targets.push_back({site.address, 443, site.host});
+    if (connect_targets.size() >= 8) break;
+  }
+
+  const std::size_t kConnectionSweep[] = {1, 4, 16, 64, 128, 256};
+  std::vector<SweepRow> rows;
+  bool all_ok = true;
+
+  for (const std::size_t connections : kConnectionSweep) {
+    LoadGenConfig config;
+    config.port = server.port();
+    config.connections = connections;
+    config.duration_ms = duration_ms;
+    config.seed = seed;
+    config.connect_targets = connect_targets;
+    SweepRow row;
+    row.connections = connections;
+    LoadGenerator generator(config);
+    auto result = generator.run();
+    if (!result.ok()) {
+      std::cerr << "[bench] connections=" << connections
+                << " FAILED: " << result.error().to_string() << "\n";
+      all_ok = false;
+      rows.push_back(row);
+      continue;
+    }
+    row.report = *std::move(result);
+    row.ok = row.report.validation_failures == 0;
+    all_ok = all_ok && row.ok;
+    std::cout << "perf_socket_load: connections=" << connections
+              << " rps=" << static_cast<long long>(row.report.achieved_rps)
+              << " ok=" << row.report.responses_ok
+              << " failures=" << row.report.validation_failures;
+    const auto get = row.report.classes.find("get");
+    if (get != row.report.classes.end()) {
+      std::cout << " get_p50=" << get->second.p50_us
+                << "us get_p99=" << get->second.p99_us << "us";
+    }
+    std::cout << "\n";
+    rows.push_back(std::move(row));
+  }
+
+  // Chaos leg: a well-behaved 64-connection swarm sharing the server with
+  // misbehaving clients. The well-behaved side must still validate clean.
+  {
+    LoadGenConfig config;
+    config.port = server.port();
+    config.connections = 64;
+    config.chaos_clients = 10;
+    config.duration_ms = duration_ms;
+    config.seed = seed;
+    config.connect_targets = connect_targets;
+    SweepRow row;
+    row.connections = 64;
+    row.chaos = true;
+    LoadGenerator generator(config);
+    auto result = generator.run();
+    if (result.ok()) {
+      row.report = *std::move(result);
+      row.ok = row.report.validation_failures == 0;
+      std::cout << "perf_socket_load: chaos leg rps="
+                << static_cast<long long>(row.report.achieved_rps)
+                << " failures=" << row.report.validation_failures << "\n";
+    } else {
+      std::cerr << "[bench] chaos leg FAILED: " << result.error().to_string()
+                << "\n";
+      all_ok = false;
+    }
+    all_ok = all_ok && row.ok;
+    rows.push_back(std::move(row));
+  }
+
+  tft::util::JsonWriter json;
+  json.begin_object();
+  tft::obs::write_build_info(json);
+  json.field("bench", "socket_load")
+      .field("duration_ms", static_cast<std::uint64_t>(duration_ms))
+      .field("seed", seed)
+      .field("scale", scale)
+      .field("all_ok", all_ok);
+  json.begin_array("sweep");
+  for (const auto& row : rows) write_row(json, row);
+  json.end_array();
+  json.end_object();
+
+  const std::string path = std::string(TFT_REPO_ROOT) + "/BENCH_socket_load.json";
+  std::ofstream file(path);
+  if (file) {
+    file << std::move(json).take() << "\n";
+    std::cerr << "[bench] results written to " << path << "\n";
+  } else {
+    std::cerr << "[bench] warning: cannot write " << path << "\n";
+  }
+
+  if (!all_ok) {
+    std::cerr << "perf_socket_load: validation failures in sweep\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "tft/net/client/chaos.hpp"
+
+#include "tft/http/url.hpp"
+#include "tft/net/server/framing.hpp"
+#include "tft/testing/mutate.hpp"
+
+namespace tft::net::client {
+
+std::string_view to_string(ChaosBehavior behavior) noexcept {
+  switch (behavior) {
+    case ChaosBehavior::kSlowDrip: return "slow_drip";
+    case ChaosBehavior::kMalformedFrame: return "malformed_frame";
+    case ChaosBehavior::kHalfCloseTunnel: return "half_close";
+    case ChaosBehavior::kResetMidPipeline: return "reset";
+    case ChaosBehavior::kIdleHold: return "idle_hold";
+  }
+  return "unknown";
+}
+
+std::vector<std::string> truncated_hello_corpus(std::string_view sni) {
+  const std::string wire =
+      server::frame(server::encode_tunnel_hello({std::string(sni)}));
+  std::vector<std::string> corpus;
+  // Every u32 length-prefix boundary: 1, 2, 3, then the full prefix with
+  // no payload at all — the exact leftovers a peer that dies mid-write
+  // strands in the server's FrameReader.
+  for (std::size_t cut = 1; cut <= 4 && cut < wire.size(); ++cut) {
+    corpus.push_back(wire.substr(0, cut));
+  }
+  // Partial-payload cuts: one byte into the payload, halfway, one short.
+  const std::size_t payload = wire.size() - 4;
+  for (const std::size_t cut : {std::size_t{5}, 4 + payload / 2, wire.size() - 1}) {
+    if (cut > 4 && cut < wire.size()) corpus.push_back(wire.substr(0, cut));
+  }
+  return corpus;
+}
+
+std::string malformed_tunnel_frame(util::Rng& rng) {
+  const std::string base =
+      server::frame(server::encode_tunnel_hello({"chaos.tft-study.net"}));
+  switch (rng.uniform(4)) {
+    case 0: {
+      const auto corpus = truncated_hello_corpus();
+      return corpus[rng.index(corpus.size())];
+    }
+    case 1:
+      return testing::mutate_many(base, rng, 1 + rng.uniform(3));
+    case 2: {
+      // Keep the payload, smash the declared length: zero (empty frames are
+      // a protocol error) or absurdly large (oversize guard).
+      std::string smashed = base;
+      const bool huge = rng.chance(0.5);
+      for (std::size_t i = 0; i < 4; ++i) {
+        smashed[i] = huge ? static_cast<char>(0xff) : '\0';
+      }
+      return smashed;
+    }
+    default: {
+      std::string garbage(1 + rng.uniform(32), '\0');
+      for (auto& byte : garbage) {
+        byte = static_cast<char>(rng.uniform(256));
+      }
+      return garbage;
+    }
+  }
+}
+
+std::string malformed_http_request(util::Rng& rng) {
+  const auto url = http::Url::parse("http://m1.probe.tft-study.net/page.html");
+  const std::string base = server::build_proxy_get(*url, {});
+  return testing::mutate_many(base, rng, 1 + rng.uniform(3));
+}
+
+}  // namespace tft::net::client

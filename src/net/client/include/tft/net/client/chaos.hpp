@@ -1,0 +1,46 @@
+// Fault-injection behaviors for the load harness: the misbehaving-client
+// repertoire Mani et al.-style open-proxy measurement has to survive. Each
+// behavior is a deterministic, seeded strategy the LoadGenerator drives on
+// a dedicated connection slot; the malformed-byte generators share the fuzz
+// mutator stack (tft::testing) so chaos traffic and the `proxy_framing`
+// fuzz target explore the same protocol-shaped corner cases.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tft/util/rng.hpp"
+
+namespace tft::net::client {
+
+enum class ChaosBehavior {
+  kSlowDrip,          // drip request-head bytes, then stall (slowloris)
+  kMalformedFrame,    // CONNECT, then garbage instead of a hello frame
+  kHalfCloseTunnel,   // CONNECT, shutdown(SHUT_WR) mid-frame
+  kResetMidPipeline,  // pipelined burst, then SO_LINGER-0 reset
+  kIdleHold,          // connect and never send a byte
+};
+
+constexpr std::size_t kChaosBehaviorCount = 5;
+
+std::string_view to_string(ChaosBehavior behavior) noexcept;
+
+/// A valid framed tunnel hello truncated at every interesting stream
+/// offset: each u32 length-prefix boundary (1..4 bytes) plus partial-payload
+/// cuts. These are exactly the shapes a half-closed or resetting peer leaves
+/// in the server's FrameReader, and they seed the `proxy_framing` corpus.
+std::vector<std::string> truncated_hello_corpus(
+    std::string_view sni = "chaos.tft-study.net");
+
+/// Bytes to send where the server expects a tunnel hello frame: a truncated
+/// hello, a mutated-but-framed hello (shared mutation dictionary), a frame
+/// with a smashed length prefix, or plain garbage. Deterministic in `rng`.
+std::string malformed_tunnel_frame(util::Rng& rng);
+
+/// Bytes to send where the server expects an HTTP request head: a valid
+/// absolute-form GET put through 1..3 rounds of the shared mutators.
+std::string malformed_http_request(util::Rng& rng);
+
+}  // namespace tft::net::client

@@ -1,0 +1,138 @@
+// An epoll-driven open-loop client swarm for the socket front-end: N
+// concurrent loopback connections driving a configurable mix of
+// absolute-URI GETs, keep-alive pipelined bursts, and CONNECT tunnels
+// against a live proxy port, validating every response byte-for-byte the
+// way SocketProxyChannel would (status, X-TFT-* metadata echo, tunnel frame
+// round-trip) and recording per-request latency into obs fixed-bucket
+// histograms.
+//
+// Open-loop model: with target_rps > 0 every connection issues requests on
+// a fixed schedule (total rate / connections), regardless of whether
+// earlier responses have arrived — a lagging server sees requests pile up
+// (pipelining), exactly how aggregate client load behaves in the paper's
+// setting. target_rps == 0 degrades to closed-loop: each connection keeps
+// exactly one burst in flight and reissues on completion, i.e. "as fast as
+// the server answers".
+//
+// Chaos mode adds misbehaving connections (chaos.hpp behaviors) to the same
+// swarm, so the report shows whether well-behaved latency holds its SLO
+// *while* the server fends off slowloris drips, malformed frames,
+// half-closes, resets, and idle holds.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tft/net/client/chaos.hpp"
+#include "tft/net/ipv4.hpp"
+#include "tft/obs/metrics.hpp"
+#include "tft/util/result.hpp"
+
+namespace tft::util {
+class JsonWriter;
+}
+
+namespace tft::net::client {
+
+enum class RequestClass { kGet, kPipeline, kConnect };
+
+std::string_view to_string(RequestClass klass) noexcept;
+
+/// A CONNECT-class destination: the literal IPv4 the tunnel targets plus
+/// the SNI the hello frame names (the world's HTTPS sites, when the caller
+/// has one to ask).
+struct ConnectTarget {
+  net::Ipv4Address address;
+  std::uint16_t port = 443;
+  std::string sni;
+};
+
+struct LoadGenConfig {
+  /// The proxy under test, listening on 127.0.0.1.
+  std::uint16_t port = 0;
+  /// Well-behaved swarm size (concurrent connections).
+  std::size_t connections = 8;
+  /// Misbehaving extras on top (0 = no chaos). Behaviors are assigned
+  /// round-robin over the ChaosBehavior repertoire.
+  std::size_t chaos_clients = 0;
+  int duration_ms = 1000;
+  /// Total request rate across the swarm; 0 = closed loop.
+  double target_rps = 0.0;
+  std::uint64_t seed = 2016;
+  /// Request-class mix (relative weights; connect weight is ignored when
+  /// connect_targets is empty).
+  int weight_get = 6;
+  int weight_pipeline = 2;
+  int weight_connect = 2;
+  /// GETs per pipelined burst.
+  std::size_t pipeline_depth = 4;
+  /// Absolute-form GET targets; defaults to the mini-world measurement
+  /// host when empty.
+  std::vector<std::string> get_targets;
+  /// CONNECT destinations; empty folds the connect weight into GETs.
+  std::vector<ConnectTarget> connect_targets;
+  /// Milliseconds between slow-drip bytes before the drip stalls for good.
+  int drip_interval_ms = 10;
+};
+
+/// Per-request-class outcome summary. Percentiles are bucket upper bounds
+/// from the fixed-bucket latency histogram (obs::Histogram::quantile) —
+/// over-estimates by at most one bucket, the safe direction for SLOs.
+struct ClassReport {
+  std::uint64_t sent = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed_validation = 0;
+  std::int64_t p50_us = 0;
+  std::int64_t p95_us = 0;
+  std::int64_t p99_us = 0;
+};
+
+struct LoadReport {
+  std::uint64_t requests_sent = 0;
+  std::uint64_t responses_ok = 0;
+  std::uint64_t validation_failures = 0;
+  /// Requests still in flight when the run ended (not failures).
+  std::uint64_t abandoned_in_flight = 0;
+  double duration_s = 0.0;
+  double achieved_rps = 0.0;
+  std::map<std::string, ClassReport> classes;
+  /// Error taxonomy: parse_error / missing_metadata / bad_timeline /
+  /// premature_close / connect_failed / ... plus non-failure observations
+  /// (proxy_status.<name>, tunnel_status.<name>, server_closed_idle).
+  std::map<std::string, std::uint64_t> errors;
+  /// Chaos outcome counters per behavior (slow_drip.got_408, idle_hold
+  /// .closed, ...). Empty without chaos clients.
+  std::map<std::string, std::uint64_t> chaos;
+  /// The swarm's own registry: load.latency_us.<class> histograms and
+  /// load.* counters, for callers that want the raw buckets.
+  obs::Registry metrics;
+
+  /// Emit the report as one JSON object (the BENCH_socket_load.json row).
+  void write_json(util::JsonWriter& json) const;
+  std::string to_json() const;
+};
+
+/// Drives one load run. Construct, run() once, read the report.
+class LoadGenerator {
+ public:
+  explicit LoadGenerator(LoadGenConfig config);
+  ~LoadGenerator();
+  LoadGenerator(const LoadGenerator&) = delete;
+  LoadGenerator& operator=(const LoadGenerator&) = delete;
+
+  /// Blocks for ~duration_ms (plus a short drain grace). Errors only on
+  /// harness-level failures (epoll init); per-connection errors land in the
+  /// report's taxonomy instead.
+  util::Result<LoadReport> run();
+
+ private:
+  struct Conn;
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tft::net::client

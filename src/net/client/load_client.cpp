@@ -1,0 +1,931 @@
+#include "tft/net/client/load_client.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <string_view>
+
+#include "tft/http/message.hpp"
+#include "tft/http/reader.hpp"
+#include "tft/http/url.hpp"
+#include "tft/net/server/event_loop.hpp"
+#include "tft/net/server/framing.hpp"
+#include "tft/proxy/luminati.hpp"
+#include "tft/util/json.hpp"
+#include "tft/util/rng.hpp"
+
+namespace tft::net::client {
+
+using util::ErrorCode;
+using util::make_error;
+using util::Result;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Microsecond latency buckets: loopback round-trips live in the low
+/// hundreds of µs; the tail bounds catch a server wedged behind chaos.
+const std::vector<std::int64_t>& latency_bounds_us() {
+  static const std::vector<std::int64_t> bounds = {
+      50,     100,    250,    500,     1000,    2500,    5000,   10000,
+      25000,  50000,  100000, 250000,  500000,  1000000, 2500000};
+  return bounds;
+}
+
+/// Don't let an open-loop schedule pile more than this many unsent bytes
+/// on one connection when the server stalls; the skipped issues are counted
+/// as client_backpressure, never as server failures.
+constexpr std::size_t kMaxClientOutbox = 1 << 20;
+
+constexpr std::size_t kMaxChaosCapture = 64 * 1024;
+
+bool contains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+}  // namespace
+
+std::string_view to_string(RequestClass klass) noexcept {
+  switch (klass) {
+    case RequestClass::kGet: return "get";
+    case RequestClass::kPipeline: return "pipeline";
+    case RequestClass::kConnect: return "connect";
+  }
+  return "unknown";
+}
+
+// --- report ------------------------------------------------------------------
+
+void LoadReport::write_json(util::JsonWriter& json) const {
+  json.field("requests_sent", requests_sent);
+  json.field("responses_ok", responses_ok);
+  json.field("validation_failures", validation_failures);
+  json.field("abandoned_in_flight", abandoned_in_flight);
+  json.field("duration_s", duration_s);
+  json.field("achieved_rps", achieved_rps);
+  json.begin_object("classes");
+  for (const auto& [name, stats] : classes) {
+    json.begin_object(name);
+    json.field("sent", stats.sent);
+    json.field("completed", stats.completed);
+    json.field("failed_validation", stats.failed_validation);
+    json.field("p50_us", stats.p50_us);
+    json.field("p95_us", stats.p95_us);
+    json.field("p99_us", stats.p99_us);
+    json.end_object();
+  }
+  json.end_object();
+  json.begin_object("errors");
+  for (const auto& [name, value] : errors) json.field(name, value);
+  json.end_object();
+  json.begin_object("chaos");
+  for (const auto& [name, value] : chaos) json.field(name, value);
+  json.end_object();
+}
+
+std::string LoadReport::to_json() const {
+  util::JsonWriter json;
+  json.begin_object();
+  write_json(json);
+  json.end_object();
+  return std::move(json).take();
+}
+
+// --- connection state --------------------------------------------------------
+
+struct LoadGenerator::Conn {
+  enum class Phase { kClosed, kConnecting, kSteady, kAwait200, kAwaitReply };
+
+  std::size_t slot = 0;
+  int fd = -1;
+  RequestClass klass = RequestClass::kGet;
+  proxy::RequestOptions options;
+  bool is_chaos = false;
+  ChaosBehavior behavior = ChaosBehavior::kSlowDrip;
+  int stage = 0;
+  util::Rng rng{1};
+
+  Phase phase = Phase::kClosed;
+  http::MessageReader reader;
+  net::server::FrameReader frames;
+  std::string raw;  // chaos-side capture for 408/400 sniffing
+  std::string outbox;
+  std::size_t outbox_sent = 0;
+  bool want_write = false;
+  std::string drip;  // slow-drip bytes not yet trickled out
+  std::deque<Clock::time_point> inflight;
+  Clock::time_point next_action = Clock::time_point::max();
+  Clock::time_point issue_started{};
+  ConnectTarget target;
+};
+
+// --- generator ---------------------------------------------------------------
+
+class LoadGenerator::Impl {
+ public:
+  explicit Impl(LoadGenConfig config) : config_(std::move(config)) {}
+
+  Result<LoadReport> run();
+
+ private:
+  using Conn = LoadGenerator::Conn;
+  using Phase = Conn::Phase;
+
+  void err(const std::string& name) { ++report_.errors[name]; }
+  void chaos_count(const Conn& conn, std::string_view suffix) {
+    ++report_.chaos[std::string(to_string(conn.behavior)) + "." +
+                    std::string(suffix)];
+  }
+  ClassReport& stats(const Conn& conn) {
+    return report_.classes[std::string(to_string(conn.klass))];
+  }
+
+  void open(Conn& conn);
+  void reset_connection(Conn& conn, Clock::time_point reopen_at);
+  void on_event(std::size_t slot, int fd, std::uint32_t events);
+  void on_connected(Conn& conn);
+  void handle_readable(Conn& conn);
+  void on_bytes(Conn& conn, std::string_view bytes);
+  void on_peer_closed(Conn& conn);
+  void run_scheduled(Clock::time_point now);
+  int next_timeout(Clock::time_point now) const;
+
+  void issue(Conn& conn);
+  void schedule_next_issue(Conn& conn);
+  void complete_response(Conn& conn, const std::string& wire);
+  bool validate_http_response(const std::string& wire);
+  void finish_connect_cycle(Conn& conn, bool ok);
+  void fail_in_flight(Conn& conn, const std::string& reason);
+  void observe_latency(const Conn& conn, Clock::time_point sent_at);
+
+  void start_chaos_cycle(Conn& conn);
+  void chaos_act(Conn& conn);
+  void chaos_bytes(Conn& conn, std::string_view bytes);
+  void chaos_closed(Conn& conn);
+
+  void queue(Conn& conn, std::string_view bytes);
+  bool flush(Conn& conn);
+
+  LoadGenConfig config_;
+  net::server::EventLoop loop_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::vector<http::Url> urls_;
+  util::Rng rng_{2016};
+  obs::Registry registry_;
+  LoadReport report_;
+  Clock::time_point end_{};
+  std::int64_t interval_us_ = 0;  // 0 = closed loop
+};
+
+void LoadGenerator::Impl::open(Conn& conn) {
+  conn.reader = http::MessageReader();
+  conn.frames = net::server::FrameReader();
+  conn.raw.clear();
+  conn.outbox.clear();
+  conn.outbox_sent = 0;
+  conn.want_write = false;
+  conn.drip.clear();
+  conn.stage = 0;
+  conn.phase = Phase::kConnecting;
+
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    err("socket_failed");
+    reset_connection(conn, Clock::now() + std::chrono::milliseconds(50));
+    return;
+  }
+  const int nodelay = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(config_.port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0 &&
+      errno != EINPROGRESS) {
+    ::close(fd);
+    err("connect_failed");
+    reset_connection(conn, Clock::now() + std::chrono::milliseconds(50));
+    return;
+  }
+  conn.fd = fd;
+  conn.next_action = Clock::time_point::max();
+  const std::size_t slot = conn.slot;
+  const auto added =
+      loop_.add(fd, EPOLLIN | EPOLLOUT, [this, slot, fd](std::uint32_t events) {
+        on_event(slot, fd, events);
+      });
+  if (!added.ok()) {
+    ::close(fd);
+    conn.fd = -1;
+    err("epoll_add_failed");
+    reset_connection(conn, Clock::now() + std::chrono::milliseconds(50));
+  }
+}
+
+void LoadGenerator::Impl::reset_connection(Conn& conn,
+                                           Clock::time_point reopen_at) {
+  if (conn.fd >= 0) {
+    loop_.remove(conn.fd);
+    ::close(conn.fd);
+    conn.fd = -1;
+  }
+  conn.phase = Phase::kClosed;
+  conn.next_action = reopen_at;
+}
+
+void LoadGenerator::Impl::on_event(std::size_t slot, int fd,
+                                   std::uint32_t events) {
+  Conn& conn = *conns_[slot];
+  if (conn.fd != fd) return;  // stale event for a recycled slot
+
+  if (conn.phase == Phase::kConnecting) {
+    if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+      err("connect_failed");
+      reset_connection(conn, Clock::now() + std::chrono::milliseconds(50));
+      return;
+    }
+    if ((events & EPOLLOUT) != 0) {
+      int error = 0;
+      socklen_t length = sizeof(error);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &length);
+      if (error != 0) {
+        err("connect_failed");
+        reset_connection(conn, Clock::now() + std::chrono::milliseconds(50));
+        return;
+      }
+      on_connected(conn);
+    }
+    return;
+  }
+
+  if ((events & EPOLLOUT) != 0) {
+    if (!flush(conn)) return;
+  }
+  if ((events & EPOLLIN) != 0) {
+    handle_readable(conn);
+    return;
+  }
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+    on_peer_closed(conn);
+  }
+}
+
+void LoadGenerator::Impl::on_connected(Conn& conn) {
+  conn.phase = Phase::kSteady;
+  loop_.modify(conn.fd, EPOLLIN);
+  if (conn.is_chaos) {
+    start_chaos_cycle(conn);
+    return;
+  }
+  // Open-loop reconnects keep their schedule; everything else starts now.
+  if (interval_us_ == 0 || conn.next_action == Clock::time_point::max()) {
+    issue(conn);
+  }
+}
+
+void LoadGenerator::Impl::handle_readable(Conn& conn) {
+  const int fd = conn.fd;
+  char buffer[16384];
+  for (;;) {
+    const ssize_t received = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (received > 0) {
+      on_bytes(conn,
+               std::string_view(buffer, static_cast<std::size_t>(received)));
+      if (conn.fd != fd) return;  // reset during processing
+      continue;
+    }
+    if (received == 0) {
+      on_peer_closed(conn);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    // ECONNRESET and friends: same accounting as an orderly close — the
+    // chaos reset clients provoke exactly this on purpose.
+    on_peer_closed(conn);
+    return;
+  }
+}
+
+void LoadGenerator::Impl::on_bytes(Conn& conn, std::string_view bytes) {
+  if (conn.is_chaos) {
+    chaos_bytes(conn, bytes);
+    return;
+  }
+  if (conn.phase == Phase::kAwaitReply) {
+    if (const auto fed = conn.frames.feed(bytes); !fed.ok()) {
+      err("tunnel_frame_invalid");
+      finish_connect_cycle(conn, false);
+      return;
+    }
+    while (const auto payload = conn.frames.next_frame()) {
+      const auto reply = net::server::decode_tunnel_reply(*payload);
+      if (!reply.ok()) {
+        err("tunnel_reply_invalid");
+        finish_connect_cycle(conn, false);
+        return;
+      }
+      ++report_.errors["tunnel_status." +
+                       std::string(proxy::to_string(reply->status))];
+      observe_latency(conn, conn.issue_started);
+      finish_connect_cycle(conn, true);
+      return;
+    }
+    return;
+  }
+
+  if (const auto fed = conn.reader.feed(bytes); !fed.ok()) {
+    err("response_parse_error");
+    fail_in_flight(conn, "response_parse_error");
+    reset_connection(conn, Clock::now());
+    return;
+  }
+  while (const auto wire = conn.reader.next_message()) {
+    if (conn.phase == Phase::kAwait200) {
+      const auto response = http::Response::parse(*wire);
+      if (!response.ok()) {
+        err("parse_error");
+        finish_connect_cycle(conn, false);
+        return;
+      }
+      if (response->status != 200) {
+        // An orderly refusal (e.g. port_not_allowed) still carries the
+        // engine status header; that's a valid protocol outcome.
+        const auto status = response->headers.get("X-TFT-Proxy-Status");
+        if (!status) {
+          err("missing_metadata");
+          finish_connect_cycle(conn, false);
+          return;
+        }
+        ++report_.errors["tunnel_status." + std::string(*status)];
+        observe_latency(conn, conn.issue_started);
+        finish_connect_cycle(conn, true);
+        return;
+      }
+      const std::string leftover = conn.reader.take_leftover();
+      conn.phase = Phase::kAwaitReply;
+      if (!leftover.empty()) {
+        if (const auto fed = conn.frames.feed(leftover); !fed.ok()) {
+          err("tunnel_frame_invalid");
+          finish_connect_cycle(conn, false);
+          return;
+        }
+      }
+      queue(conn, net::server::frame(net::server::encode_tunnel_hello(
+                      {conn.target.sni})));
+      return;
+    }
+    complete_response(conn, *wire);
+    if (conn.fd < 0) return;
+  }
+}
+
+void LoadGenerator::Impl::complete_response(Conn& conn,
+                                            const std::string& wire) {
+  if (conn.inflight.empty()) {
+    err("unexpected_response");
+    ++report_.validation_failures;
+    ++stats(conn).failed_validation;
+    reset_connection(conn, Clock::now());
+    return;
+  }
+  const auto sent_at = conn.inflight.front();
+  conn.inflight.pop_front();
+  if (validate_http_response(wire)) {
+    ++report_.responses_ok;
+    ++stats(conn).completed;
+    observe_latency(conn, sent_at);
+  } else {
+    ++report_.validation_failures;
+    ++stats(conn).failed_validation;
+  }
+  if (interval_us_ == 0 && conn.inflight.empty()) issue(conn);
+}
+
+bool LoadGenerator::Impl::validate_http_response(const std::string& wire) {
+  const auto response = http::Response::parse(wire);
+  if (!response.ok()) {
+    err("parse_error");
+    return false;
+  }
+  const auto status_text = response->headers.get("X-TFT-Proxy-Status");
+  if (!status_text) {
+    err("missing_metadata");
+    return false;
+  }
+  const auto status = proxy::parse_proxy_status(*status_text);
+  if (!status.ok()) {
+    err("bad_proxy_status");
+    return false;
+  }
+  ++report_.errors["proxy_status." + std::string(*status_text)];
+  const auto timeline = response->headers.get("X-TFT-Timeline");
+  if (!timeline) {
+    err("missing_metadata");
+    return false;
+  }
+  if (!timeline->empty()) {
+    if (const auto attempts = net::server::decode_attempts(*timeline);
+        !attempts.ok()) {
+      err("bad_timeline");
+      return false;
+    }
+  }
+  if (*status == proxy::ProxyStatus::kOk) {
+    const auto zid = response->headers.get("X-TFT-Zid");
+    const auto exit_ip = response->headers.get("X-TFT-Exit-Ip");
+    if (!zid || zid->empty() || !exit_ip ||
+        !net::Ipv4Address::parse(*exit_ip).ok()) {
+      err("missing_metadata");
+      return false;
+    }
+  }
+  return true;
+}
+
+void LoadGenerator::Impl::observe_latency(const Conn& conn,
+                                          Clock::time_point sent_at) {
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          Clock::now() - sent_at)
+                          .count();
+  registry_.observe(
+      "load.latency_us." + std::string(to_string(conn.klass)),
+      latency_bounds_us(), static_cast<std::int64_t>(micros));
+}
+
+void LoadGenerator::Impl::finish_connect_cycle(Conn& conn, bool ok) {
+  if (ok) {
+    ++report_.responses_ok;
+    ++stats(conn).completed;
+  } else {
+    ++report_.validation_failures;
+    ++stats(conn).failed_validation;
+  }
+  // Tunnels are one-shot: drop the socket and let the schedule (or the
+  // closed loop) start the next cycle on a fresh connection.
+  const auto reopen = interval_us_ == 0 ? Clock::now() : conn.next_action;
+  reset_connection(conn, reopen);
+}
+
+void LoadGenerator::Impl::fail_in_flight(Conn& conn,
+                                         const std::string& reason) {
+  if (conn.klass == RequestClass::kConnect) {
+    if (conn.phase == Phase::kAwait200 || conn.phase == Phase::kAwaitReply) {
+      err(reason);
+      ++report_.validation_failures;
+      ++stats(conn).failed_validation;
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < conn.inflight.size(); ++i) err(reason);
+  report_.validation_failures += conn.inflight.size();
+  stats(conn).failed_validation += conn.inflight.size();
+  conn.inflight.clear();
+}
+
+void LoadGenerator::Impl::on_peer_closed(Conn& conn) {
+  if (conn.is_chaos) {
+    chaos_closed(conn);
+    return;
+  }
+  if (conn.klass == RequestClass::kConnect &&
+      (conn.phase == Phase::kAwait200 || conn.phase == Phase::kAwaitReply)) {
+    err("premature_close");
+    finish_connect_cycle(conn, false);
+    return;
+  }
+  if (!conn.inflight.empty()) {
+    fail_in_flight(conn, "premature_close");
+  } else {
+    // Keep-alive reaped by the server's idle timeout: not a failure.
+    ++report_.errors["server_closed_idle"];
+  }
+  const auto reopen = interval_us_ == 0 || conn.next_action == Clock::time_point::max()
+                          ? Clock::now()
+                          : conn.next_action;
+  reset_connection(conn, reopen);
+}
+
+// --- issuing -----------------------------------------------------------------
+
+void LoadGenerator::Impl::issue(Conn& conn) {
+  const auto now = Clock::now();
+  if (now >= end_) {
+    conn.next_action = Clock::time_point::max();
+    return;
+  }
+  if (conn.klass == RequestClass::kConnect) {
+    if (conn.phase != Phase::kSteady) {
+      // Previous tunnel cycle still in flight; open loop just re-schedules.
+      schedule_next_issue(conn);
+      return;
+    }
+    conn.target = config_.connect_targets[conn.rng.index(
+        config_.connect_targets.size())];
+    conn.issue_started = now;
+    conn.phase = Phase::kAwait200;
+    ++report_.requests_sent;
+    ++stats(conn).sent;
+    // Schedule before queueing: a failed send resets the connection and
+    // must own the final say on next_action.
+    schedule_next_issue(conn);
+    queue(conn, net::server::build_connect(conn.target.address,
+                                           conn.target.port, conn.options));
+    return;
+  }
+
+  if (conn.outbox.size() - conn.outbox_sent > kMaxClientOutbox) {
+    err("client_backpressure");
+    schedule_next_issue(conn);
+    return;
+  }
+  const std::size_t burst =
+      conn.klass == RequestClass::kPipeline ? config_.pipeline_depth : 1;
+  std::string wire;
+  for (std::size_t i = 0; i < burst; ++i) {
+    const auto& url = urls_[conn.rng.index(urls_.size())];
+    wire += net::server::build_proxy_get(url, conn.options);
+    conn.inflight.push_back(now);
+    ++report_.requests_sent;
+    ++stats(conn).sent;
+  }
+  schedule_next_issue(conn);
+  queue(conn, wire);
+}
+
+void LoadGenerator::Impl::schedule_next_issue(Conn& conn) {
+  if (interval_us_ == 0) {
+    conn.next_action = Clock::time_point::max();
+    return;
+  }
+  const std::size_t burst =
+      conn.klass == RequestClass::kPipeline ? config_.pipeline_depth : 1;
+  const auto step =
+      std::chrono::microseconds(interval_us_ * static_cast<std::int64_t>(burst));
+  // Fixed schedule, not now+step: an open loop does not slow down for a
+  // lagging server — late ticks fire back-to-back instead.
+  conn.next_action = conn.next_action == Clock::time_point::max()
+                         ? Clock::now() + step
+                         : conn.next_action + step;
+}
+
+// --- chaos -------------------------------------------------------------------
+
+void LoadGenerator::Impl::start_chaos_cycle(Conn& conn) {
+  conn.raw.clear();
+  const auto now = Clock::now();
+  switch (conn.behavior) {
+    case ChaosBehavior::kSlowDrip: {
+      const auto& url = urls_[conn.rng.index(urls_.size())];
+      std::string head = net::server::build_proxy_get(url, conn.options);
+      // Never finish the head: hold back the final bytes of the terminator
+      // so the server sees an eternally-partial request.
+      conn.drip = head.substr(0, head.size() - 2);
+      conn.next_action = now;
+      chaos_count(conn, "cycles");
+      break;
+    }
+    case ChaosBehavior::kMalformedFrame:
+      conn.next_action = Clock::time_point::max();
+      chaos_count(conn, "cycles");
+      if (config_.connect_targets.empty()) {
+        conn.stage = 2;
+        queue(conn, malformed_http_request(conn.rng));
+      } else {
+        conn.target = config_.connect_targets[conn.rng.index(
+            config_.connect_targets.size())];
+        conn.stage = 1;
+        queue(conn, net::server::build_connect(conn.target.address,
+                                               conn.target.port, conn.options));
+      }
+      break;
+    case ChaosBehavior::kHalfCloseTunnel:
+      conn.next_action = Clock::time_point::max();
+      chaos_count(conn, "cycles");
+      if (config_.connect_targets.empty()) {
+        // No tunnel to half-close; half-close a partial request instead.
+        const auto& url = urls_[conn.rng.index(urls_.size())];
+        const std::string head = net::server::build_proxy_get(url, conn.options);
+        conn.stage = 2;
+        queue(conn, std::string_view(head).substr(0, head.size() / 2));
+        if (conn.fd >= 0) ::shutdown(conn.fd, SHUT_WR);
+      } else {
+        conn.target = config_.connect_targets[conn.rng.index(
+            config_.connect_targets.size())];
+        conn.stage = 1;
+        queue(conn, net::server::build_connect(conn.target.address,
+                                               conn.target.port, conn.options));
+      }
+      break;
+    case ChaosBehavior::kResetMidPipeline: {
+      std::string wire;
+      for (std::size_t i = 0; i < config_.pipeline_depth; ++i) {
+        const auto& url = urls_[conn.rng.index(urls_.size())];
+        wire += net::server::build_proxy_get(url, conn.options);
+      }
+      // Reset shortly after the burst lands, mid-response-stream.
+      conn.next_action = now + std::chrono::milliseconds(20);
+      chaos_count(conn, "cycles");
+      queue(conn, wire);
+      break;
+    }
+    case ChaosBehavior::kIdleHold:
+      conn.next_action = Clock::time_point::max();
+      chaos_count(conn, "cycles");
+      break;
+  }
+}
+
+void LoadGenerator::Impl::chaos_act(Conn& conn) {
+  switch (conn.behavior) {
+    case ChaosBehavior::kSlowDrip:
+      if (conn.drip.empty()) {
+        conn.next_action = Clock::time_point::max();
+        return;
+      }
+      queue(conn, std::string_view(conn.drip).substr(0, 1));
+      conn.drip.erase(0, 1);
+      if (conn.fd >= 0) {
+        conn.next_action = conn.drip.empty()
+                               ? Clock::time_point::max()
+                               : Clock::now() + std::chrono::milliseconds(
+                                                    config_.drip_interval_ms);
+      }
+      return;
+    case ChaosBehavior::kResetMidPipeline: {
+      if (conn.fd < 0) return;
+      // RST instead of FIN: SO_LINGER with zero timeout makes close() send
+      // a reset, the rudest way a pipelining client can vanish.
+      const linger hard{1, 0};
+      ::setsockopt(conn.fd, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+      chaos_count(conn, "reset_sent");
+      reset_connection(conn, Clock::now() + std::chrono::milliseconds(20));
+      return;
+    }
+    default:
+      conn.next_action = Clock::time_point::max();
+      return;
+  }
+}
+
+void LoadGenerator::Impl::chaos_bytes(Conn& conn, std::string_view bytes) {
+  if (conn.raw.size() < kMaxChaosCapture) conn.raw.append(bytes);
+  if (conn.stage != 1) return;
+  const auto head_end = conn.raw.find("\r\n\r\n");
+  if (head_end == std::string::npos) return;
+  if (conn.raw.compare(0, 12, "HTTP/1.1 200") != 0) {
+    chaos_count(conn, "connect_refused");
+    reset_connection(conn, Clock::now() + std::chrono::milliseconds(20));
+    return;
+  }
+  conn.stage = 2;
+  if (conn.behavior == ChaosBehavior::kMalformedFrame) {
+    queue(conn, malformed_tunnel_frame(conn.rng));
+    chaos_count(conn, "frames_sent");
+    return;
+  }
+  // Half-close: strand a partial frame in the server's FrameReader, then
+  // FIN our write side and wait for the server to give up.
+  const std::string hello =
+      net::server::frame(net::server::encode_tunnel_hello({conn.target.sni}));
+  queue(conn, std::string_view(hello).substr(0, 2));
+  if (conn.fd >= 0) {
+    ::shutdown(conn.fd, SHUT_WR);
+    chaos_count(conn, "half_closed");
+  }
+}
+
+void LoadGenerator::Impl::chaos_closed(Conn& conn) {
+  switch (conn.behavior) {
+    case ChaosBehavior::kSlowDrip:
+      chaos_count(conn, contains(conn.raw, "HTTP/1.1 408") ? "got_408"
+                                                           : "closed");
+      break;
+    case ChaosBehavior::kMalformedFrame:
+      if (contains(conn.raw, "HTTP/1.1 400")) chaos_count(conn, "got_400");
+      chaos_count(conn, "closed");
+      break;
+    default:
+      chaos_count(conn, "closed");
+      break;
+  }
+  reset_connection(conn, Clock::now() + std::chrono::milliseconds(20));
+}
+
+// --- socket plumbing ---------------------------------------------------------
+
+void LoadGenerator::Impl::queue(Conn& conn, std::string_view bytes) {
+  if (conn.fd < 0) return;
+  conn.outbox.append(bytes);
+  flush(conn);
+}
+
+bool LoadGenerator::Impl::flush(Conn& conn) {
+  const int fd = conn.fd;
+  while (conn.outbox_sent < conn.outbox.size()) {
+    const ssize_t sent =
+        ::send(fd, conn.outbox.data() + conn.outbox_sent,
+               conn.outbox.size() - conn.outbox_sent, MSG_NOSIGNAL);
+    if (sent > 0) {
+      conn.outbox_sent += static_cast<std::size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn.want_write) {
+        conn.want_write = true;
+        loop_.modify(fd, EPOLLIN | EPOLLOUT);
+      }
+      return true;
+    }
+    if (sent < 0 && errno == EINTR) continue;
+    on_peer_closed(conn);
+    return false;
+  }
+  conn.outbox.clear();
+  conn.outbox_sent = 0;
+  if (conn.want_write) {
+    conn.want_write = false;
+    loop_.modify(fd, EPOLLIN);
+  }
+  return true;
+}
+
+// --- scheduling --------------------------------------------------------------
+
+void LoadGenerator::Impl::run_scheduled(Clock::time_point now) {
+  for (auto& conn : conns_) {
+    if (conn->next_action > now) continue;
+    if (conn->phase == Phase::kClosed) {
+      if (now < end_) {
+        open(*conn);
+      } else {
+        conn->next_action = Clock::time_point::max();
+      }
+      continue;
+    }
+    if (conn->is_chaos) {
+      chaos_act(*conn);
+    } else {
+      issue(*conn);
+    }
+  }
+}
+
+int LoadGenerator::Impl::next_timeout(Clock::time_point now) const {
+  auto nearest = end_;
+  for (const auto& conn : conns_) {
+    if (conn->next_action < nearest) nearest = conn->next_action;
+  }
+  const auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        nearest - now)
+                        .count();
+  return static_cast<int>(std::clamp<long long>(wait, 0, 100));
+}
+
+// --- run ---------------------------------------------------------------------
+
+Result<LoadReport> LoadGenerator::Impl::run() {
+  if (const auto init = loop_.init(); !init.ok()) return init.error();
+  rng_.reseed(config_.seed);
+
+  if (config_.get_targets.empty()) {
+    config_.get_targets = {"http://m1.probe.tft-study.net/page.html"};
+  }
+  for (const auto& target : config_.get_targets) {
+    if (auto url = http::Url::parse(target); url.ok()) {
+      urls_.push_back(*std::move(url));
+    } else {
+      err("bad_get_target");
+    }
+  }
+  if (urls_.empty()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "no valid --target URLs to issue");
+  }
+
+  const double wg = std::max(0, config_.weight_get);
+  const double wp = std::max(0, config_.weight_pipeline);
+  const double wc =
+      config_.connect_targets.empty() ? 0.0 : std::max(0, config_.weight_connect);
+  std::vector<double> weights = {wg, wp, wc};
+  if (wg + wp + wc <= 0) weights = {1.0, 0.0, 0.0};
+
+  if (config_.target_rps > 0 && config_.connections > 0) {
+    interval_us_ = static_cast<std::int64_t>(
+        1e6 * static_cast<double>(config_.connections) / config_.target_rps);
+    interval_us_ = std::max<std::int64_t>(interval_us_, 1);
+  }
+
+  static constexpr ChaosBehavior kBehaviors[] = {
+      ChaosBehavior::kSlowDrip, ChaosBehavior::kMalformedFrame,
+      ChaosBehavior::kHalfCloseTunnel, ChaosBehavior::kResetMidPipeline,
+      ChaosBehavior::kIdleHold};
+  const std::size_t total = config_.connections + config_.chaos_clients;
+  for (std::size_t slot = 0; slot < total; ++slot) {
+    auto conn = std::make_unique<Conn>();
+    conn->slot = slot;
+    conn->rng = rng_.fork();
+    if (slot < config_.connections) {
+      switch (conn->rng.weighted_index(weights)) {
+        case 0: conn->klass = RequestClass::kGet; break;
+        case 1: conn->klass = RequestClass::kPipeline; break;
+        default: conn->klass = RequestClass::kConnect; break;
+      }
+      if (conn->rng.chance(0.5)) {
+        conn->options.session = "load-" + std::to_string(slot);
+      }
+    } else {
+      conn->is_chaos = true;
+      conn->behavior =
+          kBehaviors[(slot - config_.connections) % kChaosBehaviorCount];
+    }
+    conns_.push_back(std::move(conn));
+  }
+
+  const auto start = Clock::now();
+  end_ = start + std::chrono::milliseconds(config_.duration_ms);
+  for (auto& conn : conns_) open(*conn);
+
+  for (;;) {
+    const auto now = Clock::now();
+    if (now >= end_) break;
+    loop_.poll(next_timeout(now));
+    run_scheduled(Clock::now());
+  }
+
+  // Drain grace: give in-flight responses a moment to land before we call
+  // them abandoned.
+  const auto grace_end = Clock::now() + std::chrono::milliseconds(500);
+  const auto in_flight = [&] {
+    std::size_t pending = 0;
+    for (const auto& conn : conns_) {
+      if (conn->is_chaos) continue;
+      pending += conn->inflight.size();
+      if (conn->phase == Phase::kAwait200 || conn->phase == Phase::kAwaitReply) {
+        ++pending;
+      }
+    }
+    return pending;
+  };
+  while (in_flight() > 0 && Clock::now() < grace_end) {
+    loop_.poll(20);
+  }
+
+  for (auto& conn : conns_) {
+    if (conn->is_chaos) {
+      if (conn->behavior == ChaosBehavior::kIdleHold && conn->fd >= 0) {
+        chaos_count(*conn, "open_at_end");
+      }
+    } else {
+      report_.abandoned_in_flight += conn->inflight.size();
+      if (conn->phase == Phase::kAwait200 || conn->phase == Phase::kAwaitReply) {
+        ++report_.abandoned_in_flight;
+      }
+    }
+    if (conn->fd >= 0) {
+      loop_.remove(conn->fd);
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+
+  report_.duration_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  if (report_.duration_s > 0) {
+    report_.achieved_rps =
+        static_cast<double>(report_.responses_ok) / report_.duration_s;
+  }
+  for (auto& [name, stats] : report_.classes) {
+    const auto* histogram =
+        registry_.histogram("load.latency_us." + name);
+    if (histogram == nullptr) continue;
+    stats.p50_us = histogram->quantile(0.50);
+    stats.p95_us = histogram->quantile(0.95);
+    stats.p99_us = histogram->quantile(0.99);
+  }
+  registry_.add("load.requests", report_.requests_sent);
+  registry_.add("load.responses_ok", report_.responses_ok);
+  registry_.add("load.validation_failures", report_.validation_failures);
+  report_.metrics = registry_;
+  return std::move(report_);
+}
+
+LoadGenerator::LoadGenerator(LoadGenConfig config)
+    : impl_(std::make_unique<Impl>(std::move(config))) {}
+
+LoadGenerator::~LoadGenerator() = default;
+
+Result<LoadReport> LoadGenerator::run() { return impl_->run(); }
+
+}  // namespace tft::net::client

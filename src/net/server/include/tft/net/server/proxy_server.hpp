@@ -53,6 +53,18 @@ struct ProxyServerConfig {
   /// keep-alive connections. 0 disables — required in the cooperative
   /// loopback mode, where wall time must never influence behavior.
   int read_timeout_ms = 10'000;
+  /// Accept-burst backpressure: with this many connections already open,
+  /// further accepts are closed on the spot (`net.accept.rejected`) instead
+  /// of admitted, so a connection flood cannot exhaust fds. 0 = unlimited.
+  std::size_t max_connections = 0;
+  /// Per-connection write-queue cap: a peer that pipelines requests without
+  /// reading responses grows the outbox; past this many pending bytes the
+  /// connection is dropped (`net.write_queue_overflows`). 0 = unlimited.
+  std::size_t max_outbox_bytes = 8 * 1024 * 1024;
+  /// SO_SNDBUF for accepted sockets, 0 = OS default. Small values force the
+  /// partial-write paths (outbox retention, EPOLLOUT re-arm) deterministically
+  /// under test.
+  int send_buffer_bytes = 0;
 };
 
 class ProxyServer {

@@ -1,6 +1,7 @@
 #include "tft/net/server/proxy_server.hpp"
 
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -159,8 +160,14 @@ void ProxyServer::sweep_deadlines() {
     const auto it = connections_.find(fd);
     if (it == connections_.end()) continue;
     Connection& conn = *it->second;
+    const bool write_pending = conn.outbox_sent < conn.outbox.size();
     if (conn.state == Connection::State::kTunnel) {
       count("net.tunnel.read_timeouts");
+    } else if (write_pending) {
+      // Responses are still queued: the peer is a slow *reader*, not idle,
+      // and injecting a raw 408 here would splice garbage into the middle
+      // of a framed response. Just drop the connection.
+      count("net.http.write_timeouts");
     } else if (conn.reader.partial_bytes() > 0) {
       // The slowloris shape: a started-but-unfinished request head.
       count("net.http.read_timeouts");
@@ -180,6 +187,22 @@ void ProxyServer::handle_listener() {
     const int fd =
         ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) return;  // EAGAIN or a transient accept error: both benign
+    if (config_.max_connections > 0 &&
+        connections_.size() >= config_.max_connections) {
+      // Accept-burst backpressure: shed the connection immediately rather
+      // than let a flood exhaust fds or starve admitted peers.
+      count("net.accept.rejected");
+      ::close(fd);
+      continue;
+    }
+    if (config_.send_buffer_bytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &config_.send_buffer_bytes,
+                   sizeof(config_.send_buffer_bytes));
+    }
+    // Pipelined peers see Nagle + delayed-ACK stalls (~40ms per queued
+    // response) without this; the load harness measures the difference.
+    const int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
     conn->reader = http::MessageReader(
@@ -408,6 +431,15 @@ void ProxyServer::dispatch_tunnel_frame(Connection& conn,
 }
 
 bool ProxyServer::queue(Connection& conn, std::string_view bytes) {
+  if (config_.max_outbox_bytes > 0 &&
+      conn.outbox.size() - conn.outbox_sent + bytes.size() >
+          config_.max_outbox_bytes) {
+    // The peer pipelines requests faster than it drains responses; capping
+    // the queue bounds per-connection memory under adversarial load.
+    count("net.write_queue_overflows");
+    close_connection(conn.fd);
+    return false;
+  }
   conn.outbox.append(bytes);
   return flush(conn);
 }

@@ -52,6 +52,12 @@ struct Histogram {
   void observe(std::int64_t value);
   /// Index of the bucket `value` falls in (last index = overflow).
   std::size_t bucket_index(std::int64_t value) const;
+
+  /// Upper bound of the bucket holding the q-quantile observation
+  /// (q in [0, 1]). Fixed buckets make this an over-estimate by at most one
+  /// bucket width — the right direction for latency SLO checks. Overflow
+  /// observations report the last finite bound; an empty histogram reports 0.
+  std::int64_t quantile(double q) const;
 };
 
 /// One node in the span tree. `parent` indexes the owning Registry's span

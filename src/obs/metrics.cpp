@@ -29,6 +29,22 @@ void Histogram::observe(std::int64_t value) {
   sum += value;
 }
 
+std::int64_t Histogram::quantile(double q) const {
+  if (count == 0 || upper_bounds.empty()) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the q-quantile observation, 1-based, nearest-rank definition.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(count) + 0.5));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      return i < upper_bounds.size() ? upper_bounds[i] : upper_bounds.back();
+    }
+  }
+  return upper_bounds.back();
+}
+
 void Registry::add(std::string_view name, std::uint64_t delta) {
   counters_[std::string(name)] += delta;
 }

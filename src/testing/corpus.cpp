@@ -172,6 +172,20 @@ std::vector<std::string> regression_inputs(std::string_view target) {
     // Bad magics.
     out.push_back("TFTX");
     out.push_back("");
+    // Truncated framed tunnel hello, cut at every u32 length-prefix
+    // boundary and then inside the payload — the exact strandings a peer
+    // that dies mid-write leaves in the server's FrameReader. The chaos
+    // client (src/net/client/chaos) replays these same cuts against live
+    // servers; keeping them here pins the offline decoder too.
+    {
+      const std::string framed_hello = net::server::frame(
+          net::server::encode_tunnel_hello({"chaos.tft-study.net"}));
+      for (std::size_t cut = 1; cut <= 4 && cut < framed_hello.size(); ++cut) {
+        out.push_back(framed_hello.substr(0, cut));
+      }
+      out.push_back(framed_hello.substr(0, 5));            // 1 byte of payload
+      out.push_back(framed_hello.substr(0, framed_hello.size() - 1));
+    }
   } else if (target == "json_stream") {
     // Byte programs for the JsonWriter stack machine (see fuzz.cpp):
     // byte 0 = flush threshold, byte 1 = root container, then (op, arg)

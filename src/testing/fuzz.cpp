@@ -287,6 +287,14 @@ bool trace_codec_roundtrip(Rng& rng) {
 namespace proxy_framing {
 
 int classify(const std::string& wire) {
+  // Frame layer first: arbitrary bytes through the u32 length-prefix reader.
+  // Truncation must park as a clean partial, empty/oversize lengths must
+  // error — never crash, never loop. The verdict below stays payload-level.
+  net::server::FrameReader frames;
+  if (frames.feed(wire).ok()) {
+    while (frames.next_frame().has_value()) {
+    }
+  }
   if (net::server::parse_proxy_request(wire).ok()) return 0;
   if (net::server::decode_tunnel_hello(wire).ok()) return 0;
   if (net::server::decode_tunnel_reply(wire).ok()) return 0;

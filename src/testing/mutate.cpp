@@ -35,6 +35,14 @@ const std::vector<std::string>& mutation_dictionary() {
       "250-",
       "250 ",
       "599 x\r\n",
+      // Tunnel frame layer (shared with the chaos client's malformed-frame
+      // generator in src/net/client): payload magics and u32 length-prefix
+      // extremes — empty, one, and just-under-2^31.
+      "TFTH",
+      "TFTR",
+      std::string("\x00\x00\x00\x00", 4),
+      std::string("\x00\x00\x00\x01", 4),
+      std::string("\x7f\xff\xff\xff", 4),
       // JSON structure tokens.
       "{\"\":",
       "[[[[[[[[",

@@ -99,6 +99,55 @@ TEST(MessageReaderTest, TakeLeftoverSurrendersTunnelBytes) {
   EXPECT_EQ(reader.partial_bytes(), 0u);
 }
 
+// Satellite regression: the proxy's CONNECT-upgrade path. Queued GETs are
+// pipelined ahead of a CONNECT whose tunnel bytes follow immediately; at
+// EVERY split boundary of the wire image, consuming the GETs and the
+// CONNECT must leave take_leftover() holding exactly the tunnel bytes.
+TEST(MessageReaderTest, ConnectAfterPipelinedGetsLeftoverAtEverySplit) {
+  constexpr std::string_view kConnect =
+      "CONNECT 93.184.216.34:443 HTTP/1.1\r\nHost: 93.184.216.34:443\r\n\r\n";
+  std::string tunnel_bytes("\x00\x00\x00\x08", 4);  // one framed payload
+  tunnel_bytes += "TFTHsni!";
+  std::string wire;
+  wire.append(kGet);
+  wire.append(kGet);
+  wire.append(kConnect);
+  wire.append(tunnel_bytes);
+
+  for (std::size_t split = 0; split <= wire.size(); ++split) {
+    MessageReader reader;
+    if (split > 0) {
+      ASSERT_TRUE(reader.feed(wire.substr(0, split)).ok()) << split;
+    }
+    if (split < wire.size()) {
+      ASSERT_TRUE(reader.feed(wire.substr(split)).ok()) << split;
+    }
+    ASSERT_EQ(*reader.next_message(), kGet) << "split at " << split;
+    ASSERT_EQ(*reader.next_message(), kGet) << "split at " << split;
+    ASSERT_EQ(*reader.next_message(), kConnect) << "split at " << split;
+    EXPECT_FALSE(reader.next_message().has_value()) << "split at " << split;
+    EXPECT_EQ(reader.take_leftover(), tunnel_bytes) << "split at " << split;
+    EXPECT_EQ(reader.partial_bytes(), 0u) << "split at " << split;
+  }
+}
+
+// After take_leftover() the reader must be reusable from a clean slate —
+// the surrendered bytes are gone, not lurking in the scan window.
+TEST(MessageReaderTest, ReaderIsCleanAfterTakeLeftover) {
+  MessageReader reader;
+  std::string wire(kGet);
+  wire += "leftover-bytes";
+  ASSERT_TRUE(reader.feed(wire).ok());
+  ASSERT_TRUE(reader.next_message().has_value());
+  EXPECT_EQ(reader.take_leftover(), "leftover-bytes");
+
+  ASSERT_TRUE(reader.feed(kPost).ok());
+  const auto message = reader.next_message();
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(*message, kPost);
+  EXPECT_EQ(reader.take_leftover(), "");
+}
+
 TEST(MessageReaderTest, OversizeHeadFails) {
   MessageReader reader(MessageReader::Limits{64, 1024});
   const std::string long_head =

@@ -1,0 +1,236 @@
+// LoadGenerator scenarios against a live threaded server: closed-loop and
+// open-loop swarms that must validate every response, chaos swarms whose
+// misbehaving clients must be contained (408s/400s/clean closes) without
+// disturbing well-behaved traffic or leaking fds, and the report plumbing
+// (latency percentiles, error taxonomy, JSON shape).
+#include <dirent.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "tft/net/client/chaos.hpp"
+#include "tft/net/client/load_client.hpp"
+#include "tft/net/server/framing.hpp"
+#include "tft/testing/test_proxy_server.hpp"
+#include "tft/util/rng.hpp"
+
+namespace tft::net::client {
+namespace {
+
+std::size_t open_fd_count() {
+  std::size_t count = 0;
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  while (readdir(dir) != nullptr) ++count;
+  closedir(dir);
+  return count;
+}
+
+std::unique_ptr<testing::TestProxyServer> make_server(int read_timeout_ms = 0) {
+  testing::TestProxyServer::Options options;
+  options.threaded = true;
+  if (read_timeout_ms > 0) {
+    options.configure = [read_timeout_ms](net::server::ProxyServerConfig& c) {
+      c.read_timeout_ms = read_timeout_ms;
+    };
+  }
+  return std::make_unique<testing::TestProxyServer>(std::move(options));
+}
+
+LoadGenConfig swarm_config(const testing::TestProxyServer& server,
+                           std::size_t connections, int duration_ms) {
+  LoadGenConfig config;
+  config.port = server.port();
+  config.connections = connections;
+  config.duration_ms = duration_ms;
+  return config;
+}
+
+void add_connect_targets(LoadGenConfig& config,
+                         testing::TestProxyServer& server) {
+  for (const auto& site : server.world().https_sites) {
+    config.connect_targets.push_back({site.address, 443, site.host});
+    if (config.connect_targets.size() >= 4) break;
+  }
+}
+
+TEST(LoadHarnessTest, ClosedLoopSwarmValidatesEveryResponse) {
+  auto server = make_server();
+  auto config = swarm_config(*server, 16, 600);
+  add_connect_targets(config, *server);
+
+  const std::size_t fds_before = open_fd_count();
+  LoadReport report;
+  {
+    LoadGenerator generator(config);
+    auto result = generator.run();
+    ASSERT_TRUE(result.ok()) << result.error().to_string();
+    report = *std::move(result);
+  }
+
+  EXPECT_GT(report.requests_sent, 100u);
+  EXPECT_EQ(report.validation_failures, 0u);
+  EXPECT_EQ(report.responses_ok, report.requests_sent);
+  EXPECT_GT(report.achieved_rps, 0.0);
+
+  // All three request classes ran and produced latency percentiles.
+  ASSERT_TRUE(report.classes.count("get"));
+  ASSERT_TRUE(report.classes.count("pipeline"));
+  ASSERT_TRUE(report.classes.count("connect"));
+  for (const auto& [name, stats] : report.classes) {
+    EXPECT_GT(stats.completed, 0u) << name;
+    EXPECT_LE(stats.p50_us, stats.p95_us) << name;
+    EXPECT_LE(stats.p95_us, stats.p99_us) << name;
+  }
+  // The taxonomy saw proxy statuses and tunnel replies.
+  EXPECT_TRUE(report.errors.count("proxy_status.ok"));
+  EXPECT_TRUE(report.errors.count("tunnel_status.ok"));
+
+  // The swarm's sockets and epoll fd die with the generator.
+  std::size_t fds_after = open_fd_count();
+  for (int round = 0; round < 100 && fds_after > fds_before; ++round) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    fds_after = open_fd_count();
+  }
+  EXPECT_EQ(fds_after, fds_before);
+}
+
+TEST(LoadHarnessTest, OpenLoopPacesToTargetRate) {
+  auto server = make_server();
+  auto config = swarm_config(*server, 8, 1000);
+  config.target_rps = 2000.0;
+
+  LoadGenerator generator(config);
+  auto result = generator.run();
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+
+  // Open loop: issue count tracks the schedule, not the server. Generous
+  // bounds — CI boxes stall — but a closed loop would blow far past 2x.
+  EXPECT_GE(result->requests_sent, 700u);
+  EXPECT_LE(result->requests_sent, 4000u);
+  EXPECT_EQ(result->validation_failures, 0u);
+}
+
+TEST(LoadHarnessTest, ReportJsonCarriesClassesAndTaxonomy) {
+  auto server = make_server();
+  auto config = swarm_config(*server, 4, 300);
+
+  LoadGenerator generator(config);
+  auto result = generator.run();
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+
+  const std::string json = result->to_json();
+  EXPECT_NE(json.find("\"requests_sent\""), std::string::npos);
+  EXPECT_NE(json.find("\"classes\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"errors\""), std::string::npos);
+  EXPECT_NE(json.find("\"proxy_status.ok\""), std::string::npos);
+}
+
+TEST(LoadHarnessTest, RefusesConfigWithoutValidTargets) {
+  LoadGenConfig config;
+  config.port = 1;  // never dialed: the config is rejected first
+  config.get_targets = {"not a url", ":::"};
+  LoadGenerator generator(config);
+  EXPECT_FALSE(generator.run().ok());
+}
+
+// Chaos swarm: every misbehavior class runs against a short-timeout server.
+// The server must answer slow-drips with 408, malformed frames with
+// 400/close, survive resets/half-closes/idle holds — and keep serving the
+// well-behaved side with zero validation failures, within a (very generous)
+// latency SLO, without leaking a single fd.
+TEST(LoadHarnessTest, ChaosClientsAreContained) {
+  auto server = make_server(/*read_timeout_ms=*/600);
+  auto config = swarm_config(*server, 8, 2500);
+  add_connect_targets(config, *server);
+  config.chaos_clients = 10;  // two full rounds over the 5 behaviors
+
+  const std::size_t fds_before = open_fd_count();
+  LoadReport report;
+  {
+    LoadGenerator generator(config);
+    auto result = generator.run();
+    ASSERT_TRUE(result.ok()) << result.error().to_string();
+    report = *std::move(result);
+  }
+
+  // Well-behaved traffic is undisturbed.
+  EXPECT_GT(report.responses_ok, 100u);
+  EXPECT_EQ(report.validation_failures, 0u);
+  const auto get = report.classes.find("get");
+  if (get != report.classes.end() && get->second.completed > 0) {
+    EXPECT_LT(get->second.p95_us, 500'000) << "GET p95 SLO while chaos runs";
+  }
+
+  // Every behavior actually ran...
+  EXPECT_GE(report.chaos.at("slow_drip.cycles"), 1u);
+  EXPECT_GE(report.chaos.at("malformed_frame.cycles"), 1u);
+  EXPECT_GE(report.chaos.at("half_close.cycles"), 1u);
+  EXPECT_GE(report.chaos.at("reset.cycles"), 1u);
+  EXPECT_GE(report.chaos.at("idle_hold.cycles"), 1u);
+  // ...and the server pushed back the way RFC-abiding servers do: 408 for
+  // the slow-drip (deadline armed at accept), close/400 for garbage frames.
+  EXPECT_GE(report.chaos.at("slow_drip.got_408"), 1u);
+  EXPECT_GE(report.chaos.at("malformed_frame.frames_sent"), 1u);
+  EXPECT_GE(report.chaos.at("malformed_frame.closed"), 1u);
+  EXPECT_GE(report.chaos.at("half_close.half_closed"), 1u);
+  EXPECT_GE(report.chaos.at("reset.reset_sent"), 1u);
+
+  std::size_t fds_after = open_fd_count();
+  for (int round = 0; round < 100 && fds_after > fds_before; ++round) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    fds_after = open_fd_count();
+  }
+  EXPECT_EQ(fds_after, fds_before);
+
+  // Server side: chaos produced timeouts/parse errors, but nothing leaked
+  // there either — every connection it ever accepted is closed again.
+  server->stop();
+  EXPECT_EQ(server->server().open_connections(), 0u);
+  EXPECT_GE(server->counter("net.http.read_timeouts"), 1u);
+}
+
+// The chaos generators themselves: the truncated-hello corpus must cut at
+// every u32 length-prefix boundary, and the mutators must stay deterministic
+// under a fixed seed (the ctest smoke greps depend on it).
+TEST(LoadHarnessTest, TruncatedHelloCorpusCoversPrefixBoundaries) {
+  const auto corpus = truncated_hello_corpus();
+  ASSERT_GE(corpus.size(), 6u);
+  // First four entries: 1..4 bytes — inside the u32 length prefix.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(corpus[i].size(), i + 1);
+  }
+  // Every entry is a strict prefix of the full frame (the last one short by
+  // exactly one byte), so none of them can ever complete a frame.
+  const auto full = net::server::frame(net::server::encode_tunnel_hello(
+      net::server::TunnelHello{"chaos.tft-study.net"}));
+  for (const auto& cut : corpus) {
+    EXPECT_LT(cut.size(), full.size());
+    EXPECT_EQ(full.compare(0, cut.size(), cut), 0);
+  }
+}
+
+TEST(LoadHarnessTest, MalformedGeneratorsAreSeedDeterministic) {
+  util::Rng rng_a(7);
+  util::Rng rng_b(7);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(malformed_tunnel_frame(rng_a), malformed_tunnel_frame(rng_b));
+  }
+  util::Rng rng_c(8);
+  util::Rng rng_d(7);
+  bool any_difference = false;
+  for (int i = 0; i < 32; ++i) {
+    if (malformed_tunnel_frame(rng_c) != malformed_tunnel_frame(rng_d)) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace tft::net::client

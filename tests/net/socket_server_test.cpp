@@ -9,8 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "tft/net/server/framing.hpp"
 #include "tft/testing/test_proxy_server.hpp"
@@ -285,6 +287,134 @@ TEST(SocketServerTest, ThreadedServerSmoke) {
   EXPECT_EQ(fixture.counter("net.accepted"), 1u);
   EXPECT_EQ(fixture.counter("net.http.requests"), 1u);
   EXPECT_EQ(fixture.server().open_connections(), 0u);
+}
+
+// Satellite regression: many connections expiring in the SAME deadline
+// sweep must be classified independently — slow headers get a 408 and
+// count as read timeouts, silent connections count as idle, and a peer
+// with queued-but-unread responses counts as a write timeout WITHOUT a
+// 408 (a raw 408 would splice garbage into the middle of the response
+// stream it stopped reading).
+TEST(SocketServerTest, SimultaneousExpirySplitsTimeoutClasses) {
+  auto options = pumped();
+  options.configure = [](ProxyServerConfig& config) {
+    config.read_timeout_ms = 150;
+    config.send_buffer_bytes = 4096;     // tiny SO_SNDBUF: writes back up
+    config.max_outbox_bytes = 64 << 20;  // the cap must not fire here
+  };
+  TestProxyServer fixture(std::move(options));
+
+  std::vector<std::unique_ptr<TestSocket>> idle, slow;
+  for (int i = 0; i < 4; ++i) {
+    idle.push_back(
+        std::make_unique<TestSocket>(fixture.port(), &fixture.server()));
+    ASSERT_TRUE(idle.back()->connected());
+    slow.push_back(
+        std::make_unique<TestSocket>(fixture.port(), &fixture.server()));
+    ASSERT_TRUE(slow.back()->connected());
+    ASSERT_TRUE(slow.back()->send_all("GET http://m1.probe.tft-s").ok());
+  }
+  // The slow reader: hundreds of pipelined requests, never reads a byte of
+  // the responses — the outbox jams behind the tiny socket buffer.
+  TestSocket reader_stall(fixture.port(), &fixture.server());
+  ASSERT_TRUE(reader_stall.connected());
+  std::string burst;
+  for (int i = 0; i < 600; ++i) burst += simple_get();
+  ASSERT_TRUE(reader_stall.send_all(burst).ok());
+  fixture.pump();
+  ASSERT_EQ(fixture.counter("net.accepted"), 9u);
+
+  // One sweep reaps all nine.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  fixture.pump();
+  EXPECT_EQ(fixture.counter("net.http.read_timeouts"), 4u);
+  EXPECT_EQ(fixture.counter("net.http.idle_timeouts"), 4u);
+  EXPECT_EQ(fixture.counter("net.http.write_timeouts"), 1u);
+  EXPECT_EQ(fixture.counter("net.write_queue_overflows"), 0u);
+  EXPECT_EQ(fixture.server().open_connections(), 0u);
+
+  // Slow-header peers got a parseable 408; idle peers got silence.
+  for (auto& client : slow) {
+    const auto rest = client->recv_until_eof();
+    ASSERT_TRUE(rest.ok());
+    EXPECT_NE(rest->find("HTTP/1.1 408"), std::string::npos);
+  }
+  for (auto& client : idle) {
+    const auto rest = client->recv_until_eof();
+    ASSERT_TRUE(rest.ok());
+    EXPECT_TRUE(rest->empty());
+  }
+  // The stalled reader's stream ends mid-response — but with NO 408 spliced
+  // into it. Whatever arrived is a clean prefix of well-formed responses.
+  const auto tail = reader_stall.recv_until_eof();
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(tail->find("408"), std::string::npos);
+}
+
+// Accept-burst backpressure: beyond max_connections the server sheds new
+// arrivals at accept time instead of grinding existing ones down.
+TEST(SocketServerTest, AcceptBurstShedsBeyondMaxConnections) {
+  auto options = pumped();
+  options.configure = [](ProxyServerConfig& config) {
+    config.max_connections = 2;
+  };
+  TestProxyServer fixture(std::move(options));
+
+  TestSocket first(fixture.port(), &fixture.server());
+  TestSocket second(fixture.port(), &fixture.server());
+  TestSocket third(fixture.port(), &fixture.server());
+  ASSERT_TRUE(first.connected());
+  ASSERT_TRUE(second.connected());
+  ASSERT_TRUE(third.connected());
+  fixture.pump();
+
+  EXPECT_EQ(fixture.counter("net.accepted"), 2u);
+  EXPECT_EQ(fixture.counter("net.accept.rejected"), 1u);
+  EXPECT_EQ(fixture.server().open_connections(), 2u);
+
+  // The shed connection sees an immediate close...
+  const auto rest = third.recv_until_eof();
+  ASSERT_TRUE(rest.ok());
+  EXPECT_TRUE(rest->empty());
+
+  // ...while the admitted ones still get full service.
+  ASSERT_TRUE(first.send_all(simple_get()).ok());
+  const auto response = first.recv_message();
+  ASSERT_TRUE(response.ok());
+  EXPECT_NE(response->find("HTTP/1.1 200"), std::string::npos);
+
+  // Freeing a slot re-opens the door.
+  second.close();
+  fixture.pump();
+  TestSocket fourth(fixture.port(), &fixture.server());
+  ASSERT_TRUE(fourth.connected());
+  ASSERT_TRUE(fourth.send_all(simple_get()).ok());
+  ASSERT_TRUE(fourth.recv_message().ok());
+  EXPECT_EQ(fixture.counter("net.accepted"), 3u);
+}
+
+// Per-connection write-queue cap: a peer that keeps asking but never reads
+// is cut off once its pending outbox exceeds max_outbox_bytes — the queue
+// must not grow without bound.
+TEST(SocketServerTest, WriteQueueOverflowClosesConnection) {
+  auto options = pumped();
+  options.configure = [](ProxyServerConfig& config) {
+    config.send_buffer_bytes = 4096;
+    config.max_outbox_bytes = 16 * 1024;
+  };
+  TestProxyServer fixture(std::move(options));
+  TestSocket client(fixture.port(), &fixture.server());
+  ASSERT_TRUE(client.connected());
+
+  std::string burst;
+  for (int i = 0; i < 600; ++i) burst += simple_get();
+  ASSERT_TRUE(client.send_all(burst).ok());
+  fixture.pump();
+
+  EXPECT_EQ(fixture.counter("net.write_queue_overflows"), 1u);
+  EXPECT_EQ(fixture.server().open_connections(), 0u);
+  const auto rest = client.recv_until_eof();
+  ASSERT_TRUE(rest.ok());  // stream ends; whatever arrived is a clean prefix
 }
 
 // Everything the fixture opens — listener, epoll, eventfd, connections —

@@ -44,6 +44,47 @@ TEST(HistogramTest, ObserveFillsBucketsCountAndSum) {
   EXPECT_EQ(histogram->buckets[4], 1u);      // overflow
 }
 
+// quantile() is nearest-rank over the fixed buckets, reporting the bucket's
+// upper bound — the resolution the load harness needs for p50/p95/p99.
+TEST(HistogramTest, QuantileIsNearestRankBucketBound) {
+  Registry registry;
+  const std::vector<std::int64_t> bounds = {10, 100, 1000};
+  // 90 observations <= 10, 9 in (10, 100], 1 in (100, 1000].
+  for (int i = 0; i < 90; ++i) registry.observe("lat", bounds, 5);
+  for (int i = 0; i < 9; ++i) registry.observe("lat", bounds, 50);
+  registry.observe("lat", bounds, 500);
+  const Histogram* histogram = registry.histogram("lat");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->quantile(0.50), 10);
+  EXPECT_EQ(histogram->quantile(0.90), 10);   // rank 90 is the last <=10
+  EXPECT_EQ(histogram->quantile(0.95), 100);
+  EXPECT_EQ(histogram->quantile(0.99), 100);
+  EXPECT_EQ(histogram->quantile(1.0), 1000);
+  // Out-of-range q clamps instead of reading past the buckets.
+  EXPECT_EQ(histogram->quantile(-1.0), 10);
+  EXPECT_EQ(histogram->quantile(7.0), 1000);
+}
+
+TEST(HistogramTest, QuantileOfEmptyHistogramIsZero) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.quantile(0.5), 0);
+  histogram.upper_bounds = {1, 2};
+  histogram.buckets = {0, 0, 0};
+  EXPECT_EQ(histogram.quantile(0.5), 0);
+}
+
+TEST(HistogramTest, QuantileInOverflowReportsLastFiniteBound) {
+  Registry registry;
+  const std::vector<std::int64_t> bounds = {10, 100};
+  registry.observe("lat", bounds, 5);
+  registry.observe("lat", bounds, 1'000'000);  // overflow bucket
+  const Histogram* histogram = registry.histogram("lat");
+  ASSERT_NE(histogram, nullptr);
+  // The overflow bucket has no upper bound; the best honest answer is the
+  // last finite bound (the report can't invent a number above it).
+  EXPECT_EQ(histogram->quantile(0.99), 100);
+}
+
 TEST(RegistryTest, CounterMergeIsOrderIndependent) {
   Registry a;
   a.add("proxy.fetches", 3);

@@ -1,0 +1,291 @@
+// tft-loadgen: drive a live proxy front-end (`tft-study --serve`, or a
+// self-hosted mini world) with an epoll client swarm — concurrent
+// connections, a GET / pipelined / CONNECT request mix, optional open-loop
+// pacing, and optional chaos clients — then report validated throughput,
+// per-class latency percentiles, and the error taxonomy.
+//
+//   tft-loadgen --connect-to 8080 --connections 64 --duration-ms 2000
+//   tft-loadgen --self-serve --connections 32 --chaos --json
+#include <dirent.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tft/net/client/load_client.hpp"
+#include "tft/testing/test_proxy_server.hpp"
+#include "tft/util/flags.hpp"
+#include "tft/world/world.hpp"
+
+namespace {
+
+using tft::net::client::ConnectTarget;
+using tft::net::client::LoadGenConfig;
+using tft::net::client::LoadGenerator;
+using tft::net::client::LoadReport;
+
+int fail(const std::string& message) {
+  std::cerr << "tft-loadgen: " << message << "\n";
+  std::cerr << "try: tft-loadgen --help\n";
+  return 2;
+}
+
+void print_help() {
+  std::cout << R"(tft-loadgen: concurrent load + fault injection for the socket front-end
+
+target (exactly one):
+  --connect-to <port>   attack an already-running proxy on 127.0.0.1:<port>
+                        (e.g. the port `tft-study --serve` printed)
+  --self-serve          build the mini world and serve it on a thread inside
+                        this process (chaos smokes, benches)
+
+load shape:
+  --connections <n>     well-behaved concurrent connections (default 8)
+  --duration-ms <n>     run length (default 1000)
+  --rps <r>             open-loop total request rate; 0 = closed loop (default)
+  --mix g:p:c           GET : pipelined-burst : CONNECT weights (default 6:2:2)
+  --pipeline-depth <n>  GETs per pipelined burst (default 4)
+  --target <urls>       comma-separated absolute GET targets
+                        (default http://m1.probe.tft-study.net/page.html)
+  --connect-target <l>  comma-separated CONNECT targets as ip:port@sni;
+                        --self-serve fills these from the world's HTTPS sites
+  --seed <n>            swarm RNG seed (default 2016)
+
+chaos:
+  --chaos               add misbehaving clients (slow-drip, malformed frames,
+                        half-close, reset, idle hold)
+  --chaos-clients <n>   how many (default 5 with --chaos)
+
+self-serve server knobs:
+  --scale <s>           world scale (default 1.0)
+  --server-timeout-ms   server read/idle timeout (default 10000; chaos smokes
+                        want something short, e.g. 150)
+
+output & assertions:
+  --json                print the full JSON report to stdout
+  --out <path>          also write the JSON report to a file
+  --quiet               suppress the human summary
+  --expect-zero-failures  exit 1 if any response failed validation
+  --slo-p95-us <n>      exit 1 if the GET-class p95 exceeds n microseconds
+  --fd-check            exit 1 if the swarm leaked fds (checked client-side)
+)";
+}
+
+std::size_t open_fd_count() {
+  std::size_t count = 0;
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  while (::readdir(dir) != nullptr) ++count;
+  ::closedir(dir);
+  return count;
+}
+
+bool parse_connect_target(const std::string& text, ConnectTarget& out) {
+  const auto at = text.find('@');
+  const auto colon = text.find(':');
+  if (colon == std::string::npos) return false;
+  const std::string ip = text.substr(0, colon);
+  const std::string port_text =
+      text.substr(colon + 1, at == std::string::npos ? std::string::npos
+                                                     : at - colon - 1);
+  const auto address = tft::net::Ipv4Address::parse(ip);
+  if (!address.ok()) return false;
+  const int port = std::atoi(port_text.c_str());
+  if (port <= 0 || port > 65535) return false;
+  out.address = *address;
+  out.port = static_cast<std::uint16_t>(port);
+  out.sni = at == std::string::npos ? ip : text.substr(at + 1);
+  return true;
+}
+
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const auto comma = text.find(',', begin);
+    const auto end = comma == std::string::npos ? text.size() : comma;
+    if (end > begin) parts.push_back(text.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return parts;
+}
+
+void print_summary(const LoadReport& report) {
+  std::cout << "loadgen: sent=" << report.requests_sent
+            << " ok=" << report.responses_ok
+            << " failures=" << report.validation_failures
+            << " abandoned=" << report.abandoned_in_flight << " rps="
+            << static_cast<long long>(report.achieved_rps) << "\n";
+  for (const auto& [name, stats] : report.classes) {
+    std::cout << "  " << name << ": sent=" << stats.sent
+              << " completed=" << stats.completed
+              << " failed=" << stats.failed_validation
+              << " p50=" << stats.p50_us << "us p95=" << stats.p95_us
+              << "us p99=" << stats.p99_us << "us\n";
+  }
+  for (const auto& [name, value] : report.errors) {
+    std::cout << "  error." << name << " = " << value << "\n";
+  }
+  for (const auto& [name, value] : report.chaos) {
+    std::cout << "  chaos." << name << " = " << value << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = tft::util::Flags::parse(
+      argc, argv,
+      {"self-serve", "chaos", "json", "quiet", "expect-zero-failures",
+       "fd-check", "help"});
+  if (!parsed.ok()) return fail(parsed.error().to_string());
+  const tft::util::Flags& flags = *parsed;
+  if (flags.get_bool("help")) {
+    print_help();
+    return 0;
+  }
+  const auto unknown = flags.unknown(
+      {"connect-to", "self-serve", "connections", "duration-ms", "rps", "mix",
+       "pipeline-depth", "target", "connect-target", "seed", "chaos",
+       "chaos-clients", "scale", "server-timeout-ms", "json", "out", "quiet",
+       "expect-zero-failures", "slo-p95-us", "fd-check", "help"});
+  if (!unknown.empty()) return fail("unknown flag --" + unknown.front());
+
+  const bool self_serve = flags.get_bool("self-serve");
+  const auto connect_to = flags.get_int("connect-to", 0);
+  if (!connect_to.ok()) return fail(connect_to.error().to_string());
+  if (self_serve == (*connect_to != 0)) {
+    return fail("pick exactly one of --connect-to <port> or --self-serve");
+  }
+  if (*connect_to < 0 || *connect_to > 65535) {
+    return fail("--connect-to must be in 1..65535");
+  }
+
+  LoadGenConfig config;
+  const auto connections = flags.get_int("connections", 8);
+  const auto duration_ms = flags.get_int("duration-ms", 1000);
+  const auto rps = flags.get_double("rps", 0.0);
+  const auto pipeline_depth = flags.get_int("pipeline-depth", 4);
+  const auto seed = flags.get_int("seed", 2016);
+  const auto scale = flags.get_double("scale", 1.0);
+  const auto server_timeout = flags.get_int("server-timeout-ms", 10'000);
+  const auto slo_p95 = flags.get_int("slo-p95-us", 0);
+  for (const auto& result :
+       {connections.ok(), duration_ms.ok(), pipeline_depth.ok(), seed.ok(),
+        server_timeout.ok(), slo_p95.ok()}) {
+    if (!result) return fail("malformed numeric flag value");
+  }
+  if (!rps.ok() || !scale.ok()) return fail("malformed numeric flag value");
+  if (*connections <= 0) return fail("--connections must be positive");
+  if (*duration_ms <= 0) return fail("--duration-ms must be positive");
+  config.connections = static_cast<std::size_t>(*connections);
+  config.duration_ms = static_cast<int>(*duration_ms);
+  config.target_rps = *rps;
+  config.pipeline_depth = static_cast<std::size_t>(std::max(1LL, *pipeline_depth));
+  config.seed = static_cast<std::uint64_t>(*seed);
+
+  if (const auto mix = flags.get("mix")) {
+    if (std::sscanf(mix->c_str(), "%d:%d:%d", &config.weight_get,
+                    &config.weight_pipeline, &config.weight_connect) != 3) {
+      return fail("--mix wants g:p:c, e.g. 6:2:2");
+    }
+  }
+  if (flags.get_bool("chaos") || flags.has("chaos-clients")) {
+    const auto chaos_clients = flags.get_int("chaos-clients", 5);
+    if (!chaos_clients.ok() || *chaos_clients < 0) {
+      return fail("--chaos-clients must be >= 0");
+    }
+    config.chaos_clients = static_cast<std::size_t>(*chaos_clients);
+  }
+  if (const auto targets = flags.get("target")) {
+    config.get_targets = split_commas(*targets);
+  }
+  if (const auto targets = flags.get("connect-target")) {
+    for (const auto& part : split_commas(*targets)) {
+      ConnectTarget target;
+      if (!parse_connect_target(part, target)) {
+        return fail("bad --connect-target entry '" + part +
+                    "' (want ip:port@sni)");
+      }
+      config.connect_targets.push_back(target);
+    }
+  }
+
+  // Self-serve: a threaded mini-world server inside this process, with the
+  // CONNECT targets filled from its own HTTPS site table.
+  std::unique_ptr<tft::testing::TestProxyServer> server;
+  if (self_serve) {
+    tft::testing::TestProxyServer::Options options;
+    options.scale = *scale;
+    options.seed = static_cast<std::uint64_t>(*seed);
+    options.threaded = true;
+    options.configure = [&](tft::net::server::ProxyServerConfig& server_config) {
+      server_config.read_timeout_ms = static_cast<int>(*server_timeout);
+    };
+    server = std::make_unique<tft::testing::TestProxyServer>(options);
+    config.port = server->port();
+    if (config.connect_targets.empty()) {
+      for (const auto& site : server->world().https_sites) {
+        config.connect_targets.push_back({site.address, 443, site.host});
+        if (config.connect_targets.size() >= 8) break;
+      }
+    }
+  } else {
+    config.port = static_cast<std::uint16_t>(*connect_to);
+  }
+
+  const bool fd_check = flags.get_bool("fd-check");
+  const std::size_t fds_before = fd_check ? open_fd_count() : 0;
+
+  LoadReport report;
+  {
+    LoadGenerator generator(config);
+    auto result = generator.run();
+    if (!result.ok()) return fail(result.error().to_string());
+    report = *std::move(result);
+  }
+
+  int exit_code = 0;
+  if (fd_check) {
+    // The swarm's fds close with the generator; allow the kernel a moment
+    // to retire them before declaring a leak.
+    std::size_t fds_after = open_fd_count();
+    for (int round = 0; round < 100 && fds_after > fds_before; ++round) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      fds_after = open_fd_count();
+    }
+    if (fds_after > fds_before) {
+      std::cerr << "tft-loadgen: fd leak: " << fds_before << " -> "
+                << fds_after << "\n";
+      exit_code = 1;
+    }
+  }
+
+  if (!flags.get_bool("quiet")) print_summary(report);
+  if (flags.get_bool("json")) std::cout << report.to_json() << "\n";
+  if (const auto out = flags.get("out")) {
+    std::ofstream file(*out, std::ios::trunc);
+    if (!file) return fail("cannot write --out " + *out);
+    file << report.to_json() << "\n";
+  }
+
+  if (flags.get_bool("expect-zero-failures") && report.validation_failures > 0) {
+    std::cerr << "tft-loadgen: " << report.validation_failures
+              << " validation failures (expected zero)\n";
+    exit_code = 1;
+  }
+  if (*slo_p95 > 0) {
+    const auto it = report.classes.find("get");
+    if (it != report.classes.end() && it->second.p95_us > *slo_p95) {
+      std::cerr << "tft-loadgen: GET p95 " << it->second.p95_us
+                << "us exceeds SLO " << *slo_p95 << "us\n";
+      exit_code = 1;
+    }
+  }
+  return exit_code;
+}
